@@ -1,0 +1,93 @@
+// Regenerates Fig. 2: tanh mean-square error of the piecewise-linear
+// approximation over interpolation range x number of intervals, under Q3.12
+// quantization. Prints the MSE grid (log10), the paper's chosen design
+// point, and a chord-vs-least-squares fit ablation.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/activation/pla.h"
+#include "src/common/table.h"
+#include "src/impl_model/impl_model.h"
+
+using namespace rnnasip;
+using activation::ActFunc;
+using activation::FitMethod;
+using activation::PlaSpec;
+using activation::PlaTable;
+
+int main() {
+  std::printf("======================================================================\n");
+  std::printf("Fig. 2 — tanh MSE vs interpolation range and #intervals (Q3.12)\n");
+  std::printf("Paper design point: range ±4, 32 intervals -> MSE 9.81e-7, max ±3.8e-4\n");
+  std::printf("======================================================================\n\n");
+
+  const std::vector<double> ranges = {0.5, 1.0, 2.0, 4.0, 8.0};
+  const std::vector<int> intervals = {2, 4, 8, 16, 32, 64, 128};
+
+  std::vector<std::string> header = {"range\\M"};
+  for (int m : intervals) header.push_back(std::to_string(m));
+  Table grid(header);
+  for (double r : ranges) {
+    std::vector<std::string> row = {fmt_double(r, 1)};
+    for (int m : intervals) {
+      const auto spec = PlaSpec::for_range(ActFunc::kTanh, r, m);
+      const auto stats = activation::measure_error(PlaTable::build(spec));
+      row.push_back(fmt_double(std::log10(stats.mse()), 2));
+    }
+    grid.add_row(std::move(row));
+  }
+  std::printf("log10(MSE) grid (chord fit, as in hardware):\n%s\n",
+              grid.to_string().c_str());
+
+  // The design point, both fits, plus sigmoid with its wider range.
+  Table pts({"function", "range", "M", "fit", "MSE", "max |err|"});
+  struct Pt {
+    ActFunc f;
+    int log2, m;
+    FitMethod fit;
+    const char* fname;
+    const char* fitname;
+  };
+  const Pt pts_list[] = {
+      {ActFunc::kTanh, 9, 32, FitMethod::kChord, "tanh", "chord"},
+      {ActFunc::kTanh, 9, 32, FitMethod::kLeastSquares, "tanh", "lsq"},
+      {ActFunc::kTanh, 9, 64, FitMethod::kChord, "tanh", "chord"},
+      {ActFunc::kSigmoid, 10, 32, FitMethod::kChord, "sig", "chord"},
+      {ActFunc::kSigmoid, 10, 32, FitMethod::kLeastSquares, "sig", "lsq"},
+  };
+  for (const auto& p : pts_list) {
+    const auto stats = activation::measure_error(
+        PlaTable::build({p.f, p.log2, p.m, q3_12, p.fit}));
+    const double range =
+        static_cast<double>(p.m) * static_cast<double>(1 << p.log2) / 4096.0;
+    pts.add_row({p.fname, fmt_double(range, 1), std::to_string(p.m), p.fitname,
+                 fmt_sci(stats.mse(), 2), fmt_sci(stats.max_abs_error(), 2)});
+  }
+  std::printf("Design points (paper: tanh ±4 / 32 -> MSE 9.81e-7, max 3.8e-4):\n%s\n",
+              pts.to_string().c_str());
+
+  // Area/accuracy trade of the LUT depth (the axis Fig. 2 implies): the
+  // paper's M = 32 sits where MSE flattens while the unit stays ~1.7 kGE.
+  impl_model::AreaModel area;
+  Table at({"M", "tanh MSE", "act unit kGE", "extension kGE", "core overhead"});
+  for (int m : {8, 16, 32, 64, 128}) {
+    const auto stats =
+        activation::measure_error(PlaTable::build(PlaSpec::for_range(ActFunc::kTanh, 4.0, m)));
+    const double ext = area.extension_kge_with_intervals(m);
+    at.add_row({std::to_string(m), fmt_sci(stats.mse(), 1), fmt_double(area.act_unit_kge(m), 2),
+                fmt_double(ext, 2),
+                fmt_double(100.0 * ext / (area.baseline_core_kge + ext), 1) + "%"});
+  }
+  std::printf("LUT depth vs area (paper design point M = 32, 2.3 kGE, 3.4%%):\n%s\n",
+              at.to_string().c_str());
+
+  const auto chosen = activation::measure_error(
+      PlaTable::build({ActFunc::kTanh, 9, 32, q3_12, FitMethod::kChord}));
+  std::printf("Chosen HW configuration (tanh, ±4, 32 intervals, 16-bit LUT entries):\n");
+  std::printf("  measured: MSE %.3e, max |err| %.3e, LUT cost %d bits/function\n",
+              chosen.mse(), chosen.max_abs_error(),
+              PlaTable::build({ActFunc::kTanh, 9, 32}).lut_bits());
+  std::printf("  paper   : MSE 9.81e-07, max |err| 3.8e-04\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Regenerates Fig. 3: per-network speedup vs the RV32IMC baseline for every
+// optimization level, in the paper's network order, plus the Sec. III-D
+// tanh/sig ablation on the LSTM networks.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/rrm/suite.h"
+
+using namespace rnnasip;
+using kernels::OptLevel;
+
+int main() {
+  std::printf("=====================================================================\n");
+  std::printf("Fig. 3 — per-network speedup vs RISC-V IMC baseline\n");
+  std::printf("Paper final column (level e): avg 15.0x; small nets [3],[33] lowest;\n");
+  std::printf("large FC DQNs ([9],[11],[17]) highest; LSTMs gain from tanh/sig HW.\n");
+  std::printf("=====================================================================\n\n");
+
+  rrm::RunOptions opt;
+  opt.verify = true;
+
+  std::map<OptLevel, rrm::SuiteResult> results;
+  for (auto level : kernels::kAllOptLevels) results.emplace(level, rrm::run_suite(level, opt));
+
+  Table t({"network", "ref", "type", "b (+Xpulp)", "c (+OutFM/act)", "d (+pl.sdot)",
+           "e (+InFM)"});
+  double sum_e = 0;
+  const auto& base = results.at(OptLevel::kBaseline);
+  for (size_t i = 0; i < base.nets.size(); ++i) {
+    const auto& def = rrm::rrm_suite()[i];
+    std::vector<std::string> row = {def.name, def.reference, def.type};
+    for (auto level : {OptLevel::kXpulpSimd, OptLevel::kOutputTiling,
+                       OptLevel::kLoadCompute, OptLevel::kInputTiling}) {
+      const double s = static_cast<double>(base.nets[i].cycles) /
+                       static_cast<double>(results.at(level).nets[i].cycles);
+      row.push_back(fmt_double(s, 1));
+      if (level == OptLevel::kInputTiling) sum_e += s;
+    }
+    t.add_row(std::move(row));
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Average final speedup over networks: %.1fx (paper avg bar: ~16.7x;\n",
+              sum_e / static_cast<double>(base.nets.size()));
+  std::printf("cycle-weighted suite speedup: %.1fx, paper Table I: 15.0x)\n\n",
+              static_cast<double>(base.total_cycles) /
+                  static_cast<double>(results.at(OptLevel::kInputTiling).total_cycles));
+
+  // ---- Sec. III-D ablation: tanh/sig share within the LSTM networks ----
+  std::printf("tanh/sig ablation on the LSTM networks (paper Sec. III-D:\n");
+  std::printf("activations are 10.3%% [13] and 33.6%% [14] of SW cycles; the HW\n");
+  std::printf("instructions cut LSTM cycles 51.2k -> 44.5k = 13.0%%):\n\n");
+  Table abl({"network", "SW act kcyc (lvl b)", "lvl b kcyc", "share", "lvl c act kcyc"});
+  for (const char* name : {"challita17", "naparstek17"}) {
+    rrm::RrmNetwork net(rrm::find_network(name));
+    const auto rb = rrm::run_network(net, OptLevel::kXpulpSimd, opt);
+    const auto rc = rrm::run_network(net, OptLevel::kOutputTiling, opt);
+    // SW activation cycles: everything spent inside the routines — count the
+    // routine-only opcodes (jal calls plus the routine body mix is folded
+    // into generic opcodes, so measure via a separate run with zero-size
+    // estimate: jal count x ~27 cycles/call).
+    uint64_t calls = 0;
+    const auto& ops = rb.stats.by_opcode();
+    if (auto it = ops.find(isa::Opcode::kJal); it != ops.end()) calls = it->second.instrs;
+    const double sw_act_kcyc = static_cast<double>(calls) * 27.0 / 1000.0;
+    double hw_act_kcyc = 0;
+    const auto& opc = rc.stats.by_opcode();
+    for (auto op : {isa::Opcode::kPlTanh, isa::Opcode::kPlSig}) {
+      if (auto it = opc.find(op); it != opc.end())
+        hw_act_kcyc += static_cast<double>(it->second.cycles) / 1000.0;
+    }
+    abl.add_row({name, fmt_double(sw_act_kcyc, 1),
+                 fmt_double(static_cast<double>(rb.cycles) / 1000.0, 1),
+                 fmt_double(100.0 * sw_act_kcyc * 1000.0 / rb.cycles, 1) + "%",
+                 fmt_double(hw_act_kcyc, 2)});
+  }
+  std::printf("%s\n", abl.to_string().c_str());
+
+  bool all_ok = true;
+  for (const auto& [level, s] : results) all_ok = all_ok && s.all_verified;
+  std::printf("All runs verified bit-exact against the golden model: %s\n",
+              all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

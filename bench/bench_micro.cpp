@@ -1,0 +1,123 @@
+// Micro-benchmarks of the simulator infrastructure itself (google-benchmark):
+// decoder throughput, ISS simulation speed, kernel generation cost, and PLA
+// evaluation. These characterize the tooling, not the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "src/activation/pla.h"
+#include "src/common/rng.h"
+#include "src/isa/isa.h"
+#include "src/iss/core.h"
+#include "src/kernels/network.h"
+#include "src/nn/init.h"
+#include "src/nn/quantize.h"
+#include "src/rrm/suite.h"
+
+using namespace rnnasip;
+
+namespace {
+
+void BM_Decode32(benchmark::State& state) {
+  // A realistic instruction word mix.
+  std::vector<uint32_t> words;
+  assembler::ProgramBuilder b;
+  auto end = b.make_label();
+  b.li(isa::kA0, 0x10000);
+  b.lp_setupi(0, 16, end);
+  b.p_lw(isa::kA1, 4, isa::kA0);
+  b.pv_sdotsp_h(isa::kA2, isa::kA1, isa::kA1);
+  b.bind(end);
+  b.pl_tanh(isa::kA3, isa::kA2);
+  b.add(isa::kA4, isa::kA3, isa::kA2);
+  b.ebreak();
+  words = b.build().encode_words();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::decode(words[i]));
+    i = (i + 1) % words.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Decode32);
+
+void BM_IssSimulationSpeed(benchmark::State& state) {
+  // Instructions simulated per second on a dense matvec kernel.
+  iss::Memory mem(8u << 20);
+  iss::Core core(&mem);
+  Rng rng(1);
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, 200, 80, nn::ActKind::kNone));
+  kernels::NetworkProgramBuilder nb(&mem, kernels::OptLevel::kInputTiling,
+                                    core.tanh_table(), core.sig_table());
+  nb.add_fc(fc);
+  const auto net = nb.finalize();
+  core.load_program(net.program);
+  const auto x = nn::quantize_vector(nn::random_vector(rng, 200, 1.0f));
+  mem.write_halves(net.input_addr, x);
+  uint64_t instrs = 0;
+  for (auto _ : state) {
+    core.reset(net.program.base);
+    const auto r = core.run();
+    instrs += r.instrs;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(instrs));
+  state.SetLabel("simulated instructions/s");
+}
+BENCHMARK(BM_IssSimulationSpeed);
+
+void BM_KernelGeneration(benchmark::State& state) {
+  // Cost of building a full network program (allocation + emission + fixups).
+  Rng rng(2);
+  const auto fc1 = nn::quantize_fc(nn::random_fc(rng, 160, 500, nn::ActKind::kReLU));
+  const auto fc2 = nn::quantize_fc(nn::random_fc(rng, 500, 300, nn::ActKind::kReLU));
+  const auto fc3 = nn::quantize_fc(nn::random_fc(rng, 300, 64, nn::ActKind::kNone));
+  iss::Memory mem(16u << 20);
+  iss::Core core(&mem);
+  for (auto _ : state) {
+    kernels::NetworkProgramBuilder nb(&mem, kernels::OptLevel::kInputTiling,
+                                      core.tanh_table(), core.sig_table());
+    nb.add_fc(fc1);
+    nb.add_fc(fc2);
+    nb.add_fc(fc3);
+    benchmark::DoNotOptimize(nb.finalize());
+  }
+}
+BENCHMARK(BM_KernelGeneration);
+
+void BM_PlaEval(benchmark::State& state) {
+  const auto tbl = activation::PlaTable::build({activation::ActFunc::kTanh, 9, 32});
+  int32_t x = -32768;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tbl.eval_raw(x));
+    x = (x + 7) & 0xFFFF;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlaEval);
+
+void BM_GoldenLstmStep(benchmark::State& state) {
+  Rng rng(3);
+  const auto lstm = nn::quantize_lstm(nn::random_lstm(rng, 32, 64, 0.3f));
+  const auto tt = activation::PlaTable::build({activation::ActFunc::kTanh, 9, 32});
+  const auto st = activation::PlaTable::build({activation::ActFunc::kSigmoid, 10, 32});
+  nn::LstmStateQ s{nn::VectorQ(64, 0), nn::VectorQ(64, 0)};
+  const auto x = nn::quantize_vector(nn::random_vector(rng, 32, 1.0f));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::lstm_step_fixp(lstm, x, s, tt, st));
+  }
+}
+BENCHMARK(BM_GoldenLstmStep);
+
+void BM_SuiteNetworkEndToEnd(benchmark::State& state) {
+  // Full build+run+verify of one mid-size network (suite-runner unit cost).
+  rrm::RrmNetwork net(rrm::find_network("nasir18"));
+  rrm::RunOptions opt;
+  opt.verify = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rrm::run_network(net, kernels::OptLevel::kLoadCompute, opt));
+  }
+}
+BENCHMARK(BM_SuiteNetworkEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Design-choice ablation: the 16-bit Q-format (Sec. III-A: "Q3.12 offers a
+// good compromise between accuracy/robustness and energy-efficiency/
+// throughput, and most importantly does not require fixed-point aware
+// retraining").
+//
+// Sweeps the integer/fraction split on an FC stack with realistic
+// magnitudes. More fraction bits = finer resolution but a smaller headroom:
+// formats with too little range saturate on the pre-activation sums, too
+// little fraction is coarse. Cycles are identical for every format — the
+// choice is purely numeric, which is the paper's point.
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/nn/init.h"
+#include "src/nn/quantize.h"
+
+using namespace rnnasip;
+
+namespace {
+
+/// Quantize FC params/input at `fmt`, run the fixed-point golden pipeline
+/// (2 layers), and return the max abs error vs the float reference.
+double stack_error(QFormat fmt, double input_scale) {
+  Rng rng(0x0F0);
+  const auto f1 = nn::random_fc(rng, 64, 32, nn::ActKind::kReLU, 0.25f);
+  const auto f2 = nn::random_fc(rng, 32, 8, nn::ActKind::kNone, 0.25f);
+  const auto xf = nn::random_vector(rng, 64, static_cast<float>(input_scale));
+
+  auto quantize_fc_fmt = [&](const nn::FcParamsF& p) {
+    nn::FcParamsQ q;
+    q.w = nn::quantize_matrix(p.w, fmt);
+    q.b = nn::quantize_vector(p.b, fmt);
+    q.act = p.act;
+    return q;
+  };
+  const auto tt = activation::PlaTable::build({activation::ActFunc::kTanh, 9, 32});
+  const auto st = activation::PlaTable::build({activation::ActFunc::kSigmoid, 10, 32});
+
+  const auto x_q = nn::quantize_vector(xf, fmt);
+  const auto h_q =
+      nn::fc_forward_fixp(quantize_fc_fmt(f1), x_q, tt, st, fmt.frac_bits);
+  const auto o_q =
+      nn::fc_forward_fixp(quantize_fc_fmt(f2), h_q, tt, st, fmt.frac_bits);
+
+  const auto h_f = nn::fc_forward(f1, xf);
+  const auto o_f = nn::fc_forward(f2, h_f);
+  double err = 0;
+  for (size_t i = 0; i < o_f.size(); ++i) {
+    err = std::max(err, std::abs(dequantize(o_q[i], fmt) - static_cast<double>(o_f[i])));
+  }
+  return err;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=====================================================================\n");
+  std::printf("Ablation — 16-bit Q-format sweep (paper operating point: Q3.12)\n");
+  std::printf("=====================================================================\n\n");
+
+  Table t({"format", "range", "resolution", "err (|x|<=1)", "err (|x|<=4)"});
+  for (int ib : {1, 2, 3, 5, 7}) {
+    const QFormat fmt{ib, 15 - ib};
+    t.add_row({fmt.to_string(), "±" + fmt_double(-fmt.min_value(), 0),
+               fmt_sci(fmt.resolution(), 1), fmt_sci(stack_error(fmt, 1.0), 1),
+               fmt_sci(stack_error(fmt, 4.0), 1)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Every format costs the same cycles; only numerics differ. Q1.14 has\n");
+  std::printf("the finest resolution but saturates once pre-activations exceed ±2;\n");
+  std::printf("Q7.8 never saturates here but is ~16x coarser. Q3.12 (range ±8,\n");
+  std::printf("resolution 2.4e-4) is the robust middle — the paper's choice, made\n");
+  std::printf("without retraining the networks.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Extension ablation: RNN-flavor flexibility. The paper's core argument for
+// a programmable solution (Sec. I) is that RRM algorithms evolve faster
+// than base-station silicon; this bench runs an LSTM and a GRU of equal
+// hidden size through every optimization level and shows both enjoy the
+// same speedup structure — the extensions are cell-agnostic.
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/iss/core.h"
+#include "src/kernels/network.h"
+#include "src/nn/init.h"
+#include "src/nn/quantize.h"
+
+using namespace rnnasip;
+using kernels::OptLevel;
+
+namespace {
+
+struct CellRun {
+  uint64_t cycles;
+  uint64_t macs;
+};
+
+template <typename AddLayer>
+CellRun run_cell(OptLevel level, int input, const AddLayer& add, int in_count) {
+  iss::Memory mem(8u << 20);
+  iss::Core core(&mem);
+  kernels::NetworkProgramBuilder b(&mem, level, core.tanh_table(), core.sig_table());
+  add(b);
+  const auto net = b.finalize();
+  core.load_program(net.program);
+  kernels::reset_state(mem, net);
+  Rng rng(static_cast<uint64_t>(input) * 7 + 1);
+  for (int t = 0; t < 4; ++t) {
+    std::vector<int16_t> x(static_cast<size_t>(in_count));
+    for (auto& v : x) v = static_cast<int16_t>(quantize(rng.next_in(-1.0, 1.0)));
+    kernels::run_forward(core, mem, net, x);
+  }
+  return {core.stats().total_cycles(), net.nominal_macs * 4};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=====================================================================\n");
+  std::printf("RNN-flavor ablation — LSTM vs GRU across optimization levels\n");
+  std::printf("(4 timesteps each; GRU has 3 gates to the LSTM's 4, so ~25%% fewer\n");
+  std::printf("MACs at equal hidden size — the speedup structure must match)\n");
+  std::printf("=====================================================================\n\n");
+
+  const int m = 32, n = 64;
+  Rng rng(0xF1A);
+  const auto lstm = nn::quantize_lstm(nn::random_lstm(rng, m, n, 0.3f));
+  const auto gru = nn::quantize_gru(nn::random_gru(rng, m, n, 0.3f));
+
+  Table t({"level", "LSTM kcyc", "LSTM speedup", "GRU kcyc", "GRU speedup",
+           "GRU/LSTM cyc"});
+  uint64_t lstm_base = 0, gru_base = 0;
+  for (auto level : kernels::kAllOptLevels) {
+    const auto rl = run_cell(level, m, [&](kernels::NetworkProgramBuilder& b) {
+      b.add_lstm(lstm);
+    }, m);
+    const auto rg = run_cell(level, m + 1, [&](kernels::NetworkProgramBuilder& b) {
+      b.add_gru(gru);
+    }, m);
+    if (level == OptLevel::kBaseline) {
+      lstm_base = rl.cycles;
+      gru_base = rg.cycles;
+    }
+    t.add_row({std::string(1, kernels::opt_level_letter(level)),
+               fmt_double(static_cast<double>(rl.cycles) / 1000, 1),
+               fmt_double(static_cast<double>(lstm_base) / rl.cycles, 1) + "x",
+               fmt_double(static_cast<double>(rg.cycles) / 1000, 1),
+               fmt_double(static_cast<double>(gru_base) / rg.cycles, 1) + "x",
+               fmt_double(static_cast<double>(rg.cycles) / rl.cycles, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("The GRU tracks the LSTM's speedup at every level and costs roughly\n");
+  std::printf("its MAC ratio (3 gates + extra pointwise work vs 4 gates) — no\n");
+  std::printf("hardware change was needed for the new cell.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Regenerates Table I: cycle and instruction count per optimization level
+// for the entire RRM benchmark suite, as per-mnemonic histograms with the
+// paper's display grouping (lw! = post-increment loads, pl.sdot, tanh,sig),
+// plus the cumulative and incremental speedups of the bottom row.
+#include <cstdio>
+#include <string_view>
+#include <map>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/rrm/suite.h"
+
+using namespace rnnasip;
+
+namespace {
+
+void print_level(const rrm::SuiteResult& s, const rrm::SuiteResult& base,
+                 const rrm::SuiteResult* prev, kernels::OptLevel level) {
+  std::printf("--- %c) %s ---\n", kernels::opt_level_letter(level),
+              kernels::opt_level_name(level).c_str());
+  // Sort groups by cycle count, largest first, as the paper's columns do.
+  const auto groups = s.total.by_display_group();
+  std::vector<std::pair<std::string, iss::OpStat>> rows(groups.begin(), groups.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second.cycles > b.second.cycles; });
+
+  Table t({"Instr.", "kcycles", "kinstrs"});
+  uint64_t shown_c = 0, shown_i = 0;
+  size_t printed = 0;
+  uint64_t oth_c = 0, oth_i = 0;
+  for (const auto& [name, stat] : rows) {
+    if (printed < 6 && stat.cycles >= 1000) {
+      t.add_row({name, fmt_count(stat.cycles / 1000), fmt_count(stat.instrs / 1000)});
+      shown_c += stat.cycles;
+      shown_i += stat.instrs;
+      ++printed;
+    } else {
+      oth_c += stat.cycles;
+      oth_i += stat.instrs;
+    }
+  }
+  t.add_row({"oth.", fmt_count(oth_c / 1000), fmt_count(oth_i / 1000)});
+  t.add_row({"Sum", fmt_count(s.total_cycles / 1000), fmt_count(s.total_instrs / 1000)});
+  std::printf("%s", t.to_string().c_str());
+  const double cum = static_cast<double>(base.total_cycles) / s.total_cycles;
+  if (prev) {
+    const double inc = static_cast<double>(prev->total_cycles) / s.total_cycles;
+    std::printf("Impr. %.1fx (%.2fx incremental)\n\n", cum, inc);
+  } else {
+    std::printf("Impr. Baseline (1x)\n\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool per_net = argc > 1 && std::string_view(argv[1]) == "--per-net";
+  std::printf("==============================================================\n");
+  std::printf("Table I — cycle and instruction count optimizations, RRM suite\n");
+  std::printf("Paper:    a) 14'683 kcyc  b) 3'323  c) 1'756  d) 1'028  e) 980\n");
+  std::printf("Paper:    speedups 1x / 4.4x / 8.4x / 14.3x / 15.0x\n");
+  std::printf("==============================================================\n\n");
+
+  rrm::RunOptions opt;
+  opt.verify = true;
+
+  std::vector<rrm::SuiteResult> results;
+  for (auto level : kernels::kAllOptLevels) {
+    results.push_back(rrm::run_suite(level, opt));
+    if (!results.back().all_verified) {
+      std::printf("ERROR: level %c outputs did not verify against golden model\n",
+                  kernels::opt_level_letter(level));
+      return 1;
+    }
+  }
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    print_level(results[i], results[0], i == 0 ? nullptr : &results[i - 1],
+                kernels::kAllOptLevels[i]);
+  }
+
+  std::printf("Summary (measured vs paper):\n");
+  Table t({"level", "kcycles", "speedup", "paper kcyc", "paper speedup"});
+  const char* paper_kcyc[] = {"14'683", "3'323", "1'756", "1'028", "980"};
+  const char* paper_speedup[] = {"1.0", "4.4", "8.4", "14.3", "15.0"};
+  for (size_t i = 0; i < results.size(); ++i) {
+    t.add_row({std::string(1, kernels::opt_level_letter(kernels::kAllOptLevels[i])),
+               fmt_count(results[i].total_cycles / 1000),
+               fmt_double(static_cast<double>(results[0].total_cycles) /
+                              results[i].total_cycles,
+                          1),
+               paper_kcyc[i], paper_speedup[i]});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("All outputs verified bit-exact against the golden model.\n");
+
+  if (per_net) {
+    std::printf("\nPer-network appendix (kcycles at each level):\n");
+    Table pn({"network", "a", "b", "c", "d", "e"});
+    for (size_t i = 0; i < results[0].nets.size(); ++i) {
+      std::vector<std::string> row = {results[0].nets[i].name};
+      for (const auto& r : results) {
+        row.push_back(fmt_double(static_cast<double>(r.nets[i].cycles) / 1000.0, 1));
+      }
+      pn.add_row(std::move(row));
+    }
+    std::printf("%s", pn.to_string().c_str());
+    std::printf("\nCSV histogram of the final level:\n%s",
+                results.back().total.to_csv().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Assembler playground: write a kernel in RNN-RISC-V assembly, run it on
+// the simulated extended core, and get a trace plus a hotspot profile.
+//
+//   $ ./asm_playground file.s        # assemble + run a file
+//   $ ./asm_playground               # run the built-in demo kernel
+//
+// The program must end in ebreak. Data memory starts zeroed at 0x10000;
+// use li/sw to stage inputs, or preload patterns with the demo's helpers.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/asm/parser.h"
+#include "src/iss/trace.h"
+
+using namespace rnnasip;
+
+namespace {
+
+// A Table-II-flavored demo: dot product of two 64-element Q3.12 vectors
+// with pl.sdotsp.h, then tanh of the requantized result.
+constexpr const char* kDemo = R"(
+    # stage test data: x[i] = 0.25, w[i] = 0.5 (packed pairs)
+    li   a0, 0x10000       # w base
+    li   a1, 0x10200       # x base
+    li   t0, 0x08000800    # two Q3.12 0.5 halfwords
+    li   t1, 0x04000400    # two Q3.12 0.25 halfwords
+    li   t2, 32            # 32 words = 64 elements
+  init:
+    p.sw t0, 4(a0!)
+    p.sw t1, 4(a1!)
+    addi t2, t2, -1
+    bne  t2, zero, init
+    li   a0, 0x10000
+    li   a1, 0x10200
+
+    # dot product with the load-and-compute extension
+    li   a2, 0             # accumulator
+    pl.sdotsp.h.0 zero, a0, zero     # preload SPR0
+    pl.sdotsp.h.1 zero, a0, zero     # preload SPR1
+    lp.setupi 0, 16, done            # 16 iterations x 2 words
+    p.lw a3, 4(a1!)
+    p.lw a4, 4(a1!)
+    pl.sdotsp.h.0 a2, a0, a3
+    pl.sdotsp.h.1 a2, a0, a4
+  done:
+    srai a2, a2, 12        # requantize to Q3.12
+    pl.tanh a5, a2         # tanh(8.0 saturates) -> 1.0
+    ebreak
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source = kDemo;
+  if (argc > 1) {
+    std::ifstream f(argv[1]);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    source = ss.str();
+  }
+
+  iss::Memory mem(4u << 20);
+  iss::Core core(&mem);
+  assembler::Program prog;
+  try {
+    prog = assembler::assemble(source);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  core.load_program(prog);
+  core.reset(prog.base);
+
+  iss::TraceWriter trace(40);
+  iss::Profiler prof;
+  core.set_trace([t = trace.hook(), p = prof.hook()](uint32_t pc, const isa::Instr& in,
+                                                     uint64_t cyc) {
+    t(pc, in, cyc);
+    p(pc, in, cyc);
+  });
+
+  const auto res = core.run(10'000'000);
+  std::printf("exit: %s after %llu instructions, %llu cycles\n",
+              res.exit == iss::RunResult::Exit::kEbreak ? "ebreak"
+              : res.exit == iss::RunResult::Exit::kEcall ? "ecall"
+              : res.exit == iss::RunResult::Exit::kTrap  ? res.trap_message.c_str()
+                                                         : "instruction cap",
+              static_cast<unsigned long long>(res.instrs),
+              static_cast<unsigned long long>(res.cycles));
+
+  std::printf("\nregisters a0-a5:");
+  for (int r = 10; r <= 15; ++r) std::printf(" %08x", core.reg(r));
+  std::printf("\n\nfirst trace lines:\n%s", trace.str().c_str());
+
+  std::printf("\nhotspots:\n");
+  for (const auto& h : prof.hotspots(prog, 8)) {
+    std::printf("  %5.1f%%  %08x  %s\n", 100.0 * h.share, h.pc, h.disasm.c_str());
+  }
+  return res.ok() ? 0 : 1;
+}

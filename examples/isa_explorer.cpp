@@ -1,0 +1,81 @@
+// ISA explorer: shows what the kernel generators emit for a network of the
+// RRM suite at each optimization level — program size, a disassembly window
+// around the hot inner loop, and the instruction histogram after a run.
+//
+//   $ ./isa_explorer [network-name]       (default: naparstek17)
+//
+// Network names: challita17 naparstek17 ahmed19 eisen19 lee18 nasir18 sun17
+//                ye18 yu17 wang18
+#include <cstdio>
+#include <string>
+
+#include "src/asm/disasm.h"
+#include "src/iss/core.h"
+#include "src/iss/trace.h"
+#include "src/rrm/suite.h"
+
+using namespace rnnasip;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "naparstek17";
+  const auto& def = rrm::find_network(name);
+  rrm::RrmNetwork net(def);
+
+  std::printf("network %s %s (%s): %s\n", def.name.c_str(), def.reference.c_str(),
+              def.type.c_str(), def.task.c_str());
+  std::printf("inputs %d, outputs %d, %llu MACs per forward pass\n\n", net.input_count(),
+              net.output_count(), static_cast<unsigned long long>(net.nominal_macs()));
+
+  for (auto level : kernels::kAllOptLevels) {
+    iss::Memory mem(16u << 20);
+    iss::Core core(&mem);
+    const auto built = net.build(&mem, level, core.tanh_table(), core.sig_table());
+    core.load_program(built.program);
+    kernels::reset_state(mem, built);
+    iss::Profiler prof;
+    core.set_trace(prof.hook());
+    kernels::run_forward(core, mem, built, net.make_input(0));
+
+    std::printf("=== level %c) %s ===\n", kernels::opt_level_letter(level),
+                kernels::opt_level_name(level).c_str());
+    std::printf("text: %u instructions; run: %llu instrs, %llu cycles\n",
+                static_cast<unsigned>(built.program.instrs.size()),
+                static_cast<unsigned long long>(core.stats().total_instrs()),
+                static_cast<unsigned long long>(core.stats().total_cycles()));
+
+    // Find the hottest instruction group for flavor.
+    std::printf("histogram:");
+    for (const auto& [gname, s] : core.stats().by_display_group()) {
+      if (s.cycles * 50 >= core.stats().total_cycles()) {  // >= 2% of cycles
+        std::printf("  %s: %llu cyc", gname.c_str(),
+                    static_cast<unsigned long long>(s.cycles));
+      }
+    }
+    std::printf("\n");
+
+    // Disassembly window: the first hardware loop body (or the first 12
+    // instructions at the baseline level).
+    size_t start = 0;
+    for (size_t i = 0; i < built.program.instrs.size(); ++i) {
+      const auto op = built.program.instrs[i].op;
+      if (op == isa::Opcode::kLpSetup || op == isa::Opcode::kLpSetupi) {
+        start = i;
+        break;
+      }
+    }
+    std::printf("disassembly window:\n");
+    const size_t end = std::min(start + 12, built.program.instrs.size());
+    for (size_t i = start; i < end; ++i) {
+      std::printf("  %s\n",
+                  assembler::disassemble(built.program.instrs[i],
+                                         built.program.address_of(i))
+                      .c_str());
+    }
+    std::printf("hotspots:\n");
+    for (const auto& h : prof.hotspots(built.program, 4)) {
+      std::printf("  %5.1f%%  %s\n", 100.0 * h.share, h.disasm.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

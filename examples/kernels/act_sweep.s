@@ -1,0 +1,21 @@
+# Sweep the activation unit: tanh and sigmoid over Q3.12 inputs -4..4 in
+# 0.25 steps, results stored as interleaved (x, tanh, sig) halfword triples
+# at 0x20000. Counter-timed with rdcycle.
+# Run with:  ./asm_playground examples/kernels/act_sweep.s
+
+    li   a0, 0x20000        # output cursor
+    li   a1, -16384         # x = -4.0 in Q3.12
+    li   a2, 33             # 33 sample points
+    rdcycle a4
+loop:
+    p.sh a1, 2(a0!)
+    pl.tanh a3, a1
+    p.sh a3, 2(a0!)
+    pl.sig  a3, a1
+    p.sh a3, 2(a0!)
+    addi a1, a1, 1024       # += 0.25
+    addi a2, a2, -1
+    bne  a2, zero, loop
+    rdcycle a5
+    sub  a5, a5, a4         # elapsed cycles in a5
+    ebreak

@@ -1,0 +1,31 @@
+# Q3.12 dot product with the pl.sdotsp.h load-and-compute extension.
+# Run with:  ./asm_playground examples/kernels/dot_product.s
+#
+# Stages two 64-element vectors (x[i] = 0.25, w[i] = 0.5), computes
+# dot = 64 * 0.125 = 8.0 (0x8000 raw), then tanh saturates to 1.0 (0x1000).
+
+    li   a0, 0x10000       # w base
+    li   a1, 0x10200       # x base
+    li   t0, 0x08000800    # two Q3.12 0.5 halfwords
+    li   t1, 0x04000400    # two Q3.12 0.25 halfwords
+    li   t2, 32
+init:
+    p.sw t0, 4(a0!)
+    p.sw t1, 4(a1!)
+    addi t2, t2, -1
+    bne  t2, zero, init
+    li   a0, 0x10000
+    li   a1, 0x10200
+
+    li   a2, 0
+    pl.sdotsp.h.0 zero, a0, zero     # preload SPR0
+    pl.sdotsp.h.1 zero, a0, zero     # preload SPR1
+    lp.setupi 0, 16, done
+    p.lw a3, 4(a1!)
+    p.lw a4, 4(a1!)
+    pl.sdotsp.h.0 a2, a0, a3
+    pl.sdotsp.h.1 a2, a0, a4
+done:
+    srai a2, a2, 12        # requantize -> a2 = 0x8000 (8.0)
+    pl.tanh a5, a2         # a5 = 0x1000 (1.0)
+    ebreak

@@ -1,0 +1,61 @@
+// Power/energy budgeting for a base-station RRM stack: how many RNN
+// inferences per scheduling interval fit into a compute and energy budget
+// on the baseline vs the RNN-extended core.
+//
+//   $ ./power_budget [tti_us]     (default: 1000 us, an LTE/NR-like 1 ms TTI)
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/table.h"
+#include "src/impl_model/impl_model.h"
+#include "src/rrm/suite.h"
+
+using namespace rnnasip;
+using namespace rnnasip::impl_model;
+using kernels::OptLevel;
+
+int main(int argc, char** argv) {
+  const double tti_us = argc > 1 ? std::atof(argv[1]) : 1000.0;
+
+  rrm::RunOptions opt;
+  opt.verify = false;
+  const auto base = rrm::run_suite(OptLevel::kBaseline, opt);
+  const auto ext = rrm::run_suite(OptLevel::kInputTiling, opt);
+  const auto pm =
+      PowerModel::calibrate(activity_from_stats(base.total), activity_from_stats(ext.total));
+
+  std::printf("RRM compute budget per %.0f us scheduling interval @380 MHz\n\n", tti_us);
+
+  Table t({"network", "base us", "ext us", "ext uJ", "fits/TTI base", "fits/TTI ext"});
+  for (size_t i = 0; i < ext.nets.size(); ++i) {
+    const auto& rb = base.nets[i];
+    const auto& re = ext.nets[i];
+    const double us_b = static_cast<double>(rb.cycles) / 380.0;
+    const double us_e = static_cast<double>(re.cycles) / 380.0;
+    const double p_e = pm.power_mw(activity_from_stats(re.stats));
+    t.add_row({re.name, fmt_double(us_b, 1), fmt_double(us_e, 1),
+               fmt_double(energy_per_run_uj(re.cycles, p_e), 3),
+               std::to_string(static_cast<int>(tti_us / us_b)),
+               std::to_string(static_cast<int>(tti_us / us_e))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // A representative RRM stack the intro motivates: spectrum access +
+  // power control + scheduling, once per TTI.
+  const char* stack[] = {"naparstek17", "nasir18", "yu17"};
+  double stack_us = 0, stack_uj = 0;
+  for (const char* n : stack) {
+    for (const auto& r : ext.nets) {
+      if (r.name == n) {
+        stack_us += static_cast<double>(r.cycles) / 380.0;
+        stack_uj +=
+            energy_per_run_uj(r.cycles, pm.power_mw(activity_from_stats(r.stats)));
+      }
+    }
+  }
+  std::printf("RRM stack {spectrum access + power control + scheduling}:\n");
+  std::printf("  %.0f us and %.2f uJ per TTI on the extended core (%.0f%% of a\n",
+              stack_us, stack_uj, 100.0 * stack_us / tti_us);
+  std::printf("  %.0f us interval), leaving the rest for the protocol stack.\n", tti_us);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a small LSTM-based RRM policy network, run it on the
+// simulated RNN-extended RISC-V core, and inspect results and costs.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API: parameter creation -> quantization ->
+// program generation at an optimization level -> simulation -> verification
+// against the golden model -> cycle statistics.
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/iss/core.h"
+#include "src/kernels/network.h"
+#include "src/nn/init.h"
+#include "src/nn/quantize.h"
+
+using namespace rnnasip;
+
+int main() {
+  std::printf("RNNASIP quickstart: LSTM(8->16) + FC(16->4) on the extended core\n\n");
+
+  // 1. Create a model (normally you would load trained weights; here we use
+  //    the deterministic initializers) and quantize it to Q3.12.
+  Rng rng(42);
+  const auto lstm_f = nn::random_lstm(rng, /*input=*/8, /*hidden=*/16, 0.3f);
+  const auto head_f = nn::random_fc(rng, 16, 4, nn::ActKind::kNone);
+  const auto lstm_q = nn::quantize_lstm(lstm_f);
+  const auto head_q = nn::quantize_fc(head_f);
+
+  // 2. Instantiate the simulated core (default config = the paper's
+  //    design point) and generate the network program at the highest
+  //    optimization level.
+  iss::Memory mem(4u << 20);
+  iss::Core core(&mem);
+  kernels::NetworkProgramBuilder builder(&mem, kernels::OptLevel::kInputTiling,
+                                         core.tanh_table(), core.sig_table());
+  builder.add_lstm(lstm_q);
+  builder.add_fc(head_q);
+  const auto net = builder.finalize();
+  core.load_program(net.program);
+  kernels::reset_state(mem, net);
+
+  std::printf("program: %u instructions, %u B of device data, %llu MACs/step\n",
+              static_cast<unsigned>(net.program.instrs.size()), net.data_bytes,
+              static_cast<unsigned long long>(net.nominal_macs));
+
+  // 3. Run a few timesteps and verify against the host-side golden model.
+  nn::LstmStateQ golden_state{nn::VectorQ(16, 0), nn::VectorQ(16, 0)};
+  for (int t = 0; t < 3; ++t) {
+    const auto x = nn::quantize_vector(nn::random_vector(rng, 8, 1.0f));
+    const auto out = kernels::run_forward(core, mem, net, x);
+
+    const auto h = nn::lstm_step_fixp(lstm_q, x, golden_state, core.tanh_table(),
+                                      core.sig_table());
+    const auto want = nn::fc_forward_fixp(head_q, h, core.tanh_table(), core.sig_table());
+
+    std::printf("t=%d  outputs:", t);
+    for (int16_t v : out) std::printf(" %+.4f", dequantize(v));
+    std::printf("  (%s golden model)\n", out == want ? "matches" : "DIVERGES FROM");
+  }
+
+  // 4. Cost summary.
+  const auto& stats = core.stats();
+  std::printf("\n3 timesteps: %llu instructions, %llu cycles (%.2f IPC)\n",
+              static_cast<unsigned long long>(stats.total_instrs()),
+              static_cast<unsigned long long>(stats.total_cycles()),
+              static_cast<double>(stats.total_instrs()) / stats.total_cycles());
+  std::printf("at 380 MHz: %.1f us per timestep\n",
+              static_cast<double>(stats.total_cycles()) / 3 / 380.0);
+  std::printf("\ntop instruction groups by cycles:\n");
+  int shown = 0;
+  for (const auto& [name, s] : stats.by_display_group()) {
+    if (++shown > 12) break;
+    std::printf("  %-10s %8llu instrs %8llu cycles\n", name.c_str(),
+                static_cast<unsigned long long>(s.instrs),
+                static_cast<unsigned long long>(s.cycles));
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Command-line simulator: run any RRM suite network at any optimization
+// level and inspect results, statistics, and profiles.
+//
+//   $ ./rnnasip_sim <network> [options]
+//       --level a|b|c|d|e     optimization level        (default e)
+//       --timesteps N         forward passes            (default 1)
+//       --max-tile N          output tile cap           (default 8)
+//       --wait-states N       data-memory wait states   (default 0)
+//       --csv                 dump the instruction histogram as CSV
+//       --hotspots            print the top-10 cycle hotspots
+//       --no-verify           skip the golden-model check
+//   $ ./rnnasip_sim --list    show the available networks
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/iss/trace.h"
+#include "src/rrm/suite.h"
+
+using namespace rnnasip;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: rnnasip_sim <network>|--list [--level a..e] [--timesteps N]\n"
+      "                   [--max-tile N] [--wait-states N] [--csv]\n"
+      "                   [--hotspots] [--no-verify]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  if (std::strcmp(argv[1], "--list") == 0) {
+    for (const auto& def : rrm::rrm_suite()) {
+      std::printf("%-12s %-5s %-8s %s\n", def.name.c_str(), def.reference.c_str(),
+                  def.type.c_str(), def.task.c_str());
+    }
+    return 0;
+  }
+
+  std::string name = argv[1];
+  kernels::OptLevel level = kernels::OptLevel::kInputTiling;
+  int timesteps = 1;
+  int max_tile = 8;
+  uint32_t wait_states = 0;
+  bool csv = false, hotspots = false, verify = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--level") {
+      const char c = next()[0];
+      if (c < 'a' || c > 'e') {
+        usage();
+        return 1;
+      }
+      level = static_cast<kernels::OptLevel>(c - 'a');
+    } else if (arg == "--timesteps") {
+      timesteps = std::atoi(next());
+    } else if (arg == "--max-tile") {
+      max_tile = std::atoi(next());
+    } else if (arg == "--wait-states") {
+      wait_states = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--hotspots") {
+      hotspots = true;
+    } else if (arg == "--no-verify") {
+      verify = false;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+
+  rrm::RrmNetwork net(rrm::find_network(name));
+
+  if (hotspots) {
+    // Dedicated run with a profiler attached.
+    iss::Memory mem(16u << 20);
+    iss::Core::Config cfg;
+    cfg.timing.mem_wait_states = wait_states;
+    iss::Core core(&mem, cfg);
+    const auto built = net.build(&mem, level, core.tanh_table(), core.sig_table(), max_tile);
+    core.load_program(built.program);
+    kernels::reset_state(mem, built);
+    iss::Profiler prof;
+    core.set_trace(prof.hook());
+    for (int t = 0; t < timesteps; ++t) {
+      kernels::run_forward(core, mem, built, net.make_input(t));
+    }
+    std::printf("hotspots (%s, level %c):\n", name.c_str(),
+                kernels::opt_level_letter(level));
+    for (const auto& h : prof.hotspots(built.program, 10)) {
+      std::printf("  %5.1f%%  %08x  %s\n", 100.0 * h.share, h.pc, h.disasm.c_str());
+    }
+    return 0;
+  }
+
+  rrm::RunOptions opt;
+  opt.timesteps = timesteps;
+  opt.max_tile = max_tile;
+  opt.verify = verify;
+  opt.core_config.timing.mem_wait_states = wait_states;
+  const auto r = rrm::run_network(net, level, opt);
+
+  std::printf("%s (%s, %s) at level %c: %llu instrs, %llu cycles over %d step(s)\n",
+              name.c_str(), net.def().reference.c_str(), net.def().type.c_str(),
+              kernels::opt_level_letter(level),
+              static_cast<unsigned long long>(r.instrs),
+              static_cast<unsigned long long>(r.cycles), timesteps);
+  std::printf("  %.2f MACs/cycle, %.1f us/step @380 MHz, verified: %s\n",
+              static_cast<double>(r.nominal_macs) / static_cast<double>(r.cycles),
+              static_cast<double>(r.cycles) / timesteps / 380.0,
+              !verify ? "skipped" : (r.verified ? "yes" : "NO"));
+  if (csv) std::printf("%s", r.stats.to_csv().c_str());
+  return (!verify || r.verified) ? 0 : 1;
+}

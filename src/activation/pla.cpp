@@ -1,0 +1,133 @@
+#include "src/activation/pla.h"
+
+#include <cmath>
+
+#include "src/common/bits.h"
+#include "src/common/check.h"
+
+namespace rnnasip::activation {
+
+double act_ref(ActFunc f, double x) {
+  switch (f) {
+    case ActFunc::kTanh:
+      return std::tanh(x);
+    case ActFunc::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+  }
+  RNNASIP_CHECK(false);
+}
+
+double PlaSpec::range() const {
+  return static_cast<double>(num_intervals) * static_cast<double>(1 << log2_interval) /
+         fmt.scale();
+}
+
+PlaSpec PlaSpec::for_range(ActFunc f, double range, int num_intervals, QFormat fmt,
+                           FitMethod fit) {
+  RNNASIP_CHECK(range > 0 && num_intervals > 0);
+  const double interval_raw = range * fmt.scale() / num_intervals;
+  // Hardware indexes intervals with a right shift, so the interval size must
+  // be a power of two; pick the closest one (>= 1 LSB).
+  int log2 = static_cast<int>(std::lround(std::log2(std::max(1.0, interval_raw))));
+  if (log2 < 0) log2 = 0;
+  PlaSpec s;
+  s.func = f;
+  s.log2_interval = log2;
+  s.num_intervals = num_intervals;
+  s.fmt = fmt;
+  s.fit = fit;
+  return s;
+}
+
+namespace {
+
+constexpr int kSlopeFrac = 14;  // m is Q1.14
+
+/// Fit y = m*x + q over one interval. Chord goes through the endpoints;
+/// least-squares minimizes the summed squared error over every raw grid
+/// point in the interval (the metric Fig. 2 reports).
+void fit_interval(ActFunc f, double a, double b, double grid_step, FitMethod fit,
+                  double* m, double* q) {
+  if (fit == FitMethod::kChord) {
+    const double fa = act_ref(f, a);
+    const double fb = act_ref(f, b);
+    *m = (fb - fa) / (b - a);
+    *q = fa - *m * a;
+    return;
+  }
+  // Discrete least squares over the grid points of the interval.
+  double s1 = 0, sx = 0, sxx = 0, sy = 0, sxy = 0;
+  for (double x = a; x < b - grid_step / 2; x += grid_step) {
+    const double y = act_ref(f, x);
+    s1 += 1;
+    sx += x;
+    sxx += x * x;
+    sy += y;
+    sxy += x * y;
+  }
+  const double det = s1 * sxx - sx * sx;
+  RNNASIP_CHECK(det > 0);
+  *m = (s1 * sxy - sx * sy) / det;
+  *q = (sxx * sy - sx * sxy) / det;
+}
+
+}  // namespace
+
+PlaTable PlaTable::build(const PlaSpec& spec) {
+  RNNASIP_CHECK(spec.num_intervals >= 1);
+  RNNASIP_CHECK(spec.log2_interval >= 0 && spec.log2_interval < 28);
+  PlaTable t;
+  t.spec_ = spec;
+  t.m_.resize(spec.num_intervals);
+  t.q_.resize(spec.num_intervals);
+  const double step = static_cast<double>(1 << spec.log2_interval) / spec.fmt.scale();
+  const double grid = spec.fmt.resolution();
+  for (int i = 0; i < spec.num_intervals; ++i) {
+    double m, q;
+    fit_interval(spec.func, i * step, (i + 1) * step, grid, spec.fit, &m, &q);
+    t.m_[i] = static_cast<int16_t>(
+        clip_signed(static_cast<int64_t>(std::lround(m * (1 << kSlopeFrac))), 16));
+    t.q_[i] = static_cast<int16_t>(quantize(q, spec.fmt));
+  }
+  return t;
+}
+
+int32_t PlaTable::eval_raw(int32_t x_raw) const {
+  const bool neg = x_raw < 0;
+  const int64_t ax = neg ? -static_cast<int64_t>(x_raw) : x_raw;
+  const int64_t id = ax >> spec_.log2_interval;
+  const int32_t one = quantize(1.0, spec_.fmt);
+  int32_t y;
+  if (id >= spec_.num_intervals) {
+    y = one;  // converged region
+  } else {
+    // 16x(width)-bit multiply, LUT offset aligned to the product, round,
+    // shift back to the data format.
+    const int64_t acc = static_cast<int64_t>(m_[id]) * ax +
+                        (static_cast<int64_t>(q_[id]) << kSlopeFrac) +
+                        (int64_t{1} << (kSlopeFrac - 1));
+    y = clip_signed(acc >> kSlopeFrac, static_cast<unsigned>(spec_.fmt.width()));
+  }
+  if (spec_.func == ActFunc::kTanh) return neg ? -y : y;
+  return neg ? one - y : y;  // sigmoid symmetry: sig(-x) = 1 - sig(x)
+}
+
+double PlaTable::eval(double x) const {
+  return dequantize(eval_raw(quantize(x, spec_.fmt)), spec_.fmt);
+}
+
+int PlaTable::lut_bits() const { return spec_.num_intervals * (16 + 16); }
+
+ErrorStats measure_error(const PlaTable& table, double eval_range) {
+  const QFormat fmt = table.spec().fmt;
+  ErrorStats stats;
+  const int32_t lo = quantize(-eval_range, fmt);
+  const int32_t hi = quantize(eval_range, fmt);
+  for (int32_t r = lo; r <= hi; ++r) {
+    const double x = dequantize(r, fmt);
+    stats.add(dequantize(table.eval_raw(r), fmt), act_ref(table.spec().func, x));
+  }
+  return stats;
+}
+
+}  // namespace rnnasip::activation

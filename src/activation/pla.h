@@ -1,0 +1,94 @@
+// Piecewise-linear approximation (PLA) of tanh and sigmoid — the design of
+// the paper's pl.tanh / pl.sig single-cycle instructions (Sec. III-D,
+// Alg. 2, Fig. 2).
+//
+// The hardware unit stores, per function, two M-entry LUTs: slope m (Q1.14,
+// 16 bit) and offset q (Q3.12, 16 bit). Evaluation of input x (Q3.12):
+//
+//   |x|  -> interval index id = |x| >> N        (interval size 2^N LSBs)
+//   id >= M -> converged: tanh -> ±1, sig -> {0, 1}
+//   else     y = (m[id]*|x| + (q[id] << 14) + round) >> 14
+//   negative x: tanh -> -y,  sig -> 1 - y       (symmetry, Alg. 2 lines 9-10)
+//
+// The paper's chosen configuration is range ±4 with 32 intervals, i.e.
+// N = 9 (2^9 Q3.12 LSBs = 0.125) and M = 32.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/fixed_point.h"
+#include "src/common/stats.h"
+
+namespace rnnasip::activation {
+
+enum class ActFunc : uint8_t { kTanh, kSigmoid };
+
+/// How LUT entries are fitted per interval. Chord is the default: it passes
+/// through the interval endpoints, so the approximation is continuous,
+/// f(0) = 0 holds exactly for tanh, and monotonicity is preserved up to LUT
+/// quantization — the properties Alg. 2's error argument relies on.
+/// Least-squares trades those for a lower MSE (used in the Fig. 2 ablation).
+enum class FitMethod : uint8_t {
+  kChord,         ///< line through the interval endpoints (default)
+  kLeastSquares,  ///< MSE-optimal line over the interval
+};
+
+/// Reference (double-precision) activation function.
+double act_ref(ActFunc f, double x);
+
+struct PlaSpec {
+  ActFunc func = ActFunc::kTanh;
+  /// log2 of the interval size in raw Q-format LSBs. With Q3.12 and
+  /// log2_interval = 9, one interval spans 0.125.
+  int log2_interval = 9;
+  /// Number of intervals M covering [0, M * 2^log2_interval).
+  int num_intervals = 32;
+  QFormat fmt = q3_12;
+  FitMethod fit = FitMethod::kChord;
+
+  /// Upper end of the interpolation range in real units
+  /// (= M * 2^log2_interval / 2^frac_bits).
+  double range() const;
+
+  /// Spec for a given real interpolation range and interval count: picks the
+  /// smallest power-of-two interval size covering the range (Fig. 2 sweeps
+  /// call this). `num_intervals` must be a power of two.
+  static PlaSpec for_range(ActFunc f, double range, int num_intervals,
+                           QFormat fmt = q3_12, FitMethod fit = FitMethod::kChord);
+};
+
+/// A generated LUT pair plus the hardware evaluation semantics.
+class PlaTable {
+ public:
+  /// Build the LUTs for `spec` (quantizing m to Q1.14 and q to Q3.12).
+  static PlaTable build(const PlaSpec& spec);
+
+  /// Exact hardware semantics on a raw fixed-point input (Alg. 2). The
+  /// result is a raw value in the same Q format.
+  int32_t eval_raw(int32_t x_raw) const;
+
+  /// Convenience: quantize -> eval_raw -> dequantize.
+  double eval(double x) const;
+
+  const PlaSpec& spec() const { return spec_; }
+  /// LUT storage cost in bits (both tables of this function).
+  int lut_bits() const;
+
+  /// Raw LUT contents (for the SW fallback kernels, which keep the same
+  /// tables in data memory, and for inspection in tests).
+  const std::vector<int16_t>& slopes() const { return m_; }
+  const std::vector<int16_t>& offsets() const { return q_; }
+
+ private:
+  PlaSpec spec_;
+  std::vector<int16_t> m_;  ///< slope, Q1.14
+  std::vector<int16_t> q_;  ///< offset, Q3.12 (same fmt as data)
+};
+
+/// Error of a table vs the double-precision function, measured over every
+/// representable input of the format in [-eval_range, eval_range]
+/// (the paper's Fig. 2 metric: MSE and max abs error under quantization).
+ErrorStats measure_error(const PlaTable& table, double eval_range = 8.0);
+
+}  // namespace rnnasip::activation

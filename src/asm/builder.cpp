@@ -1,0 +1,299 @@
+#include "src/asm/builder.h"
+
+#include "src/common/bits.h"
+#include "src/common/check.h"
+#include "src/isa/encode.h"
+
+namespace rnnasip::assembler {
+
+using isa::Instr;
+
+ProgramBuilder::ProgramBuilder(uint32_t base) : base_(base) {
+  RNNASIP_CHECK((base & 0x3) == 0);
+}
+
+ProgramBuilder::Label ProgramBuilder::make_label() {
+  labels_.push_back(SIZE_MAX);
+  return Label{labels_.size() - 1};
+}
+
+void ProgramBuilder::bind(Label l) {
+  RNNASIP_CHECK(l.id < labels_.size());
+  RNNASIP_CHECK_MSG(labels_[l.id] == SIZE_MAX, "label bound twice");
+  labels_[l.id] = instrs_.size();
+}
+
+void ProgramBuilder::emit(Instr in) { instrs_.push_back(in); }
+
+namespace {
+Instr make(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2, int32_t imm = 0,
+           int32_t imm2 = 0) {
+  Instr in;
+  in.op = op;
+  in.rd = rd;
+  in.rs1 = rs1;
+  in.rs2 = rs2;
+  in.imm = imm;
+  in.imm2 = imm2;
+  return in;
+}
+}  // namespace
+
+// ---- RV32I ----
+void ProgramBuilder::lui(Reg rd, int32_t imm20) { emit(make(Opcode::kLui, rd, 0, 0, imm20)); }
+void ProgramBuilder::auipc(Reg rd, int32_t imm20) { emit(make(Opcode::kAuipc, rd, 0, 0, imm20)); }
+void ProgramBuilder::jal(Reg rd, Label t) {
+  fixups_.push_back({instrs_.size(), t.id, Fixup::Kind::kJump});
+  emit(make(Opcode::kJal, rd, 0, 0, 0));
+}
+void ProgramBuilder::jalr(Reg rd, Reg rs1, int32_t imm) {
+  emit(make(Opcode::kJalr, rd, rs1, 0, imm));
+}
+void ProgramBuilder::emit_branch(Opcode op, Reg rs1, Reg rs2, Label t) {
+  fixups_.push_back({instrs_.size(), t.id, Fixup::Kind::kBranch});
+  emit(make(op, 0, rs1, rs2, 0));
+}
+void ProgramBuilder::beq(Reg a, Reg b, Label t) { emit_branch(Opcode::kBeq, a, b, t); }
+void ProgramBuilder::bne(Reg a, Reg b, Label t) { emit_branch(Opcode::kBne, a, b, t); }
+void ProgramBuilder::blt(Reg a, Reg b, Label t) { emit_branch(Opcode::kBlt, a, b, t); }
+void ProgramBuilder::bge(Reg a, Reg b, Label t) { emit_branch(Opcode::kBge, a, b, t); }
+void ProgramBuilder::bltu(Reg a, Reg b, Label t) { emit_branch(Opcode::kBltu, a, b, t); }
+void ProgramBuilder::bgeu(Reg a, Reg b, Label t) { emit_branch(Opcode::kBgeu, a, b, t); }
+
+void ProgramBuilder::lb(Reg rd, int32_t off, Reg rs1) { emit(make(Opcode::kLb, rd, rs1, 0, off)); }
+void ProgramBuilder::lh(Reg rd, int32_t off, Reg rs1) { emit(make(Opcode::kLh, rd, rs1, 0, off)); }
+void ProgramBuilder::lw(Reg rd, int32_t off, Reg rs1) { emit(make(Opcode::kLw, rd, rs1, 0, off)); }
+void ProgramBuilder::lbu(Reg rd, int32_t off, Reg rs1) { emit(make(Opcode::kLbu, rd, rs1, 0, off)); }
+void ProgramBuilder::lhu(Reg rd, int32_t off, Reg rs1) { emit(make(Opcode::kLhu, rd, rs1, 0, off)); }
+void ProgramBuilder::sb(Reg rs2, int32_t off, Reg rs1) { emit(make(Opcode::kSb, 0, rs1, rs2, off)); }
+void ProgramBuilder::sh(Reg rs2, int32_t off, Reg rs1) { emit(make(Opcode::kSh, 0, rs1, rs2, off)); }
+void ProgramBuilder::sw(Reg rs2, int32_t off, Reg rs1) { emit(make(Opcode::kSw, 0, rs1, rs2, off)); }
+
+void ProgramBuilder::addi(Reg rd, Reg rs1, int32_t imm) { emit(make(Opcode::kAddi, rd, rs1, 0, imm)); }
+void ProgramBuilder::slti(Reg rd, Reg rs1, int32_t imm) { emit(make(Opcode::kSlti, rd, rs1, 0, imm)); }
+void ProgramBuilder::sltiu(Reg rd, Reg rs1, int32_t imm) { emit(make(Opcode::kSltiu, rd, rs1, 0, imm)); }
+void ProgramBuilder::xori(Reg rd, Reg rs1, int32_t imm) { emit(make(Opcode::kXori, rd, rs1, 0, imm)); }
+void ProgramBuilder::ori(Reg rd, Reg rs1, int32_t imm) { emit(make(Opcode::kOri, rd, rs1, 0, imm)); }
+void ProgramBuilder::andi(Reg rd, Reg rs1, int32_t imm) { emit(make(Opcode::kAndi, rd, rs1, 0, imm)); }
+void ProgramBuilder::slli(Reg rd, Reg rs1, int32_t sh) { emit(make(Opcode::kSlli, rd, rs1, 0, sh)); }
+void ProgramBuilder::srli(Reg rd, Reg rs1, int32_t sh) { emit(make(Opcode::kSrli, rd, rs1, 0, sh)); }
+void ProgramBuilder::srai(Reg rd, Reg rs1, int32_t sh) { emit(make(Opcode::kSrai, rd, rs1, 0, sh)); }
+
+void ProgramBuilder::add(Reg rd, Reg a, Reg b) { emit(make(Opcode::kAdd, rd, a, b)); }
+void ProgramBuilder::sub(Reg rd, Reg a, Reg b) { emit(make(Opcode::kSub, rd, a, b)); }
+void ProgramBuilder::sll(Reg rd, Reg a, Reg b) { emit(make(Opcode::kSll, rd, a, b)); }
+void ProgramBuilder::slt(Reg rd, Reg a, Reg b) { emit(make(Opcode::kSlt, rd, a, b)); }
+void ProgramBuilder::sltu(Reg rd, Reg a, Reg b) { emit(make(Opcode::kSltu, rd, a, b)); }
+void ProgramBuilder::xor_(Reg rd, Reg a, Reg b) { emit(make(Opcode::kXor, rd, a, b)); }
+void ProgramBuilder::srl(Reg rd, Reg a, Reg b) { emit(make(Opcode::kSrl, rd, a, b)); }
+void ProgramBuilder::sra(Reg rd, Reg a, Reg b) { emit(make(Opcode::kSra, rd, a, b)); }
+void ProgramBuilder::or_(Reg rd, Reg a, Reg b) { emit(make(Opcode::kOr, rd, a, b)); }
+void ProgramBuilder::and_(Reg rd, Reg a, Reg b) { emit(make(Opcode::kAnd, rd, a, b)); }
+void ProgramBuilder::csrrw(Reg rd, int32_t csr, Reg rs1) { emit(make(Opcode::kCsrrw, rd, rs1, 0, csr)); }
+void ProgramBuilder::csrrs(Reg rd, int32_t csr, Reg rs1) { emit(make(Opcode::kCsrrs, rd, rs1, 0, csr)); }
+void ProgramBuilder::csrrc(Reg rd, int32_t csr, Reg rs1) { emit(make(Opcode::kCsrrc, rd, rs1, 0, csr)); }
+void ProgramBuilder::rdcycle(Reg rd) { csrrs(rd, 0xC00, isa::kZero); }
+void ProgramBuilder::rdinstret(Reg rd) { csrrs(rd, 0xC02, isa::kZero); }
+void ProgramBuilder::ecall() { emit(make(Opcode::kEcall, 0, 0, 0)); }
+void ProgramBuilder::ebreak() { emit(make(Opcode::kEbreak, 0, 0, 0)); }
+void ProgramBuilder::fence() { emit(make(Opcode::kFence, 0, 0, 0)); }
+
+// ---- RV32M ----
+void ProgramBuilder::mul(Reg rd, Reg a, Reg b) { emit(make(Opcode::kMul, rd, a, b)); }
+void ProgramBuilder::mulh(Reg rd, Reg a, Reg b) { emit(make(Opcode::kMulh, rd, a, b)); }
+void ProgramBuilder::mulhsu(Reg rd, Reg a, Reg b) { emit(make(Opcode::kMulhsu, rd, a, b)); }
+void ProgramBuilder::mulhu(Reg rd, Reg a, Reg b) { emit(make(Opcode::kMulhu, rd, a, b)); }
+void ProgramBuilder::div(Reg rd, Reg a, Reg b) { emit(make(Opcode::kDiv, rd, a, b)); }
+void ProgramBuilder::divu(Reg rd, Reg a, Reg b) { emit(make(Opcode::kDivu, rd, a, b)); }
+void ProgramBuilder::rem(Reg rd, Reg a, Reg b) { emit(make(Opcode::kRem, rd, a, b)); }
+void ProgramBuilder::remu(Reg rd, Reg a, Reg b) { emit(make(Opcode::kRemu, rd, a, b)); }
+
+// ---- Xpulp post-increment ----
+void ProgramBuilder::p_lb(Reg rd, int32_t inc, Reg rs1) { emit(make(Opcode::kPLb, rd, rs1, 0, inc)); }
+void ProgramBuilder::p_lh(Reg rd, int32_t inc, Reg rs1) { emit(make(Opcode::kPLh, rd, rs1, 0, inc)); }
+void ProgramBuilder::p_lw(Reg rd, int32_t inc, Reg rs1) { emit(make(Opcode::kPLw, rd, rs1, 0, inc)); }
+void ProgramBuilder::p_lbu(Reg rd, int32_t inc, Reg rs1) { emit(make(Opcode::kPLbu, rd, rs1, 0, inc)); }
+void ProgramBuilder::p_lhu(Reg rd, int32_t inc, Reg rs1) { emit(make(Opcode::kPLhu, rd, rs1, 0, inc)); }
+void ProgramBuilder::p_lw_rr(Reg rd, Reg rs2, Reg rs1) { emit(make(Opcode::kPLwRr, rd, rs1, rs2)); }
+void ProgramBuilder::p_lh_rr(Reg rd, Reg rs2, Reg rs1) { emit(make(Opcode::kPLhRr, rd, rs1, rs2)); }
+void ProgramBuilder::p_sb(Reg rs2, int32_t inc, Reg rs1) { emit(make(Opcode::kPSb, 0, rs1, rs2, inc)); }
+void ProgramBuilder::p_sh(Reg rs2, int32_t inc, Reg rs1) { emit(make(Opcode::kPSh, 0, rs1, rs2, inc)); }
+void ProgramBuilder::p_sw(Reg rs2, int32_t inc, Reg rs1) { emit(make(Opcode::kPSw, 0, rs1, rs2, inc)); }
+
+// ---- Xpulp scalar ALU ----
+void ProgramBuilder::p_abs(Reg rd, Reg rs1) { emit(make(Opcode::kPAbs, rd, rs1, 0)); }
+void ProgramBuilder::p_exths(Reg rd, Reg rs1) { emit(make(Opcode::kPExths, rd, rs1, 0)); }
+void ProgramBuilder::p_exthz(Reg rd, Reg rs1) { emit(make(Opcode::kPExthz, rd, rs1, 0)); }
+void ProgramBuilder::p_extbs(Reg rd, Reg rs1) { emit(make(Opcode::kPExtbs, rd, rs1, 0)); }
+void ProgramBuilder::p_extbz(Reg rd, Reg rs1) { emit(make(Opcode::kPExtbz, rd, rs1, 0)); }
+void ProgramBuilder::p_min(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPMin, rd, a, b)); }
+void ProgramBuilder::p_minu(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPMinu, rd, a, b)); }
+void ProgramBuilder::p_max(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPMax, rd, a, b)); }
+void ProgramBuilder::p_maxu(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPMaxu, rd, a, b)); }
+void ProgramBuilder::p_mac(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPMac, rd, a, b)); }
+void ProgramBuilder::p_msu(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPMsu, rd, a, b)); }
+void ProgramBuilder::p_clip(Reg rd, Reg rs1, int32_t w) { emit(make(Opcode::kPClip, rd, rs1, 0, w)); }
+void ProgramBuilder::p_clipu(Reg rd, Reg rs1, int32_t w) { emit(make(Opcode::kPClipu, rd, rs1, 0, w)); }
+
+// ---- hardware loops ----
+void ProgramBuilder::lp_starti(int loop, Label start) {
+  fixups_.push_back({instrs_.size(), start.id, Fixup::Kind::kHwlStart});
+  emit(make(Opcode::kLpStarti, static_cast<Reg>(loop), 0, 0, 0));
+}
+void ProgramBuilder::lp_endi(int loop, Label end) {
+  fixups_.push_back({instrs_.size(), end.id, Fixup::Kind::kHwlEnd});
+  emit(make(Opcode::kLpEndi, static_cast<Reg>(loop), 0, 0, 0));
+}
+void ProgramBuilder::lp_count(int loop, Reg rs1) {
+  emit(make(Opcode::kLpCount, static_cast<Reg>(loop), rs1, 0));
+}
+void ProgramBuilder::lp_counti(int loop, int32_t count) {
+  emit(make(Opcode::kLpCounti, static_cast<Reg>(loop), 0, 0, count));
+}
+void ProgramBuilder::lp_setup(int loop, Reg count, Label end) {
+  fixups_.push_back({instrs_.size(), end.id, Fixup::Kind::kHwlEnd});
+  emit(make(Opcode::kLpSetup, static_cast<Reg>(loop), count, 0, 0));
+}
+void ProgramBuilder::lp_setupi(int loop, int32_t count, Label end) {
+  fixups_.push_back({instrs_.size(), end.id, Fixup::Kind::kHwlEnd});
+  emit(make(Opcode::kLpSetupi, static_cast<Reg>(loop), 0, 0, count, 0));
+}
+
+// ---- packed SIMD ----
+void ProgramBuilder::pv_add_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvAddH, rd, a, b)); }
+void ProgramBuilder::pv_sub_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvSubH, rd, a, b)); }
+void ProgramBuilder::pv_avg_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvAvgH, rd, a, b)); }
+void ProgramBuilder::pv_min_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvMinH, rd, a, b)); }
+void ProgramBuilder::pv_max_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvMaxH, rd, a, b)); }
+void ProgramBuilder::pv_srl_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvSrlH, rd, a, b)); }
+void ProgramBuilder::pv_sra_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvSraH, rd, a, b)); }
+void ProgramBuilder::pv_sll_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvSllH, rd, a, b)); }
+void ProgramBuilder::pv_abs_h(Reg rd, Reg rs1) { emit(make(Opcode::kPvAbsH, rd, rs1, 0)); }
+void ProgramBuilder::pv_pack_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvPackH, rd, a, b)); }
+void ProgramBuilder::pv_extract_h(Reg rd, Reg rs1, int32_t i) { emit(make(Opcode::kPvExtractH, rd, rs1, 0, i)); }
+void ProgramBuilder::pv_insert_h(Reg rd, Reg rs1, int32_t i) { emit(make(Opcode::kPvInsertH, rd, rs1, 0, i)); }
+void ProgramBuilder::pv_add_sc_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvAddScH, rd, a, b)); }
+void ProgramBuilder::pv_sub_sc_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvSubScH, rd, a, b)); }
+void ProgramBuilder::pv_min_sc_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvMinScH, rd, a, b)); }
+void ProgramBuilder::pv_max_sc_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvMaxScH, rd, a, b)); }
+void ProgramBuilder::pv_sra_sc_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvSraScH, rd, a, b)); }
+void ProgramBuilder::pv_dotsp_sc_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvDotspScH, rd, a, b)); }
+void ProgramBuilder::pv_sdotsp_sc_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvSdotspScH, rd, a, b)); }
+void ProgramBuilder::pv_dotup_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvDotupH, rd, a, b)); }
+void ProgramBuilder::pv_dotsp_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvDotspH, rd, a, b)); }
+void ProgramBuilder::pv_sdotup_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvSdotupH, rd, a, b)); }
+void ProgramBuilder::pv_sdotsp_h(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvSdotspH, rd, a, b)); }
+void ProgramBuilder::pv_add_b(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvAddB, rd, a, b)); }
+void ProgramBuilder::pv_sub_b(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvSubB, rd, a, b)); }
+void ProgramBuilder::pv_min_b(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvMinB, rd, a, b)); }
+void ProgramBuilder::pv_max_b(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvMaxB, rd, a, b)); }
+void ProgramBuilder::pv_dotsp_b(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvDotspB, rd, a, b)); }
+void ProgramBuilder::pv_sdotsp_b(Reg rd, Reg a, Reg b) { emit(make(Opcode::kPvSdotspB, rd, a, b)); }
+
+// ---- RNN extensions ----
+void ProgramBuilder::pl_sdotsp_h(int spr, Reg rd, Reg rs1, Reg rs2) {
+  RNNASIP_CHECK(spr == 0 || spr == 1);
+  emit(make(spr == 0 ? Opcode::kPlSdotspH0 : Opcode::kPlSdotspH1, rd, rs1, rs2));
+}
+void ProgramBuilder::pl_tanh(Reg rd, Reg rs1) { emit(make(Opcode::kPlTanh, rd, rs1, 0)); }
+void ProgramBuilder::pl_sig(Reg rd, Reg rs1) { emit(make(Opcode::kPlSig, rd, rs1, 0)); }
+
+// ---- pseudo ----
+void ProgramBuilder::nop() { addi(isa::kZero, isa::kZero, 0); }
+void ProgramBuilder::mv(Reg rd, Reg rs1) { addi(rd, rs1, 0); }
+void ProgramBuilder::li(Reg rd, int32_t v) {
+  if (fits_signed(v, 12)) {
+    addi(rd, isa::kZero, v);
+    return;
+  }
+  // lui + addi, compensating for addi sign extension.
+  int32_t hi = (v + 0x800) >> 12;
+  int32_t lo = v - (hi << 12);
+  lui(rd, hi & 0xFFFFF);
+  if (lo != 0) addi(rd, rd, lo);
+}
+
+Program ProgramBuilder::build() {
+  for (const Fixup& f : fixups_) {
+    RNNASIP_CHECK_MSG(labels_[f.label_id] != SIZE_MAX, "unbound label referenced");
+    const int64_t delta =
+        (static_cast<int64_t>(labels_[f.label_id]) - static_cast<int64_t>(f.instr_idx)) * 4;
+    isa::Instr& in = instrs_[f.instr_idx];
+    switch (f.kind) {
+      case Fixup::Kind::kBranch:
+      case Fixup::Kind::kJump:
+        in.imm = static_cast<int32_t>(delta);
+        break;
+      case Fixup::Kind::kHwlEnd:
+        RNNASIP_CHECK_MSG(delta > 0, "hardware-loop end must follow the setup");
+        if (in.op == Opcode::kLpSetupi) {
+          in.imm2 = static_cast<int32_t>(delta);
+        } else {
+          in.imm = static_cast<int32_t>(delta);
+        }
+        break;
+      case Fixup::Kind::kHwlStart:
+        RNNASIP_CHECK_MSG(delta >= 0, "hardware-loop start must not precede lp.starti");
+        in.imm = static_cast<int32_t>(delta);
+        break;
+    }
+    // Validate the fixed-up operand by encoding it now (throws if it does
+    // not fit, e.g. a lp.setupi body longer than the 5-bit end offset).
+    (void)isa::encode(in);
+  }
+  Program p;
+  p.base = base_;
+  p.instrs = std::move(instrs_);
+  return p;
+}
+
+std::vector<uint32_t> Program::encode_words() const {
+  std::vector<uint32_t> out;
+  out.reserve(instrs.size());
+  for (const auto& in : instrs) out.push_back(isa::encode(in));
+  return out;
+}
+
+RegPool::RegPool() {
+  // t0-t6, a0-a7, s1-s11 — everything except zero/ra/sp/gp/tp/s0(fp).
+  // Listed so that temporaries are handed out first.
+  for (Reg r : {isa::kT0, isa::kT1, isa::kT2, isa::kT3, isa::kT4, isa::kT5, isa::kT6,
+                isa::kA0, isa::kA1, isa::kA2, isa::kA3, isa::kA4, isa::kA5, isa::kA6,
+                isa::kA7, isa::kS1, isa::kS2, isa::kS3, isa::kS4, isa::kS5, isa::kS6,
+                isa::kS7, isa::kS8, isa::kS9, isa::kS10, isa::kS11}) {
+    free_.push_back(r);
+  }
+}
+
+Reg RegPool::alloc() {
+  Reg r;
+  RNNASIP_CHECK_MSG(try_alloc(&r), "register pool exhausted");
+  return r;
+}
+
+bool RegPool::try_alloc(Reg* out) {
+  if (free_.empty()) return false;
+  *out = free_.front();
+  free_.erase(free_.begin());
+  in_use_ |= (1u << *out);
+  return true;
+}
+
+void RegPool::free(Reg r) {
+  RNNASIP_CHECK_MSG(in_use_ & (1u << r), "freeing register not allocated: " << int{r});
+  in_use_ &= ~(1u << r);
+  free_.insert(free_.begin(), r);
+}
+
+int RegPool::available() const { return static_cast<int>(free_.size()); }
+
+void RegPool::reserve(Reg r) {
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (*it == r) {
+      free_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace rnnasip::assembler

@@ -1,0 +1,224 @@
+// Programmatic assembler with label resolution.
+//
+// This replaces the GCC toolchain of the paper: kernel generators call the
+// emitter methods to lay down exactly the instruction schedule under study
+// (the paper's Table II listings are the target shape). Branch/jump targets
+// and hardware-loop end addresses are expressed as labels and resolved at
+// build() time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/asm/program.h"
+#include "src/isa/opcode.h"
+#include "src/isa/registers.h"
+
+namespace rnnasip::assembler {
+
+using isa::Opcode;
+using isa::Reg;
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(uint32_t base = 0x0000'1000);
+
+  /// Opaque label handle. Create with make_label(), place with bind(),
+  /// reference from branches/jumps/loop setups (forward refs allowed).
+  struct Label {
+    size_t id;
+  };
+
+  Label make_label();
+  /// Bind `l` to the current emission position. A label may be bound once.
+  void bind(Label l);
+  /// Current instruction index (for size accounting in tests).
+  size_t position() const { return instrs_.size(); }
+
+  // --- RV32I ---
+  void lui(Reg rd, int32_t imm20);
+  void auipc(Reg rd, int32_t imm20);
+  void jal(Reg rd, Label target);
+  void jalr(Reg rd, Reg rs1, int32_t imm);
+  void beq(Reg rs1, Reg rs2, Label t);
+  void bne(Reg rs1, Reg rs2, Label t);
+  void blt(Reg rs1, Reg rs2, Label t);
+  void bge(Reg rs1, Reg rs2, Label t);
+  void bltu(Reg rs1, Reg rs2, Label t);
+  void bgeu(Reg rs1, Reg rs2, Label t);
+  void lb(Reg rd, int32_t off, Reg rs1);
+  void lh(Reg rd, int32_t off, Reg rs1);
+  void lw(Reg rd, int32_t off, Reg rs1);
+  void lbu(Reg rd, int32_t off, Reg rs1);
+  void lhu(Reg rd, int32_t off, Reg rs1);
+  void sb(Reg rs2, int32_t off, Reg rs1);
+  void sh(Reg rs2, int32_t off, Reg rs1);
+  void sw(Reg rs2, int32_t off, Reg rs1);
+  void addi(Reg rd, Reg rs1, int32_t imm);
+  void slti(Reg rd, Reg rs1, int32_t imm);
+  void sltiu(Reg rd, Reg rs1, int32_t imm);
+  void xori(Reg rd, Reg rs1, int32_t imm);
+  void ori(Reg rd, Reg rs1, int32_t imm);
+  void andi(Reg rd, Reg rs1, int32_t imm);
+  void slli(Reg rd, Reg rs1, int32_t shamt);
+  void srli(Reg rd, Reg rs1, int32_t shamt);
+  void srai(Reg rd, Reg rs1, int32_t shamt);
+  void add(Reg rd, Reg rs1, Reg rs2);
+  void sub(Reg rd, Reg rs1, Reg rs2);
+  void sll(Reg rd, Reg rs1, Reg rs2);
+  void slt(Reg rd, Reg rs1, Reg rs2);
+  void sltu(Reg rd, Reg rs1, Reg rs2);
+  void xor_(Reg rd, Reg rs1, Reg rs2);
+  void srl(Reg rd, Reg rs1, Reg rs2);
+  void sra(Reg rd, Reg rs1, Reg rs2);
+  void or_(Reg rd, Reg rs1, Reg rs2);
+  void and_(Reg rd, Reg rs1, Reg rs2);
+  void ecall();
+  void ebreak();
+  void fence();
+  /// Zicsr: csr address in `csr` (e.g. 0xC00 = cycle, 0xC02 = instret).
+  void csrrw(Reg rd, int32_t csr, Reg rs1);
+  void csrrs(Reg rd, int32_t csr, Reg rs1);
+  void csrrc(Reg rd, int32_t csr, Reg rs1);
+  /// Pseudo: rdcycle/rdinstret = csrrs rd, counter, x0.
+  void rdcycle(Reg rd);
+  void rdinstret(Reg rd);
+
+  // --- RV32M ---
+  void mul(Reg rd, Reg rs1, Reg rs2);
+  void mulh(Reg rd, Reg rs1, Reg rs2);
+  void mulhsu(Reg rd, Reg rs1, Reg rs2);
+  void mulhu(Reg rd, Reg rs1, Reg rs2);
+  void div(Reg rd, Reg rs1, Reg rs2);
+  void divu(Reg rd, Reg rs1, Reg rs2);
+  void rem(Reg rd, Reg rs1, Reg rs2);
+  void remu(Reg rd, Reg rs1, Reg rs2);
+
+  // --- Xpulp post-increment load/store: p.lw rd, imm(rs1!) ---
+  void p_lb(Reg rd, int32_t inc, Reg rs1);
+  void p_lh(Reg rd, int32_t inc, Reg rs1);
+  void p_lw(Reg rd, int32_t inc, Reg rs1);
+  void p_lbu(Reg rd, int32_t inc, Reg rs1);
+  void p_lhu(Reg rd, int32_t inc, Reg rs1);
+  void p_sb(Reg rs2, int32_t inc, Reg rs1);
+  void p_sh(Reg rs2, int32_t inc, Reg rs1);
+  void p_sw(Reg rs2, int32_t inc, Reg rs1);
+  /// Register-register post-increment: rd = mem[rs1]; rs1 += rs2.
+  void p_lw_rr(Reg rd, Reg rs2, Reg rs1);
+  void p_lh_rr(Reg rd, Reg rs2, Reg rs1);
+
+  // --- Xpulp scalar ALU ---
+  void p_abs(Reg rd, Reg rs1);
+  void p_exths(Reg rd, Reg rs1);
+  void p_exthz(Reg rd, Reg rs1);
+  void p_extbs(Reg rd, Reg rs1);
+  void p_extbz(Reg rd, Reg rs1);
+  void p_min(Reg rd, Reg rs1, Reg rs2);
+  void p_minu(Reg rd, Reg rs1, Reg rs2);
+  void p_max(Reg rd, Reg rs1, Reg rs2);
+  void p_maxu(Reg rd, Reg rs1, Reg rs2);
+  void p_mac(Reg rd, Reg rs1, Reg rs2);
+  void p_msu(Reg rd, Reg rs1, Reg rs2);
+  void p_clip(Reg rd, Reg rs1, int32_t width_bits);
+  void p_clipu(Reg rd, Reg rs1, int32_t width_bits);
+
+  // --- Xpulp hardware loops ---
+  void lp_starti(int loop, Label start);
+  void lp_endi(int loop, Label end);
+  void lp_count(int loop, Reg rs1);
+  void lp_counti(int loop, int32_t count);
+  /// start = next instruction; `end` = label after the last body instruction.
+  void lp_setup(int loop, Reg count, Label end);
+  void lp_setupi(int loop, int32_t count, Label end);
+
+  // --- Xpulp packed SIMD ---
+  void pv_add_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_sub_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_avg_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_min_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_max_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_srl_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_sra_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_sll_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_abs_h(Reg rd, Reg rs1);
+  void pv_pack_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_extract_h(Reg rd, Reg rs1, int32_t idx);
+  void pv_insert_h(Reg rd, Reg rs1, int32_t idx);
+  void pv_add_sc_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_sub_sc_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_min_sc_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_max_sc_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_sra_sc_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_dotsp_sc_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_sdotsp_sc_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_dotup_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_dotsp_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_sdotup_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_sdotsp_h(Reg rd, Reg rs1, Reg rs2);
+  void pv_add_b(Reg rd, Reg rs1, Reg rs2);
+  void pv_sub_b(Reg rd, Reg rs1, Reg rs2);
+  void pv_min_b(Reg rd, Reg rs1, Reg rs2);
+  void pv_max_b(Reg rd, Reg rs1, Reg rs2);
+  void pv_dotsp_b(Reg rd, Reg rs1, Reg rs2);
+  void pv_sdotsp_b(Reg rd, Reg rs1, Reg rs2);
+
+  // --- RNN extensions ---
+  /// pl.sdotsp.h.<spr> rd, rs1, rs2: rd += dot(SPR[spr], rs2) with the value
+  /// loaded two uses ago, while SPR[spr] <- mem[rs1], rs1 += 4.
+  void pl_sdotsp_h(int spr, Reg rd, Reg rs1, Reg rs2);
+  void pl_tanh(Reg rd, Reg rs1);
+  void pl_sig(Reg rd, Reg rs1);
+
+  // --- pseudo-instructions ---
+  void nop();
+  void mv(Reg rd, Reg rs1);
+  /// Load a 32-bit constant (1 or 2 instructions).
+  void li(Reg rd, int32_t value);
+
+  /// Emit a raw decoded instruction (escape hatch for tests).
+  void emit(isa::Instr in);
+
+  /// Resolve all label fixups and return the finished program.
+  /// Throws if a referenced label was never bound.
+  Program build();
+
+ private:
+  void emit_branch(Opcode op, Reg rs1, Reg rs2, Label t);
+
+  uint32_t base_;
+  std::vector<isa::Instr> instrs_;
+  // label id -> bound instruction index (or SIZE_MAX if unbound)
+  std::vector<size_t> labels_;
+  struct Fixup {
+    size_t instr_idx;
+    size_t label_id;
+    enum class Kind { kBranch, kJump, kHwlEnd, kHwlStart } kind;
+  };
+  std::vector<Fixup> fixups_;
+};
+
+/// A simple allocator over the caller-usable register set, used by the
+/// kernel generators to claim accumulator/pointer registers and to discover
+/// how large an output tile fits in the register file (the paper's "increase
+/// N until the available registers are exhausted").
+class RegPool {
+ public:
+  /// Pool of temporaries + saved regs, excluding zero/ra/sp/gp/tp.
+  RegPool();
+
+  /// Claim one register; throws when the pool is exhausted.
+  Reg alloc();
+  /// Try to claim; returns false when empty (no throw).
+  bool try_alloc(Reg* out);
+  void free(Reg r);
+  int available() const;
+  /// Remove `r` from the pool permanently (e.g. registers clobbered by the
+  /// SW activation routines). No-op if `r` is not currently free.
+  void reserve(Reg r);
+
+ private:
+  std::vector<Reg> free_;
+  uint32_t in_use_ = 0;  // bitmask for double-free detection
+};
+
+}  // namespace rnnasip::assembler

@@ -1,0 +1,142 @@
+#include "src/asm/compress_pass.h"
+
+#include <map>
+
+#include "src/common/check.h"
+#include "src/isa/encode.h"
+
+namespace rnnasip::assembler {
+
+using isa::Format;
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+/// Which PC-relative operands an instruction carries.
+enum class RelKind { kNone, kImm, kImm2 };
+
+RelKind rel_kind(const Instr& in) {
+  const auto& s = isa::opcode_info(in.op);
+  switch (s.format) {
+    case Format::kB:
+    case Format::kJ:
+      return RelKind::kImm;
+    case Format::kHwlSetup:
+      return RelKind::kImm;
+    case Format::kHwlSetupImm:
+      return RelKind::kImm2;
+    case Format::kHwlImm:
+      return in.op == Opcode::kLpCounti ? RelKind::kNone : RelKind::kImm;
+    default:
+      return RelKind::kNone;
+  }
+}
+
+}  // namespace
+
+CompressedProgram compress_program(const Program& p) {
+  const size_t n = p.instrs.size();
+  // Original addresses and the target *instruction index* of every
+  // PC-relative operand.
+  std::map<uint32_t, size_t> index_of;
+  for (size_t i = 0; i < n; ++i) index_of[p.address_of(i)] = i;
+  std::vector<size_t> target(n, SIZE_MAX);
+  for (size_t i = 0; i < n; ++i) {
+    const RelKind k = rel_kind(p.instrs[i]);
+    if (k == RelKind::kNone) continue;
+    const int32_t off = k == RelKind::kImm ? p.instrs[i].imm : p.instrs[i].imm2;
+    const uint32_t tgt = p.address_of(i) + static_cast<uint32_t>(off);
+    // HW-loop ends may point one past the last instruction.
+    if (tgt == p.base + p.size_bytes()) {
+      target[i] = n;
+      continue;
+    }
+    auto it = index_of.find(tgt);
+    RNNASIP_CHECK_MSG(it != index_of.end(),
+                      "PC-relative operand does not hit an instruction boundary");
+    target[i] = it->second;
+  }
+
+  // Iterate sizes to a fixed point.
+  std::vector<uint8_t> size(n, 4);
+  std::vector<Instr> out(p.instrs.begin(), p.instrs.end());
+  for (int pass = 0; pass < 16; ++pass) {
+    // Addresses under the current size assignment.
+    std::vector<uint32_t> addr(n + 1);
+    addr[0] = p.base;
+    for (size_t i = 0; i < n; ++i) addr[i + 1] = addr[i] + size[i];
+    // Refresh PC-relative operands.
+    for (size_t i = 0; i < n; ++i) {
+      if (target[i] == SIZE_MAX) continue;
+      const int32_t off =
+          static_cast<int32_t>(addr[target[i]]) - static_cast<int32_t>(addr[i]);
+      if (rel_kind(p.instrs[i]) == RelKind::kImm) {
+        out[i].imm = off;
+      } else {
+        out[i].imm2 = off;
+      }
+    }
+    // Try to shrink.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (size[i] == 2) continue;
+      if (isa::try_compress(out[i]).has_value()) {
+        size[i] = 2;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Final layout and validation (encode throws if an operand no longer
+  // fits, e.g. a hardware-loop end offset that must stay even — it always
+  // is, since RVC parcels are 2-byte).
+  CompressedProgram cp;
+  cp.base = p.base;
+  cp.addrs.resize(n);
+  uint32_t a = p.base;
+  for (size_t i = 0; i < n; ++i) {
+    cp.addrs[i] = a;
+    out[i].size = size[i];
+    a += size[i];
+  }
+  // Re-resolve operands against the final addresses.
+  for (size_t i = 0; i < n; ++i) {
+    if (target[i] == SIZE_MAX) continue;
+    const uint32_t taddr = target[i] == n ? a : cp.addrs[target[i]];
+    const int32_t off = static_cast<int32_t>(taddr) - static_cast<int32_t>(cp.addrs[i]);
+    if (rel_kind(p.instrs[i]) == RelKind::kImm) {
+      out[i].imm = off;
+    } else {
+      out[i].imm2 = off;
+    }
+    if (out[i].size == 2) {
+      RNNASIP_CHECK(isa::try_compress(out[i]).has_value());
+    } else {
+      (void)isa::encode(out[i]);
+    }
+  }
+  cp.instrs = std::move(out);
+  cp.text_bytes = a - p.base;
+  return cp;
+}
+
+std::vector<uint8_t> CompressedProgram::bytes() const {
+  std::vector<uint8_t> out;
+  out.reserve(text_bytes);
+  for (const auto& in : instrs) {
+    if (in.size == 2) {
+      const auto h = isa::try_compress(in);
+      RNNASIP_CHECK(h.has_value());
+      out.push_back(static_cast<uint8_t>(*h & 0xFF));
+      out.push_back(static_cast<uint8_t>(*h >> 8));
+    } else {
+      const uint32_t w = isa::encode(in);
+      for (int b = 0; b < 4; ++b) out.push_back(static_cast<uint8_t>(w >> (8 * b)));
+    }
+  }
+  return out;
+}
+
+}  // namespace rnnasip::assembler

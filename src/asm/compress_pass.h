@@ -1,0 +1,33 @@
+// Whole-program RV32C compression pass.
+//
+// Rewrites a program with 16-bit encodings wherever the RVC subset allows,
+// re-resolving every PC-relative operand (branches, jumps, hardware-loop
+// bounds) to the shrunken layout. The pass iterates to a fixed point:
+// shrinking code pulls more branch targets into compressed ranges. The
+// result executes identically on the core (the fetch stage decodes mixed
+// 16/32-bit streams natively); only fetch bytes change.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/asm/program.h"
+
+namespace rnnasip::assembler {
+
+struct CompressedProgram {
+  uint32_t base = 0;
+  std::vector<isa::Instr> instrs;  ///< size field = 2 or 4
+  std::vector<uint32_t> addrs;     ///< address of each instruction
+  uint32_t text_bytes = 0;
+
+  /// The encoded byte stream (little-endian parcels, ready for memory).
+  std::vector<uint8_t> bytes() const;
+};
+
+/// Compress `p`. All PC-relative operands must point at instruction
+/// boundaries of `p` (true for ProgramBuilder/assemble output); throws
+/// otherwise.
+CompressedProgram compress_program(const Program& p);
+
+}  // namespace rnnasip::assembler

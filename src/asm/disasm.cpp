@@ -1,0 +1,142 @@
+#include "src/asm/disasm.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/isa/registers.h"
+
+namespace rnnasip::assembler {
+
+using isa::Format;
+using isa::Instr;
+using isa::Opcode;
+using isa::opcode_info;
+using isa::reg_name;
+
+namespace {
+
+std::string hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string disassemble(const Instr& in, uint32_t pc) {
+  const auto& s = opcode_info(in.op);
+  std::ostringstream os;
+  os << s.mnemonic;
+  auto pad = [&] { os << ' '; };
+  switch (s.format) {
+    case Format::kR:
+      pad();
+      if (in.op == Opcode::kPLwRr || in.op == Opcode::kPLhRr) {
+        os << reg_name(in.rd) << ", " << reg_name(in.rs2) << '(' << reg_name(in.rs1)
+           << "!)";
+      } else if (in.op == Opcode::kPAbs || in.op == Opcode::kPExths ||
+                 in.op == Opcode::kPExthz || in.op == Opcode::kPExtbs ||
+                 in.op == Opcode::kPExtbz) {
+        os << reg_name(in.rd) << ", " << reg_name(in.rs1);
+      } else {
+        os << reg_name(in.rd) << ", " << reg_name(in.rs1) << ", " << reg_name(in.rs2);
+      }
+      break;
+    case Format::kI:
+      pad();
+      if (s.unit == isa::Unit::kLoad) {
+        const bool post_inc = (s.major == 0x0B);
+        os << reg_name(in.rd) << ", " << in.imm << '(' << reg_name(in.rs1)
+           << (post_inc ? "!)" : ")");
+      } else if (in.op == Opcode::kJalr) {
+        os << reg_name(in.rd) << ", " << in.imm << '(' << reg_name(in.rs1) << ')';
+      } else {
+        os << reg_name(in.rd) << ", " << reg_name(in.rs1) << ", " << in.imm;
+      }
+      break;
+    case Format::kShift:
+    case Format::kClip:
+      pad();
+      os << reg_name(in.rd) << ", " << reg_name(in.rs1) << ", " << in.imm;
+      break;
+    case Format::kS: {
+      pad();
+      const bool post_inc = (s.major == 0x2B);
+      os << reg_name(in.rs2) << ", " << in.imm << '(' << reg_name(in.rs1)
+         << (post_inc ? "!)" : ")");
+      break;
+    }
+    case Format::kB:
+      pad();
+      os << reg_name(in.rs1) << ", " << reg_name(in.rs2) << ", "
+         << hex(pc + static_cast<uint32_t>(in.imm));
+      break;
+    case Format::kU:
+      pad();
+      os << reg_name(in.rd) << ", " << hex(static_cast<uint32_t>(in.imm));
+      break;
+    case Format::kJ:
+      pad();
+      os << reg_name(in.rd) << ", " << hex(pc + static_cast<uint32_t>(in.imm));
+      break;
+    case Format::kSys:
+      break;
+    case Format::kCsr:
+      pad();
+      os << reg_name(in.rd) << ", " << hex(static_cast<uint32_t>(in.imm)) << ", "
+         << reg_name(in.rs1);
+      break;
+    case Format::kHwlImm:
+      pad();
+      if (in.op == Opcode::kLpCounti) {
+        os << int{in.rd} << ", " << in.imm;
+      } else {
+        os << int{in.rd} << ", " << hex(pc + static_cast<uint32_t>(in.imm));
+      }
+      break;
+    case Format::kHwlReg:
+      pad();
+      os << int{in.rd} << ", " << reg_name(in.rs1);
+      break;
+    case Format::kHwlSetup:
+      pad();
+      os << int{in.rd} << ", " << reg_name(in.rs1) << ", "
+         << hex(pc + static_cast<uint32_t>(in.imm));
+      break;
+    case Format::kHwlSetupImm:
+      pad();
+      os << int{in.rd} << ", " << in.imm << ", " << hex(pc + static_cast<uint32_t>(in.imm2));
+      break;
+    case Format::kSimdR:
+      pad();
+      if (in.op == Opcode::kPvAbsH) {
+        os << reg_name(in.rd) << ", " << reg_name(in.rs1);
+      } else {
+        os << reg_name(in.rd) << ", " << reg_name(in.rs1) << ", " << reg_name(in.rs2);
+      }
+      break;
+    case Format::kSimdImm:
+      pad();
+      os << reg_name(in.rd) << ", " << reg_name(in.rs1) << ", " << in.imm;
+      break;
+    case Format::kAct:
+      pad();
+      os << reg_name(in.rd) << ", " << reg_name(in.rs1);
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(const Program& p) {
+  std::ostringstream os;
+  for (size_t i = 0; i < p.instrs.size(); ++i) {
+    const uint32_t pc = p.address_of(i);
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08x:  ", pc);
+    os << buf << disassemble(p.instrs[i], pc) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rnnasip::assembler

@@ -1,0 +1,23 @@
+// Disassembler: Instr -> assembly text.
+//
+// Output follows the PULP toolchain conventions the paper's Table II uses:
+// post-increment addressing prints as `imm(rs1!)`, hardware-loop offsets as
+// absolute target addresses when a PC is supplied.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/asm/program.h"
+#include "src/isa/opcode.h"
+
+namespace rnnasip::assembler {
+
+/// Disassemble one instruction. `pc` is used to print absolute targets for
+/// branches, jumps, and hardware-loop setup instructions.
+std::string disassemble(const isa::Instr& instr, uint32_t pc = 0);
+
+/// Disassemble a whole program as an address-annotated listing.
+std::string disassemble(const Program& program);
+
+}  // namespace rnnasip::assembler

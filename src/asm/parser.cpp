@@ -1,0 +1,382 @@
+#include "src/asm/parser.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/bits.h"
+#include "src/common/check.h"
+#include "src/isa/encode.h"
+#include "src/isa/registers.h"
+
+namespace rnnasip::assembler {
+
+using isa::Format;
+using isa::Instr;
+using isa::Opcode;
+using isa::OpcodeInfo;
+using isa::Reg;
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "assembly error, line " << line << ": " << msg;
+  throw std::runtime_error(os.str());
+}
+
+/// One source statement after tokenization.
+struct Stmt {
+  int line = 0;
+  std::string mnemonic;
+  std::vector<std::string> operands;  // raw operand tokens, commas stripped
+  size_t index = 0;                   // first instruction index it occupies
+  int size = 1;                       // instructions after pseudo expansion
+};
+
+std::string strip(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  size_t e = s.find_last_not_of(" \t\r");
+  if (b == std::string_view::npos) return "";
+  return std::string(s.substr(b, e - b + 1));
+}
+
+std::string strip_comment(std::string_view line) {
+  for (const char* marker : {"#", "//", ";"}) {
+    const size_t pos = line.find(marker);
+    if (pos != std::string_view::npos) line = line.substr(0, pos);
+  }
+  return strip(line);
+}
+
+std::optional<Reg> parse_reg(const std::string& tok) {
+  for (Reg r = 0; r < 32; ++r) {
+    if (tok == isa::reg_name(r)) return r;
+  }
+  if (tok.size() >= 2 && tok[0] == 'x') {
+    int v = 0;
+    for (size_t i = 1; i < tok.size(); ++i) {
+      if (!isdigit(static_cast<unsigned char>(tok[i]))) return std::nullopt;
+      v = v * 10 + (tok[i] - '0');
+    }
+    if (v < 32) return static_cast<Reg>(v);
+  }
+  if (tok == "fp") return isa::kS0;
+  return std::nullopt;
+}
+
+std::optional<int64_t> parse_int(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  size_t i = 0;
+  bool neg = false;
+  if (tok[0] == '-' || tok[0] == '+') {
+    neg = tok[0] == '-';
+    i = 1;
+  }
+  if (i >= tok.size()) return std::nullopt;
+  int64_t v = 0;
+  if (tok.size() > i + 1 && tok[i] == '0' && (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+    if (tok.size() == i + 2) return std::nullopt;  // bare "0x"
+    for (size_t j = i + 2; j < tok.size(); ++j) {
+      const char c = static_cast<char>(tolower(tok[j]));
+      int d;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+      else return std::nullopt;
+      v = v * 16 + d;
+    }
+  } else {
+    for (size_t j = i; j < tok.size(); ++j) {
+      if (!isdigit(static_cast<unsigned char>(tok[j]))) return std::nullopt;
+      v = v * 10 + (tok[j] - '0');
+    }
+  }
+  return neg ? -v : v;
+}
+
+/// `imm(reg)` or `imm(reg!)` or `reg(reg!)` — returns (outer token, base reg,
+/// post-increment flag).
+struct MemOperand {
+  std::string outer;
+  Reg base = 0;
+  bool post_inc = false;
+};
+
+std::optional<MemOperand> parse_mem(const std::string& tok) {
+  const size_t open = tok.find('(');
+  const size_t close = tok.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open)
+    return std::nullopt;
+  MemOperand m;
+  m.outer = strip(tok.substr(0, open));
+  std::string inner = strip(tok.substr(open + 1, close - open - 1));
+  if (!inner.empty() && inner.back() == '!') {
+    m.post_inc = true;
+    inner = strip(inner.substr(0, inner.size() - 1));
+  }
+  const auto r = parse_reg(inner);
+  if (!r) return std::nullopt;
+  m.base = *r;
+  return m;
+}
+
+const OpcodeInfo* find_mnemonic(const std::string& m) {
+  for (const auto& row : isa::all_opcodes()) {
+    if (m == row.mnemonic) return &row;
+  }
+  return nullptr;
+}
+
+/// Split an operand string on top-level commas.
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  const std::string last = strip(cur);
+  if (!last.empty()) out.push_back(last);
+  return out;
+}
+
+}  // namespace
+
+Program assemble(std::string_view source, uint32_t base) {
+  // ---- pass 1: tokenize, bind labels to instruction indices ----
+  std::vector<Stmt> stmts;
+  std::map<std::string, size_t> labels;
+  size_t index = 0;
+  int line_no = 0;
+  std::string src(source);
+  std::istringstream in(src);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = strip_comment(raw);
+    // Labels (possibly several) at line start.
+    while (true) {
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) break;
+      const std::string head = strip(line.substr(0, colon));
+      if (head.empty() || head.find(' ') != std::string::npos) break;
+      if (labels.count(head)) fail(line_no, "duplicate label '" + head + "'");
+      labels[head] = index;
+      line = strip(line.substr(colon + 1));
+    }
+    if (line.empty()) continue;
+    Stmt st;
+    st.line = line_no;
+    const size_t sp = line.find_first_of(" \t");
+    st.mnemonic = sp == std::string::npos ? line : line.substr(0, sp);
+    if (sp != std::string::npos) st.operands = split_operands(strip(line.substr(sp)));
+    st.index = index;
+    // Pseudo-instruction sizes must be known now for label arithmetic.
+    if (st.mnemonic == "li") {
+      if (st.operands.size() != 2) fail(line_no, "li needs 2 operands");
+      const auto v = parse_int(st.operands[1]);
+      if (!v) fail(line_no, "bad li immediate");
+      const int32_t val = static_cast<int32_t>(*v);
+      st.size = fits_signed(val, 12) ? 1 : (((val + 0x800) >> 12 << 12) == val ? 1 : 2);
+    }
+    index += static_cast<size_t>(st.size);
+    stmts.push_back(std::move(st));
+  }
+
+  // ---- pass 2: materialize instructions ----
+  Program prog;
+  prog.base = base;
+  auto target_offset = [&](const Stmt& st, const std::string& tok) -> int32_t {
+    const uint32_t pc = base + static_cast<uint32_t>(4 * st.index);
+    if (auto it = labels.find(tok); it != labels.end()) {
+      return static_cast<int32_t>(4 * it->second) - static_cast<int32_t>(4 * st.index);
+    }
+    if (auto v = parse_int(tok)) {
+      return static_cast<int32_t>(static_cast<uint32_t>(*v) - pc);
+    }
+    fail(st.line, "unknown label or address '" + tok + "'");
+  };
+  auto want_reg = [&](const Stmt& st, size_t i) -> Reg {
+    if (i >= st.operands.size()) fail(st.line, "missing register operand");
+    const auto r = parse_reg(st.operands[i]);
+    if (!r) fail(st.line, "bad register '" + st.operands[i] + "'");
+    return *r;
+  };
+  auto want_int = [&](const Stmt& st, size_t i) -> int64_t {
+    if (i >= st.operands.size()) fail(st.line, "missing immediate operand");
+    const auto v = parse_int(st.operands[i]);
+    if (!v) fail(st.line, "bad immediate '" + st.operands[i] + "'");
+    return *v;
+  };
+  auto want_mem = [&](const Stmt& st, size_t i) -> MemOperand {
+    if (i >= st.operands.size()) fail(st.line, "missing memory operand");
+    const auto m = parse_mem(st.operands[i]);
+    if (!m) fail(st.line, "bad memory operand '" + st.operands[i] + "'");
+    return *m;
+  };
+
+  for (const Stmt& st : stmts) {
+    // ---- pseudo instructions ----
+    if (st.mnemonic == "nop") {
+      prog.instrs.push_back({Opcode::kAddi, 0, 0, 0, 0, 0, 4});
+      continue;
+    }
+    if (st.mnemonic == "mv") {
+      prog.instrs.push_back(
+          {Opcode::kAddi, want_reg(st, 0), want_reg(st, 1), 0, 0, 0, 4});
+      continue;
+    }
+    if (st.mnemonic == "ret") {
+      prog.instrs.push_back({Opcode::kJalr, 0, isa::kRa, 0, 0, 0, 4});
+      continue;
+    }
+    if (st.mnemonic == "rdcycle" || st.mnemonic == "rdinstret") {
+      const int32_t csr = st.mnemonic == "rdcycle" ? 0xC00 : 0xC02;
+      prog.instrs.push_back({Opcode::kCsrrs, want_reg(st, 0), 0, 0, csr, 0, 4});
+      continue;
+    }
+    if (st.mnemonic == "j") {
+      if (st.operands.size() != 1) fail(st.line, "j needs 1 operand");
+      prog.instrs.push_back(
+          {Opcode::kJal, 0, 0, 0, target_offset(st, st.operands[0]), 0, 4});
+      continue;
+    }
+    if (st.mnemonic == "li") {
+      const Reg rd = want_reg(st, 0);
+      const int32_t v = static_cast<int32_t>(want_int(st, 1));
+      if (fits_signed(v, 12)) {
+        prog.instrs.push_back({Opcode::kAddi, rd, 0, 0, v, 0, 4});
+      } else {
+        const int32_t hi = (v + 0x800) >> 12;
+        const int32_t lo = v - (hi << 12);
+        prog.instrs.push_back({Opcode::kLui, rd, 0, 0, hi & 0xFFFFF, 0, 4});
+        if (lo != 0) prog.instrs.push_back({Opcode::kAddi, rd, rd, 0, lo, 0, 4});
+      }
+      continue;
+    }
+
+    const OpcodeInfo* spec = find_mnemonic(st.mnemonic);
+    if (!spec) fail(st.line, "unknown mnemonic '" + st.mnemonic + "'");
+    Instr ins;
+    ins.op = spec->op;
+    switch (spec->format) {
+      case Format::kR:
+      case Format::kSimdR: {
+        if (spec->op == Opcode::kPLwRr || spec->op == Opcode::kPLhRr) {
+          ins.rd = want_reg(st, 0);
+          const auto m = want_mem(st, 1);
+          const auto inc = parse_reg(m.outer);
+          if (!inc || !m.post_inc) fail(st.line, "expected rd, rs2(rs1!)");
+          ins.rs1 = m.base;
+          ins.rs2 = *inc;
+        } else if (st.operands.size() == 2) {
+          ins.rd = want_reg(st, 0);  // unary forms: p.abs, p.exths, ...
+          ins.rs1 = want_reg(st, 1);
+        } else {
+          ins.rd = want_reg(st, 0);
+          ins.rs1 = want_reg(st, 1);
+          ins.rs2 = want_reg(st, 2);
+        }
+        break;
+      }
+      case Format::kI: {
+        ins.rd = want_reg(st, 0);
+        if (spec->unit == isa::Unit::kLoad || spec->op == Opcode::kJalr) {
+          const auto m = want_mem(st, 1);
+          const auto off = parse_int(m.outer);
+          if (!off) fail(st.line, "bad load offset");
+          ins.rs1 = m.base;
+          ins.imm = static_cast<int32_t>(*off);
+        } else {
+          ins.rs1 = want_reg(st, 1);
+          ins.imm = static_cast<int32_t>(want_int(st, 2));
+        }
+        break;
+      }
+      case Format::kShift:
+      case Format::kClip:
+      case Format::kSimdImm:
+        ins.rd = want_reg(st, 0);
+        ins.rs1 = want_reg(st, 1);
+        ins.imm = static_cast<int32_t>(want_int(st, 2));
+        break;
+      case Format::kS: {
+        ins.rs2 = want_reg(st, 0);
+        const auto m = want_mem(st, 1);
+        const auto off = parse_int(m.outer);
+        if (!off) fail(st.line, "bad store offset");
+        ins.rs1 = m.base;
+        ins.imm = static_cast<int32_t>(*off);
+        break;
+      }
+      case Format::kB:
+        ins.rs1 = want_reg(st, 0);
+        ins.rs2 = want_reg(st, 1);
+        if (st.operands.size() < 3) fail(st.line, "missing branch target");
+        ins.imm = target_offset(st, st.operands[2]);
+        break;
+      case Format::kU:
+        ins.rd = want_reg(st, 0);
+        ins.imm = static_cast<int32_t>(want_int(st, 1));
+        break;
+      case Format::kJ:
+        ins.rd = want_reg(st, 0);
+        if (st.operands.size() < 2) fail(st.line, "missing jump target");
+        ins.imm = target_offset(st, st.operands[1]);
+        break;
+      case Format::kSys:
+        break;
+      case Format::kCsr:
+        ins.rd = want_reg(st, 0);
+        ins.imm = static_cast<int32_t>(want_int(st, 1));
+        ins.rs1 = want_reg(st, 2);
+        break;
+      case Format::kHwlImm:
+        ins.rd = static_cast<Reg>(want_int(st, 0));
+        if (spec->op == Opcode::kLpCounti) {
+          ins.imm = static_cast<int32_t>(want_int(st, 1));
+        } else {
+          if (st.operands.size() < 2) fail(st.line, "missing loop target");
+          ins.imm = target_offset(st, st.operands[1]);
+        }
+        break;
+      case Format::kHwlReg:
+        ins.rd = static_cast<Reg>(want_int(st, 0));
+        ins.rs1 = want_reg(st, 1);
+        break;
+      case Format::kHwlSetup:
+        ins.rd = static_cast<Reg>(want_int(st, 0));
+        ins.rs1 = want_reg(st, 1);
+        if (st.operands.size() < 3) fail(st.line, "missing loop end target");
+        ins.imm = target_offset(st, st.operands[2]);
+        break;
+      case Format::kHwlSetupImm:
+        ins.rd = static_cast<Reg>(want_int(st, 0));
+        ins.imm = static_cast<int32_t>(want_int(st, 1));
+        if (st.operands.size() < 3) fail(st.line, "missing loop end target");
+        ins.imm2 = target_offset(st, st.operands[2]);
+        break;
+      case Format::kAct:
+        ins.rd = want_reg(st, 0);
+        ins.rs1 = want_reg(st, 1);
+        break;
+    }
+    // Validate operand ranges immediately, with the source line attached.
+    try {
+      (void)isa::encode(ins);
+    } catch (const std::runtime_error& e) {
+      fail(st.line, e.what());
+    }
+    prog.instrs.push_back(ins);
+  }
+  return prog;
+}
+
+}  // namespace rnnasip::assembler

@@ -1,0 +1,28 @@
+// Textual assembler: assembly source -> Program.
+//
+// Accepts the same syntax the disassembler emits (so
+// assemble(disassemble(p)) round-trips), plus labels and a few pseudo
+// instructions:
+//
+//   loop:                       # labels end with ':'
+//     p.lw   a1, 4(a0!)         # post-increment addressing
+//     pv.sdotsp.h a2, a1, a1
+//     bne    a3, zero, loop     # branch targets: label or absolute 0x....
+//     lp.setupi 0, 32, end      # hardware loops take a loop index 0/1
+//     li     t0, 0x12345678     # pseudo: li / mv / nop / j / ret
+//     ebreak
+//
+// Comments start with '#', '//' or ';'. Numbers are decimal or 0x hex.
+// Errors throw std::runtime_error with the offending line number.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/asm/program.h"
+
+namespace rnnasip::assembler {
+
+Program assemble(std::string_view source, uint32_t base = 0x0000'1000);
+
+}  // namespace rnnasip::assembler

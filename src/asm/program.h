@@ -1,0 +1,33 @@
+// A program is a sequence of decoded instructions plus its load address.
+//
+// Kernel generators build programs in decoded (Instr) form; the ISS consumes
+// that form directly (it re-encodes and re-decodes in tests to prove the
+// byte stream is faithful, but does not pay decode cost per executed
+// instruction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/isa/opcode.h"
+
+namespace rnnasip::assembler {
+
+struct Program {
+  uint32_t base = 0x0000'1000;       ///< text load address
+  std::vector<isa::Instr> instrs;    ///< decoded instruction stream
+
+  /// Address of instruction `idx` (all our generated instructions are
+  /// 4 bytes; compressed forms only appear via decode, not generation).
+  uint32_t address_of(size_t idx) const { return base + static_cast<uint32_t>(4 * idx); }
+
+  /// Total size in bytes.
+  uint32_t size_bytes() const { return static_cast<uint32_t>(4 * instrs.size()); }
+
+  /// Encode the full instruction stream into words (for memory images and
+  /// round-trip tests).
+  std::vector<uint32_t> encode_words() const;
+};
+
+}  // namespace rnnasip::assembler

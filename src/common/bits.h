@@ -1,0 +1,60 @@
+// Bit-manipulation helpers shared by the ISA encoder/decoder and the ISS.
+//
+// Everything here is branch-free, constexpr where possible, and expressed on
+// unsigned types with explicit casts at the signed boundary — the pattern the
+// RISC-V manual's pseudo-code uses.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace rnnasip {
+
+/// Extract bits [hi:lo] (inclusive, hi >= lo) of `v`, right-aligned.
+constexpr uint32_t bits(uint32_t v, unsigned hi, unsigned lo) {
+  return (v >> lo) & ((hi - lo == 31u) ? 0xFFFFFFFFu : ((1u << (hi - lo + 1)) - 1u));
+}
+
+/// Extract a single bit of `v`.
+constexpr uint32_t bit(uint32_t v, unsigned pos) { return (v >> pos) & 1u; }
+
+/// Sign-extend the low `width` bits of `v` to a signed 32-bit value.
+constexpr int32_t sign_extend(uint32_t v, unsigned width) {
+  const uint32_t m = 1u << (width - 1);
+  const uint32_t x = v & ((width == 32u) ? 0xFFFFFFFFu : ((1u << width) - 1u));
+  return static_cast<int32_t>((x ^ m) - m);
+}
+
+/// True iff signed value `v` fits in `width` bits (two's complement).
+constexpr bool fits_signed(int64_t v, unsigned width) {
+  const int64_t lo = -(int64_t{1} << (width - 1));
+  const int64_t hi = (int64_t{1} << (width - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+/// True iff unsigned value `v` fits in `width` bits.
+constexpr bool fits_unsigned(uint64_t v, unsigned width) {
+  return width >= 64 || v < (uint64_t{1} << width);
+}
+
+/// Low 16-bit half of a 32-bit word, as signed (packed-SIMD element 0).
+constexpr int16_t half_lo(uint32_t v) { return static_cast<int16_t>(v & 0xFFFFu); }
+
+/// High 16-bit half of a 32-bit word, as signed (packed-SIMD element 1).
+constexpr int16_t half_hi(uint32_t v) { return static_cast<int16_t>(v >> 16); }
+
+/// Pack two signed 16-bit halves into a 32-bit word (`hi` in bits 31:16).
+constexpr uint32_t pack_halves(int16_t lo, int16_t hi) {
+  return (static_cast<uint32_t>(static_cast<uint16_t>(hi)) << 16) |
+         static_cast<uint32_t>(static_cast<uint16_t>(lo));
+}
+
+/// Saturate a signed value into `width`-bit two's complement range.
+constexpr int32_t clip_signed(int64_t v, unsigned width) {
+  const int64_t lo = -(int64_t{1} << (width - 1));
+  const int64_t hi = (int64_t{1} << (width - 1)) - 1;
+  return static_cast<int32_t>(v < lo ? lo : (v > hi ? hi : v));
+}
+
+}  // namespace rnnasip

@@ -1,0 +1,38 @@
+// Lightweight runtime checking used across the library.
+//
+// RNNASIP_CHECK is used for *precondition and invariant* violations that
+// indicate a programming error by the caller (bad layer dimensions, operand
+// out of encodable range, ...). It throws std::runtime_error with a message
+// naming the failing condition and location, so tests can assert on misuse
+// and applications get a diagnosable failure instead of UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rnnasip {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace rnnasip
+
+#define RNNASIP_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) ::rnnasip::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define RNNASIP_CHECK_MSG(cond, msg)                                \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::ostringstream os_;                                       \
+      os_ << msg;                                                   \
+      ::rnnasip::check_failed(#cond, __FILE__, __LINE__, os_.str()); \
+    }                                                               \
+  } while (0)

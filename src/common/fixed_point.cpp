@@ -1,0 +1,48 @@
+#include "src/common/fixed_point.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace rnnasip {
+
+std::string QFormat::to_string() const {
+  return "Q" + std::to_string(int_bits) + "." + std::to_string(frac_bits);
+}
+
+int32_t quantize(double x, QFormat fmt) {
+  RNNASIP_CHECK(fmt.width() >= 2 && fmt.width() <= 32);
+  const double scaled = x * fmt.scale();
+  // Round half away from zero, matching the HW LUT generation.
+  const double rounded = std::round(scaled);
+  const int64_t lo = -(int64_t{1} << (fmt.width() - 1));
+  const int64_t hi = (int64_t{1} << (fmt.width() - 1)) - 1;
+  int64_t v = static_cast<int64_t>(rounded);
+  if (v < lo) v = lo;
+  if (v > hi) v = hi;
+  return static_cast<int32_t>(v);
+}
+
+double dequantize(int64_t raw, QFormat fmt) {
+  RNNASIP_CHECK(fmt.width() >= 2 && fmt.width() <= 32);
+  return static_cast<double>(raw) / fmt.scale();
+}
+
+int32_t requantize(int64_t acc, int shift, int out_width) {
+  RNNASIP_CHECK(shift >= 0 && shift < 63);
+  RNNASIP_CHECK(out_width >= 2 && out_width <= 32);
+  const int64_t shifted = acc >> shift;  // arithmetic shift, truncating
+  return clip_signed(shifted, static_cast<unsigned>(out_width));
+}
+
+int16_t sat_add16(int16_t a, int16_t b) {
+  const int32_t s = static_cast<int32_t>(a) + static_cast<int32_t>(b);
+  return static_cast<int16_t>(clip_signed(s, 16));
+}
+
+int16_t fx_mul_q(int16_t a, int16_t b, QFormat fmt) {
+  const int64_t p = static_cast<int64_t>(a) * static_cast<int64_t>(b);
+  return static_cast<int16_t>(requantize(p, fmt.frac_bits, 16));
+}
+
+}  // namespace rnnasip

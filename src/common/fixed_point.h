@@ -1,0 +1,64 @@
+// Q-format fixed-point arithmetic.
+//
+// The paper encodes all weights and activations in 16-bit Q3.12 (1 sign bit,
+// 3 integer bits, 12 fractional bits); products are accumulated in 32-bit
+// Q6.24 and requantized back by an arithmetic shift of 12 with saturation.
+// `QFormat` captures the format as a runtime value because the activation
+// design-space exploration (Fig. 2) sweeps formats, while `q3_12` is the
+// fixed operating point used by the kernels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bits.h"
+
+namespace rnnasip {
+
+/// A signed fixed-point format with `int_bits` integer bits (excluding the
+/// sign bit) and `frac_bits` fractional bits; total width is
+/// 1 + int_bits + frac_bits.
+struct QFormat {
+  int int_bits = 3;
+  int frac_bits = 12;
+
+  constexpr int width() const { return 1 + int_bits + frac_bits; }
+  constexpr double scale() const { return static_cast<double>(1 << frac_bits); }
+  constexpr double max_value() const {
+    return (static_cast<double>((int64_t{1} << (width() - 1)) - 1)) / scale();
+  }
+  constexpr double min_value() const {
+    return -static_cast<double>(int64_t{1} << (width() - 1)) / scale();
+  }
+  constexpr double resolution() const { return 1.0 / scale(); }
+
+  friend constexpr bool operator==(const QFormat&, const QFormat&) = default;
+
+  std::string to_string() const;  // "Q3.12"
+};
+
+/// The paper's operating format for weights and activations.
+inline constexpr QFormat q3_12{3, 12};
+/// Accumulator format of a Q3.12 × Q3.12 sum-dot-product (32-bit register).
+inline constexpr QFormat q7_24{7, 24};
+
+/// Convert a real value to fixed point: round to nearest (ties away from
+/// zero), then saturate to the format's representable range.
+int32_t quantize(double x, QFormat fmt = q3_12);
+
+/// Convert a fixed-point raw value back to a real number.
+double dequantize(int64_t raw, QFormat fmt = q3_12);
+
+/// Requantize a Q(2a).(2b) product/accumulator back to Qa.b: arithmetic
+/// shift right by `shift` and saturate into `out_width` bits. This is what
+/// the kernels do with `srai` + `p.clip`.
+int32_t requantize(int64_t acc, int shift, int out_width = 16);
+
+/// Saturating 16-bit addition as performed by the packed pv.add.h unit.
+int16_t sat_add16(int16_t a, int16_t b);
+
+/// Fixed-point multiply of two Qa.b values giving a Qa.b value
+/// (shift-and-saturate), the scalar building block of the golden models.
+int16_t fx_mul_q(int16_t a, int16_t b, QFormat fmt = q3_12);
+
+}  // namespace rnnasip

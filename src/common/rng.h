@@ -1,0 +1,45 @@
+// Deterministic pseudo-random generation for workloads and property tests.
+//
+// A small splitmix64-based generator is used instead of <random> engines so
+// that every workload (weights, inputs, sweep points) is reproducible across
+// platforms and standard-library versions — benchmark tables must not drift
+// between runs or machines.
+#pragma once
+
+#include <cstdint>
+
+namespace rnnasip {
+
+/// splitmix64: tiny, high-quality, state = one 64-bit word.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  uint64_t next_u64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint32_t next_u32() { return static_cast<uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint32_t next_below(uint32_t n) { return static_cast<uint32_t>(next_u64() % n); }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform signed 16-bit value, handy for Q3.12 raw data.
+  int16_t next_i16() { return static_cast<int16_t>(next_u32() & 0xFFFFu); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace rnnasip

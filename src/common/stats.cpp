@@ -1,0 +1,35 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rnnasip {
+
+void ErrorStats::add(double value, double reference) {
+  const double e = value - reference;
+  ++n_;
+  sum_sq_ += e * e;
+  sum_err_ += e;
+  max_abs_ = std::max(max_abs_, std::abs(e));
+}
+
+double ErrorStats::mse() const { return n_ == 0 ? 0.0 : sum_sq_ / static_cast<double>(n_); }
+double ErrorStats::rmse() const { return std::sqrt(mse()); }
+double ErrorStats::mean_error() const {
+  return n_ == 0 ? 0.0 : sum_err_ / static_cast<double>(n_);
+}
+
+void Summary::add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  sum_ += v;
+}
+
+double Summary::mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+
+}  // namespace rnnasip

@@ -1,0 +1,47 @@
+// Error and summary statistics accumulators used by the activation
+// design-space exploration (Fig. 2) and by kernel-vs-reference comparisons.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rnnasip {
+
+/// Accumulates pointwise error statistics between a value under test and a
+/// reference: mean squared error, max absolute error, and mean error (bias).
+class ErrorStats {
+ public:
+  void add(double value, double reference);
+
+  size_t count() const { return n_; }
+  double mse() const;
+  double rmse() const;
+  double max_abs_error() const { return max_abs_; }
+  double mean_error() const;
+
+ private:
+  size_t n_ = 0;
+  double sum_sq_ = 0.0;
+  double sum_err_ = 0.0;
+  double max_abs_ = 0.0;
+};
+
+/// Running min/mean/max over a scalar series (cycle counts, speedups, ...).
+class Summary {
+ public:
+  void add(double v);
+
+  size_t count() const { return n_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const;
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rnnasip

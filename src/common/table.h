@@ -1,0 +1,39 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables/figures as an
+// aligned ASCII table (and optionally CSV), so the output can be compared
+// side by side with the paper and pasted into EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rnnasip {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment: first column left, the rest right.
+  std::string to_string() const;
+
+  /// Render as CSV (no quoting needed for our numeric content).
+  std::string to_csv() const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_sci(double v, int precision = 2);
+/// Group thousands with apostrophes, as the paper prints counts (3'269).
+std::string fmt_count(uint64_t v);
+
+}  // namespace rnnasip

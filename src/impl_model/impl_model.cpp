@@ -1,0 +1,178 @@
+#include "src/impl_model/impl_model.h"
+
+#include "src/common/check.h"
+#include "src/isa/opcode.h"
+
+namespace rnnasip::impl_model {
+
+using isa::Opcode;
+using isa::Unit;
+
+double AreaModel::extension_kge() const {
+  return ext_act_luts_kge + ext_act_datapath_kge + ext_spr_kge + ext_decoder_kge +
+         ext_muxing_kge;
+}
+
+double AreaModel::extended_core_kge() const { return baseline_core_kge + extension_kge(); }
+
+double AreaModel::overhead_fraction() const {
+  return extension_kge() / extended_core_kge();
+}
+
+double AreaModel::extended_core_um2(const TechParams& tech) const {
+  return extended_core_kge() * 1000.0 * tech.um2_per_ge;
+}
+
+double AreaModel::act_unit_kge(int num_intervals) const {
+  RNNASIP_CHECK(num_intervals >= 1);
+  return ext_act_datapath_kge +
+         ext_act_luts_kge * static_cast<double>(num_intervals) / 32.0;
+}
+
+double AreaModel::extension_kge_with_intervals(int num_intervals) const {
+  return act_unit_kge(num_intervals) + ext_spr_kge + ext_decoder_kge + ext_muxing_kge;
+}
+
+Activity activity_from_stats(const iss::ExecStats& stats) {
+  Activity a;
+  a.cycles = stats.total_cycles();
+  a.macs = stats.total_macs();
+  if (a.cycles == 0) return a;
+  uint64_t alu = 0, mac = 0, lsu = 0, gpr = 0, act = 0, ext = 0;
+  for (const auto& [op, s] : stats.by_opcode()) {
+    const auto& info = isa::opcode_info(op);
+    gpr += s.instrs;  // every retired instruction touches the register file
+    switch (info.unit) {
+      case Unit::kAlu:
+      case Unit::kBranch:
+      case Unit::kJump:
+      case Unit::kHwLoop:
+      case Unit::kSystem:
+        alu += s.instrs;
+        break;
+      case Unit::kMul:
+        mac += s.instrs;
+        break;
+      case Unit::kDiv:
+        mac += s.cycles;  // the serial divider is busy every cycle
+        break;
+      case Unit::kLoad:
+      case Unit::kStore:
+        lsu += s.instrs;
+        break;
+      case Unit::kSimd:
+        mac += s.instrs;
+        gpr += s.instrs;  // packed operands double the read/write activity
+        break;
+      case Unit::kRnnDot:
+        mac += s.instrs;
+        lsu += s.instrs;  // the folded weight load
+        gpr += s.instrs;
+        ext += s.instrs;
+        break;
+      case Unit::kActUnit:
+        act += s.instrs;
+        ext += s.instrs;
+        break;
+    }
+  }
+  const double c = static_cast<double>(a.cycles);
+  a.alu_rate = static_cast<double>(alu) / c;
+  a.mac_rate = static_cast<double>(mac) / c;
+  a.lsu_rate = static_cast<double>(lsu) / c;
+  a.gpr_rate = static_cast<double>(gpr) / c;
+  a.act_rate = static_cast<double>(act) / c;
+  a.ext_rate = static_cast<double>(ext) / c;
+  return a;
+}
+
+PowerModel PowerModel::calibrate(const Activity& base, const Activity& ext,
+                                 TechParams tech) {
+  // Paper calibration points (Sec. IV).
+  constexpr double kBaselineMw = 1.73;
+  constexpr double kDeltaMacMw = 0.57;
+  constexpr double kDeltaGprMw = 0.16;
+  constexpr double kDeltaLsuMw = 0.05;
+  constexpr double kDeltaDecMw = 0.005;
+
+  PowerModel m;
+  m.tech = tech;
+  RNNASIP_CHECK_MSG(ext.mac_rate > base.mac_rate && ext.gpr_rate > base.gpr_rate &&
+                        ext.lsu_rate > base.lsu_rate,
+                    "calibration needs higher extended-suite activity");
+  // delta_mw = E_pj * 1e-12 * (r_ext - r_base) * f; solve for E in pJ.
+  m.e_mac_pj = kDeltaMacMw * 1e-3 / ((ext.mac_rate - base.mac_rate) * tech.freq_hz) * 1e12;
+  m.e_gpr_pj = kDeltaGprMw * 1e-3 / ((ext.gpr_rate - base.gpr_rate) * tech.freq_hz) * 1e12;
+  m.e_lsu_pj = kDeltaLsuMw * 1e-3 / ((ext.lsu_rate - base.lsu_rate) * tech.freq_hz) * 1e12;
+  m.e_ext_dec_pj = kDeltaDecMw * 1e-3 / ((ext.ext_rate + 1e-12) * tech.freq_hz) * 1e12;
+  // The PLA unit is a small multiply-add: charge it like half a MAC event.
+  m.e_act_pj = 0.5 * m.e_mac_pj;
+  // Plain ALU events cost a fraction of a MAC event (narrow datapath).
+  m.e_alu_pj = 0.15 * m.e_mac_pj;
+  // Idle (clock tree, fetch, control) absorbs the rest of the baseline point.
+  const double base_dynamic_mw =
+      (m.e_alu_pj * base.alu_rate + m.e_mac_pj * base.mac_rate +
+       m.e_lsu_pj * base.lsu_rate + m.e_gpr_pj * base.gpr_rate) *
+      tech.freq_hz * 1e-9;
+  m.idle_mw = kBaselineMw - base_dynamic_mw;
+  RNNASIP_CHECK_MSG(m.idle_mw > 0, "calibration produced negative idle power");
+  return m;
+}
+
+PowerModel::Breakdown PowerModel::breakdown_mw(const Activity& a) const {
+  const double to_mw = tech.freq_hz * 1e-9;  // pJ/cycle-event -> mW
+  Breakdown b{};
+  b.idle = idle_mw;
+  b.alu = e_alu_pj * a.alu_rate * to_mw;
+  b.mac = e_mac_pj * a.mac_rate * to_mw;
+  b.lsu = e_lsu_pj * a.lsu_rate * to_mw;
+  b.gpr = e_gpr_pj * a.gpr_rate * to_mw;
+  b.act = e_act_pj * a.act_rate * to_mw;
+  b.ext_dec = e_ext_dec_pj * a.ext_rate * to_mw;
+  return b;
+}
+
+double PowerModel::power_mw(const Activity& a) const { return breakdown_mw(a).total(); }
+
+DvfsModel::DvfsModel(double vth, OperatingPoint anchor) : vth_(vth), anchor_(anchor) {
+  RNNASIP_CHECK(anchor.vdd > vth + 0.05);
+  RNNASIP_CHECK(anchor.freq_hz > 0);
+}
+
+double DvfsModel::freq_at(double vdd) const {
+  const double overdrive = vdd - vth_;
+  if (overdrive <= 0.05) return 0.0;  // below usable operation
+  return anchor_.freq_hz * overdrive / (anchor_.vdd - vth_);
+}
+
+DvfsModel::OperatingPoint DvfsModel::point_at(double vdd) const {
+  return {vdd, freq_at(vdd)};
+}
+
+double DvfsModel::scale_power_mw(double anchor_power_mw, double vdd,
+                                 double leakage_fraction) const {
+  RNNASIP_CHECK(leakage_fraction >= 0 && leakage_fraction < 1);
+  const double v_ratio = vdd / anchor_.vdd;
+  const double f_ratio = freq_at(vdd) / anchor_.freq_hz;
+  const double dynamic = anchor_power_mw * (1.0 - leakage_fraction) * v_ratio * v_ratio *
+                         f_ratio;
+  const double leakage = anchor_power_mw * leakage_fraction * v_ratio;
+  return dynamic + leakage;
+}
+
+double mmac_per_s(uint64_t macs, uint64_t cycles, const TechParams& tech) {
+  if (cycles == 0) return 0;
+  return static_cast<double>(macs) / static_cast<double>(cycles) * tech.freq_hz * 1e-6;
+}
+
+double gmac_per_s_per_w(double mmacs, double power_mw) {
+  if (power_mw <= 0) return 0;
+  return mmacs / power_mw;  // MMAC/s / mW == GMAC/s/W
+}
+
+double energy_per_run_uj(uint64_t cycles, double power_mw, const TechParams& tech) {
+  const double seconds = static_cast<double>(cycles) / tech.freq_hz;
+  return power_mw * 1e-3 * seconds * 1e6;
+}
+
+}  // namespace rnnasip::impl_model

@@ -1,0 +1,154 @@
+// Analytic silicon implementation model — the substitute for the paper's
+// GlobalFoundries 22FDX synthesis / place-and-route / gate-level power flow
+// (see DESIGN.md, substitutions).
+//
+// Calibration anchors, all from Sec. IV of the paper:
+//   * 380 MHz at 0.65 V, typical corner; critical path (LSU -> memory in the
+//     write-back stage) unchanged by the extensions,
+//   * extension area 2.3 kGE = 3.4 % of the core,
+//   * core power 1.73 mW running the RV32-IMC baseline suite and 2.61 mW
+//     with the extensions (+0.57 mW ALU/MAC, +0.16 mW GPR, +0.05 mW LSU,
+//     +~5 uW decoder),
+//   * headline metrics 566 MMAC/s and 218 GMAC/s/W.
+//
+// The power model is component-based: per-event energies for the MAC/ALU
+// datapath, LSU, register file, and activation unit are *solved* from the
+// paper's published component deltas using the measured activity rates of
+// the baseline and fully-extended suite runs; idle power absorbs the
+// remainder of the baseline calibration point. Any workload's power is then
+// predicted from its own activity rates.
+#pragma once
+
+#include "src/iss/stats.h"
+
+namespace rnnasip::impl_model {
+
+/// Operating point (Sec. IV).
+struct TechParams {
+  double freq_hz = 380e6;
+  double vdd = 0.65;
+  /// GF22FDX 8-track LVT NAND2-equivalent gate area.
+  double um2_per_ge = 0.199;
+};
+
+// ----------------------------------------------------------------- area ----
+
+/// Component-level area breakdown in kGE. The baseline core is RI5CY
+/// (RV32IMC + Xpulp); the extension adds the two SPR weight registers, the
+/// tanh/sig PLA unit (two 32-entry 32-bit LUTs + the interpolation
+/// datapath), decoder entries and operand muxing.
+struct AreaModel {
+  double baseline_core_kge = 65.3;
+  double ext_act_luts_kge = 1.0;
+  double ext_act_datapath_kge = 0.7;
+  double ext_spr_kge = 0.2;
+  double ext_decoder_kge = 0.1;
+  double ext_muxing_kge = 0.3;
+
+  double extension_kge() const;
+  double extended_core_kge() const;
+  /// Extension share of the extended core (paper: 3.4 %).
+  double overhead_fraction() const;
+  double extended_core_um2(const TechParams& tech = {}) const;
+
+  /// Activation-unit area for an alternative LUT depth M (the shipped
+  /// design point is M = 32): the LUT storage scales linearly, the
+  /// interpolation datapath is fixed. Ties Fig. 2's accuracy axis to cost.
+  double act_unit_kge(int num_intervals) const;
+  /// Extension total with an alternative LUT depth.
+  double extension_kge_with_intervals(int num_intervals) const;
+};
+
+// ---------------------------------------------------------------- power ----
+
+/// Per-cycle utilization rates of the functional units, derived from an
+/// ExecStats of a whole run.
+struct Activity {
+  double alu_rate = 0;   ///< plain ALU instructions / cycle
+  double mac_rate = 0;   ///< multiplier/MAC datapath activations / cycle
+  double lsu_rate = 0;   ///< memory accesses / cycle (pl.sdotsp counts one)
+  double gpr_rate = 0;   ///< register-file write events / cycle, SIMD double
+  double act_rate = 0;   ///< pl.tanh / pl.sig / cycle
+  double ext_rate = 0;   ///< extension-decoder activations / cycle
+  uint64_t cycles = 0;
+  uint64_t macs = 0;
+};
+
+Activity activity_from_stats(const iss::ExecStats& stats);
+
+/// Solved per-event energies (pJ) plus the constant idle power.
+struct PowerModel {
+  double idle_mw = 0;
+  double e_alu_pj = 0;
+  double e_mac_pj = 0;
+  double e_lsu_pj = 0;
+  double e_gpr_pj = 0;
+  double e_act_pj = 0;
+  double e_ext_dec_pj = 0;
+  TechParams tech;
+
+  /// Solve the component energies from the paper's published deltas using
+  /// the measured baseline/extended suite activities (the calibration
+  /// described in the header comment).
+  static PowerModel calibrate(const Activity& baseline_suite,
+                              const Activity& extended_suite, TechParams tech = {});
+
+  /// Predicted core power for a workload's activity.
+  double power_mw(const Activity& a) const;
+
+  /// Component contributions for a workload (mW), for the Sec. IV breakdown.
+  struct Breakdown {
+    double idle, alu, mac, lsu, gpr, act, ext_dec;
+    double total() const { return idle + alu + mac + lsu + gpr + act + ext_dec; }
+  };
+  Breakdown breakdown_mw(const Activity& a) const;
+};
+
+// ----------------------------------------------------------------- DVFS ----
+
+/// Voltage-frequency scaling around the paper's 0.65 V / 380 MHz anchor.
+/// RI5CY's lineage is near-threshold design ([32]); in that region the
+/// achievable frequency is roughly linear in the overdrive (V - Vth) and
+/// dynamic power scales with V^2 f, with a leakage floor linear in V.
+/// The model reproduces the anchor exactly and lets the benches explore the
+/// energy/throughput trade-off the 22FDX platform offers.
+class DvfsModel {
+ public:
+  struct OperatingPoint {
+    double vdd = 0.65;
+    double freq_hz = 380e6;
+  };
+
+  /// Anchored at (0.65 V, 380 MHz) with threshold `vth`.
+  explicit DvfsModel(double vth = 0.35) : DvfsModel(vth, OperatingPoint{}) {}
+  DvfsModel(double vth, OperatingPoint anchor);
+
+  /// Max frequency at `vdd` (linear overdrive model; 0 below threshold+margin).
+  double freq_at(double vdd) const;
+  OperatingPoint point_at(double vdd) const;
+
+  /// Scale a power figure measured at the anchor point to another operating
+  /// point, splitting it into dynamic (V^2 f) and leakage (V) parts.
+  /// `leakage_fraction` is the leakage share at the anchor.
+  double scale_power_mw(double anchor_power_mw, double vdd,
+                        double leakage_fraction = 0.1) const;
+
+  const OperatingPoint& anchor() const { return anchor_; }
+
+ private:
+  double vth_;
+  OperatingPoint anchor_;
+};
+
+// -------------------------------------------------------------- metrics ----
+
+/// Throughput in MMAC/s for a run (nominal MACs, measured cycles).
+double mmac_per_s(uint64_t macs, uint64_t cycles, const TechParams& tech = {});
+
+/// Energy efficiency in GMAC/s/W.
+double gmac_per_s_per_w(double mmacs, double power_mw);
+
+/// Energy per inference in microjoules.
+double energy_per_run_uj(uint64_t cycles, double power_mw, const TechParams& tech = {});
+
+}  // namespace rnnasip::impl_model

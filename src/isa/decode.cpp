@@ -1,0 +1,307 @@
+#include "src/isa/decode.h"
+
+#include <array>
+#include <vector>
+
+#include "src/common/bits.h"
+#include "src/isa/registers.h"
+
+namespace rnnasip::isa {
+namespace {
+
+/// Spec rows bucketed by major opcode, built once.
+const std::vector<const OpcodeInfo*>& bucket(uint8_t major) {
+  static const auto buckets = [] {
+    std::array<std::vector<const OpcodeInfo*>, 128> b{};
+    for (const auto& row : all_opcodes()) b[row.major].push_back(&row);
+    return b;
+  }();
+  return buckets[major & 0x7F];
+}
+
+Instr extract(const OpcodeInfo& s, uint32_t w) {
+  Instr in;
+  in.op = s.op;
+  const uint8_t rd = static_cast<uint8_t>(bits(w, 11, 7));
+  const uint8_t rs1 = static_cast<uint8_t>(bits(w, 19, 15));
+  const uint8_t rs2 = static_cast<uint8_t>(bits(w, 24, 20));
+  switch (s.format) {
+    case Format::kR:
+    case Format::kSimdR:
+      in.rd = rd, in.rs1 = rs1, in.rs2 = rs2;
+      break;
+    case Format::kI:
+      in.rd = rd, in.rs1 = rs1;
+      in.imm = sign_extend(bits(w, 31, 20), 12);
+      break;
+    case Format::kShift:
+    case Format::kClip:
+    case Format::kSimdImm:
+      in.rd = rd, in.rs1 = rs1;
+      in.imm = static_cast<int32_t>(rs2);
+      break;
+    case Format::kS:
+      in.rs1 = rs1, in.rs2 = rs2;
+      in.imm = sign_extend((bits(w, 31, 25) << 5) | bits(w, 11, 7), 12);
+      break;
+    case Format::kB:
+      in.rs1 = rs1, in.rs2 = rs2;
+      in.imm = sign_extend((bit(w, 31) << 12) | (bit(w, 7) << 11) |
+                               (bits(w, 30, 25) << 5) | (bits(w, 11, 8) << 1),
+                           13);
+      break;
+    case Format::kU:
+      in.rd = rd;
+      in.imm = static_cast<int32_t>(bits(w, 31, 12));
+      break;
+    case Format::kJ:
+      in.rd = rd;
+      in.imm = sign_extend((bit(w, 31) << 20) | (bits(w, 19, 12) << 12) |
+                               (bit(w, 20) << 11) | (bits(w, 30, 21) << 1),
+                           21);
+      break;
+    case Format::kSys:
+      break;
+    case Format::kCsr:
+      in.rd = rd, in.rs1 = rs1;
+      in.imm = static_cast<int32_t>(bits(w, 31, 20));
+      break;
+    case Format::kHwlImm:
+      in.rd = static_cast<uint8_t>(rd & 1);
+      if (s.op == Opcode::kLpCounti) {
+        in.imm = static_cast<int32_t>(bits(w, 31, 20));
+      } else {
+        in.imm = static_cast<int32_t>(bits(w, 31, 20) << 1);
+      }
+      break;
+    case Format::kHwlReg:
+      in.rd = static_cast<uint8_t>(rd & 1);
+      in.rs1 = rs1;
+      break;
+    case Format::kHwlSetup:
+      in.rd = static_cast<uint8_t>(rd & 1);
+      in.rs1 = rs1;
+      in.imm = static_cast<int32_t>(bits(w, 31, 20) << 1);
+      break;
+    case Format::kHwlSetupImm:
+      in.rd = static_cast<uint8_t>(rd & 1);
+      in.imm = static_cast<int32_t>(bits(w, 31, 20));
+      in.imm2 = static_cast<int32_t>(bits(w, 19, 15) << 1);
+      break;
+    case Format::kAct:
+      in.rd = rd, in.rs1 = rs1;
+      break;
+  }
+  return in;
+}
+
+/// Does spec row `s` match word `w` beyond the major opcode?
+bool matches(const OpcodeInfo& s, uint32_t w) {
+  const uint8_t f3 = static_cast<uint8_t>(bits(w, 14, 12));
+  const uint8_t f7 = static_cast<uint8_t>(bits(w, 31, 25));
+  switch (s.format) {
+    case Format::kU:
+    case Format::kJ:
+      return true;
+    case Format::kI:
+    case Format::kS:
+    case Format::kB:
+    case Format::kHwlImm:
+    case Format::kHwlReg:
+    case Format::kHwlSetup:
+    case Format::kHwlSetupImm:
+      return s.funct3 == f3;
+    case Format::kR:
+    case Format::kShift:
+    case Format::kClip:
+    case Format::kSimdR:
+    case Format::kSimdImm:
+    case Format::kAct:
+      return s.funct3 == f3 && s.funct7 == f7;
+    case Format::kSys:
+      if (s.op == Opcode::kFence) return true;
+      if (s.op == Opcode::kEcall) return f3 == 0 && bits(w, 31, 20) == 0;
+      if (s.op == Opcode::kEbreak) return f3 == 0 && bits(w, 31, 20) == 1;
+      return false;
+    case Format::kCsr:
+      return s.funct3 == f3;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Instr> decode(uint32_t word) {
+  if ((word & 0x3) != 0x3) return std::nullopt;  // not a 32-bit encoding
+  for (const OpcodeInfo* s : bucket(static_cast<uint8_t>(word & 0x7F))) {
+    if (!matches(*s, word)) continue;
+    Instr in = extract(*s, word);
+    // A hardware loop whose end offset is zero would be an empty body;
+    // such encodings are reserved (the encoder refuses to produce them).
+    if (in.op == Opcode::kLpSetup && in.imm == 0) return std::nullopt;
+    if (in.op == Opcode::kLpSetupi && in.imm2 == 0) return std::nullopt;
+    return in;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+constexpr uint8_t creg(uint32_t v) { return static_cast<uint8_t>(8 + (v & 7)); }
+
+Instr base(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2, int32_t imm) {
+  Instr in;
+  in.op = op;
+  in.rd = rd;
+  in.rs1 = rs1;
+  in.rs2 = rs2;
+  in.imm = imm;
+  in.size = 2;
+  return in;
+}
+
+}  // namespace
+
+std::optional<Instr> decode_compressed(uint16_t h) {
+  const uint32_t w = h;
+  const uint32_t op = w & 0x3;
+  const uint32_t f3 = bits(w, 15, 13);
+  if (w == 0) return std::nullopt;  // defined illegal
+
+  if (op == 0) {  // quadrant 0
+    switch (f3) {
+      case 0b000: {  // c.addi4spn
+        const int32_t imm = static_cast<int32_t>((bits(w, 12, 11) << 4) |
+                                                 (bits(w, 10, 7) << 6) |
+                                                 (bit(w, 6) << 2) | (bit(w, 5) << 3));
+        if (imm == 0) return std::nullopt;
+        return base(Opcode::kAddi, creg(bits(w, 4, 2)), kSp, 0, imm);
+      }
+      case 0b010: {  // c.lw
+        const int32_t imm = static_cast<int32_t>((bit(w, 5) << 6) |
+                                                 (bits(w, 12, 10) << 3) | (bit(w, 6) << 2));
+        return base(Opcode::kLw, creg(bits(w, 4, 2)), creg(bits(w, 9, 7)), 0, imm);
+      }
+      case 0b110: {  // c.sw
+        const int32_t imm = static_cast<int32_t>((bit(w, 5) << 6) |
+                                                 (bits(w, 12, 10) << 3) | (bit(w, 6) << 2));
+        return base(Opcode::kSw, 0, creg(bits(w, 9, 7)), creg(bits(w, 4, 2)), imm);
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  if (op == 1) {  // quadrant 1
+    const uint8_t rd = static_cast<uint8_t>(bits(w, 11, 7));
+    const int32_t imm6 = sign_extend((bit(w, 12) << 5) | bits(w, 6, 2), 6);
+    // c.jal/c.j offset scatter: imm[11|4|9:8|10|6|7|3:1|5] <- bits [12:2].
+    const int32_t joff = sign_extend(
+        (bit(w, 12) << 11) | (bit(w, 11) << 4) | (bits(w, 10, 9) << 8) |
+            (bit(w, 8) << 10) | (bit(w, 7) << 6) | (bit(w, 6) << 7) |
+            (bits(w, 5, 3) << 1) | (bit(w, 2) << 5),
+        12);
+    // c.beqz/c.bnez offset scatter: imm[8|4:3|7:6|2:1|5] <- [12|11:10|6:5|4:3|2].
+    const int32_t boff = sign_extend(
+        (bit(w, 12) << 8) | (bits(w, 11, 10) << 3) | (bits(w, 6, 5) << 6) |
+            (bits(w, 4, 3) << 1) | (bit(w, 2) << 5),
+        9);
+    switch (f3) {
+      case 0b000:  // c.addi / c.nop
+        if (rd != 0 && imm6 == 0) return std::nullopt;  // HINT
+        if (rd == 0 && imm6 != 0) return std::nullopt;  // HINT
+        return base(Opcode::kAddi, rd, rd, 0, imm6);
+      case 0b001:  // c.jal (RV32)
+        return base(Opcode::kJal, kRa, 0, 0, joff);
+      case 0b010:  // c.li
+        if (rd == 0) return std::nullopt;  // HINT
+        return base(Opcode::kAddi, rd, kZero, 0, imm6);
+      case 0b011: {
+        if (rd == kSp) {  // c.addi16sp
+          const int32_t imm = sign_extend((bit(w, 12) << 9) | (bit(w, 6) << 4) |
+                                              (bit(w, 5) << 6) | (bits(w, 4, 3) << 7) |
+                                              (bit(w, 2) << 5),
+                                          10);
+          if (imm == 0) return std::nullopt;
+          return base(Opcode::kAddi, kSp, kSp, 0, imm);
+        }
+        if (imm6 == 0 || rd == 0) return std::nullopt;  // reserved / HINT
+        return base(Opcode::kLui, rd, 0, 0, imm6 & 0xFFFFF);  // c.lui
+      }
+      case 0b100: {
+        const uint8_t rdp = creg(bits(w, 9, 7));
+        const uint8_t rs2p = creg(bits(w, 4, 2));
+        const uint32_t f2 = bits(w, 11, 10);
+        if (f2 == 0b00 || f2 == 0b01) {  // c.srli / c.srai
+          if (bit(w, 12)) return std::nullopt;  // RV32: shamt[5] must be 0
+          const int32_t shamt = static_cast<int32_t>(bits(w, 6, 2));
+          if (shamt == 0) return std::nullopt;  // HINT
+          return base(f2 == 0 ? Opcode::kSrli : Opcode::kSrai, rdp, rdp, 0, shamt);
+        }
+        if (f2 == 0b10) return base(Opcode::kAndi, rdp, rdp, 0, imm6);  // c.andi
+        switch (bits(w, 6, 5)) {  // f2 == 0b11, bit 12 == 0 for RV32 ops
+          case 0b00: return base(Opcode::kSub, rdp, rdp, rs2p, 0);
+          case 0b01: return base(Opcode::kXor, rdp, rdp, rs2p, 0);
+          case 0b10: return base(Opcode::kOr, rdp, rdp, rs2p, 0);
+          case 0b11: return base(Opcode::kAnd, rdp, rdp, rs2p, 0);
+        }
+        return std::nullopt;
+      }
+      case 0b101:  // c.j
+        return base(Opcode::kJal, kZero, 0, 0, joff);
+      case 0b110:  // c.beqz
+        return base(Opcode::kBeq, 0, creg(bits(w, 9, 7)), kZero, boff);
+      case 0b111:  // c.bnez
+        return base(Opcode::kBne, 0, creg(bits(w, 9, 7)), kZero, boff);
+    }
+    return std::nullopt;
+  }
+
+  if (op == 2) {  // quadrant 2
+    const uint8_t rd = static_cast<uint8_t>(bits(w, 11, 7));
+    const uint8_t rs2 = static_cast<uint8_t>(bits(w, 6, 2));
+    switch (f3) {
+      case 0b000: {  // c.slli
+        if (bit(w, 12)) return std::nullopt;
+        const int32_t shamt = static_cast<int32_t>(bits(w, 6, 2));
+        if (shamt == 0 || rd == 0) return std::nullopt;  // HINT
+        return base(Opcode::kSlli, rd, rd, 0, shamt);
+      }
+      case 0b010: {  // c.lwsp
+        if (rd == 0) return std::nullopt;
+        const int32_t imm = static_cast<int32_t>((bits(w, 3, 2) << 6) |
+                                                 (bit(w, 12) << 5) | (bits(w, 6, 4) << 2));
+        return base(Opcode::kLw, rd, kSp, 0, imm);
+      }
+      case 0b100: {
+        if (bit(w, 12) == 0) {
+          if (rs2 == 0) {  // c.jr
+            if (rd == 0) return std::nullopt;
+            return base(Opcode::kJalr, kZero, rd, 0, 0);
+          }
+          if (rd == 0) return std::nullopt;              // c.mv to x0: HINT
+          return base(Opcode::kAdd, rd, kZero, rs2, 0);  // c.mv
+        }
+        if (rs2 == 0 && rd == 0) return base(Opcode::kEbreak, 0, 0, 0, 0);
+        if (rs2 == 0) return base(Opcode::kJalr, kRa, rd, 0, 0);  // c.jalr
+        if (rd == 0) return std::nullopt;                         // c.add to x0: HINT
+        return base(Opcode::kAdd, rd, rd, rs2, 0);                // c.add
+      }
+      case 0b110: {  // c.swsp
+        const int32_t imm = static_cast<int32_t>((bits(w, 8, 7) << 6) |
+                                                 (bits(w, 12, 9) << 2));
+        return base(Opcode::kSw, 0, kSp, rs2, imm);
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Instr> decode_any(uint32_t word) {
+  if ((word & 0x3) == 0x3) return decode(word);
+  return decode_compressed(static_cast<uint16_t>(word & 0xFFFF));
+}
+
+}  // namespace rnnasip::isa

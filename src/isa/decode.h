@@ -1,0 +1,27 @@
+// Instruction decoder: 32-bit (or 16-bit compressed) word -> Instr.
+//
+// decode() handles full-width instructions; decode_compressed() expands the
+// RV32C subset emitted by GCC for integer code into the equivalent base
+// instruction (size = 2 so PC advance and HW-loop boundaries stay correct).
+// decode_any() dispatches on the low two bits, as the fetch stage does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/isa/opcode.h"
+
+namespace rnnasip::isa {
+
+/// Decode a 32-bit instruction word. Returns std::nullopt for an illegal or
+/// unsupported encoding (the ISS raises an illegal-instruction trap).
+std::optional<Instr> decode(uint32_t word);
+
+/// Expand a 16-bit compressed instruction. Returns std::nullopt if illegal.
+std::optional<Instr> decode_compressed(uint16_t half);
+
+/// Fetch-stage dispatch: low two bits == 0b11 selects a 32-bit instruction,
+/// anything else a compressed one (only the low 16 bits are examined then).
+std::optional<Instr> decode_any(uint32_t word);
+
+}  // namespace rnnasip::isa

@@ -1,0 +1,321 @@
+#include "src/isa/encode.h"
+
+#include "src/common/bits.h"
+#include "src/common/check.h"
+#include "src/isa/registers.h"
+
+namespace rnnasip::isa {
+namespace {
+
+uint32_t enc_r(const OpcodeInfo& s, uint8_t rd, uint8_t rs1, uint8_t rs2) {
+  RNNASIP_CHECK(rd < 32 && rs1 < 32 && rs2 < 32);
+  return (uint32_t{s.funct7} << 25) | (uint32_t{rs2} << 20) | (uint32_t{rs1} << 15) |
+         (uint32_t{s.funct3} << 12) | (uint32_t{rd} << 7) | s.major;
+}
+
+uint32_t enc_i(const OpcodeInfo& s, uint8_t rd, uint8_t rs1, int32_t imm) {
+  RNNASIP_CHECK(rd < 32 && rs1 < 32);
+  RNNASIP_CHECK_MSG(fits_signed(imm, 12), s.mnemonic << " imm " << imm);
+  return (static_cast<uint32_t>(imm & 0xFFF) << 20) | (uint32_t{rs1} << 15) |
+         (uint32_t{s.funct3} << 12) | (uint32_t{rd} << 7) | s.major;
+}
+
+uint32_t enc_s(const OpcodeInfo& s, uint8_t rs1, uint8_t rs2, int32_t imm) {
+  RNNASIP_CHECK(rs1 < 32 && rs2 < 32);
+  RNNASIP_CHECK_MSG(fits_signed(imm, 12), s.mnemonic << " imm " << imm);
+  const uint32_t u = static_cast<uint32_t>(imm);
+  return (bits(u, 11, 5) << 25) | (uint32_t{rs2} << 20) | (uint32_t{rs1} << 15) |
+         (uint32_t{s.funct3} << 12) | (bits(u, 4, 0) << 7) | s.major;
+}
+
+uint32_t enc_b(const OpcodeInfo& s, uint8_t rs1, uint8_t rs2, int32_t imm) {
+  RNNASIP_CHECK(rs1 < 32 && rs2 < 32);
+  RNNASIP_CHECK_MSG(fits_signed(imm, 13) && (imm & 1) == 0,
+                    s.mnemonic << " branch offset " << imm);
+  const uint32_t u = static_cast<uint32_t>(imm);
+  return (bit(u, 12) << 31) | (bits(u, 10, 5) << 25) | (uint32_t{rs2} << 20) |
+         (uint32_t{rs1} << 15) | (uint32_t{s.funct3} << 12) | (bits(u, 4, 1) << 8) |
+         (bit(u, 11) << 7) | s.major;
+}
+
+uint32_t enc_u(const OpcodeInfo& s, uint8_t rd, int32_t imm) {
+  RNNASIP_CHECK(rd < 32);
+  RNNASIP_CHECK_MSG(fits_unsigned(static_cast<uint32_t>(imm), 20),
+                    s.mnemonic << " imm20 " << imm);
+  return (static_cast<uint32_t>(imm) << 12) | (uint32_t{rd} << 7) | s.major;
+}
+
+uint32_t enc_j(const OpcodeInfo& s, uint8_t rd, int32_t imm) {
+  RNNASIP_CHECK(rd < 32);
+  RNNASIP_CHECK_MSG(fits_signed(imm, 21) && (imm & 1) == 0,
+                    s.mnemonic << " jump offset " << imm);
+  const uint32_t u = static_cast<uint32_t>(imm);
+  return (bit(u, 20) << 31) | (bits(u, 10, 1) << 21) | (bit(u, 11) << 20) |
+         (bits(u, 19, 12) << 12) | (uint32_t{rd} << 7) | s.major;
+}
+
+}  // namespace
+
+uint32_t encode(const Instr& in) {
+  const OpcodeInfo& s = opcode_info(in.op);
+  switch (s.format) {
+    case Format::kR:
+      return enc_r(s, in.rd, in.rs1, in.rs2);
+    case Format::kI:
+      return enc_i(s, in.rd, in.rs1, in.imm);
+    case Format::kShift: {
+      RNNASIP_CHECK_MSG(in.imm >= 0 && in.imm < 32, s.mnemonic << " shamt " << in.imm);
+      return enc_r(s, in.rd, in.rs1, static_cast<uint8_t>(in.imm));
+    }
+    case Format::kClip: {
+      // imm = clip width in bits (1..31), carried in the rs2 field.
+      RNNASIP_CHECK_MSG(in.imm >= 1 && in.imm < 32, s.mnemonic << " width " << in.imm);
+      return enc_r(s, in.rd, in.rs1, static_cast<uint8_t>(in.imm));
+    }
+    case Format::kS:
+      return enc_s(s, in.rs1, in.rs2, in.imm);
+    case Format::kB:
+      return enc_b(s, in.rs1, in.rs2, in.imm);
+    case Format::kU:
+      return enc_u(s, in.rd, in.imm);
+    case Format::kJ:
+      return enc_j(s, in.rd, in.imm);
+    case Format::kSys:
+      if (in.op == Opcode::kFence) return 0x0000000Fu;
+      if (in.op == Opcode::kEcall) return 0x00000073u;
+      if (in.op == Opcode::kEbreak) return 0x00100073u;
+      RNNASIP_CHECK_MSG(false, "unknown system instruction");
+      break;
+    case Format::kCsr:
+      RNNASIP_CHECK(in.rd < 32 && in.rs1 < 32);
+      RNNASIP_CHECK_MSG(fits_unsigned(static_cast<uint32_t>(in.imm), 12),
+                        s.mnemonic << " csr address " << in.imm);
+      return (static_cast<uint32_t>(in.imm) << 20) | (uint32_t{in.rs1} << 15) |
+             (uint32_t{s.funct3} << 12) | (uint32_t{in.rd} << 7) | s.major;
+    case Format::kHwlImm: {
+      // rd carries the loop index L; imm is a PC-relative byte offset for
+      // starti/endi (must be even, unsigned) or the iteration count for
+      // counti (unsigned 12 bits).
+      RNNASIP_CHECK(in.rd < 2);
+      if (in.op == Opcode::kLpCounti) {
+        RNNASIP_CHECK_MSG(fits_unsigned(static_cast<uint32_t>(in.imm), 12),
+                          "lp.counti count " << in.imm);
+        return (static_cast<uint32_t>(in.imm) << 20) | (uint32_t{s.funct3} << 12) |
+               (uint32_t{in.rd} << 7) | s.major;
+      }
+      RNNASIP_CHECK_MSG(in.imm >= 0 && (in.imm & 1) == 0 && fits_unsigned(in.imm >> 1, 12),
+                        s.mnemonic << " offset " << in.imm);
+      return ((static_cast<uint32_t>(in.imm) >> 1) << 20) | (uint32_t{s.funct3} << 12) |
+             (uint32_t{in.rd} << 7) | s.major;
+    }
+    case Format::kHwlReg:
+      RNNASIP_CHECK(in.rd < 2 && in.rs1 < 32);
+      return (uint32_t{in.rs1} << 15) | (uint32_t{s.funct3} << 12) |
+             (uint32_t{in.rd} << 7) | s.major;
+    case Format::kHwlSetup:
+      // rs1 = iteration count register, imm = loop end offset in bytes.
+      RNNASIP_CHECK(in.rd < 2 && in.rs1 < 32);
+      RNNASIP_CHECK_MSG(in.imm > 0 && (in.imm & 1) == 0 && fits_unsigned(in.imm >> 1, 12),
+                        "lp.setup end offset " << in.imm);
+      return ((static_cast<uint32_t>(in.imm) >> 1) << 20) | (uint32_t{in.rs1} << 15) |
+             (uint32_t{s.funct3} << 12) | (uint32_t{in.rd} << 7) | s.major;
+    case Format::kHwlSetupImm:
+      // imm = iteration count (12-bit unsigned); imm2 = end offset in bytes
+      // (5-bit unsigned half-word offset in the rs1 field, i.e. <= 62 bytes).
+      RNNASIP_CHECK(in.rd < 2);
+      RNNASIP_CHECK_MSG(fits_unsigned(static_cast<uint32_t>(in.imm), 12),
+                        "lp.setupi count " << in.imm);
+      RNNASIP_CHECK_MSG(in.imm2 > 0 && (in.imm2 & 1) == 0 && fits_unsigned(in.imm2 >> 1, 5),
+                        "lp.setupi end offset " << in.imm2);
+      return (static_cast<uint32_t>(in.imm) << 20) |
+             ((static_cast<uint32_t>(in.imm2) >> 1) << 15) | (uint32_t{s.funct3} << 12) |
+             (uint32_t{in.rd} << 7) | s.major;
+    case Format::kSimdR:
+      return enc_r(s, in.rd, in.rs1, in.rs2);
+    case Format::kSimdImm:
+      // imm = element index, carried in the rs2 field (0..1 for .h).
+      RNNASIP_CHECK_MSG(in.imm >= 0 && in.imm < 32, s.mnemonic << " index " << in.imm);
+      return enc_r(s, in.rd, in.rs1, static_cast<uint8_t>(in.imm));
+    case Format::kAct:
+      return enc_r(s, in.rd, in.rs1, 0);
+  }
+  RNNASIP_CHECK_MSG(false, "unhandled format");
+}
+
+namespace {
+
+bool is_creg(uint8_t r) { return r >= 8 && r <= 15; }
+constexpr uint32_t cr(uint8_t r) { return static_cast<uint32_t>(r - 8); }
+
+/// c.j / c.jal offset scatter: imm[11|4|9:8|10|6|7|3:1|5] into bits [12:2].
+uint16_t cj_scatter(int32_t off) {
+  const uint32_t u = static_cast<uint32_t>(off);
+  return static_cast<uint16_t>((bit(u, 11) << 12) | (bit(u, 4) << 11) |
+                               (bits(u, 9, 8) << 9) | (bit(u, 10) << 8) |
+                               (bit(u, 6) << 7) | (bit(u, 7) << 6) | (bits(u, 3, 1) << 3) |
+                               (bit(u, 5) << 2));
+}
+
+/// c.beqz / c.bnez offset scatter: imm[8|4:3|7:6|2:1|5] into [12|11:10|6:5|4:3|2].
+uint16_t cb_scatter(int32_t off) {
+  const uint32_t u = static_cast<uint32_t>(off);
+  return static_cast<uint16_t>((bit(u, 8) << 12) | (bits(u, 4, 3) << 10) |
+                               (bits(u, 7, 6) << 5) | (bits(u, 2, 1) << 3) |
+                               (bit(u, 5) << 2));
+}
+
+}  // namespace
+
+std::optional<uint16_t> try_compress(const Instr& in) {
+  const int32_t imm = in.imm;
+  switch (in.op) {
+    case Opcode::kAddi:
+      if (in.rd == 0 && in.rs1 == 0 && imm == 0) return 0x0001;  // c.nop
+      if (in.rd == kSp && in.rs1 == kSp && imm != 0 && (imm & 0xF) == 0 &&
+          fits_signed(imm, 10)) {  // c.addi16sp
+        const uint32_t u = static_cast<uint32_t>(imm);
+        return static_cast<uint16_t>(0x6101 | (bit(u, 9) << 12) | (bit(u, 4) << 6) |
+                                     (bit(u, 6) << 5) | (bits(u, 8, 7) << 3) |
+                                     (bit(u, 5) << 2));
+      }
+      if (is_creg(in.rd) && in.rs1 == kSp && imm > 0 && (imm & 0x3) == 0 &&
+          fits_unsigned(static_cast<uint32_t>(imm), 10)) {  // c.addi4spn
+        const uint32_t u = static_cast<uint32_t>(imm);
+        return static_cast<uint16_t>(0x0000 | (bits(u, 5, 4) << 11) | (bits(u, 9, 6) << 7) |
+                                     (bit(u, 2) << 6) | (bit(u, 3) << 5) | (cr(in.rd) << 2));
+      }
+      if (in.rd != 0 && in.rs1 == 0 && fits_signed(imm, 6)) {  // c.li
+        const uint32_t u = static_cast<uint32_t>(imm);
+        return static_cast<uint16_t>(0x4001 | (bit(u, 5) << 12) |
+                                     (static_cast<uint32_t>(in.rd) << 7) |
+                                     (bits(u, 4, 0) << 2));
+      }
+      if (in.rd != 0 && in.rs1 != 0 && imm == 0) {  // c.mv
+        return static_cast<uint16_t>(0x8002 | (static_cast<uint32_t>(in.rd) << 7) |
+                                     (static_cast<uint32_t>(in.rs1) << 2));
+      }
+      if (in.rd != 0 && in.rd == in.rs1 && imm != 0 && fits_signed(imm, 6)) {  // c.addi
+        const uint32_t u = static_cast<uint32_t>(imm);
+        return static_cast<uint16_t>(0x0001 | (bit(u, 5) << 12) |
+                                     (static_cast<uint32_t>(in.rd) << 7) |
+                                     (bits(u, 4, 0) << 2));
+      }
+      return std::nullopt;
+    case Opcode::kLui:
+      if (in.rd != 0 && in.rd != kSp) {
+        // The 20-bit field must be the sign extension of its low 6 bits.
+        const int32_t v = sign_extend(static_cast<uint32_t>(imm) & 0x3F, 6);
+        if ((v & 0xFFFFF) == imm && v != 0) {
+          const uint32_t u = static_cast<uint32_t>(v);
+          return static_cast<uint16_t>(0x6001 | (bit(u, 5) << 12) |
+                                       (static_cast<uint32_t>(in.rd) << 7) |
+                                       (bits(u, 4, 0) << 2));
+        }
+      }
+      return std::nullopt;
+    case Opcode::kLw:
+      if (in.rd != 0 && in.rs1 == kSp && imm >= 0 && (imm & 3) == 0 &&
+          fits_unsigned(static_cast<uint32_t>(imm), 8)) {  // c.lwsp
+        const uint32_t u = static_cast<uint32_t>(imm);
+        return static_cast<uint16_t>(0x4002 | (bit(u, 5) << 12) |
+                                     (static_cast<uint32_t>(in.rd) << 7) |
+                                     (bits(u, 4, 2) << 4) | (bits(u, 7, 6) << 2));
+      }
+      if (is_creg(in.rd) && is_creg(in.rs1) && imm >= 0 && (imm & 3) == 0 &&
+          fits_unsigned(static_cast<uint32_t>(imm), 7)) {  // c.lw
+        const uint32_t u = static_cast<uint32_t>(imm);
+        return static_cast<uint16_t>(0x4000 | (bits(u, 5, 3) << 10) | (cr(in.rs1) << 7) |
+                                     (bit(u, 2) << 6) | (bit(u, 6) << 5) | (cr(in.rd) << 2));
+      }
+      return std::nullopt;
+    case Opcode::kSw:
+      if (in.rs1 == kSp && imm >= 0 && (imm & 3) == 0 &&
+          fits_unsigned(static_cast<uint32_t>(imm), 8)) {  // c.swsp
+        const uint32_t u = static_cast<uint32_t>(imm);
+        return static_cast<uint16_t>(0xC002 | (bits(u, 5, 2) << 9) | (bits(u, 7, 6) << 7) |
+                                     (static_cast<uint32_t>(in.rs2) << 2));
+      }
+      if (is_creg(in.rs2) && is_creg(in.rs1) && imm >= 0 && (imm & 3) == 0 &&
+          fits_unsigned(static_cast<uint32_t>(imm), 7)) {  // c.sw
+        const uint32_t u = static_cast<uint32_t>(imm);
+        return static_cast<uint16_t>(0xC000 | (bits(u, 5, 3) << 10) | (cr(in.rs1) << 7) |
+                                     (bit(u, 2) << 6) | (bit(u, 6) << 5) | (cr(in.rs2) << 2));
+      }
+      return std::nullopt;
+    case Opcode::kSlli:
+      if (in.rd != 0 && in.rd == in.rs1 && imm >= 1 && imm < 32) {
+        return static_cast<uint16_t>(0x0002 | (static_cast<uint32_t>(in.rd) << 7) |
+                                     (static_cast<uint32_t>(imm) << 2));
+      }
+      return std::nullopt;
+    case Opcode::kSrli:
+    case Opcode::kSrai:
+      if (is_creg(in.rd) && in.rd == in.rs1 && imm >= 1 && imm < 32) {
+        const uint32_t f2 = in.op == Opcode::kSrli ? 0u : 1u;
+        return static_cast<uint16_t>(0x8001 | (f2 << 10) | (cr(in.rd) << 7) |
+                                     (static_cast<uint32_t>(imm) << 2));
+      }
+      return std::nullopt;
+    case Opcode::kAndi:
+      if (is_creg(in.rd) && in.rd == in.rs1 && fits_signed(imm, 6)) {
+        const uint32_t u = static_cast<uint32_t>(imm);
+        return static_cast<uint16_t>(0x8801 | (bit(u, 5) << 12) | (cr(in.rd) << 7) |
+                                     (bits(u, 4, 0) << 2));
+      }
+      return std::nullopt;
+    case Opcode::kSub:
+    case Opcode::kXor:
+    case Opcode::kOr:
+    case Opcode::kAnd: {
+      if (!(is_creg(in.rd) && in.rd == in.rs1 && is_creg(in.rs2))) return std::nullopt;
+      uint32_t f2;
+      switch (in.op) {
+        case Opcode::kSub: f2 = 0; break;
+        case Opcode::kXor: f2 = 1; break;
+        case Opcode::kOr: f2 = 2; break;
+        default: f2 = 3; break;
+      }
+      return static_cast<uint16_t>(0x8C01 | (f2 << 5) | (cr(in.rd) << 7) |
+                                   (cr(in.rs2) << 2));
+    }
+    case Opcode::kAdd:
+      if (in.rd != 0 && in.rs2 != 0 && in.rs1 == 0) {  // c.mv
+        return static_cast<uint16_t>(0x8002 | (static_cast<uint32_t>(in.rd) << 7) |
+                                     (static_cast<uint32_t>(in.rs2) << 2));
+      }
+      if (in.rd != 0 && in.rd == in.rs1 && in.rs2 != 0) {  // c.add
+        return static_cast<uint16_t>(0x9002 | (static_cast<uint32_t>(in.rd) << 7) |
+                                     (static_cast<uint32_t>(in.rs2) << 2));
+      }
+      return std::nullopt;
+    case Opcode::kJal:
+      if ((imm & 1) == 0 && fits_signed(imm, 12)) {
+        if (in.rd == kZero) return static_cast<uint16_t>(0xA001 | cj_scatter(imm));
+        if (in.rd == kRa) return static_cast<uint16_t>(0x2001 | cj_scatter(imm));
+      }
+      return std::nullopt;
+    case Opcode::kJalr:
+      if (in.rs1 != 0 && imm == 0) {
+        if (in.rd == kZero) {
+          return static_cast<uint16_t>(0x8002 | (static_cast<uint32_t>(in.rs1) << 7));
+        }
+        if (in.rd == kRa) {
+          return static_cast<uint16_t>(0x9002 | (static_cast<uint32_t>(in.rs1) << 7));
+        }
+      }
+      return std::nullopt;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+      if (is_creg(in.rs1) && in.rs2 == kZero && (imm & 1) == 0 && fits_signed(imm, 9)) {
+        const uint16_t base = in.op == Opcode::kBeq ? 0xC001 : 0xE001;
+        return static_cast<uint16_t>(base | cb_scatter(imm) | (cr(in.rs1) << 7));
+      }
+      return std::nullopt;
+    case Opcode::kEbreak:
+      return 0x9002;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace rnnasip::isa

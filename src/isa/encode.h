@@ -1,0 +1,26 @@
+// Instruction encoder: Instr -> 32-bit instruction word.
+//
+// Encoding is driven by the spec table in opcode.h; operand ranges are
+// checked (RNNASIP_CHECK) so kernel generators fail loudly on unencodable
+// operands instead of emitting corrupt words.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/isa/opcode.h"
+
+namespace rnnasip::isa {
+
+/// Encode a decoded instruction back into its 32-bit word.
+/// Throws (via RNNASIP_CHECK) if an operand does not fit its field.
+uint32_t encode(const Instr& instr);
+
+/// Try to express `instr` as a 16-bit compressed instruction (the RV32C
+/// subset decode_compressed understands). Returns std::nullopt when the
+/// instruction or its operands have no compressed form. Round-trip
+/// guarantee: decode_compressed(*try_compress(i)) reproduces i's opcode and
+/// operands (with size 2).
+std::optional<uint16_t> try_compress(const Instr& instr);
+
+}  // namespace rnnasip::isa

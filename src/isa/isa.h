@@ -1,0 +1,7 @@
+// Umbrella header for the ISA library.
+#pragma once
+
+#include "src/isa/decode.h"    // IWYU pragma: export
+#include "src/isa/encode.h"    // IWYU pragma: export
+#include "src/isa/opcode.h"    // IWYU pragma: export
+#include "src/isa/registers.h" // IWYU pragma: export

@@ -1,0 +1,184 @@
+#include "src/isa/opcode.h"
+
+#include <array>
+
+#include "src/common/check.h"
+#include "src/isa/registers.h"
+
+namespace rnnasip::isa {
+namespace {
+
+constexpr uint8_t kNA = 0xFF;
+
+// Major opcodes.
+constexpr uint8_t kMajLoad = 0x03;
+constexpr uint8_t kMajPostIncLoad = 0x0B;   // custom-0
+constexpr uint8_t kMajFence = 0x0F;
+constexpr uint8_t kMajOpImm = 0x13;
+constexpr uint8_t kMajAuipc = 0x17;
+constexpr uint8_t kMajStore = 0x23;
+constexpr uint8_t kMajPostIncStore = 0x2B;  // custom-1
+constexpr uint8_t kMajOp = 0x33;
+constexpr uint8_t kMajLui = 0x37;
+constexpr uint8_t kMajSimd = 0x57;
+constexpr uint8_t kMajBranch = 0x63;
+constexpr uint8_t kMajJalr = 0x67;
+constexpr uint8_t kMajJal = 0x6F;
+constexpr uint8_t kMajSystem = 0x73;
+constexpr uint8_t kMajRnn = 0x77;           // custom: paper's RNN extensions
+constexpr uint8_t kMajHwLoop = 0x7B;        // hardware loop setup
+
+// SIMD sub-opcode, placed in funct7 as (op << 2).
+constexpr uint8_t simd_f7(uint8_t sub) { return static_cast<uint8_t>(sub << 2); }
+
+constexpr std::array kTable = {
+    // ------------------------------- RV32I -------------------------------
+    OpcodeInfo{Opcode::kLui, "lui", Format::kU, Unit::kAlu, kMajLui, kNA, kNA},
+    OpcodeInfo{Opcode::kAuipc, "auipc", Format::kU, Unit::kAlu, kMajAuipc, kNA, kNA},
+    OpcodeInfo{Opcode::kJal, "jal", Format::kJ, Unit::kJump, kMajJal, kNA, kNA},
+    OpcodeInfo{Opcode::kJalr, "jalr", Format::kI, Unit::kJump, kMajJalr, 0, kNA},
+    OpcodeInfo{Opcode::kBeq, "beq", Format::kB, Unit::kBranch, kMajBranch, 0, kNA},
+    OpcodeInfo{Opcode::kBne, "bne", Format::kB, Unit::kBranch, kMajBranch, 1, kNA},
+    OpcodeInfo{Opcode::kBlt, "blt", Format::kB, Unit::kBranch, kMajBranch, 4, kNA},
+    OpcodeInfo{Opcode::kBge, "bge", Format::kB, Unit::kBranch, kMajBranch, 5, kNA},
+    OpcodeInfo{Opcode::kBltu, "bltu", Format::kB, Unit::kBranch, kMajBranch, 6, kNA},
+    OpcodeInfo{Opcode::kBgeu, "bgeu", Format::kB, Unit::kBranch, kMajBranch, 7, kNA},
+    OpcodeInfo{Opcode::kLb, "lb", Format::kI, Unit::kLoad, kMajLoad, 0, kNA},
+    OpcodeInfo{Opcode::kLh, "lh", Format::kI, Unit::kLoad, kMajLoad, 1, kNA},
+    OpcodeInfo{Opcode::kLw, "lw", Format::kI, Unit::kLoad, kMajLoad, 2, kNA},
+    OpcodeInfo{Opcode::kLbu, "lbu", Format::kI, Unit::kLoad, kMajLoad, 4, kNA},
+    OpcodeInfo{Opcode::kLhu, "lhu", Format::kI, Unit::kLoad, kMajLoad, 5, kNA},
+    OpcodeInfo{Opcode::kSb, "sb", Format::kS, Unit::kStore, kMajStore, 0, kNA},
+    OpcodeInfo{Opcode::kSh, "sh", Format::kS, Unit::kStore, kMajStore, 1, kNA},
+    OpcodeInfo{Opcode::kSw, "sw", Format::kS, Unit::kStore, kMajStore, 2, kNA},
+    OpcodeInfo{Opcode::kAddi, "addi", Format::kI, Unit::kAlu, kMajOpImm, 0, kNA},
+    OpcodeInfo{Opcode::kSlti, "slti", Format::kI, Unit::kAlu, kMajOpImm, 2, kNA},
+    OpcodeInfo{Opcode::kSltiu, "sltiu", Format::kI, Unit::kAlu, kMajOpImm, 3, kNA},
+    OpcodeInfo{Opcode::kXori, "xori", Format::kI, Unit::kAlu, kMajOpImm, 4, kNA},
+    OpcodeInfo{Opcode::kOri, "ori", Format::kI, Unit::kAlu, kMajOpImm, 6, kNA},
+    OpcodeInfo{Opcode::kAndi, "andi", Format::kI, Unit::kAlu, kMajOpImm, 7, kNA},
+    OpcodeInfo{Opcode::kSlli, "slli", Format::kShift, Unit::kAlu, kMajOpImm, 1, 0x00},
+    OpcodeInfo{Opcode::kSrli, "srli", Format::kShift, Unit::kAlu, kMajOpImm, 5, 0x00},
+    OpcodeInfo{Opcode::kSrai, "srai", Format::kShift, Unit::kAlu, kMajOpImm, 5, 0x20},
+    OpcodeInfo{Opcode::kAdd, "add", Format::kR, Unit::kAlu, kMajOp, 0, 0x00},
+    OpcodeInfo{Opcode::kSub, "sub", Format::kR, Unit::kAlu, kMajOp, 0, 0x20},
+    OpcodeInfo{Opcode::kSll, "sll", Format::kR, Unit::kAlu, kMajOp, 1, 0x00},
+    OpcodeInfo{Opcode::kSlt, "slt", Format::kR, Unit::kAlu, kMajOp, 2, 0x00},
+    OpcodeInfo{Opcode::kSltu, "sltu", Format::kR, Unit::kAlu, kMajOp, 3, 0x00},
+    OpcodeInfo{Opcode::kXor, "xor", Format::kR, Unit::kAlu, kMajOp, 4, 0x00},
+    OpcodeInfo{Opcode::kSrl, "srl", Format::kR, Unit::kAlu, kMajOp, 5, 0x00},
+    OpcodeInfo{Opcode::kSra, "sra", Format::kR, Unit::kAlu, kMajOp, 5, 0x20},
+    OpcodeInfo{Opcode::kOr, "or", Format::kR, Unit::kAlu, kMajOp, 6, 0x00},
+    OpcodeInfo{Opcode::kAnd, "and", Format::kR, Unit::kAlu, kMajOp, 7, 0x00},
+    OpcodeInfo{Opcode::kFence, "fence", Format::kSys, Unit::kSystem, kMajFence, 0, kNA},
+    OpcodeInfo{Opcode::kEcall, "ecall", Format::kSys, Unit::kSystem, kMajSystem, 0, kNA},
+    OpcodeInfo{Opcode::kEbreak, "ebreak", Format::kSys, Unit::kSystem, kMajSystem, 0, kNA},
+    OpcodeInfo{Opcode::kCsrrw, "csrrw", Format::kCsr, Unit::kSystem, kMajSystem, 1, kNA},
+    OpcodeInfo{Opcode::kCsrrs, "csrrs", Format::kCsr, Unit::kSystem, kMajSystem, 2, kNA},
+    OpcodeInfo{Opcode::kCsrrc, "csrrc", Format::kCsr, Unit::kSystem, kMajSystem, 3, kNA},
+    // ------------------------------- RV32M -------------------------------
+    OpcodeInfo{Opcode::kMul, "mul", Format::kR, Unit::kMul, kMajOp, 0, 0x01},
+    OpcodeInfo{Opcode::kMulh, "mulh", Format::kR, Unit::kMul, kMajOp, 1, 0x01},
+    OpcodeInfo{Opcode::kMulhsu, "mulhsu", Format::kR, Unit::kMul, kMajOp, 2, 0x01},
+    OpcodeInfo{Opcode::kMulhu, "mulhu", Format::kR, Unit::kMul, kMajOp, 3, 0x01},
+    OpcodeInfo{Opcode::kDiv, "div", Format::kR, Unit::kDiv, kMajOp, 4, 0x01},
+    OpcodeInfo{Opcode::kDivu, "divu", Format::kR, Unit::kDiv, kMajOp, 5, 0x01},
+    OpcodeInfo{Opcode::kRem, "rem", Format::kR, Unit::kDiv, kMajOp, 6, 0x01},
+    OpcodeInfo{Opcode::kRemu, "remu", Format::kR, Unit::kDiv, kMajOp, 7, 0x01},
+    // --------------------- Xpulp post-increment load/store ----------------
+    OpcodeInfo{Opcode::kPLb, "p.lb", Format::kI, Unit::kLoad, kMajPostIncLoad, 0, kNA},
+    OpcodeInfo{Opcode::kPLh, "p.lh", Format::kI, Unit::kLoad, kMajPostIncLoad, 1, kNA},
+    OpcodeInfo{Opcode::kPLw, "p.lw", Format::kI, Unit::kLoad, kMajPostIncLoad, 2, kNA},
+    OpcodeInfo{Opcode::kPLbu, "p.lbu", Format::kI, Unit::kLoad, kMajPostIncLoad, 4, kNA},
+    OpcodeInfo{Opcode::kPLhu, "p.lhu", Format::kI, Unit::kLoad, kMajPostIncLoad, 5, kNA},
+    // Register-register post-increment loads: R-format at the load major;
+    // funct3 values disjoint from the immediate forms, so decode is exact.
+    OpcodeInfo{Opcode::kPLwRr, "p.lw.rr", Format::kR, Unit::kLoad, kMajPostIncLoad, 3, 0x00},
+    OpcodeInfo{Opcode::kPLhRr, "p.lh.rr", Format::kR, Unit::kLoad, kMajPostIncLoad, 7, 0x00},
+    OpcodeInfo{Opcode::kPSb, "p.sb", Format::kS, Unit::kStore, kMajPostIncStore, 0, kNA},
+    OpcodeInfo{Opcode::kPSh, "p.sh", Format::kS, Unit::kStore, kMajPostIncStore, 1, kNA},
+    OpcodeInfo{Opcode::kPSw, "p.sw", Format::kS, Unit::kStore, kMajPostIncStore, 2, kNA},
+    // --------------------------- Xpulp scalar ALU -------------------------
+    OpcodeInfo{Opcode::kPAbs, "p.abs", Format::kR, Unit::kAlu, kMajOp, 0, 0x02},
+    OpcodeInfo{Opcode::kPExths, "p.exths", Format::kR, Unit::kAlu, kMajOp, 2, 0x02},
+    OpcodeInfo{Opcode::kPExthz, "p.exthz", Format::kR, Unit::kAlu, kMajOp, 3, 0x02},
+    OpcodeInfo{Opcode::kPExtbs, "p.extbs", Format::kR, Unit::kAlu, kMajOp, 4, 0x02},
+    OpcodeInfo{Opcode::kPExtbz, "p.extbz", Format::kR, Unit::kAlu, kMajOp, 5, 0x02},
+    OpcodeInfo{Opcode::kPMin, "p.min", Format::kR, Unit::kAlu, kMajOp, 0, 0x04},
+    OpcodeInfo{Opcode::kPMinu, "p.minu", Format::kR, Unit::kAlu, kMajOp, 1, 0x04},
+    OpcodeInfo{Opcode::kPMax, "p.max", Format::kR, Unit::kAlu, kMajOp, 2, 0x04},
+    OpcodeInfo{Opcode::kPMaxu, "p.maxu", Format::kR, Unit::kAlu, kMajOp, 3, 0x04},
+    OpcodeInfo{Opcode::kPMac, "p.mac", Format::kR, Unit::kMul, kMajOp, 0, 0x21},
+    OpcodeInfo{Opcode::kPMsu, "p.msu", Format::kR, Unit::kMul, kMajOp, 1, 0x21},
+    OpcodeInfo{Opcode::kPClip, "p.clip", Format::kClip, Unit::kAlu, kMajOp, 1, 0x0A},
+    OpcodeInfo{Opcode::kPClipu, "p.clipu", Format::kClip, Unit::kAlu, kMajOp, 2, 0x0A},
+    // --------------------------- Xpulp HW loops ---------------------------
+    OpcodeInfo{Opcode::kLpStarti, "lp.starti", Format::kHwlImm, Unit::kHwLoop, kMajHwLoop, 0, kNA},
+    OpcodeInfo{Opcode::kLpEndi, "lp.endi", Format::kHwlImm, Unit::kHwLoop, kMajHwLoop, 1, kNA},
+    OpcodeInfo{Opcode::kLpCount, "lp.count", Format::kHwlReg, Unit::kHwLoop, kMajHwLoop, 2, kNA},
+    OpcodeInfo{Opcode::kLpCounti, "lp.counti", Format::kHwlImm, Unit::kHwLoop, kMajHwLoop, 3, kNA},
+    OpcodeInfo{Opcode::kLpSetup, "lp.setup", Format::kHwlSetup, Unit::kHwLoop, kMajHwLoop, 4, kNA},
+    OpcodeInfo{Opcode::kLpSetupi, "lp.setupi", Format::kHwlSetupImm, Unit::kHwLoop, kMajHwLoop, 5, kNA},
+    // ------------------------ Xpulp packed SIMD (.h) ----------------------
+    OpcodeInfo{Opcode::kPvAddH, "pv.add.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x00)},
+    OpcodeInfo{Opcode::kPvSubH, "pv.sub.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x01)},
+    OpcodeInfo{Opcode::kPvAvgH, "pv.avg.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x02)},
+    OpcodeInfo{Opcode::kPvMinH, "pv.min.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x03)},
+    OpcodeInfo{Opcode::kPvMaxH, "pv.max.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x04)},
+    OpcodeInfo{Opcode::kPvSrlH, "pv.srl.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x05)},
+    OpcodeInfo{Opcode::kPvSraH, "pv.sra.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x06)},
+    OpcodeInfo{Opcode::kPvSllH, "pv.sll.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x07)},
+    OpcodeInfo{Opcode::kPvAbsH, "pv.abs.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x08)},
+    OpcodeInfo{Opcode::kPvPackH, "pv.pack.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x09)},
+    OpcodeInfo{Opcode::kPvExtractH, "pv.extract.h", Format::kSimdImm, Unit::kSimd, kMajSimd, 0, simd_f7(0x0A)},
+    OpcodeInfo{Opcode::kPvInsertH, "pv.insert.h", Format::kSimdImm, Unit::kSimd, kMajSimd, 0, simd_f7(0x0B)},
+    OpcodeInfo{Opcode::kPvDotupH, "pv.dotup.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x0C)},
+    OpcodeInfo{Opcode::kPvDotspH, "pv.dotsp.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x0D)},
+    OpcodeInfo{Opcode::kPvSdotupH, "pv.sdotup.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x0E)},
+    OpcodeInfo{Opcode::kPvSdotspH, "pv.sdotsp.h", Format::kSimdR, Unit::kSimd, kMajSimd, 0, simd_f7(0x0F)},
+    // ------------------ Xpulp packed SIMD, scalar replication -------------
+    // funct3 = 1 selects .sc.h: rs2's low half is replicated to both lanes.
+    OpcodeInfo{Opcode::kPvAddScH, "pv.add.sc.h", Format::kSimdR, Unit::kSimd, kMajSimd, 1, simd_f7(0x00)},
+    OpcodeInfo{Opcode::kPvSubScH, "pv.sub.sc.h", Format::kSimdR, Unit::kSimd, kMajSimd, 1, simd_f7(0x01)},
+    OpcodeInfo{Opcode::kPvMinScH, "pv.min.sc.h", Format::kSimdR, Unit::kSimd, kMajSimd, 1, simd_f7(0x03)},
+    OpcodeInfo{Opcode::kPvMaxScH, "pv.max.sc.h", Format::kSimdR, Unit::kSimd, kMajSimd, 1, simd_f7(0x04)},
+    OpcodeInfo{Opcode::kPvSraScH, "pv.sra.sc.h", Format::kSimdR, Unit::kSimd, kMajSimd, 1, simd_f7(0x06)},
+    OpcodeInfo{Opcode::kPvDotspScH, "pv.dotsp.sc.h", Format::kSimdR, Unit::kSimd, kMajSimd, 1, simd_f7(0x0D)},
+    OpcodeInfo{Opcode::kPvSdotspScH, "pv.sdotsp.sc.h", Format::kSimdR, Unit::kSimd, kMajSimd, 1, simd_f7(0x0F)},
+    // ------------------------ Xpulp packed SIMD (.b) ----------------------
+    OpcodeInfo{Opcode::kPvAddB, "pv.add.b", Format::kSimdR, Unit::kSimd, kMajSimd, 4, simd_f7(0x00)},
+    OpcodeInfo{Opcode::kPvSubB, "pv.sub.b", Format::kSimdR, Unit::kSimd, kMajSimd, 4, simd_f7(0x01)},
+    OpcodeInfo{Opcode::kPvMinB, "pv.min.b", Format::kSimdR, Unit::kSimd, kMajSimd, 4, simd_f7(0x03)},
+    OpcodeInfo{Opcode::kPvMaxB, "pv.max.b", Format::kSimdR, Unit::kSimd, kMajSimd, 4, simd_f7(0x04)},
+    OpcodeInfo{Opcode::kPvDotspB, "pv.dotsp.b", Format::kSimdR, Unit::kSimd, kMajSimd, 4, simd_f7(0x0D)},
+    OpcodeInfo{Opcode::kPvSdotspB, "pv.sdotsp.b", Format::kSimdR, Unit::kSimd, kMajSimd, 4, simd_f7(0x0F)},
+    // ------------------- RNN extensions (paper, Sec. III) -----------------
+    OpcodeInfo{Opcode::kPlSdotspH0, "pl.sdotsp.h.0", Format::kR, Unit::kRnnDot, kMajRnn, 0, 0x00},
+    OpcodeInfo{Opcode::kPlSdotspH1, "pl.sdotsp.h.1", Format::kR, Unit::kRnnDot, kMajRnn, 0, 0x01},
+    OpcodeInfo{Opcode::kPlTanh, "pl.tanh", Format::kAct, Unit::kActUnit, kMajRnn, 1, 0x02},
+    OpcodeInfo{Opcode::kPlSig, "pl.sig", Format::kAct, Unit::kActUnit, kMajRnn, 1, 0x03},
+};
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  for (const auto& row : kTable) {
+    if (row.op == op) return row;
+  }
+  RNNASIP_CHECK_MSG(false, "no spec row for opcode " << static_cast<int>(op));
+}
+
+std::span<const OpcodeInfo> all_opcodes() { return kTable; }
+
+std::string mnemonic(Opcode op) { return opcode_info(op).mnemonic; }
+
+std::string reg_name(Reg r) {
+  static constexpr const char* kNames[32] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  RNNASIP_CHECK(r < 32);
+  return kNames[r];
+}
+
+}  // namespace rnnasip::isa

@@ -1,0 +1,135 @@
+// Opcode enumeration and the instruction specification table.
+//
+// The spec table is the single source of truth: encoder, decoder,
+// disassembler, and the ISS timing model all key off it, so an instruction
+// added here is automatically round-trip tested by the property suite.
+//
+// Encoding space layout (32-bit instructions, low 7 bits = major opcode):
+//   standard RV32IM .... 0x03/0x13/0x23/0x33/0x37/0x17/0x63/0x67/0x6F/0x0F/0x73
+//   Xpulp post-inc load  0x0B (custom-0), I-type layout, rs1 post-incremented
+//   Xpulp post-inc store 0x2B (custom-1), S-type layout, rs1 post-incremented
+//   Xpulp SIMD ......... 0x57, simd-op in [31:27], element size in funct3
+//   Xpulp HW loops ..... 0x7B, funct3 selects the setup flavour, L = rd[0]
+//   RNN extensions ..... 0x77, funct7 selects pl.sdotsp.h.{0,1}/pl.tanh/pl.sig
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace rnnasip::isa {
+
+enum class Opcode : uint16_t {
+  kInvalid = 0,
+  // ---- RV32I ----
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kFence, kEcall, kEbreak,
+  // ---- Zicsr (counter access: cycle/instret and their high halves) ----
+  kCsrrw, kCsrrs, kCsrrc,
+  // ---- RV32M ----
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  // ---- Xpulp: post-increment load/store (p.lw rd, imm(rs1!)) ----
+  kPLb, kPLbu, kPLh, kPLhu, kPLw,
+  kPSb, kPSh, kPSw,
+  // ---- Xpulp: register-register post-increment loads (p.lw rd, rs2(rs1!)) ----
+  kPLwRr, kPLhRr,
+  // ---- Xpulp: scalar ALU extensions ----
+  kPAbs, kPExths, kPExthz, kPExtbs, kPExtbz,
+  kPMin, kPMinu, kPMax, kPMaxu,
+  kPMac, kPMsu,
+  kPClip, kPClipu,
+  // ---- Xpulp: hardware loops ----
+  kLpStarti, kLpEndi, kLpCount, kLpCounti, kLpSetup, kLpSetupi,
+  // ---- Xpulp: packed SIMD, 2x16-bit halfwords ----
+  kPvAddH, kPvSubH, kPvAvgH, kPvMinH, kPvMaxH,
+  kPvSrlH, kPvSraH, kPvSllH,
+  kPvAbsH, kPvPackH, kPvExtractH, kPvInsertH,
+  kPvDotspH, kPvSdotspH, kPvDotupH, kPvSdotupH,
+  // ---- Xpulp: packed SIMD, scalar-replication variants (.sc.h) ----
+  kPvAddScH, kPvSubScH, kPvMinScH, kPvMaxScH, kPvSraScH,
+  kPvDotspScH, kPvSdotspScH,
+  // ---- Xpulp: packed SIMD, 4x8-bit bytes ----
+  kPvAddB, kPvSubB, kPvMinB, kPvMaxB, kPvDotspB, kPvSdotspB,
+  // ---- RNN extensions (this paper) ----
+  kPlSdotspH0, kPlSdotspH1, kPlTanh, kPlSig,
+  kCount_,
+};
+
+/// Encoding format of an instruction. Determines which Instr fields are
+/// meaningful and how they map onto the 32-bit word.
+enum class Format : uint8_t {
+  kR,            ///< rd, rs1, rs2 (funct7+funct3)
+  kI,            ///< rd, rs1, imm12 (also loads and post-inc loads)
+  kShift,        ///< rd, rs1, shamt5 (funct7 distinguishes srli/srai)
+  kClip,         ///< rd, rs1, uimm5 in rs2 field (p.clip width)
+  kS,            ///< rs1, rs2, imm12 split (stores, post-inc stores)
+  kB,            ///< rs1, rs2, branch offset (imm13, bit 0 = 0)
+  kU,            ///< rd, imm20 << 12
+  kJ,            ///< rd, jump offset (imm21)
+  kSys,          ///< ecall/ebreak/fence — fixed encodings
+  kCsr,          ///< rd, rs1, csr address in imm
+  kHwlImm,       ///< loop L (rd bit 0), imm12 (starti/endi/counti)
+  kHwlReg,       ///< loop L, rs1 (count)
+  kHwlSetup,     ///< loop L, rs1 = iteration count, imm12 = end offset
+  kHwlSetupImm,  ///< loop L, imm12 = iteration count, uimm5 (rs1 fld) = end offset
+  kSimdR,        ///< rd, rs1, rs2; simd-op in [31:27], elem size in funct3
+  kSimdImm,      ///< rd, rs1, uimm5 in rs2 field (extract/insert index)
+  kAct,          ///< rd, rs1 (pl.tanh / pl.sig)
+};
+
+/// Functional unit an instruction occupies — the timing model and the power
+/// model both key off this classification.
+enum class Unit : uint8_t {
+  kAlu,
+  kMul,      ///< single-cycle multiplier / MAC
+  kDiv,      ///< iterative divider
+  kLoad,
+  kStore,
+  kBranch,
+  kJump,
+  kHwLoop,
+  kSimd,     ///< packed SIMD datapath (dot products on the MAC unit)
+  kRnnDot,   ///< pl.sdotsp.h.x — MAC + LSU in parallel
+  kActUnit,  ///< pl.tanh / pl.sig PLA unit
+  kSystem,
+};
+
+/// One row of the instruction specification table.
+struct OpcodeInfo {
+  Opcode op = Opcode::kInvalid;
+  const char* mnemonic = "";
+  Format format = Format::kR;
+  Unit unit = Unit::kAlu;
+  uint8_t major = 0;   ///< low 7 bits of the instruction word
+  uint8_t funct3 = 0;  ///< 0xFF when the format has no funct3
+  uint8_t funct7 = 0;  ///< 0xFF when the format has no funct7
+};
+
+/// Spec row for `op`. Aborts on kInvalid/kCount_.
+const OpcodeInfo& opcode_info(Opcode op);
+
+/// All spec rows (for table-driven property tests).
+std::span<const OpcodeInfo> all_opcodes();
+
+/// Mnemonic shorthand ("pv.sdotsp.h", "lp.setupi", ...).
+std::string mnemonic(Opcode op);
+
+/// A decoded instruction. `imm2` carries the second immediate of the
+/// two-immediate formats (kHwlSetupImm end offset, kClip width).
+struct Instr {
+  Opcode op = Opcode::kInvalid;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int32_t imm = 0;
+  int32_t imm2 = 0;
+  uint8_t size = 4;  ///< 2 for expanded compressed instructions, else 4
+};
+
+}  // namespace rnnasip::isa

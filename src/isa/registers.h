@@ -1,0 +1,50 @@
+// RISC-V integer register file names (ABI mnemonics).
+//
+// Kernel generators address registers through these constants; the
+// disassembler prints ABI names so traces read like objdump output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rnnasip::isa {
+
+using Reg = uint8_t;
+
+inline constexpr Reg kZero = 0;  ///< hard-wired zero
+inline constexpr Reg kRa = 1;    ///< return address
+inline constexpr Reg kSp = 2;    ///< stack pointer
+inline constexpr Reg kGp = 3;    ///< global pointer
+inline constexpr Reg kTp = 4;    ///< thread pointer
+inline constexpr Reg kT0 = 5;
+inline constexpr Reg kT1 = 6;
+inline constexpr Reg kT2 = 7;
+inline constexpr Reg kS0 = 8;  ///< frame pointer
+inline constexpr Reg kS1 = 9;
+inline constexpr Reg kA0 = 10;
+inline constexpr Reg kA1 = 11;
+inline constexpr Reg kA2 = 12;
+inline constexpr Reg kA3 = 13;
+inline constexpr Reg kA4 = 14;
+inline constexpr Reg kA5 = 15;
+inline constexpr Reg kA6 = 16;
+inline constexpr Reg kA7 = 17;
+inline constexpr Reg kS2 = 18;
+inline constexpr Reg kS3 = 19;
+inline constexpr Reg kS4 = 20;
+inline constexpr Reg kS5 = 21;
+inline constexpr Reg kS6 = 22;
+inline constexpr Reg kS7 = 23;
+inline constexpr Reg kS8 = 24;
+inline constexpr Reg kS9 = 25;
+inline constexpr Reg kS10 = 26;
+inline constexpr Reg kS11 = 27;
+inline constexpr Reg kT3 = 28;
+inline constexpr Reg kT4 = 29;
+inline constexpr Reg kT5 = 30;
+inline constexpr Reg kT6 = 31;
+
+/// ABI name of register `r` ("zero", "ra", "a0", ...). r must be < 32.
+std::string reg_name(Reg r);
+
+}  // namespace rnnasip::isa

@@ -1,0 +1,633 @@
+#include "src/iss/core.h"
+
+#include <sstream>
+
+#include "src/common/bits.h"
+#include "src/common/check.h"
+#include "src/isa/decode.h"
+#include "src/isa/encode.h"
+#include "src/isa/registers.h"
+
+namespace rnnasip::iss {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+bool is_xpulp(Opcode op) {
+  return op >= Opcode::kPLb && op <= Opcode::kPvSdotspB;
+}
+
+bool is_rnn_ext(Opcode op) {
+  return op >= Opcode::kPlSdotspH0 && op <= Opcode::kPlSig;
+}
+
+bool is_gpr_load(Opcode op) {
+  switch (op) {
+    case Opcode::kLb:
+    case Opcode::kLh:
+    case Opcode::kLw:
+    case Opcode::kLbu:
+    case Opcode::kLhu:
+    case Opcode::kPLb:
+    case Opcode::kPLh:
+    case Opcode::kPLw:
+    case Opcode::kPLbu:
+    case Opcode::kPLhu:
+    case Opcode::kPLwRr:
+    case Opcode::kPLhRr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Does this instruction also read its destination (read-modify-write)?
+bool is_rmw(Opcode op) {
+  switch (op) {
+    case Opcode::kPMac:
+    case Opcode::kPMsu:
+    case Opcode::kPvSdotspH:
+    case Opcode::kPvSdotupH:
+    case Opcode::kPvSdotspB:
+    case Opcode::kPvSdotspScH:
+    case Opcode::kPvInsertH:
+    case Opcode::kPlSdotspH0:
+    case Opcode::kPlSdotspH1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Does `in` read general-purpose register `r`? Used for load-use stalls;
+/// x0 never stalls.
+bool reads_reg(const Instr& in, uint8_t r) {
+  if (r == 0) return false;
+  const auto& s = isa::opcode_info(in.op);
+  using isa::Format;
+  bool rs1 = false, rs2 = false, rd = false;
+  switch (s.format) {
+    case Format::kR:
+    case Format::kSimdR:
+      rs1 = rs2 = true;
+      rd = is_rmw(in.op);
+      break;
+    case Format::kI:
+    case Format::kShift:
+    case Format::kClip:
+    case Format::kAct:
+    case Format::kCsr:
+      rs1 = true;
+      break;
+    case Format::kSimdImm:
+      rs1 = true;
+      rd = is_rmw(in.op);
+      break;
+    case Format::kS:
+    case Format::kB:
+      rs1 = rs2 = true;
+      break;
+    case Format::kHwlReg:
+    case Format::kHwlSetup:
+      rs1 = true;
+      break;
+    case Format::kU:
+    case Format::kJ:
+    case Format::kSys:
+    case Format::kHwlImm:
+    case Format::kHwlSetupImm:
+      break;
+  }
+  return (rs1 && in.rs1 == r) || (rs2 && in.rs2 == r) || (rd && in.rd == r);
+}
+
+uint64_t mac_count(Opcode op) {
+  switch (op) {
+    case Opcode::kMul:
+    case Opcode::kPMac:
+    case Opcode::kPMsu:
+      return 1;
+    case Opcode::kPvDotspH:
+    case Opcode::kPvSdotspH:
+    case Opcode::kPvDotupH:
+    case Opcode::kPvSdotupH:
+    case Opcode::kPvDotspScH:
+    case Opcode::kPvSdotspScH:
+    case Opcode::kPlSdotspH0:
+    case Opcode::kPlSdotspH1:
+      return 2;
+    case Opcode::kPvDotspB:
+    case Opcode::kPvSdotspB:
+      return 4;
+    default:
+      return 0;
+  }
+}
+
+int32_t sdot_h(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(half_lo(a)) * half_lo(b) +
+         static_cast<int32_t>(half_hi(a)) * half_hi(b);
+}
+
+uint32_t udot_h(uint32_t a, uint32_t b) {
+  return (a & 0xFFFFu) * (b & 0xFFFFu) + (a >> 16) * (b >> 16);
+}
+
+int32_t sdot_b(uint32_t a, uint32_t b) {
+  int32_t acc = 0;
+  for (int i = 0; i < 4; ++i) {
+    acc += static_cast<int32_t>(static_cast<int8_t>(a >> (8 * i))) *
+           static_cast<int32_t>(static_cast<int8_t>(b >> (8 * i)));
+  }
+  return acc;
+}
+
+/// Apply `fn` to each signed 16-bit lane pair.
+template <typename Fn>
+uint32_t map_h(uint32_t a, uint32_t b, Fn fn) {
+  return pack_halves(static_cast<int16_t>(fn(half_lo(a), half_lo(b))),
+                     static_cast<int16_t>(fn(half_hi(a), half_hi(b))));
+}
+
+/// Apply `fn` to each signed 8-bit lane pair.
+template <typename Fn>
+uint32_t map_b(uint32_t a, uint32_t b, Fn fn) {
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto la = static_cast<int8_t>(a >> (8 * i));
+    const auto lb = static_cast<int8_t>(b >> (8 * i));
+    out |= (static_cast<uint32_t>(static_cast<uint8_t>(fn(la, lb)))) << (8 * i);
+  }
+  return out;
+}
+
+}  // namespace
+
+Core::Core(Memory* mem, Config cfg)
+    : mem_(mem),
+      cfg_(cfg),
+      tanh_table_(activation::PlaTable::build(cfg.tanh_spec)),
+      sig_table_(activation::PlaTable::build(cfg.sig_spec)) {
+  RNNASIP_CHECK(mem_ != nullptr);
+  RNNASIP_CHECK(cfg.tanh_spec.func == activation::ActFunc::kTanh);
+  RNNASIP_CHECK(cfg.sig_spec.func == activation::ActFunc::kSigmoid);
+}
+
+void Core::reset(uint32_t pc) {
+  x_.fill(0);
+  spr_.fill(0);
+  loops_.fill(HwLoop{});
+  pc_ = pc;
+  csr_cycle_ = 0;
+  csr_instret_ = 0;
+  csr_mscratch_ = 0;
+  last_was_load_ = false;
+  last_sdotsp_spr_ = -1;
+  prev_mem_unpaired_ = false;
+}
+
+void Core::set_reg(int i, uint32_t v) {
+  RNNASIP_CHECK(i >= 0 && i < 32);
+  if (i != 0) x_[static_cast<size_t>(i)] = v;
+}
+
+void Core::load_program(const assembler::Program& program) {
+  const auto words = program.encode_words();
+  mem_->write_words(program.base, words);
+  decode_cache_.clear();
+}
+
+void Core::trap(uint32_t pc, const std::string& msg) {
+  std::ostringstream os;
+  os << "trap at pc=0x" << std::hex << pc << ": " << msg;
+  throw std::runtime_error(os.str());
+}
+
+const Instr* Core::fetch(uint32_t pc, std::string* err) {
+  auto it = decode_cache_.find(pc);
+  if (it == decode_cache_.end()) {
+    const uint32_t lo = mem_->load16(pc);
+    uint32_t word = lo;
+    if ((lo & 0x3) == 0x3) word |= static_cast<uint32_t>(mem_->load16(pc + 2)) << 16;
+    auto decoded = isa::decode_any(word);
+    if (!decoded) {
+      std::ostringstream os;
+      os << "illegal instruction 0x" << std::hex << word;
+      *err = os.str();
+      return nullptr;
+    }
+    it = decode_cache_.emplace(pc, *decoded).first;
+  }
+  return &it->second;
+}
+
+Core::ExecOut Core::execute(const Instr& in, uint32_t pc) {
+  const TimingModel& t = cfg_.timing;
+  uint32_t next = pc + in.size;
+  uint64_t cost = 1;
+  const uint32_t a = x_[in.rs1];
+  const uint32_t b = x_[in.rs2];
+  const int32_t sa = static_cast<int32_t>(a);
+  const int32_t sb = static_cast<int32_t>(b);
+
+  switch (in.op) {
+    // ----- RV32I -----
+    case Opcode::kLui: write_reg(in.rd, static_cast<uint32_t>(in.imm) << 12); break;
+    case Opcode::kAuipc: write_reg(in.rd, pc + (static_cast<uint32_t>(in.imm) << 12)); break;
+    case Opcode::kJal:
+      write_reg(in.rd, pc + in.size);
+      next = pc + static_cast<uint32_t>(in.imm);
+      cost += t.jump_penalty;
+      break;
+    case Opcode::kJalr:
+      write_reg(in.rd, pc + in.size);
+      next = (a + static_cast<uint32_t>(in.imm)) & ~1u;
+      cost += t.jump_penalty;
+      break;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu: {
+      bool taken = false;
+      switch (in.op) {
+        case Opcode::kBeq: taken = a == b; break;
+        case Opcode::kBne: taken = a != b; break;
+        case Opcode::kBlt: taken = sa < sb; break;
+        case Opcode::kBge: taken = sa >= sb; break;
+        case Opcode::kBltu: taken = a < b; break;
+        default: taken = a >= b; break;
+      }
+      if (taken) {
+        next = pc + static_cast<uint32_t>(in.imm);
+        cost += t.taken_branch_penalty;
+      }
+      break;
+    }
+    case Opcode::kLb: write_reg(in.rd, static_cast<uint32_t>(static_cast<int8_t>(mem_->load8(a + in.imm)))); break;
+    case Opcode::kLh: write_reg(in.rd, static_cast<uint32_t>(static_cast<int16_t>(mem_->load16(a + in.imm)))); break;
+    case Opcode::kLw: write_reg(in.rd, mem_->load32(a + in.imm)); break;
+    case Opcode::kLbu: write_reg(in.rd, mem_->load8(a + in.imm)); break;
+    case Opcode::kLhu: write_reg(in.rd, mem_->load16(a + in.imm)); break;
+    case Opcode::kSb: mem_->store8(a + in.imm, static_cast<uint8_t>(b)); break;
+    case Opcode::kSh: mem_->store16(a + in.imm, static_cast<uint16_t>(b)); break;
+    case Opcode::kSw: mem_->store32(a + in.imm, b); break;
+    case Opcode::kAddi: write_reg(in.rd, a + static_cast<uint32_t>(in.imm)); break;
+    case Opcode::kSlti: write_reg(in.rd, sa < in.imm ? 1 : 0); break;
+    case Opcode::kSltiu: write_reg(in.rd, a < static_cast<uint32_t>(in.imm) ? 1 : 0); break;
+    case Opcode::kXori: write_reg(in.rd, a ^ static_cast<uint32_t>(in.imm)); break;
+    case Opcode::kOri: write_reg(in.rd, a | static_cast<uint32_t>(in.imm)); break;
+    case Opcode::kAndi: write_reg(in.rd, a & static_cast<uint32_t>(in.imm)); break;
+    case Opcode::kSlli: write_reg(in.rd, a << (in.imm & 31)); break;
+    case Opcode::kSrli: write_reg(in.rd, a >> (in.imm & 31)); break;
+    case Opcode::kSrai: write_reg(in.rd, static_cast<uint32_t>(sa >> (in.imm & 31))); break;
+    case Opcode::kAdd: write_reg(in.rd, a + b); break;
+    case Opcode::kSub: write_reg(in.rd, a - b); break;
+    case Opcode::kSll: write_reg(in.rd, a << (b & 31)); break;
+    case Opcode::kSlt: write_reg(in.rd, sa < sb ? 1 : 0); break;
+    case Opcode::kSltu: write_reg(in.rd, a < b ? 1 : 0); break;
+    case Opcode::kXor: write_reg(in.rd, a ^ b); break;
+    case Opcode::kSrl: write_reg(in.rd, a >> (b & 31)); break;
+    case Opcode::kSra: write_reg(in.rd, static_cast<uint32_t>(sa >> (b & 31))); break;
+    case Opcode::kOr: write_reg(in.rd, a | b); break;
+    case Opcode::kAnd: write_reg(in.rd, a & b); break;
+    case Opcode::kFence: break;  // single hart, strongly ordered: no-op
+    case Opcode::kEcall:
+    case Opcode::kEbreak:
+      break;  // handled by the run loop
+    // ----- Zicsr (counters + mscratch) -----
+    case Opcode::kCsrrw:
+    case Opcode::kCsrrs:
+    case Opcode::kCsrrc: {
+      const uint32_t csr = static_cast<uint32_t>(in.imm);
+      uint32_t old;
+      bool writable = false;
+      switch (csr) {
+        case 0xC00: old = static_cast<uint32_t>(csr_cycle_); break;        // cycle
+        case 0xC80: old = static_cast<uint32_t>(csr_cycle_ >> 32); break;  // cycleh
+        case 0xC02: old = static_cast<uint32_t>(csr_instret_); break;      // instret
+        case 0xC82: old = static_cast<uint32_t>(csr_instret_ >> 32); break;
+        case 0xF14: old = 0; break;  // mhartid
+        case 0x340:                  // mscratch
+          old = csr_mscratch_;
+          writable = true;
+          break;
+        default:
+          trap(pc, "unimplemented CSR");
+      }
+      // csrrs/csrrc with rs1 = x0 are pure reads; anything else writes.
+      const bool wants_write = in.op == Opcode::kCsrrw || in.rs1 != 0;
+      if (wants_write) {
+        if (!writable) trap(pc, "write to read-only CSR");
+        switch (in.op) {
+          case Opcode::kCsrrw: csr_mscratch_ = a; break;
+          case Opcode::kCsrrs: csr_mscratch_ = old | a; break;
+          default: csr_mscratch_ = old & ~a; break;
+        }
+      }
+      write_reg(in.rd, old);
+      break;
+    }
+    // ----- RV32M -----
+    case Opcode::kMul: write_reg(in.rd, static_cast<uint32_t>(sa * sb)); break;
+    case Opcode::kMulh:
+      write_reg(in.rd, static_cast<uint32_t>((static_cast<int64_t>(sa) * sb) >> 32));
+      break;
+    case Opcode::kMulhsu:
+      write_reg(in.rd, static_cast<uint32_t>((static_cast<int64_t>(sa) * static_cast<uint64_t>(b)) >> 32));
+      break;
+    case Opcode::kMulhu:
+      write_reg(in.rd, static_cast<uint32_t>((static_cast<uint64_t>(a) * b) >> 32));
+      break;
+    case Opcode::kDiv:
+      cost = t.div_cycles;
+      if (sb == 0) write_reg(in.rd, 0xFFFFFFFFu);
+      else if (sa == INT32_MIN && sb == -1) write_reg(in.rd, static_cast<uint32_t>(INT32_MIN));
+      else write_reg(in.rd, static_cast<uint32_t>(sa / sb));
+      break;
+    case Opcode::kDivu:
+      cost = t.div_cycles;
+      write_reg(in.rd, b == 0 ? 0xFFFFFFFFu : a / b);
+      break;
+    case Opcode::kRem:
+      cost = t.div_cycles;
+      if (sb == 0) write_reg(in.rd, a);
+      else if (sa == INT32_MIN && sb == -1) write_reg(in.rd, 0);
+      else write_reg(in.rd, static_cast<uint32_t>(sa % sb));
+      break;
+    case Opcode::kRemu:
+      cost = t.div_cycles;
+      write_reg(in.rd, b == 0 ? a : a % b);
+      break;
+    // ----- Xpulp post-increment load/store -----
+    case Opcode::kPLb:
+      write_reg(in.rs1, a + static_cast<uint32_t>(in.imm));
+      write_reg(in.rd, static_cast<uint32_t>(static_cast<int8_t>(mem_->load8(a))));
+      break;
+    case Opcode::kPLh:
+      write_reg(in.rs1, a + static_cast<uint32_t>(in.imm));
+      write_reg(in.rd, static_cast<uint32_t>(static_cast<int16_t>(mem_->load16(a))));
+      break;
+    case Opcode::kPLw:
+      write_reg(in.rs1, a + static_cast<uint32_t>(in.imm));
+      write_reg(in.rd, mem_->load32(a));
+      break;
+    case Opcode::kPLbu:
+      write_reg(in.rs1, a + static_cast<uint32_t>(in.imm));
+      write_reg(in.rd, mem_->load8(a));
+      break;
+    case Opcode::kPLhu:
+      write_reg(in.rs1, a + static_cast<uint32_t>(in.imm));
+      write_reg(in.rd, mem_->load16(a));
+      break;
+    case Opcode::kPLwRr:
+      write_reg(in.rs1, a + b);
+      write_reg(in.rd, mem_->load32(a));
+      break;
+    case Opcode::kPLhRr:
+      write_reg(in.rs1, a + b);
+      write_reg(in.rd, static_cast<uint32_t>(static_cast<int16_t>(mem_->load16(a))));
+      break;
+    case Opcode::kPSb:
+      mem_->store8(a, static_cast<uint8_t>(b));
+      write_reg(in.rs1, a + static_cast<uint32_t>(in.imm));
+      break;
+    case Opcode::kPSh:
+      mem_->store16(a, static_cast<uint16_t>(b));
+      write_reg(in.rs1, a + static_cast<uint32_t>(in.imm));
+      break;
+    case Opcode::kPSw:
+      mem_->store32(a, b);
+      write_reg(in.rs1, a + static_cast<uint32_t>(in.imm));
+      break;
+    // ----- Xpulp scalar ALU -----
+    case Opcode::kPAbs: write_reg(in.rd, sa < 0 ? static_cast<uint32_t>(-sa) : a); break;
+    case Opcode::kPExths: write_reg(in.rd, static_cast<uint32_t>(static_cast<int32_t>(half_lo(a)))); break;
+    case Opcode::kPExthz: write_reg(in.rd, a & 0xFFFFu); break;
+    case Opcode::kPExtbs: write_reg(in.rd, static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(a)))); break;
+    case Opcode::kPExtbz: write_reg(in.rd, a & 0xFFu); break;
+    case Opcode::kPMin: write_reg(in.rd, static_cast<uint32_t>(sa < sb ? sa : sb)); break;
+    case Opcode::kPMinu: write_reg(in.rd, a < b ? a : b); break;
+    case Opcode::kPMax: write_reg(in.rd, static_cast<uint32_t>(sa > sb ? sa : sb)); break;
+    case Opcode::kPMaxu: write_reg(in.rd, a > b ? a : b); break;
+    case Opcode::kPMac: write_reg(in.rd, x_[in.rd] + static_cast<uint32_t>(sa * sb)); break;
+    case Opcode::kPMsu: write_reg(in.rd, x_[in.rd] - static_cast<uint32_t>(sa * sb)); break;
+    case Opcode::kPClip: write_reg(in.rd, static_cast<uint32_t>(clip_signed(sa, static_cast<unsigned>(in.imm)))); break;
+    case Opcode::kPClipu: {
+      const int32_t hi = (1 << (in.imm - 1)) - 1;
+      write_reg(in.rd, static_cast<uint32_t>(sa < 0 ? 0 : (sa > hi ? hi : sa)));
+      break;
+    }
+    // ----- Xpulp hardware loops -----
+    case Opcode::kLpStarti: loops_[in.rd].start = pc + static_cast<uint32_t>(in.imm); break;
+    case Opcode::kLpEndi: loops_[in.rd].end = pc + static_cast<uint32_t>(in.imm); break;
+    case Opcode::kLpCount: loops_[in.rd].count = a; break;
+    case Opcode::kLpCounti: loops_[in.rd].count = static_cast<uint32_t>(in.imm); break;
+    case Opcode::kLpSetup:
+      loops_[in.rd].start = pc + 4;
+      loops_[in.rd].end = pc + static_cast<uint32_t>(in.imm);
+      loops_[in.rd].count = a;
+      break;
+    case Opcode::kLpSetupi:
+      loops_[in.rd].start = pc + 4;
+      loops_[in.rd].end = pc + static_cast<uint32_t>(in.imm2);
+      loops_[in.rd].count = static_cast<uint32_t>(in.imm);
+      break;
+    // ----- Xpulp packed SIMD (.h) -----
+    case Opcode::kPvAddH: write_reg(in.rd, map_h(a, b, [](int32_t x, int32_t y) { return x + y; })); break;
+    case Opcode::kPvSubH: write_reg(in.rd, map_h(a, b, [](int32_t x, int32_t y) { return x - y; })); break;
+    case Opcode::kPvAvgH: write_reg(in.rd, map_h(a, b, [](int32_t x, int32_t y) { return (x + y) >> 1; })); break;
+    case Opcode::kPvMinH: write_reg(in.rd, map_h(a, b, [](int32_t x, int32_t y) { return x < y ? x : y; })); break;
+    case Opcode::kPvMaxH: write_reg(in.rd, map_h(a, b, [](int32_t x, int32_t y) { return x > y ? x : y; })); break;
+    case Opcode::kPvSrlH:
+      write_reg(in.rd, map_h(a, b, [](int32_t x, int32_t y) {
+                  return static_cast<int32_t>((static_cast<uint16_t>(x)) >> (y & 15));
+                }));
+      break;
+    case Opcode::kPvSraH: write_reg(in.rd, map_h(a, b, [](int32_t x, int32_t y) { return x >> (y & 15); })); break;
+    case Opcode::kPvSllH: write_reg(in.rd, map_h(a, b, [](int32_t x, int32_t y) { return x << (y & 15); })); break;
+    case Opcode::kPvAbsH: write_reg(in.rd, map_h(a, a, [](int32_t x, int32_t) { return x < 0 ? -x : x; })); break;
+    case Opcode::kPvPackH:
+      write_reg(in.rd, pack_halves(half_lo(b), half_lo(a)));
+      break;
+    case Opcode::kPvExtractH:
+      write_reg(in.rd, static_cast<uint32_t>(static_cast<int32_t>(
+                           in.imm == 0 ? half_lo(a) : half_hi(a))));
+      break;
+    case Opcode::kPvInsertH: {
+      const uint32_t old = x_[in.rd];
+      write_reg(in.rd, in.imm == 0 ? pack_halves(half_lo(a), half_hi(old))
+                                   : pack_halves(half_lo(old), half_lo(a)));
+      break;
+    }
+    case Opcode::kPvDotupH: write_reg(in.rd, udot_h(a, b)); break;
+    case Opcode::kPvDotspH: write_reg(in.rd, static_cast<uint32_t>(sdot_h(a, b))); break;
+    case Opcode::kPvSdotupH: write_reg(in.rd, x_[in.rd] + udot_h(a, b)); break;
+    case Opcode::kPvSdotspH: write_reg(in.rd, x_[in.rd] + static_cast<uint32_t>(sdot_h(a, b))); break;
+    // ----- Xpulp packed SIMD, scalar replication (.sc.h) -----
+    case Opcode::kPvAddScH:
+    case Opcode::kPvSubScH:
+    case Opcode::kPvMinScH:
+    case Opcode::kPvMaxScH:
+    case Opcode::kPvSraScH:
+    case Opcode::kPvDotspScH:
+    case Opcode::kPvSdotspScH: {
+      const uint32_t rep = pack_halves(half_lo(b), half_lo(b));
+      switch (in.op) {
+        case Opcode::kPvAddScH: write_reg(in.rd, map_h(a, rep, [](int32_t x, int32_t y) { return x + y; })); break;
+        case Opcode::kPvSubScH: write_reg(in.rd, map_h(a, rep, [](int32_t x, int32_t y) { return x - y; })); break;
+        case Opcode::kPvMinScH: write_reg(in.rd, map_h(a, rep, [](int32_t x, int32_t y) { return x < y ? x : y; })); break;
+        case Opcode::kPvMaxScH: write_reg(in.rd, map_h(a, rep, [](int32_t x, int32_t y) { return x > y ? x : y; })); break;
+        case Opcode::kPvSraScH: write_reg(in.rd, map_h(a, rep, [](int32_t x, int32_t y) { return x >> (y & 15); })); break;
+        case Opcode::kPvDotspScH: write_reg(in.rd, static_cast<uint32_t>(sdot_h(a, rep))); break;
+        default: write_reg(in.rd, x_[in.rd] + static_cast<uint32_t>(sdot_h(a, rep))); break;
+      }
+      break;
+    }
+    // ----- Xpulp packed SIMD (.b) -----
+    case Opcode::kPvAddB: write_reg(in.rd, map_b(a, b, [](int32_t x, int32_t y) { return x + y; })); break;
+    case Opcode::kPvSubB: write_reg(in.rd, map_b(a, b, [](int32_t x, int32_t y) { return x - y; })); break;
+    case Opcode::kPvMinB: write_reg(in.rd, map_b(a, b, [](int32_t x, int32_t y) { return x < y ? x : y; })); break;
+    case Opcode::kPvMaxB: write_reg(in.rd, map_b(a, b, [](int32_t x, int32_t y) { return x > y ? x : y; })); break;
+    case Opcode::kPvDotspB: write_reg(in.rd, static_cast<uint32_t>(sdot_b(a, b))); break;
+    case Opcode::kPvSdotspB: write_reg(in.rd, x_[in.rd] + static_cast<uint32_t>(sdot_b(a, b))); break;
+    // ----- RNN extensions -----
+    case Opcode::kPlSdotspH0:
+    case Opcode::kPlSdotspH1: {
+      const size_t k = (in.op == Opcode::kPlSdotspH0) ? 0 : 1;
+      if (in.rd == in.rs1) trap(pc, "pl.sdotsp.h: rd must differ from the address register");
+      const uint32_t old_spr = spr_[k];
+      spr_[k] = mem_->load32(a);       // LSU path: load next weight word
+      write_reg(in.rs1, a + 4);        // post-increment the weight pointer
+      write_reg(in.rd, x_[in.rd] + static_cast<uint32_t>(sdot_h(old_spr, b)));
+      break;
+    }
+    case Opcode::kPlTanh:
+      write_reg(in.rd, static_cast<uint32_t>(tanh_table_.eval_raw(sa)));
+      break;
+    case Opcode::kPlSig:
+      write_reg(in.rd, static_cast<uint32_t>(sig_table_.eval_raw(sa)));
+      break;
+    case Opcode::kInvalid:
+    case Opcode::kCount_:
+      trap(pc, "invalid opcode");
+  }
+  return {next, cost};
+}
+
+RunResult Core::run(uint64_t max_instrs) {
+  RunResult res;
+  res.exit = RunResult::Exit::kMaxInstrs;
+  try {
+    for (uint64_t n = 0; n < max_instrs; ++n) {
+      std::string err;
+      const Instr* in = fetch(pc_, &err);
+      if (!in) {
+        res.exit = RunResult::Exit::kTrap;
+        res.trap_message = err;
+        res.pc = pc_;
+        return res;
+      }
+
+      // Feature gates.
+      if (!cfg_.has_xpulp && is_xpulp(in->op)) trap(pc_, "Xpulp instruction with Xpulp disabled");
+      if (!cfg_.has_rnn_ext && is_rnn_ext(in->op)) trap(pc_, "RNN-ext instruction with extension disabled");
+
+      // Load-use interlock: a consumer directly after the producing load
+      // stalls one cycle, charged to the load (see timing.h).
+      if (last_was_load_ && reads_reg(*in, last_load_rd_)) {
+        stats_.add_stall(last_load_op_, cfg_.timing.load_use_stall);
+        res.cycles += cfg_.timing.load_use_stall;
+        csr_cycle_ += cfg_.timing.load_use_stall;
+      }
+
+      // Back-to-back pl.sdotsp on the same SPR: the freshly loaded word is
+      // not yet available, stall (the schedules alternate SPRs to avoid it).
+      int cur_spr = -1;
+      if (in->op == Opcode::kPlSdotspH0) cur_spr = 0;
+      if (in->op == Opcode::kPlSdotspH1) cur_spr = 1;
+      uint64_t extra = 0;
+      if (cur_spr >= 0 && cur_spr == last_sdotsp_spr_) extra += cfg_.timing.spr_conflict_stall;
+
+      if (in->op == Opcode::kEbreak || in->op == Opcode::kEcall) {
+        stats_.record(in->op, 1);
+        res.cycles += 1;
+        res.instrs += 1;
+        res.pc = pc_;
+        res.exit = in->op == Opcode::kEbreak ? RunResult::Exit::kEbreak
+                                             : RunResult::Exit::kEcall;
+        return res;
+      }
+
+      // Data-memory wait states (0 for the paper's single-cycle TCDM).
+      if (cfg_.timing.mem_wait_states > 0) {
+        const auto unit = isa::opcode_info(in->op).unit;
+        if (unit == isa::Unit::kLoad || unit == isa::Unit::kStore ||
+            unit == isa::Unit::kRnnDot) {
+          extra += cfg_.timing.mem_wait_states;
+        }
+      }
+
+      // Dual-issue what-if: pair an independent 1-cycle ALU/MUL/SIMD
+      // instruction with the memory instruction directly before it.
+      bool paired = false;
+      if (cfg_.timing.dual_issue && prev_mem_unpaired_) {
+        const auto unit = isa::opcode_info(in->op).unit;
+        const bool pairable = unit == isa::Unit::kAlu || unit == isa::Unit::kMul ||
+                              unit == isa::Unit::kSimd;
+        if (pairable && !(last_was_load_ && reads_reg(*in, last_load_rd_))) paired = true;
+      }
+
+      const ExecOut out = execute(*in, pc_);
+      uint64_t cost = out.cost + extra;
+      if (paired && cost >= 1) cost -= 1;  // issues in the memory op's slot
+      prev_mem_unpaired_ = !paired && (isa::opcode_info(in->op).unit == isa::Unit::kLoad ||
+                                       isa::opcode_info(in->op).unit == isa::Unit::kStore);
+      stats_.record(in->op, cost);
+      stats_.add_macs(mac_count(in->op));
+      res.cycles += cost;
+      res.instrs += 1;
+      csr_cycle_ += cost;
+      csr_instret_ += 1;
+      if (trace_) trace_(pc_, *in, cost);
+
+      // Hazard bookkeeping for the next instruction.
+      last_was_load_ = is_gpr_load(in->op) && in->rd != 0;
+      if (last_was_load_) {
+        last_load_rd_ = in->rd;
+        last_load_op_ = in->op;
+      }
+      last_sdotsp_spr_ = cur_spr;
+
+      // Hardware-loop back-edge (zero overhead). Only on sequential flow —
+      // RI5CY forbids taken control transfers as the last body instruction.
+      uint32_t next = out.next_pc;
+      if (next == pc_ + in->size) {
+        for (size_t l = 0; l < 2; ++l) {
+          HwLoop& loop = loops_[l];
+          if (loop.count > 0 && next == loop.end) {
+            if (loop.count > 1) {
+              --loop.count;
+              next = loop.start;
+              break;  // inner loop takes priority; outer sees its own end later
+            }
+            loop.count = 0;  // final iteration: fall through, loop retires
+          }
+        }
+      }
+      pc_ = next;
+    }
+  } catch (const std::runtime_error& e) {
+    res.exit = RunResult::Exit::kTrap;
+    res.trap_message = e.what();
+    res.pc = pc_;
+    return res;
+  }
+  res.pc = pc_;
+  return res;
+}
+
+}  // namespace rnnasip::iss

@@ -1,0 +1,126 @@
+// Instruction-set simulator of the extended RI5CY core (Fig. 1 of the
+// paper): RV32IM + a subset of RV32C + Xpulp (hardware loops, post-increment
+// load/store, packed SIMD, mac/clip/minmax) + the paper's RNN extensions
+// (pl.sdotsp.h.0/1 with the two special-purpose weight registers, and the
+// single-cycle pl.tanh / pl.sig PLA unit).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "src/activation/pla.h"
+#include "src/asm/program.h"
+#include "src/iss/memory.h"
+#include "src/iss/stats.h"
+#include "src/iss/timing.h"
+
+namespace rnnasip::iss {
+
+/// Why a run() returned.
+struct RunResult {
+  enum class Exit { kEbreak, kEcall, kMaxInstrs, kTrap };
+  Exit exit = Exit::kTrap;
+  uint64_t instrs = 0;   ///< retired in this run() call
+  uint64_t cycles = 0;   ///< consumed in this run() call
+  uint32_t pc = 0;       ///< pc of the terminating instruction
+  std::string trap_message;
+
+  bool ok() const { return exit == Exit::kEbreak || exit == Exit::kEcall; }
+};
+
+/// One hardware-loop register set (RI5CY has two, L0 nests inside L1).
+struct HwLoop {
+  uint32_t start = 0;
+  uint32_t end = 0;    ///< address *after* the last body instruction
+  uint32_t count = 0;  ///< remaining iterations
+};
+
+class Core {
+ public:
+  struct Config {
+    TimingModel timing;
+    /// ISA feature gates: executing a gated-off instruction traps, which
+    /// lets tests prove a kernel stays within its claimed ISA level.
+    bool has_xpulp = true;
+    bool has_rnn_ext = true;
+    /// Activation-unit configuration. tanh uses the paper's chosen design
+    /// point (range ±4, 32 intervals). Sigmoid converges more slowly
+    /// (sig(4) = 0.982), so its 32 intervals span ±8 to keep the error in
+    /// the same band — same LUT size, same datapath.
+    activation::PlaSpec tanh_spec{activation::ActFunc::kTanh, 9, 32};
+    activation::PlaSpec sig_spec{activation::ActFunc::kSigmoid, 10, 32};
+  };
+
+  explicit Core(Memory* mem) : Core(mem, Config{}) {}
+  Core(Memory* mem, Config cfg);
+
+  /// Clear registers/SPRs/loops and set the PC. Statistics are kept
+  /// (cleared explicitly with stats().reset()) so suites can accumulate.
+  void reset(uint32_t pc);
+
+  uint32_t reg(int i) const { return x_[static_cast<size_t>(i)]; }
+  void set_reg(int i, uint32_t v);
+  uint32_t pc() const { return pc_; }
+  uint32_t spr(int i) const { return spr_[static_cast<size_t>(i)]; }
+  const HwLoop& hw_loop(int i) const { return loops_[static_cast<size_t>(i)]; }
+
+  /// Copy a program's encoded text into memory at its base address and
+  /// invalidate the decode cache.
+  void load_program(const assembler::Program& program);
+
+  /// Execute until ebreak/ecall, an instruction-count cap, or a trap
+  /// (illegal instruction, bad memory access).
+  RunResult run(uint64_t max_instrs = 400'000'000);
+
+  ExecStats& stats() { return stats_; }
+  const ExecStats& stats() const { return stats_; }
+
+  /// Per-retired-instruction hook (pc, instruction, cycles charged so far
+  /// for it, excluding post-hoc stall attribution).
+  using TraceFn = std::function<void(uint32_t, const isa::Instr&, uint64_t)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+  const activation::PlaTable& tanh_table() const { return tanh_table_; }
+  const activation::PlaTable& sig_table() const { return sig_table_; }
+
+ private:
+  struct ExecOut {
+    uint32_t next_pc;
+    uint64_t cost;
+  };
+  ExecOut execute(const isa::Instr& in, uint32_t pc);
+  const isa::Instr* fetch(uint32_t pc, std::string* err);
+  void write_reg(uint8_t rd, uint32_t v) {
+    if (rd != 0) x_[rd] = v;
+  }
+  [[noreturn]] void trap(uint32_t pc, const std::string& msg);
+
+  Memory* mem_;
+  Config cfg_;
+  std::array<uint32_t, 32> x_{};
+  uint32_t pc_ = 0;
+  std::array<uint32_t, 2> spr_{};
+  std::array<HwLoop, 2> loops_{};
+  activation::PlaTable tanh_table_;
+  activation::PlaTable sig_table_;
+  ExecStats stats_;
+  TraceFn trace_;
+  std::unordered_map<uint32_t, isa::Instr> decode_cache_;
+
+  // Architectural counters (Zicntr), cleared by reset().
+  uint64_t csr_cycle_ = 0;
+  uint64_t csr_instret_ = 0;
+  uint32_t csr_mscratch_ = 0;
+
+  // Hazard tracking across the run loop.
+  bool prev_mem_unpaired_ = false;  ///< dual-issue pairing state
+  bool last_was_load_ = false;
+  uint8_t last_load_rd_ = 0;
+  isa::Opcode last_load_op_ = isa::Opcode::kInvalid;
+  int last_sdotsp_spr_ = -1;
+};
+
+}  // namespace rnnasip::iss

@@ -1,0 +1,49 @@
+// Tightly-coupled data/instruction memory (TCDM) model.
+//
+// RI5CY in the evaluated configuration talks to single-cycle scratchpad
+// memory through a logarithmic interconnect; there are no caches and no
+// wait states, so the memory model is a flat little-endian byte array.
+// Misaligned accesses trap — the generated kernels keep natural alignment,
+// and trapping catches generator bugs immediately.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rnnasip::iss {
+
+class Memory {
+ public:
+  /// `size` bytes mapped at [base, base+size).
+  explicit Memory(uint32_t size = 4u << 20, uint32_t base = 0);
+
+  uint32_t base() const { return base_; }
+  uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
+
+  uint8_t load8(uint32_t addr) const;
+  uint16_t load16(uint32_t addr) const;
+  uint32_t load32(uint32_t addr) const;
+  void store8(uint32_t addr, uint8_t v);
+  void store16(uint32_t addr, uint16_t v);
+  void store32(uint32_t addr, uint32_t v);
+
+  /// Bulk copy into memory (program text, weight/input images).
+  void write_block(uint32_t addr, std::span<const uint8_t> data);
+  void write_words(uint32_t addr, std::span<const uint32_t> words);
+  void write_halves(uint32_t addr, std::span<const int16_t> halves);
+  /// Bulk read (fetching results back from the device).
+  std::vector<int16_t> read_halves(uint32_t addr, size_t count) const;
+  std::vector<int32_t> read_words_signed(uint32_t addr, size_t count) const;
+
+  /// Zero everything (fresh run on a reused image).
+  void clear();
+
+ private:
+  void check_range(uint32_t addr, uint32_t bytes, uint32_t align) const;
+
+  uint32_t base_;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace rnnasip::iss

@@ -1,0 +1,103 @@
+#include "src/iss/stats.h"
+
+#include <sstream>
+
+namespace rnnasip::iss {
+
+using isa::Opcode;
+
+void ExecStats::record(Opcode op, uint64_t cycles) {
+  auto& s = by_op_[op];
+  s.instrs += 1;
+  s.cycles += cycles;
+  instrs_ += 1;
+  cycles_ += cycles;
+}
+
+void ExecStats::add_stall(Opcode op, uint64_t cycles) {
+  by_op_[op].cycles += cycles;
+  cycles_ += cycles;
+}
+
+void ExecStats::merge(const ExecStats& other) {
+  for (const auto& [op, s] : other.by_op_) {
+    auto& d = by_op_[op];
+    d.instrs += s.instrs;
+    d.cycles += s.cycles;
+  }
+  instrs_ += other.instrs_;
+  cycles_ += other.cycles_;
+  macs_ += other.macs_;
+}
+
+void ExecStats::reset() {
+  by_op_.clear();
+  instrs_ = cycles_ = macs_ = 0;
+}
+
+std::string display_group(Opcode op) {
+  switch (op) {
+    case Opcode::kPLb:
+    case Opcode::kPLbu:
+    case Opcode::kPLh:
+    case Opcode::kPLhu:
+    case Opcode::kPLw:
+    case Opcode::kPLwRr:
+    case Opcode::kPLhRr:
+      return "lw!";
+    case Opcode::kPSb:
+    case Opcode::kPSh:
+    case Opcode::kPSw:
+      return "sw!";
+    case Opcode::kPvSdotspH:
+    case Opcode::kPvDotspH:
+    case Opcode::kPvSdotspB:
+    case Opcode::kPvDotspB:
+      return "pv.sdot";
+    case Opcode::kPlSdotspH0:
+    case Opcode::kPlSdotspH1:
+      return "pl.sdot";
+    case Opcode::kPlTanh:
+    case Opcode::kPlSig:
+      return "tanh,sig";
+    case Opcode::kPMac:
+    case Opcode::kPMsu:
+      return "mac";
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kLh:
+    case Opcode::kLhu:
+      return "lh";
+    case Opcode::kLpSetup:
+    case Opcode::kLpSetupi:
+    case Opcode::kLpStarti:
+    case Opcode::kLpEndi:
+    case Opcode::kLpCount:
+    case Opcode::kLpCounti:
+      return "lp.setup";
+    default:
+      return isa::mnemonic(op);
+  }
+}
+
+std::string ExecStats::to_csv() const {
+  std::ostringstream os;
+  os << "mnemonic,instrs,cycles\n";
+  for (const auto& [name, s] : by_display_group()) {
+    os << name << ',' << s.instrs << ',' << s.cycles << '\n';
+  }
+  os << "total," << instrs_ << ',' << cycles_ << '\n';
+  return os.str();
+}
+
+std::map<std::string, OpStat> ExecStats::by_display_group() const {
+  std::map<std::string, OpStat> out;
+  for (const auto& [op, s] : by_op_) {
+    auto& d = out[display_group(op)];
+    d.instrs += s.instrs;
+    d.cycles += s.cycles;
+  }
+  return out;
+}
+
+}  // namespace rnnasip::iss

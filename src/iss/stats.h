@@ -1,0 +1,60 @@
+// Execution statistics — the raw material for Table I and Fig. 3.
+//
+// The ISS attributes every cycle to the instruction that caused it: a
+// load-use stall is charged to the *load* (that is how the paper's Table I
+// reports lw! at 1.5 cycles/instruction in column b), a taken-branch bubble
+// to the branch, a multi-cycle divide to the divide.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/isa/opcode.h"
+
+namespace rnnasip::iss {
+
+struct OpStat {
+  uint64_t instrs = 0;
+  uint64_t cycles = 0;
+};
+
+class ExecStats {
+ public:
+  void record(isa::Opcode op, uint64_t cycles);
+  /// Charge extra cycles to an opcode after the fact (stall attribution).
+  void add_stall(isa::Opcode op, uint64_t cycles);
+  void add_macs(uint64_t macs) { macs_ += macs; }
+
+  uint64_t total_instrs() const { return instrs_; }
+  uint64_t total_cycles() const { return cycles_; }
+  uint64_t total_macs() const { return macs_; }
+
+  /// Per-opcode breakdown.
+  const std::map<isa::Opcode, OpStat>& by_opcode() const { return by_op_; }
+
+  /// Breakdown keyed by display mnemonic with the paper's Table I grouping:
+  /// all post-increment loads print as "lw!", pl.tanh and pl.sig merge into
+  /// "tanh,sig", pv.sdotsp.h prints as "pv.sdot", pl.sdotsp.h.x as "pl.sdot".
+  std::map<std::string, OpStat> by_display_group() const;
+
+  /// Accumulate another run into this one (suite totals).
+  void merge(const ExecStats& other);
+
+  void reset();
+
+  /// CSV dump: "mnemonic,instrs,cycles" rows (display grouping), then a
+  /// total row — machine-readable Table-I material.
+  std::string to_csv() const;
+
+ private:
+  std::map<isa::Opcode, OpStat> by_op_;
+  uint64_t instrs_ = 0;
+  uint64_t cycles_ = 0;
+  uint64_t macs_ = 0;
+};
+
+/// Display name used by Table-I-style outputs for one opcode.
+std::string display_group(isa::Opcode op);
+
+}  // namespace rnnasip::iss

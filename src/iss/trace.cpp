@@ -1,0 +1,66 @@
+#include "src/iss/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/asm/disasm.h"
+
+namespace rnnasip::iss {
+
+Core::TraceFn TraceWriter::hook() {
+  return [this](uint32_t pc, const isa::Instr& in, uint64_t cycles) {
+    cycle_ += cycles;
+    if (max_lines_ != 0 && lines_.size() >= max_lines_) {
+      truncated_ = true;
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%10llu  %08x  ",
+                  static_cast<unsigned long long>(cycle_), pc);
+    lines_.push_back(buf + assembler::disassemble(in, pc));
+  };
+}
+
+std::string TraceWriter::str() const {
+  std::string out;
+  for (const auto& l : lines_) {
+    out += l;
+    out += '\n';
+  }
+  if (truncated_) out += "... (truncated)\n";
+  return out;
+}
+
+Core::TraceFn Profiler::hook() {
+  return [this](uint32_t pc, const isa::Instr& in, uint64_t cycles) {
+    by_pc_[pc] += cycles;
+    total_ += cycles;
+    instr_by_pc_.emplace(pc, in);
+  };
+}
+
+std::vector<Profiler::Hotspot> Profiler::hotspots(const assembler::Program& program,
+                                                  size_t k) const {
+  std::vector<Hotspot> out;
+  out.reserve(by_pc_.size());
+  for (const auto& [pc, cycles] : by_pc_) {
+    Hotspot h;
+    h.pc = pc;
+    h.cycles = cycles;
+    h.share = total_ == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(total_);
+    const uint32_t idx = (pc - program.base) / 4;
+    if (pc >= program.base && idx < program.instrs.size()) {
+      h.disasm = assembler::disassemble(program.instrs[idx], pc);
+    } else if (auto it = instr_by_pc_.find(pc); it != instr_by_pc_.end()) {
+      h.disasm = assembler::disassemble(it->second, pc);
+    }
+    out.push_back(std::move(h));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Hotspot& a, const Hotspot& b) { return a.cycles > b.cycles; });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace rnnasip::iss

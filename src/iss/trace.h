@@ -1,0 +1,60 @@
+// Execution tracing and profiling on top of Core's per-instruction hook.
+//
+// TraceWriter produces objdump-style text ("cycle pc disassembly") with an
+// optional cap; Profiler aggregates cycles per PC and renders a hotspot
+// report with disassembly — how the kernel inner loops were found and tuned.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/asm/program.h"
+#include "src/iss/core.h"
+
+namespace rnnasip::iss {
+
+class TraceWriter {
+ public:
+  /// Install on a core. Keeps at most `max_lines` lines (0 = unlimited).
+  explicit TraceWriter(size_t max_lines = 10000) : max_lines_(max_lines) {}
+
+  /// Hook suitable for Core::set_trace.
+  Core::TraceFn hook();
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  bool truncated() const { return truncated_; }
+  std::string str() const;
+
+ private:
+  size_t max_lines_;
+  uint64_t cycle_ = 0;
+  std::vector<std::string> lines_;
+  bool truncated_ = false;
+};
+
+/// Aggregates executed cycles per PC.
+class Profiler {
+ public:
+  Core::TraceFn hook();
+
+  uint64_t total_cycles() const { return total_; }
+  const std::map<uint32_t, uint64_t>& cycles_by_pc() const { return by_pc_; }
+
+  struct Hotspot {
+    uint32_t pc;
+    uint64_t cycles;
+    double share;  // of total cycles
+    std::string disasm;
+  };
+  /// Top `k` PCs by cycles, annotated with disassembly from `program`.
+  std::vector<Hotspot> hotspots(const assembler::Program& program, size_t k = 10) const;
+
+ private:
+  std::map<uint32_t, uint64_t> by_pc_;
+  std::map<uint32_t, isa::Instr> instr_by_pc_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace rnnasip::iss

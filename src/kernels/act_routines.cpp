@@ -1,0 +1,107 @@
+#include "src/kernels/act_routines.h"
+
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+using assembler::ProgramBuilder;
+using namespace isa;
+
+namespace {
+
+/// One LUT word per interval: [q (Q3.12) : 16 | m (Q1.14) : 16].
+uint32_t pack_entry(int16_t m, int16_t q) {
+  return (static_cast<uint32_t>(static_cast<uint16_t>(q)) << 16) |
+         static_cast<uint32_t>(static_cast<uint16_t>(m));
+}
+
+/// Emit one routine. Mirrors activation::PlaTable::eval_raw exactly:
+///   |x| -> id = |x| >> N; id >= M -> one; else
+///   y = (m*|x| + (q << 14) + 2^13) >> 14; sign fixup per function.
+void emit_routine(ProgramBuilder& b, const activation::PlaTable& tbl, uint32_t lut_addr,
+                  bool is_tanh) {
+  const auto& spec = tbl.spec();
+  const int32_t one = 4096;  // 1.0 in Q3.12
+  auto interp = b.make_label();
+  auto sign = b.make_label();
+  auto done = b.make_label();
+
+  // t0 = sign mask (x >> 31), t1 = |x|.
+  b.srai(kT0, kA0, 31);
+  b.xor_(kT1, kA0, kT0);
+  b.sub(kT1, kT1, kT0);
+  // t2 = interval index.
+  b.srli(kT2, kT1, spec.log2_interval);
+  b.addi(kA0, kZero, spec.num_intervals);
+  b.bltu(kT2, kA0, interp);
+  // Converged region: y = one.
+  b.li(kA0, one);
+  b.jal(kZero, sign);
+
+  b.bind(interp);
+  b.slli(kT2, kT2, 2);
+  b.li(kA0, static_cast<int32_t>(lut_addr));
+  b.add(kT2, kT2, kA0);
+  b.lw(kT2, 0, kT2);  // packed (q << 16) | m
+  // a0 = m (sign-extended low half), t2 = q.
+  b.slli(kA0, kT2, 16);
+  b.srai(kA0, kA0, 16);
+  b.srai(kT2, kT2, 16);
+  // y = (m*|x| + (q << 14) + 2^13) >> 14.
+  b.mul(kA0, kA0, kT1);
+  b.slli(kT2, kT2, 14);
+  b.add(kA0, kA0, kT2);
+  b.li(kT2, 1 << 13);
+  b.add(kA0, kA0, kT2);
+  b.srai(kA0, kA0, 14);
+
+  b.bind(sign);
+  b.beq(kT0, kZero, done);
+  if (is_tanh) {
+    b.sub(kA0, kZero, kA0);  // tanh(-x) = -tanh(x)
+  } else {
+    b.li(kT2, one);          // sig(-x) = 1 - sig(x)
+    b.sub(kA0, kT2, kA0);
+  }
+  b.bind(done);
+  b.jalr(kZero, kRa, 0);
+}
+
+}  // namespace
+
+ActRoutines make_act_routine_labels(ProgramBuilder& b) {
+  return ActRoutines{b.make_label(), b.make_label()};
+}
+
+void emit_act_routines(ProgramBuilder& b, DeviceAllocator& alloc,
+                       const activation::PlaTable& tanh_tbl,
+                       const activation::PlaTable& sig_tbl, const ActRoutines& labels) {
+  auto pack = [](const activation::PlaTable& t) {
+    std::vector<uint32_t> words;
+    words.reserve(t.slopes().size());
+    for (size_t i = 0; i < t.slopes().size(); ++i)
+      words.push_back(pack_entry(t.slopes()[i], t.offsets()[i]));
+    return words;
+  };
+  const auto tanh_words = pack(tanh_tbl);
+  const auto sig_words = pack(sig_tbl);
+  const uint32_t tanh_lut = alloc.alloc_words(tanh_words);
+  const uint32_t sig_lut = alloc.alloc_words(sig_words);
+
+  b.bind(labels.tanh_label);
+  emit_routine(b, tanh_tbl, tanh_lut, /*is_tanh=*/true);
+  b.bind(labels.sig_label);
+  emit_routine(b, sig_tbl, sig_lut, /*is_tanh=*/false);
+}
+
+ActRoutines emit_act_routines(ProgramBuilder& b, DeviceAllocator& alloc,
+                              const activation::PlaTable& tanh_tbl,
+                              const activation::PlaTable& sig_tbl) {
+  ActRoutines r = make_act_routine_labels(b);
+  emit_act_routines(b, alloc, tanh_tbl, sig_tbl, r);
+  return r;
+}
+
+}  // namespace rnnasip::kernels

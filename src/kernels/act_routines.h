@@ -1,0 +1,41 @@
+// Software piecewise-linear tanh/sigmoid subroutines.
+//
+// Optimization levels (a) and (b) have no pl.tanh / pl.sig instructions;
+// LSTM activations run through these generated RV32IM subroutines instead.
+// They read the same LUTs as the hardware unit (packed one interval per
+// 32-bit word: offset q in the high half, slope m in the low half) and are
+// bit-exact with activation::PlaTable::eval_raw — which is what lets every
+// optimization level produce identical network outputs.
+//
+// Calling convention: argument and result in a0, clobbers t0-t2, returns
+// via ra. Callers must keep live values out of a0/t0/t1/t2.
+#pragma once
+
+#include "src/activation/pla.h"
+#include "src/asm/builder.h"
+#include "src/kernels/layout.h"
+
+namespace rnnasip::kernels {
+
+struct ActRoutines {
+  assembler::ProgramBuilder::Label tanh_label{};
+  assembler::ProgramBuilder::Label sig_label{};
+};
+
+/// Create the (unbound) routine labels so kernels can reference the
+/// routines before they are emitted.
+ActRoutines make_act_routine_labels(assembler::ProgramBuilder& b);
+
+/// Write both LUTs into device memory and emit the two subroutines at the
+/// builder's current position, binding `labels` (call once per program,
+/// outside the main control flow; reach the routines with jal ra, <label>).
+void emit_act_routines(assembler::ProgramBuilder& b, DeviceAllocator& alloc,
+                       const activation::PlaTable& tanh_tbl,
+                       const activation::PlaTable& sig_tbl, const ActRoutines& labels);
+
+/// Convenience: create labels and emit immediately.
+ActRoutines emit_act_routines(assembler::ProgramBuilder& b, DeviceAllocator& alloc,
+                              const activation::PlaTable& tanh_tbl,
+                              const activation::PlaTable& sig_tbl);
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,56 @@
+#include "src/kernels/argmax.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+using assembler::ProgramBuilder;
+using assembler::Reg;
+using assembler::RegPool;
+using namespace isa;
+
+void emit_argmax(ProgramBuilder& b, const ArgmaxLayout& L, OptLevel level) {
+  RNNASIP_CHECK(L.count >= 1);
+  const bool xp = uses_xpulp(level);
+  RegPool pool;
+  const Reg rP = pool.alloc();     // input pointer
+  const Reg rI = pool.alloc();     // running index
+  const Reg rBestV = pool.alloc();
+  const Reg rBestI = pool.alloc();
+  const Reg rV = pool.alloc();
+  const Reg rCnt = pool.alloc();
+
+  b.li(rP, static_cast<int32_t>(L.in_addr));
+  if (xp) {
+    b.p_lh(rBestV, 2, rP);
+  } else {
+    b.lh(rBestV, 0, rP);
+    b.addi(rP, rP, 2);
+  }
+  b.li(rBestI, 0);
+  b.li(rI, 0);
+  if (L.count > 1) {
+    b.li(rCnt, L.count - 1);
+    auto loop = b.make_label();
+    auto keep = b.make_label();
+    b.bind(loop);
+    if (xp) {
+      b.p_lh(rV, 2, rP);
+    } else {
+      b.lh(rV, 0, rP);
+      b.addi(rP, rP, 2);
+    }
+    b.addi(rI, rI, 1);
+    // Strict greater-than keeps the first maximum on ties.
+    b.bge(rBestV, rV, keep);
+    b.mv(rBestV, rV);
+    b.mv(rBestI, rI);
+    b.bind(keep);
+    b.addi(rCnt, rCnt, -1);
+    b.bne(rCnt, kZero, loop);
+  }
+  b.li(rP, static_cast<int32_t>(L.out_addr));
+  b.sh(rBestI, 0, rP);
+}
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,24 @@
+// Argmax kernel: the final operator of every DQN-style RRM policy (pick
+// the best channel / power level / slot). Returns the index of the maximum
+// int16 element, so the whole decision — not just the Q-values — comes off
+// the core.
+#pragma once
+
+#include "src/asm/builder.h"
+#include "src/kernels/layout.h"
+#include "src/kernels/opt_level.h"
+
+namespace rnnasip::kernels {
+
+struct ArgmaxLayout {
+  uint32_t in_addr = 0;   ///< count int16 values
+  uint32_t out_addr = 0;  ///< one int16: the winning index (first on ties)
+  int count = 0;
+};
+
+/// Emit code writing argmax(in[0..count)) to out. First maximum wins ties
+/// (matching std::max_element). Works at every optimization level; the
+/// Xpulp levels use post-increment loads.
+void emit_argmax(assembler::ProgramBuilder& b, const ArgmaxLayout& layout, OptLevel level);
+
+}  // namespace rnnasip::kernels

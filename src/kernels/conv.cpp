@@ -1,0 +1,260 @@
+#include "src/kernels/conv.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+using assembler::ProgramBuilder;
+using assembler::Reg;
+using assembler::RegPool;
+using nn::ActKind;
+using namespace isa;
+
+ConvLayout alloc_conv(DeviceAllocator& alloc, const nn::ConvParamsQ& p, int in_h, int in_w,
+                      uint32_t in_addr, uint32_t out_addr) {
+  RNNASIP_CHECK_MSG(p.pad == 0, "generated conv kernels require pad == 0");
+  RNNASIP_CHECK(p.stride >= 1);
+  RNNASIP_CHECK(p.act == ActKind::kNone || p.act == ActKind::kReLU);
+  ConvLayout L;
+  L.in_ch = p.in_ch;
+  L.out_ch = p.out_ch;
+  L.kh = p.kh;
+  L.kw = p.kw;
+  L.stride = p.stride;
+  L.in_h = in_h;
+  L.in_w = in_w;
+  L.out_h = nn::conv_out_dim(in_h, p.kh, p.stride, 0);
+  L.out_w = nn::conv_out_dim(in_w, p.kw, p.stride, 0);
+  RNNASIP_CHECK(L.out_h > 0 && L.out_w > 0);
+  L.k = p.in_ch * p.kh * p.kw;
+  L.kpad = (L.k + 3) & ~3;
+  L.act = p.act;
+  L.in_addr = in_addr;
+  L.out_addr = out_addr;
+
+  const int pixels = L.out_h * L.out_w;
+  RNNASIP_CHECK_MSG(2 * pixels <= 2047,
+                    "output plane too large for the strided store immediate");
+  L.col_addr = alloc.alloc(static_cast<uint32_t>(2 * pixels * L.kpad), 4);
+
+  // FC view: weight rows padded to kpad.
+  nn::FcParamsQ fp;
+  fp.w = nn::MatrixQ(p.out_ch, L.kpad);
+  for (int oc = 0; oc < p.out_ch; ++oc)
+    for (int i = 0; i < L.k; ++i)
+      fp.w.at(oc, i) = p.w[static_cast<size_t>(oc) * L.k + i];
+  fp.b = p.b;
+  fp.act = p.act;
+  L.fc = alloc_fc(alloc, fp, /*x_addr=*/L.col_addr, /*o_addr=*/L.out_addr);
+  return L;
+}
+
+namespace {
+
+/// addi if the immediate fits, otherwise li+add via `scratch`.
+void advance(ProgramBuilder& b, Reg r, int bytes, Reg scratch) {
+  if (bytes == 0) return;
+  if (fits_signed(bytes, 12)) {
+    b.addi(r, r, bytes);
+  } else {
+    b.li(scratch, bytes);
+    b.add(r, r, scratch);
+  }
+}
+
+// ------------------------------------------------------ level a direct ----
+
+void emit_direct(ProgramBuilder& b, const ConvLayout& L) {
+  RegPool pool;
+  const Reg rWrow = pool.alloc();
+  const Reg rWp = pool.alloc();
+  const Reg rBp = pool.alloc();
+  const Reg rOp = pool.alloc();
+  const Reg rOcCnt = pool.alloc();
+  const Reg rOyCnt = pool.alloc();
+  const Reg rOxCnt = pool.alloc();
+  const Reg rIcCnt = pool.alloc();
+  const Reg rKyCnt = pool.alloc();
+  const Reg rKxCnt = pool.alloc();
+  const Reg rInRow = pool.alloc();
+  const Reg rInPix = pool.alloc();
+  const Reg rInC = pool.alloc();
+  const Reg rInK = pool.alloc();
+  const Reg rAccA = pool.alloc();  // accumulator slot address
+  const Reg v1 = pool.alloc();
+  const Reg v2 = pool.alloc();
+  const Reg vT = pool.alloc();
+
+  b.li(rWrow, static_cast<int32_t>(L.fc.w_addr));
+  b.li(rBp, static_cast<int32_t>(L.fc.b_addr));
+  b.li(rOp, static_cast<int32_t>(L.out_addr));
+  b.li(rAccA, static_cast<int32_t>(L.fc.scratch_addr));
+  b.li(rOcCnt, L.out_ch);
+
+  auto oc_loop = b.make_label();
+  b.bind(oc_loop);
+  {
+    b.li(rInRow, static_cast<int32_t>(L.in_addr));
+    b.li(rOyCnt, L.out_h);
+    auto oy_loop = b.make_label();
+    b.bind(oy_loop);
+    {
+      b.mv(rInPix, rInRow);
+      b.li(rOxCnt, L.out_w);
+      auto ox_loop = b.make_label();
+      b.bind(ox_loop);
+      {
+        // acc slot = bias << 12
+        b.lh(vT, 0, rBp);
+        b.slli(vT, vT, 12);
+        b.sw(vT, 0, rAccA);
+        b.mv(rWp, rWrow);
+        b.mv(rInC, rInPix);
+        b.li(rIcCnt, L.in_ch);
+        auto ic_loop = b.make_label();
+        b.bind(ic_loop);
+        {
+          b.mv(rInK, rInC);
+          b.li(rKyCnt, L.kh);
+          auto ky_loop = b.make_label();
+          b.bind(ky_loop);
+          {
+            b.li(rKxCnt, L.kw);
+            auto kx_loop = b.make_label();
+            b.bind(kx_loop);
+            {
+              b.lh(v1, 0, rWp);
+              b.lh(v2, 0, rInK);
+              b.lw(vT, 0, rAccA);
+              b.p_mac(vT, v1, v2);
+              b.sw(vT, 0, rAccA);
+              b.addi(rWp, rWp, 2);
+              b.addi(rInK, rInK, 2);
+              b.addi(rKxCnt, rKxCnt, -1);
+              b.bne(rKxCnt, kZero, kx_loop);
+            }
+            advance(b, rInK, 2 * (L.in_w - L.kw), v1);
+            b.addi(rKyCnt, rKyCnt, -1);
+            b.bne(rKyCnt, kZero, ky_loop);
+          }
+          advance(b, rInC, 2 * L.in_h * L.in_w, v1);
+          b.addi(rIcCnt, rIcCnt, -1);
+          b.bne(rIcCnt, kZero, ic_loop);
+        }
+        // Requantize, clip, activate, store.
+        b.lw(vT, 0, rAccA);
+        b.srai(vT, vT, 12);
+        auto no_hi = b.make_label();
+        auto no_lo = b.make_label();
+        b.li(v1, 32767);
+        b.blt(vT, v1, no_hi);
+        b.mv(vT, v1);
+        b.bind(no_hi);
+        b.li(v1, -32768);
+        b.bge(vT, v1, no_lo);
+        b.mv(vT, v1);
+        b.bind(no_lo);
+        if (L.act == ActKind::kReLU) {
+          auto nonneg = b.make_label();
+          b.bge(vT, kZero, nonneg);
+          b.li(vT, 0);
+          b.bind(nonneg);
+        }
+        b.sh(vT, 0, rOp);
+        b.addi(rOp, rOp, 2);
+        b.addi(rInPix, rInPix, 2 * L.stride);
+        b.addi(rOxCnt, rOxCnt, -1);
+        b.bne(rOxCnt, kZero, ox_loop);
+      }
+      advance(b, rInRow, 2 * L.in_w * L.stride, v1);
+      b.addi(rOyCnt, rOyCnt, -1);
+      b.bne(rOyCnt, kZero, oy_loop);
+    }
+    advance(b, rBp, 2, v1);
+    advance(b, rWrow, 2 * L.kpad, v1);
+    b.addi(rOcCnt, rOcCnt, -1);
+    b.bne(rOcCnt, kZero, oc_loop);
+  }
+}
+
+// ----------------------------------------------- levels b+: im2col + FC ----
+
+void emit_im2col(ProgramBuilder& b, const ConvLayout& L) {
+  RegPool pool;
+  const Reg rIn = pool.alloc();
+  const Reg rCol = pool.alloc();
+  const Reg rOyCnt = pool.alloc();
+  const Reg rOwCnt = pool.alloc();
+  const Reg v = pool.alloc();
+  const Reg vT = pool.alloc();
+
+  b.li(rOwCnt, L.out_w);
+  // One generated copy loop per kernel element (host-unrolled over k).
+  for (int ic = 0; ic < L.in_ch; ++ic) {
+    for (int ky = 0; ky < L.kh; ++ky) {
+      for (int kx = 0; kx < L.kw; ++kx) {
+        const int krow = (ic * L.kh + ky) * L.kw + kx;
+        b.li(rIn, static_cast<int32_t>(L.in_addr +
+                                       2u * static_cast<uint32_t>(
+                                                (ic * L.in_h + ky) * L.in_w + kx)));
+        b.li(rCol, static_cast<int32_t>(L.col_addr + 2u * static_cast<uint32_t>(krow)));
+        b.li(rOyCnt, L.out_h);
+        auto oy_loop = b.make_label();
+        b.bind(oy_loop);
+        {
+          auto row_end = b.make_label();
+          b.lp_setup(0, rOwCnt, row_end);
+          b.p_lh(v, 2 * L.stride, rIn);
+          b.p_sh(v, 2 * L.kpad, rCol);
+          b.bind(row_end);
+          advance(b, rIn, 2 * (L.in_w * L.stride - L.out_w * L.stride), vT);
+          b.addi(rOyCnt, rOyCnt, -1);
+          b.bne(rOyCnt, kZero, oy_loop);
+        }
+      }
+    }
+  }
+}
+
+void emit_lowered(ProgramBuilder& b, const ConvLayout& L, const ConvEmitOptions& opt) {
+  emit_im2col(b, L);
+
+  RegPool pool;
+  const Reg rXpix = pool.alloc();
+  const Reg rOpix = pool.alloc();
+  const Reg rPcnt = pool.alloc();
+  const int pixels = L.out_h * L.out_w;
+
+  b.li(rXpix, static_cast<int32_t>(L.col_addr));
+  b.li(rOpix, static_cast<int32_t>(L.out_addr));
+  b.li(rPcnt, pixels);
+
+  auto pixel_loop = b.make_label();
+  b.bind(pixel_loop);
+  {
+    FcEmitOptions fc;
+    fc.level = opt.level;
+    fc.max_tile = opt.max_tile;
+    fc.x_base = rXpix;
+    fc.o_base = rOpix;
+    fc.o_stride = 2 * pixels;  // outputs are channel-major
+    fc.reserved = {rXpix, rOpix, rPcnt};
+    emit_fc(b, L.fc, fc);
+    b.addi(rXpix, rXpix, 2 * L.kpad);
+    b.addi(rOpix, rOpix, 2);
+    b.addi(rPcnt, rPcnt, -1);
+    b.bne(rPcnt, kZero, pixel_loop);
+  }
+}
+
+}  // namespace
+
+void emit_conv(ProgramBuilder& b, const ConvLayout& layout, const ConvEmitOptions& opt) {
+  if (opt.level == OptLevel::kBaseline) {
+    emit_direct(b, layout);
+  } else {
+    emit_lowered(b, layout, opt);
+  }
+}
+
+}  // namespace rnnasip::kernels

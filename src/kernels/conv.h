@@ -1,0 +1,48 @@
+// Convolution kernel generator.
+//
+// Level (a) runs a direct six-deep loop nest with the same naive
+// memory-accumulator discipline as the FC baseline. Levels (b)-(e) lower the
+// convolution with im2col (generated copy loops, one stream per kernel
+// element) into a matrix-matrix product and then reuse the FC emitter per
+// output pixel — the reformulation Sec. III-C attributes to prior work
+// [23], [24].
+//
+// Constraints of the generated code (checked): pad == 0, stride >= 1.
+// Weight rows are zero-padded to a multiple of 4 halfwords so the packed
+// levels (and input-FM tiling) apply; padded lanes multiply zeros and leave
+// results bit-exact vs the unpadded golden model.
+#pragma once
+
+#include "src/asm/builder.h"
+#include "src/kernels/fc.h"
+#include "src/kernels/layout.h"
+#include "src/kernels/opt_level.h"
+#include "src/nn/layers.h"
+
+namespace rnnasip::kernels {
+
+struct ConvLayout {
+  int in_ch = 0, out_ch = 0, kh = 0, kw = 0, stride = 1;
+  int in_h = 0, in_w = 0, out_h = 0, out_w = 0;
+  int k = 0;     ///< in_ch * kh * kw
+  int kpad = 0;  ///< k rounded up to a multiple of 4
+  nn::ActKind act = nn::ActKind::kNone;
+  uint32_t in_addr = 0;   ///< CHW int16 input
+  uint32_t out_addr = 0;  ///< CHW int16 output ([oc][oy][ox])
+  uint32_t col_addr = 0;  ///< im2col buffer, pixel-major P x kpad
+  /// FC view of the lowered conv: out_ch x kpad weights + bias.
+  FcLayout fc;
+};
+
+ConvLayout alloc_conv(DeviceAllocator& alloc, const nn::ConvParamsQ& params, int in_h,
+                      int in_w, uint32_t in_addr, uint32_t out_addr);
+
+struct ConvEmitOptions {
+  OptLevel level = OptLevel::kInputTiling;
+  int max_tile = 8;
+};
+
+void emit_conv(assembler::ProgramBuilder& b, const ConvLayout& layout,
+               const ConvEmitOptions& opt);
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,66 @@
+#include "src/kernels/copy.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+using assembler::Reg;
+using assembler::RegPool;
+using namespace isa;
+
+void emit_copy_halves(assembler::ProgramBuilder& b, OptLevel level, uint32_t src,
+                      uint32_t dst, int count) {
+  RNNASIP_CHECK(count > 0);
+  RegPool pool;
+  const Reg rS = pool.alloc();
+  const Reg rD = pool.alloc();
+  const Reg rC = pool.alloc();
+  const Reg v = pool.alloc();
+  b.li(rS, static_cast<int32_t>(src));
+  b.li(rD, static_cast<int32_t>(dst));
+  b.li(rC, count);
+  if (uses_xpulp(level)) {
+    auto end = b.make_label();
+    b.lp_setup(0, rC, end);
+    b.p_lh(v, 2, rS);
+    b.p_sh(v, 2, rD);
+    b.bind(end);
+  } else {
+    auto loop = b.make_label();
+    b.bind(loop);
+    b.lh(v, 0, rS);
+    b.sh(v, 0, rD);
+    b.addi(rS, rS, 2);
+    b.addi(rD, rD, 2);
+    b.addi(rC, rC, -1);
+    b.bne(rC, kZero, loop);
+  }
+}
+
+void emit_copy_halves_rr(assembler::ProgramBuilder& b, OptLevel level, Reg rS, Reg rD,
+                         int count, RegPool& pool) {
+  RNNASIP_CHECK(count > 0);
+  const Reg rC = pool.alloc();
+  const Reg v = pool.alloc();
+  b.li(rC, count);
+  if (uses_xpulp(level)) {
+    auto end = b.make_label();
+    b.lp_setup(0, rC, end);
+    b.p_lh(v, 2, rS);
+    b.p_sh(v, 2, rD);
+    b.bind(end);
+  } else {
+    auto loop = b.make_label();
+    b.bind(loop);
+    b.lh(v, 0, rS);
+    b.sh(v, 0, rD);
+    b.addi(rS, rS, 2);
+    b.addi(rD, rD, 2);
+    b.addi(rC, rC, -1);
+    b.bne(rC, kZero, loop);
+  }
+  pool.free(rC);
+  pool.free(v);
+}
+
+}  // namespace rnnasip::kernels

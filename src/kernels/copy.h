@@ -1,0 +1,27 @@
+// Halfword copy-loop emitter, shared by the recurrent layers (input
+// staging into the concatenated gate buffers).
+#pragma once
+
+#include <cstdint>
+
+#include "src/asm/builder.h"
+#include "src/kernels/opt_level.h"
+
+namespace rnnasip::kernels {
+
+/// Emit code copying `count` halfwords from `src` to `dst`. Uses a
+/// hardware loop with post-increment accesses at the Xpulp levels and a
+/// plain branch loop at the baseline level.
+void emit_copy_halves(assembler::ProgramBuilder& b, OptLevel level, uint32_t src,
+                      uint32_t dst, int count);
+
+/// Same, but source and destination come in caller-prepared registers,
+/// which are left advanced past the copied region (post-increment
+/// semantics). Scratch registers are drawn from the caller's `pool` so
+/// they cannot collide with the caller's other live registers. Used by the
+/// sequence runner, whose cursors live in memory slots around the copy.
+void emit_copy_halves_rr(assembler::ProgramBuilder& b, OptLevel level,
+                         assembler::Reg src, assembler::Reg dst, int count,
+                         assembler::RegPool& pool);
+
+}  // namespace rnnasip::kernels

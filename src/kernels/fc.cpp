@@ -1,0 +1,428 @@
+#include "src/kernels/fc.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+using assembler::ProgramBuilder;
+using assembler::Reg;
+using assembler::RegPool;
+using nn::ActKind;
+using namespace isa;
+
+FcLayout alloc_fc(DeviceAllocator& alloc, const nn::FcParamsQ& params, uint32_t x_addr,
+                  uint32_t o_addr, int frac_bits) {
+  RNNASIP_CHECK(params.w.rows == static_cast<int>(params.b.size()));
+  RNNASIP_CHECK(frac_bits >= 1 && frac_bits <= 14);
+  RNNASIP_CHECK_MSG(frac_bits == 12 || params.act == nn::ActKind::kNone ||
+                        params.act == nn::ActKind::kReLU,
+                    "tanh/sigmoid need the Q3.12 activation datapath");
+  FcLayout L;
+  L.frac_bits = frac_bits;
+  L.cin = params.w.cols;
+  L.cout = params.w.rows;
+  L.act = params.act;
+  L.x_addr = x_addr;
+  L.o_addr = o_addr;
+  // 8 bytes of slack for the pl.sdotsp SPR prefetch overrun (layout.h).
+  L.w_addr = alloc.alloc_halves(params.w.data, /*slack_bytes=*/8);
+  L.b_addr = alloc.alloc_halves(params.b);
+  L.scratch_addr = alloc.alloc(4);
+  return L;
+}
+
+namespace {
+
+/// Everything an emission pass needs.
+struct Ctx {
+  ProgramBuilder& b;
+  const FcLayout& L;
+  const FcEmitOptions& opt;
+  RegPool pool;
+};
+
+RegPool make_pool(const FcEmitOptions& opt, ActKind act) {
+  RegPool pool;
+  const bool needs_sw_act = !uses_hw_act(opt.level) &&
+                            (act == ActKind::kTanh || act == ActKind::kSigmoid);
+  if (needs_sw_act) {
+    RNNASIP_CHECK_MSG(opt.sw_act != nullptr,
+                      "tanh/sigmoid at level a/b needs SW activation routines");
+    // The routines clobber a0/t0/t1/t2 and use ra.
+    pool.reserve(kA0);
+    pool.reserve(kT0);
+    pool.reserve(kT1);
+    pool.reserve(kT2);
+  }
+  for (Reg r : opt.reserved) pool.reserve(r);
+  return pool;
+}
+
+/// Clip a 32-bit value into int16 range without p.clip (level a).
+void emit_clip16_manual(ProgramBuilder& b, Reg v, Reg scratch) {
+  auto no_hi = b.make_label();
+  auto no_lo = b.make_label();
+  b.li(scratch, 32767);
+  b.blt(v, scratch, no_hi);
+  b.mv(v, scratch);
+  b.bind(no_hi);
+  b.li(scratch, -32768);
+  b.bge(v, scratch, no_lo);
+  b.mv(v, scratch);
+  b.bind(no_lo);
+}
+
+/// Apply the layer activation to `v` in place.
+void emit_act(Ctx& s, Reg v, Reg scratch) {
+  switch (s.L.act) {
+    case ActKind::kNone:
+      return;
+    case ActKind::kReLU:
+      if (uses_xpulp(s.opt.level)) {
+        s.b.p_max(v, v, kZero);
+      } else {
+        auto nonneg = s.b.make_label();
+        s.b.bge(v, kZero, nonneg);
+        s.b.li(v, 0);
+        s.b.bind(nonneg);
+      }
+      return;
+    case ActKind::kTanh:
+    case ActKind::kSigmoid: {
+      const bool is_tanh = s.L.act == ActKind::kTanh;
+      if (uses_hw_act(s.opt.level)) {
+        if (is_tanh) {
+          s.b.pl_tanh(v, v);
+        } else {
+          s.b.pl_sig(v, v);
+        }
+      } else {
+        RNNASIP_CHECK(v != kA0);
+        s.b.mv(kA0, v);
+        s.b.jal(kRa, is_tanh ? s.opt.sw_act->tanh_label : s.opt.sw_act->sig_label);
+        s.b.mv(v, kA0);
+      }
+      (void)scratch;
+      return;
+    }
+  }
+}
+
+// ------------------------------------------------------------ level a ----
+
+void emit_level_a(Ctx& s) {
+  auto& b = s.b;
+  const auto& L = s.L;
+  const Reg rWp = s.pool.alloc();
+  const Reg rBp = s.pool.alloc();
+  const Reg rOp = s.pool.alloc();
+  const Reg rOcnt = s.pool.alloc();
+  const Reg rXp = s.pool.alloc();
+  const Reg rXe = s.pool.alloc();
+  const Reg rXbase = s.pool.alloc();
+  const Reg rW = s.pool.alloc();
+  const Reg rX = s.pool.alloc();
+  const Reg rT = s.pool.alloc();
+  const Reg rAcc = s.pool.alloc();  // address of the accumulator slot
+
+  b.li(rWp, static_cast<int32_t>(L.w_addr));
+  b.li(rBp, static_cast<int32_t>(L.b_addr));
+  if (s.opt.o_base) {
+    b.mv(rOp, *s.opt.o_base);
+  } else {
+    b.li(rOp, static_cast<int32_t>(L.o_addr));
+  }
+  if (s.opt.x_base) {
+    b.mv(rXbase, *s.opt.x_base);
+  } else {
+    b.li(rXbase, static_cast<int32_t>(L.x_addr));
+  }
+  b.li(rOcnt, L.cout);
+  b.li(rAcc, static_cast<int32_t>(L.scratch_addr));
+
+  auto outer = b.make_label();
+  b.bind(outer);
+  // Accumulator slot = bias << 12 (kept in memory, as in Table Ia).
+  b.lh(rT, 0, rBp);
+  b.slli(rT, rT, L.frac_bits);
+  b.sw(rT, 0, rAcc);
+  b.mv(rXp, rXbase);
+  b.addi(rXe, rXbase, 2 * L.cin);
+
+  auto inner = b.make_label();
+  b.bind(inner);
+  // Pointer increments sit between the loads and the mac so no load-use
+  // stall occurs — Table Ia shows lh and lw at exactly 1 cycle/instruction.
+  b.lh(rW, 0, rWp);
+  b.lh(rX, 0, rXp);
+  b.lw(rT, 0, rAcc);
+  b.addi(rWp, rWp, 2);
+  b.addi(rXp, rXp, 2);
+  b.p_mac(rT, rW, rX);  // the "mac" of Table Ia
+  b.sw(rT, 0, rAcc);
+  b.bltu(rXp, rXe, inner);
+
+  // Requantize, clip, activate, store.
+  b.lw(rT, 0, rAcc);
+  b.srai(rT, rT, L.frac_bits);
+  emit_clip16_manual(b, rT, rX);
+  emit_act(s, rT, rX);
+  b.sh(rT, 0, rOp);
+  b.addi(rOp, rOp, s.opt.o_stride);
+  b.addi(rBp, rBp, 2);
+  b.addi(rOcnt, rOcnt, -1);
+  b.bne(rOcnt, kZero, outer);
+
+  for (Reg r : {rWp, rBp, rOp, rOcnt, rXp, rXe, rXbase, rW, rX, rT, rAcc}) s.pool.free(r);
+}
+
+// ------------------------------------------------------------ level b ----
+
+void emit_level_b(Ctx& s) {
+  auto& b = s.b;
+  const auto& L = s.L;
+  RNNASIP_CHECK_MSG(L.cin % 2 == 0, "SIMD levels require an even input count");
+  const Reg rWp = s.pool.alloc();
+  const Reg rBp = s.pool.alloc();
+  const Reg rOp = s.pool.alloc();
+  const Reg rOcnt = s.pool.alloc();
+  const Reg rXp = s.pool.alloc();
+  const Reg rXbase = s.pool.alloc();
+  const Reg rCnt = s.pool.alloc();
+  const Reg rW = s.pool.alloc();
+  const Reg rX = s.pool.alloc();
+  const Reg rAcc = s.pool.alloc();
+
+  b.li(rWp, static_cast<int32_t>(L.w_addr));
+  b.li(rBp, static_cast<int32_t>(L.b_addr));
+  if (s.opt.o_base) {
+    b.mv(rOp, *s.opt.o_base);
+  } else {
+    b.li(rOp, static_cast<int32_t>(L.o_addr));
+  }
+  if (s.opt.x_base) {
+    b.mv(rXbase, *s.opt.x_base);
+  } else {
+    b.li(rXbase, static_cast<int32_t>(L.x_addr));
+  }
+  b.li(rCnt, L.cin / 2);
+  b.li(rOcnt, L.cout);
+
+  auto outer_end = b.make_label();
+  auto inner_end = b.make_label();
+  b.lp_setup(1, rOcnt, outer_end);
+  {
+    b.p_lh(rAcc, 2, rBp);   // bias
+    b.mv(rXp, rXbase);      // (also separates the load from the shift)
+    b.slli(rAcc, rAcc, L.frac_bits);
+    b.lp_setup(0, rCnt, inner_end);
+    {
+      b.p_lw(rW, 4, rWp);
+      b.p_lw(rX, 4, rXp);
+      b.pv_sdotsp_h(rAcc, rW, rX);
+    }
+    b.bind(inner_end);
+    b.srai(rAcc, rAcc, L.frac_bits);
+    b.p_clip(rAcc, rAcc, 16);
+    emit_act(s, rAcc, rW);
+    b.p_sh(rAcc, s.opt.o_stride, rOp);
+  }
+  b.bind(outer_end);
+
+  for (Reg r : {rWp, rBp, rOp, rOcnt, rXp, rXbase, rCnt, rW, rX, rAcc}) s.pool.free(r);
+}
+
+// -------------------------------------------------------- levels c/d/e ----
+
+/// Which inner-loop schedule a tiled block uses.
+enum class TiledBody { kSimd, kLoadCompute, kInputTiling };
+
+struct TiledRegs {
+  Reg rBp, rOp, rXp, rX0, rT, rWbase, rCnt;
+  Reg rX1 = 0;           // level e only
+  Reg rXbase = 0;        // only when no x_base register was supplied
+  std::vector<Reg> accs;
+  std::vector<Reg> wptrs;
+  std::vector<Reg> wregs;  // level c pipeline registers
+};
+
+int fixed_reg_count(const FcEmitOptions& opt) {
+  int f = 7;  // rBp rOp rXp rX0 rT rWbase rCnt
+  if (!opt.x_base) ++f;
+  if (opt.level == OptLevel::kInputTiling) ++f;
+  return f;
+}
+
+/// One tiled block: `tiles` tiles of `n` outputs each.
+void emit_tiled_block(Ctx& s, TiledRegs& r, int n, int tiles, TiledBody body) {
+  if (tiles == 0 || n == 0) return;
+  auto& b = s.b;
+  const auto& L = s.L;
+  const int row_bytes = 2 * L.cin;
+  RNNASIP_CHECK_MSG(row_bytes <= 2047, "weight row exceeds addi range");
+  RNNASIP_CHECK(L.cin % 2 == 0);
+  if (body == TiledBody::kInputTiling) RNNASIP_CHECK(L.cin % 4 == 0);
+  if (body != TiledBody::kSimd) RNNASIP_CHECK(n % 2 == 0);
+
+  b.li(r.rCnt, body == TiledBody::kInputTiling ? L.cin / 4 : L.cin / 2);
+  b.li(r.rT, tiles);
+
+  auto block_end = b.make_label();
+  b.lp_setup(1, r.rT, block_end);
+  {
+    // Tile setup: per-output weight pointers, then bias preloads.
+    b.mv(r.wptrs[0], r.rWbase);
+    for (int j = 1; j < n; ++j) b.addi(r.wptrs[j], r.wptrs[j - 1], row_bytes);
+    b.addi(r.rWbase, r.wptrs[n - 1], row_bytes);
+    for (int j = 0; j < n; ++j) b.p_lh(r.accs[j], 2, r.rBp);
+    for (int j = 0; j < n; ++j) b.slli(r.accs[j], r.accs[j], L.frac_bits);
+    b.mv(r.rXp, s.opt.x_base ? *s.opt.x_base : r.rXbase);
+
+    auto inner_end = b.make_label();
+    if (body == TiledBody::kSimd) {
+      // Software-pipelined weight loads: 3 rotating registers keep every
+      // load at least two slots ahead of its consumer.
+      const int w = static_cast<int>(r.wregs.size());
+      b.lp_setup(0, r.rCnt, inner_end);
+      b.p_lw(r.rX0, 4, r.rXp);
+      b.p_lw(r.wregs[0], 4, r.wptrs[0]);
+      if (n > 1) b.p_lw(r.wregs[1 % w], 4, r.wptrs[1]);
+      for (int k = 0; k < n; ++k) {
+        if (k + 2 < n) b.p_lw(r.wregs[(k + 2) % w], 4, r.wptrs[k + 2]);
+        b.pv_sdotsp_h(r.accs[k], r.wregs[k % w], r.rX0);
+      }
+      b.bind(inner_end);
+    } else {
+      // Preload the two SPRs from the first two weight streams (Table II
+      // lines 1-2); rd = x0 discards the stale accumulate.
+      b.pl_sdotsp_h(0, kZero, r.wptrs[0], kZero);
+      b.pl_sdotsp_h(1, kZero, r.wptrs[1], kZero);
+      b.lp_setup(0, r.rCnt, inner_end);
+      b.p_lw(r.rX0, 4, r.rXp);
+      if (body == TiledBody::kInputTiling) b.p_lw(r.rX1, 4, r.rXp);
+      // Each instruction accumulates output j from its SPR while fetching
+      // for output (j+2) mod n — the rA2/rA3/rA0/rA1 pattern of Table II.
+      for (int j = 0; j < n; ++j)
+        b.pl_sdotsp_h(j % 2, r.accs[j], r.wptrs[(j + 2) % n], r.rX0);
+      if (body == TiledBody::kInputTiling) {
+        for (int j = 0; j < n; ++j)
+          b.pl_sdotsp_h(j % 2, r.accs[j], r.wptrs[(j + 2) % n], r.rX1);
+      }
+      b.bind(inner_end);
+      // The SPRs still hold one prefetched word each; rewind the two
+      // pointers the prologue advanced so the next tile starts clean.
+      // (Pointer positions are recomputed from rWbase anyway.)
+    }
+
+    // Epilogue: requantize, clip, activate, store.
+    for (int j = 0; j < n; ++j) b.srai(r.accs[j], r.accs[j], L.frac_bits);
+    for (int j = 0; j < n; ++j) b.p_clip(r.accs[j], r.accs[j], 16);
+    for (int j = 0; j < n; ++j) emit_act(s, r.accs[j], r.rT);
+    for (int j = 0; j < n; ++j) b.p_sh(r.accs[j], s.opt.o_stride, r.rOp);
+  }
+  b.bind(block_end);
+}
+
+void emit_tiled(Ctx& s) {
+  auto& b = s.b;
+  const auto& L = s.L;
+  const int n = fc_tile_size(L, s.opt);
+  const bool simd_only = s.opt.level == OptLevel::kOutputTiling;
+
+  TiledRegs r;
+  r.rBp = s.pool.alloc();
+  r.rOp = s.pool.alloc();
+  r.rXp = s.pool.alloc();
+  r.rX0 = s.pool.alloc();
+  r.rT = s.pool.alloc();
+  r.rWbase = s.pool.alloc();
+  r.rCnt = s.pool.alloc();
+  if (s.opt.level == OptLevel::kInputTiling) r.rX1 = s.pool.alloc();
+  if (!s.opt.x_base) r.rXbase = s.pool.alloc();
+  for (int j = 0; j < n; ++j) r.accs.push_back(s.pool.alloc());
+  for (int j = 0; j < n; ++j) r.wptrs.push_back(s.pool.alloc());
+  // A single-output "tile" cannot alternate the two SPRs; it runs the
+  // pv.sdotsp pipeline instead.
+  const bool main_is_simd = simd_only || n < 2;
+  if (main_is_simd) {
+    const int w = std::min(n, 3);
+    for (int j = 0; j < w; ++j) r.wregs.push_back(s.pool.alloc());
+  }
+
+  b.li(r.rWbase, static_cast<int32_t>(L.w_addr));
+  b.li(r.rBp, static_cast<int32_t>(L.b_addr));
+  if (s.opt.o_base) {
+    b.mv(r.rOp, *s.opt.o_base);
+  } else {
+    b.li(r.rOp, static_cast<int32_t>(L.o_addr));
+  }
+  if (!s.opt.x_base) b.li(r.rXbase, static_cast<int32_t>(L.x_addr));
+
+  const TiledBody main_body =
+      main_is_simd ? TiledBody::kSimd
+                   : (s.opt.level == OptLevel::kInputTiling && L.cin % 4 == 0
+                          ? TiledBody::kInputTiling
+                          : TiledBody::kLoadCompute);
+
+  const int tiles = L.cout / n;
+  const int tail = L.cout % n;
+  emit_tiled_block(s, r, n, tiles, main_body);
+  if (tail > 0) {
+    // Tail tile: the pl.sdotsp schedule needs an even tile, so an odd tail
+    // falls back to the pv.sdotsp pipeline (it is a handful of outputs).
+    const TiledBody tail_body =
+        (!simd_only && tail % 2 == 0) ? main_body : TiledBody::kSimd;
+    if (tail_body == TiledBody::kSimd && r.wregs.empty()) {
+      const int w = std::min(tail, 3);
+      for (int j = 0; j < w; ++j) r.wregs.push_back(s.pool.alloc());
+    }
+    emit_tiled_block(s, r, tail, 1, tail_body);
+  }
+
+  for (Reg reg : {r.rBp, r.rOp, r.rXp, r.rX0, r.rT, r.rWbase, r.rCnt}) s.pool.free(reg);
+  if (r.rX1 != 0) s.pool.free(r.rX1);
+  if (r.rXbase != 0) s.pool.free(r.rXbase);
+  for (Reg reg : r.accs) s.pool.free(reg);
+  for (Reg reg : r.wptrs) s.pool.free(reg);
+  for (Reg reg : r.wregs) s.pool.free(reg);
+}
+
+}  // namespace
+
+int fc_tile_size(const FcLayout& L, const FcEmitOptions& opt) {
+  if (opt.level < OptLevel::kOutputTiling) return 1;
+  RegPool pool = make_pool(opt, L.act);
+  const int avail = pool.available();
+  const int fixed = fixed_reg_count(opt);
+  for (int n = std::min(opt.max_tile, L.cout); n >= 1; --n) {
+    if (opt.level != OptLevel::kOutputTiling && n > 1 && n % 2 != 0) continue;
+    int wregs = opt.level == OptLevel::kOutputTiling || n < 2 ? std::min(n, 3) : 0;
+    // An odd tail falls back to the pv.sdotsp pipeline, which needs its own
+    // rotating weight registers on top of the main allocation.
+    const int tail = L.cout % n;
+    if (wregs == 0 && tail > 0 && tail % 2 != 0) wregs = std::min(tail, 3);
+    if (fixed + wregs + 2 * n <= avail) return std::max(n, 1);
+  }
+  return 1;
+}
+
+void emit_fc(ProgramBuilder& b, const FcLayout& layout, const FcEmitOptions& opt) {
+  RNNASIP_CHECK(layout.cin > 0 && layout.cout > 0);
+  Ctx s{b, layout, opt, make_pool(opt, layout.act)};
+  switch (opt.level) {
+    case OptLevel::kBaseline:
+      emit_level_a(s);
+      return;
+    case OptLevel::kXpulpSimd:
+      emit_level_b(s);
+      return;
+    case OptLevel::kOutputTiling:
+    case OptLevel::kLoadCompute:
+    case OptLevel::kInputTiling:
+      emit_tiled(s);
+      return;
+  }
+  RNNASIP_CHECK(false);
+}
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,77 @@
+// Fully-connected (matrix-vector) kernel generator — the paper's central
+// kernel (Alg. 1 and Table II), implemented at every optimization level.
+//
+// All levels compute bit-identical results:
+//   acc(int32, wrapping) = bias << 12; acc += w*x ...; out = clip16(acc >> 12)
+//   followed by the layer activation.
+//
+// Level-specific schedules (see opt_level.h):
+//   a: lh/lh/lw/mac/sw/addi/addi/bltu per MAC, accumulator in memory.
+//   b: hardware loop over packed pairs: p.lw w / p.lw x / pv.sdotsp.h.
+//   c: N-output tile, one shared x load per pair, software-pipelined weight
+//      loads (3 rotating registers keep every load >= 2 slots from its use).
+//   d: pl.sdotsp.h.{0,1} fold the weight loads into the MACs; the two SPRs
+//      serve even/odd tile outputs, each instruction advancing the pointer
+//      of output (j+2) mod N (exactly Table II's rA2/rA3/rA0/rA1 pattern).
+//   e: two x words per iteration, removing the level-d load bubble.
+#pragma once
+
+#include <optional>
+
+#include "src/asm/builder.h"
+#include "src/kernels/act_routines.h"
+#include "src/kernels/layout.h"
+#include "src/kernels/opt_level.h"
+#include "src/nn/layers.h"
+
+namespace rnnasip::kernels {
+
+/// Device addresses of one FC layer's data.
+struct FcLayout {
+  uint32_t w_addr = 0;  ///< cout x cin, int16 row-major (+8 B SPR slack)
+  uint32_t b_addr = 0;  ///< cout x int16
+  uint32_t x_addr = 0;  ///< cin x int16 (ignored when x_base reg supplied)
+  uint32_t o_addr = 0;  ///< cout x int16 (ignored when o_base reg supplied)
+  uint32_t scratch_addr = 0;  ///< 4-byte accumulator slot (level a)
+  int cin = 0;
+  int cout = 0;
+  nn::ActKind act = nn::ActKind::kNone;
+  /// Fractional bits of the data format (requantization shift). 12 = the
+  /// paper's Q3.12. Other formats support kNone/kReLU activations only
+  /// (the PLA unit is a Q3.12 datapath); bench_qformat sweeps this.
+  int frac_bits = 12;
+};
+
+/// Write the layer parameters into device memory and return its layout.
+/// `x_addr`/`o_addr` connect the layer into the network's buffer chain.
+FcLayout alloc_fc(DeviceAllocator& alloc, const nn::FcParamsQ& params, uint32_t x_addr,
+                  uint32_t o_addr, int frac_bits = 12);
+
+struct FcEmitOptions {
+  OptLevel level = OptLevel::kInputTiling;
+  /// SW activation routines; required when level < kOutputTiling and the
+  /// layer activation is tanh or sigmoid.
+  const ActRoutines* sw_act = nullptr;
+  /// Upper bound on the output tile size N (levels c-e). The emitter lowers
+  /// it to what the register file can hold.
+  int max_tile = 8;
+  /// When set, the input vector base is taken from this register instead of
+  /// layout.x_addr (used by the conv kernel's per-pixel matvec). The
+  /// register must survive the call unchanged.
+  std::optional<assembler::Reg> x_base;
+  /// When set, outputs are stored from this base register.
+  std::optional<assembler::Reg> o_base;
+  /// Byte stride between consecutive outputs (conv stores channel-major).
+  int o_stride = 2;
+  /// Registers the emitter must not allocate (callers' live values).
+  std::vector<assembler::Reg> reserved;
+};
+
+/// Emit code computing o = act(b + W x) at the requested level.
+void emit_fc(assembler::ProgramBuilder& b, const FcLayout& layout,
+             const FcEmitOptions& opt);
+
+/// The tile size emit_fc will actually use (exposed for tests/benches).
+int fc_tile_size(const FcLayout& layout, const FcEmitOptions& opt);
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,113 @@
+#include "src/kernels/fc8.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+using assembler::ProgramBuilder;
+using assembler::Reg;
+using assembler::RegPool;
+using nn::ActKind;
+using namespace isa;
+
+Fc8Layout alloc_fc8(DeviceAllocator& alloc, const nn::FcParams8& p, uint32_t x_addr,
+                    uint32_t o_addr) {
+  RNNASIP_CHECK_MSG(p.w.cols % 4 == 0, "INT8 kernel needs cin % 4 == 0");
+  RNNASIP_CHECK(p.act == ActKind::kNone || p.act == ActKind::kReLU);
+  RNNASIP_CHECK_MSG(p.w.cols <= 2047, "weight row exceeds addi range");
+  Fc8Layout L;
+  L.cin = p.w.cols;
+  L.cout = p.w.rows;
+  L.act = p.act;
+  L.x_addr = x_addr;
+  L.o_addr = o_addr;
+  std::vector<uint8_t> wbytes(p.w.data.size());
+  for (size_t i = 0; i < p.w.data.size(); ++i)
+    wbytes[i] = static_cast<uint8_t>(p.w.data[i]);
+  L.w_addr = alloc.alloc_bytes(wbytes, /*slack_bytes=*/8);
+  std::vector<uint8_t> bbytes(p.b.size());
+  for (size_t i = 0; i < p.b.size(); ++i) bbytes[i] = static_cast<uint8_t>(p.b[i]);
+  L.b_addr = alloc.alloc_bytes(bbytes, /*slack_bytes=*/4);
+  return L;
+}
+
+void emit_fc8(ProgramBuilder& b, const Fc8Layout& L, int max_tile) {
+  RNNASIP_CHECK(L.cin % 4 == 0 && L.cout > 0);
+  RegPool pool;
+  // Fixed registers: rBp rOp rXp rXbase rCnt rX rWbase rT plus tile regs.
+  const int fixed = 8;
+  int n = 1;
+  for (int cand = std::min(max_tile, L.cout); cand >= 1; --cand) {
+    if (fixed + std::min(cand, 3) + 2 * cand <= pool.available()) {
+      n = cand;
+      break;
+    }
+  }
+
+  const Reg rBp = pool.alloc();
+  const Reg rOp = pool.alloc();
+  const Reg rXp = pool.alloc();
+  const Reg rXbase = pool.alloc();
+  const Reg rCnt = pool.alloc();
+  const Reg rX = pool.alloc();
+  const Reg rWbase = pool.alloc();
+  const Reg rT = pool.alloc();
+  std::vector<Reg> accs, wptrs, wregs;
+  for (int j = 0; j < n; ++j) accs.push_back(pool.alloc());
+  for (int j = 0; j < n; ++j) wptrs.push_back(pool.alloc());
+  for (int j = 0; j < std::min(n, 3); ++j) wregs.push_back(pool.alloc());
+  const int w = static_cast<int>(wregs.size());
+
+  b.li(rBp, static_cast<int32_t>(L.b_addr));
+  b.li(rOp, static_cast<int32_t>(L.o_addr));
+  b.li(rXbase, static_cast<int32_t>(L.x_addr));
+  b.li(rCnt, L.cin / 4);
+
+  const int row_bytes = L.cin;
+  uint32_t wbase = L.w_addr;
+  auto emit_block = [&](int nt, int tiles, uint32_t block_wbase) {
+    if (tiles == 0) return;
+    b.li(rWbase, static_cast<int32_t>(block_wbase));
+    b.li(rT, tiles);
+    auto block_end = b.make_label();
+    b.lp_setup(1, rT, block_end);
+    {
+      b.mv(wptrs[0], rWbase);
+      for (int j = 1; j < nt; ++j) b.addi(wptrs[j], wptrs[j - 1], row_bytes);
+      b.addi(rWbase, wptrs[nt - 1], row_bytes);
+      for (int j = 0; j < nt; ++j) b.p_lb(accs[j], 1, rBp);
+      for (int j = 0; j < nt; ++j) b.slli(accs[j], accs[j], 6);
+      b.mv(rXp, rXbase);
+      auto inner_end = b.make_label();
+      b.lp_setup(0, rCnt, inner_end);
+      {
+        b.p_lw(rX, 4, rXp);  // 4 int8 channels
+        b.p_lw(wregs[0], 4, wptrs[0]);
+        if (nt > 1) b.p_lw(wregs[1 % w], 4, wptrs[1]);
+        for (int k = 0; k < nt; ++k) {
+          if (k + 2 < nt) b.p_lw(wregs[(k + 2) % w], 4, wptrs[k + 2]);
+          b.pv_sdotsp_b(accs[k], wregs[k % w], rX);
+        }
+      }
+      b.bind(inner_end);
+      for (int j = 0; j < nt; ++j) b.srai(accs[j], accs[j], 6);
+      for (int j = 0; j < nt; ++j) b.p_clip(accs[j], accs[j], 8);
+      if (L.act == ActKind::kReLU) {
+        for (int j = 0; j < nt; ++j) b.p_max(accs[j], accs[j], kZero);
+      }
+      for (int j = 0; j < nt; ++j) b.p_sb(accs[j], 1, rOp);
+    }
+    b.bind(block_end);
+  };
+
+  const int tiles = L.cout / n;
+  const int tail = L.cout % n;
+  emit_block(n, tiles, wbase);
+  if (tail > 0) {
+    emit_block(tail, 1,
+               wbase + static_cast<uint32_t>(tiles) * static_cast<uint32_t>(n) *
+                           static_cast<uint32_t>(row_bytes));
+  }
+}
+
+}  // namespace rnnasip::kernels

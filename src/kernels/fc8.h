@@ -1,0 +1,34 @@
+// INT8 FC kernel — the paper's "even eight and fewer bits" direction [27],
+// expressed with the Xpulp byte-SIMD dot product: pv.sdotsp.b retires
+// 4 MACs per cycle, doubling the 16-bit peak at the cost of Q1.6
+// quantization error (bench_int8 quantifies the trade).
+//
+// Schedule mirrors the 16-bit output-FM-tiled kernel (level c): N outputs
+// share each 4-channel input word, weight loads run through a rotating
+// register pipeline, and the epilogue requantizes with srai 6 + clip8.
+#pragma once
+
+#include "src/asm/builder.h"
+#include "src/kernels/layout.h"
+#include "src/nn/layers.h"
+
+namespace rnnasip::kernels {
+
+struct Fc8Layout {
+  uint32_t w_addr = 0;  ///< cout x cin int8 row-major (+8 B slack)
+  uint32_t b_addr = 0;  ///< cout int8
+  uint32_t x_addr = 0;  ///< cin int8
+  uint32_t o_addr = 0;  ///< cout int8
+  int cin = 0;          ///< must be a multiple of 4
+  int cout = 0;
+  nn::ActKind act = nn::ActKind::kNone;  ///< kNone or kReLU
+};
+
+Fc8Layout alloc_fc8(DeviceAllocator& alloc, const nn::FcParams8& params, uint32_t x_addr,
+                    uint32_t o_addr);
+
+/// Emit o = act(b + W x) on int8 data. Requires the Xpulp SIMD (no level
+/// parameter: the INT8 path presumes it).
+void emit_fc8(assembler::ProgramBuilder& b, const Fc8Layout& layout, int max_tile = 8);
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,211 @@
+#include "src/kernels/fc_batch.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+using assembler::ProgramBuilder;
+using assembler::Reg;
+using assembler::RegPool;
+using nn::ActKind;
+using namespace isa;
+
+FcBatchLayout alloc_fc_batch(DeviceAllocator& alloc, const nn::FcParamsQ& params,
+                             int batch, uint32_t x_addr, uint32_t o_addr) {
+  RNNASIP_CHECK(batch >= 1);
+  FcBatchLayout L;
+  L.fc = alloc_fc(alloc, params, x_addr, o_addr);
+  L.batch = batch;
+  L.x_addr = x_addr;
+  L.o_addr = o_addr;
+  return L;
+}
+
+namespace {
+
+/// Fixed register need besides the n*bt accumulators, n weight pointers,
+/// bt x pointers, bt x registers, bt output pointers and 2 rotation regs:
+/// bias ptr, weight base, x group base, group counter, inner count, scratch.
+constexpr int kMiscRegs = 6;
+
+int regs_needed(int n, int bt) { return n * bt + n + 3 * bt + 2 + kMiscRegs; }
+
+}  // namespace
+
+std::pair<int, int> fc_batch_tile(const FcBatchLayout& L, const FcBatchEmitOptions& opt) {
+  RegPool pool;
+  const int avail = pool.available();
+  int best_n = 1, best_b = 2;
+  double best_score = 0;
+  for (int n = 1; n <= std::min(opt.max_out_tile, L.fc.cout); ++n) {
+    for (int bt = 2; bt <= std::min(opt.max_batch_tile, L.batch); ++bt) {
+      if (regs_needed(n, bt) > avail) continue;
+      // MACs per load: maximize 2nb/(n+b).
+      const double score = 2.0 * n * bt / (n + bt);
+      if (score > best_score) {
+        best_score = score;
+        best_n = n;
+        best_b = bt;
+      }
+    }
+  }
+  RNNASIP_CHECK_MSG(best_score > 0, "batch kernel needs batch >= 2 and registers");
+  return {best_n, best_b};
+}
+
+namespace {
+
+struct BatchRegs {
+  Reg rBp, rWbase, rXgrp, rGrpCnt, rCnt, rT;
+  std::vector<Reg> accs;   // n * bt, index j*bt + b
+  std::vector<Reg> wptrs;  // n
+  std::vector<Reg> xptrs;  // bt
+  std::vector<Reg> xregs;  // bt
+  std::vector<Reg> optrs;  // bt
+  Reg wrot[2];
+};
+
+void emit_act_hw(ProgramBuilder& b, ActKind act, Reg v) {
+  switch (act) {
+    case ActKind::kNone:
+      return;
+    case ActKind::kReLU:
+      b.p_max(v, v, kZero);
+      return;
+    case ActKind::kTanh:
+      b.pl_tanh(v, v);
+      return;
+    case ActKind::kSigmoid:
+      b.pl_sig(v, v);
+      return;
+  }
+}
+
+/// One block of `tiles` output tiles x `bt` batch columns inside the
+/// current batch group. Weight pipeline: lead-1 with two rotation
+/// registers — the bt >= 2 sdot burst between a load and its use hides the
+/// latency (see fc_batch.h).
+void emit_block(ProgramBuilder& b, const FcBatchLayout& L, const BatchRegs& r, int n,
+                int bt, int tiles) {
+  if (tiles == 0) return;
+  const int row_bytes = 2 * L.fc.cin;
+  b.li(r.rT, tiles);
+  auto block_end = b.make_label();
+  b.lp_setup(1, r.rT, block_end);
+  {
+    // Weight pointers for the tile; advance the base for the next one.
+    b.mv(r.wptrs[0], r.rWbase);
+    for (int j = 1; j < n; ++j) b.addi(r.wptrs[j], r.wptrs[j - 1], row_bytes);
+    b.addi(r.rWbase, r.wptrs[n - 1], row_bytes);
+    // Bias into every accumulator of the tile row, stall-free ordering.
+    for (int j = 0; j < n; ++j) b.p_lh(r.accs[j * bt], 2, r.rBp);
+    for (int j = 0; j < n; ++j) b.slli(r.accs[j * bt], r.accs[j * bt], 12);
+    for (int j = 0; j < n; ++j) {
+      for (int bb = 1; bb < bt; ++bb) b.mv(r.accs[j * bt + bb], r.accs[j * bt]);
+    }
+    // Reset the x pointers to the group base.
+    b.mv(r.xptrs[0], r.rXgrp);
+    for (int bb = 1; bb < bt; ++bb) b.addi(r.xptrs[bb], r.xptrs[bb - 1], row_bytes);
+
+    auto inner_end = b.make_label();
+    b.lp_setup(0, r.rCnt, inner_end);
+    {
+      // Intra-iteration lead-1 weight pipeline: w_{j+1} loads while the
+      // bt-deep sdot burst of w_j executes, so no load ever stalls
+      // (bt >= 2 guarantees the 2-slot gap).
+      b.p_lw(r.wrot[0], 4, r.wptrs[0]);
+      for (int bb = 0; bb < bt; ++bb) b.p_lw(r.xregs[bb], 4, r.xptrs[bb]);
+      for (int j = 0; j < n; ++j) {
+        if (j + 1 < n) b.p_lw(r.wrot[(j + 1) % 2], 4, r.wptrs[j + 1]);
+        for (int bb = 0; bb < bt; ++bb) {
+          b.pv_sdotsp_h(r.accs[j * bt + bb], r.wrot[j % 2], r.xregs[bb]);
+        }
+      }
+    }
+    b.bind(inner_end);
+
+    // Requantize, clip, activate, store (batch-major outputs).
+    for (int j = 0; j < n; ++j)
+      for (int bb = 0; bb < bt; ++bb) b.srai(r.accs[j * bt + bb], r.accs[j * bt + bb], 12);
+    for (int j = 0; j < n; ++j)
+      for (int bb = 0; bb < bt; ++bb) b.p_clip(r.accs[j * bt + bb], r.accs[j * bt + bb], 16);
+    for (int j = 0; j < n; ++j)
+      for (int bb = 0; bb < bt; ++bb) emit_act_hw(b, L.fc.act, r.accs[j * bt + bb]);
+    for (int bb = 0; bb < bt; ++bb) {
+      for (int j = 0; j < n; ++j) b.p_sh(r.accs[j * bt + bb], 2, r.optrs[bb]);
+    }
+  }
+  b.bind(block_end);
+}
+
+}  // namespace
+
+void emit_fc_batch(ProgramBuilder& b, const FcBatchLayout& L,
+                   const FcBatchEmitOptions& opt) {
+  RNNASIP_CHECK_MSG(opt.level >= OptLevel::kOutputTiling,
+                    "batched kernel builds on shared loads (level c+)");
+  RNNASIP_CHECK(L.fc.cin % 2 == 0);
+  RNNASIP_CHECK_MSG(2 * L.fc.cin <= 2047, "weight row exceeds addi range");
+  const auto [n, bt] = fc_batch_tile(L, opt);
+
+  const int groups = L.batch / bt;
+
+
+  if (groups > 0) {
+    RegPool pool;
+    BatchRegs r;
+    r.rBp = pool.alloc();
+    r.rWbase = pool.alloc();
+    r.rXgrp = pool.alloc();
+    r.rGrpCnt = pool.alloc();
+    r.rCnt = pool.alloc();
+    r.rT = pool.alloc();
+    for (int i = 0; i < n * bt; ++i) r.accs.push_back(pool.alloc());
+    for (int i = 0; i < n; ++i) r.wptrs.push_back(pool.alloc());
+    for (int i = 0; i < bt; ++i) r.xptrs.push_back(pool.alloc());
+    for (int i = 0; i < bt; ++i) r.xregs.push_back(pool.alloc());
+    for (int i = 0; i < bt; ++i) r.optrs.push_back(pool.alloc());
+    r.wrot[0] = pool.alloc();
+    r.wrot[1] = pool.alloc();
+
+    b.li(r.rXgrp, static_cast<int32_t>(L.x_addr));
+    b.li(r.rCnt, L.fc.cin / 2);
+    b.li(r.rGrpCnt, groups);
+    // Output pointers advance tile by tile across the whole group loop.
+    b.li(r.optrs[0], static_cast<int32_t>(L.o_addr));
+    for (int bb = 1; bb < bt; ++bb) {
+      b.addi(r.optrs[bb], r.optrs[bb - 1], 2 * L.fc.cout);
+    }
+
+    auto group_loop = b.make_label();
+    b.bind(group_loop);
+    {
+      b.li(r.rBp, static_cast<int32_t>(L.fc.b_addr));
+      b.li(r.rWbase, static_cast<int32_t>(L.fc.w_addr));
+      emit_block(b, L, r, n, bt, L.fc.cout / n);
+      if (L.fc.cout % n != 0) emit_block(b, L, r, L.fc.cout % n, bt, 1);
+      // Advance the group bases: x by bt rows, o by the bt-1 rows the
+      // per-tile stores did not cover.
+      for (int i = 0; i < bt; ++i) b.addi(r.rXgrp, r.rXgrp, 2 * L.fc.cin);
+      for (int bb = 0; bb < bt; ++bb) {
+        for (int i = 0; i < bt - 1; ++i) b.addi(r.optrs[bb], r.optrs[bb], 2 * L.fc.cout);
+      }
+      b.addi(r.rGrpCnt, r.rGrpCnt, -1);
+      b.bne(r.rGrpCnt, kZero, group_loop);
+    }
+  }
+
+  // Leftover samples run the unbatched kernel.
+  for (int s = groups * bt; s < L.batch; ++s) {
+    FcLayout single = L.fc;
+    single.x_addr = L.x_addr + static_cast<uint32_t>(2 * s * L.fc.cin);
+    single.o_addr = L.o_addr + static_cast<uint32_t>(2 * s * L.fc.cout);
+    FcEmitOptions fo;
+    fo.level = opt.level;
+    fo.max_tile = 8;
+    emit_fc(b, single, fo);
+  }
+
+}
+
+}  // namespace rnnasip::kernels

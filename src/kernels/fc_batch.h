@@ -1,0 +1,51 @@
+// Batched FC kernel: two-dimensional (input x output) tiling.
+//
+// Sec. II-A of the paper notes that im2col-style m x n tiling cuts loads
+// from O(mn) to O(m+n) but "cannot be applied to (non-convolutional) LSTMs
+// and Linear Layers" — because single-sample RRM inference has no second
+// matrix dimension to tile over. Batched inference (several users /
+// antennas / beams per scheduling interval) restores that dimension. This
+// kernel computes O = act(B + W X) for a batch of `batch` input vectors,
+// tiling N outputs x B batch columns so each loaded weight word serves B
+// sdot instructions and each loaded input word serves N:
+//
+//   loads per MAC = (N + B) / (2 N B)   (vs (N + 1) / (2 N) unbatched)
+//
+// Data layout: X is batch-major (batch consecutive vectors of cin
+// halfwords), O likewise (batch x cout).
+#pragma once
+
+#include "src/asm/builder.h"
+#include "src/kernels/fc.h"
+#include "src/kernels/layout.h"
+#include "src/kernels/opt_level.h"
+#include "src/nn/layers.h"
+
+namespace rnnasip::kernels {
+
+struct FcBatchLayout {
+  FcLayout fc;      ///< weights/bias as in the unbatched kernel
+  int batch = 1;
+  uint32_t x_addr = 0;  ///< batch x cin halfwords
+  uint32_t o_addr = 0;  ///< batch x cout halfwords
+};
+
+FcBatchLayout alloc_fc_batch(DeviceAllocator& alloc, const nn::FcParamsQ& params,
+                             int batch, uint32_t x_addr, uint32_t o_addr);
+
+struct FcBatchEmitOptions {
+  /// Must be >= kOutputTiling (the schedule is built on shared loads).
+  OptLevel level = OptLevel::kOutputTiling;
+  int max_out_tile = 4;
+  int max_batch_tile = 4;
+};
+
+/// Emit the batched matvec. Requires cin even.
+void emit_fc_batch(assembler::ProgramBuilder& b, const FcBatchLayout& layout,
+                   const FcBatchEmitOptions& opt);
+
+/// The (output, batch) tile the emitter will use.
+std::pair<int, int> fc_batch_tile(const FcBatchLayout& layout,
+                                  const FcBatchEmitOptions& opt);
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,95 @@
+#include "src/kernels/fc_sparse.h"
+
+#include "src/common/bits.h"
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+using assembler::ProgramBuilder;
+using assembler::Reg;
+using assembler::RegPool;
+using namespace isa;
+
+SparseFcLayout alloc_fc_sparse(DeviceAllocator& alloc, const nn::FcParamsQ& p,
+                               uint32_t x_addr, uint32_t o_addr) {
+  RNNASIP_CHECK(p.act == nn::ActKind::kNone || p.act == nn::ActKind::kReLU);
+  RNNASIP_CHECK_MSG(p.w.cols <= 32767, "index field is 16-bit");
+  SparseFcLayout L;
+  L.cin = p.w.cols;
+  L.cout = p.w.rows;
+  L.act = p.act;
+  L.x_addr = x_addr;
+  L.o_addr = o_addr;
+
+  std::vector<uint32_t> pairs;
+  std::vector<int16_t> counts;
+  for (int r = 0; r < p.w.rows; ++r) {
+    int nnz = 0;
+    for (int c = 0; c < p.w.cols; ++c) {
+      const int16_t v = p.w.at(r, c);
+      if (v == 0) continue;
+      pairs.push_back(pack_halves(v, static_cast<int16_t>(c)));
+      ++nnz;
+    }
+    counts.push_back(static_cast<int16_t>(nnz));
+  }
+  L.nnz = static_cast<int>(pairs.size());
+  L.pairs_addr = alloc.alloc_words(pairs.empty() ? std::vector<uint32_t>{0} : pairs);
+  L.counts_addr = alloc.alloc_halves(counts);
+  L.b_addr = alloc.alloc_halves(p.b);
+  return L;
+}
+
+void emit_fc_sparse(ProgramBuilder& b, const SparseFcLayout& L) {
+  RegPool pool;
+  const Reg rPp = pool.alloc();    // pair stream pointer
+  const Reg rCp = pool.alloc();    // row-count pointer
+  const Reg rBp = pool.alloc();
+  const Reg rOp = pool.alloc();
+  const Reg rOcnt = pool.alloc();
+  const Reg rXbase = pool.alloc();
+  const Reg rAcc = pool.alloc();
+  const Reg rPair = pool.alloc();
+  const Reg rIdx = pool.alloc();
+  const Reg rVal = pool.alloc();
+  const Reg rNnz = pool.alloc();
+
+  b.li(rPp, static_cast<int32_t>(L.pairs_addr));
+  b.li(rCp, static_cast<int32_t>(L.counts_addr));
+  b.li(rBp, static_cast<int32_t>(L.b_addr));
+  b.li(rOp, static_cast<int32_t>(L.o_addr));
+  b.li(rXbase, static_cast<int32_t>(L.x_addr));
+  b.li(rOcnt, L.cout);
+
+  auto outer = b.make_label();
+  b.bind(outer);
+  {
+    b.p_lh(rAcc, 2, rBp);
+    b.p_lh(rNnz, 2, rCp);
+    b.slli(rAcc, rAcc, 12);
+
+    auto row_done = b.make_label();
+    auto nz_end = b.make_label();
+    b.beq(rNnz, kZero, row_done);  // empty row (fully pruned)
+    b.lp_setup(0, rNnz, nz_end);
+    {
+      b.p_lw(rPair, 4, rPp);       // [index:16 | value:16]
+      b.srai(rIdx, rPair, 16);     // gather index
+      b.p_exths(rVal, rPair);      // weight value
+      b.slli(rIdx, rIdx, 1);
+      b.add(rIdx, rIdx, rXbase);
+      b.lh(rIdx, 0, rIdx);         // x[index] (stalls into the mac)
+      b.p_mac(rAcc, rVal, rIdx);
+    }
+    b.bind(nz_end);
+    b.bind(row_done);
+    b.srai(rAcc, rAcc, 12);
+    b.p_clip(rAcc, rAcc, 16);
+    if (L.act == nn::ActKind::kReLU) b.p_max(rAcc, rAcc, kZero);
+    b.p_sh(rAcc, 2, rOp);
+    b.addi(rOcnt, rOcnt, -1);
+    b.bne(rOcnt, kZero, outer);
+  }
+}
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,43 @@
+// Sparse (pruned) FC kernel — the compression direction of the paper's
+// related work (Cao et al. [19], Gao et al. [20] prune LSTMs and skip
+// zeros on FPGA). Sec. II-A is skeptical: "these compression schemes have
+// not yet been proven to work for the networks used in the RRM field."
+// This kernel quantifies the instruction-set side of that skepticism on a
+// single-issue core: skipping a zero does not skip its load, so sparsity
+// only pays once the matrix is stored compressed, and then every surviving
+// MAC carries index-decode and gather overhead.
+//
+// Storage: per output row, nnz (value, index) pairs packed one per 32-bit
+// word ([index:16 | value:16]); a row-count table drives the loop.
+// Per nonzero: p.lw pair / extract value+index / gather x / p.mac
+// ~6 cycles per MAC vs ~1.1 for the dense level-c kernel: the crossover
+// sits near 80-85% sparsity (bench_sparsity).
+#pragma once
+
+#include "src/asm/builder.h"
+#include "src/kernels/layout.h"
+#include "src/nn/layers.h"
+
+namespace rnnasip::kernels {
+
+struct SparseFcLayout {
+  uint32_t pairs_addr = 0;   ///< concatenated (index<<16 | value) words
+  uint32_t counts_addr = 0;  ///< per-row nnz (int16)
+  uint32_t b_addr = 0;
+  uint32_t x_addr = 0;
+  uint32_t o_addr = 0;
+  int cin = 0;
+  int cout = 0;
+  int nnz = 0;  ///< total nonzeros
+  nn::ActKind act = nn::ActKind::kNone;  ///< kNone or kReLU
+};
+
+/// Pack the nonzeros of `params` into the compressed layout.
+SparseFcLayout alloc_fc_sparse(DeviceAllocator& alloc, const nn::FcParamsQ& params,
+                               uint32_t x_addr, uint32_t o_addr);
+
+/// Emit the sparse matvec (Xpulp level; the dense comparison points are the
+/// regular emit_fc levels).
+void emit_fc_sparse(assembler::ProgramBuilder& b, const SparseFcLayout& layout);
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,196 @@
+#include "src/kernels/gru.h"
+
+#include "src/common/check.h"
+#include "src/kernels/copy.h"
+
+namespace rnnasip::kernels {
+
+using assembler::ProgramBuilder;
+using assembler::Reg;
+using assembler::RegPool;
+using nn::ActKind;
+using namespace isa;
+
+namespace {
+
+nn::MatrixQ concat_wu(const nn::MatrixQ& w, const nn::MatrixQ& u) {
+  RNNASIP_CHECK(w.rows == u.rows);
+  nn::MatrixQ cat(w.rows, w.cols + u.cols);
+  for (int r = 0; r < w.rows; ++r) {
+    for (int c = 0; c < w.cols; ++c) cat.at(r, c) = w.at(r, c);
+    for (int c = 0; c < u.cols; ++c) cat.at(r, w.cols + c) = u.at(r, c);
+  }
+  return cat;
+}
+
+}  // namespace
+
+GruLayout alloc_gru(DeviceAllocator& alloc, const nn::GruParamsQ& p) {
+  RNNASIP_CHECK_MSG((p.input + p.hidden) % 2 == 0,
+                    "GRU m+n must be even for the packed-SIMD levels");
+  GruLayout L;
+  L.input = p.input;
+  L.hidden = p.hidden;
+  const uint32_t mn = 2 * static_cast<uint32_t>(p.input + p.hidden);
+  L.xh_addr = alloc.alloc(mn, 4);
+  L.xrh_addr = alloc.alloc(mn, 4);
+  L.r_addr = alloc.alloc(2 * static_cast<uint32_t>(p.hidden), 4);
+  L.z_addr = alloc.alloc(2 * static_cast<uint32_t>(p.hidden), 4);
+  L.n_addr = alloc.alloc(2 * static_cast<uint32_t>(p.hidden), 4);
+
+  auto gate = [&](const nn::MatrixQ& w, const nn::MatrixQ& u, const nn::VectorQ& b,
+                  ActKind act, uint32_t x_addr, uint32_t out_addr) {
+    nn::FcParamsQ fp;
+    fp.w = concat_wu(w, u);
+    fp.b = b;
+    fp.act = act;
+    return alloc_fc(alloc, fp, x_addr, out_addr);
+  };
+  L.gate_r = gate(p.wr, p.ur, p.br, ActKind::kSigmoid, L.xh_addr, L.r_addr);
+  L.gate_z = gate(p.wz, p.uz, p.bz, ActKind::kSigmoid, L.xh_addr, L.z_addr);
+  L.gate_n = gate(p.wn, p.un, p.bn, ActKind::kTanh, L.xrh_addr, L.n_addr);
+  return L;
+}
+
+namespace {
+
+/// Shared clip helper (p.clip at Xpulp levels, branches at baseline).
+void emit_clip16(ProgramBuilder& b, bool xpulp, Reg v, Reg scratch) {
+  if (xpulp) {
+    b.p_clip(v, v, 16);
+    return;
+  }
+  auto no_hi = b.make_label();
+  auto no_lo = b.make_label();
+  b.li(scratch, 32767);
+  b.blt(v, scratch, no_hi);
+  b.mv(v, scratch);
+  b.bind(no_hi);
+  b.li(scratch, -32768);
+  b.bge(v, scratch, no_lo);
+  b.mv(v, scratch);
+  b.bind(no_lo);
+}
+
+/// Pointwise pass 1: xrh[m..m+n) = clip16((r * h) >> 12).
+void emit_rh(ProgramBuilder& b, const GruLayout& L, OptLevel level) {
+  RegPool pool;
+  const bool xp = uses_xpulp(level);
+  const Reg rR = pool.alloc();
+  const Reg rH = pool.alloc();
+  const Reg rOut = pool.alloc();
+  const Reg rCnt = pool.alloc();
+  const Reg v1 = pool.alloc();
+  const Reg v2 = pool.alloc();
+  b.li(rR, static_cast<int32_t>(L.r_addr));
+  b.li(rH, static_cast<int32_t>(L.out_addr()));
+  b.li(rOut, static_cast<int32_t>(L.xrh_addr + 2 * static_cast<uint32_t>(L.input)));
+  b.li(rCnt, L.hidden);
+  auto loop = b.make_label();
+  auto end = b.make_label();
+  if (xp) {
+    b.lp_setup(0, rCnt, end);
+  } else {
+    b.bind(loop);
+  }
+  if (xp) {
+    b.p_lh(v1, 2, rR);
+    b.p_lh(v2, 2, rH);
+  } else {
+    b.lh(v1, 0, rR);
+    b.lh(v2, 0, rH);
+  }
+  b.mul(v1, v1, v2);
+  b.srai(v1, v1, 12);
+  emit_clip16(b, xp, v1, v2);
+  if (xp) {
+    b.p_sh(v1, 2, rOut);
+    b.bind(end);
+  } else {
+    b.sh(v1, 0, rOut);
+    b.addi(rR, rR, 2);
+    b.addi(rH, rH, 2);
+    b.addi(rOut, rOut, 2);
+    b.addi(rCnt, rCnt, -1);
+    b.bne(rCnt, kZero, loop);
+  }
+}
+
+/// Pointwise pass 2: h' = clip16((z*h >> 12) + ((1 - z)*n >> 12)).
+void emit_blend(ProgramBuilder& b, const GruLayout& L, OptLevel level) {
+  RegPool pool;
+  const bool xp = uses_xpulp(level);
+  const Reg rZ = pool.alloc();
+  const Reg rN = pool.alloc();
+  const Reg rHr = pool.alloc();
+  const Reg rHw = pool.alloc();
+  const Reg rCnt = pool.alloc();
+  const Reg rOne = pool.alloc();
+  const Reg v1 = pool.alloc();
+  const Reg v2 = pool.alloc();
+  const Reg v3 = pool.alloc();
+  b.li(rZ, static_cast<int32_t>(L.z_addr));
+  b.li(rN, static_cast<int32_t>(L.n_addr));
+  b.li(rHr, static_cast<int32_t>(L.out_addr()));
+  b.li(rHw, static_cast<int32_t>(L.out_addr()));
+  b.li(rCnt, L.hidden);
+  b.li(rOne, 4096);
+  auto loop = b.make_label();
+  auto end = b.make_label();
+  if (xp) {
+    b.lp_setup(0, rCnt, end);
+  } else {
+    b.bind(loop);
+  }
+  // v1 = (z*h) >> 12, v2 = ((1-z)*n) >> 12.
+  if (xp) {
+    b.p_lh(v1, 2, rZ);
+    b.p_lh(v2, 2, rHr);
+  } else {
+    b.lh(v1, 0, rZ);
+    b.lh(v2, 0, rHr);
+  }
+  b.sub(v3, rOne, v1);  // 1 - z (before v1 is consumed by the product)
+  b.mul(v1, v1, v2);
+  b.srai(v1, v1, 12);
+  if (xp) {
+    b.p_lh(v2, 2, rN);
+  } else {
+    b.lh(v2, 0, rN);
+  }
+  b.mul(v2, v2, v3);
+  b.srai(v2, v2, 12);
+  b.add(v1, v1, v2);
+  emit_clip16(b, xp, v1, v2);
+  if (xp) {
+    b.p_sh(v1, 2, rHw);
+    b.bind(end);
+  } else {
+    b.sh(v1, 0, rHw);
+    b.addi(rZ, rZ, 2);
+    b.addi(rN, rN, 2);
+    b.addi(rHr, rHr, 2);
+    b.addi(rHw, rHw, 2);
+    b.addi(rCnt, rCnt, -1);
+    b.bne(rCnt, kZero, loop);
+  }
+}
+
+}  // namespace
+
+void emit_gru_step(ProgramBuilder& b, const GruLayout& L, const GruEmitOptions& opt) {
+  // Stage the input into the n-gate's buffer too ([x | r o h]).
+  emit_copy_halves(b, opt.level, L.xh_addr, L.xrh_addr, L.input);
+
+  FcEmitOptions fc;
+  fc.level = opt.level;
+  fc.sw_act = opt.sw_act;
+  fc.max_tile = opt.max_tile;
+  emit_fc(b, L.gate_r, fc);
+  emit_fc(b, L.gate_z, fc);
+  emit_rh(b, L, opt.level);
+  emit_fc(b, L.gate_n, fc);
+  emit_blend(b, L, opt.level);
+}
+
+}  // namespace rnnasip::kernels

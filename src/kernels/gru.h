@@ -1,0 +1,45 @@
+// GRU cell kernel generator — an RNN variant beyond the paper's benchmark
+// set, demonstrating the flexibility argument of Sec. I: the same ISA
+// extensions accelerate a cell the hardware was never specialized for.
+//
+// Structure mirrors the LSTM kernel: the r/z gates are FC matvecs over the
+// concatenated [x ; h] buffer, the candidate gate n is a matvec over
+// [x ; r o h] (Cho formulation, so every gate stays a single dense matvec),
+// and two pointwise passes compute r o h and the blended state update
+//   h' = clip16((z*h >> 12) + ((1 - z)*n >> 12)).
+#pragma once
+
+#include "src/asm/builder.h"
+#include "src/kernels/act_routines.h"
+#include "src/kernels/fc.h"
+#include "src/kernels/layout.h"
+#include "src/kernels/opt_level.h"
+#include "src/nn/layers.h"
+
+namespace rnnasip::kernels {
+
+struct GruLayout {
+  int input = 0;   ///< m
+  int hidden = 0;  ///< n
+  uint32_t xh_addr = 0;   ///< [x | h], m + n halfwords; h persists here
+  uint32_t xrh_addr = 0;  ///< [x | r o h], m + n halfwords (scratch)
+  FcLayout gate_r, gate_z;  ///< n x (m+n) over xh
+  FcLayout gate_n;          ///< n x (m+n) over xrh
+  uint32_t r_addr = 0, z_addr = 0, n_addr = 0;
+  uint32_t in_addr() const { return xh_addr; }
+  uint32_t out_addr() const { return xh_addr + 2 * static_cast<uint32_t>(input); }
+};
+
+GruLayout alloc_gru(DeviceAllocator& alloc, const nn::GruParamsQ& params);
+
+struct GruEmitOptions {
+  OptLevel level = OptLevel::kInputTiling;
+  const ActRoutines* sw_act = nullptr;  ///< required below kOutputTiling
+  int max_tile = 8;
+};
+
+/// Emit one GRU timestep. The timestep's input must be at layout.in_addr().
+void emit_gru_step(assembler::ProgramBuilder& b, const GruLayout& layout,
+                   const GruEmitOptions& opt);
+
+}  // namespace rnnasip::kernels

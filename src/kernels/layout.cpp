@@ -1,0 +1,41 @@
+#include "src/kernels/layout.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+DeviceAllocator::DeviceAllocator(iss::Memory* mem, uint32_t base)
+    : mem_(mem), base_(base), cursor_(base) {
+  RNNASIP_CHECK(mem != nullptr);
+  RNNASIP_CHECK(base >= mem->base());
+}
+
+uint32_t DeviceAllocator::alloc(uint32_t bytes, uint32_t align) {
+  RNNASIP_CHECK(align != 0 && (align & (align - 1)) == 0);
+  cursor_ = (cursor_ + align - 1) & ~(align - 1);
+  const uint32_t addr = cursor_;
+  RNNASIP_CHECK_MSG(addr + bytes <= mem_->base() + mem_->size(),
+                    "device data memory exhausted");
+  cursor_ += bytes;
+  return addr;
+}
+
+uint32_t DeviceAllocator::alloc_halves(std::span<const int16_t> data, uint32_t slack_bytes) {
+  const uint32_t addr = alloc(static_cast<uint32_t>(data.size() * 2) + slack_bytes, 4);
+  mem_->write_halves(addr, data);
+  return addr;
+}
+
+uint32_t DeviceAllocator::alloc_bytes(std::span<const uint8_t> data, uint32_t slack_bytes) {
+  const uint32_t addr = alloc(static_cast<uint32_t>(data.size()) + slack_bytes, 4);
+  mem_->write_block(addr, data);
+  return addr;
+}
+
+uint32_t DeviceAllocator::alloc_words(std::span<const uint32_t> data) {
+  const uint32_t addr = alloc(static_cast<uint32_t>(data.size() * 4), 4);
+  mem_->write_words(addr, data);
+  return addr;
+}
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,46 @@
+// Device memory layout management for generated network programs.
+//
+// Map (within the default 4 MiB TCDM):
+//   0x0000'1000  program text
+//   0x0001'0000… data: weights, biases, activation LUTs, layer buffers
+// Weight allocations carry 8 bytes of slack because the pl.sdotsp.h SPR
+// prefetch reads one word past the last weight pair of the final tile.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/iss/memory.h"
+#include "src/nn/tensor.h"
+
+namespace rnnasip::kernels {
+
+inline constexpr uint32_t kTextBase = 0x0000'1000;
+inline constexpr uint32_t kDataBase = 0x0001'0000;
+
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(iss::Memory* mem, uint32_t base = kDataBase);
+
+  /// Reserve `bytes`, aligned. Returns the start address.
+  uint32_t alloc(uint32_t bytes, uint32_t align = 4);
+
+  /// Reserve and fill with int16 halfwords; `slack_bytes` extra zeroed bytes
+  /// are reserved after the payload (SPR prefetch overrun).
+  uint32_t alloc_halves(std::span<const int16_t> data, uint32_t slack_bytes = 0);
+
+  /// Reserve and fill with raw bytes (the INT8 path's parameters).
+  uint32_t alloc_bytes(std::span<const uint8_t> data, uint32_t slack_bytes = 0);
+
+  /// Reserve and fill with 32-bit words.
+  uint32_t alloc_words(std::span<const uint32_t> data);
+
+  uint32_t bytes_used() const { return cursor_ - base_; }
+
+ private:
+  iss::Memory* mem_;
+  uint32_t base_;
+  uint32_t cursor_;
+};
+
+}  // namespace rnnasip::kernels

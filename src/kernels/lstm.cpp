@@ -1,0 +1,192 @@
+#include "src/kernels/lstm.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+using assembler::ProgramBuilder;
+using assembler::Reg;
+using assembler::RegPool;
+using nn::ActKind;
+using namespace isa;
+
+namespace {
+
+/// Concatenate [W | U] row-wise into one n x (m+n) matrix.
+nn::MatrixQ concat_wu(const nn::MatrixQ& w, const nn::MatrixQ& u) {
+  RNNASIP_CHECK(w.rows == u.rows);
+  nn::MatrixQ cat(w.rows, w.cols + u.cols);
+  for (int r = 0; r < w.rows; ++r) {
+    for (int c = 0; c < w.cols; ++c) cat.at(r, c) = w.at(r, c);
+    for (int c = 0; c < u.cols; ++c) cat.at(r, w.cols + c) = u.at(r, c);
+  }
+  return cat;
+}
+
+}  // namespace
+
+LstmLayout alloc_lstm(DeviceAllocator& alloc, const nn::LstmParamsQ& p) {
+  RNNASIP_CHECK_MSG((p.input + p.hidden) % 2 == 0,
+                    "LSTM m+n must be even for the packed-SIMD levels");
+  LstmLayout L;
+  L.input = p.input;
+  L.hidden = p.hidden;
+  L.xh_addr = alloc.alloc(2 * static_cast<uint32_t>(p.input + p.hidden), 4);
+  L.c_addr = alloc.alloc(2 * static_cast<uint32_t>(p.hidden), 4);
+  L.i_addr = alloc.alloc(2 * static_cast<uint32_t>(p.hidden), 4);
+  L.f_addr = alloc.alloc(2 * static_cast<uint32_t>(p.hidden), 4);
+  L.o_addr = alloc.alloc(2 * static_cast<uint32_t>(p.hidden), 4);
+  L.g_addr = alloc.alloc(2 * static_cast<uint32_t>(p.hidden), 4);
+
+  auto gate = [&](const nn::MatrixQ& w, const nn::MatrixQ& u, const nn::VectorQ& b,
+                  ActKind act, uint32_t out_addr) {
+    nn::FcParamsQ fp;
+    fp.w = concat_wu(w, u);
+    fp.b = b;
+    fp.act = act;
+    return alloc_fc(alloc, fp, L.xh_addr, out_addr);
+  };
+  L.gate_i = gate(p.wi, p.ui, p.bi, ActKind::kSigmoid, L.i_addr);
+  L.gate_f = gate(p.wf, p.uf, p.bf, ActKind::kSigmoid, L.f_addr);
+  L.gate_o = gate(p.wo, p.uo, p.bo, ActKind::kSigmoid, L.o_addr);
+  L.gate_g = gate(p.wc, p.uc, p.bc, ActKind::kTanh, L.g_addr);
+  return L;
+}
+
+namespace {
+
+/// The pointwise c/h update (Eqs. 5-6), one loop over the n cells.
+void emit_pointwise(ProgramBuilder& b, const LstmLayout& L, const LstmEmitOptions& opt) {
+  RegPool pool;
+  const bool hw_act = uses_hw_act(opt.level);
+  if (!hw_act) {
+    RNNASIP_CHECK_MSG(opt.sw_act != nullptr, "LSTM below level c needs SW activations");
+    pool.reserve(kA0);
+    pool.reserve(kT0);
+    pool.reserve(kT1);
+    pool.reserve(kT2);
+  }
+  const bool xp = uses_xpulp(opt.level);
+
+  const Reg rI = pool.alloc();
+  const Reg rF = pool.alloc();
+  const Reg rO = pool.alloc();
+  const Reg rG = pool.alloc();
+  const Reg rCr = pool.alloc();
+  const Reg rCw = pool.alloc();
+  const Reg rH = pool.alloc();
+  const Reg rCnt = pool.alloc();
+  const Reg v1 = pool.alloc();
+  const Reg v2 = pool.alloc();
+  const Reg v3 = pool.alloc();
+
+  b.li(rI, static_cast<int32_t>(L.i_addr));
+  b.li(rF, static_cast<int32_t>(L.f_addr));
+  b.li(rO, static_cast<int32_t>(L.o_addr));
+  b.li(rG, static_cast<int32_t>(L.g_addr));
+  b.li(rCr, static_cast<int32_t>(L.c_addr));
+  b.li(rCw, static_cast<int32_t>(L.c_addr));
+  b.li(rH, static_cast<int32_t>(L.out_addr()));
+  b.li(rCnt, L.hidden);
+
+  auto clip16 = [&](Reg v, Reg scratch) {
+    if (xp) {
+      b.p_clip(v, v, 16);
+    } else {
+      auto no_hi = b.make_label();
+      auto no_lo = b.make_label();
+      b.li(scratch, 32767);
+      b.blt(v, scratch, no_hi);
+      b.mv(v, scratch);
+      b.bind(no_hi);
+      b.li(scratch, -32768);
+      b.bge(v, scratch, no_lo);
+      b.mv(v, scratch);
+      b.bind(no_lo);
+    }
+  };
+
+  auto loop_start = b.make_label();
+  auto loop_end = b.make_label();
+  if (xp) {
+    b.lp_setup(0, rCnt, loop_end);
+  } else {
+    b.bind(loop_start);
+  }
+  {
+    // v1 = (f * c) >> 12
+    if (xp) {
+      b.p_lh(v1, 2, rF);
+      b.p_lh(v2, 2, rCr);
+    } else {
+      b.lh(v1, 0, rF);
+      b.lh(v2, 0, rCr);
+    }
+    b.mul(v1, v1, v2);
+    b.srai(v1, v1, 12);
+    // v2 = (i * g) >> 12
+    if (xp) {
+      b.p_lh(v2, 2, rI);
+      b.p_lh(v3, 2, rG);
+    } else {
+      b.lh(v2, 0, rI);
+      b.lh(v3, 0, rG);
+    }
+    b.mul(v2, v2, v3);
+    b.srai(v2, v2, 12);
+    b.add(v1, v1, v2);
+    clip16(v1, v3);
+    if (xp) {
+      b.p_sh(v1, 2, rCw);  // c'
+    } else {
+      b.sh(v1, 0, rCw);
+    }
+    // v1 = tanh(c')
+    if (hw_act) {
+      b.pl_tanh(v1, v1);
+    } else {
+      b.mv(kA0, v1);
+      b.jal(kRa, opt.sw_act->tanh_label);
+      b.mv(v1, kA0);
+    }
+    // h' = clip16((o * tanh(c')) >> 12)
+    if (xp) {
+      b.p_lh(v2, 2, rO);
+    } else {
+      b.lh(v2, 0, rO);
+    }
+    b.mul(v1, v1, v2);
+    b.srai(v1, v1, 12);
+    clip16(v1, v3);
+    if (xp) {
+      b.p_sh(v1, 2, rH);
+    } else {
+      b.sh(v1, 0, rH);
+    }
+  }
+  if (xp) {
+    b.bind(loop_end);
+  } else {
+    for (Reg r : {rI, rF, rO, rG, rCr, rCw, rH}) b.addi(r, r, 2);
+    b.addi(rCnt, rCnt, -1);
+    b.bne(rCnt, kZero, loop_start);
+  }
+
+  for (Reg r : {rI, rF, rO, rG, rCr, rCw, rH, rCnt, v1, v2, v3}) pool.free(r);
+}
+
+}  // namespace
+
+void emit_lstm_step(ProgramBuilder& b, const LstmLayout& L, const LstmEmitOptions& opt) {
+  FcEmitOptions fc;
+  fc.level = opt.level;
+  fc.sw_act = opt.sw_act;
+  fc.max_tile = opt.max_tile;
+  emit_fc(b, L.gate_i, fc);
+  emit_fc(b, L.gate_f, fc);
+  emit_fc(b, L.gate_o, fc);
+  emit_fc(b, L.gate_g, fc);
+  emit_pointwise(b, L, opt);
+}
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,55 @@
+// LSTM cell kernel generator (Eqs. 1-6 of the paper).
+//
+// Layout trick: the concatenated [x ; h] vector lives in one contiguous
+// buffer, and each gate's weights are stored as rows [W_row | U_row], so all
+// four gate pre-activations are plain FC matvecs over cin = m + n — which is
+// exactly where the paper's output-FM tiling and pl.sdotsp extensions apply.
+// The hidden state h is maintained *inside* the xh buffer (entries m..m+n),
+// so each timestep only copies the fresh input into entries 0..m.
+//
+// The pointwise stage implements, per cell:
+//   c' = clip16((f*c >> 12) + (i*g >> 12))
+//   h' = clip16((o * tanh(c')) >> 12)
+// with tanh via the SW routine (levels a/b) or pl.tanh (levels c+).
+#pragma once
+
+#include "src/asm/builder.h"
+#include "src/kernels/act_routines.h"
+#include "src/kernels/fc.h"
+#include "src/kernels/layout.h"
+#include "src/kernels/opt_level.h"
+#include "src/nn/layers.h"
+
+namespace rnnasip::kernels {
+
+struct LstmLayout {
+  int input = 0;   ///< m
+  int hidden = 0;  ///< n
+  uint32_t xh_addr = 0;  ///< m + n halfwords; x in [0, m), h in [m, m+n)
+  uint32_t c_addr = 0;   ///< n halfwords of cell state
+  /// Gate weight matrices (n x (m+n), [W | U] concatenated rows) + biases.
+  FcLayout gate_i, gate_f, gate_o, gate_g;
+  /// Gate output buffers (n halfwords each).
+  uint32_t i_addr = 0, f_addr = 0, o_addr = 0, g_addr = 0;
+  /// Where this layer's input arrives (the xh buffer's x region).
+  uint32_t in_addr() const { return xh_addr; }
+  /// Where this layer's output (h) lives.
+  uint32_t out_addr() const { return xh_addr + 2 * static_cast<uint32_t>(input); }
+};
+
+/// Write parameters into device memory ([W|U] concatenation happens here).
+LstmLayout alloc_lstm(DeviceAllocator& alloc, const nn::LstmParamsQ& params);
+
+struct LstmEmitOptions {
+  OptLevel level = OptLevel::kInputTiling;
+  const ActRoutines* sw_act = nullptr;  ///< required below kOutputTiling
+  int max_tile = 8;
+};
+
+/// Emit one full LSTM timestep (4 gate matvecs + pointwise update).
+/// The caller is responsible for placing the timestep's input at
+/// layout.in_addr() before running.
+void emit_lstm_step(assembler::ProgramBuilder& b, const LstmLayout& layout,
+                    const LstmEmitOptions& opt);
+
+}  // namespace rnnasip::kernels

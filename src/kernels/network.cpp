@@ -1,0 +1,275 @@
+#include "src/kernels/network.h"
+
+#include "src/common/check.h"
+#include "src/kernels/copy.h"
+
+namespace rnnasip::kernels {
+
+using assembler::Reg;
+using assembler::RegPool;
+using namespace isa;
+
+NetworkProgramBuilder::NetworkProgramBuilder(iss::Memory* mem, OptLevel level,
+                                             const activation::PlaTable& tanh_tbl,
+                                             const activation::PlaTable& sig_tbl,
+                                             int max_tile, int sequence_steps)
+    : mem_(mem),
+      level_(level),
+      tanh_tbl_(tanh_tbl),
+      sig_tbl_(sig_tbl),
+      max_tile_(max_tile),
+      alloc_(mem, kDataBase),
+      b_(kTextBase),
+      routines_(make_act_routine_labels(b_)),
+      sequence_steps_(sequence_steps),
+      seq_loop_(b_.make_label()) {
+  RNNASIP_CHECK(sequence_steps >= 1);
+}
+
+void NetworkProgramBuilder::begin_sequence(uint32_t input_region, int count) {
+  BuiltNetwork::SequenceInfo seq;
+  seq.steps = sequence_steps_;
+  seq.inputs_addr =
+      alloc_.alloc(2u * static_cast<uint32_t>(sequence_steps_) * static_cast<uint32_t>(count), 4);
+  seq.in_slot = alloc_.alloc(4);
+  seq.out_slot = alloc_.alloc(4);
+  seq.count_slot = alloc_.alloc(4);
+  net_.seq = seq;  // outputs_addr filled in finalize()
+
+  // Loop head: stage this step's input from the cursor, advance the cursor.
+  b_.bind(seq_loop_);
+  RegPool pool;
+  const Reg rSlot = pool.alloc();
+  const Reg rSrc = pool.alloc();
+  const Reg rDst = pool.alloc();
+  b_.li(rSlot, static_cast<int32_t>(seq.in_slot));
+  b_.lw(rSrc, 0, rSlot);
+  b_.li(rDst, static_cast<int32_t>(input_region));
+  emit_copy_halves_rr(b_, level_, rSrc, rDst, count, pool);
+  b_.sw(rSrc, 0, rSlot);  // the copy left rSrc at the next step's input
+}
+
+uint32_t NetworkProgramBuilder::take_input(int count) {
+  RNNASIP_CHECK(!finalized_);
+  if (first_layer_) {
+    const uint32_t addr = alloc_.alloc(2 * static_cast<uint32_t>(count), 4);
+    net_.input_addr = addr;
+    net_.input_count = count;
+    first_layer_ = false;
+    if (sequence_steps_ > 1) begin_sequence(addr, count);
+    return addr;
+  }
+  RNNASIP_CHECK_MSG(cur_count_ == count, "layer input size mismatch: expected "
+                                             << cur_count_ << ", layer wants " << count);
+  return cur_addr_;
+}
+
+void NetworkProgramBuilder::emit_copy(uint32_t src, uint32_t dst, int count) {
+  emit_copy_halves(b_, level_, src, dst, count);
+}
+
+void NetworkProgramBuilder::add_fc(const nn::FcParamsQ& params) {
+  const int cin = params.w.cols;
+  const int cout = params.w.rows;
+  const uint32_t x_addr = take_input(cin);
+  const uint32_t o_addr = alloc_.alloc(2 * static_cast<uint32_t>(cout), 4);
+  FcLayout layout = alloc_fc(alloc_, params, x_addr, o_addr);
+  FcEmitOptions opt;
+  opt.level = level_;
+  opt.sw_act = &routines_;
+  opt.max_tile = max_tile_;
+  emit_fc(b_, layout, opt);
+  cur_addr_ = o_addr;
+  cur_count_ = cout;
+  net_.nominal_macs += static_cast<uint64_t>(cin) * cout;
+}
+
+void NetworkProgramBuilder::add_lstm(const nn::LstmParamsQ& params) {
+  LstmLayout layout = alloc_lstm(alloc_, params);
+  if (first_layer_) {
+    // The network input arrives directly in the xh buffer's x region.
+    net_.input_addr = layout.in_addr();
+    net_.input_count = params.input;
+    first_layer_ = false;
+    if (sequence_steps_ > 1) begin_sequence(layout.in_addr(), params.input);
+  } else {
+    RNNASIP_CHECK_MSG(cur_count_ == params.input, "LSTM input size mismatch");
+    emit_copy(cur_addr_, layout.in_addr(), params.input);
+  }
+  LstmEmitOptions opt;
+  opt.level = level_;
+  opt.sw_act = &routines_;
+  opt.max_tile = max_tile_;
+  emit_lstm_step(b_, layout, opt);
+  cur_addr_ = layout.out_addr();
+  cur_count_ = params.hidden;
+  net_.state_buffers.emplace_back(layout.out_addr(), params.hidden);
+  net_.state_buffers.emplace_back(layout.c_addr, params.hidden);
+  net_.nominal_macs +=
+      4ull * static_cast<uint64_t>(params.hidden) * (params.input + params.hidden);
+}
+
+void NetworkProgramBuilder::add_gru(const nn::GruParamsQ& params) {
+  GruLayout layout = alloc_gru(alloc_, params);
+  if (first_layer_) {
+    net_.input_addr = layout.in_addr();
+    net_.input_count = params.input;
+    first_layer_ = false;
+    if (sequence_steps_ > 1) begin_sequence(layout.in_addr(), params.input);
+  } else {
+    RNNASIP_CHECK_MSG(cur_count_ == params.input, "GRU input size mismatch");
+    emit_copy(cur_addr_, layout.in_addr(), params.input);
+  }
+  GruEmitOptions opt;
+  opt.level = level_;
+  opt.sw_act = &routines_;
+  opt.max_tile = max_tile_;
+  emit_gru_step(b_, layout, opt);
+  cur_addr_ = layout.out_addr();
+  cur_count_ = params.hidden;
+  net_.state_buffers.emplace_back(layout.out_addr(), params.hidden);
+  net_.nominal_macs +=
+      3ull * static_cast<uint64_t>(params.hidden) * (params.input + params.hidden);
+}
+
+void NetworkProgramBuilder::add_conv(const nn::ConvParamsQ& params, int in_h, int in_w) {
+  const int in_count = params.in_ch * in_h * in_w;
+  const uint32_t in_addr = take_input(in_count);
+  const int out_h = nn::conv_out_dim(in_h, params.kh, params.stride, 0);
+  const int out_w = nn::conv_out_dim(in_w, params.kw, params.stride, 0);
+  const int out_count = params.out_ch * out_h * out_w;
+  const uint32_t out_addr = alloc_.alloc(2 * static_cast<uint32_t>(out_count), 4);
+  ConvLayout layout = alloc_conv(alloc_, params, in_h, in_w, in_addr, out_addr);
+  ConvEmitOptions opt;
+  opt.level = level_;
+  opt.max_tile = max_tile_;
+  emit_conv(b_, layout, opt);
+  cur_addr_ = out_addr;
+  cur_count_ = out_count;
+  net_.nominal_macs += static_cast<uint64_t>(out_count) * params.in_ch * params.kh *
+                       params.kw;
+}
+
+void NetworkProgramBuilder::add_maxpool(const nn::MaxPoolParams& params, int ch, int in_h,
+                                        int in_w) {
+  const int in_count = ch * in_h * in_w;
+  const uint32_t in_addr = take_input(in_count);
+  const int oh = nn::conv_out_dim(in_h, params.k, params.stride, 0);
+  const int ow = nn::conv_out_dim(in_w, params.k, params.stride, 0);
+  const int out_count = ch * oh * ow;
+  const uint32_t out_addr = alloc_.alloc(2 * static_cast<uint32_t>(out_count), 4);
+  const PoolLayout layout = plan_maxpool(params, ch, in_h, in_w, in_addr, out_addr);
+  emit_maxpool(b_, layout, level_);
+  cur_addr_ = out_addr;
+  cur_count_ = out_count;
+  // Pooling performs comparisons, not MACs; nominal_macs is unchanged.
+}
+
+void NetworkProgramBuilder::add_avgpool(const nn::AvgPoolParams& params, int ch, int in_h,
+                                        int in_w) {
+  const int in_count = ch * in_h * in_w;
+  const uint32_t in_addr = take_input(in_count);
+  const int oh = nn::conv_out_dim(in_h, params.k, params.stride, 0);
+  const int ow = nn::conv_out_dim(in_w, params.k, params.stride, 0);
+  const int out_count = ch * oh * ow;
+  const uint32_t out_addr = alloc_.alloc(2 * static_cast<uint32_t>(out_count), 4);
+  const PoolLayout layout = plan_avgpool(params, ch, in_h, in_w, in_addr, out_addr);
+  emit_avgpool(b_, layout, level_);
+  cur_addr_ = out_addr;
+  cur_count_ = out_count;
+}
+
+void NetworkProgramBuilder::add_argmax() {
+  RNNASIP_CHECK_MSG(!first_layer_, "argmax needs a preceding layer");
+  const uint32_t out_addr = alloc_.alloc(4, 4);
+  ArgmaxLayout layout;
+  layout.in_addr = cur_addr_;
+  layout.out_addr = out_addr;
+  layout.count = cur_count_;
+  emit_argmax(b_, layout, level_);
+  cur_addr_ = out_addr;
+  cur_count_ = 1;
+}
+
+BuiltNetwork NetworkProgramBuilder::finalize() {
+  RNNASIP_CHECK(!finalized_);
+  RNNASIP_CHECK_MSG(!first_layer_, "network has no layers");
+  finalized_ = true;
+  if (net_.seq) {
+    // Sequence tail: stage this step's output, advance the cursor, loop.
+    net_.seq->outputs_addr = alloc_.alloc(
+        2u * static_cast<uint32_t>(sequence_steps_) * static_cast<uint32_t>(cur_count_), 4);
+    RegPool pool;
+    const Reg rSlot = pool.alloc();
+    const Reg rSrc = pool.alloc();
+    const Reg rDst = pool.alloc();
+    const Reg rCnt = pool.alloc();
+    b_.li(rSlot, static_cast<int32_t>(net_.seq->out_slot));
+    b_.lw(rDst, 0, rSlot);
+    b_.li(rSrc, static_cast<int32_t>(cur_addr_));
+    emit_copy_halves_rr(b_, level_, rSrc, rDst, cur_count_, pool);
+    b_.sw(rDst, 0, rSlot);
+    b_.li(rSlot, static_cast<int32_t>(net_.seq->count_slot));
+    b_.lw(rCnt, 0, rSlot);
+    b_.addi(rCnt, rCnt, -1);
+    b_.sw(rCnt, 0, rSlot);
+    b_.bne(rCnt, kZero, seq_loop_);
+  } else {
+    // Keep the label resolvable even when sequence mode is off.
+    b_.bind(seq_loop_);
+  }
+  b_.ebreak();
+  // SW activation routines live past the ebreak, reached only by jal.
+  // They are emitted unconditionally at the SW levels so label fixups always
+  // resolve; unused routines cost a few words of text.
+  if (!uses_hw_act(level_)) {
+    emit_act_routines(b_, alloc_, tanh_tbl_, sig_tbl_, routines_);
+  } else {
+    // Bind the labels anyway (no references exist at HW-act levels).
+    b_.bind(routines_.tanh_label);
+    b_.bind(routines_.sig_label);
+  }
+  net_.output_addr = cur_addr_;
+  net_.output_count = cur_count_;
+  net_.data_bytes = alloc_.bytes_used();
+  net_.program = b_.build();
+  return std::move(net_);
+}
+
+std::vector<int16_t> run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork& net,
+                                 std::span<const int16_t> input) {
+  RNNASIP_CHECK(static_cast<int>(input.size()) == net.input_count);
+  mem.write_halves(net.input_addr, input);
+  core.reset(net.program.base);
+  const auto res = core.run();
+  RNNASIP_CHECK_MSG(res.ok(), "network run trapped: " << res.trap_message);
+  return mem.read_halves(net.output_addr, static_cast<size_t>(net.output_count));
+}
+
+std::vector<int16_t> run_sequence(iss::Core& core, iss::Memory& mem,
+                                  const BuiltNetwork& net,
+                                  std::span<const int16_t> inputs) {
+  RNNASIP_CHECK_MSG(net.seq.has_value(), "network was not built in sequence mode");
+  const auto& seq = *net.seq;
+  RNNASIP_CHECK(static_cast<int>(inputs.size()) == seq.steps * net.input_count);
+  mem.write_halves(seq.inputs_addr, inputs);
+  // Re-arm the loop cursors and the recurrent state.
+  mem.store32(seq.in_slot, seq.inputs_addr);
+  mem.store32(seq.out_slot, seq.outputs_addr);
+  mem.store32(seq.count_slot, static_cast<uint32_t>(seq.steps));
+  reset_state(mem, net);
+  core.reset(net.program.base);
+  const auto res = core.run();
+  RNNASIP_CHECK_MSG(res.ok(), "sequence run trapped: " << res.trap_message);
+  return mem.read_halves(seq.outputs_addr,
+                         static_cast<size_t>(seq.steps) * net.output_count);
+}
+
+void reset_state(iss::Memory& mem, const BuiltNetwork& net) {
+  for (const auto& [addr, count] : net.state_buffers) {
+    const std::vector<int16_t> zeros(static_cast<size_t>(count), 0);
+    mem.write_halves(addr, zeros);
+  }
+}
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,119 @@
+// Whole-network program assembly: chains FC / LSTM / conv layers through
+// activation buffers into one standalone program (ends in ebreak), at a
+// chosen optimization level. One program execution = one forward pass
+// (one timestep for recurrent networks; LSTM state persists in device
+// memory across runs until reset_state()).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/asm/builder.h"
+#include "src/iss/core.h"
+#include "src/kernels/act_routines.h"
+#include "src/kernels/argmax.h"
+#include "src/kernels/conv.h"
+#include "src/kernels/fc.h"
+#include "src/kernels/gru.h"
+#include "src/kernels/layout.h"
+#include "src/kernels/lstm.h"
+#include "src/kernels/pool.h"
+#include "src/kernels/opt_level.h"
+
+namespace rnnasip::kernels {
+
+struct BuiltNetwork {
+  assembler::Program program;
+  uint32_t input_addr = 0;
+  int input_count = 0;  ///< halfwords the caller writes before each run
+  uint32_t output_addr = 0;
+  int output_count = 0;
+  /// Recurrent state regions (h and c buffers) to zero between sequences.
+  std::vector<std::pair<uint32_t, int>> state_buffers;
+  uint64_t nominal_macs = 0;  ///< network MACs per forward pass
+  uint32_t data_bytes = 0;    ///< device data footprint
+
+  /// Device-driven sequence mode (sequence_steps > 1 at build time): the
+  /// program loops over all timesteps internally, staging inputs from and
+  /// outputs to device arrays. The loop cursors live in memory slots whose
+  /// initial values run_sequence() rewrites before each run.
+  struct SequenceInfo {
+    int steps = 1;
+    uint32_t inputs_addr = 0;   ///< steps x input_count halfwords
+    uint32_t outputs_addr = 0;  ///< steps x output_count halfwords
+    uint32_t in_slot = 0;       ///< input cursor (word)
+    uint32_t out_slot = 0;      ///< output cursor (word)
+    uint32_t count_slot = 0;    ///< remaining-steps counter (word)
+  };
+  std::optional<SequenceInfo> seq;
+};
+
+class NetworkProgramBuilder {
+ public:
+  /// The PLA tables must equal the target core's configuration or the SW
+  /// routines (levels a/b) would diverge from pl.tanh/pl.sig (levels c+).
+  /// With sequence_steps > 1 the program loops over that many timesteps on
+  /// the device (see BuiltNetwork::SequenceInfo).
+  NetworkProgramBuilder(iss::Memory* mem, OptLevel level,
+                        const activation::PlaTable& tanh_tbl,
+                        const activation::PlaTable& sig_tbl, int max_tile = 8,
+                        int sequence_steps = 1);
+
+  void add_fc(const nn::FcParamsQ& params);
+  void add_lstm(const nn::LstmParamsQ& params);
+  void add_gru(const nn::GruParamsQ& params);
+  /// Input to a conv layer is a CHW tensor of in_ch x in_h x in_w halfwords.
+  void add_conv(const nn::ConvParamsQ& params, int in_h, int in_w);
+  void add_maxpool(const nn::MaxPoolParams& params, int ch, int in_h, int in_w);
+  void add_avgpool(const nn::AvgPoolParams& params, int ch, int in_h, int in_w);
+  /// Reduce the current activation vector to its argmax index (one
+  /// halfword) — the DQN action selection, computed on the device.
+  void add_argmax();
+
+  BuiltNetwork finalize();
+
+ private:
+  /// Returns the address holding this layer's input, allocating the network
+  /// input buffer if this is the first layer.
+  uint32_t take_input(int count);
+  void emit_copy(uint32_t src, uint32_t dst, int count);
+  /// Sequence mode: called once the first layer's input region is known;
+  /// allocates the cursors/arrays and opens the timestep loop.
+  void begin_sequence(uint32_t input_region, int count);
+
+  iss::Memory* mem_;
+  OptLevel level_;
+  const activation::PlaTable& tanh_tbl_;
+  const activation::PlaTable& sig_tbl_;
+  int max_tile_;
+  DeviceAllocator alloc_;
+  assembler::ProgramBuilder b_;
+  ActRoutines routines_;
+  bool first_layer_ = true;
+  bool finalized_ = false;
+  uint32_t cur_addr_ = 0;  ///< current activation buffer
+  int cur_count_ = 0;
+  int sequence_steps_ = 1;
+  assembler::ProgramBuilder::Label seq_loop_{};
+  BuiltNetwork net_;
+};
+
+/// Write `input`, run one forward pass, and return the outputs. The core
+/// must already have the network's program loaded. Statistics accumulate in
+/// the core across calls. Throws on a trapped run.
+std::vector<int16_t> run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork& net,
+                                 std::span<const int16_t> input);
+
+/// Zero the recurrent state buffers (start of a fresh sequence).
+void reset_state(iss::Memory& mem, const BuiltNetwork& net);
+
+/// Run a device-driven sequence: writes all steps' inputs, re-arms the loop
+/// cursors, resets the recurrent state, runs once, and returns all steps'
+/// outputs (steps x output_count halfwords). Requires a sequence-mode net.
+std::vector<int16_t> run_sequence(iss::Core& core, iss::Memory& mem,
+                                  const BuiltNetwork& net,
+                                  std::span<const int16_t> inputs);
+
+}  // namespace rnnasip::kernels

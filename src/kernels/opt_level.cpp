@@ -1,0 +1,26 @@
+#include "src/kernels/opt_level.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+char opt_level_letter(OptLevel level) {
+  return static_cast<char>('a' + static_cast<int>(level));
+}
+
+std::string opt_level_name(OptLevel level) {
+  switch (level) {
+    case OptLevel::kBaseline: return "w/o opt (RV32IMC)";
+    case OptLevel::kXpulpSimd: return "+SIMD/HWL (Xpulp)";
+    case OptLevel::kOutputTiling: return "+Out-FM Tile./tanh/sig";
+    case OptLevel::kLoadCompute: return "+pl.sdotsp instruction";
+    case OptLevel::kInputTiling: return "+Input FM Tiling";
+  }
+  RNNASIP_CHECK(false);
+}
+
+bool uses_xpulp(OptLevel level) { return level >= OptLevel::kXpulpSimd; }
+bool uses_hw_act(OptLevel level) { return level >= OptLevel::kOutputTiling; }
+bool uses_load_compute(OptLevel level) { return level >= OptLevel::kLoadCompute; }
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,46 @@
+// The five optimization levels of the paper's Table I. Each level is a
+// distinct code-generation strategy; every level computes bit-identical
+// results (the paper's "does not impact numerical precision").
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace rnnasip::kernels {
+
+enum class OptLevel : int {
+  /// (a) straight-forward RV32IMC-style code: halfword loads, accumulator
+  /// round-trips through memory, pointer addi, bltu loop (plus the mac the
+  /// paper's Table Ia lists).
+  kBaseline = 0,
+  /// (b) + packed-SIMD dot products, hardware loops, post-increment loads.
+  kXpulpSimd = 1,
+  /// (c) + output feature-map tiling (shared input loads across N outputs)
+  ///     + the pl.tanh / pl.sig hardware activation instructions.
+  kOutputTiling = 2,
+  /// (d) + pl.sdotsp.h.x: weight loads folded into the MAC instruction via
+  ///     the two SPR weight registers.
+  kLoadCompute = 3,
+  /// (e) + input feature-map tiling: two input words per inner iteration,
+  ///     eliminating the load bubble of level (d).
+  kInputTiling = 4,
+};
+
+inline constexpr std::array<OptLevel, 5> kAllOptLevels = {
+    OptLevel::kBaseline, OptLevel::kXpulpSimd, OptLevel::kOutputTiling,
+    OptLevel::kLoadCompute, OptLevel::kInputTiling};
+
+/// "a".."e", the paper's column labels.
+char opt_level_letter(OptLevel level);
+
+/// Human-readable name as in the Table I header.
+std::string opt_level_name(OptLevel level);
+
+/// True if this level may use Xpulp hardware loops / post-increment / SIMD.
+bool uses_xpulp(OptLevel level);
+/// True if this level uses the pl.tanh / pl.sig instructions.
+bool uses_hw_act(OptLevel level);
+/// True if this level uses pl.sdotsp.h.x.
+bool uses_load_compute(OptLevel level);
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,149 @@
+#include "src/kernels/pool.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+using assembler::ProgramBuilder;
+using assembler::Reg;
+using assembler::RegPool;
+using namespace isa;
+
+PoolLayout plan_maxpool(const nn::MaxPoolParams& params, int ch, int in_h, int in_w,
+                        uint32_t in_addr, uint32_t out_addr) {
+  RNNASIP_CHECK(params.k >= 1 && params.stride >= 1);
+  PoolLayout L;
+  L.ch = ch;
+  L.in_h = in_h;
+  L.in_w = in_w;
+  L.k = params.k;
+  L.stride = params.stride;
+  L.out_h = nn::conv_out_dim(in_h, params.k, params.stride, 0);
+  L.out_w = nn::conv_out_dim(in_w, params.k, params.stride, 0);
+  RNNASIP_CHECK(L.out_h > 0 && L.out_w > 0);
+  L.in_addr = in_addr;
+  L.out_addr = out_addr;
+  // Window offsets use immediate addressing from the pixel pointer.
+  RNNASIP_CHECK_MSG(2 * ((params.k - 1) * in_w + params.k - 1) <= 2047,
+                    "pool window exceeds immediate range");
+  return L;
+}
+
+PoolLayout plan_avgpool(const nn::AvgPoolParams& params, int ch, int in_h, int in_w,
+                        uint32_t in_addr, uint32_t out_addr) {
+  RNNASIP_CHECK_MSG((params.k & (params.k - 1)) == 0 && params.k >= 1,
+                    "avg-pool window must be a power of two");
+  nn::MaxPoolParams mp{params.k, params.stride};
+  PoolLayout L = plan_maxpool(mp, ch, in_h, in_w, in_addr, out_addr);
+  int lg = 0;
+  while ((1 << lg) < params.k) ++lg;
+  L.shift = 2 * lg;
+  return L;
+}
+
+namespace {
+
+/// Shared pooling loop nest; `reduce` emits the per-element combine into
+/// the running register, `finish` post-processes it before the store.
+template <typename Reduce, typename Finish>
+void emit_pool_nest(ProgramBuilder& b, const PoolLayout& L, OptLevel level,
+                    const Reduce& reduce, const Finish& finish) {
+  const bool xp = uses_xpulp(level);
+  RegPool pool;
+  const Reg rOp = pool.alloc();
+  const Reg rCcnt = pool.alloc();
+  const Reg rOyCnt = pool.alloc();
+  const Reg rOxCnt = pool.alloc();
+  const Reg rInC = pool.alloc();
+  const Reg rInRow = pool.alloc();
+  const Reg rInPix = pool.alloc();
+  const Reg rM = pool.alloc();
+  const Reg rV = pool.alloc();
+
+  b.li(rOp, static_cast<int32_t>(L.out_addr));
+  b.li(rInC, static_cast<int32_t>(L.in_addr));
+  b.li(rCcnt, L.ch);
+
+  auto c_loop = b.make_label();
+  b.bind(c_loop);
+  {
+    b.mv(rInRow, rInC);
+    b.li(rOyCnt, L.out_h);
+    auto oy_loop = b.make_label();
+    b.bind(oy_loop);
+    {
+      b.mv(rInPix, rInRow);
+      b.li(rOxCnt, L.out_w);
+      auto ox_loop = b.make_label();
+      b.bind(ox_loop);
+      {
+        // Host-unrolled k x k window, offsets from the pixel pointer.
+        b.lh(rM, 0, rInPix);
+        for (int ky = 0; ky < L.k; ++ky) {
+          for (int kx = 0; kx < L.k; ++kx) {
+            if (ky == 0 && kx == 0) continue;
+            const int off = 2 * (ky * L.in_w + kx);
+            b.lh(rV, off, rInPix);
+            reduce(rM, rV);
+          }
+        }
+        finish(rM);
+        if (xp) {
+          b.p_sh(rM, 2, rOp);
+        } else {
+          b.sh(rM, 0, rOp);
+          b.addi(rOp, rOp, 2);
+        }
+        b.addi(rInPix, rInPix, 2 * L.stride);
+        b.addi(rOxCnt, rOxCnt, -1);
+        b.bne(rOxCnt, kZero, ox_loop);
+      }
+      if (fits_signed(2 * L.in_w * L.stride, 12)) {
+        b.addi(rInRow, rInRow, 2 * L.in_w * L.stride);
+      } else {
+        b.li(rV, 2 * L.in_w * L.stride);
+        b.add(rInRow, rInRow, rV);
+      }
+      b.addi(rOyCnt, rOyCnt, -1);
+      b.bne(rOyCnt, kZero, oy_loop);
+    }
+    if (fits_signed(2 * L.in_h * L.in_w, 12)) {
+      b.addi(rInC, rInC, 2 * L.in_h * L.in_w);
+    } else {
+      b.li(rV, 2 * L.in_h * L.in_w);
+      b.add(rInC, rInC, rV);
+    }
+    b.addi(rCcnt, rCcnt, -1);
+    b.bne(rCcnt, kZero, c_loop);
+  }
+}
+
+}  // namespace
+
+void emit_maxpool(ProgramBuilder& b, const PoolLayout& L, OptLevel level) {
+  const bool xp = uses_xpulp(level);
+  emit_pool_nest(
+      b, L, level,
+      [&](Reg m, Reg v) {
+        if (xp) {
+          b.p_max(m, m, v);
+        } else {
+          auto keep = b.make_label();
+          b.bge(m, v, keep);
+          b.mv(m, v);
+          b.bind(keep);
+        }
+      },
+      [](Reg) {});
+}
+
+void emit_avgpool(ProgramBuilder& b, const PoolLayout& L, OptLevel level) {
+  RNNASIP_CHECK_MSG(L.shift > 0 || L.k == 1, "layout not planned for avg pooling");
+  emit_pool_nest(
+      b, L, level, [&](Reg m, Reg v) { b.add(m, m, v); },
+      [&](Reg m) {
+        if (L.shift > 0) b.srai(m, m, L.shift);
+      });
+}
+
+}  // namespace rnnasip::kernels

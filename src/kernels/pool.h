@@ -1,0 +1,36 @@
+// Max-pooling kernel generator (per-channel, valid windows). Pooling is
+// O(pixels) against the conv's O(pixels * k^2 * channels), so one scalar
+// schedule serves all Xpulp levels (p.max + post-increment loads in
+// hardware loops); the baseline level uses branches. Results are exact at
+// every level (max needs no requantization).
+#pragma once
+
+#include "src/asm/builder.h"
+#include "src/kernels/layout.h"
+#include "src/kernels/opt_level.h"
+#include "src/nn/layers.h"
+
+namespace rnnasip::kernels {
+
+struct PoolLayout {
+  int ch = 0, in_h = 0, in_w = 0;
+  int k = 2, stride = 2;
+  int out_h = 0, out_w = 0;
+  int shift = 0;          ///< avg pool: srai by log2(k^2); 0 for max pool
+  uint32_t in_addr = 0;   ///< CHW int16
+  uint32_t out_addr = 0;  ///< CHW int16
+};
+
+PoolLayout plan_maxpool(const nn::MaxPoolParams& params, int ch, int in_h, int in_w,
+                        uint32_t in_addr, uint32_t out_addr);
+
+void emit_maxpool(assembler::ProgramBuilder& b, const PoolLayout& layout, OptLevel level);
+
+/// Average pooling: window sum + arithmetic shift by log2(k^2). The window
+/// must be a power of two (checked in plan_avgpool).
+PoolLayout plan_avgpool(const nn::AvgPoolParams& params, int ch, int in_h, int in_w,
+                        uint32_t in_addr, uint32_t out_addr);
+
+void emit_avgpool(assembler::ProgramBuilder& b, const PoolLayout& layout, OptLevel level);
+
+}  // namespace rnnasip::kernels

@@ -1,0 +1,163 @@
+#include "src/nn/init.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/nn/quantize.h"
+
+namespace rnnasip::nn {
+
+MatrixF random_matrix(Rng& rng, int rows, int cols, float scale) {
+  MatrixF m(rows, cols);
+  for (auto& v : m.data) v = static_cast<float>(rng.next_in(-scale, scale));
+  return m;
+}
+
+VectorF random_vector(Rng& rng, int n, float scale) {
+  VectorF v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.next_in(-scale, scale));
+  return v;
+}
+
+Tensor3F random_tensor(Rng& rng, int ch, int h, int w, float scale) {
+  Tensor3F t(ch, h, w);
+  for (auto& v : t.data) v = static_cast<float>(rng.next_in(-scale, scale));
+  return t;
+}
+
+FcParamsF random_fc(Rng& rng, int in, int out, ActKind act, float scale) {
+  FcParamsF p;
+  p.w = random_matrix(rng, out, in, scale);
+  p.b = random_vector(rng, out, scale);
+  p.act = act;
+  return p;
+}
+
+LstmParamsF random_lstm(Rng& rng, int input, int hidden, float scale) {
+  LstmParamsF p;
+  p.input = input;
+  p.hidden = hidden;
+  p.wi = random_matrix(rng, hidden, input, scale);
+  p.wf = random_matrix(rng, hidden, input, scale);
+  p.wo = random_matrix(rng, hidden, input, scale);
+  p.wc = random_matrix(rng, hidden, input, scale);
+  p.ui = random_matrix(rng, hidden, hidden, scale);
+  p.uf = random_matrix(rng, hidden, hidden, scale);
+  p.uo = random_matrix(rng, hidden, hidden, scale);
+  p.uc = random_matrix(rng, hidden, hidden, scale);
+  p.bi = random_vector(rng, hidden, scale);
+  p.bf = random_vector(rng, hidden, scale);
+  p.bo = random_vector(rng, hidden, scale);
+  p.bc = random_vector(rng, hidden, scale);
+  return p;
+}
+
+GruParamsF random_gru(Rng& rng, int input, int hidden, float scale) {
+  GruParamsF p;
+  p.input = input;
+  p.hidden = hidden;
+  p.wr = random_matrix(rng, hidden, input, scale);
+  p.wz = random_matrix(rng, hidden, input, scale);
+  p.wn = random_matrix(rng, hidden, input, scale);
+  p.ur = random_matrix(rng, hidden, hidden, scale);
+  p.uz = random_matrix(rng, hidden, hidden, scale);
+  p.un = random_matrix(rng, hidden, hidden, scale);
+  p.br = random_vector(rng, hidden, scale);
+  p.bz = random_vector(rng, hidden, scale);
+  p.bn = random_vector(rng, hidden, scale);
+  return p;
+}
+
+ConvParamsF random_conv(Rng& rng, int in_ch, int out_ch, int k, ActKind act, int stride,
+                        int pad, float scale) {
+  ConvParamsF p;
+  p.in_ch = in_ch;
+  p.out_ch = out_ch;
+  p.kh = p.kw = k;
+  p.stride = stride;
+  p.pad = pad;
+  p.act = act;
+  p.w.resize(static_cast<size_t>(out_ch) * in_ch * k * k);
+  for (auto& v : p.w) v = static_cast<float>(rng.next_in(-scale, scale));
+  p.b = random_vector(rng, out_ch, scale);
+  return p;
+}
+
+void prune_matrix(MatrixF& m, double density) {
+  RNNASIP_CHECK(density >= 0.0 && density <= 1.0);
+  std::vector<float> mags;
+  mags.reserve(m.data.size());
+  for (float v : m.data) mags.push_back(std::abs(v));
+  const size_t keep = static_cast<size_t>(density * static_cast<double>(mags.size()));
+  if (keep == 0) {
+    std::fill(m.data.begin(), m.data.end(), 0.0f);
+    return;
+  }
+  if (keep >= mags.size()) return;
+  std::nth_element(mags.begin(), mags.end() - keep, mags.end());
+  const float threshold = mags[mags.size() - keep];
+  for (float& v : m.data) {
+    if (std::abs(v) < threshold) v = 0.0f;
+  }
+}
+
+FcParamsQ quantize_fc(const FcParamsF& p) {
+  FcParamsQ q;
+  q.w = quantize_matrix(p.w);
+  q.b = quantize_vector(p.b);
+  q.act = p.act;
+  return q;
+}
+
+LstmParamsQ quantize_lstm(const LstmParamsF& p) {
+  LstmParamsQ q;
+  q.input = p.input;
+  q.hidden = p.hidden;
+  q.wi = quantize_matrix(p.wi);
+  q.wf = quantize_matrix(p.wf);
+  q.wo = quantize_matrix(p.wo);
+  q.wc = quantize_matrix(p.wc);
+  q.ui = quantize_matrix(p.ui);
+  q.uf = quantize_matrix(p.uf);
+  q.uo = quantize_matrix(p.uo);
+  q.uc = quantize_matrix(p.uc);
+  q.bi = quantize_vector(p.bi);
+  q.bf = quantize_vector(p.bf);
+  q.bo = quantize_vector(p.bo);
+  q.bc = quantize_vector(p.bc);
+  return q;
+}
+
+GruParamsQ quantize_gru(const GruParamsF& p) {
+  GruParamsQ q;
+  q.input = p.input;
+  q.hidden = p.hidden;
+  q.wr = quantize_matrix(p.wr);
+  q.wz = quantize_matrix(p.wz);
+  q.wn = quantize_matrix(p.wn);
+  q.ur = quantize_matrix(p.ur);
+  q.uz = quantize_matrix(p.uz);
+  q.un = quantize_matrix(p.un);
+  q.br = quantize_vector(p.br);
+  q.bz = quantize_vector(p.bz);
+  q.bn = quantize_vector(p.bn);
+  return q;
+}
+
+ConvParamsQ quantize_conv(const ConvParamsF& p) {
+  ConvParamsQ q;
+  q.in_ch = p.in_ch;
+  q.out_ch = p.out_ch;
+  q.kh = p.kh;
+  q.kw = p.kw;
+  q.stride = p.stride;
+  q.pad = p.pad;
+  q.act = p.act;
+  q.w.resize(p.w.size());
+  for (size_t i = 0; i < p.w.size(); ++i) q.w[i] = static_cast<int16_t>(quantize(p.w[i]));
+  q.b = quantize_vector(p.b);
+  return q;
+}
+
+}  // namespace rnnasip::nn

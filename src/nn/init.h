@@ -1,0 +1,34 @@
+// Deterministic parameter/input generation for workloads and tests.
+//
+// Cycle counts of dense kernels are data-independent, so the benchmark
+// suite runs on reproducible pseudo-random weights (see DESIGN.md,
+// substitutions). Magnitudes default to the scale a trained, normalized
+// network would have (|w| <= 0.5, |x| <= 1.0), keeping Q3.12 accumulators
+// far from saturation.
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/nn/layers.h"
+
+namespace rnnasip::nn {
+
+MatrixF random_matrix(Rng& rng, int rows, int cols, float scale = 0.5f);
+VectorF random_vector(Rng& rng, int n, float scale = 0.5f);
+Tensor3F random_tensor(Rng& rng, int ch, int h, int w, float scale = 1.0f);
+
+FcParamsF random_fc(Rng& rng, int in, int out, ActKind act, float scale = 0.5f);
+LstmParamsF random_lstm(Rng& rng, int input, int hidden, float scale = 0.5f);
+GruParamsF random_gru(Rng& rng, int input, int hidden, float scale = 0.5f);
+ConvParamsF random_conv(Rng& rng, int in_ch, int out_ch, int k, ActKind act,
+                        int stride = 1, int pad = 0, float scale = 0.5f);
+
+/// Magnitude pruning: zero all but the largest-|w| `density` fraction of
+/// entries (the compression setting of the related work [19], [20]).
+void prune_matrix(MatrixF& m, double density);
+
+FcParamsQ quantize_fc(const FcParamsF& p);
+LstmParamsQ quantize_lstm(const LstmParamsF& p);
+GruParamsQ quantize_gru(const GruParamsF& p);
+ConvParamsQ quantize_conv(const ConvParamsF& p);
+
+}  // namespace rnnasip::nn

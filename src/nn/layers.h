@@ -1,0 +1,199 @@
+// Layer parameter descriptions and reference forward passes.
+//
+// Two parallel implementations exist for every kernel:
+//   * float reference — the "trained model" semantics,
+//   * fixed-point golden — bit-exact mirror of the arithmetic the generated
+//     RISC-V kernels perform (wrapping 32-bit accumulation, srai-by-12
+//     requantization with 16-bit clipping, PLA activations).
+// Generated kernels at EVERY optimization level must match the fixed-point
+// golden model bit-exactly; the golden model in turn is tolerance-checked
+// against the float reference.
+#pragma once
+
+#include "src/activation/pla.h"
+#include "src/nn/tensor.h"
+
+namespace rnnasip::nn {
+
+/// Per-layer output nonlinearity. The RRM benchmark uses ReLU inside the
+/// DQN-style FC stacks and tanh/sigmoid inside LSTM cells.
+enum class ActKind : uint8_t { kNone, kReLU, kTanh, kSigmoid };
+
+// ---------------------------------------------------------------- FC ----
+
+template <typename T>
+struct FcParams {
+  Matrix<T> w;       ///< out x in
+  std::vector<T> b;  ///< out
+  ActKind act = ActKind::kNone;
+};
+using FcParamsF = FcParams<float>;
+using FcParamsQ = FcParams<int16_t>;
+
+/// o = act(b + W x), float reference.
+VectorF fc_forward(const FcParamsF& p, const VectorF& x);
+
+/// Fixed-point golden model: 32-bit wrapping accumulation of Q3.12
+/// products on top of bias << frac_bits, then arithmetic shift right by
+/// frac_bits and clip to 16 bits, then the activation (ReLU = max(0, .),
+/// tanh/sig = PLA; tanh/sig require frac_bits == 12, the PLA format).
+VectorQ fc_forward_fixp(const FcParamsQ& p, const VectorQ& x,
+                        const activation::PlaTable& tanh_tbl,
+                        const activation::PlaTable& sig_tbl, int frac_bits = 12);
+
+// -------------------------------------------------------------- LSTM ----
+
+/// LSTM cell (Eqs. 1-6 of the paper): 4 gates, each with an input weight
+/// matrix W (n x m), a recurrent matrix U (n x n), and a bias (n).
+template <typename T>
+struct LstmParams {
+  int input = 0;   ///< m
+  int hidden = 0;  ///< n
+  Matrix<T> wi, wf, wo, wc;  ///< n x m
+  Matrix<T> ui, uf, uo, uc;  ///< n x n
+  std::vector<T> bi, bf, bo, bc;
+};
+using LstmParamsF = LstmParams<float>;
+using LstmParamsQ = LstmParams<int16_t>;
+
+struct LstmStateF {
+  VectorF h, c;
+};
+struct LstmStateQ {
+  VectorQ h, c;
+};
+
+/// One LSTM time step, float reference. Updates state in place.
+VectorF lstm_step(const LstmParamsF& p, const VectorF& x, LstmStateF& state);
+
+/// One LSTM time step, fixed-point golden model:
+///   gate pre-activations accumulate W·x and U·h over bias << 12, requantize
+///   (srai 12 + clip16), go through the PLA unit; the Hadamard products use
+///   mul -> srai 12, summed and clipped to 16 bits.
+VectorQ lstm_step_fixp(const LstmParamsQ& p, const VectorQ& x, LstmStateQ& state,
+                       const activation::PlaTable& tanh_tbl,
+                       const activation::PlaTable& sig_tbl);
+
+// -------------------------------------------------------------- INT8 ----
+
+/// 8-bit fixed-point FC path (Q1.6: 1 integer + 6 fraction bits), the
+/// "eight and fewer bits" direction the paper cites ([27]). The packed
+/// pv.sdotsp.b instruction retires 4 MACs/cycle — double the 16-bit rate —
+/// at the cost of quantization error that the Fig.-2-style bench
+/// (bench_int8) quantifies. Activations: none/ReLU (the PLA unit is a
+/// Q3.12 datapath; recurrent cells stay 16-bit).
+struct FcParams8 {
+  Matrix<int8_t> w;       ///< out x in, Q1.6 raw
+  std::vector<int8_t> b;  ///< out
+  ActKind act = ActKind::kNone;  ///< kNone or kReLU only
+};
+
+inline constexpr QFormat q1_6{1, 6};
+
+std::vector<int8_t> quantize_vector8(const VectorF& v);
+VectorF dequantize_vector8(const std::vector<int8_t>& v);
+FcParams8 quantize_fc8(const FcParamsF& p);
+
+/// Fixed-point golden model of the INT8 kernel: wrapping 32-bit
+/// accumulation over bias << 6, then srai 6 and clip to int8.
+std::vector<int8_t> fc_forward_fixp8(const FcParams8& p, const std::vector<int8_t>& x);
+
+// --------------------------------------------------------------- GRU ----
+
+/// GRU cell (Cho et al. formulation — the RNN-variant flexibility argument
+/// of the paper's Sec. I: new cells run on the same ISA, no HW change):
+///   r  = sig(Wr x + Ur h + br)
+///   z  = sig(Wz x + Uz h + bz)
+///   n  = tanh(Wn x + Un (r o h) + bn)
+///   h' = z o h + (1 - z) o n
+template <typename T>
+struct GruParams {
+  int input = 0;   ///< m
+  int hidden = 0;  ///< n
+  Matrix<T> wr, wz, wn;  ///< n x m
+  Matrix<T> ur, uz, un;  ///< n x n
+  std::vector<T> br, bz, bn;
+};
+using GruParamsF = GruParams<float>;
+using GruParamsQ = GruParams<int16_t>;
+
+struct GruStateF {
+  VectorF h;
+};
+struct GruStateQ {
+  VectorQ h;
+};
+
+/// One GRU time step, float reference. Updates state in place.
+VectorF gru_step(const GruParamsF& p, const VectorF& x, GruStateF& state);
+
+/// One GRU time step, fixed-point golden model (same discipline as the LSTM
+/// golden: wrapping accumulation, srai-12 requantization, PLA activations,
+/// Hadamard products as mul -> srai 12 with a 16-bit clip at the store).
+VectorQ gru_step_fixp(const GruParamsQ& p, const VectorQ& x, GruStateQ& state,
+                      const activation::PlaTable& tanh_tbl,
+                      const activation::PlaTable& sig_tbl);
+
+// ------------------------------------------------------------- Conv ----
+
+template <typename T>
+struct ConvParams {
+  int in_ch = 0, out_ch = 0;
+  int kh = 0, kw = 0;
+  int stride = 1;
+  int pad = 0;
+  std::vector<T> w;  ///< out_ch x in_ch x kh x kw, row-major
+  std::vector<T> b;  ///< out_ch
+  ActKind act = ActKind::kNone;
+
+  T weight(int oc, int ic, int y, int x) const {
+    return w[((static_cast<size_t>(oc) * in_ch + ic) * kh + y) * kw + x];
+  }
+  T& weight(int oc, int ic, int y, int x) {
+    return w[((static_cast<size_t>(oc) * in_ch + ic) * kh + y) * kw + x];
+  }
+};
+using ConvParamsF = ConvParams<float>;
+using ConvParamsQ = ConvParams<int16_t>;
+
+/// Output spatial size for one dimension.
+int conv_out_dim(int in, int k, int stride, int pad);
+
+/// 2-D convolution, float reference.
+Tensor3F conv2d_forward(const ConvParamsF& p, const Tensor3F& in);
+
+/// 2-D convolution, fixed-point golden model (same accumulate/requantize
+/// discipline as the FC path; zero padding contributes nothing).
+Tensor3Q conv2d_forward_fixp(const ConvParamsQ& p, const Tensor3Q& in);
+
+/// im2col lowering: each output pixel's receptive field becomes one column
+/// of a (in_ch*kh*kw) x (out_h*out_w) matrix — the transformation the
+/// optimized CNN kernels apply so the conv becomes matrix-matrix work.
+MatrixQ im2col(const ConvParamsQ& p, const Tensor3Q& in);
+
+// ------------------------------------------------------------ pooling ----
+
+/// Max pooling (per channel, valid windows only). Quantization-exact: max
+/// commutes with quantization, so float and fixed point agree up to input
+/// rounding and the kernels are trivially bit-exact.
+struct MaxPoolParams {
+  int k = 2;
+  int stride = 2;
+};
+
+Tensor3F maxpool_forward(const MaxPoolParams& p, const Tensor3F& in);
+Tensor3Q maxpool_forward_fixp(const MaxPoolParams& p, const Tensor3Q& in);
+
+/// Average pooling with a power-of-two window (k in {1, 2, 4, 8}), so the
+/// division is an exact arithmetic shift by log2(k^2) on the device — no
+/// divider, no rounding ambiguity. The fixed-point mean truncates toward
+/// -inf (srai semantics), which the golden model mirrors.
+struct AvgPoolParams {
+  int k = 2;
+  int stride = 2;
+};
+
+Tensor3F avgpool_forward(const AvgPoolParams& p, const Tensor3F& in);
+Tensor3Q avgpool_forward_fixp(const AvgPoolParams& p, const Tensor3Q& in);
+
+}  // namespace rnnasip::nn

@@ -1,0 +1,276 @@
+// Fixed-point golden models. Arithmetic mirrors the generated kernels
+// instruction for instruction:
+//   * accumulation in a wrapping 32-bit register (uint32 adds, like the
+//     core's GPR datapath),
+//   * bias preloaded as bias << 12,
+//   * requantization = arithmetic shift right 12, then clip to 16 bits,
+//   * tanh/sigmoid through the same PlaTable the core's activation unit and
+//     the SW fallback routine use.
+#include "src/common/bits.h"
+#include "src/common/check.h"
+#include "src/nn/layers.h"
+
+namespace rnnasip::nn {
+namespace {
+
+using activation::PlaTable;
+
+/// The kernels' requantize step: srai by frac_bits + clip to int16.
+int16_t requant(uint32_t acc, int frac_bits) {
+  const int32_t shifted = static_cast<int32_t>(acc) >> frac_bits;
+  return static_cast<int16_t>(clip_signed(shifted, 16));
+}
+
+int16_t requant12(uint32_t acc) { return requant(acc, 12); }
+
+int16_t apply_act_fixp(ActKind act, int16_t v, const PlaTable& tanh_tbl,
+                       const PlaTable& sig_tbl) {
+  switch (act) {
+    case ActKind::kNone: return v;
+    case ActKind::kReLU: return v > 0 ? v : static_cast<int16_t>(0);
+    case ActKind::kTanh: return static_cast<int16_t>(tanh_tbl.eval_raw(v));
+    case ActKind::kSigmoid: return static_cast<int16_t>(sig_tbl.eval_raw(v));
+  }
+  RNNASIP_CHECK(false);
+}
+
+/// acc += w * x with the core's wrapping semantics.
+void mac(uint32_t& acc, int16_t w, int16_t x) {
+  acc += static_cast<uint32_t>(static_cast<int32_t>(w) * static_cast<int32_t>(x));
+}
+
+}  // namespace
+
+VectorQ fc_forward_fixp(const FcParamsQ& p, const VectorQ& x, const PlaTable& tanh_tbl,
+                        const PlaTable& sig_tbl, int frac_bits) {
+  RNNASIP_CHECK(p.w.cols == static_cast<int>(x.size()));
+  RNNASIP_CHECK(p.w.rows == static_cast<int>(p.b.size()));
+  RNNASIP_CHECK(frac_bits == 12 || p.act == ActKind::kNone || p.act == ActKind::kReLU);
+  VectorQ out(p.b.size());
+  for (int r = 0; r < p.w.rows; ++r) {
+    uint32_t acc = static_cast<uint32_t>(static_cast<int32_t>(p.b[r]) << frac_bits);
+    for (int c = 0; c < p.w.cols; ++c) mac(acc, p.w.at(r, c), x[c]);
+    out[r] = apply_act_fixp(p.act, requant(acc, frac_bits), tanh_tbl, sig_tbl);
+  }
+  return out;
+}
+
+std::vector<int8_t> quantize_vector8(const VectorF& v) {
+  std::vector<int8_t> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i)
+    out[i] = static_cast<int8_t>(quantize(v[i], q1_6));
+  return out;
+}
+
+VectorF dequantize_vector8(const std::vector<int8_t>& v) {
+  VectorF out(v.size());
+  for (size_t i = 0; i < v.size(); ++i)
+    out[i] = static_cast<float>(dequantize(v[i], q1_6));
+  return out;
+}
+
+FcParams8 quantize_fc8(const FcParamsF& p) {
+  RNNASIP_CHECK(p.act == ActKind::kNone || p.act == ActKind::kReLU);
+  FcParams8 q;
+  q.w = Matrix<int8_t>(p.w.rows, p.w.cols);
+  for (size_t i = 0; i < p.w.data.size(); ++i)
+    q.w.data[i] = static_cast<int8_t>(quantize(p.w.data[i], q1_6));
+  q.b.resize(p.b.size());
+  for (size_t i = 0; i < p.b.size(); ++i)
+    q.b[i] = static_cast<int8_t>(quantize(p.b[i], q1_6));
+  q.act = p.act;
+  return q;
+}
+
+std::vector<int8_t> fc_forward_fixp8(const FcParams8& p, const std::vector<int8_t>& x) {
+  RNNASIP_CHECK(p.w.cols == static_cast<int>(x.size()));
+  RNNASIP_CHECK(p.w.rows == static_cast<int>(p.b.size()));
+  std::vector<int8_t> out(p.b.size());
+  for (int r = 0; r < p.w.rows; ++r) {
+    uint32_t acc = static_cast<uint32_t>(static_cast<int32_t>(p.b[r]) << 6);
+    for (int c = 0; c < p.w.cols; ++c) {
+      acc += static_cast<uint32_t>(static_cast<int32_t>(p.w.at(r, c)) *
+                                   static_cast<int32_t>(x[static_cast<size_t>(c)]));
+    }
+    int32_t v = static_cast<int32_t>(clip_signed(static_cast<int32_t>(acc) >> 6, 8));
+    if (p.act == ActKind::kReLU && v < 0) v = 0;
+    out[static_cast<size_t>(r)] = static_cast<int8_t>(v);
+  }
+  return out;
+}
+
+VectorQ lstm_step_fixp(const LstmParamsQ& p, const VectorQ& x, LstmStateQ& state,
+                       const PlaTable& tanh_tbl, const PlaTable& sig_tbl) {
+  RNNASIP_CHECK(static_cast<int>(x.size()) == p.input);
+  RNNASIP_CHECK(static_cast<int>(state.h.size()) == p.hidden);
+  RNNASIP_CHECK(static_cast<int>(state.c.size()) == p.hidden);
+
+  auto gate = [&](const MatrixQ& w, const MatrixQ& u, const VectorQ& b, bool use_tanh) {
+    VectorQ g(static_cast<size_t>(p.hidden));
+    for (int r = 0; r < p.hidden; ++r) {
+      uint32_t acc = static_cast<uint32_t>(static_cast<int32_t>(b[r]) << 12);
+      for (int c = 0; c < p.input; ++c) mac(acc, w.at(r, c), x[c]);
+      for (int c = 0; c < p.hidden; ++c) mac(acc, u.at(r, c), state.h[c]);
+      const int16_t pre = requant12(acc);
+      g[r] = static_cast<int16_t>(use_tanh ? tanh_tbl.eval_raw(pre) : sig_tbl.eval_raw(pre));
+    }
+    return g;
+  };
+
+  const VectorQ i = gate(p.wi, p.ui, p.bi, false);
+  const VectorQ f = gate(p.wf, p.uf, p.bf, false);
+  const VectorQ o = gate(p.wo, p.uo, p.bo, false);
+  const VectorQ g = gate(p.wc, p.uc, p.bc, true);
+
+  for (int r = 0; r < p.hidden; ++r) {
+    // c' = (f*c >> 12) + (i*g >> 12), clipped at the store.
+    const int32_t fc = (static_cast<int32_t>(f[r]) * state.c[r]) >> 12;
+    const int32_t ig = (static_cast<int32_t>(i[r]) * g[r]) >> 12;
+    state.c[r] = static_cast<int16_t>(clip_signed(fc + ig, 16));
+    // h' = (o * tanh(c')) >> 12, clipped.
+    const int32_t th = tanh_tbl.eval_raw(state.c[r]);
+    const int32_t oh = (static_cast<int32_t>(o[r]) * th) >> 12;
+    state.h[r] = static_cast<int16_t>(clip_signed(oh, 16));
+  }
+  return state.h;
+}
+
+VectorQ gru_step_fixp(const GruParamsQ& p, const VectorQ& x, GruStateQ& state,
+                      const PlaTable& tanh_tbl, const PlaTable& sig_tbl) {
+  RNNASIP_CHECK(static_cast<int>(x.size()) == p.input);
+  RNNASIP_CHECK(static_cast<int>(state.h.size()) == p.hidden);
+  constexpr int32_t kOne = 4096;  // 1.0 in Q3.12
+
+  auto gate = [&](const MatrixQ& w, const MatrixQ& u, const VectorQ& b,
+                  const VectorQ& hvec, bool use_tanh) {
+    VectorQ g(static_cast<size_t>(p.hidden));
+    for (int r = 0; r < p.hidden; ++r) {
+      uint32_t acc = static_cast<uint32_t>(static_cast<int32_t>(b[r]) << 12);
+      for (int c = 0; c < p.input; ++c) mac(acc, w.at(r, c), x[c]);
+      for (int c = 0; c < p.hidden; ++c) mac(acc, u.at(r, c), hvec[c]);
+      const int16_t pre = requant12(acc);
+      g[r] = static_cast<int16_t>(use_tanh ? tanh_tbl.eval_raw(pre) : sig_tbl.eval_raw(pre));
+    }
+    return g;
+  };
+
+  const VectorQ r = gate(p.wr, p.ur, p.br, state.h, false);
+  const VectorQ z = gate(p.wz, p.uz, p.bz, state.h, false);
+  VectorQ rh(static_cast<size_t>(p.hidden));
+  for (int i = 0; i < p.hidden; ++i) {
+    const int32_t v = (static_cast<int32_t>(r[i]) * state.h[i]) >> 12;
+    rh[i] = static_cast<int16_t>(clip_signed(v, 16));
+  }
+  const VectorQ n = gate(p.wn, p.un, p.bn, rh, true);
+  for (int i = 0; i < p.hidden; ++i) {
+    const int32_t zh = (static_cast<int32_t>(z[i]) * state.h[i]) >> 12;
+    const int32_t zn = ((kOne - static_cast<int32_t>(z[i])) * n[i]) >> 12;
+    state.h[i] = static_cast<int16_t>(clip_signed(zh + zn, 16));
+  }
+  return state.h;
+}
+
+Tensor3Q conv2d_forward_fixp(const ConvParamsQ& p, const Tensor3Q& in) {
+  RNNASIP_CHECK(in.ch == p.in_ch);
+  const int oh = conv_out_dim(in.h, p.kh, p.stride, p.pad);
+  const int ow = conv_out_dim(in.w, p.kw, p.stride, p.pad);
+  Tensor3Q out(p.out_ch, oh, ow);
+  for (int oc = 0; oc < p.out_ch; ++oc) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        uint32_t acc = static_cast<uint32_t>(static_cast<int32_t>(p.b[oc]) << 12);
+        for (int ic = 0; ic < p.in_ch; ++ic) {
+          for (int ky = 0; ky < p.kh; ++ky) {
+            for (int kx = 0; kx < p.kw; ++kx) {
+              const int iy = oy * p.stride + ky - p.pad;
+              const int ix = ox * p.stride + kx - p.pad;
+              if (iy < 0 || iy >= in.h || ix < 0 || ix >= in.w) continue;
+              mac(acc, p.weight(oc, ic, ky, kx), in.at(ic, iy, ix));
+            }
+          }
+        }
+        const int16_t v = requant12(acc);
+        out.at(oc, oy, ox) = p.act == ActKind::kReLU && v < 0 ? static_cast<int16_t>(0) : v;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor3Q maxpool_forward_fixp(const MaxPoolParams& p, const Tensor3Q& in) {
+  const int oh = conv_out_dim(in.h, p.k, p.stride, 0);
+  const int ow = conv_out_dim(in.w, p.k, p.stride, 0);
+  Tensor3Q out(in.ch, oh, ow);
+  for (int c = 0; c < in.ch; ++c) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        int16_t m = in.at(c, oy * p.stride, ox * p.stride);
+        for (int ky = 0; ky < p.k; ++ky) {
+          for (int kx = 0; kx < p.k; ++kx) {
+            m = std::max(m, in.at(c, oy * p.stride + ky, ox * p.stride + kx));
+          }
+        }
+        out.at(c, oy, ox) = m;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+int log2_exact(int v) {
+  int l = 0;
+  while ((1 << l) < v) ++l;
+  RNNASIP_CHECK_MSG((1 << l) == v, "avg-pool window must be a power of two");
+  return l;
+}
+
+}  // namespace
+
+Tensor3Q avgpool_forward_fixp(const AvgPoolParams& p, const Tensor3Q& in) {
+  const int shift = 2 * log2_exact(p.k);  // divide by k^2
+  const int oh = conv_out_dim(in.h, p.k, p.stride, 0);
+  const int ow = conv_out_dim(in.w, p.k, p.stride, 0);
+  Tensor3Q out(in.ch, oh, ow);
+  for (int c = 0; c < in.ch; ++c) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        int32_t s = 0;
+        for (int ky = 0; ky < p.k; ++ky) {
+          for (int kx = 0; kx < p.k; ++kx) {
+            s += in.at(c, oy * p.stride + ky, ox * p.stride + kx);
+          }
+        }
+        out.at(c, oy, ox) = static_cast<int16_t>(s >> shift);
+      }
+    }
+  }
+  return out;
+}
+
+MatrixQ im2col(const ConvParamsQ& p, const Tensor3Q& in) {
+  const int oh = conv_out_dim(in.h, p.kh, p.stride, p.pad);
+  const int ow = conv_out_dim(in.w, p.kw, p.stride, p.pad);
+  MatrixQ m(p.in_ch * p.kh * p.kw, oh * ow);
+  for (int ic = 0; ic < p.in_ch; ++ic) {
+    for (int ky = 0; ky < p.kh; ++ky) {
+      for (int kx = 0; kx < p.kw; ++kx) {
+        const int row = (ic * p.kh + ky) * p.kw + kx;
+        for (int oy = 0; oy < oh; ++oy) {
+          for (int ox = 0; ox < ow; ++ox) {
+            const int iy = oy * p.stride + ky - p.pad;
+            const int ix = ox * p.stride + kx - p.pad;
+            const int16_t v = (iy < 0 || iy >= in.h || ix < 0 || ix >= in.w)
+                                  ? static_cast<int16_t>(0)
+                                  : in.at(ic, iy, ix);
+            m.at(row, oy * ow + ox) = v;
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace rnnasip::nn

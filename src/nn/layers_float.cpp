@@ -1,0 +1,161 @@
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/nn/layers.h"
+
+namespace rnnasip::nn {
+namespace {
+
+float apply_act(ActKind act, float v) {
+  switch (act) {
+    case ActKind::kNone: return v;
+    case ActKind::kReLU: return v > 0 ? v : 0.0f;
+    case ActKind::kTanh: return std::tanh(v);
+    case ActKind::kSigmoid: return 1.0f / (1.0f + std::exp(-v));
+  }
+  RNNASIP_CHECK(false);
+}
+
+VectorF matvec(const MatrixF& w, const VectorF& x, const VectorF& b) {
+  RNNASIP_CHECK(w.cols == static_cast<int>(x.size()));
+  RNNASIP_CHECK(w.rows == static_cast<int>(b.size()));
+  VectorF out(b);
+  for (int r = 0; r < w.rows; ++r) {
+    float acc = b[r];
+    for (int c = 0; c < w.cols; ++c) acc += w.at(r, c) * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+}  // namespace
+
+VectorF fc_forward(const FcParamsF& p, const VectorF& x) {
+  VectorF out = matvec(p.w, x, p.b);
+  for (float& v : out) v = apply_act(p.act, v);
+  return out;
+}
+
+VectorF lstm_step(const LstmParamsF& p, const VectorF& x, LstmStateF& state) {
+  RNNASIP_CHECK(static_cast<int>(x.size()) == p.input);
+  RNNASIP_CHECK(static_cast<int>(state.h.size()) == p.hidden);
+  RNNASIP_CHECK(static_cast<int>(state.c.size()) == p.hidden);
+  auto gate = [&](const MatrixF& w, const MatrixF& u, const VectorF& b, bool use_tanh) {
+    VectorF g(p.hidden);
+    for (int r = 0; r < p.hidden; ++r) {
+      float acc = b[r];
+      for (int c = 0; c < p.input; ++c) acc += w.at(r, c) * x[c];
+      for (int c = 0; c < p.hidden; ++c) acc += u.at(r, c) * state.h[c];
+      g[r] = use_tanh ? std::tanh(acc) : 1.0f / (1.0f + std::exp(-acc));
+    }
+    return g;
+  };
+  const VectorF i = gate(p.wi, p.ui, p.bi, false);
+  const VectorF f = gate(p.wf, p.uf, p.bf, false);
+  const VectorF o = gate(p.wo, p.uo, p.bo, false);
+  const VectorF g = gate(p.wc, p.uc, p.bc, true);
+  for (int r = 0; r < p.hidden; ++r) {
+    state.c[r] = f[r] * state.c[r] + i[r] * g[r];
+    state.h[r] = o[r] * std::tanh(state.c[r]);
+  }
+  return state.h;
+}
+
+VectorF gru_step(const GruParamsF& p, const VectorF& x, GruStateF& state) {
+  RNNASIP_CHECK(static_cast<int>(x.size()) == p.input);
+  RNNASIP_CHECK(static_cast<int>(state.h.size()) == p.hidden);
+  auto gate = [&](const MatrixF& w, const MatrixF& u, const VectorF& b,
+                  const VectorF& hvec, bool use_tanh) {
+    VectorF g(static_cast<size_t>(p.hidden));
+    for (int r = 0; r < p.hidden; ++r) {
+      float acc = b[r];
+      for (int c = 0; c < p.input; ++c) acc += w.at(r, c) * x[c];
+      for (int c = 0; c < p.hidden; ++c) acc += u.at(r, c) * hvec[c];
+      g[r] = use_tanh ? std::tanh(acc) : 1.0f / (1.0f + std::exp(-acc));
+    }
+    return g;
+  };
+  const VectorF r = gate(p.wr, p.ur, p.br, state.h, false);
+  const VectorF z = gate(p.wz, p.uz, p.bz, state.h, false);
+  VectorF rh(static_cast<size_t>(p.hidden));
+  for (int i = 0; i < p.hidden; ++i) rh[i] = r[i] * state.h[i];
+  const VectorF n = gate(p.wn, p.un, p.bn, rh, true);
+  for (int i = 0; i < p.hidden; ++i) {
+    state.h[i] = z[i] * state.h[i] + (1.0f - z[i]) * n[i];
+  }
+  return state.h;
+}
+
+int conv_out_dim(int in, int k, int stride, int pad) {
+  RNNASIP_CHECK(stride > 0);
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+Tensor3F maxpool_forward(const MaxPoolParams& p, const Tensor3F& in) {
+  const int oh = conv_out_dim(in.h, p.k, p.stride, 0);
+  const int ow = conv_out_dim(in.w, p.k, p.stride, 0);
+  Tensor3F out(in.ch, oh, ow);
+  for (int c = 0; c < in.ch; ++c) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float m = in.at(c, oy * p.stride, ox * p.stride);
+        for (int ky = 0; ky < p.k; ++ky) {
+          for (int kx = 0; kx < p.k; ++kx) {
+            m = std::max(m, in.at(c, oy * p.stride + ky, ox * p.stride + kx));
+          }
+        }
+        out.at(c, oy, ox) = m;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor3F avgpool_forward(const AvgPoolParams& p, const Tensor3F& in) {
+  const int oh = conv_out_dim(in.h, p.k, p.stride, 0);
+  const int ow = conv_out_dim(in.w, p.k, p.stride, 0);
+  Tensor3F out(in.ch, oh, ow);
+  const float inv = 1.0f / static_cast<float>(p.k * p.k);
+  for (int c = 0; c < in.ch; ++c) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float s = 0;
+        for (int ky = 0; ky < p.k; ++ky) {
+          for (int kx = 0; kx < p.k; ++kx) {
+            s += in.at(c, oy * p.stride + ky, ox * p.stride + kx);
+          }
+        }
+        out.at(c, oy, ox) = s * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor3F conv2d_forward(const ConvParamsF& p, const Tensor3F& in) {
+  RNNASIP_CHECK(in.ch == p.in_ch);
+  const int oh = conv_out_dim(in.h, p.kh, p.stride, p.pad);
+  const int ow = conv_out_dim(in.w, p.kw, p.stride, p.pad);
+  Tensor3F out(p.out_ch, oh, ow);
+  for (int oc = 0; oc < p.out_ch; ++oc) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float acc = p.b[oc];
+        for (int ic = 0; ic < p.in_ch; ++ic) {
+          for (int ky = 0; ky < p.kh; ++ky) {
+            for (int kx = 0; kx < p.kw; ++kx) {
+              const int iy = oy * p.stride + ky - p.pad;
+              const int ix = ox * p.stride + kx - p.pad;
+              if (iy < 0 || iy >= in.h || ix < 0 || ix >= in.w) continue;
+              acc += p.weight(oc, ic, ky, kx) * in.at(ic, iy, ix);
+            }
+          }
+        }
+        out.at(oc, oy, ox) = apply_act(p.act, acc);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rnnasip::nn

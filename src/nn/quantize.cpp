@@ -1,0 +1,45 @@
+#include "src/nn/quantize.h"
+
+namespace rnnasip::nn {
+
+VectorQ quantize_vector(const VectorF& v, QFormat fmt) {
+  VectorQ out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = static_cast<int16_t>(quantize(v[i], fmt));
+  return out;
+}
+
+VectorF dequantize_vector(const VectorQ& v, QFormat fmt) {
+  VectorF out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = static_cast<float>(dequantize(v[i], fmt));
+  return out;
+}
+
+MatrixQ quantize_matrix(const MatrixF& m, QFormat fmt) {
+  MatrixQ out(m.rows, m.cols);
+  for (size_t i = 0; i < m.data.size(); ++i)
+    out.data[i] = static_cast<int16_t>(quantize(m.data[i], fmt));
+  return out;
+}
+
+MatrixF dequantize_matrix(const MatrixQ& m, QFormat fmt) {
+  MatrixF out(m.rows, m.cols);
+  for (size_t i = 0; i < m.data.size(); ++i)
+    out.data[i] = static_cast<float>(dequantize(m.data[i], fmt));
+  return out;
+}
+
+Tensor3Q quantize_tensor(const Tensor3F& t, QFormat fmt) {
+  Tensor3Q out(t.ch, t.h, t.w);
+  for (size_t i = 0; i < t.data.size(); ++i)
+    out.data[i] = static_cast<int16_t>(quantize(t.data[i], fmt));
+  return out;
+}
+
+Tensor3F dequantize_tensor(const Tensor3Q& t, QFormat fmt) {
+  Tensor3F out(t.ch, t.h, t.w);
+  for (size_t i = 0; i < t.data.size(); ++i)
+    out.data[i] = static_cast<float>(dequantize(t.data[i], fmt));
+  return out;
+}
+
+}  // namespace rnnasip::nn

@@ -1,0 +1,20 @@
+// Float <-> Q3.12 conversion for whole containers.
+//
+// The paper runs all networks in 16-bit Q3.12 *without* retraining
+// (Sec. III-A); quantization here is plain round-to-nearest with saturation,
+// matching that flow.
+#pragma once
+
+#include "src/common/fixed_point.h"
+#include "src/nn/tensor.h"
+
+namespace rnnasip::nn {
+
+VectorQ quantize_vector(const VectorF& v, QFormat fmt = q3_12);
+VectorF dequantize_vector(const VectorQ& v, QFormat fmt = q3_12);
+MatrixQ quantize_matrix(const MatrixF& m, QFormat fmt = q3_12);
+MatrixF dequantize_matrix(const MatrixQ& m, QFormat fmt = q3_12);
+Tensor3Q quantize_tensor(const Tensor3F& t, QFormat fmt = q3_12);
+Tensor3F dequantize_tensor(const Tensor3Q& t, QFormat fmt = q3_12);
+
+}  // namespace rnnasip::nn

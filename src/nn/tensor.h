@@ -1,0 +1,67 @@
+// Minimal dense containers for the NN substrate.
+//
+// The RRM workloads are small (at most a few hundred neurons per layer), so
+// the containers are simple row-major matrices/vectors over float (reference
+// path) and int16 Q3.12 raw values (device path). No expression templates —
+// clarity over cleverness, per the repository's scope.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace rnnasip::nn {
+
+template <typename T>
+struct Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<T> data;
+
+  Matrix() = default;
+  Matrix(int r, int c) : rows(r), cols(c), data(static_cast<size_t>(r) * c, T{}) {
+    RNNASIP_CHECK(r >= 0 && c >= 0);
+  }
+
+  T& at(int r, int c) {
+    RNNASIP_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
+    return data[static_cast<size_t>(r) * cols + c];
+  }
+  const T& at(int r, int c) const {
+    RNNASIP_CHECK(r >= 0 && r < rows && c >= 0 && c < cols);
+    return data[static_cast<size_t>(r) * cols + c];
+  }
+};
+
+using MatrixF = Matrix<float>;
+using MatrixQ = Matrix<int16_t>;  ///< raw Q3.12
+using VectorF = std::vector<float>;
+using VectorQ = std::vector<int16_t>;  ///< raw Q3.12
+
+/// 3-D tensor in CHW layout for the CNN path.
+template <typename T>
+struct Tensor3 {
+  int ch = 0, h = 0, w = 0;
+  std::vector<T> data;
+
+  Tensor3() = default;
+  Tensor3(int c_, int h_, int w_)
+      : ch(c_), h(h_), w(w_), data(static_cast<size_t>(c_) * h_ * w_, T{}) {
+    RNNASIP_CHECK(c_ >= 0 && h_ >= 0 && w_ >= 0);
+  }
+
+  T& at(int c_, int y, int x) {
+    RNNASIP_CHECK(c_ >= 0 && c_ < ch && y >= 0 && y < h && x >= 0 && x < w);
+    return data[(static_cast<size_t>(c_) * h + y) * w + x];
+  }
+  const T& at(int c_, int y, int x) const {
+    RNNASIP_CHECK(c_ >= 0 && c_ < ch && y >= 0 && y < h && x >= 0 && x < w);
+    return data[(static_cast<size_t>(c_) * h + y) * w + x];
+  }
+};
+
+using Tensor3F = Tensor3<float>;
+using Tensor3Q = Tensor3<int16_t>;
+
+}  // namespace rnnasip::nn

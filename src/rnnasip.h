@@ -1,0 +1,23 @@
+// Umbrella header: everything a downstream user needs to run RNN inference
+// on the simulated RNN-extended RISC-V core. See README.md for a walkthrough
+// and docs/ISA.md for the instruction-set reference.
+#pragma once
+
+#include "src/activation/pla.h"       // IWYU pragma: export
+#include "src/asm/builder.h"          // IWYU pragma: export
+#include "src/asm/compress_pass.h"    // IWYU pragma: export
+#include "src/asm/disasm.h"           // IWYU pragma: export
+#include "src/asm/parser.h"           // IWYU pragma: export
+#include "src/impl_model/impl_model.h"  // IWYU pragma: export
+#include "src/isa/isa.h"              // IWYU pragma: export
+#include "src/iss/core.h"             // IWYU pragma: export
+#include "src/iss/trace.h"            // IWYU pragma: export
+#include "src/kernels/fc8.h"          // IWYU pragma: export
+#include "src/kernels/fc_batch.h"     // IWYU pragma: export
+#include "src/kernels/fc_sparse.h"    // IWYU pragma: export
+#include "src/kernels/network.h"      // IWYU pragma: export
+#include "src/nn/init.h"              // IWYU pragma: export
+#include "src/nn/quantize.h"          // IWYU pragma: export
+#include "src/rrm/agents.h"           // IWYU pragma: export
+#include "src/rrm/suite.h"            // IWYU pragma: export
+#include "src/rrm/wmmse.h"            // IWYU pragma: export

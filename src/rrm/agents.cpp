@@ -1,0 +1,63 @@
+#include "src/rrm/agents.h"
+
+#include "src/common/check.h"
+#include "src/common/fixed_point.h"
+
+namespace rnnasip::rrm {
+
+DqnAgent::DqnAgent(const nn::LstmParamsQ& lstm, const nn::FcParamsQ& head,
+                   kernels::OptLevel level)
+    : mem_(std::make_unique<iss::Memory>(16u << 20)),
+      core_(std::make_unique<iss::Core>(mem_.get())) {
+  RNNASIP_CHECK(head.w.cols == lstm.hidden);
+  kernels::NetworkProgramBuilder b(mem_.get(), level, core_->tanh_table(),
+                                   core_->sig_table());
+  b.add_lstm(lstm);
+  b.add_fc(head);
+  b.add_argmax();  // action selection happens on the device
+  actions_ = head.w.rows;
+  net_ = b.finalize();
+  core_->load_program(net_.program);
+  reset();
+}
+
+void DqnAgent::reset() { kernels::reset_state(*mem_, net_); }
+
+int DqnAgent::act(std::span<const double> observation) {
+  RNNASIP_CHECK(static_cast<int>(observation.size()) == net_.input_count);
+  std::vector<int16_t> x(observation.size());
+  for (size_t i = 0; i < observation.size(); ++i) {
+    x[i] = static_cast<int16_t>(quantize(observation[i]));
+  }
+  const auto out = kernels::run_forward(*core_, *mem_, net_, x);
+  RNNASIP_CHECK(out.size() == 1);
+  ++decisions_;
+  return out[0];  // the device-computed argmax index
+}
+
+SpectrumEpisode run_spectrum_episode(DqnAgent& agent, GilbertElliottChannels& channels,
+                                     int slots) {
+  const int c = channels.channel_count();
+  RNNASIP_CHECK_MSG(agent.observation_size() == 2 * c,
+                    "agent observes occupancy + one-hot previous choice");
+  RNNASIP_CHECK(agent.action_count() == c);
+  SpectrumEpisode ep;
+  int last = 0;
+  for (int t = 0; t < slots; ++t) {
+    channels.step();
+    std::vector<double> obs = channels.observation();
+    for (int a = 0; a < c; ++a) obs.push_back(a == last ? 1.0 : 0.0);
+    const int choice = agent.act(obs);
+    if (channels.busy(choice)) {
+      ++ep.collisions;
+    } else {
+      ++ep.successes;
+    }
+    ep.choices.push_back(choice);
+    last = choice;
+  }
+  ep.cycles = agent.total_cycles();
+  return ep;
+}
+
+}  // namespace rnnasip::rrm

@@ -1,0 +1,57 @@
+// RRM agent wrappers: a greedy discrete-action (DQN-style) agent whose
+// policy network runs on the simulated extended core, and an episode runner
+// for the dynamic-spectrum-access environment — the deployment loop the
+// paper's Sec. I motivates (one inference per scheduling decision).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/iss/core.h"
+#include "src/kernels/network.h"
+#include "src/nn/layers.h"
+#include "src/rrm/env.h"
+
+namespace rnnasip::rrm {
+
+/// Observation (real-valued) -> device network forward pass -> argmax
+/// action. The network is LSTM(+FC head) so the agent carries temporal
+/// state; reset() starts a fresh episode.
+class DqnAgent {
+ public:
+  DqnAgent(const nn::LstmParamsQ& lstm, const nn::FcParamsQ& head,
+           kernels::OptLevel level);
+
+  void reset();
+  /// Quantizes the observation, runs one step, returns the argmax output.
+  int act(std::span<const double> observation);
+
+  int observation_size() const { return net_.input_count; }
+  int action_count() const { return actions_; }
+  uint64_t total_cycles() const { return core_->stats().total_cycles(); }
+  int decisions() const { return decisions_; }
+
+ private:
+  std::unique_ptr<iss::Memory> mem_;
+  std::unique_ptr<iss::Core> core_;
+  kernels::BuiltNetwork net_;
+  int actions_ = 0;
+  int decisions_ = 0;
+};
+
+struct SpectrumEpisode {
+  int successes = 0;
+  int collisions = 0;
+  uint64_t cycles = 0;
+  std::vector<int> choices;
+};
+
+/// Run `slots` decisions of the dynamic-spectrum-access loop: the agent
+/// observes last-slot occupancy (+/-1 per channel) and its own previous
+/// choice (one-hot), picks a channel, and collides if a primary user holds
+/// it. The agent's observation size must be 2 x channel count.
+SpectrumEpisode run_spectrum_episode(DqnAgent& agent, GilbertElliottChannels& channels,
+                                     int slots);
+
+}  // namespace rnnasip::rrm

@@ -1,0 +1,115 @@
+#include "src/rrm/env.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace rnnasip::rrm {
+
+GilbertElliottChannels::GilbertElliottChannels(int channels, uint64_t seed,
+                                               double p_stay_busy, double p_become_busy)
+    : rng_(seed),
+      busy_(static_cast<size_t>(channels), false),
+      p_stay_busy_(p_stay_busy),
+      p_become_busy_(p_become_busy) {
+  RNNASIP_CHECK(channels > 0);
+  RNNASIP_CHECK(p_stay_busy >= 0 && p_stay_busy <= 1);
+  RNNASIP_CHECK(p_become_busy >= 0 && p_become_busy <= 1);
+}
+
+void GilbertElliottChannels::step() {
+  for (size_t c = 0; c < busy_.size(); ++c) {
+    const double p = busy_[c] ? p_stay_busy_ : p_become_busy_;
+    busy_[c] = rng_.next_double() < p;
+  }
+}
+
+bool GilbertElliottChannels::busy(int channel) const {
+  RNNASIP_CHECK(channel >= 0 && channel < channel_count());
+  return busy_[static_cast<size_t>(channel)];
+}
+
+std::vector<double> GilbertElliottChannels::observation() const {
+  std::vector<double> obs(busy_.size());
+  for (size_t c = 0; c < busy_.size(); ++c) obs[c] = busy_[c] ? 1.0 : -1.0;
+  return obs;
+}
+
+InterferenceField::InterferenceField(int pairs, uint64_t seed, double area,
+                                     double path_loss_exp)
+    : pairs_(pairs), rng_(seed), gains_(static_cast<size_t>(pairs) * pairs) {
+  RNNASIP_CHECK(pairs > 0);
+  // Place transmitters uniformly; each receiver sits close to its own
+  // transmitter (direct link 1-10 m), interference travels the full area.
+  std::vector<double> tx(2 * static_cast<size_t>(pairs)), rx(2 * static_cast<size_t>(pairs));
+  for (int i = 0; i < pairs; ++i) {
+    tx[2 * i] = rng_.next_in(0, area);
+    tx[2 * i + 1] = rng_.next_in(0, area);
+    const double r = rng_.next_in(1.0, 10.0);
+    const double phi = rng_.next_in(0, 6.283185307);
+    rx[2 * i] = tx[2 * i] + r * std::cos(phi);
+    rx[2 * i + 1] = tx[2 * i + 1] + r * std::sin(phi);
+  }
+  for (int i = 0; i < pairs; ++i) {
+    for (int j = 0; j < pairs; ++j) {
+      const double dx = rx[2 * i] - tx[2 * j];
+      const double dy = rx[2 * i + 1] - tx[2 * j + 1];
+      const double d = std::max(1.0, std::sqrt(dx * dx + dy * dy));
+      gains_[static_cast<size_t>(i) * pairs_ + j] = std::pow(d, -path_loss_exp);
+    }
+  }
+}
+
+double InterferenceField::gain(int i, int j) const {
+  RNNASIP_CHECK(i >= 0 && i < pairs_ && j >= 0 && j < pairs_);
+  return gains_[static_cast<size_t>(i) * pairs_ + j];
+}
+
+std::vector<double> InterferenceField::sinr(const std::vector<double>& p,
+                                            double noise) const {
+  RNNASIP_CHECK(static_cast<int>(p.size()) == pairs_);
+  std::vector<double> out(static_cast<size_t>(pairs_));
+  for (int i = 0; i < pairs_; ++i) {
+    double interference = noise;
+    for (int j = 0; j < pairs_; ++j) {
+      if (j != i) interference += gain(i, j) * p[static_cast<size_t>(j)];
+    }
+    out[static_cast<size_t>(i)] = gain(i, i) * p[static_cast<size_t>(i)] / interference;
+  }
+  return out;
+}
+
+double InterferenceField::sum_rate(const std::vector<double>& p, double noise) const {
+  double rate = 0;
+  for (double s : sinr(p, noise)) rate += std::log2(1.0 + s);
+  return rate;
+}
+
+std::vector<double> InterferenceField::normalized_gains() const {
+  // log10 gains mapped linearly into [-1, 1] over their observed range.
+  std::vector<double> out(gains_.size());
+  double lo = 1e30, hi = -1e30;
+  for (double g : gains_) {
+    const double l = std::log10(g);
+    lo = std::min(lo, l);
+    hi = std::max(hi, l);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (size_t i = 0; i < gains_.size(); ++i) {
+    out[i] = 2.0 * (std::log10(gains_[i]) - lo) / span - 1.0;
+  }
+  return out;
+}
+
+void InterferenceField::refade(double sigma) {
+  for (double& g : gains_) {
+    // Log-normal block fading around the path-loss mean.
+    const double u1 = rng_.next_double();
+    const double u2 = rng_.next_double();
+    const double n = std::sqrt(-2.0 * std::log(std::max(1e-12, u1))) *
+                     std::cos(6.283185307 * u2);
+    g *= std::pow(10.0, sigma * n / 10.0);
+  }
+}
+
+}  // namespace rnnasip::rrm

@@ -1,0 +1,71 @@
+// Radio-environment models for the RRM example applications: the synthetic
+// substitutes for live radio traces (DESIGN.md, substitutions). Both models
+// are standard in the cited RRM literature:
+//
+//   * GilbertElliottChannels — per-channel two-state Markov occupancy, the
+//     primary-user model of the dynamic-spectrum-access papers [14], [17];
+//   * InterferenceField — a set of transmitter-receiver pairs with
+//     log-distance path loss and cross-pair interference, the setting of
+//     the power-control papers [2], [12], [15]. Computes per-pair SINR and
+//     sum-rate for a vector of transmit powers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace rnnasip::rrm {
+
+/// Per-channel busy/idle occupancy with memory.
+class GilbertElliottChannels {
+ public:
+  /// `p_stay_busy` / `p_become_busy` are the Markov transition
+  /// probabilities; all channels start idle.
+  GilbertElliottChannels(int channels, uint64_t seed, double p_stay_busy = 0.7,
+                         double p_become_busy = 0.3);
+
+  void step();
+  bool busy(int channel) const;
+  int channel_count() const { return static_cast<int>(busy_.size()); }
+  /// Occupancy encoded as +/-1 reals (the agents' observation convention).
+  std::vector<double> observation() const;
+
+ private:
+  Rng rng_;
+  std::vector<bool> busy_;
+  double p_stay_busy_;
+  double p_become_busy_;
+};
+
+/// K transmitter-receiver pairs on a square area with log-distance path
+/// loss; pair i's receiver hears every transmitter j with gain g[i][j].
+class InterferenceField {
+ public:
+  /// Random geometry on an `area` x `area` square; direct links are short
+  /// (receiver near its transmitter), interferers arbitrary.
+  InterferenceField(int pairs, uint64_t seed, double area = 100.0,
+                    double path_loss_exp = 3.0);
+
+  int pair_count() const { return pairs_; }
+  /// Linear channel gain from transmitter j to receiver i.
+  double gain(int i, int j) const;
+  /// Per-pair SINR for transmit powers `p` (linear, >= 0), with receiver
+  /// noise power `noise`.
+  std::vector<double> sinr(const std::vector<double>& p, double noise = 1e-6) const;
+  /// Shannon sum-rate (bits/s/Hz) for transmit powers `p`.
+  double sum_rate(const std::vector<double>& p, double noise = 1e-6) const;
+  /// The flattened gain matrix scaled into [-1, 1] for use as NN input
+  /// (log-magnitude normalization, the convention of [2], [15]).
+  std::vector<double> normalized_gains() const;
+
+  /// Redraw fading on all links (block-fading evolution).
+  void refade(double sigma = 0.2);
+
+ private:
+  int pairs_;
+  Rng rng_;
+  std::vector<double> gains_;  // pairs x pairs, row-major, linear
+};
+
+}  // namespace rnnasip::rrm

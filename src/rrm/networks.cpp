@@ -1,0 +1,204 @@
+#include "src/rrm/networks.h"
+
+#include "src/common/check.h"
+#include "src/nn/quantize.h"
+
+namespace rnnasip::rrm {
+
+using nn::ActKind;
+
+LayerSpec LayerSpec::Fc(int in, int out, ActKind act) {
+  LayerSpec s;
+  s.kind = Kind::kFc;
+  s.in = in;
+  s.out = out;
+  s.act = act;
+  return s;
+}
+
+LayerSpec LayerSpec::Lstm(int m, int n) {
+  LayerSpec s;
+  s.kind = Kind::kLstm;
+  s.in = m;
+  s.out = n;
+  return s;
+}
+
+LayerSpec LayerSpec::Conv(int in_ch, int out_ch, int k, int h, int w, ActKind act,
+                          int stride) {
+  LayerSpec s;
+  s.kind = Kind::kConv;
+  s.in = in_ch;
+  s.out = out_ch;
+  s.k = k;
+  s.h = h;
+  s.w = w;
+  s.act = act;
+  s.stride = stride;
+  return s;
+}
+
+const std::vector<NetworkDef>& rrm_suite() {
+  static const std::vector<NetworkDef> suite = {
+      {"challita17", "[13]", "LSTM/FC", "LTE-U proactive resource management",
+       {LayerSpec::Lstm(32, 64), LayerSpec::Fc(64, 32, ActKind::kReLU),
+        LayerSpec::Fc(32, 10, ActKind::kNone)}},
+      {"naparstek17", "[14]", "LSTM/FC", "distributed dynamic spectrum access",
+       {LayerSpec::Lstm(12, 32), LayerSpec::Fc(32, 8, ActKind::kNone)}},
+      {"ahmed19", "[3]", "FC", "multi-cell radio resource allocation",
+       {LayerSpec::Fc(8, 24, ActKind::kReLU), LayerSpec::Fc(24, 24, ActKind::kReLU),
+        LayerSpec::Fc(24, 4, ActKind::kSigmoid)}},
+      {"eisen19", "[33]", "FC", "optimal wireless resource allocation",
+       {LayerSpec::Fc(12, 32, ActKind::kReLU), LayerSpec::Fc(32, 16, ActKind::kReLU),
+        LayerSpec::Fc(16, 6, ActKind::kNone)}},
+      {"lee18", "[15]", "CNN/FC", "CNN-based transmit power control",
+       {LayerSpec::Conv(1, 6, 3, 10, 10, ActKind::kReLU),
+        LayerSpec::Conv(6, 10, 3, 8, 8, ActKind::kReLU),
+        LayerSpec::Fc(360, 40, ActKind::kReLU), LayerSpec::Fc(40, 10, ActKind::kSigmoid)}},
+      {"nasir18", "[12]", "FC", "distributed dynamic power allocation (DQN)",
+       {LayerSpec::Fc(60, 200, ActKind::kReLU), LayerSpec::Fc(200, 100, ActKind::kReLU),
+        LayerSpec::Fc(100, 10, ActKind::kNone)}},
+      {"sun17", "[2]", "FC", "learning-to-optimize WMMSE surrogate",
+       {LayerSpec::Fc(32, 200, ActKind::kReLU), LayerSpec::Fc(200, 200, ActKind::kReLU),
+        LayerSpec::Fc(200, 32, ActKind::kNone)}},
+      {"ye18", "[9]", "FC", "V2V resource allocation (DQN)",
+       {LayerSpec::Fc(84, 500, ActKind::kReLU), LayerSpec::Fc(500, 248, ActKind::kReLU),
+        LayerSpec::Fc(248, 120, ActKind::kReLU), LayerSpec::Fc(120, 60, ActKind::kNone)}},
+      {"yu17", "[11]", "FC", "deep-reinforcement multiple access (DQN)",
+       {LayerSpec::Fc(160, 500, ActKind::kReLU), LayerSpec::Fc(500, 300, ActKind::kReLU),
+        LayerSpec::Fc(300, 64, ActKind::kNone)}},
+      {"wang18", "[17]", "FC", "dynamic multichannel access (DQN)",
+       {LayerSpec::Fc(320, 600, ActKind::kReLU), LayerSpec::Fc(600, 300, ActKind::kReLU),
+        LayerSpec::Fc(300, 16, ActKind::kNone)}},
+  };
+  return suite;
+}
+
+const NetworkDef& find_network(const std::string& name) {
+  for (const auto& def : rrm_suite()) {
+    if (def.name == name) return def;
+  }
+  RNNASIP_CHECK_MSG(false, "unknown RRM network: " << name);
+}
+
+RrmNetwork::RrmNetwork(const NetworkDef& def, uint64_t seed) : def_(def), seed_(seed) {
+  RNNASIP_CHECK(!def.layers.empty());
+  Rng rng(seed ^ std::hash<std::string>{}(def.name));
+  int cur = 0;
+  int cur_h = 0, cur_w = 0;
+  for (size_t li = 0; li < def.layers.size(); ++li) {
+    const LayerSpec& s = def.layers[li];
+    Layer layer;
+    layer.spec = s;
+    switch (s.kind) {
+      case LayerSpec::Kind::kFc: {
+        layer.fc = nn::quantize_fc(nn::random_fc(rng, s.in, s.out, s.act, 0.25f));
+        if (li == 0) input_count_ = s.in;
+        cur = s.out;
+        nominal_macs_ += static_cast<uint64_t>(s.in) * s.out;
+        break;
+      }
+      case LayerSpec::Kind::kLstm: {
+        layer.lstm = nn::quantize_lstm(nn::random_lstm(rng, s.in, s.out, 0.25f));
+        if (li == 0) input_count_ = s.in;
+        cur = s.out;
+        has_lstm_ = true;
+        nominal_macs_ += 4ull * s.out * (s.in + s.out);
+        break;
+      }
+      case LayerSpec::Kind::kConv: {
+        layer.conv =
+            nn::quantize_conv(nn::random_conv(rng, s.in, s.out, s.k, s.act, s.stride, 0, 0.25f));
+        if (li == 0) {
+          input_count_ = s.in * s.h * s.w;
+          cur_h = s.h;
+          cur_w = s.w;
+        }
+        const int oh = nn::conv_out_dim(cur_h == 0 ? s.h : cur_h, s.k, s.stride, 0);
+        const int ow = nn::conv_out_dim(cur_w == 0 ? s.w : cur_w, s.k, s.stride, 0);
+        cur = s.out * oh * ow;
+        cur_h = oh;
+        cur_w = ow;
+        nominal_macs_ += static_cast<uint64_t>(cur) * s.in * s.k * s.k;
+        break;
+      }
+    }
+    layers_.push_back(std::move(layer));
+  }
+  output_count_ = cur;
+}
+
+kernels::BuiltNetwork RrmNetwork::build(iss::Memory* mem, kernels::OptLevel level,
+                                        const activation::PlaTable& tanh_tbl,
+                                        const activation::PlaTable& sig_tbl,
+                                        int max_tile) const {
+  kernels::NetworkProgramBuilder b(mem, level, tanh_tbl, sig_tbl, max_tile);
+  for (const Layer& layer : layers_) {
+    switch (layer.spec.kind) {
+      case LayerSpec::Kind::kFc:
+        b.add_fc(layer.fc);
+        break;
+      case LayerSpec::Kind::kLstm:
+        b.add_lstm(layer.lstm);
+        break;
+      case LayerSpec::Kind::kConv:
+        b.add_conv(layer.conv, layer.spec.h, layer.spec.w);
+        break;
+    }
+  }
+  return b.finalize();
+}
+
+std::vector<int16_t> RrmNetwork::make_input(int t) const {
+  Rng rng(seed_ * 1315423911ull + static_cast<uint64_t>(t) * 2654435761ull + 7);
+  std::vector<int16_t> in(static_cast<size_t>(input_count_));
+  for (auto& v : in) v = static_cast<int16_t>(quantize(rng.next_in(-1.0, 1.0)));
+  return in;
+}
+
+RrmNetwork::Golden::Golden(const RrmNetwork& net, const activation::PlaTable& tanh_tbl,
+                           const activation::PlaTable& sig_tbl)
+    : net_(net), tanh_tbl_(tanh_tbl), sig_tbl_(sig_tbl) {
+  reset();
+}
+
+void RrmNetwork::Golden::reset() {
+  states_.clear();
+  for (const Layer& layer : net_.layers_) {
+    if (layer.spec.kind == LayerSpec::Kind::kLstm) {
+      states_.push_back(nn::LstmStateQ{nn::VectorQ(static_cast<size_t>(layer.spec.out), 0),
+                                       nn::VectorQ(static_cast<size_t>(layer.spec.out), 0)});
+    }
+  }
+}
+
+std::vector<int16_t> RrmNetwork::Golden::forward(std::span<const int16_t> input) {
+  std::vector<int16_t> cur(input.begin(), input.end());
+  size_t lstm_idx = 0;
+  int cur_h = 0, cur_w = 0;
+  for (const Layer& layer : net_.layers_) {
+    switch (layer.spec.kind) {
+      case LayerSpec::Kind::kFc:
+        cur = nn::fc_forward_fixp(layer.fc, cur, tanh_tbl_, sig_tbl_);
+        break;
+      case LayerSpec::Kind::kLstm:
+        cur = nn::lstm_step_fixp(layer.lstm, cur, states_[lstm_idx++], tanh_tbl_, sig_tbl_);
+        break;
+      case LayerSpec::Kind::kConv: {
+        const int h = cur_h == 0 ? layer.spec.h : cur_h;
+        const int w = cur_w == 0 ? layer.spec.w : cur_w;
+        nn::Tensor3Q in_t(layer.spec.in, h, w);
+        RNNASIP_CHECK(in_t.data.size() == cur.size());
+        in_t.data = cur;
+        const auto out_t = nn::conv2d_forward_fixp(layer.conv, in_t);
+        cur = out_t.data;
+        cur_h = out_t.h;
+        cur_w = out_t.w;
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace rnnasip::rrm

@@ -1,0 +1,53 @@
+#include "src/rrm/suite.h"
+
+#include "src/common/check.h"
+#include "src/iss/core.h"
+
+namespace rnnasip::rrm {
+
+NetRunResult run_network(const RrmNetwork& net, kernels::OptLevel level,
+                         const RunOptions& opt) {
+  iss::Memory mem(16u << 20);
+  iss::Core core(&mem, opt.core_config);
+  const auto built =
+      net.build(&mem, level, core.tanh_table(), core.sig_table(), opt.max_tile);
+  core.load_program(built.program);
+  kernels::reset_state(mem, built);
+
+  RrmNetwork::Golden golden(net, core.tanh_table(), core.sig_table());
+
+  NetRunResult r;
+  r.name = net.def().name;
+  r.level = level;
+  r.nominal_macs = built.nominal_macs * static_cast<uint64_t>(opt.timesteps);
+  r.verified = true;
+  for (int t = 0; t < opt.timesteps; ++t) {
+    const auto input = net.make_input(t);
+    const auto out = kernels::run_forward(core, mem, built, input);
+    if (opt.verify) {
+      const auto want = golden.forward(input);
+      if (out != want) r.verified = false;
+    }
+  }
+  r.cycles = core.stats().total_cycles();
+  r.instrs = core.stats().total_instrs();
+  r.stats = core.stats();
+  return r;
+}
+
+SuiteResult run_suite(kernels::OptLevel level, const RunOptions& opt) {
+  SuiteResult s;
+  for (const auto& def : rrm_suite()) {
+    RrmNetwork net(def, opt.seed);
+    NetRunResult r = run_network(net, level, opt);
+    s.total.merge(r.stats);
+    s.total_cycles += r.cycles;
+    s.total_instrs += r.instrs;
+    s.total_macs += r.nominal_macs;
+    s.all_verified = s.all_verified && r.verified;
+    s.nets.push_back(std::move(r));
+  }
+  return s;
+}
+
+}  // namespace rnnasip::rrm

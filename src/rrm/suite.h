@@ -1,0 +1,50 @@
+// Suite runner: executes RRM networks on the simulated core at a chosen
+// optimization level, verifying device outputs against the golden model and
+// collecting the statistics behind Table I and Fig. 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/iss/stats.h"
+#include "src/kernels/opt_level.h"
+#include "src/rrm/networks.h"
+
+namespace rnnasip::rrm {
+
+struct RunOptions {
+  int timesteps = 1;      ///< forward passes (LSTM state persists across them)
+  int max_tile = 8;
+  bool verify = true;     ///< compare device outputs against the golden model
+  uint64_t seed = 0x52414D;
+  /// Core configuration (timing-model knobs, activation-unit design point).
+  iss::Core::Config core_config;
+};
+
+struct NetRunResult {
+  std::string name;
+  kernels::OptLevel level = kernels::OptLevel::kBaseline;
+  uint64_t cycles = 0;
+  uint64_t instrs = 0;
+  uint64_t nominal_macs = 0;  ///< per forward pass x timesteps
+  bool verified = false;      ///< outputs matched the golden model bit-exactly
+  iss::ExecStats stats;
+};
+
+/// Run one network at one level for opt.timesteps forward passes.
+NetRunResult run_network(const RrmNetwork& net, kernels::OptLevel level,
+                         const RunOptions& opt = {});
+
+struct SuiteResult {
+  std::vector<NetRunResult> nets;  ///< suite order
+  iss::ExecStats total;            ///< merged over the suite
+  uint64_t total_cycles = 0;
+  uint64_t total_instrs = 0;
+  uint64_t total_macs = 0;
+  bool all_verified = true;
+};
+
+/// Run the whole 10-network suite at one level.
+SuiteResult run_suite(kernels::OptLevel level, const RunOptions& opt = {});
+
+}  // namespace rnnasip::rrm

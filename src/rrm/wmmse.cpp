@@ -1,0 +1,71 @@
+#include "src/rrm/wmmse.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace rnnasip::rrm {
+
+WmmseResult wmmse(const InterferenceField& field, const WmmseOptions& opt) {
+  const int k = field.pair_count();
+  RNNASIP_CHECK(k > 0 && opt.p_max > 0 && opt.noise > 0);
+
+  // Amplitude-domain gains h[i][j] = sqrt(g[i][j]).
+  std::vector<double> h(static_cast<size_t>(k) * k);
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < k; ++j)
+      h[static_cast<size_t>(i) * k + j] = std::sqrt(field.gain(i, j));
+  auto hij = [&](int i, int j) { return h[static_cast<size_t>(i) * k + j]; };
+
+  WmmseResult res;
+  std::vector<double> v(static_cast<size_t>(k), std::sqrt(opt.p_max));
+  std::vector<double> u(static_cast<size_t>(k), 0.0);
+  std::vector<double> w(static_cast<size_t>(k), 1.0);
+
+  auto powers = [&] {
+    std::vector<double> p(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) p[i] = v[i] * v[i];
+    return p;
+  };
+
+  double prev_rate = -1.0;
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    // u_i = h_ii v_i / (sigma2 + sum_j h_ij^2 v_j^2)
+    for (int i = 0; i < k; ++i) {
+      double denom = opt.noise;
+      for (int j = 0; j < k; ++j) {
+        denom += hij(i, j) * hij(i, j) * v[j] * v[j];
+        res.flops += 3;
+      }
+      u[i] = hij(i, i) * v[i] / denom;
+      res.flops += 2;
+    }
+    // w_i = 1 / (1 - u_i h_ii v_i)
+    for (int i = 0; i < k; ++i) {
+      const double e = 1.0 - u[i] * hij(i, i) * v[i];
+      w[i] = 1.0 / std::max(1e-12, e);
+      res.flops += 3;
+    }
+    // v_i = w_i u_i h_ii / (sum_j w_j u_j^2 h_ji^2), clipped to [0, sqrt(Pmax)]
+    for (int i = 0; i < k; ++i) {
+      double denom = 0;
+      for (int j = 0; j < k; ++j) {
+        denom += w[j] * u[j] * u[j] * hij(j, i) * hij(j, i);
+        res.flops += 4;
+      }
+      double vi = denom > 0 ? w[i] * u[i] * hij(i, i) / denom : std::sqrt(opt.p_max);
+      vi = std::min(std::max(vi, 0.0), std::sqrt(opt.p_max));
+      v[i] = vi;
+      res.flops += 3;
+    }
+    const double rate = field.sum_rate(powers(), opt.noise);
+    res.rate_trace.push_back(rate);
+    res.iterations = it + 1;
+    if (prev_rate >= 0 && std::abs(rate - prev_rate) < opt.tolerance) break;
+    prev_rate = rate;
+  }
+  res.powers = powers();
+  return res;
+}
+
+}  // namespace rnnasip::rrm

@@ -1,0 +1,39 @@
+// Scalar WMMSE power allocation (Shi et al. [4]) — the classical iterative
+// RRM algorithm the paper positions NN inference against (Sec. I: iterative
+// methods with per-iteration complex operations cannot meet millisecond
+// 5G-RRM deadlines; NNs amortize the optimization into one forward pass).
+//
+// This is the SISO interference-channel variant: K transmitter-receiver
+// pairs with power gains g[i][j], per-pair power budget p_max, noise sigma2.
+// Each iteration updates receiver coefficients u, MSE weights w, and
+// transmit amplitudes v in closed form; the sum-rate is non-decreasing to a
+// stationary point of the weighted sum-rate problem.
+#pragma once
+
+#include <vector>
+
+#include "src/rrm/env.h"
+
+namespace rnnasip::rrm {
+
+struct WmmseResult {
+  std::vector<double> powers;       ///< final per-pair transmit powers
+  std::vector<double> rate_trace;   ///< sum-rate after each iteration
+  int iterations = 0;
+  /// Multiply-accumulate count actually performed — the compute-cost side
+  /// of the classical-vs-NN comparison.
+  uint64_t flops = 0;
+};
+
+struct WmmseOptions {
+  int max_iterations = 100;
+  double p_max = 1.0;
+  double noise = 1e-3;
+  /// Stop when the sum-rate improves by less than this (absolute).
+  double tolerance = 1e-5;
+};
+
+/// Run WMMSE on an interference field, starting from full power.
+WmmseResult wmmse(const InterferenceField& field, const WmmseOptions& opt = {});
+
+}  // namespace rnnasip::rrm

@@ -1,0 +1,46 @@
+// Shared helpers for ISS tests: build a tiny program, run it on a fresh
+// core, and hand back the core for register/memory inspection.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "src/asm/builder.h"
+#include "src/iss/core.h"
+
+namespace rnnasip::iss_test {
+
+struct Harness {
+  std::unique_ptr<iss::Memory> mem;
+  std::unique_ptr<iss::Core> core;
+  iss::RunResult result;
+};
+
+/// Assemble the body emitted by `emit`, append an ebreak, run from the
+/// program base, and return the harness for inspection. `setup` runs after
+/// reset and may preset registers/memory.
+inline Harness run_asm(const std::function<void(assembler::ProgramBuilder&)>& emit,
+                       const std::function<void(iss::Core&, iss::Memory&)>& setup = {},
+                       iss::Core::Config cfg = {}) {
+  Harness h;
+  h.mem = std::make_unique<iss::Memory>(1u << 20);
+  assembler::ProgramBuilder b(0x1000);
+  emit(b);
+  b.ebreak();
+  auto prog = b.build();
+  h.core = std::make_unique<iss::Core>(h.mem.get(), cfg);
+  h.core->load_program(prog);
+  h.core->reset(prog.base);
+  if (setup) setup(*h.core, *h.mem);
+  h.result = h.core->run(10'000'000);
+  return h;
+}
+
+/// Expect a clean ebreak exit.
+inline void expect_ok(const Harness& h) {
+  EXPECT_EQ(h.result.exit, iss::RunResult::Exit::kEbreak) << h.result.trap_message;
+}
+
+}  // namespace rnnasip::iss_test

@@ -1,0 +1,50 @@
+// Shared harness for kernel tests: build a network at a given optimization
+// level, run it on the ISS, and compare against the fixed-point golden model
+// and the float reference.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/iss/core.h"
+#include "src/kernels/network.h"
+#include "src/nn/init.h"
+#include "src/nn/quantize.h"
+
+namespace rnnasip::kernel_test {
+
+struct DeviceNet {
+  std::unique_ptr<iss::Memory> mem;
+  std::unique_ptr<iss::Core> core;
+  kernels::BuiltNetwork net;
+};
+
+/// Build a device network; `add_layers` receives the program builder.
+inline DeviceNet make_net(
+    kernels::OptLevel level,
+    const std::function<void(kernels::NetworkProgramBuilder&)>& add_layers,
+    int max_tile = 8) {
+  DeviceNet d;
+  d.mem = std::make_unique<iss::Memory>(8u << 20);
+  d.core = std::make_unique<iss::Core>(d.mem.get());
+  kernels::NetworkProgramBuilder b(d.mem.get(), level, d.core->tanh_table(),
+                                   d.core->sig_table(), max_tile);
+  add_layers(b);
+  d.net = b.finalize();
+  d.core->load_program(d.net.program);
+  return d;
+}
+
+/// Max |a - b| over two equal-sized int16 vectors, as Q3.12 reals.
+inline double max_err_q(const std::vector<int16_t>& a, const std::vector<int16_t>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double m = 0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    m = std::max(m, std::abs(dequantize(a[i]) - dequantize(b[i])));
+  }
+  return m;
+}
+
+}  // namespace rnnasip::kernel_test

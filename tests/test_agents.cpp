@@ -1,0 +1,95 @@
+// RRM agent wrapper tests: determinism across optimization levels, episode
+// accounting, state reset, and misuse rejection.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/nn/init.h"
+#include "src/nn/quantize.h"
+#include "src/rrm/agents.h"
+
+namespace rnnasip::rrm {
+namespace {
+
+using kernels::OptLevel;
+
+struct AgentParts {
+  nn::LstmParamsQ lstm;
+  nn::FcParamsQ head;
+};
+
+AgentParts make_parts(int channels) {
+  Rng rng(0xA6E);
+  AgentParts p;
+  p.lstm = nn::quantize_lstm(nn::random_lstm(rng, 2 * channels, 24, 0.3f));
+  p.head = nn::quantize_fc(nn::random_fc(rng, 24, channels, nn::ActKind::kNone));
+  return p;
+}
+
+TEST(DqnAgent, DecisionsIdenticalAcrossLevels) {
+  const auto parts = make_parts(4);
+  std::vector<int> reference;
+  for (auto level : {OptLevel::kBaseline, OptLevel::kOutputTiling, OptLevel::kInputTiling}) {
+    DqnAgent agent(parts.lstm, parts.head, level);
+    GilbertElliottChannels env(4, 99);
+    const auto ep = run_spectrum_episode(agent, env, 20);
+    if (reference.empty()) {
+      reference = ep.choices;
+    } else {
+      EXPECT_EQ(ep.choices, reference) << kernels::opt_level_letter(level);
+    }
+  }
+}
+
+TEST(DqnAgent, EpisodeAccountingAddsUp) {
+  const auto parts = make_parts(5);
+  DqnAgent agent(parts.lstm, parts.head, OptLevel::kInputTiling);
+  GilbertElliottChannels env(5, 7);
+  const auto ep = run_spectrum_episode(agent, env, 30);
+  EXPECT_EQ(ep.successes + ep.collisions, 30);
+  EXPECT_EQ(ep.choices.size(), 30u);
+  EXPECT_EQ(agent.decisions(), 30);
+  EXPECT_GT(ep.cycles, 0u);
+  for (int c : ep.choices) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 5);
+  }
+}
+
+TEST(DqnAgent, ResetRestoresDeterminism) {
+  const auto parts = make_parts(4);
+  DqnAgent agent(parts.lstm, parts.head, OptLevel::kLoadCompute);
+  GilbertElliottChannels env1(4, 31);
+  const auto ep1 = run_spectrum_episode(agent, env1, 15);
+  agent.reset();
+  GilbertElliottChannels env2(4, 31);
+  const auto ep2 = run_spectrum_episode(agent, env2, 15);
+  EXPECT_EQ(ep1.choices, ep2.choices);
+}
+
+TEST(DqnAgent, CyclesAndDecisionsAccumulateAcrossEpisodes) {
+  const auto parts = make_parts(4);
+  DqnAgent agent(parts.lstm, parts.head, OptLevel::kInputTiling);
+  GilbertElliottChannels env1(4, 55);
+  const auto ep1 = run_spectrum_episode(agent, env1, 20);
+  GilbertElliottChannels env2(4, 55);
+  const auto ep2 = run_spectrum_episode(agent, env2, 20);
+  EXPECT_EQ(agent.decisions(), 40);
+  EXPECT_GT(ep2.cycles, ep1.cycles);  // cumulative core statistics
+  // Roughly constant cost per decision (same network every step).
+  EXPECT_NEAR(static_cast<double>(ep2.cycles) / ep1.cycles, 2.0, 0.05);
+}
+
+TEST(DqnAgent, RejectsMismatchedShapes) {
+  Rng rng(0xA6F);
+  const auto lstm = nn::quantize_lstm(nn::random_lstm(rng, 8, 24, 0.3f));
+  const auto wrong_head = nn::quantize_fc(nn::random_fc(rng, 16, 4, nn::ActKind::kNone));
+  EXPECT_THROW(DqnAgent(lstm, wrong_head, OptLevel::kBaseline), std::runtime_error);
+
+  const auto head = nn::quantize_fc(nn::random_fc(rng, 24, 4, nn::ActKind::kNone));
+  DqnAgent agent(lstm, head, OptLevel::kBaseline);
+  GilbertElliottChannels env(6, 1);  // 2*6 != 8 observation size
+  EXPECT_THROW(run_spectrum_episode(agent, env, 5), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rnnasip::rrm

@@ -1,0 +1,56 @@
+// Tests for the bit-manipulation helpers.
+#include <gtest/gtest.h>
+
+#include "src/common/bits.h"
+#include "src/common/rng.h"
+
+namespace rnnasip {
+namespace {
+
+TEST(Bits, Extract) {
+  EXPECT_EQ(bits(0xDEADBEEF, 31, 28), 0xDu);
+  EXPECT_EQ(bits(0xDEADBEEF, 3, 0), 0xFu);
+  EXPECT_EQ(bits(0xDEADBEEF, 31, 0), 0xDEADBEEFu);
+  EXPECT_EQ(bit(0x80000000u, 31), 1u);
+  EXPECT_EQ(bit(0x80000000u, 30), 0u);
+}
+
+TEST(SignExtend, Widths) {
+  EXPECT_EQ(sign_extend(0xFFF, 12), -1);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0x7FF, 12), 2047);
+  EXPECT_EQ(sign_extend(0x1, 1), -1);
+  EXPECT_EQ(sign_extend(0xFFFFFFFFu, 32), -1);
+}
+
+TEST(Fits, SignedAndUnsigned) {
+  EXPECT_TRUE(fits_signed(2047, 12));
+  EXPECT_FALSE(fits_signed(2048, 12));
+  EXPECT_TRUE(fits_signed(-2048, 12));
+  EXPECT_FALSE(fits_signed(-2049, 12));
+  EXPECT_TRUE(fits_unsigned(4095, 12));
+  EXPECT_FALSE(fits_unsigned(4096, 12));
+}
+
+TEST(Halves, PackUnpackRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const int16_t lo = rng.next_i16();
+    const int16_t hi = rng.next_i16();
+    const uint32_t p = pack_halves(lo, hi);
+    EXPECT_EQ(half_lo(p), lo);
+    EXPECT_EQ(half_hi(p), hi);
+  }
+}
+
+TEST(ClipSigned, Bounds) {
+  EXPECT_EQ(clip_signed(40000, 16), 32767);
+  EXPECT_EQ(clip_signed(-40000, 16), -32768);
+  EXPECT_EQ(clip_signed(123, 16), 123);
+  EXPECT_EQ(clip_signed(5, 4), 5);
+  EXPECT_EQ(clip_signed(8, 4), 7);
+  EXPECT_EQ(clip_signed(-9, 4), -8);
+}
+
+}  // namespace
+}  // namespace rnnasip

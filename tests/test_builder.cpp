@@ -1,0 +1,135 @@
+// Tests for the programmatic assembler: label fixups, pseudo-instruction
+// expansion, the register pool, and encode round-trips of whole programs.
+#include <gtest/gtest.h>
+
+#include "src/asm/builder.h"
+#include "src/isa/decode.h"
+
+namespace rnnasip::assembler {
+namespace {
+
+using namespace isa;
+
+TEST(Builder, ForwardAndBackwardBranchFixups) {
+  ProgramBuilder b(0x1000);
+  auto fwd = b.make_label();
+  auto back = b.make_label();
+  b.bind(back);
+  b.addi(kA0, kA0, 1);
+  b.beq(kA0, kA1, fwd);   // forward: +8 from the beq
+  b.bne(kA0, kA1, back);  // backward: -8 from the bne
+  b.bind(fwd);
+  b.ebreak();
+  auto p = b.build();
+  EXPECT_EQ(p.instrs[1].imm, 8);
+  EXPECT_EQ(p.instrs[2].imm, -8);
+}
+
+TEST(Builder, UnboundLabelThrows) {
+  ProgramBuilder b;
+  auto l = b.make_label();
+  b.jal(kZero, l);
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(Builder, DoubleBindThrows) {
+  ProgramBuilder b;
+  auto l = b.make_label();
+  b.bind(l);
+  EXPECT_THROW(b.bind(l), std::runtime_error);
+}
+
+TEST(Builder, LiExpansion) {
+  ProgramBuilder b;
+  b.li(kA0, 5);            // 1 instr (addi)
+  b.li(kA1, 0x12345678);   // 2 instrs (lui+addi)
+  b.li(kA2, -4096);        // 1 instr: lui with all-ones upper immediate
+  b.li(kA3, 0x7FFFF000);   // 1 instr: lui only (low part zero)
+  auto p = b.build();
+  ASSERT_EQ(p.instrs.size(), 5u);
+  EXPECT_EQ(p.instrs[0].op, Opcode::kAddi);
+  EXPECT_EQ(p.instrs[1].op, Opcode::kLui);
+  EXPECT_EQ(p.instrs[2].op, Opcode::kAddi);
+}
+
+TEST(Builder, LpSetupiBodyTooLongThrows) {
+  // The 5-bit end offset limits lp.setupi bodies to 15 instructions; longer
+  // bodies must use lp.setup. build() must reject the overflow.
+  ProgramBuilder b;
+  auto end = b.make_label();
+  b.lp_setupi(0, 10, end);
+  for (int i = 0; i < 20; ++i) b.addi(kA0, kA0, 1);
+  b.bind(end);
+  b.ebreak();
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(Builder, ProgramEncodesAndDecodesBack) {
+  ProgramBuilder b(0x2000);
+  auto end = b.make_label();
+  b.li(kA0, 0x8000);
+  b.lp_setupi(0, 4, end);
+  b.p_lw(kA1, 4, kA0);
+  b.pv_sdotsp_h(kA2, kA1, kA1);
+  b.bind(end);
+  b.pl_tanh(kA3, kA2);
+  b.ebreak();
+  auto p = b.build();
+  const auto words = p.encode_words();
+  ASSERT_EQ(words.size(), p.instrs.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    auto back = decode(words[i]);
+    ASSERT_TRUE(back) << "instr " << i;
+    EXPECT_EQ(back->op, p.instrs[i].op) << "instr " << i;
+  }
+}
+
+TEST(Builder, AddressOf) {
+  ProgramBuilder b(0x1000);
+  b.nop();
+  b.nop();
+  b.ebreak();
+  auto p = b.build();
+  EXPECT_EQ(p.address_of(0), 0x1000u);
+  EXPECT_EQ(p.address_of(2), 0x1008u);
+  EXPECT_EQ(p.size_bytes(), 12u);
+}
+
+TEST(RegPool, AllocFreeCycle) {
+  RegPool pool;
+  const int n = pool.available();
+  EXPECT_GE(n, 20);
+  Reg r1 = pool.alloc();
+  Reg r2 = pool.alloc();
+  EXPECT_NE(r1, r2);
+  EXPECT_EQ(pool.available(), n - 2);
+  pool.free(r1);
+  EXPECT_EQ(pool.available(), n - 1);
+  pool.free(r2);
+  EXPECT_EQ(pool.available(), n);
+}
+
+TEST(RegPool, NeverHandsOutReservedRegs) {
+  RegPool pool;
+  Reg r;
+  while (pool.try_alloc(&r)) {
+    EXPECT_NE(r, kZero);
+    EXPECT_NE(r, kRa);
+    EXPECT_NE(r, kSp);
+    EXPECT_NE(r, kGp);
+    EXPECT_NE(r, kTp);
+    EXPECT_NE(r, kS0);
+  }
+}
+
+TEST(RegPool, ExhaustionThrowsAndDoubleFreeThrows) {
+  RegPool pool;
+  Reg r = pool.alloc();
+  pool.free(r);
+  EXPECT_THROW(pool.free(r), std::runtime_error);
+  while (pool.available() > 0) pool.alloc();
+  EXPECT_THROW(pool.alloc(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rnnasip::assembler

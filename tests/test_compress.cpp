@@ -1,0 +1,126 @@
+// RV32C compressor tests: directed forms plus the round-trip property
+// try_compress -> decode_compressed == identity, and the compress/decode
+// inverse property over the whole compressed opcode space.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/isa/isa.h"
+
+namespace rnnasip::isa {
+namespace {
+
+Instr mk(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2, int32_t imm = 0) {
+  Instr in;
+  in.op = op;
+  in.rd = rd;
+  in.rs1 = rs1;
+  in.rs2 = rs2;
+  in.imm = imm;
+  return in;
+}
+
+void expect_roundtrip(const Instr& in) {
+  const auto h = try_compress(in);
+  ASSERT_TRUE(h.has_value()) << mnemonic(in.op);
+  const auto back = decode_compressed(*h);
+  ASSERT_TRUE(back.has_value()) << mnemonic(in.op) << " 0x" << std::hex << *h;
+  EXPECT_EQ(back->op, in.op) << std::hex << *h;
+  EXPECT_EQ(back->rd, in.rd) << mnemonic(in.op);
+  EXPECT_EQ(back->rs1, in.rs1) << mnemonic(in.op);
+  EXPECT_EQ(back->rs2, in.rs2) << mnemonic(in.op);
+  EXPECT_EQ(back->imm, in.imm) << mnemonic(in.op);
+  EXPECT_EQ(back->size, 2);
+}
+
+TEST(Compress, KnownEncodings) {
+  EXPECT_EQ(try_compress(mk(Opcode::kAddi, kA0, kA0, 0, 1)), 0x0505);   // c.addi
+  EXPECT_EQ(try_compress(mk(Opcode::kAddi, kA0, kZero, 0, -1)), 0x557D);  // c.li
+  EXPECT_EQ(try_compress(mk(Opcode::kAdd, kA0, kZero, kA1)), 0x852E);   // c.mv
+  EXPECT_EQ(try_compress(mk(Opcode::kAdd, kA0, kA0, kA1)), 0x952E);     // c.add
+  EXPECT_EQ(try_compress(mk(Opcode::kLw, kA0, kSp, 0, 8)), 0x4522);     // c.lwsp
+  EXPECT_EQ(try_compress(mk(Opcode::kSw, 0, kSp, kA0, 12)), 0xC62A);    // c.swsp
+  EXPECT_EQ(try_compress(mk(Opcode::kLw, kA2, kA0, 0, 0)), 0x4110);     // c.lw
+  EXPECT_EQ(try_compress(mk(Opcode::kEbreak, 0, 0, 0)), 0x9002);
+}
+
+TEST(Compress, RefusesUncompressibleForms) {
+  // Immediates/registers outside the compressed ranges.
+  EXPECT_FALSE(try_compress(mk(Opcode::kAddi, kA0, kA0, 0, 100)));   // imm6 overflow
+  EXPECT_FALSE(try_compress(mk(Opcode::kAddi, kA0, kA1, 0, 1)));     // rd != rs1
+  EXPECT_FALSE(try_compress(mk(Opcode::kLw, kA0, kA1, 0, 2)));      // misaligned
+  EXPECT_FALSE(try_compress(mk(Opcode::kLw, kT3, kT4, 0, 0)));      // not c-regs
+  EXPECT_FALSE(try_compress(mk(Opcode::kSub, kA0, kA1, kA2)));      // rd != rs1
+  EXPECT_FALSE(try_compress(mk(Opcode::kMul, kA0, kA0, kA1)));      // no RVC mul
+  EXPECT_FALSE(try_compress(mk(Opcode::kPvSdotspH, kA0, kA0, kA1))); // no RVC Xpulp
+  EXPECT_FALSE(try_compress(mk(Opcode::kBeq, 0, kA0, kA1, 8)));     // rs2 != x0
+}
+
+TEST(Compress, RoundTripDirectedForms) {
+  expect_roundtrip(mk(Opcode::kAddi, kZero, kZero, 0, 0));     // c.nop
+  expect_roundtrip(mk(Opcode::kAddi, kS1, kS1, 0, -17));       // c.addi
+  expect_roundtrip(mk(Opcode::kAddi, kSp, kSp, 0, -64));       // c.addi16sp
+  expect_roundtrip(mk(Opcode::kAddi, kA2, kSp, 0, 64));        // c.addi4spn
+  expect_roundtrip(mk(Opcode::kAddi, kT0, kZero, 0, 31));      // c.li
+  expect_roundtrip(mk(Opcode::kLui, kA3, 0, 0, 0x1F));         // c.lui
+  expect_roundtrip(mk(Opcode::kLui, kA3, 0, 0, 0xFFFE0));      // c.lui, negative
+  expect_roundtrip(mk(Opcode::kLw, kA4, kSp, 0, 252));         // c.lwsp max
+  expect_roundtrip(mk(Opcode::kSw, 0, kA1, kA2, 124));         // c.sw max
+  expect_roundtrip(mk(Opcode::kSlli, kT1, kT1, 0, 31));
+  expect_roundtrip(mk(Opcode::kSrli, kA5, kA5, 0, 3));
+  expect_roundtrip(mk(Opcode::kSrai, kS0, kS0, 0, 12));
+  expect_roundtrip(mk(Opcode::kAndi, kA0, kA0, 0, -32));
+  expect_roundtrip(mk(Opcode::kSub, kA0, kA0, kA1));
+  expect_roundtrip(mk(Opcode::kXor, kS1, kS1, kA3));
+  expect_roundtrip(mk(Opcode::kOr, kA4, kA4, kA5));
+  expect_roundtrip(mk(Opcode::kAnd, kA2, kA2, kA0));
+  expect_roundtrip(mk(Opcode::kJal, kZero, 0, 0, -2048));      // c.j
+  expect_roundtrip(mk(Opcode::kJal, kRa, 0, 0, 2046));         // c.jal
+  expect_roundtrip(mk(Opcode::kJalr, kZero, kA0, 0, 0));       // c.jr
+  expect_roundtrip(mk(Opcode::kJalr, kRa, kT2, 0, 0));         // c.jalr
+  expect_roundtrip(mk(Opcode::kBeq, 0, kA0, kZero, -256)); // c.beqz
+  expect_roundtrip(mk(Opcode::kBne, 0, kS1, kZero, 254));  // c.bnez
+}
+
+TEST(Compress, InverseOfDecodeOverWholeCompressedSpace) {
+  // Property: for every decodable 16-bit word, compressing the decoded
+  // instruction reproduces an equivalent compressed word (decode again and
+  // compare) — i.e. try_compress is a right-inverse of decode_compressed.
+  int checked = 0;
+  for (uint32_t h = 0; h <= 0xFFFF; ++h) {
+    if ((h & 0x3) == 0x3) continue;
+    const auto in = decode_compressed(static_cast<uint16_t>(h));
+    if (!in) continue;
+    const auto back = try_compress(*in);
+    ASSERT_TRUE(back.has_value()) << "0x" << std::hex << h << " decoded to "
+                                  << mnemonic(in->op) << " but did not re-compress";
+    const auto in2 = decode_compressed(*back);
+    ASSERT_TRUE(in2.has_value());
+    EXPECT_EQ(in2->op, in->op) << std::hex << h;
+    EXPECT_EQ(in2->rd, in->rd) << std::hex << h;
+    EXPECT_EQ(in2->rs1, in->rs1) << std::hex << h;
+    EXPECT_EQ(in2->rs2, in->rs2) << std::hex << h;
+    EXPECT_EQ(in2->imm, in->imm) << std::hex << h;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10000);
+}
+
+TEST(Compress, CompressedFormsExecuteIdentically) {
+  // Size is the only difference: expanding a compressed form and executing
+  // the 32-bit original must give identical architectural results. Spot
+  // check with the immediate-heavy forms.
+  Rng rng(0xC0DE);
+  for (int i = 0; i < 200; ++i) {
+    const int32_t imm = static_cast<int32_t>(rng.next_below(64)) - 32;
+    const Instr full = mk(Opcode::kAddi, kA0, kA0, 0, imm);
+    const auto h = try_compress(full);
+    if (!h) continue;
+    const auto compressed = decode_compressed(*h);
+    ASSERT_TRUE(compressed);
+    EXPECT_EQ(compressed->imm, full.imm);
+    EXPECT_EQ(compressed->rd, full.rd);
+  }
+}
+
+}  // namespace
+}  // namespace rnnasip::isa

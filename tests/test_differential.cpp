@@ -1,0 +1,156 @@
+// Differential fuzzing: randomized network architectures (layer kinds,
+// dimensions, activations) are generated, built at two randomly chosen
+// optimization levels, and executed — the two devices and the golden model
+// must agree bit-exactly on every output. This hunts corner cases the
+// directed shape grids miss (odd tails after tails, tiny layers feeding
+// wide ones, conv/recurrent mixes).
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "tests/kernel_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using kernel_test::make_net;
+using kernels::OptLevel;
+using nn::ActKind;
+
+struct RandomNet {
+  std::function<void(kernels::NetworkProgramBuilder&)> add_layers;
+  std::function<std::vector<int16_t>(const std::vector<int16_t>&,
+                                     const activation::PlaTable&,
+                                     const activation::PlaTable&)>
+      golden;  // stateless per call (fresh state each forward not needed: we
+               // run a single forward pass per net)
+  int input_count = 0;
+};
+
+ActKind random_act(Rng& rng) {
+  switch (rng.next_below(4)) {
+    case 0: return ActKind::kNone;
+    case 1: return ActKind::kReLU;
+    case 2: return ActKind::kTanh;
+    default: return ActKind::kSigmoid;
+  }
+}
+
+TEST(Differential, RandomFcStacksAgreeEverywhere) {
+  Rng rng(0xD1FF);
+  for (int trial = 0; trial < 30; ++trial) {
+    // 1-4 FC layers with random even-ish dims.
+    const int depth = 1 + static_cast<int>(rng.next_below(4));
+    int cur = 2 * (1 + static_cast<int>(rng.next_below(40)));  // even input
+    std::vector<nn::FcParamsQ> layers;
+    const int input_count = cur;
+    for (int l = 0; l < depth; ++l) {
+      int next = 1 + static_cast<int>(rng.next_below(40));
+      if (l + 1 < depth && next % 2 != 0) ++next;  // non-final layers even
+      layers.push_back(nn::quantize_fc(nn::random_fc(rng, cur, next, random_act(rng))));
+      cur = next;
+    }
+    const auto x = nn::quantize_vector(nn::random_vector(rng, input_count, 1.0f));
+
+    // Pick two distinct random levels plus the golden model.
+    const auto level_a = kernels::kAllOptLevels[rng.next_below(5)];
+    const auto level_b = kernels::kAllOptLevels[rng.next_below(5)];
+    std::vector<int16_t> out_a, out_b, want;
+    for (int which = 0; which < 2; ++which) {
+      auto d = make_net(which == 0 ? level_a : level_b,
+                        [&](kernels::NetworkProgramBuilder& b) {
+                          for (const auto& l : layers) b.add_fc(l);
+                        });
+      auto out = kernels::run_forward(*d.core, *d.mem, d.net, x);
+      if (which == 0) {
+        out_a = out;
+        // Golden model once.
+        std::vector<int16_t> cur_v = x;
+        for (const auto& l : layers) {
+          cur_v = nn::fc_forward_fixp(l, cur_v, d.core->tanh_table(), d.core->sig_table());
+        }
+        want = cur_v;
+      } else {
+        out_b = out;
+      }
+    }
+    ASSERT_EQ(out_a, want) << "trial " << trial << " level "
+                           << kernels::opt_level_letter(level_a);
+    ASSERT_EQ(out_b, want) << "trial " << trial << " level "
+                           << kernels::opt_level_letter(level_b);
+  }
+}
+
+TEST(Differential, RandomRecurrentStacksAgreeEverywhere) {
+  Rng rng(0xD1FE);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int m = 2 * (1 + static_cast<int>(rng.next_below(10)));
+    int n = 2 + static_cast<int>(rng.next_below(24));
+    if ((m + n) % 2 != 0) ++n;
+    const bool use_gru = rng.next_below(2) == 0;
+    const int head_out = 1 + static_cast<int>(rng.next_below(12));
+    const auto lstm = nn::quantize_lstm(nn::random_lstm(rng, m, n, 0.3f));
+    const auto gru = nn::quantize_gru(nn::random_gru(rng, m, n, 0.3f));
+    const auto head = nn::quantize_fc(nn::random_fc(rng, n, head_out, random_act(rng)));
+
+    std::vector<std::vector<int16_t>> inputs;
+    for (int t = 0; t < 3; ++t)
+      inputs.push_back(nn::quantize_vector(nn::random_vector(rng, m, 1.0f)));
+
+    std::vector<int16_t> reference;
+    for (auto level : {OptLevel::kBaseline, OptLevel::kOutputTiling,
+                       OptLevel::kInputTiling}) {
+      auto d = make_net(level, [&](kernels::NetworkProgramBuilder& b) {
+        if (use_gru) {
+          b.add_gru(gru);
+        } else {
+          b.add_lstm(lstm);
+        }
+        b.add_fc(head);
+      });
+      kernels::reset_state(*d.mem, d.net);
+      std::vector<int16_t> out;
+      for (const auto& x : inputs) out = kernels::run_forward(*d.core, *d.mem, d.net, x);
+      if (reference.empty()) {
+        reference = out;
+      } else {
+        ASSERT_EQ(out, reference)
+            << "trial " << trial << (use_gru ? " gru" : " lstm") << " level "
+            << kernels::opt_level_letter(level);
+      }
+    }
+  }
+}
+
+TEST(Differential, RandomConvStacksAgreeEverywhere) {
+  Rng rng(0xD1FD);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int in_ch = 1 + static_cast<int>(rng.next_below(3));
+    const int out_ch = 1 + static_cast<int>(rng.next_below(6));
+    const int k = 1 + 2 * static_cast<int>(rng.next_below(2));  // 1 or 3
+    const int hw = k + 3 + static_cast<int>(rng.next_below(6));
+    const auto conv = nn::quantize_conv(
+        nn::random_conv(rng, in_ch, out_ch, k,
+                        rng.next_below(2) ? ActKind::kReLU : ActKind::kNone));
+    const auto in = nn::quantize_tensor(nn::random_tensor(rng, in_ch, hw, hw));
+
+    std::vector<int16_t> reference;
+    for (auto level : kernels::kAllOptLevels) {
+      auto d = make_net(level, [&](kernels::NetworkProgramBuilder& b) {
+        b.add_conv(conv, hw, hw);
+      });
+      const auto out = kernels::run_forward(*d.core, *d.mem, d.net, in.data);
+      if (reference.empty()) {
+        reference = out;
+      } else {
+        ASSERT_EQ(out, reference) << "trial " << trial << " level "
+                                  << kernels::opt_level_letter(level);
+      }
+    }
+    // And against the golden model.
+    const auto want = nn::conv2d_forward_fixp(conv, in);
+    ASSERT_EQ(reference, want.data) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -1,0 +1,119 @@
+// Disassembler output format tests (the Table II listing depends on these
+// conventions: post-increment `imm(rs1!)`, hardware-loop absolute targets).
+#include <gtest/gtest.h>
+
+#include "src/asm/builder.h"
+#include "src/asm/disasm.h"
+
+namespace rnnasip::assembler {
+namespace {
+
+using namespace isa;
+
+isa::Instr one(void (ProgramBuilder::*f)(Reg, Reg, Reg), Reg rd, Reg a, Reg b) {
+  ProgramBuilder pb;
+  (pb.*f)(rd, a, b);
+  return pb.build().instrs[0];
+}
+
+TEST(Disasm, BasicForms) {
+  ProgramBuilder b;
+  b.addi(kA0, kA1, -4);
+  b.lw(kA0, 8, kSp);
+  b.sw(kA1, 12, kSp);
+  auto p = b.build();
+  EXPECT_EQ(disassemble(p.instrs[0]), "addi a0, a1, -4");
+  EXPECT_EQ(disassemble(p.instrs[1]), "lw a0, 8(sp)");
+  EXPECT_EQ(disassemble(p.instrs[2]), "sw a1, 12(sp)");
+}
+
+TEST(Disasm, PostIncrementConvention) {
+  ProgramBuilder b;
+  b.p_lw(kA0, 4, kA1);
+  b.p_sh(kA2, 2, kA3);
+  auto p = b.build();
+  EXPECT_EQ(disassemble(p.instrs[0]), "p.lw a0, 4(a1!)");
+  EXPECT_EQ(disassemble(p.instrs[1]), "p.sh a2, 2(a3!)");
+}
+
+TEST(Disasm, BranchAndJumpTargets) {
+  ProgramBuilder b(0x1000);
+  auto t = b.make_label();
+  b.beq(kA0, kA1, t);
+  b.nop();
+  b.bind(t);
+  b.ebreak();
+  auto p = b.build();
+  EXPECT_EQ(disassemble(p.instrs[0], p.address_of(0)), "beq a0, a1, 0x1008");
+}
+
+TEST(Disasm, HardwareLoops) {
+  ProgramBuilder b(0x1000);
+  auto end = b.make_label();
+  b.lp_setupi(0, 32, end);
+  b.nop();
+  b.nop();
+  b.bind(end);
+  b.ebreak();
+  auto p = b.build();
+  EXPECT_EQ(disassemble(p.instrs[0], 0x1000), "lp.setupi 0, 32, 0x100c");
+}
+
+TEST(Disasm, RnnExtensions) {
+  ProgramBuilder b;
+  b.pl_sdotsp_h(0, kA0, kA1, kA2);
+  b.pl_sdotsp_h(1, kA0, kA1, kA2);
+  b.pl_tanh(kA3, kA4);
+  b.pl_sig(kA5, kA6);
+  auto p = b.build();
+  EXPECT_EQ(disassemble(p.instrs[0]), "pl.sdotsp.h.0 a0, a1, a2");
+  EXPECT_EQ(disassemble(p.instrs[1]), "pl.sdotsp.h.1 a0, a1, a2");
+  EXPECT_EQ(disassemble(p.instrs[2]), "pl.tanh a3, a4");
+  EXPECT_EQ(disassemble(p.instrs[3]), "pl.sig a5, a6");
+}
+
+TEST(Disasm, SimdForms) {
+  EXPECT_EQ(disassemble(one(&ProgramBuilder::pv_sdotsp_h, kA0, kA1, kA2)),
+            "pv.sdotsp.h a0, a1, a2");
+  EXPECT_EQ(disassemble(one(&ProgramBuilder::pv_add_b, kT0, kT1, kT2)),
+            "pv.add.b t0, t1, t2");
+}
+
+TEST(Disasm, ProgramListingHasAddresses) {
+  ProgramBuilder b(0x1000);
+  b.nop();
+  b.ebreak();
+  const std::string listing = disassemble(b.build());
+  EXPECT_NE(listing.find("00001000:"), std::string::npos);
+  EXPECT_NE(listing.find("ebreak"), std::string::npos);
+}
+
+TEST(Disasm, EveryOpcodeProducesItsMnemonic) {
+  // Property: for every spec-table opcode with benign operands, the
+  // disassembly is non-empty and starts with the mnemonic.
+  for (const auto& row : isa::all_opcodes()) {
+    isa::Instr in;
+    in.op = row.op;
+    in.rd = (row.format == isa::Format::kHwlImm || row.format == isa::Format::kHwlReg ||
+             row.format == isa::Format::kHwlSetup || row.format == isa::Format::kHwlSetupImm)
+                ? 0
+                : 5;
+    in.rs1 = 6;
+    in.rs2 = 7;
+    in.imm = 4;
+    in.imm2 = 4;
+    const std::string text = disassemble(in, 0x1000);
+    EXPECT_EQ(text.rfind(row.mnemonic, 0), 0u) << text;
+    EXPECT_GE(text.size(), std::string(row.mnemonic).size());
+  }
+}
+
+TEST(Disasm, RegisterNames) {
+  EXPECT_EQ(reg_name(0), "zero");
+  EXPECT_EQ(reg_name(2), "sp");
+  EXPECT_EQ(reg_name(10), "a0");
+  EXPECT_EQ(reg_name(31), "t6");
+}
+
+}  // namespace
+}  // namespace rnnasip::assembler

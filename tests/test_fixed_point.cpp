@@ -1,0 +1,91 @@
+// Unit and property tests for the Q-format fixed-point substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/fixed_point.h"
+#include "src/common/rng.h"
+
+namespace rnnasip {
+namespace {
+
+TEST(QFormat, Q312Properties) {
+  EXPECT_EQ(q3_12.width(), 16);
+  EXPECT_DOUBLE_EQ(q3_12.scale(), 4096.0);
+  EXPECT_NEAR(q3_12.max_value(), 7.999755859375, 1e-12);
+  EXPECT_DOUBLE_EQ(q3_12.min_value(), -8.0);
+  EXPECT_DOUBLE_EQ(q3_12.resolution(), 1.0 / 4096.0);
+  EXPECT_EQ(q3_12.to_string(), "Q3.12");
+}
+
+TEST(Quantize, ExactValues) {
+  EXPECT_EQ(quantize(0.0), 0);
+  EXPECT_EQ(quantize(1.0), 4096);
+  EXPECT_EQ(quantize(-1.0), -4096);
+  EXPECT_EQ(quantize(0.5), 2048);
+  EXPECT_EQ(quantize(1.0 / 4096.0), 1);
+}
+
+TEST(Quantize, SaturatesAtFormatBounds) {
+  EXPECT_EQ(quantize(100.0), 32767);
+  EXPECT_EQ(quantize(-100.0), -32768);
+  EXPECT_EQ(quantize(8.0), 32767);  // +8.0 is just out of range
+  EXPECT_EQ(quantize(-8.0), -32768);
+}
+
+TEST(Quantize, RoundsToNearest) {
+  // 0.6/4096 rounds to 1 LSB, 0.4/4096 rounds to 0.
+  EXPECT_EQ(quantize(0.6 / 4096.0), 1);
+  EXPECT_EQ(quantize(0.4 / 4096.0), 0);
+  EXPECT_EQ(quantize(-0.6 / 4096.0), -1);
+}
+
+TEST(Quantize, RoundTripErrorBounded) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_in(-7.9, 7.9);
+    const double back = dequantize(quantize(x));
+    EXPECT_NEAR(back, x, 0.5 / 4096.0) << "x=" << x;
+  }
+}
+
+TEST(Requantize, ShiftsAndSaturates) {
+  EXPECT_EQ(requantize(int64_t{4096} * 4096, 12), 4096);  // 1.0*1.0 = 1.0
+  EXPECT_EQ(requantize(int64_t{1} << 40, 12, 16), 32767);
+  EXPECT_EQ(requantize(-(int64_t{1} << 40), 12, 16), -32768);
+  // Arithmetic shift truncates toward -inf.
+  EXPECT_EQ(requantize(-1, 12, 16), -1);
+}
+
+TEST(Requantize, MatchesScalarMultiply) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const auto a = rng.next_i16();
+    const auto b = rng.next_i16();
+    const double ref = dequantize(a) * dequantize(b);
+    const double got = dequantize(fx_mul_q(a, b));
+    // One LSB of truncation plus saturation for out-of-range products.
+    if (ref < q3_12.max_value() && ref > q3_12.min_value()) {
+      EXPECT_NEAR(got, ref, 1.5 / 4096.0) << "a=" << int{a} << " b=" << int{b};
+    }
+  }
+}
+
+TEST(SatAdd16, Saturates) {
+  EXPECT_EQ(sat_add16(32767, 1), 32767);
+  EXPECT_EQ(sat_add16(-32768, -1), -32768);
+  EXPECT_EQ(sat_add16(1000, -3000), -2000);
+}
+
+TEST(QFormatParam, WidthAndScaleConsistent) {
+  for (int ib = 0; ib <= 7; ++ib) {
+    for (int fb = 4; fb <= 24; fb += 4) {
+      const QFormat f{ib, fb};
+      EXPECT_EQ(f.width(), 1 + ib + fb);
+      EXPECT_DOUBLE_EQ(f.max_value() + f.resolution(), std::ldexp(1.0, ib));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rnnasip

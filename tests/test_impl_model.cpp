@@ -1,0 +1,156 @@
+// Implementation-model tests: area anchors, power calibration against the
+// paper's Sec. IV points, and the derived throughput/efficiency metrics.
+#include <gtest/gtest.h>
+
+#include "src/impl_model/impl_model.h"
+#include "src/rrm/suite.h"
+
+namespace rnnasip::impl_model {
+namespace {
+
+using kernels::OptLevel;
+
+TEST(AreaModel, MatchesPaperAnchors) {
+  AreaModel area;
+  EXPECT_NEAR(area.extension_kge(), 2.3, 1e-9);
+  // Paper: 3.4 % of the core area.
+  EXPECT_NEAR(area.overhead_fraction(), 0.034, 0.002);
+  EXPECT_GT(area.extended_core_um2(), 10000.0);  // ~13.5 kum2 in 22FDX
+  EXPECT_LT(area.extended_core_um2(), 20000.0);
+}
+
+class CalibratedModel : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rrm::RunOptions opt;
+    opt.verify = false;
+    base_ = new rrm::SuiteResult(rrm::run_suite(OptLevel::kBaseline, opt));
+    ext_ = new rrm::SuiteResult(rrm::run_suite(OptLevel::kInputTiling, opt));
+  }
+  static void TearDownTestSuite() {
+    delete base_;
+    delete ext_;
+    base_ = ext_ = nullptr;
+  }
+  static rrm::SuiteResult* base_;
+  static rrm::SuiteResult* ext_;
+};
+
+rrm::SuiteResult* CalibratedModel::base_ = nullptr;
+rrm::SuiteResult* CalibratedModel::ext_ = nullptr;
+
+TEST_F(CalibratedModel, ReproducesCalibrationPoints) {
+  const auto a_base = activity_from_stats(base_->total);
+  const auto a_ext = activity_from_stats(ext_->total);
+  const auto m = PowerModel::calibrate(a_base, a_ext);
+
+  // Baseline point is exact by construction.
+  EXPECT_NEAR(m.power_mw(a_base), 1.73, 1e-6);
+  // Extended point follows from the published component deltas; the paper's
+  // total (2.61 mW) includes a small residual our four components do not
+  // carry, so allow a ~10% band.
+  EXPECT_NEAR(m.power_mw(a_ext), 2.61, 0.26);
+  EXPECT_GT(m.power_mw(a_ext), m.power_mw(a_base) * 1.3);
+}
+
+TEST_F(CalibratedModel, ComponentDeltasMatchSec4) {
+  const auto a_base = activity_from_stats(base_->total);
+  const auto a_ext = activity_from_stats(ext_->total);
+  const auto m = PowerModel::calibrate(a_base, a_ext);
+  const auto pb = m.breakdown_mw(a_base);
+  const auto pe = m.breakdown_mw(a_ext);
+  EXPECT_NEAR(pe.mac - pb.mac, 0.57, 1e-6);
+  EXPECT_NEAR(pe.gpr - pb.gpr, 0.16, 1e-6);
+  EXPECT_NEAR(pe.lsu - pb.lsu, 0.05, 1e-6);
+  EXPECT_NEAR(pe.ext_dec - pb.ext_dec, 0.005, 1e-6);
+}
+
+TEST_F(CalibratedModel, ThroughputAndEfficiencyBands) {
+  const auto a_base = activity_from_stats(base_->total);
+  const auto a_ext = activity_from_stats(ext_->total);
+  const auto m = PowerModel::calibrate(a_base, a_ext);
+
+  const double mmacs_base = mmac_per_s(base_->total_macs, base_->total_cycles);
+  const double mmacs_ext = mmac_per_s(ext_->total_macs, ext_->total_cycles);
+  // Extended core lands in the paper's half-GMAC band (566 MMAC/s).
+  EXPECT_GT(mmacs_ext, 450.0);
+  EXPECT_LT(mmacs_ext, 700.0);
+  // Throughput improvement ~15x.
+  EXPECT_GT(mmacs_ext / mmacs_base, 11.0);
+  EXPECT_LT(mmacs_ext / mmacs_base, 19.0);
+
+  const double eff_base = gmac_per_s_per_w(mmacs_base, m.power_mw(a_base));
+  const double eff_ext = gmac_per_s_per_w(mmacs_ext, m.power_mw(a_ext));
+  // Paper: 218 GMAC/s/W, ~10x over baseline.
+  EXPECT_GT(eff_ext, 150.0);
+  EXPECT_LT(eff_ext, 300.0);
+  EXPECT_GT(eff_ext / eff_base, 7.0);
+  EXPECT_LT(eff_ext / eff_base, 14.0);
+}
+
+TEST(AreaModel, ActUnitScalesWithLutDepth) {
+  AreaModel area;
+  // The shipped M = 32 reproduces the paper's 2.3 kGE total exactly.
+  EXPECT_NEAR(area.extension_kge_with_intervals(32), 2.3, 1e-9);
+  EXPECT_NEAR(area.act_unit_kge(32), 1.7, 1e-9);
+  // Doubling the LUT adds exactly one more LUT quantum.
+  EXPECT_NEAR(area.act_unit_kge(64) - area.act_unit_kge(32), 1.0, 1e-9);
+  // The datapath is the floor.
+  EXPECT_GT(area.act_unit_kge(1), 0.7);
+}
+
+TEST(Dvfs, AnchorReproducesExactly) {
+  DvfsModel m;
+  EXPECT_DOUBLE_EQ(m.freq_at(0.65), 380e6);
+  EXPECT_DOUBLE_EQ(m.scale_power_mw(2.5, 0.65), 2.5);
+}
+
+TEST(Dvfs, FrequencyScalesWithOverdrive) {
+  DvfsModel m;
+  EXPECT_NEAR(m.freq_at(0.50), 380e6 * 0.15 / 0.30, 1.0);
+  EXPECT_NEAR(m.freq_at(0.95), 380e6 * 2.0, 1.0);
+  EXPECT_EQ(m.freq_at(0.36), 0.0);  // below usable overdrive
+}
+
+TEST(Dvfs, LowerVoltageImprovesEnergyEfficiency) {
+  DvfsModel m;
+  // Efficiency ~ f / P: at lower V, P drops faster (V^2 f) than f.
+  const double eff_065 = m.freq_at(0.65) / m.scale_power_mw(2.5, 0.65);
+  const double eff_055 = m.freq_at(0.55) / m.scale_power_mw(2.5, 0.55);
+  const double eff_080 = m.freq_at(0.80) / m.scale_power_mw(2.5, 0.80);
+  EXPECT_GT(eff_055, eff_065);
+  EXPECT_LT(eff_080, eff_065);
+}
+
+TEST(Dvfs, LeakageLimitsLowVoltageGains) {
+  DvfsModel m;
+  // With a heavy leakage share, scaling down helps much less.
+  const double light = m.scale_power_mw(2.5, 0.50, 0.0);
+  const double heavy = m.scale_power_mw(2.5, 0.50, 0.5);
+  EXPECT_LT(light, heavy);
+}
+
+TEST(Metrics, UnitConversions) {
+  // 380e6 cycles at 1 MAC/cycle = 380 MMAC/s.
+  EXPECT_NEAR(mmac_per_s(380'000'000ull, 380'000'000ull), 380.0, 1e-6);
+  // 380 MMAC/s at 1 mW = 380 GMAC/s/W.
+  EXPECT_NEAR(gmac_per_s_per_w(380.0, 1.0), 380.0, 1e-9);
+  // 380e6 cycles at 380 MHz = 1 s; 1 mW for 1 s = 1000 uJ.
+  EXPECT_NEAR(energy_per_run_uj(380'000'000ull, 1.0), 1000.0, 1e-6);
+}
+
+TEST(Activity, RatesAreSane) {
+  rrm::RunOptions opt;
+  opt.verify = false;
+  rrm::RrmNetwork net(rrm::find_network("wang18"));
+  const auto r = rrm::run_network(net, OptLevel::kInputTiling, opt);
+  const auto a = activity_from_stats(r.stats);
+  EXPECT_GT(a.mac_rate, 0.5);   // pl.sdotsp dominates
+  EXPECT_LE(a.mac_rate, 1.0);
+  EXPECT_GT(a.lsu_rate, 0.5);   // folded loads keep the LSU busy
+  EXPECT_GT(a.gpr_rate, 1.0);   // packed operands double-pump the GPR
+  EXPECT_EQ(a.act_rate, 0.0);   // wang18 is ReLU-only
+}
+
+}  // namespace
+}  // namespace rnnasip::impl_model

@@ -1,0 +1,261 @@
+// Encoder/decoder tests: directed encodings plus a table-driven round-trip
+// property suite over every opcode in the spec table with randomized
+// operands, and an RV32C expansion suite.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/isa/isa.h"
+
+namespace rnnasip::isa {
+namespace {
+
+Instr mk(Opcode op, uint8_t rd = 0, uint8_t rs1 = 0, uint8_t rs2 = 0, int32_t imm = 0,
+         int32_t imm2 = 0) {
+  Instr in;
+  in.op = op;
+  in.rd = rd;
+  in.rs1 = rs1;
+  in.rs2 = rs2;
+  in.imm = imm;
+  in.imm2 = imm2;
+  return in;
+}
+
+TEST(Encode, MatchesKnownRiscvWords) {
+  // Cross-checked against the RISC-V spec examples / GNU as output.
+  EXPECT_EQ(encode(mk(Opcode::kAddi, 1, 2, 0, 3)), 0x00310093u);   // addi ra,sp,3
+  EXPECT_EQ(encode(mk(Opcode::kAdd, 3, 1, 2)), 0x002081B3u);       // add gp,ra,sp
+  EXPECT_EQ(encode(mk(Opcode::kLw, 10, 2, 0, 16)), 0x01012503u);   // lw a0,16(sp)
+  EXPECT_EQ(encode(mk(Opcode::kSw, 0, 2, 10, 16)), 0x00A12823u);   // sw a0,16(sp)
+  EXPECT_EQ(encode(mk(Opcode::kLui, 5, 0, 0, 0x12345)), 0x123452B7u);
+  EXPECT_EQ(encode(mk(Opcode::kEcall)), 0x00000073u);
+  EXPECT_EQ(encode(mk(Opcode::kEbreak)), 0x00100073u);
+  EXPECT_EQ(encode(mk(Opcode::kMul, 10, 11, 12)), 0x02C58533u);    // mul a0,a1,a2
+}
+
+TEST(Decode, RejectsIllegalWords) {
+  EXPECT_FALSE(decode(0x00000000u).has_value());
+  EXPECT_FALSE(decode(0xFFFFFFFFu).has_value());
+  // Major opcode 0x33 with unused funct7.
+  EXPECT_FALSE(decode(0x7E000033u).has_value());
+}
+
+TEST(Decode, BranchOffsetsSignExtend) {
+  // beq x1, x2, -8
+  const auto word = encode(mk(Opcode::kBeq, 0, 1, 2, -8));
+  const auto in = decode(word);
+  ASSERT_TRUE(in);
+  EXPECT_EQ(in->op, Opcode::kBeq);
+  EXPECT_EQ(in->imm, -8);
+}
+
+TEST(Encode, RangeChecksThrow) {
+  EXPECT_THROW(encode(mk(Opcode::kAddi, 1, 2, 0, 4096)), std::runtime_error);
+  EXPECT_THROW(encode(mk(Opcode::kBeq, 0, 1, 2, 3)), std::runtime_error);  // odd
+  EXPECT_THROW(encode(mk(Opcode::kJal, 1, 0, 0, 1 << 21)), std::runtime_error);
+  EXPECT_THROW(encode(mk(Opcode::kLpSetupi, 0, 0, 0, 5000, 8)), std::runtime_error);
+  EXPECT_THROW(encode(mk(Opcode::kLpSetupi, 0, 0, 0, 32, 64)), std::runtime_error);
+}
+
+// ---- property suite: encode(decode(w)) == w for every opcode ----
+
+class RoundTrip : public ::testing::TestWithParam<OpcodeInfo> {};
+
+Instr random_operands(const OpcodeInfo& s, Rng& rng) {
+  Instr in;
+  in.op = s.op;
+  auto reg = [&] { return static_cast<uint8_t>(rng.next_below(32)); };
+  switch (s.format) {
+    case Format::kR:
+    case Format::kSimdR:
+      in.rd = reg(), in.rs1 = reg(), in.rs2 = reg();
+      break;
+    case Format::kI:
+      in.rd = reg(), in.rs1 = reg();
+      in.imm = static_cast<int32_t>(rng.next_below(4096)) - 2048;
+      break;
+    case Format::kShift:
+    case Format::kSimdImm:
+      in.rd = reg(), in.rs1 = reg();
+      in.imm = static_cast<int32_t>(rng.next_below(32));
+      break;
+    case Format::kClip:
+      in.rd = reg(), in.rs1 = reg();
+      in.imm = 1 + static_cast<int32_t>(rng.next_below(31));
+      break;
+    case Format::kS:
+      in.rs1 = reg(), in.rs2 = reg();
+      in.imm = static_cast<int32_t>(rng.next_below(4096)) - 2048;
+      break;
+    case Format::kB:
+      in.rs1 = reg(), in.rs2 = reg();
+      in.imm = (static_cast<int32_t>(rng.next_below(4096)) - 2048) * 2;
+      break;
+    case Format::kU:
+      in.rd = reg();
+      in.imm = static_cast<int32_t>(rng.next_below(1 << 20));
+      break;
+    case Format::kJ:
+      in.rd = reg();
+      in.imm = (static_cast<int32_t>(rng.next_below(1 << 20)) - (1 << 19)) * 2;
+      break;
+    case Format::kSys:
+      break;
+    case Format::kCsr:
+      in.rd = reg(), in.rs1 = reg();
+      in.imm = static_cast<int32_t>(rng.next_below(4096));
+      break;
+    case Format::kHwlImm:
+      in.rd = static_cast<uint8_t>(rng.next_below(2));
+      in.imm = (s.op == Opcode::kLpCounti)
+                   ? static_cast<int32_t>(rng.next_below(4096))
+                   : static_cast<int32_t>(rng.next_below(4096)) * 2;
+      break;
+    case Format::kHwlReg:
+      in.rd = static_cast<uint8_t>(rng.next_below(2));
+      in.rs1 = reg();
+      break;
+    case Format::kHwlSetup:
+      in.rd = static_cast<uint8_t>(rng.next_below(2));
+      in.rs1 = reg();
+      in.imm = (1 + static_cast<int32_t>(rng.next_below(4095))) * 2;
+      break;
+    case Format::kHwlSetupImm:
+      in.rd = static_cast<uint8_t>(rng.next_below(2));
+      in.imm = static_cast<int32_t>(rng.next_below(4096));
+      in.imm2 = (1 + static_cast<int32_t>(rng.next_below(31))) * 2;
+      break;
+    case Format::kAct:
+      in.rd = reg(), in.rs1 = reg();
+      break;
+  }
+  return in;
+}
+
+TEST_P(RoundTrip, EncodeDecodeIdentity) {
+  const OpcodeInfo& s = GetParam();
+  Rng rng(static_cast<uint64_t>(s.op) * 7919 + 13);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Instr in = random_operands(s, rng);
+    const uint32_t word = encode(in);
+    const auto back = decode(word);
+    ASSERT_TRUE(back.has_value()) << s.mnemonic << " word=0x" << std::hex << word;
+    EXPECT_EQ(back->op, in.op) << s.mnemonic;
+    EXPECT_EQ(back->rd, in.rd) << s.mnemonic;
+    EXPECT_EQ(back->rs1, in.rs1) << s.mnemonic;
+    EXPECT_EQ(back->rs2, in.rs2) << s.mnemonic;
+    EXPECT_EQ(back->imm, in.imm) << s.mnemonic;
+    EXPECT_EQ(back->imm2, in.imm2) << s.mnemonic;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, RoundTrip,
+                         ::testing::ValuesIn(all_opcodes().begin(), all_opcodes().end()),
+                         [](const ::testing::TestParamInfo<OpcodeInfo>& info) {
+                           std::string n = info.param.mnemonic;
+                           for (char& c : n)
+                             if (c == '.') c = '_';
+                           return n;
+                         });
+
+TEST(SpecTable, NoDuplicateEncodings) {
+  // Every (major, funct3, funct7, format-class) key must be unique, or the
+  // decoder would be ambiguous.
+  const auto ops = all_opcodes();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      const auto& x = ops[i];
+      const auto& y = ops[j];
+      if (x.major != y.major) continue;
+      if (x.op == Opcode::kEcall || x.op == Opcode::kEbreak || y.op == Opcode::kEcall ||
+          y.op == Opcode::kEbreak) {
+        continue;  // distinguished by the imm field, checked elsewhere
+      }
+      EXPECT_FALSE(x.funct3 == y.funct3 && x.funct7 == y.funct7)
+          << x.mnemonic << " vs " << y.mnemonic;
+    }
+  }
+}
+
+// ---- RV32C expansion ----
+
+TEST(Compressed, KnownExpansions) {
+  // c.addi a0, 1  -> 0x0505
+  auto in = decode_compressed(0x0505);
+  ASSERT_TRUE(in);
+  EXPECT_EQ(in->op, Opcode::kAddi);
+  EXPECT_EQ(in->rd, kA0);
+  EXPECT_EQ(in->rs1, kA0);
+  EXPECT_EQ(in->imm, 1);
+  EXPECT_EQ(in->size, 2);
+
+  // c.li a0, -1 -> 0x557D
+  in = decode_compressed(0x557D);
+  ASSERT_TRUE(in);
+  EXPECT_EQ(in->op, Opcode::kAddi);
+  EXPECT_EQ(in->rs1, kZero);
+  EXPECT_EQ(in->imm, -1);
+
+  // c.mv a0, a1 -> 0x852E
+  in = decode_compressed(0x852E);
+  ASSERT_TRUE(in);
+  EXPECT_EQ(in->op, Opcode::kAdd);
+  EXPECT_EQ(in->rd, kA0);
+  EXPECT_EQ(in->rs1, kZero);
+  EXPECT_EQ(in->rs2, kA1);
+
+  // c.add a0, a1 -> 0x952E
+  in = decode_compressed(0x952E);
+  ASSERT_TRUE(in);
+  EXPECT_EQ(in->op, Opcode::kAdd);
+  EXPECT_EQ(in->rd, kA0);
+  EXPECT_EQ(in->rs1, kA0);
+  EXPECT_EQ(in->rs2, kA1);
+
+  // c.lwsp a0, 8(sp) -> 0x4522
+  in = decode_compressed(0x4522);
+  ASSERT_TRUE(in);
+  EXPECT_EQ(in->op, Opcode::kLw);
+  EXPECT_EQ(in->rs1, kSp);
+  EXPECT_EQ(in->imm, 8);
+
+  // c.swsp a0, 12(sp) -> 0xC62A
+  in = decode_compressed(0xC62A);
+  ASSERT_TRUE(in);
+  EXPECT_EQ(in->op, Opcode::kSw);
+  EXPECT_EQ(in->rs1, kSp);
+  EXPECT_EQ(in->rs2, kA0);
+  EXPECT_EQ(in->imm, 12);
+
+  // c.lw a2, 0(a0) -> 0x4110
+  in = decode_compressed(0x4110);
+  ASSERT_TRUE(in);
+  EXPECT_EQ(in->op, Opcode::kLw);
+  EXPECT_EQ(in->rd, kA2);
+  EXPECT_EQ(in->rs1, kA0);
+  EXPECT_EQ(in->imm, 0);
+
+  // c.ebreak -> 0x9002
+  in = decode_compressed(0x9002);
+  ASSERT_TRUE(in);
+  EXPECT_EQ(in->op, Opcode::kEbreak);
+}
+
+TEST(Compressed, IllegalForms) {
+  EXPECT_FALSE(decode_compressed(0x0000));  // defined illegal
+  // c.addi4spn with zero immediate is reserved.
+  EXPECT_FALSE(decode_compressed(0x0001 & 0xFFFC));
+}
+
+TEST(Compressed, DecodeAnyDispatch) {
+  // 32-bit word low bits 11 -> full decode.
+  const uint32_t addi_word = encode(mk(Opcode::kAddi, 1, 2, 0, 3));
+  ASSERT_TRUE(decode_any(addi_word));
+  EXPECT_EQ(decode_any(addi_word)->size, 4);
+  // Compressed c.addi a0, 1.
+  ASSERT_TRUE(decode_any(0x0505));
+  EXPECT_EQ(decode_any(0x0505)->size, 2);
+}
+
+}  // namespace
+}  // namespace rnnasip::isa

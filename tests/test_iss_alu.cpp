@@ -1,0 +1,282 @@
+// ISS semantics tests for the RV32IM base: ALU ops against C++ golden
+// semantics (randomized property sweeps), branches, jumps, and the M
+// extension's corner cases.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "tests/iss_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using assembler::ProgramBuilder;
+using iss_test::expect_ok;
+using iss_test::run_asm;
+using namespace isa;
+
+TEST(IssAlu, LiAndMove) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, 42);
+    b.li(kA1, -123456);
+    b.li(kA2, 0x7FFFFFFF);
+    b.mv(kA3, kA0);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA0), 42u);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA1)), -123456);
+  EXPECT_EQ(h.core->reg(kA2), 0x7FFFFFFFu);
+  EXPECT_EQ(h.core->reg(kA3), 42u);
+}
+
+TEST(IssAlu, X0IsHardwiredZero) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, 7);
+    b.add(kZero, kA0, kA0);
+    b.mv(kA1, kZero);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kZero), 0u);
+  EXPECT_EQ(h.core->reg(kA1), 0u);
+}
+
+struct BinCase {
+  const char* name;
+  void (ProgramBuilder::*emit)(Reg, Reg, Reg);
+  uint32_t (*golden)(uint32_t, uint32_t);
+};
+
+class IssBinOp : public ::testing::TestWithParam<BinCase> {};
+
+TEST_P(IssBinOp, MatchesGolden) {
+  const auto& p = GetParam();
+  Rng rng(0xC0FFEE);
+  for (int i = 0; i < 64; ++i) {
+    uint32_t va = rng.next_u32();
+    uint32_t vb = rng.next_u32();
+    if (i == 0) va = 0, vb = 0;
+    if (i == 1) va = 0x80000000u, vb = 0xFFFFFFFFu;  // INT_MIN / -1
+    if (i == 2) va = 0x12345678u, vb = 0;
+    auto h = run_asm(
+        [&](ProgramBuilder& b) { (b.*p.emit)(kA2, kA0, kA1); },
+        [&](iss::Core& c, iss::Memory&) {
+          c.set_reg(kA0, va);
+          c.set_reg(kA1, vb);
+        });
+    expect_ok(h);
+    EXPECT_EQ(h.core->reg(kA2), p.golden(va, vb))
+        << p.name << "(" << va << ", " << vb << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rv32im, IssBinOp,
+    ::testing::Values(
+        BinCase{"add", &ProgramBuilder::add, [](uint32_t a, uint32_t b) { return a + b; }},
+        BinCase{"sub", &ProgramBuilder::sub, [](uint32_t a, uint32_t b) { return a - b; }},
+        BinCase{"and", &ProgramBuilder::and_, [](uint32_t a, uint32_t b) { return a & b; }},
+        BinCase{"or", &ProgramBuilder::or_, [](uint32_t a, uint32_t b) { return a | b; }},
+        BinCase{"xor", &ProgramBuilder::xor_, [](uint32_t a, uint32_t b) { return a ^ b; }},
+        BinCase{"sll", &ProgramBuilder::sll, [](uint32_t a, uint32_t b) { return a << (b & 31); }},
+        BinCase{"srl", &ProgramBuilder::srl, [](uint32_t a, uint32_t b) { return a >> (b & 31); }},
+        BinCase{"sra", &ProgramBuilder::sra,
+                [](uint32_t a, uint32_t b) {
+                  return static_cast<uint32_t>(static_cast<int32_t>(a) >> (b & 31));
+                }},
+        BinCase{"slt", &ProgramBuilder::slt,
+                [](uint32_t a, uint32_t b) {
+                  return static_cast<uint32_t>(static_cast<int32_t>(a) < static_cast<int32_t>(b));
+                }},
+        BinCase{"sltu", &ProgramBuilder::sltu,
+                [](uint32_t a, uint32_t b) { return static_cast<uint32_t>(a < b); }},
+        BinCase{"mul", &ProgramBuilder::mul,
+                [](uint32_t a, uint32_t b) { return a * b; }},
+        BinCase{"mulh", &ProgramBuilder::mulh,
+                [](uint32_t a, uint32_t b) {
+                  return static_cast<uint32_t>(
+                      (static_cast<int64_t>(static_cast<int32_t>(a)) *
+                       static_cast<int64_t>(static_cast<int32_t>(b))) >> 32);
+                }},
+        BinCase{"mulhu", &ProgramBuilder::mulhu,
+                [](uint32_t a, uint32_t b) {
+                  return static_cast<uint32_t>((static_cast<uint64_t>(a) * b) >> 32);
+                }}),
+    [](const ::testing::TestParamInfo<BinCase>& i) { return i.param.name; });
+
+TEST(IssAlu, DivisionCornerCases) {
+  struct Case {
+    int32_t a, b, q, r;
+  };
+  // RISC-V spec: x/0 = -1, x%0 = x, INT_MIN/-1 = INT_MIN, INT_MIN%-1 = 0.
+  const Case cases[] = {
+      {7, 2, 3, 1},
+      {-7, 2, -3, -1},
+      {7, -2, -3, 1},
+      {-7, -2, 3, -1},
+      {5, 0, -1, 5},
+      {INT32_MIN, -1, INT32_MIN, 0},
+  };
+  for (const auto& c : cases) {
+    auto h = run_asm(
+        [](ProgramBuilder& b) {
+          b.div(kA2, kA0, kA1);
+          b.rem(kA3, kA0, kA1);
+        },
+        [&](iss::Core& core, iss::Memory&) {
+          core.set_reg(kA0, static_cast<uint32_t>(c.a));
+          core.set_reg(kA1, static_cast<uint32_t>(c.b));
+        });
+    expect_ok(h);
+    EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA2)), c.q) << c.a << "/" << c.b;
+    EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA3)), c.r) << c.a << "%" << c.b;
+  }
+}
+
+TEST(IssAlu, BranchesTakenAndNotTaken) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto skip = b.make_label();
+    auto end = b.make_label();
+    b.li(kA0, 5);
+    b.li(kA1, 10);
+    b.li(kA2, 0);
+    b.bltu(kA0, kA1, skip);  // taken
+    b.li(kA2, 111);          // skipped
+    b.bind(skip);
+    b.bgeu(kA0, kA1, end);  // not taken
+    b.addi(kA2, kA2, 7);    // executed
+    b.bind(end);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA2), 7u);
+}
+
+struct BranchCase {
+  const char* name;
+  void (ProgramBuilder::*emit)(Reg, Reg, ProgramBuilder::Label);
+  bool (*golden)(int32_t, int32_t);
+};
+
+class IssBranch : public ::testing::TestWithParam<BranchCase> {};
+
+TEST_P(IssBranch, TakenMatchesGoldenPredicate) {
+  const auto& p = GetParam();
+  const int32_t vals[] = {0, 1, -1, 42, -42, INT32_MAX, INT32_MIN};
+  for (int32_t a : vals) {
+    for (int32_t b : vals) {
+      auto h = run_asm(
+          [&](ProgramBuilder& pb) {
+            auto taken = pb.make_label();
+            pb.li(kA2, 0);
+            (pb.*p.emit)(kA0, kA1, taken);
+            pb.li(kA2, 1);  // fall-through marker
+            pb.bind(taken);
+          },
+          [&](iss::Core& c, iss::Memory&) {
+            c.set_reg(kA0, static_cast<uint32_t>(a));
+            c.set_reg(kA1, static_cast<uint32_t>(b));
+          });
+      expect_ok(h);
+      const bool taken = h.core->reg(kA2) == 0;
+      EXPECT_EQ(taken, p.golden(a, b)) << p.name << "(" << a << ", " << b << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBranches, IssBranch,
+    ::testing::Values(
+        BranchCase{"beq", &ProgramBuilder::beq, [](int32_t a, int32_t b) { return a == b; }},
+        BranchCase{"bne", &ProgramBuilder::bne, [](int32_t a, int32_t b) { return a != b; }},
+        BranchCase{"blt", &ProgramBuilder::blt, [](int32_t a, int32_t b) { return a < b; }},
+        BranchCase{"bge", &ProgramBuilder::bge, [](int32_t a, int32_t b) { return a >= b; }},
+        BranchCase{"bltu", &ProgramBuilder::bltu,
+                   [](int32_t a, int32_t b) {
+                     return static_cast<uint32_t>(a) < static_cast<uint32_t>(b);
+                   }},
+        BranchCase{"bgeu", &ProgramBuilder::bgeu,
+                   [](int32_t a, int32_t b) {
+                     return static_cast<uint32_t>(a) >= static_cast<uint32_t>(b);
+                   }}),
+    [](const ::testing::TestParamInfo<BranchCase>& i) { return i.param.name; });
+
+TEST(IssAlu, CountdownLoopWithBranch) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto loop = b.make_label();
+    b.li(kA0, 10);  // counter
+    b.li(kA1, 0);   // sum
+    b.bind(loop);
+    b.add(kA1, kA1, kA0);
+    b.addi(kA0, kA0, -1);
+    b.bne(kA0, kZero, loop);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA1), 55u);
+}
+
+TEST(IssAlu, JalLinksAndJumps) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto target = b.make_label();
+    b.li(kA0, 1);
+    b.jal(kRa, target);
+    b.li(kA0, 999);  // must be skipped
+    b.bind(target);
+    b.addi(kA0, kA0, 1);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA0), 2u);
+  // ra = address of the instruction after the jal (base + li + jal = +8).
+  EXPECT_EQ(h.core->reg(kRa), 0x1000u + 8u);
+}
+
+TEST(IssAlu, JalrFunctionCall) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto fn = b.make_label();
+    auto end = b.make_label();
+    b.li(kA0, 20);
+    b.jal(kRa, fn);
+    b.jal(kZero, end);  // jump over the function body
+    b.bind(fn);
+    b.addi(kA0, kA0, 22);
+    b.jalr(kZero, kRa, 0);  // return
+    b.bind(end);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA0), 42u);
+}
+
+TEST(IssAlu, LuiAuipc) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.lui(kA0, 0x12345);
+    b.auipc(kA1, 0);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA0), 0x12345000u);
+  EXPECT_EQ(h.core->reg(kA1), 0x1000u + 4u);  // pc of the auipc itself
+}
+
+TEST(IssAlu, TrapOnIllegalInstruction) {
+  iss::Memory mem(1u << 16);
+  iss::Core core(&mem);
+  mem.store32(0x1000, 0xFFFFFFFFu);
+  core.reset(0x1000);
+  auto res = core.run(10);
+  EXPECT_EQ(res.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_NE(res.trap_message.find("illegal"), std::string::npos);
+}
+
+TEST(IssAlu, MaxInstrsCap) {
+  auto mem = std::make_unique<iss::Memory>(1u << 16);
+  assembler::ProgramBuilder b(0x1000);
+  auto loop = b.make_label();
+  b.bind(loop);
+  b.jal(kZero, loop);  // infinite loop
+  auto prog = b.build();
+  iss::Core core(mem.get());
+  core.load_program(prog);
+  core.reset(prog.base);
+  auto res = core.run(1000);
+  EXPECT_EQ(res.exit, iss::RunResult::Exit::kMaxInstrs);
+  EXPECT_EQ(res.instrs, 1000u);
+}
+
+}  // namespace
+}  // namespace rnnasip

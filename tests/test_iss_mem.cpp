@@ -1,0 +1,98 @@
+// Memory model and load/store semantics tests (alignment traps, sign
+// extension, bulk helpers).
+#include <gtest/gtest.h>
+
+#include "tests/iss_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using assembler::ProgramBuilder;
+using iss_test::expect_ok;
+using iss_test::run_asm;
+using namespace isa;
+
+constexpr uint32_t kData = 0x8000;
+
+TEST(Memory, ByteHalfWordRoundTrip) {
+  iss::Memory mem(1u << 16);
+  mem.store8(0x100, 0xAB);
+  mem.store16(0x102, 0xBEEF);
+  mem.store32(0x104, 0xDEADBEEF);
+  EXPECT_EQ(mem.load8(0x100), 0xAB);
+  EXPECT_EQ(mem.load16(0x102), 0xBEEF);
+  EXPECT_EQ(mem.load32(0x104), 0xDEADBEEFu);
+}
+
+TEST(Memory, LittleEndianLayout) {
+  iss::Memory mem(1u << 16);
+  mem.store32(0x100, 0x04030201);
+  EXPECT_EQ(mem.load8(0x100), 1);
+  EXPECT_EQ(mem.load8(0x103), 4);
+  EXPECT_EQ(mem.load16(0x100), 0x0201);
+}
+
+TEST(Memory, MisalignedAccessesThrow) {
+  iss::Memory mem(1u << 16);
+  EXPECT_THROW(mem.load32(0x101), std::runtime_error);
+  EXPECT_THROW(mem.load16(0x101), std::runtime_error);
+  EXPECT_THROW(mem.store32(0x102, 0), std::runtime_error);
+  EXPECT_THROW(mem.load32(1u << 16), std::runtime_error);
+}
+
+TEST(Memory, HalfwordBulkHelpers) {
+  iss::Memory mem(1u << 16);
+  const std::vector<int16_t> vals = {-1, 2, -32768, 32767, 0};
+  mem.write_halves(0x200, vals);
+  const auto back = mem.read_halves(0x200, vals.size());
+  EXPECT_EQ(back, vals);
+}
+
+TEST(IssMem, LoadSignExtension) {
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.li(kA0, kData);
+        b.lb(kA1, 0, kA0);
+        b.lbu(kA2, 0, kA0);
+        b.lh(kA3, 2, kA0);
+        b.lhu(kA4, 2, kA0);
+        b.lw(kA5, 4, kA0);
+      },
+      [](iss::Core&, iss::Memory& m) {
+        m.store8(kData, 0x80);
+        m.store16(kData + 2, 0x8000);
+        m.store32(kData + 4, 0x80000000);
+      });
+  expect_ok(h);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA1)), -128);
+  EXPECT_EQ(h.core->reg(kA2), 0x80u);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA3)), -32768);
+  EXPECT_EQ(h.core->reg(kA4), 0x8000u);
+  EXPECT_EQ(h.core->reg(kA5), 0x80000000u);
+}
+
+TEST(IssMem, StoreWidths) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, kData);
+    b.li(kA1, 0x11223344);
+    b.sw(kA1, 0, kA0);
+    b.sh(kA1, 4, kA0);
+    b.sb(kA1, 6, kA0);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.mem->load32(kData), 0x11223344u);
+  EXPECT_EQ(h.mem->load16(kData + 4), 0x3344u);
+  EXPECT_EQ(h.mem->load8(kData + 6), 0x44u);
+}
+
+TEST(IssMem, MisalignedLoadTraps) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, kData + 1);
+    b.lw(kA1, 0, kA0);
+  });
+  EXPECT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_NE(h.result.trap_message.find("misaligned"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -1,0 +1,267 @@
+// Additional ISS coverage: compressed instructions executing from memory,
+// ecall exits, memory wait states, decoder fuzzing, and determinism.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/isa/isa.h"
+#include "tests/iss_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using assembler::ProgramBuilder;
+using iss_test::expect_ok;
+using iss_test::run_asm;
+using namespace isa;
+
+TEST(IssCompressed, ExecutesCompressedStreamFromMemory) {
+  // Hand-assembled RVC: c.li a0, 13; c.addi a0, 2; c.mv a1, a0; c.ebreak.
+  iss::Memory mem(1u << 16);
+  mem.store16(0x1000, 0x4535);  // c.li a0, 13
+  mem.store16(0x1002, 0x0509);  // c.addi a0, 2
+  mem.store16(0x1004, 0x85AA);  // c.mv a1, a0
+  mem.store16(0x1006, 0x9002);  // c.ebreak
+  iss::Core core(&mem);
+  core.reset(0x1000);
+  const auto res = core.run(100);
+  EXPECT_EQ(res.exit, iss::RunResult::Exit::kEbreak);
+  EXPECT_EQ(core.reg(kA0), 15u);
+  EXPECT_EQ(core.reg(kA1), 15u);
+  // 4 instructions over 8 bytes: PC advanced by 2 per instruction.
+  EXPECT_EQ(res.instrs, 4u);
+}
+
+TEST(IssCompressed, MixedWidthStream) {
+  // A 32-bit addi followed by a compressed c.addi must sequence correctly.
+  iss::Memory mem(1u << 16);
+  const uint32_t addi = encode([] {
+    Instr i;
+    i.op = Opcode::kAddi;
+    i.rd = kA0;
+    i.rs1 = kZero;
+    i.imm = 100;
+    return i;
+  }());
+  mem.store32(0x1000, addi);
+  mem.store16(0x1004, 0x0505);  // c.addi a0, 1
+  mem.store16(0x1006, 0x9002);  // c.ebreak
+  iss::Core core(&mem);
+  core.reset(0x1000);
+  const auto res = core.run(100);
+  EXPECT_EQ(res.exit, iss::RunResult::Exit::kEbreak);
+  EXPECT_EQ(core.reg(kA0), 101u);
+}
+
+TEST(IssMisc, EcallExitsWithDistinctStatus) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, 7);
+    b.ecall();
+    b.li(kA0, 9);  // must not run
+  });
+  EXPECT_EQ(h.result.exit, iss::RunResult::Exit::kEcall);
+  EXPECT_EQ(h.core->reg(kA0), 7u);
+}
+
+TEST(IssMisc, MemWaitStatesChargeLoadsAndStores) {
+  iss::Core::Config cfg;
+  cfg.timing.mem_wait_states = 3;
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.li(kA0, 0x8000);
+        b.lw(kA1, 0, kA0);   // 1 + 3 (the addi below breaks the load-use pair)
+        b.addi(kA2, kA2, 1); // 1
+        b.sw(kA1, 4, kA0);   // 1 + 3
+      },
+      {}, cfg);
+  expect_ok(h);
+  const auto& s = h.core->stats().by_opcode();
+  EXPECT_EQ(s.at(Opcode::kLw).cycles, 4u);
+  EXPECT_EQ(s.at(Opcode::kSw).cycles, 4u);
+  EXPECT_EQ(s.at(Opcode::kAddi).cycles, s.at(Opcode::kAddi).instrs);
+}
+
+TEST(IssMisc, MemWaitStatesChargeRnnDot) {
+  iss::Core::Config cfg;
+  cfg.timing.mem_wait_states = 2;
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.li(kA0, 0x8000);
+        b.pl_sdotsp_h(0, kZero, kA0, kZero);
+      },
+      {}, cfg);
+  expect_ok(h);
+  EXPECT_EQ(h.core->stats().by_opcode().at(Opcode::kPlSdotspH0).cycles, 3u);
+}
+
+TEST(IssMisc, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto h = run_asm([](ProgramBuilder& b) {
+      auto end = b.make_label();
+      b.li(kA0, 0x8000);
+      b.li(kA2, 0);
+      b.lp_setupi(0, 100, end);
+      b.p_lw(kA1, 4, kA0);
+      b.pv_sdotsp_h(kA2, kA1, kA1);
+      b.bind(end);
+    });
+    return std::make_pair(h.result.cycles, h.core->reg(kA2));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(DecoderFuzz, RandomWordsNeverCrashAndRoundTrip) {
+  // Property: decode never crashes on arbitrary words, and whenever a
+  // 32-bit word decodes, re-encoding the result reproduces a word that
+  // decodes to the same instruction (encode may normalize don't-care bits).
+  Rng rng(0xF022);
+  int decoded = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const uint32_t w = rng.next_u32();
+    const auto in = decode(w);
+    if (!in) continue;
+    ++decoded;
+    const uint32_t w2 = encode(*in);
+    const auto in2 = decode(w2);
+    ASSERT_TRUE(in2.has_value()) << std::hex << w;
+    EXPECT_EQ(in2->op, in->op) << std::hex << w;
+    EXPECT_EQ(in2->rd, in->rd);
+    EXPECT_EQ(in2->rs1, in->rs1);
+    EXPECT_EQ(in2->rs2, in->rs2);
+    EXPECT_EQ(in2->imm, in->imm);
+    EXPECT_EQ(in2->imm2, in->imm2);
+  }
+  EXPECT_GT(decoded, 1000);  // the encoding space is reasonably dense
+}
+
+TEST(DecoderFuzz, RandomCompressedWordsNeverCrash) {
+  Rng rng(0xF023);
+  int decoded = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const uint16_t h = static_cast<uint16_t>(rng.next_u32());
+    if ((h & 0x3) == 0x3) continue;  // 32-bit space
+    const auto in = decode_compressed(h);
+    if (in) {
+      ++decoded;
+      EXPECT_EQ(in->size, 2);
+      EXPECT_NE(in->op, Opcode::kInvalid);
+    }
+  }
+  EXPECT_GT(decoded, 1000);
+}
+
+TEST(IssCsr, CycleAndInstretCountersTrackExecution) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto end = b.make_label();
+    b.rdcycle(kA2);       // snapshot before the loop
+    b.rdinstret(kA3);
+    b.lp_setupi(0, 50, end);
+    b.addi(kA0, kA0, 1);
+    b.addi(kA1, kA1, 1);
+    b.bind(end);
+    b.rdcycle(kA4);       // snapshot after
+    b.rdinstret(kA5);
+  });
+  expect_ok(h);
+  // A counter read returns the count up to (not including) the reading
+  // instruction. Between the two snapshots sit: the first rdcycle itself,
+  // the rdinstret, the lp.setupi, and the 100 single-cycle body
+  // instructions = 103 cycles and 103 instructions.
+  const uint32_t dcyc = h.core->reg(kA4) - h.core->reg(kA2);
+  const uint32_t dins = h.core->reg(kA5) - h.core->reg(kA3);
+  EXPECT_EQ(dcyc, 103u);
+  EXPECT_EQ(dins, 103u);
+}
+
+TEST(IssCsr, MscratchReadWrite) {
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.li(kA0, 0xF0);
+        b.csrrw(kA1, 0x340, kA0);   // old (0) -> a1, mscratch = 0xF0
+        b.li(kA2, 0x0F);
+        b.csrrs(kA3, 0x340, kA2);   // old (0xF0) -> a3, mscratch |= 0x0F
+        b.csrrc(kA4, 0x340, kA2);   // old (0xFF) -> a4, mscratch &= ~0x0F
+        b.csrrs(kA5, 0x340, kZero); // pure read
+      });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA1), 0u);
+  EXPECT_EQ(h.core->reg(kA3), 0xF0u);
+  EXPECT_EQ(h.core->reg(kA4), 0xFFu);
+  EXPECT_EQ(h.core->reg(kA5), 0xF0u);
+}
+
+TEST(IssCsr, WritesToReadOnlyCountersTrap) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, 5);
+    b.csrrw(kA1, 0xC00, kA0);  // cycle is read-only
+  });
+  EXPECT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_NE(h.result.trap_message.find("read-only"), std::string::npos);
+}
+
+TEST(IssCsr, UnknownCsrTraps) {
+  auto h = run_asm([](ProgramBuilder& b) { b.csrrs(kA0, 0x123, kZero); });
+  EXPECT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+}
+
+TEST(IssCsr, MhartidIsZeroAndPureReadsDontTrap) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, 7);
+    b.csrrs(kA1, 0xF14, kZero);  // mhartid, pure read
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA1), 0u);
+}
+
+TEST(IssMisc, StatsCsvExport) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, 0x8000);
+    b.p_lw(kA1, 4, kA0);
+    b.pv_sdotsp_h(kA2, kA1, kA1);
+  });
+  expect_ok(h);
+  const std::string csv = h.core->stats().to_csv();
+  EXPECT_NE(csv.find("mnemonic,instrs,cycles\n"), std::string::npos);
+  EXPECT_NE(csv.find("lw!,1,"), std::string::npos);      // display grouping
+  EXPECT_NE(csv.find("pv.sdot,1,1"), std::string::npos);
+  EXPECT_NE(csv.find("total,"), std::string::npos);
+}
+
+TEST(IssMisc, StatsMergeAndReset) {
+  iss::ExecStats a, b;
+  a.record(Opcode::kAddi, 1);
+  a.add_macs(3);
+  b.record(Opcode::kAddi, 2);
+  b.record(Opcode::kMul, 1);
+  b.add_macs(4);
+  a.merge(b);
+  EXPECT_EQ(a.total_instrs(), 3u);
+  EXPECT_EQ(a.total_cycles(), 4u);
+  EXPECT_EQ(a.total_macs(), 7u);
+  EXPECT_EQ(a.by_opcode().at(Opcode::kAddi).instrs, 2u);
+  a.reset();
+  EXPECT_EQ(a.total_instrs(), 0u);
+  EXPECT_TRUE(a.by_opcode().empty());
+}
+
+TEST(IssMisc, RunResumesAfterMaxInstrs) {
+  // Hitting the instruction cap must leave the core in a resumable state.
+  iss::Memory mem(1u << 16);
+  assembler::ProgramBuilder b(0x1000);
+  for (int i = 0; i < 100; ++i) b.addi(kA0, kA0, 1);
+  b.ebreak();
+  auto p = b.build();
+  iss::Core core(&mem);
+  core.load_program(p);
+  core.reset(p.base);
+  auto r1 = core.run(40);
+  EXPECT_EQ(r1.exit, iss::RunResult::Exit::kMaxInstrs);
+  auto r2 = core.run(1000);
+  EXPECT_EQ(r2.exit, iss::RunResult::Exit::kEbreak);
+  EXPECT_EQ(core.reg(kA0), 100u);
+  EXPECT_EQ(r1.instrs + r2.instrs, 101u);
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -1,0 +1,155 @@
+// Tests for the paper's RNN ISA extensions: pl.sdotsp.h.0/1 SPR
+// double-buffering semantics (Table II schedule) and the pl.tanh / pl.sig
+// activation unit against the PLA golden model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/activation/pla.h"
+#include "src/common/bits.h"
+#include "src/common/fixed_point.h"
+#include "src/common/rng.h"
+#include "tests/iss_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using assembler::ProgramBuilder;
+using iss_test::expect_ok;
+using iss_test::run_asm;
+using namespace isa;
+
+constexpr uint32_t kData = 0x8000;
+
+TEST(IssRnnExt, SdotspLoadsAndIncrementsPointer) {
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.li(kA0, kData);
+        // Preload SPR0; rd = x0 discards the (stale) accumulate.
+        b.pl_sdotsp_h(0, kZero, kA0, kZero);
+      },
+      [](iss::Core&, iss::Memory& m) { m.store32(kData, 0xAABBCCDD); });
+  expect_ok(h);
+  EXPECT_EQ(h.core->spr(0), 0xAABBCCDDu);
+  EXPECT_EQ(h.core->reg(kA0), kData + 4u);
+}
+
+TEST(IssRnnExt, SdotspUsesPreviouslyLoadedValue) {
+  // SPR is consumed *before* the new load lands: the MAC must use the value
+  // loaded by the previous same-SPR instruction (Fig. 1 datapath).
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.li(kA0, kData);       // weight pointer
+        b.li(kA1, 0);           // accumulator
+        b.li(kA2, 0);
+        b.pl_sdotsp_h(0, kZero, kA0, kZero);  // SPR0 <- w0 = [1, 2]
+        b.pl_sdotsp_h(0, kA1, kA0, kA3);      // acc += w0*b; SPR0 <- w1
+        b.pl_sdotsp_h(0, kA2, kA0, kA3);      // acc2 += w1*b; SPR0 <- w2
+      },
+      [](iss::Core& c, iss::Memory& m) {
+        m.write_halves(kData, std::vector<int16_t>{1, 2, 10, 20, 100, 200});
+        c.set_reg(kA3, pack_halves(3, 4));  // b = [3, 4]
+      });
+  expect_ok(h);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA1)), 1 * 3 + 2 * 4);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA2)), 10 * 3 + 20 * 4);
+  EXPECT_EQ(h.core->spr(0), static_cast<uint32_t>(pack_halves(100, 200)));
+  EXPECT_EQ(h.core->reg(kA0), kData + 12u);
+}
+
+TEST(IssRnnExt, TwoSprSchedule) {
+  // The Table II schedule: two SPRs serving interleaved output channels.
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.li(kA0, kData);       // weights for output 0
+        b.li(kA1, kData + 16);  // weights for output 1
+        b.li(kA4, 0);
+        b.li(kA5, 0);
+        b.pl_sdotsp_h(0, kZero, kA0, kZero);  // preload w0[0..1]
+        b.pl_sdotsp_h(1, kZero, kA1, kZero);  // preload w1[0..1]
+        b.pl_sdotsp_h(0, kA4, kA0, kA6);      // out0 += w0[0..1] * x
+        b.pl_sdotsp_h(1, kA5, kA1, kA6);      // out1 += w1[0..1] * x
+        b.pl_sdotsp_h(0, kA4, kA0, kA7);      // out0 += w0[2..3] * x'
+        b.pl_sdotsp_h(1, kA5, kA1, kA7);      // out1 += w1[2..3] * x'
+      },
+      [](iss::Core& c, iss::Memory& m) {
+        m.write_halves(kData, std::vector<int16_t>{1, 2, 3, 4});        // w0
+        m.write_halves(kData + 16, std::vector<int16_t>{5, 6, 7, 8});   // w1
+        c.set_reg(kA6, pack_halves(1, 1));   // x pair 0
+        c.set_reg(kA7, pack_halves(2, 2));   // x pair 1
+      });
+  expect_ok(h);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA4)), (1 + 2) * 1 + (3 + 4) * 2);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA5)), (5 + 6) * 1 + (7 + 8) * 2);
+}
+
+TEST(IssRnnExt, SdotspRdEqualsAddressRegTraps) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, kData);
+    b.pl_sdotsp_h(0, kA0, kA0, kA1);
+  });
+  EXPECT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+}
+
+TEST(IssRnnExt, FeatureGateTraps) {
+  iss::Core::Config cfg;
+  cfg.has_rnn_ext = false;
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.li(kA0, kData);
+        b.pl_sdotsp_h(0, kZero, kA0, kZero);
+      },
+      {}, cfg);
+  EXPECT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_NE(h.result.trap_message.find("RNN-ext"), std::string::npos);
+}
+
+TEST(IssRnnExt, TanhMatchesPlaGoldenModel) {
+  const auto table =
+      activation::PlaTable::build({activation::ActFunc::kTanh, 9, 32});
+  Rng rng(0x7A17);
+  for (int i = 0; i < 500; ++i) {
+    const int32_t x = static_cast<int32_t>(rng.next_u32() % 65536) - 32768;
+    auto h = run_asm(
+        [](ProgramBuilder& b) { b.pl_tanh(kA1, kA0); },
+        [&](iss::Core& c, iss::Memory&) { c.set_reg(kA0, static_cast<uint32_t>(x)); });
+    expect_ok(h);
+    EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA1)), table.eval_raw(x)) << "x=" << x;
+  }
+}
+
+TEST(IssRnnExt, SigmoidMatchesPlaGoldenModel) {
+  const auto table =
+      activation::PlaTable::build({activation::ActFunc::kSigmoid, 10, 32});
+  Rng rng(0x516);
+  for (int i = 0; i < 500; ++i) {
+    const int32_t x = static_cast<int32_t>(rng.next_u32() % 65536) - 32768;
+    auto h = run_asm(
+        [](ProgramBuilder& b) { b.pl_sig(kA1, kA0); },
+        [&](iss::Core& c, iss::Memory&) { c.set_reg(kA0, static_cast<uint32_t>(x)); });
+    expect_ok(h);
+    EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA1)), table.eval_raw(x)) << "x=" << x;
+  }
+}
+
+TEST(IssRnnExt, ActivationAccuracyEndToEnd) {
+  // pl.tanh on the paper design point is within its reported error bound of
+  // the real function for in-range values.
+  for (double x = -6.0; x <= 6.0; x += 0.0137) {
+    auto h = run_asm(
+        [](ProgramBuilder& b) {
+          b.pl_tanh(kA1, kA0);
+          b.pl_sig(kA2, kA0);
+        },
+        [&](iss::Core& c, iss::Memory&) {
+          c.set_reg(kA0, static_cast<uint32_t>(quantize(x)));
+        });
+    expect_ok(h);
+    EXPECT_NEAR(dequantize(static_cast<int32_t>(h.core->reg(kA1))), std::tanh(x), 2e-3);
+    EXPECT_NEAR(dequantize(static_cast<int32_t>(h.core->reg(kA2))),
+                1.0 / (1.0 + std::exp(-x)), 2e-3);
+  }
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -1,0 +1,230 @@
+// Cycle-model tests. These pin the exact costs that make Table I's
+// cycle/instruction ratios come out right: taken branches 2 cycles, jumps 2,
+// load-use stall 1 (charged to the load), hardware loops free, and the
+// pl.sdotsp SPR rules (Table II's 9-cycle inner loop including the bubble).
+#include <gtest/gtest.h>
+
+#include "tests/iss_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using assembler::ProgramBuilder;
+using iss_test::expect_ok;
+using iss_test::run_asm;
+using namespace isa;
+
+constexpr uint32_t kData = 0x8000;
+
+uint64_t cycles_of(const iss_test::Harness& h, Opcode op) {
+  auto it = h.core->stats().by_opcode().find(op);
+  return it == h.core->stats().by_opcode().end() ? 0 : it->second.cycles;
+}
+
+TEST(IssTiming, StraightLineAluIsOneCyclePerInstr) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    for (int i = 0; i < 10; ++i) b.addi(kA0, kA0, 1);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.result.instrs, 11u);  // 10 addi + ebreak
+  EXPECT_EQ(h.result.cycles, 11u);
+}
+
+TEST(IssTiming, TakenBranchCostsTwoCycles) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto t1 = b.make_label();
+    auto t2 = b.make_label();
+    b.beq(kZero, kZero, t1);  // taken: 2 cycles
+    b.nop();                  // skipped
+    b.bind(t1);
+    b.bne(kZero, kZero, t2);  // not taken: 1 cycle
+    b.bind(t2);
+  });
+  expect_ok(h);
+  EXPECT_EQ(cycles_of(h, Opcode::kBeq), 2u);
+  EXPECT_EQ(cycles_of(h, Opcode::kBne), 1u);
+}
+
+TEST(IssTiming, JumpsCostTwoCycles) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto t = b.make_label();
+    b.jal(kZero, t);
+    b.bind(t);
+  });
+  expect_ok(h);
+  EXPECT_EQ(cycles_of(h, Opcode::kJal), 2u);
+}
+
+TEST(IssTiming, LoadUseStallChargedToLoad) {
+  // lw immediately followed by a consumer: load costs 2 cycles.
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.li(kA0, kData);
+        b.lw(kA1, 0, kA0);
+        b.add(kA2, kA1, kA1);  // consumes a1 directly after the load
+      },
+      [](iss::Core&, iss::Memory& m) { m.store32(kData, 3); });
+  expect_ok(h);
+  EXPECT_EQ(cycles_of(h, Opcode::kLw), 2u);
+}
+
+TEST(IssTiming, LoadWithIndependentNextInstrDoesNotStall) {
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.li(kA0, kData);
+        b.lw(kA1, 0, kA0);
+        b.addi(kA3, kZero, 1);  // independent
+        b.add(kA2, kA1, kA1);   // consumer one instruction later: no stall
+      },
+      [](iss::Core&, iss::Memory& m) { m.store32(kData, 3); });
+  expect_ok(h);
+  EXPECT_EQ(cycles_of(h, Opcode::kLw), 1u);
+}
+
+TEST(IssTiming, PostIncLoadPairWithSdotMatchesTableIb) {
+  // Level-b inner loop shape: lw! w; lw! x; pv.sdotsp -> the second load
+  // stalls, total 4 cycles per 2 MACs (Table Ib: lw! at 1.5 cyc/instr).
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        auto end = b.make_label();
+        b.li(kA0, kData);
+        b.li(kA1, kData + 512);
+        b.li(kA2, 0);
+        b.lp_setupi(0, 100, end);
+        b.p_lw(kA3, 4, kA0);
+        b.p_lw(kA4, 4, kA1);
+        b.pv_sdotsp_h(kA2, kA3, kA4);
+        b.bind(end);
+      });
+  expect_ok(h);
+  const auto& s = h.core->stats().by_opcode();
+  // 200 p.lw at 1.5 avg = 300 cycles; 100 sdot at 1 cycle.
+  EXPECT_EQ(s.at(Opcode::kPLw).instrs, 200u);
+  EXPECT_EQ(s.at(Opcode::kPLw).cycles, 300u);
+  EXPECT_EQ(s.at(Opcode::kPvSdotspH).instrs, 100u);
+  EXPECT_EQ(s.at(Opcode::kPvSdotspH).cycles, 100u);
+}
+
+TEST(IssTiming, HardwareLoopBackEdgeIsFree) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto end = b.make_label();
+    b.lp_setupi(0, 50, end);
+    b.addi(kA0, kA0, 1);
+    b.addi(kA1, kA1, 1);
+    b.bind(end);
+  });
+  expect_ok(h);
+  // 1 setup + 100 body + 1 ebreak = 102 cycles, no loop overhead.
+  EXPECT_EQ(h.result.cycles, 102u);
+}
+
+TEST(IssTiming, BranchLoopVsHardwareLoopOverhead) {
+  // The same 100-iteration body costs 2 extra cycles per iteration with a
+  // bne back-edge (taken branch), matching the paper's HWL motivation.
+  auto hw = run_asm([](ProgramBuilder& b) {
+    auto end = b.make_label();
+    b.lp_setupi(0, 100, end);
+    b.addi(kA0, kA0, 1);
+    b.bind(end);
+  });
+  auto sw = run_asm([](ProgramBuilder& b) {
+    auto loop = b.make_label();
+    b.li(kT0, 100);
+    b.bind(loop);
+    b.addi(kA0, kA0, 1);
+    b.addi(kT0, kT0, -1);
+    b.bne(kT0, kZero, loop);
+  });
+  expect_ok(hw);
+  expect_ok(sw);
+  EXPECT_EQ(hw.core->reg(kA0), 100u);
+  EXPECT_EQ(sw.core->reg(kA0), 100u);
+  // HWL: setup + 100 = 101 (+1 ebreak). SW: li + 100*(addi+addi+bne@2) - 1
+  // (last bne not taken) = ~400.
+  EXPECT_LT(hw.result.cycles + 290, sw.result.cycles);
+}
+
+TEST(IssTiming, SdotspSingleCycleWhenAlternating) {
+  // Alternating SPR0/SPR1 never stalls: the Table II right-hand loop.
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        auto end = b.make_label();
+        b.li(kA0, kData);
+        b.li(kA1, kData + 1024);
+        b.li(kA2, 0);
+        b.li(kA3, 0);
+        b.pl_sdotsp_h(0, kZero, kA0, kZero);
+        b.pl_sdotsp_h(1, kZero, kA1, kZero);
+        b.lp_setupi(0, 50, end);
+        b.pl_sdotsp_h(0, kA2, kA0, kA6);
+        b.pl_sdotsp_h(1, kA3, kA1, kA6);
+        b.pl_sdotsp_h(0, kA2, kA0, kA7);
+        b.pl_sdotsp_h(1, kA3, kA1, kA7);
+        b.bind(end);
+      });
+  expect_ok(h);
+  const auto& s = h.core->stats().by_opcode();
+  EXPECT_EQ(s.at(Opcode::kPlSdotspH0).cycles, s.at(Opcode::kPlSdotspH0).instrs);
+  EXPECT_EQ(s.at(Opcode::kPlSdotspH1).cycles, s.at(Opcode::kPlSdotspH1).instrs);
+}
+
+TEST(IssTiming, SdotspBackToBackSameSprStalls) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, kData);
+    b.pl_sdotsp_h(0, kZero, kA0, kZero);
+    b.pl_sdotsp_h(0, kA2, kA0, kA6);  // same SPR immediately: +1 stall
+  });
+  expect_ok(h);
+  const auto& s = h.core->stats().by_opcode();
+  EXPECT_EQ(s.at(Opcode::kPlSdotspH0).instrs, 2u);
+  EXPECT_EQ(s.at(Opcode::kPlSdotspH0).cycles, 3u);
+}
+
+TEST(IssTiming, TableIIRightLoopIsNineCycles) {
+  // The paper's Table II (right): lw rB + bubble + 4 alternating pl.sdotsp
+  // in a hardware loop -> the 5-instruction body costs 6 cycles per
+  // iteration (the lw is charged 2 for the bubble), vs 9 cycles for the
+  // 9-instruction left-hand body.
+  auto right = run_asm(
+      [](ProgramBuilder& b) {
+        auto end = b.make_label();
+        b.li(kA0, kData);          // rAAddr0 (SPR0 stream)
+        b.li(kA1, kData + 2048);   // rAAddr1 (SPR1 stream)
+        b.li(kT0, kData + 4096);   // rBAddr
+        b.li(kA4, 0);
+        b.li(kA5, 0);
+        b.li(kA6, 0);
+        b.li(kA7, 0);
+        b.pl_sdotsp_h(0, kZero, kA0, kZero);  // preload SPR0
+        b.pl_sdotsp_h(1, kZero, kA1, kZero);  // preload SPR1
+        b.lp_setupi(0, 32, end);
+        b.p_lw(kT1, 4, kT0);               // lw rB (bubble follows)
+        b.pl_sdotsp_h(0, kA4, kA0, kT1);   // consumes rB directly: stall
+        b.pl_sdotsp_h(1, kA5, kA1, kT1);
+        b.pl_sdotsp_h(0, kA6, kA0, kT1);
+        b.pl_sdotsp_h(1, kA7, kA1, kT1);
+        b.bind(end);
+      });
+  expect_ok(right);
+  const auto& s = right.core->stats().by_opcode();
+  // lw! 2.0 cycles average (Table Id): 32 loads, 64 cycles.
+  EXPECT_EQ(s.at(Opcode::kPLw).instrs, 32u);
+  EXPECT_EQ(s.at(Opcode::kPLw).cycles, 64u);
+  // 4 sdot per iteration, 1 cycle each.
+  EXPECT_EQ(s.at(Opcode::kPlSdotspH0).cycles + s.at(Opcode::kPlSdotspH1).cycles,
+            2u + 32u * 4u);
+}
+
+TEST(IssTiming, DivIsMultiCycle) {
+  auto h = run_asm(
+      [](ProgramBuilder& b) { b.div(kA2, kA0, kA1); },
+      [](iss::Core& c, iss::Memory&) {
+        c.set_reg(kA0, 100);
+        c.set_reg(kA1, 7);
+      });
+  expect_ok(h);
+  EXPECT_EQ(cycles_of(h, Opcode::kDiv), 32u);
+}
+
+}  // namespace
+}  // namespace rnnasip

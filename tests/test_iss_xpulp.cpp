@@ -1,0 +1,351 @@
+// Xpulp extension semantics: post-increment load/store, hardware loops
+// (including nesting), mac/clip/minmax, packed SIMD with randomized
+// lane-wise property checks against golden C++ semantics.
+#include <gtest/gtest.h>
+
+#include "src/common/bits.h"
+#include "src/common/rng.h"
+#include "tests/iss_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using assembler::ProgramBuilder;
+using iss_test::expect_ok;
+using iss_test::run_asm;
+using namespace isa;
+
+constexpr uint32_t kData = 0x8000;
+
+TEST(IssXpulp, PostIncrementLoad) {
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.li(kA0, kData);
+        b.p_lh(kA1, 2, kA0);
+        b.p_lh(kA2, 2, kA0);
+        b.p_lw(kA3, 4, kA0);
+      },
+      [](iss::Core&, iss::Memory& m) {
+        m.store16(kData, 0xFFFF);      // -1
+        m.store16(kData + 2, 0x0002);  // 2
+        m.store32(kData + 4, 0xCAFEBABE);
+      });
+  expect_ok(h);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA1)), -1);
+  EXPECT_EQ(h.core->reg(kA2), 2u);
+  EXPECT_EQ(h.core->reg(kA3), 0xCAFEBABEu);
+  EXPECT_EQ(h.core->reg(kA0), kData + 8u);  // 2 + 2 + 4
+}
+
+TEST(IssXpulp, PostIncrementStore) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, kData);
+    b.li(kA1, 7);
+    b.li(kA2, -9);
+    b.p_sh(kA1, 2, kA0);
+    b.p_sh(kA2, 2, kA0);
+    b.p_sw(kA1, 4, kA0);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.mem->load16(kData), 7u);
+  EXPECT_EQ(static_cast<int16_t>(h.mem->load16(kData + 2)), -9);
+  EXPECT_EQ(h.mem->load32(kData + 4), 7u);
+  EXPECT_EQ(h.core->reg(kA0), kData + 8u);
+}
+
+TEST(IssXpulp, HardwareLoopSetupi) {
+  // Sum 1..10 with a zero-overhead loop.
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto end = b.make_label();
+    b.li(kA0, 0);  // sum
+    b.li(kA1, 0);  // i
+    b.lp_setupi(0, 10, end);
+    b.addi(kA1, kA1, 1);
+    b.add(kA0, kA0, kA1);
+    b.bind(end);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA0), 55u);
+  EXPECT_EQ(h.core->reg(kA1), 10u);
+  EXPECT_EQ(h.core->hw_loop(0).count, 0u);
+}
+
+TEST(IssXpulp, HardwareLoopSetupWithRegisterCount) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto end = b.make_label();
+    b.li(kA0, 0);
+    b.li(kT0, 1000);  // count > 12-bit immediates handled via register
+    b.lp_setup(0, kT0, end);
+    b.addi(kA0, kA0, 3);
+    b.bind(end);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA0), 3000u);
+}
+
+TEST(IssXpulp, HardwareLoopCountOne) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto end = b.make_label();
+    b.li(kA0, 0);
+    b.lp_setupi(0, 1, end);
+    b.addi(kA0, kA0, 1);
+    b.bind(end);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA0), 1u);
+}
+
+TEST(IssXpulp, NestedHardwareLoops) {
+  // Outer loop L1 x5, inner loop L0 x4: 20 increments plus 5 outer ticks.
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto outer_end = b.make_label();
+    auto inner_end = b.make_label();
+    b.li(kA0, 0);
+    b.li(kA1, 0);
+    b.lp_setupi(1, 5, outer_end);
+    b.lp_setupi(0, 4, inner_end);
+    b.addi(kA0, kA0, 1);
+    b.bind(inner_end);
+    // NOTE: RI5CY requires the L0 end != L1 end; the outer tick below also
+    // serves as that separation.
+    b.addi(kA1, kA1, 1);
+    b.bind(outer_end);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA0), 20u);
+  EXPECT_EQ(h.core->reg(kA1), 5u);
+}
+
+TEST(IssXpulp, HardwareLoopExplicitStartEndCount) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    auto start = b.make_label();
+    auto end = b.make_label();
+    b.li(kA0, 0);
+    b.lp_starti(0, start);
+    b.lp_endi(0, end);
+    b.lp_counti(0, 7);
+    b.bind(start);
+    b.addi(kA0, kA0, 2);
+    b.bind(end);
+  });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA0), 14u);
+}
+
+TEST(IssXpulp, MacMsu) {
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.p_mac(kA2, kA0, kA1);
+        b.p_mac(kA2, kA0, kA1);
+        b.p_msu(kA3, kA0, kA1);
+      },
+      [](iss::Core& c, iss::Memory&) {
+        c.set_reg(kA0, static_cast<uint32_t>(-3));
+        c.set_reg(kA1, 7);
+        c.set_reg(kA2, 100);
+        c.set_reg(kA3, 100);
+      });
+  expect_ok(h);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA2)), 100 - 21 - 21);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA3)), 100 + 21);
+}
+
+TEST(IssXpulp, ClipAndExtend) {
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.p_clip(kA1, kA0, 16);   // to signed 16-bit range
+        b.p_clipu(kA2, kA0, 16);  // to [0, 2^15-1]
+        b.p_exths(kA3, kA0);
+        b.p_exthz(kA4, kA0);
+        b.p_abs(kA5, kA0);
+      },
+      [](iss::Core& c, iss::Memory&) { c.set_reg(kA0, static_cast<uint32_t>(-70000)); });
+  expect_ok(h);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA1)), -32768);
+  EXPECT_EQ(h.core->reg(kA2), 0u);
+  // -70000 = 0xFFFEEE90 -> low half 0xEE90 = -4464 signed.
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA3)), -4464);
+  EXPECT_EQ(h.core->reg(kA4), 0xEE90u);
+  EXPECT_EQ(h.core->reg(kA5), 70000u);
+}
+
+TEST(IssXpulp, MinMax) {
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.p_min(kA2, kA0, kA1);
+        b.p_max(kA3, kA0, kA1);
+        b.p_minu(kA4, kA0, kA1);
+        b.p_maxu(kA5, kA0, kA1);
+      },
+      [](iss::Core& c, iss::Memory&) {
+        c.set_reg(kA0, static_cast<uint32_t>(-5));
+        c.set_reg(kA1, 3);
+      });
+  expect_ok(h);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA2)), -5);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA3)), 3);
+  EXPECT_EQ(h.core->reg(kA4), 3u);               // unsigned: 0xFFFFFFFB > 3
+  EXPECT_EQ(h.core->reg(kA5), 0xFFFFFFFBu);
+}
+
+// ---- packed SIMD property sweeps ----
+
+struct SimdCase {
+  const char* name;
+  void (ProgramBuilder::*emit)(Reg, Reg, Reg);
+  int16_t (*lane)(int16_t, int16_t);
+};
+
+class IssSimdLanewise : public ::testing::TestWithParam<SimdCase> {};
+
+TEST_P(IssSimdLanewise, MatchesGoldenLanes) {
+  const auto& p = GetParam();
+  Rng rng(0xBEEF);
+  for (int i = 0; i < 64; ++i) {
+    const uint32_t va = rng.next_u32();
+    const uint32_t vb = rng.next_u32();
+    auto h = run_asm(
+        [&](ProgramBuilder& b) { (b.*p.emit)(kA2, kA0, kA1); },
+        [&](iss::Core& c, iss::Memory&) {
+          c.set_reg(kA0, va);
+          c.set_reg(kA1, vb);
+        });
+    expect_ok(h);
+    const uint32_t expect = pack_halves(p.lane(half_lo(va), half_lo(vb)),
+                                        p.lane(half_hi(va), half_hi(vb)));
+    EXPECT_EQ(h.core->reg(kA2), expect) << p.name << " a=" << va << " b=" << vb;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PvH, IssSimdLanewise,
+    ::testing::Values(
+        SimdCase{"add", &ProgramBuilder::pv_add_h,
+                 [](int16_t a, int16_t b) { return static_cast<int16_t>(a + b); }},
+        SimdCase{"sub", &ProgramBuilder::pv_sub_h,
+                 [](int16_t a, int16_t b) { return static_cast<int16_t>(a - b); }},
+        SimdCase{"avg", &ProgramBuilder::pv_avg_h,
+                 [](int16_t a, int16_t b) { return static_cast<int16_t>((a + b) >> 1); }},
+        SimdCase{"min", &ProgramBuilder::pv_min_h,
+                 [](int16_t a, int16_t b) { return a < b ? a : b; }},
+        SimdCase{"max", &ProgramBuilder::pv_max_h,
+                 [](int16_t a, int16_t b) { return a > b ? a : b; }},
+        SimdCase{"sra", &ProgramBuilder::pv_sra_h,
+                 [](int16_t a, int16_t b) { return static_cast<int16_t>(a >> (b & 15)); }}),
+    [](const ::testing::TestParamInfo<SimdCase>& i) { return i.param.name; });
+
+TEST(IssSimd, DotProducts) {
+  Rng rng(0xD07);
+  for (int i = 0; i < 200; ++i) {
+    const uint32_t va = rng.next_u32();
+    const uint32_t vb = rng.next_u32();
+    const int32_t acc0 = static_cast<int32_t>(rng.next_u32());
+    auto h = run_asm(
+        [&](ProgramBuilder& b) {
+          b.pv_dotsp_h(kA2, kA0, kA1);
+          b.pv_sdotsp_h(kA3, kA0, kA1);
+        },
+        [&](iss::Core& c, iss::Memory&) {
+          c.set_reg(kA0, va);
+          c.set_reg(kA1, vb);
+          c.set_reg(kA3, static_cast<uint32_t>(acc0));
+        });
+    expect_ok(h);
+    const int32_t dot = static_cast<int32_t>(half_lo(va)) * half_lo(vb) +
+                        static_cast<int32_t>(half_hi(va)) * half_hi(vb);
+    EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA2)), dot);
+    EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA3)), acc0 + dot);
+  }
+}
+
+TEST(IssSimd, ByteDotProduct) {
+  auto h = run_asm(
+      [](ProgramBuilder& b) { b.pv_sdotsp_b(kA2, kA0, kA1); },
+      [](iss::Core& c, iss::Memory&) {
+        // lanes a = [1, -2, 3, -4], b = [10, 20, 30, 40]
+        c.set_reg(kA0, 0xFC03FE01u);
+        c.set_reg(kA1, 0x281E140Au);
+        c.set_reg(kA2, 5);
+      });
+  expect_ok(h);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA2)), 5 + 10 - 40 + 90 - 160);
+}
+
+TEST(IssSimd, PackExtractInsert) {
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.pv_pack_h(kA2, kA0, kA1);     // hi = a.lo, lo = b.lo
+        b.pv_extract_h(kA3, kA2, 1);    // sign-extended hi lane
+        b.pv_insert_h(kA4, kA0, 0);     // lo lane <- a.lo
+      },
+      [](iss::Core& c, iss::Memory&) {
+        c.set_reg(kA0, pack_halves(static_cast<int16_t>(-3), 77));
+        c.set_reg(kA1, pack_halves(1234, 42));
+        c.set_reg(kA4, pack_halves(5, 6));
+      });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA2), pack_halves(1234, -3));
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA3)), -3);
+  EXPECT_EQ(h.core->reg(kA4), pack_halves(-3, 6));
+}
+
+TEST(IssXpulp, RegisterRegisterPostIncrementLoad) {
+  auto h = run_asm(
+      [](ProgramBuilder& b) {
+        b.li(kA0, kData);
+        b.li(kA1, 8);             // stride register
+        b.p_lw_rr(kA2, kA1, kA0);  // a2 = mem[a0]; a0 += 8
+        b.p_lh_rr(kA3, kA1, kA0);  // a3 = mem16[a0]; a0 += 8
+      },
+      [](iss::Core&, iss::Memory& m) {
+        m.store32(kData, 0x12345678);
+        m.store16(kData + 8, 0xFFFE);  // -2
+      });
+  expect_ok(h);
+  EXPECT_EQ(h.core->reg(kA2), 0x12345678u);
+  EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA3)), -2);
+  EXPECT_EQ(h.core->reg(kA0), kData + 16u);
+}
+
+TEST(IssXpulp, ScalarReplicationSimd) {
+  Rng rng(0x5C);
+  for (int i = 0; i < 100; ++i) {
+    const uint32_t va = rng.next_u32();
+    const uint32_t vb = rng.next_u32();
+    const int16_t scalar = half_lo(vb);
+    auto h = run_asm(
+        [&](ProgramBuilder& b) {
+          b.pv_add_sc_h(kA2, kA0, kA1);
+          b.pv_sub_sc_h(kA3, kA0, kA1);
+          b.pv_max_sc_h(kA4, kA0, kA1);
+          b.pv_sdotsp_sc_h(kA5, kA0, kA1);
+        },
+        [&](iss::Core& c, iss::Memory&) {
+          c.set_reg(kA0, va);
+          c.set_reg(kA1, vb);
+          c.set_reg(kA5, 100);
+        });
+    expect_ok(h);
+    EXPECT_EQ(h.core->reg(kA2),
+              pack_halves(static_cast<int16_t>(half_lo(va) + scalar),
+                          static_cast<int16_t>(half_hi(va) + scalar)));
+    EXPECT_EQ(h.core->reg(kA3),
+              pack_halves(static_cast<int16_t>(half_lo(va) - scalar),
+                          static_cast<int16_t>(half_hi(va) - scalar)));
+    EXPECT_EQ(h.core->reg(kA4),
+              pack_halves(std::max(half_lo(va), scalar), std::max(half_hi(va), scalar)));
+    EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA5)),
+              100 + half_lo(va) * scalar + half_hi(va) * scalar);
+  }
+}
+
+TEST(IssXpulp, FeatureGateTrapsWhenDisabled) {
+  iss::Core::Config cfg;
+  cfg.has_xpulp = false;
+  auto h = run_asm([](ProgramBuilder& b) { b.p_mac(kA0, kA1, kA2); }, {}, cfg);
+  EXPECT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_NE(h.result.trap_message.find("Xpulp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rnnasip

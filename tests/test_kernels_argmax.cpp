@@ -1,0 +1,80 @@
+// Argmax kernel tests: agreement with std::max_element (first-max ties)
+// over randomized vectors at every level, edge shapes, and use as a
+// network's final stage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/iss/core.h"
+#include "src/kernels/argmax.h"
+#include "src/nn/init.h"
+#include "src/nn/quantize.h"
+#include "tests/kernel_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using kernels::OptLevel;
+
+int run_argmax(const std::vector<int16_t>& v, OptLevel level) {
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  kernels::ArgmaxLayout L;
+  L.in_addr = 0x20000;
+  L.out_addr = 0x30000;
+  L.count = static_cast<int>(v.size());
+  assembler::ProgramBuilder b(kernels::kTextBase);
+  kernels::emit_argmax(b, L, level);
+  b.ebreak();
+  const auto prog = b.build();
+  core.load_program(prog);
+  mem.write_halves(L.in_addr, v);
+  core.reset(prog.base);
+  EXPECT_TRUE(core.run().ok());
+  return static_cast<int16_t>(mem.load16(L.out_addr));
+}
+
+TEST(ArgmaxKernel, MatchesMaxElementAcrossLevelsAndSizes) {
+  Rng rng(0xA29);
+  for (auto level : kernels::kAllOptLevels) {
+    for (int n : {1, 2, 3, 7, 16, 100}) {
+      std::vector<int16_t> v(static_cast<size_t>(n));
+      for (auto& x : v) x = rng.next_i16();
+      const int got = run_argmax(v, level);
+      const int want =
+          static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+      ASSERT_EQ(got, want) << "level " << kernels::opt_level_letter(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(ArgmaxKernel, FirstMaximumWinsTies) {
+  EXPECT_EQ(run_argmax({5, 9, 9, 2}, OptLevel::kInputTiling), 1);
+  EXPECT_EQ(run_argmax({-3, -3, -3}, OptLevel::kBaseline), 0);
+  EXPECT_EQ(run_argmax({int16_t{-32768}, int16_t{32767}, int16_t{32767}},
+                       OptLevel::kXpulpSimd),
+            1);
+}
+
+TEST(ArgmaxKernel, AsNetworkFinalStage) {
+  Rng rng(0xA2A);
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, 16, 6, nn::ActKind::kNone));
+  auto d = kernel_test::make_net(OptLevel::kInputTiling,
+                                 [&](kernels::NetworkProgramBuilder& b) {
+                                   b.add_fc(fc);
+                                   b.add_argmax();
+                                 });
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto x = nn::quantize_vector(nn::random_vector(rng, 16, 1.0f));
+    const auto out = kernels::run_forward(*d.core, *d.mem, d.net, x);
+    ASSERT_EQ(out.size(), 1u);
+    const auto q =
+        nn::fc_forward_fixp(fc, x, d.core->tanh_table(), d.core->sig_table());
+    const int want = static_cast<int>(std::max_element(q.begin(), q.end()) - q.begin());
+    EXPECT_EQ(out[0], want) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace rnnasip

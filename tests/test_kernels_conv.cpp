@@ -1,0 +1,118 @@
+// Conv kernel tests: direct (level a) and im2col-lowered (levels b-e)
+// generated code vs the fixed-point golden model, plus conv -> FC chains.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "tests/kernel_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using kernel_test::make_net;
+using kernels::OptLevel;
+using nn::ActKind;
+
+struct ConvCase {
+  int in_ch, out_ch, k, h, w, stride;
+  OptLevel level;
+};
+
+class ConvKernel : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvKernel, BitExactVsGoldenModel) {
+  const auto& p = GetParam();
+  Rng rng(0xC0 + p.in_ch * 31 + p.out_ch + p.k * 5 + static_cast<int>(p.level));
+  const auto cf = nn::random_conv(rng, p.in_ch, p.out_ch, p.k, ActKind::kReLU, p.stride);
+  const auto cq = nn::quantize_conv(cf);
+
+  auto d = make_net(p.level, [&](kernels::NetworkProgramBuilder& b) {
+    b.add_conv(cq, p.h, p.w);
+  });
+
+  const auto in_f = nn::random_tensor(rng, p.in_ch, p.h, p.w);
+  const auto in_q = nn::quantize_tensor(in_f);
+  const auto got = kernels::run_forward(*d.core, *d.mem, d.net, in_q.data);
+  const auto want = nn::conv2d_forward_fixp(cq, in_q);
+  ASSERT_EQ(got.size(), want.data.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want.data[i]) << "flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvKernel,
+    ::testing::Values(ConvCase{1, 4, 3, 8, 8, 1, OptLevel::kBaseline},
+                      ConvCase{1, 4, 3, 8, 8, 1, OptLevel::kXpulpSimd},
+                      ConvCase{1, 4, 3, 8, 8, 1, OptLevel::kOutputTiling},
+                      ConvCase{1, 4, 3, 8, 8, 1, OptLevel::kLoadCompute},
+                      ConvCase{1, 4, 3, 8, 8, 1, OptLevel::kInputTiling},
+                      ConvCase{3, 6, 3, 10, 10, 1, OptLevel::kBaseline},
+                      ConvCase{3, 6, 3, 10, 10, 1, OptLevel::kOutputTiling},
+                      ConvCase{3, 6, 3, 10, 10, 1, OptLevel::kInputTiling},
+                      ConvCase{2, 3, 1, 6, 6, 1, OptLevel::kLoadCompute},  // 1x1 conv
+                      ConvCase{2, 5, 3, 9, 9, 2, OptLevel::kBaseline},     // stride 2
+                      ConvCase{2, 5, 3, 9, 9, 2, OptLevel::kInputTiling}),
+    [](const ::testing::TestParamInfo<ConvCase>& i) {
+      return std::string(1, kernels::opt_level_letter(i.param.level)) + "_" +
+             std::to_string(i.param.in_ch) + "to" + std::to_string(i.param.out_ch) + "k" +
+             std::to_string(i.param.k) + "s" + std::to_string(i.param.stride);
+    });
+
+TEST(ConvKernelLevels, AllLevelsAgreeBitExactly) {
+  Rng rng(0xCCC);
+  const auto cq = nn::quantize_conv(nn::random_conv(rng, 2, 4, 3, ActKind::kReLU));
+  const auto in_q = nn::quantize_tensor(nn::random_tensor(rng, 2, 7, 7));
+  std::vector<int16_t> first;
+  for (auto level : kernels::kAllOptLevels) {
+    auto d = make_net(level,
+                      [&](kernels::NetworkProgramBuilder& b) { b.add_conv(cq, 7, 7); });
+    const auto out = kernels::run_forward(*d.core, *d.mem, d.net, in_q.data);
+    if (first.empty()) {
+      first = out;
+    } else {
+      EXPECT_EQ(out, first) << "level " << kernels::opt_level_letter(level);
+    }
+  }
+}
+
+TEST(ConvKernel, ConvThenFcChainBitExact) {
+  // lee18-style: conv stack flattened into FC heads.
+  Rng rng(0xC0FE);
+  const auto c1 = nn::quantize_conv(nn::random_conv(rng, 1, 4, 3, ActKind::kReLU));
+  const auto c2 = nn::quantize_conv(nn::random_conv(rng, 4, 4, 3, ActKind::kReLU));
+  // After two valid 3x3 convs on 10x10: 4 x 6 x 6 = 144 flat features.
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, 144, 10, ActKind::kNone));
+
+  for (auto level : {OptLevel::kBaseline, OptLevel::kLoadCompute}) {
+    auto d = make_net(level, [&](kernels::NetworkProgramBuilder& b) {
+      b.add_conv(c1, 10, 10);
+      b.add_conv(c2, 8, 8);
+      b.add_fc(fc);
+    });
+    const auto in_q = nn::quantize_tensor(nn::random_tensor(rng, 1, 10, 10));
+    const auto got = kernels::run_forward(*d.core, *d.mem, d.net, in_q.data);
+
+    const auto t1 = nn::conv2d_forward_fixp(c1, in_q);
+    const auto t2 = nn::conv2d_forward_fixp(c2, t1);
+    const auto want =
+        nn::fc_forward_fixp(fc, t2.data, d.core->tanh_table(), d.core->sig_table());
+    ASSERT_EQ(got, want) << "level " << kernels::opt_level_letter(level);
+  }
+}
+
+TEST(ConvKernelCycles, LoweredBeatsDirectBaseline) {
+  Rng rng(0xFA57);
+  const auto cq = nn::quantize_conv(nn::random_conv(rng, 2, 8, 3, ActKind::kNone));
+  const auto in_q = nn::quantize_tensor(nn::random_tensor(rng, 2, 12, 12));
+  uint64_t base = 0, opt = 0;
+  for (auto level : {OptLevel::kBaseline, OptLevel::kInputTiling}) {
+    auto d = make_net(level,
+                      [&](kernels::NetworkProgramBuilder& b) { b.add_conv(cq, 12, 12); });
+    kernels::run_forward(*d.core, *d.mem, d.net, in_q.data);
+    (level == OptLevel::kBaseline ? base : opt) = d.core->stats().total_cycles();
+  }
+  EXPECT_GT(static_cast<double>(base) / static_cast<double>(opt), 5.0);
+}
+
+}  // namespace
+}  // namespace rnnasip

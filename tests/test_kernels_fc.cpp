@@ -1,0 +1,280 @@
+// FC kernel generator tests: bit-exactness against the fixed-point golden
+// model at every optimization level across a grid of shapes/activations,
+// ISA-level discipline per level, and the cycle ordering a -> e.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/nn/layers.h"
+#include "tests/kernel_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using kernel_test::make_net;
+using kernels::OptLevel;
+using nn::ActKind;
+
+struct FcCase {
+  int cin, cout;
+  ActKind act;
+  OptLevel level;
+};
+
+activation::PlaTable d_tanh() {
+  return activation::PlaTable::build({activation::ActFunc::kTanh, 9, 32});
+}
+activation::PlaTable d_sig() {
+  return activation::PlaTable::build({activation::ActFunc::kSigmoid, 10, 32});
+}
+
+std::string case_name(const ::testing::TestParamInfo<FcCase>& info) {
+  const char* act = "none";
+  if (info.param.act == ActKind::kReLU) act = "relu";
+  if (info.param.act == ActKind::kTanh) act = "tanh";
+  if (info.param.act == ActKind::kSigmoid) act = "sig";
+  return std::string(1, kernels::opt_level_letter(info.param.level)) + "_" +
+         std::to_string(info.param.cin) + "x" + std::to_string(info.param.cout) + "_" + act;
+}
+
+class FcKernel : public ::testing::TestWithParam<FcCase> {};
+
+TEST_P(FcKernel, BitExactVsGoldenModel) {
+  const auto& p = GetParam();
+  Rng rng(0xFC0 + p.cin * 131 + p.cout * 17 + static_cast<int>(p.level));
+  const auto fc_f = nn::random_fc(rng, p.cin, p.cout, p.act);
+  const auto fc_q = nn::quantize_fc(fc_f);
+
+  auto d = make_net(p.level, [&](kernels::NetworkProgramBuilder& b) { b.add_fc(fc_q); });
+
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto x_q = nn::quantize_vector(nn::random_vector(rng, p.cin, 1.0f));
+    const auto got = kernels::run_forward(*d.core, *d.mem, d.net, x_q);
+    const auto want =
+        nn::fc_forward_fixp(fc_q, x_q, d.core->tanh_table(), d.core->sig_table());
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "output " << i << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FcKernel,
+    ::testing::Values(
+        // Small, odd-output, tail-exercising, and large shapes per level.
+        FcCase{8, 4, ActKind::kNone, OptLevel::kBaseline},
+        FcCase{8, 4, ActKind::kNone, OptLevel::kXpulpSimd},
+        FcCase{8, 4, ActKind::kNone, OptLevel::kOutputTiling},
+        FcCase{8, 4, ActKind::kNone, OptLevel::kLoadCompute},
+        FcCase{8, 4, ActKind::kNone, OptLevel::kInputTiling},
+        FcCase{30, 7, ActKind::kReLU, OptLevel::kBaseline},
+        FcCase{30, 7, ActKind::kReLU, OptLevel::kXpulpSimd},
+        FcCase{30, 7, ActKind::kReLU, OptLevel::kOutputTiling},
+        FcCase{30, 7, ActKind::kReLU, OptLevel::kLoadCompute},
+        FcCase{32, 7, ActKind::kReLU, OptLevel::kInputTiling},
+        FcCase{64, 10, ActKind::kTanh, OptLevel::kBaseline},
+        FcCase{64, 10, ActKind::kTanh, OptLevel::kXpulpSimd},
+        FcCase{64, 10, ActKind::kTanh, OptLevel::kOutputTiling},
+        FcCase{64, 10, ActKind::kTanh, OptLevel::kLoadCompute},
+        FcCase{64, 10, ActKind::kTanh, OptLevel::kInputTiling},
+        FcCase{50, 9, ActKind::kSigmoid, OptLevel::kBaseline},
+        FcCase{50, 9, ActKind::kSigmoid, OptLevel::kXpulpSimd},
+        FcCase{50, 9, ActKind::kSigmoid, OptLevel::kOutputTiling},
+        FcCase{50, 10, ActKind::kSigmoid, OptLevel::kLoadCompute},
+        FcCase{48, 10, ActKind::kSigmoid, OptLevel::kInputTiling},
+        FcCase{200, 80, ActKind::kReLU, OptLevel::kBaseline},
+        FcCase{200, 80, ActKind::kReLU, OptLevel::kXpulpSimd},
+        FcCase{200, 80, ActKind::kReLU, OptLevel::kOutputTiling},
+        FcCase{200, 80, ActKind::kReLU, OptLevel::kLoadCompute},
+        FcCase{200, 80, ActKind::kReLU, OptLevel::kInputTiling},
+        // Edge shapes.
+        FcCase{2, 1, ActKind::kNone, OptLevel::kBaseline},
+        FcCase{2, 1, ActKind::kNone, OptLevel::kXpulpSimd},
+        FcCase{2, 1, ActKind::kNone, OptLevel::kOutputTiling},
+        FcCase{2, 1, ActKind::kNone, OptLevel::kLoadCompute},
+        FcCase{4, 1, ActKind::kNone, OptLevel::kInputTiling},
+        FcCase{6, 3, ActKind::kReLU, OptLevel::kLoadCompute},  // odd tail
+        FcCase{12, 2, ActKind::kNone, OptLevel::kInputTiling},
+        FcCase{10, 2, ActKind::kNone, OptLevel::kInputTiling}  // cin % 4 != 0
+        ),
+    case_name);
+
+TEST(FcKernelLevels, AllLevelsAgreeBitExactly) {
+  // The paper's claim: the optimizations do not change numerical results.
+  Rng rng(0xABCDEF);
+  const auto fc_q = nn::quantize_fc(nn::random_fc(rng, 96, 24, ActKind::kTanh));
+  const auto x_q = nn::quantize_vector(nn::random_vector(rng, 96, 1.0f));
+  std::vector<int16_t> first;
+  for (auto level : kernels::kAllOptLevels) {
+    auto d = make_net(level, [&](kernels::NetworkProgramBuilder& b) { b.add_fc(fc_q); });
+    auto out = kernels::run_forward(*d.core, *d.mem, d.net, x_q);
+    if (first.empty()) {
+      first = out;
+    } else {
+      EXPECT_EQ(out, first) << "level " << kernels::opt_level_letter(level);
+    }
+  }
+}
+
+TEST(FcKernelLevels, FixedPointTracksFloatReference) {
+  Rng rng(0x600D);
+  const auto fc_f = nn::random_fc(rng, 64, 16, ActKind::kTanh, 0.2f);
+  const auto fc_q = nn::quantize_fc(fc_f);
+  const auto x_f = nn::random_vector(rng, 64, 1.0f);
+  const auto x_q = nn::quantize_vector(x_f);
+
+  auto d = make_net(OptLevel::kInputTiling,
+                    [&](kernels::NetworkProgramBuilder& b) { b.add_fc(fc_q); });
+  const auto got = kernels::run_forward(*d.core, *d.mem, d.net, x_q);
+  const auto ref = nn::fc_forward(fc_f, x_f);
+  ASSERT_EQ(got.size(), ref.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    // Quantization noise of a 64-long Q3.12 dot product plus PLA error.
+    EXPECT_NEAR(dequantize(got[i]), ref[i], 0.02) << i;
+  }
+}
+
+TEST(FcKernelIsa, BaselineUsesOnlyBaselineInstructions) {
+  Rng rng(1);
+  const auto fc_q = nn::quantize_fc(nn::random_fc(rng, 16, 4, ActKind::kNone));
+  auto d = make_net(OptLevel::kBaseline,
+                    [&](kernels::NetworkProgramBuilder& b) { b.add_fc(fc_q); });
+  const auto x_q = nn::quantize_vector(nn::random_vector(rng, 16, 1.0f));
+  kernels::run_forward(*d.core, *d.mem, d.net, x_q);
+  for (const auto& [op, stat] : d.core->stats().by_opcode()) {
+    // Only the mac the paper's Table Ia lists is allowed beyond RV32IM.
+    const bool xpulp = op >= isa::Opcode::kPLb && op <= isa::Opcode::kPvSdotspB;
+    const bool rnn = op >= isa::Opcode::kPlSdotspH0 && op <= isa::Opcode::kPlSig;
+    EXPECT_FALSE(rnn) << isa::mnemonic(op);
+    if (xpulp) {
+      EXPECT_EQ(op, isa::Opcode::kPMac) << isa::mnemonic(op);
+    }
+  }
+}
+
+TEST(FcKernelIsa, LoadComputeLevelUsesPlSdotsp) {
+  Rng rng(2);
+  const auto fc_q = nn::quantize_fc(nn::random_fc(rng, 32, 8, ActKind::kNone));
+  auto d = make_net(OptLevel::kLoadCompute,
+                    [&](kernels::NetworkProgramBuilder& b) { b.add_fc(fc_q); });
+  kernels::run_forward(*d.core, *d.mem, d.net,
+                       nn::quantize_vector(nn::random_vector(rng, 32, 1.0f)));
+  const auto& s = d.core->stats().by_opcode();
+  EXPECT_GT(s.count(isa::Opcode::kPlSdotspH0), 0u);
+  EXPECT_GT(s.count(isa::Opcode::kPlSdotspH1), 0u);
+  // Weight loads are folded: the only packed loads left are the x stream.
+  const auto it = s.find(isa::Opcode::kPLw);
+  ASSERT_NE(it, s.end());
+  EXPECT_LE(it->second.instrs, 32u / 2u + 4u);
+}
+
+TEST(FcKernelCycles, EachLevelIsFasterOnALargeLayer) {
+  Rng rng(3);
+  const auto fc_q = nn::quantize_fc(nn::random_fc(rng, 200, 80, ActKind::kNone));
+  const auto x_q = nn::quantize_vector(nn::random_vector(rng, 200, 1.0f));
+  uint64_t prev = UINT64_MAX;
+  for (auto level : kernels::kAllOptLevels) {
+    auto d = make_net(level, [&](kernels::NetworkProgramBuilder& b) { b.add_fc(fc_q); });
+    kernels::run_forward(*d.core, *d.mem, d.net, x_q);
+    const uint64_t cycles = d.core->stats().total_cycles();
+    EXPECT_LT(cycles, prev) << "level " << kernels::opt_level_letter(level)
+                            << " not faster than its predecessor";
+    prev = cycles;
+  }
+}
+
+TEST(FcKernelCycles, BaselineMatchesTableIaShape) {
+  // ~9 cycles per MAC: 8 instructions with a 2-cycle bltu (Table Ia).
+  Rng rng(4);
+  const int cin = 128, cout = 32;
+  const auto fc_q = nn::quantize_fc(nn::random_fc(rng, cin, cout, ActKind::kNone));
+  auto d = make_net(OptLevel::kBaseline,
+                    [&](kernels::NetworkProgramBuilder& b) { b.add_fc(fc_q); });
+  kernels::run_forward(*d.core, *d.mem, d.net,
+                       nn::quantize_vector(nn::random_vector(rng, cin, 1.0f)));
+  const double cyc_per_mac =
+      static_cast<double>(d.core->stats().total_cycles()) / (cin * cout);
+  EXPECT_GT(cyc_per_mac, 8.5);
+  EXPECT_LT(cyc_per_mac, 9.8);
+}
+
+TEST(FcKernelCycles, SpeedupVsBaselineIsInPaperBand) {
+  // On a large FC layer the full extension stack lands around the paper's
+  // ~15x speedup (Table I / Fig. 3 band for large FC networks).
+  Rng rng(5);
+  const int cin = 320, cout = 64;
+  const auto fc_q = nn::quantize_fc(nn::random_fc(rng, cin, cout, ActKind::kNone));
+  const auto x_q = nn::quantize_vector(nn::random_vector(rng, cin, 1.0f));
+  uint64_t base = 0, best = 0;
+  for (auto level : {kernels::OptLevel::kBaseline, kernels::OptLevel::kInputTiling}) {
+    auto d = make_net(level, [&](kernels::NetworkProgramBuilder& b) { b.add_fc(fc_q); });
+    kernels::run_forward(*d.core, *d.mem, d.net, x_q);
+    (level == kernels::OptLevel::kBaseline ? base : best) =
+        d.core->stats().total_cycles();
+  }
+  const double speedup = static_cast<double>(base) / static_cast<double>(best);
+  EXPECT_GT(speedup, 11.0);
+  EXPECT_LT(speedup, 20.0);
+}
+
+TEST(FcKernel, AlternativeQFormatsBitExact) {
+  // frac_bits != 12 (Q5.10 and Q7.8 here): the kernel's requantization
+  // shift follows the layout and matches the golden model bit-exactly.
+  Rng rng(0x0F1);
+  for (int frac : {8, 10, 14}) {
+    const QFormat fmt{15 - frac, frac};
+    const auto fc_f = nn::random_fc(rng, 32, 8, ActKind::kReLU, 0.25f);
+    nn::FcParamsQ fc_q;
+    fc_q.w = nn::quantize_matrix(fc_f.w, fmt);
+    fc_q.b = nn::quantize_vector(fc_f.b, fmt);
+    fc_q.act = fc_f.act;
+    const auto x_q = nn::quantize_vector(nn::random_vector(rng, 32, 1.0f), fmt);
+
+    iss::Memory mem(8u << 20);
+    iss::Core core(&mem);
+    kernels::DeviceAllocator alloc(&mem);
+    const uint32_t xa = alloc.alloc(2 * 32, 4);
+    const uint32_t oa = alloc.alloc(2 * 8, 4);
+    const auto L = kernels::alloc_fc(alloc, fc_q, xa, oa, frac);
+    assembler::ProgramBuilder b(kernels::kTextBase);
+    kernels::FcEmitOptions fo;
+    fo.level = OptLevel::kInputTiling;
+    kernels::emit_fc(b, L, fo);
+    b.ebreak();
+    const auto prog = b.build();
+    core.load_program(prog);
+    mem.write_halves(xa, x_q);
+    core.reset(prog.base);
+    ASSERT_TRUE(core.run().ok());
+    const auto got = mem.read_halves(oa, 8);
+    const auto want = nn::fc_forward_fixp(fc_q, x_q, d_tanh(), d_sig(), frac);
+    EXPECT_EQ(got, want) << "frac_bits=" << frac;
+  }
+}
+
+TEST(FcKernel, TanhAtNonQ312FormatRejected) {
+  iss::Memory mem(1u << 20);
+  kernels::DeviceAllocator alloc(&mem);
+  Rng rng(0x0F2);
+  const auto fc_q = nn::quantize_fc(nn::random_fc(rng, 8, 4, ActKind::kTanh));
+  EXPECT_THROW(kernels::alloc_fc(alloc, fc_q, 0x20000, 0x21000, /*frac_bits=*/10),
+               std::runtime_error);
+}
+
+TEST(FcKernel, TileSizeRespectsRegisterBudget) {
+  kernels::FcLayout L;
+  L.cin = 200;
+  L.cout = 80;
+  L.act = nn::ActKind::kNone;
+  kernels::FcEmitOptions opt;
+  opt.level = kernels::OptLevel::kOutputTiling;
+  EXPECT_GE(kernels::fc_tile_size(L, opt), 4);
+  EXPECT_LE(kernels::fc_tile_size(L, opt), 8);
+  opt.level = kernels::OptLevel::kLoadCompute;
+  EXPECT_EQ(kernels::fc_tile_size(L, opt) % 2, 0);
+  L.cout = 3;
+  EXPECT_LE(kernels::fc_tile_size(L, opt), 3);
+}
+
+}  // namespace
+}  // namespace rnnasip

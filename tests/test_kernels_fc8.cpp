@@ -1,0 +1,155 @@
+// INT8 FC kernel tests: bit-exactness vs the int8 golden model, throughput
+// advantage over the 16-bit kernel, and the quantization-accuracy ordering
+// (int8 worse than int16 but bounded).
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/iss/core.h"
+#include "src/kernels/fc.h"
+#include "src/kernels/fc8.h"
+#include "src/nn/init.h"
+#include "src/nn/quantize.h"
+
+namespace rnnasip {
+namespace {
+
+using nn::ActKind;
+
+struct Run8 {
+  std::vector<int8_t> out;
+  uint64_t cycles = 0;
+};
+
+Run8 run_fc8(const nn::FcParams8& fc, const std::vector<int8_t>& x, int max_tile = 8) {
+  iss::Memory mem(8u << 20);
+  iss::Core core(&mem);
+  kernels::DeviceAllocator alloc(&mem);
+  const uint32_t x_addr = alloc.alloc(static_cast<uint32_t>(x.size()) + 4, 4);
+  const uint32_t o_addr = alloc.alloc(static_cast<uint32_t>(fc.b.size()) + 4, 4);
+  const auto L = kernels::alloc_fc8(alloc, fc, x_addr, o_addr);
+  assembler::ProgramBuilder b(kernels::kTextBase);
+  kernels::emit_fc8(b, L, max_tile);
+  b.ebreak();
+  const auto prog = b.build();
+  core.load_program(prog);
+  std::vector<uint8_t> xb(x.size());
+  for (size_t i = 0; i < x.size(); ++i) xb[i] = static_cast<uint8_t>(x[i]);
+  mem.write_block(x_addr, xb);
+  core.reset(prog.base);
+  const auto res = core.run();
+  EXPECT_TRUE(res.ok()) << res.trap_message;
+  Run8 r;
+  r.cycles = core.stats().total_cycles();
+  r.out.resize(fc.b.size());
+  for (size_t i = 0; i < r.out.size(); ++i) {
+    r.out[i] = static_cast<int8_t>(mem.load8(o_addr + static_cast<uint32_t>(i)));
+  }
+  return r;
+}
+
+struct Fc8Case {
+  int cin, cout;
+  ActKind act;
+  int max_tile;
+};
+
+class Fc8Kernel : public ::testing::TestWithParam<Fc8Case> {};
+
+TEST_P(Fc8Kernel, BitExactVsGoldenModel) {
+  const auto& p = GetParam();
+  Rng rng(0x18BA + p.cin + p.cout * 7);
+  const auto fc_f = nn::random_fc(rng, p.cin, p.cout, p.act, 0.4f);
+  const auto fc8 = nn::quantize_fc8(fc_f);
+  const auto x8 = nn::quantize_vector8(nn::random_vector(rng, p.cin, 1.0f));
+
+  const auto got = run_fc8(fc8, x8, p.max_tile);
+  const auto want = nn::fc_forward_fixp8(fc8, x8);
+  ASSERT_EQ(got.out.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got.out[i], want[i]) << "output " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Fc8Kernel,
+                         ::testing::Values(Fc8Case{16, 8, ActKind::kNone, 8},
+                                           Fc8Case{16, 8, ActKind::kReLU, 8},
+                                           Fc8Case{32, 7, ActKind::kReLU, 4},
+                                           Fc8Case{64, 10, ActKind::kNone, 8},
+                                           Fc8Case{128, 32, ActKind::kReLU, 8},
+                                           Fc8Case{8, 1, ActKind::kNone, 8},
+                                           Fc8Case{40, 9, ActKind::kNone, 2}),
+                         [](const ::testing::TestParamInfo<Fc8Case>& i) {
+                           return std::to_string(i.param.cin) + "x" +
+                                  std::to_string(i.param.cout) + "t" +
+                                  std::to_string(i.param.max_tile) + "a" +
+                                  std::to_string(static_cast<int>(i.param.act));
+                         });
+
+TEST(Fc8Kernel, RoughlyTwiceTheThroughputOf16Bit) {
+  Rng rng(0x18BB);
+  const int cin = 256, cout = 32;
+  const auto fc_f = nn::random_fc(rng, cin, cout, ActKind::kNone, 0.4f);
+  const auto x_f = nn::random_vector(rng, cin, 1.0f);
+
+  const auto r8 = run_fc8(nn::quantize_fc8(fc_f), nn::quantize_vector8(x_f));
+
+  iss::Memory mem(8u << 20);
+  iss::Core core(&mem);
+  kernels::DeviceAllocator alloc(&mem);
+  const uint32_t x_addr = alloc.alloc(2 * cin, 4);
+  const uint32_t o_addr = alloc.alloc(2 * cout, 4);
+  const auto L16 = kernels::alloc_fc(alloc, nn::quantize_fc(fc_f), x_addr, o_addr);
+  assembler::ProgramBuilder b(kernels::kTextBase);
+  kernels::FcEmitOptions fo;
+  fo.level = kernels::OptLevel::kOutputTiling;  // same schedule family
+  kernels::emit_fc(b, L16, fo);
+  b.ebreak();
+  const auto prog = b.build();
+  core.load_program(prog);
+  mem.write_halves(x_addr, nn::quantize_vector(x_f));
+  core.reset(prog.base);
+  EXPECT_TRUE(core.run().ok());
+  const uint64_t c16 = core.stats().total_cycles();
+
+  const double ratio = static_cast<double>(c16) / static_cast<double>(r8.cycles);
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.4);
+}
+
+TEST(Fc8Kernel, AccuracyOrderingInt8WorseButBounded) {
+  Rng rng(0x18BC);
+  const auto fc_f = nn::random_fc(rng, 64, 16, ActKind::kNone, 0.1f);
+  const auto x_f = nn::random_vector(rng, 64, 0.8f);
+  const auto ref = nn::fc_forward(fc_f, x_f);
+
+  const auto out16 = nn::fc_forward_fixp(
+      nn::quantize_fc(fc_f), nn::quantize_vector(x_f),
+      activation::PlaTable::build({activation::ActFunc::kTanh, 9, 32}),
+      activation::PlaTable::build({activation::ActFunc::kSigmoid, 10, 32}));
+  const auto out8 = nn::fc_forward_fixp8(nn::quantize_fc8(fc_f), nn::quantize_vector8(x_f));
+
+  double err16 = 0, err8 = 0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    err16 = std::max(err16, std::abs(dequantize(out16[i]) - static_cast<double>(ref[i])));
+    err8 = std::max(err8, std::abs(dequantize(out8[i], nn::q1_6) -
+                                   static_cast<double>(ref[i])));
+  }
+  EXPECT_LT(err16, err8);   // 16-bit strictly more accurate
+  EXPECT_LT(err8, 0.15);    // but int8 stays usable on this scale
+  EXPECT_LT(err16, 0.01);
+}
+
+TEST(Fc8Kernel, RejectsBadConfigs) {
+  iss::Memory mem(1u << 20);
+  kernels::DeviceAllocator alloc(&mem);
+  nn::FcParams8 p;
+  p.w = nn::Matrix<int8_t>(4, 10);  // cin % 4 != 0
+  p.b.resize(4);
+  EXPECT_THROW(kernels::alloc_fc8(alloc, p, 0x20000, 0x21000), std::runtime_error);
+  p.w = nn::Matrix<int8_t>(4, 8);
+  p.act = nn::ActKind::kTanh;  // unsupported on the int8 path
+  EXPECT_THROW(kernels::alloc_fc8(alloc, p, 0x20000, 0x21000), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -1,0 +1,175 @@
+// Batched FC kernel tests: bit-exactness vs the per-sample golden model
+// across (cout, batch, activation) shapes, tile selection, and the
+// loads-per-MAC advantage over the unbatched kernel.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/iss/core.h"
+#include "src/kernels/fc_batch.h"
+#include "src/nn/init.h"
+#include "src/nn/quantize.h"
+
+namespace rnnasip {
+namespace {
+
+using kernels::OptLevel;
+using nn::ActKind;
+
+struct BatchRun {
+  std::vector<int16_t> out;
+  uint64_t cycles = 0;
+  uint64_t loads = 0;
+  uint64_t macs = 0;
+};
+
+BatchRun run_batch(const nn::FcParamsQ& fc, const std::vector<std::vector<int16_t>>& xs,
+                   OptLevel level, int max_out_tile = 4, int max_batch_tile = 4) {
+  const int cin = fc.w.cols;
+  const int cout = fc.w.rows;
+  const int batch = static_cast<int>(xs.size());
+  iss::Memory mem(8u << 20);
+  iss::Core core(&mem);
+  kernels::DeviceAllocator alloc(&mem);
+  const uint32_t x_addr = alloc.alloc(static_cast<uint32_t>(2 * batch * cin), 4);
+  const uint32_t o_addr = alloc.alloc(static_cast<uint32_t>(2 * batch * cout), 4);
+  const auto L = kernels::alloc_fc_batch(alloc, fc, batch, x_addr, o_addr);
+
+  assembler::ProgramBuilder b(kernels::kTextBase);
+  kernels::FcBatchEmitOptions opt;
+  opt.level = level;
+  opt.max_out_tile = max_out_tile;
+  opt.max_batch_tile = max_batch_tile;
+  kernels::emit_fc_batch(b, L, opt);
+  b.ebreak();
+  const auto prog = b.build();
+  core.load_program(prog);
+
+  for (int s = 0; s < batch; ++s) {
+    mem.write_halves(x_addr + static_cast<uint32_t>(2 * s * cin), xs[static_cast<size_t>(s)]);
+  }
+  core.reset(prog.base);
+  const auto res = core.run();
+  EXPECT_TRUE(res.ok()) << res.trap_message;
+
+  BatchRun out;
+  out.out = mem.read_halves(o_addr, static_cast<size_t>(batch * cout));
+  out.cycles = core.stats().total_cycles();
+  out.macs = static_cast<uint64_t>(batch) * cin * cout;
+  for (const auto& [op, s] : core.stats().by_opcode()) {
+    if (isa::opcode_info(op).unit == isa::Unit::kLoad) out.loads += s.instrs;
+  }
+  return out;
+}
+
+struct BatchCase {
+  int cin, cout, batch;
+  ActKind act;
+};
+
+class FcBatchKernel : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(FcBatchKernel, BitExactPerSample) {
+  const auto& p = GetParam();
+  Rng rng(0xBA7C + p.cin + p.cout * 3 + p.batch * 17);
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, p.cin, p.cout, p.act));
+  std::vector<std::vector<int16_t>> xs;
+  for (int s = 0; s < p.batch; ++s)
+    xs.push_back(nn::quantize_vector(nn::random_vector(rng, p.cin, 1.0f)));
+
+  const auto got = run_batch(fc, xs, OptLevel::kOutputTiling);
+  const auto tt = activation::PlaTable::build({activation::ActFunc::kTanh, 9, 32});
+  const auto st = activation::PlaTable::build({activation::ActFunc::kSigmoid, 10, 32});
+  for (int s = 0; s < p.batch; ++s) {
+    const auto want = nn::fc_forward_fixp(fc, xs[static_cast<size_t>(s)], tt, st);
+    for (int j = 0; j < p.cout; ++j) {
+      ASSERT_EQ(got.out[static_cast<size_t>(s * p.cout + j)], want[static_cast<size_t>(j)])
+          << "sample " << s << " output " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FcBatchKernel,
+    ::testing::Values(BatchCase{16, 8, 4, ActKind::kNone},
+                      BatchCase{16, 8, 4, ActKind::kReLU},
+                      BatchCase{32, 10, 6, ActKind::kTanh},
+                      BatchCase{32, 10, 6, ActKind::kSigmoid},
+                      BatchCase{24, 7, 5, ActKind::kReLU},   // odd cout + batch tail
+                      BatchCase{24, 9, 3, ActKind::kNone},   // odd everything
+                      BatchCase{64, 16, 2, ActKind::kNone},
+                      BatchCase{10, 1, 4, ActKind::kNone},   // single output
+                      BatchCase{100, 20, 8, ActKind::kReLU}),
+    [](const ::testing::TestParamInfo<BatchCase>& i) {
+      return std::to_string(i.param.cin) + "x" + std::to_string(i.param.cout) + "b" +
+             std::to_string(i.param.batch) + "a" + std::to_string(static_cast<int>(i.param.act));
+    });
+
+TEST(FcBatchTile, PrefersBalancedTiles) {
+  kernels::FcBatchLayout L;
+  L.fc.cin = 64;
+  L.fc.cout = 16;
+  L.batch = 8;
+  kernels::FcBatchEmitOptions opt;
+  const auto [n, bt] = kernels::fc_batch_tile(L, opt);
+  EXPECT_GE(n, 2);
+  EXPECT_GE(bt, 2);
+  EXPECT_LE(n, opt.max_out_tile);
+  EXPECT_LE(bt, opt.max_batch_tile);
+}
+
+TEST(FcBatchKernel, FewerLoadsPerMacThanUnbatched) {
+  Rng rng(0xBB);
+  const int cin = 128, cout = 16, batch = 8;
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, cin, cout, ActKind::kNone));
+  std::vector<std::vector<int16_t>> xs;
+  for (int s = 0; s < batch; ++s)
+    xs.push_back(nn::quantize_vector(nn::random_vector(rng, cin, 1.0f)));
+
+  const auto batched = run_batch(fc, xs, OptLevel::kOutputTiling);
+  // Unbatched: max_batch_tile too large to form -> emulate by batch tile 2
+  // vs the per-sample fallback path (max_out_tile 4, batch sequential).
+  const double lpm_batched = static_cast<double>(batched.loads) / batched.macs;
+  // The register file admits (n=4, bt=2): (4+2)/(2*4*2) = 0.375 loads/MAC
+  // plus bias/pointer overhead — well under the unbatched 0.5625.
+  EXPECT_LT(lpm_batched, 0.45);
+
+  // The unbatched level-c kernel at N=4 costs (1+4)/(2*4) = 0.625 loads/MAC;
+  // the batched schedule must be clearly below it in cycles too.
+  uint64_t unbatched_cycles = 0;
+  {
+    iss::Memory mem(8u << 20);
+    iss::Core core(&mem);
+    kernels::DeviceAllocator alloc(&mem);
+    const uint32_t x_addr = alloc.alloc(2 * cin, 4);
+    const uint32_t o_addr = alloc.alloc(2 * cout, 4);
+    const auto L = kernels::alloc_fc(alloc, fc, x_addr, o_addr);
+    assembler::ProgramBuilder b(kernels::kTextBase);
+    kernels::FcEmitOptions fo;
+    fo.level = OptLevel::kOutputTiling;
+    fo.max_tile = 4;
+    kernels::emit_fc(b, L, fo);
+    b.ebreak();
+    const auto prog = b.build();
+    core.load_program(prog);
+    mem.write_halves(x_addr, xs[0]);
+    core.reset(prog.base);
+    EXPECT_TRUE(core.run().ok());
+    unbatched_cycles = core.stats().total_cycles() * batch;  // 8 sequential runs
+  }
+  EXPECT_LT(batched.cycles, unbatched_cycles);
+}
+
+TEST(FcBatchKernel, RejectsUnsupportedConfigs) {
+  kernels::FcBatchLayout L;
+  L.fc.cin = 16;
+  L.fc.cout = 4;
+  L.batch = 1;  // needs >= 2
+  kernels::FcBatchEmitOptions opt;
+  EXPECT_THROW(kernels::fc_batch_tile(L, opt), std::runtime_error);
+  assembler::ProgramBuilder b;
+  opt.level = OptLevel::kBaseline;
+  EXPECT_THROW(kernels::emit_fc_batch(b, L, opt), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -1,0 +1,138 @@
+// GRU kernel tests — bit-exactness at every optimization level, state
+// behaviour, stacks, tolerance vs the float reference, and the speedup the
+// extensions deliver on a cell the hardware was not specialized for.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "tests/kernel_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using kernel_test::make_net;
+using kernels::OptLevel;
+using nn::ActKind;
+
+struct GruCase {
+  int input, hidden;
+  OptLevel level;
+};
+
+class GruKernel : public ::testing::TestWithParam<GruCase> {};
+
+TEST_P(GruKernel, BitExactOverSequence) {
+  const auto& p = GetParam();
+  Rng rng(0x6A0 + p.input * 3 + p.hidden + static_cast<int>(p.level) * 71);
+  const auto gf = nn::random_gru(rng, p.input, p.hidden, 0.3f);
+  const auto gq = nn::quantize_gru(gf);
+
+  auto d = make_net(p.level, [&](kernels::NetworkProgramBuilder& b) { b.add_gru(gq); });
+  kernels::reset_state(*d.mem, d.net);
+
+  nn::GruStateQ golden{nn::VectorQ(static_cast<size_t>(p.hidden), 0)};
+  for (int t = 0; t < 5; ++t) {
+    const auto x = nn::quantize_vector(nn::random_vector(rng, p.input, 1.0f));
+    const auto got = kernels::run_forward(*d.core, *d.mem, d.net, x);
+    const auto want =
+        nn::gru_step_fixp(gq, x, golden, d.core->tanh_table(), d.core->sig_table());
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "t=" << t << " cell=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GruKernel,
+    ::testing::Values(GruCase{6, 10, OptLevel::kBaseline},
+                      GruCase{6, 10, OptLevel::kXpulpSimd},
+                      GruCase{6, 10, OptLevel::kOutputTiling},
+                      GruCase{6, 10, OptLevel::kLoadCompute},
+                      GruCase{6, 10, OptLevel::kInputTiling},
+                      GruCase{12, 32, OptLevel::kBaseline},
+                      GruCase{12, 32, OptLevel::kOutputTiling},
+                      GruCase{12, 32, OptLevel::kInputTiling},
+                      GruCase{5, 11, OptLevel::kLoadCompute}),  // odd m+n pairs even
+    [](const ::testing::TestParamInfo<GruCase>& i) {
+      return std::string(1, kernels::opt_level_letter(i.param.level)) + "_" +
+             std::to_string(i.param.input) + "x" + std::to_string(i.param.hidden);
+    });
+
+TEST(GruKernelLevels, AllLevelsAgreeBitExactly) {
+  Rng rng(0x6A1);
+  const auto gq = nn::quantize_gru(nn::random_gru(rng, 8, 24, 0.3f));
+  std::vector<std::vector<int16_t>> inputs;
+  for (int t = 0; t < 4; ++t)
+    inputs.push_back(nn::quantize_vector(nn::random_vector(rng, 8, 1.0f)));
+  std::vector<int16_t> first;
+  for (auto level : kernels::kAllOptLevels) {
+    auto d = make_net(level, [&](kernels::NetworkProgramBuilder& b) { b.add_gru(gq); });
+    kernels::reset_state(*d.mem, d.net);
+    std::vector<int16_t> out;
+    for (const auto& x : inputs) out = kernels::run_forward(*d.core, *d.mem, d.net, x);
+    if (first.empty()) {
+      first = out;
+    } else {
+      EXPECT_EQ(out, first) << "level " << kernels::opt_level_letter(level);
+    }
+  }
+}
+
+TEST(GruKernel, FixedPointTracksFloatOverSequence) {
+  Rng rng(0x6A2);
+  const auto gf = nn::random_gru(rng, 8, 12, 0.3f);
+  const auto gq = nn::quantize_gru(gf);
+  const auto tt = activation::PlaTable::build({activation::ActFunc::kTanh, 9, 32});
+  const auto st = activation::PlaTable::build({activation::ActFunc::kSigmoid, 10, 32});
+  nn::GruStateF sf{nn::VectorF(12, 0.0f)};
+  nn::GruStateQ sq{nn::VectorQ(12, 0)};
+  for (int t = 0; t < 10; ++t) {
+    const auto xf = nn::random_vector(rng, 8, 1.0f);
+    nn::gru_step(gf, xf, sf);
+    nn::gru_step_fixp(gq, nn::quantize_vector(xf), sq, tt, st);
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_NEAR(dequantize(sq.h[i]), sf.h[i], 0.05) << "t=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(GruKernel, GruFcStackBitExact) {
+  Rng rng(0x6A3);
+  const auto gq = nn::quantize_gru(nn::random_gru(rng, 10, 22, 0.3f));
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, 22, 5, ActKind::kNone));
+  auto d = make_net(OptLevel::kInputTiling, [&](kernels::NetworkProgramBuilder& b) {
+    b.add_gru(gq);
+    b.add_fc(fc);
+  });
+  kernels::reset_state(*d.mem, d.net);
+  nn::GruStateQ golden{nn::VectorQ(22, 0)};
+  for (int t = 0; t < 3; ++t) {
+    const auto x = nn::quantize_vector(nn::random_vector(rng, 10, 1.0f));
+    const auto got = kernels::run_forward(*d.core, *d.mem, d.net, x);
+    const auto h = nn::gru_step_fixp(gq, x, golden, d.core->tanh_table(),
+                                     d.core->sig_table());
+    const auto want = nn::fc_forward_fixp(fc, h, d.core->tanh_table(), d.core->sig_table());
+    ASSERT_EQ(got, want) << "t=" << t;
+  }
+}
+
+TEST(GruKernel, ExtensionsSpeedUpGruLikeLstm) {
+  // The flexibility claim quantified: a cell outside the benchmark set gets
+  // the same order of speedup from the extensions.
+  Rng rng(0x6A4);
+  const auto gq = nn::quantize_gru(nn::random_gru(rng, 32, 64, 0.3f));
+  const auto x = nn::quantize_vector(nn::random_vector(rng, 32, 1.0f));
+  uint64_t base = 0, ext = 0;
+  for (auto level : {OptLevel::kBaseline, OptLevel::kInputTiling}) {
+    auto d = make_net(level, [&](kernels::NetworkProgramBuilder& b) { b.add_gru(gq); });
+    kernels::reset_state(*d.mem, d.net);
+    kernels::run_forward(*d.core, *d.mem, d.net, x);
+    (level == OptLevel::kBaseline ? base : ext) = d.core->stats().total_cycles();
+  }
+  const double speedup = static_cast<double>(base) / static_cast<double>(ext);
+  EXPECT_GT(speedup, 10.0);
+  EXPECT_LT(speedup, 18.0);
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -1,0 +1,158 @@
+// LSTM kernel tests: bit-exactness vs the golden model at every level,
+// state persistence across timesteps, multi-layer stacks, and the tanh/sig
+// cycle-share ablation the paper reports in Sec. III-D.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "tests/kernel_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using kernel_test::make_net;
+using kernels::OptLevel;
+using nn::ActKind;
+
+struct LstmCase {
+  int input, hidden;
+  OptLevel level;
+};
+
+class LstmKernel : public ::testing::TestWithParam<LstmCase> {};
+
+TEST_P(LstmKernel, BitExactOverSequence) {
+  const auto& p = GetParam();
+  Rng rng(0x15B1 + p.input * 7 + p.hidden + static_cast<int>(p.level) * 101);
+  const auto lf = nn::random_lstm(rng, p.input, p.hidden, 0.3f);
+  const auto lq = nn::quantize_lstm(lf);
+
+  auto d = make_net(p.level, [&](kernels::NetworkProgramBuilder& b) { b.add_lstm(lq); });
+  kernels::reset_state(*d.mem, d.net);
+
+  nn::LstmStateQ golden{nn::VectorQ(static_cast<size_t>(p.hidden), 0),
+                        nn::VectorQ(static_cast<size_t>(p.hidden), 0)};
+  for (int t = 0; t < 5; ++t) {
+    const auto x = nn::quantize_vector(nn::random_vector(rng, p.input, 1.0f));
+    const auto got = kernels::run_forward(*d.core, *d.mem, d.net, x);
+    const auto want = nn::lstm_step_fixp(lq, x, golden, d.core->tanh_table(),
+                                         d.core->sig_table());
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "t=" << t << " cell=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LstmKernel,
+    ::testing::Values(LstmCase{6, 10, OptLevel::kBaseline},
+                      LstmCase{6, 10, OptLevel::kXpulpSimd},
+                      LstmCase{6, 10, OptLevel::kOutputTiling},
+                      LstmCase{6, 10, OptLevel::kLoadCompute},
+                      LstmCase{6, 10, OptLevel::kInputTiling},
+                      LstmCase{12, 32, OptLevel::kBaseline},
+                      LstmCase{12, 32, OptLevel::kXpulpSimd},
+                      LstmCase{12, 32, OptLevel::kOutputTiling},
+                      LstmCase{12, 32, OptLevel::kLoadCompute},
+                      LstmCase{12, 32, OptLevel::kInputTiling},
+                      LstmCase{3, 9, OptLevel::kLoadCompute},   // odd m+n pairs to even
+                      LstmCase{3, 9, OptLevel::kInputTiling}),
+    [](const ::testing::TestParamInfo<LstmCase>& i) {
+      return std::string(1, kernels::opt_level_letter(i.param.level)) + "_" +
+             std::to_string(i.param.input) + "x" + std::to_string(i.param.hidden);
+    });
+
+TEST(LstmKernelLevels, AllLevelsAgreeBitExactly) {
+  Rng rng(0x600D2);
+  const auto lq = nn::quantize_lstm(nn::random_lstm(rng, 8, 24, 0.3f));
+  std::vector<std::vector<int16_t>> inputs;
+  for (int t = 0; t < 4; ++t)
+    inputs.push_back(nn::quantize_vector(nn::random_vector(rng, 8, 1.0f)));
+
+  std::vector<int16_t> first;
+  for (auto level : kernels::kAllOptLevels) {
+    auto d = make_net(level, [&](kernels::NetworkProgramBuilder& b) { b.add_lstm(lq); });
+    kernels::reset_state(*d.mem, d.net);
+    std::vector<int16_t> out;
+    for (const auto& x : inputs) out = kernels::run_forward(*d.core, *d.mem, d.net, x);
+    if (first.empty()) {
+      first = out;
+    } else {
+      EXPECT_EQ(out, first) << "level " << kernels::opt_level_letter(level);
+    }
+  }
+}
+
+TEST(LstmKernel, ResetStateClearsSequenceMemory) {
+  Rng rng(0x5EED);
+  const auto lq = nn::quantize_lstm(nn::random_lstm(rng, 6, 10, 0.4f));
+  auto d = make_net(OptLevel::kInputTiling,
+                    [&](kernels::NetworkProgramBuilder& b) { b.add_lstm(lq); });
+  const auto x = nn::quantize_vector(nn::random_vector(rng, 6, 1.0f));
+
+  kernels::reset_state(*d.mem, d.net);
+  const auto first = kernels::run_forward(*d.core, *d.mem, d.net, x);
+  const auto second = kernels::run_forward(*d.core, *d.mem, d.net, x);
+  EXPECT_NE(first, second);  // state evolved
+  kernels::reset_state(*d.mem, d.net);
+  const auto replay = kernels::run_forward(*d.core, *d.mem, d.net, x);
+  EXPECT_EQ(first, replay);  // reset reproduces the first step exactly
+}
+
+TEST(LstmKernel, StackedLstmPlusFcBitExact) {
+  // challita17-style stack: LSTM -> FC -> FC.
+  Rng rng(0x57AC);
+  const auto lq = nn::quantize_lstm(nn::random_lstm(rng, 8, 16, 0.3f));
+  const auto f1 = nn::quantize_fc(nn::random_fc(rng, 16, 12, ActKind::kReLU));
+  const auto f2 = nn::quantize_fc(nn::random_fc(rng, 12, 4, ActKind::kNone));
+
+  for (auto level : {OptLevel::kBaseline, OptLevel::kOutputTiling, OptLevel::kInputTiling}) {
+    auto d = make_net(level, [&](kernels::NetworkProgramBuilder& b) {
+      b.add_lstm(lq);
+      b.add_fc(f1);
+      b.add_fc(f2);
+    });
+    kernels::reset_state(*d.mem, d.net);
+    nn::LstmStateQ golden{nn::VectorQ(16, 0), nn::VectorQ(16, 0)};
+    for (int t = 0; t < 3; ++t) {
+      const auto x = nn::quantize_vector(nn::random_vector(rng, 8, 1.0f));
+      const auto got = kernels::run_forward(*d.core, *d.mem, d.net, x);
+      const auto h = nn::lstm_step_fixp(lq, x, golden, d.core->tanh_table(),
+                                        d.core->sig_table());
+      const auto y1 = nn::fc_forward_fixp(f1, h, d.core->tanh_table(), d.core->sig_table());
+      const auto want =
+          nn::fc_forward_fixp(f2, y1, d.core->tanh_table(), d.core->sig_table());
+      ASSERT_EQ(got, want) << "level " << kernels::opt_level_letter(level) << " t=" << t;
+    }
+  }
+}
+
+TEST(LstmKernel, ActivationShareShrinksWithHwInstructions) {
+  // Sec. III-D: tanh/sig are a major share of LSTM cycles in SW (10-34%)
+  // and nearly free with the pl.tanh/pl.sig extension.
+  Rng rng(0xAC7);
+  const auto lq = nn::quantize_lstm(nn::random_lstm(rng, 12, 32, 0.3f));
+  const auto x = nn::quantize_vector(nn::random_vector(rng, 12, 1.0f));
+
+  auto sw = make_net(OptLevel::kXpulpSimd,
+                     [&](kernels::NetworkProgramBuilder& b) { b.add_lstm(lq); });
+  kernels::reset_state(*sw.mem, sw.net);
+  kernels::run_forward(*sw.core, *sw.mem, sw.net, x);
+  // SW activation cycles = everything attributable to the routine calls;
+  // approximate from the jal count (5 calls per cell: 4 gates + tanh(c')).
+  const auto& s = sw.core->stats().by_opcode();
+  ASSERT_NE(s.find(isa::Opcode::kJal), s.end());
+  EXPECT_GE(s.at(isa::Opcode::kJal).instrs, 5u * 32u);
+
+  auto hw = make_net(OptLevel::kOutputTiling,
+                     [&](kernels::NetworkProgramBuilder& b) { b.add_lstm(lq); });
+  kernels::reset_state(*hw.mem, hw.net);
+  kernels::run_forward(*hw.core, *hw.mem, hw.net, x);
+  const auto& h = hw.core->stats().by_opcode();
+  const uint64_t act_cycles = h.at(isa::Opcode::kPlTanh).cycles + h.at(isa::Opcode::kPlSig).cycles;
+  EXPECT_EQ(act_cycles, 5u * 32u);  // single cycle each
+  EXPECT_EQ(h.count(isa::Opcode::kJal), 0u);
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -1,0 +1,158 @@
+// Max-pooling kernel tests: exactness at every level, golden-model
+// agreement, and conv -> pool -> fc chains.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "tests/kernel_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using kernel_test::make_net;
+using kernels::OptLevel;
+using nn::ActKind;
+
+struct PoolCase {
+  int ch, h, w, k, stride;
+  OptLevel level;
+};
+
+class PoolKernel : public ::testing::TestWithParam<PoolCase> {};
+
+TEST_P(PoolKernel, BitExactVsGoldenModel) {
+  const auto& p = GetParam();
+  Rng rng(0x9001 + p.ch + p.h * 3 + p.k);
+  const nn::MaxPoolParams mp{p.k, p.stride};
+  auto d = make_net(p.level, [&](kernels::NetworkProgramBuilder& b) {
+    b.add_maxpool(mp, p.ch, p.h, p.w);
+  });
+  const auto in = nn::quantize_tensor(nn::random_tensor(rng, p.ch, p.h, p.w));
+  const auto got = kernels::run_forward(*d.core, *d.mem, d.net, in.data);
+  const auto want = nn::maxpool_forward_fixp(mp, in);
+  ASSERT_EQ(got.size(), want.data.size());
+  EXPECT_EQ(got, want.data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PoolKernel,
+    ::testing::Values(PoolCase{1, 6, 6, 2, 2, OptLevel::kBaseline},
+                      PoolCase{1, 6, 6, 2, 2, OptLevel::kInputTiling},
+                      PoolCase{3, 8, 8, 2, 2, OptLevel::kBaseline},
+                      PoolCase{3, 8, 8, 2, 2, OptLevel::kOutputTiling},
+                      PoolCase{2, 9, 9, 3, 3, OptLevel::kXpulpSimd},
+                      PoolCase{2, 7, 9, 3, 2, OptLevel::kLoadCompute},  // overlap
+                      PoolCase{4, 5, 5, 2, 1, OptLevel::kInputTiling}),
+    [](const ::testing::TestParamInfo<PoolCase>& i) {
+      return std::string(1, kernels::opt_level_letter(i.param.level)) + "_" +
+             std::to_string(i.param.ch) + "x" + std::to_string(i.param.h) + "x" +
+             std::to_string(i.param.w) + "k" + std::to_string(i.param.k) + "s" +
+             std::to_string(i.param.stride);
+    });
+
+struct AvgCase {
+  int ch, h, w, k, stride;
+  OptLevel level;
+};
+
+class AvgPoolKernel : public ::testing::TestWithParam<AvgCase> {};
+
+TEST_P(AvgPoolKernel, BitExactVsGoldenModel) {
+  const auto& p = GetParam();
+  Rng rng(0x9A01 + p.ch * 5 + p.h + p.k);
+  const nn::AvgPoolParams ap{p.k, p.stride};
+  auto d = make_net(p.level, [&](kernels::NetworkProgramBuilder& b) {
+    b.add_avgpool(ap, p.ch, p.h, p.w);
+  });
+  const auto in = nn::quantize_tensor(nn::random_tensor(rng, p.ch, p.h, p.w));
+  const auto got = kernels::run_forward(*d.core, *d.mem, d.net, in.data);
+  const auto want = nn::avgpool_forward_fixp(ap, in);
+  EXPECT_EQ(got, want.data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AvgPoolKernel,
+    ::testing::Values(AvgCase{1, 6, 6, 2, 2, OptLevel::kBaseline},
+                      AvgCase{1, 6, 6, 2, 2, OptLevel::kInputTiling},
+                      AvgCase{3, 8, 8, 2, 2, OptLevel::kOutputTiling},
+                      AvgCase{2, 9, 9, 4, 4, OptLevel::kXpulpSimd},
+                      AvgCase{2, 7, 7, 2, 1, OptLevel::kLoadCompute}),
+    [](const ::testing::TestParamInfo<AvgCase>& i) {
+      return std::string(1, kernels::opt_level_letter(i.param.level)) + "_" +
+             std::to_string(i.param.ch) + "x" + std::to_string(i.param.h) + "k" +
+             std::to_string(i.param.k) + "s" + std::to_string(i.param.stride);
+    });
+
+TEST(AvgPoolKernel, TracksFloatMeanWithinTruncation) {
+  Rng rng(0x9A02);
+  const nn::AvgPoolParams ap{2, 2};
+  const auto in_f = nn::random_tensor(rng, 2, 6, 6);
+  const auto out_f = nn::avgpool_forward(ap, in_f);
+  const auto out_q = nn::avgpool_forward_fixp(ap, nn::quantize_tensor(in_f));
+  for (size_t i = 0; i < out_f.data.size(); ++i) {
+    // Input quantization (0.5 LSB each of 4 terms) + truncating shift (1 LSB).
+    EXPECT_NEAR(dequantize(out_q.data[i]), out_f.data[i], 2.0 / 4096.0) << i;
+  }
+}
+
+TEST(AvgPoolKernel, NonPowerOfTwoWindowRejected) {
+  iss::Memory mem(1u << 20);
+  EXPECT_THROW(kernels::plan_avgpool({3, 3}, 1, 9, 9, 0x20000, 0x21000),
+               std::runtime_error);
+}
+
+TEST(PoolKernel, MatchesFloatReferenceExactly) {
+  // Max commutes with quantization: pooling the quantized tensor equals
+  // quantizing the pooled float tensor.
+  Rng rng(0x9002);
+  const nn::MaxPoolParams mp{2, 2};
+  const auto in_f = nn::random_tensor(rng, 2, 6, 6);
+  const auto out_f = nn::maxpool_forward(mp, in_f);
+  const auto out_q = nn::maxpool_forward_fixp(mp, nn::quantize_tensor(in_f));
+  const auto want = nn::quantize_tensor(out_f);
+  EXPECT_EQ(out_q.data, want.data);
+}
+
+TEST(PoolKernel, ConvPoolFcChainBitExact) {
+  Rng rng(0x9003);
+  const auto conv = nn::quantize_conv(nn::random_conv(rng, 1, 4, 3, ActKind::kReLU));
+  const nn::MaxPoolParams mp{2, 2};
+  // 10x10 -> conv3 -> 8x8 -> pool2 -> 4x4; 4*16 = 64 features.
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, 64, 10, ActKind::kNone));
+  for (auto level : {OptLevel::kBaseline, OptLevel::kInputTiling}) {
+    auto d = make_net(level, [&](kernels::NetworkProgramBuilder& b) {
+      b.add_conv(conv, 10, 10);
+      b.add_maxpool(mp, 4, 8, 8);
+      b.add_fc(fc);
+    });
+    const auto in = nn::quantize_tensor(nn::random_tensor(rng, 1, 10, 10));
+    const auto got = kernels::run_forward(*d.core, *d.mem, d.net, in.data);
+    const auto t1 = nn::conv2d_forward_fixp(conv, in);
+    const auto t2 = nn::maxpool_forward_fixp(mp, t1);
+    const auto want =
+        nn::fc_forward_fixp(fc, t2.data, d.core->tanh_table(), d.core->sig_table());
+    ASSERT_EQ(got, want) << kernels::opt_level_letter(level);
+  }
+}
+
+TEST(PoolKernel, PoolingIsCheapRelativeToConv) {
+  Rng rng(0x9004);
+  const auto conv = nn::quantize_conv(nn::random_conv(rng, 2, 8, 3, ActKind::kNone));
+  const nn::MaxPoolParams mp{2, 2};
+  auto with_pool = make_net(OptLevel::kInputTiling, [&](kernels::NetworkProgramBuilder& b) {
+    b.add_conv(conv, 12, 12);
+    b.add_maxpool(mp, 8, 10, 10);
+  });
+  auto conv_only = make_net(OptLevel::kInputTiling, [&](kernels::NetworkProgramBuilder& b) {
+    b.add_conv(conv, 12, 12);
+  });
+  const auto in = nn::quantize_tensor(nn::random_tensor(rng, 2, 12, 12));
+  kernels::run_forward(*with_pool.core, *with_pool.mem, with_pool.net, in.data);
+  kernels::run_forward(*conv_only.core, *conv_only.mem, conv_only.net, in.data);
+  const double overhead =
+      static_cast<double>(with_pool.core->stats().total_cycles()) /
+      static_cast<double>(conv_only.core->stats().total_cycles());
+  EXPECT_LT(overhead, 1.5);  // pooling adds O(pixels), conv is O(pixels*k^2*ch)
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -1,0 +1,192 @@
+// NN substrate tests: float reference layers, fixed-point golden models
+// (tolerance vs float), quantization, and the im2col lowering identity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/activation/pla.h"
+#include "src/common/rng.h"
+#include "src/nn/init.h"
+#include "src/nn/layers.h"
+#include "src/nn/quantize.h"
+
+namespace rnnasip::nn {
+namespace {
+
+activation::PlaTable tanh_tbl() {
+  return activation::PlaTable::build({activation::ActFunc::kTanh, 9, 32});
+}
+activation::PlaTable sig_tbl() {
+  return activation::PlaTable::build({activation::ActFunc::kSigmoid, 10, 32});
+}
+
+TEST(Quantize, VectorRoundTrip) {
+  Rng rng(7);
+  const auto v = random_vector(rng, 100, 2.0f);
+  const auto q = quantize_vector(v);
+  const auto back = dequantize_vector(q);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(back[i], v[i], 0.5f / 4096.0f);
+}
+
+TEST(FcFloat, KnownSmallCase) {
+  FcParamsF p;
+  p.w = MatrixF(2, 3);
+  // W = [[1, 2, 3], [0, -1, 1]], b = [0.5, -0.5], x = [1, 0.5, -1]
+  p.w.at(0, 0) = 1;
+  p.w.at(0, 1) = 2;
+  p.w.at(0, 2) = 3;
+  p.w.at(1, 0) = 0;
+  p.w.at(1, 1) = -1;
+  p.w.at(1, 2) = 1;
+  p.b = {0.5f, -0.5f};
+  p.act = ActKind::kNone;
+  const auto o = fc_forward(p, {1.0f, 0.5f, -1.0f});
+  ASSERT_EQ(o.size(), 2u);
+  EXPECT_FLOAT_EQ(o[0], 0.5f + 1 + 1 - 3);
+  EXPECT_FLOAT_EQ(o[1], -0.5f - 0.5f - 1);
+}
+
+TEST(FcFixp, TracksFloat) {
+  Rng rng(11);
+  const auto tt = tanh_tbl();
+  const auto st = sig_tbl();
+  for (auto act : {ActKind::kNone, ActKind::kReLU, ActKind::kTanh, ActKind::kSigmoid}) {
+    const auto pf = random_fc(rng, 40, 12, act, 0.3f);
+    const auto pq = quantize_fc(pf);
+    const auto xf = random_vector(rng, 40, 1.0f);
+    const auto got = fc_forward_fixp(pq, quantize_vector(xf), tt, st);
+    const auto ref = fc_forward(pf, xf);
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(dequantize(got[i]), ref[i], 0.02)
+          << "act=" << static_cast<int>(act) << " i=" << i;
+    }
+  }
+}
+
+TEST(FcFixp, RequantizeSaturatesLargeAccumulator) {
+  // One max-magnitude product stays inside the 32-bit accumulator and must
+  // clip to +32767 at the requantize step, not wrap.
+  FcParamsQ p;
+  p.w = MatrixQ(1, 1);
+  p.w.at(0, 0) = 32767;
+  p.b = {0};
+  p.act = ActKind::kNone;
+  const auto o = fc_forward_fixp(p, VectorQ{32767}, tanh_tbl(), sig_tbl());
+  EXPECT_EQ(o[0], 32767);
+  // And the negative side.
+  p.w.at(0, 0) = -32768;
+  const auto o2 = fc_forward_fixp(p, VectorQ{32767}, tanh_tbl(), sig_tbl());
+  EXPECT_EQ(o2[0], -32768);
+}
+
+TEST(LstmFloat, ForgetGateDynamics) {
+  // With weights at zero and forget bias huge, the cell state persists; with
+  // a large negative forget bias it decays toward zero.
+  Rng rng(13);
+  LstmParamsF p = random_lstm(rng, 4, 6, 0.0f);  // all-zero weights
+  for (auto* bias : {&p.bf}) std::fill(bias->begin(), bias->end(), 10.0f);
+  LstmStateF st{VectorF(6, 0.0f), VectorF(6, 0.5f)};
+  lstm_step(p, VectorF(4, 0.0f), st);
+  for (float c : st.c) EXPECT_NEAR(c, 0.5f, 1e-3);  // i*g = sig(0)*tanh(0) = 0
+
+  std::fill(p.bf.begin(), p.bf.end(), -10.0f);
+  LstmStateF st2{VectorF(6, 0.0f), VectorF(6, 0.5f)};
+  lstm_step(p, VectorF(4, 0.0f), st2);
+  for (float c : st2.c) EXPECT_NEAR(c, 0.0f, 1e-3);
+}
+
+TEST(LstmFixp, TracksFloatOverSequence) {
+  Rng rng(17);
+  const auto pf = random_lstm(rng, 8, 12, 0.3f);
+  const auto pq = quantize_lstm(pf);
+  const auto tt = tanh_tbl();
+  const auto st = sig_tbl();
+  LstmStateF sf{VectorF(12, 0.0f), VectorF(12, 0.0f)};
+  LstmStateQ sq{VectorQ(12, 0), VectorQ(12, 0)};
+  for (int t = 0; t < 10; ++t) {
+    const auto xf = random_vector(rng, 8, 1.0f);
+    lstm_step(pf, xf, sf);
+    lstm_step_fixp(pq, quantize_vector(xf), sq, tt, st);
+    for (int i = 0; i < 12; ++i) {
+      // Error accumulates over timesteps but stays small for a stable cell.
+      EXPECT_NEAR(dequantize(sq.h[i]), sf.h[i], 0.05) << "t=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(ConvFloat, IdentityKernelPassesThrough) {
+  ConvParamsF p;
+  p.in_ch = 1;
+  p.out_ch = 1;
+  p.kh = p.kw = 1;
+  p.w = {1.0f};
+  p.b = {0.0f};
+  Tensor3F in(1, 4, 4);
+  for (size_t i = 0; i < in.data.size(); ++i) in.data[i] = static_cast<float>(i) * 0.1f;
+  const auto out = conv2d_forward(p, in);
+  EXPECT_EQ(out.data.size(), in.data.size());
+  for (size_t i = 0; i < in.data.size(); ++i) EXPECT_FLOAT_EQ(out.data[i], in.data[i]);
+}
+
+TEST(ConvFloat, OutputDims) {
+  EXPECT_EQ(conv_out_dim(10, 3, 1, 0), 8);
+  EXPECT_EQ(conv_out_dim(10, 3, 1, 1), 10);
+  EXPECT_EQ(conv_out_dim(10, 3, 2, 0), 4);
+}
+
+TEST(ConvFixp, TracksFloat) {
+  Rng rng(19);
+  const auto pf = random_conv(rng, 3, 4, 3, ActKind::kReLU, 1, 0, 0.2f);
+  const auto pq = quantize_conv(pf);
+  const auto inf = random_tensor(rng, 3, 8, 8);
+  const auto got = conv2d_forward_fixp(pq, quantize_tensor(inf));
+  const auto ref = conv2d_forward(pf, inf);
+  ASSERT_EQ(got.data.size(), ref.data.size());
+  for (size_t i = 0; i < ref.data.size(); ++i) {
+    EXPECT_NEAR(dequantize(got.data[i]), ref.data[i], 0.03) << i;
+  }
+}
+
+TEST(Im2col, LoweringMatchesDirectConv) {
+  // Conv via im2col + row dot products must equal the direct fixed-point
+  // conv result exactly (no padding case).
+  Rng rng(23);
+  const auto pq = quantize_conv(random_conv(rng, 2, 3, 3, ActKind::kNone, 1, 0, 0.3f));
+  const auto in = quantize_tensor(random_tensor(rng, 2, 6, 6));
+  const auto direct = conv2d_forward_fixp(pq, in);
+  const auto col = im2col(pq, in);
+
+  const int oh = conv_out_dim(6, 3, 1, 0);
+  const int ow = conv_out_dim(6, 3, 1, 0);
+  ASSERT_EQ(col.rows, 2 * 3 * 3);
+  ASSERT_EQ(col.cols, oh * ow);
+  const auto tt = tanh_tbl();
+  const auto st = sig_tbl();
+  for (int p = 0; p < col.cols; ++p) {
+    FcParamsQ fc;
+    fc.w = MatrixQ(pq.out_ch, col.rows);
+    for (int oc = 0; oc < pq.out_ch; ++oc)
+      for (int k = 0; k < col.rows; ++k)
+        fc.w.at(oc, k) = pq.w[static_cast<size_t>(oc) * col.rows + k];
+    fc.b = pq.b;
+    fc.act = ActKind::kNone;
+    VectorQ x(static_cast<size_t>(col.rows));
+    for (int k = 0; k < col.rows; ++k) x[static_cast<size_t>(k)] = col.at(k, p);
+    const auto o = fc_forward_fixp(fc, x, tt, st);
+    for (int oc = 0; oc < pq.out_ch; ++oc) {
+      EXPECT_EQ(o[static_cast<size_t>(oc)], direct.data[static_cast<size_t>(oc) * oh * ow + p])
+          << "oc=" << oc << " p=" << p;
+    }
+  }
+}
+
+TEST(Tensor, BoundsChecking) {
+  MatrixF m(2, 3);
+  EXPECT_THROW(m.at(2, 0), std::runtime_error);
+  EXPECT_THROW(m.at(0, 3), std::runtime_error);
+  Tensor3F t(1, 2, 2);
+  EXPECT_THROW(t.at(1, 0, 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rnnasip::nn

@@ -1,0 +1,219 @@
+// Textual assembler tests: directed syntax cases, error reporting, pseudo
+// instructions, label arithmetic, execution of assembled programs, and the
+// disassemble -> assemble round-trip property over generated kernels.
+#include <gtest/gtest.h>
+
+#include "src/asm/builder.h"
+#include "src/asm/disasm.h"
+#include "src/asm/parser.h"
+#include "src/common/rng.h"
+#include "src/isa/encode.h"
+#include "src/iss/core.h"
+#include "src/kernels/network.h"
+#include "src/nn/init.h"
+#include "src/nn/quantize.h"
+
+namespace rnnasip::assembler {
+namespace {
+
+using namespace isa;
+
+TEST(Parser, BasicInstructions) {
+  const auto p = assemble(R"(
+    addi a0, zero, 42
+    add  a1, a0, a0
+    lw   a2, 8(sp)
+    sw   a2, -4(s0)
+    ebreak
+  )");
+  ASSERT_EQ(p.instrs.size(), 5u);
+  EXPECT_EQ(p.instrs[0].op, Opcode::kAddi);
+  EXPECT_EQ(p.instrs[0].imm, 42);
+  EXPECT_EQ(p.instrs[2].op, Opcode::kLw);
+  EXPECT_EQ(p.instrs[2].imm, 8);
+  EXPECT_EQ(p.instrs[3].imm, -4);
+  EXPECT_EQ(p.instrs[4].op, Opcode::kEbreak);
+}
+
+TEST(Parser, XpulpForms) {
+  const auto p = assemble(R"(
+    p.lw a1, 4(a0!)
+    p.sh a2, 2(a3!)
+    p.lw.rr a4, a5(a6!)
+    pv.sdotsp.h a2, a1, a1
+    pl.sdotsp.h.0 a2, a0, a1
+    pl.tanh a3, a2
+    p.clip a3, a3, 16
+  )");
+  ASSERT_EQ(p.instrs.size(), 7u);
+  EXPECT_EQ(p.instrs[0].op, Opcode::kPLw);
+  EXPECT_EQ(p.instrs[0].imm, 4);
+  EXPECT_EQ(p.instrs[2].op, Opcode::kPLwRr);
+  EXPECT_EQ(p.instrs[2].rs1, kA6);
+  EXPECT_EQ(p.instrs[2].rs2, kA5);
+  EXPECT_EQ(p.instrs[4].op, Opcode::kPlSdotspH0);
+  EXPECT_EQ(p.instrs[6].op, Opcode::kPClip);
+  EXPECT_EQ(p.instrs[6].imm, 16);
+}
+
+TEST(Parser, LabelsForwardAndBackward) {
+  const auto p = assemble(R"(
+    top:
+      addi a0, a0, 1
+      beq a0, a1, done
+      j top
+    done:
+      ebreak
+  )");
+  ASSERT_EQ(p.instrs.size(), 4u);
+  EXPECT_EQ(p.instrs[1].imm, 8);   // beq -> done (2 instrs ahead)
+  EXPECT_EQ(p.instrs[2].imm, -8);  // j -> top
+}
+
+TEST(Parser, HardwareLoopSyntax) {
+  const auto p = assemble(R"(
+      li t0, 100
+      lp.setup 0, t0, end
+      addi a0, a0, 1
+    end:
+      lp.setupi 1, 32, end2
+      addi a1, a1, 1
+    end2:
+      ebreak
+  )");
+  EXPECT_EQ(p.instrs[1].op, Opcode::kLpSetup);
+  EXPECT_EQ(p.instrs[1].imm, 8);  // end is 2 instructions after the setup
+  EXPECT_EQ(p.instrs[3].op, Opcode::kLpSetupi);
+  EXPECT_EQ(p.instrs[3].imm, 32);
+  EXPECT_EQ(p.instrs[3].imm2, 8);
+}
+
+TEST(Parser, PseudoInstructions) {
+  const auto p = assemble(R"(
+    nop
+    mv a0, a1
+    li t0, 5
+    li t1, 0x12345678
+    li t2, 0x12345000
+    ret
+  )");
+  // nop + mv + li(1) + li(2) + li(1, lui only) + ret = 7 instructions.
+  ASSERT_EQ(p.instrs.size(), 7u);
+  EXPECT_EQ(p.instrs[0].op, Opcode::kAddi);
+  EXPECT_EQ(p.instrs[3].op, Opcode::kLui);
+  EXPECT_EQ(p.instrs[4].op, Opcode::kAddi);
+  EXPECT_EQ(p.instrs[5].op, Opcode::kLui);
+  EXPECT_EQ(p.instrs[6].op, Opcode::kJalr);
+}
+
+TEST(Parser, LiExpansionKeepsLabelOffsetsRight) {
+  const auto p = assemble(R"(
+      j over
+      li t0, 0x12345678
+    over:
+      ebreak
+  )");
+  // j skips 2 instructions (the expanded li) -> offset 12.
+  EXPECT_EQ(p.instrs[0].imm, 12);
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  const auto p = assemble(R"(
+    # full-line comment
+    addi a0, a0, 1   # trailing comment
+    // C++-style
+    addi a0, a0, 2   ; asm-style
+
+  )");
+  EXPECT_EQ(p.instrs.size(), 2u);
+}
+
+TEST(Parser, NumericRegisterNames) {
+  const auto p = assemble("add x10, x11, x31\n");
+  EXPECT_EQ(p.instrs[0].rd, 10);
+  EXPECT_EQ(p.instrs[0].rs1, 11);
+  EXPECT_EQ(p.instrs[0].rs2, 31);
+}
+
+TEST(Parser, CsrFormsAndPseudos) {
+  const auto p = assemble(R"(
+    csrrw a0, 0x340, a1
+    csrrs a2, 0xc00, zero
+    csrrc a3, 0x340, a4
+    rdcycle t0
+    rdinstret t1
+  )");
+  ASSERT_EQ(p.instrs.size(), 5u);
+  EXPECT_EQ(p.instrs[0].op, Opcode::kCsrrw);
+  EXPECT_EQ(p.instrs[0].imm, 0x340);
+  EXPECT_EQ(p.instrs[1].op, Opcode::kCsrrs);
+  EXPECT_EQ(p.instrs[1].imm, 0xC00);
+  EXPECT_EQ(p.instrs[1].rs1, kZero);
+  EXPECT_EQ(p.instrs[3].op, Opcode::kCsrrs);
+  EXPECT_EQ(p.instrs[3].rd, kT0);
+  EXPECT_EQ(p.instrs[4].imm, 0xC02);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    assemble("addi a0, a0, 1\nbogus a0, a1\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+  EXPECT_THROW(assemble("addi a0, a0, 99999\n"), std::runtime_error);   // imm range
+  EXPECT_THROW(assemble("beq a0, a1, nowhere\n"), std::runtime_error);  // bad label
+  EXPECT_THROW(assemble("lp.setup 0, t0\n"), std::runtime_error);       // missing target
+  EXPECT_THROW(assemble("x: nop\nx: nop\n"), std::runtime_error);       // dup label
+}
+
+TEST(Parser, AssembledProgramExecutes) {
+  // Sum 1..10 with a hardware loop, assembled from text.
+  const auto p = assemble(R"(
+      li a0, 0
+      li a1, 0
+      lp.setupi 0, 10, end
+      addi a1, a1, 1
+      add a0, a0, a1
+    end:
+      ebreak
+  )");
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  core.load_program(p);
+  core.reset(p.base);
+  const auto res = core.run();
+  EXPECT_EQ(res.exit, iss::RunResult::Exit::kEbreak);
+  EXPECT_EQ(core.reg(isa::kA0), 55u);
+}
+
+TEST(Parser, DisassembleAssembleRoundTripOnKernels) {
+  // Property: assembling the disassembly of a generated network program
+  // reproduces the exact instruction encodings. (The disassembler prints
+  // absolute targets, which the parser accepts.)
+  iss::Memory mem(8u << 20);
+  iss::Core core(&mem);
+  Rng rng(99);
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, 24, 10, nn::ActKind::kTanh));
+  for (auto level : kernels::kAllOptLevels) {
+    kernels::NetworkProgramBuilder nb(&mem, level, core.tanh_table(), core.sig_table());
+    nb.add_fc(fc);
+    const auto net = nb.finalize();
+    // Strip the "address:" prefixes the listing adds.
+    std::string text;
+    for (size_t i = 0; i < net.program.instrs.size(); ++i) {
+      text += disassemble(net.program.instrs[i], net.program.address_of(i));
+      text += '\n';
+    }
+    const auto re = assemble(text, net.program.base);
+    ASSERT_EQ(re.instrs.size(), net.program.instrs.size())
+        << "level " << kernels::opt_level_letter(level);
+    const auto w1 = net.program.encode_words();
+    const auto w2 = re.encode_words();
+    EXPECT_EQ(w1, w2) << "level " << kernels::opt_level_letter(level);
+  }
+}
+
+}  // namespace
+}  // namespace rnnasip::assembler

@@ -1,0 +1,156 @@
+// Tests for the piecewise-linear activation approximation (the design
+// behind pl.tanh / pl.sig): hardware-semantics invariants, symmetry,
+// monotonicity, convergence, and the paper's chosen design point accuracy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/activation/pla.h"
+
+namespace rnnasip::activation {
+namespace {
+
+PlaTable paper_tanh() { return PlaTable::build({ActFunc::kTanh, 9, 32}); }
+// Sigmoid converges more slowly than tanh; the shipped configuration spans
+// ±8 with the same 32-entry LUT (see Core::Config).
+PlaTable paper_sig() { return PlaTable::build({ActFunc::kSigmoid, 10, 32}); }
+
+TEST(PlaSpec, PaperDesignPointRange) {
+  // 32 intervals of 2^9 Q3.12 LSBs = 32 * 0.125 = interpolation range 4.0.
+  const PlaSpec s{ActFunc::kTanh, 9, 32};
+  EXPECT_DOUBLE_EQ(s.range(), 4.0);
+}
+
+TEST(PlaSpec, ForRangeRecoversPaperPoint) {
+  const auto s = PlaSpec::for_range(ActFunc::kTanh, 4.0, 32);
+  EXPECT_EQ(s.log2_interval, 9);
+  EXPECT_EQ(s.num_intervals, 32);
+  EXPECT_DOUBLE_EQ(s.range(), 4.0);
+}
+
+TEST(PlaTable, TanhFixedPoints) {
+  const auto t = paper_tanh();
+  EXPECT_EQ(t.eval_raw(0), 0);  // tanh(0) = 0 exactly
+  // Convergence region: tanh(big) = 1.0 = 4096 raw.
+  EXPECT_EQ(t.eval_raw(quantize(7.9)), 4096);
+  EXPECT_EQ(t.eval_raw(quantize(-7.9)), -4096);
+}
+
+TEST(PlaTable, SigmoidFixedPoints) {
+  const auto t = paper_sig();
+  EXPECT_EQ(t.eval_raw(0), quantize(0.5));  // sig(0) = 0.5
+  // The ±8 interpolation range covers the whole Q3.12 domain, so the edges
+  // evaluate the last chord: within 2 LSBs of full saturation.
+  EXPECT_NEAR(t.eval_raw(quantize(7.9)), 4096, 2);
+  EXPECT_NEAR(t.eval_raw(quantize(-7.9)), 0, 2);
+}
+
+TEST(PlaTable, TanhIsOddSymmetric) {
+  const auto t = paper_tanh();
+  for (int32_t x = 0; x <= 32767; x += 7) {
+    EXPECT_EQ(t.eval_raw(-x), -t.eval_raw(x)) << "x=" << x;
+  }
+}
+
+TEST(PlaTable, SigmoidSymmetry) {
+  const auto t = paper_sig();
+  const int32_t one = quantize(1.0);
+  for (int32_t x = 0; x <= 32767; x += 7) {
+    EXPECT_EQ(t.eval_raw(-x), one - t.eval_raw(x)) << "x=" << x;
+  }
+}
+
+TEST(PlaTable, MonotoneWithinLutQuantization) {
+  // Chord interpolation of a monotone function is monotone; quantizing the
+  // LUT entries to 16 bits can introduce at most a 1-LSB wiggle at interval
+  // boundaries.
+  const auto t = paper_tanh();
+  const auto s = paper_sig();
+  int32_t prev_t = t.eval_raw(-32768);
+  int32_t prev_s = s.eval_raw(-32768);
+  for (int32_t x = -32767; x <= 32767; ++x) {
+    const int32_t yt = t.eval_raw(x);
+    const int32_t ys = s.eval_raw(x);
+    EXPECT_GE(yt, prev_t - 1) << "tanh not monotone at x=" << x;
+    EXPECT_GE(ys, prev_s - 1) << "sig not monotone at x=" << x;
+    prev_t = yt;
+    prev_s = ys;
+  }
+}
+
+TEST(PlaTable, OutputRangeBounded) {
+  const auto t = paper_tanh();
+  const auto s = paper_sig();
+  for (int32_t x = -32768; x <= 32767; x += 3) {
+    EXPECT_LE(std::abs(t.eval_raw(x)), 4096);
+    EXPECT_GE(s.eval_raw(x), 0);
+    EXPECT_LE(s.eval_raw(x), 4096);
+  }
+}
+
+TEST(PlaAccuracy, PaperDesignPointTanh) {
+  // Paper (Sec. III-D): range ±4, 32 intervals -> MSE 9.81e-7, max |e|
+  // 3.8e-4 vs full-precision tanh. Our chord fit with 16-bit LUT entries
+  // lands in the same band (chord bound: h^2/8 * max f'' = 1.5e-3).
+  const auto stats = measure_error(paper_tanh());
+  EXPECT_LT(stats.mse(), 5e-6);
+  EXPECT_LT(stats.max_abs_error(), 2e-3);
+}
+
+TEST(PlaAccuracy, PaperDesignPointSigmoid) {
+  const auto stats = measure_error(paper_sig());
+  EXPECT_LT(stats.mse(), 5e-6);
+  EXPECT_LT(stats.max_abs_error(), 1.5e-3);
+}
+
+TEST(PlaAccuracy, MoreIntervalsMonotonicallyBetter) {
+  double prev_mse = 1e9;
+  for (int m : {4, 8, 16, 32, 64}) {
+    const auto t = PlaTable::build(PlaSpec::for_range(ActFunc::kTanh, 4.0, m));
+    const double mse = measure_error(t).mse();
+    EXPECT_LT(mse, prev_mse) << "intervals=" << m;
+    prev_mse = mse;
+  }
+}
+
+TEST(PlaAccuracy, TooSmallRangeHurts) {
+  // Range 1 truncates tanh hard at tanh(1)=0.76 -> large max error.
+  const auto narrow = PlaTable::build(PlaSpec::for_range(ActFunc::kTanh, 1.0, 32));
+  const auto wide = PlaTable::build(PlaSpec::for_range(ActFunc::kTanh, 4.0, 32));
+  EXPECT_GT(measure_error(narrow).max_abs_error(),
+            10 * measure_error(wide).max_abs_error());
+}
+
+TEST(PlaAccuracy, LeastSquaresBeatsChordOnMse) {
+  const auto ls = PlaTable::build({ActFunc::kTanh, 9, 32, q3_12, FitMethod::kLeastSquares});
+  const auto ch = PlaTable::build({ActFunc::kTanh, 9, 32, q3_12, FitMethod::kChord});
+  EXPECT_LE(measure_error(ls).mse(), measure_error(ch).mse() * 1.01);
+}
+
+TEST(PlaTable, LutCost) {
+  // 32 intervals x (16-bit slope + 16-bit offset) = 1024 bits per function.
+  EXPECT_EQ(paper_tanh().lut_bits(), 1024);
+}
+
+class PlaSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PlaSweep, ErrorBoundedEverywhere) {
+  const auto [log2_iv, m] = GetParam();
+  for (ActFunc f : {ActFunc::kTanh, ActFunc::kSigmoid}) {
+    const auto t = PlaTable::build({f, log2_iv, m});
+    const auto stats = measure_error(t);
+    // Even configurations with a tiny interpolation range (where everything
+    // beyond the range snaps to the convergence value) stay bounded by the
+    // function's own output range, and statistics stay sane.
+    EXPECT_GT(stats.count(), 0u);
+    EXPECT_LT(stats.max_abs_error(), 1.0);
+    EXPECT_GE(stats.mse(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ConfigGrid, PlaSweep,
+                         ::testing::Combine(::testing::Values(7, 8, 9, 10, 11),
+                                            ::testing::Values(4, 8, 16, 32, 64)));
+
+}  // namespace
+}  // namespace rnnasip::activation

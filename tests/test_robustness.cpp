@@ -1,0 +1,126 @@
+// Error-injection and misuse tests: the library must fail loudly and
+// precisely on caller errors, never emit corrupt programs or silently
+// truncate.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/kernels/network.h"
+#include "src/nn/init.h"
+#include "src/nn/quantize.h"
+#include "tests/kernel_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using kernels::OptLevel;
+using nn::ActKind;
+
+TEST(Robustness, LayerSizeMismatchThrows) {
+  iss::Memory mem(4u << 20);
+  iss::Core core(&mem);
+  Rng rng(1);
+  kernels::NetworkProgramBuilder b(&mem, OptLevel::kInputTiling, core.tanh_table(),
+                                   core.sig_table());
+  b.add_fc(nn::quantize_fc(nn::random_fc(rng, 16, 8, ActKind::kNone)));
+  EXPECT_THROW(b.add_fc(nn::quantize_fc(nn::random_fc(rng, 10, 4, ActKind::kNone))),
+               std::runtime_error);
+}
+
+TEST(Robustness, EmptyNetworkThrows) {
+  iss::Memory mem(4u << 20);
+  iss::Core core(&mem);
+  kernels::NetworkProgramBuilder b(&mem, OptLevel::kBaseline, core.tanh_table(),
+                                   core.sig_table());
+  EXPECT_THROW(b.finalize(), std::runtime_error);
+}
+
+TEST(Robustness, DoubleFinalizeThrows) {
+  iss::Memory mem(4u << 20);
+  iss::Core core(&mem);
+  Rng rng(2);
+  kernels::NetworkProgramBuilder b(&mem, OptLevel::kBaseline, core.tanh_table(),
+                                   core.sig_table());
+  b.add_fc(nn::quantize_fc(nn::random_fc(rng, 4, 2, ActKind::kNone)));
+  b.finalize();
+  EXPECT_THROW(b.finalize(), std::runtime_error);
+}
+
+TEST(Robustness, OddInputCountRejectedAtSimdLevels) {
+  iss::Memory mem(4u << 20);
+  iss::Core core(&mem);
+  Rng rng(3);
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, 15, 4, ActKind::kNone));
+  kernels::NetworkProgramBuilder b(&mem, OptLevel::kXpulpSimd, core.tanh_table(),
+                                   core.sig_table());
+  EXPECT_THROW(b.add_fc(fc), std::runtime_error);
+  // The baseline level handles odd inputs fine.
+  kernels::NetworkProgramBuilder b2(&mem, OptLevel::kBaseline, core.tanh_table(),
+                                    core.sig_table());
+  b2.add_fc(fc);
+  EXPECT_NO_THROW(b2.finalize());
+}
+
+TEST(Robustness, DeviceMemoryExhaustionThrows) {
+  iss::Memory mem(1u << 17);  // 128 KiB: too small for a big layer
+  iss::Core core(&mem);
+  Rng rng(4);
+  kernels::NetworkProgramBuilder b(&mem, OptLevel::kInputTiling, core.tanh_table(),
+                                   core.sig_table());
+  EXPECT_THROW(b.add_fc(nn::quantize_fc(nn::random_fc(rng, 500, 300, ActKind::kNone))),
+               std::runtime_error);
+}
+
+TEST(Robustness, WrongInputSizeToRunForwardThrows) {
+  Rng rng(5);
+  auto d = kernel_test::make_net(OptLevel::kBaseline,
+                                 [&](kernels::NetworkProgramBuilder& b) {
+                                   b.add_fc(nn::quantize_fc(
+                                       nn::random_fc(rng, 8, 4, ActKind::kNone)));
+                                 });
+  const std::vector<int16_t> wrong(5, 0);
+  EXPECT_THROW(kernels::run_forward(*d.core, *d.mem, d.net, wrong), std::runtime_error);
+}
+
+TEST(Robustness, ConvWithPaddingRejected) {
+  iss::Memory mem(8u << 20);
+  iss::Core core(&mem);
+  Rng rng(6);
+  auto conv = nn::quantize_conv(nn::random_conv(rng, 2, 3, 3, ActKind::kNone, 1, /*pad=*/1));
+  kernels::NetworkProgramBuilder b(&mem, OptLevel::kBaseline, core.tanh_table(),
+                                   core.sig_table());
+  EXPECT_THROW(b.add_conv(conv, 8, 8), std::runtime_error);
+}
+
+TEST(Robustness, WeightRowBeyondAddiRangeRejected) {
+  // cin > 1023 halfwords would overflow the addi-chained row stride.
+  iss::Memory mem(64u << 20);
+  iss::Core core(&mem);
+  Rng rng(7);
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, 1200, 4, ActKind::kNone));
+  kernels::NetworkProgramBuilder b(&mem, OptLevel::kOutputTiling, core.tanh_table(),
+                                   core.sig_table());
+  EXPECT_THROW(b.add_fc(fc), std::runtime_error);
+}
+
+TEST(Robustness, ProgramRunsOnlyAfterLoad) {
+  // A reset core with no program traps on the first illegal word (zeroed
+  // memory) instead of running garbage.
+  iss::Memory mem(1u << 16);
+  iss::Core core(&mem);
+  core.reset(0x1000);
+  const auto res = core.run(10);
+  EXPECT_EQ(res.exit, iss::RunResult::Exit::kTrap);
+}
+
+TEST(Robustness, CheckMessagesCarryContext) {
+  try {
+    iss::Memory mem(1u << 16);
+    mem.load32(0xFFFFFFF0u);
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rnnasip

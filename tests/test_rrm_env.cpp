@@ -1,0 +1,96 @@
+// Tests for the radio-environment models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/rrm/env.h"
+
+namespace rnnasip::rrm {
+namespace {
+
+TEST(GilbertElliott, Deterministic) {
+  GilbertElliottChannels a(4, 123), b(4, 123);
+  for (int t = 0; t < 50; ++t) {
+    a.step();
+    b.step();
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(a.busy(c), b.busy(c)) << t;
+  }
+}
+
+TEST(GilbertElliott, OccupancyTracksTransitionProbabilities) {
+  GilbertElliottChannels ch(8, 7, /*p_stay_busy=*/0.9, /*p_become_busy=*/0.1);
+  // Stationary busy probability = p_become / (1 - p_stay + p_become) = 0.5.
+  int busy = 0, total = 0;
+  for (int t = 0; t < 2000; ++t) {
+    ch.step();
+    for (int c = 0; c < 8; ++c) {
+      busy += ch.busy(c) ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(busy) / total, 0.5, 0.05);
+}
+
+TEST(GilbertElliott, ObservationEncoding) {
+  GilbertElliottChannels ch(3, 1);
+  const auto obs = ch.observation();
+  ASSERT_EQ(obs.size(), 3u);
+  for (double v : obs) EXPECT_TRUE(v == 1.0 || v == -1.0);
+}
+
+TEST(InterferenceField, DirectLinkDominates) {
+  InterferenceField f(6, 99);
+  // Direct links are short (1-10 m), interference travels farther on
+  // average: the diagonal should usually carry the largest gain per row.
+  int dominant = 0;
+  for (int i = 0; i < 6; ++i) {
+    bool diag_best = true;
+    for (int j = 0; j < 6; ++j) {
+      if (j != i && f.gain(i, j) > f.gain(i, i)) diag_best = false;
+    }
+    dominant += diag_best ? 1 : 0;
+  }
+  EXPECT_GE(dominant, 4);
+}
+
+TEST(InterferenceField, SinrAndRateBehaveMonotonically) {
+  InterferenceField f(4, 5);
+  std::vector<double> p(4, 1.0);
+  const auto s1 = f.sinr(p);
+  // Raising own power raises own SINR and lowers everyone else's.
+  p[0] = 4.0;
+  const auto s2 = f.sinr(p);
+  EXPECT_GT(s2[0], s1[0]);
+  for (int i = 1; i < 4; ++i) EXPECT_LE(s2[i], s1[i] + 1e-12);
+  // All-zero powers give zero rate.
+  EXPECT_EQ(f.sum_rate(std::vector<double>(4, 0.0)), 0.0);
+  EXPECT_GT(f.sum_rate(std::vector<double>(4, 1.0)), 0.0);
+}
+
+TEST(InterferenceField, NormalizedGainsInRange) {
+  InterferenceField f(5, 17);
+  const auto g = f.normalized_gains();
+  ASSERT_EQ(g.size(), 25u);
+  double lo = 1e9, hi = -1e9;
+  for (double v : g) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_NEAR(lo, -1.0, 1e-9);  // extremes map exactly to the interval ends
+  EXPECT_NEAR(hi, 1.0, 1e-9);
+}
+
+TEST(InterferenceField, RefadePerturbsButPreservesScale) {
+  InterferenceField f(4, 21);
+  const double before = f.gain(0, 0);
+  f.refade(0.5);
+  const double after = f.gain(0, 0);
+  EXPECT_NE(before, after);
+  EXPECT_GT(after, before / 10.0);
+  EXPECT_LT(after, before * 10.0);
+}
+
+}  // namespace
+}  // namespace rnnasip::rrm

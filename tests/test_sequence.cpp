@@ -1,0 +1,152 @@
+// Device-driven sequence execution tests: the whole T-step recurrent
+// inference runs as one program, staging inputs/outputs through device
+// arrays — results must match T host-driven single steps bit-exactly.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/kernels/network.h"
+#include "src/nn/init.h"
+#include "src/nn/quantize.h"
+
+namespace rnnasip {
+namespace {
+
+using kernels::OptLevel;
+using nn::ActKind;
+
+struct SeqNet {
+  std::unique_ptr<iss::Memory> mem;
+  std::unique_ptr<iss::Core> core;
+  kernels::BuiltNetwork net;
+};
+
+template <typename AddLayers>
+SeqNet make_seq(OptLevel level, int steps, const AddLayers& add) {
+  SeqNet d;
+  d.mem = std::make_unique<iss::Memory>(16u << 20);
+  d.core = std::make_unique<iss::Core>(d.mem.get());
+  kernels::NetworkProgramBuilder b(d.mem.get(), level, d.core->tanh_table(),
+                                   d.core->sig_table(), 8, steps);
+  add(b);
+  d.net = b.finalize();
+  d.core->load_program(d.net.program);
+  return d;
+}
+
+TEST(Sequence, LstmSequenceMatchesHostDrivenSteps) {
+  Rng rng(0x5E9);
+  const int steps = 6;
+  const auto lstm = nn::quantize_lstm(nn::random_lstm(rng, 8, 16, 0.3f));
+  const auto head = nn::quantize_fc(nn::random_fc(rng, 16, 4, ActKind::kNone));
+
+  std::vector<int16_t> inputs;
+  std::vector<std::vector<int16_t>> per_step;
+  for (int t = 0; t < steps; ++t) {
+    per_step.push_back(nn::quantize_vector(nn::random_vector(rng, 8, 1.0f)));
+    inputs.insert(inputs.end(), per_step.back().begin(), per_step.back().end());
+  }
+
+  for (auto level : {OptLevel::kBaseline, OptLevel::kOutputTiling, OptLevel::kInputTiling}) {
+    auto seq = make_seq(level, steps, [&](kernels::NetworkProgramBuilder& b) {
+      b.add_lstm(lstm);
+      b.add_fc(head);
+    });
+    const auto got = kernels::run_sequence(*seq.core, *seq.mem, seq.net, inputs);
+    ASSERT_EQ(got.size(), static_cast<size_t>(steps * 4));
+
+    // Host-driven reference: a non-sequence build stepped T times.
+    auto ref = make_seq(level, 1, [&](kernels::NetworkProgramBuilder& b) {
+      b.add_lstm(lstm);
+      b.add_fc(head);
+    });
+    kernels::reset_state(*ref.mem, ref.net);
+    for (int t = 0; t < steps; ++t) {
+      const auto out = kernels::run_forward(*ref.core, *ref.mem, ref.net, per_step[t]);
+      for (int j = 0; j < 4; ++j) {
+        ASSERT_EQ(got[static_cast<size_t>(t * 4 + j)], out[static_cast<size_t>(j)])
+            << "level " << kernels::opt_level_letter(level) << " t=" << t << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Sequence, FcFirstNetworkStagesThroughInputBuffer) {
+  // Non-recurrent networks also work in sequence mode (batch evaluation).
+  Rng rng(0x5EA);
+  const int steps = 5;
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, 12, 6, ActKind::kReLU));
+  auto seq = make_seq(OptLevel::kInputTiling, steps,
+                      [&](kernels::NetworkProgramBuilder& b) { b.add_fc(fc); });
+  std::vector<int16_t> inputs;
+  std::vector<std::vector<int16_t>> per_step;
+  for (int t = 0; t < steps; ++t) {
+    per_step.push_back(nn::quantize_vector(nn::random_vector(rng, 12, 1.0f)));
+    inputs.insert(inputs.end(), per_step.back().begin(), per_step.back().end());
+  }
+  const auto got = kernels::run_sequence(*seq.core, *seq.mem, seq.net, inputs);
+  for (int t = 0; t < steps; ++t) {
+    const auto want = nn::fc_forward_fixp(fc, per_step[t], seq.core->tanh_table(),
+                                          seq.core->sig_table());
+    for (int j = 0; j < 6; ++j) {
+      ASSERT_EQ(got[static_cast<size_t>(t * 6 + j)], want[static_cast<size_t>(j)]) << t;
+    }
+  }
+}
+
+TEST(Sequence, RerunningReproducesResults) {
+  Rng rng(0x5EB);
+  const auto gru = nn::quantize_gru(nn::random_gru(rng, 6, 12, 0.3f));
+  auto seq = make_seq(OptLevel::kLoadCompute, 4,
+                      [&](kernels::NetworkProgramBuilder& b) { b.add_gru(gru); });
+  std::vector<int16_t> inputs(4 * 6);
+  for (auto& v : inputs) v = static_cast<int16_t>(quantize(rng.next_in(-1, 1)));
+  const auto a = kernels::run_sequence(*seq.core, *seq.mem, seq.net, inputs);
+  const auto b = kernels::run_sequence(*seq.core, *seq.mem, seq.net, inputs);
+  EXPECT_EQ(a, b);  // cursors and state fully re-armed
+}
+
+TEST(Sequence, PerStepOverheadIsLowerThanHostDriven) {
+  // Device-driven sequencing amortizes the program-entry/-exit overhead.
+  Rng rng(0x5EC);
+  const int steps = 16;
+  const auto lstm = nn::quantize_lstm(nn::random_lstm(rng, 8, 16, 0.3f));
+  auto seq = make_seq(OptLevel::kInputTiling, steps,
+                      [&](kernels::NetworkProgramBuilder& b) { b.add_lstm(lstm); });
+  std::vector<int16_t> inputs(static_cast<size_t>(steps) * 8, 0);
+  kernels::run_sequence(*seq.core, *seq.mem, seq.net, inputs);
+  const uint64_t seq_cycles = seq.core->stats().total_cycles();
+
+  auto ref = make_seq(OptLevel::kInputTiling, 1,
+                      [&](kernels::NetworkProgramBuilder& b) { b.add_lstm(lstm); });
+  kernels::reset_state(*ref.mem, ref.net);
+  const std::vector<int16_t> x(8, 0);
+  for (int t = 0; t < steps; ++t) kernels::run_forward(*ref.core, *ref.mem, ref.net, x);
+  const uint64_t host_cycles = ref.core->stats().total_cycles();
+
+  // The device-driven version pays the input/output staging copies but
+  // amortizes nothing else; it must stay within a few percent.
+  EXPECT_LT(seq_cycles, host_cycles * 1.15);
+}
+
+TEST(Sequence, RejectsWrongInputLength) {
+  Rng rng(0x5EE);
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, 8, 4, ActKind::kNone));
+  auto seq = make_seq(OptLevel::kBaseline, 3,
+                      [&](kernels::NetworkProgramBuilder& b) { b.add_fc(fc); });
+  const std::vector<int16_t> too_short(2 * 8, 0);  // needs 3 steps x 8
+  EXPECT_THROW(kernels::run_sequence(*seq.core, *seq.mem, seq.net, too_short),
+               std::runtime_error);
+}
+
+TEST(Sequence, RunSequenceRejectsNonSequenceNet) {
+  Rng rng(0x5ED);
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, 8, 4, ActKind::kNone));
+  auto plain = make_seq(OptLevel::kBaseline, 1,
+                        [&](kernels::NetworkProgramBuilder& b) { b.add_fc(fc); });
+  const std::vector<int16_t> inputs(8, 0);
+  EXPECT_THROW(kernels::run_sequence(*plain.core, *plain.mem, plain.net, inputs),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -1,0 +1,45 @@
+// Tests for the table renderer used by the benchmark harness.
+#include <gtest/gtest.h>
+
+#include "src/common/table.h"
+
+namespace rnnasip {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "cycles"});
+  t.add_row({"lw!", "2432"});
+  t.add_row({"pv.sdot", "811"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("pv.sdot"), std::string::npos);
+  // Numeric column is right-aligned: "2432" ends at the same offset as "811".
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::runtime_error);
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1'000");
+  EXPECT_EQ(fmt_count(14683), "14'683");
+  EXPECT_EQ(fmt_count(1234567890), "1'234'567'890");
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(15.0, 1), "15.0");
+}
+
+}  // namespace
+}  // namespace rnnasip

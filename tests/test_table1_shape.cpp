@@ -1,0 +1,102 @@
+// Regression guard for the paper's Table I histogram shapes: the per-level
+// instruction-mix ratios that define each optimization are pinned so a
+// kernel-generator change that silently alters a schedule fails here.
+#include <gtest/gtest.h>
+
+#include "src/rrm/suite.h"
+
+namespace rnnasip::rrm {
+namespace {
+
+using kernels::OptLevel;
+
+double kcyc(const SuiteResult& s, const char* group) {
+  const auto g = s.total.by_display_group();
+  const auto it = g.find(group);
+  return it == g.end() ? 0.0 : static_cast<double>(it->second.cycles);
+}
+
+double kinstr(const SuiteResult& s, const char* group) {
+  const auto g = s.total.by_display_group();
+  const auto it = g.find(group);
+  return it == g.end() ? 0.0 : static_cast<double>(it->second.instrs);
+}
+
+class TableOneShape : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RunOptions opt;
+    opt.verify = false;
+    for (auto level : kernels::kAllOptLevels) {
+      results_->push_back(run_suite(level, opt));
+    }
+  }
+  static void TearDownTestSuite() { results_->clear(); }
+  static const SuiteResult& at(OptLevel l) {
+    return (*results_)[static_cast<size_t>(l)];
+  }
+  static std::vector<SuiteResult>* results_;
+};
+
+std::vector<SuiteResult>* TableOneShape::results_ = new std::vector<SuiteResult>();
+
+TEST_F(TableOneShape, BaselineColumnRatios) {
+  // Table Ia: per MAC — 2 lh, 1 lw, 1 sw, 2 addi, 1 bltu(2cyc), 1 mac.
+  const auto& a = at(OptLevel::kBaseline);
+  const double macs = kinstr(a, "mac");
+  EXPECT_GT(macs, 100'000);
+  EXPECT_NEAR(kinstr(a, "lh") / macs, 2.0, 0.1);
+  EXPECT_NEAR(kinstr(a, "lw") / macs, 1.0, 0.1);
+  EXPECT_NEAR(kinstr(a, "sw") / macs, 1.0, 0.1);
+  EXPECT_NEAR(kinstr(a, "addi") / macs, 2.0, 0.35);
+  // Taken branches dominate: ~2 cycles per bltu.
+  EXPECT_NEAR(kcyc(a, "bltu") / kinstr(a, "bltu"), 2.0, 0.1);
+  // ~9 cycles per MAC overall.
+  EXPECT_NEAR(static_cast<double>(a.total_cycles) / macs, 9.0, 0.8);
+}
+
+TEST_F(TableOneShape, LevelBLoadStallRatio) {
+  // Table Ib: lw! at 1.5 cycles/instruction (every pair's second load
+  // stalls into the sdot).
+  const auto& b = at(OptLevel::kXpulpSimd);
+  EXPECT_NEAR(kcyc(b, "lw!") / kinstr(b, "lw!"), 1.5, 0.06);
+  // Two loads per sdot.
+  EXPECT_NEAR(kinstr(b, "lw!") / kinstr(b, "pv.sdot"), 2.0, 0.1);
+}
+
+TEST_F(TableOneShape, LevelCRemovesStallsAndSharesLoads) {
+  // Table Ic: lw! at ~1.0 cycles, and well under 2 loads per sdot.
+  const auto& c = at(OptLevel::kOutputTiling);
+  EXPECT_NEAR(kcyc(c, "lw!") / kinstr(c, "lw!"), 1.0, 0.05);
+  EXPECT_LT(kinstr(c, "lw!") / kinstr(c, "pv.sdot"), 1.45);
+  // The HW activations appear (merged tanh,sig group) and are single-cycle.
+  EXPECT_GT(kinstr(c, "tanh,sig"), 0);
+  EXPECT_EQ(kcyc(c, "tanh,sig"), kinstr(c, "tanh,sig"));
+}
+
+TEST_F(TableOneShape, LevelDFoldsWeightLoads) {
+  // Table Id: pl.sdot carries the MACs; the explicit loads that remain are
+  // the x stream at ~2 cycles each (the Table II bubble).
+  const auto& d = at(OptLevel::kLoadCompute);
+  EXPECT_GT(kinstr(d, "pl.sdot"), 100'000);
+  EXPECT_LT(kinstr(d, "lw!"), 0.25 * kinstr(d, "pl.sdot"));
+  EXPECT_NEAR(kcyc(d, "lw!") / kinstr(d, "lw!"), 2.0, 0.25);
+}
+
+TEST_F(TableOneShape, LevelERemovesTheBubble) {
+  // Table Ie: lw! back to ~1 cycle/instruction; pl.sdot >= 75% of cycles.
+  const auto& e = at(OptLevel::kInputTiling);
+  EXPECT_NEAR(kcyc(e, "lw!") / kinstr(e, "lw!"), 1.0, 0.35);
+  EXPECT_GT(kcyc(e, "pl.sdot") / static_cast<double>(e.total_cycles), 0.75);
+}
+
+TEST_F(TableOneShape, CumulativeSpeedupLadder) {
+  const double base = static_cast<double>(at(OptLevel::kBaseline).total_cycles);
+  EXPECT_NEAR(base / at(OptLevel::kXpulpSimd).total_cycles, 4.45, 0.6);
+  EXPECT_NEAR(base / at(OptLevel::kOutputTiling).total_cycles, 8.2, 1.0);
+  EXPECT_NEAR(base / at(OptLevel::kLoadCompute).total_cycles, 13.6, 1.5);
+  EXPECT_NEAR(base / at(OptLevel::kInputTiling).total_cycles, 15.0, 1.5);
+}
+
+}  // namespace
+}  // namespace rnnasip::rrm

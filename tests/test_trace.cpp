@@ -1,0 +1,86 @@
+// Tests for the tracing/profiling infrastructure.
+#include <gtest/gtest.h>
+
+#include "src/asm/parser.h"
+#include "src/iss/trace.h"
+
+namespace rnnasip::iss {
+namespace {
+
+assembler::Program loop_program() {
+  return assembler::assemble(R"(
+      li a0, 0
+      lp.setupi 0, 50, end
+      addi a0, a0, 1
+      addi a1, a1, 2
+    end:
+      ebreak
+  )");
+}
+
+TEST(TraceWriter, RecordsEveryRetiredInstruction) {
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  const auto p = loop_program();
+  core.load_program(p);
+  core.reset(p.base);
+  TraceWriter tw(0);
+  core.set_trace(tw.hook());
+  const auto res = core.run();
+  EXPECT_EQ(res.exit, RunResult::Exit::kEbreak);
+  // li + setup + 100 body (ebreak is not traced through execute()).
+  EXPECT_EQ(tw.lines().size(), 102u);
+  EXPECT_NE(tw.str().find("lp.setupi"), std::string::npos);
+  EXPECT_NE(tw.str().find("addi a0, a0, 1"), std::string::npos);
+}
+
+TEST(TraceWriter, CapsAndReportsTruncation) {
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  const auto p = loop_program();
+  core.load_program(p);
+  core.reset(p.base);
+  TraceWriter tw(10);
+  core.set_trace(tw.hook());
+  core.run();
+  EXPECT_EQ(tw.lines().size(), 10u);
+  EXPECT_TRUE(tw.truncated());
+  EXPECT_NE(tw.str().find("truncated"), std::string::npos);
+}
+
+TEST(Profiler, FindsTheLoopBodyAsHotspot) {
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  const auto p = loop_program();
+  core.load_program(p);
+  core.reset(p.base);
+  Profiler prof;
+  core.set_trace(prof.hook());
+  core.run();
+  ASSERT_GT(prof.total_cycles(), 100u);
+  const auto hot = prof.hotspots(p, 2);
+  ASSERT_EQ(hot.size(), 2u);
+  // The two loop-body addis each account for ~49% of cycles.
+  EXPECT_EQ(hot[0].cycles, 50u);
+  EXPECT_EQ(hot[1].cycles, 50u);
+  EXPECT_GT(hot[0].share, 0.4);
+  EXPECT_NE(hot[0].disasm.find("addi"), std::string::npos);
+}
+
+TEST(Profiler, SharesSumToOne) {
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  const auto p = loop_program();
+  core.load_program(p);
+  core.reset(p.base);
+  Profiler prof;
+  core.set_trace(prof.hook());
+  core.run();
+  const auto hot = prof.hotspots(p, 1000);
+  double sum = 0;
+  for (const auto& h : hot) sum += h.share;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rnnasip::iss

@@ -1,0 +1,41 @@
+// Compile-and-link check of the umbrella header: one translation unit that
+// touches every exported subsystem.
+#include <gtest/gtest.h>
+
+#include "src/rnnasip.h"
+
+namespace rnnasip {
+namespace {
+
+TEST(Umbrella, EverySubsystemIsReachable) {
+  // isa + asm
+  assembler::ProgramBuilder b;
+  b.li(isa::kA0, 1);
+  b.ebreak();
+  const auto prog = b.build();
+  EXPECT_FALSE(prog.instrs.empty());
+  EXPECT_FALSE(assembler::disassemble(prog).empty());
+  EXPECT_TRUE(isa::decode(prog.encode_words()[0]).has_value());
+  // iss
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  core.load_program(prog);
+  core.reset(prog.base);
+  EXPECT_TRUE(core.run().ok());
+  // activation
+  EXPECT_EQ(core.tanh_table().eval_raw(0), 0);
+  // nn
+  Rng rng(1);
+  const auto fc = nn::quantize_fc(nn::random_fc(rng, 4, 2, nn::ActKind::kNone));
+  EXPECT_EQ(fc.w.rows, 2);
+  // rrm
+  EXPECT_EQ(rrm::rrm_suite().size(), 10u);
+  rrm::InterferenceField field(2, 1);
+  EXPECT_GT(rrm::wmmse(field).iterations, 0);
+  // impl model
+  impl_model::AreaModel area;
+  EXPECT_NEAR(area.extension_kge(), 2.3, 1e-9);
+}
+
+}  // namespace
+}  // namespace rnnasip

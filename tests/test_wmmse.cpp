@@ -1,0 +1,69 @@
+// Tests for the classical WMMSE power-allocation baseline.
+#include <gtest/gtest.h>
+
+#include "src/rrm/wmmse.h"
+
+namespace rnnasip::rrm {
+namespace {
+
+TEST(Wmmse, BeatsFullPowerInInterferenceLimitedScenes) {
+  // With strong cross-interference, backing some links off must improve the
+  // sum-rate over everyone-at-max-power (the whole point of the algorithm).
+  int wins = 0;
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    InterferenceField f(8, seed, /*area=*/30.0);  // dense -> interference-limited
+    WmmseOptions opt;
+    const auto res = wmmse(f, opt);
+    const double full = f.sum_rate(std::vector<double>(8, opt.p_max), opt.noise);
+    if (res.rate_trace.back() > full + 1e-9) ++wins;
+    // Never worse than full power by construction of the initialization.
+    EXPECT_GE(res.rate_trace.back(), full - 1e-6) << "seed " << seed;
+  }
+  EXPECT_GE(wins, 6);
+}
+
+TEST(Wmmse, SumRateIsMonotoneNonDecreasing) {
+  InterferenceField f(6, 42, 40.0);
+  const auto res = wmmse(f);
+  for (size_t i = 1; i < res.rate_trace.size(); ++i) {
+    EXPECT_GE(res.rate_trace[i], res.rate_trace[i - 1] - 1e-9) << "iteration " << i;
+  }
+}
+
+TEST(Wmmse, ConvergesAndRespectsPowerBudget) {
+  InterferenceField f(5, 77, 50.0);
+  WmmseOptions opt;
+  opt.p_max = 2.0;
+  const auto res = wmmse(f, opt);
+  EXPECT_LT(res.iterations, opt.max_iterations);  // tolerance-stopped
+  for (double p : res.powers) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, opt.p_max + 1e-9);
+  }
+}
+
+TEST(Wmmse, FlopCountScalesQuadratically) {
+  WmmseOptions opt;
+  opt.max_iterations = 10;
+  opt.tolerance = 0;  // force all iterations
+  InterferenceField f4(4, 9), f8(8, 9);
+  const auto r4 = wmmse(f4, opt);
+  const auto r8 = wmmse(f8, opt);
+  ASSERT_EQ(r4.iterations, 10);
+  ASSERT_EQ(r8.iterations, 10);
+  const double ratio = static_cast<double>(r8.flops) / static_cast<double>(r4.flops);
+  EXPECT_GT(ratio, 3.0);  // ~4x for 2x pairs
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(Wmmse, SingleLinkGoesFullPower) {
+  // No interference: the optimum is transmit at the budget.
+  InterferenceField f(1, 3);
+  WmmseOptions opt;
+  opt.p_max = 1.5;
+  const auto res = wmmse(f, opt);
+  EXPECT_NEAR(res.powers[0], 1.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace rnnasip::rrm
