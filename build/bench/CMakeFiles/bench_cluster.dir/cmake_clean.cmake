@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster.dir/bench_cluster.cpp.o"
+  "CMakeFiles/bench_cluster.dir/bench_cluster.cpp.o.d"
+  "bench_cluster"
+  "bench_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

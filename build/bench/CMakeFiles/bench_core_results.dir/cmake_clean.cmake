@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_core_results.dir/bench_core_results.cpp.o"
+  "CMakeFiles/bench_core_results.dir/bench_core_results.cpp.o.d"
+  "bench_core_results"
+  "bench_core_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_core_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_core_results.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dual_issue.dir/bench_dual_issue.cpp.o"
+  "CMakeFiles/bench_dual_issue.dir/bench_dual_issue.cpp.o.d"
+  "bench_dual_issue"
+  "bench_dual_issue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dual_issue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dvfs.dir/bench_dvfs.cpp.o"
+  "CMakeFiles/bench_dvfs.dir/bench_dvfs.cpp.o.d"
+  "bench_dvfs"
+  "bench_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_efficiency_levels.dir/bench_efficiency_levels.cpp.o"
+  "CMakeFiles/bench_efficiency_levels.dir/bench_efficiency_levels.cpp.o.d"
+  "bench_efficiency_levels"
+  "bench_efficiency_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_efficiency_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_int8.dir/bench_int8.cpp.o"
+  "CMakeFiles/bench_int8.dir/bench_int8.cpp.o.d"
+  "bench_int8"
+  "bench_int8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_int8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

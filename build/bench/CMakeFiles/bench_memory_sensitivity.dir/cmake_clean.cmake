@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_sensitivity.dir/bench_memory_sensitivity.cpp.o"
+  "CMakeFiles/bench_memory_sensitivity.dir/bench_memory_sensitivity.cpp.o.d"
+  "bench_memory_sensitivity"
+  "bench_memory_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

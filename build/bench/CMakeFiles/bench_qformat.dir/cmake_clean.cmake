@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qformat.dir/bench_qformat.cpp.o"
+  "CMakeFiles/bench_qformat.dir/bench_qformat.cpp.o.d"
+  "bench_qformat"
+  "bench_qformat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qformat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rnn_flavors.dir/bench_rnn_flavors.cpp.o"
+  "CMakeFiles/bench_rnn_flavors.dir/bench_rnn_flavors.cpp.o.d"
+  "bench_rnn_flavors"
+  "bench_rnn_flavors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rnn_flavors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

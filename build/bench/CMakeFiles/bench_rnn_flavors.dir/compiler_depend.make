@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_rnn_flavors.
+# This may be replaced when dependencies are built.

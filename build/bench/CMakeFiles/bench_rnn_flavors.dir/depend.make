@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_rnn_flavors.
+# This may be replaced when dependencies are built.

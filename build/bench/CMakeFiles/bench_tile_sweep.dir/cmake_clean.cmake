@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tile_sweep.dir/bench_tile_sweep.cpp.o"
+  "CMakeFiles/bench_tile_sweep.dir/bench_tile_sweep.cpp.o.d"
+  "bench_tile_sweep"
+  "bench_tile_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tile_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_playground.dir/asm_playground.cpp.o"
+  "CMakeFiles/asm_playground.dir/asm_playground.cpp.o.d"
+  "asm_playground"
+  "asm_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

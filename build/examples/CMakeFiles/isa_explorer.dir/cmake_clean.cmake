@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_explorer.dir/isa_explorer.cpp.o"
+  "CMakeFiles/isa_explorer.dir/isa_explorer.cpp.o.d"
+  "isa_explorer"
+  "isa_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

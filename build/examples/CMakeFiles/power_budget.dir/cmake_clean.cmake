@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_budget.dir/power_budget.cpp.o"
+  "CMakeFiles/power_budget.dir/power_budget.cpp.o.d"
+  "power_budget"
+  "power_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_control_sim.dir/power_control_sim.cpp.o"
+  "CMakeFiles/power_control_sim.dir/power_control_sim.cpp.o.d"
+  "power_control_sim"
+  "power_control_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_control_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnnasip_sim.dir/rnnasip_sim.cpp.o"
+  "CMakeFiles/rnnasip_sim.dir/rnnasip_sim.cpp.o.d"
+  "rnnasip_sim"
+  "rnnasip_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnnasip_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

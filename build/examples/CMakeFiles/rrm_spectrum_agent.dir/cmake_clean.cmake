@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrm_spectrum_agent.dir/rrm_spectrum_agent.cpp.o"
+  "CMakeFiles/rrm_spectrum_agent.dir/rrm_spectrum_agent.cpp.o.d"
+  "rrm_spectrum_agent"
+  "rrm_spectrum_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrm_spectrum_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

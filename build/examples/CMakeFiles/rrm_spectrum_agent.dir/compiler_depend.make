@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rrm_spectrum_agent.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnnasip_activation.dir/pla.cpp.o"
+  "CMakeFiles/rnnasip_activation.dir/pla.cpp.o.d"
+  "librnnasip_activation.a"
+  "librnnasip_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnnasip_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

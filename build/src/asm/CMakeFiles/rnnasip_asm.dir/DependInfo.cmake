@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asm/builder.cpp" "src/asm/CMakeFiles/rnnasip_asm.dir/builder.cpp.o" "gcc" "src/asm/CMakeFiles/rnnasip_asm.dir/builder.cpp.o.d"
+  "/root/repo/src/asm/compress_pass.cpp" "src/asm/CMakeFiles/rnnasip_asm.dir/compress_pass.cpp.o" "gcc" "src/asm/CMakeFiles/rnnasip_asm.dir/compress_pass.cpp.o.d"
+  "/root/repo/src/asm/disasm.cpp" "src/asm/CMakeFiles/rnnasip_asm.dir/disasm.cpp.o" "gcc" "src/asm/CMakeFiles/rnnasip_asm.dir/disasm.cpp.o.d"
+  "/root/repo/src/asm/parser.cpp" "src/asm/CMakeFiles/rnnasip_asm.dir/parser.cpp.o" "gcc" "src/asm/CMakeFiles/rnnasip_asm.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rnnasip_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rnnasip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnnasip_asm.dir/builder.cpp.o"
+  "CMakeFiles/rnnasip_asm.dir/builder.cpp.o.d"
+  "CMakeFiles/rnnasip_asm.dir/compress_pass.cpp.o"
+  "CMakeFiles/rnnasip_asm.dir/compress_pass.cpp.o.d"
+  "CMakeFiles/rnnasip_asm.dir/disasm.cpp.o"
+  "CMakeFiles/rnnasip_asm.dir/disasm.cpp.o.d"
+  "CMakeFiles/rnnasip_asm.dir/parser.cpp.o"
+  "CMakeFiles/rnnasip_asm.dir/parser.cpp.o.d"
+  "librnnasip_asm.a"
+  "librnnasip_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnnasip_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnnasip_common.dir/fixed_point.cpp.o"
+  "CMakeFiles/rnnasip_common.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/rnnasip_common.dir/stats.cpp.o"
+  "CMakeFiles/rnnasip_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rnnasip_common.dir/table.cpp.o"
+  "CMakeFiles/rnnasip_common.dir/table.cpp.o.d"
+  "librnnasip_common.a"
+  "librnnasip_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnnasip_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnnasip_impl_model.dir/impl_model.cpp.o"
+  "CMakeFiles/rnnasip_impl_model.dir/impl_model.cpp.o.d"
+  "librnnasip_impl_model.a"
+  "librnnasip_impl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnnasip_impl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librnnasip_impl_model.a"
+)

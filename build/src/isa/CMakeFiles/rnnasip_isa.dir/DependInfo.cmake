@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/decode.cpp" "src/isa/CMakeFiles/rnnasip_isa.dir/decode.cpp.o" "gcc" "src/isa/CMakeFiles/rnnasip_isa.dir/decode.cpp.o.d"
+  "/root/repo/src/isa/encode.cpp" "src/isa/CMakeFiles/rnnasip_isa.dir/encode.cpp.o" "gcc" "src/isa/CMakeFiles/rnnasip_isa.dir/encode.cpp.o.d"
+  "/root/repo/src/isa/opcode.cpp" "src/isa/CMakeFiles/rnnasip_isa.dir/opcode.cpp.o" "gcc" "src/isa/CMakeFiles/rnnasip_isa.dir/opcode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rnnasip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnnasip_isa.dir/decode.cpp.o"
+  "CMakeFiles/rnnasip_isa.dir/decode.cpp.o.d"
+  "CMakeFiles/rnnasip_isa.dir/encode.cpp.o"
+  "CMakeFiles/rnnasip_isa.dir/encode.cpp.o.d"
+  "CMakeFiles/rnnasip_isa.dir/opcode.cpp.o"
+  "CMakeFiles/rnnasip_isa.dir/opcode.cpp.o.d"
+  "librnnasip_isa.a"
+  "librnnasip_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnnasip_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

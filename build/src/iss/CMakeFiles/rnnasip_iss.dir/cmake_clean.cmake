@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnnasip_iss.dir/core.cpp.o"
+  "CMakeFiles/rnnasip_iss.dir/core.cpp.o.d"
+  "CMakeFiles/rnnasip_iss.dir/memory.cpp.o"
+  "CMakeFiles/rnnasip_iss.dir/memory.cpp.o.d"
+  "CMakeFiles/rnnasip_iss.dir/stats.cpp.o"
+  "CMakeFiles/rnnasip_iss.dir/stats.cpp.o.d"
+  "CMakeFiles/rnnasip_iss.dir/trace.cpp.o"
+  "CMakeFiles/rnnasip_iss.dir/trace.cpp.o.d"
+  "librnnasip_iss.a"
+  "librnnasip_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnnasip_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/act_routines.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/act_routines.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/act_routines.cpp.o.d"
+  "/root/repo/src/kernels/argmax.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/argmax.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/argmax.cpp.o.d"
+  "/root/repo/src/kernels/conv.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/conv.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/conv.cpp.o.d"
+  "/root/repo/src/kernels/copy.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/copy.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/copy.cpp.o.d"
+  "/root/repo/src/kernels/fc.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/fc.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/fc.cpp.o.d"
+  "/root/repo/src/kernels/fc8.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/fc8.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/fc8.cpp.o.d"
+  "/root/repo/src/kernels/fc_batch.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/fc_batch.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/fc_batch.cpp.o.d"
+  "/root/repo/src/kernels/fc_sparse.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/fc_sparse.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/fc_sparse.cpp.o.d"
+  "/root/repo/src/kernels/gru.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/gru.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/gru.cpp.o.d"
+  "/root/repo/src/kernels/layout.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/layout.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/layout.cpp.o.d"
+  "/root/repo/src/kernels/lstm.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/lstm.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/lstm.cpp.o.d"
+  "/root/repo/src/kernels/network.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/network.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/network.cpp.o.d"
+  "/root/repo/src/kernels/opt_level.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/opt_level.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/opt_level.cpp.o.d"
+  "/root/repo/src/kernels/pool.cpp" "src/kernels/CMakeFiles/rnnasip_kernels.dir/pool.cpp.o" "gcc" "src/kernels/CMakeFiles/rnnasip_kernels.dir/pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/rnnasip_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/rnnasip_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rnnasip_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rnnasip_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/activation/CMakeFiles/rnnasip_activation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rnnasip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnnasip_kernels.dir/act_routines.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/act_routines.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/argmax.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/argmax.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/conv.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/conv.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/copy.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/copy.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/fc.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/fc.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/fc8.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/fc8.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/fc_batch.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/fc_batch.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/fc_sparse.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/fc_sparse.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/gru.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/gru.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/layout.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/layout.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/lstm.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/lstm.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/network.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/network.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/opt_level.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/opt_level.cpp.o.d"
+  "CMakeFiles/rnnasip_kernels.dir/pool.cpp.o"
+  "CMakeFiles/rnnasip_kernels.dir/pool.cpp.o.d"
+  "librnnasip_kernels.a"
+  "librnnasip_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnnasip_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/rnnasip_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/rnnasip_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layers_fixp.cpp" "src/nn/CMakeFiles/rnnasip_nn.dir/layers_fixp.cpp.o" "gcc" "src/nn/CMakeFiles/rnnasip_nn.dir/layers_fixp.cpp.o.d"
+  "/root/repo/src/nn/layers_float.cpp" "src/nn/CMakeFiles/rnnasip_nn.dir/layers_float.cpp.o" "gcc" "src/nn/CMakeFiles/rnnasip_nn.dir/layers_float.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/rnnasip_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/rnnasip_nn.dir/quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rnnasip_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/activation/CMakeFiles/rnnasip_activation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnnasip_nn.dir/init.cpp.o"
+  "CMakeFiles/rnnasip_nn.dir/init.cpp.o.d"
+  "CMakeFiles/rnnasip_nn.dir/layers_fixp.cpp.o"
+  "CMakeFiles/rnnasip_nn.dir/layers_fixp.cpp.o.d"
+  "CMakeFiles/rnnasip_nn.dir/layers_float.cpp.o"
+  "CMakeFiles/rnnasip_nn.dir/layers_float.cpp.o.d"
+  "CMakeFiles/rnnasip_nn.dir/quantize.cpp.o"
+  "CMakeFiles/rnnasip_nn.dir/quantize.cpp.o.d"
+  "librnnasip_nn.a"
+  "librnnasip_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnnasip_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnnasip_rrm.dir/agents.cpp.o"
+  "CMakeFiles/rnnasip_rrm.dir/agents.cpp.o.d"
+  "CMakeFiles/rnnasip_rrm.dir/env.cpp.o"
+  "CMakeFiles/rnnasip_rrm.dir/env.cpp.o.d"
+  "CMakeFiles/rnnasip_rrm.dir/networks.cpp.o"
+  "CMakeFiles/rnnasip_rrm.dir/networks.cpp.o.d"
+  "CMakeFiles/rnnasip_rrm.dir/suite.cpp.o"
+  "CMakeFiles/rnnasip_rrm.dir/suite.cpp.o.d"
+  "CMakeFiles/rnnasip_rrm.dir/wmmse.cpp.o"
+  "CMakeFiles/rnnasip_rrm.dir/wmmse.cpp.o.d"
+  "librnnasip_rrm.a"
+  "librnnasip_rrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnnasip_rrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librnnasip_rrm.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for rnnasip_rrm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_act_routines.dir/test_act_routines.cpp.o"
+  "CMakeFiles/test_act_routines.dir/test_act_routines.cpp.o.d"
+  "test_act_routines"
+  "test_act_routines.pdb"
+  "test_act_routines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_act_routines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agents.dir/test_agents.cpp.o"
+  "CMakeFiles/test_agents.dir/test_agents.cpp.o.d"
+  "test_agents"
+  "test_agents.pdb"
+  "test_agents[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

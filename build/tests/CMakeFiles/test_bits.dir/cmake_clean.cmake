@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bits.dir/test_bits.cpp.o"
+  "CMakeFiles/test_bits.dir/test_bits.cpp.o.d"
+  "test_bits"
+  "test_bits.pdb"
+  "test_bits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

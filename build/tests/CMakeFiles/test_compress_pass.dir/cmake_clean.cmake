@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compress_pass.dir/test_compress_pass.cpp.o"
+  "CMakeFiles/test_compress_pass.dir/test_compress_pass.cpp.o.d"
+  "test_compress_pass"
+  "test_compress_pass.pdb"
+  "test_compress_pass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compress_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/test_differential.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/test_differential.dir/test_differential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/rnnasip_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/rnnasip_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/rnnasip_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rnnasip_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rnnasip_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/activation/CMakeFiles/rnnasip_activation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rnnasip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

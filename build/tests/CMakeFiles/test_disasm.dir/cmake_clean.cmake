@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disasm.dir/test_disasm.cpp.o"
+  "CMakeFiles/test_disasm.dir/test_disasm.cpp.o.d"
+  "test_disasm"
+  "test_disasm.pdb"
+  "test_disasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_point.dir/test_fixed_point.cpp.o"
+  "CMakeFiles/test_fixed_point.dir/test_fixed_point.cpp.o.d"
+  "test_fixed_point"
+  "test_fixed_point.pdb"
+  "test_fixed_point[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

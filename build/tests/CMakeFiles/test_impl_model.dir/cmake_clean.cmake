@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_impl_model.dir/test_impl_model.cpp.o"
+  "CMakeFiles/test_impl_model.dir/test_impl_model.cpp.o.d"
+  "test_impl_model"
+  "test_impl_model.pdb"
+  "test_impl_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_impl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iss_alu.dir/test_iss_alu.cpp.o"
+  "CMakeFiles/test_iss_alu.dir/test_iss_alu.cpp.o.d"
+  "test_iss_alu"
+  "test_iss_alu.pdb"
+  "test_iss_alu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iss_alu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

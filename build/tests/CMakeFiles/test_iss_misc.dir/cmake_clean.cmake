@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iss_misc.dir/test_iss_misc.cpp.o"
+  "CMakeFiles/test_iss_misc.dir/test_iss_misc.cpp.o.d"
+  "test_iss_misc"
+  "test_iss_misc.pdb"
+  "test_iss_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iss_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iss_rnn_ext.dir/test_iss_rnn_ext.cpp.o"
+  "CMakeFiles/test_iss_rnn_ext.dir/test_iss_rnn_ext.cpp.o.d"
+  "test_iss_rnn_ext"
+  "test_iss_rnn_ext.pdb"
+  "test_iss_rnn_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iss_rnn_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

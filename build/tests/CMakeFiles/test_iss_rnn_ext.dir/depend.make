@@ -1,0 +1,2 @@
+# Empty dependencies file for test_iss_rnn_ext.
+# This may be replaced when dependencies are built.

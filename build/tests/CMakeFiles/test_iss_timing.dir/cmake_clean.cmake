@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iss_timing.dir/test_iss_timing.cpp.o"
+  "CMakeFiles/test_iss_timing.dir/test_iss_timing.cpp.o.d"
+  "test_iss_timing"
+  "test_iss_timing.pdb"
+  "test_iss_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iss_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

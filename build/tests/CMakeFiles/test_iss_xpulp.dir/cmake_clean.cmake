@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iss_xpulp.dir/test_iss_xpulp.cpp.o"
+  "CMakeFiles/test_iss_xpulp.dir/test_iss_xpulp.cpp.o.d"
+  "test_iss_xpulp"
+  "test_iss_xpulp.pdb"
+  "test_iss_xpulp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iss_xpulp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_iss_xpulp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_argmax.dir/test_kernels_argmax.cpp.o"
+  "CMakeFiles/test_kernels_argmax.dir/test_kernels_argmax.cpp.o.d"
+  "test_kernels_argmax"
+  "test_kernels_argmax.pdb"
+  "test_kernels_argmax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_argmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

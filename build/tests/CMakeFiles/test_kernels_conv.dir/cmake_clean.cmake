@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_conv.dir/test_kernels_conv.cpp.o"
+  "CMakeFiles/test_kernels_conv.dir/test_kernels_conv.cpp.o.d"
+  "test_kernels_conv"
+  "test_kernels_conv.pdb"
+  "test_kernels_conv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

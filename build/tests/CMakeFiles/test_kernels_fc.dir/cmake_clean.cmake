@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_fc.dir/test_kernels_fc.cpp.o"
+  "CMakeFiles/test_kernels_fc.dir/test_kernels_fc.cpp.o.d"
+  "test_kernels_fc"
+  "test_kernels_fc.pdb"
+  "test_kernels_fc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_fc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_fc8.dir/test_kernels_fc8.cpp.o"
+  "CMakeFiles/test_kernels_fc8.dir/test_kernels_fc8.cpp.o.d"
+  "test_kernels_fc8"
+  "test_kernels_fc8.pdb"
+  "test_kernels_fc8[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_fc8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_fc_batch.dir/test_kernels_fc_batch.cpp.o"
+  "CMakeFiles/test_kernels_fc_batch.dir/test_kernels_fc_batch.cpp.o.d"
+  "test_kernels_fc_batch"
+  "test_kernels_fc_batch.pdb"
+  "test_kernels_fc_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_fc_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

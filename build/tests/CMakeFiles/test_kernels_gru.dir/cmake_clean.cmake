@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_gru.dir/test_kernels_gru.cpp.o"
+  "CMakeFiles/test_kernels_gru.dir/test_kernels_gru.cpp.o.d"
+  "test_kernels_gru"
+  "test_kernels_gru.pdb"
+  "test_kernels_gru[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_gru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_lstm.dir/test_kernels_lstm.cpp.o"
+  "CMakeFiles/test_kernels_lstm.dir/test_kernels_lstm.cpp.o.d"
+  "test_kernels_lstm"
+  "test_kernels_lstm.pdb"
+  "test_kernels_lstm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

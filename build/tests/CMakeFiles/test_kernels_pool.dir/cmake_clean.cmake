@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_pool.dir/test_kernels_pool.cpp.o"
+  "CMakeFiles/test_kernels_pool.dir/test_kernels_pool.cpp.o.d"
+  "test_kernels_pool"
+  "test_kernels_pool.pdb"
+  "test_kernels_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

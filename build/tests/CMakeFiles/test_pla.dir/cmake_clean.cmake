@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pla.dir/test_pla.cpp.o"
+  "CMakeFiles/test_pla.dir/test_pla.cpp.o.d"
+  "test_pla"
+  "test_pla.pdb"
+  "test_pla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

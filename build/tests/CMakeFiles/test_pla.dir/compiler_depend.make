@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_pla.
+# This may be replaced when dependencies are built.

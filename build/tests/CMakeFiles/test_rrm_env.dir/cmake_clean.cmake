@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrm_env.dir/test_rrm_env.cpp.o"
+  "CMakeFiles/test_rrm_env.dir/test_rrm_env.cpp.o.d"
+  "test_rrm_env"
+  "test_rrm_env.pdb"
+  "test_rrm_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrm_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrm_suite.dir/test_rrm_suite.cpp.o"
+  "CMakeFiles/test_rrm_suite.dir/test_rrm_suite.cpp.o.d"
+  "test_rrm_suite"
+  "test_rrm_suite.pdb"
+  "test_rrm_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrm_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

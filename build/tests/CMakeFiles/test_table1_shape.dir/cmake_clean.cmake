@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table1_shape.dir/test_table1_shape.cpp.o"
+  "CMakeFiles/test_table1_shape.dir/test_table1_shape.cpp.o.d"
+  "test_table1_shape"
+  "test_table1_shape.pdb"
+  "test_table1_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table1_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

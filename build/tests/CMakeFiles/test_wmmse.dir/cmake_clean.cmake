@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wmmse.dir/test_wmmse.cpp.o"
+  "CMakeFiles/test_wmmse.dir/test_wmmse.cpp.o.d"
+  "test_wmmse"
+  "test_wmmse.pdb"
+  "test_wmmse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wmmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

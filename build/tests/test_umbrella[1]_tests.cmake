@@ -1,0 +1,3 @@
+add_test([=[Umbrella.EverySubsystemIsReachable]=]  /root/repo/build/tests/test_umbrella [==[--gtest_filter=Umbrella.EverySubsystemIsReachable]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.EverySubsystemIsReachable]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_umbrella_TESTS Umbrella.EverySubsystemIsReachable)
