@@ -56,6 +56,10 @@ void BM_IssSimulationSpeed(benchmark::State& state) {
   for (auto _ : state) {
     core.reset(net.program.base);
     const auto r = core.run();
+    if (!r.ok()) {
+      state.SkipWithError(r.describe().c_str());
+      break;
+    }
     instrs += r.instrs;
   }
   state.SetItemsProcessed(static_cast<int64_t>(instrs));

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "src/asm/builder.h"
+#include "src/common/check.h"
 #include "src/asm/disasm.h"
 #include "src/iss/core.h"
 #include "src/kernels/layout.h"
@@ -56,6 +57,7 @@ LoopResult run_left() {
   core.load_program(prog);
   core.reset(prog.base);
   const auto res = core.run();
+  RNNASIP_CHECK_MSG(res.ok(), "Table II loop run failed: " << res.describe());
   LoopResult out;
   out.body_cycles = res.cycles - 6 /* li setup */ - 1 /* ebreak */;
   for (size_t i = body_start; i < body_end; ++i) {
@@ -93,6 +95,7 @@ LoopResult run_right() {
   core.load_program(prog);
   core.reset(prog.base);
   const auto res = core.run();
+  RNNASIP_CHECK_MSG(res.ok(), "Table II loop run failed: " << res.describe());
   LoopResult out;
   out.body_cycles = res.cycles - 6 - 1;
   for (size_t i = body_start; i < body_end; ++i) {

@@ -86,13 +86,10 @@ int main(int argc, char** argv) {
   });
 
   const auto res = core.run(10'000'000);
-  std::printf("exit: %s after %llu instructions, %llu cycles\n",
-              res.exit == iss::RunResult::Exit::kEbreak ? "ebreak"
-              : res.exit == iss::RunResult::Exit::kEcall ? "ecall"
-              : res.exit == iss::RunResult::Exit::kTrap  ? res.trap_message.c_str()
-                                                         : "instruction cap",
+  std::printf("exit: %s after %llu instructions, %llu cycles\n", res.describe().c_str(),
               static_cast<unsigned long long>(res.instrs),
               static_cast<unsigned long long>(res.cycles));
+  if (!res.ok()) std::printf("RUN FAILED — inspect the trace below\n");
 
   std::printf("\nregisters a0-a5:");
   for (int r = 10; r <= 15; ++r) std::printf(" %08x", core.reg(r));

@@ -80,6 +80,12 @@ class PlaTable {
   const std::vector<int16_t>& slopes() const { return m_; }
   const std::vector<int16_t>& offsets() const { return q_; }
 
+  /// Overwrite one LUT entry. SEU campaigns use these to model bit flips in
+  /// the hardware unit's slope/offset storage; anything else should treat
+  /// the tables as immutable after build().
+  void set_slope(size_t i, int16_t v) { m_.at(i) = v; }
+  void set_offset(size_t i, int16_t v) { q_.at(i) = v; }
+
  private:
   PlaSpec spec_;
   std::vector<int16_t> m_;  ///< slope, Q1.14

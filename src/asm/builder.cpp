@@ -206,9 +206,11 @@ void ProgramBuilder::li(Reg rd, int32_t v) {
     addi(rd, isa::kZero, v);
     return;
   }
-  // lui + addi, compensating for addi sign extension.
-  int32_t hi = (v + 0x800) >> 12;
-  int32_t lo = v - (hi << 12);
+  // lui + addi, compensating for addi sign extension. Unsigned arithmetic:
+  // v near INT32_MAX must wrap through the carry, not overflow.
+  const uint32_t uv = static_cast<uint32_t>(v);
+  const uint32_t hi = (uv + 0x800u) >> 12;
+  const int32_t lo = static_cast<int32_t>(uv << 20) >> 20;  // sign-extend [11:0]
   lui(rd, hi & 0xFFFFF);
   if (lo != 0) addi(rd, rd, lo);
 }

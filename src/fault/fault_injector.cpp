@@ -1,0 +1,114 @@
+#include "src/fault/fault_injector.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace rnnasip::fault {
+
+const char* target_name(Target t) {
+  switch (t) {
+    case Target::kTcdm: return "tcdm";
+    case Target::kRegFile: return "regfile";
+    case Target::kSprWeights: return "spr";
+    case Target::kPlaLut: return "pla-lut";
+    case Target::kInstr: return "instr";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(const FaultSpec& spec) : spec_(spec), rng_(spec.seed) {}
+
+void FaultInjector::arm(iss::Core* core, iss::Memory* mem) {
+  RNNASIP_CHECK(core != nullptr && mem != nullptr);
+  core_ = core;
+  mem_ = mem;
+  core_->set_fault_hook([this](uint64_t idx) { on_retire(idx); });
+}
+
+void FaultInjector::disarm() {
+  if (core_ != nullptr) core_->set_fault_hook({});
+  core_ = nullptr;
+  mem_ = nullptr;
+}
+
+void FaultInjector::on_retire(uint64_t instr_index) {
+  // One draw per target, every retirement, in fixed target order: a target's
+  // trial sequence does not shift when another target's rate changes, and a
+  // rate of 0 can never fire.
+  for (size_t t = 0; t < kNumTargets; ++t) {
+    const double d = rng_.next_double();
+    if (d < spec_.rate[t]) inject(static_cast<Target>(t), instr_index);
+  }
+}
+
+void FaultInjector::inject(Target t, uint64_t instr_index) {
+  FaultEvent ev;
+  ev.target = t;
+  ev.at_instr = instr_index;
+  switch (t) {
+    case Target::kTcdm: {
+      AddrRange r = spec_.tcdm;
+      if (r.empty()) r = {mem_->base(), mem_->base() + mem_->size()};
+      ev.where = r.lo + rng_.next_below(r.bytes());
+      ev.bit = rng_.next_below(8);
+      mem_->flip_bit(ev.where, ev.bit);
+      break;
+    }
+    case Target::kRegFile: {
+      // x0 is hardwired zero in RI5CY; a flip there is architecturally
+      // invisible, so the campaign spends its budget on x1..x31.
+      ev.where = 1 + rng_.next_below(31);
+      ev.bit = rng_.next_below(32);
+      const int r = static_cast<int>(ev.where);
+      core_->set_reg(r, core_->reg(r) ^ (1u << ev.bit));
+      break;
+    }
+    case Target::kSprWeights: {
+      ev.where = rng_.next_below(2);
+      ev.bit = rng_.next_below(32);
+      const int k = static_cast<int>(ev.where);
+      core_->set_spr(k, core_->spr(k) ^ (1u << ev.bit));
+      break;
+    }
+    case Target::kPlaLut: {
+      // Four stores: {tanh, sig} x {slope, offset}; entries are 16 bit.
+      const uint32_t which = rng_.next_below(4);
+      activation::PlaTable& tbl =
+          (which < 2) ? core_->mutable_tanh_table() : core_->mutable_sig_table();
+      const bool slope = (which % 2) == 0;
+      const auto& store = slope ? tbl.slopes() : tbl.offsets();
+      const uint32_t idx = rng_.next_below(static_cast<uint32_t>(store.size()));
+      ev.where = (which << 16) | idx;
+      ev.bit = rng_.next_below(16);
+      const int16_t flipped =
+          static_cast<int16_t>(store[idx] ^ static_cast<int16_t>(1 << ev.bit));
+      if (slope) tbl.set_slope(idx, flipped);
+      else tbl.set_offset(idx, flipped);
+      break;
+    }
+    case Target::kInstr: {
+      if (spec_.text.empty()) return;  // nowhere to aim — draw stays consumed
+      const uint32_t halfwords = spec_.text.bytes() / 2;
+      if (halfwords == 0) return;
+      ev.where = spec_.text.lo + 2 * rng_.next_below(halfwords);
+      ev.bit = rng_.next_below(16);
+      mem_->store16(ev.where,
+                    static_cast<uint16_t>(mem_->load16(ev.where) ^ (1u << ev.bit)));
+      core_->invalidate_decode_cache();
+      break;
+    }
+  }
+  events_.push_back(ev);
+}
+
+std::string FaultInjector::schedule_string() const {
+  std::ostringstream os;
+  for (const auto& ev : events_) {
+    os << target_name(ev.target) << " @0x" << std::hex << ev.where << std::dec
+       << " bit " << ev.bit << " at instr " << ev.at_instr << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rnnasip::fault

@@ -1,0 +1,103 @@
+// Deterministic single-event-upset (SEU) fault injection.
+//
+// The paper's target is always-on 5G base-station silicon (GF22FDX), where
+// soft errors in the TCDM, the register file, and the PLA LUTs are a
+// first-order reliability concern. This subsystem runs seed-driven bit-flip
+// campaigns against the simulated core: after every retired instruction it
+// draws one Bernoulli trial per target and, on a hit, flips one uniformly
+// chosen bit of that target. Everything downstream of the seed is
+// deterministic — the same seed over the same program yields the same flip
+// schedule, the same traps, and the same degraded outputs, so campaigns are
+// reproducible and bisectable. See docs/FAULTS.md.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/iss/core.h"
+
+namespace rnnasip::fault {
+
+/// What a flip lands in.
+enum class Target : uint8_t {
+  kTcdm = 0,    ///< a data-memory byte (the FaultSpec::tcdm range)
+  kRegFile,     ///< one of x1..x31
+  kSprWeights,  ///< one of the two pl.sdotsp SPR weight registers
+  kPlaLut,      ///< a tanh/sig slope or offset LUT entry in the PLA unit
+  kInstr,       ///< a program-text halfword (the FaultSpec::text range)
+};
+inline constexpr size_t kNumTargets = 5;
+
+const char* target_name(Target t);
+
+/// Half-open byte-address range [lo, hi).
+struct AddrRange {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  bool empty() const { return hi <= lo; }
+  uint32_t bytes() const { return empty() ? 0 : hi - lo; }
+};
+
+/// A campaign configuration. All rates 0 (the default) means no injection;
+/// a campaign at rate 0 is bit-identical to a fault-free run.
+struct FaultSpec {
+  uint64_t seed = 1;
+  /// Per-retired-instruction probability of one bit flip in each target.
+  std::array<double, kNumTargets> rate{};
+
+  double& rate_of(Target t) { return rate[static_cast<size_t>(t)]; }
+  double rate_of(Target t) const { return rate[static_cast<size_t>(t)]; }
+  bool any_enabled() const {
+    for (double r : rate)
+      if (r > 0) return true;
+    return false;
+  }
+
+  /// Data region for kTcdm flips. Empty = the armed Memory's full span.
+  AddrRange tcdm;
+  /// Program text for kInstr flips. Empty = the target stays inert (the
+  /// injector cannot guess where text lives).
+  AddrRange text;
+};
+
+/// One injected flip, in schedule order.
+struct FaultEvent {
+  Target target = Target::kTcdm;
+  uint64_t at_instr = 0;  ///< retired-instruction index when injected
+  uint32_t where = 0;     ///< byte address / reg index / SPR index / LUT slot
+  uint32_t bit = 0;       ///< flipped bit within the unit
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec);
+
+  /// Install the per-retired-instruction hook on `core` and remember `mem`
+  /// as the flip target. Replaces any previously set fault hook.
+  void arm(iss::Core* core, iss::Memory* mem);
+  /// Remove the hook (the injector must outlive the core while armed).
+  void disarm();
+
+  const FaultSpec& spec() const { return spec_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  uint64_t flips() const { return events_.size(); }
+
+  /// One line per event ("tcdm @0x20340 bit 3 at instr 1042"), for logs and
+  /// for asserting schedule determinism in tests.
+  std::string schedule_string() const;
+
+ private:
+  void on_retire(uint64_t instr_index);
+  void inject(Target t, uint64_t instr_index);
+
+  FaultSpec spec_;
+  Rng rng_;
+  iss::Core* core_ = nullptr;
+  iss::Memory* mem_ = nullptr;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace rnnasip::fault

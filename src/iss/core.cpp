@@ -199,10 +199,31 @@ void Core::load_program(const assembler::Program& program) {
   decode_cache_.clear();
 }
 
-void Core::trap(uint32_t pc, const std::string& msg) {
+void Core::set_spr(int i, uint32_t v) {
+  RNNASIP_CHECK(i >= 0 && i < 2);
+  spr_[static_cast<size_t>(i)] = v;
+}
+
+void Core::trap(uint32_t pc, TrapCause cause, const std::string& msg) {
   std::ostringstream os;
   os << "trap at pc=0x" << std::hex << pc << ": " << msg;
-  throw std::runtime_error(os.str());
+  throw TrapException(cause, 0, os.str());
+}
+
+std::string RunResult::describe() const {
+  switch (exit) {
+    case Exit::kEbreak: return "ebreak";
+    case Exit::kEcall: return "ecall";
+    case Exit::kMaxInstrs: return "instruction cap";
+    case Exit::kWatchdog:
+    case Exit::kTrap: {
+      std::ostringstream os;
+      os << "trap[" << trap_cause_name(trap.cause) << "] at pc=0x" << std::hex
+         << trap.pc << ": " << trap.message;
+      return os.str();
+    }
+  }
+  return "?";
 }
 
 const Instr* Core::fetch(uint32_t pc, std::string* err) {
@@ -316,12 +337,12 @@ Core::ExecOut Core::execute(const Instr& in, uint32_t pc) {
           writable = true;
           break;
         default:
-          trap(pc, "unimplemented CSR");
+          trap(pc, TrapCause::kCsrUnimplemented, "unimplemented CSR");
       }
       // csrrs/csrrc with rs1 = x0 are pure reads; anything else writes.
       const bool wants_write = in.op == Opcode::kCsrrw || in.rs1 != 0;
       if (wants_write) {
-        if (!writable) trap(pc, "write to read-only CSR");
+        if (!writable) trap(pc, TrapCause::kCsrReadOnly, "write to read-only CSR");
         switch (in.op) {
           case Opcode::kCsrrw: csr_mscratch_ = a; break;
           case Opcode::kCsrrs: csr_mscratch_ = old | a; break;
@@ -332,7 +353,9 @@ Core::ExecOut Core::execute(const Instr& in, uint32_t pc) {
       break;
     }
     // ----- RV32M -----
-    case Opcode::kMul: write_reg(in.rd, static_cast<uint32_t>(sa * sb)); break;
+    // Unsigned multiply: the low 32 bits match signed mul and INT32_MIN * -1
+    // must wrap, not overflow.
+    case Opcode::kMul: write_reg(in.rd, a * b); break;
     case Opcode::kMulh:
       write_reg(in.rd, static_cast<uint32_t>((static_cast<int64_t>(sa) * sb) >> 32));
       break;
@@ -498,7 +521,9 @@ Core::ExecOut Core::execute(const Instr& in, uint32_t pc) {
     case Opcode::kPlSdotspH0:
     case Opcode::kPlSdotspH1: {
       const size_t k = (in.op == Opcode::kPlSdotspH0) ? 0 : 1;
-      if (in.rd == in.rs1) trap(pc, "pl.sdotsp.h: rd must differ from the address register");
+      if (in.rd == in.rs1)
+        trap(pc, TrapCause::kRdRs1Conflict,
+             "pl.sdotsp.h: rd must differ from the address register");
       const uint32_t old_spr = spr_[k];
       spr_[k] = mem_->load32(a);       // LSU path: load next weight word
       write_reg(in.rs1, a + 4);        // post-increment the weight pointer
@@ -513,28 +538,44 @@ Core::ExecOut Core::execute(const Instr& in, uint32_t pc) {
       break;
     case Opcode::kInvalid:
     case Opcode::kCount_:
-      trap(pc, "invalid opcode");
+      trap(pc, TrapCause::kIllegalInstruction, "invalid opcode");
   }
   return {next, cost};
 }
 
-RunResult Core::run(uint64_t max_instrs) {
+RunResult Core::run(const RunLimits& limits) {
   RunResult res;
   res.exit = RunResult::Exit::kMaxInstrs;
   try {
-    for (uint64_t n = 0; n < max_instrs; ++n) {
+    for (uint64_t n = 0; limits.max_instrs == 0 || n < limits.max_instrs; ++n) {
+      // Cycle watchdog: a corrupted branch/loop target must not turn a
+      // campaign run into a near-endless spin inside the instruction cap.
+      if (limits.max_cycles != 0 && res.cycles >= limits.max_cycles) {
+        std::ostringstream os;
+        os << "cycle watchdog expired after " << res.cycles << " cycles";
+        res.exit = RunResult::Exit::kWatchdog;
+        res.trap = Trap{TrapCause::kWatchdog, pc_, 0, os.str()};
+        res.trap_message = res.trap.message;
+        res.pc = pc_;
+        return res;
+      }
+
       std::string err;
       const Instr* in = fetch(pc_, &err);
       if (!in) {
         res.exit = RunResult::Exit::kTrap;
+        res.trap = Trap{TrapCause::kIllegalInstruction, pc_, 0, err};
         res.trap_message = err;
         res.pc = pc_;
         return res;
       }
 
       // Feature gates.
-      if (!cfg_.has_xpulp && is_xpulp(in->op)) trap(pc_, "Xpulp instruction with Xpulp disabled");
-      if (!cfg_.has_rnn_ext && is_rnn_ext(in->op)) trap(pc_, "RNN-ext instruction with extension disabled");
+      if (!cfg_.has_xpulp && is_xpulp(in->op))
+        trap(pc_, TrapCause::kIsaGateXpulp, "Xpulp instruction with Xpulp disabled");
+      if (!cfg_.has_rnn_ext && is_rnn_ext(in->op))
+        trap(pc_, TrapCause::kIsaGateRnnExt,
+             "RNN-ext instruction with extension disabled");
 
       // Load-use interlock: a consumer directly after the producing load
       // stalls one cycle, charged to the load (see timing.h).
@@ -619,9 +660,21 @@ RunResult Core::run(uint64_t max_instrs) {
         }
       }
       pc_ = next;
+
+      // Fault-injection hook: runs after the instruction fully retired, so
+      // an injected flip lands between instructions, never mid-instruction.
+      if (fault_hook_) fault_hook_(n);
     }
+  } catch (const TrapException& e) {
+    // pc_ was not advanced: it still names the instruction that trapped.
+    res.exit = RunResult::Exit::kTrap;
+    res.trap = Trap{e.cause(), pc_, e.addr(), e.what()};
+    res.trap_message = e.what();
+    res.pc = pc_;
+    return res;
   } catch (const std::runtime_error& e) {
     res.exit = RunResult::Exit::kTrap;
+    res.trap = Trap{TrapCause::kOther, pc_, 0, e.what()};
     res.trap_message = e.what();
     res.pc = pc_;
     return res;

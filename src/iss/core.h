@@ -16,19 +16,36 @@
 #include "src/iss/memory.h"
 #include "src/iss/stats.h"
 #include "src/iss/timing.h"
+#include "src/iss/trap.h"
 
 namespace rnnasip::iss {
 
+/// Execution bounds for one run() call. Both limits exist because a fault
+/// campaign can corrupt a branch/loop target into a tight infinite loop:
+/// the instruction cap alone would let a 2-instruction loop spin for the
+/// whole 400M budget, while the cycle watchdog kills it promptly.
+struct RunLimits {
+  uint64_t max_instrs = 400'000'000;  ///< 0 = unlimited
+  uint64_t max_cycles = 0;            ///< cycle watchdog; 0 = disabled
+};
+
 /// Why a run() returned.
 struct RunResult {
-  enum class Exit { kEbreak, kEcall, kMaxInstrs, kTrap };
+  enum class Exit { kEbreak, kEcall, kMaxInstrs, kTrap, kWatchdog };
   Exit exit = Exit::kTrap;
   uint64_t instrs = 0;   ///< retired in this run() call
   uint64_t cycles = 0;   ///< consumed in this run() call
   uint32_t pc = 0;       ///< pc of the terminating instruction
+  /// Structured record for kTrap and kWatchdog exits (cause kNone otherwise).
+  Trap trap;
+  /// Mirrors trap.message (kept as a field for concise call sites).
   std::string trap_message;
 
   bool ok() const { return exit == Exit::kEbreak || exit == Exit::kEcall; }
+
+  /// One-line human-readable exit description ("ebreak", "instruction cap",
+  /// "trap[mem-misaligned] at pc=...: ..."), for drivers reporting a run.
+  std::string describe() const;
 };
 
 /// One hardware-loop register set (RI5CY has two, L0 nests inside L1).
@@ -65,15 +82,22 @@ class Core {
   void set_reg(int i, uint32_t v);
   uint32_t pc() const { return pc_; }
   uint32_t spr(int i) const { return spr_[static_cast<size_t>(i)]; }
+  /// Overwrite an SPR weight register (fault injection / test setup).
+  void set_spr(int i, uint32_t v);
   const HwLoop& hw_loop(int i) const { return loops_[static_cast<size_t>(i)]; }
 
   /// Copy a program's encoded text into memory at its base address and
   /// invalidate the decode cache.
   void load_program(const assembler::Program& program);
 
-  /// Execute until ebreak/ecall, an instruction-count cap, or a trap
-  /// (illegal instruction, bad memory access).
-  RunResult run(uint64_t max_instrs = 400'000'000);
+  /// Execute until ebreak/ecall, a limit (instruction cap or cycle
+  /// watchdog), or a trap (illegal instruction, bad memory access, ...).
+  /// A trap leaves the core resumable: the faulting instruction did not
+  /// retire, pc still points at it, and statistics exclude it.
+  RunResult run(const RunLimits& limits);
+  RunResult run(uint64_t max_instrs = 400'000'000) {
+    return run(RunLimits{max_instrs, 0});
+  }
 
   ExecStats& stats() { return stats_; }
   const ExecStats& stats() const { return stats_; }
@@ -83,8 +107,21 @@ class Core {
   using TraceFn = std::function<void(uint32_t, const isa::Instr&, uint64_t)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
+  /// Per-retired-instruction fault-injection hook, called with the running
+  /// retired-instruction index after the instruction's effects committed.
+  /// The hook may mutate registers, SPRs, memory, and the PLA tables; if it
+  /// rewrites program text it must call invalidate_decode_cache().
+  using FaultHook = std::function<void(uint64_t)>;
+  void set_fault_hook(FaultHook fn) { fault_hook_ = std::move(fn); }
+
+  /// Drop all cached decodes (program text was modified behind the core).
+  void invalidate_decode_cache() { decode_cache_.clear(); }
+
   const activation::PlaTable& tanh_table() const { return tanh_table_; }
   const activation::PlaTable& sig_table() const { return sig_table_; }
+  /// Mutable LUT access for fault injection into the PLA unit.
+  activation::PlaTable& mutable_tanh_table() { return tanh_table_; }
+  activation::PlaTable& mutable_sig_table() { return sig_table_; }
 
  private:
   struct ExecOut {
@@ -96,7 +133,7 @@ class Core {
   void write_reg(uint8_t rd, uint32_t v) {
     if (rd != 0) x_[rd] = v;
   }
-  [[noreturn]] void trap(uint32_t pc, const std::string& msg);
+  [[noreturn]] void trap(uint32_t pc, TrapCause cause, const std::string& msg);
 
   Memory* mem_;
   Config cfg_;
@@ -108,6 +145,7 @@ class Core {
   activation::PlaTable sig_table_;
   ExecStats stats_;
   TraceFn trace_;
+  FaultHook fault_hook_;
   std::unordered_map<uint32_t, isa::Instr> decode_cache_;
 
   // Architectural counters (Zicntr), cleared by reset().

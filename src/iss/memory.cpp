@@ -2,84 +2,105 @@
 
 #include <algorithm>
 #include <cstring>
-
-#include "src/common/check.h"
+#include <sstream>
 
 namespace rnnasip::iss {
 
+namespace {
+
+[[noreturn]] void throw_mem_trap(TrapCause cause, const char* what, uint32_t addr,
+                                 uint32_t n, uint32_t align, bool is_store) {
+  std::ostringstream os;
+  os << what << ": addr=0x" << std::hex << addr << std::dec << " size=" << n
+     << (is_store ? " write" : " read");
+  if (cause == TrapCause::kMemMisaligned) os << " align=" << align;
+  throw TrapException(cause, addr, os.str());
+}
+
+}  // namespace
+
 Memory::Memory(uint32_t size, uint32_t base) : base_(base), bytes_(size, 0) {}
 
-void Memory::check_range(uint32_t addr, uint32_t n, uint32_t align) const {
-  RNNASIP_CHECK_MSG(addr >= base_ && addr - base_ + n <= bytes_.size(),
-                    "memory access out of range: addr=0x" << std::hex << addr);
-  RNNASIP_CHECK_MSG((addr & (align - 1)) == 0,
-                    "misaligned access: addr=0x" << std::hex << addr << " align=" << std::dec
-                                                 << align);
+void Memory::check_range(uint32_t addr, uint32_t n, uint32_t align,
+                         bool is_store) const {
+  if (!(addr >= base_ && addr - base_ + n <= bytes_.size())) {
+    throw_mem_trap(TrapCause::kMemOutOfRange, "memory access out of range", addr, n,
+                   align, is_store);
+  }
+  if ((addr & (align - 1)) != 0) {
+    throw_mem_trap(TrapCause::kMemMisaligned, "misaligned access", addr, n, align,
+                   is_store);
+  }
 }
 
 uint8_t Memory::load8(uint32_t addr) const {
-  check_range(addr, 1, 1);
+  check_range(addr, 1, 1, false);
   return bytes_[addr - base_];
 }
 
 uint16_t Memory::load16(uint32_t addr) const {
-  check_range(addr, 2, 2);
+  check_range(addr, 2, 2, false);
   uint16_t v;
   std::memcpy(&v, &bytes_[addr - base_], 2);
   return v;
 }
 
 uint32_t Memory::load32(uint32_t addr) const {
-  check_range(addr, 4, 4);
+  check_range(addr, 4, 4, false);
   uint32_t v;
   std::memcpy(&v, &bytes_[addr - base_], 4);
   return v;
 }
 
 void Memory::store8(uint32_t addr, uint8_t v) {
-  check_range(addr, 1, 1);
+  check_range(addr, 1, 1, true);
   bytes_[addr - base_] = v;
 }
 
 void Memory::store16(uint32_t addr, uint16_t v) {
-  check_range(addr, 2, 2);
+  check_range(addr, 2, 2, true);
   std::memcpy(&bytes_[addr - base_], &v, 2);
 }
 
 void Memory::store32(uint32_t addr, uint32_t v) {
-  check_range(addr, 4, 4);
+  check_range(addr, 4, 4, true);
   std::memcpy(&bytes_[addr - base_], &v, 4);
 }
 
 void Memory::write_block(uint32_t addr, std::span<const uint8_t> data) {
-  check_range(addr, static_cast<uint32_t>(data.size()), 1);
+  check_range(addr, static_cast<uint32_t>(data.size()), 1, true);
   std::copy(data.begin(), data.end(), bytes_.begin() + (addr - base_));
 }
 
 void Memory::write_words(uint32_t addr, std::span<const uint32_t> words) {
-  check_range(addr, static_cast<uint32_t>(words.size() * 4), 4);
+  check_range(addr, static_cast<uint32_t>(words.size() * 4), 4, true);
   std::memcpy(&bytes_[addr - base_], words.data(), words.size() * 4);
 }
 
 void Memory::write_halves(uint32_t addr, std::span<const int16_t> halves) {
-  check_range(addr, static_cast<uint32_t>(halves.size() * 2), 2);
+  check_range(addr, static_cast<uint32_t>(halves.size() * 2), 2, true);
   std::memcpy(&bytes_[addr - base_], halves.data(), halves.size() * 2);
 }
 
 std::vector<int16_t> Memory::read_halves(uint32_t addr, size_t count) const {
-  check_range(addr, static_cast<uint32_t>(count * 2), 2);
+  check_range(addr, static_cast<uint32_t>(count * 2), 2, false);
   std::vector<int16_t> out(count);
   std::memcpy(out.data(), &bytes_[addr - base_], count * 2);
   return out;
 }
 
 std::vector<int32_t> Memory::read_words_signed(uint32_t addr, size_t count) const {
-  check_range(addr, static_cast<uint32_t>(count * 4), 4);
+  check_range(addr, static_cast<uint32_t>(count * 4), 4, false);
   std::vector<int32_t> out(count);
   std::memcpy(out.data(), &bytes_[addr - base_], count * 4);
   return out;
 }
 
 void Memory::clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+void Memory::flip_bit(uint32_t addr, uint32_t bit) {
+  check_range(addr, 1, 1, true);
+  bytes_[addr - base_] ^= static_cast<uint8_t>(1u << (bit & 7));
+}
 
 }  // namespace rnnasip::iss

@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "src/iss/trap.h"
+
 namespace rnnasip::iss {
 
 class Memory {
@@ -39,8 +41,14 @@ class Memory {
   /// Zero everything (fresh run on a reused image).
   void clear();
 
+  /// Fault injection: XOR one bit of the byte at `addr` (bit in [0, 8)).
+  void flip_bit(uint32_t addr, uint32_t bit);
+
  private:
-  void check_range(uint32_t addr, uint32_t bytes, uint32_t align) const;
+  /// Traps (TrapException) with the faulting address, access size, and
+  /// read/write direction on an out-of-range or misaligned access.
+  void check_range(uint32_t addr, uint32_t bytes, uint32_t align,
+                   bool is_store) const;
 
   uint32_t base_;
   std::vector<uint8_t> bytes_;

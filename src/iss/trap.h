@@ -1,0 +1,76 @@
+// Structured trap model.
+//
+// Always-on silicon must treat a trap as a recoverable event, not a process
+// abort: an SEU campaign flips a bit, the affected run dies with a precise
+// diagnosis, and the harness moves on to the next network. Every trap the
+// ISS can raise therefore carries a machine-readable record — cause code,
+// faulting pc, faulting address (memory traps) and a human-readable
+// message — surfaced through RunResult. The core is left in a well-defined
+// state: the faulting instruction did not retire, pc still points at it,
+// and statistics exclude it, so a caller may inspect, patch, and resume.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rnnasip::iss {
+
+/// Trap taxonomy (docs/FAULTS.md documents each entry).
+enum class TrapCause : uint8_t {
+  kNone = 0,           ///< no trap occurred
+  kIllegalInstruction, ///< fetched word does not decode
+  kMemOutOfRange,      ///< access outside [base, base+size)
+  kMemMisaligned,      ///< access not naturally aligned
+  kCsrUnimplemented,   ///< CSR number outside the implemented set
+  kCsrReadOnly,        ///< write to a read-only CSR
+  kIsaGateXpulp,       ///< Xpulp instruction with has_xpulp = false
+  kIsaGateRnnExt,      ///< RNN-ext instruction with has_rnn_ext = false
+  kRdRs1Conflict,      ///< pl.sdotsp.h with rd == rs1
+  kWatchdog,           ///< cycle watchdog expired (run loop, not a throw)
+  kOther,              ///< unclassified std::runtime_error escaped execute()
+};
+
+inline const char* trap_cause_name(TrapCause c) {
+  switch (c) {
+    case TrapCause::kNone: return "none";
+    case TrapCause::kIllegalInstruction: return "illegal-instruction";
+    case TrapCause::kMemOutOfRange: return "mem-out-of-range";
+    case TrapCause::kMemMisaligned: return "mem-misaligned";
+    case TrapCause::kCsrUnimplemented: return "csr-unimplemented";
+    case TrapCause::kCsrReadOnly: return "csr-read-only";
+    case TrapCause::kIsaGateXpulp: return "isa-gate-xpulp";
+    case TrapCause::kIsaGateRnnExt: return "isa-gate-rnn-ext";
+    case TrapCause::kRdRs1Conflict: return "rd-rs1-conflict";
+    case TrapCause::kWatchdog: return "watchdog";
+    case TrapCause::kOther: return "other";
+  }
+  return "?";
+}
+
+/// The structured record a failed run reports.
+struct Trap {
+  TrapCause cause = TrapCause::kNone;
+  uint32_t pc = 0;    ///< pc of the instruction that did not retire
+  uint32_t addr = 0;  ///< faulting address for memory traps, else 0
+  std::string message;
+};
+
+/// Thrown by Memory and Core::execute; Core::run() catches it, fills the
+/// Trap record (adding the pc, which only the run loop knows), and returns.
+/// Derives from std::runtime_error so host-side misuse of Memory outside a
+/// run loop still surfaces as a diagnosable exception.
+class TrapException : public std::runtime_error {
+ public:
+  TrapException(TrapCause cause, uint32_t addr, const std::string& message)
+      : std::runtime_error(message), cause_(cause), addr_(addr) {}
+
+  TrapCause cause() const { return cause_; }
+  uint32_t addr() const { return addr_; }
+
+ private:
+  TrapCause cause_;
+  uint32_t addr_;
+};
+
+}  // namespace rnnasip::iss

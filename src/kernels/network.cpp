@@ -236,14 +236,25 @@ BuiltNetwork NetworkProgramBuilder::finalize() {
   return std::move(net_);
 }
 
-std::vector<int16_t> run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork& net,
-                                 std::span<const int16_t> input) {
+ForwardRun try_run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork& net,
+                           std::span<const int16_t> input,
+                           const iss::RunLimits& limits) {
   RNNASIP_CHECK(static_cast<int>(input.size()) == net.input_count);
   mem.write_halves(net.input_addr, input);
   core.reset(net.program.base);
-  const auto res = core.run();
-  RNNASIP_CHECK_MSG(res.ok(), "network run trapped: " << res.trap_message);
-  return mem.read_halves(net.output_addr, static_cast<size_t>(net.output_count));
+  ForwardRun fr;
+  fr.result = core.run(limits);
+  if (fr.ok()) {
+    fr.outputs = mem.read_halves(net.output_addr, static_cast<size_t>(net.output_count));
+  }
+  return fr;
+}
+
+std::vector<int16_t> run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork& net,
+                                 std::span<const int16_t> input) {
+  auto fr = try_run_forward(core, mem, net, input);
+  RNNASIP_CHECK_MSG(fr.ok(), "network run trapped: " << fr.result.trap_message);
+  return std::move(fr.outputs);
 }
 
 std::vector<int16_t> run_sequence(iss::Core& core, iss::Memory& mem,

@@ -106,6 +106,17 @@ class NetworkProgramBuilder {
 std::vector<int16_t> run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork& net,
                                  std::span<const int16_t> input);
 
+/// Non-throwing forward pass for callers that must survive a trapped or
+/// watchdog-killed run (fault campaigns, resilient suite execution).
+struct ForwardRun {
+  iss::RunResult result;
+  std::vector<int16_t> outputs;  ///< empty unless result.ok()
+  bool ok() const { return result.ok(); }
+};
+ForwardRun try_run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork& net,
+                           std::span<const int16_t> input,
+                           const iss::RunLimits& limits = {});
+
 /// Zero the recurrent state buffers (start of a fresh sequence).
 void reset_state(iss::Memory& mem, const BuiltNetwork& net);
 

@@ -1,9 +1,29 @@
 #include "src/rrm/suite.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "src/common/check.h"
+#include "src/common/fixed_point.h"
 #include "src/iss/core.h"
+#include "src/kernels/layout.h"
 
 namespace rnnasip::rrm {
+
+namespace {
+
+size_t argmax_of(const std::vector<int16_t>& v) {
+  return static_cast<size_t>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+/// The RRM decision differs: argmax for action vectors, value equality for
+/// scalar outputs (the argmax-terminated DQN nets emit one halfword).
+bool decision_flipped(const std::vector<int16_t>& got, const std::vector<int16_t>& want) {
+  if (got.size() <= 1) return got != want;
+  return argmax_of(got) != argmax_of(want);
+}
+
+}  // namespace
 
 NetRunResult run_network(const RrmNetwork& net, kernels::OptLevel level,
                          const RunOptions& opt) {
@@ -14,20 +34,61 @@ NetRunResult run_network(const RrmNetwork& net, kernels::OptLevel level,
   core.load_program(built.program);
   kernels::reset_state(mem, built);
 
-  RrmNetwork::Golden golden(net, core.tanh_table(), core.sig_table());
+  // The golden model gets pristine LUT copies: a campaign may flip bits in
+  // the core's PLA unit, and the reference must not inherit the flip.
+  const auto tanh_ref = activation::PlaTable::build(opt.core_config.tanh_spec);
+  const auto sig_ref = activation::PlaTable::build(opt.core_config.sig_spec);
+  RrmNetwork::Golden golden(net, tanh_ref, sig_ref);
+
+  // Arm the injector only for campaigns: a rate-0 run stays bit-identical
+  // to a fault-free one (no hook, no RNG, no cycle difference).
+  std::optional<fault::FaultInjector> injector;
+  if (opt.fault.any_enabled()) {
+    fault::FaultSpec spec = opt.fault;
+    if (spec.tcdm.empty())
+      spec.tcdm = {kernels::kDataBase, kernels::kDataBase + built.data_bytes};
+    if (spec.text.empty())
+      spec.text = {built.program.base, built.program.base + built.program.size_bytes()};
+    injector.emplace(spec);
+    injector->arm(&core, &mem);
+  }
+
+  iss::RunLimits limits;
+  if (opt.watchdog_cycles != 0) limits.max_cycles = opt.watchdog_cycles;
+  else if (injector) limits.max_cycles = kDefaultCampaignWatchdog;
 
   NetRunResult r;
   r.name = net.def().name;
   r.level = level;
   r.nominal_macs = built.nominal_macs * static_cast<uint64_t>(opt.timesteps);
   r.verified = true;
+  r.steps_attempted = opt.timesteps;
+  const bool compare = opt.verify || injector.has_value();
+  int flips = 0;
   for (int t = 0; t < opt.timesteps; ++t) {
     const auto input = net.make_input(t);
-    const auto out = kernels::run_forward(core, mem, built, input);
-    if (opt.verify) {
-      const auto want = golden.forward(input);
-      if (out != want) r.verified = false;
+    auto fr = kernels::try_run_forward(core, mem, built, input, limits);
+    if (!fr.ok()) {
+      r.completed = false;
+      r.trap = fr.result.trap;
+      break;
     }
+    ++r.steps_completed;
+    if (compare) {
+      const auto want = golden.forward(input);
+      if (fr.outputs != want) r.verified = false;
+      if (decision_flipped(fr.outputs, want)) ++flips;
+      for (size_t i = 0; i < fr.outputs.size() && i < want.size(); ++i) {
+        r.output_error.add(dequantize(fr.outputs[i]), dequantize(want[i]));
+      }
+    }
+  }
+  if (r.steps_completed > 0) {
+    r.decision_flip_rate = static_cast<double>(flips) / r.steps_completed;
+  }
+  if (injector) {
+    r.faults_injected = injector->flips();
+    injector->disarm();
   }
   r.cycles = core.stats().total_cycles();
   r.instrs = core.stats().total_instrs();
@@ -45,6 +106,9 @@ SuiteResult run_suite(kernels::OptLevel level, const RunOptions& opt) {
     s.total_instrs += r.instrs;
     s.total_macs += r.nominal_macs;
     s.all_verified = s.all_verified && r.verified;
+    s.nets_completed += r.completed ? 1 : 0;
+    s.nets_degraded += r.degraded() ? 1 : 0;
+    s.faults_injected += r.faults_injected;
     s.nets.push_back(std::move(r));
   }
   return s;

@@ -1,11 +1,19 @@
 // Suite runner: executes RRM networks on the simulated core at a chosen
 // optimization level, verifying device outputs against the golden model and
 // collecting the statistics behind Table I and Fig. 3.
+//
+// Execution is resilient: a network run that traps or is killed by the
+// cycle watchdog (e.g. under an SEU campaign, see src/fault) is recorded as
+// a degraded per-network result — structured trap record, decision-flip
+// rate, output error statistics — and the suite carries on with the
+// remaining networks instead of aborting.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "src/common/stats.h"
+#include "src/fault/fault_injector.h"
 #include "src/iss/stats.h"
 #include "src/kernels/opt_level.h"
 #include "src/rrm/networks.h"
@@ -19,7 +27,18 @@ struct RunOptions {
   uint64_t seed = 0x52414D;
   /// Core configuration (timing-model knobs, activation-unit design point).
   iss::Core::Config core_config;
+  /// SEU campaign; all-zero rates (the default) inject nothing and leave the
+  /// run bit-identical to a fault-free one. Empty tcdm/text ranges are
+  /// filled per network from the built program (data segment / text segment).
+  fault::FaultSpec fault;
+  /// Per-forward-pass cycle watchdog. 0 = automatic: disabled for fault-free
+  /// runs, kDefaultCampaignWatchdog once any fault rate is positive.
+  uint64_t watchdog_cycles = 0;
 };
+
+/// Generous bound on one forward pass (the largest suite network needs
+/// ~1M cycles at the baseline level); a corrupted loop dies in bounded time.
+inline constexpr uint64_t kDefaultCampaignWatchdog = 20'000'000;
 
 struct NetRunResult {
   std::string name;
@@ -29,22 +48,43 @@ struct NetRunResult {
   uint64_t nominal_macs = 0;  ///< per forward pass x timesteps
   bool verified = false;      ///< outputs matched the golden model bit-exactly
   iss::ExecStats stats;
+
+  // ---- Resilience / degradation record ----
+  bool completed = true;      ///< every timestep ran to ebreak
+  iss::Trap trap;             ///< first fatal trap (cause kNone when completed)
+  int steps_attempted = 0;
+  int steps_completed = 0;
+  uint64_t faults_injected = 0;
+  /// Fraction of completed timesteps whose decision (argmax of the output
+  /// vector; value equality for scalar outputs) differed from the golden
+  /// model. The RRM-level metric: a flipped decision is a wrong RRM action.
+  double decision_flip_rate = 0.0;
+  /// Pointwise device-vs-golden output error (dequantized) over completed
+  /// timesteps.
+  ErrorStats output_error;
+
+  bool degraded() const { return !completed || !verified; }
 };
 
-/// Run one network at one level for opt.timesteps forward passes.
+/// Run one network at one level for opt.timesteps forward passes. Never
+/// throws on a trapped/watchdog-killed device run; see NetRunResult.
 NetRunResult run_network(const RrmNetwork& net, kernels::OptLevel level,
                          const RunOptions& opt = {});
 
 struct SuiteResult {
-  std::vector<NetRunResult> nets;  ///< suite order
+  std::vector<NetRunResult> nets;  ///< suite order, one entry per network
   iss::ExecStats total;            ///< merged over the suite
   uint64_t total_cycles = 0;
   uint64_t total_instrs = 0;
   uint64_t total_macs = 0;
   bool all_verified = true;
+  int nets_completed = 0;          ///< ran every timestep to ebreak
+  int nets_degraded = 0;           ///< trapped, watchdog-killed, or diverged
+  uint64_t faults_injected = 0;
 };
 
-/// Run the whole 10-network suite at one level.
+/// Run the whole 10-network suite at one level. Degraded networks are
+/// recorded and the remaining networks still run.
 SuiteResult run_suite(kernels::OptLevel level, const RunOptions& opt = {});
 
 }  // namespace rnnasip::rrm

@@ -1,0 +1,234 @@
+// Fault-injection subsystem tests: rate-0 bit-identity, seeded schedule
+// determinism, watchdog containment of corrupted control flow, and graceful
+// suite degradation under SEU campaigns.
+#include <gtest/gtest.h>
+
+#include "src/fault/fault_injector.h"
+#include "src/rrm/suite.h"
+#include "tests/iss_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using assembler::ProgramBuilder;
+using kernels::OptLevel;
+using namespace isa;
+
+constexpr uint32_t kBase = 0x1000;
+
+struct ManualRun {
+  iss::Memory mem{1u << 20};
+  assembler::Program prog;
+  std::unique_ptr<iss::Core> core;
+
+  explicit ManualRun(const std::function<void(ProgramBuilder&)>& emit) {
+    ProgramBuilder b(kBase);
+    emit(b);
+    b.ebreak();
+    prog = b.build();
+    core = std::make_unique<iss::Core>(&mem);
+    core->load_program(prog);
+    core->reset(prog.base);
+  }
+};
+
+// A deterministic ~3000-instruction busy loop that stores its result.
+void emit_busy_loop(ProgramBuilder& b) {
+  b.li(kT0, 1000);
+  b.li(kA0, 0);
+  auto loop = b.make_label();
+  b.bind(loop);
+  b.addi(kA0, kA0, 3);
+  b.addi(kT0, kT0, -1);
+  b.bne(kT0, kZero, loop);
+  b.li(kA1, 0x8000);
+  b.sw(kA0, 0, kA1);
+}
+
+TEST(FaultInjector, ArmedRateZeroIsBitIdentical) {
+  ManualRun plain(emit_busy_loop);
+  const auto ref = plain.core->run(1'000'000);
+  ASSERT_EQ(ref.exit, iss::RunResult::Exit::kEbreak);
+
+  ManualRun armed(emit_busy_loop);
+  fault::FaultSpec spec;  // all rates zero
+  fault::FaultInjector injector(spec);
+  injector.arm(armed.core.get(), &armed.mem);
+  const auto res = armed.core->run(1'000'000);
+
+  EXPECT_EQ(res.exit, ref.exit);
+  EXPECT_EQ(res.instrs, ref.instrs);
+  EXPECT_EQ(res.cycles, ref.cycles);
+  for (int r = 0; r < 32; ++r) EXPECT_EQ(armed.core->reg(r), plain.core->reg(r)) << r;
+  EXPECT_EQ(armed.mem.load32(0x8000), plain.mem.load32(0x8000));
+  EXPECT_EQ(injector.flips(), 0u);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  fault::FaultSpec spec;
+  spec.seed = 0xF00D;
+  spec.rate_of(fault::Target::kTcdm) = 0.02;
+  spec.tcdm = {0x8000, 0x8400};  // scratch area the program never reads
+
+  std::string first_schedule;
+  uint64_t first_flips = 0;
+  for (int round = 0; round < 2; ++round) {
+    ManualRun run(emit_busy_loop);
+    fault::FaultInjector injector(spec);
+    injector.arm(run.core.get(), &run.mem);
+    const auto res = run.core->run(1'000'000);
+    ASSERT_EQ(res.exit, iss::RunResult::Exit::kEbreak);  // flips miss the loop
+    for (const auto& ev : injector.events()) {
+      EXPECT_GE(ev.where, spec.tcdm.lo);
+      EXPECT_LT(ev.where, spec.tcdm.hi);
+      EXPECT_LT(ev.bit, 8u);
+    }
+    if (round == 0) {
+      first_schedule = injector.schedule_string();
+      first_flips = injector.flips();
+      EXPECT_GT(first_flips, 0u);
+    } else {
+      EXPECT_EQ(injector.schedule_string(), first_schedule);
+      EXPECT_EQ(injector.flips(), first_flips);
+    }
+  }
+}
+
+TEST(FaultInjector, InstrFlipsStayInsideTextRange) {
+  fault::FaultSpec spec;
+  spec.seed = 9;
+  spec.rate_of(fault::Target::kInstr) = 0.05;
+
+  ManualRun run(emit_busy_loop);
+  spec.text = {run.prog.base, run.prog.base + static_cast<uint32_t>(run.prog.size_bytes())};
+  fault::FaultInjector injector(spec);
+  injector.arm(run.core.get(), &run.mem);
+  iss::RunLimits limits;
+  limits.max_cycles = 100'000;  // a corrupted loop must still terminate
+  const auto res = run.core->run(limits);
+  (void)res;  // any exit is fine — the program is being corrupted
+
+  ASSERT_GT(injector.flips(), 0u);
+  for (const auto& ev : injector.events()) {
+    EXPECT_GE(ev.where, spec.text.lo);
+    EXPECT_LT(ev.where, spec.text.hi);
+    EXPECT_EQ(ev.where % 2, 0u);
+    EXPECT_LT(ev.bit, 16u);
+  }
+}
+
+TEST(FaultInjector, CorruptedLoopDiesByWatchdogNotHang) {
+  // li a0,3; L: addi a0,a0,-1; bne a0,zero,L. Flipping imm bit 0 of the addi
+  // turns the decrement into -2, so a0 steps 3,1,-1,... and never hits zero:
+  // exactly the corrupted-branch scenario the cycle watchdog exists for.
+  uint32_t addi_pos = 0;
+  ManualRun run([&](ProgramBuilder& b) {
+    b.li(kA0, 3);
+    auto loop = b.make_label();
+    addi_pos = static_cast<uint32_t>(b.position());
+    b.bind(loop);
+    b.addi(kA0, kA0, -1);
+    b.bne(kA0, kZero, loop);
+  });
+
+  // Sanity: the pristine program terminates.
+  const auto clean = run.core->run(1000);
+  ASSERT_EQ(clean.exit, iss::RunResult::Exit::kEbreak);
+
+  // Flip instruction bit 20 (imm[0] of the I-type addi) in memory.
+  const uint32_t addi_addr = kBase + 4 * addi_pos;
+  run.mem.flip_bit(addi_addr + 2, 4);
+  run.core->invalidate_decode_cache();
+  run.core->reset(run.prog.base);
+
+  iss::RunLimits limits;
+  limits.max_cycles = 5000;
+  const auto res = run.core->run(limits);
+  EXPECT_EQ(res.exit, iss::RunResult::Exit::kWatchdog);
+  EXPECT_EQ(res.trap.cause, iss::TrapCause::kWatchdog);
+  EXPECT_GE(res.cycles, limits.max_cycles);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(FaultSuite, RateZeroCampaignMatchesFaultFreeAtEveryLevel) {
+  rrm::RrmNetwork net(rrm::find_network("naparstek17"));
+  for (OptLevel level : kernels::kAllOptLevels) {
+    rrm::RunOptions plain;
+    plain.timesteps = 2;
+    const auto ref = rrm::run_network(net, level, plain);
+    ASSERT_TRUE(ref.verified) << kernels::opt_level_name(level);
+
+    rrm::RunOptions campaign = plain;
+    campaign.watchdog_cycles = rrm::kDefaultCampaignWatchdog;  // rates stay 0
+    const auto res = rrm::run_network(net, level, campaign);
+    EXPECT_TRUE(res.verified);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.cycles, ref.cycles) << kernels::opt_level_name(level);
+    EXPECT_EQ(res.instrs, ref.instrs);
+    EXPECT_EQ(res.faults_injected, 0u);
+    EXPECT_EQ(res.decision_flip_rate, 0.0);
+  }
+}
+
+TEST(FaultSuite, SameSeedReproducesNetworkCampaign) {
+  rrm::RrmNetwork net(rrm::find_network("naparstek17"));
+  rrm::RunOptions opt;
+  opt.timesteps = 3;
+  opt.fault.seed = 77;
+  opt.fault.rate_of(fault::Target::kTcdm) = 5e-4;
+  opt.fault.rate_of(fault::Target::kRegFile) = 1e-4;
+  opt.watchdog_cycles = 2'000'000;
+
+  const auto a = rrm::run_network(net, OptLevel::kXpulpSimd, opt);
+  const auto b = rrm::run_network(net, OptLevel::kXpulpSimd, opt);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.steps_completed, b.steps_completed);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.decision_flip_rate, b.decision_flip_rate);
+  EXPECT_EQ(a.trap.cause, b.trap.cause);
+}
+
+TEST(FaultSuite, WatchdogDegradesEveryNetworkYetSuiteCompletes) {
+  rrm::RunOptions opt;
+  opt.timesteps = 1;
+  opt.watchdog_cycles = 200;  // far below any network's forward pass
+  const auto s = rrm::run_suite(OptLevel::kInputTiling, opt);
+  ASSERT_EQ(s.nets.size(), 10u);
+  EXPECT_EQ(s.nets_completed, 0);
+  EXPECT_EQ(s.nets_degraded, 10);
+  for (const auto& n : s.nets) {
+    EXPECT_FALSE(n.completed) << n.name;
+    EXPECT_TRUE(n.degraded());
+    EXPECT_EQ(n.trap.cause, iss::TrapCause::kWatchdog) << n.name;
+    EXPECT_EQ(n.steps_completed, 0) << n.name;
+    EXPECT_EQ(n.steps_attempted, 1) << n.name;
+  }
+}
+
+TEST(FaultSuite, InstrCampaignRunsAllTenNetworks) {
+  rrm::RunOptions opt;
+  opt.timesteps = 1;
+  opt.fault.seed = 42;
+  opt.fault.rate_of(fault::Target::kInstr) = 2e-3;
+  opt.watchdog_cycles = 2'000'000;
+
+  const auto a = rrm::run_suite(OptLevel::kXpulpSimd, opt);
+  ASSERT_EQ(a.nets.size(), 10u);  // no abort, every network reported
+  EXPECT_GT(a.faults_injected, 0u);
+  int degraded = 0;
+  for (const auto& n : a.nets) {
+    EXPECT_EQ(n.steps_attempted, 1) << n.name;
+    degraded += n.degraded() ? 1 : 0;
+  }
+  EXPECT_EQ(degraded, a.nets_degraded);
+
+  // Suite-level determinism: the same seed yields the same campaign.
+  const auto b = rrm::run_suite(OptLevel::kXpulpSimd, opt);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.nets_degraded, b.nets_degraded);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -94,5 +94,51 @@ TEST(IssMem, MisalignedLoadTraps) {
   EXPECT_NE(h.result.trap_message.find("misaligned"), std::string::npos);
 }
 
+// Regression: trap diagnostics must name the faulting address, the access
+// size, and the direction, in the message and in the structured record.
+TEST(IssMem, MisalignedLoadReportsAddressSizeDirection) {
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, kData + 1);
+    b.lw(kA1, 0, kA0);
+  });
+  ASSERT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_EQ(h.result.trap.cause, iss::TrapCause::kMemMisaligned);
+  EXPECT_EQ(h.result.trap.addr, kData + 1);
+  EXPECT_NE(h.result.trap_message.find("addr=0x8001"), std::string::npos)
+      << h.result.trap_message;
+  EXPECT_NE(h.result.trap_message.find("size=4"), std::string::npos);
+  EXPECT_NE(h.result.trap_message.find("read"), std::string::npos);
+}
+
+TEST(IssMem, OutOfRangeStoreReportsAddressSizeDirection) {
+  // run_asm's memory spans 1 MiB; 0x200000 is well outside.
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, 0x200000);
+    b.sh(kA1, 0, kA0);
+  });
+  ASSERT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_EQ(h.result.trap.cause, iss::TrapCause::kMemOutOfRange);
+  EXPECT_EQ(h.result.trap.addr, 0x200000u);
+  EXPECT_NE(h.result.trap_message.find("out of range"), std::string::npos);
+  EXPECT_NE(h.result.trap_message.find("addr=0x200000"), std::string::npos)
+      << h.result.trap_message;
+  EXPECT_NE(h.result.trap_message.find("size=2"), std::string::npos);
+  EXPECT_NE(h.result.trap_message.find("write"), std::string::npos);
+}
+
+TEST(IssMem, HostSideOutOfRangeStillThrowsRuntimeError) {
+  // Misuse of Memory outside a run loop keeps throwing (TrapException is a
+  // std::runtime_error), so host code gets a diagnosable failure.
+  iss::Memory mem(1u << 16);
+  EXPECT_THROW(mem.load32(0xFFFFFFF0u), std::runtime_error);
+  try {
+    mem.store16(0x20000, 1);
+    FAIL();
+  } catch (const iss::TrapException& e) {
+    EXPECT_EQ(e.cause(), iss::TrapCause::kMemOutOfRange);
+    EXPECT_EQ(e.addr(), 0x20000u);
+  }
+}
+
 }  // namespace
 }  // namespace rnnasip

@@ -1,0 +1,166 @@
+// Structured trap model tests: every trap path must surface a typed cause
+// plus the faulting pc (and address where applicable), and leave the core
+// resumable rather than aborting the process.
+#include <gtest/gtest.h>
+
+#include "tests/iss_testutil.h"
+
+namespace rnnasip {
+namespace {
+
+using assembler::ProgramBuilder;
+using iss_test::run_asm;
+using namespace isa;
+
+constexpr uint32_t kBase = 0x1000;
+constexpr uint32_t kData = 0x8000;
+
+TEST(IssTrap, UnimplementedCsr) {
+  auto h = run_asm([](ProgramBuilder& b) { b.csrrs(kA0, 0x123, kZero); });
+  ASSERT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_EQ(h.result.trap.cause, iss::TrapCause::kCsrUnimplemented);
+  EXPECT_EQ(h.result.trap.pc, kBase);
+  EXPECT_EQ(h.result.trap_message, h.result.trap.message);
+}
+
+TEST(IssTrap, ReadOnlyCsrWrite) {
+  uint32_t trap_pc = 0;
+  auto h = run_asm([&](ProgramBuilder& b) {
+    b.li(kA0, 7);
+    trap_pc = kBase + 4 * static_cast<uint32_t>(b.position());
+    b.csrrw(kA1, 0xC00, kA0);  // cycle counter is read-only
+  });
+  ASSERT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_EQ(h.result.trap.cause, iss::TrapCause::kCsrReadOnly);
+  EXPECT_EQ(h.result.trap.pc, trap_pc);
+  EXPECT_NE(h.result.trap_message.find("read-only"), std::string::npos);
+}
+
+TEST(IssTrap, XpulpGate) {
+  iss::Core::Config cfg;
+  cfg.has_xpulp = false;
+  auto h = run_asm([](ProgramBuilder& b) { b.p_mac(kA0, kA1, kA2); }, {}, cfg);
+  ASSERT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_EQ(h.result.trap.cause, iss::TrapCause::kIsaGateXpulp);
+  EXPECT_EQ(h.result.trap.pc, kBase);
+  EXPECT_NE(h.result.trap_message.find("Xpulp"), std::string::npos);
+}
+
+TEST(IssTrap, RnnExtGate) {
+  iss::Core::Config cfg;
+  cfg.has_rnn_ext = false;
+  auto h = run_asm([](ProgramBuilder& b) { b.pl_tanh(kA0, kA1); }, {}, cfg);
+  ASSERT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_EQ(h.result.trap.cause, iss::TrapCause::kIsaGateRnnExt);
+  EXPECT_EQ(h.result.trap.pc, kBase);
+  EXPECT_NE(h.result.trap_message.find("RNN-ext"), std::string::npos);
+}
+
+TEST(IssTrap, SdotspRdRs1Conflict) {
+  // rd == rs1 would make the post-incremented weight pointer clobber the
+  // accumulator; the ISS rejects it with a typed cause.
+  auto h = run_asm([](ProgramBuilder& b) { b.pl_sdotsp_h(0, kA0, kA0, kA1); });
+  ASSERT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_EQ(h.result.trap.cause, iss::TrapCause::kRdRs1Conflict);
+  EXPECT_EQ(h.result.trap.pc, kBase);
+}
+
+TEST(IssTrap, InvalidOpcode) {
+  // All-zero memory decodes to an invalid instruction at the reset pc.
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  core.reset(kBase);
+  const auto res = core.run(100);
+  ASSERT_EQ(res.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_EQ(res.trap.cause, iss::TrapCause::kIllegalInstruction);
+  EXPECT_EQ(res.trap.pc, kBase);
+  EXPECT_NE(res.trap_message.find("illegal"), std::string::npos);
+}
+
+TEST(IssTrap, WatchdogKillsTightLoop) {
+  iss::Memory mem(1u << 20);
+  assembler::ProgramBuilder b(kBase);
+  auto loop = b.make_label();
+  b.bind(loop);
+  b.jal(kZero, loop);  // spin forever
+  const auto prog = b.build();
+  iss::Core core(&mem);
+  core.load_program(prog);
+  core.reset(prog.base);
+
+  iss::RunLimits limits;
+  limits.max_cycles = 1000;
+  const auto res = core.run(limits);
+  EXPECT_EQ(res.exit, iss::RunResult::Exit::kWatchdog);
+  EXPECT_EQ(res.trap.cause, iss::TrapCause::kWatchdog);
+  EXPECT_EQ(res.trap.pc, kBase);
+  EXPECT_FALSE(res.ok());
+  // Every instruction costs at least one cycle, so the watchdog fires within
+  // one instruction of the limit.
+  EXPECT_GE(res.cycles, limits.max_cycles);
+  EXPECT_LT(res.cycles, limits.max_cycles + 8);
+  EXPECT_NE(res.describe().find("watchdog"), std::string::npos);
+}
+
+TEST(IssTrap, InstructionCapHasNoTrapRecord) {
+  iss::Memory mem(1u << 20);
+  assembler::ProgramBuilder b(kBase);
+  auto loop = b.make_label();
+  b.bind(loop);
+  b.jal(kZero, loop);
+  const auto prog = b.build();
+  iss::Core core(&mem);
+  core.load_program(prog);
+  core.reset(prog.base);
+
+  const auto res = core.run(100);
+  EXPECT_EQ(res.exit, iss::RunResult::Exit::kMaxInstrs);
+  EXPECT_EQ(res.trap.cause, iss::TrapCause::kNone);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.instrs, 100u);
+}
+
+TEST(IssTrap, MemoryTrapsCarryStructuredAddress) {
+  uint32_t trap_pc = 0;
+  auto h = run_asm([&](ProgramBuilder& b) {
+    b.li(kA0, kData + 2);
+    trap_pc = kBase + 4 * static_cast<uint32_t>(b.position());
+    b.lw(kA1, 0, kA0);
+  });
+  ASSERT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  EXPECT_EQ(h.result.trap.cause, iss::TrapCause::kMemMisaligned);
+  EXPECT_EQ(h.result.trap.pc, trap_pc);
+  EXPECT_EQ(h.result.trap.addr, kData + 2);
+}
+
+TEST(IssTrap, CoreIsResumableAfterTrap) {
+  // The faulting instruction does not retire and pc stays put, so a harness
+  // can repair state and resume: fix the misaligned base and run again.
+  auto h = run_asm([](ProgramBuilder& b) {
+    b.li(kA0, kData + 1);
+    b.lw(kA1, 0, kA0);
+    b.addi(kA2, kA1, 1);
+  });
+  ASSERT_EQ(h.result.exit, iss::RunResult::Exit::kTrap);
+  const uint32_t fault_pc = h.result.trap.pc;
+
+  h.mem->store32(kData, 41);
+  h.core->set_reg(kA0, kData);
+  const auto res2 = h.core->run(100);
+  EXPECT_EQ(res2.exit, iss::RunResult::Exit::kEbreak) << res2.trap_message;
+  EXPECT_EQ(h.core->reg(kA1), 41u);
+  EXPECT_EQ(h.core->reg(kA2), 42u);
+  // The resumed run re-executed from the faulting pc.
+  EXPECT_GT(res2.instrs, 0u);
+  EXPECT_EQ(fault_pc, h.result.trap.pc);
+}
+
+TEST(IssTrap, DescribeNamesTheCause) {
+  auto h = run_asm([](ProgramBuilder& b) { b.csrrs(kA0, 0x123, kZero); });
+  const std::string d = h.result.describe();
+  EXPECT_NE(d.find("csr-unimplemented"), std::string::npos) << d;
+  EXPECT_NE(d.find("pc=0x"), std::string::npos) << d;
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -251,10 +251,13 @@ TEST(IssSimd, DotProducts) {
           c.set_reg(kA3, static_cast<uint32_t>(acc0));
         });
     expect_ok(h);
-    const int32_t dot = static_cast<int32_t>(half_lo(va)) * half_lo(vb) +
-                        static_cast<int32_t>(half_hi(va)) * half_hi(vb);
-    EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA2)), dot);
-    EXPECT_EQ(static_cast<int32_t>(h.core->reg(kA3)), acc0 + dot);
+    // Accumulate in uint32: the hardware wraps mod 2^32, and the sum of two
+    // halfword products (and the running accumulator) can exceed INT32_MAX.
+    const uint32_t dot =
+        static_cast<uint32_t>(static_cast<int32_t>(half_lo(va)) * half_lo(vb)) +
+        static_cast<uint32_t>(static_cast<int32_t>(half_hi(va)) * half_hi(vb));
+    EXPECT_EQ(h.core->reg(kA2), dot);
+    EXPECT_EQ(h.core->reg(kA3), static_cast<uint32_t>(acc0) + dot);
   }
 }
 
