@@ -11,13 +11,15 @@
 //     at 3.4% area instead of a second issue port and register-file ports.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/common/table.h"
 #include "src/rrm/suite.h"
 
 using namespace rnnasip;
 using kernels::OptLevel;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::parse(argc, argv);
   std::printf("=====================================================================\n");
   std::printf("Ablation — ISA extension vs dual-issue microarchitecture (upper\n");
   std::printf("bound: any independent ALU/MUL/SIMD pairs with a preceding mem op)\n");
@@ -31,6 +33,7 @@ int main() {
   Table t({"level", "single kcyc", "dual kcyc", "dual gain", "speedup single",
            "speedup dual"});
   uint64_t base_single = 0;
+  obs::Json levels_json = obs::Json::array();
   for (auto level : kernels::kAllOptLevels) {
     const auto s = rrm::run_suite(level, single);
     const auto d = rrm::run_suite(level, dual);
@@ -42,6 +45,12 @@ int main() {
                fmt_double(static_cast<double>(s.total_cycles) / d.total_cycles, 2) + "x",
                fmt_double(static_cast<double>(base_single) / s.total_cycles, 1) + "x",
                fmt_double(static_cast<double>(base_single) / d.total_cycles, 1) + "x"});
+    obs::Json l = obs::Json::object();
+    l.set("level", std::string(1, kernels::opt_level_letter(level)));
+    l.set("single_cycles", s.total_cycles);
+    l.set("dual_cycles", d.total_cycles);
+    l.set("dual_issue_saved", d.total.dual_issue_saved());
+    levels_json.push(std::move(l));
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("Reading: dual-issue compresses level c (its software-pipelined loads\n");
@@ -50,5 +59,11 @@ int main() {
   std::printf("pl.sdotsp already owns both slots. The extended single-issue core\n");
   std::printf("(670 kcyc) still beats the best dual-issue unextended point\n");
   std::printf("(759 kcyc), with 2.3 kGE instead of a second issue pipeline.\n");
+
+  if (io.json_enabled()) {
+    obs::Json data = obs::Json::object();
+    data.set("levels", std::move(levels_json));
+    io.write_json("dual_issue", std::move(data));
+  }
   return 0;
 }

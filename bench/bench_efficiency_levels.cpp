@@ -4,6 +4,7 @@
 // show where each factor comes from).
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/common/table.h"
 #include "src/impl_model/impl_model.h"
 #include "src/rrm/suite.h"
@@ -12,7 +13,8 @@ using namespace rnnasip;
 using namespace rnnasip::impl_model;
 using kernels::OptLevel;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::parse(argc, argv);
   std::printf("=====================================================================\n");
   std::printf("Ablation — throughput/power/efficiency per optimization level\n");
   std::printf("=====================================================================\n\n");
@@ -28,6 +30,7 @@ int main() {
 
   Table t({"level", "MMAC/s", "power mW", "GMAC/s/W", "thr. impr", "eff. impr",
            "energy/suite uJ"});
+  obs::Json levels_json = obs::Json::array();
   double mm0 = 0, eff0 = 0;
   for (size_t i = 0; i < res.size(); ++i) {
     const auto a = activity_from_stats(res[i].total);
@@ -42,11 +45,25 @@ int main() {
                fmt_double(mm, 0), fmt_double(p, 2), fmt_double(eff, 0),
                fmt_double(mm / mm0, 1) + "x", fmt_double(eff / eff0, 1) + "x",
                fmt_double(energy_per_run_uj(res[i].total_cycles, p), 2)});
+    obs::Json l = obs::Json::object();
+    l.set("level", std::string(1, kernels::opt_level_letter(kernels::kAllOptLevels[i])));
+    l.set("cycles", res[i].total_cycles);
+    l.set("mmac_per_s", mm);
+    l.set("power_mw", p);
+    l.set("gmac_per_s_per_w", eff);
+    l.set("energy_per_suite_uj", energy_per_run_uj(res[i].total_cycles, p));
+    levels_json.push(std::move(l));
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("Paper anchors: level a = 1.73 mW; level e = 566 MMAC/s, 2.61 mW,\n");
   std::printf("218 GMAC/s/W; improvements 15x throughput / 10x efficiency.\n");
   std::printf("Every optimization level is a strict Pareto improvement: each step\n");
   std::printf("raises power but raises throughput faster.\n");
+
+  if (io.json_enabled()) {
+    obs::Json data = obs::Json::object();
+    data.set("levels", std::move(levels_json));
+    io.write_json("efficiency_levels", std::move(data));
+  }
   return 0;
 }

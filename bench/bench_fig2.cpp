@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_io.h"
 #include "src/activation/pla.h"
 #include "src/common/table.h"
 #include "src/impl_model/impl_model.h"
@@ -16,7 +17,8 @@ using activation::FitMethod;
 using activation::PlaSpec;
 using activation::PlaTable;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::parse(argc, argv);
   std::printf("======================================================================\n");
   std::printf("Fig. 2 — tanh MSE vs interpolation range and #intervals (Q3.12)\n");
   std::printf("Paper design point: range ±4, 32 intervals -> MSE 9.81e-7, max ±3.8e-4\n");
@@ -89,5 +91,29 @@ int main() {
               chosen.mse(), chosen.max_abs_error(),
               PlaTable::build({ActFunc::kTanh, 9, 32}).lut_bits());
   std::printf("  paper   : MSE 9.81e-07, max |err| 3.8e-04\n");
+
+  if (io.json_enabled()) {
+    obs::Json data = obs::Json::object();
+    obs::Json grid_json = obs::Json::array();
+    for (double r : ranges) {
+      for (int m : intervals) {
+        const auto spec = PlaSpec::for_range(ActFunc::kTanh, r, m);
+        const auto stats = activation::measure_error(PlaTable::build(spec));
+        obs::Json cell = obs::Json::object();
+        cell.set("range", r);
+        cell.set("intervals", m);
+        cell.set("mse", stats.mse());
+        cell.set("max_abs_error", stats.max_abs_error());
+        grid_json.push(std::move(cell));
+      }
+    }
+    data.set("grid", std::move(grid_json));
+    obs::Json design = obs::Json::object();
+    design.set("mse", chosen.mse());
+    design.set("max_abs_error", chosen.max_abs_error());
+    design.set("lut_bits", PlaTable::build({ActFunc::kTanh, 9, 32}).lut_bits());
+    data.set("design_point", std::move(design));
+    io.write_json("fig2", std::move(data));
+  }
   return 0;
 }

@@ -5,13 +5,15 @@
 #include <map>
 #include <vector>
 
+#include "bench/bench_io.h"
 #include "src/common/table.h"
 #include "src/rrm/suite.h"
 
 using namespace rnnasip;
 using kernels::OptLevel;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::parse(argc, argv);
   std::printf("=====================================================================\n");
   std::printf("Fig. 3 — per-network speedup vs RISC-V IMC baseline\n");
   std::printf("Paper final column (level e): avg 15.0x; small nets [3],[33] lowest;\n");
@@ -52,18 +54,23 @@ int main() {
   std::printf("activations are 10.3%% [13] and 33.6%% [14] of SW cycles; the HW\n");
   std::printf("instructions cut LSTM cycles 51.2k -> 44.5k = 13.0%%):\n\n");
   Table abl({"network", "SW act kcyc (lvl b)", "lvl b kcyc", "share", "lvl c act kcyc"});
+  obs::Json abl_json = obs::Json::array();
   for (const char* name : {"challita17", "naparstek17"}) {
     rrm::RrmNetwork net(rrm::find_network(name));
-    const auto rb = rrm::run_network(net, OptLevel::kXpulpSimd, opt);
+    // SW activation cycles: measured exactly by the observability layer —
+    // the act_tanh/act_sig regions attribute every cycle spent inside the
+    // generated routines (including their load-use stalls).
+    rrm::RunOptions obs_opt = opt;
+    obs_opt.observe = true;
+    const auto rb = rrm::run_network(net, OptLevel::kXpulpSimd, obs_opt);
     const auto rc = rrm::run_network(net, OptLevel::kOutputTiling, opt);
-    // SW activation cycles: everything spent inside the routines — count the
-    // routine-only opcodes (jal calls plus the routine body mix is folded
-    // into generic opcodes, so measure via a separate run with zero-size
-    // estimate: jal count x ~27 cycles/call).
-    uint64_t calls = 0;
-    const auto& ops = rb.stats.by_opcode();
-    if (auto it = ops.find(isa::Opcode::kJal); it != ops.end()) calls = it->second.instrs;
-    const double sw_act_kcyc = static_cast<double>(calls) * 27.0 / 1000.0;
+    uint64_t sw_act_cycles = 0;
+    const auto inc = rb.obs->inclusive();
+    for (size_t r = 0; r < rb.obs->map.size(); ++r) {
+      const auto& d = rb.obs->map.defs()[r];
+      if (d.name == "act_tanh" || d.name == "act_sig") sw_act_cycles += inc[r].cycles;
+    }
+    const double sw_act_kcyc = static_cast<double>(sw_act_cycles) / 1000.0;
     double hw_act_kcyc = 0;
     const auto& opc = rc.stats.by_opcode();
     for (auto op : {isa::Opcode::kPlTanh, isa::Opcode::kPlSig}) {
@@ -74,6 +81,14 @@ int main() {
                  fmt_double(static_cast<double>(rb.cycles) / 1000.0, 1),
                  fmt_double(100.0 * sw_act_kcyc * 1000.0 / rb.cycles, 1) + "%",
                  fmt_double(hw_act_kcyc, 2)});
+    obs::Json e = obs::Json::object();
+    e.set("network", std::string(name));
+    e.set("sw_act_cycles", sw_act_cycles);
+    e.set("level_b_cycles", rb.cycles);
+    e.set("sw_act_share",
+          static_cast<double>(sw_act_cycles) / static_cast<double>(rb.cycles));
+    e.set("hw_act_cycles", static_cast<uint64_t>(hw_act_kcyc * 1000.0));
+    abl_json.push(std::move(e));
   }
   std::printf("%s\n", abl.to_string().c_str());
 
@@ -81,5 +96,29 @@ int main() {
   for (const auto& [level, s] : results) all_ok = all_ok && s.all_verified;
   std::printf("All runs verified bit-exact against the golden model: %s\n",
               all_ok ? "yes" : "NO");
+
+  if (io.json_enabled()) {
+    obs::Json data = obs::Json::object();
+    obs::Json nets = obs::Json::array();
+    for (size_t i = 0; i < base.nets.size(); ++i) {
+      const auto& def = rrm::rrm_suite()[i];
+      obs::Json e = obs::Json::object();
+      e.set("name", def.name);
+      e.set("type", def.type);
+      obs::Json speedups = obs::Json::object();
+      for (auto level : {OptLevel::kXpulpSimd, OptLevel::kOutputTiling,
+                         OptLevel::kLoadCompute, OptLevel::kInputTiling}) {
+        speedups.set(std::string(1, kernels::opt_level_letter(level)),
+                     static_cast<double>(base.nets[i].cycles) /
+                         static_cast<double>(results.at(level).nets[i].cycles));
+      }
+      e.set("speedup", std::move(speedups));
+      nets.push(std::move(e));
+    }
+    data.set("networks", std::move(nets));
+    data.set("act_ablation", std::move(abl_json));
+    data.set("all_verified", all_ok);
+    io.write_json("fig3", std::move(data));
+  }
   return all_ok ? 0 : 1;
 }

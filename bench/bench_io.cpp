@@ -1,0 +1,98 @@
+#include "bench/bench_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "src/common/check.h"
+
+namespace rnnasip::bench {
+
+BenchIo BenchIo::parse(int& argc, char** argv) {
+  BenchIo io;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0 && r + 1 < argc) {
+      io.path_ = argv[++r];
+    } else if (std::strcmp(argv[r], "--wall-time") == 0) {
+      io.wall_time_ = true;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return io;
+}
+
+bool BenchIo::write_json(const std::string& name, obs::Json data) const {
+  if (path_.empty()) return false;
+  obs::Json root = obs::Json::object();
+  root.set("schema_version", kBenchSchemaVersion);
+  root.set("bench", name);
+  root.set("data", std::move(data));
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  RNNASIP_CHECK_MSG(out.good(), "cannot open " << path_ << " for writing");
+  const std::string s = root.dump_pretty();
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  out.close();
+  RNNASIP_CHECK_MSG(out.good(), "short write to " << path_);
+  std::fprintf(stderr, "wrote %s\n", path_.c_str());
+  return true;
+}
+
+obs::Json stats_to_json(const iss::ExecStats& stats) {
+  obs::Json j = obs::Json::object();
+  j.set("cycles", stats.total_cycles());
+  j.set("instrs", stats.total_instrs());
+  j.set("macs", stats.total_macs());
+  obs::Json stalls = obs::Json::object();
+  for (size_t s = 0; s < iss::kStallCauseCount; ++s) {
+    const auto cause = static_cast<iss::StallCause>(s);
+    stalls.set(iss::stall_cause_name(cause), stats.stall_cycles(cause));
+  }
+  j.set("stall_cycles", std::move(stalls));
+  j.set("dual_issue_saved", stats.dual_issue_saved());
+  j.set("hwloop_overhead_cycles", stats.hwloop_overhead_cycles());
+  j.set("traps", stats.traps());
+  j.set("watchdogs", stats.watchdogs());
+  j.set("identity_holds", stats.identity_holds());
+  obs::Json groups = obs::Json::object();
+  for (const auto& [name, st] : stats.by_display_group()) {
+    obs::Json g = obs::Json::object();
+    g.set("instrs", st.instrs);
+    g.set("cycles", st.cycles);
+    groups.set(name, std::move(g));
+  }
+  j.set("by_group", std::move(groups));
+  return j;
+}
+
+obs::Json suite_to_json(const rrm::SuiteResult& suite) {
+  obs::Json j = obs::Json::object();
+  j.set("total_cycles", suite.total_cycles);
+  j.set("total_instrs", suite.total_instrs);
+  j.set("total_macs", suite.total_macs);
+  j.set("all_verified", suite.all_verified);
+  j.set("nets_completed", suite.nets_completed);
+  j.set("nets_degraded", suite.nets_degraded);
+  obs::Json nets = obs::Json::array();
+  for (const auto& n : suite.nets) {
+    obs::Json e = obs::Json::object();
+    e.set("name", n.name);
+    e.set("cycles", n.cycles);
+    e.set("instrs", n.instrs);
+    e.set("macs", n.nominal_macs);
+    e.set("verified", n.verified);
+    e.set("completed", n.completed);
+    if (n.cycles) {
+      e.set("mac_per_cycle",
+            static_cast<double>(n.nominal_macs) / static_cast<double>(n.cycles));
+    }
+    nets.push(std::move(e));
+  }
+  j.set("networks", std::move(nets));
+  j.set("stats", stats_to_json(suite.total));
+  return j;
+}
+
+}  // namespace rnnasip::bench

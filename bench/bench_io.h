@@ -1,0 +1,51 @@
+// Shared I/O harness for the bench binaries.
+//
+// Every bench prints its human-readable tables to stdout as before; with
+//   --json <path>
+// it additionally writes a schema-versioned machine-readable envelope
+//
+//   {"schema_version": 1, "bench": "<name>", "data": {...}}
+//
+// to <path> (conventionally BENCH_<name>.json). The JSON body must be
+// byte-identical across two runs with the same seed — so host wall-clock
+// time is only included when --wall-time is passed explicitly.
+#pragma once
+
+#include <string>
+
+#include "src/iss/stats.h"
+#include "src/obs/json.h"
+#include "src/rrm/suite.h"
+
+namespace rnnasip::bench {
+
+class BenchIo {
+ public:
+  /// Strip the harness flags (--json <path>, --wall-time) from argv,
+  /// leaving the bench's own flags in place. argc/argv are edited in place.
+  static BenchIo parse(int& argc, char** argv);
+
+  bool json_enabled() const { return !path_.empty(); }
+  bool wall_time() const { return wall_time_; }
+  const std::string& path() const { return path_; }
+
+  /// Write {"schema_version":..,"bench":name,"data":data} to path().
+  /// No-op (returns false) when --json was not passed.
+  bool write_json(const std::string& name, obs::Json data) const;
+
+ private:
+  std::string path_;
+  bool wall_time_ = false;
+};
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// ExecStats as JSON: totals, stall taxonomy, derived counters, and the
+/// per-display-group opcode breakdown.
+obs::Json stats_to_json(const iss::ExecStats& stats);
+
+/// One suite run as JSON: per-network cycles/instrs/MACs/verified plus the
+/// merged ExecStats breakdown.
+obs::Json suite_to_json(const rrm::SuiteResult& suite);
+
+}  // namespace rnnasip::bench

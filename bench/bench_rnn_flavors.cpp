@@ -4,13 +4,16 @@
 // hidden size through every optimization level and shows both enjoy the
 // same speedup structure — the extensions are cell-agnostic.
 #include <cstdio>
+#include <map>
 
+#include "bench/bench_io.h"
 #include "src/common/rng.h"
 #include "src/common/table.h"
 #include "src/iss/core.h"
 #include "src/kernels/network.h"
 #include "src/nn/init.h"
 #include "src/nn/quantize.h"
+#include "src/obs/profile.h"
 
 using namespace rnnasip;
 using kernels::OptLevel;
@@ -20,6 +23,9 @@ namespace {
 struct CellRun {
   uint64_t cycles;
   uint64_t macs;
+  /// Inclusive cycles of each gate region (gate_i, gate_r, ...), measured
+  /// by the observability layer over all 4 timesteps.
+  std::map<std::string, uint64_t> gate_cycles;
 };
 
 template <typename AddLayer>
@@ -31,18 +37,33 @@ CellRun run_cell(OptLevel level, int input, const AddLayer& add, int in_count) {
   const auto net = b.finalize();
   core.load_program(net.program);
   kernels::reset_state(mem, net);
+  obs::RegionProfiler prof(&net.regions, net.program.base);
+  prof.attach(core);
   Rng rng(static_cast<uint64_t>(input) * 7 + 1);
   for (int t = 0; t < 4; ++t) {
     std::vector<int16_t> x(static_cast<size_t>(in_count));
     for (auto& v : x) v = static_cast<int16_t>(quantize(rng.next_in(-1.0, 1.0)));
     kernels::run_forward(core, mem, net, x);
   }
-  return {core.stats().total_cycles(), net.nominal_macs * 4};
+  prof.finish();
+  CellRun r{core.stats().total_cycles(), net.nominal_macs * 4, {}};
+  // Gate regions contain only their matvec, so self + nested kernel regions
+  // == inclusive; sum self counters of each gate's subtree the simple way.
+  obs::NetObservation ob;
+  ob.map = net.regions;
+  ob.counters = prof.counters();
+  const auto inc = ob.inclusive();
+  for (size_t i = 0; i < ob.map.size(); ++i) {
+    const auto& d = ob.map.defs()[i];
+    if (d.kind == obs::RegionKind::kGate) r.gate_cycles[d.name] = inc[i].cycles;
+  }
+  return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::parse(argc, argv);
   std::printf("=====================================================================\n");
   std::printf("RNN-flavor ablation — LSTM vs GRU across optimization levels\n");
   std::printf("(4 timesteps each; GRU has 3 gates to the LSTM's 4, so ~25%% fewer\n");
@@ -57,6 +78,7 @@ int main() {
   Table t({"level", "LSTM kcyc", "LSTM speedup", "GRU kcyc", "GRU speedup",
            "GRU/LSTM cyc"});
   uint64_t lstm_base = 0, gru_base = 0;
+  obs::Json levels_json = obs::Json::array();
   for (auto level : kernels::kAllOptLevels) {
     const auto rl = run_cell(level, m, [&](kernels::NetworkProgramBuilder& b) {
       b.add_lstm(lstm);
@@ -74,10 +96,28 @@ int main() {
                fmt_double(static_cast<double>(rg.cycles) / 1000, 1),
                fmt_double(static_cast<double>(gru_base) / rg.cycles, 1) + "x",
                fmt_double(static_cast<double>(rg.cycles) / rl.cycles, 2)});
+    obs::Json l = obs::Json::object();
+    l.set("level", std::string(1, kernels::opt_level_letter(level)));
+    l.set("lstm_cycles", rl.cycles);
+    l.set("gru_cycles", rg.cycles);
+    auto gates = [](const CellRun& r) {
+      obs::Json g = obs::Json::object();
+      for (const auto& [name, cyc] : r.gate_cycles) g.set(name, cyc);
+      return g;
+    };
+    l.set("lstm_gate_cycles", gates(rl));
+    l.set("gru_gate_cycles", gates(rg));
+    levels_json.push(std::move(l));
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("The GRU tracks the LSTM's speedup at every level and costs roughly\n");
   std::printf("its MAC ratio (3 gates + extra pointwise work vs 4 gates) — no\n");
   std::printf("hardware change was needed for the new cell.\n");
+
+  if (io.json_enabled()) {
+    obs::Json data = obs::Json::object();
+    data.set("levels", std::move(levels_json));
+    io.write_json("rnn_flavors", std::move(data));
+  }
   return 0;
 }

@@ -3,11 +3,17 @@
 // paper's display grouping (lw! = post-increment loads, pl.sdot, tanh,sig),
 // plus the cumulative and incremental speedups of the bottom row.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string_view>
 #include <map>
 #include <vector>
 
+#include "bench/bench_io.h"
+#include "src/common/check.h"
 #include "src/common/table.h"
+#include "src/obs/report.h"
+#include "src/obs/trace_export.h"
 #include "src/rrm/suite.h"
 
 using namespace rnnasip;
@@ -54,7 +60,16 @@ void print_level(const rrm::SuiteResult& s, const rrm::SuiteResult& base,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool per_net = argc > 1 && std::string_view(argv[1]) == "--per-net";
+  const auto io = bench::BenchIo::parse(argc, argv);
+  bool per_net = false;
+  bool observe = false;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--per-net") per_net = true;
+    else if (a == "--observe") observe = true;
+    else if (a == "--trace" && i + 1 < argc) trace_path = argv[++i];
+  }
   std::printf("==============================================================\n");
   std::printf("Table I — cycle and instruction count optimizations, RRM suite\n");
   std::printf("Paper:    a) 14'683 kcyc  b) 3'323  c) 1'756  d) 1'028  e) 980\n");
@@ -63,6 +78,8 @@ int main(int argc, char** argv) {
 
   rrm::RunOptions opt;
   opt.verify = true;
+  opt.observe = observe || !trace_path.empty();
+  opt.timeline = !trace_path.empty();
 
   std::vector<rrm::SuiteResult> results;
   for (auto level : kernels::kAllOptLevels) {
@@ -107,6 +124,46 @@ int main(int argc, char** argv) {
     std::printf("%s", pn.to_string().c_str());
     std::printf("\nCSV histogram of the final level:\n%s",
                 results.back().total.to_csv().c_str());
+  }
+
+  if (opt.observe) {
+    // Region roll-up and stall taxonomy of the final (fully optimized) level.
+    const auto& final_suite = results.back();
+    std::printf("\nStall taxonomy, level e:\n%s\n",
+                obs::stall_table(final_suite.total).to_string().c_str());
+    for (const auto& n : final_suite.nets) {
+      if (!n.obs) continue;
+      std::printf("Region breakdown — %s:\n%s\n", n.name.c_str(),
+                  obs::region_table(*n.obs).to_string().c_str());
+    }
+  }
+
+  if (!trace_path.empty()) {
+    std::vector<const obs::NetObservation*> views;
+    for (const auto& n : results.back().nets) {
+      if (n.obs) views.push_back(n.obs.get());
+    }
+    std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
+    RNNASIP_CHECK_MSG(out.good(), "cannot open " << trace_path);
+    const std::string json = obs::to_perfetto_json(views);
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    RNNASIP_CHECK(out.good());
+    std::fprintf(stderr, "wrote %s\n", trace_path.c_str());
+  }
+
+  if (io.json_enabled()) {
+    obs::Json data = obs::Json::object();
+    obs::Json levels = obs::Json::array();
+    for (size_t i = 0; i < results.size(); ++i) {
+      obs::Json l = obs::Json::object();
+      l.set("level", std::string(1, kernels::opt_level_letter(kernels::kAllOptLevels[i])));
+      l.set("speedup", static_cast<double>(results[0].total_cycles) /
+                           static_cast<double>(results[i].total_cycles));
+      l.set("suite", bench::suite_to_json(results[i]));
+      levels.push(std::move(l));
+    }
+    data.set("levels", std::move(levels));
+    io.write_json("table1", std::move(data));
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 // the rB bubble), and measures the per-iteration cycle cost of each.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/asm/builder.h"
 #include "src/common/check.h"
 #include "src/asm/disasm.h"
@@ -104,9 +105,30 @@ LoopResult run_right() {
   return out;
 }
 
+obs::Json loop_to_json(const LoopResult& r, int instrs) {
+  obs::Json j = obs::Json::object();
+  j.set("body_cycles", r.body_cycles);
+  j.set("cycles_per_iter", static_cast<double>(r.body_cycles) / kIters);
+  j.set("instrs_per_iter", instrs);
+  obs::Json listing = obs::Json::array();
+  size_t start = 0;
+  while (start < r.listing.size()) {
+    size_t nl = r.listing.find('\n', start);
+    if (nl == std::string::npos) nl = r.listing.size();
+    std::string line = r.listing.substr(start, nl - start);
+    // Trim the two-space display indent.
+    if (line.rfind("  ", 0) == 0) line = line.substr(2);
+    if (!line.empty()) listing.push(line);
+    start = nl + 1;
+  }
+  j.set("listing", std::move(listing));
+  return j;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::parse(argc, argv);
   std::printf("=====================================================================\n");
   std::printf("Table II — tiled FC inner loop, with FM tiling only vs pl.sdotsp.h\n");
   std::printf("=====================================================================\n\n");
@@ -127,5 +149,15 @@ int main() {
   std::printf("  speedup: %.2fx (paper Table Id reports 1.7x on the full suite,\n",
               left_per_iter / right_per_iter);
   std::printf("  where epilogues and small layers dilute the inner-loop gain)\n");
+
+  if (io.json_enabled()) {
+    obs::Json data = obs::Json::object();
+    data.set("iters", kIters);
+    data.set("macs_per_iter", 8);
+    data.set("left", loop_to_json(left, 9));
+    data.set("right", loop_to_json(right, 5));
+    data.set("speedup", left_per_iter / right_per_iter);
+    io.write_json("table2", std::move(data));
+  }
   return 0;
 }

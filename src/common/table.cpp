@@ -59,6 +59,29 @@ std::string Table::to_csv() const {
   return os.str();
 }
 
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  auto cell = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '|') out += "\\|";
+      else out += c;
+    }
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (const auto& c : r) os << ' ' << cell(c) << " |";
+    os << '\n';
+  };
+  emit(header_);
+  os << '|';
+  for (size_t c = 0; c < header_.size(); ++c) os << (c == 0 ? " :--- |" : " ---: |");
+  os << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
 std::string fmt_double(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, v);

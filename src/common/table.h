@@ -23,6 +23,10 @@ class Table {
   /// Render as CSV (no quoting needed for our numeric content).
   std::string to_csv() const;
 
+  /// Render as a GitHub-flavored markdown table (first column left-aligned,
+  /// the rest right-aligned). Pipes in cells are escaped.
+  std::string to_markdown() const;
+
   size_t rows() const { return rows_.size(); }
 
  private:

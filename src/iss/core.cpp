@@ -103,29 +103,6 @@ bool reads_reg(const Instr& in, uint8_t r) {
   return (rs1 && in.rs1 == r) || (rs2 && in.rs2 == r) || (rd && in.rd == r);
 }
 
-uint64_t mac_count(Opcode op) {
-  switch (op) {
-    case Opcode::kMul:
-    case Opcode::kPMac:
-    case Opcode::kPMsu:
-      return 1;
-    case Opcode::kPvDotspH:
-    case Opcode::kPvSdotspH:
-    case Opcode::kPvDotupH:
-    case Opcode::kPvSdotupH:
-    case Opcode::kPvDotspScH:
-    case Opcode::kPvSdotspScH:
-    case Opcode::kPlSdotspH0:
-    case Opcode::kPlSdotspH1:
-      return 2;
-    case Opcode::kPvDotspB:
-    case Opcode::kPvSdotspB:
-      return 4;
-    default:
-      return 0;
-  }
-}
-
 int32_t sdot_h(uint32_t a, uint32_t b) {
   return static_cast<int32_t>(half_lo(a)) * half_lo(b) +
          static_cast<int32_t>(half_hi(a)) * half_hi(b);
@@ -248,6 +225,14 @@ Core::ExecOut Core::execute(const Instr& in, uint32_t pc) {
   const TimingModel& t = cfg_.timing;
   uint32_t next = pc + in.size;
   uint64_t cost = 1;
+  StallCause pen = StallCause::kCount_;
+  uint64_t pen_cycles = 0;
+  // Serial divider: everything beyond the issue cycle is a typed penalty.
+  const auto div_cost = [&] {
+    cost = t.div_cycles > 0 ? t.div_cycles : 1;
+    pen = StallCause::kDivider;
+    pen_cycles = cost - 1;
+  };
   const uint32_t a = x_[in.rs1];
   const uint32_t b = x_[in.rs2];
   const int32_t sa = static_cast<int32_t>(a);
@@ -261,11 +246,15 @@ Core::ExecOut Core::execute(const Instr& in, uint32_t pc) {
       write_reg(in.rd, pc + in.size);
       next = pc + static_cast<uint32_t>(in.imm);
       cost += t.jump_penalty;
+      pen = StallCause::kJump;
+      pen_cycles = t.jump_penalty;
       break;
     case Opcode::kJalr:
       write_reg(in.rd, pc + in.size);
       next = (a + static_cast<uint32_t>(in.imm)) & ~1u;
       cost += t.jump_penalty;
+      pen = StallCause::kJump;
+      pen_cycles = t.jump_penalty;
       break;
     case Opcode::kBeq:
     case Opcode::kBne:
@@ -285,6 +274,8 @@ Core::ExecOut Core::execute(const Instr& in, uint32_t pc) {
       if (taken) {
         next = pc + static_cast<uint32_t>(in.imm);
         cost += t.taken_branch_penalty;
+        pen = StallCause::kTakenBranch;
+        pen_cycles = t.taken_branch_penalty;
       }
       break;
     }
@@ -366,23 +357,23 @@ Core::ExecOut Core::execute(const Instr& in, uint32_t pc) {
       write_reg(in.rd, static_cast<uint32_t>((static_cast<uint64_t>(a) * b) >> 32));
       break;
     case Opcode::kDiv:
-      cost = t.div_cycles;
+      div_cost();
       if (sb == 0) write_reg(in.rd, 0xFFFFFFFFu);
       else if (sa == INT32_MIN && sb == -1) write_reg(in.rd, static_cast<uint32_t>(INT32_MIN));
       else write_reg(in.rd, static_cast<uint32_t>(sa / sb));
       break;
     case Opcode::kDivu:
-      cost = t.div_cycles;
+      div_cost();
       write_reg(in.rd, b == 0 ? 0xFFFFFFFFu : a / b);
       break;
     case Opcode::kRem:
-      cost = t.div_cycles;
+      div_cost();
       if (sb == 0) write_reg(in.rd, a);
       else if (sa == INT32_MIN && sb == -1) write_reg(in.rd, 0);
       else write_reg(in.rd, static_cast<uint32_t>(sa % sb));
       break;
     case Opcode::kRemu:
-      cost = t.div_cycles;
+      div_cost();
       write_reg(in.rd, b == 0 ? a : a % b);
       break;
     // ----- Xpulp post-increment load/store -----
@@ -540,7 +531,7 @@ Core::ExecOut Core::execute(const Instr& in, uint32_t pc) {
     case Opcode::kCount_:
       trap(pc, TrapCause::kIllegalInstruction, "invalid opcode");
   }
-  return {next, cost};
+  return {next, cost, pen, pen_cycles};
 }
 
 RunResult Core::run(const RunLimits& limits) {
@@ -553,6 +544,7 @@ RunResult Core::run(const RunLimits& limits) {
       if (limits.max_cycles != 0 && res.cycles >= limits.max_cycles) {
         std::ostringstream os;
         os << "cycle watchdog expired after " << res.cycles << " cycles";
+        stats_.note_watchdog();
         res.exit = RunResult::Exit::kWatchdog;
         res.trap = Trap{TrapCause::kWatchdog, pc_, 0, os.str()};
         res.trap_message = res.trap.message;
@@ -563,6 +555,7 @@ RunResult Core::run(const RunLimits& limits) {
       std::string err;
       const Instr* in = fetch(pc_, &err);
       if (!in) {
+        stats_.note_trap();
         res.exit = RunResult::Exit::kTrap;
         res.trap = Trap{TrapCause::kIllegalInstruction, pc_, 0, err};
         res.trap_message = err;
@@ -578,11 +571,17 @@ RunResult Core::run(const RunLimits& limits) {
              "RNN-ext instruction with extension disabled");
 
       // Load-use interlock: a consumer directly after the producing load
-      // stalls one cycle, charged to the load (see timing.h).
+      // stalls one cycle, charged to the load (see timing.h). The stall is
+      // attributed post-hoc — the load already retired — so it is routed
+      // through the stall hook to keep trace/profiler cycle clocks in sync
+      // with ExecStats.
       if (last_was_load_ && reads_reg(*in, last_load_rd_)) {
-        stats_.add_stall(last_load_op_, cfg_.timing.load_use_stall);
-        res.cycles += cfg_.timing.load_use_stall;
-        csr_cycle_ += cfg_.timing.load_use_stall;
+        const uint64_t stall = cfg_.timing.load_use_stall;
+        stats_.add_stall(last_load_op_, StallCause::kLoadUse, stall);
+        res.cycles += stall;
+        csr_cycle_ += stall;
+        if (stall_hook_ && stall > 0)
+          stall_hook_(last_load_pc_, StallCause::kLoadUse, stall, /*post_hoc=*/true);
       }
 
       // Back-to-back pl.sdotsp on the same SPR: the freshly loaded word is
@@ -590,8 +589,9 @@ RunResult Core::run(const RunLimits& limits) {
       int cur_spr = -1;
       if (in->op == Opcode::kPlSdotspH0) cur_spr = 0;
       if (in->op == Opcode::kPlSdotspH1) cur_spr = 1;
-      uint64_t extra = 0;
-      if (cur_spr >= 0 && cur_spr == last_sdotsp_spr_) extra += cfg_.timing.spr_conflict_stall;
+      uint64_t spr_extra = 0;
+      if (cur_spr >= 0 && cur_spr == last_sdotsp_spr_)
+        spr_extra = cfg_.timing.spr_conflict_stall;
 
       if (in->op == Opcode::kEbreak || in->op == Opcode::kEcall) {
         stats_.record(in->op, 1);
@@ -600,17 +600,20 @@ RunResult Core::run(const RunLimits& limits) {
         res.pc = pc_;
         res.exit = in->op == Opcode::kEbreak ? RunResult::Exit::kEbreak
                                              : RunResult::Exit::kEcall;
+        if (trace_) trace_(pc_, *in, 1);
         return res;
       }
 
       // Data-memory wait states (0 for the paper's single-cycle TCDM).
+      uint64_t mem_extra = 0;
       if (cfg_.timing.mem_wait_states > 0) {
         const auto unit = isa::opcode_info(in->op).unit;
         if (unit == isa::Unit::kLoad || unit == isa::Unit::kStore ||
             unit == isa::Unit::kRnnDot) {
-          extra += cfg_.timing.mem_wait_states;
+          mem_extra = cfg_.timing.mem_wait_states;
         }
       }
+      const uint64_t extra = spr_extra + mem_extra;
 
       // Dual-issue what-if: pair an independent 1-cycle ALU/MUL/SIMD
       // instruction with the memory instruction directly before it.
@@ -624,11 +627,31 @@ RunResult Core::run(const RunLimits& limits) {
 
       const ExecOut out = execute(*in, pc_);
       uint64_t cost = out.cost + extra;
-      if (paired && cost >= 1) cost -= 1;  // issues in the memory op's slot
+      bool pair_saved = false;
+      if (paired && cost >= 1) {
+        cost -= 1;  // issues in the memory op's slot
+        pair_saved = true;
+      }
       prev_mem_unpaired_ = !paired && (isa::opcode_info(in->op).unit == isa::Unit::kLoad ||
                                        isa::opcode_info(in->op).unit == isa::Unit::kStore);
       stats_.record(in->op, cost);
       stats_.add_macs(mac_count(in->op));
+      // Typed accounting for every cycle beyond the issue cycle. These are
+      // already inside `cost` (post_hoc=false): consumers tallying cycles
+      // from the trace hook must not add them again.
+      if (out.penalty_cycles > 0) {
+        stats_.note_penalty(out.penalty, out.penalty_cycles);
+        if (stall_hook_) stall_hook_(pc_, out.penalty, out.penalty_cycles, false);
+      }
+      if (spr_extra > 0) {
+        stats_.note_penalty(StallCause::kSprConflict, spr_extra);
+        if (stall_hook_) stall_hook_(pc_, StallCause::kSprConflict, spr_extra, false);
+      }
+      if (mem_extra > 0) {
+        stats_.note_penalty(StallCause::kMemWait, mem_extra);
+        if (stall_hook_) stall_hook_(pc_, StallCause::kMemWait, mem_extra, false);
+      }
+      if (pair_saved) stats_.note_dual_issue_save(1);
       res.cycles += cost;
       res.instrs += 1;
       csr_cycle_ += cost;
@@ -640,6 +663,7 @@ RunResult Core::run(const RunLimits& limits) {
       if (last_was_load_) {
         last_load_rd_ = in->rd;
         last_load_op_ = in->op;
+        last_load_pc_ = pc_;
       }
       last_sdotsp_spr_ = cur_spr;
 
@@ -667,12 +691,14 @@ RunResult Core::run(const RunLimits& limits) {
     }
   } catch (const TrapException& e) {
     // pc_ was not advanced: it still names the instruction that trapped.
+    stats_.note_trap();
     res.exit = RunResult::Exit::kTrap;
     res.trap = Trap{e.cause(), pc_, e.addr(), e.what()};
     res.trap_message = e.what();
     res.pc = pc_;
     return res;
   } catch (const std::runtime_error& e) {
+    stats_.note_trap();
     res.exit = RunResult::Exit::kTrap;
     res.trap = Trap{TrapCause::kOther, pc_, 0, e.what()};
     res.trap_message = e.what();

@@ -102,10 +102,22 @@ class Core {
   ExecStats& stats() { return stats_; }
   const ExecStats& stats() const { return stats_; }
 
-  /// Per-retired-instruction hook (pc, instruction, cycles charged so far
-  /// for it, excluding post-hoc stall attribution).
+  /// Per-retired-instruction hook (pc, instruction, cycles charged for it —
+  /// issue plus in-cost penalties, excluding post-hoc stall attribution,
+  /// which arrives through the stall hook instead). Fires for every retired
+  /// instruction including the terminating ebreak/ecall.
   using TraceFn = std::function<void(uint32_t, const isa::Instr&, uint64_t)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+  /// Typed stall/penalty event hook. `pc` is the instruction the cycles are
+  /// charged to (for load-use, the *load*, matching ExecStats). `post_hoc`
+  /// distinguishes cycles attributed after the owning instruction already
+  /// retired (load-use: not part of any traced cost — consumers must add
+  /// them to their own cycle clocks) from penalties already included in the
+  /// owning instruction's traced cost (branch/jump/divider/SPR/mem-wait).
+  using StallFn =
+      std::function<void(uint32_t pc, StallCause cause, uint64_t cycles, bool post_hoc)>;
+  void set_stall_hook(StallFn fn) { stall_hook_ = std::move(fn); }
 
   /// Per-retired-instruction fault-injection hook, called with the running
   /// retired-instruction index after the instruction's effects committed.
@@ -127,6 +139,10 @@ class Core {
   struct ExecOut {
     uint32_t next_pc;
     uint64_t cost;
+    /// In-cost penalty of this instruction (branch/jump bubble, divider
+    /// cycles beyond issue); kCount_ means none. At most one per execute().
+    StallCause penalty = StallCause::kCount_;
+    uint64_t penalty_cycles = 0;
   };
   ExecOut execute(const isa::Instr& in, uint32_t pc);
   const isa::Instr* fetch(uint32_t pc, std::string* err);
@@ -145,6 +161,7 @@ class Core {
   activation::PlaTable sig_table_;
   ExecStats stats_;
   TraceFn trace_;
+  StallFn stall_hook_;
   FaultHook fault_hook_;
   std::unordered_map<uint32_t, isa::Instr> decode_cache_;
 
@@ -158,6 +175,7 @@ class Core {
   bool last_was_load_ = false;
   uint8_t last_load_rd_ = 0;
   isa::Opcode last_load_op_ = isa::Opcode::kInvalid;
+  uint32_t last_load_pc_ = 0;
   int last_sdotsp_spr_ = -1;
 };
 

@@ -14,9 +14,79 @@ void ExecStats::record(Opcode op, uint64_t cycles) {
   cycles_ += cycles;
 }
 
-void ExecStats::add_stall(Opcode op, uint64_t cycles) {
+void ExecStats::add_stall(Opcode op, StallCause cause, uint64_t cycles) {
   by_op_[op].cycles += cycles;
   cycles_ += cycles;
+  stalls_[static_cast<size_t>(cause)] += cycles;
+}
+
+void ExecStats::note_penalty(StallCause cause, uint64_t cycles) {
+  stalls_[static_cast<size_t>(cause)] += cycles;
+}
+
+uint64_t ExecStats::total_stall_cycles() const {
+  uint64_t sum = 0;
+  for (uint64_t c : stalls_) sum += c;
+  return sum;
+}
+
+bool ExecStats::identity_holds() const {
+  return cycles_ == instrs_ + total_stall_cycles() - dual_issue_saved_;
+}
+
+uint64_t ExecStats::hwloop_overhead_cycles() const {
+  uint64_t sum = 0;
+  for (const auto& [op, s] : by_op_) {
+    switch (op) {
+      case Opcode::kLpSetup:
+      case Opcode::kLpSetupi:
+      case Opcode::kLpStarti:
+      case Opcode::kLpEndi:
+      case Opcode::kLpCount:
+      case Opcode::kLpCounti:
+        sum += s.cycles;
+        break;
+      default:
+        break;
+    }
+  }
+  return sum;
+}
+
+const char* stall_cause_name(StallCause cause) {
+  switch (cause) {
+    case StallCause::kLoadUse: return "load_use";
+    case StallCause::kSprConflict: return "spr_conflict";
+    case StallCause::kTakenBranch: return "taken_branch";
+    case StallCause::kJump: return "jump";
+    case StallCause::kMemWait: return "mem_wait";
+    case StallCause::kDivider: return "divider";
+    case StallCause::kCount_: break;
+  }
+  return "?";
+}
+
+uint64_t mac_count(Opcode op) {
+  switch (op) {
+    case Opcode::kMul:
+    case Opcode::kPMac:
+    case Opcode::kPMsu:
+      return 1;
+    case Opcode::kPvDotspH:
+    case Opcode::kPvSdotspH:
+    case Opcode::kPvDotupH:
+    case Opcode::kPvSdotupH:
+    case Opcode::kPvDotspScH:
+    case Opcode::kPvSdotspScH:
+    case Opcode::kPlSdotspH0:
+    case Opcode::kPlSdotspH1:
+      return 2;
+    case Opcode::kPvDotspB:
+    case Opcode::kPvSdotspB:
+      return 4;
+    default:
+      return 0;
+  }
 }
 
 void ExecStats::merge(const ExecStats& other) {
@@ -28,11 +98,17 @@ void ExecStats::merge(const ExecStats& other) {
   instrs_ += other.instrs_;
   cycles_ += other.cycles_;
   macs_ += other.macs_;
+  for (size_t i = 0; i < kStallCauseCount; ++i) stalls_[i] += other.stalls_[i];
+  dual_issue_saved_ += other.dual_issue_saved_;
+  traps_ += other.traps_;
+  watchdogs_ += other.watchdogs_;
 }
 
 void ExecStats::reset() {
   by_op_.clear();
   instrs_ = cycles_ = macs_ = 0;
+  stalls_.fill(0);
+  dual_issue_saved_ = traps_ = watchdogs_ = 0;
 }
 
 std::string display_group(Opcode op) {

@@ -4,8 +4,19 @@
 // load-use stall is charged to the *load* (that is how the paper's Table I
 // reports lw! at 1.5 cycles/instruction in column b), a taken-branch bubble
 // to the branch, a multi-cycle divide to the divide.
+//
+// On top of the per-opcode histogram, every cycle that is not a plain
+// 1-cycle issue is tagged with a StallCause, so the cycle budget decomposes
+// exactly:
+//
+//   total_cycles == total_instrs + sum(stall_cycles) - dual_issue_saved
+//
+// (identity_holds() checks this; the observability layer asserts it after
+// every suite run). Trap and watchdog terminations retire no instruction
+// and consume no cycles, so they are counted as events, not cycles.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -13,6 +24,28 @@
 #include "src/isa/opcode.h"
 
 namespace rnnasip::iss {
+
+/// Where a non-issue cycle went. Every extra cycle the timing model charges
+/// is tagged with exactly one cause.
+enum class StallCause : uint8_t {
+  kLoadUse = 0,    ///< consumer directly after the producing load
+  kSprConflict,    ///< back-to-back pl.sdotsp on the same SPR
+  kTakenBranch,    ///< taken-branch bubble
+  kJump,           ///< jal/jalr bubble
+  kMemWait,        ///< data-memory wait states (mem_wait_states > 0)
+  kDivider,        ///< serial-divider cycles beyond the issue cycle
+  kCount_,
+};
+
+inline constexpr size_t kStallCauseCount = static_cast<size_t>(StallCause::kCount_);
+
+/// Short stable name ("load_use", "spr_conflict", ...), used by reports,
+/// trace exports, and the BENCH JSON schema.
+const char* stall_cause_name(StallCause cause);
+
+/// MACs retired by one instance of `op` (0 for non-MAC instructions,
+/// 2 for the 16-bit dot products, 4 for the 8-bit ones).
+uint64_t mac_count(isa::Opcode op);
 
 struct OpStat {
   uint64_t instrs = 0;
@@ -22,13 +55,41 @@ struct OpStat {
 class ExecStats {
  public:
   void record(isa::Opcode op, uint64_t cycles);
-  /// Charge extra cycles to an opcode after the fact (stall attribution).
-  void add_stall(isa::Opcode op, uint64_t cycles);
+  /// Charge extra cycles to an opcode after the fact (post-hoc stall
+  /// attribution, e.g. a load-use stall charged back to the load).
+  void add_stall(isa::Opcode op, StallCause cause, uint64_t cycles);
+  /// Tag cycles that are already part of a record()ed instruction cost
+  /// (taken-branch/jump penalty, divider, memory wait states, ...).
+  void note_penalty(StallCause cause, uint64_t cycles);
+  /// A dual-issue pairing removed one issue cycle from the recorded cost.
+  void note_dual_issue_save(uint64_t cycles) { dual_issue_saved_ += cycles; }
+  void note_trap() { traps_ += 1; }
+  void note_watchdog() { watchdogs_ += 1; }
   void add_macs(uint64_t macs) { macs_ += macs; }
 
   uint64_t total_instrs() const { return instrs_; }
   uint64_t total_cycles() const { return cycles_; }
   uint64_t total_macs() const { return macs_; }
+
+  uint64_t stall_cycles(StallCause cause) const {
+    return stalls_[static_cast<size_t>(cause)];
+  }
+  const std::array<uint64_t, kStallCauseCount>& stall_cycles() const { return stalls_; }
+  uint64_t total_stall_cycles() const;
+  uint64_t dual_issue_saved() const { return dual_issue_saved_; }
+  uint64_t traps() const { return traps_; }
+  uint64_t watchdogs() const { return watchdogs_; }
+
+  /// Cycles spent issuing hardware-loop bookkeeping (the lp.* instructions
+  /// themselves; the back-edges are free). Derived from the histogram —
+  /// this is the "hardware-loop overhead" row of the taxonomy reports.
+  uint64_t hwloop_overhead_cycles() const;
+
+  /// The cycle-accounting identity:
+  ///   cycles == instrs + sum(stall cycles) - dual-issue savings.
+  /// Holds by construction when every extra cycle was tagged; the
+  /// observability layer asserts it after every run.
+  bool identity_holds() const;
 
   /// Per-opcode breakdown.
   const std::map<isa::Opcode, OpStat>& by_opcode() const { return by_op_; }
@@ -52,6 +113,10 @@ class ExecStats {
   uint64_t instrs_ = 0;
   uint64_t cycles_ = 0;
   uint64_t macs_ = 0;
+  std::array<uint64_t, kStallCauseCount> stalls_{};
+  uint64_t dual_issue_saved_ = 0;
+  uint64_t traps_ = 0;
+  uint64_t watchdogs_ = 0;
 };
 
 /// Display name used by Table-I-style outputs for one opcode.

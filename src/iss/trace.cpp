@@ -22,6 +22,19 @@ Core::TraceFn TraceWriter::hook() {
   };
 }
 
+Core::StallFn TraceWriter::stall_hook() {
+  return [this](uint32_t, StallCause, uint64_t cycles, bool post_hoc) {
+    // In-cost penalties already arrived inside the owning instruction's
+    // traced cost; only post-hoc attribution moves the clock.
+    if (post_hoc) cycle_ += cycles;
+  };
+}
+
+void TraceWriter::attach(Core& core) {
+  core.set_trace(hook());
+  core.set_stall_hook(stall_hook());
+}
+
 std::string TraceWriter::str() const {
   std::string out;
   for (const auto& l : lines_) {
@@ -36,8 +49,24 @@ Core::TraceFn Profiler::hook() {
   return [this](uint32_t pc, const isa::Instr& in, uint64_t cycles) {
     by_pc_[pc] += cycles;
     total_ += cycles;
-    instr_by_pc_.emplace(pc, in);
+    // Overwrite: re-executed text at this PC may have been rewritten
+    // (self-modifying programs, fault campaigns flipping text bits); the
+    // hotspot report must show what actually ran last.
+    instr_by_pc_.insert_or_assign(pc, in);
   };
+}
+
+Core::StallFn Profiler::stall_hook() {
+  return [this](uint32_t pc, StallCause, uint64_t cycles, bool post_hoc) {
+    if (!post_hoc) return;
+    by_pc_[pc] += cycles;
+    total_ += cycles;
+  };
+}
+
+void Profiler::attach(Core& core) {
+  core.set_trace(hook());
+  core.set_stall_hook(stall_hook());
 }
 
 std::vector<Profiler::Hotspot> Profiler::hotspots(const assembler::Program& program,
@@ -50,10 +79,10 @@ std::vector<Profiler::Hotspot> Profiler::hotspots(const assembler::Program& prog
     h.cycles = cycles;
     h.share = total_ == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(total_);
     const uint32_t idx = (pc - program.base) / 4;
-    if (pc >= program.base && idx < program.instrs.size()) {
-      h.disasm = assembler::disassemble(program.instrs[idx], pc);
-    } else if (auto it = instr_by_pc_.find(pc); it != instr_by_pc_.end()) {
+    if (auto it = instr_by_pc_.find(pc); it != instr_by_pc_.end()) {
       h.disasm = assembler::disassemble(it->second, pc);
+    } else if (pc >= program.base && idx < program.instrs.size()) {
+      h.disasm = assembler::disassemble(program.instrs[idx], pc);
     }
     out.push_back(std::move(h));
   }

@@ -3,6 +3,12 @@
 // TraceWriter produces objdump-style text ("cycle pc disassembly") with an
 // optional cap; Profiler aggregates cycles per PC and renders a hotspot
 // report with disassembly — how the kernel inner loops were found and tuned.
+//
+// Both consumers also take the core's stall hook: post-hoc stall
+// attribution (load-use cycles charged back to the load after it retired)
+// never appears in a traced instruction cost, so a consumer that only sums
+// trace costs drifts from ExecStats::total_cycles(). attach() installs both
+// hooks so the cycle clocks agree exactly.
 #pragma once
 
 #include <cstdint>
@@ -22,9 +28,16 @@ class TraceWriter {
 
   /// Hook suitable for Core::set_trace.
   Core::TraceFn hook();
+  /// Hook suitable for Core::set_stall_hook; folds post-hoc stall cycles
+  /// into the trace's cycle column.
+  Core::StallFn stall_hook();
+  /// Install both hooks on `core` (the cycle column then matches
+  /// core.stats().total_cycles() exactly).
+  void attach(Core& core);
 
   const std::vector<std::string>& lines() const { return lines_; }
   bool truncated() const { return truncated_; }
+  uint64_t cycles() const { return cycle_; }
   std::string str() const;
 
  private:
@@ -38,6 +51,11 @@ class TraceWriter {
 class Profiler {
  public:
   Core::TraceFn hook();
+  /// Hook suitable for Core::set_stall_hook; charges post-hoc stall cycles
+  /// to the owning (load) PC, as ExecStats does per opcode.
+  Core::StallFn stall_hook();
+  /// Install both hooks on `core`.
+  void attach(Core& core);
 
   uint64_t total_cycles() const { return total_; }
   const std::map<uint32_t, uint64_t>& cycles_by_pc() const { return by_pc_; }

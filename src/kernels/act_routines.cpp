@@ -77,7 +77,8 @@ ActRoutines make_act_routine_labels(ProgramBuilder& b) {
 
 void emit_act_routines(ProgramBuilder& b, DeviceAllocator& alloc,
                        const activation::PlaTable& tanh_tbl,
-                       const activation::PlaTable& sig_tbl, const ActRoutines& labels) {
+                       const activation::PlaTable& sig_tbl, const ActRoutines& labels,
+                       obs::RegionRecorder* regions) {
   auto pack = [](const activation::PlaTable& t) {
     std::vector<uint32_t> words;
     words.reserve(t.slopes().size());
@@ -90,17 +91,24 @@ void emit_act_routines(ProgramBuilder& b, DeviceAllocator& alloc,
   const uint32_t tanh_lut = alloc.alloc_words(tanh_words);
   const uint32_t sig_lut = alloc.alloc_words(sig_words);
 
-  b.bind(labels.tanh_label);
-  emit_routine(b, tanh_tbl, tanh_lut, /*is_tanh=*/true);
-  b.bind(labels.sig_label);
-  emit_routine(b, sig_tbl, sig_lut, /*is_tanh=*/false);
+  {
+    obs::Region region(regions, b, "act_tanh", obs::RegionKind::kKernel);
+    b.bind(labels.tanh_label);
+    emit_routine(b, tanh_tbl, tanh_lut, /*is_tanh=*/true);
+  }
+  {
+    obs::Region region(regions, b, "act_sig", obs::RegionKind::kKernel);
+    b.bind(labels.sig_label);
+    emit_routine(b, sig_tbl, sig_lut, /*is_tanh=*/false);
+  }
 }
 
 ActRoutines emit_act_routines(ProgramBuilder& b, DeviceAllocator& alloc,
                               const activation::PlaTable& tanh_tbl,
-                              const activation::PlaTable& sig_tbl) {
+                              const activation::PlaTable& sig_tbl,
+                              obs::RegionRecorder* regions) {
   ActRoutines r = make_act_routine_labels(b);
-  emit_act_routines(b, alloc, tanh_tbl, sig_tbl, r);
+  emit_act_routines(b, alloc, tanh_tbl, sig_tbl, r, regions);
   return r;
 }
 

@@ -14,6 +14,7 @@
 #include "src/activation/pla.h"
 #include "src/asm/builder.h"
 #include "src/kernels/layout.h"
+#include "src/obs/region.h"
 
 namespace rnnasip::kernels {
 
@@ -29,13 +30,18 @@ ActRoutines make_act_routine_labels(assembler::ProgramBuilder& b);
 /// Write both LUTs into device memory and emit the two subroutines at the
 /// builder's current position, binding `labels` (call once per program,
 /// outside the main control flow; reach the routines with jal ra, <label>).
+/// When `regions` is set, each routine gets its own kKernel region
+/// ("act_tanh" / "act_sig") so callers' cycles-in-activation show up
+/// separately in observability reports.
 void emit_act_routines(assembler::ProgramBuilder& b, DeviceAllocator& alloc,
                        const activation::PlaTable& tanh_tbl,
-                       const activation::PlaTable& sig_tbl, const ActRoutines& labels);
+                       const activation::PlaTable& sig_tbl, const ActRoutines& labels,
+                       obs::RegionRecorder* regions = nullptr);
 
 /// Convenience: create labels and emit immediately.
 ActRoutines emit_act_routines(assembler::ProgramBuilder& b, DeviceAllocator& alloc,
                               const activation::PlaTable& tanh_tbl,
-                              const activation::PlaTable& sig_tbl);
+                              const activation::PlaTable& sig_tbl,
+                              obs::RegionRecorder* regions = nullptr);
 
 }  // namespace rnnasip::kernels

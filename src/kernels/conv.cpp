@@ -217,7 +217,10 @@ void emit_im2col(ProgramBuilder& b, const ConvLayout& L) {
 }
 
 void emit_lowered(ProgramBuilder& b, const ConvLayout& L, const ConvEmitOptions& opt) {
-  emit_im2col(b, L);
+  {
+    obs::Region region(opt.regions, b, "im2col", obs::RegionKind::kKernel);
+    emit_im2col(b, L);
+  }
 
   RegPool pool;
   const Reg rXpix = pool.alloc();
@@ -230,6 +233,7 @@ void emit_lowered(ProgramBuilder& b, const ConvLayout& L, const ConvEmitOptions&
   b.li(rPcnt, pixels);
 
   auto pixel_loop = b.make_label();
+  obs::Region region(opt.regions, b, "pixel_matvec", obs::RegionKind::kKernel);
   b.bind(pixel_loop);
   {
     FcEmitOptions fc;
@@ -251,6 +255,7 @@ void emit_lowered(ProgramBuilder& b, const ConvLayout& L, const ConvEmitOptions&
 
 void emit_conv(ProgramBuilder& b, const ConvLayout& layout, const ConvEmitOptions& opt) {
   if (opt.level == OptLevel::kBaseline) {
+    obs::Region region(opt.regions, b, "conv_direct", obs::RegionKind::kKernel);
     emit_direct(b, layout);
   } else {
     emit_lowered(b, layout, opt);

@@ -40,6 +40,9 @@ ConvLayout alloc_conv(DeviceAllocator& alloc, const nn::ConvParamsQ& params, int
 struct ConvEmitOptions {
   OptLevel level = OptLevel::kInputTiling;
   int max_tile = 8;
+  /// Observability: wraps the im2col and matvec stages (or the direct
+  /// convolution) in named regions. Null = no-op.
+  obs::RegionRecorder* regions = nullptr;
 };
 
 void emit_conv(assembler::ProgramBuilder& b, const ConvLayout& layout,

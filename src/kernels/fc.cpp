@@ -408,6 +408,7 @@ int fc_tile_size(const FcLayout& L, const FcEmitOptions& opt) {
 
 void emit_fc(ProgramBuilder& b, const FcLayout& layout, const FcEmitOptions& opt) {
   RNNASIP_CHECK(layout.cin > 0 && layout.cout > 0);
+  obs::Region region(opt.regions, b, "matvec", obs::RegionKind::kKernel);
   Ctx s{b, layout, opt, make_pool(opt, layout.act)};
   switch (opt.level) {
     case OptLevel::kBaseline:

@@ -23,6 +23,7 @@
 #include "src/kernels/layout.h"
 #include "src/kernels/opt_level.h"
 #include "src/nn/layers.h"
+#include "src/obs/region.h"
 
 namespace rnnasip::kernels {
 
@@ -65,6 +66,9 @@ struct FcEmitOptions {
   int o_stride = 2;
   /// Registers the emitter must not allocate (callers' live values).
   std::vector<assembler::Reg> reserved;
+  /// Observability: when set, the emitted code is wrapped in a "matvec"
+  /// kernel region (see src/obs/region.h). Null = no-op.
+  obs::RegionRecorder* regions = nullptr;
 };
 
 /// Emit code computing o = act(b + W x) at the requested level.

@@ -180,16 +180,33 @@ void emit_blend(ProgramBuilder& b, const GruLayout& L, OptLevel level) {
 
 void emit_gru_step(ProgramBuilder& b, const GruLayout& L, const GruEmitOptions& opt) {
   // Stage the input into the n-gate's buffer too ([x | r o h]).
-  emit_copy_halves(b, opt.level, L.xh_addr, L.xrh_addr, L.input);
+  {
+    obs::Region region(opt.regions, b, "stage_input", obs::RegionKind::kOther);
+    emit_copy_halves(b, opt.level, L.xh_addr, L.xrh_addr, L.input);
+  }
 
   FcEmitOptions fc;
   fc.level = opt.level;
   fc.sw_act = opt.sw_act;
   fc.max_tile = opt.max_tile;
-  emit_fc(b, L.gate_r, fc);
-  emit_fc(b, L.gate_z, fc);
-  emit_rh(b, L, opt.level);
-  emit_fc(b, L.gate_n, fc);
+  fc.regions = opt.regions;
+  {
+    obs::Region region(opt.regions, b, "gate_r", obs::RegionKind::kGate);
+    emit_fc(b, L.gate_r, fc);
+  }
+  {
+    obs::Region region(opt.regions, b, "gate_z", obs::RegionKind::kGate);
+    emit_fc(b, L.gate_z, fc);
+  }
+  {
+    obs::Region region(opt.regions, b, "rh", obs::RegionKind::kKernel);
+    emit_rh(b, L, opt.level);
+  }
+  {
+    obs::Region region(opt.regions, b, "gate_n", obs::RegionKind::kGate);
+    emit_fc(b, L.gate_n, fc);
+  }
+  obs::Region region(opt.regions, b, "blend", obs::RegionKind::kKernel);
   emit_blend(b, L, opt.level);
 }
 

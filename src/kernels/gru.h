@@ -36,6 +36,9 @@ struct GruEmitOptions {
   OptLevel level = OptLevel::kInputTiling;
   const ActRoutines* sw_act = nullptr;  ///< required below kOutputTiling
   int max_tile = 8;
+  /// Observability: wraps each gate matvec and the pointwise stages in
+  /// named regions. Null = no-op.
+  obs::RegionRecorder* regions = nullptr;
 };
 
 /// Emit one GRU timestep. The timestep's input must be at layout.in_addr().

@@ -182,10 +182,17 @@ void emit_lstm_step(ProgramBuilder& b, const LstmLayout& L, const LstmEmitOption
   fc.level = opt.level;
   fc.sw_act = opt.sw_act;
   fc.max_tile = opt.max_tile;
-  emit_fc(b, L.gate_i, fc);
-  emit_fc(b, L.gate_f, fc);
-  emit_fc(b, L.gate_o, fc);
-  emit_fc(b, L.gate_g, fc);
+  fc.regions = opt.regions;
+  struct GateSpec {
+    const char* name;
+    const FcLayout* layout;
+  };
+  for (const GateSpec g : {GateSpec{"gate_i", &L.gate_i}, GateSpec{"gate_f", &L.gate_f},
+                           GateSpec{"gate_o", &L.gate_o}, GateSpec{"gate_g", &L.gate_g}}) {
+    obs::Region region(opt.regions, b, g.name, obs::RegionKind::kGate);
+    emit_fc(b, *g.layout, fc);
+  }
+  obs::Region region(opt.regions, b, "pointwise", obs::RegionKind::kKernel);
   emit_pointwise(b, L, opt);
 }
 

@@ -44,6 +44,9 @@ struct LstmEmitOptions {
   OptLevel level = OptLevel::kInputTiling;
   const ActRoutines* sw_act = nullptr;  ///< required below kOutputTiling
   int max_tile = 8;
+  /// Observability: wraps each gate matvec and the pointwise update in
+  /// named regions. Null = no-op.
+  obs::RegionRecorder* regions = nullptr;
 };
 
 /// Emit one full LSTM timestep (4 gate matvecs + pointwise update).

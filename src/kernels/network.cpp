@@ -24,6 +24,11 @@ NetworkProgramBuilder::NetworkProgramBuilder(iss::Memory* mem, OptLevel level,
       sequence_steps_(sequence_steps),
       seq_loop_(b_.make_label()) {
   RNNASIP_CHECK(sequence_steps >= 1);
+  root_region_ = regions_.open("network", obs::RegionKind::kNetwork, b_.position());
+}
+
+std::string NetworkProgramBuilder::layer_name(const char* kind) {
+  return std::string(kind) + std::to_string(layer_idx_++);
 }
 
 void NetworkProgramBuilder::begin_sequence(uint32_t input_region, int count) {
@@ -37,6 +42,7 @@ void NetworkProgramBuilder::begin_sequence(uint32_t input_region, int count) {
   net_.seq = seq;  // outputs_addr filled in finalize()
 
   // Loop head: stage this step's input from the cursor, advance the cursor.
+  obs::Region region(&regions_, b_, "seq_head", obs::RegionKind::kOther);
   b_.bind(seq_loop_);
   RegPool pool;
   const Reg rSlot = pool.alloc();
@@ -65,6 +71,7 @@ uint32_t NetworkProgramBuilder::take_input(int count) {
 }
 
 void NetworkProgramBuilder::emit_copy(uint32_t src, uint32_t dst, int count) {
+  obs::Region region(&regions_, b_, "copy", obs::RegionKind::kOther);
   emit_copy_halves(b_, level_, src, dst, count);
 }
 
@@ -78,6 +85,8 @@ void NetworkProgramBuilder::add_fc(const nn::FcParamsQ& params) {
   opt.level = level_;
   opt.sw_act = &routines_;
   opt.max_tile = max_tile_;
+  opt.regions = &regions_;
+  obs::Region region(&regions_, b_, layer_name("fc"), obs::RegionKind::kLayer);
   emit_fc(b_, layout, opt);
   cur_addr_ = o_addr;
   cur_count_ = cout;
@@ -100,6 +109,8 @@ void NetworkProgramBuilder::add_lstm(const nn::LstmParamsQ& params) {
   opt.level = level_;
   opt.sw_act = &routines_;
   opt.max_tile = max_tile_;
+  opt.regions = &regions_;
+  obs::Region region(&regions_, b_, layer_name("lstm"), obs::RegionKind::kLayer);
   emit_lstm_step(b_, layout, opt);
   cur_addr_ = layout.out_addr();
   cur_count_ = params.hidden;
@@ -124,6 +135,8 @@ void NetworkProgramBuilder::add_gru(const nn::GruParamsQ& params) {
   opt.level = level_;
   opt.sw_act = &routines_;
   opt.max_tile = max_tile_;
+  opt.regions = &regions_;
+  obs::Region region(&regions_, b_, layer_name("gru"), obs::RegionKind::kLayer);
   emit_gru_step(b_, layout, opt);
   cur_addr_ = layout.out_addr();
   cur_count_ = params.hidden;
@@ -143,6 +156,8 @@ void NetworkProgramBuilder::add_conv(const nn::ConvParamsQ& params, int in_h, in
   ConvEmitOptions opt;
   opt.level = level_;
   opt.max_tile = max_tile_;
+  opt.regions = &regions_;
+  obs::Region region(&regions_, b_, layer_name("conv"), obs::RegionKind::kLayer);
   emit_conv(b_, layout, opt);
   cur_addr_ = out_addr;
   cur_count_ = out_count;
@@ -159,6 +174,7 @@ void NetworkProgramBuilder::add_maxpool(const nn::MaxPoolParams& params, int ch,
   const int out_count = ch * oh * ow;
   const uint32_t out_addr = alloc_.alloc(2 * static_cast<uint32_t>(out_count), 4);
   const PoolLayout layout = plan_maxpool(params, ch, in_h, in_w, in_addr, out_addr);
+  obs::Region region(&regions_, b_, layer_name("maxpool"), obs::RegionKind::kLayer);
   emit_maxpool(b_, layout, level_);
   cur_addr_ = out_addr;
   cur_count_ = out_count;
@@ -174,6 +190,7 @@ void NetworkProgramBuilder::add_avgpool(const nn::AvgPoolParams& params, int ch,
   const int out_count = ch * oh * ow;
   const uint32_t out_addr = alloc_.alloc(2 * static_cast<uint32_t>(out_count), 4);
   const PoolLayout layout = plan_avgpool(params, ch, in_h, in_w, in_addr, out_addr);
+  obs::Region region(&regions_, b_, layer_name("avgpool"), obs::RegionKind::kLayer);
   emit_avgpool(b_, layout, level_);
   cur_addr_ = out_addr;
   cur_count_ = out_count;
@@ -186,6 +203,7 @@ void NetworkProgramBuilder::add_argmax() {
   layout.in_addr = cur_addr_;
   layout.out_addr = out_addr;
   layout.count = cur_count_;
+  obs::Region region(&regions_, b_, layer_name("argmax"), obs::RegionKind::kLayer);
   emit_argmax(b_, layout, level_);
   cur_addr_ = out_addr;
   cur_count_ = 1;
@@ -197,6 +215,7 @@ BuiltNetwork NetworkProgramBuilder::finalize() {
   finalized_ = true;
   if (net_.seq) {
     // Sequence tail: stage this step's output, advance the cursor, loop.
+    obs::Region region(&regions_, b_, "seq_tail", obs::RegionKind::kOther);
     net_.seq->outputs_addr = alloc_.alloc(
         2u * static_cast<uint32_t>(sequence_steps_) * static_cast<uint32_t>(cur_count_), 4);
     RegPool pool;
@@ -223,16 +242,18 @@ BuiltNetwork NetworkProgramBuilder::finalize() {
   // They are emitted unconditionally at the SW levels so label fixups always
   // resolve; unused routines cost a few words of text.
   if (!uses_hw_act(level_)) {
-    emit_act_routines(b_, alloc_, tanh_tbl_, sig_tbl_, routines_);
+    emit_act_routines(b_, alloc_, tanh_tbl_, sig_tbl_, routines_, &regions_);
   } else {
     // Bind the labels anyway (no references exist at HW-act levels).
     b_.bind(routines_.tanh_label);
     b_.bind(routines_.sig_label);
   }
+  regions_.close(root_region_, b_.position());
   net_.output_addr = cur_addr_;
   net_.output_count = cur_count_;
   net_.data_bytes = alloc_.bytes_used();
   net_.program = b_.build();
+  net_.regions = regions_.finish(net_.program.instrs.size());
   return std::move(net_);
 }
 

@@ -26,6 +26,10 @@ namespace rnnasip::kernels {
 
 struct BuiltNetwork {
   assembler::Program program;
+  /// Observability region tree (network -> layer -> gate -> kernel),
+  /// always recorded at build time; costs nothing unless a RegionProfiler
+  /// is attached at run time.
+  obs::RegionMap regions;
   uint32_t input_addr = 0;
   int input_count = 0;  ///< halfwords the caller writes before each run
   uint32_t output_addr = 0;
@@ -79,6 +83,8 @@ class NetworkProgramBuilder {
   /// input buffer if this is the first layer.
   uint32_t take_input(int count);
   void emit_copy(uint32_t src, uint32_t dst, int count);
+  /// "fc0", "lstm1", ... — region name for the next layer.
+  std::string layer_name(const char* kind);
   /// Sequence mode: called once the first layer's input region is known;
   /// allocates the cursors/arrays and opens the timestep loop.
   void begin_sequence(uint32_t input_region, int count);
@@ -91,6 +97,9 @@ class NetworkProgramBuilder {
   DeviceAllocator alloc_;
   assembler::ProgramBuilder b_;
   ActRoutines routines_;
+  obs::RegionRecorder regions_;
+  int root_region_ = -1;  ///< the always-open "network" region
+  int layer_idx_ = 0;     ///< running index for layer region names
   bool first_layer_ = true;
   bool finalized_ = false;
   uint32_t cur_addr_ = 0;  ///< current activation buffer

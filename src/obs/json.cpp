@@ -1,0 +1,151 @@
+#include "src/obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+#include "src/common/check.h"
+
+namespace rnnasip::obs {
+
+Json& Json::push(Json v) {
+  RNNASIP_CHECK_MSG(type_ == Type::kArray, "push() on non-array Json");
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(std::string key, Json v) {
+  RNNASIP_CHECK_MSG(type_ == Type::kObject, "set() on non-object Json");
+  for (auto& [k, val] : obj_) {
+    if (k == key) {
+      val = std::move(v);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+size_t Json::size() const {
+  switch (type_) {
+    case Type::kArray: return arr_.size();
+    case Type::kObject: return obj_.size();
+    default: return 0;
+  }
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_indent(std::string& out, int indent) {
+  out += '\n';
+  out.append(static_cast<size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, bool pretty) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Type::kDouble: {
+      if (!std::isfinite(dbl_)) {
+        out += "null";  // JSON has no NaN/Inf
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.12g", dbl_);
+      out += buf;
+      // Keep doubles distinguishable from ints on re-read.
+      if (std::string_view(buf).find_first_of(".eE") == std::string_view::npos) {
+        out += ".0";
+      }
+      break;
+    }
+    case Type::kString:
+      out += '"';
+      out += escape(str_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        if (pretty) append_indent(out, indent + 1);
+        arr_[i].write(out, indent + 1, pretty);
+      }
+      if (pretty) append_indent(out, indent);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        if (pretty) append_indent(out, indent + 1);
+        out += '"';
+        out += escape(obj_[i].first);
+        out += pretty ? "\": " : "\":";
+        obj_[i].second.write(out, indent + 1, pretty);
+      }
+      if (pretty) append_indent(out, indent);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(out, 0, /*pretty=*/false);
+  return out;
+}
+
+std::string Json::dump_pretty() const {
+  std::string out;
+  write(out, 0, /*pretty=*/true);
+  out += '\n';
+  return out;
+}
+
+}  // namespace rnnasip::obs

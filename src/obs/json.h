@@ -1,0 +1,72 @@
+// Minimal deterministic JSON value + serializer for the observability
+// exporters and bench --json output.
+//
+// Not a general-purpose JSON library: no parsing, objects preserve
+// *insertion* order (we want byte-stable output, not sorted keys), and
+// doubles render via a fixed "%.12g" format so two identical runs produce
+// identical bytes. That determinism is load-bearing — bench_table2 --json
+// is required to be byte-identical across same-seed runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rnnasip::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool v) : type_(Type::kBool), bool_(v) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned v) : type_(Type::kInt), int_(v) {}
+  Json(int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(uint64_t v) : type_(Type::kInt), int_(static_cast<int64_t>(v)) {}
+  Json(double v) : type_(Type::kDouble), dbl_(v) {}
+  Json(const char* v) : type_(Type::kString), str_(v) {}
+  Json(std::string v) : type_(Type::kString), str_(std::move(v)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+
+  /// Array append. The value must be an array.
+  Json& push(Json v);
+  /// Object insert/overwrite, preserving first-insertion order.
+  Json& set(std::string key, Json v);
+
+  size_t size() const;
+
+  /// Compact single-line serialization (deterministic).
+  std::string dump() const;
+  /// Pretty serialization with 2-space indent (deterministic).
+  std::string dump_pretty() const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void write(std::string& out, int indent, bool pretty) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace rnnasip::obs

@@ -1,0 +1,130 @@
+#include "src/obs/profile.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace rnnasip::obs {
+
+void RegionCounters::merge(const RegionCounters& o) {
+  cycles += o.cycles;
+  instrs += o.instrs;
+  macs += o.macs;
+  for (size_t i = 0; i < stalls.size(); ++i) stalls[i] += o.stalls[i];
+}
+
+RegionProfiler::RegionProfiler(const RegionMap* map, uint32_t text_base, Options opt)
+    : map_(map), base_(text_base), opt_(opt), counters_(map ? map->size() : 0) {
+  RNNASIP_CHECK(map_ != nullptr);
+}
+
+void RegionProfiler::attach(iss::Core& core) {
+  core.set_trace([this](uint32_t pc, const isa::Instr& in, uint64_t cycles) {
+    on_instr(pc, in, cycles);
+  });
+  core.set_stall_hook(
+      [this](uint32_t pc, iss::StallCause cause, uint64_t cycles, bool post_hoc) {
+        on_stall(pc, cause, cycles, post_hoc);
+      });
+}
+
+void RegionProfiler::on_instr(uint32_t pc, const isa::Instr& in, uint64_t cycles) {
+  const int r = map_->innermost_at_pc(pc, base_);
+  RegionCounters& c = r >= 0 ? counters_[static_cast<size_t>(r)] : unattributed_;
+  c.cycles += cycles;
+  c.instrs += 1;
+  c.macs += iss::mac_count(in.op);
+  if (opt_.timeline) {
+    // Region entry happens at the clock *before* this instruction's cycles.
+    if (open_.empty() || open_.back().first != r) switch_to(r);
+  }
+  clock_ += cycles;
+}
+
+void RegionProfiler::on_stall(uint32_t pc, iss::StallCause cause, uint64_t cycles,
+                              bool post_hoc) {
+  const int r = map_->innermost_at_pc(pc, base_);
+  RegionCounters& c = r >= 0 ? counters_[static_cast<size_t>(r)] : unattributed_;
+  c.stalls[static_cast<size_t>(cause)] += cycles;
+  // Post-hoc cycles are in no traced instruction cost: move the clock and
+  // the region's cycle counter here (in-cost penalties already arrived via
+  // on_instr).
+  if (post_hoc) {
+    c.cycles += cycles;
+    clock_ += cycles;
+  }
+  cum_stalls_[static_cast<size_t>(cause)] += cycles;
+  maybe_sample(false);
+}
+
+void RegionProfiler::push_event(int region, uint64_t begin, uint64_t end) {
+  if (events_.size() >= opt_.max_events) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(TimelineEvent{region, begin, end});
+}
+
+void RegionProfiler::switch_to(int region) {
+  // Ancestor chain of the new region, root-first.
+  std::vector<int> chain;
+  for (int r = region; r >= 0; r = map_->defs()[static_cast<size_t>(r)].parent) {
+    chain.push_back(r);
+  }
+  std::reverse(chain.begin(), chain.end());
+  // Keep the common prefix open; close the rest (deepest first).
+  size_t common = 0;
+  while (common < chain.size() && common < open_.size() &&
+         open_[common].first == chain[common]) {
+    ++common;
+  }
+  while (open_.size() > common) {
+    const auto [r, begin] = open_.back();
+    open_.pop_back();
+    push_event(r, begin, clock_);
+  }
+  for (size_t i = common; i < chain.size(); ++i) {
+    open_.emplace_back(chain[i], clock_);
+  }
+}
+
+void RegionProfiler::maybe_sample(bool force) {
+  if (!opt_.timeline) return;
+  if (have_sample_ && !force && clock_ - last_sample_cycle_ < opt_.sample_interval) return;
+  if (have_sample_ && !samples_.empty() && samples_.back().cycle == clock_) {
+    samples_.back().cum = cum_stalls_;
+    return;
+  }
+  StallSample s;
+  s.cycle = clock_;
+  s.cum = cum_stalls_;
+  samples_.push_back(s);
+  last_sample_cycle_ = clock_;
+  have_sample_ = true;
+}
+
+void RegionProfiler::finish() {
+  if (opt_.timeline) {
+    switch_to(-1);
+    maybe_sample(true);
+  }
+}
+
+RegionCounters RegionProfiler::totals() const {
+  RegionCounters t = unattributed_;
+  for (const auto& c : counters_) t.merge(c);
+  return t;
+}
+
+std::vector<RegionCounters> NetObservation::inclusive() const {
+  std::vector<RegionCounters> inc = counters;
+  // Children always carry larger indices than their parents (opening
+  // order), so a reverse sweep folds each subtree upward in one pass.
+  for (size_t i = inc.size(); i-- > 0;) {
+    const int parent = map.defs()[i].parent;
+    if (parent >= 0) inc[static_cast<size_t>(parent)].merge(inc[i]);
+  }
+  return inc;
+}
+
+}  // namespace rnnasip::obs

@@ -1,0 +1,124 @@
+// Runtime side of the observability layer: attribute every retired
+// instruction, every MAC, and every typed stall cycle to the innermost
+// emitted region containing its PC (see region.h), and optionally record a
+// properly nested timeline of region entries/exits on the core's cycle
+// clock — the raw material for the Perfetto export (trace_export.h).
+//
+// The cycle-accounting identity the layer enforces:
+//
+//   sum(region self cycles) + unattributed == ExecStats::total_cycles()
+//
+// holds for every run because both sides are fed from the same two core
+// hooks (trace + stall).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/iss/core.h"
+#include "src/obs/region.h"
+
+namespace rnnasip::obs {
+
+struct RegionCounters {
+  uint64_t cycles = 0;  ///< self cycles (this region minus nested regions)
+  uint64_t instrs = 0;
+  uint64_t macs = 0;
+  std::array<uint64_t, iss::kStallCauseCount> stalls{};
+
+  void merge(const RegionCounters& o);
+};
+
+/// One closed span of the innermost-region timeline, in core cycles.
+/// Spans of nested regions always contain their children's spans.
+struct TimelineEvent {
+  int region = -1;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+/// Periodic cumulative stall-counter sample for the Perfetto counter track.
+struct StallSample {
+  uint64_t cycle = 0;
+  std::array<uint64_t, iss::kStallCauseCount> cum{};
+};
+
+class RegionProfiler {
+ public:
+  struct Options {
+    bool timeline = false;         ///< record TimelineEvents (needed for Perfetto)
+    size_t max_events = 1 << 18;   ///< cap; overflow sets timeline_truncated()
+    uint64_t sample_interval = 4096;  ///< min cycles between stall samples
+  };
+
+  /// `map` and the program's `text_base` must outlive the profiler.
+  RegionProfiler(const RegionMap* map, uint32_t text_base, Options opt);
+  RegionProfiler(const RegionMap* map, uint32_t text_base)
+      : RegionProfiler(map, text_base, Options()) {}
+
+  /// Install trace + stall hooks on `core` (displacing prior hooks).
+  void attach(iss::Core& core);
+
+  /// Close any open timeline spans and flush the final stall sample. Call
+  /// after the last run() before reading the timeline.
+  void finish();
+
+  /// Per-region self counters, indexed like RegionMap::defs().
+  const std::vector<RegionCounters>& counters() const { return counters_; }
+  /// Retired work at PCs outside every region (empty map, or stray text).
+  const RegionCounters& unattributed() const { return unattributed_; }
+  /// Sum of all self counters + unattributed; equals the core's ExecStats
+  /// totals accumulated while attached.
+  RegionCounters totals() const;
+
+  uint64_t clock() const { return clock_; }
+  const std::vector<TimelineEvent>& timeline() const { return events_; }
+  bool timeline_truncated() const { return truncated_; }
+  const std::vector<StallSample>& stall_samples() const { return samples_; }
+
+ private:
+  void on_instr(uint32_t pc, const isa::Instr& in, uint64_t cycles);
+  void on_stall(uint32_t pc, iss::StallCause cause, uint64_t cycles, bool post_hoc);
+  void switch_to(int region);
+  void push_event(int region, uint64_t begin, uint64_t end);
+  void maybe_sample(bool force);
+
+  const RegionMap* map_;
+  uint32_t base_;
+  Options opt_;
+  std::vector<RegionCounters> counters_;
+  RegionCounters unattributed_;
+  uint64_t clock_ = 0;
+
+  // Timeline state: the stack of currently open regions (root-first) and
+  // each one's entry cycle.
+  std::vector<std::pair<int, uint64_t>> open_;
+  std::vector<TimelineEvent> events_;
+  bool truncated_ = false;
+  std::vector<StallSample> samples_;
+  std::array<uint64_t, iss::kStallCauseCount> cum_stalls_{};
+  uint64_t last_sample_cycle_ = 0;
+  bool have_sample_ = false;
+};
+
+/// Everything observed about one network's runs: the static region tree
+/// plus per-region counters and the (optional) timeline.
+struct NetObservation {
+  std::string name;
+  RegionMap map;
+  std::vector<RegionCounters> counters;
+  RegionCounters unattributed;
+  std::vector<TimelineEvent> timeline;
+  std::vector<StallSample> stall_samples;
+  bool timeline_truncated = false;
+  uint64_t cycles = 0;
+  uint64_t instrs = 0;
+  uint64_t macs = 0;
+
+  /// Inclusive counters (self + all descendants), indexed like map.defs().
+  std::vector<RegionCounters> inclusive() const;
+};
+
+}  // namespace rnnasip::obs

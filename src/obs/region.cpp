@@ -1,0 +1,60 @@
+#include "src/obs/region.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::obs {
+
+const char* region_kind_name(RegionKind kind) {
+  switch (kind) {
+    case RegionKind::kSuite: return "suite";
+    case RegionKind::kNetwork: return "network";
+    case RegionKind::kLayer: return "layer";
+    case RegionKind::kGate: return "gate";
+    case RegionKind::kKernel: return "kernel";
+    case RegionKind::kOther: return "other";
+  }
+  return "?";
+}
+
+int RegionRecorder::open(std::string name, RegionKind kind, size_t pos) {
+  RegionDef def;
+  def.name = std::move(name);
+  def.kind = kind;
+  def.parent = stack_.empty() ? -1 : stack_.back();
+  def.depth = static_cast<int>(stack_.size());
+  def.begin = pos;
+  def.end = pos;  // patched by close()
+  const int id = static_cast<int>(defs_.size());
+  defs_.push_back(std::move(def));
+  stack_.push_back(id);
+  return id;
+}
+
+void RegionRecorder::close(int id, size_t pos) {
+  RNNASIP_CHECK_MSG(!stack_.empty() && stack_.back() == id,
+                    "regions must close LIFO (closing " << id << ")");
+  stack_.pop_back();
+  RNNASIP_CHECK(pos >= defs_[static_cast<size_t>(id)].begin);
+  defs_[static_cast<size_t>(id)].end = pos;
+}
+
+RegionMap RegionRecorder::finish(size_t program_instrs) {
+  RNNASIP_CHECK_MSG(stack_.empty(), "unclosed region at finish()");
+  return RegionMap(std::move(defs_), program_instrs);
+}
+
+RegionMap::RegionMap(std::vector<RegionDef> defs, size_t program_instrs)
+    : defs_(std::move(defs)), innermost_(program_instrs, -1) {
+  // Regions are recorded in opening order, so a child always has a larger
+  // index than its parent; painting in order leaves the innermost region in
+  // each slot.
+  for (size_t r = 0; r < defs_.size(); ++r) {
+    const auto& d = defs_[r];
+    RNNASIP_CHECK(d.end >= d.begin);
+    for (size_t i = d.begin; i < d.end && i < innermost_.size(); ++i) {
+      innermost_[i] = static_cast<int32_t>(r);
+    }
+  }
+}
+
+}  // namespace rnnasip::obs

@@ -1,0 +1,115 @@
+// Static region model for the observability layer.
+//
+// Kernel generators annotate the instruction stream they emit with nested,
+// named regions (network -> layer -> gate -> kernel). A region is a range
+// of instruction indices in the built program; because generated
+// instructions are 4 bytes, an index range maps 1:1 to a PC range, and the
+// runtime profiler (profile.h) can attribute every retired instruction to
+// the innermost region containing its PC in O(1).
+//
+// Regions are recorded at *emit* time with RAII markers:
+//
+//   void emit_fc(ProgramBuilder& b, ..., const FcEmitOptions& opt) {
+//     obs::Region r(opt.regions, b, "matvec", obs::RegionKind::kKernel);
+//     ... emit instructions ...
+//   }  // closes at b.position()
+//
+// A null recorder makes every marker a no-op, so standalone emitter callers
+// (tests, micro-benches) pay nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/asm/builder.h"
+
+namespace rnnasip::obs {
+
+enum class RegionKind : uint8_t {
+  kSuite = 0,  ///< synthesized root over a whole suite run
+  kNetwork,    ///< one network's program
+  kLayer,      ///< one layer of the network (fc0, lstm1, ...)
+  kGate,       ///< one RNN gate's matvec (gate_i, gate_r, ...)
+  kKernel,     ///< one generated kernel (matvec, pointwise, im2col, ...)
+  kOther,      ///< glue: buffer copies, sequence cursors, argmax, ...
+};
+
+const char* region_kind_name(RegionKind kind);
+
+struct RegionDef {
+  std::string name;
+  RegionKind kind = RegionKind::kOther;
+  int parent = -1;  ///< index into the defs vector; -1 for the root
+  int depth = 0;    ///< nesting depth (root = 0)
+  size_t begin = 0; ///< first instruction index
+  size_t end = 0;   ///< one past the last instruction index
+};
+
+/// Immutable, queryable region set for one built program.
+class RegionMap {
+ public:
+  RegionMap() = default;
+  /// `program_instrs` bounds the innermost-region lookup table.
+  RegionMap(std::vector<RegionDef> defs, size_t program_instrs);
+
+  const std::vector<RegionDef>& defs() const { return defs_; }
+  size_t size() const { return defs_.size(); }
+  bool empty() const { return defs_.empty(); }
+  size_t program_instrs() const { return innermost_.size(); }
+
+  /// Innermost region containing instruction `idx`, or -1.
+  int innermost_at(size_t idx) const {
+    return idx < innermost_.size() ? innermost_[idx] : -1;
+  }
+  /// Innermost region containing `pc` for a program loaded at `base`.
+  int innermost_at_pc(uint32_t pc, uint32_t base) const {
+    if (pc < base) return -1;
+    return innermost_at(static_cast<size_t>((pc - base) / 4));
+  }
+
+ private:
+  std::vector<RegionDef> defs_;
+  std::vector<int32_t> innermost_;  ///< per instruction index
+};
+
+/// Collects regions while a program is being emitted. open()/close() must
+/// nest (LIFO); the RAII Region marker guarantees this.
+class RegionRecorder {
+ public:
+  int open(std::string name, RegionKind kind, size_t pos);
+  void close(int id, size_t pos);
+
+  /// All regions must be closed. Builds the lookup table for a program of
+  /// `program_instrs` instructions.
+  RegionMap finish(size_t program_instrs);
+
+  bool empty() const { return defs_.empty(); }
+
+ private:
+  std::vector<RegionDef> defs_;
+  std::vector<int> stack_;
+};
+
+/// RAII region marker tied to a ProgramBuilder's emission position.
+/// A null recorder turns the marker into a no-op.
+class Region {
+ public:
+  Region(RegionRecorder* rec, const assembler::ProgramBuilder& b, std::string name,
+         RegionKind kind)
+      : rec_(rec), b_(&b) {
+    if (rec_) id_ = rec_->open(std::move(name), kind, b_->position());
+  }
+  ~Region() {
+    if (rec_) rec_->close(id_, b_->position());
+  }
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+ private:
+  RegionRecorder* rec_;
+  const assembler::ProgramBuilder* b_;
+  int id_ = -1;
+};
+
+}  // namespace rnnasip::obs

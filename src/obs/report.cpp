@@ -1,0 +1,96 @@
+#include "src/obs/report.h"
+
+#include <sstream>
+
+namespace rnnasip::obs {
+
+namespace {
+
+std::vector<std::string> region_header() {
+  std::vector<std::string> h = {"region", "kind", "cycles", "%", "instrs", "MACs", "MAC/cyc"};
+  for (size_t s = 0; s < iss::kStallCauseCount; ++s) {
+    h.push_back(iss::stall_cause_name(static_cast<iss::StallCause>(s)));
+  }
+  return h;
+}
+
+std::vector<std::string> region_row(const std::string& name, const std::string& kind,
+                                    const RegionCounters& c, uint64_t total_cycles) {
+  std::vector<std::string> row = {
+      name,
+      kind,
+      fmt_count(c.cycles),
+      total_cycles == 0
+          ? "0.0"
+          : fmt_double(100.0 * static_cast<double>(c.cycles) /
+                           static_cast<double>(total_cycles),
+                       1),
+      fmt_count(c.instrs),
+      fmt_count(c.macs),
+      c.cycles == 0
+          ? "0.00"
+          : fmt_double(static_cast<double>(c.macs) / static_cast<double>(c.cycles), 2),
+  };
+  for (const uint64_t s : c.stalls) row.push_back(fmt_count(s));
+  return row;
+}
+
+}  // namespace
+
+Table region_table(const NetObservation& obs) {
+  Table t(region_header());
+  const std::vector<RegionCounters> inc = obs.inclusive();
+  const uint64_t total = obs.cycles;
+  for (size_t r = 0; r < obs.map.size(); ++r) {
+    const RegionDef& d = obs.map.defs()[r];
+    const std::string name = std::string(static_cast<size_t>(d.depth) * 2, ' ') + d.name;
+    t.add_row(region_row(name, region_kind_name(d.kind), inc[r], total));
+  }
+  const RegionCounters& u = obs.unattributed;
+  if (u.cycles || u.instrs) {
+    t.add_row(region_row("(outside)", "-", u, total));
+  }
+  return t;
+}
+
+Table stall_table(const iss::ExecStats& stats) {
+  Table t({"component", "cycles", "% of total"});
+  const uint64_t total = stats.total_cycles();
+  auto pct = [&](uint64_t c) {
+    return total == 0
+               ? std::string("0.0")
+               : fmt_double(100.0 * static_cast<double>(c) / static_cast<double>(total), 1);
+  };
+  t.add_row({"issue (1/instr)", fmt_count(stats.total_instrs()), pct(stats.total_instrs())});
+  for (size_t s = 0; s < iss::kStallCauseCount; ++s) {
+    const auto cause = static_cast<iss::StallCause>(s);
+    t.add_row({std::string("stall: ") + iss::stall_cause_name(cause),
+               fmt_count(stats.stall_cycles(cause)), pct(stats.stall_cycles(cause))});
+  }
+  t.add_row({"dual-issue saved", "-" + fmt_count(stats.dual_issue_saved()),
+             pct(stats.dual_issue_saved())});
+  t.add_row({"total", fmt_count(stats.total_cycles()), "100.0"});
+  t.add_row({"hw-loop overhead (of issue)", fmt_count(stats.hwloop_overhead_cycles()),
+             pct(stats.hwloop_overhead_cycles())});
+  t.add_row({"traps (events)", fmt_count(stats.traps()), "-"});
+  t.add_row({"watchdogs (events)", fmt_count(stats.watchdogs()), "-"});
+  return t;
+}
+
+std::string report_markdown(const NetObservation& obs) {
+  std::ostringstream os;
+  os << "### " << obs.name << "\n\n";
+  os << "Total: " << fmt_count(obs.cycles) << " cycles, " << fmt_count(obs.instrs)
+     << " instrs, " << fmt_count(obs.macs) << " MACs";
+  if (obs.cycles) {
+    os << " ("
+       << fmt_double(static_cast<double>(obs.macs) / static_cast<double>(obs.cycles), 2)
+       << " MAC/cyc)";
+  }
+  os << "\n\n";
+  os << region_table(obs).to_markdown();
+  if (obs.timeline_truncated) os << "\n_(timeline truncated at event cap)_\n";
+  return os.str();
+}
+
+}  // namespace rnnasip::obs

@@ -1,0 +1,29 @@
+// Human-readable roll-ups of an observed run: the region tree as an
+// indented table (cycles, share, instrs, MACs, MAC utilization, stall
+// breakdown per node) and the core-level stall taxonomy. Rendered through
+// src/common/table so every report has text, CSV, and markdown forms.
+#pragma once
+
+#include <string>
+
+#include "src/common/table.h"
+#include "src/iss/stats.h"
+#include "src/obs/profile.h"
+
+namespace rnnasip::obs {
+
+/// Region tree of one observed network, inclusive counters, one row per
+/// region (indented by depth). Columns: region, kind, cycles, %, instrs,
+/// MACs, MAC/cyc, then one column per stall cause. A final "(outside)" row
+/// holds unattributed work when present.
+Table region_table(const NetObservation& obs);
+
+/// Stall-cause taxonomy of a whole run/suite: one row per cause plus
+/// derived rows (hw-loop overhead, dual-issue savings, traps, watchdogs)
+/// and the identity check.
+Table stall_table(const iss::ExecStats& stats);
+
+/// Markdown report for one observed network: region table + notes.
+std::string report_markdown(const NetObservation& obs);
+
+}  // namespace rnnasip::obs

@@ -1,0 +1,76 @@
+#include "src/obs/trace_export.h"
+
+namespace rnnasip::obs {
+
+namespace {
+
+Json process_name_event(int pid, const std::string& name) {
+  Json m = Json::object();
+  m.set("ph", "M");
+  m.set("pid", pid);
+  m.set("tid", 1);
+  m.set("name", "process_name");
+  Json args = Json::object();
+  args.set("name", name);
+  m.set("args", std::move(args));
+  return m;
+}
+
+Json duration_event(int pid, const RegionDef& d, const TimelineEvent& e) {
+  Json x = Json::object();
+  x.set("ph", "X");
+  x.set("pid", pid);
+  x.set("tid", 1);
+  x.set("name", d.name);
+  x.set("cat", region_kind_name(d.kind));
+  x.set("ts", e.begin);
+  x.set("dur", e.end - e.begin);
+  return x;
+}
+
+Json counter_event(int pid, uint64_t cycle, const StallSample& s) {
+  Json c = Json::object();
+  c.set("ph", "C");
+  c.set("pid", pid);
+  c.set("tid", 1);
+  c.set("name", "stall cycles (cum)");
+  c.set("ts", cycle);
+  Json args = Json::object();
+  for (size_t i = 0; i < iss::kStallCauseCount; ++i) {
+    args.set(iss::stall_cause_name(static_cast<iss::StallCause>(i)), s.cum[i]);
+  }
+  c.set("args", std::move(args));
+  return c;
+}
+
+}  // namespace
+
+Json perfetto_trace(const std::vector<const NetObservation*>& nets) {
+  Json events = Json::array();
+  for (size_t n = 0; n < nets.size(); ++n) {
+    const NetObservation& obs = *nets[n];
+    const int pid = static_cast<int>(n) + 1;
+    events.push(process_name_event(pid, obs.name));
+    for (const TimelineEvent& e : obs.timeline) {
+      if (e.region < 0) continue;
+      events.push(duration_event(pid, obs.map.defs()[static_cast<size_t>(e.region)], e));
+    }
+    for (const StallSample& s : obs.stall_samples) {
+      events.push(counter_event(pid, s.cycle, s));
+    }
+  }
+  Json root = Json::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", "ns");
+  return root;
+}
+
+std::string to_perfetto_json(const std::vector<const NetObservation*>& nets) {
+  return perfetto_trace(nets).dump();
+}
+
+std::string to_perfetto_json(const NetObservation& net) {
+  return to_perfetto_json(std::vector<const NetObservation*>{&net});
+}
+
+}  // namespace rnnasip::obs

@@ -1,0 +1,26 @@
+// Chrome/Perfetto trace_event JSON export of observed runs.
+//
+// Each NetObservation becomes one "process" (pid = index+1) named after the
+// network; its region timeline becomes "X" complete duration events on
+// tid 1 with ts/dur equal to core cycles (rendered as microseconds — the
+// viewer's units are arbitrary, cycles are what we mean), and the periodic
+// cumulative stall samples become "C" counter events, one series per stall
+// cause. Load the output at https://ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/profile.h"
+
+namespace rnnasip::obs {
+
+/// Build the {"traceEvents": [...]} JSON value for a set of observations.
+Json perfetto_trace(const std::vector<const NetObservation*>& nets);
+
+/// Convenience: serialized compact JSON for one or many observations.
+std::string to_perfetto_json(const std::vector<const NetObservation*>& nets);
+std::string to_perfetto_json(const NetObservation& net);
+
+}  // namespace rnnasip::obs

@@ -34,6 +34,17 @@ NetRunResult run_network(const RrmNetwork& net, kernels::OptLevel level,
   core.load_program(built.program);
   kernels::reset_state(mem, built);
 
+  // Observability: attribute every cycle/instr/MAC/stall to the innermost
+  // emitted region. The core is fresh, so profiler totals must equal the
+  // core's ExecStats at the end — asserted below.
+  std::optional<obs::RegionProfiler> profiler;
+  if (opt.observe) {
+    obs::RegionProfiler::Options po;
+    po.timeline = opt.timeline;
+    profiler.emplace(&built.regions, built.program.base, po);
+    profiler->attach(core);
+  }
+
   // The golden model gets pristine LUT copies: a campaign may flip bits in
   // the core's PLA unit, and the reference must not inherit the flip.
   const auto tanh_ref = activation::PlaTable::build(opt.core_config.tanh_spec);
@@ -93,6 +104,28 @@ NetRunResult run_network(const RrmNetwork& net, kernels::OptLevel level,
   r.cycles = core.stats().total_cycles();
   r.instrs = core.stats().total_instrs();
   r.stats = core.stats();
+  if (profiler) {
+    profiler->finish();
+    const obs::RegionCounters tot = profiler->totals();
+    RNNASIP_CHECK_MSG(tot.cycles == r.cycles && tot.instrs == r.instrs,
+                      "observability identity broken for " << r.name << ": regions "
+                          << tot.cycles << "c/" << tot.instrs << "i vs core " << r.cycles
+                          << "c/" << r.instrs << "i");
+    RNNASIP_CHECK_MSG(core.stats().identity_holds(),
+                      "stall-taxonomy identity broken for " << r.name);
+    auto ob = std::make_shared<obs::NetObservation>();
+    ob->name = r.name;
+    ob->map = built.regions;
+    ob->counters = profiler->counters();
+    ob->unattributed = profiler->unattributed();
+    ob->timeline = profiler->timeline();
+    ob->stall_samples = profiler->stall_samples();
+    ob->timeline_truncated = profiler->timeline_truncated();
+    ob->cycles = tot.cycles;
+    ob->instrs = tot.instrs;
+    ob->macs = tot.macs;
+    r.obs = std::move(ob);
+  }
   return r;
 }
 

@@ -9,6 +9,7 @@
 // remaining networks instead of aborting.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/iss/stats.h"
 #include "src/kernels/opt_level.h"
+#include "src/obs/profile.h"
 #include "src/rrm/networks.h"
 
 namespace rnnasip::rrm {
@@ -34,6 +36,12 @@ struct RunOptions {
   /// Per-forward-pass cycle watchdog. 0 = automatic: disabled for fault-free
   /// runs, kDefaultCampaignWatchdog once any fault rate is positive.
   uint64_t watchdog_cycles = 0;
+  /// Attach a RegionProfiler and fill NetRunResult::obs (region-scoped
+  /// cycles/instrs/MACs/stalls). Asserts the cycle-accounting identity.
+  bool observe = false;
+  /// With observe: also record the region timeline + stall samples needed
+  /// for the Perfetto export. Costs memory proportional to region switches.
+  bool timeline = false;
 };
 
 /// Generous bound on one forward pass (the largest suite network needs
@@ -48,6 +56,8 @@ struct NetRunResult {
   uint64_t nominal_macs = 0;  ///< per forward pass x timesteps
   bool verified = false;      ///< outputs matched the golden model bit-exactly
   iss::ExecStats stats;
+  /// Region-scoped observation (RunOptions::observe); null otherwise.
+  std::shared_ptr<obs::NetObservation> obs;
 
   // ---- Resilience / degradation record ----
   bool completed = true;      ///< every timestep ran to ebreak

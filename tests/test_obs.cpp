@@ -1,0 +1,376 @@
+// Tests for the observability subsystem (src/obs): deterministic JSON,
+// region recording/lookup, region-scoped cycle attribution and its
+// accounting identity at every optimization level, timeline nesting, the
+// Perfetto trace_event export, and the bench --json harness.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_io.h"
+#include "src/asm/parser.h"
+#include "src/iss/core.h"
+#include "src/obs/json.h"
+#include "src/obs/profile.h"
+#include "src/obs/region.h"
+#include "src/obs/report.h"
+#include "src/obs/trace_export.h"
+#include "src/rrm/suite.h"
+
+namespace rnnasip::obs {
+namespace {
+
+// ---------------------------------------------------------------- Json ----
+
+TEST(Json, ScalarsAndEscapes) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+  EXPECT_EQ(Json(uint64_t{1} << 40).dump(), "1099511627776");
+  EXPECT_EQ(Json("a\"b\\c\n").dump(), "\"a\\\"b\\\\c\\n\"");
+}
+
+TEST(Json, DoublesAreStableAndAlwaysFloatShaped) {
+  // Integral doubles keep a ".0" so the type never flips between runs.
+  EXPECT_EQ(Json(15.0).dump(), "15.0");
+  EXPECT_EQ(Json(9.09375).dump(), "9.09375");
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  // Non-finite values have no JSON spelling; they degrade to null.
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrderAndOverwriteInPlace) {
+  Json o = Json::object();
+  o.set("z", 1);
+  o.set("a", 2);
+  o.set("z", 3);  // overwrite must keep z first
+  EXPECT_EQ(o.dump(), "{\"z\":3,\"a\":2}");
+  Json arr = Json::array();
+  arr.push(1);
+  arr.push("x");
+  EXPECT_EQ(arr.dump(), "[1,\"x\"]");
+  EXPECT_EQ(arr.size(), 2u);
+}
+
+TEST(Json, PrettyDumpIsDeterministic) {
+  Json o = Json::object();
+  o.set("k", Json::array().push(1).push(2));
+  const std::string a = o.dump_pretty();
+  const std::string b = o.dump_pretty();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\n"), std::string::npos);
+  EXPECT_EQ(a.back(), '\n');
+}
+
+// ------------------------------------------------------------- regions ----
+
+TEST(RegionMap, RecorderBuildsNestedInnermostLookup) {
+  RegionRecorder rec;
+  const int root = rec.open("network", RegionKind::kNetwork, 0);
+  const int layer = rec.open("fc0", RegionKind::kLayer, 2);
+  const int kern = rec.open("matvec", RegionKind::kKernel, 3);
+  rec.close(kern, 6);
+  rec.close(layer, 8);
+  rec.close(root, 10);
+  const RegionMap map = rec.finish(12);
+
+  ASSERT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.defs()[root].parent, -1);
+  EXPECT_EQ(map.defs()[layer].parent, root);
+  EXPECT_EQ(map.defs()[kern].parent, layer);
+  EXPECT_EQ(map.defs()[kern].depth, 2);
+
+  EXPECT_EQ(map.innermost_at(0), root);
+  EXPECT_EQ(map.innermost_at(2), layer);
+  EXPECT_EQ(map.innermost_at(4), kern);
+  EXPECT_EQ(map.innermost_at(7), layer);
+  EXPECT_EQ(map.innermost_at(9), root);
+  EXPECT_EQ(map.innermost_at(11), -1);  // past the root's close
+  EXPECT_EQ(map.innermost_at(99), -1);
+
+  // PC form: 4 bytes per generated instruction.
+  EXPECT_EQ(map.innermost_at_pc(0x1000 + 4 * 4, 0x1000), kern);
+  EXPECT_EQ(map.innermost_at_pc(0x0FF0, 0x1000), -1);
+}
+
+TEST(RegionKindNames, AreStable) {
+  EXPECT_STREQ(region_kind_name(RegionKind::kNetwork), "network");
+  EXPECT_STREQ(region_kind_name(RegionKind::kGate), "gate");
+  EXPECT_STREQ(region_kind_name(RegionKind::kKernel), "kernel");
+}
+
+// ------------------------------------------------------------ profiler ----
+
+TEST(RegionProfiler, AttributesCyclesAndPostHocStallsByRegion) {
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  const auto p = assembler::assemble(R"(
+      li a0, 64
+      sw a0, 0(a0)
+      lw a1, 0(a0)
+      addi a1, a1, 1   # load-use stall lands inside the region of this pc
+      ebreak
+  )");
+  core.load_program(p);
+  core.reset(p.base);
+
+  RegionRecorder rec;
+  const int root = rec.open("prog", RegionKind::kNetwork, 0);
+  const int body = rec.open("body", RegionKind::kKernel, 2);  // lw + addi
+  rec.close(body, 4);
+  rec.close(root, 5);
+  const RegionMap map = rec.finish(5);
+
+  RegionProfiler prof(&map, p.base);
+  prof.attach(core);
+  const auto res = core.run();
+  ASSERT_EQ(res.exit, iss::RunResult::Exit::kEbreak);
+
+  // The identity: region self counters + unattributed == core totals.
+  const RegionCounters tot = prof.totals();
+  EXPECT_EQ(tot.cycles, core.stats().total_cycles());
+  EXPECT_EQ(tot.instrs, core.stats().total_instrs());
+  EXPECT_TRUE(core.stats().identity_holds());
+
+  // The load-use stall was charged to "body", nothing to the root.
+  const auto lu = static_cast<size_t>(iss::StallCause::kLoadUse);
+  EXPECT_GT(core.stats().stall_cycles(iss::StallCause::kLoadUse), 0u);
+  EXPECT_EQ(prof.counters()[body].stalls[lu],
+            core.stats().stall_cycles(iss::StallCause::kLoadUse));
+  EXPECT_EQ(prof.counters()[root].stalls[lu], 0u);
+  EXPECT_EQ(prof.unattributed().cycles, 0u);
+}
+
+TEST(NetObservation, InclusiveSumsDescendantsIntoAncestors) {
+  RegionRecorder rec;
+  const int root = rec.open("network", RegionKind::kNetwork, 0);
+  const int a = rec.open("fc0", RegionKind::kLayer, 1);
+  rec.close(a, 4);
+  const int b = rec.open("fc1", RegionKind::kLayer, 4);
+  rec.close(b, 8);
+  rec.close(root, 8);
+
+  NetObservation ob;
+  ob.map = rec.finish(8);
+  ob.counters.resize(3);
+  ob.counters[root].cycles = 5;
+  ob.counters[a].cycles = 10;
+  ob.counters[b].cycles = 20;
+  const auto inc = ob.inclusive();
+  EXPECT_EQ(inc[a].cycles, 10u);
+  EXPECT_EQ(inc[b].cycles, 20u);
+  EXPECT_EQ(inc[root].cycles, 35u);
+}
+
+// -------------------------------------------- suite observe + identity ----
+
+// The acceptance bar: the cycle-accounting identity holds, and is *checked*,
+// at every optimization level — run_network itself asserts
+// sum(region cycles) == ExecStats totals when observe is on, and we
+// re-verify from the returned observation here.
+TEST(SuiteObserve, IdentityHoldsAtEveryOptLevel) {
+  for (const char* name : {"ahmed19", "challita17"}) {
+    const rrm::RrmNetwork net(rrm::find_network(name));
+    for (auto level : kernels::kAllOptLevels) {
+      rrm::RunOptions opt;
+      opt.observe = true;
+      const auto r = rrm::run_network(net, level, opt);
+      ASSERT_TRUE(r.completed) << name;
+      ASSERT_TRUE(r.obs) << name;
+      EXPECT_TRUE(r.stats.identity_holds()) << name;
+
+      RegionCounters sum = r.obs->unattributed;
+      for (const auto& c : r.obs->counters) sum.merge(c);
+      EXPECT_EQ(sum.cycles, r.cycles)
+          << name << " level " << kernels::opt_level_letter(level);
+      EXPECT_EQ(sum.instrs, r.instrs)
+          << name << " level " << kernels::opt_level_letter(level);
+      EXPECT_EQ(sum.macs, r.stats.total_macs()) << name;
+
+      // Inclusive root == whole network.
+      const auto inc = r.obs->inclusive();
+      ASSERT_FALSE(inc.empty());
+      EXPECT_EQ(inc[0].cycles + r.obs->unattributed.cycles, r.cycles) << name;
+    }
+  }
+}
+
+TEST(SuiteObserve, LstmGateRegionsArePresentAndNested) {
+  const rrm::RrmNetwork net(rrm::find_network("challita17"));
+  rrm::RunOptions opt;
+  opt.observe = true;
+  const auto r = rrm::run_network(net, kernels::OptLevel::kInputTiling, opt);
+  ASSERT_TRUE(r.obs);
+  int gates = 0;
+  for (const auto& d : r.obs->map.defs()) {
+    if (d.kind == RegionKind::kGate) {
+      ++gates;
+      ASSERT_GE(d.parent, 0);
+      // A gate nests under a layer, and spans stay inside the parent.
+      EXPECT_EQ(r.obs->map.defs()[d.parent].kind, RegionKind::kLayer);
+      EXPECT_GE(d.begin, r.obs->map.defs()[d.parent].begin);
+      EXPECT_LE(d.end, r.obs->map.defs()[d.parent].end);
+    }
+  }
+  EXPECT_EQ(gates, 4);  // one LSTM layer: gate_i, gate_f, gate_o, gate_g
+}
+
+// ------------------------------------------------------------ timeline ----
+
+TEST(SuiteObserve, TimelineSpansNestProperly) {
+  const rrm::RrmNetwork net(rrm::find_network("ahmed19"));
+  rrm::RunOptions opt;
+  opt.observe = true;
+  opt.timeline = true;
+  const auto r = rrm::run_network(net, kernels::OptLevel::kInputTiling, opt);
+  ASSERT_TRUE(r.obs);
+  ASSERT_FALSE(r.obs->timeline.empty());
+  EXPECT_FALSE(r.obs->timeline_truncated);
+  uint64_t covered = 0;
+  for (const auto& ev : r.obs->timeline) {
+    ASSERT_GE(ev.region, 0);
+    ASSERT_LT(static_cast<size_t>(ev.region), r.obs->map.size());
+    EXPECT_LE(ev.begin, ev.end);
+    EXPECT_LE(ev.end, r.cycles);
+    if (r.obs->map.defs()[static_cast<size_t>(ev.region)].depth == 0)
+      covered += ev.end - ev.begin;
+  }
+  // Root-depth spans cover the whole run (the root region wraps the
+  // program, so attributed time at depth 0 is the full clock).
+  EXPECT_EQ(covered, r.cycles);
+}
+
+// ------------------------------------------------------------ exports ----
+
+// Minimal structural JSON validator: balanced braces/brackets outside
+// strings, string escapes legal. Enough to catch malformed emission without
+// a parser dependency.
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_str = false, esc = false;
+  for (char c : s) {
+    if (in_str) {
+      if (esc) esc = false;
+      else if (c == '\\') esc = true;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_str = true; break;
+      case '{': case '[': stack.push_back(c); break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_str && stack.empty();
+}
+
+TEST(PerfettoExport, EmitsWellFormedTraceEventJson) {
+  const rrm::RrmNetwork net(rrm::find_network("ahmed19"));
+  rrm::RunOptions opt;
+  opt.observe = true;
+  opt.timeline = true;
+  const auto r = rrm::run_network(net, kernels::OptLevel::kXpulpSimd, opt);
+  ASSERT_TRUE(r.obs);
+  const std::string json = to_perfetto_json(*r.obs);
+
+  EXPECT_TRUE(json_well_formed(json));
+  // Schema fields of the trace_event format.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // process_name
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // duration spans
+  EXPECT_NE(json.find("\"ts\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // stall counters
+  EXPECT_NE(json.find("\"pid\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\""), std::string::npos);
+  EXPECT_NE(json.find("ahmed19"), std::string::npos);
+}
+
+TEST(PerfettoExport, DeterministicAcrossSameSeedRuns) {
+  auto once = [] {
+    const rrm::RrmNetwork net(rrm::find_network("eisen19"));
+    rrm::RunOptions opt;
+    opt.observe = true;
+    opt.timeline = true;
+    const auto r = rrm::run_network(net, kernels::OptLevel::kLoadCompute, opt);
+    return to_perfetto_json(*r.obs);
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(Reports, RegionTableAndMarkdownRollups) {
+  const rrm::RrmNetwork net(rrm::find_network("ahmed19"));
+  rrm::RunOptions opt;
+  opt.observe = true;
+  const auto r = rrm::run_network(net, kernels::OptLevel::kInputTiling, opt);
+  ASSERT_TRUE(r.obs);
+
+  const Table rt = region_table(*r.obs);
+  const std::string txt = rt.to_string();
+  EXPECT_NE(txt.find("network"), std::string::npos);
+  EXPECT_NE(txt.find("matvec"), std::string::npos);
+  EXPECT_NE(txt.find("load_use"), std::string::npos);
+
+  const std::string md = report_markdown(*r.obs);
+  EXPECT_NE(md.find("| region"), std::string::npos);
+  EXPECT_NE(md.find(":---"), std::string::npos);
+
+  const Table st = stall_table(r.stats);
+  const std::string stxt = st.to_string();
+  EXPECT_NE(stxt.find("issue"), std::string::npos);
+  EXPECT_NE(stxt.find("total"), std::string::npos);
+}
+
+// ------------------------------------------------------------ bench IO ----
+
+TEST(BenchIo, ParseStripsHarnessFlagsLeavesOthers) {
+  char a0[] = "bench", a1[] = "--json", a2[] = "/tmp/out.json";
+  char a3[] = "--per-net", a4[] = "--wall-time";
+  char* argv[] = {a0, a1, a2, a3, a4, nullptr};
+  int argc = 5;
+  const auto io = bench::BenchIo::parse(argc, argv);
+  EXPECT_TRUE(io.json_enabled());
+  EXPECT_EQ(io.path(), "/tmp/out.json");
+  EXPECT_TRUE(io.wall_time());
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "--per-net");
+}
+
+TEST(BenchIo, NoFlagsMeansDisabled) {
+  char a0[] = "bench";
+  char* argv[] = {a0, nullptr};
+  int argc = 1;
+  const auto io = bench::BenchIo::parse(argc, argv);
+  EXPECT_FALSE(io.json_enabled());
+  EXPECT_FALSE(io.wall_time());
+}
+
+TEST(BenchIo, StatsJsonIsDeterministicAndCarriesTaxonomy) {
+  auto run = [] {
+    const rrm::RrmNetwork net(rrm::find_network("eisen19"));
+    return rrm::run_network(net, kernels::OptLevel::kBaseline);
+  };
+  const auto r1 = run();
+  const auto r2 = run();
+  const std::string j1 = bench::stats_to_json(r1.stats).dump_pretty();
+  const std::string j2 = bench::stats_to_json(r2.stats).dump_pretty();
+  EXPECT_EQ(j1, j2);
+  EXPECT_TRUE(json_well_formed(j1));
+  EXPECT_NE(j1.find("\"stall_cycles\""), std::string::npos);
+  EXPECT_NE(j1.find("\"load_use\""), std::string::npos);
+  EXPECT_NE(j1.find("\"identity_holds\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rnnasip::obs

@@ -23,6 +23,15 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
 }
 
+TEST(Table, MarkdownOutput) {
+  Table t({"name", "cycles"});
+  t.add_row({"a|b", "12"});
+  EXPECT_EQ(t.to_markdown(),
+            "| name | cycles |\n"
+            "| :--- | ---: |\n"
+            "| a\\|b | 12 |\n");
+}
+
 TEST(Table, RejectsArityMismatch) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), std::runtime_error);

@@ -28,10 +28,35 @@ TEST(TraceWriter, RecordsEveryRetiredInstruction) {
   core.set_trace(tw.hook());
   const auto res = core.run();
   EXPECT_EQ(res.exit, RunResult::Exit::kEbreak);
-  // li + setup + 100 body (ebreak is not traced through execute()).
-  EXPECT_EQ(tw.lines().size(), 102u);
+  // li + setup + 100 body + the terminating ebreak.
+  EXPECT_EQ(tw.lines().size(), 103u);
   EXPECT_NE(tw.str().find("lp.setupi"), std::string::npos);
   EXPECT_NE(tw.str().find("addi a0, a0, 1"), std::string::npos);
+  EXPECT_NE(tw.str().find("ebreak"), std::string::npos);
+}
+
+TEST(TraceWriter, CycleColumnAgreesWithExecStats) {
+  // A load-use stall is attributed post-hoc: without the stall hook the
+  // trace's cycle column would drift below ExecStats::total_cycles().
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  const auto p = assembler::assemble(R"(
+      li a0, 64
+      sw a0, 0(a0)
+      lw a1, 0(a0)
+      addi a1, a1, 1   # load-use: consumer directly after the load
+      lw a2, 0(a0)
+      add a2, a2, a1   # and another one
+      ebreak
+  )");
+  core.load_program(p);
+  core.reset(p.base);
+  TraceWriter tw(0);
+  tw.attach(core);
+  const auto res = core.run();
+  ASSERT_EQ(res.exit, RunResult::Exit::kEbreak);
+  EXPECT_GT(core.stats().stall_cycles(StallCause::kLoadUse), 0u);
+  EXPECT_EQ(tw.cycles(), core.stats().total_cycles());
 }
 
 TEST(TraceWriter, CapsAndReportsTruncation) {
@@ -65,6 +90,66 @@ TEST(Profiler, FindsTheLoopBodyAsHotspot) {
   EXPECT_EQ(hot[1].cycles, 50u);
   EXPECT_GT(hot[0].share, 0.4);
   EXPECT_NE(hot[0].disasm.find("addi"), std::string::npos);
+}
+
+TEST(Profiler, HotspotDisasmTracksRewrittenText) {
+  // The profiler keys decoded instructions by PC. When text at a PC is
+  // rewritten between runs (fault campaigns, self-modifying programs), the
+  // hotspot report must show what ran *last*, not the first decode.
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  const auto p1 = assembler::assemble(R"(
+      addi a0, zero, 1
+      ebreak
+  )");
+  core.load_program(p1);
+  core.reset(p1.base);
+  Profiler prof;
+  prof.attach(core);
+  core.run();
+  const auto p2 = assembler::assemble(R"(
+      xor a0, a0, a0
+      ebreak
+  )");
+  ASSERT_EQ(p1.base, p2.base);
+  core.load_program(p2);
+  core.reset(p2.base);
+  core.run();
+  // Disassemble against the stale p1 listing on purpose: the profiler's own
+  // per-PC record must win.
+  const auto hot = prof.hotspots(p1, 10);
+  bool found = false;
+  for (const auto& h : hot) {
+    if (h.pc == p2.base) {
+      EXPECT_NE(h.disasm.find("xor"), std::string::npos) << h.disasm;
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Profiler, HotspotSharesIncludePostHocStalls) {
+  // With the stall hook attached, hotspot shares are computed against the
+  // full cycle count (issue + post-hoc stalls) and still sum to 1.
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  const auto p = assembler::assemble(R"(
+      li a0, 64
+      sw a0, 0(a0)
+      lw a1, 0(a0)
+      addi a1, a1, 1
+      ebreak
+  )");
+  core.load_program(p);
+  core.reset(p.base);
+  Profiler prof;
+  prof.attach(core);
+  core.run();
+  EXPECT_EQ(prof.total_cycles(), core.stats().total_cycles());
+  const auto hot = prof.hotspots(p, 1000);
+  double sum = 0;
+  for (const auto& h : hot) sum += h.share;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
 TEST(Profiler, SharesSumToOne) {
