@@ -9,38 +9,101 @@
 // state suite runs (loads/stores dominate, so the response is linear in the
 // expected wait — bench_memory_sensitivity confirms). Power scales per
 // active core plus an interconnect share; area adds cores and banks.
+//
+// The analytic model is cross-checked against the cycle-accurate serving
+// subsystem (src/serve): a 1-core FIFO serving run at level e — zero bank
+// conflicts by construction, the model's N=1 point — must land within 15%
+// of the analytic per-core estimate, or the bench aborts. bench_serving
+// covers the multi-core points with measured per-core clocks.
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_io.h"
+#include "src/common/check.h"
 #include "src/common/table.h"
 #include "src/impl_model/impl_model.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
+#include "src/serve/scheduler.h"
 
 using namespace rnnasip;
 using namespace rnnasip::impl_model;
 using kernels::OptLevel;
 
-int main() {
+namespace {
+
+// Measured reference for the model's zero-conflict point: serve exactly one
+// request per suite network on a single level-e core and sum the real
+// execution cycles. This is the same program path the analytic estimate
+// interpolates from, but measured through the serving subsystem end to end.
+uint64_t measured_one_core_suite_cycles(uint64_t seed) {
+  serve::ClusterConfig cc;
+  cc.cores = 1;
+  cc.level = OptLevel::kInputTiling;
+  cc.batch = 1;
+  cc.seed = seed;
+  std::vector<std::string> names;
+  for (const auto& def : rrm::rrm_suite()) names.push_back(def.name);
+  serve::Cluster cluster(cc, names);
+
+  serve::Workload wl;
+  for (const auto& name : names) {
+    serve::Job j;
+    j.id = wl.jobs.size();
+    j.network = name;
+    j.arrival = 0;
+    j.input = cluster.network(name).make_input(0);
+    wl.jobs.push_back(std::move(j));
+  }
+  serve::Scheduler sched(&cluster, serve::Policy::kFifo);
+  const auto r = sched.run(wl);
+  uint64_t cycles = 0;
+  for (const auto& c : r.completions) cycles += c.exec_cycles;
+  return cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::parse(argc, argv);
   std::printf("=====================================================================\n");
   std::printf("Ablation — clustering the extended core (shared TCDM, 16 banks)\n");
   std::printf("=====================================================================\n\n");
 
-  rrm::RunOptions opt0;
-  opt0.verify = false;
-  rrm::RunOptions opt1 = opt0;
-  opt1.core_config.timing.mem_wait_states = 1;
+  rrm::Engine::Config cfg0;
+  cfg0.seed = io.seed(cfg0.seed);
+  rrm::Engine::Config cfg1 = cfg0;
+  cfg1.core_config.timing.mem_wait_states = 1;
+  rrm::Engine eng0(cfg0);
+  rrm::Engine eng1(cfg1);
+  rrm::Request proto;
+  proto.verify = false;
 
-  const auto base = rrm::run_suite(OptLevel::kBaseline, opt0);
-  const auto e0 = rrm::run_suite(OptLevel::kInputTiling, opt0);
-  const auto e1 = rrm::run_suite(OptLevel::kInputTiling, opt1);
+  const auto base = eng0.run_suite(OptLevel::kBaseline, proto);
+  const auto e0 = eng0.run_suite(OptLevel::kInputTiling, proto);
+  const auto e1 = eng1.run_suite(OptLevel::kInputTiling, proto);
   const auto pm = PowerModel::calibrate(activity_from_stats(base.total),
                                         activity_from_stats(e0.total));
   const double p_core = pm.power_mw(activity_from_stats(e0.total));
+
+  // Anchor the interpolation at its N=1 (zero-conflict) point against the
+  // cycle-accurate serving subsystem before trusting any scaled row.
+  const uint64_t measured = measured_one_core_suite_cycles(cfg0.seed);
+  const double anchor_err =
+      std::abs(static_cast<double>(measured) - static_cast<double>(e0.total_cycles)) /
+      static_cast<double>(e0.total_cycles);
+  std::printf("model anchor: analytic %llu cyc vs measured serving %llu cyc "
+              "(%.2f%% apart)\n\n",
+              static_cast<unsigned long long>(e0.total_cycles),
+              static_cast<unsigned long long>(measured), 100.0 * anchor_err);
+  RNNASIP_CHECK_MSG(anchor_err <= 0.15,
+                    "analytic cluster model drifted " << 100.0 * anchor_err
+                                                      << "% from measured serving run");
 
   const double banks = 16.0;
   AreaModel area;
   Table t({"cores", "E[wait]", "cyc/core (k)", "agg MMAC/s", "power mW", "GMAC/s/W",
            "kGE"});
+  obs::Json rows = obs::Json::array();
   for (int n : {1, 2, 4, 8, 16}) {
     const double ews = (n - 1) / (2.0 * banks);
     const double cycles =
@@ -55,10 +118,28 @@ int main() {
     t.add_row({std::to_string(n), fmt_double(ews, 3), fmt_double(cycles / 1000, 0),
                fmt_double(agg, 0), fmt_double(power, 2),
                fmt_double(gmac_per_s_per_w(agg, power), 0), fmt_double(kge, 0)});
+    obs::Json row = obs::Json::object();
+    row.set("cores", static_cast<uint64_t>(n));
+    row.set("expected_wait_states", ews);
+    row.set("cycles_per_core", cycles);
+    row.set("agg_mmac_per_s", agg);
+    row.set("power_mw", power);
+    row.set("gmac_per_s_per_w", gmac_per_s_per_w(agg, power));
+    rows.push(std::move(row));
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("Aggregate throughput scales near-linearly (2.3 GMAC/s at 4 cores,\n");
   std::printf("the DeltaRNN/FPGA class of Sec. II-A at microcontroller cost);\n");
   std::printf("efficiency erodes gently from bank contention and the interconnect.\n");
+
+  if (io.json_enabled()) {
+    obs::Json data = obs::Json::object();
+    data.set("seed", cfg0.seed);
+    data.set("analytic_one_core_cycles", e0.total_cycles);
+    data.set("measured_one_core_cycles", measured);
+    data.set("anchor_error", anchor_err);
+    data.set("rows", std::move(rows));
+    io.write_json("cluster", std::move(data));
+  }
   return 0;
 }

@@ -4,23 +4,28 @@
 // printed side by side with the paper's published numbers.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/common/table.h"
 #include "src/impl_model/impl_model.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 using namespace rnnasip;
 using namespace rnnasip::impl_model;
 using kernels::OptLevel;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::parse(argc, argv);
   std::printf("=====================================================================\n");
   std::printf("Sec. IV — core implementation results (GF22FDX, 0.65 V, 380 MHz)\n");
   std::printf("=====================================================================\n\n");
 
-  rrm::RunOptions opt;
-  opt.verify = false;
-  const auto base = rrm::run_suite(OptLevel::kBaseline, opt);
-  const auto ext = rrm::run_suite(OptLevel::kInputTiling, opt);
+  rrm::Engine::Config cfg;
+  cfg.seed = io.seed(cfg.seed);
+  rrm::Engine eng(cfg);
+  rrm::Request proto;
+  proto.verify = false;
+  const auto base = eng.run_suite(OptLevel::kBaseline, proto);
+  const auto ext = eng.run_suite(OptLevel::kInputTiling, proto);
 
   const auto a_base = activity_from_stats(base.total);
   const auto a_ext = activity_from_stats(ext.total);
@@ -85,5 +90,28 @@ int main() {
               en.to_string().c_str());
   std::printf("(RRM deadline context: all networks finish well inside the\n");
   std::printf(" millisecond-scale scheduling intervals cited in Sec. I.)\n");
+
+  if (io.json_enabled()) {
+    obs::Json data = obs::Json::object();
+    data.set("seed", eng.config().seed);
+    data.set("throughput_mmac_per_s_base", mm_base);
+    data.set("throughput_mmac_per_s_ext", mm_ext);
+    data.set("power_mw_base", p_base);
+    data.set("power_mw_ext", p_ext);
+    data.set("efficiency_gmac_per_s_per_w_base", eff_base);
+    data.set("efficiency_gmac_per_s_per_w_ext", eff_ext);
+    obs::Json nets = obs::Json::array();
+    for (const auto& r : ext.nets) {
+      const double p = pm.power_mw(activity_from_stats(r.stats));
+      obs::Json e = obs::Json::object();
+      e.set("name", r.name);
+      e.set("cycles", r.cycles);
+      e.set("latency_us", static_cast<double>(r.cycles) / 380.0);
+      e.set("energy_uj", energy_per_run_uj(r.cycles, p));
+      nets.push(std::move(e));
+    }
+    data.set("networks", std::move(nets));
+    io.write_json("core_results", std::move(data));
+  }
   return 0;
 }

@@ -13,7 +13,7 @@
 
 #include "bench/bench_io.h"
 #include "src/common/table.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 using namespace rnnasip;
 using kernels::OptLevel;
@@ -25,18 +25,22 @@ int main(int argc, char** argv) {
   std::printf("bound: any independent ALU/MUL/SIMD pairs with a preceding mem op)\n");
   std::printf("=====================================================================\n\n");
 
-  rrm::RunOptions single;
-  single.verify = false;
-  rrm::RunOptions dual = single;
-  dual.core_config.timing.dual_issue = true;
+  rrm::Engine::Config single_cfg;
+  single_cfg.seed = io.seed(single_cfg.seed);
+  rrm::Engine::Config dual_cfg = single_cfg;
+  dual_cfg.core_config.timing.dual_issue = true;
+  rrm::Engine single_eng(single_cfg);
+  rrm::Engine dual_eng(dual_cfg);
+  rrm::Request proto;
+  proto.verify = false;
 
   Table t({"level", "single kcyc", "dual kcyc", "dual gain", "speedup single",
            "speedup dual"});
   uint64_t base_single = 0;
   obs::Json levels_json = obs::Json::array();
   for (auto level : kernels::kAllOptLevels) {
-    const auto s = rrm::run_suite(level, single);
-    const auto d = rrm::run_suite(level, dual);
+    const auto s = single_eng.run_suite(level, proto);
+    const auto d = dual_eng.run_suite(level, proto);
     if (level == OptLevel::kBaseline) {
       base_single = s.total_cycles;
     }

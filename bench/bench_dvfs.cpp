@@ -5,24 +5,29 @@
 // hold.
 #include <cstdio>
 
+#include "bench/bench_io.h"
 #include "src/common/table.h"
 #include "src/impl_model/impl_model.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 using namespace rnnasip;
 using namespace rnnasip::impl_model;
 using kernels::OptLevel;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::parse(argc, argv);
   std::printf("=====================================================================\n");
   std::printf("Ablation — voltage/frequency scaling of the extended core\n");
   std::printf("(anchor: 0.65 V / 380 MHz, the paper's Sec. IV operating point)\n");
   std::printf("=====================================================================\n\n");
 
-  rrm::RunOptions opt;
-  opt.verify = false;
-  const auto base = rrm::run_suite(OptLevel::kBaseline, opt);
-  const auto ext = rrm::run_suite(OptLevel::kInputTiling, opt);
+  rrm::Engine::Config cfg;
+  cfg.seed = io.seed(cfg.seed);
+  rrm::Engine eng(cfg);
+  rrm::Request proto;
+  proto.verify = false;
+  const auto base = eng.run_suite(OptLevel::kBaseline, proto);
+  const auto ext = eng.run_suite(OptLevel::kInputTiling, proto);
   const auto pm = PowerModel::calibrate(activity_from_stats(base.total),
                                         activity_from_stats(ext.total));
   const double p_anchor = pm.power_mw(activity_from_stats(ext.total));
@@ -31,16 +36,35 @@ int main() {
 
   DvfsModel dvfs;
   Table t({"Vdd", "fmax MHz", "MMAC/s", "power mW", "GMAC/s/W", "suite latency us"});
+  obs::Json points = obs::Json::array();
   for (double v : {0.50, 0.55, 0.60, 0.65, 0.70, 0.80}) {
     const auto op = dvfs.point_at(v);
     if (op.freq_hz <= 0) continue;
     const double mmacs = mac_per_cycle * op.freq_hz * 1e-6;
     const double p = dvfs.scale_power_mw(p_anchor, v);
+    const double lat_us = static_cast<double>(ext.total_cycles) / (op.freq_hz * 1e-6);
     t.add_row({fmt_double(v, 2), fmt_double(op.freq_hz * 1e-6, 0), fmt_double(mmacs, 0),
                fmt_double(p, 2), fmt_double(gmac_per_s_per_w(mmacs, p), 0),
-               fmt_double(static_cast<double>(ext.total_cycles) / (op.freq_hz * 1e-6), 0)});
+               fmt_double(lat_us, 0)});
+    obs::Json e = obs::Json::object();
+    e.set("vdd", v);
+    e.set("fmax_mhz", op.freq_hz * 1e-6);
+    e.set("mmac_per_s", mmacs);
+    e.set("power_mw", p);
+    e.set("gmac_per_s_per_w", gmac_per_s_per_w(mmacs, p));
+    e.set("suite_latency_us", lat_us);
+    points.push(std::move(e));
   }
   std::printf("%s\n", t.to_string().c_str());
+  if (io.json_enabled()) {
+    obs::Json data = obs::Json::object();
+    data.set("seed", eng.config().seed);
+    data.set("base_total_cycles", base.total_cycles);
+    data.set("ext_total_cycles", ext.total_cycles);
+    data.set("mac_per_cycle", mac_per_cycle);
+    data.set("points", std::move(points));
+    io.write_json("dvfs", std::move(data));
+  }
   std::printf("Lower voltage buys efficiency quadratically while the whole RRM\n");
   std::printf("suite still fits comfortably inside a millisecond interval — the\n");
   std::printf("dense-deployment cost argument of Sec. I.\n");

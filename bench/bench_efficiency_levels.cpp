@@ -7,7 +7,7 @@
 #include "bench/bench_io.h"
 #include "src/common/table.h"
 #include "src/impl_model/impl_model.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 using namespace rnnasip;
 using namespace rnnasip::impl_model;
@@ -19,11 +19,14 @@ int main(int argc, char** argv) {
   std::printf("Ablation — throughput/power/efficiency per optimization level\n");
   std::printf("=====================================================================\n\n");
 
-  rrm::RunOptions opt;
-  opt.verify = false;
+  rrm::Engine::Config cfg;
+  cfg.seed = io.seed(cfg.seed);
+  rrm::Engine eng(cfg);
+  rrm::Request proto;
+  proto.verify = false;
 
   std::vector<rrm::SuiteResult> res;
-  for (auto level : kernels::kAllOptLevels) res.push_back(rrm::run_suite(level, opt));
+  for (auto level : kernels::kAllOptLevels) res.push_back(eng.run_suite(level, proto));
 
   const auto pm = PowerModel::calibrate(activity_from_stats(res.front().total),
                                         activity_from_stats(res.back().total));

@@ -16,8 +16,9 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_io.h"
 #include "src/common/table.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 using namespace rnnasip;
 using kernels::OptLevel;
@@ -52,7 +53,8 @@ RowStats summarize(const rrm::SuiteResult& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::parse(argc, argv);
   std::printf("=====================================================================\n");
   std::printf("SEU sweep — fault rate x target x opt level over the 10-net RRM suite\n");
   std::printf("=====================================================================\n\n");
@@ -63,14 +65,17 @@ int main() {
   const std::vector<double> rates = {1e-5, 1e-4, 1e-3};
   const std::vector<OptLevel> levels = {OptLevel::kXpulpSimd, OptLevel::kInputTiling};
 
-  rrm::RunOptions base;
+  rrm::Engine::Config cfg;
+  cfg.seed = io.seed(cfg.seed);
+  rrm::Engine eng(cfg);
+  rrm::Request base;
   base.timesteps = 2;
   base.verify = true;
 
   // Fault-free reference per level (also proves the suite itself verifies).
   std::printf("fault-free reference:\n");
   for (auto level : levels) {
-    const auto ref = rrm::run_suite(level, base);
+    const auto ref = eng.run_suite(level, base);
     std::printf("  level %c: %llu cycles, %d/10 completed, verified: %s\n",
                 kernels::opt_level_letter(level),
                 static_cast<unsigned long long>(ref.total_cycles), ref.nets_completed,
@@ -82,10 +87,10 @@ int main() {
   for (auto target : targets) {
     for (double rate : rates) {
       for (auto level : levels) {
-        rrm::RunOptions opt = base;
-        opt.fault.seed = 0x5EEDu + static_cast<uint64_t>(target) * 131;
-        opt.fault.rate_of(target) = rate;
-        const auto s = rrm::run_suite(level, opt);
+        rrm::Request req = base;
+        req.fault.seed = 0x5EEDu + static_cast<uint64_t>(target) * 131;
+        req.fault.rate_of(target) = rate;
+        const auto s = eng.run_suite(level, req);
         const RowStats r = summarize(s);
         const double avf =
             r.with_flips > 0 ? static_cast<double>(r.degraded) / r.with_flips : 0.0;
@@ -101,11 +106,11 @@ int main() {
   std::printf("%s\n", t.to_string().c_str());
 
   // Determinism: the same seed must reproduce the same campaign bit-exactly.
-  rrm::RunOptions det = base;
+  rrm::Request det = base;
   det.fault.rate_of(fault::Target::kInstr) = 1e-4;
   det.fault.rate_of(fault::Target::kTcdm) = 1e-4;
-  const auto a = rrm::run_suite(OptLevel::kInputTiling, det);
-  const auto b = rrm::run_suite(OptLevel::kInputTiling, det);
+  const auto a = eng.run_suite(OptLevel::kInputTiling, det);
+  const auto b = eng.run_suite(OptLevel::kInputTiling, det);
   bool same = a.faults_injected == b.faults_injected && a.total_cycles == b.total_cycles &&
               a.nets_completed == b.nets_completed && a.nets_degraded == b.nets_degraded;
   for (size_t i = 0; same && i < a.nets.size(); ++i) {

@@ -7,7 +7,7 @@
 
 #include "bench/bench_io.h"
 #include "src/common/table.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 using namespace rnnasip;
 using kernels::OptLevel;
@@ -20,11 +20,14 @@ int main(int argc, char** argv) {
   std::printf("large FC DQNs ([9],[11],[17]) highest; LSTMs gain from tanh/sig HW.\n");
   std::printf("=====================================================================\n\n");
 
-  rrm::RunOptions opt;
-  opt.verify = true;
+  rrm::Engine::Config cfg;
+  cfg.seed = io.seed(cfg.seed);
+  rrm::Engine eng(cfg);
+  rrm::Request proto;
+  proto.verify = true;
 
   std::map<OptLevel, rrm::SuiteResult> results;
-  for (auto level : kernels::kAllOptLevels) results.emplace(level, rrm::run_suite(level, opt));
+  for (auto level : kernels::kAllOptLevels) results.emplace(level, eng.run_suite(level, proto));
 
   Table t({"network", "ref", "type", "b (+Xpulp)", "c (+OutFM/act)", "d (+pl.sdot)",
            "e (+InFM)"});
@@ -56,14 +59,18 @@ int main(int argc, char** argv) {
   Table abl({"network", "SW act kcyc (lvl b)", "lvl b kcyc", "share", "lvl c act kcyc"});
   obs::Json abl_json = obs::Json::array();
   for (const char* name : {"challita17", "naparstek17"}) {
-    rrm::RrmNetwork net(rrm::find_network(name));
     // SW activation cycles: measured exactly by the observability layer —
     // the act_tanh/act_sig regions attribute every cycle spent inside the
     // generated routines (including their load-use stalls).
-    rrm::RunOptions obs_opt = opt;
-    obs_opt.observe = true;
-    const auto rb = rrm::run_network(net, OptLevel::kXpulpSimd, obs_opt);
-    const auto rc = rrm::run_network(net, OptLevel::kOutputTiling, opt);
+    rrm::Request req_b;
+    req_b.network = name;
+    req_b.level = OptLevel::kXpulpSimd;
+    req_b.observe = true;
+    rrm::Request req_c;
+    req_c.network = name;
+    req_c.level = OptLevel::kOutputTiling;
+    const auto rb = eng.run(req_b).result;
+    const auto rc = eng.run(req_c).result;
     uint64_t sw_act_cycles = 0;
     const auto inc = rb.obs->inclusive();
     for (size_t r = 0; r < rb.obs->map.size(); ++r) {

@@ -1,6 +1,7 @@
 #include "bench/bench_io.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -14,6 +15,13 @@ BenchIo BenchIo::parse(int& argc, char** argv) {
   for (int r = 1; r < argc; ++r) {
     if (std::strcmp(argv[r], "--json") == 0 && r + 1 < argc) {
       io.path_ = argv[++r];
+    } else if (std::strcmp(argv[r], "--trace") == 0 && r + 1 < argc) {
+      io.trace_path_ = argv[++r];
+    } else if (std::strcmp(argv[r], "--seed") == 0 && r + 1 < argc) {
+      io.seed_ = std::strtoull(argv[++r], nullptr, 0);
+      io.has_seed_ = true;
+    } else if (std::strcmp(argv[r], "--observe") == 0) {
+      io.observe_ = true;
     } else if (std::strcmp(argv[r], "--wall-time") == 0) {
       io.wall_time_ = true;
     } else {

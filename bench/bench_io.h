@@ -21,13 +21,23 @@ namespace rnnasip::bench {
 
 class BenchIo {
  public:
-  /// Strip the harness flags (--json <path>, --wall-time) from argv,
-  /// leaving the bench's own flags in place. argc/argv are edited in place.
+  /// Strip the harness flags (--json <path>, --wall-time, --observe,
+  /// --trace <path>, --seed <n>) from argv, leaving the bench's own flags
+  /// in place. argc/argv are edited in place.
   static BenchIo parse(int& argc, char** argv);
 
   bool json_enabled() const { return !path_.empty(); }
   bool wall_time() const { return wall_time_; }
   const std::string& path() const { return path_; }
+
+  /// --observe: attach the region profiler / print per-region rollups.
+  bool observe() const { return observe_; }
+  /// --trace <path>: Perfetto timeline destination ("" when absent).
+  const std::string& trace_path() const { return trace_path_; }
+  bool trace_enabled() const { return !trace_path_.empty(); }
+  /// --seed <n> (decimal or 0x hex), else `fallback`.
+  uint64_t seed(uint64_t fallback) const { return has_seed_ ? seed_ : fallback; }
+  bool has_seed() const { return has_seed_; }
 
   /// Write {"schema_version":..,"bench":name,"data":data} to path().
   /// No-op (returns false) when --json was not passed.
@@ -35,6 +45,10 @@ class BenchIo {
 
  private:
   std::string path_;
+  std::string trace_path_;
+  uint64_t seed_ = 0;
+  bool has_seed_ = false;
+  bool observe_ = false;
   bool wall_time_ = false;
 };
 

@@ -13,7 +13,7 @@
 
 #include "bench/bench_io.h"
 #include "src/common/table.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 using namespace rnnasip;
 using kernels::OptLevel;
@@ -27,13 +27,16 @@ int main(int argc, char** argv) {
   Table t({"wait states", "a kcyc", "e kcyc", "speedup e vs a", "b kcyc", "d kcyc"});
   obs::Json rows_json = obs::Json::array();
   for (uint32_t ws : {0u, 1u, 2u, 4u}) {
-    rrm::RunOptions opt;
-    opt.verify = false;
-    opt.core_config.timing.mem_wait_states = ws;
-    const auto a = rrm::run_suite(OptLevel::kBaseline, opt);
-    const auto b = rrm::run_suite(OptLevel::kXpulpSimd, opt);
-    const auto d = rrm::run_suite(OptLevel::kLoadCompute, opt);
-    const auto e = rrm::run_suite(OptLevel::kInputTiling, opt);
+    rrm::Engine::Config cfg;
+    cfg.seed = io.seed(cfg.seed);
+    cfg.core_config.timing.mem_wait_states = ws;
+    rrm::Engine eng(cfg);
+    rrm::Request proto;
+    proto.verify = false;
+    const auto a = eng.run_suite(OptLevel::kBaseline, proto);
+    const auto b = eng.run_suite(OptLevel::kXpulpSimd, proto);
+    const auto d = eng.run_suite(OptLevel::kLoadCompute, proto);
+    const auto e = eng.run_suite(OptLevel::kInputTiling, proto);
     t.add_row({std::to_string(ws), fmt_count(a.total_cycles / 1000),
                fmt_count(e.total_cycles / 1000),
                fmt_double(static_cast<double>(a.total_cycles) / e.total_cycles, 1) + "x",

@@ -10,7 +10,7 @@
 #include "src/kernels/network.h"
 #include "src/nn/init.h"
 #include "src/nn/quantize.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 using namespace rnnasip;
 
@@ -112,12 +112,13 @@ BENCHMARK(BM_GoldenLstmStep);
 
 void BM_SuiteNetworkEndToEnd(benchmark::State& state) {
   // Full build+run+verify of one mid-size network (suite-runner unit cost).
-  rrm::RrmNetwork net(rrm::find_network("nasir18"));
-  rrm::RunOptions opt;
-  opt.verify = true;
+  rrm::Engine eng;
+  rrm::Request req;
+  req.network = "nasir18";
+  req.level = kernels::OptLevel::kLoadCompute;
+  req.verify = true;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        rrm::run_network(net, kernels::OptLevel::kLoadCompute, opt));
+    benchmark::DoNotOptimize(eng.run(req));
   }
 }
 BENCHMARK(BM_SuiteNetworkEndToEnd);

@@ -1,0 +1,157 @@
+// Serving benchmark: the multi-core batched serving subsystem (src/serve)
+// under a seeded Poisson request stream over the full 10-network RRM suite.
+//
+// Sweeps cores x batch capacity x arrival rate at the paper's final
+// optimization level (e) and reports, per configuration:
+//   p50/p95/p99 request latency (cycles and us at the 500 MHz serving
+//   operating point — the repo's energy numbers use the 0.65 V/380 MHz
+//   anchor; serving quotes the paper's peak point), throughput, per-core
+//   utilization, batching efficiency (occupancy, padded lanes).
+//
+// Everything is simulated from real per-execution cycle counts on the
+// extended cores, so two runs with the same --seed produce byte-identical
+// JSON (--json BENCH_serving.json).
+//
+// The bench ends with the scaling acceptance check: at a saturating
+// arrival rate, 4 cores with batch capacity 4 must clear >= 3x the
+// throughput of the 1-core unbatched configuration on the same workload.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_io.h"
+#include "src/common/check.h"
+#include "src/common/table.h"
+#include "src/serve/scheduler.h"
+
+using namespace rnnasip;
+
+namespace {
+
+constexpr double kServeMhz = 500.0;  // paper's peak operating point
+
+struct SweepPoint {
+  int cores;
+  int batch;
+  double mean_interarrival;
+};
+
+serve::ServeResult run_point(const SweepPoint& p, uint64_t workload_seed,
+                             int requests, bool observe,
+                             std::vector<std::pair<std::string, uint64_t>>* regions) {
+  serve::ClusterConfig cc;
+  cc.cores = p.cores;
+  cc.level = kernels::OptLevel::kInputTiling;
+  cc.batch = p.batch;
+  cc.observe = observe;
+  std::vector<std::string> names;
+  for (const auto& def : rrm::rrm_suite()) names.push_back(def.name);
+  serve::Cluster cluster(cc, names);
+
+  serve::WorkloadConfig wc;
+  wc.networks = names;
+  wc.requests = requests;
+  wc.mean_interarrival_cycles = p.mean_interarrival;
+  wc.seed = workload_seed;
+  const auto workload = serve::make_poisson_workload(cluster, wc);
+
+  serve::Scheduler sched(&cluster,
+                         p.batch > 1 ? serve::Policy::kBatched : serve::Policy::kFifo);
+  auto r = sched.run(workload);
+  if (observe && regions) *regions = cluster.region_cycles();
+  return r;
+}
+
+double mean_utilization(const serve::ServeResult& r) {
+  double sum = 0;
+  for (int c = 0; c < r.cores; ++c) sum += r.utilization(c);
+  return sum / r.cores;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::parse(argc, argv);
+  const uint64_t seed = io.seed(0x5EED);
+  const int requests = 96;
+
+  std::printf("=====================================================================\n");
+  std::printf("Serving — multi-core batched inference over the 10-net RRM suite\n");
+  std::printf("Level e programs, Poisson arrivals (seed 0x%llx), %d requests,\n",
+              static_cast<unsigned long long>(seed), requests);
+  std::printf("latencies at the %d MHz serving point\n", static_cast<int>(kServeMhz));
+  std::printf("=====================================================================\n\n");
+
+  const std::vector<SweepPoint> sweep = {
+      {1, 1, 2'000},  {1, 4, 2'000},  {2, 1, 2'000},  {2, 4, 2'000},
+      {4, 1, 2'000},  {4, 4, 2'000},  {1, 1, 50'000}, {1, 4, 50'000},
+      {2, 4, 50'000}, {4, 4, 50'000},
+  };
+
+  // Markdown table (stdout) + JSON rows share one pass over the sweep.
+  std::printf(
+      "| cores | B | interarrival | p50 us | p95 us | p99 us | req/s | util | "
+      "occupancy |\n");
+  std::printf("| ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: |\n");
+
+  obs::Json rows = obs::Json::array();
+  const double cyc_to_us = 1.0 / kServeMhz;
+  serve::ServeResult base_1c, fast_4c;
+  for (const auto& p : sweep) {
+    const auto r = run_point(p, seed, requests, false, nullptr);
+    if (p.cores == 1 && p.batch == 1 && p.mean_interarrival == 2'000) base_1c = r;
+    if (p.cores == 4 && p.batch == 4 && p.mean_interarrival == 2'000) fast_4c = r;
+    std::printf("| %d | %d | %.0f | %.1f | %.1f | %.1f | %.0f | %.2f | %.2f |\n",
+                p.cores, p.batch, p.mean_interarrival,
+                static_cast<double>(r.latency_percentile(50)) * cyc_to_us,
+                static_cast<double>(r.latency_percentile(95)) * cyc_to_us,
+                static_cast<double>(r.latency_percentile(99)) * cyc_to_us,
+                r.throughput_per_s(kServeMhz), mean_utilization(r),
+                r.batch_occupancy());
+    obs::Json row = obs::Json::object();
+    row.set("cores", static_cast<uint64_t>(p.cores));
+    row.set("batch", static_cast<uint64_t>(p.batch));
+    row.set("mean_interarrival_cycles", p.mean_interarrival);
+    row.set("result", serve::serve_result_to_json(r, kServeMhz));
+    rows.push(std::move(row));
+  }
+  std::printf("\n");
+
+  // Region rollup across every execution of the saturated 4x4 point.
+  if (io.observe()) {
+    std::vector<std::pair<std::string, uint64_t>> regions;
+    (void)run_point({4, 4, 2'000}, seed, requests, true, &regions);
+    std::printf("Region cycles aggregated over the 4-core B=4 serving run:\n");
+    Table rt({"region", "kcycles"});
+    for (const auto& [name, cycles] : regions) {
+      rt.add_row({name, fmt_double(static_cast<double>(cycles) / 1000.0, 1)});
+    }
+    std::printf("%s\n", rt.to_string().c_str());
+  }
+
+  // Acceptance: 4 cores batched must be >= 3x the 1-core unbatched
+  // throughput on the same saturating workload (same completed requests, so
+  // the throughput ratio is the makespan ratio).
+  RNNASIP_CHECK(base_1c.makespan > 0 && fast_4c.makespan > 0);
+  const double speedup = static_cast<double>(base_1c.makespan) /
+                         static_cast<double>(fast_4c.makespan);
+  std::printf("4-core B=4 batched vs 1-core unbatched throughput: %.2fx\n", speedup);
+  RNNASIP_CHECK_MSG(speedup >= 3.0,
+                    "serving scaling regressed: " << speedup << "x < 3x");
+
+  if (io.json_enabled()) {
+    obs::Json data = obs::Json::object();
+    data.set("seed", seed);
+    data.set("mhz", kServeMhz);
+    data.set("requests", static_cast<uint64_t>(requests));
+    data.set("rows", std::move(rows));
+    obs::Json acc = obs::Json::object();
+    acc.set("base_makespan", base_1c.makespan);
+    acc.set("fast_makespan", fast_4c.makespan);
+    acc.set("speedup", speedup);
+    data.set("acceptance", std::move(acc));
+    io.write_json("serving", std::move(data));
+  }
+  return 0;
+}

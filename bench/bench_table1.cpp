@@ -14,7 +14,7 @@
 #include "src/common/table.h"
 #include "src/obs/report.h"
 #include "src/obs/trace_export.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 using namespace rnnasip;
 
@@ -62,28 +62,28 @@ void print_level(const rrm::SuiteResult& s, const rrm::SuiteResult& base,
 int main(int argc, char** argv) {
   const auto io = bench::BenchIo::parse(argc, argv);
   bool per_net = false;
-  bool observe = false;
-  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
-    const std::string_view a = argv[i];
-    if (a == "--per-net") per_net = true;
-    else if (a == "--observe") observe = true;
-    else if (a == "--trace" && i + 1 < argc) trace_path = argv[++i];
+    if (std::string_view(argv[i]) == "--per-net") per_net = true;
   }
+  const bool observe = io.observe();
+  const std::string trace_path = io.trace_path();
   std::printf("==============================================================\n");
   std::printf("Table I — cycle and instruction count optimizations, RRM suite\n");
   std::printf("Paper:    a) 14'683 kcyc  b) 3'323  c) 1'756  d) 1'028  e) 980\n");
   std::printf("Paper:    speedups 1x / 4.4x / 8.4x / 14.3x / 15.0x\n");
   std::printf("==============================================================\n\n");
 
-  rrm::RunOptions opt;
-  opt.verify = true;
-  opt.observe = observe || !trace_path.empty();
-  opt.timeline = !trace_path.empty();
+  rrm::Engine::Config cfg;
+  cfg.seed = io.seed(cfg.seed);
+  rrm::Engine eng(cfg);
+  rrm::Request proto;
+  proto.verify = true;
+  proto.observe = observe || !trace_path.empty();
+  proto.timeline = !trace_path.empty();
 
   std::vector<rrm::SuiteResult> results;
   for (auto level : kernels::kAllOptLevels) {
-    results.push_back(rrm::run_suite(level, opt));
+    results.push_back(eng.run_suite(level, proto));
     if (!results.back().all_verified) {
       std::printf("ERROR: level %c outputs did not verify against golden model\n",
                   kernels::opt_level_letter(level));
@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
                 results.back().total.to_csv().c_str());
   }
 
-  if (opt.observe) {
+  if (proto.observe) {
     // Region roll-up and stall taxonomy of the final (fully optimized) level.
     const auto& final_suite = results.back();
     std::printf("\nStall taxonomy, level e:\n%s\n",

@@ -8,7 +8,7 @@
 
 #include "src/common/table.h"
 #include "src/impl_model/impl_model.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 using namespace rnnasip;
 using namespace rnnasip::impl_model;
@@ -17,10 +17,11 @@ using kernels::OptLevel;
 int main(int argc, char** argv) {
   const double tti_us = argc > 1 ? std::atof(argv[1]) : 1000.0;
 
-  rrm::RunOptions opt;
-  opt.verify = false;
-  const auto base = rrm::run_suite(OptLevel::kBaseline, opt);
-  const auto ext = rrm::run_suite(OptLevel::kInputTiling, opt);
+  rrm::Engine eng;
+  rrm::Request proto;
+  proto.verify = false;
+  const auto base = eng.run_suite(OptLevel::kBaseline, proto);
+  const auto ext = eng.run_suite(OptLevel::kInputTiling, proto);
   const auto pm =
       PowerModel::calibrate(activity_from_stats(base.total), activity_from_stats(ext.total));
 

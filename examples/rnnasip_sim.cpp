@@ -15,7 +15,7 @@
 #include <string>
 
 #include "src/iss/trace.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 using namespace rnnasip;
 
@@ -107,12 +107,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  rrm::RunOptions opt;
-  opt.timesteps = timesteps;
-  opt.max_tile = max_tile;
-  opt.verify = verify;
-  opt.core_config.timing.mem_wait_states = wait_states;
-  const auto r = rrm::run_network(net, level, opt);
+  rrm::Engine::Config cfg;
+  cfg.max_tile = max_tile;
+  cfg.core_config.timing.mem_wait_states = wait_states;
+  rrm::Engine eng(cfg);
+  rrm::Request req;
+  req.network = name;
+  req.level = level;
+  req.timesteps = timesteps;
+  req.verify = verify;
+  const auto r = eng.run(req).result;
 
   std::printf("%s (%s, %s) at level %c: %llu instrs, %llu cycles over %d step(s)\n",
               name.c_str(), net.def().reference.c_str(), net.def().type.c_str(),

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf-diff gate: compare a bench JSON against its blessed baseline.
+
+Usage:  bench_diff.py <baseline.json> <current.json> [--tolerance 0.005]
+
+Both files are BenchIo envelopes ({"schema_version", "bench", "data"}).
+The compared metrics depend on the bench:
+
+  table1  per-level suite total cycles and cumulative speedup
+  table2  inner-loop body cycles of both kernels and their speedup
+
+Any relative drift beyond the tolerance (default 0.5%) fails with a
+per-metric report. The simulator is deterministic, so in practice any
+drift at all is a real schedule/timing change — the tolerance only
+absorbs intentional sub-noise tweaks blessed without regenerating.
+"""
+
+import argparse
+import json
+import sys
+
+
+def rel_drift(base, cur):
+    if base == 0:
+        return 0.0 if cur == 0 else float("inf")
+    return abs(cur - base) / abs(base)
+
+
+def metrics_table1(data):
+    out = {}
+    for level in data["levels"]:
+        name = level["level"]
+        out[f"level {name} suite cycles"] = level["suite"]["total_cycles"]
+        out[f"level {name} speedup"] = level["speedup"]
+    return out
+
+
+def metrics_table2(data):
+    return {
+        "left body cycles": data["left"]["body_cycles"],
+        "right body cycles": data["right"]["body_cycles"],
+        "speedup": data["speedup"],
+    }
+
+
+EXTRACTORS = {"table1": metrics_table1, "table2": metrics_table2}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.005,
+                    help="max relative drift per metric (default 0.5%%)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    for env, path in ((base, args.baseline), (cur, args.current)):
+        if "bench" not in env or "data" not in env:
+            sys.exit(f"{path}: not a BenchIo envelope")
+    if base["bench"] != cur["bench"]:
+        sys.exit(f"bench mismatch: baseline is {base['bench']!r}, "
+                 f"current is {cur['bench']!r}")
+    name = base["bench"]
+    if name not in EXTRACTORS:
+        sys.exit(f"no perf-diff rules for bench {name!r} "
+                 f"(known: {', '.join(sorted(EXTRACTORS))})")
+
+    bm = EXTRACTORS[name](base["data"])
+    cm = EXTRACTORS[name](cur["data"])
+    missing = sorted(set(bm) - set(cm))
+    if missing:
+        sys.exit(f"current run is missing metrics: {', '.join(missing)}")
+
+    failures = []
+    for key, bval in bm.items():
+        cval = cm[key]
+        drift = rel_drift(bval, cval)
+        status = "FAIL" if drift > args.tolerance else "ok"
+        print(f"  [{status}] {key}: baseline {bval:g}, current {cval:g} "
+              f"({100.0 * drift:.3f}% drift)")
+        if drift > args.tolerance:
+            failures.append(key)
+
+    if failures:
+        print(f"\n{name}: {len(failures)} metric(s) drifted more than "
+              f"{100.0 * args.tolerance:.2f}%: {', '.join(failures)}",
+              file=sys.stderr)
+        print("If the change is intentional, regenerate the blessed file:\n"
+              f"  ./build/bench/bench_{name} --json bench/baselines/"
+              f"BENCH_{name}.json", file=sys.stderr)
+        return 1
+    print(f"{name}: all {len(bm)} metrics within "
+          f"{100.0 * args.tolerance:.2f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

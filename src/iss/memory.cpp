@@ -21,8 +21,28 @@ namespace {
 
 Memory::Memory(uint32_t size, uint32_t base) : base_(base), bytes_(size, 0) {}
 
-void Memory::check_range(uint32_t addr, uint32_t n, uint32_t align,
-                         bool is_store) const {
+const uint8_t* Memory::resolve(uint32_t addr, uint32_t n, uint32_t align,
+                               bool is_store) const {
+  for (const Segment& seg : segments_) {
+    if (addr >= seg.base && addr - seg.base < seg.size) {
+      // The whole access must fit: generated programs never straddle a
+      // segment boundary, so a spill is a mapping bug worth trapping on.
+      if (addr - seg.base + n > seg.size) {
+        throw_mem_trap(TrapCause::kMemOutOfRange, "access straddles shared segment",
+                       addr, n, align, is_store);
+      }
+      if ((addr & (align - 1)) != 0) {
+        throw_mem_trap(TrapCause::kMemMisaligned, "misaligned access", addr, n,
+                       align, is_store);
+      }
+      if (is_store && seg.read_only) {
+        throw_mem_trap(TrapCause::kMemWriteProtected,
+                       "store into read-only shared segment", addr, n, align,
+                       is_store);
+      }
+      return seg.data->data() + (addr - seg.base);
+    }
+  }
   if (!(addr >= base_ && addr - base_ + n <= bytes_.size())) {
     throw_mem_trap(TrapCause::kMemOutOfRange, "memory access out of range", addr, n,
                    align, is_store);
@@ -31,76 +51,94 @@ void Memory::check_range(uint32_t addr, uint32_t n, uint32_t align,
     throw_mem_trap(TrapCause::kMemMisaligned, "misaligned access", addr, n, align,
                    is_store);
   }
+  return bytes_.data() + (addr - base_);
 }
 
-uint8_t Memory::load8(uint32_t addr) const {
-  check_range(addr, 1, 1, false);
-  return bytes_[addr - base_];
+uint8_t* Memory::resolve_mut(uint32_t addr, uint32_t n, uint32_t align,
+                             bool is_store) {
+  return const_cast<uint8_t*>(resolve(addr, n, align, is_store));
 }
+
+uint8_t Memory::load8(uint32_t addr) const { return *resolve(addr, 1, 1, false); }
 
 uint16_t Memory::load16(uint32_t addr) const {
-  check_range(addr, 2, 2, false);
   uint16_t v;
-  std::memcpy(&v, &bytes_[addr - base_], 2);
+  std::memcpy(&v, resolve(addr, 2, 2, false), 2);
   return v;
 }
 
 uint32_t Memory::load32(uint32_t addr) const {
-  check_range(addr, 4, 4, false);
   uint32_t v;
-  std::memcpy(&v, &bytes_[addr - base_], 4);
+  std::memcpy(&v, resolve(addr, 4, 4, false), 4);
   return v;
 }
 
-void Memory::store8(uint32_t addr, uint8_t v) {
-  check_range(addr, 1, 1, true);
-  bytes_[addr - base_] = v;
-}
+void Memory::store8(uint32_t addr, uint8_t v) { *resolve_mut(addr, 1, 1, true) = v; }
 
 void Memory::store16(uint32_t addr, uint16_t v) {
-  check_range(addr, 2, 2, true);
-  std::memcpy(&bytes_[addr - base_], &v, 2);
+  std::memcpy(resolve_mut(addr, 2, 2, true), &v, 2);
 }
 
 void Memory::store32(uint32_t addr, uint32_t v) {
-  check_range(addr, 4, 4, true);
-  std::memcpy(&bytes_[addr - base_], &v, 4);
+  std::memcpy(resolve_mut(addr, 4, 4, true), &v, 4);
 }
 
 void Memory::write_block(uint32_t addr, std::span<const uint8_t> data) {
-  check_range(addr, static_cast<uint32_t>(data.size()), 1, true);
-  std::copy(data.begin(), data.end(), bytes_.begin() + (addr - base_));
+  uint8_t* dst = resolve_mut(addr, static_cast<uint32_t>(data.size()), 1, true);
+  std::copy(data.begin(), data.end(), dst);
 }
 
 void Memory::write_words(uint32_t addr, std::span<const uint32_t> words) {
-  check_range(addr, static_cast<uint32_t>(words.size() * 4), 4, true);
-  std::memcpy(&bytes_[addr - base_], words.data(), words.size() * 4);
+  std::memcpy(resolve_mut(addr, static_cast<uint32_t>(words.size() * 4), 4, true),
+              words.data(), words.size() * 4);
 }
 
 void Memory::write_halves(uint32_t addr, std::span<const int16_t> halves) {
-  check_range(addr, static_cast<uint32_t>(halves.size() * 2), 2, true);
-  std::memcpy(&bytes_[addr - base_], halves.data(), halves.size() * 2);
+  std::memcpy(resolve_mut(addr, static_cast<uint32_t>(halves.size() * 2), 2, true),
+              halves.data(), halves.size() * 2);
 }
 
 std::vector<int16_t> Memory::read_halves(uint32_t addr, size_t count) const {
-  check_range(addr, static_cast<uint32_t>(count * 2), 2, false);
   std::vector<int16_t> out(count);
-  std::memcpy(out.data(), &bytes_[addr - base_], count * 2);
+  std::memcpy(out.data(), resolve(addr, static_cast<uint32_t>(count * 2), 2, false),
+              count * 2);
   return out;
 }
 
 std::vector<int32_t> Memory::read_words_signed(uint32_t addr, size_t count) const {
-  check_range(addr, static_cast<uint32_t>(count * 4), 4, false);
   std::vector<int32_t> out(count);
-  std::memcpy(out.data(), &bytes_[addr - base_], count * 4);
+  std::memcpy(out.data(), resolve(addr, static_cast<uint32_t>(count * 4), 4, false),
+              count * 4);
   return out;
 }
 
 void Memory::clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
 
 void Memory::flip_bit(uint32_t addr, uint32_t bit) {
-  check_range(addr, 1, 1, true);
-  bytes_[addr - base_] ^= static_cast<uint8_t>(1u << (bit & 7));
+  // is_store=false: an SEU does not respect write protection.
+  const uint8_t* p = resolve(addr, 1, 1, false);
+  *const_cast<uint8_t*>(p) ^= static_cast<uint8_t>(1u << (bit & 7));
 }
+
+void Memory::map_segment(uint32_t seg_base,
+                         std::shared_ptr<std::vector<uint8_t>> data,
+                         bool read_only) {
+  Segment seg;
+  seg.base = seg_base;
+  seg.size = static_cast<uint32_t>(data->size());
+  seg.data = std::move(data);
+  seg.read_only = read_only;
+  for (const Segment& other : segments_) {
+    const bool disjoint =
+        seg.base + seg.size <= other.base || other.base + other.size <= seg.base;
+    if (!disjoint) {
+      throw TrapException(TrapCause::kMemOutOfRange, seg.base,
+                          "shared segment overlaps an existing mapping");
+    }
+  }
+  segments_.push_back(std::move(seg));
+}
+
+void Memory::unmap_segments() { segments_.clear(); }
 
 }  // namespace rnnasip::iss

@@ -5,9 +5,16 @@
 // wait states, so the memory model is a flat little-endian byte array.
 // Misaligned accesses trap — the generated kernels keep natural alignment,
 // and trapping catches generator bugs immediately.
+//
+// Multi-core clusters (src/serve) additionally map shared segments: a
+// window of the address space backed by storage owned jointly with other
+// Memory instances (weights loaded once, visible from every core). A
+// read-only segment turns any store into a kMemWriteProtected trap, which
+// is how the cluster enforces that no core can scribble on shared weights.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -38,20 +45,44 @@ class Memory {
   std::vector<int16_t> read_halves(uint32_t addr, size_t count) const;
   std::vector<int32_t> read_words_signed(uint32_t addr, size_t count) const;
 
-  /// Zero everything (fresh run on a reused image).
+  /// Zero the private flat storage (fresh run on a reused image). Shared
+  /// segments are left untouched — they belong to every mapping.
   void clear();
 
   /// Fault injection: XOR one bit of the byte at `addr` (bit in [0, 8)).
+  /// Models a particle strike, so it ignores read-only protection.
   void flip_bit(uint32_t addr, uint32_t bit);
 
+  /// Map `data` at [seg_base, seg_base + data->size()), shadowing the flat
+  /// storage there. The backing is shared: mapping the same vector into
+  /// several Memory instances aliases it across cores. An access that
+  /// starts inside a segment must fit entirely within it; with
+  /// `read_only`, stores into the segment trap with kMemWriteProtected.
+  void map_segment(uint32_t seg_base, std::shared_ptr<std::vector<uint8_t>> data,
+                   bool read_only);
+  /// Drop every mapped segment (the flat storage reappears underneath).
+  void unmap_segments();
+  size_t segment_count() const { return segments_.size(); }
+
  private:
+  struct Segment {
+    uint32_t base = 0;
+    uint32_t size = 0;
+    std::shared_ptr<std::vector<uint8_t>> data;
+    bool read_only = false;
+  };
+
   /// Traps (TrapException) with the faulting address, access size, and
-  /// read/write direction on an out-of-range or misaligned access.
-  void check_range(uint32_t addr, uint32_t bytes, uint32_t align,
-                   bool is_store) const;
+  /// read/write direction on an out-of-range, misaligned, or
+  /// write-protected access. Returns the host pointer for `addr`.
+  const uint8_t* resolve(uint32_t addr, uint32_t bytes, uint32_t align,
+                         bool is_store) const;
+  uint8_t* resolve_mut(uint32_t addr, uint32_t bytes, uint32_t align,
+                       bool is_store);
 
   uint32_t base_;
   std::vector<uint8_t> bytes_;
+  std::vector<Segment> segments_;
 };
 
 }  // namespace rnnasip::iss

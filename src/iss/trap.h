@@ -22,6 +22,7 @@ enum class TrapCause : uint8_t {
   kIllegalInstruction, ///< fetched word does not decode
   kMemOutOfRange,      ///< access outside [base, base+size)
   kMemMisaligned,      ///< access not naturally aligned
+  kMemWriteProtected,  ///< store into a read-only shared segment
   kCsrUnimplemented,   ///< CSR number outside the implemented set
   kCsrReadOnly,        ///< write to a read-only CSR
   kIsaGateXpulp,       ///< Xpulp instruction with has_xpulp = false
@@ -37,6 +38,7 @@ inline const char* trap_cause_name(TrapCause c) {
     case TrapCause::kIllegalInstruction: return "illegal-instruction";
     case TrapCause::kMemOutOfRange: return "mem-out-of-range";
     case TrapCause::kMemMisaligned: return "mem-misaligned";
+    case TrapCause::kMemWriteProtected: return "mem-write-protected";
     case TrapCause::kCsrUnimplemented: return "csr-unimplemented";
     case TrapCause::kCsrReadOnly: return "csr-read-only";
     case TrapCause::kIsaGateXpulp: return "isa-gate-xpulp";

@@ -1,5 +1,7 @@
 #include "src/kernels/fc_batch.h"
 
+#include <string>
+
 #include "src/common/check.h"
 
 namespace rnnasip::kernels {
@@ -146,6 +148,23 @@ void emit_fc_batch(ProgramBuilder& b, const FcBatchLayout& L,
                     "batched kernel builds on shared loads (level c+)");
   RNNASIP_CHECK(L.fc.cin % 2 == 0);
   RNNASIP_CHECK_MSG(2 * L.fc.cin <= 2047, "weight row exceeds addi range");
+
+  // Levels d/e: the fused SPR weight stream beats any cross-sample
+  // plain-load tile (see fc_batch.h) — run each lane on the single-sample
+  // schedule instead.
+  if (opt.level >= OptLevel::kLoadCompute) {
+    for (int s = 0; s < L.batch; ++s) {
+      FcLayout single = L.fc;
+      single.x_addr = L.x_addr + static_cast<uint32_t>(2 * s * L.fc.cin);
+      single.o_addr = L.o_addr + static_cast<uint32_t>(2 * s * L.fc.cout);
+      FcEmitOptions fo;
+      fo.level = opt.level;
+      fo.max_tile = opt.max_single_tile;
+      emit_fc(b, single, fo);
+    }
+    return;
+  }
+
   const auto [n, bt] = fc_batch_tile(L, opt);
 
   const int groups = L.batch / bt;
@@ -202,10 +221,58 @@ void emit_fc_batch(ProgramBuilder& b, const FcBatchLayout& L,
     single.o_addr = L.o_addr + static_cast<uint32_t>(2 * s * L.fc.cout);
     FcEmitOptions fo;
     fo.level = opt.level;
-    fo.max_tile = 8;
+    fo.max_tile = opt.max_single_tile;
     emit_fc(b, single, fo);
   }
 
+}
+
+BatchedFcNet build_fc_batch_network(iss::Memory* mem,
+                                    std::span<const nn::FcParamsQ* const> layers,
+                                    int batch, OptLevel level,
+                                    uint32_t param_base) {
+  RNNASIP_CHECK(!layers.empty());
+  RNNASIP_CHECK_MSG(batch >= 2, "batched network needs batch >= 2");
+  DeviceAllocator alloc(mem, kDataBase);
+  if (param_base != 0) alloc.set_param_base(param_base);
+  ProgramBuilder b(kTextBase);
+  obs::RegionRecorder regions;
+  const int root = regions.open("network", obs::RegionKind::kNetwork, b.position());
+
+  BatchedFcNet net;
+  net.batch = batch;
+  net.input_count = layers.front()->w.cols;
+  int cur_count = net.input_count;
+  uint32_t cur_addr =
+      alloc.alloc(2u * static_cast<uint32_t>(batch) * static_cast<uint32_t>(cur_count), 4);
+  net.input_addr = cur_addr;
+  int layer_idx = 0;
+  for (const nn::FcParamsQ* p : layers) {
+    RNNASIP_CHECK_MSG(p->w.cols == cur_count, "batched layer input size mismatch");
+    const uint32_t out_addr = alloc.alloc(
+        2u * static_cast<uint32_t>(batch) * static_cast<uint32_t>(p->w.rows), 4);
+    const FcBatchLayout L = alloc_fc_batch(alloc, *p, batch, cur_addr, out_addr);
+    FcBatchEmitOptions opt;
+    opt.level = level;
+    obs::Region region(&regions, b, "fc" + std::to_string(layer_idx++),
+                       obs::RegionKind::kLayer);
+    emit_fc_batch(b, L, opt);
+    cur_addr = out_addr;
+    cur_count = p->w.rows;
+    net.nominal_macs += static_cast<uint64_t>(p->w.cols) * p->w.rows * batch;
+  }
+  b.ebreak();
+  regions.close(root, b.position());
+  net.output_addr = cur_addr;
+  net.output_count = cur_count;
+  net.data_bytes = alloc.bytes_used();
+  if (alloc.split()) {
+    net.param_base = alloc.param_base();
+    net.param_bytes = alloc.param_bytes_used();
+  }
+  net.program = b.build();
+  net.regions = regions.finish(net.program.instrs.size());
+  return net;
 }
 
 }  // namespace rnnasip::kernels

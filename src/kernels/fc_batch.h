@@ -38,14 +38,54 @@ struct FcBatchEmitOptions {
   OptLevel level = OptLevel::kOutputTiling;
   int max_out_tile = 4;
   int max_batch_tile = 4;
+  /// Output tile of the per-sample schedule used at levels d/e (below).
+  int max_single_tile = 8;
 };
 
 /// Emit the batched matvec. Requires cin even.
+///
+/// The cross-sample (N x B) tile only pays off while weight loads are
+/// explicit instructions (level c): each loaded word then feeds B sdots.
+/// From level d on, pl.sdotsp.h streams weights through the SPRs — the
+/// load is fused into the MAC and consumed exactly once, so there is
+/// nothing left for a batch dimension to amortize (an N x B plain-load
+/// tile is strictly slower than the fused schedule within the 26-register
+/// file). At levels d/e this therefore emits the fused single-sample
+/// schedule once per batch lane: batched cost == B sequential runs, and
+/// per-sample results stay trivially bit-exact.
 void emit_fc_batch(assembler::ProgramBuilder& b, const FcBatchLayout& layout,
                    const FcBatchEmitOptions& opt);
 
 /// The (output, batch) tile the emitter will use.
 std::pair<int, int> fc_batch_tile(const FcBatchLayout& layout,
                                   const FcBatchEmitOptions& opt);
+
+/// A whole FC-only network as one batched program: every layer is an
+/// emit_fc_batch over batch-major activation buffers, ending in ebreak.
+/// Samples are independent, and the batched kernel keeps the unbatched
+/// accumulation order, so per-sample outputs are bit-exact vs the
+/// single-sample program. Built by the serving cluster (src/serve) to
+/// coalesce same-network requests.
+struct BatchedFcNet {
+  assembler::Program program;
+  obs::RegionMap regions;     ///< network -> fc layers, as in BuiltNetwork
+  uint32_t input_addr = 0;    ///< batch x input_count halfwords, batch-major
+  int input_count = 0;        ///< per sample
+  uint32_t output_addr = 0;   ///< batch x output_count halfwords
+  int output_count = 0;       ///< per sample
+  int batch = 1;
+  uint64_t nominal_macs = 0;  ///< per batched execution (all samples)
+  uint32_t data_bytes = 0;    ///< buffer-region footprint
+  uint32_t param_base = 0;    ///< parameter region (split builds), else 0
+  uint32_t param_bytes = 0;
+};
+
+/// Build the batched program for a stack of FC layers (batch >= 2; each
+/// layer's cin must match the previous layer's cout). `param_base` != 0
+/// splits parameters from buffers as in NetworkProgramBuilder.
+BatchedFcNet build_fc_batch_network(iss::Memory* mem,
+                                    std::span<const nn::FcParamsQ* const> layers,
+                                    int batch, OptLevel level,
+                                    uint32_t param_base = 0);
 
 }  // namespace rnnasip::kernels

@@ -10,30 +10,49 @@ DeviceAllocator::DeviceAllocator(iss::Memory* mem, uint32_t base)
   RNNASIP_CHECK(base >= mem->base());
 }
 
+void DeviceAllocator::set_param_base(uint32_t param_base) {
+  RNNASIP_CHECK_MSG(cursor_ == base_ && param_base != 0,
+                    "set_param_base must precede the first allocation");
+  param_base_ = param_base;
+  param_cursor_ = param_base;
+}
+
 uint32_t DeviceAllocator::alloc(uint32_t bytes, uint32_t align) {
   RNNASIP_CHECK(align != 0 && (align & (align - 1)) == 0);
   cursor_ = (cursor_ + align - 1) & ~(align - 1);
   const uint32_t addr = cursor_;
   RNNASIP_CHECK_MSG(addr + bytes <= mem_->base() + mem_->size(),
                     "device data memory exhausted");
+  RNNASIP_CHECK_MSG(param_base_ == 0 || addr + bytes <= param_base_,
+                    "buffer region ran into the parameter region");
   cursor_ += bytes;
   return addr;
 }
 
+uint32_t DeviceAllocator::alloc_param(uint32_t bytes) {
+  if (param_base_ == 0) return alloc(bytes, 4);
+  param_cursor_ = (param_cursor_ + 3) & ~3u;
+  const uint32_t addr = param_cursor_;
+  RNNASIP_CHECK_MSG(addr + bytes <= mem_->base() + mem_->size(),
+                    "device parameter memory exhausted");
+  param_cursor_ += bytes;
+  return addr;
+}
+
 uint32_t DeviceAllocator::alloc_halves(std::span<const int16_t> data, uint32_t slack_bytes) {
-  const uint32_t addr = alloc(static_cast<uint32_t>(data.size() * 2) + slack_bytes, 4);
+  const uint32_t addr = alloc_param(static_cast<uint32_t>(data.size() * 2) + slack_bytes);
   mem_->write_halves(addr, data);
   return addr;
 }
 
 uint32_t DeviceAllocator::alloc_bytes(std::span<const uint8_t> data, uint32_t slack_bytes) {
-  const uint32_t addr = alloc(static_cast<uint32_t>(data.size()) + slack_bytes, 4);
+  const uint32_t addr = alloc_param(static_cast<uint32_t>(data.size()) + slack_bytes);
   mem_->write_block(addr, data);
   return addr;
 }
 
 uint32_t DeviceAllocator::alloc_words(std::span<const uint32_t> data) {
-  const uint32_t addr = alloc(static_cast<uint32_t>(data.size() * 4), 4);
+  const uint32_t addr = alloc_param(static_cast<uint32_t>(data.size() * 4));
   mem_->write_words(addr, data);
   return addr;
 }

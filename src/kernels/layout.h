@@ -5,6 +5,14 @@
 //   0x0001'0000… data: weights, biases, activation LUTs, layer buffers
 // Weight allocations carry 8 bytes of slack because the pl.sdotsp.h SPR
 // prefetch reads one word past the last weight pair of the final tile.
+//
+// Split mode (set_param_base): the filled allocations (alloc_halves /
+// alloc_bytes / alloc_words — weights, biases, LUTs, every read-only
+// constant) land in a separate parameter region while plain alloc() keeps
+// serving the mutable buffers (activations, recurrent state, scratch,
+// I/O). The serving cluster (src/serve) builds networks this way so the
+// parameter region can be shared read-only across cores while each core
+// keeps private buffers. Unsplit builds are byte-identical to before.
 #pragma once
 
 #include <cstdint>
@@ -17,12 +25,22 @@ namespace rnnasip::kernels {
 
 inline constexpr uint32_t kTextBase = 0x0000'1000;
 inline constexpr uint32_t kDataBase = 0x0001'0000;
+/// Parameter region used by split builds (serving cluster); far above the
+/// buffer region so the two cursors can never collide.
+inline constexpr uint32_t kParamBase = 0x0040'0000;
 
 class DeviceAllocator {
  public:
   explicit DeviceAllocator(iss::Memory* mem, uint32_t base = kDataBase);
 
-  /// Reserve `bytes`, aligned. Returns the start address.
+  /// Route subsequent filled allocations (alloc_halves/alloc_bytes/
+  /// alloc_words) to a separate cursor starting at `param_base`. Must be
+  /// called before any allocation.
+  void set_param_base(uint32_t param_base);
+  bool split() const { return param_base_ != 0; }
+
+  /// Reserve `bytes` of mutable buffer space, aligned. Returns the start
+  /// address.
   uint32_t alloc(uint32_t bytes, uint32_t align = 4);
 
   /// Reserve and fill with int16 halfwords; `slack_bytes` extra zeroed bytes
@@ -36,11 +54,18 @@ class DeviceAllocator {
   uint32_t alloc_words(std::span<const uint32_t> data);
 
   uint32_t bytes_used() const { return cursor_ - base_; }
+  uint32_t param_base() const { return param_base_; }
+  uint32_t param_bytes_used() const { return param_cursor_ - param_base_; }
 
  private:
+  /// Reserve from the parameter cursor in split mode, else from alloc().
+  uint32_t alloc_param(uint32_t bytes);
+
   iss::Memory* mem_;
   uint32_t base_;
   uint32_t cursor_;
+  uint32_t param_base_ = 0;  ///< 0 = unsplit (single cursor)
+  uint32_t param_cursor_ = 0;
 };
 
 }  // namespace rnnasip::kernels

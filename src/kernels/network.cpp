@@ -12,7 +12,8 @@ using namespace isa;
 NetworkProgramBuilder::NetworkProgramBuilder(iss::Memory* mem, OptLevel level,
                                              const activation::PlaTable& tanh_tbl,
                                              const activation::PlaTable& sig_tbl,
-                                             int max_tile, int sequence_steps)
+                                             int max_tile, int sequence_steps,
+                                             uint32_t param_base)
     : mem_(mem),
       level_(level),
       tanh_tbl_(tanh_tbl),
@@ -24,6 +25,7 @@ NetworkProgramBuilder::NetworkProgramBuilder(iss::Memory* mem, OptLevel level,
       sequence_steps_(sequence_steps),
       seq_loop_(b_.make_label()) {
   RNNASIP_CHECK(sequence_steps >= 1);
+  if (param_base != 0) alloc_.set_param_base(param_base);
   root_region_ = regions_.open("network", obs::RegionKind::kNetwork, b_.position());
 }
 
@@ -252,6 +254,10 @@ BuiltNetwork NetworkProgramBuilder::finalize() {
   net_.output_addr = cur_addr_;
   net_.output_count = cur_count_;
   net_.data_bytes = alloc_.bytes_used();
+  if (alloc_.split()) {
+    net_.param_base = alloc_.param_base();
+    net_.param_bytes = alloc_.param_bytes_used();
+  }
   net_.program = b_.build();
   net_.regions = regions_.finish(net_.program.instrs.size());
   return std::move(net_);

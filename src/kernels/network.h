@@ -37,7 +37,12 @@ struct BuiltNetwork {
   /// Recurrent state regions (h and c buffers) to zero between sequences.
   std::vector<std::pair<uint32_t, int>> state_buffers;
   uint64_t nominal_macs = 0;  ///< network MACs per forward pass
-  uint32_t data_bytes = 0;    ///< device data footprint
+  uint32_t data_bytes = 0;    ///< device data footprint (buffer region)
+  /// Split builds (param_base != 0 at construction): the read-only
+  /// parameter region (weights/biases/LUTs), disjoint from the buffers.
+  /// Zero for classic single-region builds.
+  uint32_t param_base = 0;
+  uint32_t param_bytes = 0;
 
   /// Device-driven sequence mode (sequence_steps > 1 at build time): the
   /// program loops over all timesteps internally, staging inputs from and
@@ -59,11 +64,13 @@ class NetworkProgramBuilder {
   /// The PLA tables must equal the target core's configuration or the SW
   /// routines (levels a/b) would diverge from pl.tanh/pl.sig (levels c+).
   /// With sequence_steps > 1 the program loops over that many timesteps on
-  /// the device (see BuiltNetwork::SequenceInfo).
+  /// the device (see BuiltNetwork::SequenceInfo). A non-zero `param_base`
+  /// splits parameters from buffers (DeviceAllocator::set_param_base) so
+  /// the parameter region can be shared read-only across cores.
   NetworkProgramBuilder(iss::Memory* mem, OptLevel level,
                         const activation::PlaTable& tanh_tbl,
                         const activation::PlaTable& sig_tbl, int max_tile = 8,
-                        int sequence_steps = 1);
+                        int sequence_steps = 1, uint32_t param_base = 0);
 
   void add_fc(const nn::FcParamsQ& params);
   void add_lstm(const nn::LstmParamsQ& params);

@@ -1,0 +1,193 @@
+#include "src/rrm/engine.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/common/check.h"
+#include "src/common/fixed_point.h"
+#include "src/iss/core.h"
+#include "src/kernels/layout.h"
+
+namespace rnnasip::rrm {
+
+namespace {
+
+size_t argmax_of(const std::vector<int16_t>& v) {
+  return static_cast<size_t>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+/// The RRM decision differs: argmax for action vectors, value equality for
+/// scalar outputs (the argmax-terminated DQN nets emit one halfword).
+bool decision_flipped(const std::vector<int16_t>& got, const std::vector<int16_t>& want) {
+  if (got.size() <= 1) return got != want;
+  return argmax_of(got) != argmax_of(want);
+}
+
+}  // namespace
+
+Engine::Engine() : Engine(Config{}) {}
+
+Engine::Engine(Config cfg) : cfg_(std::move(cfg)) {}
+
+const RrmNetwork& Engine::network(const std::string& name) {
+  auto it = nets_.find(name);
+  if (it == nets_.end()) {
+    it = nets_.emplace(name, RrmNetwork(find_network(name), cfg_.seed)).first;
+  }
+  return it->second;
+}
+
+uint64_t Engine::submit(Request req) {
+  const uint64_t id = next_id_++;
+  pending_.emplace_back(id, std::move(req));
+  return id;
+}
+
+std::vector<Response> Engine::run_all() {
+  std::vector<Response> out;
+  out.reserve(pending_.size());
+  auto queue = std::move(pending_);
+  pending_.clear();
+  for (auto& [id, req] : queue) {
+    out.push_back(execute(network(req.network), req, id));
+  }
+  return out;
+}
+
+Response Engine::run(const Request& req) {
+  return execute(network(req.network), req, 0);
+}
+
+Response Engine::run(const RrmNetwork& net, const Request& req) {
+  return execute(net, req, 0);
+}
+
+Response Engine::execute(const RrmNetwork& net, const Request& req, uint64_t id) {
+  RNNASIP_CHECK_MSG(req.input.empty() || req.timesteps == 1,
+                    "explicit input requires timesteps == 1");
+  iss::Memory mem(16u << 20);
+  iss::Core core(&mem, cfg_.core_config);
+  const auto built =
+      net.build(&mem, req.level, core.tanh_table(), core.sig_table(), cfg_.max_tile);
+  core.load_program(built.program);
+  kernels::reset_state(mem, built);
+
+  // Observability: attribute every cycle/instr/MAC/stall to the innermost
+  // emitted region. The core is fresh, so profiler totals must equal the
+  // core's ExecStats at the end — asserted below.
+  std::optional<obs::RegionProfiler> profiler;
+  if (req.observe) {
+    obs::RegionProfiler::Options po;
+    po.timeline = req.timeline;
+    profiler.emplace(&built.regions, built.program.base, po);
+    profiler->attach(core);
+  }
+
+  // The golden model gets pristine LUT copies: a campaign may flip bits in
+  // the core's PLA unit, and the reference must not inherit the flip.
+  const auto tanh_ref = activation::PlaTable::build(cfg_.core_config.tanh_spec);
+  const auto sig_ref = activation::PlaTable::build(cfg_.core_config.sig_spec);
+  RrmNetwork::Golden golden(net, tanh_ref, sig_ref);
+
+  // Arm the injector only for campaigns: a rate-0 run stays bit-identical
+  // to a fault-free one (no hook, no RNG, no cycle difference).
+  std::optional<fault::FaultInjector> injector;
+  if (req.fault.any_enabled()) {
+    fault::FaultSpec spec = req.fault;
+    if (spec.tcdm.empty())
+      spec.tcdm = {kernels::kDataBase, kernels::kDataBase + built.data_bytes};
+    if (spec.text.empty())
+      spec.text = {built.program.base, built.program.base + built.program.size_bytes()};
+    injector.emplace(spec);
+    injector->arm(&core, &mem);
+  }
+
+  iss::RunLimits limits;
+  if (req.watchdog_cycles != 0) limits.max_cycles = req.watchdog_cycles;
+  else if (injector) limits.max_cycles = kDefaultCampaignWatchdog;
+
+  Response resp;
+  resp.id = id;
+  NetRunResult& r = resp.result;
+  r.name = net.def().name;
+  r.level = req.level;
+  r.nominal_macs = built.nominal_macs * static_cast<uint64_t>(req.timesteps);
+  r.verified = true;
+  r.steps_attempted = req.timesteps;
+  const bool compare = req.verify || injector.has_value();
+  int flips = 0;
+  for (int t = 0; t < req.timesteps; ++t) {
+    const auto input = req.input.empty() ? net.make_input(t) : req.input;
+    auto fr = kernels::try_run_forward(core, mem, built, input, limits);
+    if (!fr.ok()) {
+      r.completed = false;
+      r.trap = fr.result.trap;
+      break;
+    }
+    ++r.steps_completed;
+    if (compare) {
+      const auto want = golden.forward(input);
+      if (fr.outputs != want) r.verified = false;
+      if (decision_flipped(fr.outputs, want)) ++flips;
+      for (size_t i = 0; i < fr.outputs.size() && i < want.size(); ++i) {
+        r.output_error.add(dequantize(fr.outputs[i]), dequantize(want[i]));
+      }
+    }
+    resp.outputs = std::move(fr.outputs);
+  }
+  if (r.steps_completed > 0) {
+    r.decision_flip_rate = static_cast<double>(flips) / r.steps_completed;
+  }
+  if (injector) {
+    r.faults_injected = injector->flips();
+    injector->disarm();
+  }
+  r.cycles = core.stats().total_cycles();
+  r.instrs = core.stats().total_instrs();
+  r.stats = core.stats();
+  if (profiler) {
+    profiler->finish();
+    const obs::RegionCounters tot = profiler->totals();
+    RNNASIP_CHECK_MSG(tot.cycles == r.cycles && tot.instrs == r.instrs,
+                      "observability identity broken for " << r.name << ": regions "
+                          << tot.cycles << "c/" << tot.instrs << "i vs core " << r.cycles
+                          << "c/" << r.instrs << "i");
+    RNNASIP_CHECK_MSG(core.stats().identity_holds(),
+                      "stall-taxonomy identity broken for " << r.name);
+    auto ob = std::make_shared<obs::NetObservation>();
+    ob->name = r.name;
+    ob->map = built.regions;
+    ob->counters = profiler->counters();
+    ob->unattributed = profiler->unattributed();
+    ob->timeline = profiler->timeline();
+    ob->stall_samples = profiler->stall_samples();
+    ob->timeline_truncated = profiler->timeline_truncated();
+    ob->cycles = tot.cycles;
+    ob->instrs = tot.instrs;
+    ob->macs = tot.macs;
+    r.obs = std::move(ob);
+  }
+  return resp;
+}
+
+SuiteResult Engine::run_suite(kernels::OptLevel level, const Request& proto) {
+  SuiteResult s;
+  for (const auto& def : rrm_suite()) {
+    Request req = proto;
+    req.network = def.name;
+    req.level = level;
+    NetRunResult r = execute(network(def.name), req, 0).result;
+    s.total.merge(r.stats);
+    s.total_cycles += r.cycles;
+    s.total_instrs += r.instrs;
+    s.total_macs += r.nominal_macs;
+    s.all_verified = s.all_verified && r.verified;
+    s.nets_completed += r.completed ? 1 : 0;
+    s.nets_degraded += r.degraded() ? 1 : 0;
+    s.faults_injected += r.faults_injected;
+    s.nets.push_back(std::move(r));
+  }
+  return s;
+}
+
+}  // namespace rnnasip::rrm

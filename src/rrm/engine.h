@@ -1,0 +1,98 @@
+// Request/response execution engine for the RRM suite.
+//
+// The engine replaces the grow-a-bool RunOptions + free-function surface:
+// callers describe one inference job as an rrm::Request (network id, opt
+// level, timesteps, verification/observability/fault knobs), and get back
+// an rrm::Response (outputs, per-run NetRunResult with stats, obs and trap
+// record). Requests can run immediately (run()) or queue through
+// submit()/run_all() — the surface the serving scheduler (src/serve)
+// batches behind.
+//
+// Execution semantics are identical to the old run_network/run_suite free
+// functions (now [[deprecated]] shims over this engine): every request
+// executes on a fresh core + memory image, so cycle counts, verification
+// and fault campaigns are bit-for-bit what they were.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/rrm/suite.h"
+
+namespace rnnasip::rrm {
+
+/// One inference job: which network, at which level, with which knobs.
+struct Request {
+  std::string network;  ///< suite network id, e.g. "wang18"
+  kernels::OptLevel level = kernels::OptLevel::kInputTiling;
+  int timesteps = 1;    ///< forward passes (LSTM state persists across them)
+  /// Explicit input vector; empty = the network's deterministic per-step
+  /// inputs (make_input). Requires timesteps == 1 when set.
+  std::vector<int16_t> input;
+  bool verify = true;   ///< compare outputs against the golden model
+  bool observe = false; ///< attach a RegionProfiler (NetRunResult::obs)
+  bool timeline = false;///< with observe: record the region timeline
+  /// SEU campaign; all-zero rates inject nothing and leave the run
+  /// bit-identical to a fault-free one.
+  fault::FaultSpec fault;
+  /// Per-forward-pass cycle watchdog. 0 = automatic (campaign default).
+  uint64_t watchdog_cycles = 0;
+};
+
+/// What a completed Request yields.
+struct Response {
+  uint64_t id = 0;               ///< ticket from submit(), 0 for run()
+  NetRunResult result;           ///< stats, verification, trap record
+  std::vector<int16_t> outputs;  ///< last completed step's output vector
+  bool ok() const { return result.completed && result.verified; }
+};
+
+/// Owns the network materializations and executes Requests. Materialized
+/// networks (seeded quantized parameters) are cached per engine; device
+/// programs still build per request on a fresh core + memory, keeping every
+/// run independent and cycle counts identical to the legacy free functions.
+class Engine {
+ public:
+  struct Config {
+    int max_tile = 8;
+    uint64_t seed = 0x52414D;  ///< network parameter seed
+    /// Core configuration (timing-model knobs, activation design point).
+    iss::Core::Config core_config;
+  };
+
+  Engine();
+  explicit Engine(Config cfg);
+
+  /// Queue a request; returns its ticket id.
+  uint64_t submit(Request req);
+  /// Execute every queued request in submission order.
+  std::vector<Response> run_all();
+
+  /// Execute one request immediately.
+  Response run(const Request& req);
+  /// Execute against an explicitly materialized network (callers holding a
+  /// custom-seeded RrmNetwork); req.network is ignored.
+  Response run(const RrmNetwork& net, const Request& req);
+
+  /// Run the whole 10-network suite at one level; `proto`'s knobs
+  /// (timesteps, verify, observe, fault, ...) apply to every network.
+  /// Degraded networks are recorded and the remaining networks still run.
+  SuiteResult run_suite(kernels::OptLevel level, const Request& proto = {});
+
+  /// The engine's cached materialization of a suite network.
+  const RrmNetwork& network(const std::string& name);
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Response execute(const RrmNetwork& net, const Request& req, uint64_t id);
+
+  Config cfg_;
+  std::map<std::string, RrmNetwork> nets_;
+  std::vector<std::pair<uint64_t, Request>> pending_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace rnnasip::rrm

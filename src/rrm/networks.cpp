@@ -131,8 +131,9 @@ RrmNetwork::RrmNetwork(const NetworkDef& def, uint64_t seed) : def_(def), seed_(
 kernels::BuiltNetwork RrmNetwork::build(iss::Memory* mem, kernels::OptLevel level,
                                         const activation::PlaTable& tanh_tbl,
                                         const activation::PlaTable& sig_tbl,
-                                        int max_tile) const {
-  kernels::NetworkProgramBuilder b(mem, level, tanh_tbl, sig_tbl, max_tile);
+                                        int max_tile, uint32_t param_base) const {
+  kernels::NetworkProgramBuilder b(mem, level, tanh_tbl, sig_tbl, max_tile,
+                                   /*sequence_steps=*/1, param_base);
   for (const Layer& layer : layers_) {
     switch (layer.spec.kind) {
       case LayerSpec::Kind::kFc:
@@ -147,6 +148,21 @@ kernels::BuiltNetwork RrmNetwork::build(iss::Memory* mem, kernels::OptLevel leve
     }
   }
   return b.finalize();
+}
+
+bool RrmNetwork::fc_only() const {
+  for (const Layer& layer : layers_) {
+    if (layer.spec.kind != LayerSpec::Kind::kFc) return false;
+  }
+  return true;
+}
+
+std::vector<const nn::FcParamsQ*> RrmNetwork::fc_params() const {
+  RNNASIP_CHECK_MSG(fc_only(), def_.name << " has non-FC layers");
+  std::vector<const nn::FcParamsQ*> out;
+  out.reserve(layers_.size());
+  for (const Layer& layer : layers_) out.push_back(&layer.fc);
+  return out;
 }
 
 std::vector<int16_t> RrmNetwork::make_input(int t) const {

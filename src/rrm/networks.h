@@ -66,11 +66,19 @@ class RrmNetwork {
   bool has_lstm() const { return has_lstm_; }
   uint64_t nominal_macs() const { return nominal_macs_; }
 
-  /// Build the device program for `level` into `mem`.
+  /// Build the device program for `level` into `mem`. A non-zero
+  /// `param_base` splits read-only parameters from mutable buffers (the
+  /// serving cluster shares the parameter region across cores).
   kernels::BuiltNetwork build(iss::Memory* mem, kernels::OptLevel level,
                               const activation::PlaTable& tanh_tbl,
                               const activation::PlaTable& sig_tbl,
-                              int max_tile = 8) const;
+                              int max_tile = 8, uint32_t param_base = 0) const;
+
+  /// True when every layer is FC — the topologies the batched serving path
+  /// can coalesce (build_fc_batch_network).
+  bool fc_only() const;
+  /// Quantized FC parameters in layer order; requires fc_only().
+  std::vector<const nn::FcParamsQ*> fc_params() const;
 
   /// Deterministic per-timestep input.
   std::vector<int16_t> make_input(int t) const;

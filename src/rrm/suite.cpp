@@ -1,150 +1,47 @@
 #include "src/rrm/suite.h"
 
-#include <algorithm>
-#include <optional>
+#include "src/rrm/engine.h"
 
-#include "src/common/check.h"
-#include "src/common/fixed_point.h"
-#include "src/iss/core.h"
-#include "src/kernels/layout.h"
+// Legacy surface: run_network/run_suite are [[deprecated]] shims over
+// rrm::Engine, kept for one release so out-of-tree callers migrate
+// incrementally. Everything in-tree uses the engine directly.
 
 namespace rnnasip::rrm {
 
 namespace {
 
-size_t argmax_of(const std::vector<int16_t>& v) {
-  return static_cast<size_t>(std::max_element(v.begin(), v.end()) - v.begin());
+Engine::Config engine_config(const RunOptions& opt) {
+  Engine::Config cfg;
+  cfg.max_tile = opt.max_tile;
+  cfg.seed = opt.seed;
+  cfg.core_config = opt.core_config;
+  return cfg;
 }
 
-/// The RRM decision differs: argmax for action vectors, value equality for
-/// scalar outputs (the argmax-terminated DQN nets emit one halfword).
-bool decision_flipped(const std::vector<int16_t>& got, const std::vector<int16_t>& want) {
-  if (got.size() <= 1) return got != want;
-  return argmax_of(got) != argmax_of(want);
+Request to_request(const RunOptions& opt) {
+  Request req;
+  req.timesteps = opt.timesteps;
+  req.verify = opt.verify;
+  req.observe = opt.observe;
+  req.timeline = opt.timeline;
+  req.fault = opt.fault;
+  req.watchdog_cycles = opt.watchdog_cycles;
+  return req;
 }
 
 }  // namespace
 
 NetRunResult run_network(const RrmNetwork& net, kernels::OptLevel level,
                          const RunOptions& opt) {
-  iss::Memory mem(16u << 20);
-  iss::Core core(&mem, opt.core_config);
-  const auto built =
-      net.build(&mem, level, core.tanh_table(), core.sig_table(), opt.max_tile);
-  core.load_program(built.program);
-  kernels::reset_state(mem, built);
-
-  // Observability: attribute every cycle/instr/MAC/stall to the innermost
-  // emitted region. The core is fresh, so profiler totals must equal the
-  // core's ExecStats at the end — asserted below.
-  std::optional<obs::RegionProfiler> profiler;
-  if (opt.observe) {
-    obs::RegionProfiler::Options po;
-    po.timeline = opt.timeline;
-    profiler.emplace(&built.regions, built.program.base, po);
-    profiler->attach(core);
-  }
-
-  // The golden model gets pristine LUT copies: a campaign may flip bits in
-  // the core's PLA unit, and the reference must not inherit the flip.
-  const auto tanh_ref = activation::PlaTable::build(opt.core_config.tanh_spec);
-  const auto sig_ref = activation::PlaTable::build(opt.core_config.sig_spec);
-  RrmNetwork::Golden golden(net, tanh_ref, sig_ref);
-
-  // Arm the injector only for campaigns: a rate-0 run stays bit-identical
-  // to a fault-free one (no hook, no RNG, no cycle difference).
-  std::optional<fault::FaultInjector> injector;
-  if (opt.fault.any_enabled()) {
-    fault::FaultSpec spec = opt.fault;
-    if (spec.tcdm.empty())
-      spec.tcdm = {kernels::kDataBase, kernels::kDataBase + built.data_bytes};
-    if (spec.text.empty())
-      spec.text = {built.program.base, built.program.base + built.program.size_bytes()};
-    injector.emplace(spec);
-    injector->arm(&core, &mem);
-  }
-
-  iss::RunLimits limits;
-  if (opt.watchdog_cycles != 0) limits.max_cycles = opt.watchdog_cycles;
-  else if (injector) limits.max_cycles = kDefaultCampaignWatchdog;
-
-  NetRunResult r;
-  r.name = net.def().name;
-  r.level = level;
-  r.nominal_macs = built.nominal_macs * static_cast<uint64_t>(opt.timesteps);
-  r.verified = true;
-  r.steps_attempted = opt.timesteps;
-  const bool compare = opt.verify || injector.has_value();
-  int flips = 0;
-  for (int t = 0; t < opt.timesteps; ++t) {
-    const auto input = net.make_input(t);
-    auto fr = kernels::try_run_forward(core, mem, built, input, limits);
-    if (!fr.ok()) {
-      r.completed = false;
-      r.trap = fr.result.trap;
-      break;
-    }
-    ++r.steps_completed;
-    if (compare) {
-      const auto want = golden.forward(input);
-      if (fr.outputs != want) r.verified = false;
-      if (decision_flipped(fr.outputs, want)) ++flips;
-      for (size_t i = 0; i < fr.outputs.size() && i < want.size(); ++i) {
-        r.output_error.add(dequantize(fr.outputs[i]), dequantize(want[i]));
-      }
-    }
-  }
-  if (r.steps_completed > 0) {
-    r.decision_flip_rate = static_cast<double>(flips) / r.steps_completed;
-  }
-  if (injector) {
-    r.faults_injected = injector->flips();
-    injector->disarm();
-  }
-  r.cycles = core.stats().total_cycles();
-  r.instrs = core.stats().total_instrs();
-  r.stats = core.stats();
-  if (profiler) {
-    profiler->finish();
-    const obs::RegionCounters tot = profiler->totals();
-    RNNASIP_CHECK_MSG(tot.cycles == r.cycles && tot.instrs == r.instrs,
-                      "observability identity broken for " << r.name << ": regions "
-                          << tot.cycles << "c/" << tot.instrs << "i vs core " << r.cycles
-                          << "c/" << r.instrs << "i");
-    RNNASIP_CHECK_MSG(core.stats().identity_holds(),
-                      "stall-taxonomy identity broken for " << r.name);
-    auto ob = std::make_shared<obs::NetObservation>();
-    ob->name = r.name;
-    ob->map = built.regions;
-    ob->counters = profiler->counters();
-    ob->unattributed = profiler->unattributed();
-    ob->timeline = profiler->timeline();
-    ob->stall_samples = profiler->stall_samples();
-    ob->timeline_truncated = profiler->timeline_truncated();
-    ob->cycles = tot.cycles;
-    ob->instrs = tot.instrs;
-    ob->macs = tot.macs;
-    r.obs = std::move(ob);
-  }
-  return r;
+  Engine eng(engine_config(opt));
+  Request req = to_request(opt);
+  req.level = level;
+  return eng.run(net, req).result;
 }
 
 SuiteResult run_suite(kernels::OptLevel level, const RunOptions& opt) {
-  SuiteResult s;
-  for (const auto& def : rrm_suite()) {
-    RrmNetwork net(def, opt.seed);
-    NetRunResult r = run_network(net, level, opt);
-    s.total.merge(r.stats);
-    s.total_cycles += r.cycles;
-    s.total_instrs += r.instrs;
-    s.total_macs += r.nominal_macs;
-    s.all_verified = s.all_verified && r.verified;
-    s.nets_completed += r.completed ? 1 : 0;
-    s.nets_degraded += r.degraded() ? 1 : 0;
-    s.faults_injected += r.faults_injected;
-    s.nets.push_back(std::move(r));
-  }
-  return s;
+  Engine eng(engine_config(opt));
+  return eng.run_suite(level, to_request(opt));
 }
 
 }  // namespace rnnasip::rrm

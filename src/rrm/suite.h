@@ -78,6 +78,9 @@ struct NetRunResult {
 
 /// Run one network at one level for opt.timesteps forward passes. Never
 /// throws on a trapped/watchdog-killed device run; see NetRunResult.
+[[deprecated(
+    "use rrm::Engine::run (src/rrm/engine.h); this shim is removed next "
+    "release")]]
 NetRunResult run_network(const RrmNetwork& net, kernels::OptLevel level,
                          const RunOptions& opt = {});
 
@@ -95,6 +98,9 @@ struct SuiteResult {
 
 /// Run the whole 10-network suite at one level. Degraded networks are
 /// recorded and the remaining networks still run.
+[[deprecated(
+    "use rrm::Engine::run_suite (src/rrm/engine.h); this shim is removed "
+    "next release")]]
 SuiteResult run_suite(kernels::OptLevel level, const RunOptions& opt = {});
 
 }  // namespace rnnasip::rrm

@@ -1,0 +1,204 @@
+#include "src/serve/cluster.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/kernels/network.h"
+#include "src/obs/profile.h"
+
+namespace rnnasip::serve {
+
+namespace {
+
+/// Per-core private memory: buffers at kDataBase, shared segments mapped at
+/// kTextBase / kParamBase. 8 MiB covers the largest suite image with room.
+constexpr uint32_t kCoreMemBytes = 8u << 20;
+
+std::shared_ptr<std::vector<uint8_t>> capture_text(const assembler::Program& p) {
+  const auto words = p.encode_words();
+  auto bytes = std::make_shared<std::vector<uint8_t>>(words.size() * 4);
+  std::memcpy(bytes->data(), words.data(), bytes->size());
+  return bytes;
+}
+
+std::shared_ptr<std::vector<uint8_t>> capture_params(const iss::Memory& master,
+                                                     uint32_t base, uint32_t size) {
+  const uint32_t rounded = (size + 3u) & ~3u;  // word-align the segment tail
+  const auto words = master.read_words_signed(base, rounded / 4);
+  auto bytes = std::make_shared<std::vector<uint8_t>>(rounded);
+  std::memcpy(bytes->data(), words.data(), rounded);
+  return bytes;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig cfg, const std::vector<std::string>& networks)
+    : cfg_(cfg), names_(networks) {
+  RNNASIP_CHECK(cfg_.cores >= 1);
+  RNNASIP_CHECK(cfg_.batch >= 1);
+  RNNASIP_CHECK(!networks.empty());
+  const auto tanh_tbl = activation::PlaTable::build(cfg_.core_config.tanh_spec);
+  const auto sig_tbl = activation::PlaTable::build(cfg_.core_config.sig_spec);
+  for (const std::string& name : names_) {
+    if (images_.count(name)) continue;
+    Image img{rrm::RrmNetwork(rrm::find_network(name), cfg_.seed), {}, {}, {}, {}, {}, {}};
+    {
+      iss::Memory master(kCoreMemBytes);
+      img.single = img.net.build(&master, cfg_.level, tanh_tbl, sig_tbl,
+                                 cfg_.max_tile, kernels::kParamBase);
+      img.single_text = capture_text(img.single.program);
+      img.single_params =
+          capture_params(master, img.single.param_base, img.single.param_bytes);
+    }
+    if (cfg_.batch >= 2 && img.net.fc_only()) {
+      iss::Memory master(kCoreMemBytes);
+      const auto layers = img.net.fc_params();
+      img.batched = kernels::build_fc_batch_network(
+          &master, layers, cfg_.batch, cfg_.level, kernels::kParamBase);
+      img.batched_text = capture_text(img.batched->program);
+      img.batched_params =
+          capture_params(master, img.batched->param_base, img.batched->param_bytes);
+    }
+    images_.emplace(name, std::move(img));
+  }
+  lanes_.resize(static_cast<size_t>(cfg_.cores));
+  for (Lane& lane : lanes_) {
+    lane.mem = std::make_unique<iss::Memory>(kCoreMemBytes);
+    lane.core = std::make_unique<iss::Core>(lane.mem.get(), cfg_.core_config);
+  }
+}
+
+const Cluster::Image& Cluster::image(const std::string& name) const {
+  auto it = images_.find(name);
+  RNNASIP_CHECK_MSG(it != images_.end(), "network not loaded in cluster: " << name);
+  return it->second;
+}
+
+const rrm::RrmNetwork& Cluster::network(const std::string& name) const {
+  return image(name).net;
+}
+
+bool Cluster::batchable(const std::string& name) const {
+  return image(name).batched.has_value();
+}
+
+uint32_t Cluster::param_base(const std::string& name) const {
+  return image(name).single.param_base;
+}
+
+uint32_t Cluster::param_bytes(const std::string& name) const {
+  return image(name).single.param_bytes;
+}
+
+uint64_t Cluster::shared_param_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, img] : images_) {
+    total += img.single_params->size();
+    if (img.batched) total += img.batched_params->size();
+  }
+  return total;
+}
+
+void Cluster::bind(int core, const std::string& name, bool batched) {
+  RNNASIP_CHECK(core >= 0 && core < cfg_.cores);
+  Lane& lane = lanes_[static_cast<size_t>(core)];
+  const Image& img = image(name);
+  if (batched) RNNASIP_CHECK_MSG(img.batched, name << " has no batched program");
+  if (lane.bound == &img && lane.bound_batched == batched) return;
+  lane.mem->unmap_segments();
+  // Text and parameters are both shared read-only: the memory map, not
+  // convention, is what stops a core from corrupting another's weights.
+  if (batched) {
+    lane.mem->map_segment(img.batched->program.base, img.batched_text, true);
+    lane.mem->map_segment(img.batched->param_base, img.batched_params, true);
+  } else {
+    lane.mem->map_segment(img.single.program.base, img.single_text, true);
+    lane.mem->map_segment(img.single.param_base, img.single_params, true);
+  }
+  lane.core->invalidate_decode_cache();
+  lane.bound = &img;
+  lane.bound_batched = batched;
+}
+
+uint64_t Cluster::run_bound(Lane& lane, const obs::RegionMap& regions,
+                            uint32_t text_base) {
+  std::optional<obs::RegionProfiler> profiler;
+  if (cfg_.observe) {
+    profiler.emplace(&regions, text_base);
+    profiler->attach(*lane.core);
+  }
+  const auto res = lane.core->run();
+  RNNASIP_CHECK_MSG(res.ok(), "serving run trapped: " << res.trap_message);
+  if (profiler) {
+    profiler->finish();
+    accumulate_regions(regions, profiler->counters(), profiler->unattributed());
+    lane.core->set_trace(nullptr);
+    lane.core->set_stall_hook(nullptr);
+  }
+  return res.cycles;
+}
+
+void Cluster::accumulate_regions(const obs::RegionMap& map,
+                                 const std::vector<obs::RegionCounters>& counters,
+                                 const obs::RegionCounters& unattributed) {
+  auto add = [this](const std::string& name, uint64_t cycles) {
+    if (cycles == 0) return;
+    for (auto& [n, c] : region_cycles_) {
+      if (n == name) {
+        c += cycles;
+        return;
+      }
+    }
+    region_cycles_.emplace_back(name, cycles);
+  };
+  for (size_t i = 0; i < counters.size(); ++i) {
+    add(map.defs()[i].name, counters[i].cycles);
+  }
+  add("unattributed", unattributed.cycles);
+}
+
+ExecResult Cluster::run_single(int core, const std::string& name,
+                               std::span<const int16_t> input) {
+  bind(core, name, false);
+  Lane& lane = lanes_[static_cast<size_t>(core)];
+  const Image& img = *lane.bound;
+  const kernels::BuiltNetwork& net = img.single;
+  RNNASIP_CHECK(static_cast<int>(input.size()) == net.input_count);
+  // Every request is an independent per-TTI inference: fresh recurrent
+  // state, exactly like a fresh Engine run.
+  kernels::reset_state(*lane.mem, net);
+  lane.mem->write_halves(net.input_addr, input);
+  lane.core->reset(net.program.base);
+  ExecResult r;
+  r.cycles = run_bound(lane, net.regions, net.program.base);
+  r.outputs.push_back(
+      lane.mem->read_halves(net.output_addr, static_cast<size_t>(net.output_count)));
+  return r;
+}
+
+ExecResult Cluster::run_batched(int core, const std::string& name,
+                                std::span<const std::vector<int16_t>> inputs) {
+  bind(core, name, true);
+  Lane& lane = lanes_[static_cast<size_t>(core)];
+  const kernels::BatchedFcNet& net = *lane.bound->batched;
+  const int filled = static_cast<int>(inputs.size());
+  RNNASIP_CHECK(filled >= 1 && filled <= net.batch);
+  const std::vector<int16_t> zeros(static_cast<size_t>(net.input_count), 0);
+  for (int s = 0; s < net.batch; ++s) {
+    const std::vector<int16_t>& in = s < filled ? inputs[static_cast<size_t>(s)] : zeros;
+    RNNASIP_CHECK(static_cast<int>(in.size()) == net.input_count);
+    lane.mem->write_halves(
+        net.input_addr + static_cast<uint32_t>(2 * s * net.input_count), in);
+  }
+  lane.core->reset(net.program.base);
+  ExecResult r;
+  r.cycles = run_bound(lane, net.regions, net.program.base);
+  for (int s = 0; s < filled; ++s) {
+    r.outputs.push_back(lane.mem->read_halves(
+        net.output_addr + static_cast<uint32_t>(2 * s * net.output_count),
+        static_cast<size_t>(net.output_count)));
+  }
+  return r;
+}
+
+}  // namespace rnnasip::serve

@@ -1,0 +1,134 @@
+// Multi-core serving cluster: N independent extended RI5CY cores sharing
+// read-only weight memory.
+//
+// Per network the cluster builds one program image with a parameter/buffer
+// split (kernels::kParamBase): text and parameters are captured into
+// shared backings, mapped read-only into every core's private memory
+// (iss::Memory::map_segment). The memory map itself enforces the sharing
+// contract — a store into the weight segment from any core raises
+// kMemWriteProtected. Buffers (activations, recurrent state, I/O) stay in
+// each core's private flat storage, so cores run the same network
+// concurrently without interfering.
+//
+// Two program flavors per network:
+//   - single: the classic one-sample BuiltNetwork program;
+//   - batched (FC-only nets, batch >= 2): build_fc_batch_network coalesces
+//     B samples into one execution, restoring the 2-D tiling of Sec. II-A.
+// Both compute bit-exact per-sample results (same accumulation order), so
+// the scheduler can mix them freely.
+//
+// Simulated time: each execution reports its own cycle count (the core's
+// RunResult), which the scheduler turns into per-core clocks. "The
+// hardware" is N single-issue cores — no host threads; everything is
+// deterministic.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/iss/core.h"
+#include "src/kernels/fc_batch.h"
+#include "src/obs/profile.h"
+#include "src/rrm/networks.h"
+
+namespace rnnasip::serve {
+
+struct ClusterConfig {
+  int cores = 4;
+  kernels::OptLevel level = kernels::OptLevel::kInputTiling;
+  /// Batch capacity B of the batched program (1 = no batched flavor).
+  int batch = 1;
+  int max_tile = 8;
+  uint64_t seed = 0x52414D;  ///< network parameter seed (as rrm::Engine)
+  iss::Core::Config core_config;
+  /// Attach a RegionProfiler to every execution and aggregate per-region
+  /// cycles across the whole serving run (region_cycles()).
+  bool observe = false;
+};
+
+/// One program execution on one core.
+struct ExecResult {
+  uint64_t cycles = 0;  ///< cycles this execution took on its core
+  /// Per-sample outputs: one vector for a single run, `filled` vectors for
+  /// a batched run (padding slots are dropped).
+  std::vector<std::vector<int16_t>> outputs;
+};
+
+class Cluster {
+ public:
+  /// Builds shared images for `networks` (suite names) and cfg.cores cores.
+  Cluster(ClusterConfig cfg, const std::vector<std::string>& networks);
+
+  int cores() const { return cfg_.cores; }
+  const ClusterConfig& config() const { return cfg_; }
+  const std::vector<std::string>& networks() const { return names_; }
+
+  const rrm::RrmNetwork& network(const std::string& name) const;
+  /// FC-only networks coalesce when the cluster was built with batch >= 2.
+  bool batchable(const std::string& name) const;
+
+  /// Run one request (single forward pass, fresh recurrent state) on core
+  /// `core`.
+  ExecResult run_single(int core, const std::string& name,
+                        std::span<const int16_t> input);
+
+  /// Run up to B coalesced same-network requests as one batched execution;
+  /// missing slots are zero-padded (the fixed-B program always runs all B
+  /// lanes, so cycles equal the full-batch cost).
+  ExecResult run_batched(int core, const std::string& name,
+                         std::span<const std::vector<int16_t>> inputs);
+
+  /// Weight bytes resident once per network vs what N private copies would
+  /// hold (the sharing win the read-only segment buys).
+  uint64_t shared_param_bytes() const;
+
+  /// The shared read-only parameter segment of one network — test surface
+  /// for the write-protection contract.
+  uint32_t param_base(const std::string& name) const;
+  uint32_t param_bytes(const std::string& name) const;
+  iss::Core& core(int core) { return *lanes_[static_cast<size_t>(core)].core; }
+  iss::Memory& memory(int core) { return *lanes_[static_cast<size_t>(core)].mem; }
+  /// Map `name`'s image into core `core` (what run_* do on demand).
+  void bind(int core, const std::string& name, bool batched);
+
+  /// With cfg.observe: region name -> cycles aggregated over every
+  /// execution so far (insertion-ordered by first appearance).
+  const std::vector<std::pair<std::string, uint64_t>>& region_cycles() const {
+    return region_cycles_;
+  }
+
+ private:
+  struct Image {
+    rrm::RrmNetwork net;
+    kernels::BuiltNetwork single;
+    std::shared_ptr<std::vector<uint8_t>> single_text;
+    std::shared_ptr<std::vector<uint8_t>> single_params;
+    std::optional<kernels::BatchedFcNet> batched;
+    std::shared_ptr<std::vector<uint8_t>> batched_text;
+    std::shared_ptr<std::vector<uint8_t>> batched_params;
+  };
+  struct Lane {
+    std::unique_ptr<iss::Memory> mem;
+    std::unique_ptr<iss::Core> core;
+    const Image* bound = nullptr;
+    bool bound_batched = false;
+  };
+
+  const Image& image(const std::string& name) const;
+  uint64_t run_bound(Lane& lane, const obs::RegionMap& regions, uint32_t text_base);
+  void accumulate_regions(const obs::RegionMap& map,
+                          const std::vector<obs::RegionCounters>& counters,
+                          const obs::RegionCounters& unattributed);
+
+  ClusterConfig cfg_;
+  std::vector<std::string> names_;
+  std::map<std::string, Image> images_;
+  std::vector<Lane> lanes_;
+  std::vector<std::pair<std::string, uint64_t>> region_cycles_;
+};
+
+}  // namespace rnnasip::serve

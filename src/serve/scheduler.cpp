@@ -1,0 +1,201 @@
+#include "src/serve/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/fixed_point.h"
+#include "src/common/rng.h"
+
+namespace rnnasip::serve {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kFifo: return "fifo";
+    case Policy::kBatched: return "batched";
+  }
+  return "?";
+}
+
+Workload make_poisson_workload(const Cluster& cluster, const WorkloadConfig& cfg) {
+  RNNASIP_CHECK(!cfg.networks.empty());
+  RNNASIP_CHECK(cfg.requests >= 1);
+  RNNASIP_CHECK(cfg.mean_interarrival_cycles > 0);
+  Workload w;
+  w.config = cfg;
+  Rng rng(cfg.seed);
+  double t = 0;
+  for (int i = 0; i < cfg.requests; ++i) {
+    Job job;
+    job.id = static_cast<uint64_t>(i);
+    job.network = cfg.networks[rng.next_below(static_cast<uint32_t>(cfg.networks.size()))];
+    // Exponential inter-arrival: -mean * ln(U), U in (0, 1].
+    const double u = 1.0 - rng.next_double();
+    t += -cfg.mean_interarrival_cycles * std::log(u);
+    job.arrival = static_cast<uint64_t>(t);
+    const int n = cluster.network(job.network).input_count();
+    job.input.resize(static_cast<size_t>(n));
+    for (auto& v : job.input) v = static_cast<int16_t>(quantize(rng.next_in(-1.0, 1.0)));
+    w.jobs.push_back(std::move(job));
+  }
+  return w;
+}
+
+Scheduler::Scheduler(Cluster* cluster, Policy policy)
+    : cluster_(cluster), policy_(policy) {
+  RNNASIP_CHECK(cluster != nullptr);
+}
+
+ServeResult Scheduler::run(const Workload& workload) {
+  ServeResult r;
+  r.policy = policy_;
+  r.cores = cluster_->cores();
+  r.batch = cluster_->config().batch;
+  r.core_busy.assign(static_cast<size_t>(r.cores), 0);
+  r.completions.resize(workload.jobs.size());
+
+  std::vector<const Job*> pending;
+  pending.reserve(workload.jobs.size());
+  for (const Job& j : workload.jobs) pending.push_back(&j);
+
+  std::vector<uint64_t> core_free(static_cast<size_t>(r.cores), 0);
+  while (!pending.empty()) {
+    // The core that frees earliest serves next (ties: lowest index).
+    int core = 0;
+    for (int c = 1; c < r.cores; ++c) {
+      if (core_free[static_cast<size_t>(c)] < core_free[static_cast<size_t>(core)]) core = c;
+    }
+    const Job& head = *pending.front();
+    const uint64_t start = std::max(core_free[static_cast<size_t>(core)], head.arrival);
+
+    // Coalesce: same network, already arrived by `start`, up to B total.
+    std::vector<size_t> group{0};
+    if (policy_ == Policy::kBatched && cluster_->batchable(head.network)) {
+      const int cap = cluster_->config().batch;
+      for (size_t i = 1; i < pending.size() && static_cast<int>(group.size()) < cap; ++i) {
+        if (pending[i]->network == head.network && pending[i]->arrival <= start) {
+          group.push_back(i);
+        }
+      }
+      // The fixed-B program always runs all B lanes. From level d up the
+      // batched schedule is the fused per-sample one (see emit_fc_batch), so
+      // a lane costs the same as a single run and padded lanes are pure
+      // loss: coalesce only full groups there. At levels <= c the 2-D tile
+      // amortizes weight loads across lanes, which pays even part-filled.
+      if (cluster_->config().level >= kernels::OptLevel::kLoadCompute &&
+          static_cast<int>(group.size()) < cap) {
+        group.resize(1);
+      }
+    }
+
+    uint64_t cycles = 0;
+    std::vector<std::vector<int16_t>> outputs;
+    if (group.size() == 1) {
+      auto er = cluster_->run_single(core, head.network, head.input);
+      cycles = er.cycles;
+      outputs = std::move(er.outputs);
+      ++r.single_execs;
+    } else {
+      std::vector<std::vector<int16_t>> inputs;
+      inputs.reserve(group.size());
+      for (size_t gi : group) inputs.push_back(pending[gi]->input);
+      auto er = cluster_->run_batched(core, head.network, inputs);
+      cycles = er.cycles;
+      outputs = std::move(er.outputs);
+      ++r.batched_execs;
+      r.batched_requests += group.size();
+      r.padded_slots +=
+          static_cast<uint64_t>(cluster_->config().batch) - group.size();
+    }
+
+    const uint64_t done = start + cycles;
+    for (size_t k = 0; k < group.size(); ++k) {
+      const Job& job = *pending[group[k]];
+      Completion c;
+      c.id = job.id;
+      c.network = job.network;
+      c.core = core;
+      c.group = static_cast<int>(group.size());
+      c.arrival = job.arrival;
+      c.start = start;
+      c.done = done;
+      c.wait_cycles = start - job.arrival;
+      c.exec_cycles = cycles;
+      c.outputs = std::move(outputs[k]);
+      RNNASIP_CHECK(job.id < r.completions.size());
+      r.completions[job.id] = std::move(c);
+    }
+    core_free[static_cast<size_t>(core)] = done;
+    r.core_busy[static_cast<size_t>(core)] += cycles;
+    r.makespan = std::max(r.makespan, done);
+
+    // Remove the group back-to-front so indices stay valid.
+    for (size_t k = group.size(); k-- > 0;) {
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(group[k]));
+    }
+  }
+  return r;
+}
+
+uint64_t ServeResult::latency_percentile(double p) const {
+  RNNASIP_CHECK(!completions.empty());
+  std::vector<uint64_t> lat;
+  lat.reserve(completions.size());
+  for (const Completion& c : completions) lat.push_back(c.latency());
+  std::sort(lat.begin(), lat.end());
+  const size_t n = lat.size();
+  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return lat[rank - 1];
+}
+
+double ServeResult::throughput_per_s(double mhz) const {
+  if (makespan == 0) return 0;
+  return static_cast<double>(completions.size()) /
+         (static_cast<double>(makespan) / (mhz * 1e6));
+}
+
+double ServeResult::utilization(int core) const {
+  if (makespan == 0) return 0;
+  return static_cast<double>(core_busy[static_cast<size_t>(core)]) /
+         static_cast<double>(makespan);
+}
+
+double ServeResult::batch_occupancy() const {
+  const uint64_t lanes = batched_requests + padded_slots;
+  return lanes == 0 ? 1.0
+                    : static_cast<double>(batched_requests) / static_cast<double>(lanes);
+}
+
+obs::Json serve_result_to_json(const ServeResult& r, double mhz) {
+  obs::Json j = obs::Json::object();
+  j.set("policy", policy_name(r.policy));
+  j.set("cores", r.cores);
+  j.set("batch", r.batch);
+  j.set("requests", static_cast<uint64_t>(r.completions.size()));
+  j.set("makespan_cycles", r.makespan);
+  j.set("mhz", mhz);
+  j.set("throughput_inf_per_s", r.throughput_per_s(mhz));
+  obs::Json lat = obs::Json::object();
+  lat.set("p50_cycles", r.latency_percentile(50));
+  lat.set("p95_cycles", r.latency_percentile(95));
+  lat.set("p99_cycles", r.latency_percentile(99));
+  lat.set("p50_us", static_cast<double>(r.latency_percentile(50)) / mhz);
+  lat.set("p95_us", static_cast<double>(r.latency_percentile(95)) / mhz);
+  lat.set("p99_us", static_cast<double>(r.latency_percentile(99)) / mhz);
+  j.set("latency", std::move(lat));
+  obs::Json util = obs::Json::array();
+  for (int c = 0; c < r.cores; ++c) util.push(r.utilization(c));
+  j.set("core_utilization", std::move(util));
+  obs::Json batching = obs::Json::object();
+  batching.set("single_execs", r.single_execs);
+  batching.set("batched_execs", r.batched_execs);
+  batching.set("batched_requests", r.batched_requests);
+  batching.set("padded_slots", r.padded_slots);
+  batching.set("occupancy", r.batch_occupancy());
+  j.set("batching", std::move(batching));
+  return j;
+}
+
+}  // namespace rnnasip::serve

@@ -1,0 +1,118 @@
+// Deterministic request scheduler over a serving Cluster.
+//
+// A Workload is a seeded synthetic request stream: Poisson-like arrivals
+// (exponential inter-arrival times from common::Rng), each request naming a
+// network and carrying a deterministic input vector. The scheduler drains
+// it in event order on N simulated cores whose clocks advance by the real
+// measured cycles of each program execution — so latency percentiles,
+// throughput and utilization are true cycle-level numbers, not analytic
+// estimates.
+//
+// Policies:
+//   kFifo     — next-free core takes the oldest pending request, single
+//               program per request.
+//   kBatched  — the next-free core scans the pending queue (bounded by what
+//               has *arrived* by its start time — no oracle) for up to B
+//               requests of the same network and runs them as one batched
+//               execution; non-batchable networks and singleton groups fall
+//               back to the single program.
+//
+// Everything is seeded and simulated: two runs with the same configuration
+// produce byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/serve/cluster.h"
+
+namespace rnnasip::serve {
+
+/// One synthetic inference request.
+struct Job {
+  uint64_t id = 0;
+  std::string network;
+  uint64_t arrival = 0;  ///< cycle the request enters the queue
+  std::vector<int16_t> input;
+};
+
+struct WorkloadConfig {
+  std::vector<std::string> networks;  ///< drawn uniformly per request
+  int requests = 128;
+  /// Mean cycles between consecutive arrivals (Poisson process rate
+  /// 1/mean); smaller = heavier load.
+  double mean_interarrival_cycles = 20'000;
+  uint64_t seed = 0x5EED;
+};
+
+struct Workload {
+  WorkloadConfig config;
+  std::vector<Job> jobs;  ///< sorted by arrival cycle
+};
+
+/// Deterministic Poisson-like request stream; inputs are uniform Q3.12
+/// vectors sized per network.
+Workload make_poisson_workload(const Cluster& cluster, const WorkloadConfig& cfg);
+
+enum class Policy { kFifo, kBatched };
+const char* policy_name(Policy p);
+
+/// One request's fate. The accounting identity
+///   done - arrival == wait_cycles + exec_cycles
+/// holds exactly: wait = start - arrival, exec = done - start.
+struct Completion {
+  uint64_t id = 0;
+  std::string network;
+  int core = 0;
+  int group = 1;  ///< coalesced group size this request ran in (1 = single)
+  uint64_t arrival = 0;
+  uint64_t start = 0;
+  uint64_t done = 0;
+  uint64_t wait_cycles = 0;
+  uint64_t exec_cycles = 0;
+  std::vector<int16_t> outputs;
+  uint64_t latency() const { return done - arrival; }
+};
+
+struct ServeResult {
+  Policy policy = Policy::kFifo;
+  int cores = 1;
+  int batch = 1;
+  std::vector<Completion> completions;  ///< ordered by request id
+  uint64_t makespan = 0;                ///< cycle the last request finishes
+  std::vector<uint64_t> core_busy;      ///< executing cycles per core
+  uint64_t batched_execs = 0;           ///< batched program executions
+  uint64_t batched_requests = 0;        ///< requests they served
+  uint64_t padded_slots = 0;            ///< zero-padded lanes in those
+  uint64_t single_execs = 0;
+
+  /// Nearest-rank percentile of request latency, in cycles.
+  uint64_t latency_percentile(double p) const;
+  /// Inferences per second at a core clock of `mhz`.
+  double throughput_per_s(double mhz) const;
+  /// Busy fraction of one core over the makespan.
+  double utilization(int core) const;
+  /// Filled fraction of batched lanes (1.0 = every lane carried a request).
+  double batch_occupancy() const;
+};
+
+class Scheduler {
+ public:
+  Scheduler(Cluster* cluster, Policy policy);
+
+  /// Drain the workload; deterministic in (cluster config, workload).
+  ServeResult run(const Workload& workload);
+
+ private:
+  Cluster* cluster_;
+  Policy policy_;
+};
+
+/// Deterministic JSON for one serving run (no host time, byte-stable).
+/// `mhz` converts cycle metrics to wall-clock ones (the paper's operating
+/// point for throughput claims is 500 MHz).
+obs::Json serve_result_to_json(const ServeResult& r, double mhz);
+
+}  // namespace rnnasip::serve

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/fault/fault_injector.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 #include "tests/iss_testutil.h"
 
 namespace rnnasip {
@@ -151,16 +151,18 @@ TEST(FaultInjector, CorruptedLoopDiesByWatchdogNotHang) {
 }
 
 TEST(FaultSuite, RateZeroCampaignMatchesFaultFreeAtEveryLevel) {
-  rrm::RrmNetwork net(rrm::find_network("naparstek17"));
+  rrm::Engine eng;
   for (OptLevel level : kernels::kAllOptLevels) {
-    rrm::RunOptions plain;
+    rrm::Request plain;
+    plain.network = "naparstek17";
+    plain.level = level;
     plain.timesteps = 2;
-    const auto ref = rrm::run_network(net, level, plain);
+    const auto ref = eng.run(plain).result;
     ASSERT_TRUE(ref.verified) << kernels::opt_level_name(level);
 
-    rrm::RunOptions campaign = plain;
+    rrm::Request campaign = plain;
     campaign.watchdog_cycles = rrm::kDefaultCampaignWatchdog;  // rates stay 0
-    const auto res = rrm::run_network(net, level, campaign);
+    const auto res = eng.run(campaign).result;
     EXPECT_TRUE(res.verified);
     EXPECT_TRUE(res.completed);
     EXPECT_EQ(res.cycles, ref.cycles) << kernels::opt_level_name(level);
@@ -171,16 +173,18 @@ TEST(FaultSuite, RateZeroCampaignMatchesFaultFreeAtEveryLevel) {
 }
 
 TEST(FaultSuite, SameSeedReproducesNetworkCampaign) {
-  rrm::RrmNetwork net(rrm::find_network("naparstek17"));
-  rrm::RunOptions opt;
-  opt.timesteps = 3;
-  opt.fault.seed = 77;
-  opt.fault.rate_of(fault::Target::kTcdm) = 5e-4;
-  opt.fault.rate_of(fault::Target::kRegFile) = 1e-4;
-  opt.watchdog_cycles = 2'000'000;
+  rrm::Engine eng;
+  rrm::Request req;
+  req.network = "naparstek17";
+  req.level = OptLevel::kXpulpSimd;
+  req.timesteps = 3;
+  req.fault.seed = 77;
+  req.fault.rate_of(fault::Target::kTcdm) = 5e-4;
+  req.fault.rate_of(fault::Target::kRegFile) = 1e-4;
+  req.watchdog_cycles = 2'000'000;
 
-  const auto a = rrm::run_network(net, OptLevel::kXpulpSimd, opt);
-  const auto b = rrm::run_network(net, OptLevel::kXpulpSimd, opt);
+  const auto a = eng.run(req).result;
+  const auto b = eng.run(req).result;
   EXPECT_EQ(a.faults_injected, b.faults_injected);
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.steps_completed, b.steps_completed);
@@ -190,10 +194,11 @@ TEST(FaultSuite, SameSeedReproducesNetworkCampaign) {
 }
 
 TEST(FaultSuite, WatchdogDegradesEveryNetworkYetSuiteCompletes) {
-  rrm::RunOptions opt;
-  opt.timesteps = 1;
-  opt.watchdog_cycles = 200;  // far below any network's forward pass
-  const auto s = rrm::run_suite(OptLevel::kInputTiling, opt);
+  rrm::Engine eng;
+  rrm::Request proto;
+  proto.timesteps = 1;
+  proto.watchdog_cycles = 200;  // far below any network's forward pass
+  const auto s = eng.run_suite(OptLevel::kInputTiling, proto);
   ASSERT_EQ(s.nets.size(), 10u);
   EXPECT_EQ(s.nets_completed, 0);
   EXPECT_EQ(s.nets_degraded, 10);
@@ -207,13 +212,14 @@ TEST(FaultSuite, WatchdogDegradesEveryNetworkYetSuiteCompletes) {
 }
 
 TEST(FaultSuite, InstrCampaignRunsAllTenNetworks) {
-  rrm::RunOptions opt;
-  opt.timesteps = 1;
-  opt.fault.seed = 42;
-  opt.fault.rate_of(fault::Target::kInstr) = 2e-3;
-  opt.watchdog_cycles = 2'000'000;
+  rrm::Engine eng;
+  rrm::Request proto;
+  proto.timesteps = 1;
+  proto.fault.seed = 42;
+  proto.fault.rate_of(fault::Target::kInstr) = 2e-3;
+  proto.watchdog_cycles = 2'000'000;
 
-  const auto a = rrm::run_suite(OptLevel::kXpulpSimd, opt);
+  const auto a = eng.run_suite(OptLevel::kXpulpSimd, proto);
   ASSERT_EQ(a.nets.size(), 10u);  // no abort, every network reported
   EXPECT_GT(a.faults_injected, 0u);
   int degraded = 0;
@@ -224,7 +230,7 @@ TEST(FaultSuite, InstrCampaignRunsAllTenNetworks) {
   EXPECT_EQ(degraded, a.nets_degraded);
 
   // Suite-level determinism: the same seed yields the same campaign.
-  const auto b = rrm::run_suite(OptLevel::kXpulpSimd, opt);
+  const auto b = eng.run_suite(OptLevel::kXpulpSimd, proto);
   EXPECT_EQ(a.faults_injected, b.faults_injected);
   EXPECT_EQ(a.nets_degraded, b.nets_degraded);
   EXPECT_EQ(a.total_cycles, b.total_cycles);

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/impl_model/impl_model.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 namespace rnnasip::impl_model {
 namespace {
@@ -22,10 +22,11 @@ TEST(AreaModel, MatchesPaperAnchors) {
 class CalibratedModel : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    rrm::RunOptions opt;
-    opt.verify = false;
-    base_ = new rrm::SuiteResult(rrm::run_suite(OptLevel::kBaseline, opt));
-    ext_ = new rrm::SuiteResult(rrm::run_suite(OptLevel::kInputTiling, opt));
+    rrm::Engine eng;
+    rrm::Request proto;
+    proto.verify = false;
+    base_ = new rrm::SuiteResult(eng.run_suite(OptLevel::kBaseline, proto));
+    ext_ = new rrm::SuiteResult(eng.run_suite(OptLevel::kInputTiling, proto));
   }
   static void TearDownTestSuite() {
     delete base_;
@@ -140,11 +141,12 @@ TEST(Metrics, UnitConversions) {
 }
 
 TEST(Activity, RatesAreSane) {
-  rrm::RunOptions opt;
-  opt.verify = false;
-  rrm::RrmNetwork net(rrm::find_network("wang18"));
-  const auto r = rrm::run_network(net, OptLevel::kInputTiling, opt);
-  const auto a = activity_from_stats(r.stats);
+  rrm::Engine eng;
+  rrm::Request req;
+  req.network = "wang18";
+  req.level = OptLevel::kInputTiling;
+  req.verify = false;
+  const auto a = activity_from_stats(eng.run(req).result.stats);
   EXPECT_GT(a.mac_rate, 0.5);   // pl.sdotsp dominates
   EXPECT_LE(a.mac_rate, 1.0);
   EXPECT_GT(a.lsu_rate, 0.5);   // folded loads keep the LSU busy

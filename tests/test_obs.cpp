@@ -15,7 +15,7 @@
 #include "src/obs/region.h"
 #include "src/obs/report.h"
 #include "src/obs/trace_export.h"
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 namespace rnnasip::obs {
 namespace {
@@ -165,16 +165,18 @@ TEST(NetObservation, InclusiveSumsDescendantsIntoAncestors) {
 // -------------------------------------------- suite observe + identity ----
 
 // The acceptance bar: the cycle-accounting identity holds, and is *checked*,
-// at every optimization level — run_network itself asserts
+// at every optimization level — the engine itself asserts
 // sum(region cycles) == ExecStats totals when observe is on, and we
 // re-verify from the returned observation here.
 TEST(SuiteObserve, IdentityHoldsAtEveryOptLevel) {
+  rrm::Engine eng;
   for (const char* name : {"ahmed19", "challita17"}) {
-    const rrm::RrmNetwork net(rrm::find_network(name));
     for (auto level : kernels::kAllOptLevels) {
-      rrm::RunOptions opt;
-      opt.observe = true;
-      const auto r = rrm::run_network(net, level, opt);
+      rrm::Request req;
+      req.network = name;
+      req.level = level;
+      req.observe = true;
+      const auto r = eng.run(req).result;
       ASSERT_TRUE(r.completed) << name;
       ASSERT_TRUE(r.obs) << name;
       EXPECT_TRUE(r.stats.identity_holds()) << name;
@@ -196,10 +198,12 @@ TEST(SuiteObserve, IdentityHoldsAtEveryOptLevel) {
 }
 
 TEST(SuiteObserve, LstmGateRegionsArePresentAndNested) {
-  const rrm::RrmNetwork net(rrm::find_network("challita17"));
-  rrm::RunOptions opt;
-  opt.observe = true;
-  const auto r = rrm::run_network(net, kernels::OptLevel::kInputTiling, opt);
+  rrm::Engine eng;
+  rrm::Request req;
+  req.network = "challita17";
+  req.level = kernels::OptLevel::kInputTiling;
+  req.observe = true;
+  const auto r = eng.run(req).result;
   ASSERT_TRUE(r.obs);
   int gates = 0;
   for (const auto& d : r.obs->map.defs()) {
@@ -218,11 +222,13 @@ TEST(SuiteObserve, LstmGateRegionsArePresentAndNested) {
 // ------------------------------------------------------------ timeline ----
 
 TEST(SuiteObserve, TimelineSpansNestProperly) {
-  const rrm::RrmNetwork net(rrm::find_network("ahmed19"));
-  rrm::RunOptions opt;
-  opt.observe = true;
-  opt.timeline = true;
-  const auto r = rrm::run_network(net, kernels::OptLevel::kInputTiling, opt);
+  rrm::Engine eng;
+  rrm::Request req;
+  req.network = "ahmed19";
+  req.level = kernels::OptLevel::kInputTiling;
+  req.observe = true;
+  req.timeline = true;
+  const auto r = eng.run(req).result;
   ASSERT_TRUE(r.obs);
   ASSERT_FALSE(r.obs->timeline.empty());
   EXPECT_FALSE(r.obs->timeline_truncated);
@@ -273,11 +279,13 @@ bool json_well_formed(const std::string& s) {
 }
 
 TEST(PerfettoExport, EmitsWellFormedTraceEventJson) {
-  const rrm::RrmNetwork net(rrm::find_network("ahmed19"));
-  rrm::RunOptions opt;
-  opt.observe = true;
-  opt.timeline = true;
-  const auto r = rrm::run_network(net, kernels::OptLevel::kXpulpSimd, opt);
+  rrm::Engine eng;
+  rrm::Request req;
+  req.network = "ahmed19";
+  req.level = kernels::OptLevel::kXpulpSimd;
+  req.observe = true;
+  req.timeline = true;
+  const auto r = eng.run(req).result;
   ASSERT_TRUE(r.obs);
   const std::string json = to_perfetto_json(*r.obs);
 
@@ -298,21 +306,24 @@ TEST(PerfettoExport, EmitsWellFormedTraceEventJson) {
 
 TEST(PerfettoExport, DeterministicAcrossSameSeedRuns) {
   auto once = [] {
-    const rrm::RrmNetwork net(rrm::find_network("eisen19"));
-    rrm::RunOptions opt;
-    opt.observe = true;
-    opt.timeline = true;
-    const auto r = rrm::run_network(net, kernels::OptLevel::kLoadCompute, opt);
-    return to_perfetto_json(*r.obs);
+    rrm::Engine eng;
+    rrm::Request req;
+    req.network = "eisen19";
+    req.level = kernels::OptLevel::kLoadCompute;
+    req.observe = true;
+    req.timeline = true;
+    return to_perfetto_json(*eng.run(req).result.obs);
   };
   EXPECT_EQ(once(), once());
 }
 
 TEST(Reports, RegionTableAndMarkdownRollups) {
-  const rrm::RrmNetwork net(rrm::find_network("ahmed19"));
-  rrm::RunOptions opt;
-  opt.observe = true;
-  const auto r = rrm::run_network(net, kernels::OptLevel::kInputTiling, opt);
+  rrm::Engine eng;
+  rrm::Request req;
+  req.network = "ahmed19";
+  req.level = kernels::OptLevel::kInputTiling;
+  req.observe = true;
+  const auto r = eng.run(req).result;
   ASSERT_TRUE(r.obs);
 
   const Table rt = region_table(*r.obs);
@@ -354,12 +365,34 @@ TEST(BenchIo, NoFlagsMeansDisabled) {
   const auto io = bench::BenchIo::parse(argc, argv);
   EXPECT_FALSE(io.json_enabled());
   EXPECT_FALSE(io.wall_time());
+  EXPECT_FALSE(io.observe());
+  EXPECT_FALSE(io.trace_enabled());
+  EXPECT_FALSE(io.has_seed());
+  EXPECT_EQ(io.seed(0x52414D), 0x52414Du);
+}
+
+TEST(BenchIo, ParsesObserveTraceAndSeed) {
+  char a0[] = "bench", a1[] = "--observe", a2[] = "--trace", a3[] = "/tmp/t.json";
+  char a4[] = "--seed", a5[] = "0x5EED", a6[] = "--own-flag";
+  char* argv[] = {a0, a1, a2, a3, a4, a5, a6, nullptr};
+  int argc = 7;
+  const auto io = bench::BenchIo::parse(argc, argv);
+  EXPECT_TRUE(io.observe());
+  EXPECT_TRUE(io.trace_enabled());
+  EXPECT_EQ(io.trace_path(), "/tmp/t.json");
+  EXPECT_TRUE(io.has_seed());
+  EXPECT_EQ(io.seed(0), 0x5EEDu);
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "--own-flag");
 }
 
 TEST(BenchIo, StatsJsonIsDeterministicAndCarriesTaxonomy) {
   auto run = [] {
-    const rrm::RrmNetwork net(rrm::find_network("eisen19"));
-    return rrm::run_network(net, kernels::OptLevel::kBaseline);
+    rrm::Engine eng;
+    rrm::Request req;
+    req.network = "eisen19";
+    req.level = kernels::OptLevel::kBaseline;
+    return eng.run(req).result;
   };
   const auto r1 = run();
   const auto r2 = run();

@@ -1,0 +1,51 @@
+// The deprecated rrm::run_network / rrm::run_suite shims must stay
+// bit-identical to the rrm::Engine they forward to for one release. This
+// test is intentionally the only in-tree caller of the free functions.
+#include <gtest/gtest.h>
+
+#include "src/rrm/engine.h"
+#include "src/rrm/suite.h"
+
+using namespace rnnasip;
+using kernels::OptLevel;
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(RrmShims, RunNetworkMatchesEngineRun) {
+  const rrm::RrmNetwork net(rrm::find_network("ahmed19"));
+  rrm::RunOptions opt;
+  opt.timesteps = 2;
+  const auto legacy = rrm::run_network(net, OptLevel::kInputTiling, opt);
+
+  rrm::Engine engine;
+  rrm::Request req;
+  req.network = "ahmed19";
+  req.level = OptLevel::kInputTiling;
+  req.timesteps = 2;
+  const auto modern = engine.run(req);
+
+  EXPECT_TRUE(legacy.completed);
+  EXPECT_TRUE(legacy.verified);
+  EXPECT_EQ(legacy.cycles, modern.result.cycles);
+  EXPECT_EQ(legacy.instrs, modern.result.instrs);
+  EXPECT_EQ(legacy.verified, modern.result.verified);
+}
+
+TEST(RrmShims, RunSuiteMatchesEngineRunSuite) {
+  rrm::RunOptions opt;
+  const auto legacy = rrm::run_suite(OptLevel::kLoadCompute, opt);
+
+  rrm::Engine engine;
+  const auto modern = engine.run_suite(OptLevel::kLoadCompute);
+
+  ASSERT_EQ(legacy.nets.size(), modern.nets.size());
+  for (size_t i = 0; i < legacy.nets.size(); ++i) {
+    EXPECT_EQ(legacy.nets[i].name, modern.nets[i].name);
+    EXPECT_EQ(legacy.nets[i].cycles, modern.nets[i].cycles) << legacy.nets[i].name;
+    EXPECT_EQ(legacy.nets[i].verified, modern.nets[i].verified) << legacy.nets[i].name;
+  }
+  EXPECT_EQ(legacy.total_cycles, modern.total_cycles);
+}
+
+#pragma GCC diagnostic pop

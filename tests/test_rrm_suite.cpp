@@ -4,7 +4,7 @@
 // suite-level speedups land in the paper's Table I band.
 #include <gtest/gtest.h>
 
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 namespace rnnasip::rrm {
 namespace {
@@ -21,9 +21,12 @@ class RrmNet : public ::testing::TestWithParam<SuiteCase> {};
 TEST_P(RrmNet, VerifiesBitExactAgainstGolden) {
   const auto& p = GetParam();
   RrmNetwork net(find_network(p.name));
-  RunOptions opt;
-  opt.timesteps = net.has_lstm() ? 3 : 1;
-  const auto r = run_network(net, p.level, opt);
+  Engine eng;
+  Request req;
+  req.network = p.name;
+  req.level = p.level;
+  req.timesteps = net.has_lstm() ? 3 : 1;
+  const auto r = eng.run(req).result;
   EXPECT_TRUE(r.verified) << p.name;
   EXPECT_GT(r.cycles, 0u);
   EXPECT_GE(r.cycles, r.instrs);  // stalls/penalties only add cycles
@@ -57,11 +60,14 @@ TEST(RrmSuite, SuiteHasTenNetworksInFig3Order) {
 TEST(RrmSuite, CyclesImproveMonotonicallyOnLargeNets) {
   // The big FC nets must gain at every optimization step (the paper's small
   // nets can lose a little at level e; the large ones must not).
+  Engine eng;
   for (const char* name : {"wang18", "yu17", "ye18"}) {
-    RrmNetwork net(find_network(name));
     uint64_t prev = UINT64_MAX;
     for (auto level : kernels::kAllOptLevels) {
-      const auto r = run_network(net, level);
+      Request req;
+      req.network = name;
+      req.level = level;
+      const auto r = eng.run(req).result;
       EXPECT_LT(r.cycles, prev)
           << name << " level " << kernels::opt_level_letter(level);
       prev = r.cycles;
@@ -72,13 +78,14 @@ TEST(RrmSuite, CyclesImproveMonotonicallyOnLargeNets) {
 TEST(RrmSuite, SuiteSpeedupsMatchTableIBands) {
   // Table I cumulative speedups: 4.4x (b), 8.4x (c), 14.3x (d), 15.0x (e).
   // We assert generous bands around those shapes.
-  RunOptions opt;
-  opt.verify = false;  // speed: correctness covered above
-  const auto base = run_suite(OptLevel::kBaseline, opt);
-  const auto b = run_suite(OptLevel::kXpulpSimd, opt);
-  const auto c = run_suite(OptLevel::kOutputTiling, opt);
-  const auto d = run_suite(OptLevel::kLoadCompute, opt);
-  const auto e = run_suite(OptLevel::kInputTiling, opt);
+  Engine eng;
+  Request proto;
+  proto.verify = false;  // speed: correctness covered above
+  const auto base = eng.run_suite(OptLevel::kBaseline, proto);
+  const auto b = eng.run_suite(OptLevel::kXpulpSimd, proto);
+  const auto c = eng.run_suite(OptLevel::kOutputTiling, proto);
+  const auto d = eng.run_suite(OptLevel::kLoadCompute, proto);
+  const auto e = eng.run_suite(OptLevel::kInputTiling, proto);
 
   const auto speedup = [&](const SuiteResult& s) {
     return static_cast<double>(base.total_cycles) / static_cast<double>(s.total_cycles);
@@ -100,10 +107,11 @@ TEST(RrmSuite, SuiteSpeedupsMatchTableIBands) {
 
 TEST(RrmSuite, SmallNetsGainLessFromTiling) {
   // Fig. 3: ahmed19 [3] and eisen19 [33] show the smallest speedups.
-  RunOptions opt;
-  opt.verify = false;
-  const auto base = run_suite(OptLevel::kBaseline, opt);
-  const auto e = run_suite(OptLevel::kInputTiling, opt);
+  Engine eng;
+  Request proto;
+  proto.verify = false;
+  const auto base = eng.run_suite(OptLevel::kBaseline, proto);
+  const auto e = eng.run_suite(OptLevel::kInputTiling, proto);
   auto speedup_of = [&](const char* name) {
     double b = 0, v = 0;
     for (const auto& r : base.nets)
@@ -118,34 +126,42 @@ TEST(RrmSuite, SmallNetsGainLessFromTiling) {
 }
 
 TEST(RrmSuite, LstmStatePersistsAcrossTimestepsOnDevice) {
-  RrmNetwork net(find_network("naparstek17"));
-  RunOptions opt;
-  opt.timesteps = 4;
-  const auto r = run_network(net, OptLevel::kInputTiling, opt);
-  EXPECT_TRUE(r.verified);  // golden is stateful too; a mismatch would show
+  Engine eng;
+  Request req;
+  req.network = "naparstek17";
+  req.level = OptLevel::kInputTiling;
+  req.timesteps = 4;
+  EXPECT_TRUE(eng.run(req).result.verified);  // golden is stateful too
 }
 
 TEST(RrmSuite, CoreConfigPropagatesToRuns) {
-  RrmNetwork net(find_network("eisen19"));
-  RunOptions plain;
-  plain.verify = false;
-  RunOptions slow = plain;
-  slow.core_config.timing.mem_wait_states = 2;
-  const auto fast = run_network(net, kernels::OptLevel::kInputTiling, plain);
-  const auto waits = run_network(net, kernels::OptLevel::kInputTiling, slow);
+  Engine::Config slow_cfg;
+  slow_cfg.core_config.timing.mem_wait_states = 2;
+  Engine plain_eng;
+  Engine slow_eng(slow_cfg);
+  Request req;
+  req.network = "eisen19";
+  req.level = kernels::OptLevel::kInputTiling;
+  req.verify = false;
+  const auto fast = plain_eng.run(req).result;
+  const auto waits = slow_eng.run(req).result;
   EXPECT_GT(waits.cycles, fast.cycles);
   EXPECT_EQ(waits.instrs, fast.instrs);  // wait states add cycles only
 }
 
 TEST(RrmSuite, MaxTileOptionChangesSchedule) {
-  RrmNetwork net(find_network("wang18"));
-  RunOptions wide;
-  wide.verify = false;
-  wide.max_tile = 8;
-  RunOptions narrow = wide;
-  narrow.max_tile = 2;
-  const auto w = run_network(net, kernels::OptLevel::kOutputTiling, wide);
-  const auto n = run_network(net, kernels::OptLevel::kOutputTiling, narrow);
+  Engine::Config wide_cfg;
+  wide_cfg.max_tile = 8;
+  Engine::Config narrow_cfg;
+  narrow_cfg.max_tile = 2;
+  Engine wide_eng(wide_cfg);
+  Engine narrow_eng(narrow_cfg);
+  Request req;
+  req.network = "wang18";
+  req.level = kernels::OptLevel::kOutputTiling;
+  req.verify = false;
+  const auto w = wide_eng.run(req).result;
+  const auto n = narrow_eng.run(req).result;
   EXPECT_LT(w.cycles, n.cycles);  // larger tiles share more input loads
 }
 

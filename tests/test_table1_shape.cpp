@@ -3,7 +3,7 @@
 // kernel-generator change that silently alters a schedule fails here.
 #include <gtest/gtest.h>
 
-#include "src/rrm/suite.h"
+#include "src/rrm/engine.h"
 
 namespace rnnasip::rrm {
 namespace {
@@ -25,10 +25,11 @@ double kinstr(const SuiteResult& s, const char* group) {
 class TableOneShape : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    RunOptions opt;
-    opt.verify = false;
+    Engine eng;
+    Request proto;
+    proto.verify = false;
     for (auto level : kernels::kAllOptLevels) {
-      results_->push_back(run_suite(level, opt));
+      results_->push_back(eng.run_suite(level, proto));
     }
   }
   static void TearDownTestSuite() { results_->clear(); }
