@@ -1,0 +1,160 @@
+#include "src/analysis/absval.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace rnnasip::analysis {
+
+namespace {
+
+// Values beyond this never arise from well-formed address or counter
+// arithmetic; collapsing to top keeps the math overflow-free in int64.
+constexpr int64_t kRange = int64_t{1} << 40;
+
+bool out_of_range(int64_t lo, int64_t hi) {
+  return lo < -kRange || hi > kRange;
+}
+
+uint32_t gcd_u32(uint64_t a, uint64_t b) {
+  return static_cast<uint32_t>(std::gcd(a, b));
+}
+
+}  // namespace
+
+AbsVal AbsVal::interval(int64_t lo, int64_t hi, uint32_t stride) {
+  if (lo == hi) return constant(lo);
+  if (lo > hi || out_of_range(lo, hi)) return any();
+  if (stride == 0 || (hi - lo) % stride != 0)
+    stride = 1;  // normalize a malformed stride rather than miscount
+  return AbsVal{lo, hi, stride, false};
+}
+
+std::string AbsVal::to_string() const {
+  if (top) return "top";
+  std::ostringstream os;
+  if (is_const()) {
+    os << lo;
+  } else {
+    os << "[" << lo << ", " << hi << "]/" << stride;
+  }
+  return os.str();
+}
+
+AbsVal join(const AbsVal& a, const AbsVal& b) {
+  if (a.top || b.top) return AbsVal::any();
+  if (a.same_as(b)) return a;
+  const int64_t lo = std::min(a.lo, b.lo);
+  const int64_t hi = std::max(a.hi, b.hi);
+  // All members of both sets stay congruent modulo the merged stride.
+  uint64_t g = std::gcd(static_cast<uint64_t>(a.stride),
+                        static_cast<uint64_t>(b.stride));
+  g = std::gcd(g, static_cast<uint64_t>(std::llabs(a.lo - b.lo)));
+  return AbsVal::interval(lo, hi, g > UINT32_MAX ? 1 : static_cast<uint32_t>(g));
+}
+
+AbsVal add(const AbsVal& a, const AbsVal& b) {
+  if (a.top || b.top) return AbsVal::any();
+  return AbsVal::interval(a.lo + b.lo, a.hi + b.hi, gcd_u32(a.stride, b.stride));
+}
+
+AbsVal add_const(const AbsVal& a, int64_t c) {
+  if (a.top) return AbsVal::any();
+  return AbsVal::interval(a.lo + c, a.hi + c, a.stride);
+}
+
+AbsVal sub(const AbsVal& a, const AbsVal& b) {
+  if (a.top || b.top) return AbsVal::any();
+  return AbsVal::interval(a.lo - b.hi, a.hi - b.lo, gcd_u32(a.stride, b.stride));
+}
+
+AbsVal mul(const AbsVal& a, const AbsVal& b) {
+  if (a.top || b.top) return AbsVal::any();
+  const AbsVal* v = &a;
+  const AbsVal* c = &b;
+  if (!c->is_const()) std::swap(v, c);
+  if (!c->is_const()) return AbsVal::any();
+  const int64_t k = c->lo;
+  if (k == 0) return AbsVal::constant(0);
+  if (std::llabs(k) > kRange || out_of_range(v->lo * k, v->hi * k))
+    return AbsVal::any();
+  const int64_t x = v->lo * k;
+  const int64_t y = v->hi * k;
+  const uint64_t s = static_cast<uint64_t>(v->stride) * std::llabs(k);
+  return AbsVal::interval(std::min(x, y), std::max(x, y),
+                          s > UINT32_MAX ? 1 : static_cast<uint32_t>(s));
+}
+
+AbsVal shl(const AbsVal& a, const AbsVal& sh) {
+  if (!sh.is_const() || sh.lo < 0 || sh.lo > 31) return AbsVal::any();
+  return mul(a, AbsVal::constant(int64_t{1} << sh.lo));
+}
+
+AbsVal sra(const AbsVal& a, const AbsVal& sh) {
+  if (!sh.is_const() || sh.lo < 0 || sh.lo > 31) return AbsVal::any();
+  const int64_t k = sh.lo;
+  const int64_t lo = a.top ? INT32_MIN : a.lo;
+  const int64_t hi = a.top ? INT32_MAX : a.hi;
+  auto floor_shift = [k](int64_t v) { return v >> k; };
+  const uint32_t s =
+      (!a.top && a.stride % (uint64_t{1} << k) == 0 && (a.lo >> k << k) == a.lo)
+          ? static_cast<uint32_t>(a.stride >> k)
+          : 1;
+  return AbsVal::interval(floor_shift(lo), floor_shift(hi), s);
+}
+
+AbsVal srl(const AbsVal& a, const AbsVal& sh) {
+  if (!sh.is_const() || sh.lo < 0 || sh.lo > 31) return AbsVal::any();
+  const int64_t k = sh.lo;
+  if (!a.top && a.lo >= 0 && a.hi <= INT64_C(0xFFFFFFFF)) return sra(a, sh);
+  // The pattern may be negative-as-signed: as a 32-bit unsigned shift the
+  // result spans [0, (2^32-1) >> k].
+  return AbsVal::interval(0, INT64_C(0xFFFFFFFF) >> k, 1);
+}
+
+AbsVal clip_signed(const AbsVal& a, unsigned width) {
+  if (width == 0 || width > 31) return a;
+  const int64_t lo = -(int64_t{1} << (width - 1));
+  const int64_t hi = (int64_t{1} << (width - 1)) - 1;
+  if (a.top) return AbsVal::interval(lo, hi, 1);
+  return AbsVal::interval(std::clamp(a.lo, lo, hi), std::clamp(a.hi, lo, hi), 1);
+}
+
+Refined refine_le(const AbsVal& a, int64_t ub) {
+  if (a.top) return {AbsVal::interval(INT32_MIN, ub, 1), ub < INT32_MIN};
+  if (a.hi <= ub) return {a, false};
+  if (a.lo > ub) return {a, true};
+  // Snap the new upper bound down onto the stride grid.
+  const int64_t hi = a.lo + (ub - a.lo) / a.stride * a.stride;
+  return {AbsVal::interval(a.lo, hi, a.stride), false};
+}
+
+Refined refine_ge(const AbsVal& a, int64_t lb) {
+  if (a.top) return {AbsVal::interval(lb, INT32_MAX, 1), lb > INT32_MAX};
+  if (a.lo >= lb) return {a, false};
+  if (a.hi < lb) return {a, true};
+  const int64_t lo = a.hi - (a.hi - lb) / a.stride * a.stride;
+  return {AbsVal::interval(lo, a.hi, a.stride), false};
+}
+
+Refined refine_eq(const AbsVal& a, int64_t c) {
+  if (a.top) return {AbsVal::constant(c), false};
+  const bool member =
+      c >= a.lo && c <= a.hi && (a.stride == 0 || (c - a.lo) % a.stride == 0);
+  return {AbsVal::constant(c), !member};
+}
+
+Refined refine_ult(const AbsVal& a, int64_t ub) {
+  if (ub <= 0) return {a, true};
+  Refined r = refine_ge(a, 0);
+  if (r.empty) {
+    // `a` is entirely negative-as-signed, i.e. huge as unsigned: if ub is
+    // in the positive signed range no value survives.
+    if (ub <= INT64_C(0x80000000)) return {a, true};
+    return {a, false};
+  }
+  Refined r2 = refine_le(r.val, ub - 1);
+  return r2;
+}
+
+}  // namespace rnnasip::analysis

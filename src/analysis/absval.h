@@ -1,0 +1,64 @@
+// Strided-interval abstract domain for register values.
+//
+// An AbsVal describes the set { lo + k*stride : 0 <= k*stride <= hi-lo }
+// over int64 (stride 0 <=> the single constant lo). `top` is any 32-bit
+// value. The domain is just rich enough for the generated kernels: li
+// constants, post-increment pointers (base + k*stride over a trip count),
+// shifted LUT indices, and branch-refined counters. Arithmetic that could
+// leave the modelled range collapses to top rather than wrapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rnnasip::analysis {
+
+struct AbsVal {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  uint32_t stride = 0;
+  bool top = true;
+
+  static AbsVal constant(int64_t v) { return AbsVal{v, v, 0, false}; }
+  static AbsVal interval(int64_t lo, int64_t hi, uint32_t stride);
+  static AbsVal any() { return AbsVal{}; }
+
+  bool is_const() const { return !top && lo == hi; }
+  bool same_as(const AbsVal& o) const {
+    if (top || o.top) return top == o.top;
+    return lo == o.lo && hi == o.hi && stride == o.stride;
+  }
+  std::string to_string() const;
+};
+
+AbsVal join(const AbsVal& a, const AbsVal& b);
+
+AbsVal add(const AbsVal& a, const AbsVal& b);
+AbsVal add_const(const AbsVal& a, int64_t c);
+AbsVal sub(const AbsVal& a, const AbsVal& b);
+AbsVal mul(const AbsVal& a, const AbsVal& b);
+AbsVal shl(const AbsVal& a, const AbsVal& sh);
+/// Arithmetic shift right of the signed 32-bit value.
+AbsVal sra(const AbsVal& a, const AbsVal& sh);
+/// Logical shift right of the 32-bit pattern: a value that may be negative
+/// widens to [0, (2^32-1) >> sh].
+AbsVal srl(const AbsVal& a, const AbsVal& sh);
+/// Clamp into the signed `width`-bit range (p.clip).
+AbsVal clip_signed(const AbsVal& a, unsigned width);
+
+/// Refinements used on branch edges. Each returns the subset of `a`
+/// satisfying the bound; `empty` is set when no value survives (the edge
+/// is statically dead).
+struct Refined {
+  AbsVal val;
+  bool empty = false;
+};
+Refined refine_le(const AbsVal& a, int64_t ub);   ///< keep values <= ub
+Refined refine_ge(const AbsVal& a, int64_t lb);   ///< keep values >= lb
+Refined refine_eq(const AbsVal& a, int64_t c);    ///< keep values == c
+/// Keep values that are unsigned-< `ub` where 0 <= ub < 2^31: the result
+/// is the subset within [0, ub-1] regardless of the sign range of `a`
+/// (negative signed values are huge unsigned values and drop out).
+Refined refine_ult(const AbsVal& a, int64_t ub);
+
+}  // namespace rnnasip::analysis

@@ -1,0 +1,300 @@
+#include "src/analysis/cfg.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/asm/disasm.h"
+#include "src/isa/instr_info.h"
+#include "src/isa/registers.h"
+
+namespace rnnasip::analysis {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+std::string at(const Instr& in, uint32_t pc) {
+  std::ostringstream os;
+  os << "`" << assembler::disassemble(in, pc) << "`";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<size_t> Cfg::index_at(uint32_t pc) const {
+  auto it = std::lower_bound(pcs.begin(), pcs.end(), pc);
+  if (it == pcs.end() || *it != pc) return std::nullopt;
+  return static_cast<size_t>(it - pcs.begin());
+}
+
+Cfg build_cfg(const assembler::Program& prog, Report& rep) {
+  Cfg cfg;
+  cfg.prog = &prog;
+  const size_t n = prog.instrs.size();
+  cfg.pcs.resize(n);
+  {
+    uint32_t pc = prog.base;
+    for (size_t i = 0; i < n; ++i) {
+      cfg.pcs[i] = pc;
+      pc += prog.instrs[i].size;
+    }
+  }
+  if (n == 0) return cfg;
+
+  // --- instruction scan: targets, hw regions, calls/returns ---
+  std::set<size_t> leaders{0};
+  // Direct control edges (from instr idx, to instr idx) for loop-entry
+  // validation; excludes calls and returns.
+  std::vector<std::pair<size_t, size_t>> direct_edges;
+  std::vector<size_t> latches;  // backward conditional branches
+  bool split_reported = false;
+
+  for (size_t i = 0; i < n; ++i) {
+    const Instr& in = prog.instrs[i];
+    const uint32_t pc = cfg.pcs[i];
+    switch (in.op) {
+      case Opcode::kLpStarti:
+      case Opcode::kLpEndi:
+      case Opcode::kLpCount:
+      case Opcode::kLpCounti:
+        cfg.has_split_hwl_setup = true;
+        if (!split_reported) {
+          rep.add("hwl.split-setup", Severity::kInfo, pc,
+                  "split lp.starti/lp.endi/lp.count form is not statically "
+                  "verified; loop structure and memory checks skipped");
+          split_reported = true;
+        }
+        break;
+      case Opcode::kLpSetup:
+      case Opcode::kLpSetupi: {
+        const auto h = isa::hwl_setup(in, pc);
+        const auto lo = cfg.index_at(h->start);
+        const auto hi = h->end == prog.end_address()
+                            ? std::optional<size_t>(n)
+                            : cfg.index_at(h->end);
+        if (h->end <= h->start) {
+          rep.add("hwl.empty-body", Severity::kError, pc,
+                  "hardware loop body is empty: " + at(in, pc));
+        } else if (!lo || !hi) {
+          rep.add("hwl.bad-bounds", Severity::kError, pc,
+                  "hardware loop end is outside the text or not on an "
+                  "instruction boundary: " + at(in, pc));
+        } else {
+          cfg.hw_regions.push_back(HwRegion{i, *lo, *hi, h->loop});
+          leaders.insert(*lo);
+          if (*hi < n) leaders.insert(*hi);
+        }
+        break;
+      }
+      case Opcode::kJal: {
+        const uint32_t t = pc + static_cast<uint32_t>(in.imm);
+        const auto ti = cfg.index_at(t);
+        if (!ti) {
+          rep.add("cfg.bad-target", Severity::kError, pc,
+                  "jump target is outside the text or not on an instruction "
+                  "boundary: " + at(in, pc));
+        } else {
+          leaders.insert(*ti);
+          if (in.rd != 0) {
+            cfg.call_sites.push_back(i);
+          } else {
+            direct_edges.emplace_back(i, *ti);
+            if (*ti <= i)
+              rep.add("cfg.irreducible-loop", Severity::kWarning, pc,
+                      "backward jump does not form a recognized loop: " +
+                          at(in, pc));
+          }
+        }
+        if (i + 1 < n) leaders.insert(i + 1);
+        break;
+      }
+      case Opcode::kJalr:
+        if (in.rd == 0 && in.rs1 == isa::kRa && in.imm == 0) {
+          cfg.return_sites.push_back(i);
+        } else {
+          rep.add("cfg.indirect-jump", Severity::kWarning, pc,
+                  "indirect jump with unresolvable target: " + at(in, pc));
+        }
+        if (i + 1 < n) leaders.insert(i + 1);
+        break;
+      case Opcode::kEbreak:
+      case Opcode::kEcall:
+        if (i + 1 < n) leaders.insert(i + 1);
+        break;
+      default:
+        if (isa::is_branch(in.op)) {
+          const uint32_t t = pc + static_cast<uint32_t>(in.imm);
+          const auto ti = cfg.index_at(t);
+          if (!ti) {
+            rep.add("cfg.bad-target", Severity::kError, pc,
+                    "branch target is outside the text or not on an "
+                    "instruction boundary: " + at(in, pc));
+          } else {
+            leaders.insert(*ti);
+            direct_edges.emplace_back(i, *ti);
+            if (*ti <= i) latches.push_back(i);
+          }
+          if (i + 1 < n) leaders.insert(i + 1);
+        }
+        break;
+    }
+  }
+
+  // The program must not run off the end of the text.
+  {
+    const Instr& last = prog.instrs[n - 1];
+    const bool falls = !(last.op == Opcode::kJal || last.op == Opcode::kJalr ||
+                         last.op == Opcode::kEbreak || last.op == Opcode::kEcall);
+    if (falls)
+      rep.add("cfg.fall-off-end", Severity::kError, cfg.pcs[n - 1],
+              "execution can fall off the end of the text after " +
+                  at(last, cfg.pcs[n - 1]));
+  }
+
+  // --- counted-loop recognition ---
+  // A latch i targeting head t forms the do-while body [t, i]. Reject
+  // shared heads and any control edge entering the body other than at the
+  // head.
+  {
+    std::set<size_t> heads;
+    std::set<size_t> dup_heads;
+    std::vector<std::pair<size_t, size_t>> cand;  // (head, latch)
+    for (size_t i : latches) {
+      const uint32_t t = cfg.pcs[i] + static_cast<uint32_t>(prog.instrs[i].imm);
+      const size_t head = *cfg.index_at(t);
+      if (!heads.insert(head).second) dup_heads.insert(head);
+      cand.emplace_back(head, i);
+    }
+    for (auto [head, latch] : cand) {
+      bool ok = true;
+      std::string why;
+      if (dup_heads.count(head) != 0) {
+        ok = false;
+        why = "two latches share the loop head";
+      }
+      for (auto [u, v] : direct_edges) {
+        if (u == latch && v == head) continue;
+        const bool u_in = u >= head && u <= latch;
+        const bool v_in = v > head && v <= latch;
+        if (!u_in && v_in) {
+          ok = false;
+          why = "control flow enters the loop body past its head";
+          break;
+        }
+      }
+      if (ok) {
+        cfg.counted_loops.push_back(CountedLoop{head, latch});
+      } else {
+        rep.add("cfg.irreducible-loop", Severity::kWarning, cfg.pcs[latch],
+                "backward branch does not form a recognized counted loop (" +
+                    why + "): " + at(prog.instrs[latch], cfg.pcs[latch]));
+      }
+    }
+  }
+
+  // --- proper-nesting validation across hw regions and counted loops ---
+  // Intervals must nest or be disjoint; a counted loop violating this is
+  // dropped (warning), overlapping hw regions are a hard error (reported
+  // by the legality pass via the surviving structure).
+  {
+    struct Node {
+      size_t start, end;  // [start, end)
+      bool hw;
+      size_t id;          // index into the owning vector
+    };
+    std::vector<Node> nodes;
+    for (size_t k = 0; k < cfg.hw_regions.size(); ++k)
+      nodes.push_back(Node{cfg.hw_regions[k].setup, cfg.hw_regions[k].body_hi,
+                           true, k});
+    for (size_t k = 0; k < cfg.counted_loops.size(); ++k)
+      nodes.push_back(Node{cfg.counted_loops[k].head,
+                           cfg.counted_loops[k].latch + 1, false, k});
+    std::sort(nodes.begin(), nodes.end(), [](const Node& a, const Node& b) {
+      return a.start != b.start ? a.start < b.start : a.end > b.end;
+    });
+    std::vector<Node> stack;
+    std::set<size_t> drop_counted;
+    for (const Node& nd : nodes) {
+      while (!stack.empty() && stack.back().end <= nd.start) stack.pop_back();
+      if (!stack.empty() && nd.end > stack.back().end) {
+        const Node& top = stack.back();
+        if (nd.hw && top.hw) {
+          const HwRegion& r = cfg.hw_regions[nd.id];
+          rep.add("hwl.overlap", Severity::kError, cfg.pcs[r.setup],
+                  "hardware-loop regions overlap without nesting");
+        } else {
+          const size_t cid = nd.hw ? top.id : nd.id;
+          drop_counted.insert(cid);
+          const CountedLoop& c = cfg.counted_loops[cid];
+          rep.add("cfg.irreducible-loop", Severity::kWarning, cfg.pcs[c.latch],
+                  "counted loop straddles a hardware-loop region boundary");
+        }
+        continue;  // do not push the violating interval
+      }
+      stack.push_back(nd);
+    }
+    if (!drop_counted.empty()) {
+      std::vector<CountedLoop> kept;
+      for (size_t k = 0; k < cfg.counted_loops.size(); ++k)
+        if (drop_counted.count(k) == 0) kept.push_back(cfg.counted_loops[k]);
+      cfg.counted_loops = std::move(kept);
+    }
+  }
+
+  // --- basic blocks ---
+  std::vector<size_t> starts(leaders.begin(), leaders.end());
+  cfg.block_of.assign(n, 0);
+  for (size_t b = 0; b < starts.size(); ++b) {
+    Block blk;
+    blk.first = starts[b];
+    blk.last = (b + 1 < starts.size() ? starts[b + 1] : n) - 1;
+    for (size_t i = blk.first; i <= blk.last; ++i) cfg.block_of[i] = b;
+    cfg.blocks.push_back(blk);
+  }
+
+  // Continuation blocks of every call, for return edges.
+  std::vector<size_t> continuations;
+  for (size_t c : cfg.call_sites)
+    if (c + 1 < n) continuations.push_back(cfg.block_of[c + 1]);
+
+  for (Block& blk : cfg.blocks) {
+    const size_t l = blk.last;
+    const Instr& in = prog.instrs[l];
+    const uint32_t pc = cfg.pcs[l];
+    auto add_to_idx = [&](size_t idx, EdgeKind kind) {
+      blk.succs.push_back(Edge{cfg.block_of[idx], kind});
+    };
+    if (isa::is_branch(in.op)) {
+      const auto ti = cfg.index_at(pc + static_cast<uint32_t>(in.imm));
+      if (ti) add_to_idx(*ti, EdgeKind::kTaken);
+      if (l + 1 < n) add_to_idx(l + 1, EdgeKind::kFall);
+    } else if (in.op == Opcode::kJal) {
+      const auto ti = cfg.index_at(pc + static_cast<uint32_t>(in.imm));
+      if (ti) add_to_idx(*ti, in.rd != 0 ? EdgeKind::kCall : EdgeKind::kJump);
+      // Over-approximate the call-return continuation as a fall edge.
+      if (in.rd != 0 && l + 1 < n) add_to_idx(l + 1, EdgeKind::kFall);
+    } else if (in.op == Opcode::kJalr) {
+      if (in.rd == 0 && in.rs1 == isa::kRa && in.imm == 0)
+        for (size_t cont : continuations)
+          blk.succs.push_back(Edge{cont, EdgeKind::kReturn});
+    } else if (in.op == Opcode::kEbreak || in.op == Opcode::kEcall) {
+      // terminal
+    } else if (l + 1 < n) {
+      add_to_idx(l + 1, EdgeKind::kFall);
+    }
+    // Hardware-loop back-edges fire on the sequential boundary at a region
+    // end; regions may share an end (nested loops retiring together).
+    for (const HwRegion& r : cfg.hw_regions)
+      if (l + 1 == r.body_hi) add_to_idx(r.body_lo, EdgeKind::kHwlBack);
+  }
+
+  rep.num_instrs = n;
+  rep.num_blocks = cfg.blocks.size();
+  rep.num_hw_loops = cfg.hw_regions.size();
+  rep.num_counted_loops = cfg.counted_loops.size();
+  return cfg;
+}
+
+}  // namespace rnnasip::analysis

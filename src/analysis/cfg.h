@@ -1,0 +1,81 @@
+// Control-flow recovery over a decoded program: basic blocks with typed
+// edges, hardware-loop regions, and recognized counted (branch-latched)
+// loops.
+//
+// The generated kernels are highly structured — hardware-loop bodies are
+// contiguous, software loops are do-while with a single backward latch —
+// and the recovery leans on that: any backward control flow that does not
+// fit the shape is reported (cfg.irreducible-loop) and excluded from the
+// loop structures rather than guessed at.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/analysis/report.h"
+#include "src/asm/program.h"
+
+namespace rnnasip::analysis {
+
+enum class EdgeKind : uint8_t {
+  kFall,    ///< sequential successor
+  kTaken,   ///< conditional branch taken
+  kJump,    ///< jal x0
+  kCall,    ///< jal with a link register
+  kReturn,  ///< jalr x0, ra — to every call continuation
+  kHwlBack, ///< hardware-loop back-edge at a region end boundary
+};
+
+struct Edge {
+  size_t to = 0;  ///< successor block index
+  EdgeKind kind = EdgeKind::kFall;
+};
+
+struct Block {
+  size_t first = 0;  ///< first instruction index
+  size_t last = 0;   ///< last instruction index (inclusive)
+  std::vector<Edge> succs;
+};
+
+/// A hardware loop: lp.setup/lp.setupi at `setup`, body instructions
+/// [body_lo, body_hi). Only structurally valid regions are recorded.
+struct HwRegion {
+  size_t setup = 0;
+  size_t body_lo = 0;
+  size_t body_hi = 0;
+  int loop = 0;  ///< loop register set index (0 or 1)
+};
+
+/// A recognized do-while software loop: body [head, latch], backward
+/// conditional branch at `latch` targeting `head`.
+struct CountedLoop {
+  size_t head = 0;
+  size_t latch = 0;
+};
+
+struct Cfg {
+  const assembler::Program* prog = nullptr;
+  std::vector<uint32_t> pcs;        ///< pc of each instruction
+  std::vector<Block> blocks;
+  std::vector<size_t> block_of;     ///< instruction index -> block index
+
+  std::vector<HwRegion> hw_regions;
+  std::vector<CountedLoop> counted_loops;
+  std::vector<size_t> call_sites;   ///< jal with rd != x0
+  std::vector<size_t> return_sites; ///< jalr x0, ra, 0
+
+  /// True when the program uses the split lp.starti/lp.endi/lp.count form,
+  /// which this verifier does not model (reported hwl.split-setup).
+  bool has_split_hwl_setup = false;
+
+  size_t size() const { return pcs.size(); }
+  uint32_t pc_of(size_t idx) const { return pcs[idx]; }
+  std::optional<size_t> index_at(uint32_t pc) const;
+};
+
+/// Recover the CFG, emitting cfg.* findings (bad targets, fall-off-end,
+/// indirect jumps, irreducible loops) into `rep`.
+Cfg build_cfg(const assembler::Program& prog, Report& rep);
+
+}  // namespace rnnasip::analysis

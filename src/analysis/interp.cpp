@@ -1,0 +1,979 @@
+#include "src/analysis/interp.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "src/analysis/absval.h"
+#include "src/asm/disasm.h"
+#include "src/isa/instr_info.h"
+#include "src/isa/registers.h"
+
+namespace rnnasip::analysis {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+// Hard cap on abstractly executed instructions. Loop summarization re-runs
+// each body three times per enclosing summarization, so the deepest
+// generated nest (6 levels) multiplies by at most 3^6 — far below this.
+constexpr uint64_t kStepBudget = 50'000'000;
+
+struct AbsState {
+  std::array<AbsVal, 32> r;
+  uint32_t maybe_undef = 0;  ///< bit r: xr may be read before any definition
+  uint8_t spr_undef = 0b11;  ///< SPR k never preloaded by a pl.sdotsp
+  int8_t last_spr = -1;      ///< SPR of the directly preceding pl.sdotsp
+                             ///< (-1 none, -2 merged/unknown)
+  bool bottom = true;
+};
+
+AbsVal getreg(const AbsState& st, uint8_t r) {
+  return r == 0 ? AbsVal::constant(0) : st.r[r];
+}
+
+AbsState join_state(const AbsState& a, const AbsState& b) {
+  if (a.bottom) return b;
+  if (b.bottom) return a;
+  AbsState o = a;
+  for (int i = 1; i < 32; ++i) o.r[i] = join(a.r[i], b.r[i]);
+  o.maybe_undef |= b.maybe_undef;
+  o.spr_undef |= b.spr_undef;
+  if (a.last_spr != b.last_spr) o.last_spr = -2;
+  return o;
+}
+
+struct Arrival {
+  AbsState st;
+  uint64_t cost = 0;
+};
+
+using Slot = std::optional<Arrival>;
+
+void merge(Slot& slot, const AbsState& st, uint64_t cost) {
+  if (st.bottom) return;
+  if (!slot) {
+    slot = Arrival{st, cost};
+  } else {
+    slot->st = join_state(slot->st, st);
+    slot->cost = std::min(slot->cost, cost);  // sound lower bound
+  }
+}
+
+/// Outcome of abstractly executing a contiguous index range.
+struct Flow {
+  Slot fall;  ///< state arriving exactly at the range end
+  Slot term;  ///< state at an ebreak/ecall
+  /// Arrivals past the range end (a branch out of a loop body); targets the
+  /// enclosing range's work list.
+  std::vector<std::pair<size_t, Arrival>> escapes;
+};
+
+/// A summarizable loop; hardware regions and recognized counted loops are
+/// both lowered to this.
+struct LoopNode {
+  bool hw = false;
+  size_t start = 0;    ///< lp.setup index, or counted-loop head
+  size_t body_lo = 0;  ///< body index range [body_lo, body_hi)
+  size_t body_hi = 0;  ///< for counted loops this is the latch index
+  size_t latch = 0;    ///< counted only: backward conditional branch
+  size_t exit_idx = 0;
+};
+
+/// One run of a loop body from a given entry state.
+struct BodyOut {
+  Slot back;        ///< state re-entering the body (next iteration)
+  Slot exitst;      ///< state leaving the loop
+  Slot at_latch;    ///< counted only: state just before the latch
+  uint64_t body_cost = 0;  ///< min cycles body entry -> latch/body end
+  Slot term;
+  std::vector<std::pair<size_t, Arrival>> escapes;
+};
+
+struct CallCtx {
+  uint32_t ret_pc = 0;
+  Slot* ret = nullptr;
+};
+
+/// Outcome of one conditional branch under an abstract state.
+struct BranchSplit {
+  AbsState taken;
+  AbsState fall;
+  bool taken_dead = false;
+  bool fall_dead = false;
+};
+
+int64_t lo_of(const AbsVal& v) { return v.top ? INT32_MIN : v.lo; }
+int64_t hi_of(const AbsVal& v) { return v.top ? INT32_MAX : v.hi; }
+bool known_nonneg(const AbsVal& v) { return !v.top && v.lo >= 0; }
+
+AbsVal load_result(Opcode op) {
+  switch (op) {
+    case Opcode::kLb:
+    case Opcode::kPLb:
+      return AbsVal::interval(-128, 127, 1);
+    case Opcode::kLbu:
+    case Opcode::kPLbu:
+      return AbsVal::interval(0, 255, 1);
+    case Opcode::kLh:
+    case Opcode::kPLh:
+    case Opcode::kPLhRr:
+      return AbsVal::interval(-32768, 32767, 1);
+    case Opcode::kLhu:
+    case Opcode::kPLhu:
+      return AbsVal::interval(0, 65535, 1);
+    default:
+      return AbsVal::any();
+  }
+}
+
+class Interp {
+ public:
+  Interp(const Cfg& cfg, const iss::MemoryMap& map,
+         const iss::TimingModel& timing, Report& rep)
+      : cfg_(cfg), map_(map), t_(timing), rep_(rep) {}
+
+  InterpResult run();
+
+ private:
+  const Cfg& cfg_;
+  const iss::MemoryMap& map_;
+  const iss::TimingModel& t_;
+  Report& rep_;
+
+  std::vector<LoopNode> nodes_;
+  std::map<size_t, std::vector<const LoopNode*>> nodes_at_;  // outermost first
+  std::vector<bool> visited_;
+  std::set<std::pair<std::string, uint32_t>> emitted_;
+  std::map<uint32_t, LoopBound> bounds_;
+  uint64_t steps_ = 0;
+  bool out_of_budget_ = false;
+
+  const Instr& in(size_t idx) const { return cfg_.prog->instrs[idx]; }
+  uint32_t pc(size_t idx) const { return cfg_.pcs[idx]; }
+  size_t n() const { return cfg_.size(); }
+
+  std::string disasm(size_t idx) const {
+    return "`" + assembler::disassemble(in(idx), pc(idx)) + "`";
+  }
+
+  void add(const std::string& rule, Severity sev, size_t idx,
+           const std::string& msg) {
+    if (emitted_.insert({rule, pc(idx)}).second) rep_.add(rule, sev, pc(idx), msg);
+  }
+
+  bool spend() {
+    if (++steps_ <= kStepBudget) return true;
+    if (!out_of_budget_) {
+      out_of_budget_ = true;
+      rep_.add("analysis.budget-exceeded", Severity::kWarning, 0,
+               "abstract interpretation step budget exhausted; remaining "
+               "checks skipped");
+    }
+    return false;
+  }
+
+  const LoopNode* node_starting_at(size_t idx, const LoopNode* skip) const {
+    auto it = nodes_at_.find(idx);
+    if (it == nodes_at_.end()) return nullptr;
+    for (const LoopNode* nd : it->second)
+      if (nd != skip) return nd;
+    return nullptr;
+  }
+
+  void check_reads(const Instr& ins, AbsState& st, size_t idx) {
+    const isa::RegUse u = isa::reg_use(ins);
+    const uint8_t rs[3] = {static_cast<uint8_t>(u.reads_rs1 ? ins.rs1 : 0),
+                           static_cast<uint8_t>(u.reads_rs2 ? ins.rs2 : 0),
+                           static_cast<uint8_t>(u.reads_rd ? ins.rd : 0)};
+    for (uint8_t r : rs) {
+      if (r != 0 && ((st.maybe_undef >> r) & 1u)) {
+        add("df.use-undef", Severity::kError, idx,
+            disasm(idx) + " reads " + isa::reg_name(r) +
+                " before any definition on some path");
+        st.maybe_undef &= ~(1u << r);  // report each register once per path
+      }
+    }
+  }
+
+  void check_mem(const isa::MemAccess& m, const AbsState& st, size_t idx) {
+    if (map_.empty()) return;
+    const AbsVal addr = add_const(getreg(st, m.addr_reg), m.offset);
+    if (addr.top) {
+      add("mem.unprovable", Severity::kWarning, idx,
+          "cannot bound the address of " + disasm(idx));
+      return;
+    }
+    if (m.bytes > 1 &&
+        (addr.lo % m.bytes != 0 || (addr.stride % m.bytes) != 0)) {
+      add("mem.misaligned", Severity::kError, idx,
+          disasm(idx) + " address " + addr.to_string() + " is not " +
+              std::to_string(m.bytes) + "-byte aligned");
+      return;
+    }
+    const char* rule = m.is_store ? "mem.oob-store" : "mem.oob-load";
+    const iss::MemSegment* seg =
+        addr.lo < 0 ? nullptr : map_.find(static_cast<uint32_t>(addr.lo));
+    if (seg == nullptr ||
+        static_cast<uint64_t>(addr.hi) + m.bytes > seg->end()) {
+      add(rule, Severity::kError, idx,
+          disasm(idx) + " accesses " + addr.to_string() + " (+ " +
+              std::to_string(m.bytes) + " bytes), outside every segment of " +
+              map_.to_string());
+      return;
+    }
+    if (m.is_store && !seg->writable) {
+      add("mem.write-protected", Severity::kError, idx,
+          disasm(idx) + " stores into read-only segment '" + seg->name + "'");
+    }
+  }
+
+  uint64_t instr_cost(const Instr& ins) const {
+    switch (isa::opcode_info(ins.op).unit) {
+      case isa::Unit::kDiv:
+        return t_.div_cycles;
+      case isa::Unit::kJump:
+        return 1 + t_.jump_penalty;
+      case isa::Unit::kLoad:
+      case isa::Unit::kStore:
+      case isa::Unit::kRnnDot:
+        return 1 + t_.mem_wait_states;
+      default:
+        return 1;  // branches are costed at the dispatch site
+    }
+  }
+
+  /// Abstractly execute one non-control instruction in place; returns its
+  /// minimum cycle cost.
+  uint64_t exec_instr(AbsState& st, size_t idx) {
+    const Instr& ins = in(idx);
+    check_reads(ins, st, idx);
+
+    if (ins.op == Opcode::kPlSdotspH0 || ins.op == Opcode::kPlSdotspH1) {
+      const int k = ins.op == Opcode::kPlSdotspH1 ? 1 : 0;
+      const std::string spr = std::to_string(k);
+      if (st.last_spr == k)
+        add("spr.back-to-back", Severity::kWarning, idx,
+            disasm(idx) + " reuses SPR " + spr +
+                " directly after the previous pl.sdotsp on the same SPR; the "
+                "weight stream expects strict .0/.1 alternation (this stalls "
+                "and consumes the same weight word twice)");
+      if (((st.spr_undef >> k) & 1u) && ins.rd != 0)
+        add("spr.uninit", Severity::kError, idx,
+            disasm(idx) + " accumulates from SPR " + spr +
+                " before any preload (pl.sdotsp.h." + spr +
+                " with rd=x0) initialized it");
+      st.spr_undef = static_cast<uint8_t>(st.spr_undef & ~(1u << k));
+      st.last_spr = static_cast<int8_t>(k);
+    } else {
+      st.last_spr = -1;
+    }
+
+    if (const auto m = isa::mem_access(ins)) check_mem(*m, st, idx);
+
+    const AbsVal a = getreg(st, ins.rs1);
+    const AbsVal b = getreg(st, ins.rs2);
+    const int32_t imm = ins.imm;
+    auto wr = [&st](uint8_t r, const AbsVal& v) {
+      if (r != 0) {
+        st.r[r] = v;
+        st.maybe_undef &= ~(1u << r);
+      }
+    };
+    auto fold2 = [&](int64_t v) { wr(ins.rd, AbsVal::constant(v)); };
+
+    switch (ins.op) {
+      case Opcode::kLui:
+        fold2(static_cast<int32_t>(static_cast<uint32_t>(imm) << 12));
+        break;
+      case Opcode::kAuipc:
+        fold2(static_cast<int32_t>(pc(idx) + (static_cast<uint32_t>(imm) << 12)));
+        break;
+      case Opcode::kAddi:
+        wr(ins.rd, add_const(a, imm));
+        break;
+      case Opcode::kAdd:
+        wr(ins.rd, analysis::add(a, b));  // the member add() shadows the op
+        break;
+      case Opcode::kSub:
+        wr(ins.rd, sub(a, b));
+        break;
+      case Opcode::kMul:
+        wr(ins.rd, mul(a, b));
+        break;
+      case Opcode::kSlli:
+        wr(ins.rd, shl(a, AbsVal::constant(imm)));
+        break;
+      case Opcode::kSll:
+        wr(ins.rd, shl(a, b));
+        break;
+      case Opcode::kSrai:
+        wr(ins.rd, sra(a, AbsVal::constant(imm)));
+        break;
+      case Opcode::kSra:
+        wr(ins.rd, sra(a, b));
+        break;
+      case Opcode::kSrli:
+        wr(ins.rd, srl(a, AbsVal::constant(imm)));
+        break;
+      case Opcode::kSrl:
+        wr(ins.rd, srl(a, b));
+        break;
+      case Opcode::kAndi:
+        if (a.is_const()) {
+          fold2(static_cast<int32_t>(a.lo) & imm);
+        } else if (imm > 0 && (imm & (imm + 1)) == 0) {
+          wr(ins.rd, AbsVal::interval(0, imm, 1));  // power-of-two mask
+        } else {
+          wr(ins.rd, AbsVal::any());
+        }
+        break;
+      case Opcode::kOri:
+        if (a.is_const()) fold2(static_cast<int32_t>(a.lo) | imm);
+        else wr(ins.rd, AbsVal::any());
+        break;
+      case Opcode::kXori:
+        if (a.is_const()) fold2(static_cast<int32_t>(a.lo) ^ imm);
+        else wr(ins.rd, AbsVal::any());
+        break;
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+        if (a.is_const() && b.is_const()) {
+          const int32_t x = static_cast<int32_t>(a.lo);
+          const int32_t y = static_cast<int32_t>(b.lo);
+          fold2(ins.op == Opcode::kAnd ? (x & y)
+                                       : ins.op == Opcode::kOr ? (x | y)
+                                                               : (x ^ y));
+        } else {
+          wr(ins.rd, AbsVal::any());
+        }
+        break;
+      case Opcode::kSlti:
+        if (hi_of(a) < imm) fold2(1);
+        else if (lo_of(a) >= imm) fold2(0);
+        else wr(ins.rd, AbsVal::interval(0, 1, 1));
+        break;
+      case Opcode::kSlt:
+        if (hi_of(a) < lo_of(b)) fold2(1);
+        else if (lo_of(a) >= hi_of(b)) fold2(0);
+        else wr(ins.rd, AbsVal::interval(0, 1, 1));
+        break;
+      case Opcode::kSltiu:
+        if (known_nonneg(a) && a.hi < imm && imm >= 0) fold2(1);
+        else if (known_nonneg(a) && imm >= 0 && a.lo >= imm) fold2(0);
+        else wr(ins.rd, AbsVal::interval(0, 1, 1));
+        break;
+      case Opcode::kSltu:
+        if (known_nonneg(a) && known_nonneg(b) && a.hi < b.lo) fold2(1);
+        else if (known_nonneg(a) && known_nonneg(b) && a.lo >= b.hi) fold2(0);
+        else wr(ins.rd, AbsVal::interval(0, 1, 1));
+        break;
+      case Opcode::kPMin:
+        if (!a.top && !b.top)
+          wr(ins.rd, AbsVal::interval(std::min(a.lo, b.lo),
+                                      std::min(a.hi, b.hi), 1));
+        else wr(ins.rd, AbsVal::any());
+        break;
+      case Opcode::kPMax:
+        if (!a.top && !b.top)
+          wr(ins.rd, AbsVal::interval(std::max(a.lo, b.lo),
+                                      std::max(a.hi, b.hi), 1));
+        else wr(ins.rd, AbsVal::any());
+        break;
+      case Opcode::kPAbs:
+        if (!a.top) {
+          const int64_t lo = a.lo >= 0 ? a.lo : (a.hi < 0 ? -a.hi : 0);
+          wr(ins.rd, AbsVal::interval(lo, std::max(std::llabs(a.lo),
+                                                   std::llabs(a.hi)), 1));
+        } else {
+          wr(ins.rd, AbsVal::any());
+        }
+        break;
+      case Opcode::kPExths:
+        if (a.is_const()) fold2(static_cast<int16_t>(a.lo));
+        else wr(ins.rd, AbsVal::interval(-32768, 32767, 1));
+        break;
+      case Opcode::kPExthz:
+        if (a.is_const()) fold2(static_cast<uint16_t>(a.lo));
+        else wr(ins.rd, AbsVal::interval(0, 65535, 1));
+        break;
+      case Opcode::kPExtbs:
+        if (a.is_const()) fold2(static_cast<int8_t>(a.lo));
+        else wr(ins.rd, AbsVal::interval(-128, 127, 1));
+        break;
+      case Opcode::kPExtbz:
+        if (a.is_const()) fold2(static_cast<uint8_t>(a.lo));
+        else wr(ins.rd, AbsVal::interval(0, 255, 1));
+        break;
+      case Opcode::kPClip:
+        wr(ins.rd, clip_signed(a, static_cast<unsigned>(imm)));
+        break;
+      case Opcode::kPClipu: {
+        const int64_t hi = imm > 0 && imm < 32 ? (int64_t{1} << (imm - 1)) - 1
+                                               : INT32_MAX;
+        if (!a.top)
+          wr(ins.rd, AbsVal::interval(std::clamp(a.lo, int64_t{0}, hi),
+                                      std::clamp(a.hi, int64_t{0}, hi), 1));
+        else wr(ins.rd, AbsVal::interval(0, hi, 1));
+        break;
+      }
+      default: {
+        // Generic transfer from the metadata: post-increment base update,
+        // then the destination (load results keep their natural range).
+        const isa::RegUse u = isa::reg_use(ins);
+        if (u.writes_rs1) {
+          const auto m = isa::mem_access(ins);
+          const AbsVal inc = m && m->reg_post_inc
+                                 ? b
+                                 : AbsVal::constant(m ? m->post_inc : 0);
+          wr(ins.rs1, analysis::add(a, inc));
+        }
+        if (u.writes_rd)
+          wr(ins.rd, isa::is_gpr_load(ins.op) ? load_result(ins.op)
+                                              : AbsVal::any());
+        break;
+      }
+    }
+    return instr_cost(ins);
+  }
+
+  BranchSplit split_branch(const AbsState& st, const Instr& ins) {
+    const AbsVal a = getreg(st, ins.rs1);
+    const AbsVal b = getreg(st, ins.rs2);
+    BranchSplit s{st, st, false, false};
+    auto apply = [](AbsState& dst, uint8_t r, const Refined& rv, bool& dead) {
+      if (rv.empty) dead = true;
+      else if (r != 0) dst.r[r] = rv.val;
+    };
+    const int64_t alo = lo_of(a), ahi = hi_of(a);
+    const int64_t blo = lo_of(b), bhi = hi_of(b);
+    switch (ins.op) {
+      case Opcode::kBeq:
+      case Opcode::kBne: {
+        // eq-side refinement/decision, then swap for bne.
+        AbsState eq = st;
+        bool eq_dead = false;
+        if (b.is_const()) apply(eq, ins.rs1, refine_eq(a, b.lo), eq_dead);
+        if (a.is_const()) apply(eq, ins.rs2, refine_eq(b, a.lo), eq_dead);
+        if (!a.top && !b.top && (a.hi < b.lo || b.hi < a.lo)) eq_dead = true;
+        const bool ne_dead = a.is_const() && b.is_const() && a.lo == b.lo;
+        if (ins.op == Opcode::kBeq) {
+          s.taken = eq;
+          s.taken_dead = eq_dead;
+          s.fall_dead = ne_dead;
+        } else {
+          s.fall = eq;
+          s.fall_dead = eq_dead;
+          s.taken_dead = ne_dead;
+        }
+        break;
+      }
+      case Opcode::kBlt:
+        s.taken_dead = alo >= bhi;
+        s.fall_dead = ahi < blo;
+        apply(s.taken, ins.rs1, refine_le(a, bhi - 1), s.taken_dead);
+        apply(s.taken, ins.rs2, refine_ge(b, alo + 1), s.taken_dead);
+        apply(s.fall, ins.rs1, refine_ge(a, blo), s.fall_dead);
+        apply(s.fall, ins.rs2, refine_le(b, ahi), s.fall_dead);
+        break;
+      case Opcode::kBge:
+        s.taken_dead = ahi < blo;
+        s.fall_dead = alo >= bhi;
+        apply(s.taken, ins.rs1, refine_ge(a, blo), s.taken_dead);
+        apply(s.taken, ins.rs2, refine_le(b, ahi), s.taken_dead);
+        apply(s.fall, ins.rs1, refine_le(a, bhi - 1), s.fall_dead);
+        apply(s.fall, ins.rs2, refine_ge(b, alo + 1), s.fall_dead);
+        break;
+      case Opcode::kBltu:
+        if (known_nonneg(b) || b.is_const())
+          apply(s.taken, ins.rs1, refine_ult(a, bhi), s.taken_dead);
+        if (known_nonneg(a) && known_nonneg(b)) {
+          apply(s.taken, ins.rs2, refine_ge(b, a.lo + 1), s.taken_dead);
+          apply(s.fall, ins.rs1, refine_ge(a, b.lo), s.fall_dead);
+          apply(s.fall, ins.rs2, refine_le(b, a.hi), s.fall_dead);
+          if (a.lo >= b.hi) s.taken_dead = true;
+          if (a.hi < b.lo) s.fall_dead = true;
+        }
+        break;
+      case Opcode::kBgeu:
+        if (known_nonneg(b) || b.is_const())
+          apply(s.fall, ins.rs1, refine_ult(a, bhi), s.fall_dead);
+        if (known_nonneg(a) && known_nonneg(b)) {
+          apply(s.fall, ins.rs2, refine_ge(b, a.lo + 1), s.fall_dead);
+          apply(s.taken, ins.rs1, refine_ge(a, b.lo), s.taken_dead);
+          apply(s.taken, ins.rs2, refine_le(b, a.hi), s.taken_dead);
+          if (a.lo >= b.hi) s.fall_dead = true;
+          if (a.hi < b.lo) s.taken_dead = true;
+        }
+        break;
+      default:
+        break;
+    }
+    // A branch is not a pl.sdotsp: it breaks SPR adjacency.
+    s.taken.last_spr = -1;
+    s.fall.last_spr = -1;
+    return s;
+  }
+
+  struct CallOut {
+    Slot ret;
+    Slot term;
+  };
+
+  CallOut exec_call(size_t tgt, const AbsState& st, uint32_t ret_pc,
+                    int depth) {
+    CallOut out;
+    CallCtx ctx{ret_pc, &out.ret};
+    Flow f = exec_range(tgt, n(), st, depth + 1, nullptr, &ctx);
+    out.term = f.term;
+    return out;
+  }
+
+  /// Execute [lo, hi). All intra-range edges are forward once loops are
+  /// summarized, so one ascending sweep over the work map visits every
+  /// index at most once with its fully joined entry state.
+  Flow exec_range(size_t lo, size_t hi, const AbsState& entry, int depth,
+                  const LoopNode* skip, const CallCtx* ctx) {
+    Flow out;
+    if (out_of_budget_ || depth > 64) return out;
+    std::map<size_t, Arrival> work;
+    merge_work(work, lo, entry, 0);
+    while (!work.empty()) {
+      auto it = work.begin();
+      const size_t idx = it->first;
+      AbsState st = std::move(it->second.st);
+      const uint64_t cost = it->second.cost;
+      work.erase(it);
+      if (idx == hi) {
+        merge(out.fall, st, cost);
+        continue;
+      }
+      if (idx > hi) {
+        out.escapes.emplace_back(idx, Arrival{std::move(st), cost});
+        continue;
+      }
+      if (!spend()) return out;
+      visited_[idx] = true;
+      if (const LoopNode* nd = node_starting_at(idx, skip)) {
+        exec_loop(*nd, st, cost, depth, work, out, ctx);
+        continue;
+      }
+      const Instr& ins = in(idx);
+      if (isa::is_branch(ins.op)) {
+        check_reads(ins, st, idx);
+        const auto ti = cfg_.index_at(pc(idx) + static_cast<uint32_t>(ins.imm));
+        BranchSplit s = split_branch(st, ins);
+        if (ti && *ti > idx && !s.taken_dead)
+          merge_work(work, *ti, s.taken, cost + 1 + t_.taken_branch_penalty);
+        // Backward targets are unrecognized latches (already warned); do not
+        // follow them.
+        if (!s.fall_dead) merge_work(work, idx + 1, s.fall, cost + 1);
+        continue;
+      }
+      switch (ins.op) {
+        case Opcode::kJal: {
+          const auto ti =
+              cfg_.index_at(pc(idx) + static_cast<uint32_t>(ins.imm));
+          if (!ti) continue;  // cfg.bad-target already reported
+          if (ins.rd == 0) {
+            if (*ti > idx)
+              merge_work(work, *ti, st, cost + 1 + t_.jump_penalty);
+            continue;
+          }
+          // A call. Link, then inline the callee at this call site.
+          AbsState linked = st;
+          linked.r[ins.rd] = AbsVal::constant(pc(idx) + ins.size);
+          linked.maybe_undef &= ~(1u << ins.rd);
+          linked.last_spr = -1;
+          if (ctx != nullptr) {
+            add("cfg.nested-call", Severity::kWarning, idx,
+                "call from inside a called routine; callee effects are "
+                "over-approximated (caller-saved registers clobbered)");
+            for (uint8_t r : {uint8_t{1}, uint8_t{5}, uint8_t{6}, uint8_t{7},
+                              uint8_t{10}, uint8_t{11}, uint8_t{12},
+                              uint8_t{13}, uint8_t{14}, uint8_t{15},
+                              uint8_t{16}, uint8_t{17}})
+              linked.r[r] = AbsVal::any();
+            merge_work(work, idx + 1, linked, cost + 1 + t_.jump_penalty);
+            continue;
+          }
+          CallOut c = exec_call(*ti, linked, pc(idx) + ins.size, depth);
+          if (c.ret)
+            merge_work(work, idx + 1, c.ret->st,
+                       cost + 1 + t_.jump_penalty + c.ret->cost);
+          if (c.term) merge(out.term, c.term->st, cost + c.term->cost);
+          continue;
+        }
+        case Opcode::kJalr: {
+          check_reads(ins, st, idx);
+          const bool is_ret =
+              ins.rd == 0 && ins.rs1 == isa::kRa && ins.imm == 0;
+          if (is_ret && ctx != nullptr) {
+            const AbsVal ra = getreg(st, isa::kRa);
+            if (!ra.is_const() ||
+                static_cast<uint32_t>(ra.lo) != ctx->ret_pc) {
+              std::ostringstream os;
+              os << disasm(idx) << " returns to " << ra.to_string()
+                 << " but the call site expects 0x" << std::hex << ctx->ret_pc
+                 << "; the link register was clobbered inside the routine";
+              add("df.ra-clobber", Severity::kError, idx, os.str());
+            }
+            merge(*ctx->ret, st, cost + 1 + t_.jump_penalty);
+          }
+          // Outside a call context the target is unknown (already warned as
+          // cfg.indirect-jump); the path ends here.
+          continue;
+        }
+        case Opcode::kEbreak:
+        case Opcode::kEcall:
+          merge(out.term, st, cost + 1);
+          continue;
+        default:
+          break;
+      }
+      const uint64_t c = exec_instr(st, idx);
+      merge_work(work, idx + 1, st, cost + c);
+    }
+    return out;
+  }
+
+  static void merge_work(std::map<size_t, Arrival>& work, size_t idx,
+                         const AbsState& st, uint64_t cost) {
+    if (st.bottom) return;
+    auto [it, fresh] = work.try_emplace(idx, Arrival{st, cost});
+    if (!fresh) {
+      it->second.st = join_state(it->second.st, st);
+      it->second.cost = std::min(it->second.cost, cost);
+    }
+  }
+
+  BodyOut body_once(const LoopNode& nd, const AbsState& s, int depth,
+                    const CallCtx* ctx) {
+    BodyOut b;
+    if (nd.hw) {
+      Flow f = exec_range(nd.body_lo, nd.body_hi, s, depth + 1, nullptr, ctx);
+      if (f.fall) {
+        b.body_cost = f.fall->cost;
+        // The back-edge is free and the final fall-through leaves the loop
+        // with the same abstract state.
+        merge(b.back, f.fall->st, f.fall->cost);
+        merge(b.exitst, f.fall->st, f.fall->cost);
+      }
+      b.term = std::move(f.term);
+      b.escapes = std::move(f.escapes);
+      return b;
+    }
+    Flow f = exec_range(nd.body_lo, nd.latch, s, depth + 1, &nd, ctx);
+    if (f.fall) {
+      AbsState at = f.fall->st;
+      b.body_cost = f.fall->cost;
+      merge(b.at_latch, at, f.fall->cost);
+      const Instr& latch = in(nd.latch);
+      visited_[nd.latch] = true;
+      check_reads(latch, at, nd.latch);
+      BranchSplit sp = split_branch(at, latch);
+      if (!sp.taken_dead)
+        merge(b.back, sp.taken, f.fall->cost + 1 + t_.taken_branch_penalty);
+      if (!sp.fall_dead) merge(b.exitst, sp.fall, f.fall->cost + 1);
+    }
+    b.term = std::move(f.term);
+    b.escapes = std::move(f.escapes);
+    return b;
+  }
+
+  /// Solve the latch condition for the iteration count. The operand values
+  /// at the latch of iteration k are affine: lhs_k = l1 + (k-1)*dl,
+  /// rhs_k = r1 + (k-1)*dr; the loop re-enters while the branch is taken.
+  static std::optional<uint64_t> solve_trips(Opcode op, int64_t l1, int64_t dl,
+                                             int64_t r1, int64_t dr,
+                                             bool unsigned_ok,
+                                             bool& never_exits) {
+    const int64_t u1 = l1 - r1;
+    const int64_t du = dl - dr;
+    never_exits = false;
+    std::optional<uint64_t> trips;
+    switch (op) {
+      case Opcode::kBne:
+        if (u1 == 0) trips = 1;
+        else if (du == 0 || (-u1) % du != 0 || 1 + (-u1) / du < 1)
+          never_exits = true;
+        else trips = static_cast<uint64_t>(1 + (-u1) / du);
+        break;
+      case Opcode::kBeq:
+        if (u1 != 0) trips = 1;
+        else if (du != 0) trips = 2;
+        else never_exits = true;
+        break;
+      case Opcode::kBlt:
+      case Opcode::kBltu:
+        if (u1 >= 0) trips = 1;
+        else if (du <= 0) never_exits = true;
+        else trips = static_cast<uint64_t>(1 + (-u1 + du - 1) / du);
+        break;
+      case Opcode::kBge:
+      case Opcode::kBgeu:
+        if (u1 < 0) trips = 1;
+        else if (du >= 0) never_exits = true;
+        else trips = static_cast<uint64_t>(2 + u1 / (-du));
+        break;
+      default:
+        return std::nullopt;
+    }
+    if (!trips) return std::nullopt;
+    if (op == Opcode::kBltu || op == Opcode::kBgeu) {
+      // The signed solution transfers only if both operands provably stay in
+      // the non-negative signed range over the whole run.
+      if (!unsigned_ok) return std::nullopt;
+      const int64_t k = static_cast<int64_t>(*trips) - 1;
+      for (int64_t v : {l1, r1, l1 + k * dl, r1 + k * dr})
+        if (v < 0 || v >= (int64_t{1} << 31)) return std::nullopt;
+    }
+    return trips;
+  }
+
+  /// Per-register entry-to-entry delta when S1 = S0 shifted by a constant.
+  static std::optional<int64_t> affine_delta(const AbsVal& v0,
+                                             const AbsVal& v1) {
+    if (v0.same_as(v1)) return 0;
+    if (v0.top || v1.top || v0.stride != v1.stride ||
+        v1.lo - v0.lo != v1.hi - v0.hi)
+      return std::nullopt;
+    return v1.lo - v0.lo;
+  }
+
+  /// Entry state covering every iteration: invariant registers keep S0,
+  /// affine registers widen to the strided interval swept over `trips`
+  /// iterations (all 32-bit values when the count is unknown), everything
+  /// else goes to top.
+  static AbsState widen(const AbsState& s0, const AbsState& s1,
+                        uint64_t trips) {
+    if (trips == 1) return s0;
+    AbsState w = s0;
+    for (int r = 1; r < 32; ++r) {
+      const auto d = affine_delta(s0.r[r], s1.r[r]);
+      if (d && *d == 0) continue;
+      if (d && trips > 0) {
+        const int64_t span = *d * static_cast<int64_t>(trips - 1);
+        const uint64_t g =
+            s0.r[r].stride == 0
+                ? static_cast<uint64_t>(std::llabs(*d))
+                : std::gcd(static_cast<uint64_t>(s0.r[r].stride),
+                           static_cast<uint64_t>(std::llabs(*d)));
+        w.r[r] = AbsVal::interval(
+            s0.r[r].lo + std::min<int64_t>(0, span),
+            s0.r[r].hi + std::max<int64_t>(0, span),
+            g > UINT32_MAX ? 1 : static_cast<uint32_t>(g));
+      } else {
+        w.r[r] = AbsVal::any();
+      }
+    }
+    w.maybe_undef |= s1.maybe_undef;
+    w.spr_undef |= s1.spr_undef;
+    if (w.last_spr != s1.last_spr) w.last_spr = -2;
+    return w;
+  }
+
+  /// Precise entry state of the final iteration.
+  static AbsState last_entry(const AbsState& s0, const AbsState& s1,
+                             const AbsState& w, uint64_t trips) {
+    AbsState l = w;
+    for (int r = 1; r < 32; ++r) {
+      const auto d = affine_delta(s0.r[r], s1.r[r]);
+      if (!d) continue;
+      const int64_t shift = *d * static_cast<int64_t>(trips - 1);
+      l.r[r] = AbsVal::interval(s0.r[r].lo + shift, s0.r[r].hi + shift,
+                                s0.r[r].stride);
+    }
+    return l;
+  }
+
+  void exec_loop(const LoopNode& nd, const AbsState& entry, uint64_t cost,
+                 int depth, std::map<size_t, Arrival>& work, Flow& out,
+                 const CallCtx* ctx) {
+    AbsState s0 = entry;
+    uint64_t c0 = cost;
+    std::optional<uint64_t> trips;
+
+    if (nd.hw) {
+      const Instr& su = in(nd.start);
+      visited_[nd.start] = true;
+      check_reads(su, s0, nd.start);
+      std::optional<int64_t> count;
+      if (su.op == Opcode::kLpSetupi) {
+        count = static_cast<uint32_t>(su.imm);
+      } else {
+        const AbsVal c = getreg(s0, su.rs1);
+        if (c.is_const()) count = c.lo;
+        if (su.op == Opcode::kLpSetup && count && *count == 0)
+          add("hwl.count-zero", Severity::kWarning, nd.start,
+              disasm(nd.start) +
+                  " sets an iteration count of 0; RI5CY cannot skip the "
+                  "body, which still executes once");
+      }
+      c0 += 1;
+      if (count) trips = static_cast<uint64_t>(std::max<int64_t>(*count, 1));
+      s0.last_spr = -1;  // the setup instruction breaks SPR adjacency
+    }
+
+    // Iteration 1 (states here are concrete behaviors, so findings are real).
+    BodyOut b1 = body_once(nd, s0, depth, ctx);
+    for (auto& e : b1.escapes) merge_work(work, e.first, e.second.st,
+                                          c0 + e.second.cost);
+    if (b1.term) merge(out.term, b1.term->st, c0 + b1.term->cost);
+
+    if (!nd.hw && b1.at_latch && b1.back) {
+      // Trip count from the latch condition.
+      const Instr& latch = in(nd.latch);
+      const AbsVal l1 = getreg(b1.at_latch->st, latch.rs1);
+      const AbsVal r1 = getreg(b1.at_latch->st, latch.rs2);
+      const auto dl = affine_delta(getreg(s0, latch.rs1),
+                                   getreg(b1.back->st, latch.rs1));
+      const auto dr = affine_delta(getreg(s0, latch.rs2),
+                                   getreg(b1.back->st, latch.rs2));
+      if (l1.is_const() && r1.is_const() && dl && dr) {
+        bool never = false;
+        trips = solve_trips(latch.op, l1.lo, *dl, r1.lo, *dr,
+                            /*unsigned_ok=*/true, never);
+        if (never)
+          add("cfg.nonterminating", Severity::kWarning, nd.latch,
+              "loop latch " + disasm(nd.latch) +
+                  " is provably always taken; the loop never exits");
+      }
+    }
+    if (!nd.hw && b1.at_latch && !b1.back) trips = 1;  // latch never taken
+
+    const AbsState& s1 = b1.back ? b1.back->st : s0;
+    const AbsState w = widen(s0, s1, trips.value_or(0));
+
+    // Full-range pass: every load/store, register read and SPR access is
+    // checked under the union of all iteration entry states.
+    BodyOut bw = b1;
+    if (trips.value_or(0) != 1) {
+      bw = body_once(nd, w, depth, ctx);
+      for (auto& e : bw.escapes) merge_work(work, e.first, e.second.st,
+                                            c0 + e.second.cost);
+      if (bw.term) merge(out.term, bw.term->st, c0 + bw.term->cost);
+    }
+
+    // Exit state: precise last-iteration run when the count is proven.
+    Slot exitst = bw.exitst ? bw.exitst : b1.exitst;
+    if (trips && *trips > 1) {
+      BodyOut be = body_once(nd, last_entry(s0, s1, w, *trips), depth, ctx);
+      if (be.exitst) exitst = be.exitst;
+      if (be.term) merge(out.term, be.term->st, c0 + be.term->cost);
+    }
+
+    // Cycle lower bound over the whole loop.
+    const uint64_t body = std::min(b1.body_cost, bw.body_cost);
+    const uint64_t t = trips.value_or(1);
+    uint64_t total;
+    if (nd.hw) {
+      total = t * body;  // zero-overhead back-edges
+    } else {
+      total = t * (body + 1) + (t - 1) * t_.taken_branch_penalty;
+    }
+
+    LoopBound lb;
+    lb.pc = pc(nd.start);
+    lb.hardware = nd.hw;
+    lb.trips = trips.value_or(0);
+    lb.body_min_cycles = nd.hw ? body : body + 1;
+    bounds_[lb.pc] = lb;
+
+    if (exitst) merge_work(work, nd.exit_idx, exitst->st, c0 + total);
+  }
+};
+
+InterpResult Interp::run() {
+  InterpResult res;
+  visited_.assign(n(), false);
+  if (n() == 0) return res;
+
+  // Lower the recognized loop structures.
+  for (const HwRegion& r : cfg_.hw_regions) {
+    LoopNode nd;
+    nd.hw = true;
+    nd.start = r.setup;
+    nd.body_lo = r.body_lo;
+    nd.body_hi = r.body_hi;
+    nd.exit_idx = r.body_hi;
+    nodes_.push_back(nd);
+  }
+  for (const CountedLoop& c : cfg_.counted_loops) {
+    LoopNode nd;
+    nd.hw = false;
+    nd.start = c.head;
+    nd.body_lo = c.head;
+    nd.body_hi = c.latch;
+    nd.latch = c.latch;
+    nd.exit_idx = c.latch + 1;
+    nodes_.push_back(nd);
+  }
+  for (const LoopNode& nd : nodes_) nodes_at_[nd.start].push_back(&nd);
+  for (auto& [idx, list] : nodes_at_) {
+    std::sort(list.begin(), list.end(),
+              [](const LoopNode* a, const LoopNode* b) {
+                const size_t ea = a->hw ? a->body_hi : a->latch + 1;
+                const size_t eb = b->hw ? b->body_hi : b->latch + 1;
+                return ea > eb;  // outermost first
+              });
+  }
+
+  // Initial state: the ISS resets all registers to 0, but a program should
+  // not rely on that — reads before a definition are still flagged while
+  // the value 0 keeps address arithmetic precise.
+  AbsState init;
+  init.bottom = false;
+  for (int r = 0; r < 32; ++r) init.r[r] = AbsVal::constant(0);
+  init.maybe_undef = ~1u;
+
+  Flow f = exec_range(0, n(), init, 0, nullptr, nullptr);
+
+  if (f.term) {
+    res.min_cycles = f.term->cost;
+  } else if (f.fall) {
+    res.min_cycles = f.fall->cost;  // fall-off-end is already an error
+  }
+  res.completed = !out_of_budget_;
+
+  for (auto& [lpc, lb] : bounds_) rep_.loops.push_back(lb);
+  rep_.min_cycles = res.min_cycles;
+
+  // Unreachable code (advisory): contiguous never-visited runs.
+  if (res.completed) {
+    size_t i = 0;
+    while (i < n()) {
+      if (visited_[i]) {
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < n() && !visited_[j]) ++j;
+      std::ostringstream os;
+      os << (j - i) << " instruction" << (j - i == 1 ? "" : "s")
+         << " never executed on any analyzed path, starting at "
+         << disasm(i);
+      rep_.add("cfg.unreachable", Severity::kInfo, pc(i), os.str());
+      i = j;
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+InterpResult interpret(const Cfg& cfg, const iss::MemoryMap& map,
+                       const iss::TimingModel& timing, Report& rep) {
+  Interp interp(cfg, map, timing, rep);
+  return interp.run();
+}
+
+}  // namespace rnnasip::analysis

@@ -1,0 +1,39 @@
+// Structural abstract interpretation over the recovered CFG.
+//
+// Registers carry strided intervals (absval.h). Loops are not iterated to
+// a fixpoint: each hardware loop / counted do-while is *summarized* — the
+// body is executed abstractly once from its entry state to detect affine
+// per-iteration deltas, the trip count is solved in closed form from the
+// latch condition (or taken from the lp.setup count), the entry state is
+// widened to the exact strided interval covering every iteration, and the
+// body is re-executed once more under that widened state to check every
+// load/store, register read, and SPR access for the whole iteration space.
+// A third pass under the last-iteration entry state recovers a precise
+// exit state so enclosing loops keep constant-foldable counters.
+//
+// Calls (jal ra) are executed inline per call site — routines never nest
+// in the generated programs, so this is exact call-site context
+// sensitivity. The pass also accumulates a static cycle lower bound
+// (shortest abstract path weighted by instruction minimum costs and
+// proven trip counts) and per-loop LoopBound records.
+#pragma once
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/report.h"
+#include "src/iss/memory_map.h"
+#include "src/iss/timing.h"
+
+namespace rnnasip::analysis {
+
+struct InterpResult {
+  uint64_t min_cycles = 0;
+  bool completed = false;  ///< false when the step budget was exhausted
+};
+
+/// Run the abstract interpretation, emitting df.*, spr.*, mem.*, and the
+/// remaining cfg./hwl. findings into `rep`, plus rep.loops/min_cycles.
+/// With an empty `map`, memory checks are skipped (no segment intent).
+InterpResult interpret(const Cfg& cfg, const iss::MemoryMap& map,
+                       const iss::TimingModel& timing, Report& rep);
+
+}  // namespace rnnasip::analysis

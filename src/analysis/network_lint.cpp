@@ -1,0 +1,22 @@
+#include "src/analysis/network_lint.h"
+
+#include "src/kernels/layout.h"
+
+namespace rnnasip::analysis {
+
+iss::MemoryMap memory_map_of(const kernels::BuiltNetwork& net) {
+  iss::MemoryMap map;
+  map.add({"text", net.program.base, net.program.size_bytes(),
+           /*writable=*/false});
+  if (net.data_bytes != 0)
+    map.add({"data", kernels::kDataBase, net.data_bytes, /*writable=*/true});
+  if (net.param_base != 0 && net.param_bytes != 0)
+    map.add({"params", net.param_base, net.param_bytes, /*writable=*/false});
+  return map;
+}
+
+Report verify_network(const kernels::BuiltNetwork& net, const Options& opts) {
+  return verify(net.program, memory_map_of(net), opts);
+}
+
+}  // namespace rnnasip::analysis

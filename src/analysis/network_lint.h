@@ -1,0 +1,20 @@
+// Linting a built network program: derives the memory map the build
+// intended (text read-only, activation/state buffers writable, split
+// parameter region read-only) and runs verify() against it.
+#pragma once
+
+#include "src/analysis/verify.h"
+#include "src/iss/memory_map.h"
+#include "src/kernels/network.h"
+
+namespace rnnasip::analysis {
+
+/// The segment intent of a built network: "text" (read-only), "data"
+/// (buffers + unsplit parameters, writable), and — for split builds —
+/// "params" (read-only weights/biases/LUTs).
+iss::MemoryMap memory_map_of(const kernels::BuiltNetwork& net);
+
+Report verify_network(const kernels::BuiltNetwork& net,
+                      const Options& opts = {});
+
+}  // namespace rnnasip::analysis

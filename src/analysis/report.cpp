@@ -1,0 +1,46 @@
+#include "src/analysis/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rnnasip::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "info";
+  }
+  return "?";
+}
+
+namespace {
+int count(const Report& r, Severity s) {
+  return static_cast<int>(std::count_if(
+      r.findings.begin(), r.findings.end(),
+      [s](const Finding& f) { return f.severity == s; }));
+}
+}  // namespace
+
+int Report::errors() const { return count(*this, Severity::kError); }
+int Report::warnings() const { return count(*this, Severity::kWarning); }
+int Report::infos() const { return count(*this, Severity::kInfo); }
+
+void Report::add(std::string rule, Severity sev, uint32_t pc, std::string message) {
+  findings.push_back(Finding{std::move(rule), sev, pc, std::move(message)});
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << severity_name(f.severity) << " [" << f.rule << "] pc=0x" << std::hex
+       << f.pc << std::dec << ": " << f.message << "\n";
+  }
+  os << errors() << " error(s), " << warnings() << " warning(s), " << infos()
+     << " info(s); " << num_instrs << " instrs, " << num_blocks << " blocks, "
+     << num_hw_loops << " hw loops, " << num_counted_loops
+     << " counted loops; min_cycles=" << min_cycles << "\n";
+  return os.str();
+}
+
+}  // namespace rnnasip::analysis

@@ -1,0 +1,67 @@
+// Structured findings produced by the static verifier.
+//
+// Every rule has a stable dotted id (catalogued in docs/ANALYSIS.md):
+//   cfg.*  control-flow recovery        (bad targets, unreachable code)
+//   hwl.*  hardware-loop legality       (RI5CY lp.setup constraints)
+//   spr.*  pl.sdotsp SPR protocol       (weight-streaming alternation)
+//   df.*   register dataflow            (def-before-use, dead defs)
+//   mem.*  abstract memory safety       (segment bounds, alignment, RO)
+//   perf.* cycle lower-bound invariants
+//
+// Severity gates: errors and warnings fail the lint (CI gate); infos are
+// advisory (e.g. SW activation routines emitted but never called at a
+// given optimization level).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rnnasip::analysis {
+
+enum class Severity { kError, kWarning, kInfo };
+
+const char* severity_name(Severity s);
+
+struct Finding {
+  std::string rule;     ///< stable dotted rule id, e.g. "hwl.branch-into"
+  Severity severity = Severity::kError;
+  uint32_t pc = 0;      ///< address of the offending instruction
+  std::string message;  ///< human-readable diagnosis (includes disassembly)
+};
+
+/// Static per-loop execution bound: `trips` iterations (0 when the trip
+/// count could not be proven) of a body costing at least `body_min_cycles`.
+struct LoopBound {
+  uint32_t pc = 0;        ///< lp.setup pc, or counted-loop head pc
+  bool hardware = false;  ///< lp.setup/lp.setupi vs branch-latched loop
+  uint64_t trips = 0;
+  uint64_t body_min_cycles = 0;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  std::vector<LoopBound> loops;
+
+  /// Static cycle lower bound for one forward pass (entry to ebreak),
+  /// 0 when abstract interpretation was skipped due to structural errors.
+  uint64_t min_cycles = 0;
+
+  size_t num_instrs = 0;
+  size_t num_blocks = 0;
+  size_t num_hw_loops = 0;
+  size_t num_counted_loops = 0;
+
+  int errors() const;
+  int warnings() const;
+  int infos() const;
+  /// Lint gate: no errors and no warnings.
+  bool clean() const { return errors() == 0 && warnings() == 0; }
+
+  void add(std::string rule, Severity sev, uint32_t pc, std::string message);
+
+  /// Multi-line human-readable listing (findings + totals).
+  std::string to_string() const;
+};
+
+}  // namespace rnnasip::analysis

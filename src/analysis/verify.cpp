@@ -1,0 +1,203 @@
+#include "src/analysis/verify.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/interp.h"
+#include "src/asm/disasm.h"
+#include "src/isa/instr_info.h"
+#include "src/isa/registers.h"
+
+namespace rnnasip::analysis {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+std::string at(const Cfg& cfg, size_t idx) {
+  return "`" +
+         assembler::disassemble(cfg.prog->instrs[idx], cfg.pcs[idx]) + "`";
+}
+
+bool in_body(const HwRegion& r, size_t idx) {
+  return idx >= r.body_lo && idx < r.body_hi;
+}
+
+/// RI5CY hardware-loop legality over the recovered regions.
+void hwl_legality(const Cfg& cfg, Report& rep) {
+  const auto& instrs = cfg.prog->instrs;
+
+  for (const HwRegion& r : cfg.hw_regions) {
+    // The back-edge fires only on sequential flow reaching the end
+    // boundary: a control transfer (or another setup) as the last body
+    // instruction would never trigger it.
+    const size_t last = r.body_hi - 1;
+    const Instr& li = instrs[last];
+    if (isa::is_control(li.op) || li.op == Opcode::kLpSetup ||
+        li.op == Opcode::kLpSetupi)
+      rep.add("hwl.last-insn", Severity::kError, cfg.pcs[last],
+              at(cfg, last) +
+                  " may not be the last instruction of a hardware-loop body "
+                  "(the back-edge fires only on sequential flow)");
+
+    if (instrs[r.setup].op == Opcode::kLpSetupi &&
+        static_cast<uint32_t>(instrs[r.setup].imm) == 0)
+      rep.add("hwl.count-zero", Severity::kWarning, cfg.pcs[r.setup],
+              at(cfg, r.setup) +
+                  " sets an iteration count of 0; RI5CY cannot skip the "
+                  "body, which still executes once");
+  }
+
+  // Nesting: the inner loop of a nested pair must use loop register set 0
+  // inside set 1, and nesting deeper than two is unencodable.
+  for (const HwRegion& inner : cfg.hw_regions) {
+    for (const HwRegion& outer : cfg.hw_regions) {
+      if (&inner == &outer) continue;
+      const bool nested =
+          outer.setup < inner.setup && inner.body_hi <= outer.body_hi;
+      if (!nested) continue;
+      if (!(inner.loop == 0 && outer.loop == 1)) {
+        std::ostringstream os;
+        os << "hardware loop L" << inner.loop << " nests inside L"
+           << outer.loop << "; RI5CY requires L0 inside L1: "
+           << at(cfg, inner.setup);
+        rep.add("hwl.nesting", Severity::kError, cfg.pcs[inner.setup],
+                os.str());
+      }
+    }
+  }
+
+  // Branches into or out of a body. Calls leaving a body (jal ra to a
+  // routine outside every region) and their jalr returns are the one legal
+  // exception — the generated programs call SW activation routines from
+  // inside loop bodies.
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    const Instr& in = instrs[i];
+    const auto t = isa::direct_target(in, cfg.pcs[i]);
+    if (!t) continue;
+    const auto ti = cfg.index_at(*t);
+    if (!ti) continue;  // cfg.bad-target already reported
+    const bool is_call = in.op == Opcode::kJal && in.rd != 0;
+    for (const HwRegion& r : cfg.hw_regions) {
+      const bool u_in = in_body(r, i);
+      const bool v_in = in_body(r, *ti);
+      if (u_in && !v_in && !is_call)
+        rep.add("hwl.branch-out", Severity::kError, cfg.pcs[i],
+                at(cfg, i) + " leaves the hardware-loop body set up by " +
+                    at(cfg, r.setup));
+      if (!u_in && v_in)
+        rep.add("hwl.branch-into", Severity::kError, cfg.pcs[i],
+                at(cfg, i) + " enters the hardware-loop body set up by " +
+                    at(cfg, r.setup) + " past its setup");
+    }
+  }
+}
+
+/// pl.sdotsp.h.x with rd == rs1 traps in the core (the LSU post-increment
+/// and the MAC result race on one register) — purely syntactic.
+void sdotsp_conflicts(const Cfg& cfg, Report& rep) {
+  const auto& instrs = cfg.prog->instrs;
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    const Instr& in = instrs[i];
+    if ((in.op == Opcode::kPlSdotspH0 || in.op == Opcode::kPlSdotspH1) &&
+        in.rd == in.rs1 && in.rd != 0)
+      rep.add("spr.rd-rs1-conflict", Severity::kError, cfg.pcs[i],
+              at(cfg, i) +
+                  " uses one register as both accumulator and stream "
+                  "pointer; this traps on the core (kRdRs1Conflict)");
+  }
+}
+
+/// May-liveness over the block graph; a definition whose value no path
+/// reads is advisory dead code (df.dead-def).
+void dead_defs(const Cfg& cfg, Report& rep) {
+  const auto& instrs = cfg.prog->instrs;
+  const size_t nb = cfg.blocks.size();
+  if (nb == 0) return;
+
+  auto reads_mask = [&](const Instr& in) {
+    uint32_t m = 0;
+    const isa::RegUse u = isa::reg_use(in);
+    if (u.reads_rs1) m |= 1u << in.rs1;
+    if (u.reads_rs2) m |= 1u << in.rs2;
+    if (u.reads_rd) m |= 1u << in.rd;
+    return m & ~1u;
+  };
+  auto writes_mask = [&](const Instr& in) {
+    uint32_t m = 0;
+    const isa::RegUse u = isa::reg_use(in);
+    if (u.writes_rd) m |= 1u << in.rd;
+    if (u.writes_rs1) m |= 1u << in.rs1;
+    return m & ~1u;
+  };
+
+  std::vector<uint32_t> live_in(nb, 0), live_out(nb, 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b = nb; b-- > 0;) {
+      uint32_t out = 0;
+      for (const Edge& e : cfg.blocks[b].succs) out |= live_in[e.to];
+      uint32_t live = out;
+      for (size_t i = cfg.blocks[b].last + 1; i-- > cfg.blocks[b].first;) {
+        live &= ~writes_mask(instrs[i]);
+        live |= reads_mask(instrs[i]);
+      }
+      if (out != live_out[b] || live != live_in[b]) {
+        live_out[b] = out;
+        live_in[b] = live;
+        changed = true;
+      }
+    }
+  }
+
+  for (size_t b = 0; b < nb; ++b) {
+    uint32_t live = live_out[b];
+    for (size_t i = cfg.blocks[b].last + 1; i-- > cfg.blocks[b].first;) {
+      const Instr& in = instrs[i];
+      const isa::RegUse u = isa::reg_use(in);
+      // Only flag pure value producers: post-increment side effects and
+      // link registers are addressing/control state, not dead values.
+      if (u.writes_rd && in.rd != 0 && !u.writes_rs1 &&
+          in.op != Opcode::kJal && in.op != Opcode::kJalr &&
+          ((live >> in.rd) & 1u) == 0)
+        rep.add("df.dead-def", Severity::kInfo, cfg.pcs[i],
+                "the value " + at(cfg, i) + " writes to " +
+                    isa::reg_name(in.rd) + " is never read");
+      live &= ~writes_mask(in);
+      live |= reads_mask(in);
+    }
+  }
+}
+
+}  // namespace
+
+Report verify(const assembler::Program& prog, const iss::MemoryMap& map,
+              const Options& opts) {
+  Report rep;
+  Cfg cfg = build_cfg(prog, rep);
+  hwl_legality(cfg, rep);
+  sdotsp_conflicts(cfg, rep);
+
+  // The abstract interpretation assumes a structurally sound program;
+  // errors above void that (and the split hardware-loop setup form is not
+  // modelled at all).
+  if (rep.errors() == 0 && !cfg.has_split_hwl_setup)
+    interpret(cfg, map, opts.timing, rep);
+
+  if (opts.dead_defs) dead_defs(cfg, rep);
+
+  std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.severity != b.severity)
+                       return static_cast<int>(a.severity) <
+                              static_cast<int>(b.severity);
+                     return a.pc < b.pc;
+                   });
+  return rep;
+}
+
+}  // namespace rnnasip::analysis

@@ -1,0 +1,32 @@
+// Entry point of the static program verifier (`rnnasip-lint` backend).
+//
+// verify() runs the full pass pipeline over a decoded program against a
+// declared memory map:
+//   1. CFG recovery                       (cfg.* findings)     cfg.h
+//   2. hardware-loop legality             (hwl.*, spr.rd-rs1-conflict)
+//   3. abstract interpretation            (df.*, spr.*, mem.*, cycle bound)
+//   4. dead-definition liveness           (df.dead-def, advisory)
+// Structural errors from 1–2 skip pass 3 (its preconditions do not hold).
+#pragma once
+
+#include "src/analysis/report.h"
+#include "src/asm/program.h"
+#include "src/iss/memory_map.h"
+#include "src/iss/timing.h"
+
+namespace rnnasip::analysis {
+
+struct Options {
+  /// Timing model for the static cycle lower bound; must match the target
+  /// core's configuration for the bound to be comparable to measured cycles.
+  iss::TimingModel timing;
+  /// Emit df.dead-def advisories (a liveness pass over the CFG).
+  bool dead_defs = true;
+};
+
+/// Verify `prog` against `map`. An empty map skips the memory-safety rules
+/// (no segment intent to check against).
+Report verify(const assembler::Program& prog, const iss::MemoryMap& map,
+              const Options& opts = {});
+
+}  // namespace rnnasip::analysis

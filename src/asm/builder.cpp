@@ -25,6 +25,20 @@ void ProgramBuilder::bind(Label l) {
 
 void ProgramBuilder::emit(Instr in) { instrs_.push_back(in); }
 
+bool ProgramBuilder::is_bound(Label l) const {
+  RNNASIP_CHECK(l.id < labels_.size());
+  return labels_[l.id] != SIZE_MAX;
+}
+
+size_t ProgramBuilder::label_index(Label l) const {
+  RNNASIP_CHECK_MSG(is_bound(l), "label_index on unbound label");
+  return labels_[l.id];
+}
+
+uint32_t ProgramBuilder::label_address(Label l) const {
+  return base_ + static_cast<uint32_t>(4 * label_index(l));
+}
+
 namespace {
 Instr make(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2, int32_t imm = 0,
            int32_t imm2 = 0) {

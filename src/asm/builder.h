@@ -35,6 +35,15 @@ class ProgramBuilder {
   /// Current instruction index (for size accounting in tests).
   size_t position() const { return instrs_.size(); }
 
+  // --- label introspection (static analysis, diagnostics) ---
+  /// Has `l` been bound to a position yet?
+  bool is_bound(Label l) const;
+  /// Instruction index a bound label points at.
+  size_t label_index(Label l) const;
+  /// Final address of a bound label (base + 4 * index; the builder only
+  /// emits 4-byte instructions).
+  uint32_t label_address(Label l) const;
+
   // --- RV32I ---
   void lui(Reg rd, int32_t imm20);
   void auipc(Reg rd, int32_t imm20);

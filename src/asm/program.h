@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,17 @@ struct Program {
 
   /// Total size in bytes.
   uint32_t size_bytes() const { return static_cast<uint32_t>(4 * instrs.size()); }
+
+  /// First address past the text.
+  uint32_t end_address() const { return base + size_bytes(); }
+
+  /// Index of the instruction at `pc`, or empty if `pc` is outside the
+  /// text or not on an instruction boundary.
+  std::optional<size_t> index_at(uint32_t pc) const {
+    if (pc < base || pc >= end_address() || ((pc - base) & 0x3) != 0)
+      return std::nullopt;
+    return static_cast<size_t>((pc - base) / 4);
+  }
 
   /// Encode the full instruction stream into words (for memory images and
   /// round-trip tests).

@@ -1,0 +1,208 @@
+#include "src/isa/instr_info.h"
+
+namespace rnnasip::isa {
+
+bool is_gpr_load(Opcode op) {
+  switch (op) {
+    case Opcode::kLb:
+    case Opcode::kLh:
+    case Opcode::kLw:
+    case Opcode::kLbu:
+    case Opcode::kLhu:
+    case Opcode::kPLb:
+    case Opcode::kPLh:
+    case Opcode::kPLw:
+    case Opcode::kPLbu:
+    case Opcode::kPLhu:
+    case Opcode::kPLwRr:
+    case Opcode::kPLhRr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_rmw(Opcode op) {
+  switch (op) {
+    case Opcode::kPMac:
+    case Opcode::kPMsu:
+    case Opcode::kPvSdotspH:
+    case Opcode::kPvSdotupH:
+    case Opcode::kPvSdotspB:
+    case Opcode::kPvSdotspScH:
+    case Opcode::kPvInsertH:
+    case Opcode::kPlSdotspH0:
+    case Opcode::kPlSdotspH1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Post-increment forms write rs1 back after the access.
+bool writes_rs1_back(Opcode op) {
+  switch (op) {
+    case Opcode::kPLb:
+    case Opcode::kPLbu:
+    case Opcode::kPLh:
+    case Opcode::kPLhu:
+    case Opcode::kPLw:
+    case Opcode::kPLwRr:
+    case Opcode::kPLhRr:
+    case Opcode::kPSb:
+    case Opcode::kPSh:
+    case Opcode::kPSw:
+    case Opcode::kPlSdotspH0:
+    case Opcode::kPlSdotspH1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+RegUse reg_use(const Instr& in) {
+  const OpcodeInfo& s = opcode_info(in.op);
+  RegUse u;
+  switch (s.format) {
+    case Format::kR:
+    case Format::kSimdR:
+      u.reads_rs1 = u.reads_rs2 = true;
+      u.reads_rd = is_rmw(in.op);
+      u.writes_rd = true;
+      break;
+    case Format::kI:        // alu-imm, loads, post-inc loads, jalr
+    case Format::kShift:
+    case Format::kClip:
+    case Format::kAct:
+    case Format::kCsr:
+      u.reads_rs1 = true;
+      u.writes_rd = true;
+      break;
+    case Format::kSimdImm:
+      u.reads_rs1 = true;
+      u.reads_rd = is_rmw(in.op);
+      u.writes_rd = true;
+      break;
+    case Format::kS:        // stores, post-inc stores
+    case Format::kB:
+      u.reads_rs1 = u.reads_rs2 = true;
+      break;
+    case Format::kU:
+    case Format::kJ:
+      u.writes_rd = true;
+      break;
+    case Format::kHwlReg:   // lp.count L, rs1
+    case Format::kHwlSetup: // lp.setup L, rs1, end — rd is the loop index
+      u.reads_rs1 = true;
+      break;
+    case Format::kSys:
+    case Format::kHwlImm:
+    case Format::kHwlSetupImm:
+      break;
+  }
+  u.writes_rs1 = writes_rs1_back(in.op);
+  return u;
+}
+
+bool reads_reg(const Instr& in, uint8_t r) {
+  if (r == 0) return false;
+  const RegUse u = reg_use(in);
+  return (u.reads_rs1 && in.rs1 == r) || (u.reads_rs2 && in.rs2 == r) ||
+         (u.reads_rd && in.rd == r);
+}
+
+bool writes_reg(const Instr& in, uint8_t r) {
+  if (r == 0) return false;
+  const RegUse u = reg_use(in);
+  return (u.writes_rd && in.rd == r) || (u.writes_rs1 && in.rs1 == r);
+}
+
+bool is_branch(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_jump(Opcode op) { return op == Opcode::kJal || op == Opcode::kJalr; }
+
+bool is_control(Opcode op) {
+  return is_branch(op) || is_jump(op) || op == Opcode::kEcall ||
+         op == Opcode::kEbreak;
+}
+
+std::optional<uint32_t> direct_target(const Instr& in, uint32_t pc) {
+  if (is_branch(in.op) || in.op == Opcode::kJal)
+    return pc + static_cast<uint32_t>(in.imm);
+  return std::nullopt;
+}
+
+std::optional<HwlSetup> hwl_setup(const Instr& in, uint32_t pc) {
+  HwlSetup h;
+  h.loop = in.rd & 1;
+  h.start = pc + 4;
+  if (in.op == Opcode::kLpSetup) {
+    h.end = pc + static_cast<uint32_t>(in.imm);
+    h.count_reg = in.rs1;
+    return h;
+  }
+  if (in.op == Opcode::kLpSetupi) {
+    h.end = pc + static_cast<uint32_t>(in.imm2);
+    h.count_imm = static_cast<uint32_t>(in.imm);
+    return h;
+  }
+  return std::nullopt;
+}
+
+std::optional<MemAccess> mem_access(const Instr& in) {
+  MemAccess m;
+  m.addr_reg = in.rs1;
+  switch (in.op) {
+    case Opcode::kLb: case Opcode::kLbu:
+      m.bytes = 1; m.offset = in.imm; return m;
+    case Opcode::kLh: case Opcode::kLhu:
+      m.bytes = 2; m.offset = in.imm; return m;
+    case Opcode::kLw:
+      m.bytes = 4; m.offset = in.imm; return m;
+    case Opcode::kSb:
+      m.bytes = 1; m.offset = in.imm; m.is_store = true; return m;
+    case Opcode::kSh:
+      m.bytes = 2; m.offset = in.imm; m.is_store = true; return m;
+    case Opcode::kSw:
+      m.bytes = 4; m.offset = in.imm; m.is_store = true; return m;
+    case Opcode::kPLb: case Opcode::kPLbu:
+      m.bytes = 1; m.post_inc = in.imm; return m;
+    case Opcode::kPLh: case Opcode::kPLhu:
+      m.bytes = 2; m.post_inc = in.imm; return m;
+    case Opcode::kPLw:
+      m.bytes = 4; m.post_inc = in.imm; return m;
+    case Opcode::kPLhRr:
+      m.bytes = 2; m.reg_post_inc = true; return m;
+    case Opcode::kPLwRr:
+      m.bytes = 4; m.reg_post_inc = true; return m;
+    case Opcode::kPSb:
+      m.bytes = 1; m.post_inc = in.imm; m.is_store = true; return m;
+    case Opcode::kPSh:
+      m.bytes = 2; m.post_inc = in.imm; m.is_store = true; return m;
+    case Opcode::kPSw:
+      m.bytes = 4; m.post_inc = in.imm; m.is_store = true; return m;
+    case Opcode::kPlSdotspH0:
+    case Opcode::kPlSdotspH1:
+      m.bytes = 4; m.post_inc = 4; return m;  // LSU half: weight-word stream
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace rnnasip::isa

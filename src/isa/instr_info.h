@@ -1,0 +1,82 @@
+// Per-instruction metadata derived from the spec table: register read/write
+// sets (including post-increment rs1 writes and read-modify-write rd reads),
+// control-flow classification with direct target computation, hardware-loop
+// setup decoding, and memory-access shape.
+//
+// This is the single place that knows which Instr fields an opcode actually
+// uses. The ISS keys its hazard detection off it and the static verifier
+// (src/analysis) keys its CFG recovery and dataflow off it, so the two can
+// never drift apart.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/isa/opcode.h"
+
+namespace rnnasip::isa {
+
+/// Which GPR operands an instruction reads and writes. The hardware-loop
+/// formats never touch GPRs through `rd` (that field holds the loop index).
+struct RegUse {
+  bool reads_rs1 = false;
+  bool reads_rs2 = false;
+  bool reads_rd = false;    ///< read-modify-write accumulate (p.mac, sdotsp)
+  bool writes_rd = false;
+  bool writes_rs1 = false;  ///< post-increment addressing side effect
+};
+
+RegUse reg_use(const Instr& in);
+
+/// Does `in` read GPR `r`? x0 never counts (matches the ISS hazard rule).
+bool reads_reg(const Instr& in, uint8_t r);
+
+/// Does `in` write GPR `r`? x0 never counts (writes to x0 are discarded).
+bool writes_reg(const Instr& in, uint8_t r);
+
+/// Loads that produce a GPR result (candidates for load-use interlocks).
+bool is_gpr_load(Opcode op);
+
+/// Instructions that also read their destination (read-modify-write).
+bool is_rmw(Opcode op);
+
+/// Conditional branches (beq..bgeu).
+bool is_branch(Opcode op);
+
+/// Unconditional control transfers (jal/jalr).
+bool is_jump(Opcode op);
+
+/// Any instruction that may redirect or terminate sequential flow
+/// (branch, jump, ecall/ebreak).
+bool is_control(Opcode op);
+
+/// Resolved pc-relative target of a conditional branch or jal at `pc`.
+/// Empty for everything else (including jalr, whose target is indirect).
+std::optional<uint32_t> direct_target(const Instr& in, uint32_t pc);
+
+/// Decoded lp.setup / lp.setupi operands. `count_reg` is meaningful only
+/// when `count_imm` is empty (register-count form).
+struct HwlSetup {
+  int loop = 0;                      ///< loop register set index (0 or 1)
+  uint32_t start = 0;                ///< first body instruction address
+  uint32_t end = 0;                  ///< first address past the body
+  std::optional<uint32_t> count_imm; ///< lp.setupi immediate count
+  uint8_t count_reg = 0;             ///< lp.setup count register
+};
+
+std::optional<HwlSetup> hwl_setup(const Instr& in, uint32_t pc);
+
+/// Shape of a data-memory access. `pl.sdotsp.h.{0,1}` reports as a 4-byte
+/// load with post-increment 4 (its LSU half).
+struct MemAccess {
+  uint32_t bytes = 0;        ///< access width: 1, 2 or 4
+  bool is_store = false;
+  uint8_t addr_reg = 0;      ///< base address register (rs1)
+  int32_t offset = 0;        ///< static offset (0 for post-increment forms)
+  int32_t post_inc = 0;      ///< immediate added to rs1 after the access
+  bool reg_post_inc = false; ///< rs1 += rs2 instead (p.lw rd, rs2(rs1!))
+};
+
+std::optional<MemAccess> mem_access(const Instr& in);
+
+}  // namespace rnnasip::isa

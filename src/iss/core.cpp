@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/isa/decode.h"
 #include "src/isa/encode.h"
+#include "src/isa/instr_info.h"
 #include "src/isa/registers.h"
 
 namespace rnnasip::iss {
@@ -23,85 +24,12 @@ bool is_rnn_ext(Opcode op) {
   return op >= Opcode::kPlSdotspH0 && op <= Opcode::kPlSig;
 }
 
-bool is_gpr_load(Opcode op) {
-  switch (op) {
-    case Opcode::kLb:
-    case Opcode::kLh:
-    case Opcode::kLw:
-    case Opcode::kLbu:
-    case Opcode::kLhu:
-    case Opcode::kPLb:
-    case Opcode::kPLh:
-    case Opcode::kPLw:
-    case Opcode::kPLbu:
-    case Opcode::kPLhu:
-    case Opcode::kPLwRr:
-    case Opcode::kPLhRr:
-      return true;
-    default:
-      return false;
-  }
-}
-
-/// Does this instruction also read its destination (read-modify-write)?
-bool is_rmw(Opcode op) {
-  switch (op) {
-    case Opcode::kPMac:
-    case Opcode::kPMsu:
-    case Opcode::kPvSdotspH:
-    case Opcode::kPvSdotupH:
-    case Opcode::kPvSdotspB:
-    case Opcode::kPvSdotspScH:
-    case Opcode::kPvInsertH:
-    case Opcode::kPlSdotspH0:
-    case Opcode::kPlSdotspH1:
-      return true;
-    default:
-      return false;
-  }
-}
-
-/// Does `in` read general-purpose register `r`? Used for load-use stalls;
-/// x0 never stalls.
-bool reads_reg(const Instr& in, uint8_t r) {
-  if (r == 0) return false;
-  const auto& s = isa::opcode_info(in.op);
-  using isa::Format;
-  bool rs1 = false, rs2 = false, rd = false;
-  switch (s.format) {
-    case Format::kR:
-    case Format::kSimdR:
-      rs1 = rs2 = true;
-      rd = is_rmw(in.op);
-      break;
-    case Format::kI:
-    case Format::kShift:
-    case Format::kClip:
-    case Format::kAct:
-    case Format::kCsr:
-      rs1 = true;
-      break;
-    case Format::kSimdImm:
-      rs1 = true;
-      rd = is_rmw(in.op);
-      break;
-    case Format::kS:
-    case Format::kB:
-      rs1 = rs2 = true;
-      break;
-    case Format::kHwlReg:
-    case Format::kHwlSetup:
-      rs1 = true;
-      break;
-    case Format::kU:
-    case Format::kJ:
-    case Format::kSys:
-    case Format::kHwlImm:
-    case Format::kHwlSetupImm:
-      break;
-  }
-  return (rs1 && in.rs1 == r) || (rs2 && in.rs2 == r) || (rd && in.rd == r);
-}
+// Register read/write classification is shared with the static verifier
+// via src/isa/instr_info.h so hazard detection and dataflow analysis key
+// off the same table.
+using isa::is_gpr_load;
+using isa::is_rmw;
+using isa::reads_reg;
 
 int32_t sdot_h(uint32_t a, uint32_t b) {
   return static_cast<int32_t>(half_lo(a)) * half_lo(b) +

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/common/check.h"
+
 namespace rnnasip::iss {
 
 namespace {
@@ -140,5 +142,11 @@ void Memory::map_segment(uint32_t seg_base,
 }
 
 void Memory::unmap_segments() { segments_.clear(); }
+
+Memory::SegmentInfo Memory::segment_info(size_t i) const {
+  RNNASIP_CHECK(i < segments_.size());
+  const Segment& s = segments_[i];
+  return SegmentInfo{s.base, s.size, s.read_only};
+}
 
 }  // namespace rnnasip::iss

@@ -64,6 +64,15 @@ class Memory {
   void unmap_segments();
   size_t segment_count() const { return segments_.size(); }
 
+  /// Bounds and protection of mapped segment `i` (segment queries for
+  /// MemoryMap::of and diagnostics).
+  struct SegmentInfo {
+    uint32_t base = 0;
+    uint32_t size = 0;
+    bool read_only = false;
+  };
+  SegmentInfo segment_info(size_t i) const;
+
  private:
   struct Segment {
     uint32_t base = 0;

@@ -1,0 +1,74 @@
+#include "src/iss/memory_map.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace rnnasip::iss {
+
+void MemoryMap::add(MemSegment seg) {
+  RNNASIP_CHECK_MSG(seg.size > 0, "empty memory-map segment");
+  for (const MemSegment& s : segs_) {
+    const bool disjoint = seg.end() <= s.base || s.end() <= seg.base;
+    RNNASIP_CHECK_MSG(disjoint, "overlapping memory-map segments");
+  }
+  auto it = std::lower_bound(
+      segs_.begin(), segs_.end(), seg.base,
+      [](const MemSegment& s, uint32_t b) { return s.base < b; });
+  segs_.insert(it, std::move(seg));
+}
+
+const MemSegment* MemoryMap::find(uint32_t addr) const {
+  for (const MemSegment& s : segs_) {
+    if (s.base > addr) break;
+    if (s.contains(addr)) return &s;
+  }
+  return nullptr;
+}
+
+const MemSegment* MemoryMap::enclosing(uint32_t addr, uint32_t bytes) const {
+  const MemSegment* s = find(addr);
+  if (s == nullptr || bytes == 0) return s;
+  return s->contains(addr, bytes) ? s : nullptr;
+}
+
+bool MemoryMap::writable(uint32_t addr, uint32_t bytes) const {
+  const MemSegment* s = enclosing(addr, bytes);
+  return s != nullptr && s->writable;
+}
+
+std::string MemoryMap::to_string() const {
+  std::ostringstream os;
+  for (const MemSegment& s : segs_) {
+    os << s.name << " [0x" << std::hex << s.base << ", 0x" << s.end() << ")"
+       << std::dec << (s.writable ? " rw" : " ro") << "\n";
+  }
+  return os.str();
+}
+
+MemoryMap MemoryMap::of(const Memory& mem) {
+  MemoryMap map;
+  for (size_t i = 0; i < mem.segment_count(); ++i) {
+    const Memory::SegmentInfo s = mem.segment_info(i);
+    map.add(MemSegment{"seg" + std::to_string(i), s.base, s.size, !s.read_only});
+  }
+  // Mapped segments shadow the flat storage, so the flat range appears as
+  // the gaps between them.
+  uint32_t cursor = mem.base();
+  const uint64_t flat_end = static_cast<uint64_t>(mem.base()) + mem.size();
+  size_t piece = 0;
+  for (const MemSegment& s : std::vector<MemSegment>(map.segs_)) {
+    if (s.end() <= cursor) continue;
+    if (s.base >= flat_end) break;
+    if (s.base > cursor)
+      map.add(MemSegment{"flat" + std::to_string(piece++), cursor, s.base - cursor, true});
+    cursor = s.end();
+  }
+  if (cursor < flat_end)
+    map.add(MemSegment{"flat" + std::to_string(piece), cursor,
+                       static_cast<uint32_t>(flat_end - cursor), true});
+  return map;
+}
+
+}  // namespace rnnasip::iss

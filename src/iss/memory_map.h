@@ -1,0 +1,69 @@
+// A queryable description of the device address space: named segments with
+// bounds and writability.
+//
+// The Memory model itself only distinguishes "flat storage" from "mapped
+// shared segments"; it has no notion of which addresses a *program* may
+// legitimately touch. The MemoryMap carries that intent — text here, buffer
+// region there, read-only parameters over there — so the static verifier
+// (src/analysis) can prove every load/store lands inside a mapped segment
+// before a single cycle is simulated, and so diagnostics can name the
+// segment an address falls in.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/iss/memory.h"
+
+namespace rnnasip::iss {
+
+struct MemSegment {
+  std::string name;
+  uint32_t base = 0;
+  uint32_t size = 0;
+  bool writable = true;
+
+  uint32_t end() const { return base + size; }
+  /// Does [addr, addr+bytes) lie entirely inside this segment?
+  bool contains(uint32_t addr, uint32_t bytes = 1) const {
+    return addr >= base && bytes <= size && addr - base <= size - bytes;
+  }
+};
+
+class MemoryMap {
+ public:
+  /// Add a segment. Segments are kept sorted by base; overlapping adds are
+  /// rejected (CHECK) — a map with ambiguous ownership is a caller bug.
+  void add(MemSegment seg);
+
+  /// Segment containing `addr`, or nullptr.
+  const MemSegment* find(uint32_t addr) const;
+  /// Segment fully containing [addr, addr+bytes), or nullptr. An access
+  /// spanning two adjacent segments is NOT enclosed — the hardware access
+  /// would belong to two different resources.
+  const MemSegment* enclosing(uint32_t addr, uint32_t bytes) const;
+  /// Is [addr, addr+bytes) inside one segment?
+  bool contains(uint32_t addr, uint32_t bytes = 1) const {
+    return enclosing(addr, bytes) != nullptr;
+  }
+  /// Is [addr, addr+bytes) inside one *writable* segment?
+  bool writable(uint32_t addr, uint32_t bytes = 1) const;
+
+  std::span<const MemSegment> segments() const { return segs_; }
+  bool empty() const { return segs_.empty(); }
+
+  /// One line per segment: "name [base, end) rw|ro".
+  std::string to_string() const;
+
+  /// Describe an existing Memory: its flat storage as one writable segment
+  /// plus every mapped shared segment (named "seg0", "seg1", ... in map
+  /// order, read-only flags preserved).
+  static MemoryMap of(const Memory& mem);
+
+ private:
+  std::vector<MemSegment> segs_;  // sorted by base
+};
+
+}  // namespace rnnasip::iss

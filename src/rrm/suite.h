@@ -1,6 +1,6 @@
-// Suite runner: executes RRM networks on the simulated core at a chosen
-// optimization level, verifying device outputs against the golden model and
-// collecting the statistics behind Table I and Fig. 3.
+// Result and option types for suite execution (the runner itself is
+// rrm::Engine, src/rrm/engine.h): per-network and whole-suite statistics
+// behind Table I and Fig. 3.
 //
 // Execution is resilient: a network run that traps or is killed by the
 // cycle watchdog (e.g. under an SEU campaign, see src/fault) is recorded as
@@ -76,14 +76,6 @@ struct NetRunResult {
   bool degraded() const { return !completed || !verified; }
 };
 
-/// Run one network at one level for opt.timesteps forward passes. Never
-/// throws on a trapped/watchdog-killed device run; see NetRunResult.
-[[deprecated(
-    "use rrm::Engine::run (src/rrm/engine.h); this shim is removed next "
-    "release")]]
-NetRunResult run_network(const RrmNetwork& net, kernels::OptLevel level,
-                         const RunOptions& opt = {});
-
 struct SuiteResult {
   std::vector<NetRunResult> nets;  ///< suite order, one entry per network
   iss::ExecStats total;            ///< merged over the suite
@@ -95,12 +87,5 @@ struct SuiteResult {
   int nets_degraded = 0;           ///< trapped, watchdog-killed, or diverged
   uint64_t faults_injected = 0;
 };
-
-/// Run the whole 10-network suite at one level. Degraded networks are
-/// recorded and the remaining networks still run.
-[[deprecated(
-    "use rrm::Engine::run_suite (src/rrm/engine.h); this shim is removed "
-    "next release")]]
-SuiteResult run_suite(kernels::OptLevel level, const RunOptions& opt = {});
 
 }  // namespace rnnasip::rrm

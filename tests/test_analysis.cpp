@@ -1,0 +1,329 @@
+// Static verifier: hand-built broken programs must each trip their rule,
+// and every generated suite program at every optimization level must lint
+// clean with a cycle lower bound the ISS respects.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/analysis/network_lint.h"
+#include "src/analysis/verify.h"
+#include "src/asm/builder.h"
+#include "src/iss/core.h"
+#include "src/iss/memory.h"
+#include "src/iss/memory_map.h"
+#include "src/kernels/layout.h"
+#include "src/kernels/network.h"
+#include "src/rrm/networks.h"
+
+namespace rnnasip {
+namespace {
+
+using assembler::ProgramBuilder;
+using isa::Reg;
+
+constexpr Reg kX5 = 5, kX6 = 6, kX10 = 10, kX11 = 11, kX12 = 12;
+
+iss::MemoryMap small_map() {
+  iss::MemoryMap map;
+  map.add({"text", 0x1000, 0x1000, /*writable=*/false});
+  map.add({"data", 0x10000, 16, /*writable=*/true});
+  map.add({"weights", 0x20000, 64, /*writable=*/false});
+  return map;
+}
+
+bool has_rule(const analysis::Report& rep, const std::string& rule) {
+  for (const auto& f : rep.findings) {
+    if (f.rule == rule) return true;
+  }
+  return false;
+}
+
+/// Every *error* in the report carries the expected rule (the program is
+/// broken in exactly one way).
+void expect_only_error(const analysis::Report& rep, const std::string& rule) {
+  EXPECT_GE(rep.errors(), 1) << rep.to_string();
+  for (const auto& f : rep.findings) {
+    if (f.severity == analysis::Severity::kError) {
+      EXPECT_EQ(f.rule, rule) << rep.to_string();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Negative programs: one defect, one rule.
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisNegative, BranchIntoHwLoopBody) {
+  ProgramBuilder b;
+  auto inside = b.make_label();
+  auto end = b.make_label();
+  b.li(kX5, 1);
+  b.bne(kX5, isa::kZero, inside);  // jumps past the setup into the body
+  b.lp_setupi(0, 4, end);
+  b.addi(kX6, kX6, 1);
+  b.bind(inside);
+  b.addi(kX6, kX6, 1);
+  b.bind(end);
+  b.ebreak();
+  const auto rep = analysis::verify(b.build(), small_map());
+  expect_only_error(rep, "hwl.branch-into");
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(AnalysisNegative, SprBackToBackDoubleUse) {
+  ProgramBuilder b;
+  b.li(kX10, 0x10000);
+  b.pl_sdotsp_h(0, isa::kZero, kX10, isa::kZero);  // preload SPR0
+  b.pl_sdotsp_h(0, isa::kZero, kX10, isa::kZero);  // SPR0 again: .0/.0
+  b.ebreak();
+  const auto rep = analysis::verify(b.build(), small_map());
+  EXPECT_TRUE(has_rule(rep, "spr.back-to-back")) << rep.to_string();
+  EXPECT_EQ(rep.errors(), 0) << rep.to_string();
+  EXPECT_FALSE(rep.clean());  // warnings gate too
+}
+
+TEST(AnalysisNegative, OobPostIncrementStoreWalk) {
+  ProgramBuilder b;
+  auto head = b.make_label();
+  b.li(kX10, 0x10000);
+  b.li(kX11, 10);  // 10 halfword stores walk 20 bytes over a 16-byte segment
+  b.bind(head);
+  b.p_sh(isa::kZero, 2, kX10);
+  b.addi(kX11, kX11, -1);
+  b.bne(kX11, isa::kZero, head);
+  b.ebreak();
+  const auto rep = analysis::verify(b.build(), small_map());
+  expect_only_error(rep, "mem.oob-store");
+}
+
+TEST(AnalysisNegative, StoreToWriteProtectedSegment) {
+  ProgramBuilder b;
+  b.li(kX10, 0x20000);  // the read-only "weights" segment
+  b.li(kX5, 1);
+  b.sh(kX5, 0, kX10);
+  b.ebreak();
+  const auto rep = analysis::verify(b.build(), small_map());
+  expect_only_error(rep, "mem.write-protected");
+}
+
+TEST(AnalysisNegative, UseBeforeDefinition) {
+  ProgramBuilder b;
+  b.add(kX10, kX11, kX12);  // x11/x12 never written
+  b.ebreak();
+  const auto rep = analysis::verify(b.build(), small_map());
+  expect_only_error(rep, "df.use-undef");
+}
+
+TEST(AnalysisNegative, ControlTransferAsLastBodyInstruction) {
+  ProgramBuilder b;
+  auto end = b.make_label();
+  b.lp_setupi(0, 2, end);
+  b.addi(kX5, kX5, 1);
+  b.ebreak();  // control as the last body instruction kills the back-edge
+  b.bind(end);
+  b.ebreak();
+  const auto rep = analysis::verify(b.build(), small_map());
+  expect_only_error(rep, "hwl.last-insn");
+}
+
+TEST(AnalysisNegative, SprAccumulateBeforePreload) {
+  ProgramBuilder b;
+  b.li(kX10, 0x10000);
+  b.li(kX11, 0);
+  b.li(kX12, 0);
+  b.pl_sdotsp_h(1, kX12, kX10, kX11);  // SPR1 never preloaded
+  b.ebreak();
+  const auto rep = analysis::verify(b.build(), small_map());
+  expect_only_error(rep, "spr.uninit");
+}
+
+TEST(AnalysisNegative, MisalignedWordStore) {
+  ProgramBuilder b;
+  b.li(kX10, 0x10001);
+  b.li(kX5, 0);
+  b.sw(kX5, 0, kX10);
+  b.ebreak();
+  const auto rep = analysis::verify(b.build(), small_map());
+  expect_only_error(rep, "mem.misaligned");
+}
+
+TEST(AnalysisNegative, FallOffEnd) {
+  ProgramBuilder b;
+  b.addi(kX5, isa::kZero, 1);  // no ebreak
+  const auto rep = analysis::verify(b.build(), small_map());
+  expect_only_error(rep, "cfg.fall-off-end");
+}
+
+TEST(AnalysisNegative, SdotspRdRs1Conflict) {
+  ProgramBuilder b;
+  b.li(kX10, 0x10000);
+  b.pl_sdotsp_h(0, kX10, kX10, isa::kZero);  // accumulator == stream pointer
+  b.ebreak();
+  const auto rep = analysis::verify(b.build(), small_map());
+  expect_only_error(rep, "spr.rd-rs1-conflict");
+}
+
+TEST(AnalysisNegative, WrongHwLoopNestingOrder) {
+  ProgramBuilder b;
+  auto oend = b.make_label();
+  auto iend = b.make_label();
+  b.li(kX5, 0);
+  b.li(kX6, 0);
+  b.lp_setupi(0, 2, oend);  // outer on L0,
+  b.lp_setupi(1, 2, iend);  // inner on L1: inverted
+  b.addi(kX5, kX5, 1);
+  b.bind(iend);
+  b.addi(kX6, kX6, 1);
+  b.bind(oend);
+  b.ebreak();
+  const auto rep = analysis::verify(b.build(), small_map());
+  expect_only_error(rep, "hwl.nesting");
+}
+
+TEST(AnalysisNegative, NonterminatingCountedLoop) {
+  ProgramBuilder b;
+  auto head = b.make_label();
+  b.li(kX5, 5);
+  b.bind(head);
+  b.addi(kX5, kX5, -2);  // 3, 1, -1, ... never equal to zero
+  b.bne(kX5, isa::kZero, head);
+  b.ebreak();
+  const auto rep = analysis::verify(b.build(), small_map());
+  EXPECT_TRUE(has_rule(rep, "cfg.nonterminating")) << rep.to_string();
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(AnalysisNegative, HwLoopCountZeroStillExecutesOnce) {
+  ProgramBuilder b;
+  auto end = b.make_label();
+  b.lp_setupi(0, 0, end);
+  b.addi(kX5, kX5, 1);
+  b.bind(end);
+  b.ebreak();
+  const auto rep = analysis::verify(b.build(), small_map());
+  EXPECT_TRUE(has_rule(rep, "hwl.count-zero")) << rep.to_string();
+  EXPECT_FALSE(rep.clean());
+}
+
+// ---------------------------------------------------------------------------
+// Cycle lower bound: exact on a stall-free hardware loop.
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisBound, ExactOnStraightLineHwLoop) {
+  ProgramBuilder b;
+  auto end = b.make_label();
+  b.li(kX5, 0);             // 1 cycle
+  b.lp_setupi(0, 4, end);   // 1 cycle
+  b.addi(kX5, kX5, 1);      // 4 x 2 cycles, back-edges free
+  b.addi(kX6, kX5, 0);
+  b.bind(end);
+  b.ebreak();               // 1 cycle
+  const auto prog = b.build();
+
+  const auto rep = analysis::verify(prog, iss::MemoryMap{});
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+  EXPECT_EQ(rep.min_cycles, 11u);
+  ASSERT_EQ(rep.loops.size(), 1u);
+  EXPECT_TRUE(rep.loops[0].hardware);
+  EXPECT_EQ(rep.loops[0].trips, 4u);
+  EXPECT_EQ(rep.loops[0].body_min_cycles, 2u);
+
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  core.load_program(prog);
+  core.reset(prog.base);
+  const auto run = core.run();
+  ASSERT_TRUE(run.ok()) << run.describe();
+  EXPECT_EQ(run.cycles, rep.min_cycles);
+}
+
+// ---------------------------------------------------------------------------
+// Memory-map queries.
+// ---------------------------------------------------------------------------
+
+TEST(MemoryMap, SegmentQueries) {
+  const iss::MemoryMap map = small_map();
+  ASSERT_EQ(map.segments().size(), 3u);
+  EXPECT_TRUE(map.contains(0x10000, 16));
+  EXPECT_FALSE(map.contains(0x10000, 17));
+  EXPECT_TRUE(map.writable(0x10000, 2));
+  EXPECT_FALSE(map.writable(0x20000, 2));
+  const auto* seg = map.find(0x2000F);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->name, "weights");
+  EXPECT_EQ(map.enclosing(0x1FFFF, 4), nullptr);  // straddles a gap
+}
+
+TEST(MemoryMap, OfLiveMemoryCoversMappedSegments) {
+  iss::Memory mem(1u << 16);
+  auto bytes = std::make_shared<std::vector<uint8_t>>(64, 0);
+  mem.map_segment(0x40000, bytes, /*read_only=*/true);
+  const auto map = iss::MemoryMap::of(mem);
+  const auto* seg = map.find(0x40010);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_FALSE(seg->writable);
+  EXPECT_TRUE(map.contains(0, 1u << 16));  // flat storage still covered
+}
+
+// ---------------------------------------------------------------------------
+// Positive: every suite program at every level lints clean.
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisSuite, AllNetworksAllLevelsClean) {
+  for (const auto& def : rrm::rrm_suite()) {
+    const rrm::RrmNetwork net{def};
+    for (kernels::OptLevel level : kernels::kAllOptLevels) {
+      iss::Memory mem(16u << 20);
+      iss::Core core(&mem);
+      const auto built = net.build(&mem, level, core.tanh_table(),
+                                   core.sig_table());
+      const auto rep = analysis::verify_network(built);
+      EXPECT_TRUE(rep.clean())
+          << def.name << " level " << kernels::opt_level_letter(level) << "\n"
+          << rep.to_string();
+      EXPECT_GT(rep.min_cycles, 0u) << def.name;
+    }
+  }
+}
+
+TEST(AnalysisSuite, SplitParameterBuildsClean) {
+  const rrm::RrmNetwork net{rrm::find_network("challita17")};
+  for (kernels::OptLevel level : kernels::kAllOptLevels) {
+    iss::Memory mem(16u << 20);
+    iss::Core core(&mem);
+    const auto built = net.build(&mem, level, core.tanh_table(),
+                                 core.sig_table(), /*max_tile=*/8,
+                                 kernels::kParamBase);
+    ASSERT_NE(built.param_base, 0u);
+    const auto rep = analysis::verify_network(built);
+    EXPECT_TRUE(rep.clean())
+        << "split level " << kernels::opt_level_letter(level) << "\n"
+        << rep.to_string();
+  }
+}
+
+TEST(AnalysisSuite, StaticBoundNeverExceedsMeasuredCycles) {
+  for (const char* name : {"ahmed19", "eisen19"}) {
+    const rrm::RrmNetwork net{rrm::find_network(name)};
+    for (kernels::OptLevel level : kernels::kAllOptLevels) {
+      iss::Memory mem(16u << 20);
+      iss::Core core(&mem);
+      const auto built = net.build(&mem, level, core.tanh_table(),
+                                   core.sig_table());
+      const auto rep = analysis::verify_network(built);
+      ASSERT_TRUE(rep.clean()) << name;
+      core.load_program(built.program);
+      kernels::reset_state(mem, built);
+      const auto input = net.make_input(0);
+      const auto fr = kernels::try_run_forward(core, mem, built, input);
+      ASSERT_TRUE(fr.ok()) << fr.result.describe();
+      EXPECT_LE(rep.min_cycles, fr.result.cycles)
+          << name << " level " << kernels::opt_level_letter(level);
+      EXPECT_GT(rep.min_cycles, fr.result.cycles / 2)  // bound is not vacuous
+          << name << " level " << kernels::opt_level_letter(level);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rnnasip

@@ -1,0 +1,241 @@
+// rnnasip_lint — static verification of the assembled RRM suite programs.
+//
+// Builds every suite network at the requested optimization levels, runs the
+// analysis::verify pass pipeline against the build's declared memory map,
+// and reports the findings. The process exit code is the CI gate: 0 when
+// every linted program is clean (no errors, no warnings), 1 otherwise.
+//
+// Usage:
+//   rnnasip_lint [--network NAME] [--level a|b|c|d|e] [--split]
+//                [--measure] [--pedantic] [--json FILE] [--quiet]
+//
+//   --network NAME  lint one suite network (default: all 10)
+//   --level X       lint one optimization level (default: all 5)
+//   --split         build with a split read-only parameter region
+//   --measure       also execute each program on the ISS and require
+//                   static min_cycles <= measured cycles
+//   --pedantic      print advisory (info) findings too
+//   --json FILE     write a machine-readable report ("-" for stdout)
+//   --quiet         only print failing cases and the summary
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/network_lint.h"
+#include "src/iss/core.h"
+#include "src/iss/memory.h"
+#include "src/kernels/layout.h"
+#include "src/kernels/network.h"
+#include "src/kernels/opt_level.h"
+#include "src/obs/json.h"
+#include "src/rrm/networks.h"
+
+namespace {
+
+using namespace rnnasip;
+
+struct CliOptions {
+  std::string network;  // empty = all
+  std::optional<kernels::OptLevel> level;
+  bool split = false;
+  bool measure = false;
+  bool pedantic = false;
+  bool quiet = false;
+  std::string json_path;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--network NAME] [--level a|b|c|d|e] [--split] [--measure]"
+               " [--pedantic] [--json FILE] [--quiet]\n";
+  return 2;
+}
+
+std::optional<kernels::OptLevel> parse_level(const std::string& s) {
+  if (s.size() != 1 || s[0] < 'a' || s[0] > 'e') return std::nullopt;
+  return static_cast<kernels::OptLevel>(s[0] - 'a');
+}
+
+struct CaseResult {
+  std::string network;
+  char level = 'a';
+  bool split = false;
+  analysis::Report report;
+  uint64_t measured_cycles = 0;  // 0 = not measured
+  bool bound_ok = true;
+  bool gate_ok = true;
+};
+
+CaseResult lint_case(const rrm::RrmNetwork& net, kernels::OptLevel level,
+                     const CliOptions& opt) {
+  CaseResult res;
+  res.network = net.def().name;
+  res.level = kernels::opt_level_letter(level);
+  res.split = opt.split;
+
+  iss::Memory mem(16u << 20);
+  iss::Core core(&mem);
+  const uint32_t param_base = opt.split ? kernels::kParamBase : 0;
+  const auto built = net.build(&mem, level, core.tanh_table(),
+                               core.sig_table(), /*max_tile=*/8, param_base);
+
+  analysis::Options vopts;
+  res.report = analysis::verify_network(built, vopts);
+  res.gate_ok = res.report.clean();
+
+  if (opt.measure) {
+    core.load_program(built.program);
+    kernels::reset_state(mem, built);
+    const auto input = net.make_input(0);
+    auto fr = kernels::try_run_forward(core, mem, built, input);
+    res.measured_cycles = fr.result.cycles;
+    if (!fr.ok() || res.report.min_cycles > fr.result.cycles) {
+      res.bound_ok = false;
+      res.gate_ok = false;
+    }
+  }
+  return res;
+}
+
+void print_case(const CaseResult& r, const CliOptions& opt) {
+  const bool show_all = !opt.quiet || !r.gate_ok;
+  if (!show_all) return;
+  std::cout << r.network << " level=" << r.level
+            << (r.split ? " (split)" : "") << ": ";
+  if (r.report.clean()) {
+    std::cout << "clean";
+  } else {
+    std::cout << r.report.errors() << " error(s), " << r.report.warnings()
+              << " warning(s)";
+  }
+  std::cout << " [" << r.report.num_instrs << " instrs, "
+            << r.report.num_hw_loops << " hw loops, "
+            << r.report.num_counted_loops << " counted loops"
+            << ", min_cycles=" << r.report.min_cycles;
+  if (r.measured_cycles != 0) std::cout << ", measured=" << r.measured_cycles;
+  std::cout << "]\n";
+  for (const auto& f : r.report.findings) {
+    if (f.severity == analysis::Severity::kInfo && !opt.pedantic) continue;
+    std::printf("  %-7s %-20s pc=0x%05x  %s\n",
+                analysis::severity_name(f.severity), f.rule.c_str(), f.pc,
+                f.message.c_str());
+  }
+  if (!r.bound_ok)
+    std::cout << "  error   perf.bound-violated  static lower bound "
+              << r.report.min_cycles << " exceeds measured "
+              << r.measured_cycles << " cycles\n";
+}
+
+obs::Json case_json(const CaseResult& r) {
+  obs::Json c = obs::Json::object();
+  c.set("network", r.network);
+  c.set("level", std::string(1, r.level));
+  c.set("split", r.split);
+  c.set("clean", r.report.clean());
+  c.set("errors", r.report.errors());
+  c.set("warnings", r.report.warnings());
+  c.set("infos", r.report.infos());
+  c.set("instrs", static_cast<uint64_t>(r.report.num_instrs));
+  c.set("hw_loops", static_cast<uint64_t>(r.report.num_hw_loops));
+  c.set("counted_loops", static_cast<uint64_t>(r.report.num_counted_loops));
+  c.set("min_cycles", r.report.min_cycles);
+  if (r.measured_cycles != 0) {
+    c.set("measured_cycles", r.measured_cycles);
+    c.set("bound_ok", r.bound_ok);
+  }
+  obs::Json fs = obs::Json::array();
+  for (const auto& f : r.report.findings) {
+    obs::Json fj = obs::Json::object();
+    fj.set("rule", f.rule);
+    fj.set("severity", analysis::severity_name(f.severity));
+    fj.set("pc", static_cast<uint64_t>(f.pc));
+    fj.set("message", f.message);
+    fs.push(std::move(fj));
+  }
+  c.set("findings", std::move(fs));
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--network") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opt.network = v;
+    } else if (a == "--level") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opt.level = parse_level(v);
+      if (!opt.level) return usage(argv[0]);
+    } else if (a == "--split") {
+      opt.split = true;
+    } else if (a == "--measure") {
+      opt.measure = true;
+    } else if (a == "--pedantic") {
+      opt.pedantic = true;
+    } else if (a == "--quiet") {
+      opt.quiet = true;
+    } else if (a == "--json") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      opt.json_path = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::vector<CaseResult> results;
+  int failed = 0;
+  for (const auto& def : rrm::rrm_suite()) {
+    if (!opt.network.empty() && def.name != opt.network) continue;
+    const rrm::RrmNetwork net{def};
+    for (kernels::OptLevel level : kernels::kAllOptLevels) {
+      if (opt.level && level != *opt.level) continue;
+      CaseResult r = lint_case(net, level, opt);
+      print_case(r, opt);
+      if (!r.gate_ok) ++failed;
+      results.push_back(std::move(r));
+    }
+  }
+  if (results.empty()) {
+    std::cerr << "no matching network/level\n";
+    return 2;
+  }
+
+  std::cout << results.size() << " program(s) linted, " << failed
+            << " failing\n";
+
+  if (!opt.json_path.empty()) {
+    obs::Json root = obs::Json::object();
+    root.set("tool", "rnnasip_lint");
+    root.set("cases", obs::Json::array());
+    obs::Json cases = obs::Json::array();
+    for (const auto& r : results) cases.push(case_json(r));
+    root.set("cases", std::move(cases));
+    root.set("total", static_cast<uint64_t>(results.size()));
+    root.set("failing", failed);
+    const std::string text = root.dump_pretty() + "\n";
+    if (opt.json_path == "-") {
+      std::cout << text;
+    } else {
+      std::ofstream out(opt.json_path);
+      if (!out) {
+        std::cerr << "cannot write " << opt.json_path << "\n";
+        return 2;
+      }
+      out << text;
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
