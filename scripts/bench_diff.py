@@ -6,8 +6,10 @@ Usage:  bench_diff.py <baseline.json> <current.json> [--tolerance 0.005]
 Both files are BenchIo envelopes ({"schema_version", "bench", "data"}).
 The compared metrics depend on the bench:
 
-  table1  per-level suite total cycles and cumulative speedup
-  table2  inner-loop body cycles of both kernels and their speedup
+  table1              per-level suite total cycles and cumulative speedup
+  table2              inner-loop body cycles of both kernels and their speedup
+  serving_resilience  per-sweep-row served/retries/rejected plus the
+                      aggregate correctness and goodput acceptance numbers
 
 Any relative drift beyond the tolerance (default 0.5%) fails with a
 per-metric report. The simulator is deterministic, so in practice any
@@ -43,7 +45,28 @@ def metrics_table2(data):
     }
 
 
-EXTRACTORS = {"table1": metrics_table1, "table2": metrics_table2}
+def metrics_serving_resilience(data):
+    out = {"correct fraction (high rate)":
+           data["acceptance"]["correct_fraction_high"]}
+    for g in data["acceptance"]["goodput"]:
+        load = int(g["mean_interarrival_cycles"])
+        out[f"goodput fault-free @{load}"] = g["goodput_fault_free"]
+        out[f"goodput high-rate @{load}"] = g["goodput_high_rate"]
+    for row in data["rows"]:
+        res = row["result"]["resilience"]
+        key = (f"{row['policy']}/{row['fault_point']}"
+               f"/@{int(row['mean_interarrival_cycles'])}")
+        out[f"{key} served"] = res["served"]
+        out[f"{key} retries"] = res["retries"]
+        out[f"{key} rejected"] = res["rejected"]
+    return out
+
+
+EXTRACTORS = {
+    "table1": metrics_table1,
+    "table2": metrics_table2,
+    "serving_resilience": metrics_serving_resilience,
+}
 
 
 def main():

@@ -19,4 +19,14 @@ Report verify_network(const kernels::BuiltNetwork& net, const Options& opts) {
   return verify(net.program, memory_map_of(net), opts);
 }
 
+uint64_t campaign_watchdog(const kernels::BuiltNetwork& net,
+                           const iss::TimingModel& timing) {
+  Options opts;
+  opts.timing = timing;
+  opts.dead_defs = false;  // liveness has no bearing on the cycle bound
+  const Report report = verify_network(net, opts);
+  if (report.min_cycles == 0) return kCampaignWatchdogFallback;
+  return report.min_cycles * kCampaignWatchdogMargin;
+}
+
 }  // namespace rnnasip::analysis

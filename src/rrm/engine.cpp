@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "src/analysis/network_lint.h"
 #include "src/common/check.h"
 #include "src/common/fixed_point.h"
 #include "src/iss/core.h"
@@ -103,8 +104,22 @@ Response Engine::execute(const RrmNetwork& net, const Request& req, uint64_t id)
   }
 
   iss::RunLimits limits;
-  if (req.watchdog_cycles != 0) limits.max_cycles = req.watchdog_cycles;
-  else if (injector) limits.max_cycles = kDefaultCampaignWatchdog;
+  if (req.watchdog_cycles != 0) {
+    limits.max_cycles = req.watchdog_cycles;
+  } else if (injector) {
+    // Automatic watchdog: the network's static cycle lower bound x margin
+    // (analysis::campaign_watchdog, docs/FAULTS.md) instead of one
+    // campaign-wide constant. The bound is per (topology, level) — it is
+    // data-independent — so it is cached across requests and campaigns.
+    const auto key = std::make_pair(net.def().name, static_cast<int>(req.level));
+    auto it = watchdog_cache_.find(key);
+    if (it == watchdog_cache_.end()) {
+      it = watchdog_cache_
+               .emplace(key, analysis::campaign_watchdog(built, cfg_.core_config.timing))
+               .first;
+    }
+    limits.max_cycles = it->second;
+  }
 
   Response resp;
   resp.id = id;

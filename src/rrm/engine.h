@@ -37,7 +37,9 @@ struct Request {
   /// SEU campaign; all-zero rates inject nothing and leave the run
   /// bit-identical to a fault-free one.
   fault::FaultSpec fault;
-  /// Per-forward-pass cycle watchdog. 0 = automatic (campaign default).
+  /// Per-forward-pass cycle watchdog. 0 = automatic: disabled for
+  /// fault-free runs; under a campaign, the network's static cycle lower
+  /// bound (src/analysis) x safety margin — see docs/FAULTS.md.
   uint64_t watchdog_cycles = 0;
 };
 
@@ -91,6 +93,9 @@ class Engine {
 
   Config cfg_;
   std::map<std::string, RrmNetwork> nets_;
+  /// Automatic campaign watchdog per (network, level) — the static cycle
+  /// bound is data-independent, so one derivation serves every request.
+  std::map<std::pair<std::string, int>, uint64_t> watchdog_cache_;
   std::vector<std::pair<uint64_t, Request>> pending_;
   uint64_t next_id_ = 1;
 };

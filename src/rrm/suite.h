@@ -22,30 +22,12 @@
 
 namespace rnnasip::rrm {
 
-struct RunOptions {
-  int timesteps = 1;      ///< forward passes (LSTM state persists across them)
-  int max_tile = 8;
-  bool verify = true;     ///< compare device outputs against the golden model
-  uint64_t seed = 0x52414D;
-  /// Core configuration (timing-model knobs, activation-unit design point).
-  iss::Core::Config core_config;
-  /// SEU campaign; all-zero rates (the default) inject nothing and leave the
-  /// run bit-identical to a fault-free one. Empty tcdm/text ranges are
-  /// filled per network from the built program (data segment / text segment).
-  fault::FaultSpec fault;
-  /// Per-forward-pass cycle watchdog. 0 = automatic: disabled for fault-free
-  /// runs, kDefaultCampaignWatchdog once any fault rate is positive.
-  uint64_t watchdog_cycles = 0;
-  /// Attach a RegionProfiler and fill NetRunResult::obs (region-scoped
-  /// cycles/instrs/MACs/stalls). Asserts the cycle-accounting identity.
-  bool observe = false;
-  /// With observe: also record the region timeline + stall samples needed
-  /// for the Perfetto export. Costs memory proportional to region switches.
-  bool timeline = false;
-};
-
-/// Generous bound on one forward pass (the largest suite network needs
-/// ~1M cycles at the baseline level); a corrupted loop dies in bounded time.
+/// Campaign-watchdog fallback: a generous bound on one forward pass (the
+/// largest suite network needs ~1M cycles at the baseline level). The
+/// automatic rule derives a per-network bound from the static cycle lower
+/// bound instead (analysis::campaign_watchdog, docs/FAULTS.md); this
+/// constant remains the explicit-override reference and the analysis-side
+/// fallback value when the bound is unavailable.
 inline constexpr uint64_t kDefaultCampaignWatchdog = 20'000'000;
 
 struct NetRunResult {

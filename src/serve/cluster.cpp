@@ -1,8 +1,11 @@
 #include "src/serve/cluster.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "src/analysis/network_lint.h"
 #include "src/common/check.h"
+#include "src/kernels/layout.h"
 #include "src/kernels/network.h"
 #include "src/obs/profile.h"
 
@@ -37,18 +40,14 @@ Cluster::Cluster(ClusterConfig cfg, const std::vector<std::string>& networks)
   RNNASIP_CHECK(cfg_.cores >= 1);
   RNNASIP_CHECK(cfg_.batch >= 1);
   RNNASIP_CHECK(!networks.empty());
-  const auto tanh_tbl = activation::PlaTable::build(cfg_.core_config.tanh_spec);
-  const auto sig_tbl = activation::PlaTable::build(cfg_.core_config.sig_spec);
+  tanh_pristine_ = activation::PlaTable::build(cfg_.core_config.tanh_spec);
+  sig_pristine_ = activation::PlaTable::build(cfg_.core_config.sig_spec);
   for (const std::string& name : names_) {
     if (images_.count(name)) continue;
-    Image img{rrm::RrmNetwork(rrm::find_network(name), cfg_.seed), {}, {}, {}, {}, {}, {}};
-    {
-      iss::Memory master(kCoreMemBytes);
-      img.single = img.net.build(&master, cfg_.level, tanh_tbl, sig_tbl,
-                                 cfg_.max_tile, kernels::kParamBase);
-      img.single_text = capture_text(img.single.program);
-      img.single_params =
-          capture_params(master, img.single.param_base, img.single.param_bytes);
+    Image img{rrm::RrmNetwork(rrm::find_network(name), cfg_.seed), {}, {}, {}, {}, 0};
+    build_flavor(img, cfg_.level, tanh_pristine_, sig_pristine_);
+    if (cfg_.fallback_level && *cfg_.fallback_level != cfg_.level) {
+      build_flavor(img, *cfg_.fallback_level, tanh_pristine_, sig_pristine_);
     }
     if (cfg_.batch >= 2 && img.net.fc_only()) {
       iss::Memory master(kCoreMemBytes);
@@ -68,10 +67,32 @@ Cluster::Cluster(ClusterConfig cfg, const std::vector<std::string>& networks)
   }
 }
 
+void Cluster::build_flavor(Image& img, kernels::OptLevel level,
+                           const activation::PlaTable& tanh_tbl,
+                           const activation::PlaTable& sig_tbl) {
+  iss::Memory master(kCoreMemBytes);
+  Flavor f;
+  f.single = img.net.build(&master, level, tanh_tbl, sig_tbl, cfg_.max_tile,
+                           kernels::kParamBase);
+  f.text = capture_text(f.single.program);
+  f.params = capture_params(master, f.single.param_base, f.single.param_bytes);
+  img.flavors.emplace(level, std::move(f));
+}
+
 const Cluster::Image& Cluster::image(const std::string& name) const {
   auto it = images_.find(name);
   RNNASIP_CHECK_MSG(it != images_.end(), "network not loaded in cluster: " << name);
   return it->second;
+}
+
+Cluster::Flavor& Cluster::flavor(const std::string& name, kernels::OptLevel level) {
+  auto it = images_.find(name);
+  RNNASIP_CHECK_MSG(it != images_.end(), "network not loaded in cluster: " << name);
+  auto fit = it->second.flavors.find(level);
+  RNNASIP_CHECK_MSG(fit != it->second.flavors.end(),
+                    name << " has no level-" << kernels::opt_level_letter(level)
+                         << " flavor in this cluster");
+  return fit->second;
 }
 
 const rrm::RrmNetwork& Cluster::network(const std::string& name) const {
@@ -83,28 +104,71 @@ bool Cluster::batchable(const std::string& name) const {
 }
 
 uint32_t Cluster::param_base(const std::string& name) const {
-  return image(name).single.param_base;
+  return image(name).flavors.at(cfg_.level).single.param_base;
 }
 
 uint32_t Cluster::param_bytes(const std::string& name) const {
-  return image(name).single.param_bytes;
+  return image(name).flavors.at(cfg_.level).single.param_bytes;
 }
 
 uint64_t Cluster::shared_param_bytes() const {
   uint64_t total = 0;
   for (const auto& [name, img] : images_) {
-    total += img.single_params->size();
+    for (const auto& [level, f] : img.flavors) total += f.params->size();
     if (img.batched) total += img.batched_params->size();
   }
   return total;
 }
 
-void Cluster::bind(int core, const std::string& name, bool batched) {
+uint64_t Cluster::estimated_single_cycles(const std::string& name,
+                                          kernels::OptLevel level) {
+  Flavor& f = flavor(name, level);
+  if (f.est_cycles == 0) {
+    // One calibration run on a scratch core: dense-kernel cycle counts are
+    // input-independent, so a zero-input run measures any request's cost.
+    iss::Memory mem(kCoreMemBytes);
+    iss::Core core(&mem, cfg_.core_config);
+    mem.map_segment(f.single.program.base, f.text, true);
+    mem.map_segment(f.single.param_base, f.params, true);
+    kernels::reset_state(mem, f.single);
+    const std::vector<int16_t> zeros(static_cast<size_t>(f.single.input_count), 0);
+    mem.write_halves(f.single.input_addr, zeros);
+    core.reset(f.single.program.base);
+    const auto res = core.run();
+    RNNASIP_CHECK_MSG(res.ok(), "calibration run trapped: " << res.trap_message);
+    f.est_cycles = res.cycles;
+  }
+  return f.est_cycles;
+}
+
+uint64_t Cluster::watchdog_cycles(const std::string& name, kernels::OptLevel level) {
+  if (cfg_.watchdog_cycles != 0) return cfg_.watchdog_cycles;
+  Flavor& f = flavor(name, level);
+  if (f.watchdog_cycles == 0) {
+    // Serving knows the exact cost of every flavor (cycle counts are
+    // input-independent), so the automatic watchdog is much tighter than
+    // the engine's static-bound x margin rule: a faulted execution either
+    // finishes on schedule or has diverged, and a hung core should burn at
+    // most ~one extra request of cycles before the kill. Keep the static
+    // bound as a floor in case calibration ever under-measures.
+    const uint64_t calibrated = 2 * estimated_single_cycles(name, level) + 1'024;
+    f.watchdog_cycles = std::min(
+        calibrated, analysis::campaign_watchdog(f.single, cfg_.core_config.timing));
+  }
+  return f.watchdog_cycles;
+}
+
+void Cluster::bind(int core, const std::string& name, bool batched,
+                   std::optional<kernels::OptLevel> level) {
   RNNASIP_CHECK(core >= 0 && core < cfg_.cores);
+  const kernels::OptLevel lvl = level.value_or(cfg_.level);
   Lane& lane = lanes_[static_cast<size_t>(core)];
   const Image& img = image(name);
   if (batched) RNNASIP_CHECK_MSG(img.batched, name << " has no batched program");
-  if (lane.bound == &img && lane.bound_batched == batched) return;
+  if (lane.bound == &img && lane.bound_batched == batched &&
+      (batched || lane.bound_level == lvl)) {
+    return;
+  }
   lane.mem->unmap_segments();
   // Text and parameters are both shared read-only: the memory map, not
   // convention, is what stops a core from corrupting another's weights.
@@ -112,30 +176,61 @@ void Cluster::bind(int core, const std::string& name, bool batched) {
     lane.mem->map_segment(img.batched->program.base, img.batched_text, true);
     lane.mem->map_segment(img.batched->param_base, img.batched_params, true);
   } else {
-    lane.mem->map_segment(img.single.program.base, img.single_text, true);
-    lane.mem->map_segment(img.single.param_base, img.single_params, true);
+    const Flavor& f = flavor(name, lvl);
+    lane.mem->map_segment(f.single.program.base, f.text, true);
+    lane.mem->map_segment(f.single.param_base, f.params, true);
   }
   lane.core->invalidate_decode_cache();
   lane.bound = &img;
   lane.bound_batched = batched;
+  lane.bound_level = lvl;
 }
 
-uint64_t Cluster::run_bound(Lane& lane, const obs::RegionMap& regions,
-                            uint32_t text_base) {
+void Cluster::run_bound(Lane& lane, const obs::RegionMap& regions, uint32_t text_base,
+                        const fault::FaultSpec* fault, uint32_t data_lo,
+                        uint32_t data_hi, uint64_t watchdog, ExecResult* out) {
   std::optional<obs::RegionProfiler> profiler;
   if (cfg_.observe) {
     profiler.emplace(&regions, text_base);
     profiler->attach(*lane.core);
   }
-  const auto res = lane.core->run();
-  RNNASIP_CHECK_MSG(res.ok(), "serving run trapped: " << res.trap_message);
+  // Arm the campaign only when a rate is positive: a null/zero spec leaves
+  // the execution bit-identical to the fault-free path (no hook, no RNG).
+  std::optional<fault::FaultInjector> injector;
+  iss::RunLimits limits;
+  if (fault != nullptr && fault->any_enabled()) {
+    fault::FaultSpec spec = *fault;
+    // Flips stay inside this core's transient state. The TCDM range is the
+    // private buffer region; text is shared read-only across cores, so the
+    // kInstr target stays inert (an empty range never aims).
+    if (spec.tcdm.empty()) spec.tcdm = {data_lo, data_hi};
+    spec.text = {};
+    injector.emplace(spec);
+    injector->arm(lane.core.get(), lane.mem.get());
+    limits.max_cycles = watchdog;
+  }
+  const auto res = lane.core->run(limits);
+  if (injector) {
+    out->fault_events = injector->events();
+    injector->disarm();
+    // Scrub the PLA LUTs: campaign flips there would otherwise persist
+    // into later (possibly fault-free) executions on this core. Models the
+    // periodic configuration scrubbing always-on silicon applies to
+    // quasi-static state; registers/SPRs are cleared by the next reset()
+    // and the private buffers are rewritten before they are read.
+    lane.core->mutable_tanh_table() = tanh_pristine_;
+    lane.core->mutable_sig_table() = sig_pristine_;
+  } else {
+    RNNASIP_CHECK_MSG(res.ok(), "serving run trapped: " << res.trap_message);
+  }
   if (profiler) {
     profiler->finish();
     accumulate_regions(regions, profiler->counters(), profiler->unattributed());
     lane.core->set_trace(nullptr);
     lane.core->set_stall_hook(nullptr);
   }
-  return res.cycles;
+  out->cycles = res.cycles;
+  if (!res.ok()) out->failure = ExecFailure{res.exit, res.trap};
 }
 
 void Cluster::accumulate_regions(const obs::RegionMap& map,
@@ -158,11 +253,18 @@ void Cluster::accumulate_regions(const obs::RegionMap& map,
 }
 
 ExecResult Cluster::run_single(int core, const std::string& name,
-                               std::span<const int16_t> input) {
-  bind(core, name, false);
+                               std::span<const int16_t> input,
+                               const fault::FaultSpec* fault) {
+  return run_single_at(core, cfg_.level, name, input, fault);
+}
+
+ExecResult Cluster::run_single_at(int core, kernels::OptLevel level,
+                                  const std::string& name,
+                                  std::span<const int16_t> input,
+                                  const fault::FaultSpec* fault) {
+  bind(core, name, false, level);
   Lane& lane = lanes_[static_cast<size_t>(core)];
-  const Image& img = *lane.bound;
-  const kernels::BuiltNetwork& net = img.single;
+  const kernels::BuiltNetwork& net = flavor(name, level).single;
   RNNASIP_CHECK(static_cast<int>(input.size()) == net.input_count);
   // Every request is an independent per-TTI inference: fresh recurrent
   // state, exactly like a fresh Engine run.
@@ -170,14 +272,20 @@ ExecResult Cluster::run_single(int core, const std::string& name,
   lane.mem->write_halves(net.input_addr, input);
   lane.core->reset(net.program.base);
   ExecResult r;
-  r.cycles = run_bound(lane, net.regions, net.program.base);
-  r.outputs.push_back(
-      lane.mem->read_halves(net.output_addr, static_cast<size_t>(net.output_count)));
+  const bool faulted = fault != nullptr && fault->any_enabled();
+  run_bound(lane, net.regions, net.program.base, fault, kernels::kDataBase,
+            kernels::kDataBase + net.data_bytes,
+            faulted ? watchdog_cycles(name, level) : 0, &r);
+  if (r.ok()) {
+    r.outputs.push_back(
+        lane.mem->read_halves(net.output_addr, static_cast<size_t>(net.output_count)));
+  }
   return r;
 }
 
 ExecResult Cluster::run_batched(int core, const std::string& name,
-                                std::span<const std::vector<int16_t>> inputs) {
+                                std::span<const std::vector<int16_t>> inputs,
+                                const fault::FaultSpec* fault) {
   bind(core, name, true);
   Lane& lane = lanes_[static_cast<size_t>(core)];
   const kernels::BatchedFcNet& net = *lane.bound->batched;
@@ -192,11 +300,26 @@ ExecResult Cluster::run_batched(int core, const std::string& name,
   }
   lane.core->reset(net.program.base);
   ExecResult r;
-  r.cycles = run_bound(lane, net.regions, net.program.base);
-  for (int s = 0; s < filled; ++s) {
-    r.outputs.push_back(lane.mem->read_halves(
-        net.output_addr + static_cast<uint32_t>(2 * s * net.output_count),
-        static_cast<size_t>(net.output_count)));
+  const bool faulted = fault != nullptr && fault->any_enabled();
+  uint64_t watchdog = 0;
+  if (faulted) {
+    Image& img = images_.at(name);
+    if (img.batched_watchdog == 0 && cfg_.watchdog_cycles == 0) {
+      // The batched program has no BuiltNetwork for the static verifier;
+      // bound it by B single lanes of the primary flavor instead.
+      img.batched_watchdog =
+          watchdog_cycles(name, cfg_.level) * static_cast<uint64_t>(net.batch);
+    }
+    watchdog = cfg_.watchdog_cycles != 0 ? cfg_.watchdog_cycles : img.batched_watchdog;
+  }
+  run_bound(lane, net.regions, net.program.base, fault, kernels::kDataBase,
+            kernels::kDataBase + net.data_bytes, watchdog, &r);
+  if (r.ok()) {
+    for (int s = 0; s < filled; ++s) {
+      r.outputs.push_back(lane.mem->read_halves(
+          net.output_addr + static_cast<uint32_t>(2 * s * net.output_count),
+          static_cast<size_t>(net.output_count)));
+    }
   }
   return r;
 }

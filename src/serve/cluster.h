@@ -10,12 +10,27 @@
 // each core's private flat storage, so cores run the same network
 // concurrently without interfering.
 //
-// Two program flavors per network:
-//   - single: the classic one-sample BuiltNetwork program;
+// Program flavors per network:
+//   - single: the classic one-sample BuiltNetwork program, built at the
+//     cluster's primary level and — when cfg.fallback_level is set — at a
+//     second, cheaper level the scheduler can degrade to under overload
+//     (heterogeneous per-core levels: every core can run either flavor);
 //   - batched (FC-only nets, batch >= 2): build_fc_batch_network coalesces
 //     B samples into one execution, restoring the 2-D tiling of Sec. II-A.
-// Both compute bit-exact per-sample results (same accumulation order), so
-// the scheduler can mix them freely.
+//     Batched programs exist at the primary level only.
+// All flavors compute bit-exact per-sample results (same accumulation
+// order), so the scheduler can mix them freely.
+//
+// Fault-tolerant execution: run_single/run_batched optionally run under a
+// fault::FaultSpec. A trapped or watchdog-killed execution surfaces as a
+// structured ExecResult::failure (never an abort), the injected
+// FaultEvents are returned for (core, request) attribution, and the cycle
+// watchdog derives from the program's static cycle lower bound
+// (analysis::campaign_watchdog) unless overridden. Campaign flips are
+// confined to per-core transient state (private TCDM buffers, register
+// file, SPRs, PLA LUTs — scrubbed after each faulted execution); the
+// shared read-only text/weight segments are never targeted, so one core's
+// campaign cannot corrupt another's results.
 //
 // Simulated time: each execution reports its own cycle count (the core's
 // RunResult), which the scheduler turns into per-core clocks. "The
@@ -30,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/iss/core.h"
 #include "src/kernels/fc_batch.h"
 #include "src/obs/profile.h"
@@ -40,22 +56,46 @@ namespace rnnasip::serve {
 struct ClusterConfig {
   int cores = 4;
   kernels::OptLevel level = kernels::OptLevel::kInputTiling;
+  /// Second single-program build at a cheaper level for graceful
+  /// degradation under overload; unset = no fallback flavor.
+  std::optional<kernels::OptLevel> fallback_level;
   /// Batch capacity B of the batched program (1 = no batched flavor).
   int batch = 1;
   int max_tile = 8;
   uint64_t seed = 0x52414D;  ///< network parameter seed (as rrm::Engine)
   iss::Core::Config core_config;
+  /// Per-execution cycle watchdog applied to *faulted* executions.
+  /// 0 = automatic: twice the flavor's calibrated execution cost (exact —
+  /// cycle counts are input-independent), floored by the engine's static
+  /// bound x margin rule (analysis::campaign_watchdog). Fault-free
+  /// executions run unbounded, exactly as before.
+  uint64_t watchdog_cycles = 0;
   /// Attach a RegionProfiler to every execution and aggregate per-region
   /// cycles across the whole serving run (region_cycles()).
   bool observe = false;
+};
+
+/// Why one execution failed (trap or watchdog); the request is re-
+/// dispatchable — the core and its private memory are reusable as-is.
+struct ExecFailure {
+  iss::RunResult::Exit exit = iss::RunResult::Exit::kTrap;
+  iss::Trap trap;  ///< structured cause/pc/addr record
 };
 
 /// One program execution on one core.
 struct ExecResult {
   uint64_t cycles = 0;  ///< cycles this execution took on its core
   /// Per-sample outputs: one vector for a single run, `filled` vectors for
-  /// a batched run (padding slots are dropped).
+  /// a batched run (padding slots are dropped). Empty when failed.
   std::vector<std::vector<int16_t>> outputs;
+  /// Set when the execution trapped or hit the watchdog instead of
+  /// retiring ebreak. `cycles` still counts what the core consumed.
+  std::optional<ExecFailure> failure;
+  /// SEU campaign events injected during this execution (empty without a
+  /// FaultSpec) — the per-(core, request) attribution surface.
+  std::vector<fault::FaultEvent> fault_events;
+
+  bool ok() const { return !failure.has_value(); }
 };
 
 class Cluster {
@@ -72,28 +112,50 @@ class Cluster {
   bool batchable(const std::string& name) const;
 
   /// Run one request (single forward pass, fresh recurrent state) on core
-  /// `core`.
+  /// `core` at the primary level. With `fault` (any rate > 0), the
+  /// execution runs under a seeded SEU campaign bounded by the watchdog;
+  /// a trap/kill lands in ExecResult::failure instead of aborting.
   ExecResult run_single(int core, const std::string& name,
-                        std::span<const int16_t> input);
+                        std::span<const int16_t> input,
+                        const fault::FaultSpec* fault = nullptr);
+  /// Same, at an explicit level (the primary or cfg.fallback_level).
+  ExecResult run_single_at(int core, kernels::OptLevel level, const std::string& name,
+                           std::span<const int16_t> input,
+                           const fault::FaultSpec* fault = nullptr);
 
   /// Run up to B coalesced same-network requests as one batched execution;
   /// missing slots are zero-padded (the fixed-B program always runs all B
   /// lanes, so cycles equal the full-batch cost).
   ExecResult run_batched(int core, const std::string& name,
-                         std::span<const std::vector<int16_t>> inputs);
+                         std::span<const std::vector<int16_t>> inputs,
+                         const fault::FaultSpec* fault = nullptr);
+
+  /// Deterministic per-request cycle estimate for admission control: the
+  /// measured cycles of one calibration run of the flavor on a scratch
+  /// core (cycle counts are input-independent for the dense kernels, so
+  /// the estimate is exact for single flavors). Cached per flavor.
+  uint64_t estimated_single_cycles(const std::string& name, kernels::OptLevel level);
+  uint64_t estimated_single_cycles(const std::string& name) {
+    return estimated_single_cycles(name, cfg_.level);
+  }
+
+  /// The watchdog a faulted execution of this flavor runs under
+  /// (cfg.watchdog_cycles, or the derived static-bound watchdog).
+  uint64_t watchdog_cycles(const std::string& name, kernels::OptLevel level);
 
   /// Weight bytes resident once per network vs what N private copies would
   /// hold (the sharing win the read-only segment buys).
   uint64_t shared_param_bytes() const;
 
-  /// The shared read-only parameter segment of one network — test surface
-  /// for the write-protection contract.
+  /// The shared read-only parameter segment of one network (primary level)
+  /// — test surface for the write-protection contract.
   uint32_t param_base(const std::string& name) const;
   uint32_t param_bytes(const std::string& name) const;
   iss::Core& core(int core) { return *lanes_[static_cast<size_t>(core)].core; }
   iss::Memory& memory(int core) { return *lanes_[static_cast<size_t>(core)].mem; }
   /// Map `name`'s image into core `core` (what run_* do on demand).
-  void bind(int core, const std::string& name, bool batched);
+  void bind(int core, const std::string& name, bool batched,
+            std::optional<kernels::OptLevel> level = std::nullopt);
 
   /// With cfg.observe: region name -> cycles aggregated over every
   /// execution so far (insertion-ordered by first appearance).
@@ -102,24 +164,42 @@ class Cluster {
   }
 
  private:
+  /// One single-program build of a network at one level.
+  struct Flavor {
+    kernels::BuiltNetwork single;
+    std::shared_ptr<std::vector<uint8_t>> text;
+    std::shared_ptr<std::vector<uint8_t>> params;
+    uint64_t est_cycles = 0;      ///< lazy calibration-run estimate
+    uint64_t watchdog_cycles = 0; ///< lazy derived campaign watchdog
+  };
   struct Image {
     rrm::RrmNetwork net;
-    kernels::BuiltNetwork single;
-    std::shared_ptr<std::vector<uint8_t>> single_text;
-    std::shared_ptr<std::vector<uint8_t>> single_params;
+    std::map<kernels::OptLevel, Flavor> flavors;  ///< primary [+ fallback]
     std::optional<kernels::BatchedFcNet> batched;
     std::shared_ptr<std::vector<uint8_t>> batched_text;
     std::shared_ptr<std::vector<uint8_t>> batched_params;
+    uint64_t batched_watchdog = 0;
   };
   struct Lane {
     std::unique_ptr<iss::Memory> mem;
     std::unique_ptr<iss::Core> core;
     const Image* bound = nullptr;
     bool bound_batched = false;
+    kernels::OptLevel bound_level = kernels::OptLevel::kBaseline;
   };
 
   const Image& image(const std::string& name) const;
-  uint64_t run_bound(Lane& lane, const obs::RegionMap& regions, uint32_t text_base);
+  Flavor& flavor(const std::string& name, kernels::OptLevel level);
+  void build_flavor(Image& img, kernels::OptLevel level,
+                    const activation::PlaTable& tanh_tbl,
+                    const activation::PlaTable& sig_tbl);
+  /// Execute whatever is bound on `lane`; fills cycles/failure/fault_events
+  /// of `out`. `fault` != nullptr arms a campaign confined to
+  /// [data_lo, data_hi) private TCDM plus regfile/SPR/PLA targets, with
+  /// `watchdog` as the cycle bound.
+  void run_bound(Lane& lane, const obs::RegionMap& regions, uint32_t text_base,
+                 const fault::FaultSpec* fault, uint32_t data_lo, uint32_t data_hi,
+                 uint64_t watchdog, ExecResult* out);
   void accumulate_regions(const obs::RegionMap& map,
                           const std::vector<obs::RegionCounters>& counters,
                           const obs::RegionCounters& unattributed);
@@ -128,6 +208,9 @@ class Cluster {
   std::vector<std::string> names_;
   std::map<std::string, Image> images_;
   std::vector<Lane> lanes_;
+  /// Pristine PLA tables for post-campaign LUT scrubbing.
+  activation::PlaTable tanh_pristine_;
+  activation::PlaTable sig_pristine_;
   std::vector<std::pair<std::string, uint64_t>> region_cycles_;
 };
 

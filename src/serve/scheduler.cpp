@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/common/check.h"
 #include "src/common/fixed_point.h"
@@ -9,21 +10,40 @@
 
 namespace rnnasip::serve {
 
+namespace {
+
+/// Per-execution campaign seed: splitmix64-style finalizer over (campaign
+/// seed, execution index), so one seed reproduces every execution's flip
+/// schedule bit-exactly.
+uint64_t mix_seed(uint64_t seed, uint64_t n) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (n + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 const char* policy_name(Policy p) {
   switch (p) {
     case Policy::kFifo: return "fifo";
     case Policy::kBatched: return "batched";
+    case Policy::kDeadline: return "deadline";
   }
   return "?";
 }
 
 Workload make_poisson_workload(const Cluster& cluster, const WorkloadConfig& cfg) {
   RNNASIP_CHECK(!cfg.networks.empty());
-  RNNASIP_CHECK(cfg.requests >= 1);
+  RNNASIP_CHECK(cfg.requests >= 0);
   RNNASIP_CHECK(cfg.mean_interarrival_cycles > 0);
   Workload w;
   w.config = cfg;
   Rng rng(cfg.seed);
+  // Deadlines draw from a separate derived stream: turning slack on (or
+  // changing it) overlays deadlines on the *same* request stream, and a
+  // slack of 0 is the deadline-free workload bit-for-bit.
+  Rng deadline_rng(cfg.seed ^ 0xDEADC0DEull);
   double t = 0;
   for (int i = 0; i < cfg.requests; ++i) {
     Job job;
@@ -36,44 +56,171 @@ Workload make_poisson_workload(const Cluster& cluster, const WorkloadConfig& cfg
     const int n = cluster.network(job.network).input_count();
     job.input.resize(static_cast<size_t>(n));
     for (auto& v : job.input) v = static_cast<int16_t>(quantize(rng.next_in(-1.0, 1.0)));
+    if (cfg.deadline_slack_cycles > 0) {
+      const double slack = cfg.deadline_slack_cycles * (0.5 + deadline_rng.next_double());
+      job.deadline = job.arrival + std::max<uint64_t>(1, static_cast<uint64_t>(slack));
+    }
     w.jobs.push_back(std::move(job));
   }
   return w;
 }
 
 Scheduler::Scheduler(Cluster* cluster, Policy policy)
-    : cluster_(cluster), policy_(policy) {
+    : Scheduler(cluster, SchedulerConfig{.policy = policy}) {}
+
+Scheduler::Scheduler(Cluster* cluster, SchedulerConfig config)
+    : cluster_(cluster), cfg_(std::move(config)) {
   RNNASIP_CHECK(cluster != nullptr);
+  RNNASIP_CHECK(cfg_.max_retries >= 0);
+  RNNASIP_CHECK(cfg_.quarantine_threshold >= 1);
+  RNNASIP_CHECK(cfg_.miss_window >= 1);
 }
 
 ServeResult Scheduler::run(const Workload& workload) {
   ServeResult r;
-  r.policy = policy_;
+  r.policy = cfg_.policy;
   r.cores = cluster_->cores();
   r.batch = cluster_->config().batch;
   r.core_busy.assign(static_cast<size_t>(r.cores), 0);
   r.completions.resize(workload.jobs.size());
+  std::vector<char> served(workload.jobs.size(), 0);
 
-  std::vector<const Job*> pending;
+  /// A queued request: the original job plus its retry state. `ready` is
+  /// the arrival for the first attempt, failure time + backoff afterwards.
+  struct Pend {
+    const Job* job = nullptr;
+    int attempts = 0;
+    uint64_t ready = 0;
+  };
+  std::vector<Pend> pending;
   pending.reserve(workload.jobs.size());
-  for (const Job& j : workload.jobs) pending.push_back(&j);
+  for (const Job& j : workload.jobs) pending.push_back({&j, 0, j.arrival});
+
+  const kernels::OptLevel primary = cluster_->config().level;
+  const bool can_fallback = cfg_.level_fallback &&
+                            cluster_->config().fallback_level.has_value() &&
+                            *cluster_->config().fallback_level != primary;
+  const bool faults_on = cfg_.fault.any_enabled();
+  constexpr uint64_t kNoDeadline = std::numeric_limits<uint64_t>::max();
 
   std::vector<uint64_t> core_free(static_cast<size_t>(r.cores), 0);
+  std::vector<int> consec_fail(static_cast<size_t>(r.cores), 0);
+  uint64_t exec_counter = 0;
+
+  // Degraded-mode state: a ring of the last miss_window completions'
+  // deadline outcomes plus the overload flag and its open interval.
+  std::vector<char> miss_ring(static_cast<size_t>(cfg_.miss_window), 0);
+  size_t miss_head = 0, miss_count = 0, misses_in_ring = 0;
+  bool degraded = false;
+  uint64_t degraded_since = 0;
+  auto note_deadline_outcome = [&](bool missed) {
+    if (miss_count == miss_ring.size()) {
+      misses_in_ring -= miss_ring[miss_head] ? 1u : 0u;
+    } else {
+      ++miss_count;
+    }
+    miss_ring[miss_head] = missed ? 1 : 0;
+    miss_head = (miss_head + 1) % miss_ring.size();
+    misses_in_ring += missed ? 1u : 0u;
+  };
+  auto miss_fraction = [&] {
+    return miss_count == 0 ? 0.0
+                           : static_cast<double>(misses_in_ring) /
+                                 static_cast<double>(miss_count);
+  };
+
   while (!pending.empty()) {
     // The core that frees earliest serves next (ties: lowest index).
     int core = 0;
     for (int c = 1; c < r.cores; ++c) {
       if (core_free[static_cast<size_t>(c)] < core_free[static_cast<size_t>(core)]) core = c;
     }
-    const Job& head = *pending.front();
-    const uint64_t start = std::max(core_free[static_cast<size_t>(core)], head.arrival);
+    const uint64_t now = core_free[static_cast<size_t>(core)];
 
-    // Coalesce: same network, already arrived by `start`, up to B total.
-    std::vector<size_t> group{0};
-    if (policy_ == Policy::kBatched && cluster_->batchable(head.network)) {
+    // Select the next request. FIFO/batched: oldest ready time (ties:
+    // lowest id). Deadline: EDF over the requests already ready by `now`;
+    // when none is ready yet, the one that becomes ready first.
+    size_t pick = 0;
+    if (cfg_.policy == Policy::kDeadline) {
+      size_t best_ready = pending.size();
+      uint64_t best_deadline = kNoDeadline;
+      size_t best_wait = 0;
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const Pend& p = pending[i];
+        if (p.ready <= now) {
+          const uint64_t d = p.job->deadline == 0 ? kNoDeadline : p.job->deadline;
+          if (best_ready == pending.size() || d < best_deadline ||
+              (d == best_deadline && p.job->id < pending[best_ready].job->id)) {
+            best_ready = i;
+            best_deadline = d;
+          }
+        } else if (best_ready == pending.size()) {
+          const Pend& b = pending[best_wait];
+          if (i == 0 || p.ready < b.ready ||
+              (p.ready == b.ready && p.job->id < b.job->id)) {
+            best_wait = i;
+          }
+        }
+      }
+      pick = best_ready != pending.size() ? best_ready : best_wait;
+    } else {
+      for (size_t i = 1; i < pending.size(); ++i) {
+        const Pend& p = pending[i];
+        const Pend& b = pending[pick];
+        if (p.ready < b.ready || (p.ready == b.ready && p.job->id < b.job->id)) pick = i;
+      }
+    }
+
+    const Job& head = *pending[pick].job;
+    const uint64_t start = std::max(now, pending[pick].ready);
+
+    // Re-evaluate overload before choosing this execution's level. The
+    // queue-depth trigger counts requests already waiting at `start`.
+    if (can_fallback) {
+      size_t depth = 0;
+      for (const Pend& p : pending)
+        if (p.ready <= start) ++depth;
+      const bool miss_overload =
+          miss_count > 0 && miss_fraction() >= cfg_.overload_miss_rate;
+      const bool queue_overload =
+          cfg_.overload_queue_depth > 0 && depth > cfg_.overload_queue_depth;
+      const bool queue_calm =
+          cfg_.overload_queue_depth == 0 || depth <= cfg_.overload_queue_depth / 2;
+      if (!degraded && (miss_overload || queue_overload)) {
+        degraded = true;
+        degraded_since = start;
+      } else if (degraded && !miss_overload && !queue_overload &&
+                 miss_fraction() <= cfg_.recover_miss_rate && queue_calm) {
+        degraded = false;
+        r.fallback_intervals.push_back({degraded_since, start});
+      }
+    }
+    const bool use_fallback = can_fallback && degraded;
+    const kernels::OptLevel level =
+        use_fallback ? *cluster_->config().fallback_level : primary;
+
+    // Admission control (kDeadline): reject a request whose estimated
+    // completion already blows its deadline instead of burning a core on it.
+    if (cfg_.policy == Policy::kDeadline && head.deadline != 0) {
+      const uint64_t est = cluster_->estimated_single_cycles(head.network, level);
+      if (start + est > head.deadline) {
+        r.rejections.push_back({head.id, head.network, head.arrival, head.deadline, now});
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+        continue;
+      }
+    }
+
+    // Coalesce: same network, already ready by `start`, up to B total.
+    // Batching stays off for the deadline policy (EDF order is per
+    // request) and while degraded (the fallback flavor is single-only).
+    std::vector<size_t> group{pick};
+    if (cfg_.policy == Policy::kBatched && !use_fallback &&
+        cluster_->batchable(head.network)) {
       const int cap = cluster_->config().batch;
-      for (size_t i = 1; i < pending.size() && static_cast<int>(group.size()) < cap; ++i) {
-        if (pending[i]->network == head.network && pending[i]->arrival <= start) {
+      for (size_t i = 0; i < pending.size() && static_cast<int>(group.size()) < cap;
+           ++i) {
+        if (i == pick) continue;
+        if (pending[i].job->network == head.network && pending[i].ready <= start) {
           group.push_back(i);
         }
       }
@@ -88,57 +235,125 @@ ServeResult Scheduler::run(const Workload& workload) {
       }
     }
 
-    uint64_t cycles = 0;
-    std::vector<std::vector<int16_t>> outputs;
+    // Per-execution campaign spec: same template, execution-mixed seed.
+    fault::FaultSpec exec_fault;
+    if (faults_on) {
+      exec_fault = cfg_.fault;
+      exec_fault.seed = mix_seed(cfg_.fault.seed, exec_counter);
+    }
+    ++exec_counter;
+
+    ExecResult er;
     if (group.size() == 1) {
-      auto er = cluster_->run_single(core, head.network, head.input);
-      cycles = er.cycles;
-      outputs = std::move(er.outputs);
-      ++r.single_execs;
+      er = cluster_->run_single_at(core, level, head.network, head.input,
+                                   faults_on ? &exec_fault : nullptr);
     } else {
       std::vector<std::vector<int16_t>> inputs;
       inputs.reserve(group.size());
-      for (size_t gi : group) inputs.push_back(pending[gi]->input);
-      auto er = cluster_->run_batched(core, head.network, inputs);
-      cycles = er.cycles;
-      outputs = std::move(er.outputs);
-      ++r.batched_execs;
-      r.batched_requests += group.size();
-      r.padded_slots +=
-          static_cast<uint64_t>(cluster_->config().batch) - group.size();
+      for (size_t gi : group) inputs.push_back(pending[gi].job->input);
+      er = cluster_->run_batched(core, head.network, inputs,
+                                 faults_on ? &exec_fault : nullptr);
+    }
+    const uint64_t cycles = er.cycles;
+    const uint64_t done = start + cycles;
+    for (const auto& ev : er.fault_events) {
+      r.fault_log.push_back({core, head.id, ev});
     }
 
-    const uint64_t done = start + cycles;
-    for (size_t k = 0; k < group.size(); ++k) {
-      const Job& job = *pending[group[k]];
-      Completion c;
-      c.id = job.id;
-      c.network = job.network;
-      c.core = core;
-      c.group = static_cast<int>(group.size());
-      c.arrival = job.arrival;
-      c.start = start;
-      c.done = done;
-      c.wait_cycles = start - job.arrival;
-      c.exec_cycles = cycles;
-      c.outputs = std::move(outputs[k]);
-      RNNASIP_CHECK(job.id < r.completions.size());
-      r.completions[job.id] = std::move(c);
+    if (er.ok()) {
+      consec_fail[static_cast<size_t>(core)] = 0;
+      if (group.size() == 1) {
+        ++r.single_execs;
+      } else {
+        ++r.batched_execs;
+        r.batched_requests += group.size();
+        r.padded_slots +=
+            static_cast<uint64_t>(cluster_->config().batch) - group.size();
+      }
+      if (use_fallback) {
+        ++r.fallback_execs;
+        r.fallback_cycles += cycles;
+      }
+      for (size_t k = 0; k < group.size(); ++k) {
+        const Pend& p = pending[group[k]];
+        const Job& job = *p.job;
+        Completion c;
+        c.id = job.id;
+        c.network = job.network;
+        c.core = core;
+        c.group = static_cast<int>(group.size());
+        c.level = level;
+        c.retries = p.attempts;
+        c.arrival = job.arrival;
+        c.deadline = job.deadline;
+        c.start = start;
+        c.done = done;
+        c.wait_cycles = start - job.arrival;
+        c.exec_cycles = cycles;
+        c.outputs = std::move(er.outputs[k]);
+        if (!c.met_deadline()) ++r.deadline_misses;
+        if (job.deadline != 0) note_deadline_outcome(!c.met_deadline());
+        RNNASIP_CHECK(job.id < r.completions.size());
+        served[job.id] = 1;
+        r.completions[job.id] = std::move(c);
+      }
+      // Remove the group back-to-front so indices stay valid.
+      std::sort(group.begin(), group.end());
+      for (size_t k = group.size(); k-- > 0;) {
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(group[k]));
+      }
+    } else {
+      ++r.exec_failures;
+      r.retry_cycles += cycles;
+      const int fails = ++consec_fail[static_cast<size_t>(core)];
+      // Requeue (bounded retries with deterministic backoff) or drop.
+      std::vector<size_t> dropped;
+      for (size_t gi : group) {
+        Pend& p = pending[gi];
+        ++p.attempts;
+        if (p.attempts > cfg_.max_retries) {
+          r.failed.push_back({p.job->id, p.job->network, p.attempts,
+                              er.failure->trap.cause});
+          dropped.push_back(gi);
+        } else {
+          ++r.retries;
+          p.ready = done + static_cast<uint64_t>(p.attempts) * cfg_.retry_backoff_cycles;
+        }
+      }
+      std::sort(dropped.begin(), dropped.end());
+      for (size_t k = dropped.size(); k-- > 0;) {
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(dropped[k]));
+      }
+      if (fails >= cfg_.quarantine_threshold) {
+        r.quarantines.push_back({core, done, done + cfg_.quarantine_cooldown_cycles});
+        r.quarantine_cycles += cfg_.quarantine_cooldown_cycles;
+        consec_fail[static_cast<size_t>(core)] = 0;
+      }
     }
-    core_free[static_cast<size_t>(core)] = done;
+
+    const bool quarantined_now =
+        !r.quarantines.empty() && r.quarantines.back().core == core &&
+        r.quarantines.back().from == done;
+    core_free[static_cast<size_t>(core)] =
+        quarantined_now ? r.quarantines.back().to : done;
     r.core_busy[static_cast<size_t>(core)] += cycles;
     r.makespan = std::max(r.makespan, done);
-
-    // Remove the group back-to-front so indices stay valid.
-    for (size_t k = group.size(); k-- > 0;) {
-      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(group[k]));
-    }
   }
+  if (degraded) r.fallback_intervals.push_back({degraded_since, r.makespan});
+
+  // Compact: completions keep only served requests (ordered by id since
+  // the slots were id-indexed).
+  std::vector<Completion> compact;
+  compact.reserve(r.completions.size());
+  for (size_t i = 0; i < r.completions.size(); ++i) {
+    if (served[i]) compact.push_back(std::move(r.completions[i]));
+  }
+  r.completions = std::move(compact);
   return r;
 }
 
 uint64_t ServeResult::latency_percentile(double p) const {
-  RNNASIP_CHECK(!completions.empty());
+  if (completions.empty()) return 0;
   std::vector<uint64_t> lat;
   lat.reserve(completions.size());
   for (const Completion& c : completions) lat.push_back(c.latency());
@@ -154,6 +369,13 @@ double ServeResult::throughput_per_s(double mhz) const {
   if (makespan == 0) return 0;
   return static_cast<double>(completions.size()) /
          (static_cast<double>(makespan) / (mhz * 1e6));
+}
+
+double ServeResult::goodput_per_s(double mhz) const {
+  if (makespan == 0) return 0;
+  uint64_t met = 0;
+  for (const Completion& c : completions) met += c.met_deadline() ? 1u : 0u;
+  return static_cast<double>(met) / (static_cast<double>(makespan) / (mhz * 1e6));
 }
 
 double ServeResult::utilization(int core) const {
@@ -195,6 +417,93 @@ obs::Json serve_result_to_json(const ServeResult& r, double mhz) {
   batching.set("padded_slots", r.padded_slots);
   batching.set("occupancy", r.batch_occupancy());
   j.set("batching", std::move(batching));
+
+  // ---- Resilience block (schema documented in docs/SERVING.md) ----
+  obs::Json res = obs::Json::object();
+  res.set("admitted", r.admitted());
+  res.set("served", static_cast<uint64_t>(r.completions.size()));
+  res.set("rejected", static_cast<uint64_t>(r.rejections.size()));
+  res.set("failed", static_cast<uint64_t>(r.failed.size()));
+  res.set("exec_failures", r.exec_failures);
+  res.set("retries", r.retries);
+  res.set("deadline_misses", r.deadline_misses);
+  res.set("goodput_inf_per_s", r.goodput_per_s(mhz));
+  obs::Json rejects = obs::Json::array();
+  for (const Rejection& rej : r.rejections) {
+    obs::Json o = obs::Json::object();
+    o.set("id", rej.id);
+    o.set("network", rej.network);
+    o.set("arrival", rej.arrival);
+    o.set("deadline", rej.deadline);
+    o.set("decided_at", rej.decided_at);
+    rejects.push(std::move(o));
+  }
+  res.set("rejections", std::move(rejects));
+  obs::Json fails = obs::Json::array();
+  for (const FailedRequest& f : r.failed) {
+    obs::Json o = obs::Json::object();
+    o.set("id", f.id);
+    o.set("network", f.network);
+    o.set("attempts", f.attempts);
+    o.set("last_cause", iss::trap_cause_name(f.last_cause));
+    fails.push(std::move(o));
+  }
+  res.set("failed_requests", std::move(fails));
+  obs::Json quars = obs::Json::array();
+  for (const QuarantineInterval& q : r.quarantines) {
+    obs::Json o = obs::Json::object();
+    o.set("core", q.core);
+    o.set("from", q.from);
+    o.set("to", q.to);
+    quars.push(std::move(o));
+  }
+  res.set("quarantines", std::move(quars));
+  obs::Json fbs = obs::Json::array();
+  for (const FallbackInterval& f : r.fallback_intervals) {
+    obs::Json o = obs::Json::object();
+    o.set("from", f.from);
+    o.set("to", f.to);
+    fbs.push(std::move(o));
+  }
+  obs::Json fb = obs::Json::object();
+  fb.set("execs", r.fallback_execs);
+  fb.set("cycles", r.fallback_cycles);
+  fb.set("intervals", std::move(fbs));
+  res.set("fallback", std::move(fb));
+  // Per-level request mix (level letter -> served requests).
+  obs::Json mix = obs::Json::object();
+  for (kernels::OptLevel lvl : kernels::kAllOptLevels) {
+    uint64_t n = 0;
+    for (const Completion& c : r.completions) n += c.level == lvl ? 1u : 0u;
+    if (n != 0) mix.set(std::string(1, kernels::opt_level_letter(lvl)), n);
+  }
+  res.set("level_mix", std::move(mix));
+  // Full log lives in ServeResult::fault_log; the JSON carries the total
+  // plus a bounded prefix so heavy campaigns don't bloat blessed baselines.
+  constexpr size_t kMaxFaultEventsInJson = 16;
+  res.set("fault_events_total", static_cast<uint64_t>(r.fault_log.size()));
+  obs::Json faults = obs::Json::array();
+  const size_t n_events = std::min(r.fault_log.size(), kMaxFaultEventsInJson);
+  for (size_t i = 0; i < n_events; ++i) {
+    const FaultAttribution& fa = r.fault_log[i];
+    obs::Json o = obs::Json::object();
+    o.set("core", fa.core);
+    o.set("request", fa.request);
+    o.set("target", fault::target_name(fa.event.target));
+    o.set("at_instr", fa.event.at_instr);
+    o.set("where", static_cast<uint64_t>(fa.event.where));
+    o.set("bit", static_cast<uint64_t>(fa.event.bit));
+    faults.push(std::move(o));
+  }
+  res.set("fault_events", std::move(faults));
+  // Scheduler-level cycle accounting, named like obs regions so trace
+  // tooling can fold them next to program regions.
+  obs::Json regions = obs::Json::object();
+  regions.set("serve.retry", r.retry_cycles);
+  regions.set("serve.quarantine", r.quarantine_cycles);
+  regions.set("serve.fallback", r.fallback_cycles);
+  res.set("obs_regions", std::move(regions));
+  j.set("resilience", std::move(res));
   return j;
 }
 

@@ -2,11 +2,11 @@
 //
 // A Workload is a seeded synthetic request stream: Poisson-like arrivals
 // (exponential inter-arrival times from common::Rng), each request naming a
-// network and carrying a deterministic input vector. The scheduler drains
-// it in event order on N simulated cores whose clocks advance by the real
-// measured cycles of each program execution — so latency percentiles,
-// throughput and utilization are true cycle-level numbers, not analytic
-// estimates.
+// network and carrying a deterministic input vector (and optionally a
+// per-request deadline). The scheduler drains it in event order on N
+// simulated cores whose clocks advance by the real measured cycles of each
+// program execution — so latency percentiles, throughput and utilization
+// are true cycle-level numbers, not analytic estimates.
 //
 // Policies:
 //   kFifo     — next-free core takes the oldest pending request, single
@@ -16,15 +16,33 @@
 //               requests of the same network and runs them as one batched
 //               execution; non-batchable networks and singleton groups fall
 //               back to the single program.
+//   kDeadline — earliest-deadline-first ordering over the arrived queue,
+//               with admission control: a request whose queue-time estimate
+//               already blows its deadline is rejected up front (counted in
+//               ServeResult::rejections, never silently dropped). Single
+//               executions only.
+//
+// Resilience (SchedulerConfig): each execution may run under a seeded SEU
+// campaign (fault::FaultSpec; the per-execution seed is mixed from one
+// campaign seed, so whole runs are bit-reproducible). A trapped or
+// watchdog-killed execution surfaces as ExecFailure; the scheduler
+// re-dispatches the request with bounded retries and deterministic backoff
+// in cycles, quarantines a core that fails K times in a row for a cooldown
+// window, and — under overload (deadline-miss rate or queue depth past a
+// threshold) — falls back from the configured optimization level to the
+// cluster's cheaper fallback flavor until pressure subsides.
 //
 // Everything is seeded and simulated: two runs with the same configuration
-// produce byte-identical reports.
+// produce byte-identical reports, and a configuration with zero fault
+// rates and no deadlines behaves bit-identically to the plain scheduler.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/obs/json.h"
 #include "src/serve/cluster.h"
 
@@ -34,7 +52,11 @@ namespace rnnasip::serve {
 struct Job {
   uint64_t id = 0;
   std::string network;
-  uint64_t arrival = 0;  ///< cycle the request enters the queue
+  uint64_t arrival = 0;   ///< cycle the request enters the queue
+  /// Absolute completion deadline in cycles; 0 = no deadline. The per-TTI
+  /// RRM setting: a scheduling decision that arrives after its TTI is
+  /// worthless.
+  uint64_t deadline = 0;
   std::vector<int16_t> input;
 };
 
@@ -44,6 +66,11 @@ struct WorkloadConfig {
   /// Mean cycles between consecutive arrivals (Poisson process rate
   /// 1/mean); smaller = heavier load.
   double mean_interarrival_cycles = 20'000;
+  /// Mean deadline slack: each job's deadline is arrival + U[0.5, 1.5) x
+  /// this many cycles, drawn from a separate derived RNG stream — changing
+  /// the slack overlays deadlines on the *same* request stream. 0 (default)
+  /// = no deadlines (the PR 3 workload bit-for-bit).
+  double deadline_slack_cycles = 0;
   uint64_t seed = 0x5EED;
 };
 
@@ -53,45 +80,145 @@ struct Workload {
 };
 
 /// Deterministic Poisson-like request stream; inputs are uniform Q3.12
-/// vectors sized per network.
+/// vectors sized per network. requests == 0 yields an empty stream.
 Workload make_poisson_workload(const Cluster& cluster, const WorkloadConfig& cfg);
 
-enum class Policy { kFifo, kBatched };
+enum class Policy { kFifo, kBatched, kDeadline };
 const char* policy_name(Policy p);
+
+/// Resilience and policy knobs of one scheduling run. The defaults (zero
+/// fault rates, no fallback) reproduce the plain scheduler bit-exactly.
+struct SchedulerConfig {
+  Policy policy = Policy::kFifo;
+  /// Per-execution SEU campaign template. All-zero rates disable
+  /// injection entirely. The seed is the *campaign* seed: execution k runs
+  /// under splitmix(seed, k), so one seed reproduces the whole run.
+  fault::FaultSpec fault;
+  /// Re-dispatch attempts after an ExecFailure before the request is
+  /// recorded as failed (counted, not silently dropped).
+  int max_retries = 3;
+  /// Deterministic backoff: attempt n becomes ready n * this many cycles
+  /// after the failed execution finished.
+  uint64_t retry_backoff_cycles = 4'096;
+  /// Quarantine a core after this many *consecutive* failed executions...
+  int quarantine_threshold = 3;
+  /// ...for this cooldown window (the core rejoins dispatch afterwards).
+  uint64_t quarantine_cooldown_cycles = 1'000'000;
+  /// Graceful degradation: dispatch at the cluster's fallback_level while
+  /// overloaded. Requires ClusterConfig::fallback_level.
+  bool level_fallback = false;
+  /// Overload enters when the deadline-miss fraction over the last
+  /// miss_window completions reaches overload_miss_rate, or (when
+  /// overload_queue_depth > 0) the arrived queue exceeds that depth;
+  /// it leaves when the miss fraction falls to recover_miss_rate and the
+  /// queue drains to half the depth (hysteresis).
+  int miss_window = 16;
+  double overload_miss_rate = 0.5;
+  double recover_miss_rate = 0.125;
+  size_t overload_queue_depth = 0;  ///< 0 = queue-depth trigger disabled
+};
 
 /// One request's fate. The accounting identity
 ///   done - arrival == wait_cycles + exec_cycles
-/// holds exactly: wait = start - arrival, exec = done - start.
+/// holds exactly: wait = start - arrival, exec = done - start (start/exec
+/// of the final, successful execution for retried requests — backoff time
+/// is part of the wait).
 struct Completion {
   uint64_t id = 0;
   std::string network;
   int core = 0;
   int group = 1;  ///< coalesced group size this request ran in (1 = single)
+  kernels::OptLevel level = kernels::OptLevel::kInputTiling;  ///< level served at
+  int retries = 0;        ///< failed executions before this one succeeded
   uint64_t arrival = 0;
+  uint64_t deadline = 0;  ///< 0 = none
   uint64_t start = 0;
   uint64_t done = 0;
   uint64_t wait_cycles = 0;
   uint64_t exec_cycles = 0;
   std::vector<int16_t> outputs;
   uint64_t latency() const { return done - arrival; }
+  bool met_deadline() const { return deadline == 0 || done <= deadline; }
+};
+
+/// A request rejected by admission control (kDeadline policy): at
+/// `decided_at` its estimated completion already exceeded the deadline.
+struct Rejection {
+  uint64_t id = 0;
+  std::string network;
+  uint64_t arrival = 0;
+  uint64_t deadline = 0;
+  uint64_t decided_at = 0;
+};
+
+/// A request dropped after exhausting its retry budget.
+struct FailedRequest {
+  uint64_t id = 0;
+  std::string network;
+  int attempts = 0;  ///< executions that all failed
+  iss::TrapCause last_cause = iss::TrapCause::kNone;
+};
+
+/// One core's quarantine window [from, to).
+struct QuarantineInterval {
+  int core = 0;
+  uint64_t from = 0;
+  uint64_t to = 0;
+};
+
+/// One degraded-mode window [from, to) during which dispatch used the
+/// fallback level.
+struct FallbackInterval {
+  uint64_t from = 0;
+  uint64_t to = 0;
+};
+
+/// One injected campaign flip, attributed to the (core, request) pair it
+/// hit (for batched executions: the group head's request id).
+struct FaultAttribution {
+  int core = 0;
+  uint64_t request = 0;
+  fault::FaultEvent event;
 };
 
 struct ServeResult {
   Policy policy = Policy::kFifo;
   int cores = 1;
   int batch = 1;
-  std::vector<Completion> completions;  ///< ordered by request id
-  uint64_t makespan = 0;                ///< cycle the last request finishes
+  std::vector<Completion> completions;  ///< served requests, ordered by id
+  uint64_t makespan = 0;                ///< cycle the last execution finishes
   std::vector<uint64_t> core_busy;      ///< executing cycles per core
   uint64_t batched_execs = 0;           ///< batched program executions
   uint64_t batched_requests = 0;        ///< requests they served
   uint64_t padded_slots = 0;            ///< zero-padded lanes in those
   uint64_t single_execs = 0;
 
-  /// Nearest-rank percentile of request latency, in cycles.
+  // ---- Resilience record ----
+  std::vector<Rejection> rejections;        ///< admission-control rejects
+  std::vector<FailedRequest> failed;        ///< retry budget exhausted
+  std::vector<QuarantineInterval> quarantines;
+  std::vector<FallbackInterval> fallback_intervals;
+  std::vector<FaultAttribution> fault_log;  ///< every injected flip
+  uint64_t exec_failures = 0;   ///< trapped/watchdog-killed executions
+  uint64_t retries = 0;         ///< re-dispatches that were queued
+  uint64_t deadline_misses = 0; ///< served, but after their deadline
+  uint64_t retry_cycles = 0;      ///< cycles burned by failed executions
+  uint64_t quarantine_cycles = 0; ///< core-cycles spent in cooldown
+  uint64_t fallback_execs = 0;    ///< executions at the fallback level
+  uint64_t fallback_cycles = 0;   ///< cycles of those executions
+
+  uint64_t admitted() const {
+    return static_cast<uint64_t>(completions.size() + failed.size());
+  }
+
+  /// Nearest-rank percentile of request latency, in cycles (0 when
+  /// nothing completed).
   uint64_t latency_percentile(double p) const;
   /// Inferences per second at a core clock of `mhz`.
   double throughput_per_s(double mhz) const;
+  /// Deadline-meeting inferences per second at `mhz` (requests without a
+  /// deadline count as met) — the resilience bench's headline metric.
+  double goodput_per_s(double mhz) const;
   /// Busy fraction of one core over the makespan.
   double utilization(int core) const;
   /// Filled fraction of batched lanes (1.0 = every lane carried a request).
@@ -101,13 +228,15 @@ struct ServeResult {
 class Scheduler {
  public:
   Scheduler(Cluster* cluster, Policy policy);
+  Scheduler(Cluster* cluster, SchedulerConfig config);
 
-  /// Drain the workload; deterministic in (cluster config, workload).
+  /// Drain the workload; deterministic in (cluster config, scheduler
+  /// config, workload).
   ServeResult run(const Workload& workload);
 
  private:
   Cluster* cluster_;
-  Policy policy_;
+  SchedulerConfig cfg_;
 };
 
 /// Deterministic JSON for one serving run (no host time, byte-stable).
