@@ -13,11 +13,25 @@
 //   flip%     mean decision-flip rate (wrong RRM action) over completed runs,
 //   RMSE      mean device-vs-golden output RMSE over completed runs.
 // The same seed reproduces the same table; the final block demonstrates it.
+//
+// A second table classifies *detection coverage* at level e: each network
+// re-runs as an ABFT-instrumented single forward pass (integrity build +
+// CheckedRun, rollback off) under the same campaign targets, and every hit
+// network is attributed to exactly one detector —
+//   clean   completed with outputs bit-identical to the golden model
+//           (flips masked by the program),
+//   abft    flagged by a layer-boundary checksum mismatch,
+//   trap    architectural trap (illegal access/instruction),
+//   wdog    killed by the cycle watchdog (runaway control flow),
+//   undet   completed, outputs diverged, no detector fired — the silent-
+//           corruption residue the integrity layer is built to minimize.
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_io.h"
 #include "src/common/table.h"
+#include "src/integrity/integrity.h"
+#include "src/kernels/layout.h"
 #include "src/rrm/engine.h"
 
 using namespace rnnasip;
@@ -104,6 +118,70 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", t.to_string().c_str());
+
+  // Detection coverage: the same campaign targets against ABFT-instrumented
+  // single forward passes at level e (the serving integrity deployment
+  // point). Rollback is off so every detection surfaces as an attribution
+  // instead of being healed.
+  std::printf("detection coverage at level e (10 instrumented nets per row):\n");
+  Table cov({"target", "rate", "flips", "clean", "abft", "trap", "wdog", "undet"});
+  for (auto target : targets) {
+    for (double rate : rates) {
+      int clean = 0, abft = 0, trap = 0, wdog = 0, undet = 0;
+      uint64_t flips = 0;
+      uint64_t net_index = 0;
+      for (const auto& def : rrm::rrm_suite()) {
+        iss::Memory mem(8u << 20);
+        iss::Core core(&mem);
+        const rrm::RrmNetwork net(def, cfg.seed);
+        auto built = net.build(&mem, OptLevel::kInputTiling, core.tanh_table(),
+                               core.sig_table(), /*max_tile=*/8, /*param_base=*/0,
+                               /*integrity=*/true);
+        core.load_program(built.program);
+        const auto input = net.make_input(0);
+        const auto golden = integrity::golden_checks(net, core.tanh_table(),
+                                                     core.sig_table(), input);
+
+        fault::FaultSpec spec;
+        spec.seed = 0x5EEDu + static_cast<uint64_t>(target) * 131 + net_index * 977;
+        spec.rate_of(target) = rate;
+        spec.tcdm = {kernels::kDataBase, kernels::kDataBase + built.data_bytes};
+        if (target == fault::Target::kInstr) {
+          spec.text = {built.program.base,
+                       built.program.base + built.program.size_bytes()};
+        }
+        fault::FaultInjector inj(spec);
+
+        integrity::CheckedRunConfig rc;
+        rc.rollback = false;
+        rc.watchdog_cycles = rrm::kDefaultCampaignWatchdog;
+        integrity::CheckedRun run(&core, &mem, &built, rc);
+        run.set_golden(golden);
+        run.begin(input);
+        inj.arm(&core, &mem);
+        integrity::CheckedRun::State st;
+        while ((st = run.step()) == integrity::CheckedRun::State::kBoundary) {
+        }
+        inj.disarm();
+        flips += inj.flips();
+        if (st == integrity::CheckedRun::State::kDone) {
+          (run.outputs() == golden.outputs.back() ? clean : undet) += 1;
+        } else if (run.integrity_failed()) {
+          ++abft;
+        } else if (run.last_result().exit == iss::RunResult::Exit::kWatchdog ||
+                   run.last_result().exit == iss::RunResult::Exit::kMaxInstrs) {
+          ++wdog;
+        } else {
+          ++trap;
+        }
+        ++net_index;
+      }
+      cov.add_row({fault::target_name(target), fmt_double(rate, 5),
+                   std::to_string(flips), std::to_string(clean), std::to_string(abft),
+                   std::to_string(trap), std::to_string(wdog), std::to_string(undet)});
+    }
+  }
+  std::printf("%s\n", cov.to_string().c_str());
 
   // Determinism: the same seed must reproduce the same campaign bit-exactly.
   rrm::Request det = base;

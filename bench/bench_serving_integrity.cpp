@@ -1,0 +1,329 @@
+// Serving integrity benchmark: silent-data-corruption detection and
+// layer-boundary rollback/preemption under SEU campaigns (PR 6).
+//
+// Sweeps scheduler mode x fault rate x load over the FC serving nets on a
+// 4-core level-e cluster, deadline policy throughout:
+//   plain    the PR 5 whole-execution scheduler (no detection) — its
+//            served-but-wrong fraction is the silent-corruption baseline;
+//   detect   ABFT layer checksums verified at every boundary, corrupted
+//            layers rolled back from checkpoints, exhausted budgets
+//            escalated to the retry/quarantine ladder;
+//   preempt  detect plus EDF layer-boundary preemption.
+// Correctness is judged against the golden oracle (the bit-exact host
+// reference per request input), so "silent" means served, non-flagged, and
+// wrong — the share the detection path must crush.
+//
+// Everything is seeded and simulated; two runs with the same --seed produce
+// byte-identical JSON (--json BENCH_serving_integrity.json). With --soak
+// the bench additionally replays the detect/high point under 8 derived
+// seeds and requires zero silently-corrupted responses in every replay.
+//
+// Acceptance (checked at the end, abort on failure):
+//   - at the highest PR 5 fault rate, the silently-corrupted share of
+//     served requests with detection on is < 1e-4 (the plain rows print
+//     the undetected baseline share for contrast);
+//   - ABFT + checkpoint cycle overhead over the serving mix is < 5% at
+//     level e;
+//   - at least one request is preempted in the preempt/off row and every
+//     preempted request's output is bit-identical to its unpreempted
+//     (golden) result.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_io.h"
+#include "src/common/check.h"
+#include "src/integrity/integrity.h"
+#include "src/serve/scheduler.h"
+
+using namespace rnnasip;
+
+namespace {
+
+constexpr double kServeMhz = 500.0;  // paper's peak operating point
+constexpr int kCores = 4;
+constexpr int kRequests = 160;
+
+const std::vector<std::string> kNets = {"ahmed19", "eisen19", "nasir18"};
+
+struct RatePoint {
+  const char* name;
+  double tcdm;
+  double regfile;
+  double pla;
+};
+
+// The PR 5 resilience sweep's off/high per-retired-instruction rates: the
+// acceptance criterion is pinned to the "high" point.
+const std::vector<RatePoint> kRates = {
+    {"off", 0, 0, 0},
+    {"high", 2e-7, 2e-6, 3e-4},
+};
+
+struct Mode {
+  const char* name;
+  bool detect;
+  bool preemption;
+};
+
+const std::vector<Mode> kModes = {
+    {"plain", false, false},
+    {"detect", true, false},
+    {"preempt", true, true},
+};
+
+serve::ClusterConfig cluster_config(bool integrity) {
+  serve::ClusterConfig cc;
+  cc.cores = kCores;
+  cc.level = kernels::OptLevel::kInputTiling;  // level e, the overhead target
+  cc.batch = 1;
+  cc.integrity = integrity;
+  return cc;
+}
+
+serve::Workload make_workload(const serve::Cluster& cluster, double interarrival,
+                              uint64_t seed) {
+  serve::WorkloadConfig wc;
+  wc.networks = kNets;
+  wc.requests = kRequests;
+  wc.mean_interarrival_cycles = interarrival;
+  wc.deadline_slack_cycles = 40.0 * interarrival;
+  wc.seed = seed;
+  return serve::make_poisson_workload(cluster, wc);
+}
+
+/// Golden final outputs per request id — the independent correctness
+/// arbiter for every row over the same workload.
+std::map<uint64_t, std::vector<int16_t>> golden_outputs(const serve::Cluster& cluster,
+                                                        const serve::Workload& w) {
+  std::map<uint64_t, std::vector<int16_t>> out;
+  for (const auto& job : w.jobs) {
+    out[job.id] = integrity::golden_checks(cluster.network(job.network),
+                                           cluster.tanh_table(), cluster.sig_table(),
+                                           job.input)
+                      .outputs.back();
+  }
+  return out;
+}
+
+struct RowOutput {
+  serve::ServeResult result;
+  uint64_t silent = 0;          ///< served, non-flagged, wrong vs golden
+  uint64_t preempted_ok = 0;    ///< preempted completions matching golden
+  uint64_t preempted_bad = 0;   ///< preempted completions diverging
+  double silent_share() const {
+    return result.completions.empty()
+               ? 0.0
+               : static_cast<double>(silent) /
+                     static_cast<double>(result.completions.size());
+  }
+};
+
+RowOutput run_point(serve::Cluster* cluster, const Mode& mode, const RatePoint& rate,
+                    const serve::Workload& workload, uint64_t seed,
+                    const std::map<uint64_t, std::vector<int16_t>>& golden) {
+  serve::SchedulerConfig sc;
+  sc.policy = serve::Policy::kDeadline;
+  sc.fault.seed = seed;
+  sc.fault.rate_of(fault::Target::kTcdm) = rate.tcdm;
+  sc.fault.rate_of(fault::Target::kRegFile) = rate.regfile;
+  sc.fault.rate_of(fault::Target::kPlaLut) = rate.pla;
+  sc.integrity.detect = mode.detect;
+  sc.integrity.preemption = mode.preemption;
+  serve::Scheduler sched(cluster, sc);
+
+  RowOutput out;
+  out.result = sched.run(workload);
+  for (const auto& c : out.result.completions) {
+    const bool ok = golden.at(c.id) == c.outputs;
+    if (!ok) ++out.silent;
+    if (c.preemptions > 0) (ok ? out.preempted_ok : out.preempted_bad) += 1;
+  }
+  return out;
+}
+
+/// Derived soak seed: splitmix64-style finalizer, same family the
+/// scheduler uses for per-execution campaign seeds.
+uint64_t derive_seed(uint64_t seed, uint64_t n) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (n + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto io = bench::BenchIo::parse(argc, argv);
+  const uint64_t seed = io.seed(0x5EED);
+  bool soak = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--soak") == 0) soak = true;
+  }
+
+  std::printf("=====================================================================\n");
+  std::printf("Serving integrity — detection x rollback x preemption, %d cores\n", kCores);
+  std::printf("FC nets {ahmed19, eisen19, nasir18}, %d requests, seed 0x%llx,\n",
+              kRequests, static_cast<unsigned long long>(seed));
+  std::printf("level e, deadline policy, correctness vs the golden oracle\n");
+  std::printf("=====================================================================\n\n");
+
+  serve::Cluster plain_cluster(cluster_config(false), kNets);
+  serve::Cluster integ_cluster(cluster_config(true), kNets);
+
+  // Instrumentation cost at level e: the ABFT fold reads each layer output
+  // once (1 cycle/halfword), so the tiny nets pay the largest relative
+  // price; the acceptance bound applies to the serving mix.
+  std::printf("| net | plain cycles | integrity cycles | overhead |\n");
+  std::printf("| :-- | ---: | ---: | ---: |\n");
+  uint64_t plain_total = 0, integ_total = 0;
+  obs::Json overhead_rows = obs::Json::array();
+  for (const auto& name : kNets) {
+    const uint64_t pc = plain_cluster.estimated_single_cycles(name);
+    const uint64_t ic = integ_cluster.estimated_single_cycles(name);
+    plain_total += pc;
+    integ_total += ic;
+    std::printf("| %s | %llu | %llu | %.2f%% |\n", name.c_str(),
+                static_cast<unsigned long long>(pc),
+                static_cast<unsigned long long>(ic),
+                100.0 * (static_cast<double>(ic) / static_cast<double>(pc) - 1.0));
+    obs::Json o = obs::Json::object();
+    o.set("network", name);
+    o.set("plain_cycles", pc);
+    o.set("integrity_cycles", ic);
+    overhead_rows.push(std::move(o));
+  }
+  const double overhead_mix =
+      static_cast<double>(integ_total) / static_cast<double>(plain_total) - 1.0;
+  std::printf("serving-mix ABFT+checkpoint overhead at level e: %.2f%%\n\n",
+              100.0 * overhead_mix);
+
+  const std::vector<double> loads = {2'000, 8'000};
+
+  std::printf(
+      "| mode | faults | interarrival | served | fail | detect | rollbk | esc | "
+      "preempt | silent | goodput/s |\n");
+  std::printf(
+      "| :-- | :-- | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | "
+      "---: |\n");
+
+  obs::Json rows = obs::Json::array();
+  uint64_t detect_high_served = 0, detect_high_silent = 0;
+  uint64_t detect_high_detections = 0;
+  uint64_t preempted_off = 0, preempted_off_bad = 0;
+  for (const double load : loads) {
+    const auto workload = make_workload(plain_cluster, load, seed);
+    const auto golden = golden_outputs(plain_cluster, workload);
+    for (const auto& mode : kModes) {
+      serve::Cluster* cluster = mode.detect || mode.preemption ? &integ_cluster
+                                                               : &plain_cluster;
+      for (const auto& rate : kRates) {
+        const auto out = run_point(cluster, mode, rate, workload, seed, golden);
+        const auto& r = out.result;
+        std::printf(
+            "| %s | %s | %.0f | %zu | %zu | %llu | %llu | %llu | %llu | %llu | "
+            "%.0f |\n",
+            mode.name, rate.name, load, r.completions.size(), r.failed.size(),
+            static_cast<unsigned long long>(r.integrity_detections),
+            static_cast<unsigned long long>(r.rollbacks),
+            static_cast<unsigned long long>(r.integrity_escalations),
+            static_cast<unsigned long long>(r.preemptions),
+            static_cast<unsigned long long>(out.silent), r.goodput_per_s(kServeMhz));
+        if (mode.detect && &rate == &kRates.back()) {
+          detect_high_served += r.completions.size();
+          detect_high_silent += out.silent;
+          detect_high_detections += r.integrity_detections;
+        }
+        if (mode.preemption && rate.tcdm == 0) {
+          preempted_off += out.preempted_ok + out.preempted_bad;
+          preempted_off_bad += out.preempted_bad;
+        }
+        obs::Json row = obs::Json::object();
+        row.set("mode", mode.name);
+        row.set("fault_point", rate.name);
+        row.set("mean_interarrival_cycles", load);
+        row.set("silent", out.silent);
+        row.set("silent_share", out.silent_share());
+        row.set("result", serve::serve_result_to_json(r, kServeMhz));
+        rows.push(std::move(row));
+      }
+    }
+  }
+  std::printf("\n");
+
+  // Acceptance 1: non-flagged silently-corrupted share with detection on at
+  // the highest PR 5 fault rate (< 1e-4; the plain rows print the
+  // undetected baseline for contrast).
+  RNNASIP_CHECK(detect_high_served > 0);
+  const double silent_share_detect_high =
+      static_cast<double>(detect_high_silent) /
+      static_cast<double>(detect_high_served);
+  std::printf("detect/high silent share: %llu/%llu = %.2e (detections: %llu)\n",
+              static_cast<unsigned long long>(detect_high_silent),
+              static_cast<unsigned long long>(detect_high_served),
+              silent_share_detect_high,
+              static_cast<unsigned long long>(detect_high_detections));
+  RNNASIP_CHECK_MSG(silent_share_detect_high < 1e-4,
+                    "silent corruption above budget: " << silent_share_detect_high);
+  RNNASIP_CHECK_MSG(detect_high_detections > 0,
+                    "the high-rate campaign triggered no ABFT detection");
+
+  // Acceptance 2: instrumentation cycle overhead over the serving mix.
+  RNNASIP_CHECK_MSG(overhead_mix < 0.05,
+                    "ABFT+checkpoint overhead " << overhead_mix << " >= 5%");
+
+  // Acceptance 3: preemption happened and preempted requests resumed
+  // bit-identically.
+  std::printf("preempted requests (fault-free preempt rows): %llu, divergent: %llu\n",
+              static_cast<unsigned long long>(preempted_off),
+              static_cast<unsigned long long>(preempted_off_bad));
+  RNNASIP_CHECK_MSG(preempted_off > 0, "no request was ever preempted");
+  RNNASIP_CHECK_MSG(preempted_off_bad == 0,
+                    "a preempted request diverged from its unpreempted output");
+
+  // --soak: chaos replay of the detect/high point under derived seeds;
+  // every replay must serve zero silently-corrupted responses.
+  if (soak) {
+    std::printf("\nchaos soak (detect/high, load 2000):\n");
+    for (uint64_t n = 0; n < 8; ++n) {
+      const uint64_t s = derive_seed(seed, n);
+      const auto workload = make_workload(plain_cluster, 2'000, s);
+      const auto golden = golden_outputs(plain_cluster, workload);
+      const auto out = run_point(&integ_cluster, kModes[1], kRates.back(), workload,
+                                 s, golden);
+      std::printf(
+          "  seed 0x%016llx: served %zu, failed %zu, detections %llu, silent %llu\n",
+          static_cast<unsigned long long>(s), out.result.completions.size(),
+          out.result.failed.size(),
+          static_cast<unsigned long long>(out.result.integrity_detections),
+          static_cast<unsigned long long>(out.silent));
+      RNNASIP_CHECK_MSG(out.silent == 0,
+                        "soak seed " << s << " served corrupted responses");
+    }
+    std::printf("soak: 8/8 derived seeds served zero corrupted responses\n");
+  }
+
+  if (io.json_enabled()) {
+    obs::Json data = obs::Json::object();
+    data.set("seed", seed);
+    data.set("mhz", kServeMhz);
+    data.set("cores", static_cast<uint64_t>(kCores));
+    data.set("requests", static_cast<uint64_t>(kRequests));
+    obs::Json ov = obs::Json::object();
+    ov.set("per_net", std::move(overhead_rows));
+    ov.set("mix_overhead", overhead_mix);
+    data.set("overhead", std::move(ov));
+    data.set("rows", std::move(rows));
+    obs::Json acc = obs::Json::object();
+    acc.set("silent_share_detect_high", silent_share_detect_high);
+    acc.set("detections_detect_high", detect_high_detections);
+    acc.set("mix_overhead", overhead_mix);
+    acc.set("preempted_requests", preempted_off);
+    acc.set("preempted_divergent", preempted_off_bad);
+    data.set("acceptance", std::move(acc));
+    io.write_json("serving_integrity", std::move(data));
+  }
+  return 0;
+}

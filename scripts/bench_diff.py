@@ -10,6 +10,10 @@ The compared metrics depend on the bench:
   table2              inner-loop body cycles of both kernels and their speedup
   serving_resilience  per-sweep-row served/retries/rejected plus the
                       aggregate correctness and goodput acceptance numbers
+  serving_integrity   ABFT instrumentation overhead per net and over the
+                      serving mix, plus per-row served/silent/detections/
+                      rollbacks/escalations/preemptions and the silent-
+                      share and preemption acceptance numbers
 
 Any relative drift beyond the tolerance (default 0.5%) fails with a
 per-metric report. The simulator is deterministic, so in practice any
@@ -62,10 +66,36 @@ def metrics_serving_resilience(data):
     return out
 
 
+def metrics_serving_integrity(data):
+    acc = data["acceptance"]
+    out = {
+        "silent share detect/high": acc["silent_share_detect_high"],
+        "detections detect/high": acc["detections_detect_high"],
+        "mix overhead": acc["mix_overhead"],
+        "preempted requests": acc["preempted_requests"],
+        "preempted divergent": acc["preempted_divergent"],
+    }
+    for net in data["overhead"]["per_net"]:
+        out[f"{net['network']} plain cycles"] = net["plain_cycles"]
+        out[f"{net['network']} integrity cycles"] = net["integrity_cycles"]
+    for row in data["rows"]:
+        res = row["result"]["resilience"]
+        key = (f"{row['mode']}/{row['fault_point']}"
+               f"/@{int(row['mean_interarrival_cycles'])}")
+        out[f"{key} served"] = res["served"]
+        out[f"{key} silent"] = row["silent"]
+        out[f"{key} detections"] = res["integrity"]["detections"]
+        out[f"{key} rollbacks"] = res["integrity"]["rollbacks"]
+        out[f"{key} escalations"] = res["integrity"]["escalations"]
+        out[f"{key} preemptions"] = res["preemption"]["preemptions"]
+    return out
+
+
 EXTRACTORS = {
     "table1": metrics_table1,
     "table2": metrics_table2,
     "serving_resilience": metrics_serving_resilience,
+    "serving_integrity": metrics_serving_integrity,
 }
 
 

@@ -145,8 +145,10 @@ Cfg build_cfg(const assembler::Program& prog, Report& rep) {
   // The program must not run off the end of the text.
   {
     const Instr& last = prog.instrs[n - 1];
+    // ecall is a yield, not a terminator: the harness resumes at pc + 4,
+    // so an ecall as the final instruction still falls off the end.
     const bool falls = !(last.op == Opcode::kJal || last.op == Opcode::kJalr ||
-                         last.op == Opcode::kEbreak || last.op == Opcode::kEcall);
+                         last.op == Opcode::kEbreak);
     if (falls)
       rep.add("cfg.fall-off-end", Severity::kError, cfg.pcs[n - 1],
               "execution can fall off the end of the text after " +
@@ -279,9 +281,13 @@ Cfg build_cfg(const assembler::Program& prog, Report& rep) {
       if (in.rd == 0 && in.rs1 == isa::kRa && in.imm == 0)
         for (size_t cont : continuations)
           blk.succs.push_back(Edge{cont, EdgeKind::kReturn});
-    } else if (in.op == Opcode::kEbreak || in.op == Opcode::kEcall) {
+    } else if (in.op == Opcode::kEbreak) {
       // terminal
-    } else if (l + 1 < n) {
+    } else if (in.op == Opcode::kEcall && l + 1 < n) {
+      // ecall yields to the harness (layer-boundary checkpoint) and the
+      // harness resumes at pc + 4 — a fall-through edge, not a terminator.
+      add_to_idx(l + 1, EdgeKind::kFall);
+    } else if (in.op != Opcode::kEcall && l + 1 < n) {
       add_to_idx(l + 1, EdgeKind::kFall);
     }
     // Hardware-loop back-edges fire on the sequential boundary at a region

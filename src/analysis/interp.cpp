@@ -70,7 +70,7 @@ void merge(Slot& slot, const AbsState& st, uint64_t cost) {
 /// Outcome of abstractly executing a contiguous index range.
 struct Flow {
   Slot fall;  ///< state arriving exactly at the range end
-  Slot term;  ///< state at an ebreak/ecall
+  Slot term;  ///< state at an ebreak (ecall yields fall through)
   /// Arrivals past the range end (a branch out of a loop body); targets the
   /// enclosing range's work list.
   std::vector<std::pair<size_t, Arrival>> escapes;
@@ -633,8 +633,12 @@ class Interp {
           continue;
         }
         case Opcode::kEbreak:
-        case Opcode::kEcall:
           merge(out.term, st, cost + 1);
+          continue;
+        case Opcode::kEcall:
+          // A yield to the harness (layer-boundary checkpoint): execution
+          // resumes at the next instruction with all state intact.
+          merge_work(work, idx + 1, st, cost + 1);
           continue;
         default:
           break;

@@ -1,0 +1,254 @@
+#include "src/integrity/integrity.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/kernels/layout.h"
+
+namespace rnnasip::integrity {
+
+uint32_t fold_halves(std::span<const int16_t> halves) {
+  uint32_t acc = 0;
+  size_t i = 0;
+  for (; i + 1 < halves.size(); i += 2) {
+    const uint32_t lo = static_cast<uint16_t>(halves[i]);
+    const uint32_t hi = static_cast<uint16_t>(halves[i + 1]);
+    acc += lo | (hi << 16);
+  }
+  if (i < halves.size()) acc += static_cast<uint16_t>(halves[i]);
+  return acc;
+}
+
+GoldenChecks golden_checks(const rrm::RrmNetwork& net,
+                           const activation::PlaTable& tanh_tbl,
+                           const activation::PlaTable& sig_tbl,
+                           std::span<const int16_t> input) {
+  rrm::RrmNetwork::Golden golden(net, tanh_tbl, sig_tbl);
+  GoldenChecks g;
+  g.outputs = golden.forward_layers(input);
+  g.folds.reserve(g.outputs.size());
+  for (const auto& out : g.outputs) g.folds.push_back(fold_halves(out));
+  return g;
+}
+
+namespace {
+
+void fnv_bytes(uint64_t& h, const void* p, size_t n) {
+  const auto* b = static_cast<const uint8_t*>(p);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 1099511628211ull;
+  }
+}
+
+template <typename T>
+void fnv_pod(uint64_t& h, const T& v) {
+  fnv_bytes(h, &v, sizeof(v));
+}
+
+void fnv_table(uint64_t& h, const activation::PlaTable& t) {
+  fnv_bytes(h, t.slopes().data(), t.slopes().size() * sizeof(int16_t));
+  fnv_bytes(h, t.offsets().data(), t.offsets().size() * sizeof(int16_t));
+}
+
+}  // namespace
+
+uint64_t Checkpoint::digest() const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  fnv_bytes(h, core.x.data(), core.x.size() * sizeof(uint32_t));
+  fnv_pod(h, core.pc);
+  fnv_bytes(h, core.spr.data(), core.spr.size() * sizeof(uint32_t));
+  for (const auto& l : core.loops) {
+    fnv_pod(h, l.start);
+    fnv_pod(h, l.end);
+    fnv_pod(h, l.count);
+  }
+  fnv_table(h, core.tanh_table);
+  fnv_table(h, core.sig_table);
+  fnv_pod(h, core.csr_cycle);
+  fnv_pod(h, core.csr_instret);
+  fnv_pod(h, core.csr_mscratch);
+  fnv_pod(h, core.prev_mem_unpaired);
+  fnv_pod(h, core.last_was_load);
+  fnv_pod(h, core.last_load_rd);
+  fnv_pod(h, core.last_load_op);
+  fnv_pod(h, core.last_load_pc);
+  fnv_pod(h, core.last_sdotsp_spr);
+  fnv_pod(h, data_lo);
+  fnv_pod(h, next_check);
+  fnv_bytes(h, data.data(), data.size());
+  return h;
+}
+
+Checkpoint take_checkpoint(const iss::Core& core, const iss::Memory& mem,
+                           uint32_t data_lo, uint32_t data_bytes, int next_check) {
+  Checkpoint cp;
+  cp.core = core.snapshot();
+  cp.data_lo = data_lo;
+  cp.data = mem.read_block(data_lo, data_bytes);
+  cp.next_check = next_check;
+  return cp;
+}
+
+void restore_checkpoint(iss::Core* core, iss::Memory* mem, const Checkpoint& cp) {
+  core->restore(cp.core);
+  mem->write_block(cp.data_lo, cp.data);
+}
+
+CheckedRun::CheckedRun(iss::Core* core, iss::Memory* mem,
+                       const kernels::BuiltNetwork* net, CheckedRunConfig cfg)
+    : core_(core), mem_(mem), net_(net), cfg_(cfg) {
+  RNNASIP_CHECK_MSG(!net_->checks.empty(),
+                    "CheckedRun needs an integrity-instrumented program "
+                    "(NetworkProgramBuilder::set_integrity)");
+}
+
+void CheckedRun::set_golden(GoldenChecks golden) {
+  RNNASIP_CHECK_MSG(golden.folds.size() == net_->checks.size(),
+                    "golden oracle has " << golden.folds.size()
+                                         << " layers, program checks "
+                                         << net_->checks.size());
+  golden_ = std::move(golden);
+}
+
+void CheckedRun::begin(std::span<const int16_t> input) {
+  RNNASIP_CHECK_MSG(!cfg_.detect || golden_.has_value(),
+                    "detection enabled without a golden oracle");
+  if (golden_) {
+    // The final boundary's fold window must be the served output buffer,
+    // or the post-ebreak re-fold would compare different bytes.
+    RNNASIP_CHECK(net_->checks.back().out_addr == net_->output_addr);
+    RNNASIP_CHECK(net_->checks.back().out_count == net_->output_count);
+  }
+  kernels::reset_state(*mem_, *net_);
+  RNNASIP_CHECK(static_cast<int>(input.size()) == net_->input_count);
+  mem_->write_halves(net_->input_addr, input);
+  core_->reset(net_->program.base);
+  cycles_ = 0;
+  wd_remaining_ = cfg_.watchdog_cycles;
+  counters_ = IntegrityCounters{};
+  outputs_.clear();
+  last_result_ = iss::RunResult{};
+  retries_left_ = cfg_.layer_retries;
+  first_detection_ = -1;
+  integrity_failed_ = false;
+  cp_ = take_checkpoint(*core_, *mem_, kernels::kDataBase, net_->data_bytes, 0);
+}
+
+CheckedRun::State CheckedRun::step() {
+  for (;;) {
+    iss::RunLimits lim;
+    lim.max_cycles = wd_remaining_;  // 0 = unbounded (cfg watchdog off)
+    const auto res = core_->run(lim);
+    cycles_ += res.cycles;
+    if (cfg_.watchdog_cycles != 0) {
+      wd_remaining_ = res.cycles < wd_remaining_ ? wd_remaining_ - res.cycles : 0;
+      if (wd_remaining_ == 0 && res.exit != iss::RunResult::Exit::kEbreak &&
+          res.exit != iss::RunResult::Exit::kWatchdog) {
+        // Budget exhausted exactly at a segment edge: report it as the
+        // watchdog kill it would have been one cycle later.
+        last_result_ = res;
+        last_result_.exit = iss::RunResult::Exit::kWatchdog;
+        last_result_.trap = iss::Trap{iss::TrapCause::kWatchdog, res.pc, 0,
+                                      "cycle watchdog expired at a layer boundary"};
+        last_result_.trap_message = last_result_.trap.message;
+        return State::kFailed;
+      }
+    }
+    switch (res.exit) {
+      case iss::RunResult::Exit::kEcall: {
+        const int boundary = cp_.next_check;
+        RNNASIP_CHECK_MSG(boundary < static_cast<int>(net_->checks.size()),
+                          "unexpected ecall past the last layer check");
+        const auto& chk = net_->checks[static_cast<size_t>(boundary)];
+        bool pass = true;
+        if (cfg_.detect && golden_) {
+          ++counters_.checks;
+          const uint32_t want = golden_->folds[static_cast<size_t>(boundary)];
+          const uint32_t dev = mem_->load32(chk.slot);
+          const uint32_t host = fold_halves(
+              mem_->read_halves(chk.out_addr, static_cast<size_t>(chk.out_count)));
+          pass = dev == want && host == want;
+        }
+        if (!pass) {
+          ++counters_.detections;
+          if (first_detection_ < 0) first_detection_ = boundary;
+          if (fail_or_rollback(res, /*mismatch=*/true, boundary) == State::kFailed)
+            return State::kFailed;
+          continue;  // rolled back; re-run the layer
+        }
+        core_->set_pc(res.pc + 4);
+        cp_ = take_checkpoint(*core_, *mem_, kernels::kDataBase, net_->data_bytes,
+                              boundary + 1);
+        retries_left_ = cfg_.layer_retries;
+        last_result_ = res;
+        return State::kBoundary;
+      }
+      case iss::RunResult::Exit::kEbreak: {
+        outputs_ =
+            mem_->read_halves(net_->output_addr, static_cast<size_t>(net_->output_count));
+        bool pass = true;
+        if (cfg_.detect && golden_) {
+          // Post-readout re-fold: closes the window between the last
+          // in-program fold and the bytes actually served.
+          ++counters_.checks;
+          pass = fold_halves(outputs_) == golden_->folds.back();
+        }
+        if (!pass) {
+          ++counters_.detections;
+          const int boundary = static_cast<int>(net_->checks.size()) - 1;
+          if (first_detection_ < 0) first_detection_ = boundary;
+          outputs_.clear();
+          if (fail_or_rollback(res, /*mismatch=*/true, boundary) == State::kFailed)
+            return State::kFailed;
+          continue;
+        }
+        last_result_ = res;
+        return State::kDone;
+      }
+      case iss::RunResult::Exit::kTrap: {
+        if (fail_or_rollback(res, /*mismatch=*/false, cp_.next_check) == State::kFailed)
+          return State::kFailed;
+        continue;
+      }
+      case iss::RunResult::Exit::kWatchdog:
+      case iss::RunResult::Exit::kMaxInstrs:
+        last_result_ = res;
+        return State::kFailed;
+    }
+  }
+}
+
+CheckedRun::State CheckedRun::fail_or_rollback(const iss::RunResult& res, bool mismatch,
+                                               int boundary) {
+  if (!cfg_.rollback || retries_left_ <= 0) {
+    last_result_ = res;
+    if (mismatch) {
+      integrity_failed_ = true;
+      std::ostringstream os;
+      os << "abft fold mismatch at layer boundary " << boundary;
+      if (boundary >= 0 && boundary < static_cast<int>(net_->checks.size()))
+        os << " (" << net_->checks[static_cast<size_t>(boundary)].name << ")";
+      last_result_.exit = iss::RunResult::Exit::kTrap;
+      last_result_.trap = iss::Trap{iss::TrapCause::kIntegrityMismatch, res.pc, 0, os.str()};
+      last_result_.trap_message = last_result_.trap.message;
+    }
+    return State::kFailed;
+  }
+  --retries_left_;
+  ++counters_.rollbacks;
+  counters_.rollback_cycles += res.cycles;
+  restore_checkpoint(core_, mem_, cp_);
+  return State::kBoundary;
+}
+
+void CheckedRun::resume(iss::Core* core, iss::Memory* mem, const Checkpoint& cp) {
+  core_ = core;
+  mem_ = mem;
+  cp_ = cp;
+  restore_checkpoint(core_, mem_, cp_);
+  retries_left_ = cfg_.layer_retries;
+}
+
+}  // namespace rnnasip::integrity

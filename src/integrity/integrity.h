@@ -1,0 +1,165 @@
+// Integrity-and-recovery harness: ABFT layer-checksum verification plus
+// layer-boundary checkpoint/rollback over an instrumented network program.
+//
+// Detection. An integrity build (NetworkProgramBuilder::set_integrity)
+// folds each layer's output into a TCDM slot and yields with ecall at
+// every layer boundary (BuiltNetwork::checks). The host computes the same
+// fold over the *golden* per-layer outputs — the bit-exact fixed-point
+// reference evaluated from the verified weights (rrm::Golden) — once per
+// request input. At each boundary the harness requires both the device
+// slot and its own re-fold of the output bytes to equal the golden fold:
+// any SEU that perturbs the layer's weight/accumulate/activation path, or
+// the output buffer itself, is flagged at the boundary it corrupts. After
+// the final ebreak the served output bytes are re-folded once more, which
+// closes the window between the last in-program fold and the read-out.
+// A silent escape therefore requires a fold collision — a multi-bit
+// corruption whose word-wise sum mod 2^32 is exactly zero. Single-bit
+// flips can never collide (the sum moves by +/-2^b), and unlike a parity
+// fold the modular sum also catches correlated same-direction shifts
+// across many halfwords (e.g. one corrupted PLA segment offsetting every
+// output through it by the same power of two).
+//
+// Recovery. After every verified boundary the harness snapshots the full
+// resumable state (iss::CoreSnapshot — regfile, pc, SPRs, hw loops, PLA
+// LUTs, CSRs, pipeline hazard state — plus the private TCDM data window).
+// A detected mismatch, or a trap inside a layer, restores the previous
+// boundary's checkpoint and re-executes just that layer, up to
+// `layer_retries` times per boundary; exhaustion escalates to the
+// caller's request-level retry/quarantine ladder. The same checkpoints
+// let a scheduler suspend a request at a boundary and resume it later —
+// on any core — bit-identically (Checkpoint::resume via CheckedRun).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/iss/core.h"
+#include "src/iss/memory.h"
+#include "src/kernels/network.h"
+#include "src/rrm/networks.h"
+
+namespace rnnasip::integrity {
+
+/// Modular-sum word-fold over halfwords, mirroring
+/// kernels::emit_fold_checksum bit-for-bit: consecutive pairs form
+/// little-endian 32-bit words summed mod 2^32, an odd trailing halfword
+/// folds in zero-extended.
+uint32_t fold_halves(std::span<const int16_t> halves);
+
+/// The golden oracle for one (network, input) pair: bit-exact per-layer
+/// outputs and their folds, in device layer order.
+struct GoldenChecks {
+  std::vector<std::vector<int16_t>> outputs;
+  std::vector<uint32_t> folds;
+};
+
+/// Evaluate the host reference (fresh recurrent state) for `input`.
+GoldenChecks golden_checks(const rrm::RrmNetwork& net,
+                           const activation::PlaTable& tanh_tbl,
+                           const activation::PlaTable& sig_tbl,
+                           std::span<const int16_t> input);
+
+/// One layer-boundary checkpoint: everything needed to re-execute from
+/// the boundary — full core state plus the private TCDM data window
+/// (activations, recurrent state, fold slots). Weights are not included:
+/// they live in the read-only parameter region the checkpoint's core
+/// never wrote.
+struct Checkpoint {
+  iss::CoreSnapshot core;
+  uint32_t data_lo = 0;
+  std::vector<uint8_t> data;
+  int next_check = 0;  ///< boundaries already verified
+  /// FNV-1a over the architectural state + TCDM window (round-trip tests).
+  uint64_t digest() const;
+};
+
+Checkpoint take_checkpoint(const iss::Core& core, const iss::Memory& mem,
+                           uint32_t data_lo, uint32_t data_bytes, int next_check);
+void restore_checkpoint(iss::Core* core, iss::Memory* mem, const Checkpoint& cp);
+
+struct CheckedRunConfig {
+  bool detect = true;     ///< verify ABFT folds (requires set_golden)
+  bool rollback = true;   ///< re-execute a corrupted layer from its checkpoint
+  int layer_retries = 2;  ///< rollback budget per boundary (resets on success)
+  /// Whole-execution cycle watchdog across all segments including rolled-
+  /// back ones; 0 = unbounded.
+  uint64_t watchdog_cycles = 0;
+};
+
+struct IntegrityCounters {
+  uint64_t checks = 0;          ///< boundary verifications performed
+  uint64_t detections = 0;      ///< fold mismatches flagged
+  uint64_t rollbacks = 0;       ///< layer re-executions
+  uint64_t rollback_cycles = 0; ///< cycles burned by discarded segments
+};
+
+/// Drives one instrumented program execution segment by segment. Usage:
+///
+///   CheckedRun run(&core, &mem, &net, cfg);
+///   run.set_golden(golden_checks(...));        // when cfg.detect
+///   run.begin(input);
+///   while (run.step() == CheckedRun::State::kBoundary) {
+///     // optional: suspend here via checkpoint()/resume()
+///   }
+///   // State::kDone -> run.outputs(); State::kFailed -> run.last_result()
+///
+/// The driving core/memory can change between steps (resume()): a
+/// suspended run carries its whole state in the checkpoint.
+class CheckedRun {
+ public:
+  enum class State { kBoundary, kDone, kFailed };
+
+  CheckedRun(iss::Core* core, iss::Memory* mem, const kernels::BuiltNetwork* net,
+             CheckedRunConfig cfg);
+
+  void set_golden(GoldenChecks golden);
+
+  /// Reset recurrent state, write the input, reset the core, and take the
+  /// initial (boundary-0) checkpoint.
+  void begin(std::span<const int16_t> input);
+
+  /// Run until the next verified layer boundary, the final ebreak, or an
+  /// unrecoverable failure; rollbacks happen internally.
+  State step();
+
+  /// Re-point the run at another core/memory and restore `cp` there —
+  /// layer-boundary preemption migration. The program image for this
+  /// network must already be bound on the target.
+  void resume(iss::Core* core, iss::Memory* mem, const Checkpoint& cp);
+
+  const Checkpoint& checkpoint() const { return cp_; }
+  uint64_t cycles() const { return cycles_; }
+  const IntegrityCounters& counters() const { return counters_; }
+  const std::vector<int16_t>& outputs() const { return outputs_; }
+  /// The terminating RunResult; after an ABFT detection that exhausted its
+  /// rollback budget this is a synthesized kTrap with kIntegrityMismatch.
+  const iss::RunResult& last_result() const { return last_result_; }
+  /// True when the failure was an integrity detection (vs a real trap).
+  bool integrity_failed() const { return integrity_failed_; }
+  /// Boundary index of the first detection, -1 if none.
+  int first_detection_at() const { return first_detection_; }
+  int next_check() const { return cp_.next_check; }
+
+ private:
+  State fail_or_rollback(const iss::RunResult& res, bool mismatch, int boundary);
+
+  iss::Core* core_;
+  iss::Memory* mem_;
+  const kernels::BuiltNetwork* net_;
+  CheckedRunConfig cfg_;
+  std::optional<GoldenChecks> golden_;
+  Checkpoint cp_;
+  IntegrityCounters counters_;
+  std::vector<int16_t> outputs_;
+  iss::RunResult last_result_;
+  uint64_t cycles_ = 0;
+  uint64_t wd_remaining_ = 0;
+  int retries_left_ = 0;
+  int first_detection_ = -1;
+  bool integrity_failed_ = false;
+};
+
+}  // namespace rnnasip::integrity

@@ -109,6 +109,44 @@ void Core::set_spr(int i, uint32_t v) {
   spr_[static_cast<size_t>(i)] = v;
 }
 
+CoreSnapshot Core::snapshot() const {
+  CoreSnapshot s;
+  s.x = x_;
+  s.pc = pc_;
+  s.spr = spr_;
+  s.loops = loops_;
+  s.tanh_table = tanh_table_;
+  s.sig_table = sig_table_;
+  s.csr_cycle = csr_cycle_;
+  s.csr_instret = csr_instret_;
+  s.csr_mscratch = csr_mscratch_;
+  s.prev_mem_unpaired = prev_mem_unpaired_;
+  s.last_was_load = last_was_load_;
+  s.last_load_rd = last_load_rd_;
+  s.last_load_op = last_load_op_;
+  s.last_load_pc = last_load_pc_;
+  s.last_sdotsp_spr = last_sdotsp_spr_;
+  return s;
+}
+
+void Core::restore(const CoreSnapshot& s) {
+  x_ = s.x;
+  pc_ = s.pc;
+  spr_ = s.spr;
+  loops_ = s.loops;
+  tanh_table_ = s.tanh_table;
+  sig_table_ = s.sig_table;
+  csr_cycle_ = s.csr_cycle;
+  csr_instret_ = s.csr_instret;
+  csr_mscratch_ = s.csr_mscratch;
+  prev_mem_unpaired_ = s.prev_mem_unpaired;
+  last_was_load_ = s.last_was_load;
+  last_load_rd_ = s.last_load_rd;
+  last_load_op_ = s.last_load_op;
+  last_load_pc_ = s.last_load_pc;
+  last_sdotsp_spr_ = s.last_sdotsp_spr;
+}
+
 void Core::trap(uint32_t pc, TrapCause cause, const std::string& msg) {
   std::ostringstream os;
   os << "trap at pc=0x" << std::hex << pc << ": " << msg;

@@ -55,6 +55,32 @@ struct HwLoop {
   uint32_t count = 0;  ///< remaining iterations
 };
 
+/// Complete resumable architectural state of one core, captured between
+/// instructions (a layer boundary). Restoring a snapshot and re-running
+/// from it is bit-identical to never having left: the snapshot includes
+/// the hazard-tracking pipeline state (dual-issue pairing, pending
+/// load-use producer, last pl.sdotsp SPR) and the PLA tables, so cycle
+/// counts and LUT contents survive a checkpoint/restore round trip even
+/// mid-campaign. Memory is *not* part of the snapshot — callers pair it
+/// with the TCDM bytes they care about (see integrity::Checkpoint).
+struct CoreSnapshot {
+  std::array<uint32_t, 32> x{};
+  uint32_t pc = 0;
+  std::array<uint32_t, 2> spr{};
+  std::array<HwLoop, 2> loops{};
+  activation::PlaTable tanh_table;
+  activation::PlaTable sig_table;
+  uint64_t csr_cycle = 0;
+  uint64_t csr_instret = 0;
+  uint32_t csr_mscratch = 0;
+  bool prev_mem_unpaired = false;
+  bool last_was_load = false;
+  uint8_t last_load_rd = 0;
+  isa::Opcode last_load_op = isa::Opcode::kInvalid;
+  uint32_t last_load_pc = 0;
+  int last_sdotsp_spr = -1;
+};
+
 class Core {
  public:
   struct Config {
@@ -81,6 +107,13 @@ class Core {
   uint32_t reg(int i) const { return x_[static_cast<size_t>(i)]; }
   void set_reg(int i, uint32_t v);
   uint32_t pc() const { return pc_; }
+  /// Reposition the PC without touching any other state — resume after an
+  /// ecall yield (the run loop leaves pc *at* the ecall; continue at +4).
+  void set_pc(uint32_t pc) { pc_ = pc; }
+
+  /// Capture / restore the full resumable state (see CoreSnapshot).
+  CoreSnapshot snapshot() const;
+  void restore(const CoreSnapshot& s);
   uint32_t spr(int i) const { return spr_[static_cast<size_t>(i)]; }
   /// Overwrite an SPR weight register (fault injection / test setup).
   void set_spr(int i, uint32_t v);

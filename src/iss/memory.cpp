@@ -114,6 +114,12 @@ std::vector<int32_t> Memory::read_words_signed(uint32_t addr, size_t count) cons
   return out;
 }
 
+std::vector<uint8_t> Memory::read_block(uint32_t addr, uint32_t len) const {
+  std::vector<uint8_t> out(len);
+  if (len > 0) std::memcpy(out.data(), resolve(addr, len, 1, false), len);
+  return out;
+}
+
 void Memory::clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
 
 void Memory::flip_bit(uint32_t addr, uint32_t bit) {

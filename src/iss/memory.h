@@ -44,6 +44,8 @@ class Memory {
   /// Bulk read (fetching results back from the device).
   std::vector<int16_t> read_halves(uint32_t addr, size_t count) const;
   std::vector<int32_t> read_words_signed(uint32_t addr, size_t count) const;
+  /// Raw byte copy-out of [addr, addr+len) — checkpointing TCDM windows.
+  std::vector<uint8_t> read_block(uint32_t addr, uint32_t len) const;
 
   /// Zero the private flat storage (fresh run on a reused image). Shared
   /// segments are left untouched — they belong to every mapping.

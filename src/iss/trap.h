@@ -29,6 +29,7 @@ enum class TrapCause : uint8_t {
   kIsaGateRnnExt,      ///< RNN-ext instruction with has_rnn_ext = false
   kRdRs1Conflict,      ///< pl.sdotsp.h with rd == rs1
   kWatchdog,           ///< cycle watchdog expired (run loop, not a throw)
+  kIntegrityMismatch,  ///< ABFT layer checksum disagreed with the golden one
   kOther,              ///< unclassified std::runtime_error escaped execute()
 };
 
@@ -45,6 +46,7 @@ inline const char* trap_cause_name(TrapCause c) {
     case TrapCause::kIsaGateRnnExt: return "isa-gate-rnn-ext";
     case TrapCause::kRdRs1Conflict: return "rd-rs1-conflict";
     case TrapCause::kWatchdog: return "watchdog";
+    case TrapCause::kIntegrityMismatch: return "abft-mismatch";
     case TrapCause::kOther: return "other";
   }
   return "?";

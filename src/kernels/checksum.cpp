@@ -1,0 +1,65 @@
+#include "src/kernels/checksum.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::kernels {
+
+using assembler::Reg;
+using assembler::RegPool;
+using namespace isa;
+
+void emit_fold_checksum(assembler::ProgramBuilder& b, OptLevel level, uint32_t src,
+                        uint32_t slot, int count) {
+  RNNASIP_CHECK(count > 0);
+  RNNASIP_CHECK(src % 4 == 0);
+  const int words = count / 2;
+  const bool tail = (count % 2) != 0;
+  RegPool pool;
+  const Reg rS = pool.alloc();
+  const Reg rAcc = pool.alloc();
+  const Reg v0 = pool.alloc();
+  b.li(rS, static_cast<int32_t>(src));
+  b.li(rAcc, 0);
+  if (uses_xpulp(level)) {
+    // Unroll by two words: each xor consumes the load issued one slot
+    // earlier, so the load-use interlock never fires inside the loop.
+    const int pairs = words / 2;
+    if (pairs > 0) {
+      const Reg v1 = pool.alloc();
+      const Reg rC = pool.alloc();
+      b.li(rC, pairs);
+      auto end = b.make_label();
+      b.lp_setup(0, rC, end);
+      b.p_lw(v0, 4, rS);
+      b.p_lw(v1, 4, rS);
+      b.add(rAcc, rAcc, v0);
+      b.add(rAcc, rAcc, v1);
+      b.bind(end);
+      pool.free(v1);
+      pool.free(rC);
+    }
+    if (words % 2 != 0) {
+      b.p_lw(v0, 4, rS);
+      b.add(rAcc, rAcc, v0);
+    }
+  } else if (words > 0) {
+    const Reg rC = pool.alloc();
+    b.li(rC, words);
+    auto loop = b.make_label();
+    b.bind(loop);
+    b.lw(v0, 0, rS);
+    b.add(rAcc, rAcc, v0);
+    b.addi(rS, rS, 4);
+    b.addi(rC, rC, -1);
+    b.bne(rC, kZero, loop);
+  }
+  if (tail) {
+    b.lhu(v0, 0, rS);
+    b.add(rAcc, rAcc, v0);
+  }
+  const Reg rD = pool.alloc();
+  b.li(rD, static_cast<int32_t>(slot));
+  b.sw(rAcc, 0, rD);
+}
+
+}  // namespace rnnasip::kernels

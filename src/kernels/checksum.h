@@ -1,0 +1,35 @@
+// ABFT layer-output checksum emitter.
+//
+// After each layer, the instrumented program folds the layer's output
+// buffer into one 32-bit modular-sum accumulator (word-wise over halfword
+// pairs, little-endian; an odd trailing halfword folds in zero-extended)
+// and stores it to a per-layer TCDM slot. The harness compares the slot —
+// and its own re-fold of the bytes — against a golden checksum computed
+// from the verified weights on the host (integrity::fold_halves mirrors
+// this fold exactly), so any SEU perturbing the weight/accumulate path of
+// a layer is caught at that layer's boundary.
+//
+// The fold is addition mod 2^32, not XOR, at the same 1-ALU-op-per-word
+// cost. A single flipped bit changes a folded word by +/-2^b, so the sum
+// always changes — full single-flip coverage, like XOR. Unlike XOR, carry
+// propagation also catches the correlated multi-halfword failure mode a
+// parity fold is provably blind to: a corrupted PLA segment shifting every
+// output through it by the same power of two flips the same bit in an even
+// number of halfwords, which cancels in XOR but accumulates in the sum.
+#pragma once
+
+#include <cstdint>
+
+#include "src/asm/builder.h"
+#include "src/kernels/opt_level.h"
+
+namespace rnnasip::kernels {
+
+/// Emit code folding `count` halfwords at `src` (4-byte aligned) into one
+/// word stored to `slot`. Xpulp levels use a hardware loop unrolled by two
+/// words so the xor consumers never sit in a load-use slot; the baseline
+/// levels use a plain branch loop.
+void emit_fold_checksum(assembler::ProgramBuilder& b, OptLevel level, uint32_t src,
+                        uint32_t slot, int count);
+
+}  // namespace rnnasip::kernels

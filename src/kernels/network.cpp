@@ -1,6 +1,7 @@
 #include "src/kernels/network.h"
 
 #include "src/common/check.h"
+#include "src/kernels/checksum.h"
 #include "src/kernels/copy.h"
 
 namespace rnnasip::kernels {
@@ -57,6 +58,29 @@ void NetworkProgramBuilder::begin_sequence(uint32_t input_region, int count) {
   b_.sw(rSrc, 0, rSlot);  // the copy left rSrc at the next step's input
 }
 
+void NetworkProgramBuilder::set_integrity(bool on) {
+  RNNASIP_CHECK_MSG(first_layer_, "set_integrity must precede the first layer");
+  RNNASIP_CHECK_MSG(sequence_steps_ == 1,
+                    "integrity instrumentation is incompatible with sequence mode");
+  integrity_ = on;
+}
+
+void NetworkProgramBuilder::emit_layer_check(const std::string& name, uint32_t out_addr,
+                                             int out_count) {
+  if (!integrity_) return;
+  BuiltNetwork::LayerCheck chk;
+  chk.name = name;
+  chk.out_addr = out_addr;
+  chk.out_count = out_count;
+  chk.slot = alloc_.alloc(4, 4);
+  {
+    obs::Region region(&regions_, b_, name + ".chk", obs::RegionKind::kOther);
+    emit_fold_checksum(b_, level_, out_addr, chk.slot, out_count);
+    b_.ecall();
+  }
+  net_.checks.push_back(std::move(chk));
+}
+
 uint32_t NetworkProgramBuilder::take_input(int count) {
   RNNASIP_CHECK(!finalized_);
   if (first_layer_) {
@@ -88,8 +112,12 @@ void NetworkProgramBuilder::add_fc(const nn::FcParamsQ& params) {
   opt.sw_act = &routines_;
   opt.max_tile = max_tile_;
   opt.regions = &regions_;
-  obs::Region region(&regions_, b_, layer_name("fc"), obs::RegionKind::kLayer);
-  emit_fc(b_, layout, opt);
+  const std::string name = layer_name("fc");
+  {
+    obs::Region region(&regions_, b_, name, obs::RegionKind::kLayer);
+    emit_fc(b_, layout, opt);
+  }
+  emit_layer_check(name, o_addr, cout);
   cur_addr_ = o_addr;
   cur_count_ = cout;
   net_.nominal_macs += static_cast<uint64_t>(cin) * cout;
@@ -112,8 +140,12 @@ void NetworkProgramBuilder::add_lstm(const nn::LstmParamsQ& params) {
   opt.sw_act = &routines_;
   opt.max_tile = max_tile_;
   opt.regions = &regions_;
-  obs::Region region(&regions_, b_, layer_name("lstm"), obs::RegionKind::kLayer);
-  emit_lstm_step(b_, layout, opt);
+  const std::string name = layer_name("lstm");
+  {
+    obs::Region region(&regions_, b_, name, obs::RegionKind::kLayer);
+    emit_lstm_step(b_, layout, opt);
+  }
+  emit_layer_check(name, layout.out_addr(), params.hidden);
   cur_addr_ = layout.out_addr();
   cur_count_ = params.hidden;
   net_.state_buffers.emplace_back(layout.out_addr(), params.hidden);
@@ -138,8 +170,12 @@ void NetworkProgramBuilder::add_gru(const nn::GruParamsQ& params) {
   opt.sw_act = &routines_;
   opt.max_tile = max_tile_;
   opt.regions = &regions_;
-  obs::Region region(&regions_, b_, layer_name("gru"), obs::RegionKind::kLayer);
-  emit_gru_step(b_, layout, opt);
+  const std::string name = layer_name("gru");
+  {
+    obs::Region region(&regions_, b_, name, obs::RegionKind::kLayer);
+    emit_gru_step(b_, layout, opt);
+  }
+  emit_layer_check(name, layout.out_addr(), params.hidden);
   cur_addr_ = layout.out_addr();
   cur_count_ = params.hidden;
   net_.state_buffers.emplace_back(layout.out_addr(), params.hidden);
@@ -159,8 +195,12 @@ void NetworkProgramBuilder::add_conv(const nn::ConvParamsQ& params, int in_h, in
   opt.level = level_;
   opt.max_tile = max_tile_;
   opt.regions = &regions_;
-  obs::Region region(&regions_, b_, layer_name("conv"), obs::RegionKind::kLayer);
-  emit_conv(b_, layout, opt);
+  const std::string name = layer_name("conv");
+  {
+    obs::Region region(&regions_, b_, name, obs::RegionKind::kLayer);
+    emit_conv(b_, layout, opt);
+  }
+  emit_layer_check(name, out_addr, out_count);
   cur_addr_ = out_addr;
   cur_count_ = out_count;
   net_.nominal_macs += static_cast<uint64_t>(out_count) * params.in_ch * params.kh *
@@ -176,8 +216,12 @@ void NetworkProgramBuilder::add_maxpool(const nn::MaxPoolParams& params, int ch,
   const int out_count = ch * oh * ow;
   const uint32_t out_addr = alloc_.alloc(2 * static_cast<uint32_t>(out_count), 4);
   const PoolLayout layout = plan_maxpool(params, ch, in_h, in_w, in_addr, out_addr);
-  obs::Region region(&regions_, b_, layer_name("maxpool"), obs::RegionKind::kLayer);
-  emit_maxpool(b_, layout, level_);
+  const std::string name = layer_name("maxpool");
+  {
+    obs::Region region(&regions_, b_, name, obs::RegionKind::kLayer);
+    emit_maxpool(b_, layout, level_);
+  }
+  emit_layer_check(name, out_addr, out_count);
   cur_addr_ = out_addr;
   cur_count_ = out_count;
   // Pooling performs comparisons, not MACs; nominal_macs is unchanged.
@@ -192,8 +236,12 @@ void NetworkProgramBuilder::add_avgpool(const nn::AvgPoolParams& params, int ch,
   const int out_count = ch * oh * ow;
   const uint32_t out_addr = alloc_.alloc(2 * static_cast<uint32_t>(out_count), 4);
   const PoolLayout layout = plan_avgpool(params, ch, in_h, in_w, in_addr, out_addr);
-  obs::Region region(&regions_, b_, layer_name("avgpool"), obs::RegionKind::kLayer);
-  emit_avgpool(b_, layout, level_);
+  const std::string name = layer_name("avgpool");
+  {
+    obs::Region region(&regions_, b_, name, obs::RegionKind::kLayer);
+    emit_avgpool(b_, layout, level_);
+  }
+  emit_layer_check(name, out_addr, out_count);
   cur_addr_ = out_addr;
   cur_count_ = out_count;
 }
@@ -205,8 +253,12 @@ void NetworkProgramBuilder::add_argmax() {
   layout.in_addr = cur_addr_;
   layout.out_addr = out_addr;
   layout.count = cur_count_;
-  obs::Region region(&regions_, b_, layer_name("argmax"), obs::RegionKind::kLayer);
-  emit_argmax(b_, layout, level_);
+  const std::string name = layer_name("argmax");
+  {
+    obs::Region region(&regions_, b_, name, obs::RegionKind::kLayer);
+    emit_argmax(b_, layout, level_);
+  }
+  emit_layer_check(name, out_addr, 1);
   cur_addr_ = out_addr;
   cur_count_ = 1;
 }
@@ -270,7 +322,38 @@ ForwardRun try_run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork
   mem.write_halves(net.input_addr, input);
   core.reset(net.program.base);
   ForwardRun fr;
-  fr.result = core.run(limits);
+  // Integrity-instrumented programs yield with ecall at each layer
+  // boundary; an uninterested caller just resumes past it, keeping the
+  // whole-run limits as the budget across all segments.
+  iss::RunLimits remaining = limits;
+  for (;;) {
+    const auto res = core.run(remaining);
+    fr.result.cycles += res.cycles;
+    fr.result.instrs += res.instrs;
+    fr.result.exit = res.exit;
+    fr.result.pc = res.pc;
+    fr.result.trap = res.trap;
+    fr.result.trap_message = res.trap_message;
+    if (res.exit != iss::RunResult::Exit::kEcall) break;
+    if (remaining.max_instrs != 0) {
+      if (remaining.max_instrs <= res.instrs) {
+        fr.result.exit = iss::RunResult::Exit::kMaxInstrs;
+        break;
+      }
+      remaining.max_instrs -= res.instrs;
+    }
+    if (remaining.max_cycles != 0) {
+      if (remaining.max_cycles <= res.cycles) {
+        fr.result.exit = iss::RunResult::Exit::kWatchdog;
+        fr.result.trap = iss::Trap{iss::TrapCause::kWatchdog, res.pc, 0,
+                                   "cycle watchdog expired at a layer boundary"};
+        fr.result.trap_message = fr.result.trap.message;
+        break;
+      }
+      remaining.max_cycles -= res.cycles;
+    }
+    core.set_pc(res.pc + 4);
+  }
   if (fr.ok()) {
     fr.outputs = mem.read_halves(net.output_addr, static_cast<size_t>(net.output_count));
   }

@@ -44,6 +44,20 @@ struct BuiltNetwork {
   uint32_t param_base = 0;
   uint32_t param_bytes = 0;
 
+  /// Integrity-instrumented builds (set_integrity(true)): one record per
+  /// layer boundary, in program order. After layer k's code the program
+  /// folds [out_addr, out_addr + 2*out_count) into the word at `slot`
+  /// (kernels::emit_fold_checksum) and yields with ecall, so a harness can
+  /// verify the checksum and checkpoint before resuming at pc + 4. Empty
+  /// for plain builds — which stay bit-identical to pre-integrity programs.
+  struct LayerCheck {
+    std::string name;      ///< region name of the checked layer ("fc0", ...)
+    uint32_t out_addr = 0; ///< the layer's output buffer
+    int out_count = 0;     ///< halfwords folded
+    uint32_t slot = 0;     ///< TCDM word receiving the device fold
+  };
+  std::vector<LayerCheck> checks;
+
   /// Device-driven sequence mode (sequence_steps > 1 at build time): the
   /// program loops over all timesteps internally, staging inputs from and
   /// outputs to device arrays. The loop cursors live in memory slots whose
@@ -72,6 +86,12 @@ class NetworkProgramBuilder {
                         const activation::PlaTable& sig_tbl, int max_tile = 8,
                         int sequence_steps = 1, uint32_t param_base = 0);
 
+  /// Instrument every subsequent layer with an ABFT output checksum + ecall
+  /// yield (see BuiltNetwork::checks). Must be called before the first
+  /// layer; incompatible with sequence mode (the mid-sequence yields would
+  /// leave the loop cursors exposed to the harness).
+  void set_integrity(bool on);
+
   void add_fc(const nn::FcParamsQ& params);
   void add_lstm(const nn::LstmParamsQ& params);
   void add_gru(const nn::GruParamsQ& params);
@@ -95,6 +115,9 @@ class NetworkProgramBuilder {
   /// Sequence mode: called once the first layer's input region is known;
   /// allocates the cursors/arrays and opens the timestep loop.
   void begin_sequence(uint32_t input_region, int count);
+  /// Integrity mode: fold the just-emitted layer's output into a fresh
+  /// slot, record the LayerCheck, and yield with ecall.
+  void emit_layer_check(const std::string& name, uint32_t out_addr, int out_count);
 
   iss::Memory* mem_;
   OptLevel level_;
@@ -109,6 +132,7 @@ class NetworkProgramBuilder {
   int layer_idx_ = 0;     ///< running index for layer region names
   bool first_layer_ = true;
   bool finalized_ = false;
+  bool integrity_ = false;
   uint32_t cur_addr_ = 0;  ///< current activation buffer
   int cur_count_ = 0;
   int sequence_steps_ = 1;

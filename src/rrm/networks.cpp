@@ -131,9 +131,11 @@ RrmNetwork::RrmNetwork(const NetworkDef& def, uint64_t seed) : def_(def), seed_(
 kernels::BuiltNetwork RrmNetwork::build(iss::Memory* mem, kernels::OptLevel level,
                                         const activation::PlaTable& tanh_tbl,
                                         const activation::PlaTable& sig_tbl,
-                                        int max_tile, uint32_t param_base) const {
+                                        int max_tile, uint32_t param_base,
+                                        bool integrity) const {
   kernels::NetworkProgramBuilder b(mem, level, tanh_tbl, sig_tbl, max_tile,
                                    /*sequence_steps=*/1, param_base);
+  if (integrity) b.set_integrity(true);
   for (const Layer& layer : layers_) {
     switch (layer.spec.kind) {
       case LayerSpec::Kind::kFc:
@@ -188,7 +190,10 @@ void RrmNetwork::Golden::reset() {
   }
 }
 
-std::vector<int16_t> RrmNetwork::Golden::forward(std::span<const int16_t> input) {
+std::vector<std::vector<int16_t>> RrmNetwork::Golden::forward_layers(
+    std::span<const int16_t> input) {
+  std::vector<std::vector<int16_t>> outs;
+  outs.reserve(net_.layers_.size());
   std::vector<int16_t> cur(input.begin(), input.end());
   size_t lstm_idx = 0;
   int cur_h = 0, cur_w = 0;
@@ -213,8 +218,15 @@ std::vector<int16_t> RrmNetwork::Golden::forward(std::span<const int16_t> input)
         break;
       }
     }
+    outs.push_back(cur);
   }
-  return cur;
+  return outs;
+}
+
+std::vector<int16_t> RrmNetwork::Golden::forward(std::span<const int16_t> input) {
+  auto outs = forward_layers(input);
+  RNNASIP_CHECK(!outs.empty());
+  return std::move(outs.back());
 }
 
 }  // namespace rnnasip::rrm

@@ -68,11 +68,14 @@ class RrmNetwork {
 
   /// Build the device program for `level` into `mem`. A non-zero
   /// `param_base` splits read-only parameters from mutable buffers (the
-  /// serving cluster shares the parameter region across cores).
+  /// serving cluster shares the parameter region across cores). With
+  /// `integrity` the program carries per-layer ABFT checksums + ecall
+  /// yields (BuiltNetwork::checks).
   kernels::BuiltNetwork build(iss::Memory* mem, kernels::OptLevel level,
                               const activation::PlaTable& tanh_tbl,
                               const activation::PlaTable& sig_tbl,
-                              int max_tile = 8, uint32_t param_base = 0) const;
+                              int max_tile = 8, uint32_t param_base = 0,
+                              bool integrity = false) const;
 
   /// True when every layer is FC — the topologies the batched serving path
   /// can coalesce (build_fc_batch_network).
@@ -90,6 +93,9 @@ class RrmNetwork {
            const activation::PlaTable& sig_tbl);
     void reset();
     std::vector<int16_t> forward(std::span<const int16_t> input);
+    /// Per-layer outputs of one forward pass, in device layer order — the
+    /// golden oracle for the ABFT layer checks (last entry == forward()).
+    std::vector<std::vector<int16_t>> forward_layers(std::span<const int16_t> input);
 
    private:
     const RrmNetwork& net_;

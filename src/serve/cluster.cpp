@@ -73,7 +73,7 @@ void Cluster::build_flavor(Image& img, kernels::OptLevel level,
   iss::Memory master(kCoreMemBytes);
   Flavor f;
   f.single = img.net.build(&master, level, tanh_tbl, sig_tbl, cfg_.max_tile,
-                           kernels::kParamBase);
+                           kernels::kParamBase, cfg_.integrity);
   f.text = capture_text(f.single.program);
   f.params = capture_params(master, f.single.param_base, f.single.param_bytes);
   img.flavors.emplace(level, std::move(f));
@@ -134,9 +134,18 @@ uint64_t Cluster::estimated_single_cycles(const std::string& name,
     const std::vector<int16_t> zeros(static_cast<size_t>(f.single.input_count), 0);
     mem.write_halves(f.single.input_addr, zeros);
     core.reset(f.single.program.base);
-    const auto res = core.run();
-    RNNASIP_CHECK_MSG(res.ok(), "calibration run trapped: " << res.trap_message);
-    f.est_cycles = res.cycles;
+    // Integrity flavors yield with ecall at each layer boundary; the
+    // calibration cost is the full pass including the fold code (what a
+    // served request pays), so just resume across the yields.
+    uint64_t cycles = 0;
+    for (;;) {
+      const auto res = core.run();
+      cycles += res.cycles;
+      RNNASIP_CHECK_MSG(res.ok(), "calibration run trapped: " << res.trap_message);
+      if (res.exit == iss::RunResult::Exit::kEbreak) break;
+      core.set_pc(res.pc + 4);
+    }
+    f.est_cycles = cycles;
   }
   return f.est_cycles;
 }
@@ -209,7 +218,29 @@ void Cluster::run_bound(Lane& lane, const obs::RegionMap& regions, uint32_t text
     injector->arm(lane.core.get(), lane.mem.get());
     limits.max_cycles = watchdog;
   }
-  const auto res = lane.core->run(limits);
+  // Resume across integrity yields (plain programs never ecall). The
+  // watchdog bounds the whole execution, so each segment gets the
+  // remaining budget.
+  uint64_t cycles = 0;
+  iss::RunResult res;
+  for (;;) {
+    iss::RunLimits seg = limits;
+    if (limits.max_cycles != 0) {
+      if (cycles >= limits.max_cycles) {
+        res.exit = iss::RunResult::Exit::kWatchdog;
+        res.trap = iss::Trap{iss::TrapCause::kWatchdog, res.pc, 0,
+                             "cycle watchdog expired at a layer boundary"};
+        res.trap_message = res.trap.message;
+        break;
+      }
+      seg.max_cycles = limits.max_cycles - cycles;
+    }
+    res = lane.core->run(seg);
+    cycles += res.cycles;
+    if (res.exit != iss::RunResult::Exit::kEcall) break;
+    lane.core->set_pc(res.pc + 4);
+  }
+  res.cycles = cycles;
   if (injector) {
     out->fault_events = injector->events();
     injector->disarm();
@@ -250,6 +281,13 @@ void Cluster::accumulate_regions(const obs::RegionMap& map,
     add(map.defs()[i].name, counters[i].cycles);
   }
   add("unattributed", unattributed.cycles);
+}
+
+void Cluster::scrub_pla(int core) {
+  RNNASIP_CHECK(core >= 0 && core < cfg_.cores);
+  Lane& lane = lanes_[static_cast<size_t>(core)];
+  lane.core->mutable_tanh_table() = tanh_pristine_;
+  lane.core->mutable_sig_table() = sig_pristine_;
 }
 
 ExecResult Cluster::run_single(int core, const std::string& name,

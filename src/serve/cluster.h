@@ -73,6 +73,13 @@ struct ClusterConfig {
   /// Attach a RegionProfiler to every execution and aggregate per-region
   /// cycles across the whole serving run (region_cycles()).
   bool observe = false;
+  /// Build every *single* flavor with ABFT integrity instrumentation
+  /// (per-layer checksum + ecall yield; BuiltNetwork::checks). Batched
+  /// programs stay plain. run_single/run_bound transparently resume over
+  /// the yields, so an integrity cluster serves identical outputs; the
+  /// scheduler's integrity path (CheckedRun) uses the yields for
+  /// detection, rollback, and layer-boundary preemption.
+  bool integrity = false;
 };
 
 /// Why one execution failed (trap or watchdog); the request is re-
@@ -153,6 +160,18 @@ class Cluster {
   uint32_t param_bytes(const std::string& name) const;
   iss::Core& core(int core) { return *lanes_[static_cast<size_t>(core)].core; }
   iss::Memory& memory(int core) { return *lanes_[static_cast<size_t>(core)].mem; }
+  /// The built single-program flavor (checks/addresses for CheckedRun).
+  const kernels::BuiltNetwork& built_single(const std::string& name,
+                                            kernels::OptLevel level) {
+    return flavor(name, level).single;
+  }
+  /// Pristine PLA tables (the golden oracle's activation semantics).
+  const activation::PlaTable& tanh_table() const { return tanh_pristine_; }
+  const activation::PlaTable& sig_table() const { return sig_pristine_; }
+  /// Restore core `core`'s PLA LUTs from the pristine tables (what
+  /// run_bound does after every faulted execution; the scheduler's
+  /// integrity path scrubs at suspension/failure boundaries itself).
+  void scrub_pla(int core);
   /// Map `name`'s image into core `core` (what run_* do on demand).
   void bind(int core, const std::string& name, bool batched,
             std::optional<kernels::OptLevel> level = std::nullopt);

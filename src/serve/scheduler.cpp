@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "src/common/check.h"
 #include "src/common/fixed_point.h"
@@ -77,6 +78,13 @@ Scheduler::Scheduler(Cluster* cluster, SchedulerConfig config)
 }
 
 ServeResult Scheduler::run(const Workload& workload) {
+  if (cfg_.integrity.detect || cfg_.integrity.preemption) {
+    return run_segmented(workload);
+  }
+  return run_plain(workload);
+}
+
+ServeResult Scheduler::run_plain(const Workload& workload) {
   ServeResult r;
   r.policy = cfg_.policy;
   r.cores = cluster_->cores();
@@ -352,6 +360,414 @@ ServeResult Scheduler::run(const Workload& workload) {
   return r;
 }
 
+ServeResult Scheduler::run_segmented(const Workload& workload) {
+  RNNASIP_CHECK_MSG(cfg_.policy != Policy::kBatched,
+                    "segmented integrity serving runs single executions only");
+  RNNASIP_CHECK_MSG(cluster_->config().integrity,
+                    "integrity scheduling needs a cluster built with "
+                    "ClusterConfig::integrity");
+  if (cfg_.integrity.preemption) {
+    RNNASIP_CHECK_MSG(cfg_.policy == Policy::kDeadline,
+                      "layer-boundary preemption is EDF: it requires "
+                      "Policy::kDeadline");
+  }
+
+  ServeResult r;
+  r.policy = cfg_.policy;
+  r.cores = cluster_->cores();
+  r.batch = cluster_->config().batch;
+  r.core_busy.assign(static_cast<size_t>(r.cores), 0);
+  r.completions.resize(workload.jobs.size());
+  std::vector<char> served(workload.jobs.size(), 0);
+
+  struct Pend {
+    const Job* job = nullptr;
+    int attempts = 0;
+    uint64_t ready = 0;
+  };
+  std::vector<Pend> pending;
+  pending.reserve(workload.jobs.size());
+  for (const Job& j : workload.jobs) pending.push_back({&j, 0, j.arrival});
+
+  const kernels::OptLevel primary = cluster_->config().level;
+  const bool can_fallback = cfg_.level_fallback &&
+                            cluster_->config().fallback_level.has_value() &&
+                            *cluster_->config().fallback_level != primary;
+  const bool faults_on = cfg_.fault.any_enabled();
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+
+  /// One in-flight attempt: the CheckedRun plus its scheduling context and
+  /// the buffered outcome of its next segment. Stepping only touches the
+  /// attempt's own core, so segments run eagerly to learn their boundary
+  /// times; the scheduler state changes only when the event is processed
+  /// in global time order.
+  struct Active {
+    const Job* job = nullptr;
+    int attempts = 0;
+    kernels::OptLevel level = kernels::OptLevel::kBaseline;
+    bool use_fallback = false;
+    bool faulted = false;
+    uint64_t start = 0;        ///< dispatch cycle of this attempt
+    uint64_t exec_cycles = 0;  ///< executing cycles over all its segments
+    int preemptions = 0;
+    std::unique_ptr<integrity::CheckedRun> run;
+    std::unique_ptr<fault::FaultInjector> injector;
+    bool has_event = false;
+    integrity::CheckedRun::State ev_state = integrity::CheckedRun::State::kDone;
+    uint64_t ev_cycles = 0;  ///< the buffered segment's cycles
+  };
+  struct Suspended {
+    std::unique_ptr<Active> ctx;
+    uint64_t since = 0;  ///< suspension cycle (gap accounting)
+  };
+  std::vector<std::unique_ptr<Active>> active(static_cast<size_t>(r.cores));
+  std::vector<Suspended> suspended;
+  std::vector<uint64_t> clock(static_cast<size_t>(r.cores), 0);
+  std::vector<int> consec_fail(static_cast<size_t>(r.cores), 0);
+  uint64_t exec_counter = 0;
+
+  // Degraded-mode state, identical to run_plain.
+  std::vector<char> miss_ring(static_cast<size_t>(cfg_.miss_window), 0);
+  size_t miss_head = 0, miss_count = 0, misses_in_ring = 0;
+  bool degraded = false;
+  uint64_t degraded_since = 0;
+  auto note_deadline_outcome = [&](bool missed) {
+    if (miss_count == miss_ring.size()) {
+      misses_in_ring -= miss_ring[miss_head] ? 1u : 0u;
+    } else {
+      ++miss_count;
+    }
+    miss_ring[miss_head] = missed ? 1 : 0;
+    miss_head = (miss_head + 1) % miss_ring.size();
+    misses_in_ring += missed ? 1u : 0u;
+  };
+  auto miss_fraction = [&] {
+    return miss_count == 0 ? 0.0
+                           : static_cast<double>(misses_in_ring) /
+                                 static_cast<double>(miss_count);
+  };
+
+  auto deadline_of = [&](const Job& j) { return j.deadline == 0 ? kInf : j.deadline; };
+  // Attempt-end accounting shared by success and failure: integrity
+  // counters, fault-event attribution, and core hygiene.
+  auto retire = [&](int c, Active& a) {
+    const integrity::IntegrityCounters& ic = a.run->counters();
+    r.integrity_checks += ic.checks;
+    r.integrity_detections += ic.detections;
+    r.rollbacks += ic.rollbacks;
+    r.rollback_cycles += ic.rollback_cycles;
+    if (a.injector) {
+      for (const auto& ev : a.injector->events()) {
+        r.fault_log.push_back({c, a.job->id, ev});
+      }
+      a.injector->disarm();
+    }
+    if (a.faulted) cluster_->scrub_pla(c);
+  };
+  auto any_active = [&] {
+    for (const auto& a : active)
+      if (a) return true;
+    return false;
+  };
+
+  while (!pending.empty() || !suspended.empty() || any_active()) {
+    // Buffer every active core's next segment.
+    for (int c = 0; c < r.cores; ++c) {
+      Active* a = active[static_cast<size_t>(c)].get();
+      if (a == nullptr || a->has_event) continue;
+      const uint64_t before = a->run->cycles();
+      a->ev_state = a->run->step();
+      a->ev_cycles = a->run->cycles() - before;
+      a->has_event = true;
+    }
+
+    // Next event in global time order: a buffered segment completing, or
+    // an idle core dispatching. Ties prefer segment events (a completion
+    // at t frees its core before a dispatch at t), then the lowest core.
+    uint64_t min_ready = kInf;
+    for (const Pend& p : pending) min_ready = std::min(min_ready, p.ready);
+    int best_core = -1;
+    bool best_dispatch = false;
+    uint64_t best_time = kInf;
+    for (int c = 0; c < r.cores; ++c) {
+      const size_t ci = static_cast<size_t>(c);
+      uint64_t t = 0;
+      bool disp = false;
+      if (active[ci]) {
+        t = clock[ci] + active[ci]->ev_cycles;
+      } else if (!suspended.empty()) {
+        t = clock[ci];  // a suspended run can resume immediately
+        disp = true;
+      } else if (min_ready != kInf) {
+        t = std::max(clock[ci], min_ready);
+        disp = true;
+      } else {
+        continue;
+      }
+      if (best_core < 0 || t < best_time ||
+          (t == best_time && !disp && best_dispatch)) {
+        best_time = t;
+        best_core = c;
+        best_dispatch = disp;
+      }
+    }
+    RNNASIP_CHECK(best_core >= 0);
+    const int core = best_core;
+    const size_t ci = static_cast<size_t>(core);
+    const uint64_t now = best_time;
+
+    if (!best_dispatch) {
+      // ---- Segment event: boundary, completion, or failure ----
+      Active& a = *active[ci];
+      a.has_event = false;
+      clock[ci] = now;
+      r.core_busy[ci] += a.ev_cycles;
+      a.exec_cycles += a.ev_cycles;
+      r.makespan = std::max(r.makespan, now);
+
+      if (a.ev_state == integrity::CheckedRun::State::kBoundary) {
+        if (cfg_.integrity.preemption) {
+          // EDF preemption: a ready request with a strictly earlier
+          // deadline takes the core — unless another core sits idle at
+          // `now` and would pick it up anyway.
+          bool idle_elsewhere = false;
+          for (int c2 = 0; c2 < r.cores; ++c2) {
+            if (c2 != core && !active[static_cast<size_t>(c2)] &&
+                clock[static_cast<size_t>(c2)] <= now) {
+              idle_elsewhere = true;
+              break;
+            }
+          }
+          uint64_t challenger = kInf;
+          if (!idle_elsewhere) {
+            for (const Pend& p : pending) {
+              if (p.ready <= now) challenger = std::min(challenger, deadline_of(*p.job));
+            }
+          }
+          if (challenger < deadline_of(*a.job)) {
+            // The checkpoint taken at this verified boundary carries the
+            // whole resumable state; disarm and scrub so the next
+            // occupant starts from clean physical core state.
+            if (a.injector) a.injector->disarm();
+            if (a.faulted) cluster_->scrub_pla(core);
+            ++a.preemptions;
+            ++r.preemptions;
+            suspended.push_back({std::move(active[ci]), now});
+          }
+        }
+        continue;  // not preempted: the next iteration buffers the next segment
+      }
+
+      std::unique_ptr<Active> ended = std::move(active[ci]);
+      Active& d = *ended;
+      retire(core, d);
+      if (d.ev_state == integrity::CheckedRun::State::kDone) {
+        consec_fail[ci] = 0;
+        ++r.single_execs;
+        if (d.use_fallback) {
+          ++r.fallback_execs;
+          r.fallback_cycles += d.exec_cycles;
+        }
+        const Job& job = *d.job;
+        Completion comp;
+        comp.id = job.id;
+        comp.network = job.network;
+        comp.core = core;
+        comp.group = 1;
+        comp.level = d.level;
+        comp.retries = d.attempts;
+        comp.preemptions = d.preemptions;
+        comp.arrival = job.arrival;
+        comp.deadline = job.deadline;
+        comp.start = d.start;
+        comp.done = now;
+        comp.exec_cycles = d.exec_cycles;
+        comp.wait_cycles = now - job.arrival - d.exec_cycles;
+        comp.outputs = d.run->outputs();
+        if (!comp.met_deadline()) ++r.deadline_misses;
+        if (job.deadline != 0) note_deadline_outcome(!comp.met_deadline());
+        RNNASIP_CHECK(job.id < r.completions.size());
+        served[job.id] = 1;
+        r.completions[job.id] = std::move(comp);
+      } else {
+        ++r.exec_failures;
+        r.retry_cycles += d.exec_cycles;
+        if (d.run->integrity_failed()) ++r.integrity_escalations;
+        const int fails = ++consec_fail[ci];
+        const int attempts = d.attempts + 1;
+        if (attempts > cfg_.max_retries) {
+          r.failed.push_back({d.job->id, d.job->network, attempts,
+                              d.run->last_result().trap.cause});
+        } else {
+          ++r.retries;
+          pending.push_back(
+              {d.job, attempts,
+               now + static_cast<uint64_t>(attempts) * cfg_.retry_backoff_cycles});
+        }
+        if (fails >= cfg_.quarantine_threshold) {
+          r.quarantines.push_back({core, now, now + cfg_.quarantine_cooldown_cycles});
+          r.quarantine_cycles += cfg_.quarantine_cooldown_cycles;
+          consec_fail[ci] = 0;
+          clock[ci] = now + cfg_.quarantine_cooldown_cycles;
+        }
+      }
+      continue;
+    }
+
+    // ---- Dispatch event on an idle core at `now` ----
+    clock[ci] = now;
+
+    // Select: EDF over suspended runs (always resumable) and ready
+    // pending requests; on a deadline tie the part-executed suspended run
+    // wins. FIFO never has suspended runs (preemption is EDF-only).
+    size_t s_pick = suspended.size();
+    size_t p_pick = pending.size();
+    if (cfg_.policy == Policy::kDeadline) {
+      for (size_t i = 0; i < suspended.size(); ++i) {
+        const Job& j = *suspended[i].ctx->job;
+        if (s_pick == suspended.size() ||
+            deadline_of(j) < deadline_of(*suspended[s_pick].ctx->job) ||
+            (deadline_of(j) == deadline_of(*suspended[s_pick].ctx->job) &&
+             j.id < suspended[s_pick].ctx->job->id)) {
+          s_pick = i;
+        }
+      }
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const Pend& p = pending[i];
+        if (p.ready > now) continue;
+        if (p_pick == pending.size() ||
+            deadline_of(*p.job) < deadline_of(*pending[p_pick].job) ||
+            (deadline_of(*p.job) == deadline_of(*pending[p_pick].job) &&
+             p.job->id < pending[p_pick].job->id)) {
+          p_pick = i;
+        }
+      }
+      if (s_pick != suspended.size() && p_pick != pending.size()) {
+        if (deadline_of(*pending[p_pick].job) <
+            deadline_of(*suspended[s_pick].ctx->job)) {
+          s_pick = suspended.size();
+        } else {
+          p_pick = pending.size();
+        }
+      }
+    } else {
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const Pend& p = pending[i];
+        if (p_pick == pending.size() || p.ready < pending[p_pick].ready ||
+            (p.ready == pending[p_pick].ready && p.job->id < pending[p_pick].job->id)) {
+          p_pick = i;
+        }
+      }
+    }
+    RNNASIP_CHECK(s_pick != suspended.size() || p_pick != pending.size());
+
+    if (s_pick != suspended.size()) {
+      // Resume the suspended run here — possibly on a different core than
+      // it left; the checkpoint restore is bit-identical either way.
+      std::unique_ptr<Active> ctx = std::move(suspended[s_pick].ctx);
+      const uint64_t since = suspended[s_pick].since;
+      suspended.erase(suspended.begin() + static_cast<std::ptrdiff_t>(s_pick));
+      cluster_->bind(core, ctx->job->network, false, ctx->level);
+      const integrity::Checkpoint cp = ctx->run->checkpoint();
+      ctx->run->resume(&cluster_->core(core), &cluster_->memory(core), cp);
+      if (ctx->injector) {
+        ctx->injector->arm(&cluster_->core(core), &cluster_->memory(core));
+      }
+      r.preempted_cycles += now - since;
+      active[ci] = std::move(ctx);
+      continue;
+    }
+
+    const Job& head = *pending[p_pick].job;
+    const int attempts = pending[p_pick].attempts;
+    const uint64_t start = now;
+
+    // Overload re-evaluation and admission control, as in run_plain.
+    if (can_fallback) {
+      size_t depth = 0;
+      for (const Pend& p : pending)
+        if (p.ready <= start) ++depth;
+      const bool miss_overload =
+          miss_count > 0 && miss_fraction() >= cfg_.overload_miss_rate;
+      const bool queue_overload =
+          cfg_.overload_queue_depth > 0 && depth > cfg_.overload_queue_depth;
+      const bool queue_calm =
+          cfg_.overload_queue_depth == 0 || depth <= cfg_.overload_queue_depth / 2;
+      if (!degraded && (miss_overload || queue_overload)) {
+        degraded = true;
+        degraded_since = start;
+      } else if (degraded && !miss_overload && !queue_overload &&
+                 miss_fraction() <= cfg_.recover_miss_rate && queue_calm) {
+        degraded = false;
+        r.fallback_intervals.push_back({degraded_since, start});
+      }
+    }
+    const bool use_fallback = can_fallback && degraded;
+    const kernels::OptLevel level =
+        use_fallback ? *cluster_->config().fallback_level : primary;
+
+    if (cfg_.policy == Policy::kDeadline && head.deadline != 0) {
+      const uint64_t est = cluster_->estimated_single_cycles(head.network, level);
+      if (start + est > head.deadline) {
+        r.rejections.push_back({head.id, head.network, head.arrival, head.deadline, now});
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(p_pick));
+        continue;
+      }
+    }
+
+    fault::FaultSpec exec_fault;
+    if (faults_on) {
+      exec_fault = cfg_.fault;
+      exec_fault.seed = mix_seed(cfg_.fault.seed, exec_counter);
+    }
+    ++exec_counter;
+
+    auto ctx = std::make_unique<Active>();
+    ctx->job = &head;
+    ctx->attempts = attempts;
+    ctx->level = level;
+    ctx->use_fallback = use_fallback;
+    ctx->faulted = faults_on;
+    ctx->start = start;
+
+    cluster_->bind(core, head.network, false, level);
+    const kernels::BuiltNetwork& net = cluster_->built_single(head.network, level);
+    integrity::CheckedRunConfig rc;
+    rc.detect = cfg_.integrity.detect;
+    rc.rollback = cfg_.integrity.rollback;
+    rc.layer_retries = cfg_.integrity.layer_retries;
+    rc.watchdog_cycles = faults_on ? cluster_->watchdog_cycles(head.network, level) : 0;
+    ctx->run = std::make_unique<integrity::CheckedRun>(
+        &cluster_->core(core), &cluster_->memory(core), &net, rc);
+    if (rc.detect) {
+      ctx->run->set_golden(integrity::golden_checks(
+          cluster_->network(head.network), cluster_->tanh_table(),
+          cluster_->sig_table(), head.input));
+    }
+    ctx->run->begin(head.input);
+    if (faults_on) {
+      fault::FaultSpec spec = exec_fault;
+      if (spec.tcdm.empty()) {
+        spec.tcdm = {kernels::kDataBase, kernels::kDataBase + net.data_bytes};
+      }
+      spec.text = {};
+      ctx->injector = std::make_unique<fault::FaultInjector>(spec);
+      ctx->injector->arm(&cluster_->core(core), &cluster_->memory(core));
+    }
+    active[ci] = std::move(ctx);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(p_pick));
+  }
+  if (degraded) r.fallback_intervals.push_back({degraded_since, r.makespan});
+
+  std::vector<Completion> compact;
+  compact.reserve(r.completions.size());
+  for (size_t i = 0; i < r.completions.size(); ++i) {
+    if (served[i]) compact.push_back(std::move(r.completions[i]));
+  }
+  r.completions = std::move(compact);
+  return r;
+}
+
 uint64_t ServeResult::latency_percentile(double p) const {
   if (completions.empty()) return 0;
   std::vector<uint64_t> lat;
@@ -478,10 +894,23 @@ obs::Json serve_result_to_json(const ServeResult& r, double mhz) {
     if (n != 0) mix.set(std::string(1, kernels::opt_level_letter(lvl)), n);
   }
   res.set("level_mix", std::move(mix));
+  // Integrity-and-recovery record (all-zero under plain scheduling).
+  obs::Json integ = obs::Json::object();
+  integ.set("checks", r.integrity_checks);
+  integ.set("detections", r.integrity_detections);
+  integ.set("rollbacks", r.rollbacks);
+  integ.set("rollback_cycles", r.rollback_cycles);
+  integ.set("escalations", r.integrity_escalations);
+  res.set("integrity", std::move(integ));
+  obs::Json preempt = obs::Json::object();
+  preempt.set("preemptions", r.preemptions);
+  preempt.set("preempted_cycles", r.preempted_cycles);
+  res.set("preemption", std::move(preempt));
   // Full log lives in ServeResult::fault_log; the JSON carries the total
   // plus a bounded prefix so heavy campaigns don't bloat blessed baselines.
   constexpr size_t kMaxFaultEventsInJson = 16;
   res.set("fault_events_total", static_cast<uint64_t>(r.fault_log.size()));
+  res.set("fault_events_truncated", r.fault_log.size() > kMaxFaultEventsInJson);
   obs::Json faults = obs::Json::array();
   const size_t n_events = std::min(r.fault_log.size(), kMaxFaultEventsInJson);
   for (size_t i = 0; i < n_events; ++i) {
@@ -502,6 +931,8 @@ obs::Json serve_result_to_json(const ServeResult& r, double mhz) {
   regions.set("serve.retry", r.retry_cycles);
   regions.set("serve.quarantine", r.quarantine_cycles);
   regions.set("serve.fallback", r.fallback_cycles);
+  regions.set("serve.rollback", r.rollback_cycles);
+  regions.set("serve.preempted", r.preempted_cycles);
   res.set("obs_regions", std::move(regions));
   j.set("resilience", std::move(res));
   return j;

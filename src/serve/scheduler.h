@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "src/fault/fault_injector.h"
+#include "src/integrity/integrity.h"
 #include "src/obs/json.h"
 #include "src/serve/cluster.h"
 
@@ -116,13 +117,33 @@ struct SchedulerConfig {
   double overload_miss_rate = 0.5;
   double recover_miss_rate = 0.125;
   size_t overload_queue_depth = 0;  ///< 0 = queue-depth trigger disabled
+
+  /// Integrity-and-recovery knobs. Any of detect/preemption switches the
+  /// scheduler to segmented (layer-boundary) execution over a cluster
+  /// built with ClusterConfig::integrity; all-off (the default) keeps the
+  /// plain whole-execution path bit-identical to before.
+  struct IntegrityOptions {
+    /// Verify every layer's ABFT fold against the golden oracle; a
+    /// mismatch is an ExecFailure (kIntegrityMismatch) after rollback.
+    bool detect = false;
+    /// Re-execute a corrupted/trapped layer from its boundary checkpoint
+    /// before escalating to the request-level retry ladder.
+    bool rollback = true;
+    int layer_retries = 2;  ///< rollback budget per boundary
+    /// EDF layer-boundary preemption (kDeadline policy only): a ready
+    /// request with a strictly earlier deadline suspends the running one
+    /// at its next boundary; the victim resumes — on any core —
+    /// bit-identically from its checkpoint.
+    bool preemption = false;
+  };
+  IntegrityOptions integrity;
 };
 
 /// One request's fate. The accounting identity
 ///   done - arrival == wait_cycles + exec_cycles
-/// holds exactly: wait = start - arrival, exec = done - start (start/exec
-/// of the final, successful execution for retried requests — backoff time
-/// is part of the wait).
+/// holds exactly: exec is the executing cycles of the final, successful
+/// execution and wait is everything else (queueing, retry backoff, and —
+/// under preemption — the suspended gaps between its segments).
 struct Completion {
   uint64_t id = 0;
   std::string network;
@@ -130,6 +151,7 @@ struct Completion {
   int group = 1;  ///< coalesced group size this request ran in (1 = single)
   kernels::OptLevel level = kernels::OptLevel::kInputTiling;  ///< level served at
   int retries = 0;        ///< failed executions before this one succeeded
+  int preemptions = 0;    ///< boundary suspensions of the final execution
   uint64_t arrival = 0;
   uint64_t deadline = 0;  ///< 0 = none
   uint64_t start = 0;
@@ -207,6 +229,17 @@ struct ServeResult {
   uint64_t fallback_execs = 0;    ///< executions at the fallback level
   uint64_t fallback_cycles = 0;   ///< cycles of those executions
 
+  // ---- Integrity record (segmented scheduling only; zero otherwise) ----
+  uint64_t integrity_checks = 0;      ///< ABFT boundary verifications
+  uint64_t integrity_detections = 0;  ///< fold mismatches flagged
+  uint64_t rollbacks = 0;             ///< layer re-executions
+  uint64_t rollback_cycles = 0;       ///< cycles of discarded segments
+  /// Detections that exhausted the layer-rollback budget and escalated to
+  /// the request-level retry/quarantine ladder.
+  uint64_t integrity_escalations = 0;
+  uint64_t preemptions = 0;        ///< boundary suspensions
+  uint64_t preempted_cycles = 0;   ///< suspended-gap cycles across requests
+
   uint64_t admitted() const {
     return static_cast<uint64_t>(completions.size() + failed.size());
   }
@@ -235,6 +268,12 @@ class Scheduler {
   ServeResult run(const Workload& workload);
 
  private:
+  /// Whole-execution event loop (the pre-integrity scheduler, bit-exact).
+  ServeResult run_plain(const Workload& workload);
+  /// Layer-boundary segmented loop: ABFT detection, checkpoint rollback,
+  /// and EDF preemption over an integrity cluster.
+  ServeResult run_segmented(const Workload& workload);
+
   Cluster* cluster_;
   SchedulerConfig cfg_;
 };

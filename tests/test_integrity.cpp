@@ -1,0 +1,310 @@
+// Integrity-and-recovery contracts (src/integrity + the serve layer):
+//   - the host fold mirrors the device fold and matches the golden oracle
+//     at every optimization level (zero false positives),
+//   - a hand-placed SEU is flagged at exactly the boundary it corrupts,
+//     and checkpoint rollback recovers the fault-free output,
+//   - checkpoints round-trip bit-exactly at every boundary of every level,
+//     including resume on a different core (preemption migration),
+//   - instrumented programs serve bit-identical outputs at bounded cycle
+//     overhead,
+//   - segmented scheduling under a deterministic SEU campaign serves zero
+//     non-flagged corrupted responses, and an EDF-preempted request
+//     resumes bit-identically.
+#include <gtest/gtest.h>
+
+#include "src/integrity/integrity.h"
+#include "src/serve/cluster.h"
+#include "src/serve/scheduler.h"
+
+using namespace rnnasip;
+using kernels::OptLevel;
+
+namespace {
+
+constexpr uint64_t kSeed = 0x52414D;
+
+/// One instrumented network on a private core/memory pair.
+struct Harness {
+  iss::Memory mem{8u << 20};
+  iss::Core core{&mem};
+  rrm::RrmNetwork net;
+  kernels::BuiltNetwork built;
+
+  Harness(const std::string& name, OptLevel level)
+      : net(rrm::find_network(name), kSeed) {
+    built = net.build(&mem, level, core.tanh_table(), core.sig_table(),
+                      /*max_tile=*/8, /*param_base=*/0, /*integrity=*/true);
+    core.load_program(built.program);
+  }
+
+  integrity::GoldenChecks golden(std::span<const int16_t> input) const {
+    return integrity::golden_checks(net, core.tanh_table(), core.sig_table(), input);
+  }
+};
+
+void drive_to_done(integrity::CheckedRun& run) {
+  integrity::CheckedRun::State st;
+  while ((st = run.step()) == integrity::CheckedRun::State::kBoundary) {
+  }
+  ASSERT_EQ(st, integrity::CheckedRun::State::kDone) << run.last_result().trap_message;
+}
+
+const std::vector<std::string> kNets = {"ahmed19", "nasir18", "naparstek17"};
+
+}  // namespace
+
+TEST(IntegrityFold, DeviceAndHostFoldsMatchGoldenAtEveryLevel) {
+  for (const auto& name : kNets) {
+    for (OptLevel level : kernels::kAllOptLevels) {
+      Harness h(name, level);
+      ASSERT_FALSE(h.built.checks.empty());
+      const auto input = h.net.make_input(0);
+      auto golden = h.golden(input);
+      ASSERT_EQ(golden.folds.size(), h.built.checks.size());
+
+      integrity::CheckedRun run(&h.core, &h.mem, &h.built, {});
+      run.set_golden(golden);
+      run.begin(input);
+      drive_to_done(run);
+
+      // Boundaries all verified plus the post-ebreak re-fold; no mismatch.
+      EXPECT_EQ(run.counters().checks, h.built.checks.size() + 1)
+          << name << " " << kernels::opt_level_name(level);
+      EXPECT_EQ(run.counters().detections, 0u);
+      EXPECT_EQ(run.counters().rollbacks, 0u);
+      EXPECT_EQ(run.outputs(), golden.outputs.back());
+    }
+  }
+}
+
+TEST(IntegrityDetect, HandPlacedSeuIsFlaggedAtTheCorruptingBoundary) {
+  // Corrupt layer 1's *input* (= layer 0's verified output) right after
+  // boundary 0 passes: the detection must land at boundary 1, not 0.
+  Harness h("nasir18", OptLevel::kInputTiling);
+  ASSERT_GE(h.built.checks.size(), 2u);
+  const auto input = h.net.make_input(0);
+
+  integrity::CheckedRunConfig cfg;
+  cfg.rollback = false;  // surface the detection instead of recovering
+  integrity::CheckedRun run(&h.core, &h.mem, &h.built, cfg);
+  run.set_golden(h.golden(input));
+  run.begin(input);
+  ASSERT_EQ(run.step(), integrity::CheckedRun::State::kBoundary);
+
+  // Flip a high bit of the first element of the layer-0 output buffer —
+  // enough to swing downstream decisions (e.g. an argmax pick).
+  h.mem.flip_bit(h.built.checks[0].out_addr + 1, 6);
+
+  EXPECT_EQ(run.step(), integrity::CheckedRun::State::kFailed);
+  EXPECT_TRUE(run.integrity_failed());
+  EXPECT_EQ(run.first_detection_at(), 1);
+  EXPECT_EQ(run.last_result().trap.cause, iss::TrapCause::kIntegrityMismatch);
+  EXPECT_EQ(run.counters().detections, 1u);
+}
+
+TEST(IntegrityDetect, ReadoutWindowFlipIsCaughtAndRolledBack) {
+  // Flip the served output buffer *after* the final boundary's fold
+  // passed: only the post-ebreak re-fold can catch this, and rollback to
+  // the last checkpoint (whose TCDM window holds the clean bytes) must
+  // recover the fault-free output.
+  Harness h("ahmed19", OptLevel::kXpulpSimd);
+  const auto input = h.net.make_input(0);
+  const auto golden = h.golden(input);
+
+  integrity::CheckedRun run(&h.core, &h.mem, &h.built, {});
+  run.set_golden(golden);
+  run.begin(input);
+  const int boundaries = static_cast<int>(h.built.checks.size());
+  for (int b = 0; b < boundaries; ++b) {
+    ASSERT_EQ(run.step(), integrity::CheckedRun::State::kBoundary) << b;
+  }
+  // All layer folds verified; corrupt the output buffer before readout.
+  h.mem.flip_bit(h.built.output_addr, 3);
+
+  ASSERT_EQ(run.step(), integrity::CheckedRun::State::kDone);
+  EXPECT_EQ(run.counters().detections, 1u);
+  EXPECT_EQ(run.counters().rollbacks, 1u);
+  EXPECT_GT(run.counters().rollback_cycles, 0u);
+  EXPECT_EQ(run.outputs(), golden.outputs.back());
+}
+
+TEST(IntegrityCheckpoint, RoundTripsBitExactlyAtEveryBoundaryOfEveryLevel) {
+  for (OptLevel level : kernels::kAllOptLevels) {
+    Harness a("nasir18", level);
+    const auto input = a.net.make_input(1);
+    const auto golden = a.golden(input);
+
+    integrity::CheckedRun run(&a.core, &a.mem, &a.built, {});
+    run.set_golden(golden);
+    run.begin(input);
+
+    int boundary = 0;
+    while (run.step() == integrity::CheckedRun::State::kBoundary) {
+      ++boundary;
+      const integrity::Checkpoint cp = run.checkpoint();
+      const uint64_t before = cp.digest();
+
+      // Restore onto a *different* core/memory (the preemption-migration
+      // path) and re-snapshot: the state must round-trip bit-exactly.
+      Harness b("nasir18", level);
+      integrity::restore_checkpoint(&b.core, &b.mem, cp);
+      const integrity::Checkpoint back = integrity::take_checkpoint(
+          b.core, b.mem, cp.data_lo, static_cast<uint32_t>(cp.data.size()),
+          cp.next_check);
+      ASSERT_EQ(back.digest(), before)
+          << kernels::opt_level_name(level) << " boundary " << boundary;
+
+      // And the migrated run must finish with the golden output.
+      integrity::CheckedRun resumed(&b.core, &b.mem, &b.built, {});
+      resumed.set_golden(golden);
+      resumed.begin(input);  // state is then replaced by the checkpoint
+      resumed.resume(&b.core, &b.mem, cp);
+      drive_to_done(resumed);
+      ASSERT_EQ(resumed.outputs(), golden.outputs.back());
+    }
+    EXPECT_EQ(run.outputs(), golden.outputs.back());
+    EXPECT_GT(boundary, 0);
+  }
+}
+
+TEST(IntegrityServing, InstrumentedClusterServesIdenticalOutputsUnderFivePercent) {
+  serve::ClusterConfig plain_cfg;
+  plain_cfg.cores = 1;
+  plain_cfg.level = OptLevel::kInputTiling;
+  serve::ClusterConfig integ_cfg = plain_cfg;
+  integ_cfg.integrity = true;
+  const std::vector<std::string> nets = {"ahmed19", "eisen19", "nasir18"};
+  serve::Cluster plain(plain_cfg, nets);
+  serve::Cluster integ(integ_cfg, nets);
+
+  uint64_t plain_total = 0, integ_total = 0;
+  for (const auto& name : nets) {
+    const auto input = plain.network(name).make_input(0);
+    const auto a = plain.run_single(0, name, input);
+    const auto b = integ.run_single(0, name, input);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.outputs, b.outputs) << name;
+
+    // Per-net sanity ceiling: the fold reads each output halfword once
+    // (1 cycle/halfword on the single-issue core), which stays below 10%
+    // even for the sub-1k-cycle nets.
+    const uint64_t pc = plain.estimated_single_cycles(name);
+    const uint64_t ic = integ.estimated_single_cycles(name);
+    EXPECT_GE(ic, pc) << name;
+    EXPECT_LT(static_cast<double>(ic) / static_cast<double>(pc) - 1.0, 0.10) << name;
+    plain_total += pc;
+    integ_total += ic;
+  }
+  // Acceptance bound: ABFT fold + yield overhead < 5% cycles at level e
+  // over the serving mix.
+  EXPECT_LT(static_cast<double>(integ_total) / static_cast<double>(plain_total) - 1.0,
+            0.05);
+}
+
+TEST(IntegrityServing, CampaignWithDetectionServesNoCorruptedResponse) {
+  serve::ClusterConfig ccfg;
+  ccfg.cores = 2;
+  ccfg.level = OptLevel::kInputTiling;
+  ccfg.integrity = true;
+  const std::vector<std::string> nets = {"ahmed19", "eisen19", "nasir18"};
+  serve::Cluster cluster(ccfg, nets);
+
+  serve::WorkloadConfig wc;
+  wc.networks = nets;
+  wc.requests = 32;
+  wc.mean_interarrival_cycles = 3000;
+  wc.seed = 0x5EED;
+  const auto workload = make_poisson_workload(cluster, wc);
+
+  serve::SchedulerConfig scfg;
+  scfg.policy = serve::Policy::kFifo;
+  scfg.fault.seed = 0xF00D;
+  scfg.fault.rate_of(fault::Target::kTcdm) = 3e-4;  // the PR 5 "high" point
+  scfg.integrity.detect = true;
+  serve::Scheduler sched(&cluster, scfg);
+  const auto r = sched.run(workload);
+
+  EXPECT_GT(r.integrity_checks, 0u);
+  EXPECT_GT(r.integrity_detections, 0u);
+  EXPECT_GT(r.rollbacks, 0u);
+  // The zero-silent-corruption contract: every response that *was* served
+  // is the bit-exact golden output; corrupted attempts were flagged and
+  // either recovered or escalated (failed list), never served silently.
+  for (const auto& c : r.completions) {
+    const auto golden = integrity::golden_checks(
+        cluster.network(c.network), cluster.tanh_table(), cluster.sig_table(),
+        workload.jobs[c.id].input);
+    ASSERT_EQ(c.outputs, golden.outputs.back()) << "request " << c.id;
+    EXPECT_EQ(c.done - c.arrival, c.wait_cycles + c.exec_cycles);
+  }
+  // Determinism: the same configuration reproduces the same record.
+  serve::Scheduler again(&cluster, scfg);
+  const auto r2 = again.run(workload);
+  EXPECT_EQ(serve_result_to_json(r, 500.0).dump_pretty(),
+            serve_result_to_json(r2, 500.0).dump_pretty());
+}
+
+TEST(IntegrityServing, PreemptedRequestResumesBitIdentically) {
+  serve::ClusterConfig ccfg;
+  ccfg.cores = 1;  // force contention: the EDF challenger must preempt
+  ccfg.level = OptLevel::kInputTiling;
+  ccfg.integrity = true;
+  const std::vector<std::string> nets = {"ahmed19", "nasir18"};
+  serve::Cluster cluster(ccfg, nets);
+
+  // Job 0: long, deadline-free. Job 1: arrives mid-execution with a real
+  // (and comfortably feasible) deadline — EDF must suspend job 0 at its
+  // next layer boundary and serve job 1 first.
+  serve::Workload w;
+  serve::Job j0;
+  j0.id = 0;
+  j0.network = "nasir18";
+  j0.arrival = 0;
+  j0.input = cluster.network("nasir18").make_input(0);
+  serve::Job j1;
+  j1.id = 1;
+  j1.network = "ahmed19";
+  j1.arrival = 1;
+  j1.deadline = 500'000;
+  j1.input = cluster.network("ahmed19").make_input(1);
+  w.jobs = {std::move(j0), std::move(j1)};
+
+  serve::SchedulerConfig scfg;
+  scfg.policy = serve::Policy::kDeadline;
+  scfg.integrity.detect = true;
+  scfg.integrity.preemption = true;
+  serve::Scheduler sched(&cluster, scfg);
+  const auto r = sched.run(w);
+
+  ASSERT_EQ(r.completions.size(), 2u);
+  EXPECT_GE(r.preemptions, 1u);
+  EXPECT_GT(r.preempted_cycles, 0u);
+  const auto& victim = r.completions[0];
+  EXPECT_GE(victim.preemptions, 1);
+  // Job 1 finishes before the suspended job 0 and meets its deadline.
+  EXPECT_LT(r.completions[1].done, victim.done);
+  EXPECT_TRUE(r.completions[1].met_deadline());
+  for (const auto& c : r.completions) {
+    const auto golden = integrity::golden_checks(
+        cluster.network(c.network), cluster.tanh_table(), cluster.sig_table(),
+        w.jobs[c.id].input);
+    EXPECT_EQ(c.outputs, golden.outputs.back()) << "request " << c.id;
+    EXPECT_EQ(c.done - c.arrival, c.wait_cycles + c.exec_cycles);
+  }
+}
+
+TEST(IntegrityServing, FaultEventJsonCarriesTruncationMarker) {
+  serve::ServeResult r;
+  r.cores = 1;
+  r.core_busy = {0};
+  const auto dump_has = [](const serve::ServeResult& res, const char* needle) {
+    return serve_result_to_json(res, 500.0).dump_pretty().find(needle) !=
+           std::string::npos;
+  };
+  EXPECT_TRUE(dump_has(r, "\"fault_events_truncated\": false"));
+  for (int i = 0; i < 20; ++i) {
+    r.fault_log.push_back({0, static_cast<uint64_t>(i), fault::FaultEvent{}});
+  }
+  EXPECT_TRUE(dump_has(r, "\"fault_events_truncated\": true"));
+  EXPECT_TRUE(dump_has(r, "\"fault_events_total\": 20"));
+}
