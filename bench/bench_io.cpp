@@ -17,9 +17,16 @@ BenchIo BenchIo::parse(int& argc, char** argv) {
       io.path_ = argv[++r];
     } else if (std::strcmp(argv[r], "--trace") == 0 && r + 1 < argc) {
       io.trace_path_ = argv[++r];
+    } else if (std::strcmp(argv[r], "--flamegraph") == 0 && r + 1 < argc) {
+      io.flamegraph_path_ = argv[++r];
     } else if (std::strcmp(argv[r], "--seed") == 0 && r + 1 < argc) {
       io.seed_ = std::strtoull(argv[++r], nullptr, 0);
       io.has_seed_ = true;
+    } else if (std::strcmp(argv[r], "--sample-every") == 0 && r + 1 < argc) {
+      io.sample_every_ = std::strtoull(argv[++r], nullptr, 0);
+      if (io.sample_every_ == 0) io.sample_every_ = 1;
+    } else if (std::strcmp(argv[r], "--telemetry") == 0) {
+      io.telemetry_ = true;
     } else if (std::strcmp(argv[r], "--observe") == 0) {
       io.observe_ = true;
     } else if (std::strcmp(argv[r], "--wall-time") == 0) {
@@ -46,6 +53,15 @@ bool BenchIo::write_json(const std::string& name, obs::Json data) const {
   RNNASIP_CHECK_MSG(out.good(), "short write to " << path_);
   std::fprintf(stderr, "wrote %s\n", path_.c_str());
   return true;
+}
+
+void BenchIo::write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  RNNASIP_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.close();
+  RNNASIP_CHECK_MSG(out.good(), "short write to " << path);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 
 obs::Json stats_to_json(const iss::ExecStats& stats) {

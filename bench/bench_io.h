@@ -22,8 +22,9 @@ namespace rnnasip::bench {
 class BenchIo {
  public:
   /// Strip the harness flags (--json <path>, --wall-time, --observe,
-  /// --trace <path>, --seed <n>) from argv, leaving the bench's own flags
-  /// in place. argc/argv are edited in place.
+  /// --trace <path>, --flamegraph <path>, --telemetry, --sample-every <n>,
+  /// --seed <n>) from argv, leaving the bench's own flags in place.
+  /// argc/argv are edited in place.
   static BenchIo parse(int& argc, char** argv);
 
   bool json_enabled() const { return !path_.empty(); }
@@ -35,9 +36,20 @@ class BenchIo {
   /// --trace <path>: Perfetto timeline destination ("" when absent).
   const std::string& trace_path() const { return trace_path_; }
   bool trace_enabled() const { return !trace_path_.empty(); }
+  /// --flamegraph <path>: collapsed-stack destination ("" when absent).
+  /// Implies region observation, like --trace.
+  const std::string& flamegraph_path() const { return flamegraph_path_; }
+  bool flamegraph_enabled() const { return !flamegraph_path_.empty(); }
+  /// --telemetry: serving benches attach request spans + metrics registry.
+  bool telemetry() const { return telemetry_; }
+  /// --sample-every <n>: span-timeline sampling stride (default 1 = all).
+  uint64_t sample_every() const { return sample_every_; }
   /// --seed <n> (decimal or 0x hex), else `fallback`.
   uint64_t seed(uint64_t fallback) const { return has_seed_ ? seed_ : fallback; }
   bool has_seed() const { return has_seed_; }
+
+  /// Write `text` to `path` (any text artifact: collapsed stacks, traces).
+  static void write_text(const std::string& path, const std::string& text);
 
   /// Write {"schema_version":..,"bench":name,"data":data} to path().
   /// No-op (returns false) when --json was not passed.
@@ -46,10 +58,13 @@ class BenchIo {
  private:
   std::string path_;
   std::string trace_path_;
+  std::string flamegraph_path_;
   uint64_t seed_ = 0;
+  uint64_t sample_every_ = 1;
   bool has_seed_ = false;
   bool observe_ = false;
   bool wall_time_ = false;
+  bool telemetry_ = false;
 };
 
 inline constexpr int kBenchSchemaVersion = 1;

@@ -23,6 +23,7 @@
 #include "bench/bench_io.h"
 #include "src/common/check.h"
 #include "src/common/table.h"
+#include "src/obs/trace_export.h"
 #include "src/serve/scheduler.h"
 
 using namespace rnnasip;
@@ -38,8 +39,10 @@ struct SweepPoint {
 };
 
 serve::ServeResult run_point(const SweepPoint& p, uint64_t workload_seed,
-                             int requests, bool observe,
-                             std::vector<std::pair<std::string, uint64_t>>* regions) {
+                             int requests, bool observe, bool telemetry,
+                             uint64_t sample_every,
+                             std::vector<std::pair<std::string, uint64_t>>* regions,
+                             std::vector<obs::NetObservation>* observations) {
   serve::ClusterConfig cc;
   cc.cores = p.cores;
   cc.level = kernels::OptLevel::kInputTiling;
@@ -56,10 +59,14 @@ serve::ServeResult run_point(const SweepPoint& p, uint64_t workload_seed,
   wc.seed = workload_seed;
   const auto workload = serve::make_poisson_workload(cluster, wc);
 
-  serve::Scheduler sched(&cluster,
-                         p.batch > 1 ? serve::Policy::kBatched : serve::Policy::kFifo);
+  serve::SchedulerConfig sc;
+  sc.policy = p.batch > 1 ? serve::Policy::kBatched : serve::Policy::kFifo;
+  sc.telemetry.enabled = telemetry;
+  sc.telemetry.sample_every = sample_every;
+  serve::Scheduler sched(&cluster, sc);
   auto r = sched.run(workload);
   if (observe && regions) *regions = cluster.region_cycles();
+  if (observe && observations) *observations = cluster.observations();
   return r;
 }
 
@@ -67,6 +74,34 @@ double mean_utilization(const serve::ServeResult& r) {
   double sum = 0;
   for (int c = 0; c < r.cores; ++c) sum += r.utilization(c);
   return sum / r.cores;
+}
+
+/// The percentile cross-check (telemetry acceptance): the histogram-derived
+/// quantile must land in exactly the bucket of the exact nearest-rank
+/// latency — which bounds its error to one bucket's relative width (12.5%).
+obs::Json crosscheck_percentiles(const serve::ServeResult& r) {
+  RNNASIP_CHECK(r.telemetry != nullptr);
+  obs::Histogram& h = r.telemetry->metrics.histogram("latency_cycles");
+  obs::Json j = obs::Json::object();
+  for (const double p : {50.0, 95.0, 99.0}) {
+    const uint64_t exact = r.latency_percentile(p);
+    const uint64_t hist = h.quantile(p);
+    const int hist_bucket = h.quantile_bucket(p);
+    const bool match =
+        h.count() == 0 ||
+        hist_bucket == static_cast<int>(obs::Histogram::bucket_of(exact));
+    RNNASIP_CHECK_MSG(match, "histogram p" << p << " bucket " << hist_bucket
+                                           << " != bucket_of(exact " << exact
+                                           << ")");
+    obs::Json e = obs::Json::object();
+    e.set("exact_cycles", exact);
+    e.set("hist_cycles", hist);
+    e.set("bucket_match", match);
+    char key[8];
+    std::snprintf(key, sizeof key, "p%d", static_cast<int>(p));
+    j.set(key, std::move(e));
+  }
+  return j;
 }
 
 }  // namespace
@@ -95,11 +130,14 @@ int main(int argc, char** argv) {
       "occupancy |\n");
   std::printf("| ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: |\n");
 
+  // --trace needs span telemetry on the dumped point, so it implies it.
+  const bool telemetry = io.telemetry() || io.trace_enabled();
   obs::Json rows = obs::Json::array();
   const double cyc_to_us = 1.0 / kServeMhz;
   serve::ServeResult base_1c, fast_4c;
   for (const auto& p : sweep) {
-    const auto r = run_point(p, seed, requests, false, nullptr);
+    const auto r = run_point(p, seed, requests, false, telemetry,
+                             io.sample_every(), nullptr, nullptr);
     if (p.cores == 1 && p.batch == 1 && p.mean_interarrival == 2'000) base_1c = r;
     if (p.cores == 4 && p.batch == 4 && p.mean_interarrival == 2'000) fast_4c = r;
     std::printf("| %d | %d | %.0f | %.1f | %.1f | %.1f | %.0f | %.2f | %.2f |\n",
@@ -114,20 +152,42 @@ int main(int argc, char** argv) {
     row.set("batch", static_cast<uint64_t>(p.batch));
     row.set("mean_interarrival_cycles", p.mean_interarrival);
     row.set("result", serve::serve_result_to_json(r, kServeMhz));
+    if (telemetry) row.set("percentile_crosscheck", crosscheck_percentiles(r));
     rows.push(std::move(row));
   }
   std::printf("\n");
+  if (telemetry) {
+    std::printf(
+        "Telemetry: percentile cross-check passed on all %zu sweep points "
+        "(histogram quantile == exact nearest-rank bucket)\n\n",
+        sweep.size());
+  }
 
-  // Region rollup across every execution of the saturated 4x4 point.
-  if (io.observe()) {
+  // Region rollup across every execution of the saturated 4x4 point;
+  // --flamegraph rides on the same observed rerun.
+  if (io.observe() || io.flamegraph_enabled()) {
     std::vector<std::pair<std::string, uint64_t>> regions;
-    (void)run_point({4, 4, 2'000}, seed, requests, true, &regions);
+    std::vector<obs::NetObservation> observations;
+    (void)run_point({4, 4, 2'000}, seed, requests, true, telemetry,
+                    io.sample_every(), &regions, &observations);
     std::printf("Region cycles aggregated over the 4-core B=4 serving run:\n");
     Table rt({"region", "kcycles"});
     for (const auto& [name, cycles] : regions) {
       rt.add_row({name, fmt_double(static_cast<double>(cycles) / 1000.0, 1)});
     }
     std::printf("%s\n", rt.to_string().c_str());
+    if (io.flamegraph_enabled()) {
+      std::vector<const obs::NetObservation*> views;
+      for (const auto& o : observations) views.push_back(&o);
+      bench::BenchIo::write_text(io.flamegraph_path(),
+                                 obs::to_collapsed_stacks(views));
+    }
+  }
+
+  // Multi-track Perfetto timeline of the saturated 4x4 point.
+  if (io.trace_enabled()) {
+    bench::BenchIo::write_text(io.trace_path(),
+                               serve::serving_perfetto_trace(fast_4c).dump());
   }
 
   // Acceptance: 4 cores batched must be >= 3x the 1-core unbatched

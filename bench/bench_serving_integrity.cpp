@@ -123,7 +123,8 @@ struct RowOutput {
 
 RowOutput run_point(serve::Cluster* cluster, const Mode& mode, const RatePoint& rate,
                     const serve::Workload& workload, uint64_t seed,
-                    const std::map<uint64_t, std::vector<int16_t>>& golden) {
+                    const std::map<uint64_t, std::vector<int16_t>>& golden,
+                    const serve::SchedulerConfig::TelemetryOptions& telemetry = {}) {
   serve::SchedulerConfig sc;
   sc.policy = serve::Policy::kDeadline;
   sc.fault.seed = seed;
@@ -132,6 +133,7 @@ RowOutput run_point(serve::Cluster* cluster, const Mode& mode, const RatePoint& 
   sc.fault.rate_of(fault::Target::kPlaLut) = rate.pla;
   sc.integrity.detect = mode.detect;
   sc.integrity.preemption = mode.preemption;
+  sc.telemetry = telemetry;
   serve::Scheduler sched(cluster, sc);
 
   RowOutput out;
@@ -209,10 +211,19 @@ int main(int argc, char** argv) {
       "| :-- | :-- | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | "
       "---: |\n");
 
+  // --trace needs span telemetry; with --telemetry the spans layer runs on
+  // every sweep point, so span identity is asserted for every request in
+  // the full run (rollback / retry / preemption phases included).
+  serve::SchedulerConfig::TelemetryOptions telemetry;
+  telemetry.enabled = io.telemetry() || io.trace_enabled();
+  telemetry.sample_every = io.sample_every();
+
   obs::Json rows = obs::Json::array();
   uint64_t detect_high_served = 0, detect_high_silent = 0;
   uint64_t detect_high_detections = 0;
   uint64_t preempted_off = 0, preempted_off_bad = 0;
+  uint64_t spans_closed = 0, span_identity_checks = 0;
+  serve::ServeResult trace_pick;  // preempt/high at the saturating load
   for (const double load : loads) {
     const auto workload = make_workload(plain_cluster, load, seed);
     const auto golden = golden_outputs(plain_cluster, workload);
@@ -220,8 +231,16 @@ int main(int argc, char** argv) {
       serve::Cluster* cluster = mode.detect || mode.preemption ? &integ_cluster
                                                                : &plain_cluster;
       for (const auto& rate : kRates) {
-        const auto out = run_point(cluster, mode, rate, workload, seed, golden);
+        const auto out =
+            run_point(cluster, mode, rate, workload, seed, golden, telemetry);
         const auto& r = out.result;
+        if (r.telemetry) {
+          spans_closed += r.telemetry->spans.spans_closed();
+          span_identity_checks += r.telemetry->spans.identity_checks();
+          if (mode.preemption && &rate == &kRates.back() && load == loads.front()) {
+            trace_pick = r;
+          }
+        }
         std::printf(
             "| %s | %s | %.0f | %zu | %zu | %llu | %llu | %llu | %llu | %llu | "
             "%.0f |\n",
@@ -252,6 +271,24 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n");
+
+  if (telemetry.enabled) {
+    // Every close() asserted the span identity (done - arrival tiles into
+    // wait + exec + retry + rollback + preempted); reaching this line means
+    // it held for all of them.
+    std::printf("telemetry: span identity held for %llu/%llu closed spans\n\n",
+                static_cast<unsigned long long>(span_identity_checks),
+                static_cast<unsigned long long>(spans_closed));
+    RNNASIP_CHECK(span_identity_checks == spans_closed && spans_closed > 0);
+  }
+
+  // Multi-track Perfetto timeline of the preempt/high saturated point —
+  // the row with rollback, retry and preemption flows all active.
+  if (io.trace_enabled()) {
+    RNNASIP_CHECK(trace_pick.telemetry != nullptr);
+    bench::BenchIo::write_text(io.trace_path(),
+                               serve::serving_perfetto_trace(trace_pick).dump());
+  }
 
   // Acceptance 1: non-flagged silently-corrupted share with detection on at
   // the highest PR 5 fault rate (< 1e-4; the plain rows print the
@@ -322,6 +359,10 @@ int main(int argc, char** argv) {
     acc.set("mix_overhead", overhead_mix);
     acc.set("preempted_requests", preempted_off);
     acc.set("preempted_divergent", preempted_off_bad);
+    if (telemetry.enabled) {
+      acc.set("spans_closed", spans_closed);
+      acc.set("span_identity_checks", span_identity_checks);
+    }
     data.set("acceptance", std::move(acc));
     io.write_json("serving_integrity", std::move(data));
   }

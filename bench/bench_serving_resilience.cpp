@@ -79,7 +79,8 @@ serve::Workload make_workload(const serve::Cluster& cluster, double interarrival
 
 RunOutput run_point(serve::Policy policy, const RatePoint& rate, double interarrival,
                     uint64_t seed,
-                    const std::map<uint64_t, std::vector<int16_t>>& reference) {
+                    const std::map<uint64_t, std::vector<int16_t>>& reference,
+                    const serve::SchedulerConfig::TelemetryOptions& telemetry = {}) {
   serve::ClusterConfig cc;
   cc.cores = kCores;
   // Primary level d with the faster level-e flavor as the degradation
@@ -99,6 +100,7 @@ RunOutput run_point(serve::Policy policy, const RatePoint& rate, double interarr
   sc.fault.rate_of(fault::Target::kPlaLut) = rate.pla;
   sc.level_fallback = true;
   sc.overload_queue_depth = 12;
+  sc.telemetry = telemetry;
   serve::Scheduler sched(&cluster, sc);
 
   RunOutput out;
@@ -153,12 +155,20 @@ int main(int argc, char** argv) {
       "| :-- | :-- | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | "
       "---: |\n");
 
+  // --telemetry attaches the spans + metrics layer to every faulted sweep
+  // point; each request's span identity is asserted at close, fallback-level
+  // executions and quarantines included.
+  serve::SchedulerConfig::TelemetryOptions telemetry;
+  telemetry.enabled = io.telemetry();
+  telemetry.sample_every = io.sample_every();
+
   obs::Json rows = obs::Json::array();
   // goodput[load] at rate off/high for the acceptance check (kDeadline).
   std::map<double, double> goodput_off, goodput_high;
   // Aggregate correctness over every highest-rate row: served requests
   // whose outputs are bit-identical to the fault-free reference.
   uint64_t high_served = 0, high_correct = 0;
+  uint64_t spans_closed = 0;
   for (const auto policy : policies) {
     for (const double load : loads) {
       // Fault-free reference outputs for this (policy, load): same
@@ -170,8 +180,9 @@ int main(int argc, char** argv) {
         for (const auto& c : ref.result.completions) reference[c.id] = c.outputs;
       }
       for (const auto& rate : kRates) {
-        const auto out = run_point(policy, rate, load, seed, reference);
+        const auto out = run_point(policy, rate, load, seed, reference, telemetry);
         const auto& r = out.result;
+        if (r.telemetry) spans_closed += r.telemetry->spans.spans_closed();
         std::printf(
             "| %s | %s | %.0f | %zu | %zu | %zu | %llu | %zu | %llu | %.0f | "
             "%.4f |\n",
@@ -201,6 +212,11 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n");
+  if (telemetry.enabled) {
+    std::printf("telemetry: span identity held for all %llu closed spans\n\n",
+                static_cast<unsigned long long>(spans_closed));
+    RNNASIP_CHECK(spans_closed > 0);
+  }
 
   // Acceptance 1: correctness under the heaviest campaign, aggregated over
   // every highest-rate row.

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--per-net") per_net = true;
   }
-  const bool observe = io.observe();
+  const bool observe = io.observe() || io.flamegraph_enabled();
   const std::string trace_path = io.trace_path();
   std::printf("==============================================================\n");
   std::printf("Table I — cycle and instruction count optimizations, RRM suite\n");
@@ -151,6 +151,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %s\n", trace_path.c_str());
   }
 
+  // Collapsed stacks of the final level's per-net region trees; one line
+  // per region with nonzero self cycles, values summing to observed cycles.
+  if (io.flamegraph_enabled()) {
+    std::vector<const obs::NetObservation*> views;
+    for (const auto& n : results.back().nets) {
+      if (n.obs) views.push_back(n.obs.get());
+    }
+    bench::BenchIo::write_text(io.flamegraph_path(),
+                               obs::to_collapsed_stacks(views));
+  }
+
   if (io.json_enabled()) {
     obs::Json data = obs::Json::object();
     obs::Json levels = obs::Json::array();
@@ -160,6 +171,15 @@ int main(int argc, char** argv) {
       l.set("speedup", static_cast<double>(results[0].total_cycles) /
                            static_cast<double>(results[i].total_cycles));
       l.set("suite", bench::suite_to_json(results[i]));
+      if (proto.observe) {
+        // Per-region breakdown (scripts/trace_diff.py aligns two envelopes
+        // on these network/path keys).
+        obs::Json regions = obs::Json::array();
+        for (const auto& n : results[i].nets) {
+          if (n.obs) regions.push(obs::regions_to_json(*n.obs));
+        }
+        if (regions.size() > 0) l.set("regions", std::move(regions));
+      }
       levels.push(std::move(l));
     }
     data.set("levels", std::move(levels));

@@ -8,12 +8,19 @@ The compared metrics depend on the bench:
 
   table1              per-level suite total cycles and cumulative speedup
   table2              inner-loop body cycles of both kernels and their speedup
+  serving             per-sweep-row p50/p95/p99 latency, makespan and served
+                      count plus the scaling-acceptance speedup
   serving_resilience  per-sweep-row served/retries/rejected plus the
                       aggregate correctness and goodput acceptance numbers
   serving_integrity   ABFT instrumentation overhead per net and over the
                       serving mix, plus per-row served/silent/detections/
                       rollbacks/escalations/preemptions and the silent-
                       share and preemption acceptance numbers
+
+Rows carrying a telemetry block (runs made with --telemetry) additionally
+gate the histogram-derived p50/p95/p99 of the latency_cycles histogram and
+the per-phase span cycle totals — so the metrics registry itself is under
+the perf gate, not just the exact sorted-latency percentiles.
 
 Any relative drift beyond the tolerance (default 0.5%) fails with a
 per-metric report. The simulator is deterministic, so in practice any
@@ -49,6 +56,35 @@ def metrics_table2(data):
     }
 
 
+def telemetry_metrics(out, key, result):
+    """Histogram-derived percentiles + span phase totals for one telemetered
+    sweep row (no-op when the run was made without --telemetry)."""
+    tel = result.get("telemetry")
+    if tel is None:
+        return
+    hists = tel.get("metrics", {}).get("histograms", {})
+    lat = hists.get("latency_cycles")
+    if lat is not None:
+        for p in ("p50", "p95", "p99"):
+            out[f"{key} hist {p}"] = lat[p]
+    for phase, cycles in tel["spans"]["phase_cycles"].items():
+        out[f"{key} span {phase} cycles"] = cycles
+
+
+def metrics_serving(data):
+    out = {"acceptance speedup": data["acceptance"]["speedup"]}
+    for row in data["rows"]:
+        res = row["result"]
+        key = (f"{row['cores']}c/B{row['batch']}"
+               f"/@{int(row['mean_interarrival_cycles'])}")
+        out[f"{key} served"] = res["requests"]
+        out[f"{key} makespan"] = res["makespan_cycles"]
+        for p in ("p50", "p95", "p99"):
+            out[f"{key} {p}"] = res["latency"][f"{p}_cycles"]
+        telemetry_metrics(out, key, res)
+    return out
+
+
 def metrics_serving_resilience(data):
     out = {"correct fraction (high rate)":
            data["acceptance"]["correct_fraction_high"]}
@@ -63,6 +99,7 @@ def metrics_serving_resilience(data):
         out[f"{key} served"] = res["served"]
         out[f"{key} retries"] = res["retries"]
         out[f"{key} rejected"] = res["rejected"]
+        telemetry_metrics(out, key, row["result"])
     return out
 
 
@@ -88,12 +125,14 @@ def metrics_serving_integrity(data):
         out[f"{key} rollbacks"] = res["integrity"]["rollbacks"]
         out[f"{key} escalations"] = res["integrity"]["escalations"]
         out[f"{key} preemptions"] = res["preemption"]["preemptions"]
+        telemetry_metrics(out, key, row["result"])
     return out
 
 
 EXTRACTORS = {
     "table1": metrics_table1,
     "table2": metrics_table2,
+    "serving": metrics_serving,
     "serving_resilience": metrics_serving_resilience,
     "serving_integrity": metrics_serving_integrity,
 }

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Per-region cycle/stall diff between two bench JSON envelopes.
+
+Usage:  trace_diff.py <before.json> <after.json> [--level e] [--top 20]
+                      [--min-cycles 100]
+
+Both files are BenchIo envelopes written with --json AND --observe, so the
+per-level "regions" blocks are present (bench_table1 emits one per
+optimization level). Regions are aligned on their (network, path) key —
+path is the collapsed-stack region path ("network;fc0;matvec") — and the
+report shows, per region, the before/after self cycles, the delta, and the
+per-cause stall deltas, sorted by |cycle delta| descending.
+
+The two envelopes do not have to come from the same build: diffing level d
+against level e of one run (--level d vs --level e via two invocations of
+this script on the same file pair, or the same file twice with different
+--level/--level-b) localizes *where* an optimization level wins its
+cycles, and diffing the same level across two commits localizes a
+regression down to a region before anyone opens a trace viewer.
+
+Exit status is 0 (reporting tool, not a gate; the gate is bench_diff.py).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_regions(path, level):
+    with open(path) as f:
+        env = json.load(f)
+    if "bench" not in env or "data" not in env:
+        sys.exit(f"{path}: not a BenchIo envelope")
+    data = env["data"]
+    if env["bench"] == "table1":
+        for lv in data["levels"]:
+            if lv["level"] == level:
+                if "regions" not in lv:
+                    sys.exit(f"{path}: level {level} has no regions block "
+                             "(re-run the bench with --observe)")
+                return lv["regions"]
+        sys.exit(f"{path}: no level {level!r} in envelope")
+    if "regions" in data:
+        return data["regions"]
+    sys.exit(f"{path}: bench {env['bench']!r} carries no per-region data")
+
+
+def flatten(regions):
+    """{(network, path): {"cycles": n, "instrs": n, "stalls": {...}}}"""
+    out = {}
+    for net in regions:
+        for r in net["regions"]:
+            out[(net["network"], r["path"])] = r
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("before")
+    ap.add_argument("after")
+    ap.add_argument("--level", default="e",
+                    help="optimization level to read from table1 envelopes "
+                         "(default e)")
+    ap.add_argument("--level-b", default=None,
+                    help="level for the *after* envelope when diffing two "
+                         "levels of one run (default: same as --level)")
+    ap.add_argument("--top", type=int, default=20,
+                    help="show the N largest regions by |cycle delta|")
+    ap.add_argument("--min-cycles", type=int, default=0,
+                    help="hide regions below this many cycles on both sides")
+    args = ap.parse_args()
+
+    before = flatten(load_regions(args.before, args.level))
+    after = flatten(load_regions(args.after, args.level_b or args.level))
+
+    rows = []
+    for key in sorted(set(before) | set(after)):
+        b = before.get(key, {})
+        a = after.get(key, {})
+        bc, ac = b.get("cycles", 0), a.get("cycles", 0)
+        if max(bc, ac) < args.min_cycles:
+            continue
+        stall_delta = {}
+        for cause in sorted(set(b.get("stalls", {})) | set(a.get("stalls", {}))):
+            d = a.get("stalls", {}).get(cause, 0) - b.get("stalls", {}).get(cause, 0)
+            if d != 0:
+                stall_delta[cause] = d
+        rows.append((key, bc, ac, stall_delta))
+
+    rows.sort(key=lambda r: abs(r[2] - r[1]), reverse=True)
+
+    total_b = sum(r[1] for r in rows)
+    total_a = sum(r[2] for r in rows)
+    print(f"{'region':<56} {'before':>12} {'after':>12} {'delta':>12}")
+    for (net, path), bc, ac, stalls in rows[:args.top]:
+        name = f"{net}:{path}"
+        if len(name) > 55:
+            name = name[:52] + "..."
+        mark = "" if bc == ac else (" NEW" if bc == 0 else (" GONE" if ac == 0 else ""))
+        print(f"{name:<56} {bc:>12} {ac:>12} {ac - bc:>+12}{mark}")
+        for cause, d in sorted(stalls.items(), key=lambda kv: -abs(kv[1])):
+            print(f"    stall {cause:<45} {'':>12} {'':>12} {d:>+12}")
+    hidden = len(rows) - min(len(rows), args.top)
+    if hidden > 0:
+        print(f"... {hidden} more region(s); raise --top to see them")
+    print(f"{'TOTAL':<56} {total_b:>12} {total_a:>12} {total_a - total_b:>+12}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

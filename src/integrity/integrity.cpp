@@ -137,6 +137,7 @@ void CheckedRun::begin(std::span<const int16_t> input) {
 }
 
 CheckedRun::State CheckedRun::step() {
+  step_base_ = counters_;
   for (;;) {
     iss::RunLimits lim;
     lim.max_cycles = wd_remaining_;  // 0 = unbounded (cfg watchdog off)

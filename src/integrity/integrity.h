@@ -133,6 +133,16 @@ class CheckedRun {
   const Checkpoint& checkpoint() const { return cp_; }
   uint64_t cycles() const { return cycles_; }
   const IntegrityCounters& counters() const { return counters_; }
+  /// Counter deltas accrued by the most recent step() — how many of that
+  /// segment's cycles were rollback re-execution, how many detections it
+  /// flagged. Lets a caller attribute per-segment work (telemetry spans)
+  /// without diffing whole-run counters itself.
+  IntegrityCounters step_counters() const {
+    return {counters_.checks - step_base_.checks,
+            counters_.detections - step_base_.detections,
+            counters_.rollbacks - step_base_.rollbacks,
+            counters_.rollback_cycles - step_base_.rollback_cycles};
+  }
   const std::vector<int16_t>& outputs() const { return outputs_; }
   /// The terminating RunResult; after an ABFT detection that exhausted its
   /// rollback budget this is a synthesized kTrap with kIntegrityMismatch.
@@ -153,6 +163,7 @@ class CheckedRun {
   std::optional<GoldenChecks> golden_;
   Checkpoint cp_;
   IntegrityCounters counters_;
+  IntegrityCounters step_base_;  ///< counters_ snapshot at step() entry
   std::vector<int16_t> outputs_;
   iss::RunResult last_result_;
   uint64_t cycles_ = 0;

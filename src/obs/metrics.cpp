@@ -1,0 +1,155 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace rnnasip::obs {
+
+size_t Histogram::bucket_of(uint64_t v) {
+  if (v < 8) return static_cast<size_t>(v);
+  // Octave o = floor(log2 v) >= 3; the top three bits below the leading
+  // one pick the linear sub-bucket, so boundaries are exact powers of two
+  // times 8..15 / 8.
+  const int o = std::bit_width(v) - 1;
+  const uint64_t sub = (v >> (o - 3)) & 7u;
+  return 8 + static_cast<size_t>(o - 3) * 8 + static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::bucket_lower(size_t b) {
+  RNNASIP_CHECK(b < kBucketCount);
+  if (b < 8) return b;
+  const size_t o = (b - 8) / 8;
+  const uint64_t sub = (b - 8) % 8;
+  return (8u + sub) << o;
+}
+
+uint64_t Histogram::bucket_upper(size_t b) {
+  RNNASIP_CHECK(b < kBucketCount);
+  if (b < 8) return b + 1;
+  if (b == kBucketCount - 1) return ~uint64_t{0};  // top bucket: saturate
+  const size_t o = (b - 8) / 8;
+  return bucket_lower(b) + (uint64_t{1} << o);
+}
+
+void Histogram::record(uint64_t v) {
+  ++buckets_[bucket_of(v)];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int Histogram::quantile_bucket(double p) const {
+  if (count_ == 0) return -1;
+  // Nearest rank, the same rule ServeResult::latency_percentile uses: the
+  // histogram quantile's bucket is exactly the bucket of the exact
+  // nearest-rank sample.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  uint64_t cum = 0;
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    cum += buckets_[b];
+    if (cum >= rank) return static_cast<int>(b);
+  }
+  return static_cast<int>(kBucketCount) - 1;  // unreachable: cum == count_
+}
+
+uint64_t Histogram::quantile(double p) const {
+  const int b = quantile_bucket(p);
+  return b < 0 ? 0 : bucket_lower(static_cast<size_t>(b));
+}
+
+Json Histogram::to_json() const {
+  Json j = Json::object();
+  j.set("count", count_);
+  j.set("sum", sum_);
+  j.set("min", min());
+  j.set("max", max_);
+  j.set("mean", mean());
+  j.set("p50", quantile(50));
+  j.set("p95", quantile(95));
+  j.set("p99", quantile(99));
+  Json buckets = Json::array();
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    if (buckets_[b] == 0) continue;
+    Json pair = Json::array();
+    pair.push(bucket_lower(b));
+    pair.push(buckets_[b]);
+    buckets.push(std::move(pair));
+  }
+  j.set("buckets", std::move(buckets));
+  return j;
+}
+
+namespace {
+
+template <typename T>
+T& named_slot(std::vector<std::pair<std::string, T>>& v, const std::string& name) {
+  for (auto& [n, slot] : v) {
+    if (n == name) return slot;
+  }
+  v.emplace_back(name, T{});
+  return v.back().second;
+}
+
+template <typename T>
+bool has_slot(const std::vector<std::pair<std::string, T>>& v,
+              const std::string& name) {
+  for (const auto& [n, slot] : v) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return named_slot(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return named_slot(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return named_slot(histograms_, name);
+}
+
+bool MetricsRegistry::has_counter(const std::string& name) const {
+  return has_slot(counters_, name);
+}
+
+bool MetricsRegistry::has_histogram(const std::string& name) const {
+  return has_slot(histograms_, name);
+}
+
+Json MetricsRegistry::to_json() const {
+  Json j = Json::object();
+  if (!counters_.empty()) {
+    Json c = Json::object();
+    for (const auto& [name, m] : counters_) c.set(name, m.value());
+    j.set("counters", std::move(c));
+  }
+  if (!gauges_.empty()) {
+    Json g = Json::object();
+    for (const auto& [name, m] : gauges_) g.set(name, m.value());
+    j.set("gauges", std::move(g));
+  }
+  if (!histograms_.empty()) {
+    Json h = Json::object();
+    for (const auto& [name, m] : histograms_) h.set(name, m.to_json());
+    j.set("histograms", std::move(h));
+  }
+  return j;
+}
+
+}  // namespace rnnasip::obs

@@ -1,0 +1,119 @@
+// Metrics registry for the serving telemetry layer: counters, gauges, and
+// log-bucketed histograms with *deterministic* bucket boundaries, replacing
+// ad-hoc stat fields with named, snapshot-able instruments.
+//
+// Design constraints (the same discipline as the rest of src/obs):
+//   - byte-deterministic: a snapshot of the same run is the same JSON,
+//     byte for byte — metrics are insertion-ordered, bucket boundaries are
+//     pure integer math, no host time, no floating-point accumulation;
+//   - bounded memory at million-request scale: a histogram is a fixed
+//     array of 496 buckets regardless of how many values it absorbs, so
+//     recording is O(1) and a snapshot is O(nonzero buckets).
+//
+// Histogram bucketing (log-linear, HdrHistogram-style):
+//   values 0..7 get exact unit buckets; from 8 up, each power-of-two
+//   octave splits into 8 linear sub-buckets, so a bucket's relative width
+//   is at most 1/8 (12.5%). Quantiles are nearest-rank over the bucketized
+//   distribution and return the *lower boundary* of the bucket holding the
+//   rank — by construction the same bucket that holds the exact nearest-
+//   rank sample, which bounds the histogram-vs-exact quantile error to one
+//   bucket's width (asserted against sorted-latency percentiles in the
+//   serving benches).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace rnnasip::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(int64_t v) { value_ = v; }
+  void add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Log-bucketed histogram of non-negative 64-bit values.
+class Histogram {
+ public:
+  /// 8 unit buckets + 8 sub-buckets for each of the 62 octaves [2^3, 2^64).
+  static constexpr size_t kBucketCount = 8 + 8 * 61;
+
+  /// Bucket index holding `v`: v for v < 8, else 8*(octave-3) + sub-bucket
+  /// where octave = floor(log2 v) and the octave splits into 8 linear
+  /// sub-buckets. Pure integer math — deterministic everywhere.
+  static size_t bucket_of(uint64_t v);
+  /// Inclusive lower boundary of bucket `b`.
+  static uint64_t bucket_lower(size_t b);
+  /// Exclusive upper boundary of bucket `b`.
+  static uint64_t bucket_upper(size_t b);
+
+  void record(uint64_t v);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  /// Mean as a double (reported, never accumulated).
+  double mean() const;
+
+  /// Nearest-rank quantile (p in [0, 100]) over the bucketized
+  /// distribution; returns the lower boundary of the bucket containing the
+  /// rank, 0 when empty. The bucket is exactly bucket_of(exact nearest-
+  /// rank sample), so |returned - exact| < one bucket width.
+  uint64_t quantile(double p) const;
+  /// Bucket index the nearest-rank quantile falls in (-1 when empty).
+  int quantile_bucket(double p) const;
+
+  /// {count, sum, min, max, mean, p50, p95, p99, buckets: [[lower, n]...]}
+  /// — sparse, insertion-independent, byte-deterministic.
+  Json to_json() const;
+
+ private:
+  std::vector<uint64_t> buckets_ = std::vector<uint64_t>(kBucketCount, 0);
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Named instruments, insertion-ordered (first touch names the slot — the
+/// JSON snapshot is byte-stable across identical runs). Lookup is linear;
+/// callers cache the reference on the hot path.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  bool has_counter(const std::string& name) const;
+  bool has_histogram(const std::string& name) const;
+
+  /// {counters: {...}, gauges: {...}, histograms: {...}} — each section
+  /// insertion-ordered, omitted when empty.
+  Json to_json() const;
+
+ private:
+  std::vector<std::pair<std::string, Counter>> counters_;
+  std::vector<std::pair<std::string, Gauge>> gauges_;
+  std::vector<std::pair<std::string, Histogram>> histograms_;
+};
+
+}  // namespace rnnasip::obs

@@ -1,0 +1,213 @@
+#include "src/obs/span.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace rnnasip::obs {
+
+const char* span_phase_name(SpanPhase p) {
+  switch (p) {
+    case SpanPhase::kWait: return "wait";
+    case SpanPhase::kExec: return "exec";
+    case SpanPhase::kRetry: return "retry";
+    case SpanPhase::kRollback: return "rollback";
+    case SpanPhase::kPreempted: return "preempted";
+  }
+  return "?";
+}
+
+const char* span_mark_name(SpanMark m) {
+  switch (m) {
+    case SpanMark::kArrival: return "arrival";
+    case SpanMark::kAdmit: return "admit";
+    case SpanMark::kReject: return "reject";
+    case SpanMark::kDispatch: return "dispatch";
+    case SpanMark::kBoundary: return "boundary";
+    case SpanMark::kDetection: return "detection";
+    case SpanMark::kRollback: return "rollback";
+    case SpanMark::kPreempt: return "preempt";
+    case SpanMark::kResume: return "resume";
+    case SpanMark::kFault: return "fault";
+    case SpanMark::kFailure: return "failure";
+    case SpanMark::kDone: return "done";
+    case SpanMark::kFailed: return "failed";
+  }
+  return "?";
+}
+
+const char* span_outcome_name(SpanOutcome o) {
+  switch (o) {
+    case SpanOutcome::kServed: return "served";
+    case SpanOutcome::kRejected: return "rejected";
+    case SpanOutcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+SpanCollector::SpanCollector(Options opt) : opt_(opt) {
+  RNNASIP_CHECK(opt_.sample_every >= 1);
+}
+
+SpanCollector::OpenSpan& SpanCollector::open_span(uint64_t id) {
+  for (OpenSpan& s : open_) {
+    if (s.id == id) return s;
+  }
+  RNNASIP_CHECK_MSG(false, "no open span for request " << id);
+}
+
+const SpanCollector::OpenSpan* SpanCollector::find_open(uint64_t id) const {
+  for (const OpenSpan& s : open_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+bool SpanCollector::open(uint64_t id) const { return find_open(id) != nullptr; }
+
+void SpanCollector::arrive(uint64_t id, const std::string& network, uint64_t cycle) {
+  RNNASIP_CHECK_MSG(find_open(id) == nullptr, "span already open for " << id);
+  OpenSpan s;
+  s.id = id;
+  s.network = network;
+  s.arrival = cycle;
+  s.last_end = cycle;
+  s.sampled = (id % opt_.sample_every) == 0;
+  if (s.sampled) s.instants.push_back({SpanMark::kArrival, -1, cycle});
+  open_.push_back(std::move(s));
+  ++opened_;
+}
+
+void SpanCollector::phase(uint64_t id, SpanPhase p, int core, uint64_t begin,
+                          uint64_t end) {
+  OpenSpan& s = open_span(id);
+  RNNASIP_CHECK_MSG(begin == s.last_end,
+                    "span gap for request " << id << ": phase begins at " << begin
+                                            << " but previous ended at "
+                                            << s.last_end);
+  RNNASIP_CHECK(end >= begin);
+  if (end == begin) return;
+  s.last_end = end;
+  s.phase_cycles[static_cast<size_t>(p)] += end - begin;
+  if (s.sampled) s.segments.push_back({p, core, begin, end});
+}
+
+void SpanCollector::reclassify(uint64_t id, size_t from_segment, SpanPhase from,
+                               SpanPhase to, uint64_t cycles) {
+  OpenSpan& s = open_span(id);
+  if (from == to || cycles == 0) return;
+  uint64_t& src = s.phase_cycles[static_cast<size_t>(from)];
+  RNNASIP_CHECK_MSG(src >= cycles, "reclassify moves more cycles than recorded for "
+                                       << id << ": " << cycles << " > " << src);
+  src -= cycles;
+  s.phase_cycles[static_cast<size_t>(to)] += cycles;
+  if (!s.sampled) return;
+  uint64_t relabeled = 0;
+  for (size_t i = from_segment; i < s.segments.size(); ++i) {
+    SpanSegment& seg = s.segments[i];
+    if (seg.phase != from) continue;
+    seg.phase = to;
+    relabeled += seg.end - seg.begin;
+  }
+  RNNASIP_CHECK_MSG(relabeled == cycles,
+                    "reclassify tail mismatch for " << id << ": segments hold "
+                                                    << relabeled << ", moving "
+                                                    << cycles);
+}
+
+size_t SpanCollector::segment_count(uint64_t id) const {
+  const OpenSpan* s = find_open(id);
+  return (s != nullptr && s->sampled) ? s->segments.size() : 0;
+}
+
+void SpanCollector::mark(uint64_t id, SpanMark m, int core, uint64_t cycle) {
+  OpenSpan& s = open_span(id);
+  if (s.sampled) s.instants.push_back({m, core, cycle});
+}
+
+void SpanCollector::close(uint64_t id, SpanOutcome outcome, uint64_t cycle) {
+  size_t idx = open_.size();
+  for (size_t i = 0; i < open_.size(); ++i) {
+    if (open_[i].id == id) {
+      idx = i;
+      break;
+    }
+  }
+  RNNASIP_CHECK_MSG(idx < open_.size(), "no open span for request " << id);
+  OpenSpan& s = open_[idx];
+  RNNASIP_CHECK_MSG(s.last_end == cycle,
+                    "span for request " << id << " closes at " << cycle
+                                        << " but last phase ended at " << s.last_end);
+  // The enforced span identity: the phase tiling covers [arrival, done]
+  // exactly — the serving analogue of the region-accounting identity.
+  uint64_t sum = 0;
+  for (uint64_t c : s.phase_cycles) sum += c;
+  RNNASIP_CHECK_MSG(sum == cycle - s.arrival,
+                    "span identity violated for request "
+                        << id << ": phases sum to " << sum << " but done-arrival is "
+                        << cycle - s.arrival);
+  for (size_t p = 0; p < kSpanPhaseCount; ++p) phase_totals_[p] += s.phase_cycles[p];
+  ++closed_;
+  if (s.sampled) {
+    s.instants.push_back(
+        {outcome == SpanOutcome::kServed
+             ? SpanMark::kDone
+             : (outcome == SpanOutcome::kRejected ? SpanMark::kReject
+                                                  : SpanMark::kFailed),
+         -1, cycle});
+    if (tracks_.size() < opt_.max_tracks) {
+      RequestSpan t;
+      t.id = s.id;
+      t.network = std::move(s.network);
+      t.arrival = s.arrival;
+      t.done = cycle;
+      t.outcome = outcome;
+      t.segments = std::move(s.segments);
+      t.instants = std::move(s.instants);
+      std::copy(std::begin(s.phase_cycles), std::end(s.phase_cycles),
+                std::begin(t.phase_cycles));
+      tracks_.push_back(std::move(t));
+    } else {
+      truncated_ = true;
+    }
+  }
+  open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+Json request_span_to_json(const RequestSpan& s) {
+  Json j = Json::object();
+  j.set("id", s.id);
+  j.set("network", s.network);
+  j.set("arrival", s.arrival);
+  j.set("done", s.done);
+  j.set("outcome", span_outcome_name(s.outcome));
+  Json phases = Json::object();
+  for (size_t p = 0; p < kSpanPhaseCount; ++p) {
+    if (s.phase_cycles[p] != 0) {
+      phases.set(span_phase_name(static_cast<SpanPhase>(p)), s.phase_cycles[p]);
+    }
+  }
+  j.set("phases", std::move(phases));
+  Json segs = Json::array();
+  for (const SpanSegment& seg : s.segments) {
+    Json e = Json::array();
+    e.push(span_phase_name(seg.phase));
+    e.push(seg.core);
+    e.push(seg.begin);
+    e.push(seg.end);
+    segs.push(std::move(e));
+  }
+  j.set("segments", std::move(segs));
+  Json marks = Json::array();
+  for (const SpanInstant& m : s.instants) {
+    Json e = Json::array();
+    e.push(span_mark_name(m.mark));
+    e.push(m.core);
+    e.push(m.cycle);
+    marks.push(std::move(e));
+  }
+  j.set("marks", std::move(marks));
+  return j;
+}
+
+}  // namespace rnnasip::obs

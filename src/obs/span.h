@@ -1,0 +1,177 @@
+// Request-scoped spans for the serving telemetry layer.
+//
+// Every serving request carries a span timeline on the cluster cycle
+// clock: arrival -> admit/reject -> queue -> dispatch -> per-segment exec
+// -> retry/rollback/preempt/resume -> done. The timeline is a *tiling* of
+// [arrival, done] by phase segments — contiguous, gap-free — which gives
+// the layer its enforced span identity (the serving analogue of the
+// PR 2 cycle-accounting identity):
+//
+//   done - arrival == wait + exec + retry + rollback + preempted
+//
+// where wait is off-core time (queueing + retry backoff), exec is on-core
+// cycles of work that survived, retry is on-core cycles of whole attempts
+// that later failed, rollback is on-core cycles of segments discarded by
+// layer-boundary rollback, and preempted is suspended-gap time between a
+// victim's segments. SpanCollector enforces contiguity at every append and
+// asserts the identity when a request closes — for *every* request, not
+// just the sampled ones.
+//
+// Memory is bounded at million-request scale: per-request accumulators
+// live only while the request is in flight; full segment timelines are
+// retained only for requests sampled by `sample_every` (and capped by
+// `max_tracks`), with explicit truncation markers so dropped detail is
+// never silent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace rnnasip::obs {
+
+/// What a request was doing over one contiguous cycle interval.
+enum class SpanPhase : uint8_t {
+  kWait = 0,   ///< off-core: queued or in retry backoff
+  kExec,       ///< on-core, work that survived
+  kRetry,      ///< on-core, a whole attempt that later failed
+  kRollback,   ///< on-core, segment discarded by layer-boundary rollback
+  kPreempted,  ///< suspended between segments (victim of EDF preemption)
+};
+inline constexpr size_t kSpanPhaseCount = 5;
+const char* span_phase_name(SpanPhase p);
+
+/// Point events on a request's timeline (state transitions and faults).
+enum class SpanMark : uint8_t {
+  kArrival = 0,
+  kAdmit,      ///< dispatched for the first time
+  kReject,     ///< admission control turned it away
+  kDispatch,   ///< an attempt started on a core
+  kBoundary,   ///< verified layer boundary (segmented execution)
+  kDetection,  ///< ABFT fold mismatch flagged
+  kRollback,   ///< layer re-execution from a checkpoint
+  kPreempt,    ///< suspended at a boundary
+  kResume,     ///< resumed from its checkpoint
+  kFault,      ///< an injected fault hit this request's execution
+  kFailure,    ///< an attempt trapped / was killed
+  kDone,
+  kFailed,     ///< retry budget exhausted
+};
+const char* span_mark_name(SpanMark m);
+
+/// One phase interval of a request. Segments of one request tile
+/// [arrival, done]: each begins where the previous ended. core is -1 for
+/// off-core phases (kWait, kPreempted).
+struct SpanSegment {
+  SpanPhase phase = SpanPhase::kWait;
+  int core = -1;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+struct SpanInstant {
+  SpanMark mark = SpanMark::kArrival;
+  int core = -1;
+  uint64_t cycle = 0;
+};
+
+/// A request's fate, recorded on its span.
+enum class SpanOutcome : uint8_t { kServed = 0, kRejected, kFailed };
+const char* span_outcome_name(SpanOutcome o);
+
+/// One retained (sampled) request timeline.
+struct RequestSpan {
+  uint64_t id = 0;
+  std::string network;
+  uint64_t arrival = 0;
+  uint64_t done = 0;  ///< close cycle (reject/fail included)
+  SpanOutcome outcome = SpanOutcome::kServed;
+  std::vector<SpanSegment> segments;
+  std::vector<SpanInstant> instants;
+  uint64_t phase_cycles[kSpanPhaseCount] = {};
+};
+
+/// Collects request spans for one serving run. The scheduler drives the
+/// lifecycle: arrive() once, any number of phase()/mark() appends (phase
+/// intervals must be contiguous from arrival), then exactly one close().
+class SpanCollector {
+ public:
+  struct Options {
+    /// Retain the full segment/instant timeline for requests with
+    /// id % sample_every == 0 (1 = every request). Identity accounting
+    /// always covers every request regardless.
+    uint64_t sample_every = 1;
+    /// Hard cap on retained timelines; overflow sets tracks_truncated().
+    size_t max_tracks = 1 << 14;
+  };
+
+  SpanCollector() : SpanCollector(Options{}) {}
+  explicit SpanCollector(Options opt);
+
+  void arrive(uint64_t id, const std::string& network, uint64_t cycle);
+  /// Append one phase interval [begin, end). Must start where the
+  /// request's previous interval ended (arrival for the first); empty
+  /// intervals are dropped.
+  void phase(uint64_t id, SpanPhase p, int core, uint64_t begin, uint64_t end);
+  /// Move `cycles` between phase accumulators after the fact — how a
+  /// failed attempt's kExec cycles become kRetry once the attempt's fate
+  /// is known. When the span is sampled, segments of phase `from` from
+  /// retained-timeline index `from_segment` on are relabeled too, and
+  /// their widths must sum to exactly `cycles` (checked).
+  void reclassify(uint64_t id, size_t from_segment, SpanPhase from, SpanPhase to,
+                  uint64_t cycles);
+  /// Retained-timeline segment count (reclassify anchor); 0 if not sampled.
+  size_t segment_count(uint64_t id) const;
+  void mark(uint64_t id, SpanMark m, int core, uint64_t cycle);
+
+  /// Close the span at `cycle` and assert the span identity:
+  ///   cycle - arrival == sum(phase accumulators).
+  void close(uint64_t id, SpanOutcome outcome, uint64_t cycle);
+
+  bool open(uint64_t id) const;
+
+  // ---- Post-run queries ----
+  const std::vector<RequestSpan>& tracks() const { return tracks_; }
+  bool tracks_truncated() const { return truncated_; }
+  uint64_t spans_opened() const { return opened_; }
+  uint64_t spans_closed() const { return closed_; }
+  /// Identity assertions performed (== spans_closed(); exported so the
+  /// telemetry JSON records that the invariant was checked, like PR 2's
+  /// identity_holds flag).
+  uint64_t identity_checks() const { return closed_; }
+  /// Cycles per phase summed over every closed request (sampled or not).
+  uint64_t phase_total(SpanPhase p) const {
+    return phase_totals_[static_cast<size_t>(p)];
+  }
+
+ private:
+  struct OpenSpan {
+    uint64_t id = 0;
+    std::string network;
+    uint64_t arrival = 0;
+    uint64_t last_end = 0;
+    uint64_t phase_cycles[kSpanPhaseCount] = {};
+    bool sampled = false;
+    std::vector<SpanSegment> segments;
+    std::vector<SpanInstant> instants;
+  };
+  OpenSpan& open_span(uint64_t id);
+  const OpenSpan* find_open(uint64_t id) const;
+
+  Options opt_;
+  std::vector<OpenSpan> open_;  ///< in-flight only — bounded by concurrency
+  std::vector<RequestSpan> tracks_;
+  bool truncated_ = false;
+  uint64_t opened_ = 0;
+  uint64_t closed_ = 0;
+  uint64_t phase_totals_[kSpanPhaseCount] = {};
+};
+
+/// One retained span as JSON: {id, network, arrival, done, outcome,
+/// phases: {...}, segments: [[phase, core, begin, end]...],
+/// marks: [[mark, core, cycle]...]}.
+Json request_span_to_json(const RequestSpan& s);
+
+}  // namespace rnnasip::obs

@@ -1,19 +1,13 @@
 #include "src/obs/trace_export.h"
 
+#include <string>
+
 namespace rnnasip::obs {
 
 namespace {
 
 Json process_name_event(int pid, const std::string& name) {
-  Json m = Json::object();
-  m.set("ph", "M");
-  m.set("pid", pid);
-  m.set("tid", 1);
-  m.set("name", "process_name");
-  Json args = Json::object();
-  args.set("name", name);
-  m.set("args", std::move(args));
-  return m;
+  return perfetto_process_name(pid, name);
 }
 
 Json duration_event(int pid, const RegionDef& d, const TimelineEvent& e) {
@@ -71,6 +65,200 @@ std::string to_perfetto_json(const std::vector<const NetObservation*>& nets) {
 
 std::string to_perfetto_json(const NetObservation& net) {
   return to_perfetto_json(std::vector<const NetObservation*>{&net});
+}
+
+Json perfetto_process_name(int pid, const std::string& name) {
+  Json m = Json::object();
+  m.set("ph", "M");
+  m.set("pid", pid);
+  m.set("tid", 1);
+  m.set("name", "process_name");
+  Json args = Json::object();
+  args.set("name", name);
+  m.set("args", std::move(args));
+  return m;
+}
+
+Json perfetto_thread_name(int pid, int tid, const std::string& name) {
+  Json m = Json::object();
+  m.set("ph", "M");
+  m.set("pid", pid);
+  m.set("tid", tid);
+  m.set("name", "thread_name");
+  Json args = Json::object();
+  args.set("name", name);
+  m.set("args", std::move(args));
+  return m;
+}
+
+Json perfetto_complete(int pid, int tid, const std::string& name,
+                       const std::string& cat, uint64_t ts, uint64_t dur) {
+  Json x = Json::object();
+  x.set("ph", "X");
+  x.set("pid", pid);
+  x.set("tid", tid);
+  x.set("name", name);
+  x.set("cat", cat);
+  x.set("ts", ts);
+  x.set("dur", dur);
+  return x;
+}
+
+Json perfetto_instant(int pid, int tid, const std::string& name,
+                      const std::string& cat, uint64_t ts) {
+  Json i = Json::object();
+  i.set("ph", "i");
+  i.set("pid", pid);
+  i.set("tid", tid);
+  i.set("name", name);
+  i.set("cat", cat);
+  i.set("ts", ts);
+  i.set("s", "t");
+  return i;
+}
+
+namespace {
+
+/// Flow event ("s" start / "t" step / "f" finish), id = request id. The
+/// "f" end binds to the *enclosing* slice (bp: "e"), which is how the
+/// viewer draws the arrow into the target segment rather than after it.
+Json flow_event(const char* ph, int pid, int tid, uint64_t id, uint64_t ts) {
+  Json f = Json::object();
+  f.set("ph", ph);
+  f.set("pid", pid);
+  f.set("tid", tid);
+  f.set("name", "request");
+  f.set("cat", "flow");
+  f.set("id", id);
+  f.set("ts", ts);
+  if (ph[0] == 'f') f.set("bp", "e");
+  return f;
+}
+
+}  // namespace
+
+Json span_perfetto_events(const std::vector<RequestSpan>& tracks, int cores,
+                          int pid) {
+  Json events = Json::array();
+  events.push(perfetto_thread_name(pid, 0, "scheduler"));
+  for (int c = 0; c < cores; ++c) {
+    events.push(perfetto_thread_name(pid, c + 1, "core " + std::to_string(c)));
+  }
+  for (const RequestSpan& t : tracks) {
+    const std::string slice = t.network + "#" + std::to_string(t.id);
+    // On-core segments become slices on the core's track; wait/preempted
+    // gaps are represented by the flow arrows between them.
+    std::vector<const SpanSegment*> on_core;
+    for (const SpanSegment& s : t.segments) {
+      if (s.core < 0) continue;
+      events.push(perfetto_complete(pid, s.core + 1, slice,
+                                    span_phase_name(s.phase), s.begin,
+                                    s.end - s.begin));
+      on_core.push_back(&s);
+    }
+    // Flow arrows stitch the request across retries, rollbacks, and
+    // preemption migrations (consecutive segments on one core with no gap
+    // need no arrow). Each maximal run of gapped pairs becomes one flow
+    // chain: "s" at its first departure, "t" at intermediate hops, "f"
+    // into the slice where the request lands back on contiguous ground.
+    bool in_flow = false;
+    for (size_t i = 0; i + 1 < on_core.size(); ++i) {
+      const SpanSegment& a = *on_core[i];
+      const SpanSegment& b = *on_core[i + 1];
+      if (a.core == b.core && a.end == b.begin) continue;
+      events.push(flow_event(in_flow ? "t" : "s", pid, a.core + 1, t.id, a.end));
+      in_flow = true;
+      if (i + 2 >= on_core.size() ||
+          (b.core == on_core[i + 2]->core && b.end == on_core[i + 2]->begin)) {
+        events.push(flow_event("f", pid, b.core + 1, t.id, b.begin));
+        in_flow = false;
+      }
+    }
+    for (const SpanInstant& m : t.instants) {
+      events.push(perfetto_instant(pid, m.core < 0 ? 0 : m.core + 1,
+                                   span_mark_name(m.mark), "mark", m.cycle));
+    }
+  }
+  return events;
+}
+
+namespace {
+
+void append_stack_line(std::string& out, const std::vector<RegionDef>& defs,
+                       int region, const std::string& root, uint64_t cycles) {
+  if (cycles == 0) return;
+  // Build the path root-first by walking the parent chain.
+  std::vector<const std::string*> path;
+  for (int r = region; r >= 0; r = defs[static_cast<size_t>(r)].parent) {
+    path.push_back(&defs[static_cast<size_t>(r)].name);
+  }
+  out += root;
+  for (size_t i = path.size(); i-- > 0;) {
+    out += ';';
+    out += *path[i];
+  }
+  out += ' ';
+  out += std::to_string(cycles);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string to_collapsed_stacks(const NetObservation& obs) {
+  std::string out;
+  for (size_t i = 0; i < obs.counters.size(); ++i) {
+    append_stack_line(out, obs.map.defs(), static_cast<int>(i), obs.name,
+                      obs.counters[i].cycles);
+  }
+  if (obs.unattributed.cycles != 0) {
+    out += obs.name;
+    out += ";(outside) ";
+    out += std::to_string(obs.unattributed.cycles);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_collapsed_stacks(const std::vector<const NetObservation*>& nets) {
+  std::string out;
+  for (const NetObservation* n : nets) out += to_collapsed_stacks(*n);
+  return out;
+}
+
+Json regions_to_json(const NetObservation& obs) {
+  Json j = Json::object();
+  j.set("network", obs.name);
+  j.set("cycles", obs.cycles);
+  j.set("unattributed_cycles", obs.unattributed.cycles);
+  Json regions = Json::array();
+  const auto& defs = obs.map.defs();
+  for (size_t i = 0; i < obs.counters.size(); ++i) {
+    const RegionCounters& c = obs.counters[i];
+    if (c.cycles == 0 && c.instrs == 0) continue;
+    std::vector<const std::string*> path;
+    for (int r = static_cast<int>(i); r >= 0; r = defs[static_cast<size_t>(r)].parent) {
+      path.push_back(&defs[static_cast<size_t>(r)].name);
+    }
+    std::string key;
+    for (size_t p = path.size(); p-- > 0;) {
+      if (!key.empty()) key += ';';
+      key += *path[p];
+    }
+    Json e = Json::object();
+    e.set("path", key);
+    e.set("cycles", c.cycles);
+    e.set("instrs", c.instrs);
+    e.set("macs", c.macs);
+    Json stalls = Json::object();
+    for (size_t s = 0; s < iss::kStallCauseCount; ++s) {
+      if (c.stalls[s] == 0) continue;
+      stalls.set(iss::stall_cause_name(static_cast<iss::StallCause>(s)), c.stalls[s]);
+    }
+    e.set("stalls", std::move(stalls));
+    regions.push(std::move(e));
+  }
+  j.set("regions", std::move(regions));
+  return j;
 }
 
 }  // namespace rnnasip::obs

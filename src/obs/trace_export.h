@@ -6,6 +6,24 @@
 // viewer's units are arbitrary, cycles are what we mean), and the periodic
 // cumulative stall samples become "C" counter events, one series per stall
 // cause. Load the output at https://ui.perfetto.dev or chrome://tracing.
+//
+// Two more exporters live here:
+//
+//  - Multi-track request-span export (span_perfetto_events): one thread
+//    track per cluster core (tid = core + 1, tid 0 is the scheduler),
+//    request exec/retry/rollback segments as "X" slices on the core that
+//    ran them, flow arrows (ph s/t/f, id = request id) stitching one
+//    request's segments across cores through retries, rollbacks, and
+//    preemption migrations, and instant events for the span marks
+//    (detection, rollback, preempt, resume, fault, ...). The serving
+//    wrapper (serve::serving_perfetto_trace) adds cluster-level intervals
+//    (quarantines, fallback windows) on the same tracks.
+//
+//  - Flamegraph collapsed-stack export (to_collapsed_stacks): folds a
+//    NetObservation's region tree into one "root;child;leaf <cycles>"
+//    line per region with nonzero *self* cycles (plus "(outside)" for
+//    unattributed work), so the sum of all line values equals the
+//    observed total cycles — feed to flamegraph.pl / speedscope / inferno.
 #pragma once
 
 #include <string>
@@ -13,6 +31,7 @@
 
 #include "src/obs/json.h"
 #include "src/obs/profile.h"
+#include "src/obs/span.h"
 
 namespace rnnasip::obs {
 
@@ -22,5 +41,39 @@ Json perfetto_trace(const std::vector<const NetObservation*>& nets);
 /// Convenience: serialized compact JSON for one or many observations.
 std::string to_perfetto_json(const std::vector<const NetObservation*>& nets);
 std::string to_perfetto_json(const NetObservation& net);
+
+// ---- Trace-event building blocks (shared with the serving exporter) ----
+
+Json perfetto_process_name(int pid, const std::string& name);
+Json perfetto_thread_name(int pid, int tid, const std::string& name);
+/// "X" complete event: [ts, ts+dur) named slice.
+Json perfetto_complete(int pid, int tid, const std::string& name,
+                       const std::string& cat, uint64_t ts, uint64_t dur);
+/// "i" thread-scoped instant event.
+Json perfetto_instant(int pid, int tid, const std::string& name,
+                      const std::string& cat, uint64_t ts);
+
+/// Multi-track request-span events for one serving run: core tracks,
+/// request slices, cross-core flow arrows, and span-mark instants.
+/// Returns the traceEvents *array*; callers may append more events before
+/// wrapping (see serve::serving_perfetto_trace).
+Json span_perfetto_events(const std::vector<RequestSpan>& tracks, int cores,
+                          int pid = 1);
+
+/// Fold one observed region tree into collapsed-stack lines
+/// ("a;b;c <self cycles>\n"). Every region with nonzero self cycles
+/// contributes exactly one line rooted at `obs.name`, unattributed work
+/// folds as "<name>;(outside)", so the line values sum to obs.cycles.
+std::string to_collapsed_stacks(const NetObservation& obs);
+std::string to_collapsed_stacks(const std::vector<const NetObservation*>& nets);
+
+/// Per-region machine-readable breakdown of one observation, keyed by the
+/// collapsed-stack path so scripts/trace_diff.py can align regions across
+/// two envelopes:
+///   {"network": ..., "cycles": ..., "unattributed_cycles": ...,
+///    "regions": [{"path": "a;b;c", "cycles": self, "instrs": ...,
+///                 "macs": ..., "stalls": {cause: cycles, ...}}, ...]}
+/// Stall causes with zero cycles are omitted.
+Json regions_to_json(const NetObservation& obs);
 
 }  // namespace rnnasip::obs

@@ -195,7 +195,8 @@ void Cluster::bind(int core, const std::string& name, bool batched,
   lane.bound_level = lvl;
 }
 
-void Cluster::run_bound(Lane& lane, const obs::RegionMap& regions, uint32_t text_base,
+void Cluster::run_bound(Lane& lane, const std::string& obs_name,
+                        const obs::RegionMap& regions, uint32_t text_base,
                         const fault::FaultSpec* fault, uint32_t data_lo,
                         uint32_t data_hi, uint64_t watchdog, ExecResult* out) {
   std::optional<obs::RegionProfiler> profiler;
@@ -256,7 +257,8 @@ void Cluster::run_bound(Lane& lane, const obs::RegionMap& regions, uint32_t text
   }
   if (profiler) {
     profiler->finish();
-    accumulate_regions(regions, profiler->counters(), profiler->unattributed());
+    accumulate_regions(obs_name, regions, profiler->counters(),
+                       profiler->unattributed());
     lane.core->set_trace(nullptr);
     lane.core->set_stall_hook(nullptr);
   }
@@ -264,7 +266,8 @@ void Cluster::run_bound(Lane& lane, const obs::RegionMap& regions, uint32_t text
   if (!res.ok()) out->failure = ExecFailure{res.exit, res.trap};
 }
 
-void Cluster::accumulate_regions(const obs::RegionMap& map,
+void Cluster::accumulate_regions(const std::string& obs_name,
+                                 const obs::RegionMap& map,
                                  const std::vector<obs::RegionCounters>& counters,
                                  const obs::RegionCounters& unattributed) {
   auto add = [this](const std::string& name, uint64_t cycles) {
@@ -281,6 +284,35 @@ void Cluster::accumulate_regions(const obs::RegionMap& map,
     add(map.defs()[i].name, counters[i].cycles);
   }
   add("unattributed", unattributed.cycles);
+
+  // Per-flavor region tree: merge this execution's self counters into the
+  // flavor's aggregated NetObservation (created on first execution). The
+  // tree keeps parent links, so the flamegraph fold preserves nesting.
+  obs::NetObservation* obs = nullptr;
+  for (obs::NetObservation& o : observations_) {
+    if (o.name == obs_name) {
+      obs = &o;
+      break;
+    }
+  }
+  if (obs == nullptr) {
+    observations_.emplace_back();
+    obs = &observations_.back();
+    obs->name = obs_name;
+    obs->map = map;
+    obs->counters.resize(map.defs().size());
+  }
+  RNNASIP_CHECK(obs->counters.size() == counters.size());
+  for (size_t i = 0; i < counters.size(); ++i) {
+    obs->counters[i].merge(counters[i]);
+    obs->cycles += counters[i].cycles;
+    obs->instrs += counters[i].instrs;
+    obs->macs += counters[i].macs;
+  }
+  obs->unattributed.merge(unattributed);
+  obs->cycles += unattributed.cycles;
+  obs->instrs += unattributed.instrs;
+  obs->macs += unattributed.macs;
 }
 
 void Cluster::scrub_pla(int core) {
@@ -311,7 +343,8 @@ ExecResult Cluster::run_single_at(int core, kernels::OptLevel level,
   lane.core->reset(net.program.base);
   ExecResult r;
   const bool faulted = fault != nullptr && fault->any_enabled();
-  run_bound(lane, net.regions, net.program.base, fault, kernels::kDataBase,
+  run_bound(lane, name + "@" + kernels::opt_level_letter(level), net.regions,
+            net.program.base, fault, kernels::kDataBase,
             kernels::kDataBase + net.data_bytes,
             faulted ? watchdog_cycles(name, level) : 0, &r);
   if (r.ok()) {
@@ -350,8 +383,8 @@ ExecResult Cluster::run_batched(int core, const std::string& name,
     }
     watchdog = cfg_.watchdog_cycles != 0 ? cfg_.watchdog_cycles : img.batched_watchdog;
   }
-  run_bound(lane, net.regions, net.program.base, fault, kernels::kDataBase,
-            kernels::kDataBase + net.data_bytes, watchdog, &r);
+  run_bound(lane, name + "@batch", net.regions, net.program.base, fault,
+            kernels::kDataBase, kernels::kDataBase + net.data_bytes, watchdog, &r);
   if (r.ok()) {
     for (int s = 0; s < filled; ++s) {
       r.outputs.push_back(lane.mem->read_halves(

@@ -182,6 +182,15 @@ class Cluster {
     return region_cycles_;
   }
 
+  /// With cfg.observe: one aggregated region-*tree* observation per program
+  /// flavor actually executed ("<net>@<level letter>", "<net>@batch"),
+  /// counters merged across every execution, nesting preserved — the input
+  /// the serving flamegraph folds (obs::to_collapsed_stacks). Unlike
+  /// region_cycles(), same-named regions of different flavors stay apart.
+  const std::vector<obs::NetObservation>& observations() const {
+    return observations_;
+  }
+
  private:
   /// One single-program build of a network at one level.
   struct Flavor {
@@ -216,10 +225,11 @@ class Cluster {
   /// of `out`. `fault` != nullptr arms a campaign confined to
   /// [data_lo, data_hi) private TCDM plus regfile/SPR/PLA targets, with
   /// `watchdog` as the cycle bound.
-  void run_bound(Lane& lane, const obs::RegionMap& regions, uint32_t text_base,
+  void run_bound(Lane& lane, const std::string& obs_name,
+                 const obs::RegionMap& regions, uint32_t text_base,
                  const fault::FaultSpec* fault, uint32_t data_lo, uint32_t data_hi,
                  uint64_t watchdog, ExecResult* out);
-  void accumulate_regions(const obs::RegionMap& map,
+  void accumulate_regions(const std::string& obs_name, const obs::RegionMap& map,
                           const std::vector<obs::RegionCounters>& counters,
                           const obs::RegionCounters& unattributed);
 
@@ -231,6 +241,7 @@ class Cluster {
   activation::PlaTable tanh_pristine_;
   activation::PlaTable sig_pristine_;
   std::vector<std::pair<std::string, uint64_t>> region_cycles_;
+  std::vector<obs::NetObservation> observations_;  ///< per-flavor region trees
 };
 
 }  // namespace rnnasip::serve

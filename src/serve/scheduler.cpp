@@ -8,6 +8,7 @@
 #include "src/common/check.h"
 #include "src/common/fixed_point.h"
 #include "src/common/rng.h"
+#include "src/obs/trace_export.h"
 
 namespace rnnasip::serve {
 
@@ -21,6 +22,24 @@ uint64_t mix_seed(uint64_t seed, uint64_t n) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   return z ^ (z >> 31);
+}
+
+std::shared_ptr<ServingTelemetry> make_telemetry(const SchedulerConfig& cfg) {
+  if (!cfg.telemetry.enabled) return nullptr;
+  obs::SpanCollector::Options opt;
+  opt.sample_every = cfg.telemetry.sample_every;
+  opt.max_tracks = cfg.telemetry.max_tracks;
+  return std::make_shared<ServingTelemetry>(opt);
+}
+
+/// Completion-time telemetry shared by both event loops.
+void record_completion(ServingTelemetry& tel, const Completion& c, uint64_t done) {
+  tel.spans.close(c.id, obs::SpanOutcome::kServed, done);
+  tel.metrics.counter("served").inc();
+  if (!c.met_deadline()) tel.metrics.counter("deadline_misses").inc();
+  tel.metrics.histogram("latency_cycles").record(c.latency());
+  tel.metrics.histogram("wait_cycles").record(c.wait_cycles);
+  tel.metrics.histogram("exec_cycles").record(c.exec_cycles);
 }
 
 }  // namespace
@@ -92,17 +111,22 @@ ServeResult Scheduler::run_plain(const Workload& workload) {
   r.core_busy.assign(static_cast<size_t>(r.cores), 0);
   r.completions.resize(workload.jobs.size());
   std::vector<char> served(workload.jobs.size(), 0);
+  const std::shared_ptr<ServingTelemetry> tel = make_telemetry(cfg_);
+  r.telemetry = tel;
 
   /// A queued request: the original job plus its retry state. `ready` is
   /// the arrival for the first attempt, failure time + backoff afterwards.
+  /// `span_at` is where the request's span timeline last ended (arrival,
+  /// then each failed attempt's finish) — the begin of its next wait phase.
   struct Pend {
     const Job* job = nullptr;
     int attempts = 0;
     uint64_t ready = 0;
+    uint64_t span_at = 0;
   };
   std::vector<Pend> pending;
   pending.reserve(workload.jobs.size());
-  for (const Job& j : workload.jobs) pending.push_back({&j, 0, j.arrival});
+  for (const Job& j : workload.jobs) pending.push_back({&j, 0, j.arrival, j.arrival});
 
   const kernels::OptLevel primary = cluster_->config().level;
   const bool can_fallback = cfg_.level_fallback &&
@@ -213,6 +237,14 @@ ServeResult Scheduler::run_plain(const Workload& workload) {
       const uint64_t est = cluster_->estimated_single_cycles(head.network, level);
       if (start + est > head.deadline) {
         r.rejections.push_back({head.id, head.network, head.arrival, head.deadline, now});
+        if (tel) {
+          const Pend& p = pending[pick];
+          if (p.attempts == 0) tel->spans.arrive(head.id, head.network, head.arrival);
+          tel->spans.phase(head.id, obs::SpanPhase::kWait, -1, p.span_at, start);
+          tel->spans.mark(head.id, obs::SpanMark::kReject, -1, start);
+          tel->spans.close(head.id, obs::SpanOutcome::kRejected, start);
+          tel->metrics.counter("rejected").inc();
+        }
         pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
         continue;
       }
@@ -243,6 +275,23 @@ ServeResult Scheduler::run_plain(const Workload& workload) {
       }
     }
 
+    if (tel) {
+      for (size_t gi : group) {
+        const Pend& p = pending[gi];
+        const Job& job = *p.job;
+        if (p.attempts == 0) tel->spans.arrive(job.id, job.network, job.arrival);
+        tel->spans.phase(job.id, obs::SpanPhase::kWait, -1, p.span_at, start);
+        tel->spans.mark(job.id,
+                        p.attempts == 0 ? obs::SpanMark::kAdmit
+                                        : obs::SpanMark::kDispatch,
+                        core, start);
+      }
+      obs::Gauge& depth_peak = tel->metrics.gauge("queue_depth_peak");
+      if (static_cast<int64_t>(pending.size()) > depth_peak.value()) {
+        depth_peak.set(static_cast<int64_t>(pending.size()));
+      }
+    }
+
     // Per-execution campaign spec: same template, execution-mixed seed.
     fault::FaultSpec exec_fault;
     if (faults_on) {
@@ -265,7 +314,16 @@ ServeResult Scheduler::run_plain(const Workload& workload) {
     const uint64_t cycles = er.cycles;
     const uint64_t done = start + cycles;
     for (const auto& ev : er.fault_events) {
-      r.fault_log.push_back({core, head.id, ev});
+      ++r.fault_events_total;
+      if (r.fault_log.size() < cfg_.max_fault_log) {
+        r.fault_log.push_back({core, head.id, ev});
+      } else {
+        r.fault_log_truncated = true;
+      }
+    }
+    if (tel && !er.fault_events.empty()) {
+      tel->spans.mark(head.id, obs::SpanMark::kFault, core, done);
+      tel->metrics.counter("fault_events").inc(er.fault_events.size());
     }
 
     if (er.ok()) {
@@ -301,6 +359,10 @@ ServeResult Scheduler::run_plain(const Workload& workload) {
         c.outputs = std::move(er.outputs[k]);
         if (!c.met_deadline()) ++r.deadline_misses;
         if (job.deadline != 0) note_deadline_outcome(!c.met_deadline());
+        if (tel) {
+          tel->spans.phase(job.id, obs::SpanPhase::kExec, core, start, done);
+          record_completion(*tel, c, done);
+        }
         RNNASIP_CHECK(job.id < r.completions.size());
         served[job.id] = 1;
         r.completions[job.id] = std::move(c);
@@ -315,17 +377,29 @@ ServeResult Scheduler::run_plain(const Workload& workload) {
       r.retry_cycles += cycles;
       const int fails = ++consec_fail[static_cast<size_t>(core)];
       // Requeue (bounded retries with deterministic backoff) or drop.
+      if (tel) tel->metrics.counter("exec_failures").inc();
       std::vector<size_t> dropped;
       for (size_t gi : group) {
         Pend& p = pending[gi];
         ++p.attempts;
+        if (tel) {
+          // The whole attempt was lost: its on-core cycles are kRetry.
+          tel->spans.phase(p.job->id, obs::SpanPhase::kRetry, core, start, done);
+          tel->spans.mark(p.job->id, obs::SpanMark::kFailure, core, done);
+        }
         if (p.attempts > cfg_.max_retries) {
           r.failed.push_back({p.job->id, p.job->network, p.attempts,
                               er.failure->trap.cause});
           dropped.push_back(gi);
+          if (tel) {
+            tel->spans.close(p.job->id, obs::SpanOutcome::kFailed, done);
+            tel->metrics.counter("failed").inc();
+          }
         } else {
           ++r.retries;
           p.ready = done + static_cast<uint64_t>(p.attempts) * cfg_.retry_backoff_cycles;
+          p.span_at = done;
+          if (tel) tel->metrics.counter("retries").inc();
         }
       }
       std::sort(dropped.begin(), dropped.end());
@@ -379,15 +453,18 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
   r.core_busy.assign(static_cast<size_t>(r.cores), 0);
   r.completions.resize(workload.jobs.size());
   std::vector<char> served(workload.jobs.size(), 0);
+  const std::shared_ptr<ServingTelemetry> tel = make_telemetry(cfg_);
+  r.telemetry = tel;
 
   struct Pend {
     const Job* job = nullptr;
     int attempts = 0;
     uint64_t ready = 0;
+    uint64_t span_at = 0;  ///< where the request's span timeline last ended
   };
   std::vector<Pend> pending;
   pending.reserve(workload.jobs.size());
-  for (const Job& j : workload.jobs) pending.push_back({&j, 0, j.arrival});
+  for (const Job& j : workload.jobs) pending.push_back({&j, 0, j.arrival, j.arrival});
 
   const kernels::OptLevel primary = cluster_->config().level;
   const bool can_fallback = cfg_.level_fallback &&
@@ -415,6 +492,14 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
     bool has_event = false;
     integrity::CheckedRun::State ev_state = integrity::CheckedRun::State::kDone;
     uint64_t ev_cycles = 0;  ///< the buffered segment's cycles
+    // Telemetry bookkeeping: the buffered segment's integrity deltas
+    // (step_counters at buffering time — the next step() resets them) and
+    // this attempt's surviving-exec accounting for failure reclassification.
+    uint64_t ev_rollback_cycles = 0;
+    uint64_t ev_detections = 0;
+    uint64_t ev_rollbacks = 0;
+    size_t span_anchor = 0;   ///< retained-segment index at dispatch
+    uint64_t span_exec = 0;   ///< kExec cycles emitted for this attempt
   };
   struct Suspended {
     std::unique_ptr<Active> ctx;
@@ -458,7 +543,17 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
     r.rollback_cycles += ic.rollback_cycles;
     if (a.injector) {
       for (const auto& ev : a.injector->events()) {
-        r.fault_log.push_back({c, a.job->id, ev});
+        ++r.fault_events_total;
+        if (r.fault_log.size() < cfg_.max_fault_log) {
+          r.fault_log.push_back({c, a.job->id, ev});
+        } else {
+          r.fault_log_truncated = true;
+        }
+      }
+      if (tel && !a.injector->events().empty()) {
+        tel->spans.mark(a.job->id, obs::SpanMark::kFault, c,
+                        clock[static_cast<size_t>(c)]);
+        tel->metrics.counter("fault_events").inc(a.injector->events().size());
       }
       a.injector->disarm();
     }
@@ -478,6 +573,10 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
       const uint64_t before = a->run->cycles();
       a->ev_state = a->run->step();
       a->ev_cycles = a->run->cycles() - before;
+      const integrity::IntegrityCounters sc = a->run->step_counters();
+      a->ev_rollback_cycles = sc.rollback_cycles;
+      a->ev_detections = sc.detections;
+      a->ev_rollbacks = sc.rollbacks;
       a->has_event = true;
     }
 
@@ -525,6 +624,35 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
       a.exec_cycles += a.ev_cycles;
       r.makespan = std::max(r.makespan, now);
 
+      if (tel && a.ev_cycles != 0) {
+        // The segment ran on this core over [now - ev_cycles, now). Its
+        // rollback re-execution cycles (step_counters delta) tile the
+        // front of the interval as kRollback; the surviving work is kExec
+        // — or kRetry outright when the whole attempt just died.
+        const uint64_t id = a.job->id;
+        const uint64_t t0 = now - a.ev_cycles;
+        const uint64_t rb = a.ev_rollback_cycles;
+        RNNASIP_CHECK(rb <= a.ev_cycles);
+        const bool died = a.ev_state == integrity::CheckedRun::State::kFailed;
+        if (rb != 0) {
+          tel->spans.phase(id, obs::SpanPhase::kRollback, core, t0, t0 + rb);
+          tel->spans.mark(id, obs::SpanMark::kRollback, core, t0 + rb);
+          tel->metrics.counter("rollbacks").inc(a.ev_rollbacks);
+        }
+        if (a.ev_detections != 0) {
+          tel->spans.mark(id, obs::SpanMark::kDetection, core, now);
+          tel->metrics.counter("integrity_detections").inc(a.ev_detections);
+        }
+        tel->spans.phase(id, died ? obs::SpanPhase::kRetry : obs::SpanPhase::kExec,
+                         core, t0 + rb, now);
+        if (!died) {
+          a.span_exec += a.ev_cycles - rb;
+          if (a.ev_state == integrity::CheckedRun::State::kBoundary) {
+            tel->spans.mark(id, obs::SpanMark::kBoundary, core, now);
+          }
+        }
+      }
+
       if (a.ev_state == integrity::CheckedRun::State::kBoundary) {
         if (cfg_.integrity.preemption) {
           // EDF preemption: a ready request with a strictly earlier
@@ -552,6 +680,10 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
             if (a.faulted) cluster_->scrub_pla(core);
             ++a.preemptions;
             ++r.preemptions;
+            if (tel) {
+              tel->spans.mark(a.job->id, obs::SpanMark::kPreempt, core, now);
+              tel->metrics.counter("preemptions").inc();
+            }
             suspended.push_back({std::move(active[ci]), now});
           }
         }
@@ -586,6 +718,7 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
         comp.outputs = d.run->outputs();
         if (!comp.met_deadline()) ++r.deadline_misses;
         if (job.deadline != 0) note_deadline_outcome(!comp.met_deadline());
+        if (tel) record_completion(*tel, comp, now);
         RNNASIP_CHECK(job.id < r.completions.size());
         served[job.id] = 1;
         r.completions[job.id] = std::move(comp);
@@ -595,14 +728,30 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
         if (d.run->integrity_failed()) ++r.integrity_escalations;
         const int fails = ++consec_fail[ci];
         const int attempts = d.attempts + 1;
+        if (tel) {
+          // The attempt died: its earlier boundary segments were emitted
+          // as surviving kExec — retroactively they are kRetry (discarded
+          // work), moved in the accumulators and relabeled in the sampled
+          // timeline from this attempt's dispatch anchor on.
+          tel->spans.mark(d.job->id, obs::SpanMark::kFailure, core, now);
+          tel->spans.reclassify(d.job->id, d.span_anchor, obs::SpanPhase::kExec,
+                                obs::SpanPhase::kRetry, d.span_exec);
+          tel->metrics.counter("exec_failures").inc();
+        }
         if (attempts > cfg_.max_retries) {
           r.failed.push_back({d.job->id, d.job->network, attempts,
                               d.run->last_result().trap.cause});
+          if (tel) {
+            tel->spans.close(d.job->id, obs::SpanOutcome::kFailed, now);
+            tel->metrics.counter("failed").inc();
+          }
         } else {
           ++r.retries;
           pending.push_back(
               {d.job, attempts,
-               now + static_cast<uint64_t>(attempts) * cfg_.retry_backoff_cycles});
+               now + static_cast<uint64_t>(attempts) * cfg_.retry_backoff_cycles,
+               now});
+          if (tel) tel->metrics.counter("retries").inc();
         }
         if (fails >= cfg_.quarantine_threshold) {
           r.quarantines.push_back({core, now, now + cfg_.quarantine_cooldown_cycles});
@@ -674,6 +823,10 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
         ctx->injector->arm(&cluster_->core(core), &cluster_->memory(core));
       }
       r.preempted_cycles += now - since;
+      if (tel) {
+        tel->spans.phase(ctx->job->id, obs::SpanPhase::kPreempted, -1, since, now);
+        tel->spans.mark(ctx->job->id, obs::SpanMark::kResume, core, now);
+      }
       active[ci] = std::move(ctx);
       continue;
     }
@@ -710,6 +863,14 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
       const uint64_t est = cluster_->estimated_single_cycles(head.network, level);
       if (start + est > head.deadline) {
         r.rejections.push_back({head.id, head.network, head.arrival, head.deadline, now});
+        if (tel) {
+          const Pend& p = pending[p_pick];
+          if (p.attempts == 0) tel->spans.arrive(head.id, head.network, head.arrival);
+          tel->spans.phase(head.id, obs::SpanPhase::kWait, -1, p.span_at, now);
+          tel->spans.mark(head.id, obs::SpanMark::kReject, -1, now);
+          tel->spans.close(head.id, obs::SpanOutcome::kRejected, now);
+          tel->metrics.counter("rejected").inc();
+        }
         pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(p_pick));
         continue;
       }
@@ -729,6 +890,19 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
     ctx->use_fallback = use_fallback;
     ctx->faulted = faults_on;
     ctx->start = start;
+    if (tel) {
+      const Pend& p = pending[p_pick];
+      if (p.attempts == 0) tel->spans.arrive(head.id, head.network, head.arrival);
+      tel->spans.phase(head.id, obs::SpanPhase::kWait, -1, p.span_at, start);
+      tel->spans.mark(head.id,
+                      attempts == 0 ? obs::SpanMark::kAdmit : obs::SpanMark::kDispatch,
+                      core, start);
+      ctx->span_anchor = tel->spans.segment_count(head.id);
+      obs::Gauge& depth_peak = tel->metrics.gauge("queue_depth_peak");
+      if (static_cast<int64_t>(pending.size()) > depth_peak.value()) {
+        depth_peak.set(static_cast<int64_t>(pending.size()));
+      }
+    }
 
     cluster_->bind(core, head.network, false, level);
     const kernels::BuiltNetwork& net = cluster_->built_single(head.network, level);
@@ -808,6 +982,9 @@ double ServeResult::batch_occupancy() const {
 
 obs::Json serve_result_to_json(const ServeResult& r, double mhz) {
   obs::Json j = obs::Json::object();
+  // Serving-report schema version (v2: adds this field, fault-log
+  // retention markers, and the optional telemetry block — docs/SERVING.md).
+  j.set("schema", 2);
   j.set("policy", policy_name(r.policy));
   j.set("cores", r.cores);
   j.set("batch", r.batch);
@@ -906,11 +1083,13 @@ obs::Json serve_result_to_json(const ServeResult& r, double mhz) {
   preempt.set("preemptions", r.preemptions);
   preempt.set("preempted_cycles", r.preempted_cycles);
   res.set("preemption", std::move(preempt));
-  // Full log lives in ServeResult::fault_log; the JSON carries the total
-  // plus a bounded prefix so heavy campaigns don't bloat blessed baselines.
+  // The in-memory log is itself capped (SchedulerConfig::max_fault_log);
+  // the JSON carries the true total plus a bounded prefix so heavy
+  // campaigns bloat neither host memory nor blessed baselines.
   constexpr size_t kMaxFaultEventsInJson = 16;
-  res.set("fault_events_total", static_cast<uint64_t>(r.fault_log.size()));
-  res.set("fault_events_truncated", r.fault_log.size() > kMaxFaultEventsInJson);
+  res.set("fault_events_total", r.fault_events_total);
+  res.set("fault_log_truncated", r.fault_log_truncated);
+  res.set("fault_events_truncated", r.fault_events_total > kMaxFaultEventsInJson);
   obs::Json faults = obs::Json::array();
   const size_t n_events = std::min(r.fault_log.size(), kMaxFaultEventsInJson);
   for (size_t i = 0; i < n_events; ++i) {
@@ -935,7 +1114,65 @@ obs::Json serve_result_to_json(const ServeResult& r, double mhz) {
   regions.set("serve.preempted", r.preempted_cycles);
   res.set("obs_regions", std::move(regions));
   j.set("resilience", std::move(res));
+
+  // ---- Telemetry block (schema v2; only for telemetered runs) ----
+  if (r.telemetry) {
+    const ServingTelemetry& t = *r.telemetry;
+    obs::Json tj = obs::Json::object();
+    obs::Json spans = obs::Json::object();
+    spans.set("opened", t.spans.spans_opened());
+    spans.set("closed", t.spans.spans_closed());
+    spans.set("identity_checks", t.spans.identity_checks());
+    // close() asserts the span identity for every request; a report that
+    // exists at all proves every check passed.
+    spans.set("identity_holds", true);
+    obs::Json ph = obs::Json::object();
+    for (size_t p = 0; p < obs::kSpanPhaseCount; ++p) {
+      ph.set(obs::span_phase_name(static_cast<obs::SpanPhase>(p)),
+             t.spans.phase_total(static_cast<obs::SpanPhase>(p)));
+    }
+    spans.set("phase_cycles", std::move(ph));
+    spans.set("sampled_tracks", static_cast<uint64_t>(t.spans.tracks().size()));
+    spans.set("tracks_truncated", t.spans.tracks_truncated());
+    // Bounded sample of retained timelines, same discipline as the fault
+    // log: full detail stays in memory, the report carries a prefix.
+    constexpr size_t kMaxSpansInJson = 8;
+    spans.set("spans_in_json",
+              static_cast<uint64_t>(std::min(t.spans.tracks().size(), kMaxSpansInJson)));
+    spans.set("spans_json_truncated", t.spans.tracks().size() > kMaxSpansInJson);
+    obs::Json arr = obs::Json::array();
+    const size_t nspans = std::min(t.spans.tracks().size(), kMaxSpansInJson);
+    for (size_t i = 0; i < nspans; ++i) {
+      arr.push(obs::request_span_to_json(t.spans.tracks()[i]));
+    }
+    spans.set("spans", std::move(arr));
+    tj.set("spans", std::move(spans));
+    tj.set("metrics", t.metrics.to_json());
+    j.set("telemetry", std::move(tj));
+  }
   return j;
+}
+
+obs::Json serving_perfetto_trace(const ServeResult& r) {
+  RNNASIP_CHECK_MSG(r.telemetry != nullptr,
+                    "serving_perfetto_trace needs a telemetered run "
+                    "(SchedulerConfig::telemetry.enabled)");
+  obs::Json events = obs::span_perfetto_events(r.telemetry->spans.tracks(), r.cores);
+  events.push(obs::perfetto_process_name(1, "serving cluster"));
+  // Cluster-level intervals on the same tracks: quarantine windows on the
+  // affected core, fallback (degraded-mode) windows on the scheduler track.
+  for (const QuarantineInterval& q : r.quarantines) {
+    events.push(obs::perfetto_complete(1, q.core + 1, "quarantine", "serve",
+                                       q.from, q.to - q.from));
+  }
+  for (const FallbackInterval& f : r.fallback_intervals) {
+    events.push(obs::perfetto_complete(1, 0, "fallback", "serve", f.from,
+                                       f.to - f.from));
+  }
+  obs::Json root = obs::Json::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", "ns");
+  return root;
 }
 
 }  // namespace rnnasip::serve

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,6 +46,8 @@
 #include "src/fault/fault_injector.h"
 #include "src/integrity/integrity.h"
 #include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/serve/cluster.h"
 
 namespace rnnasip::serve {
@@ -117,6 +120,11 @@ struct SchedulerConfig {
   double overload_miss_rate = 0.5;
   double recover_miss_rate = 0.125;
   size_t overload_queue_depth = 0;  ///< 0 = queue-depth trigger disabled
+  /// Hard cap on retained FaultAttribution records: a heavy SEU campaign
+  /// over a million-request run must not grow host memory without bound.
+  /// Overflow sets ServeResult::fault_log_truncated; fault_events_total
+  /// always counts every flip.
+  size_t max_fault_log = 1 << 12;
 
   /// Integrity-and-recovery knobs. Any of detect/preemption switches the
   /// scheduler to segmented (layer-boundary) execution over a cluster
@@ -137,6 +145,30 @@ struct SchedulerConfig {
     bool preemption = false;
   };
   IntegrityOptions integrity;
+
+  /// Serving telemetry knobs (the observability layer; see
+  /// docs/OBSERVABILITY.md "Serving telemetry"). Recording is passive —
+  /// it never feeds back into scheduling decisions — so a run with
+  /// telemetry on executes the exact same schedule as with it off.
+  struct TelemetryOptions {
+    bool enabled = false;
+    /// Retain the full span timeline (segments + marks) only for requests
+    /// with id % sample_every == 0; span-identity accounting still covers
+    /// every request. Raise for million-request runs.
+    uint64_t sample_every = 1;
+    /// Hard cap on retained timelines (tracks_truncated marks overflow).
+    size_t max_tracks = 1 << 14;
+  };
+  TelemetryOptions telemetry;
+};
+
+/// Everything the telemetry layer recorded about one serving run: the
+/// request spans (with their enforced identity) and the metrics registry.
+/// Attached to ServeResult by shared_ptr so results stay cheaply copyable.
+struct ServingTelemetry {
+  explicit ServingTelemetry(obs::SpanCollector::Options opt) : spans(opt) {}
+  obs::SpanCollector spans;
+  obs::MetricsRegistry metrics;
 };
 
 /// One request's fate. The accounting identity
@@ -220,7 +252,10 @@ struct ServeResult {
   std::vector<FailedRequest> failed;        ///< retry budget exhausted
   std::vector<QuarantineInterval> quarantines;
   std::vector<FallbackInterval> fallback_intervals;
-  std::vector<FaultAttribution> fault_log;  ///< every injected flip
+  /// Injected flips, capped at SchedulerConfig::max_fault_log records.
+  std::vector<FaultAttribution> fault_log;
+  uint64_t fault_events_total = 0;   ///< every injected flip, cap or not
+  bool fault_log_truncated = false;  ///< fault_log hit the retention cap
   uint64_t exec_failures = 0;   ///< trapped/watchdog-killed executions
   uint64_t retries = 0;         ///< re-dispatches that were queued
   uint64_t deadline_misses = 0; ///< served, but after their deadline
@@ -239,6 +274,9 @@ struct ServeResult {
   uint64_t integrity_escalations = 0;
   uint64_t preemptions = 0;        ///< boundary suspensions
   uint64_t preempted_cycles = 0;   ///< suspended-gap cycles across requests
+
+  /// Telemetry of this run; null unless SchedulerConfig::telemetry.enabled.
+  std::shared_ptr<ServingTelemetry> telemetry;
 
   uint64_t admitted() const {
     return static_cast<uint64_t>(completions.size() + failed.size());
@@ -280,7 +318,17 @@ class Scheduler {
 
 /// Deterministic JSON for one serving run (no host time, byte-stable).
 /// `mhz` converts cycle metrics to wall-clock ones (the paper's operating
-/// point for throughput claims is 500 MHz).
+/// point for throughput claims is 500 MHz). Schema v2: adds a "schema"
+/// version field and — when the run carried telemetry — a "telemetry"
+/// block (span accounting, metrics snapshot, bounded sampled spans); see
+/// docs/SERVING.md for the schema and the v1 -> v2 migration note.
 obs::Json serve_result_to_json(const ServeResult& r, double mhz);
+
+/// Multi-track Perfetto trace of one telemetered serving run: one thread
+/// track per core (tid 0 = scheduler), request span segments as slices,
+/// flow arrows stitching each request across retries/rollbacks/preemption
+/// migrations, span marks as instants, plus cluster-level quarantine and
+/// fallback intervals. Requires r.telemetry.
+obs::Json serving_perfetto_trace(const ServeResult& r);
 
 }  // namespace rnnasip::serve

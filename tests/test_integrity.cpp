@@ -304,7 +304,11 @@ TEST(IntegrityServing, FaultEventJsonCarriesTruncationMarker) {
   EXPECT_TRUE(dump_has(r, "\"fault_events_truncated\": false"));
   for (int i = 0; i < 20; ++i) {
     r.fault_log.push_back({0, static_cast<uint64_t>(i), fault::FaultEvent{}});
+    ++r.fault_events_total;
   }
   EXPECT_TRUE(dump_has(r, "\"fault_events_truncated\": true"));
   EXPECT_TRUE(dump_has(r, "\"fault_events_total\": 20"));
+  // The in-memory retention cap is a separate marker from the JSON prefix
+  // bound: an uncapped log reports fault_log_truncated false.
+  EXPECT_TRUE(dump_has(r, "\"fault_log_truncated\": false"));
 }
