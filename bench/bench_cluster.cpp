@@ -35,8 +35,9 @@ namespace {
 // request per suite network on a single level-e core and sum the real
 // execution cycles. This is the same program path the analytic estimate
 // interpolates from, but measured through the serving subsystem end to end.
-uint64_t measured_one_core_suite_cycles(uint64_t seed) {
+uint64_t measured_one_core_suite_cycles(uint64_t seed, ExecBackend backend) {
   serve::ClusterConfig cc;
+  cc.backend = backend;
   cc.cores = 1;
   cc.level = OptLevel::kInputTiling;
   cc.batch = 1;
@@ -71,12 +72,17 @@ int main(int argc, char** argv) {
 
   rrm::Engine::Config cfg0;
   cfg0.seed = io.seed(cfg0.seed);
+  cfg0.backend = io.backend();
   rrm::Engine::Config cfg1 = cfg0;
   cfg1.core_config.timing.mem_wait_states = 1;
   rrm::Engine eng0(cfg0);
   rrm::Engine eng1(cfg1);
   rrm::Request proto;
   proto.verify = false;
+  // The power model derives per-opcode activity factors from ExecStats,
+  // which only the interpreter collects; observe routes every request to
+  // the ISS on any backend instead of silently modeling zero activity.
+  proto.observe = true;
 
   const auto base = eng0.run_suite(OptLevel::kBaseline, proto);
   const auto e0 = eng0.run_suite(OptLevel::kInputTiling, proto);
@@ -87,7 +93,7 @@ int main(int argc, char** argv) {
 
   // Anchor the interpolation at its N=1 (zero-conflict) point against the
   // cycle-accurate serving subsystem before trusting any scaled row.
-  const uint64_t measured = measured_one_core_suite_cycles(cfg0.seed);
+  const uint64_t measured = measured_one_core_suite_cycles(cfg0.seed, io.backend());
   const double anchor_err =
       std::abs(static_cast<double>(measured) - static_cast<double>(e0.total_cycles)) /
       static_cast<double>(e0.total_cycles);

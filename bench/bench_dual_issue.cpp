@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
 
   rrm::Engine::Config single_cfg;
   single_cfg.seed = io.seed(single_cfg.seed);
+  single_cfg.backend = io.backend();
   rrm::Engine::Config dual_cfg = single_cfg;
   dual_cfg.core_config.timing.dual_issue = true;
   rrm::Engine single_eng(single_cfg);

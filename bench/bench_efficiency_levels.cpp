@@ -21,9 +21,14 @@ int main(int argc, char** argv) {
 
   rrm::Engine::Config cfg;
   cfg.seed = io.seed(cfg.seed);
+  cfg.backend = io.backend();
   rrm::Engine eng(cfg);
   rrm::Request proto;
   proto.verify = false;
+  // The power model derives per-opcode activity factors from ExecStats,
+  // which only the interpreter collects; observe routes every request to
+  // the ISS on any backend instead of silently modeling zero activity.
+  proto.observe = true;
 
   std::vector<rrm::SuiteResult> res;
   for (auto level : kernels::kAllOptLevels) res.push_back(eng.run_suite(level, proto));

@@ -69,6 +69,16 @@ RowStats summarize(const rrm::SuiteResult& s) {
 
 int main(int argc, char** argv) {
   const auto io = bench::BenchIo::parse(argc, argv);
+  // Every run in this bench is a fault campaign; the translated backend has
+  // no injection hooks and refuses faulted requests (docs/BACKENDS.md), so
+  // reject the flag up front instead of failing mid-sweep.
+  if (io.has_backend() && io.backend() == ExecBackend::kTranslated) {
+    std::fprintf(stderr,
+                 "bench_fault_sweep: fault-injection campaigns require the ISS "
+                 "backend (the translated backend has no injection hooks); "
+                 "re-run with --backend=iss\n");
+    return 2;
+  }
   std::printf("=====================================================================\n");
   std::printf("SEU sweep — fault rate x target x opt level over the 10-net RRM suite\n");
   std::printf("=====================================================================\n\n");
@@ -152,10 +162,11 @@ int main(int argc, char** argv) {
         }
         fault::FaultInjector inj(spec);
 
+        exec::IssBackend backend(&core);
         integrity::CheckedRunConfig rc;
         rc.rollback = false;
         rc.watchdog_cycles = rrm::kDefaultCampaignWatchdog;
-        integrity::CheckedRun run(&core, &mem, &built, rc);
+        integrity::CheckedRun run(&backend, &mem, &built, rc);
         run.set_golden(golden);
         run.begin(input);
         inj.arm(&core, &mem);

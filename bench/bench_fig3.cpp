@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
 
   rrm::Engine::Config cfg;
   cfg.seed = io.seed(cfg.seed);
+  cfg.backend = io.backend();
   rrm::Engine eng(cfg);
   rrm::Request proto;
   proto.verify = true;
@@ -69,6 +70,10 @@ int main(int argc, char** argv) {
     rrm::Request req_c;
     req_c.network = name;
     req_c.level = OptLevel::kOutputTiling;
+    // The hw-act column reads per-opcode ExecStats, which only the
+    // interpreter collects; observe routes this request to the ISS on any
+    // backend instead of silently reading zeros from the translated path.
+    req_c.observe = true;
     const auto rb = eng.run(req_b).result;
     const auto rc = eng.run(req_c).result;
     uint64_t sw_act_cycles = 0;

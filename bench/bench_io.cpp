@@ -25,6 +25,12 @@ BenchIo BenchIo::parse(int& argc, char** argv) {
     } else if (std::strcmp(argv[r], "--sample-every") == 0 && r + 1 < argc) {
       io.sample_every_ = std::strtoull(argv[++r], nullptr, 0);
       if (io.sample_every_ == 0) io.sample_every_ = 1;
+    } else if (std::strcmp(argv[r], "--backend") == 0 && r + 1 < argc) {
+      const auto parsed = parse_backend(argv[++r]);
+      RNNASIP_CHECK_MSG(parsed.has_value(),
+                        "unknown --backend (want iss|translated): " << argv[r]);
+      io.backend_ = *parsed;
+      io.has_backend_ = true;
     } else if (std::strcmp(argv[r], "--telemetry") == 0) {
       io.telemetry_ = true;
     } else if (std::strcmp(argv[r], "--observe") == 0) {
@@ -44,6 +50,9 @@ bool BenchIo::write_json(const std::string& name, obs::Json data) const {
   obs::Json root = obs::Json::object();
   root.set("schema_version", kBenchSchemaVersion);
   root.set("bench", name);
+  // Additive: only explicit --backend runs carry the field, so default
+  // envelopes stay byte-identical to the pre-backend schema.
+  if (has_backend_) root.set("backend", backend_name(backend_));
   root.set("data", std::move(data));
   std::ofstream out(path_, std::ios::binary | std::ios::trunc);
   RNNASIP_CHECK_MSG(out.good(), "cannot open " << path_ << " for writing");

@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "src/exec/backend.h"
 #include "src/iss/stats.h"
 #include "src/obs/json.h"
 #include "src/rrm/suite.h"
@@ -23,8 +24,8 @@ class BenchIo {
  public:
   /// Strip the harness flags (--json <path>, --wall-time, --observe,
   /// --trace <path>, --flamegraph <path>, --telemetry, --sample-every <n>,
-  /// --seed <n>) from argv, leaving the bench's own flags in place.
-  /// argc/argv are edited in place.
+  /// --seed <n>, --backend <iss|translated>) from argv, leaving the
+  /// bench's own flags in place. argc/argv are edited in place.
   static BenchIo parse(int& argc, char** argv);
 
   bool json_enabled() const { return !path_.empty(); }
@@ -48,6 +49,13 @@ class BenchIo {
   uint64_t seed(uint64_t fallback) const { return has_seed_ ? seed_ : fallback; }
   bool has_seed() const { return has_seed_; }
 
+  /// --backend <iss|translated>: execution backend for benches that run
+  /// device programs (Engine/Cluster-based). Default kIss; the JSON
+  /// envelope records the backend only when the flag was passed
+  /// explicitly, keeping default-run envelopes byte-identical.
+  ExecBackend backend() const { return backend_; }
+  bool has_backend() const { return has_backend_; }
+
   /// Write `text` to `path` (any text artifact: collapsed stacks, traces).
   static void write_text(const std::string& path, const std::string& text);
 
@@ -61,6 +69,8 @@ class BenchIo {
   std::string flamegraph_path_;
   uint64_t seed_ = 0;
   uint64_t sample_every_ = 1;
+  ExecBackend backend_ = ExecBackend::kIss;
+  bool has_backend_ = false;
   bool has_seed_ = false;
   bool observe_ = false;
   bool wall_time_ = false;

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   for (uint32_t ws : {0u, 1u, 2u, 4u}) {
     rrm::Engine::Config cfg;
     cfg.seed = io.seed(cfg.seed);
+    cfg.backend = io.backend();
     cfg.core_config.timing.mem_wait_states = ws;
     rrm::Engine eng(cfg);
     rrm::Request proto;

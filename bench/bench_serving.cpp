@@ -15,8 +15,10 @@
 // The bench ends with the scaling acceptance check: at a saturating
 // arrival rate, 4 cores with batch capacity 4 must clear >= 3x the
 // throughput of the 1-core unbatched configuration on the same workload.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -39,11 +41,13 @@ struct SweepPoint {
 };
 
 serve::ServeResult run_point(const SweepPoint& p, uint64_t workload_seed,
-                             int requests, bool observe, bool telemetry,
-                             uint64_t sample_every,
+                             int requests, ExecBackend backend, bool observe,
+                             bool telemetry, uint64_t sample_every,
                              std::vector<std::pair<std::string, uint64_t>>* regions,
-                             std::vector<obs::NetObservation>* observations) {
+                             std::vector<obs::NetObservation>* observations,
+                             double* host_seconds = nullptr, bool warm = false) {
   serve::ClusterConfig cc;
+  cc.backend = backend;
   cc.cores = p.cores;
   cc.level = kernels::OptLevel::kInputTiling;
   cc.batch = p.batch;
@@ -63,11 +67,43 @@ serve::ServeResult run_point(const SweepPoint& p, uint64_t workload_seed,
   sc.policy = p.batch > 1 ? serve::Policy::kBatched : serve::Policy::kFifo;
   sc.telemetry.enabled = telemetry;
   sc.telemetry.sample_every = sample_every;
+  // Million-request throughput runs only read the aggregate metrics; keep
+  // the per-completion bookkeeping but drop the O(outputs) payloads.
+  sc.retain_outputs = requests <= 10'000;
+
+  // Warm measurement runs exclude one-time lazy work (per-flavor program
+  // translation, watchdog calibration executions) from the timed window by
+  // pushing one request per network through first. The warmup scheduler is
+  // separate, so the timed run's simulated schedule is untouched.
+  if (warm) {
+    serve::WorkloadConfig ww = wc;
+    ww.requests = static_cast<int>(names.size());
+    ww.seed = workload_seed ^ 0x9E3779B97F4A7C15ull;
+    serve::Scheduler warmer(&cluster, sc);
+    (void)warmer.run(serve::make_poisson_workload(cluster, ww));
+  }
+
   serve::Scheduler sched(&cluster, sc);
+  const auto t0 = std::chrono::steady_clock::now();
   auto r = sched.run(workload);
+  if (host_seconds != nullptr) {
+    *host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
   if (observe && regions) *regions = cluster.region_cycles();
   if (observe && observations) *observations = cluster.observations();
   return r;
+}
+
+/// Total simulated execution cycles actually served (sum over completions) —
+/// the work term of the host-throughput metric. Unlike makespan this counts
+/// every core's executed cycles, so work/host_seconds is comparable across
+/// core counts and request counts.
+uint64_t served_exec_cycles(const serve::ServeResult& r) {
+  uint64_t sum = 0;
+  for (const auto& c : r.completions) sum += c.exec_cycles;
+  return sum;
 }
 
 double mean_utilization(const serve::ServeResult& r) {
@@ -109,13 +145,24 @@ obs::Json crosscheck_percentiles(const serve::ServeResult& r) {
 int main(int argc, char** argv) {
   const auto io = bench::BenchIo::parse(argc, argv);
   const uint64_t seed = io.seed(0x5EED);
-  const int requests = 96;
+  // --requests N scales the whole sweep (default 96, the historical
+  // envelope). The saturated rows' req/s is scale-invariant, which is what
+  // lets bench_diff.py compare a 96-request CI run against the blessed
+  // million-request translated baseline.
+  int requests = 96;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::atoi(argv[++i]);
+      RNNASIP_CHECK_MSG(requests > 0, "--requests wants a positive count");
+    }
+  }
 
   std::printf("=====================================================================\n");
   std::printf("Serving — multi-core batched inference over the 10-net RRM suite\n");
   std::printf("Level e programs, Poisson arrivals (seed 0x%llx), %d requests,\n",
               static_cast<unsigned long long>(seed), requests);
-  std::printf("latencies at the %d MHz serving point\n", static_cast<int>(kServeMhz));
+  std::printf("latencies at the %d MHz serving point, %s backend\n",
+              static_cast<int>(kServeMhz), backend_name(io.backend()));
   std::printf("=====================================================================\n\n");
 
   const std::vector<SweepPoint> sweep = {
@@ -127,8 +174,10 @@ int main(int argc, char** argv) {
   // Markdown table (stdout) + JSON rows share one pass over the sweep.
   std::printf(
       "| cores | B | interarrival | p50 us | p95 us | p99 us | req/s | util | "
-      "occupancy |\n");
-  std::printf("| ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: |\n");
+      "occupancy | host Mcyc/s |\n");
+  std::printf(
+      "| ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: "
+      "|\n");
 
   // --trace needs span telemetry on the dumped point, so it implies it.
   const bool telemetry = io.telemetry() || io.trace_enabled();
@@ -136,22 +185,34 @@ int main(int argc, char** argv) {
   const double cyc_to_us = 1.0 / kServeMhz;
   serve::ServeResult base_1c, fast_4c;
   for (const auto& p : sweep) {
-    const auto r = run_point(p, seed, requests, false, telemetry,
-                             io.sample_every(), nullptr, nullptr);
+    double host_s = 0;
+    const auto r = run_point(p, seed, requests, io.backend(), false, telemetry,
+                             io.sample_every(), nullptr, nullptr, &host_s);
     if (p.cores == 1 && p.batch == 1 && p.mean_interarrival == 2'000) base_1c = r;
     if (p.cores == 4 && p.batch == 4 && p.mean_interarrival == 2'000) fast_4c = r;
-    std::printf("| %d | %d | %.0f | %.1f | %.1f | %.1f | %.0f | %.2f | %.2f |\n",
-                p.cores, p.batch, p.mean_interarrival,
-                static_cast<double>(r.latency_percentile(50)) * cyc_to_us,
-                static_cast<double>(r.latency_percentile(95)) * cyc_to_us,
-                static_cast<double>(r.latency_percentile(99)) * cyc_to_us,
-                r.throughput_per_s(kServeMhz), mean_utilization(r),
-                r.batch_occupancy());
+    const double host_mcps =
+        host_s > 0 ? static_cast<double>(served_exec_cycles(r)) / host_s / 1e6 : 0;
+    std::printf(
+        "| %d | %d | %.0f | %.1f | %.1f | %.1f | %.0f | %.2f | %.2f | %.1f |\n",
+        p.cores, p.batch, p.mean_interarrival,
+        static_cast<double>(r.latency_percentile(50)) * cyc_to_us,
+        static_cast<double>(r.latency_percentile(95)) * cyc_to_us,
+        static_cast<double>(r.latency_percentile(99)) * cyc_to_us,
+        r.throughput_per_s(kServeMhz), mean_utilization(r), r.batch_occupancy(),
+        host_mcps);
     obs::Json row = obs::Json::object();
     row.set("cores", static_cast<uint64_t>(p.cores));
     row.set("batch", static_cast<uint64_t>(p.batch));
     row.set("mean_interarrival_cycles", p.mean_interarrival);
     row.set("result", serve::serve_result_to_json(r, kServeMhz));
+    // Host wall-clock numbers are real time, not simulation: only --wall-time
+    // runs may carry them (the JSON must stay byte-stable otherwise).
+    if (io.wall_time()) {
+      obs::Json host = obs::Json::object();
+      host.set("seconds", host_s);
+      host.set("sim_mcycles_per_s", host_mcps);
+      row.set("host", std::move(host));
+    }
     if (telemetry) row.set("percentile_crosscheck", crosscheck_percentiles(r));
     rows.push(std::move(row));
   }
@@ -168,7 +229,7 @@ int main(int argc, char** argv) {
   if (io.observe() || io.flamegraph_enabled()) {
     std::vector<std::pair<std::string, uint64_t>> regions;
     std::vector<obs::NetObservation> observations;
-    (void)run_point({4, 4, 2'000}, seed, requests, true, telemetry,
+    (void)run_point({4, 4, 2'000}, seed, requests, io.backend(), true, telemetry,
                     io.sample_every(), &regions, &observations);
     std::printf("Region cycles aggregated over the 4-core B=4 serving run:\n");
     Table rt({"region", "kcycles"});
@@ -200,6 +261,36 @@ int main(int argc, char** argv) {
   RNNASIP_CHECK_MSG(speedup >= 3.0,
                     "serving scaling regressed: " << speedup << "x < 3x");
 
+  // Translated-backend acceptance (the CI host-throughput gate): rerun the
+  // saturated point on both backends and compare simulated-cycles-per-host-
+  // second. 1000 requests is enough to reach sustained throughput (short
+  // runs are dominated by queue-rampup transients and sparse batch
+  // coalescing) while keeping the ISS reference run to seconds, not the
+  // hour a million-request reference would cost; work-normalized throughput
+  // makes the two measurements comparable regardless of request count.
+  double host_speedup = 0;
+  if (io.backend() == ExecBackend::kTranslated) {
+    const int ratio_requests = 1'000;
+    double iss_s = 0, trans_s = 0;
+    const auto iss_r =
+        run_point({4, 4, 2'000}, seed, ratio_requests, ExecBackend::kIss, false,
+                  false, io.sample_every(), nullptr, nullptr, &iss_s,
+                  /*warm=*/true);
+    const auto trans_r =
+        run_point({4, 4, 2'000}, seed, ratio_requests, ExecBackend::kTranslated,
+                  false, false, io.sample_every(), nullptr, nullptr, &trans_s,
+                  /*warm=*/true);
+    const double iss_tp = static_cast<double>(served_exec_cycles(iss_r)) / iss_s;
+    const double trans_tp =
+        static_cast<double>(served_exec_cycles(trans_r)) / trans_s;
+    host_speedup = trans_tp / iss_tp;
+    std::printf("translated vs iss host throughput (4c B4 saturated): %.1fx\n",
+                host_speedup);
+    RNNASIP_CHECK_MSG(host_speedup >= 10.0,
+                      "translated backend host throughput regressed: "
+                          << host_speedup << "x < 10x over the ISS");
+  }
+
   if (io.json_enabled()) {
     obs::Json data = obs::Json::object();
     data.set("seed", seed);
@@ -210,6 +301,9 @@ int main(int argc, char** argv) {
     acc.set("base_makespan", base_1c.makespan);
     acc.set("fast_makespan", fast_4c.makespan);
     acc.set("speedup", speedup);
+    if (io.wall_time() && host_speedup > 0) {
+      acc.set("host_speedup_vs_iss", host_speedup);
+    }
     data.set("acceptance", std::move(acc));
     io.write_json("serving", std::move(data));
   }

@@ -74,8 +74,9 @@ const std::vector<Mode> kModes = {
     {"preempt", true, true},
 };
 
-serve::ClusterConfig cluster_config(bool integrity) {
+serve::ClusterConfig cluster_config(bool integrity, ExecBackend backend) {
   serve::ClusterConfig cc;
+  cc.backend = backend;
   cc.cores = kCores;
   cc.level = kernels::OptLevel::kInputTiling;  // level e, the overhead target
   cc.batch = 1;
@@ -172,8 +173,8 @@ int main(int argc, char** argv) {
   std::printf("level e, deadline policy, correctness vs the golden oracle\n");
   std::printf("=====================================================================\n\n");
 
-  serve::Cluster plain_cluster(cluster_config(false), kNets);
-  serve::Cluster integ_cluster(cluster_config(true), kNets);
+  serve::Cluster plain_cluster(cluster_config(false, io.backend()), kNets);
+  serve::Cluster integ_cluster(cluster_config(true, io.backend()), kNets);
 
   // Instrumentation cost at level e: the ABFT fold reads each layer output
   // once (1 cycle/halfword), so the tiny nets pay the largest relative

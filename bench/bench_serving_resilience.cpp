@@ -78,10 +78,11 @@ serve::Workload make_workload(const serve::Cluster& cluster, double interarrival
 }
 
 RunOutput run_point(serve::Policy policy, const RatePoint& rate, double interarrival,
-                    uint64_t seed,
+                    uint64_t seed, ExecBackend backend,
                     const std::map<uint64_t, std::vector<int16_t>>& reference,
                     const serve::SchedulerConfig::TelemetryOptions& telemetry = {}) {
   serve::ClusterConfig cc;
+  cc.backend = backend;
   cc.cores = kCores;
   // Primary level d with the faster level-e flavor as the degradation
   // target: under overload the scheduler trades the configured level for
@@ -176,11 +177,12 @@ int main(int argc, char** argv) {
       // degraded-mode executions don't perturb the comparison.
       std::map<uint64_t, std::vector<int16_t>> reference;
       {
-        const auto ref = run_point(policy, kRates[0], load, seed, {});
+        const auto ref = run_point(policy, kRates[0], load, seed, io.backend(), {});
         for (const auto& c : ref.result.completions) reference[c.id] = c.outputs;
       }
       for (const auto& rate : kRates) {
-        const auto out = run_point(policy, rate, load, seed, reference, telemetry);
+        const auto out =
+            run_point(policy, rate, load, seed, io.backend(), reference, telemetry);
         const auto& r = out.result;
         if (r.telemetry) spans_closed += r.telemetry->spans.spans_closed();
         std::printf(

@@ -75,11 +75,17 @@ int main(int argc, char** argv) {
 
   rrm::Engine::Config cfg;
   cfg.seed = io.seed(cfg.seed);
+  cfg.backend = io.backend();
   rrm::Engine eng(cfg);
   rrm::Request proto;
   proto.verify = true;
-  proto.observe = observe || !trace_path.empty();
+  // The per-opcode hotspot tables read ExecStats, which only the
+  // interpreter collects; observe routes every request to the ISS on any
+  // backend instead of silently printing empty tables. The region/trace
+  // output below stays gated on the flags the user actually passed.
+  proto.observe = true;
   proto.timeline = !trace_path.empty();
+  const bool obs_output = observe || !trace_path.empty();
 
   std::vector<rrm::SuiteResult> results;
   for (auto level : kernels::kAllOptLevels) {
@@ -126,7 +132,7 @@ int main(int argc, char** argv) {
                 results.back().total.to_csv().c_str());
   }
 
-  if (proto.observe) {
+  if (obs_output) {
     // Region roll-up and stall taxonomy of the final (fully optimized) level.
     const auto& final_suite = results.back();
     std::printf("\nStall taxonomy, level e:\n%s\n",
@@ -171,7 +177,7 @@ int main(int argc, char** argv) {
       l.set("speedup", static_cast<double>(results[0].total_cycles) /
                            static_cast<double>(results[i].total_cycles));
       l.set("suite", bench::suite_to_json(results[i]));
-      if (proto.observe) {
+      if (obs_output) {
         // Per-region breakdown (scripts/trace_diff.py aligns two envelopes
         // on these network/path keys).
         obs::Json regions = obs::Json::array();

@@ -26,6 +26,16 @@ Any relative drift beyond the tolerance (default 0.5%) fails with a
 per-metric report. The simulator is deterministic, so in practice any
 drift at all is a real schedule/timing change — the tolerance only
 absorbs intentional sub-noise tweaks blessed without regenerating.
+
+--throughput switches to the scale-invariant serving comparison: only the
+per-row simulated throughput (inferences/s, which converges with request
+count) is gated, so a short CI run can be diffed against a blessed
+million-request baseline (bench/baselines/BENCH_translated.json). The
+default tolerance in this mode is 10% (ramp-up transients at small N).
+--min-host-speedup additionally requires the current envelope's
+acceptance.host_speedup_vs_iss (recorded by bench_serving --backend
+translated --wall-time) to clear a floor — the translated-backend
+throughput-regression gate.
 """
 
 import argparse
@@ -129,6 +139,19 @@ def metrics_serving_integrity(data):
     return out
 
 
+def metrics_serving_throughput(data):
+    """Scale-invariant serving metrics: per-row simulated inferences/s.
+    Counts, makespans and percentiles are deliberately excluded — they all
+    scale with the request count, and this mode exists to compare runs of
+    different sizes (96-request CI run vs million-request baseline)."""
+    out = {}
+    for row in data["rows"]:
+        key = (f"{row['cores']}c/B{row['batch']}"
+               f"/@{int(row['mean_interarrival_cycles'])}")
+        out[f"{key} inf/s"] = row["result"]["throughput_inf_per_s"]
+    return out
+
+
 EXTRACTORS = {
     "table1": metrics_table1,
     "table2": metrics_table2,
@@ -142,9 +165,21 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("current")
-    ap.add_argument("--tolerance", type=float, default=0.005,
-                    help="max relative drift per metric (default 0.5%%)")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="max relative drift per metric "
+                         "(default 0.5%%; 10%% with --throughput)")
+    ap.add_argument("--throughput", action="store_true",
+                    help="serving envelopes only: gate the scale-invariant "
+                         "per-row simulated throughput instead of the exact "
+                         "metrics, so envelopes with different request "
+                         "counts are comparable")
+    ap.add_argument("--min-host-speedup", type=float, default=None,
+                    help="require the current envelope's "
+                         "acceptance.host_speedup_vs_iss to be at least "
+                         "this (translated-backend regression gate)")
     args = ap.parse_args()
+    if args.tolerance is None:
+        args.tolerance = 0.10 if args.throughput else 0.005
 
     with open(args.baseline) as f:
         base = json.load(f)
@@ -158,12 +193,31 @@ def main():
         sys.exit(f"bench mismatch: baseline is {base['bench']!r}, "
                  f"current is {cur['bench']!r}")
     name = base["bench"]
-    if name not in EXTRACTORS:
-        sys.exit(f"no perf-diff rules for bench {name!r} "
-                 f"(known: {', '.join(sorted(EXTRACTORS))})")
+    if args.throughput:
+        if name != "serving":
+            sys.exit(f"--throughput only applies to serving envelopes, "
+                     f"not {name!r}")
+        extract = metrics_serving_throughput
+    else:
+        if name not in EXTRACTORS:
+            sys.exit(f"no perf-diff rules for bench {name!r} "
+                     f"(known: {', '.join(sorted(EXTRACTORS))})")
+        extract = EXTRACTORS[name]
 
-    bm = EXTRACTORS[name](base["data"])
-    cm = EXTRACTORS[name](cur["data"])
+    if args.min_host_speedup is not None:
+        speedup = cur["data"].get("acceptance", {}).get("host_speedup_vs_iss")
+        if speedup is None:
+            sys.exit("current envelope has no acceptance.host_speedup_vs_iss "
+                     "(run bench_serving --backend translated --wall-time)")
+        status = "FAIL" if speedup < args.min_host_speedup else "ok"
+        print(f"  [{status}] host speedup vs ISS: {speedup:.2f}x "
+              f"(floor {args.min_host_speedup:g}x)")
+        if speedup < args.min_host_speedup:
+            sys.exit(f"translated backend host speedup {speedup:.2f}x is "
+                     f"below the {args.min_host_speedup:g}x floor")
+
+    bm = extract(base["data"])
+    cm = extract(cur["data"])
     missing = sorted(set(bm) - set(cm))
     if missing:
         sys.exit(f"current run is missing metrics: {', '.join(missing)}")

@@ -1,0 +1,19 @@
+#include "src/exec/backend.h"
+
+namespace rnnasip {
+
+const char* backend_name(ExecBackend b) {
+  switch (b) {
+    case ExecBackend::kIss: return "iss";
+    case ExecBackend::kTranslated: return "translated";
+  }
+  return "?";
+}
+
+std::optional<ExecBackend> parse_backend(const std::string& name) {
+  if (name == "iss") return ExecBackend::kIss;
+  if (name == "translated") return ExecBackend::kTranslated;
+  return std::nullopt;
+}
+
+}  // namespace rnnasip

@@ -1,0 +1,95 @@
+// Backend-agnostic execution layer.
+//
+// Everything that used to take an `iss::Core` directly — the integrity
+// harness, the serving scheduler's segmented loop, the engine's forward-run
+// helpers — now programs against `ExecutionBackend`: the minimal resumable
+// execution surface (run until ebreak/ecall/limit, reposition the PC over a
+// yield, snapshot/restore the complete architectural state). The ISS is one
+// implementation (`IssBackend`, a thin adapter over `iss::Core`); the
+// ahead-of-time translator (src/translate) is the other. The snapshot type
+// is shared (`iss::CoreSnapshot`), so a checkpoint taken on one backend
+// restores bit-exactly on the other — layer-boundary preemption can migrate
+// a request across backends, not just across cores.
+//
+// Which backend a run uses is selected by `ExecBackend` on the high-level
+// configs (`rrm::Engine::Config::backend`, `serve::ClusterConfig::backend`)
+// and by the shared `--backend` bench flag.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/iss/core.h"
+
+namespace rnnasip {
+
+/// Execution backend selector, threaded through Engine/Cluster configs and
+/// the shared bench CLI. kIss is the cycle-accurate interpreter and the
+/// semantic ground truth; kTranslated is the ahead-of-time translation of a
+/// *verified* program to pre-decoded threaded code (src/translate),
+/// bit-exact against the ISS in outputs, architectural state, and cycles.
+enum class ExecBackend { kIss, kTranslated };
+
+/// Stable short name ("iss", "translated") for CLI flags and JSON fields.
+const char* backend_name(ExecBackend b);
+
+/// Parse a backend name; empty optional for anything unrecognized.
+std::optional<ExecBackend> parse_backend(const std::string& name);
+
+namespace exec {
+
+/// The resumable execution surface shared by the ISS and the translator.
+/// Memory is deliberately *not* part of the interface: backends execute
+/// against an `iss::Memory` the caller owns, so harnesses (integrity
+/// checkpointing, fault attribution, serving I/O) keep reading and writing
+/// device memory exactly as before, whichever backend runs the program.
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual ExecBackend kind() const = 0;
+
+  /// Clear registers/SPRs/loops and set the PC (iss::Core::reset).
+  virtual void reset(uint32_t pc) = 0;
+  /// Reposition the PC without touching other state — resume past an ecall
+  /// yield (the run loop leaves the PC *at* the ecall; continue at +4).
+  virtual void set_pc(uint32_t pc) = 0;
+  virtual uint32_t pc() const = 0;
+
+  /// Execute until ebreak/ecall, a limit, or a trap; the result contract is
+  /// iss::Core::run's. Traps leave the backend resumable.
+  virtual iss::RunResult run(const iss::RunLimits& limits) = 0;
+  iss::RunResult run() { return run(iss::RunLimits{}); }
+
+  /// Capture / restore the complete resumable architectural state. The
+  /// snapshot format is shared across backends: a checkpoint taken under
+  /// one backend restores bit-exactly under the other.
+  virtual iss::CoreSnapshot snapshot() const = 0;
+  virtual void restore(const iss::CoreSnapshot& s) = 0;
+};
+
+/// The ISS as an ExecutionBackend: a non-owning adapter over `iss::Core`.
+class IssBackend final : public ExecutionBackend {
+ public:
+  IssBackend() = default;
+  explicit IssBackend(iss::Core* core) : core_(core) {}
+
+  void attach(iss::Core* core) { core_ = core; }
+  iss::Core* core() const { return core_; }
+
+  ExecBackend kind() const override { return ExecBackend::kIss; }
+  void reset(uint32_t pc) override { core_->reset(pc); }
+  void set_pc(uint32_t pc) override { core_->set_pc(pc); }
+  uint32_t pc() const override { return core_->pc(); }
+  iss::RunResult run(const iss::RunLimits& limits) override {
+    return core_->run(limits);
+  }
+  iss::CoreSnapshot snapshot() const override { return core_->snapshot(); }
+  void restore(const iss::CoreSnapshot& s) override { core_->restore(s); }
+
+ private:
+  iss::Core* core_ = nullptr;
+};
+
+}  // namespace exec
+}  // namespace rnnasip

@@ -81,24 +81,26 @@ uint64_t Checkpoint::digest() const {
   return h;
 }
 
-Checkpoint take_checkpoint(const iss::Core& core, const iss::Memory& mem,
-                           uint32_t data_lo, uint32_t data_bytes, int next_check) {
+Checkpoint take_checkpoint(const exec::ExecutionBackend& backend,
+                           const iss::Memory& mem, uint32_t data_lo,
+                           uint32_t data_bytes, int next_check) {
   Checkpoint cp;
-  cp.core = core.snapshot();
+  cp.core = backend.snapshot();
   cp.data_lo = data_lo;
   cp.data = mem.read_block(data_lo, data_bytes);
   cp.next_check = next_check;
   return cp;
 }
 
-void restore_checkpoint(iss::Core* core, iss::Memory* mem, const Checkpoint& cp) {
-  core->restore(cp.core);
+void restore_checkpoint(exec::ExecutionBackend* backend, iss::Memory* mem,
+                        const Checkpoint& cp) {
+  backend->restore(cp.core);
   mem->write_block(cp.data_lo, cp.data);
 }
 
-CheckedRun::CheckedRun(iss::Core* core, iss::Memory* mem,
+CheckedRun::CheckedRun(exec::ExecutionBackend* backend, iss::Memory* mem,
                        const kernels::BuiltNetwork* net, CheckedRunConfig cfg)
-    : core_(core), mem_(mem), net_(net), cfg_(cfg) {
+    : backend_(backend), mem_(mem), net_(net), cfg_(cfg) {
   RNNASIP_CHECK_MSG(!net_->checks.empty(),
                     "CheckedRun needs an integrity-instrumented program "
                     "(NetworkProgramBuilder::set_integrity)");
@@ -124,7 +126,7 @@ void CheckedRun::begin(std::span<const int16_t> input) {
   kernels::reset_state(*mem_, *net_);
   RNNASIP_CHECK(static_cast<int>(input.size()) == net_->input_count);
   mem_->write_halves(net_->input_addr, input);
-  core_->reset(net_->program.base);
+  backend_->reset(net_->program.base);
   cycles_ = 0;
   wd_remaining_ = cfg_.watchdog_cycles;
   counters_ = IntegrityCounters{};
@@ -133,7 +135,7 @@ void CheckedRun::begin(std::span<const int16_t> input) {
   retries_left_ = cfg_.layer_retries;
   first_detection_ = -1;
   integrity_failed_ = false;
-  cp_ = take_checkpoint(*core_, *mem_, kernels::kDataBase, net_->data_bytes, 0);
+  cp_ = take_checkpoint(*backend_, *mem_, kernels::kDataBase, net_->data_bytes, 0);
 }
 
 CheckedRun::State CheckedRun::step() {
@@ -141,7 +143,7 @@ CheckedRun::State CheckedRun::step() {
   for (;;) {
     iss::RunLimits lim;
     lim.max_cycles = wd_remaining_;  // 0 = unbounded (cfg watchdog off)
-    const auto res = core_->run(lim);
+    const auto res = backend_->run(lim);
     cycles_ += res.cycles;
     if (cfg_.watchdog_cycles != 0) {
       wd_remaining_ = res.cycles < wd_remaining_ ? wd_remaining_ - res.cycles : 0;
@@ -179,9 +181,9 @@ CheckedRun::State CheckedRun::step() {
             return State::kFailed;
           continue;  // rolled back; re-run the layer
         }
-        core_->set_pc(res.pc + 4);
-        cp_ = take_checkpoint(*core_, *mem_, kernels::kDataBase, net_->data_bytes,
-                              boundary + 1);
+        backend_->set_pc(res.pc + 4);
+        cp_ = take_checkpoint(*backend_, *mem_, kernels::kDataBase,
+                              net_->data_bytes, boundary + 1);
         retries_left_ = cfg_.layer_retries;
         last_result_ = res;
         return State::kBoundary;
@@ -240,15 +242,16 @@ CheckedRun::State CheckedRun::fail_or_rollback(const iss::RunResult& res, bool m
   --retries_left_;
   ++counters_.rollbacks;
   counters_.rollback_cycles += res.cycles;
-  restore_checkpoint(core_, mem_, cp_);
+  restore_checkpoint(backend_, mem_, cp_);
   return State::kBoundary;
 }
 
-void CheckedRun::resume(iss::Core* core, iss::Memory* mem, const Checkpoint& cp) {
-  core_ = core;
+void CheckedRun::resume(exec::ExecutionBackend* backend, iss::Memory* mem,
+                        const Checkpoint& cp) {
+  backend_ = backend;
   mem_ = mem;
   cp_ = cp;
-  restore_checkpoint(core_, mem_, cp_);
+  restore_checkpoint(backend_, mem_, cp_);
   retries_left_ = cfg_.layer_retries;
 }
 

@@ -36,6 +36,7 @@
 #include <span>
 #include <vector>
 
+#include "src/exec/backend.h"
 #include "src/iss/core.h"
 #include "src/iss/memory.h"
 #include "src/kernels/network.h"
@@ -76,9 +77,14 @@ struct Checkpoint {
   uint64_t digest() const;
 };
 
-Checkpoint take_checkpoint(const iss::Core& core, const iss::Memory& mem,
-                           uint32_t data_lo, uint32_t data_bytes, int next_check);
-void restore_checkpoint(iss::Core* core, iss::Memory* mem, const Checkpoint& cp);
+/// Checkpoints are taken from / restored into any execution backend: the
+/// snapshot type is shared, so a checkpoint taken under the ISS restores
+/// bit-exactly under the translated core and vice versa.
+Checkpoint take_checkpoint(const exec::ExecutionBackend& backend,
+                           const iss::Memory& mem, uint32_t data_lo,
+                           uint32_t data_bytes, int next_check);
+void restore_checkpoint(exec::ExecutionBackend* backend, iss::Memory* mem,
+                        const Checkpoint& cp);
 
 struct CheckedRunConfig {
   bool detect = true;     ///< verify ABFT folds (requires set_golden)
@@ -98,7 +104,7 @@ struct IntegrityCounters {
 
 /// Drives one instrumented program execution segment by segment. Usage:
 ///
-///   CheckedRun run(&core, &mem, &net, cfg);
+///   CheckedRun run(&backend, &mem, &net, cfg);
 ///   run.set_golden(golden_checks(...));        // when cfg.detect
 ///   run.begin(input);
 ///   while (run.step() == CheckedRun::State::kBoundary) {
@@ -106,14 +112,16 @@ struct IntegrityCounters {
 ///   }
 ///   // State::kDone -> run.outputs(); State::kFailed -> run.last_result()
 ///
-/// The driving core/memory can change between steps (resume()): a
-/// suspended run carries its whole state in the checkpoint.
+/// The driving backend/memory can change between steps (resume()): a
+/// suspended run carries its whole state in the checkpoint, and because
+/// checkpoints are backend-agnostic the target may even run a different
+/// backend than the source.
 class CheckedRun {
  public:
   enum class State { kBoundary, kDone, kFailed };
 
-  CheckedRun(iss::Core* core, iss::Memory* mem, const kernels::BuiltNetwork* net,
-             CheckedRunConfig cfg);
+  CheckedRun(exec::ExecutionBackend* backend, iss::Memory* mem,
+             const kernels::BuiltNetwork* net, CheckedRunConfig cfg);
 
   void set_golden(GoldenChecks golden);
 
@@ -125,10 +133,11 @@ class CheckedRun {
   /// unrecoverable failure; rollbacks happen internally.
   State step();
 
-  /// Re-point the run at another core/memory and restore `cp` there —
+  /// Re-point the run at another backend/memory and restore `cp` there —
   /// layer-boundary preemption migration. The program image for this
   /// network must already be bound on the target.
-  void resume(iss::Core* core, iss::Memory* mem, const Checkpoint& cp);
+  void resume(exec::ExecutionBackend* backend, iss::Memory* mem,
+              const Checkpoint& cp);
 
   const Checkpoint& checkpoint() const { return cp_; }
   uint64_t cycles() const { return cycles_; }
@@ -156,7 +165,7 @@ class CheckedRun {
  private:
   State fail_or_rollback(const iss::RunResult& res, bool mismatch, int boundary);
 
-  iss::Core* core_;
+  exec::ExecutionBackend* backend_;
   iss::Memory* mem_;
   const kernels::BuiltNetwork* net_;
   CheckedRunConfig cfg_;

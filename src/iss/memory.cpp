@@ -149,6 +149,11 @@ void Memory::map_segment(uint32_t seg_base,
 
 void Memory::unmap_segments() { segments_.clear(); }
 
+uint8_t* Memory::segment_bytes(size_t i) {
+  RNNASIP_CHECK(i < segments_.size());
+  return segments_[i].data->data();
+}
+
 Memory::SegmentInfo Memory::segment_info(size_t i) const {
   RNNASIP_CHECK(i < segments_.size());
   const Segment& s = segments_[i];

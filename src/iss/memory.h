@@ -75,6 +75,16 @@ class Memory {
   };
   SegmentInfo segment_info(size_t i) const;
 
+  /// Raw host views for the translated backend (src/translate): the flat
+  /// private storage and each mapped segment's backing bytes. The translated
+  /// core re-captures these at bind time and replicates resolve()'s
+  /// segment-shadowing, bounds, alignment, and write-protection rules inline
+  /// — the pointers stay valid for the life of this Memory / the shared
+  /// segment vectors.
+  uint8_t* flat_bytes() { return bytes_.data(); }
+  const uint8_t* flat_bytes() const { return bytes_.data(); }
+  uint8_t* segment_bytes(size_t i);
+
  private:
   struct Segment {
     uint32_t base = 0;

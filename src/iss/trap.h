@@ -30,6 +30,7 @@ enum class TrapCause : uint8_t {
   kRdRs1Conflict,      ///< pl.sdotsp.h with rd == rs1
   kWatchdog,           ///< cycle watchdog expired (run loop, not a throw)
   kIntegrityMismatch,  ///< ABFT layer checksum disagreed with the golden one
+  kBackendUnsupported, ///< request needs a capability its backend lacks
   kOther,              ///< unclassified std::runtime_error escaped execute()
 };
 
@@ -47,6 +48,7 @@ inline const char* trap_cause_name(TrapCause c) {
     case TrapCause::kRdRs1Conflict: return "rd-rs1-conflict";
     case TrapCause::kWatchdog: return "watchdog";
     case TrapCause::kIntegrityMismatch: return "abft-mismatch";
+    case TrapCause::kBackendUnsupported: return "backend-unsupported";
     case TrapCause::kOther: return "other";
   }
   return "?";

@@ -315,19 +315,19 @@ BuiltNetwork NetworkProgramBuilder::finalize() {
   return std::move(net_);
 }
 
-ForwardRun try_run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork& net,
-                           std::span<const int16_t> input,
+ForwardRun try_run_forward(exec::ExecutionBackend& backend, iss::Memory& mem,
+                           const BuiltNetwork& net, std::span<const int16_t> input,
                            const iss::RunLimits& limits) {
   RNNASIP_CHECK(static_cast<int>(input.size()) == net.input_count);
   mem.write_halves(net.input_addr, input);
-  core.reset(net.program.base);
+  backend.reset(net.program.base);
   ForwardRun fr;
   // Integrity-instrumented programs yield with ecall at each layer
   // boundary; an uninterested caller just resumes past it, keeping the
   // whole-run limits as the budget across all segments.
   iss::RunLimits remaining = limits;
   for (;;) {
-    const auto res = core.run(remaining);
+    const auto res = backend.run(remaining);
     fr.result.cycles += res.cycles;
     fr.result.instrs += res.instrs;
     fr.result.exit = res.exit;
@@ -352,12 +352,19 @@ ForwardRun try_run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork
       }
       remaining.max_cycles -= res.cycles;
     }
-    core.set_pc(res.pc + 4);
+    backend.set_pc(res.pc + 4);
   }
   if (fr.ok()) {
     fr.outputs = mem.read_halves(net.output_addr, static_cast<size_t>(net.output_count));
   }
   return fr;
+}
+
+ForwardRun try_run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork& net,
+                           std::span<const int16_t> input,
+                           const iss::RunLimits& limits) {
+  exec::IssBackend backend(&core);
+  return try_run_forward(backend, mem, net, input, limits);
 }
 
 std::vector<int16_t> run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork& net,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/asm/builder.h"
+#include "src/exec/backend.h"
 #include "src/iss/core.h"
 #include "src/kernels/act_routines.h"
 #include "src/kernels/argmax.h"
@@ -153,6 +154,12 @@ struct ForwardRun {
   std::vector<int16_t> outputs;  ///< empty unless result.ok()
   bool ok() const { return result.ok(); }
 };
+/// Backend-agnostic forward pass: runs on whatever execution backend is
+/// passed in (the ISS or a bound TranslatedCore). The program for `net`
+/// must already be loaded/bound on the backend.
+ForwardRun try_run_forward(exec::ExecutionBackend& backend, iss::Memory& mem,
+                           const BuiltNetwork& net, std::span<const int16_t> input,
+                           const iss::RunLimits& limits = {});
 ForwardRun try_run_forward(iss::Core& core, iss::Memory& mem, const BuiltNetwork& net,
                            std::span<const int16_t> input,
                            const iss::RunLimits& limits = {});

@@ -8,6 +8,7 @@
 #include "src/common/fixed_point.h"
 #include "src/iss/core.h"
 #include "src/kernels/layout.h"
+#include "src/translate/tcore.h"
 
 namespace rnnasip::rrm {
 
@@ -66,6 +67,14 @@ Response Engine::run(const RrmNetwork& net, const Request& req) {
 Response Engine::execute(const RrmNetwork& net, const Request& req, uint64_t id) {
   RNNASIP_CHECK_MSG(req.input.empty() || req.timesteps == 1,
                     "explicit input requires timesteps == 1");
+  // Translated backend: fault campaigns and explicit watchdogs need the
+  // interpreter's per-instruction machinery and must never silently run
+  // untranslated semantics — reject them with a structured trap. Observed
+  // runs fall back to the ISS (documented): the profiler attaches to
+  // interpreter hooks, and both backends report identical cycles anyway.
+  if (cfg_.backend == ExecBackend::kTranslated && !req.observe && !req.timeline) {
+    return execute_translated(net, req, id);
+  }
   iss::Memory mem(16u << 20);
   iss::Core core(&mem, cfg_.core_config);
   const auto built =
@@ -181,6 +190,91 @@ Response Engine::execute(const RrmNetwork& net, const Request& req, uint64_t id)
     ob->instrs = tot.instrs;
     ob->macs = tot.macs;
     r.obs = std::move(ob);
+  }
+  return resp;
+}
+
+Response Engine::execute_translated(const RrmNetwork& net, const Request& req,
+                                    uint64_t id) {
+  Response resp;
+  resp.id = id;
+  NetRunResult& r = resp.result;
+  r.name = net.def().name;
+  r.level = req.level;
+  r.steps_attempted = req.timesteps;
+  r.completed = false;
+  r.verified = false;
+
+  // Structured rejection: these request shapes need per-instruction
+  // interpreter machinery (injection hooks, the campaign watchdog ladder).
+  // Running them translated would silently change the semantics under test,
+  // so the engine refuses instead of degrading.
+  if (req.fault.any_enabled()) {
+    r.trap = iss::Trap{iss::TrapCause::kBackendUnsupported, 0, 0,
+                       "fault campaign requires the ISS backend (the translated "
+                       "backend has no injection hooks); re-run with "
+                       "ExecBackend::kIss"};
+    return resp;
+  }
+  if (req.watchdog_cycles != 0) {
+    r.trap = iss::Trap{iss::TrapCause::kBackendUnsupported, 0, 0,
+                       "watchdog-armed run requires the ISS backend; re-run "
+                       "with ExecBackend::kIss"};
+    return resp;
+  }
+
+  iss::Memory mem(16u << 20);
+  const auto tanh_tbl = activation::PlaTable::build(cfg_.core_config.tanh_spec);
+  const auto sig_tbl = activation::PlaTable::build(cfg_.core_config.sig_spec);
+  const auto built = net.build(&mem, req.level, tanh_tbl, sig_tbl, cfg_.max_tile);
+  mem.write_words(built.program.base, built.program.encode_words());
+  kernels::reset_state(mem, built);
+  r.nominal_macs = built.nominal_macs * static_cast<uint64_t>(req.timesteps);
+
+  const auto key = std::make_pair(net.def().name, static_cast<int>(req.level));
+  auto it = translated_cache_.find(key);
+  if (it == translated_cache_.end()) {
+    auto tr = translate::translate(built.program, analysis::memory_map_of(built),
+                                   cfg_.core_config);
+    if (!tr.ok()) {
+      r.trap = iss::Trap{iss::TrapCause::kBackendUnsupported, 0, 0,
+                         "translation refused [" + tr.error.code + "]: " +
+                             tr.error.message};
+      return resp;
+    }
+    it = translated_cache_.emplace(key, tr.program).first;
+  }
+
+  translate::TranslatedCore tcore(&mem, cfg_.core_config);
+  tcore.bind(it->second);
+
+  RrmNetwork::Golden golden(net, tanh_tbl, sig_tbl);
+  r.completed = true;
+  r.verified = true;
+  int flips = 0;
+  for (int t = 0; t < req.timesteps; ++t) {
+    const auto input = req.input.empty() ? net.make_input(t) : req.input;
+    auto fr = kernels::try_run_forward(tcore, mem, built, input);
+    r.cycles += fr.result.cycles;
+    r.instrs += fr.result.instrs;
+    if (!fr.ok()) {
+      r.completed = false;
+      r.trap = fr.result.trap;
+      break;
+    }
+    ++r.steps_completed;
+    if (req.verify) {
+      const auto want = golden.forward(input);
+      if (fr.outputs != want) r.verified = false;
+      if (decision_flipped(fr.outputs, want)) ++flips;
+      for (size_t i = 0; i < fr.outputs.size() && i < want.size(); ++i) {
+        r.output_error.add(dequantize(fr.outputs[i]), dequantize(want[i]));
+      }
+    }
+    resp.outputs = std::move(fr.outputs);
+  }
+  if (r.steps_completed > 0) {
+    r.decision_flip_rate = static_cast<double>(flips) / r.steps_completed;
   }
   return resp;
 }

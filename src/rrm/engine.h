@@ -15,11 +15,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/exec/backend.h"
 #include "src/rrm/suite.h"
+#include "src/translate/translate.h"
 
 namespace rnnasip::rrm {
 
@@ -62,6 +65,16 @@ class Engine {
     uint64_t seed = 0x52414D;  ///< network parameter seed
     /// Core configuration (timing-model knobs, activation design point).
     iss::Core::Config core_config;
+    /// Execution backend. kIss (default) is the cycle-accurate interpreter
+    /// and behaves exactly as before this field existed. kTranslated runs
+    /// verified programs through src/translate at host speed with
+    /// bit-identical outputs and cycle counts; requests that need ISS-only
+    /// machinery degrade in a documented way — observe/timeline fall back
+    /// to the ISS silently (the profiler hooks the interpreter), while
+    /// fault campaigns and watchdog-armed runs are REJECTED with a
+    /// structured kBackendUnsupported trap rather than silently running
+    /// untranslated semantics (see docs/BACKENDS.md).
+    ExecBackend backend = ExecBackend::kIss;
   };
 
   Engine();
@@ -90,9 +103,17 @@ class Engine {
 
  private:
   Response execute(const RrmNetwork& net, const Request& req, uint64_t id);
+  Response execute_translated(const RrmNetwork& net, const Request& req,
+                              uint64_t id);
 
   Config cfg_;
   std::map<std::string, RrmNetwork> nets_;
+  /// Translated images per (network, level): program builds are
+  /// deterministic for a fixed engine config, so one translation serves
+  /// every request (and amortizes the verifier precondition pass).
+  std::map<std::pair<std::string, int>,
+           std::shared_ptr<const translate::TranslatedProgram>>
+      translated_cache_;
   /// Automatic campaign watchdog per (network, level) — the static cycle
   /// bound is data-independent, so one derivation serves every request.
   std::map<std::pair<std::string, int>, uint64_t> watchdog_cache_;

@@ -64,7 +64,77 @@ Cluster::Cluster(ClusterConfig cfg, const std::vector<std::string>& networks)
   for (Lane& lane : lanes_) {
     lane.mem = std::make_unique<iss::Memory>(kCoreMemBytes);
     lane.core = std::make_unique<iss::Core>(lane.mem.get(), cfg_.core_config);
+    lane.issb.attach(lane.core.get());
   }
+}
+
+std::shared_ptr<const translate::TranslatedProgram> Cluster::translated_single(
+    const std::string& name, kernels::OptLevel level) {
+  Flavor& f = flavor(name, level);
+  if (!f.timage) {
+    auto tr = translate::translate(f.single.program, analysis::memory_map_of(f.single),
+                                   cfg_.core_config);
+    RNNASIP_CHECK_MSG(tr.ok(), "translation refused for serving flavor "
+                                   << name << "@" << kernels::opt_level_letter(level)
+                                   << " [" << tr.error.code << "]: " << tr.error.message);
+    f.timage = tr.program;
+  }
+  return f.timage;
+}
+
+std::shared_ptr<const translate::TranslatedProgram> Cluster::translated_batched(
+    const std::string& name) {
+  auto it = images_.find(name);
+  RNNASIP_CHECK_MSG(it != images_.end(), "network not loaded in cluster: " << name);
+  Image& img = it->second;
+  RNNASIP_CHECK_MSG(img.batched, name << " has no batched program");
+  if (!img.batched_timage) {
+    // The batched program has no BuiltNetwork, so derive its map directly:
+    // same segment intent as memory_map_of (text/params read-only, private
+    // buffers writable).
+    iss::MemoryMap map;
+    map.add({"text", img.batched->program.base, img.batched->program.size_bytes(),
+             /*writable=*/false});
+    if (img.batched->data_bytes != 0) {
+      map.add({"data", kernels::kDataBase, img.batched->data_bytes, /*writable=*/true});
+    }
+    if (img.batched->param_bytes != 0) {
+      map.add({"params", img.batched->param_base, img.batched->param_bytes,
+               /*writable=*/false});
+    }
+    auto tr = translate::translate(img.batched->program, map, cfg_.core_config);
+    RNNASIP_CHECK_MSG(tr.ok(), "translation refused for batched program of "
+                                   << name << " [" << tr.error.code
+                                   << "]: " << tr.error.message);
+    img.batched_timage = tr.program;
+  }
+  return img.batched_timage;
+}
+
+exec::ExecutionBackend& Cluster::backend(int core, bool need_iss) {
+  RNNASIP_CHECK(core >= 0 && core < cfg_.cores);
+  Lane& lane = lanes_[static_cast<size_t>(core)];
+  // Fault injection and the region profiler hook the interpreter, so
+  // faulted executions and observed clusters always run on the ISS — the
+  // caller sees which backend ran via ExecResult::backend / kind().
+  if (cfg_.backend != ExecBackend::kTranslated || need_iss || cfg_.observe) {
+    return lane.issb;
+  }
+  RNNASIP_CHECK_MSG(lane.bound != nullptr, "backend() before bind()");
+  const std::string& name = lane.bound->net.def().name;
+  auto img = lane.bound_batched ? translated_batched(name)
+                                : translated_single(name, lane.bound_level);
+  if (!lane.tcore) {
+    lane.tcore =
+        std::make_unique<translate::TranslatedCore>(lane.mem.get(), cfg_.core_config);
+  }
+  if (lane.tbound != img) {
+    lane.tcore->bind(img);
+    lane.tbound = img;
+  }
+  // bind() remaps shared segments under the lane, so re-capture the view.
+  lane.tcore->refresh_memory_view();
+  return *lane.tcore;
 }
 
 void Cluster::build_flavor(Image& img, kernels::OptLevel level,
@@ -195,10 +265,12 @@ void Cluster::bind(int core, const std::string& name, bool batched,
   lane.bound_level = lvl;
 }
 
-void Cluster::run_bound(Lane& lane, const std::string& obs_name,
-                        const obs::RegionMap& regions, uint32_t text_base,
-                        const fault::FaultSpec* fault, uint32_t data_lo,
-                        uint32_t data_hi, uint64_t watchdog, ExecResult* out) {
+void Cluster::run_bound(Lane& lane, exec::ExecutionBackend& be,
+                        const std::string& obs_name, const obs::RegionMap& regions,
+                        uint32_t text_base, const fault::FaultSpec* fault,
+                        uint32_t data_lo, uint32_t data_hi, uint64_t watchdog,
+                        ExecResult* out) {
+  out->backend = be.kind();
   std::optional<obs::RegionProfiler> profiler;
   if (cfg_.observe) {
     profiler.emplace(&regions, text_base);
@@ -236,10 +308,10 @@ void Cluster::run_bound(Lane& lane, const std::string& obs_name,
       }
       seg.max_cycles = limits.max_cycles - cycles;
     }
-    res = lane.core->run(seg);
+    res = be.run(seg);
     cycles += res.cycles;
     if (res.exit != iss::RunResult::Exit::kEcall) break;
-    lane.core->set_pc(res.pc + 4);
+    be.set_pc(res.pc + 4);
   }
   res.cycles = cycles;
   if (injector) {
@@ -340,10 +412,11 @@ ExecResult Cluster::run_single_at(int core, kernels::OptLevel level,
   // state, exactly like a fresh Engine run.
   kernels::reset_state(*lane.mem, net);
   lane.mem->write_halves(net.input_addr, input);
-  lane.core->reset(net.program.base);
-  ExecResult r;
   const bool faulted = fault != nullptr && fault->any_enabled();
-  run_bound(lane, name + "@" + kernels::opt_level_letter(level), net.regions,
+  exec::ExecutionBackend& be = backend(core, faulted);
+  be.reset(net.program.base);
+  ExecResult r;
+  run_bound(lane, be, name + "@" + kernels::opt_level_letter(level), net.regions,
             net.program.base, fault, kernels::kDataBase,
             kernels::kDataBase + net.data_bytes,
             faulted ? watchdog_cycles(name, level) : 0, &r);
@@ -369,9 +442,10 @@ ExecResult Cluster::run_batched(int core, const std::string& name,
     lane.mem->write_halves(
         net.input_addr + static_cast<uint32_t>(2 * s * net.input_count), in);
   }
-  lane.core->reset(net.program.base);
-  ExecResult r;
   const bool faulted = fault != nullptr && fault->any_enabled();
+  exec::ExecutionBackend& be = backend(core, faulted);
+  be.reset(net.program.base);
+  ExecResult r;
   uint64_t watchdog = 0;
   if (faulted) {
     Image& img = images_.at(name);
@@ -383,7 +457,7 @@ ExecResult Cluster::run_batched(int core, const std::string& name,
     }
     watchdog = cfg_.watchdog_cycles != 0 ? cfg_.watchdog_cycles : img.batched_watchdog;
   }
-  run_bound(lane, name + "@batch", net.regions, net.program.base, fault,
+  run_bound(lane, be, name + "@batch", net.regions, net.program.base, fault,
             kernels::kDataBase, kernels::kDataBase + net.data_bytes, watchdog, &r);
   if (r.ok()) {
     for (int s = 0; s < filled; ++s) {

@@ -45,11 +45,13 @@
 #include <string>
 #include <vector>
 
+#include "src/exec/backend.h"
 #include "src/fault/fault_injector.h"
 #include "src/iss/core.h"
 #include "src/kernels/fc_batch.h"
 #include "src/obs/profile.h"
 #include "src/rrm/networks.h"
+#include "src/translate/tcore.h"
 
 namespace rnnasip::serve {
 
@@ -73,6 +75,15 @@ struct ClusterConfig {
   /// Attach a RegionProfiler to every execution and aggregate per-region
   /// cycles across the whole serving run (region_cycles()).
   bool observe = false;
+  /// Execution backend for fault-free, unobserved executions. kIss (the
+  /// default) is the cycle-accurate interpreter, bit-identical to before
+  /// this field existed. kTranslated dispatches verified programs through
+  /// src/translate at host speed with bit-identical outputs and cycles.
+  /// Faulted executions and observed clusters always run on the lane's ISS
+  /// (injection and profiling hook the interpreter); ExecResult::backend
+  /// records which backend actually ran, so the fallback is never silent
+  /// (see docs/BACKENDS.md).
+  ExecBackend backend = ExecBackend::kIss;
   /// Build every *single* flavor with ABFT integrity instrumentation
   /// (per-layer checksum + ecall yield; BuiltNetwork::checks). Batched
   /// programs stay plain. run_single/run_bound transparently resume over
@@ -101,6 +112,9 @@ struct ExecResult {
   /// SEU campaign events injected during this execution (empty without a
   /// FaultSpec) — the per-(core, request) attribution surface.
   std::vector<fault::FaultEvent> fault_events;
+  /// Which backend actually executed: a kTranslated cluster still runs
+  /// faulted/observed executions on the ISS, and this records it.
+  ExecBackend backend = ExecBackend::kIss;
 
   bool ok() const { return !failure.has_value(); }
 };
@@ -160,6 +174,11 @@ class Cluster {
   uint32_t param_bytes(const std::string& name) const;
   iss::Core& core(int core) { return *lanes_[static_cast<size_t>(core)].core; }
   iss::Memory& memory(int core) { return *lanes_[static_cast<size_t>(core)].mem; }
+  /// The execution backend lane `core` dispatches the currently bound
+  /// program on. `need_iss` forces the interpreter (fault injection and
+  /// observability hook it); otherwise the cluster's configured backend,
+  /// with the translated image bound lazily per flavor. Call after bind().
+  exec::ExecutionBackend& backend(int core, bool need_iss = false);
   /// The built single-program flavor (checks/addresses for CheckedRun).
   const kernels::BuiltNetwork& built_single(const std::string& name,
                                             kernels::OptLevel level) {
@@ -197,6 +216,8 @@ class Cluster {
     kernels::BuiltNetwork single;
     std::shared_ptr<std::vector<uint8_t>> text;
     std::shared_ptr<std::vector<uint8_t>> params;
+    /// Lazy translated image (kTranslated clusters; shared across lanes).
+    std::shared_ptr<const translate::TranslatedProgram> timage;
     uint64_t est_cycles = 0;      ///< lazy calibration-run estimate
     uint64_t watchdog_cycles = 0; ///< lazy derived campaign watchdog
   };
@@ -206,11 +227,18 @@ class Cluster {
     std::optional<kernels::BatchedFcNet> batched;
     std::shared_ptr<std::vector<uint8_t>> batched_text;
     std::shared_ptr<std::vector<uint8_t>> batched_params;
+    std::shared_ptr<const translate::TranslatedProgram> batched_timage;
     uint64_t batched_watchdog = 0;
   };
   struct Lane {
     std::unique_ptr<iss::Memory> mem;
     std::unique_ptr<iss::Core> core;
+    /// Backend adapter over `core` (what backend() returns for ISS runs).
+    exec::IssBackend issb;
+    /// Lazy translated executor over `mem` (kTranslated clusters only).
+    std::unique_ptr<translate::TranslatedCore> tcore;
+    /// Image currently bound on tcore (avoids rebinding per execution).
+    std::shared_ptr<const translate::TranslatedProgram> tbound;
     const Image* bound = nullptr;
     bool bound_batched = false;
     kernels::OptLevel bound_level = kernels::OptLevel::kBaseline;
@@ -218,6 +246,13 @@ class Cluster {
 
   const Image& image(const std::string& name) const;
   Flavor& flavor(const std::string& name, kernels::OptLevel level);
+  /// Lazily translate (and cache) the single flavor / batched program.
+  /// Serving programs are verifier-clean by construction, so a refused
+  /// translation is a configuration error (fatal check).
+  std::shared_ptr<const translate::TranslatedProgram> translated_single(
+      const std::string& name, kernels::OptLevel level);
+  std::shared_ptr<const translate::TranslatedProgram> translated_batched(
+      const std::string& name);
   void build_flavor(Image& img, kernels::OptLevel level,
                     const activation::PlaTable& tanh_tbl,
                     const activation::PlaTable& sig_tbl);
@@ -225,7 +260,7 @@ class Cluster {
   /// of `out`. `fault` != nullptr arms a campaign confined to
   /// [data_lo, data_hi) private TCDM plus regfile/SPR/PLA targets, with
   /// `watchdog` as the cycle bound.
-  void run_bound(Lane& lane, const std::string& obs_name,
+  void run_bound(Lane& lane, exec::ExecutionBackend& be, const std::string& obs_name,
                  const obs::RegionMap& regions, uint32_t text_base,
                  const fault::FaultSpec* fault, uint32_t data_lo, uint32_t data_hi,
                  uint64_t watchdog, ExecResult* out);

@@ -356,7 +356,7 @@ ServeResult Scheduler::run_plain(const Workload& workload) {
         c.done = done;
         c.wait_cycles = start - job.arrival;
         c.exec_cycles = cycles;
-        c.outputs = std::move(er.outputs[k]);
+        if (cfg_.retain_outputs) c.outputs = std::move(er.outputs[k]);
         if (!c.met_deadline()) ++r.deadline_misses;
         if (job.deadline != 0) note_deadline_outcome(!c.met_deadline());
         if (tel) {
@@ -715,7 +715,7 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
         comp.done = now;
         comp.exec_cycles = d.exec_cycles;
         comp.wait_cycles = now - job.arrival - d.exec_cycles;
-        comp.outputs = d.run->outputs();
+        if (cfg_.retain_outputs) comp.outputs = d.run->outputs();
         if (!comp.met_deadline()) ++r.deadline_misses;
         if (job.deadline != 0) note_deadline_outcome(!comp.met_deadline());
         if (tel) record_completion(*tel, comp, now);
@@ -818,7 +818,8 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
       suspended.erase(suspended.begin() + static_cast<std::ptrdiff_t>(s_pick));
       cluster_->bind(core, ctx->job->network, false, ctx->level);
       const integrity::Checkpoint cp = ctx->run->checkpoint();
-      ctx->run->resume(&cluster_->core(core), &cluster_->memory(core), cp);
+      ctx->run->resume(&cluster_->backend(core, ctx->faulted), &cluster_->memory(core),
+                       cp);
       if (ctx->injector) {
         ctx->injector->arm(&cluster_->core(core), &cluster_->memory(core));
       }
@@ -912,7 +913,7 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
     rc.layer_retries = cfg_.integrity.layer_retries;
     rc.watchdog_cycles = faults_on ? cluster_->watchdog_cycles(head.network, level) : 0;
     ctx->run = std::make_unique<integrity::CheckedRun>(
-        &cluster_->core(core), &cluster_->memory(core), &net, rc);
+        &cluster_->backend(core, faults_on), &cluster_->memory(core), &net, rc);
     if (rc.detect) {
       ctx->run->set_golden(integrity::golden_checks(
           cluster_->network(head.network), cluster_->tanh_table(),

@@ -125,6 +125,10 @@ struct SchedulerConfig {
   /// Overflow sets ServeResult::fault_log_truncated; fault_events_total
   /// always counts every flip.
   size_t max_fault_log = 1 << 12;
+  /// Keep each Completion's output vector. Defaults on (callers diff
+  /// outputs); million-request throughput runs turn it off so retained
+  /// completions stay O(bookkeeping) instead of O(outputs).
+  bool retain_outputs = true;
 
   /// Integrity-and-recovery knobs. Any of detect/preemption switches the
   /// scheduler to segmented (layer-boundary) execution over a cluster

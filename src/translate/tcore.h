@@ -1,0 +1,123 @@
+// TranslatedCore — executes a TranslatedProgram at host speed.
+//
+// Holds the complete architectural state of one extended-RI5CY core (the
+// same state iss::CoreSnapshot captures: GPRs, PC, SPR weight registers,
+// hardware loops, PLA tables, Zicntr CSRs, and the hazard-tracking pipeline
+// bits), and retires pre-decoded ops with a single jump-table dispatch per
+// instruction. Memory accesses go through raw host pointers captured from
+// the bound iss::Memory at bind() time, with the ISS's segment-shadowing,
+// bounds, alignment, and write-protection rules inlined — so a buggy or
+// hostile address still raises the same structured trap the ISS would.
+//
+// Cycle attribution is not approximated: the per-op costs baked in by the
+// translator plus the same runtime hazard rules the ISS applies (load-use
+// interlock, SPR conflict, taken-branch penalty, dual-issue pairing,
+// hardware-loop back-edges) reproduce the ISS cycle stream bit-exactly.
+// What the translated backend does NOT provide: per-opcode ExecStats, the
+// trace/stall/fault hooks, and decode of self-modified text — the callers
+// that need those (observability, fault campaigns) stay on the ISS.
+#pragma once
+
+#include <memory>
+
+#include "src/exec/backend.h"
+#include "src/iss/memory.h"
+#include "src/translate/translate.h"
+
+namespace rnnasip::translate {
+
+class TranslatedCore final : public exec::ExecutionBackend {
+ public:
+  explicit TranslatedCore(iss::Memory* mem) : TranslatedCore(mem, {}) {}
+  TranslatedCore(iss::Memory* mem, iss::Core::Config cfg);
+
+  /// Attach a translated image and (re)capture the raw memory view. The
+  /// image must have been translated under this core's timing model.
+  void bind(std::shared_ptr<const TranslatedProgram> prog);
+  const TranslatedProgram* program() const { return prog_.get(); }
+
+  /// Re-capture raw pointers from the Memory (segments were remapped or the
+  /// backing vectors reallocated since bind()).
+  void refresh_memory_view();
+
+  // --- exec::ExecutionBackend ---
+  ExecBackend kind() const override { return ExecBackend::kTranslated; }
+  void reset(uint32_t pc) override;
+  void set_pc(uint32_t pc) override { pc_ = pc; }
+  uint32_t pc() const override { return pc_; }
+  iss::RunResult run(const iss::RunLimits& limits) override;
+  iss::CoreSnapshot snapshot() const override;
+  void restore(const iss::CoreSnapshot& s) override;
+
+  // State accessors (same surface tests use on iss::Core).
+  uint32_t reg(int i) const { return x_[static_cast<size_t>(i)]; }
+  void set_reg(int i, uint32_t v);
+  uint32_t spr(int i) const { return spr_[static_cast<size_t>(i)]; }
+  const iss::HwLoop& hw_loop(int i) const { return loops_[static_cast<size_t>(i)]; }
+
+ private:
+  /// Raw host window of one mapped shared segment.
+  struct SegView {
+    uint32_t base = 0;
+    uint32_t size = 0;
+    uint8_t* data = nullptr;
+    bool read_only = false;
+  };
+
+  const uint8_t* mem_ptr(uint32_t addr, uint32_t n, uint32_t align,
+                         bool is_store) const;
+  uint8_t* mem_ptr_mut(uint32_t addr, uint32_t n, uint32_t align, bool is_store) {
+    return const_cast<uint8_t*>(mem_ptr(addr, n, align, is_store));
+  }
+  uint8_t load8(uint32_t addr) const;
+  uint16_t load16(uint32_t addr) const;
+  uint32_t load32(uint32_t addr) const;
+  void store8(uint32_t addr, uint8_t v);
+  void store16(uint32_t addr, uint16_t v);
+  void store32(uint32_t addr, uint32_t v);
+
+  /// Retire the op at pc_ (slot `top`): architectural effects + full cycle
+  /// cost including data-dependent penalties, excluding inter-instruction
+  /// stalls (handled by run()). Returns {next_pc, cost}.
+  struct StepOut {
+    uint32_t next_pc;
+    uint64_t cost;
+  };
+  StepOut step(const TOp& top, uint32_t pc);
+
+  [[noreturn]] void trap(uint32_t pc, iss::TrapCause cause, const std::string& msg);
+
+  iss::Memory* mem_;
+  iss::Core::Config cfg_;
+  std::shared_ptr<const TranslatedProgram> prog_;
+
+  // Raw memory view (captured by bind()/refresh_memory_view()).
+  uint8_t* flat_ = nullptr;
+  uint32_t flat_base_ = 0;
+  uint32_t flat_size_ = 0;
+  std::vector<SegView> segs_;
+
+  // Architectural state — field-for-field the iss::CoreSnapshot contents.
+  std::array<uint32_t, 32> x_{};
+  uint32_t pc_ = 0;
+  std::array<uint32_t, 2> spr_{};
+  std::array<iss::HwLoop, 2> loops_{};
+  activation::PlaTable tanh_table_;
+  activation::PlaTable sig_table_;
+  uint64_t csr_cycle_ = 0;
+  uint64_t csr_instret_ = 0;
+  uint32_t csr_mscratch_ = 0;
+  bool prev_mem_unpaired_ = false;
+  bool last_was_load_ = false;
+  uint8_t last_load_rd_ = 0;
+  isa::Opcode last_load_op_ = isa::Opcode::kInvalid;
+  uint32_t last_load_pc_ = 0;
+  int last_sdotsp_spr_ = -1;
+
+  /// restore() can inject loop state whose end address is outside the
+  /// program's static end set (a snapshot from a different program). Flip
+  /// to checking every sequential retirement so back-edges are never missed.
+  bool hwl_check_all_ = false;
+};
+
+}  // namespace rnnasip::translate

@@ -1,0 +1,168 @@
+#include "src/translate/translate.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/analysis/verify.h"
+#include "src/isa/instr_info.h"
+
+namespace rnnasip::translate {
+
+using isa::Instr;
+using isa::Opcode;
+using isa::Unit;
+
+namespace {
+
+bool is_xpulp(Opcode op) {
+  return op >= Opcode::kPLb && op <= Opcode::kPvSdotspB;
+}
+
+bool is_rnn_ext(Opcode op) {
+  return op >= Opcode::kPlSdotspH0 && op <= Opcode::kPlSig;
+}
+
+TranslateResult refuse(std::string code, std::string message) {
+  TranslateResult res;
+  res.error.code = std::move(code);
+  res.error.message = std::move(message);
+  return res;
+}
+
+}  // namespace
+
+bool TranslatedProgram::hwl_end_possible(uint32_t addr) const {
+  return std::binary_search(hwl_ends.begin(), hwl_ends.end(), addr);
+}
+
+TranslateResult translate(const assembler::Program& prog,
+                          const iss::MemoryMap& map,
+                          const iss::Core::Config& cfg) {
+  if (prog.instrs.empty()) return refuse("bad-text", "empty program");
+  if ((prog.base & 0x3) != 0) {
+    return refuse("bad-text", "program base is not 4-byte aligned");
+  }
+  for (size_t i = 0; i < prog.instrs.size(); ++i) {
+    if (prog.instrs[i].size != 4) {
+      std::ostringstream os;
+      os << "instruction " << i << " has size " << int(prog.instrs[i].size)
+         << "; the translator requires uniform 4-byte text";
+      return refuse("bad-text", os.str());
+    }
+  }
+
+  // ISA gates are resolved ahead of time: the ISS traps on a gated-off
+  // instruction at runtime, so a gated program must never reach the
+  // translated fast path at all.
+  for (size_t i = 0; i < prog.instrs.size(); ++i) {
+    const Opcode op = prog.instrs[i].op;
+    if ((!cfg.has_xpulp && is_xpulp(op)) || (!cfg.has_rnn_ext && is_rnn_ext(op))) {
+      std::ostringstream os;
+      os << "pc=0x" << std::hex << prog.address_of(i) << std::dec << " "
+         << isa::mnemonic(op) << ": instruction set gated off in core config";
+      return refuse("isa-gated", os.str());
+    }
+  }
+
+  // Precondition: the static verifier must admit the program. Errors are
+  // structural soundness violations (bad CFG targets, illegal hw-loop
+  // shapes, out-of-map accesses) — exactly the guarantees the lowering
+  // depends on — so any error refuses translation. Warnings/infos are
+  // advisory and do not block (the lint CI gate holds them to zero for the
+  // production suite anyway).
+  analysis::Options vopts;
+  vopts.timing = cfg.timing;
+  vopts.dead_defs = false;  // liveness advisories are irrelevant here
+  const analysis::Report report = analysis::verify(prog, map, vopts);
+  if (report.errors() > 0) {
+    std::ostringstream os;
+    os << report.errors() << " verifier error(s); first: ";
+    for (const auto& f : report.findings) {
+      if (f.severity == analysis::Severity::kError) {
+        os << f.rule << " at pc=0x" << std::hex << f.pc << std::dec << ": "
+           << f.message;
+        break;
+      }
+    }
+    return refuse("verify-failed", os.str());
+  }
+
+  auto tp = std::make_shared<TranslatedProgram>();
+  tp->base = prog.base;
+  tp->end = prog.end_address();
+  tp->timing = cfg.timing;
+  tp->static_min_cycles = report.min_cycles;
+  tp->num_instrs = report.num_instrs;
+  tp->num_blocks = report.num_blocks;
+  tp->num_hw_loops = report.num_hw_loops;
+  tp->code.resize(prog.instrs.size());
+
+  // Static hardware-loop end set: every instruction that can set a loop end
+  // computes it as `pc + static offset`, so the full set of runtime end
+  // values is enumerable ahead of time.
+  for (size_t i = 0; i < prog.instrs.size(); ++i) {
+    const Instr& in = prog.instrs[i];
+    const uint32_t pc = prog.address_of(i);
+    switch (in.op) {
+      case Opcode::kLpSetup:
+      case Opcode::kLpEndi:
+        tp->hwl_ends.push_back(pc + static_cast<uint32_t>(in.imm));
+        break;
+      case Opcode::kLpSetupi:
+        tp->hwl_ends.push_back(pc + static_cast<uint32_t>(in.imm2));
+        break;
+      default:
+        break;
+    }
+  }
+  std::sort(tp->hwl_ends.begin(), tp->hwl_ends.end());
+  tp->hwl_ends.erase(std::unique(tp->hwl_ends.begin(), tp->hwl_ends.end()),
+                     tp->hwl_ends.end());
+
+  const iss::TimingModel& t = cfg.timing;
+  for (size_t i = 0; i < prog.instrs.size(); ++i) {
+    TOp& op = tp->code[i];
+    op.in = prog.instrs[i];
+    const Instr& in = op.in;
+    const uint32_t pc = prog.address_of(i);
+    const Unit unit = isa::opcode_info(in.op).unit;
+
+    for (uint8_t r = 1; r < 32; ++r) {
+      if (isa::reads_reg(in, r)) op.reads_mask |= 1u << r;
+    }
+
+    // Full cycle cost under `t`, mirroring iss::Core: divider cost replaces
+    // the issue cycle; jump and memory wait-state penalties are
+    // unconditional; the taken-branch penalty is the only data-dependent
+    // term and stays separate.
+    uint64_t cost = 1;
+    if (unit == Unit::kDiv) cost = t.div_cycles > 0 ? t.div_cycles : 1;
+    if (unit == Unit::kJump) cost += t.jump_penalty;
+    if (unit == Unit::kLoad || unit == Unit::kStore || unit == Unit::kRnnDot) {
+      cost += t.mem_wait_states;
+    }
+    op.base_cost = static_cast<uint16_t>(cost);
+    op.taken_extra =
+        unit == Unit::kBranch ? static_cast<uint16_t>(t.taken_branch_penalty) : 0;
+
+    if (isa::is_gpr_load(in.op) && in.rd != 0) op.flags |= kFlagGprLoad;
+    if (unit == Unit::kLoad || unit == Unit::kStore) op.flags |= kFlagMemUnit;
+    if (unit == Unit::kAlu || unit == Unit::kMul || unit == Unit::kSimd) {
+      op.flags |= kFlagPairable;
+    }
+    if (in.op == Opcode::kEcall || in.op == Opcode::kEbreak) op.flags |= kFlagYield;
+    if (in.op == Opcode::kCsrrw || in.op == Opcode::kCsrrs ||
+        in.op == Opcode::kCsrrc) {
+      op.flags |= kFlagCsr;
+    }
+    if (in.op == Opcode::kPlSdotspH0) op.spr = 0;
+    if (in.op == Opcode::kPlSdotspH1) op.spr = 1;
+    if (tp->hwl_end_possible(pc + in.size)) op.flags |= kFlagHwlCand;
+  }
+
+  TranslateResult res;
+  res.program = std::move(tp);
+  return res;
+}
+
+}  // namespace rnnasip::translate

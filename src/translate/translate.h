@@ -1,0 +1,113 @@
+// Ahead-of-time translation of verified programs (the kTranslated backend).
+//
+// The ISS pays a fetch (decode-cache hash probe), a hazard scan, statistics
+// updates, and hook dispatch for every retired instruction — the classic
+// fetch/decode/switch interpreter loop, and the cap on how much serving
+// traffic one host can simulate. The translator removes all of it ahead of
+// time: a program the static verifier (src/analysis) accepts is lowered once
+// into a dense threaded-code image — one pre-decoded op per text slot, with
+// its register-read mask, functional-unit flags, static hardware-loop
+// back-edge candidacy, and its full cycle cost under the target TimingModel
+// baked in. The TranslatedCore (tcore.h) then executes that image with a
+// tight jump-table dispatch over host-resident state, bit-exact against the
+// ISS in architectural effects *and* cycle counts.
+//
+// Verification is a hard precondition, not an optimization hint. The
+// verifier proves exactly the guarantees the lowering relies on:
+//   - CFG recovery: every control transfer lands on an instruction boundary
+//     inside the text, so a dense slot array indexed by (pc - base) >> 2 is
+//     total over reachable code;
+//   - hardware-loop legality: loop bodies are well-nested and end bounds are
+//     the static `setup_pc + offset` values, so back-edge checks can be
+//     confined to statically flagged slots;
+//   - memory safety: every access stays inside the declared MemoryMap, so
+//     raw-pointer access with the ISS's trap rules inlined is sound;
+//   - the static cycle bound (exact on stall-free programs) cross-checks the
+//     baked-in cost model (tests/test_translate.cpp asserts both).
+// A program the verifier rejects is refused with a structured error — the
+// translated backend never runs unverified semantics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/asm/program.h"
+#include "src/iss/core.h"
+#include "src/iss/memory_map.h"
+
+namespace rnnasip::translate {
+
+/// Per-slot flags precomputed by the translator.
+enum TOpFlags : uint8_t {
+  kFlagGprLoad = 1 << 0,   ///< GPR-producing load with rd != x0 (load-use producer)
+  kFlagMemUnit = 1 << 1,   ///< occupies the LSU (dual-issue pairing anchor)
+  kFlagPairable = 1 << 2,  ///< 1-cycle ALU/MUL/SIMD (dual-issue candidate)
+  kFlagHwlCand = 1 << 3,   ///< pc + size is a possible hardware-loop end
+  kFlagYield = 1 << 4,     ///< ecall/ebreak — run-loop exit
+  /// CSR access: the run loop keeps cycle/instret counters in locals and
+  /// must sync them into the architectural CSRs before this op executes.
+  kFlagCsr = 1 << 5,
+};
+
+/// One translated text slot: the decoded instruction plus everything the
+/// ISS recomputes per retirement, resolved ahead of time.
+struct TOp {
+  isa::Instr in;
+  uint32_t reads_mask = 0;  ///< bit r set iff the op reads GPR r (x0 never)
+  uint16_t base_cost = 1;   ///< issue + unconditional in-cost penalties
+  uint16_t taken_extra = 0; ///< additional cycles when a branch is taken
+  uint8_t flags = 0;
+  int8_t spr = -1;          ///< pl.sdotsp.h.{0,1} SPR index, else -1
+};
+
+/// An immutable translated program image. Shareable across cores/lanes
+/// (execution state lives entirely in TranslatedCore).
+struct TranslatedProgram {
+  uint32_t base = 0;  ///< text load address
+  uint32_t end = 0;   ///< first address past the text
+  /// Dense slot array indexed by (pc - base) >> 2 (generated programs are
+  /// uniformly 4-byte instructions; the translator refuses anything else).
+  std::vector<TOp> code;
+  /// Sorted static set of every possible hardware-loop end address
+  /// (lp.setup/lp.setupi/lp.endi all compute `end = pc + offset` with a
+  /// static offset — there are no dynamic loop bounds to miss).
+  std::vector<uint32_t> hwl_ends;
+  /// Timing model baked into base_cost/taken_extra (must match the core
+  /// config the image runs under; TranslatedCore checks).
+  iss::TimingModel timing;
+
+  // Provenance from the verifier run that admitted this program.
+  uint64_t static_min_cycles = 0;  ///< sound static cycle lower bound
+  size_t num_instrs = 0;
+  size_t num_blocks = 0;
+  size_t num_hw_loops = 0;
+
+  bool contains(uint32_t pc) const { return pc >= base && pc < end; }
+  bool hwl_end_possible(uint32_t addr) const;
+};
+
+/// Why a program was refused (structured: stable code + human message).
+struct TranslateError {
+  std::string code;     ///< "verify-failed", "isa-gated", "bad-text", ...
+  std::string message;
+  bool ok() const { return code.empty(); }
+};
+
+struct TranslateResult {
+  std::shared_ptr<const TranslatedProgram> program;  ///< null on refusal
+  TranslateError error;
+  bool ok() const { return program != nullptr; }
+};
+
+/// Translate `prog` for execution under `cfg` against the declared `map`.
+/// Runs the full static verifier first (with cfg.timing so the static bound
+/// is comparable); any verifier *error* refuses translation. ISA-gated
+/// instructions (Xpulp/RNN-ext present while the config disables them) are
+/// refused at translate time — the ISS would trap on them at runtime.
+TranslateResult translate(const assembler::Program& prog,
+                          const iss::MemoryMap& map,
+                          const iss::Core::Config& cfg);
+
+}  // namespace rnnasip::translate

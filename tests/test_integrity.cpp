@@ -27,6 +27,7 @@ constexpr uint64_t kSeed = 0x52414D;
 struct Harness {
   iss::Memory mem{8u << 20};
   iss::Core core{&mem};
+  exec::IssBackend backend{&core};
   rrm::RrmNetwork net;
   kernels::BuiltNetwork built;
 
@@ -62,7 +63,7 @@ TEST(IntegrityFold, DeviceAndHostFoldsMatchGoldenAtEveryLevel) {
       auto golden = h.golden(input);
       ASSERT_EQ(golden.folds.size(), h.built.checks.size());
 
-      integrity::CheckedRun run(&h.core, &h.mem, &h.built, {});
+      integrity::CheckedRun run(&h.backend, &h.mem, &h.built, {});
       run.set_golden(golden);
       run.begin(input);
       drive_to_done(run);
@@ -86,7 +87,7 @@ TEST(IntegrityDetect, HandPlacedSeuIsFlaggedAtTheCorruptingBoundary) {
 
   integrity::CheckedRunConfig cfg;
   cfg.rollback = false;  // surface the detection instead of recovering
-  integrity::CheckedRun run(&h.core, &h.mem, &h.built, cfg);
+  integrity::CheckedRun run(&h.backend, &h.mem, &h.built, cfg);
   run.set_golden(h.golden(input));
   run.begin(input);
   ASSERT_EQ(run.step(), integrity::CheckedRun::State::kBoundary);
@@ -111,7 +112,7 @@ TEST(IntegrityDetect, ReadoutWindowFlipIsCaughtAndRolledBack) {
   const auto input = h.net.make_input(0);
   const auto golden = h.golden(input);
 
-  integrity::CheckedRun run(&h.core, &h.mem, &h.built, {});
+  integrity::CheckedRun run(&h.backend, &h.mem, &h.built, {});
   run.set_golden(golden);
   run.begin(input);
   const int boundaries = static_cast<int>(h.built.checks.size());
@@ -134,7 +135,7 @@ TEST(IntegrityCheckpoint, RoundTripsBitExactlyAtEveryBoundaryOfEveryLevel) {
     const auto input = a.net.make_input(1);
     const auto golden = a.golden(input);
 
-    integrity::CheckedRun run(&a.core, &a.mem, &a.built, {});
+    integrity::CheckedRun run(&a.backend, &a.mem, &a.built, {});
     run.set_golden(golden);
     run.begin(input);
 
@@ -147,18 +148,18 @@ TEST(IntegrityCheckpoint, RoundTripsBitExactlyAtEveryBoundaryOfEveryLevel) {
       // Restore onto a *different* core/memory (the preemption-migration
       // path) and re-snapshot: the state must round-trip bit-exactly.
       Harness b("nasir18", level);
-      integrity::restore_checkpoint(&b.core, &b.mem, cp);
+      integrity::restore_checkpoint(&b.backend, &b.mem, cp);
       const integrity::Checkpoint back = integrity::take_checkpoint(
-          b.core, b.mem, cp.data_lo, static_cast<uint32_t>(cp.data.size()),
+          b.backend, b.mem, cp.data_lo, static_cast<uint32_t>(cp.data.size()),
           cp.next_check);
       ASSERT_EQ(back.digest(), before)
           << kernels::opt_level_name(level) << " boundary " << boundary;
 
       // And the migrated run must finish with the golden output.
-      integrity::CheckedRun resumed(&b.core, &b.mem, &b.built, {});
+      integrity::CheckedRun resumed(&b.backend, &b.mem, &b.built, {});
       resumed.set_golden(golden);
       resumed.begin(input);  // state is then replaced by the checkpoint
-      resumed.resume(&b.core, &b.mem, cp);
+      resumed.resume(&b.backend, &b.mem, cp);
       drive_to_done(resumed);
       ASSERT_EQ(resumed.outputs(), golden.outputs.back());
     }

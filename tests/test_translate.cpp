@@ -1,0 +1,397 @@
+// Translated-backend contracts (src/translate behind exec::ExecutionBackend):
+//   - translation refuses unsound inputs with structured codes (bad-text /
+//     isa-gated / verify-failed) instead of emitting wrong code,
+//   - 50-program parity: every suite network at every optimization level
+//     serves bit-identical outputs, cycles, and instruction counts on the
+//     translated backend and the ISS (the CI parity gate),
+//   - cycle attribution is exact, not modeled: core-level cycles match the
+//     ISS bit-for-bit and never undercut the static verifier bound,
+//   - ABFT-instrumented programs fold bit-identical checksums on both
+//     backends at every layer boundary,
+//   - a mid-run snapshot migrates across backends (translated -> ISS and
+//     ISS -> translated) with bit-exact outputs and total cycles,
+//   - the engine rejects fault campaigns and watchdog-armed requests on
+//     the translated backend with a structured kBackendUnsupported trap
+//     (never silently running untranslated semantics), and falls back to
+//     the ISS for observed runs,
+//   - a translated cluster serves completions bit-identical to an ISS
+//     cluster, and faulted/observed executions record their ISS fallback
+//     in ExecResult::backend.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/analysis/network_lint.h"
+#include "src/integrity/integrity.h"
+#include "src/iss/core.h"
+#include "src/iss/memory.h"
+#include "src/kernels/network.h"
+#include "src/rrm/engine.h"
+#include "src/serve/cluster.h"
+#include "src/serve/scheduler.h"
+#include "src/translate/tcore.h"
+#include "src/translate/translate.h"
+
+using namespace rnnasip;
+using kernels::OptLevel;
+
+namespace {
+
+constexpr uint64_t kSeed = 0x52414D;
+
+/// One network on a private core/memory pair, buildable plain or
+/// instrumented, with a bound TranslatedCore next to the ISS core so a
+/// test can drive the same image on either backend.
+struct Harness {
+  iss::Memory mem{16u << 20};
+  iss::Core core{&mem};
+  exec::IssBackend iss_backend{&core};
+  rrm::RrmNetwork net;
+  kernels::BuiltNetwork built;
+  translate::TranslatedCore tcore{&mem};
+
+  Harness(const std::string& name, OptLevel level, bool integrity = false)
+      : net(rrm::find_network(name), kSeed) {
+    built = net.build(&mem, level, core.tanh_table(), core.sig_table(),
+                      /*max_tile=*/8, /*param_base=*/0, integrity);
+    core.load_program(built.program);
+    auto tr = translate::translate(built.program, analysis::memory_map_of(built),
+                                   iss::Core::Config{});
+    RNNASIP_CHECK_MSG(tr.ok(), "translate refused [" << tr.error.code
+                                                     << "]: " << tr.error.message);
+    tcore.bind(tr.program);
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Refusal paths: every unsound input is refused with its structured code.
+// ---------------------------------------------------------------------------
+
+TEST(TranslateRefusal, EmptyProgramIsBadText) {
+  const auto tr = translate::translate({}, {}, {});
+  ASSERT_FALSE(tr.ok());
+  EXPECT_EQ(tr.error.code, "bad-text");
+  EXPECT_EQ(tr.program, nullptr);
+}
+
+TEST(TranslateRefusal, GatedIsaIsRefusedAtTranslateTime) {
+  // A level-e program leans on Xpulp; translating it for a core with the
+  // extension gated off must refuse (the ISS would trap at runtime — the
+  // fast path must never reach those semantics at all).
+  Harness h("nasir18", OptLevel::kXpulpSimd);
+  iss::Core::Config gated;
+  gated.has_xpulp = false;
+  const auto tr = translate::translate(h.built.program,
+                                       analysis::memory_map_of(h.built), gated);
+  ASSERT_FALSE(tr.ok());
+  EXPECT_EQ(tr.error.code, "isa-gated");
+  EXPECT_NE(tr.error.message.find("gated off"), std::string::npos);
+}
+
+TEST(TranslateRefusal, VerifierErrorRefuses) {
+  // Shrink the declared map to the text segment only: every data access
+  // becomes out-of-map, the static verifier errors, translation refuses.
+  Harness h("ahmed19", OptLevel::kInputTiling);
+  iss::MemoryMap text_only;
+  text_only.add({"text", h.built.program.base, h.built.program.size_bytes(),
+                 /*writable=*/false});
+  const auto tr =
+      translate::translate(h.built.program, text_only, iss::Core::Config{});
+  ASSERT_FALSE(tr.ok());
+  EXPECT_EQ(tr.error.code, "verify-failed");
+}
+
+// ---------------------------------------------------------------------------
+// The CI parity gate: all 50 network x level programs, both backends.
+// ---------------------------------------------------------------------------
+
+TEST(TranslateParity, FiftyProgramsBitIdenticalAcrossBackends) {
+  rrm::Engine::Config iss_cfg;
+  rrm::Engine::Config tr_cfg;
+  tr_cfg.backend = ExecBackend::kTranslated;
+  rrm::Engine iss_eng(iss_cfg);
+  rrm::Engine tr_eng(tr_cfg);
+
+  int programs = 0;
+  for (OptLevel level : kernels::kAllOptLevels) {
+    for (const auto& def : rrm::rrm_suite()) {
+      rrm::Request req;
+      req.network = def.name;
+      req.level = level;
+      req.timesteps = 2;
+      req.verify = true;
+      const auto a = iss_eng.run(req);
+      const auto b = tr_eng.run(req);
+      const std::string tag =
+          std::string(def.name) + " @" + kernels::opt_level_name(level);
+      ASSERT_TRUE(a.ok()) << tag << ": " << a.result.trap.message;
+      ASSERT_TRUE(b.ok()) << tag << ": " << b.result.trap.message;
+      EXPECT_TRUE(a.result.verified) << tag;
+      EXPECT_TRUE(b.result.verified) << tag;
+      EXPECT_EQ(a.outputs, b.outputs) << tag;
+      EXPECT_EQ(a.result.cycles, b.result.cycles) << tag;
+      EXPECT_EQ(a.result.instrs, b.result.instrs) << tag;
+      ++programs;
+    }
+  }
+  EXPECT_EQ(programs, 50);
+}
+
+// ---------------------------------------------------------------------------
+// Cycle attribution: exact against the ISS, bounded below by the verifier.
+// ---------------------------------------------------------------------------
+
+TEST(TranslateParity, CycleAttributionExactAndNeverBelowStaticBound) {
+  for (const auto& name : {"nasir18", "ahmed19", "naparstek17"}) {
+    for (OptLevel level : {OptLevel::kXpulpSimd, OptLevel::kInputTiling}) {
+      Harness h(name, level);
+      const auto* prog = h.tcore.program();
+      ASSERT_NE(prog, nullptr);
+
+      // Two recurrent timesteps on each backend: state carries across the
+      // first forward, so the second catches any divergence the first hid.
+      iss::Memory iss_mem{16u << 20};
+      iss::Core iss_core{&iss_mem};
+      rrm::RrmNetwork iss_net(rrm::find_network(name), kSeed);
+      auto iss_built = iss_net.build(&iss_mem, level, iss_core.tanh_table(),
+                                     iss_core.sig_table(), /*max_tile=*/8);
+      iss_core.load_program(iss_built.program);
+
+      for (int t = 0; t < 2; ++t) {
+        const auto input = h.net.make_input(t);
+        auto fi = kernels::try_run_forward(iss_core, iss_mem, iss_built, input);
+        auto ft = kernels::try_run_forward(h.tcore, h.mem, h.built, input);
+        ASSERT_TRUE(fi.ok()) << fi.result.trap_message;
+        ASSERT_TRUE(ft.ok()) << ft.result.trap_message;
+        EXPECT_EQ(fi.outputs, ft.outputs) << name << " t=" << t;
+        EXPECT_EQ(fi.result.cycles, ft.result.cycles) << name << " t=" << t;
+        EXPECT_EQ(fi.result.instrs, ft.result.instrs) << name << " t=" << t;
+        // The verifier's static minimum is a sound lower bound on any
+        // dynamic execution; the translated cycle stream must respect it.
+        EXPECT_GE(ft.result.cycles, prog->static_min_cycles) << name;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ABFT: instrumented programs fold identical checksums on both backends.
+// ---------------------------------------------------------------------------
+
+TEST(TranslateParity, AbftChecksumsBitIdenticalAcrossBackends) {
+  for (const auto& def : rrm::rrm_suite()) {
+    Harness hi(def.name, OptLevel::kInputTiling, /*integrity=*/true);
+    Harness ht(def.name, OptLevel::kInputTiling, /*integrity=*/true);
+    ASSERT_FALSE(hi.built.checks.empty()) << def.name;
+    const auto input = hi.net.make_input(0);
+    const auto golden = integrity::golden_checks(hi.net, hi.core.tanh_table(),
+                                                 hi.core.sig_table(), input);
+
+    integrity::CheckedRun ri(&hi.iss_backend, &hi.mem, &hi.built, {});
+    integrity::CheckedRun rt(&ht.tcore, &ht.mem, &ht.built, {});
+    ri.set_golden(golden);
+    rt.set_golden(golden);
+    ri.begin(input);
+    rt.begin(input);
+
+    // Walk both runs boundary by boundary, comparing the device fold word
+    // each program wrote into its slot — the raw checksum, not just the
+    // pass/fail verdict.
+    integrity::CheckedRun::State si, st;
+    size_t boundary = 0;
+    do {
+      si = ri.step();
+      st = rt.step();
+      ASSERT_EQ(si, st) << def.name << " boundary " << boundary;
+      if (si == integrity::CheckedRun::State::kBoundary) {
+        ASSERT_LT(boundary, hi.built.checks.size());
+        const uint32_t slot = hi.built.checks[boundary].slot;
+        EXPECT_EQ(hi.mem.read_words_signed(slot, 1),
+                  ht.mem.read_words_signed(slot, 1))
+            << def.name << " boundary " << boundary;
+        ++boundary;
+      }
+    } while (si == integrity::CheckedRun::State::kBoundary);
+
+    ASSERT_EQ(si, integrity::CheckedRun::State::kDone)
+        << def.name << ": " << ri.last_result().trap_message;
+    EXPECT_EQ(ri.outputs(), rt.outputs()) << def.name;
+    EXPECT_EQ(ri.cycles(), rt.cycles()) << def.name;
+    EXPECT_EQ(ri.counters().checks, rt.counters().checks) << def.name;
+    EXPECT_EQ(rt.counters().detections, 0u) << def.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot migration: suspend mid-run on one backend, finish on the other.
+// ---------------------------------------------------------------------------
+
+TEST(TranslateSnapshot, MidRunMigrationAcrossBackendsIsBitExact) {
+  const char* name = "nasir18";
+  const OptLevel level = OptLevel::kInputTiling;
+
+  // Reference run (pure ISS) for the expected outputs and total cycles.
+  Harness ref(name, level);
+  const auto input = ref.net.make_input(0);
+  const auto whole =
+      kernels::try_run_forward(ref.core, ref.mem, ref.built, input);
+  ASSERT_TRUE(whole.ok()) << whole.result.trap_message;
+
+  for (bool start_translated : {true, false}) {
+    Harness h(name, level);
+    kernels::reset_state(h.mem, h.built);
+    h.mem.write_halves(h.built.input_addr, input);
+    exec::ExecutionBackend& first =
+        start_translated ? static_cast<exec::ExecutionBackend&>(h.tcore)
+                         : static_cast<exec::ExecutionBackend&>(h.iss_backend);
+    exec::ExecutionBackend& second =
+        start_translated ? static_cast<exec::ExecutionBackend&>(h.iss_backend)
+                         : static_cast<exec::ExecutionBackend&>(h.tcore);
+
+    first.reset(h.built.program.base);
+    iss::RunLimits part;
+    part.max_instrs = 1000;
+    const auto r1 = first.run(part);
+    ASSERT_EQ(r1.exit, iss::RunResult::Exit::kMaxInstrs);
+
+    // Migrate: the snapshot carries the whole architectural state; memory
+    // stays where the suspended run left it.
+    second.restore(first.snapshot());
+    const auto r2 = second.run({});
+    ASSERT_EQ(r2.exit, iss::RunResult::Exit::kEbreak) << r2.trap_message;
+
+    EXPECT_EQ(h.mem.read_halves(h.built.output_addr,
+                                static_cast<size_t>(h.built.output_count)),
+              whole.outputs)
+        << (start_translated ? "translated->iss" : "iss->translated");
+    EXPECT_EQ(r1.cycles + r2.cycles, whole.result.cycles);
+    EXPECT_EQ(r1.instrs + r2.instrs, whole.result.instrs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine policy: structured rejection, never silent untranslated semantics.
+// ---------------------------------------------------------------------------
+
+TEST(TranslateEnginePolicy, FaultCampaignIsRejectedWithStructuredTrap) {
+  rrm::Engine::Config cfg;
+  cfg.backend = ExecBackend::kTranslated;
+  rrm::Engine eng(cfg);
+  rrm::Request req;
+  req.network = "nasir18";
+  req.fault.rate_of(fault::Target::kTcdm) = 1e-4;
+  const auto resp = eng.run(req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_FALSE(resp.result.completed);
+  EXPECT_EQ(resp.result.steps_completed, 0);
+  EXPECT_EQ(resp.result.trap.cause, iss::TrapCause::kBackendUnsupported);
+  EXPECT_NE(resp.result.trap.message.find("ISS"), std::string::npos);
+}
+
+TEST(TranslateEnginePolicy, WatchdogArmedRunIsRejectedWithStructuredTrap) {
+  rrm::Engine::Config cfg;
+  cfg.backend = ExecBackend::kTranslated;
+  rrm::Engine eng(cfg);
+  rrm::Request req;
+  req.network = "nasir18";
+  req.watchdog_cycles = 10'000;
+  const auto resp = eng.run(req);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.result.trap.cause, iss::TrapCause::kBackendUnsupported);
+}
+
+TEST(TranslateEnginePolicy, ObservedRunFallsBackToIssWithIdenticalResults) {
+  // Observability hooks the interpreter, so an observed request on a
+  // translated engine runs the ISS — documented fallback, identical
+  // results, and the profile actually materializes.
+  rrm::Engine::Config cfg;
+  cfg.backend = ExecBackend::kTranslated;
+  rrm::Engine eng(cfg);
+  rrm::Engine iss_eng(rrm::Engine::Config{});
+  rrm::Request req;
+  req.network = "ahmed19";
+  req.verify = true;
+  req.observe = true;
+  const auto a = eng.run(req);
+  const auto b = iss_eng.run(req);
+  ASSERT_TRUE(a.ok()) << a.result.trap.message;
+  ASSERT_NE(a.result.obs, nullptr);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.result.cycles, b.result.cycles);
+}
+
+// ---------------------------------------------------------------------------
+// Serving: cluster/scheduler parity and the recorded ISS fallback.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+serve::ServeResult serve_suite(ExecBackend backend) {
+  serve::ClusterConfig cc;
+  cc.backend = backend;
+  cc.cores = 2;
+  cc.batch = 4;
+  std::vector<std::string> nets;
+  for (const auto& def : rrm::rrm_suite()) nets.push_back(def.name);
+  serve::Cluster cluster(cc, nets);
+  serve::WorkloadConfig wc;
+  wc.networks = nets;
+  wc.requests = 64;
+  wc.mean_interarrival_cycles = 2000;
+  wc.seed = 0x5EED;
+  serve::SchedulerConfig sc;
+  sc.policy = serve::Policy::kBatched;
+  serve::Scheduler sched(&cluster, sc);
+  return sched.run(serve::make_poisson_workload(cluster, wc));
+}
+
+}  // namespace
+
+TEST(TranslateServing, SchedulerCompletionsBitIdenticalAcrossBackends) {
+  const auto a = serve_suite(ExecBackend::kIss);
+  const auto b = serve_suite(ExecBackend::kTranslated);
+  ASSERT_EQ(a.completions.size(), b.completions.size());
+  std::map<uint64_t, const serve::Completion*> by_id;
+  for (const auto& c : a.completions) by_id[c.id] = &c;
+  for (const auto& c : b.completions) {
+    const auto it = by_id.find(c.id);
+    ASSERT_NE(it, by_id.end()) << c.id;
+    EXPECT_EQ(it->second->outputs, c.outputs) << c.id;
+    EXPECT_EQ(it->second->exec_cycles, c.exec_cycles) << c.id;
+    EXPECT_EQ(it->second->done, c.done) << c.id;
+  }
+}
+
+TEST(TranslateServing, FaultedAndObservedExecutionsRecordIssFallback) {
+  serve::ClusterConfig cc;
+  cc.backend = ExecBackend::kTranslated;
+  cc.cores = 1;
+  serve::Cluster cluster(cc, {"nasir18"});
+  const auto input = cluster.network("nasir18").make_input(0);
+
+  // Fault-free execution runs translated, and says so.
+  auto clean = cluster.run_single(0, "nasir18", input);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.backend, ExecBackend::kTranslated);
+
+  // A faulted execution must run the ISS (injection hooks the interpreter)
+  // and record the fallback — never silently run translated semantics.
+  fault::FaultSpec spec;
+  spec.seed = 0x5EED;
+  spec.rate_of(fault::Target::kTcdm) = 1e-5;
+  auto faulted = cluster.run_single(0, "nasir18", input, &spec);
+  EXPECT_EQ(faulted.backend, ExecBackend::kIss);
+
+  // An observed cluster profiles through the interpreter on every run.
+  serve::ClusterConfig oc = cc;
+  oc.observe = true;
+  serve::Cluster observed(oc, {"nasir18"});
+  auto obs = observed.run_single(0, "nasir18", input);
+  ASSERT_TRUE(obs.ok());
+  EXPECT_EQ(obs.backend, ExecBackend::kIss);
+  EXPECT_EQ(obs.outputs, clean.outputs);
+  EXPECT_EQ(obs.cycles, clean.cycles);
+}
