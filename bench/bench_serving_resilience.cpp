@@ -17,7 +17,11 @@
 //     outputs bit-identical to the fault-free reference;
 //   - at every load step, deadline-policy goodput at the highest fault rate
 //     stays within 2x of the fault-free goodput — degradation is smooth,
-//     not a cliff.
+//     not a cliff;
+//   - WCET-backed admission (the kProvable sweep rows) admits zero
+//     requests that go on to miss their deadline, at every fault rate and
+//     load — the certified upper bound makes the admission test a
+//     guarantee where the calibrated estimate is only a prediction.
 #include <cstdio>
 #include <map>
 #include <string>
@@ -77,7 +81,8 @@ serve::Workload make_workload(const serve::Cluster& cluster, double interarrival
   return serve::make_poisson_workload(cluster, wc);
 }
 
-RunOutput run_point(serve::Policy policy, const RatePoint& rate, double interarrival,
+RunOutput run_point(serve::Policy policy, serve::Admission admission,
+                    const RatePoint& rate, double interarrival,
                     uint64_t seed, ExecBackend backend,
                     const std::map<uint64_t, std::vector<int16_t>>& reference,
                     const serve::SchedulerConfig::TelemetryOptions& telemetry = {}) {
@@ -95,6 +100,7 @@ RunOutput run_point(serve::Policy policy, const RatePoint& rate, double interarr
 
   serve::SchedulerConfig sc;
   sc.policy = policy;
+  sc.admission = admission;
   sc.fault.seed = seed;
   sc.fault.rate_of(fault::Target::kTcdm) = rate.tcdm;
   sc.fault.rate_of(fault::Target::kRegFile) = rate.regfile;
@@ -150,11 +156,11 @@ int main(int argc, char** argv) {
                                                serve::Policy::kDeadline};
 
   std::printf(
-      "| policy | faults | interarrival | served | rej | fail | retries | "
-      "quar | degr | goodput/s | correct |\n");
+      "| policy | adm | faults | interarrival | served | rej | fail | retries | "
+      "quar | degr | miss | goodput/s | correct |\n");
   std::printf(
-      "| :-- | :-- | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | "
-      "---: |\n");
+      "| :-- | :-- | :-- | ---: | ---: | ---: | ---: | ---: | ---: | ---: | "
+      "---: | ---: | ---: |\n");
 
   // --telemetry attaches the spans + metrics layer to every faulted sweep
   // point; each request's span identity is asserted at close, fallback-level
@@ -170,46 +176,74 @@ int main(int argc, char** argv) {
   // whose outputs are bit-identical to the fault-free reference.
   uint64_t high_served = 0, high_correct = 0;
   uint64_t spans_closed = 0;
+  // WCET-backed admission (kProvable, kDeadline only): aggregate deadline
+  // misses among admitted requests — the sound-admission acceptance — and
+  // served/rejected totals for the calibrated-vs-provable comparison.
+  uint64_t provable_misses = 0, provable_served = 0, provable_rejected = 0;
+  uint64_t calibrated_misses = 0, calibrated_served = 0, calibrated_rejected = 0;
   for (const auto policy : policies) {
-    for (const double load : loads) {
-      // Fault-free reference outputs for this (policy, load): same
-      // workload, rates zeroed. Outputs are level-independent, so
-      // degraded-mode executions don't perturb the comparison.
-      std::map<uint64_t, std::vector<int16_t>> reference;
-      {
-        const auto ref = run_point(policy, kRates[0], load, seed, io.backend(), {});
-        for (const auto& c : ref.result.completions) reference[c.id] = c.outputs;
-      }
-      for (const auto& rate : kRates) {
-        const auto out =
-            run_point(policy, rate, load, seed, io.backend(), reference, telemetry);
-        const auto& r = out.result;
-        if (r.telemetry) spans_closed += r.telemetry->spans.spans_closed();
-        std::printf(
-            "| %s | %s | %.0f | %zu | %zu | %zu | %llu | %zu | %llu | %.0f | "
-            "%.4f |\n",
-            serve::policy_name(policy), rate.name, load, r.completions.size(),
-            r.rejections.size(), r.failed.size(),
-            static_cast<unsigned long long>(r.retries), r.quarantines.size(),
-            static_cast<unsigned long long>(r.fallback_execs),
-            r.goodput_per_s(kServeMhz), out.correct_fraction);
-        if (policy == serve::Policy::kDeadline) {
-          if (rate.regfile == 0) goodput_off[load] = r.goodput_per_s(kServeMhz);
-          if (&rate == &kRates.back()) goodput_high[load] = r.goodput_per_s(kServeMhz);
+    // The admission estimator only gates the deadline policy; kFifo runs
+    // calibrated-only to keep the sweep from doubling for a no-op knob.
+    std::vector<serve::Admission> admissions = {serve::Admission::kCalibrated};
+    if (policy == serve::Policy::kDeadline)
+      admissions.push_back(serve::Admission::kProvable);
+    for (const auto admission : admissions) {
+      for (const double load : loads) {
+        // Fault-free reference outputs for this (policy, admission, load):
+        // same workload, rates zeroed. Outputs are level-independent, so
+        // degraded-mode executions don't perturb the comparison.
+        std::map<uint64_t, std::vector<int16_t>> reference;
+        {
+          const auto ref = run_point(policy, admission, kRates[0], load, seed,
+                                     io.backend(), {});
+          for (const auto& c : ref.result.completions) reference[c.id] = c.outputs;
         }
-        if (&rate == &kRates.back()) {
-          high_served += out.compared;
-          high_correct += out.correct;
+        for (const auto& rate : kRates) {
+          const auto out = run_point(policy, admission, rate, load, seed,
+                                     io.backend(), reference, telemetry);
+          const auto& r = out.result;
+          if (r.telemetry) spans_closed += r.telemetry->spans.spans_closed();
+          std::printf(
+              "| %s | %s | %s | %.0f | %zu | %zu | %zu | %llu | %zu | %llu | "
+              "%llu | %.0f | %.4f |\n",
+              serve::policy_name(policy), serve::admission_name(admission),
+              rate.name, load, r.completions.size(), r.rejections.size(),
+              r.failed.size(), static_cast<unsigned long long>(r.retries),
+              r.quarantines.size(),
+              static_cast<unsigned long long>(r.fallback_execs),
+              static_cast<unsigned long long>(r.deadline_misses),
+              r.goodput_per_s(kServeMhz), out.correct_fraction);
+          if (policy == serve::Policy::kDeadline &&
+              admission == serve::Admission::kCalibrated) {
+            if (rate.regfile == 0) goodput_off[load] = r.goodput_per_s(kServeMhz);
+            if (&rate == &kRates.back()) goodput_high[load] = r.goodput_per_s(kServeMhz);
+          }
+          if (policy == serve::Policy::kDeadline) {
+            auto& misses = admission == serve::Admission::kProvable
+                               ? provable_misses : calibrated_misses;
+            auto& served = admission == serve::Admission::kProvable
+                               ? provable_served : calibrated_served;
+            auto& rejected = admission == serve::Admission::kProvable
+                                 ? provable_rejected : calibrated_rejected;
+            misses += r.deadline_misses;
+            served += r.completions.size();
+            rejected += r.rejections.size();
+          }
+          if (&rate == &kRates.back()) {
+            high_served += out.compared;
+            high_correct += out.correct;
+          }
+          obs::Json row = obs::Json::object();
+          row.set("policy", serve::policy_name(policy));
+          row.set("admission", serve::admission_name(admission));
+          row.set("fault_point", rate.name);
+          row.set("tcdm_rate", rate.tcdm);
+          row.set("regfile_rate", rate.regfile);
+          row.set("mean_interarrival_cycles", load);
+          row.set("correct_fraction", out.correct_fraction);
+          row.set("result", serve::serve_result_to_json(r, kServeMhz));
+          rows.push(std::move(row));
         }
-        obs::Json row = obs::Json::object();
-        row.set("policy", serve::policy_name(policy));
-        row.set("fault_point", rate.name);
-        row.set("tcdm_rate", rate.tcdm);
-        row.set("regfile_rate", rate.regfile);
-        row.set("mean_interarrival_cycles", load);
-        row.set("correct_fraction", out.correct_fraction);
-        row.set("result", serve::serve_result_to_json(r, kServeMhz));
-        rows.push(std::move(row));
       }
     }
   }
@@ -242,6 +276,25 @@ int main(int argc, char** argv) {
                       "goodput cliff at load " << load << ": " << high << " vs " << off);
   }
 
+  // Acceptance 3: WCET-backed admission is sound — across the whole
+  // provable sweep (every fault rate x load), no admitted request ever
+  // misses its deadline. The calibrated estimator is a prediction and may
+  // admit requests it cannot finish; the certified bound may not.
+  std::printf(
+      "\nadmission comparison (deadline policy, all rates x loads):\n"
+      "  calibrated: served %llu, rejected %llu, deadline misses %llu\n"
+      "  provable:   served %llu, rejected %llu, deadline misses %llu\n",
+      static_cast<unsigned long long>(calibrated_served),
+      static_cast<unsigned long long>(calibrated_rejected),
+      static_cast<unsigned long long>(calibrated_misses),
+      static_cast<unsigned long long>(provable_served),
+      static_cast<unsigned long long>(provable_rejected),
+      static_cast<unsigned long long>(provable_misses));
+  RNNASIP_CHECK(provable_served > 0);
+  RNNASIP_CHECK_MSG(provable_misses == 0,
+                    "provable admission admitted " << provable_misses
+                                                   << " deadline miss(es)");
+
   if (io.json_enabled()) {
     obs::Json data = obs::Json::object();
     data.set("seed", seed);
@@ -251,6 +304,10 @@ int main(int argc, char** argv) {
     data.set("rows", std::move(rows));
     obs::Json acc = obs::Json::object();
     acc.set("correct_fraction_high", correct_at_high);
+    acc.set("provable_deadline_misses", provable_misses);
+    acc.set("provable_served", provable_served);
+    acc.set("provable_rejected", provable_rejected);
+    acc.set("calibrated_deadline_misses", calibrated_misses);
     obs::Json gp = obs::Json::array();
     for (const double load : loads) {
       obs::Json g = obs::Json::object();

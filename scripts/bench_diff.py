@@ -16,6 +16,10 @@ The compared metrics depend on the bench:
                       serving mix, plus per-row served/silent/detections/
                       rollbacks/escalations/preemptions and the silent-
                       share and preemption acceptance numbers
+  wcet                per-case certified cycle interval (min/max) and the
+                      measured cycles from rnnasip_lint --wcet --json —
+                      exact integers, so the default tolerance flags any
+                      drift at all
 
 Rows carrying a telemetry block (runs made with --telemetry) additionally
 gate the histogram-derived p50/p95/p99 of the latency_cycles histogram and
@@ -98,18 +102,42 @@ def metrics_serving(data):
 def metrics_serving_resilience(data):
     out = {"correct fraction (high rate)":
            data["acceptance"]["correct_fraction_high"]}
+    # WCET-backed admission soundness: zero admitted deadline misses across
+    # the provable sweep (absent from envelopes predating the kProvable rows).
+    if "provable_deadline_misses" in data["acceptance"]:
+        out["provable deadline misses"] = \
+            data["acceptance"]["provable_deadline_misses"]
+        out["provable served"] = data["acceptance"]["provable_served"]
+        out["provable rejected"] = data["acceptance"]["provable_rejected"]
     for g in data["acceptance"]["goodput"]:
         load = int(g["mean_interarrival_cycles"])
         out[f"goodput fault-free @{load}"] = g["goodput_fault_free"]
         out[f"goodput high-rate @{load}"] = g["goodput_high_rate"]
     for row in data["rows"]:
         res = row["result"]["resilience"]
-        key = (f"{row['policy']}/{row['fault_point']}"
+        adm = row.get("admission", "calibrated")
+        key = (f"{row['policy']}.{adm}/{row['fault_point']}"
                f"/@{int(row['mean_interarrival_cycles'])}")
         out[f"{key} served"] = res["served"]
         out[f"{key} retries"] = res["retries"]
         out[f"{key} rejected"] = res["rejected"]
         telemetry_metrics(out, key, row["result"])
+    return out
+
+
+def metrics_wcet(data):
+    """Certified static cycle intervals from rnnasip_lint --wcet --json:
+    per-case min/max/measured cycles are exact integers (the analysis and
+    the simulator are both deterministic), so any drift is a real change to
+    the timing model, the analysis, or the generated programs."""
+    out = {"cases": data["total"], "failing": data["failing"]}
+    for case in data["cases"]:
+        key = f"{case['network']}@{case['level']}"
+        if case.get("split"):
+            key += "/split"
+        out[f"{key} min"] = case["min_cycles"]
+        out[f"{key} max"] = case["max_cycles"]
+        out[f"{key} measured"] = case["measured_cycles"]
     return out
 
 
@@ -158,6 +186,7 @@ EXTRACTORS = {
     "serving": metrics_serving,
     "serving_resilience": metrics_serving_resilience,
     "serving_integrity": metrics_serving_integrity,
+    "wcet": metrics_wcet,
 }
 
 

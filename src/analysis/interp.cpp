@@ -5,11 +5,13 @@
 #include <cstdlib>
 #include <map>
 #include <numeric>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <vector>
 
 #include "src/analysis/absval.h"
+#include "src/analysis/wcet.h"
 #include "src/asm/disasm.h"
 #include "src/isa/instr_info.h"
 #include "src/isa/registers.h"
@@ -30,8 +32,7 @@ struct AbsState {
   std::array<AbsVal, 32> r;
   uint32_t maybe_undef = 0;  ///< bit r: xr may be read before any definition
   uint8_t spr_undef = 0b11;  ///< SPR k never preloaded by a pl.sdotsp
-  int8_t last_spr = -1;      ///< SPR of the directly preceding pl.sdotsp
-                             ///< (-1 none, -2 merged/unknown)
+  HazardState hz;            ///< pipeline state for stall/pairing costs
   bool bottom = true;
 };
 
@@ -46,24 +47,35 @@ AbsState join_state(const AbsState& a, const AbsState& b) {
   for (int i = 1; i < 32; ++i) o.r[i] = join(a.r[i], b.r[i]);
   o.maybe_undef |= b.maybe_undef;
   o.spr_undef |= b.spr_undef;
-  if (a.last_spr != b.last_spr) o.last_spr = -2;
+  o.hz = hazard_join(a.hz, b.hz);
   return o;
 }
 
+/// Cycle interval accumulated along abstract paths: `min` is the shortest
+/// feasible path, `max` the longest. Both sides stay sound under the
+/// hazard rules of wcet.h.
+struct Cost {
+  uint64_t min = 0;
+  uint64_t max = 0;
+  Cost operator+(const Cost& o) const { return {min + o.min, max + o.max}; }
+  Cost operator+(uint64_t c) const { return {min + c, max + c}; }
+};
+
 struct Arrival {
   AbsState st;
-  uint64_t cost = 0;
+  Cost cost;
 };
 
 using Slot = std::optional<Arrival>;
 
-void merge(Slot& slot, const AbsState& st, uint64_t cost) {
+void merge(Slot& slot, const AbsState& st, Cost cost) {
   if (st.bottom) return;
   if (!slot) {
     slot = Arrival{st, cost};
   } else {
     slot->st = join_state(slot->st, st);
-    slot->cost = std::min(slot->cost, cost);  // sound lower bound
+    slot->cost.min = std::min(slot->cost.min, cost.min);  // sound lower bound
+    slot->cost.max = std::max(slot->cost.max, cost.max);  // sound upper bound
   }
 }
 
@@ -89,10 +101,12 @@ struct LoopNode {
 
 /// One run of a loop body from a given entry state.
 struct BodyOut {
-  Slot back;        ///< state re-entering the body (next iteration)
-  Slot exitst;      ///< state leaving the loop
-  Slot at_latch;    ///< counted only: state just before the latch
-  uint64_t body_cost = 0;  ///< min cycles body entry -> latch/body end
+  Slot back;      ///< state re-entering the body (next iteration)
+  Slot exitst;    ///< state leaving the loop
+  Slot at_latch;  ///< counted only: state just before the latch
+  /// Cycles body entry -> body end (hw) or through the latch issue, back
+  /// edge excluded (counted).
+  Cost body_cost;
   Slot term;
   std::vector<std::pair<size_t, Arrival>> escapes;
 };
@@ -155,6 +169,8 @@ class Interp {
   std::map<uint32_t, LoopBound> bounds_;
   uint64_t steps_ = 0;
   bool out_of_budget_ = false;
+  bool wcet_bounded_ = true;
+  std::string wcet_reason_;
 
   const Instr& in(size_t idx) const { return cfg_.prog->instrs[idx]; }
   uint32_t pc(size_t idx) const { return cfg_.pcs[idx]; }
@@ -176,8 +192,20 @@ class Interp {
       rep_.add("analysis.budget-exceeded", Severity::kWarning, 0,
                "abstract interpretation step budget exhausted; remaining "
                "checks skipped");
+      unbounded(0, "step budget exhausted");
     }
     return false;
+  }
+
+  /// Void the worst-case bound: some feasible behavior at `idx` cannot be
+  /// cycle-bounded. The lower bound survives; max_cycles reports 0 with
+  /// the first cause (advisory perf.wcet-unbounded).
+  void unbounded(size_t idx, const std::string& why) {
+    if (!wcet_bounded_) return;
+    wcet_bounded_ = false;
+    wcet_reason_ = why;
+    add("perf.wcet-unbounded", Severity::kInfo, idx,
+        "no sound worst-case cycle bound: " + why + " at " + disasm(idx));
   }
 
   const LoopNode* node_starting_at(size_t idx, const LoopNode* skip) const {
@@ -251,15 +279,16 @@ class Interp {
   }
 
   /// Abstractly execute one non-control instruction in place; returns its
-  /// minimum cycle cost.
-  uint64_t exec_instr(AbsState& st, size_t idx) {
+  /// cycle cost interval (base cost plus entry-hazard stalls/pairing).
+  Cost exec_instr(AbsState& st, size_t idx) {
     const Instr& ins = in(idx);
     check_reads(ins, st, idx);
+    const HazardCost hc = hazard_cost(st.hz, ins, t_);
 
     if (ins.op == Opcode::kPlSdotspH0 || ins.op == Opcode::kPlSdotspH1) {
       const int k = ins.op == Opcode::kPlSdotspH1 ? 1 : 0;
       const std::string spr = std::to_string(k);
-      if (st.last_spr == k)
+      if (st.hz.last_spr == k)
         add("spr.back-to-back", Severity::kWarning, idx,
             disasm(idx) + " reuses SPR " + spr +
                 " directly after the previous pl.sdotsp on the same SPR; the "
@@ -271,9 +300,6 @@ class Interp {
                 " before any preload (pl.sdotsp.h." + spr +
                 " with rd=x0) initialized it");
       st.spr_undef = static_cast<uint8_t>(st.spr_undef & ~(1u << k));
-      st.last_spr = static_cast<int8_t>(k);
-    } else {
-      st.last_spr = -1;
     }
 
     if (const auto m = isa::mem_access(ins)) check_mem(*m, st, idx);
@@ -442,7 +468,10 @@ class Interp {
         break;
       }
     }
-    return instr_cost(ins);
+    hazard_advance(st.hz, ins);
+    const uint64_t base = instr_cost(ins);
+    const uint64_t lo = base + hc.stall_min;
+    return Cost{lo - std::min(hc.pair_save, lo), base + hc.stall_max};
   }
 
   BranchSplit split_branch(const AbsState& st, const Instr& ins) {
@@ -517,9 +546,10 @@ class Interp {
       default:
         break;
     }
-    // A branch is not a pl.sdotsp: it breaks SPR adjacency.
-    s.taken.last_spr = -1;
-    s.fall.last_spr = -1;
+    // The branch retires through the same hazard bookkeeping as any other
+    // instruction: not a load, not a memory op, not a pl.sdotsp.
+    hazard_advance(s.taken.hz, ins);
+    hazard_advance(s.fall.hz, ins);
     return s;
   }
 
@@ -543,14 +573,18 @@ class Interp {
   Flow exec_range(size_t lo, size_t hi, const AbsState& entry, int depth,
                   const LoopNode* skip, const CallCtx* ctx) {
     Flow out;
-    if (out_of_budget_ || depth > 64) return out;
+    if (out_of_budget_) return out;
+    if (depth > 64) {
+      if (lo < n()) unbounded(lo, "call/loop nesting depth limit exceeded");
+      return out;
+    }
     std::map<size_t, Arrival> work;
-    merge_work(work, lo, entry, 0);
+    merge_work(work, lo, entry, Cost{});
     while (!work.empty()) {
       auto it = work.begin();
       const size_t idx = it->first;
       AbsState st = std::move(it->second.st);
-      const uint64_t cost = it->second.cost;
+      const Cost cost = it->second.cost;
       work.erase(it);
       if (idx == hi) {
         merge(out.fall, st, cost);
@@ -569,13 +603,17 @@ class Interp {
       const Instr& ins = in(idx);
       if (isa::is_branch(ins.op)) {
         check_reads(ins, st, idx);
+        const HazardCost hc = hazard_cost(st.hz, ins, t_);
+        const Cost c = cost + Cost{1 + hc.stall_min, 1 + hc.stall_max};
         const auto ti = cfg_.index_at(pc(idx) + static_cast<uint32_t>(ins.imm));
         BranchSplit s = split_branch(st, ins);
         if (ti && *ti > idx && !s.taken_dead)
-          merge_work(work, *ti, s.taken, cost + 1 + t_.taken_branch_penalty);
+          merge_work(work, *ti, s.taken, c + t_.taken_branch_penalty);
         // Backward targets are unrecognized latches (already warned); do not
-        // follow them.
-        if (!s.fall_dead) merge_work(work, idx + 1, s.fall, cost + 1);
+        // follow them, but a feasible taken edge voids the upper bound.
+        if (ti && *ti <= idx && !s.taken_dead)
+          unbounded(idx, "backward branch outside a recognized loop");
+        if (!s.fall_dead) merge_work(work, idx + 1, s.fall, c);
         continue;
       }
       switch (ins.op) {
@@ -584,32 +622,40 @@ class Interp {
               cfg_.index_at(pc(idx) + static_cast<uint32_t>(ins.imm));
           if (!ti) continue;  // cfg.bad-target already reported
           if (ins.rd == 0) {
-            if (*ti > idx)
-              merge_work(work, *ti, st, cost + 1 + t_.jump_penalty);
+            if (*ti > idx) {
+              AbsState js = st;
+              hazard_advance(js.hz, ins);
+              merge_work(work, *ti, js, cost + (1 + t_.jump_penalty));
+            } else {
+              unbounded(idx, "backward jump outside a recognized loop");
+            }
             continue;
           }
           // A call. Link, then inline the callee at this call site.
           AbsState linked = st;
           linked.r[ins.rd] = AbsVal::constant(pc(idx) + ins.size);
           linked.maybe_undef &= ~(1u << ins.rd);
-          linked.last_spr = -1;
+          hazard_advance(linked.hz, ins);
           if (ctx != nullptr) {
             add("cfg.nested-call", Severity::kWarning, idx,
                 "call from inside a called routine; callee effects are "
                 "over-approximated (caller-saved registers clobbered)");
+            unbounded(idx, "nested call cycles are not modelled");
             for (uint8_t r : {uint8_t{1}, uint8_t{5}, uint8_t{6}, uint8_t{7},
                               uint8_t{10}, uint8_t{11}, uint8_t{12},
                               uint8_t{13}, uint8_t{14}, uint8_t{15},
                               uint8_t{16}, uint8_t{17}})
               linked.r[r] = AbsVal::any();
-            merge_work(work, idx + 1, linked, cost + 1 + t_.jump_penalty);
+            merge_work(work, idx + 1, linked, cost + (1 + t_.jump_penalty));
             continue;
           }
           CallOut c = exec_call(*ti, linked, pc(idx) + ins.size, depth);
           if (c.ret)
             merge_work(work, idx + 1, c.ret->st,
-                       cost + 1 + t_.jump_penalty + c.ret->cost);
-          if (c.term) merge(out.term, c.term->st, cost + c.term->cost);
+                       cost + (1 + t_.jump_penalty) + c.ret->cost);
+          if (c.term)
+            merge(out.term, c.term->st,
+                  cost + (1 + t_.jump_penalty) + c.term->cost);
           continue;
         }
         case Opcode::kJalr: {
@@ -626,10 +672,16 @@ class Interp {
                  << "; the link register was clobbered inside the routine";
               add("df.ra-clobber", Severity::kError, idx, os.str());
             }
-            merge(*ctx->ret, st, cost + 1 + t_.jump_penalty);
+            const HazardCost hc = hazard_cost(st.hz, ins, t_);
+            hazard_advance(st.hz, ins);
+            merge(*ctx->ret, st,
+                  cost + Cost{1 + t_.jump_penalty + hc.stall_min,
+                              1 + t_.jump_penalty + hc.stall_max});
+          } else {
+            // The target is unknown (already warned as cfg.indirect-jump);
+            // the path ends here with no cycle upper bound.
+            unbounded(idx, "indirect jump target unknown");
           }
-          // Outside a call context the target is unknown (already warned as
-          // cfg.indirect-jump); the path ends here.
           continue;
         }
         case Opcode::kEbreak:
@@ -643,19 +695,20 @@ class Interp {
         default:
           break;
       }
-      const uint64_t c = exec_instr(st, idx);
+      const Cost c = exec_instr(st, idx);
       merge_work(work, idx + 1, st, cost + c);
     }
     return out;
   }
 
   static void merge_work(std::map<size_t, Arrival>& work, size_t idx,
-                         const AbsState& st, uint64_t cost) {
+                         const AbsState& st, Cost cost) {
     if (st.bottom) return;
     auto [it, fresh] = work.try_emplace(idx, Arrival{st, cost});
     if (!fresh) {
       it->second.st = join_state(it->second.st, st);
-      it->second.cost = std::min(it->second.cost, cost);
+      it->second.cost.min = std::min(it->second.cost.min, cost.min);
+      it->second.cost.max = std::max(it->second.cost.max, cost.max);
     }
   }
 
@@ -678,15 +731,16 @@ class Interp {
     Flow f = exec_range(nd.body_lo, nd.latch, s, depth + 1, &nd, ctx);
     if (f.fall) {
       AbsState at = f.fall->st;
-      b.body_cost = f.fall->cost;
       merge(b.at_latch, at, f.fall->cost);
       const Instr& latch = in(nd.latch);
       visited_[nd.latch] = true;
       check_reads(latch, at, nd.latch);
+      const HazardCost hc = hazard_cost(at.hz, latch, t_);
+      const Cost lc = f.fall->cost + Cost{1 + hc.stall_min, 1 + hc.stall_max};
+      b.body_cost = lc;
       BranchSplit sp = split_branch(at, latch);
-      if (!sp.taken_dead)
-        merge(b.back, sp.taken, f.fall->cost + 1 + t_.taken_branch_penalty);
-      if (!sp.fall_dead) merge(b.exitst, sp.fall, f.fall->cost + 1);
+      if (!sp.taken_dead) merge(b.back, sp.taken, lc + t_.taken_branch_penalty);
+      if (!sp.fall_dead) merge(b.exitst, sp.fall, lc);
     }
     b.term = std::move(f.term);
     b.escapes = std::move(f.escapes);
@@ -781,7 +835,11 @@ class Interp {
     }
     w.maybe_undef |= s1.maybe_undef;
     w.spr_undef |= s1.spr_undef;
-    if (w.last_spr != s1.last_spr) w.last_spr = -2;
+    // Pipeline state reaches its fixpoint in one step: hazard_advance is
+    // purely syntactic, so every iteration >= 2 enters with s1's hazard
+    // state (or carries s0's through an instruction-free path, which the
+    // join covers).
+    w.hz = hazard_join(s0.hz, s1.hz);
     return w;
   }
 
@@ -799,39 +857,52 @@ class Interp {
     return l;
   }
 
-  void exec_loop(const LoopNode& nd, const AbsState& entry, uint64_t cost,
+  void exec_loop(const LoopNode& nd, const AbsState& entry, Cost cost,
                  int depth, std::map<size_t, Arrival>& work, Flow& out,
                  const CallCtx* ctx) {
     AbsState s0 = entry;
-    uint64_t c0 = cost;
-    std::optional<uint64_t> trips;
+    Cost c0 = cost;
+    std::optional<uint64_t> trips;      // exact proven iteration count
+    std::optional<uint64_t> trips_max;  // sound upper trip bound
+    std::string why_unbounded = "unproven loop trip count";
 
     if (nd.hw) {
       const Instr& su = in(nd.start);
       visited_[nd.start] = true;
       check_reads(su, s0, nd.start);
-      std::optional<int64_t> count;
+      const HazardCost hc = hazard_cost(s0.hz, su, t_);
+      std::optional<uint32_t> count;
       if (su.op == Opcode::kLpSetupi) {
         count = static_cast<uint32_t>(su.imm);
       } else {
         const AbsVal c = getreg(s0, su.rs1);
-        if (c.is_const()) count = c.lo;
-        if (su.op == Opcode::kLpSetup && count && *count == 0)
-          add("hwl.count-zero", Severity::kWarning, nd.start,
-              disasm(nd.start) +
-                  " sets an iteration count of 0; RI5CY cannot skip the "
-                  "body, which still executes once");
+        if (c.is_const()) {
+          count = static_cast<uint32_t>(c.lo);  // the counter is 32-bit
+          if (su.op == Opcode::kLpSetup && *count == 0)
+            add("hwl.count-zero", Severity::kWarning, nd.start,
+                disasm(nd.start) +
+                    " sets an iteration count of 0; RI5CY cannot skip the "
+                    "body, which still executes once");
+        } else if (known_nonneg(c)) {
+          // Interval-bounded count: no exact trips, but a sound maximum.
+          trips_max = std::max<uint64_t>(static_cast<uint64_t>(c.hi), 1);
+        } else {
+          why_unbounded = "hardware-loop count not statically bounded";
+        }
       }
-      c0 += 1;
-      if (count) trips = static_cast<uint64_t>(std::max<int64_t>(*count, 1));
-      s0.last_spr = -1;  // the setup instruction breaks SPR adjacency
+      if (count) trips = trips_max = std::max<uint64_t>(*count, 1);
+      c0 = c0 + Cost{1 + hc.stall_min, 1 + hc.stall_max};
+      hazard_advance(s0.hz, su);
     }
 
-    // Iteration 1 (states here are concrete behaviors, so findings are real).
+    // Iteration 1 (states here are concrete behaviors, so findings are
+    // real). Escapes and terminations are deferred: their upper-bound side
+    // must be inflated by the worst-case prefix of completed iterations,
+    // which needs the trip bound resolved first.
     BodyOut b1 = body_once(nd, s0, depth, ctx);
-    for (auto& e : b1.escapes) merge_work(work, e.first, e.second.st,
-                                          c0 + e.second.cost);
-    if (b1.term) merge(out.term, b1.term->st, c0 + b1.term->cost);
+    std::vector<std::pair<size_t, Arrival>> pend_esc = std::move(b1.escapes);
+    std::vector<Arrival> pend_term;
+    if (b1.term) pend_term.push_back(*b1.term);
 
     if (!nd.hw && b1.at_latch && b1.back) {
       // Trip count from the latch condition.
@@ -846,13 +917,16 @@ class Interp {
         bool never = false;
         trips = solve_trips(latch.op, l1.lo, *dl, r1.lo, *dr,
                             /*unsigned_ok=*/true, never);
-        if (never)
+        if (never) {
           add("cfg.nonterminating", Severity::kWarning, nd.latch,
               "loop latch " + disasm(nd.latch) +
                   " is provably always taken; the loop never exits");
+          why_unbounded = "loop latch provably always taken";
+        }
       }
     }
     if (!nd.hw && b1.at_latch && !b1.back) trips = 1;  // latch never taken
+    if (!nd.hw && trips) trips_max = trips;
 
     const AbsState& s1 = b1.back ? b1.back->st : s0;
     const AbsState w = widen(s0, s1, trips.value_or(0));
@@ -862,9 +936,8 @@ class Interp {
     BodyOut bw = b1;
     if (trips.value_or(0) != 1) {
       bw = body_once(nd, w, depth, ctx);
-      for (auto& e : bw.escapes) merge_work(work, e.first, e.second.st,
-                                            c0 + e.second.cost);
-      if (bw.term) merge(out.term, bw.term->st, c0 + bw.term->cost);
+      for (auto& e : bw.escapes) pend_esc.push_back(std::move(e));
+      if (bw.term) pend_term.push_back(*bw.term);
     }
 
     // Exit state: precise last-iteration run when the count is proven.
@@ -872,27 +945,56 @@ class Interp {
     if (trips && *trips > 1) {
       BodyOut be = body_once(nd, last_entry(s0, s1, w, *trips), depth, ctx);
       if (be.exitst) exitst = be.exitst;
-      if (be.term) merge(out.term, be.term->st, c0 + be.term->cost);
+      if (be.term) pend_term.push_back(*be.term);
     }
 
-    // Cycle lower bound over the whole loop.
-    const uint64_t body = std::min(b1.body_cost, bw.body_cost);
+    // Closed-form cycle interval over the whole loop. Counted-loop body
+    // costs include the latch issue; each re-entry additionally pays the
+    // taken-branch penalty, which the final (fall-through) latch saves.
+    const Cost body{std::min(b1.body_cost.min, bw.body_cost.min),
+                    std::max(b1.body_cost.max, bw.body_cost.max)};
     const uint64_t t = trips.value_or(1);
-    uint64_t total;
+    uint64_t total_min = 0;
+    uint64_t per_iter_max = 0;
     if (nd.hw) {
-      total = t * body;  // zero-overhead back-edges
+      total_min = t * body.min;  // zero-overhead back-edges
+      per_iter_max = body.max;
     } else {
-      total = t * (body + 1) + (t - 1) * t_.taken_branch_penalty;
+      total_min = t * body.min + (t - 1) * t_.taken_branch_penalty;
+      per_iter_max = body.max + t_.taken_branch_penalty;
     }
+    uint64_t total_max = 0;
+    if (trips_max) {
+      total_max = *trips_max * per_iter_max;
+      if (!nd.hw) total_max -= t_.taken_branch_penalty;
+    } else {
+      unbounded(nd.start, why_unbounded);
+    }
+
+    // An escape (or termination) during iteration k implies k-1 completed
+    // iterations before it, with k <= trips_max: the upper-bound side gains
+    // the worst-case prefix; the lower-bound side is feasible in iteration 1.
+    const uint64_t infl = trips_max ? (*trips_max - 1) * per_iter_max : 0;
+    for (auto& e : pend_esc)
+      merge_work(work, e.first, e.second.st,
+                 Cost{c0.min + e.second.cost.min,
+                      c0.max + infl + e.second.cost.max});
+    for (const Arrival& a : pend_term)
+      merge(out.term, a.st,
+            Cost{c0.min + a.cost.min, c0.max + infl + a.cost.max});
 
     LoopBound lb;
     lb.pc = pc(nd.start);
     lb.hardware = nd.hw;
     lb.trips = trips.value_or(0);
-    lb.body_min_cycles = nd.hw ? body : body + 1;
+    lb.trips_max = trips_max.value_or(0);
+    lb.body_min_cycles = body.min;
+    lb.body_max_cycles = body.max;
     bounds_[lb.pc] = lb;
 
-    if (exitst) merge_work(work, nd.exit_idx, exitst->st, c0 + total);
+    if (exitst)
+      merge_work(work, nd.exit_idx, exitst->st,
+                 Cost{c0.min + total_min, c0.max + total_max});
   }
 };
 
@@ -942,14 +1044,19 @@ InterpResult Interp::run() {
   Flow f = exec_range(0, n(), init, 0, nullptr, nullptr);
 
   if (f.term) {
-    res.min_cycles = f.term->cost;
+    res.min_cycles = f.term->cost.min;
+    if (wcet_bounded_) res.max_cycles = f.term->cost.max;
   } else if (f.fall) {
-    res.min_cycles = f.fall->cost;  // fall-off-end is already an error
+    res.min_cycles = f.fall->cost.min;  // fall-off-end is already an error
   }
   res.completed = !out_of_budget_;
 
   for (auto& [lpc, lb] : bounds_) rep_.loops.push_back(lb);
   rep_.min_cycles = res.min_cycles;
+  rep_.max_cycles = res.max_cycles;
+  if (res.max_cycles == 0)
+    rep_.wcet_unbounded_reason =
+        wcet_reason_.empty() ? "no bounded terminating path" : wcet_reason_;
 
   // Unreachable code (advisory): contiguous never-visited runs.
   if (res.completed) {

@@ -13,9 +13,16 @@
 //
 // Calls (jal ra) are executed inline per call site — routines never nest
 // in the generated programs, so this is exact call-site context
-// sensitivity. The pass also accumulates a static cycle lower bound
-// (shortest abstract path weighted by instruction minimum costs and
-// proven trip counts) and per-loop LoopBound records.
+// sensitivity. The pass accumulates a certified static cycle *interval*
+// (IPET-style: shortest and longest abstract path, both weighted by
+// hazard-aware instruction costs — see wcet.h — and by proven trip
+// counts) plus per-loop LoopBound records. Once loops are summarized the
+// remaining edges are all forward, so the single ascending worklist sweep
+// yields the longest path (max-merge) alongside the shortest (min-merge).
+// The upper bound is voided (max_cycles == 0, with a reason) by anything
+// the analysis cannot bound: unproven trip counts, backward control flow
+// outside recognized loops, indirect jumps, nested calls, or an exhausted
+// step budget.
 #pragma once
 
 #include "src/analysis/cfg.h"
@@ -27,7 +34,8 @@ namespace rnnasip::analysis {
 
 struct InterpResult {
   uint64_t min_cycles = 0;
-  bool completed = false;  ///< false when the step budget was exhausted
+  uint64_t max_cycles = 0;  ///< certified WCET; 0 = unbounded
+  bool completed = false;   ///< false when the step budget was exhausted
 };
 
 /// Run the abstract interpretation, emitting df.*, spr.*, mem.*, and the

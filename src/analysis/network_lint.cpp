@@ -25,6 +25,7 @@ uint64_t campaign_watchdog(const kernels::BuiltNetwork& net,
   opts.timing = timing;
   opts.dead_defs = false;  // liveness has no bearing on the cycle bound
   const Report report = verify_network(net, opts);
+  if (report.max_cycles != 0) return report.max_cycles * kWcetWatchdogMargin;
   if (report.min_cycles == 0) return kCampaignWatchdogFallback;
   return report.min_cycles * kCampaignWatchdogMargin;
 }

@@ -17,14 +17,16 @@ iss::MemoryMap memory_map_of(const kernels::BuiltNetwork& net);
 Report verify_network(const kernels::BuiltNetwork& net,
                       const Options& opts = {});
 
-/// Automatic per-forward-pass cycle watchdog for fault campaigns: the
-/// static cycle lower bound of the built program (abstract interpretation,
-/// see verify()) times a safety margin. The bound is sound — a fault-free
-/// run can never finish below it — so bound x margin catches a corrupted
-/// loop in time proportional to the network's real cost instead of one
-/// campaign-wide constant. Falls back to kCampaignWatchdogFallback when the
-/// bound is unavailable (structural findings skipped abstract
-/// interpretation). Rule documented in docs/FAULTS.md.
+/// Automatic per-forward-pass cycle watchdog for fault campaigns. When the
+/// verifier certifies a WCET (Report::max_cycles, see wcet.h) the watchdog
+/// arms at WCET x kWcetWatchdogMargin: a fault-free run provably finishes
+/// below it, so any expiry is a real fault, and the margin is tight (2x a
+/// sound upper bound instead of 64x a lower bound). When only the lower
+/// bound exists the old heuristic — bound x kCampaignWatchdogMargin —
+/// applies; with no bound at all (structural findings skipped abstract
+/// interpretation) kCampaignWatchdogFallback. Rule documented in
+/// docs/FAULTS.md.
+inline constexpr uint64_t kWcetWatchdogMargin = 2;
 inline constexpr uint64_t kCampaignWatchdogMargin = 64;
 inline constexpr uint64_t kCampaignWatchdogFallback = 20'000'000;
 uint64_t campaign_watchdog(const kernels::BuiltNetwork& net,

@@ -39,7 +39,8 @@ std::string Report::to_string() const {
   os << errors() << " error(s), " << warnings() << " warning(s), " << infos()
      << " info(s); " << num_instrs << " instrs, " << num_blocks << " blocks, "
      << num_hw_loops << " hw loops, " << num_counted_loops
-     << " counted loops; min_cycles=" << min_cycles << "\n";
+     << " counted loops; min_cycles=" << min_cycles
+     << ", max_cycles=" << max_cycles << "\n";
   return os.str();
 }
 

@@ -30,13 +30,17 @@ struct Finding {
   std::string message;  ///< human-readable diagnosis (includes disassembly)
 };
 
-/// Static per-loop execution bound: `trips` iterations (0 when the trip
-/// count could not be proven) of a body costing at least `body_min_cycles`.
+/// Static per-loop execution bounds: `trips` proven iterations (0 when the
+/// exact count could not be proven) of a body costing at least
+/// `body_min_cycles` and at most `body_max_cycles`; `trips_max` is the
+/// sound upper trip bound (0 = unbounded, voiding the program WCET).
 struct LoopBound {
   uint32_t pc = 0;        ///< lp.setup pc, or counted-loop head pc
   bool hardware = false;  ///< lp.setup/lp.setupi vs branch-latched loop
   uint64_t trips = 0;
+  uint64_t trips_max = 0;
   uint64_t body_min_cycles = 0;
+  uint64_t body_max_cycles = 0;
 };
 
 struct Report {
@@ -46,6 +50,13 @@ struct Report {
   /// Static cycle lower bound for one forward pass (entry to ebreak),
   /// 0 when abstract interpretation was skipped due to structural errors.
   uint64_t min_cycles = 0;
+  /// Certified worst-case cycle bound (WCET) for the same pass: every
+  /// dynamic execution satisfies min_cycles <= cycles <= max_cycles.
+  /// 0 when no sound upper bound exists — unprovable trip counts or
+  /// unmodelled control flow — with the first cause in
+  /// `wcet_unbounded_reason` (also surfaced as a perf.wcet-unbounded info).
+  uint64_t max_cycles = 0;
+  std::string wcet_unbounded_reason;
 
   size_t num_instrs = 0;
   size_t num_blocks = 0;

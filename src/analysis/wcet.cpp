@@ -1,0 +1,97 @@
+#include "src/analysis/wcet.h"
+
+#include "src/analysis/network_lint.h"
+#include "src/isa/instr_info.h"
+
+namespace rnnasip::analysis {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+int spr_of(Opcode op) {
+  if (op == Opcode::kPlSdotspH0) return 0;
+  if (op == Opcode::kPlSdotspH1) return 1;
+  return -1;
+}
+
+bool reads_any_gpr(const Instr& ins) {
+  const isa::RegUse u = isa::reg_use(ins);
+  return (u.reads_rs1 && ins.rs1 != 0) || (u.reads_rs2 && ins.rs2 != 0) ||
+         (u.reads_rd && ins.rd != 0);
+}
+
+}  // namespace
+
+HazardCost hazard_cost(const HazardState& hz, const Instr& ins,
+                       const iss::TimingModel& t) {
+  HazardCost c;
+
+  // Load-use interlock: the core stalls when the consumer directly follows
+  // the producing load. Certain iff the producing rd is known and read;
+  // possible whenever the previous instruction may have been a load and
+  // this one reads any register.
+  const bool lu_cert =
+      hz.last_load >= 0 &&
+      isa::reads_reg(ins, static_cast<uint8_t>(hz.last_load));
+  const bool lu_poss =
+      lu_cert || (hz.last_load == -2 && reads_any_gpr(ins));
+  if (lu_cert) c.stall_min += t.load_use_stall;
+  if (lu_poss) c.stall_max += t.load_use_stall;
+
+  // Back-to-back pl.sdotsp on one SPR.
+  const int cur = spr_of(ins.op);
+  if (cur >= 0) {
+    if (hz.last_spr == cur) {
+      c.stall_min += t.spr_conflict_stall;
+      c.stall_max += t.spr_conflict_stall;
+    } else if (hz.last_spr == -2) {
+      c.stall_max += t.spr_conflict_stall;
+    }
+  }
+
+  // Dual-issue what-if: an ALU/MUL/SIMD instruction issues in the slot of
+  // the directly preceding memory op unless it depends on a preceding
+  // load's result. The saving is credited to the lower bound whenever some
+  // concrete path could pair; the upper bound assumes every pairing breaks.
+  if (t.dual_issue && hz.prev_mem != 0 && !lu_cert) {
+    const isa::Unit unit = isa::opcode_info(ins.op).unit;
+    if (unit == isa::Unit::kAlu || unit == isa::Unit::kMul ||
+        unit == isa::Unit::kSimd)
+      c.pair_save = 1;
+  }
+  return c;
+}
+
+void hazard_advance(HazardState& hz, const Instr& ins) {
+  hz.last_load = isa::is_gpr_load(ins.op) && ins.rd != 0
+                     ? static_cast<int8_t>(ins.rd)
+                     : int8_t{-1};
+  const isa::Unit unit = isa::opcode_info(ins.op).unit;
+  hz.prev_mem = unit == isa::Unit::kLoad || unit == isa::Unit::kStore ? 1 : 0;
+  hz.last_spr = static_cast<int8_t>(spr_of(ins.op));
+}
+
+HazardState hazard_join(const HazardState& a, const HazardState& b) {
+  HazardState o;
+  o.last_load = a.last_load == b.last_load ? a.last_load : int8_t{-2};
+  o.last_spr = a.last_spr == b.last_spr ? a.last_spr : int8_t{-2};
+  o.prev_mem = a.prev_mem == b.prev_mem ? a.prev_mem : uint8_t{2};
+  return o;
+}
+
+StaticBounds static_bounds(const kernels::BuiltNetwork& net,
+                           const iss::TimingModel& timing) {
+  Options opts;
+  opts.timing = timing;
+  opts.dead_defs = false;  // liveness has no bearing on the cycle bounds
+  const Report rep = verify_network(net, opts);
+  StaticBounds b;
+  b.min_cycles = rep.min_cycles;
+  b.max_cycles = rep.max_cycles;
+  b.unbounded_reason = rep.wcet_unbounded_reason;
+  return b;
+}
+
+}  // namespace rnnasip::analysis

@@ -1,0 +1,101 @@
+// Sound worst-case execution time (WCET) machinery.
+//
+// The abstract interpreter (interp.cpp) threads a HazardState through every
+// path: the three pieces of pipeline state the ISS carries between
+// instructions (core.cpp run()) — the destination of a directly preceding
+// gpr load (load-use interlock), the SPR of a directly preceding pl.sdotsp
+// (back-to-back conflict stall), and whether the previous instruction was a
+// memory op (the dual-issue what-if pairing slot). Each field has an
+// explicit "unknown" top so joined control flow stays sound:
+//
+//   lower bound  charge a stall only when it happens on *every* concrete
+//                path; credit a dual-issue pairing whenever *some* path
+//                could pair.
+//   upper bound  charge a stall whenever *some* path could stall; never
+//                credit a pairing (every pairing opportunity breaks).
+//
+// With both directions the interpreter emits a certified interval
+// StaticBounds{min_cycles, max_cycles} with the invariant
+// min <= measured <= max for every program it can bound; programs with
+// unprovable trip counts or unmodelled control flow (backward branches
+// outside recognized loops, indirect jumps, nested calls) keep the lower
+// bound and report max_cycles == 0 with a reason. The serving stack builds
+// on the upper bound: the campaign watchdog arms at WCET x margin
+// (network_lint.h) and admission control gains a provably safe mode
+// (serve::SchedulerConfig::Admission::kProvable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/isa/opcode.h"
+#include "src/iss/timing.h"
+
+namespace rnnasip::kernels {
+struct BuiltNetwork;
+}
+
+namespace rnnasip::analysis {
+
+/// Pipeline state carried across instructions, with explicit unknowns for
+/// joined control flow.
+struct HazardState {
+  int8_t last_load = -1;  ///< rd of the directly preceding gpr load
+                          ///< (-1 none, -2 unknown)
+  int8_t last_spr = -1;   ///< SPR of the directly preceding pl.sdotsp
+                          ///< (-1 none, -2 unknown)
+  uint8_t prev_mem = 0;   ///< previous instruction was a load/store
+                          ///< (0 no, 1 yes, 2 unknown)
+
+  bool operator==(const HazardState&) const = default;
+
+  /// The top element: any concrete pipeline state is covered.
+  static HazardState unknown() {
+    HazardState h;
+    h.last_load = -2;
+    h.last_spr = -2;
+    h.prev_mem = 2;
+    return h;
+  }
+};
+
+/// Cycle adjustments the entry hazards add to one instruction.
+struct HazardCost {
+  uint64_t stall_min = 0;  ///< stalls provable on every concrete path
+  uint64_t stall_max = 0;  ///< stalls possible on some concrete path
+  uint64_t pair_save = 0;  ///< dual-issue cycles possibly saved (lower
+                           ///< bound only; the upper bound never pairs)
+};
+
+/// Stall/pairing effect of executing `ins` under entry hazards `hz`,
+/// mirroring the ISS issue rules (load-use interlock, SPR conflict,
+/// dual-issue what-if pairing).
+HazardCost hazard_cost(const HazardState& hz, const isa::Instr& ins,
+                       const iss::TimingModel& t);
+
+/// Retire `ins`: the exact (syntactic, data-independent) ISS hazard
+/// bookkeeping. Not applied to ecall/ebreak — the core's early return
+/// leaves pipeline state untouched across a yield.
+void hazard_advance(HazardState& hz, const isa::Instr& ins);
+
+/// Join at a control-flow merge: agreeing fields survive, disagreeing
+/// fields go to unknown.
+HazardState hazard_join(const HazardState& a, const HazardState& b);
+
+/// Certified static cycle interval of one assembled program: any dynamic
+/// execution e satisfies min_cycles <= e <= max_cycles (when bounded).
+struct StaticBounds {
+  uint64_t min_cycles = 0;
+  /// Sound WCET; 0 = no upper bound could be certified (see reason).
+  uint64_t max_cycles = 0;
+  std::string unbounded_reason;  ///< why max_cycles is 0 (empty otherwise)
+
+  bool bounded() const { return max_cycles != 0; }
+};
+
+/// Run the static verifier over a built network program and extract its
+/// certified cycle interval under `timing`.
+StaticBounds static_bounds(const kernels::BuiltNetwork& net,
+                           const iss::TimingModel& timing);
+
+}  // namespace rnnasip::analysis

@@ -116,8 +116,9 @@ Response Engine::execute(const RrmNetwork& net, const Request& req, uint64_t id)
   if (req.watchdog_cycles != 0) {
     limits.max_cycles = req.watchdog_cycles;
   } else if (injector) {
-    // Automatic watchdog: the network's static cycle lower bound x margin
-    // (analysis::campaign_watchdog, docs/FAULTS.md) instead of one
+    // Automatic watchdog: the network's certified WCET x margin, falling
+    // back to the cycle lower bound x a loose margin when no upper bound
+    // exists (analysis::campaign_watchdog, docs/FAULTS.md) instead of one
     // campaign-wide constant. The bound is per (topology, level) — it is
     // data-independent — so it is cached across requests and campaigns.
     const auto key = std::make_pair(net.def().name, static_cast<int>(req.level));

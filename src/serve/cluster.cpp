@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/analysis/network_lint.h"
+#include "src/analysis/wcet.h"
 #include "src/common/check.h"
 #include "src/kernels/layout.h"
 #include "src/kernels/network.h"
@@ -220,16 +221,32 @@ uint64_t Cluster::estimated_single_cycles(const std::string& name,
   return f.est_cycles;
 }
 
+uint64_t Cluster::provable_single_cycles(const std::string& name,
+                                         kernels::OptLevel level) {
+  Flavor& f = flavor(name, level);
+  if (f.wcet_cycles == 0) {
+    const analysis::StaticBounds b =
+        analysis::static_bounds(f.single, cfg_.core_config.timing);
+    // An unbounded program (no certified WCET) degrades to calibrated
+    // admission — still exact for these input-independent kernels, just no
+    // longer carrying a proof.
+    f.wcet_cycles = b.bounded() ? b.max_cycles
+                                : estimated_single_cycles(name, level);
+  }
+  return f.wcet_cycles;
+}
+
 uint64_t Cluster::watchdog_cycles(const std::string& name, kernels::OptLevel level) {
   if (cfg_.watchdog_cycles != 0) return cfg_.watchdog_cycles;
   Flavor& f = flavor(name, level);
   if (f.watchdog_cycles == 0) {
     // Serving knows the exact cost of every flavor (cycle counts are
-    // input-independent), so the automatic watchdog is much tighter than
-    // the engine's static-bound x margin rule: a faulted execution either
-    // finishes on schedule or has diverged, and a hung core should burn at
-    // most ~one extra request of cycles before the kill. Keep the static
-    // bound as a floor in case calibration ever under-measures.
+    // input-independent), so the automatic watchdog is tight: a faulted
+    // execution either finishes on schedule or has diverged, and a hung
+    // core should burn at most ~one extra request of cycles before the
+    // kill. The certified-WCET campaign rule (max_cycles x 2) caps it —
+    // with an exact WCET that cap is the binding term, and it also guards
+    // against calibration ever over-measuring.
     const uint64_t calibrated = 2 * estimated_single_cycles(name, level) + 1'024;
     f.watchdog_cycles = std::min(
         calibrated, analysis::campaign_watchdog(f.single, cfg_.core_config.timing));

@@ -160,6 +160,14 @@ class Cluster {
     return estimated_single_cycles(name, cfg_.level);
   }
 
+  /// Certified worst-case cycles of the flavor (the verifier's WCET, see
+  /// analysis/wcet.h): every execution provably finishes within this, so
+  /// admission against it never admits a request that then misses its
+  /// deadline (Admission::kProvable). Falls back to the calibrated
+  /// estimate when the program has no certified bound. Cached per flavor.
+  uint64_t provable_single_cycles(const std::string& name,
+                                  kernels::OptLevel level);
+
   /// The watchdog a faulted execution of this flavor runs under
   /// (cfg.watchdog_cycles, or the derived static-bound watchdog).
   uint64_t watchdog_cycles(const std::string& name, kernels::OptLevel level);
@@ -219,6 +227,7 @@ class Cluster {
     /// Lazy translated image (kTranslated clusters; shared across lanes).
     std::shared_ptr<const translate::TranslatedProgram> timage;
     uint64_t est_cycles = 0;      ///< lazy calibration-run estimate
+    uint64_t wcet_cycles = 0;     ///< lazy certified WCET (0 = not derived)
     uint64_t watchdog_cycles = 0; ///< lazy derived campaign watchdog
   };
   struct Image {

@@ -53,6 +53,14 @@ const char* policy_name(Policy p) {
   return "?";
 }
 
+const char* admission_name(Admission a) {
+  switch (a) {
+    case Admission::kCalibrated: return "calibrated";
+    case Admission::kProvable: return "provable";
+  }
+  return "?";
+}
+
 Workload make_poisson_workload(const Cluster& cluster, const WorkloadConfig& cfg) {
   RNNASIP_CHECK(!cfg.networks.empty());
   RNNASIP_CHECK(cfg.requests >= 0);
@@ -232,9 +240,14 @@ ServeResult Scheduler::run_plain(const Workload& workload) {
         use_fallback ? *cluster_->config().fallback_level : primary;
 
     // Admission control (kDeadline): reject a request whose estimated
-    // completion already blows its deadline instead of burning a core on it.
+    // completion already blows its deadline instead of burning a core on
+    // it. kProvable charges the certified WCET, so passing this test is a
+    // guarantee, not a prediction.
     if (cfg_.policy == Policy::kDeadline && head.deadline != 0) {
-      const uint64_t est = cluster_->estimated_single_cycles(head.network, level);
+      const uint64_t est =
+          cfg_.admission == Admission::kProvable
+              ? cluster_->provable_single_cycles(head.network, level)
+              : cluster_->estimated_single_cycles(head.network, level);
       if (start + est > head.deadline) {
         r.rejections.push_back({head.id, head.network, head.arrival, head.deadline, now});
         if (tel) {
@@ -861,7 +874,10 @@ ServeResult Scheduler::run_segmented(const Workload& workload) {
         use_fallback ? *cluster_->config().fallback_level : primary;
 
     if (cfg_.policy == Policy::kDeadline && head.deadline != 0) {
-      const uint64_t est = cluster_->estimated_single_cycles(head.network, level);
+      const uint64_t est =
+          cfg_.admission == Admission::kProvable
+              ? cluster_->provable_single_cycles(head.network, level)
+              : cluster_->estimated_single_cycles(head.network, level);
       if (start + est > head.deadline) {
         r.rejections.push_back({head.id, head.network, head.arrival, head.deadline, now});
         if (tel) {

@@ -90,10 +90,22 @@ Workload make_poisson_workload(const Cluster& cluster, const WorkloadConfig& cfg
 enum class Policy { kFifo, kBatched, kDeadline };
 const char* policy_name(Policy p);
 
+/// What cost the kDeadline admission test charges a request against its
+/// deadline. kCalibrated uses the measured calibration-run estimate (exact
+/// for these input-independent kernels, but carries no proof). kProvable
+/// uses the certified static WCET (analysis/wcet.h): an admitted request
+/// provably cannot miss its deadline through its own execution time, at
+/// the price of rejecting requests whose bound-vs-actual gap straddles the
+/// deadline.
+enum class Admission { kCalibrated, kProvable };
+const char* admission_name(Admission a);
+
 /// Resilience and policy knobs of one scheduling run. The defaults (zero
 /// fault rates, no fallback) reproduce the plain scheduler bit-exactly.
 struct SchedulerConfig {
   Policy policy = Policy::kFifo;
+  /// kDeadline admission-control mode (ignored by other policies).
+  Admission admission = Admission::kCalibrated;
   /// Per-execution SEU campaign template. All-zero rates disable
   /// injection entirely. The seed is the *campaign* seed: execution k runs
   /// under splitmix(seed, k), so one seed reproduces the whole run.

@@ -92,6 +92,7 @@ TranslateResult translate(const assembler::Program& prog,
   tp->end = prog.end_address();
   tp->timing = cfg.timing;
   tp->static_min_cycles = report.min_cycles;
+  tp->static_max_cycles = report.max_cycles;
   tp->num_instrs = report.num_instrs;
   tp->num_blocks = report.num_blocks;
   tp->num_hw_loops = report.num_hw_loops;

@@ -80,6 +80,9 @@ struct TranslatedProgram {
 
   // Provenance from the verifier run that admitted this program.
   uint64_t static_min_cycles = 0;  ///< sound static cycle lower bound
+  /// Certified WCET (sound static upper bound); 0 when the verifier could
+  /// not bound the program (see Report::wcet_unbounded_reason).
+  uint64_t static_max_cycles = 0;
   size_t num_instrs = 0;
   size_t num_blocks = 0;
   size_t num_hw_loops = 0;

@@ -7,6 +7,7 @@
 
 #include "src/analysis/network_lint.h"
 #include "src/analysis/verify.h"
+#include "src/analysis/wcet.h"
 #include "src/asm/builder.h"
 #include "src/iss/core.h"
 #include "src/iss/memory.h"
@@ -14,6 +15,8 @@
 #include "src/kernels/layout.h"
 #include "src/kernels/network.h"
 #include "src/rrm/networks.h"
+#include "src/translate/tcore.h"
+#include "src/translate/translate.h"
 
 namespace rnnasip {
 namespace {
@@ -206,7 +209,7 @@ TEST(AnalysisNegative, HwLoopCountZeroStillExecutesOnce) {
 }
 
 // ---------------------------------------------------------------------------
-// Cycle lower bound: exact on a stall-free hardware loop.
+// Cycle bounds: exact on a stall-free hardware loop.
 // ---------------------------------------------------------------------------
 
 TEST(AnalysisBound, ExactOnStraightLineHwLoop) {
@@ -223,10 +226,13 @@ TEST(AnalysisBound, ExactOnStraightLineHwLoop) {
   const auto rep = analysis::verify(prog, iss::MemoryMap{});
   EXPECT_TRUE(rep.clean()) << rep.to_string();
   EXPECT_EQ(rep.min_cycles, 11u);
+  EXPECT_EQ(rep.max_cycles, 11u);  // hazard fixpoint keeps the WCET exact
   ASSERT_EQ(rep.loops.size(), 1u);
   EXPECT_TRUE(rep.loops[0].hardware);
   EXPECT_EQ(rep.loops[0].trips, 4u);
+  EXPECT_EQ(rep.loops[0].trips_max, 4u);
   EXPECT_EQ(rep.loops[0].body_min_cycles, 2u);
+  EXPECT_EQ(rep.loops[0].body_max_cycles, 2u);
 
   iss::Memory mem(1u << 20);
   iss::Core core(&mem);
@@ -235,6 +241,99 @@ TEST(AnalysisBound, ExactOnStraightLineHwLoop) {
   const auto run = core.run();
   ASSERT_TRUE(run.ok()) << run.describe();
   EXPECT_EQ(run.cycles, rep.min_cycles);
+  EXPECT_EQ(run.cycles, rep.max_cycles);
+}
+
+TEST(AnalysisBound, NestedHwLoopsBracketMeasuredCycles) {
+  ProgramBuilder b;
+  auto oend = b.make_label();
+  auto iend = b.make_label();
+  b.li(kX5, 0);
+  b.li(kX6, 0);
+  b.lp_setupi(1, 3, oend);  // outer loop on L1,
+  b.lp_setupi(0, 4, iend);  // inner loop on L0 (required nesting order)
+  b.addi(kX5, kX5, 1);
+  b.bind(iend);
+  b.addi(kX6, kX6, 1);
+  b.bind(oend);
+  b.ebreak();
+  const auto prog = b.build();
+
+  const auto rep = analysis::verify(prog, iss::MemoryMap{});
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+  // 2 li + outer setup + 3 x (inner setup + 4 x body + tail) + ebreak.
+  EXPECT_EQ(rep.min_cycles, 22u);
+  EXPECT_EQ(rep.max_cycles, 22u);
+  ASSERT_EQ(rep.loops.size(), 2u);
+  for (const auto& l : rep.loops) EXPECT_TRUE(l.hardware);
+  // Loops are reported in program order: outer setup precedes inner setup.
+  EXPECT_EQ(rep.loops[0].trips, 3u);
+  EXPECT_EQ(rep.loops[1].trips, 4u);
+
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  core.load_program(prog);
+  core.reset(prog.base);
+  const auto run = core.run();
+  ASSERT_TRUE(run.ok()) << run.describe();
+  EXPECT_EQ(run.cycles, rep.min_cycles);
+  EXPECT_EQ(run.cycles, rep.max_cycles);
+}
+
+TEST(AnalysisBound, SingleTripCountedLoopSolvedExactly) {
+  // A do-while latch always executes its body at least once; with a start
+  // count of 1 the interval solver must prove exactly one trip.
+  ProgramBuilder b;
+  auto head = b.make_label();
+  b.li(kX5, 1);
+  b.bind(head);
+  b.addi(kX5, kX5, -1);
+  b.bne(kX5, isa::kZero, head);
+  b.ebreak();
+  const auto prog = b.build();
+
+  const auto rep = analysis::verify(prog, iss::MemoryMap{});
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+  EXPECT_EQ(rep.min_cycles, 4u);  // li + addi + untaken bne + ebreak
+  EXPECT_EQ(rep.max_cycles, 4u);
+  ASSERT_EQ(rep.loops.size(), 1u);
+  EXPECT_FALSE(rep.loops[0].hardware);
+  EXPECT_EQ(rep.loops[0].trips, 1u);
+  EXPECT_EQ(rep.loops[0].trips_max, 1u);
+
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  core.load_program(prog);
+  core.reset(prog.base);
+  const auto run = core.run();
+  ASSERT_TRUE(run.ok()) << run.describe();
+  EXPECT_EQ(run.cycles, 4u);
+}
+
+TEST(AnalysisBound, SprConflictStallCountedInBothBounds) {
+  // Back-to-back pl.sdotsp on the same SPR stalls one cycle on RI5CY; the
+  // certified interval must charge it on both sides (program is otherwise
+  // straight-line, so min == max == measured).
+  ProgramBuilder b;
+  b.li(kX10, 0x10000);
+  b.pl_sdotsp_h(0, isa::kZero, kX10, isa::kZero);
+  b.pl_sdotsp_h(0, isa::kZero, kX10, isa::kZero);  // same SPR: +1 stall
+  b.ebreak();
+  const auto prog = b.build();
+
+  const auto rep = analysis::verify(prog, small_map());
+  EXPECT_TRUE(has_rule(rep, "spr.back-to-back")) << rep.to_string();
+  EXPECT_EQ(rep.errors(), 0) << rep.to_string();
+  EXPECT_EQ(rep.min_cycles, 5u);
+  EXPECT_EQ(rep.max_cycles, 5u);
+
+  iss::Memory mem(1u << 20);
+  iss::Core core(&mem);
+  core.load_program(prog);
+  core.reset(prog.base);
+  const auto run = core.run();
+  ASSERT_TRUE(run.ok()) << run.describe();
+  EXPECT_EQ(run.cycles, 5u);
 }
 
 // ---------------------------------------------------------------------------
@@ -321,8 +420,71 @@ TEST(AnalysisSuite, StaticBoundNeverExceedsMeasuredCycles) {
           << name << " level " << kernels::opt_level_letter(level);
       EXPECT_GT(rep.min_cycles, fr.result.cycles / 2)  // bound is not vacuous
           << name << " level " << kernels::opt_level_letter(level);
+      ASSERT_GT(rep.max_cycles, 0u) << rep.wcet_unbounded_reason;
+      EXPECT_GE(rep.max_cycles, fr.result.cycles)
+          << name << " level " << kernels::opt_level_letter(level);
     }
   }
+}
+
+// Fuzz-style sweep mirroring test_translate's parity corpus: every suite
+// program at every level must carry a certified interval with
+// min <= measured <= max on BOTH execution backends, and the translated
+// artifact must carry the same certified WCET.
+TEST(AnalysisSuite, CertifiedIntervalBracketsBothBackends) {
+  for (const auto& def : rrm::rrm_suite()) {
+    const rrm::RrmNetwork net{def};
+    for (kernels::OptLevel level : kernels::kAllOptLevels) {
+      SCOPED_TRACE(std::string(def.name) + "@" +
+                   kernels::opt_level_letter(level));
+      iss::Memory mem(16u << 20);
+      iss::Core core(&mem);
+      const auto built = net.build(&mem, level, core.tanh_table(),
+                                   core.sig_table());
+      const auto rep = analysis::verify_network(built);
+      ASSERT_TRUE(rep.clean()) << rep.to_string();
+      ASSERT_GT(rep.max_cycles, 0u) << rep.wcet_unbounded_reason;
+      ASSERT_LE(rep.min_cycles, rep.max_cycles);
+
+      const auto input = net.make_input(1);
+
+      core.load_program(built.program);
+      kernels::reset_state(mem, built);
+      const auto fi = kernels::try_run_forward(core, mem, built, input);
+      ASSERT_TRUE(fi.ok()) << fi.result.describe();
+      EXPECT_LE(rep.min_cycles, fi.result.cycles);
+      EXPECT_GE(rep.max_cycles, fi.result.cycles);
+
+      const auto tr = translate::translate(
+          built.program, analysis::memory_map_of(built), iss::Core::Config{});
+      ASSERT_TRUE(tr.ok()) << tr.error.message;
+      EXPECT_EQ(tr.program->static_max_cycles, rep.max_cycles);
+      translate::TranslatedCore tcore(&mem);
+      tcore.bind(tr.program);
+      kernels::reset_state(mem, built);
+      const auto ft = kernels::try_run_forward(tcore, mem, built, input);
+      ASSERT_TRUE(ft.ok()) << ft.result.describe();
+      EXPECT_LE(rep.min_cycles, ft.result.cycles);
+      EXPECT_GE(rep.max_cycles, ft.result.cycles);
+    }
+  }
+}
+
+// The fault-campaign watchdog is now derived from the certified WCET (x2)
+// whenever a bound exists, not from the loose min_cycles x64 heuristic.
+TEST(AnalysisSuite, CampaignWatchdogDerivesFromWcet) {
+  const rrm::RrmNetwork net{rrm::find_network("ahmed19")};
+  iss::Memory mem(16u << 20);
+  iss::Core core(&mem);
+  const auto built = net.build(&mem, kernels::OptLevel::kInputTiling,
+                               core.tanh_table(), core.sig_table());
+  const iss::TimingModel timing;
+  const auto bounds = analysis::static_bounds(built, timing);
+  ASSERT_TRUE(bounds.bounded()) << bounds.unbounded_reason;
+  EXPECT_EQ(analysis::campaign_watchdog(built, timing),
+            bounds.max_cycles * analysis::kWcetWatchdogMargin);
+  EXPECT_LT(bounds.max_cycles * analysis::kWcetWatchdogMargin,
+            bounds.min_cycles * analysis::kCampaignWatchdogMargin);
 }
 
 }  // namespace

@@ -311,6 +311,31 @@ TEST(ServeScheduler, GenerousDeadlinesAreAllMetUnderEdf) {
   EXPECT_GT(r.goodput_per_s(500.0), 0.0);
 }
 
+TEST(ServeScheduler, ProvableAdmissionNeverAdmitsADeadlineMiss) {
+  // kProvable charges the certified WCET at dispatch time: an admitted
+  // request satisfies start + WCET <= deadline, and since the measured run
+  // never exceeds the WCET, every admitted request provably completes in
+  // time. Saturating arrivals force late starts, so rejections do occur.
+  serve::Cluster cluster(cluster_config(2, 1), kFcNets);
+  serve::WorkloadConfig wc;
+  wc.networks = kFcNets;
+  wc.requests = 24;
+  wc.mean_interarrival_cycles = 3000;
+  // Slack between the small FC nets' WCET (~1k cycles) and nasir18's
+  // (~21k): admission must pass the former and provably reject the latter.
+  wc.deadline_slack_cycles = 5'000;
+  const auto workload = serve::make_poisson_workload(cluster, wc);
+  serve::SchedulerConfig sc;
+  sc.policy = serve::Policy::kDeadline;
+  sc.admission = serve::Admission::kProvable;
+  serve::Scheduler sched(&cluster, sc);
+  const auto r = sched.run(workload);
+  EXPECT_GT(r.admitted(), 0u);            // the gate is not vacuous
+  EXPECT_FALSE(r.rejections.empty());     // saturation does reject
+  EXPECT_EQ(r.deadline_misses, 0u);
+  for (const auto& c : r.completions) EXPECT_TRUE(c.met_deadline());
+}
+
 TEST(ServeScheduler, SingletonGroupsAtFusedLevelsSkipTheBatchedProgram) {
   // 5 same-network requests, batch capacity 4, level e: one full group runs
   // batched, the leftover singleton must run the single program (the fused

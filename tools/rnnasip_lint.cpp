@@ -7,15 +7,24 @@
 //
 // Usage:
 //   rnnasip_lint [--network NAME] [--level a|b|c|d|e] [--split]
-//                [--measure] [--pedantic] [--json FILE] [--quiet]
+//                [--measure] [--backend iss|translated] [--wcet]
+//                [--pedantic] [--json FILE] [--quiet]
 //
 //   --network NAME  lint one suite network (default: all 10)
 //   --level X       lint one optimization level (default: all 5)
 //   --split         build with a split read-only parameter region
-//   --measure       also execute each program on the ISS and require
+//   --measure       also execute each program and require
 //                   static min_cycles <= measured cycles
+//   --backend B     execution backend for --measure/--wcet (default iss)
+//   --wcet          certified-bound gate (implies --measure): every program
+//                   must carry a WCET with min <= measured <= max, and at
+//                   the optimized levels (d, e) the bound must be tight
+//                   (max <= 1.5x measured); prints the tightness table
 //   --pedantic      print advisory (info) findings too
-//   --json FILE     write a machine-readable report ("-" for stdout)
+//   --json FILE     write a machine-readable report ("-" for stdout); with
+//                   --wcet the report is wrapped in the shared bench
+//                   envelope (bench "wcet") so scripts/bench_diff.py can
+//                   diff it against bench/baselines/BENCH_wcet.json
 //   --quiet         only print failing cases and the summary
 #include <cstdio>
 #include <cstring>
@@ -26,6 +35,7 @@
 #include <vector>
 
 #include "src/analysis/network_lint.h"
+#include "src/exec/backend.h"
 #include "src/iss/core.h"
 #include "src/iss/memory.h"
 #include "src/kernels/layout.h"
@@ -33,16 +43,24 @@
 #include "src/kernels/opt_level.h"
 #include "src/obs/json.h"
 #include "src/rrm/networks.h"
+#include "src/translate/tcore.h"
+#include "src/translate/translate.h"
 
 namespace {
 
 using namespace rnnasip;
+
+/// WCET tightness ceiling at the optimized levels (d, e): the certified
+/// upper bound may exceed the measured cycles by at most this factor.
+constexpr double kWcetTightness = 1.5;
 
 struct CliOptions {
   std::string network;  // empty = all
   std::optional<kernels::OptLevel> level;
   bool split = false;
   bool measure = false;
+  bool wcet = false;
+  ExecBackend backend = ExecBackend::kIss;
   bool pedantic = false;
   bool quiet = false;
   std::string json_path;
@@ -51,7 +69,8 @@ struct CliOptions {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--network NAME] [--level a|b|c|d|e] [--split] [--measure]"
-               " [--pedantic] [--json FILE] [--quiet]\n";
+               " [--backend iss|translated] [--wcet] [--pedantic]"
+               " [--json FILE] [--quiet]\n";
   return 2;
 }
 
@@ -66,9 +85,47 @@ struct CaseResult {
   bool split = false;
   analysis::Report report;
   uint64_t measured_cycles = 0;  // 0 = not measured
-  bool bound_ok = true;
+  bool bound_ok = true;          // min_cycles <= measured
+  bool wcet_ok = true;           // bounded and measured <= max_cycles
+  bool tight_ok = true;          // max/measured <= kWcetTightness (d, e)
+  std::string exec_error;        // non-empty when the measure run failed
   bool gate_ok = true;
 };
+
+/// Execute the built program once on the selected backend and return the
+/// measured cycles (nullopt + exec_error on any trap or refusal).
+std::optional<uint64_t> measure_once(iss::Memory& mem, iss::Core& core,
+                                     const kernels::BuiltNetwork& built,
+                                     const rrm::RrmNetwork& net,
+                                     ExecBackend backend,
+                                     std::string& exec_error) {
+  kernels::reset_state(mem, built);
+  const auto input = net.make_input(0);
+  kernels::ForwardRun fr;
+  if (backend == ExecBackend::kIss) {
+    core.load_program(built.program);
+    fr = kernels::try_run_forward(core, mem, built, input);
+  } else {
+    mem.write_words(built.program.base, built.program.encode_words());
+    auto tr = translate::translate(built.program,
+                                   analysis::memory_map_of(built),
+                                   iss::Core::Config{});
+    if (!tr.ok()) {
+      exec_error = "translation refused [" + tr.error.code + "]: " +
+                   tr.error.message;
+      return std::nullopt;
+    }
+    translate::TranslatedCore tcore(&mem);
+    tcore.bind(tr.program);
+    fr = kernels::try_run_forward(tcore, mem, built, input);
+  }
+  if (!fr.ok()) {
+    exec_error = fr.result.trap_message.empty() ? fr.result.describe()
+                                                : fr.result.trap_message;
+    return std::nullopt;
+  }
+  return fr.result.cycles;
+}
 
 CaseResult lint_case(const rrm::RrmNetwork& net, kernels::OptLevel level,
                      const CliOptions& opt) {
@@ -87,16 +144,30 @@ CaseResult lint_case(const rrm::RrmNetwork& net, kernels::OptLevel level,
   res.report = analysis::verify_network(built, vopts);
   res.gate_ok = res.report.clean();
 
-  if (opt.measure) {
-    core.load_program(built.program);
-    kernels::reset_state(mem, built);
-    const auto input = net.make_input(0);
-    auto fr = kernels::try_run_forward(core, mem, built, input);
-    res.measured_cycles = fr.result.cycles;
-    if (!fr.ok() || res.report.min_cycles > fr.result.cycles) {
+  if (opt.measure || opt.wcet) {
+    const auto measured =
+        measure_once(mem, core, built, net, opt.backend, res.exec_error);
+    if (!measured) {
       res.bound_ok = false;
       res.gate_ok = false;
+    } else {
+      res.measured_cycles = *measured;
+      if (res.report.min_cycles > res.measured_cycles) {
+        res.bound_ok = false;
+        res.gate_ok = false;
+      }
     }
+  }
+  if (opt.wcet && res.measured_cycles != 0) {
+    res.wcet_ok = res.report.max_cycles != 0 &&
+                  res.measured_cycles <= res.report.max_cycles;
+    if (res.level == 'd' || res.level == 'e') {
+      res.tight_ok =
+          res.wcet_ok &&
+          static_cast<double>(res.report.max_cycles) <=
+              kWcetTightness * static_cast<double>(res.measured_cycles);
+    }
+    if (!res.wcet_ok || !res.tight_ok) res.gate_ok = false;
   }
   return res;
 }
@@ -116,7 +187,16 @@ void print_case(const CaseResult& r, const CliOptions& opt) {
             << r.report.num_hw_loops << " hw loops, "
             << r.report.num_counted_loops << " counted loops"
             << ", min_cycles=" << r.report.min_cycles;
+  if (opt.wcet) std::cout << ", max_cycles=" << r.report.max_cycles;
   if (r.measured_cycles != 0) std::cout << ", measured=" << r.measured_cycles;
+  if (opt.wcet && r.measured_cycles != 0 && r.report.min_cycles != 0 &&
+      r.report.max_cycles != 0) {
+    std::printf(", lb_tightness=%.3f, wcet_tightness=%.3f",
+                static_cast<double>(r.measured_cycles) /
+                    static_cast<double>(r.report.min_cycles),
+                static_cast<double>(r.report.max_cycles) /
+                    static_cast<double>(r.measured_cycles));
+  }
   std::cout << "]\n";
   for (const auto& f : r.report.findings) {
     if (f.severity == analysis::Severity::kInfo && !opt.pedantic) continue;
@@ -124,13 +204,28 @@ void print_case(const CaseResult& r, const CliOptions& opt) {
                 analysis::severity_name(f.severity), f.rule.c_str(), f.pc,
                 f.message.c_str());
   }
-  if (!r.bound_ok)
+  if (!r.exec_error.empty())
+    std::cout << "  error   exec.failed          " << r.exec_error << "\n";
+  if (!r.bound_ok && r.exec_error.empty())
     std::cout << "  error   perf.bound-violated  static lower bound "
               << r.report.min_cycles << " exceeds measured "
               << r.measured_cycles << " cycles\n";
+  if (!r.wcet_ok) {
+    if (r.report.max_cycles == 0)
+      std::cout << "  error   perf.wcet-missing    no certified upper bound: "
+                << r.report.wcet_unbounded_reason << "\n";
+    else
+      std::cout << "  error   perf.wcet-violated   measured "
+                << r.measured_cycles << " exceeds certified WCET "
+                << r.report.max_cycles << " cycles\n";
+  }
+  if (!r.tight_ok && r.wcet_ok)
+    std::cout << "  error   perf.wcet-loose      certified WCET "
+              << r.report.max_cycles << " exceeds " << kWcetTightness
+              << "x measured " << r.measured_cycles << " cycles\n";
 }
 
-obs::Json case_json(const CaseResult& r) {
+obs::Json case_json(const CaseResult& r, const CliOptions& opt) {
   obs::Json c = obs::Json::object();
   c.set("network", r.network);
   c.set("level", std::string(1, r.level));
@@ -143,9 +238,18 @@ obs::Json case_json(const CaseResult& r) {
   c.set("hw_loops", static_cast<uint64_t>(r.report.num_hw_loops));
   c.set("counted_loops", static_cast<uint64_t>(r.report.num_counted_loops));
   c.set("min_cycles", r.report.min_cycles);
+  if (opt.wcet) {
+    c.set("max_cycles", r.report.max_cycles);
+    if (r.report.max_cycles == 0)
+      c.set("wcet_unbounded_reason", r.report.wcet_unbounded_reason);
+  }
   if (r.measured_cycles != 0) {
     c.set("measured_cycles", r.measured_cycles);
     c.set("bound_ok", r.bound_ok);
+  }
+  if (opt.wcet && r.measured_cycles != 0) {
+    c.set("wcet_ok", r.wcet_ok);
+    c.set("tight_ok", r.tight_ok);
   }
   obs::Json fs = obs::Json::array();
   for (const auto& f : r.report.findings) {
@@ -182,6 +286,14 @@ int main(int argc, char** argv) {
       opt.split = true;
     } else if (a == "--measure") {
       opt.measure = true;
+    } else if (a == "--wcet") {
+      opt.wcet = true;
+    } else if (a == "--backend") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      const auto b = parse_backend(v);
+      if (!b) return usage(argv[0]);
+      opt.backend = *b;
     } else if (a == "--pedantic") {
       opt.pedantic = true;
     } else if (a == "--quiet") {
@@ -221,10 +333,21 @@ int main(int argc, char** argv) {
     root.set("tool", "rnnasip_lint");
     root.set("cases", obs::Json::array());
     obs::Json cases = obs::Json::array();
-    for (const auto& r : results) cases.push(case_json(r));
+    for (const auto& r : results) cases.push(case_json(r, opt));
     root.set("cases", std::move(cases));
     root.set("total", static_cast<uint64_t>(results.size()));
     root.set("failing", failed);
+    if (opt.wcet) {
+      // The shared bench envelope, so bench_diff.py's "wcet" extractor can
+      // gate these bounds against a blessed baseline exactly like any
+      // other bench artifact.
+      root.set("backend", backend_name(opt.backend));
+      obs::Json env = obs::Json::object();
+      env.set("schema_version", uint64_t{1});
+      env.set("bench", std::string("wcet"));
+      env.set("data", std::move(root));
+      root = std::move(env);
+    }
     const std::string text = root.dump_pretty() + "\n";
     if (opt.json_path == "-") {
       std::cout << text;
