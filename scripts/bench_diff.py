@@ -16,6 +16,9 @@ The compared metrics depend on the bench:
                       serving mix, plus per-row served/silent/detections/
                       rollbacks/escalations/preemptions and the silent-
                       share and preemption acceptance numbers
+  scenario            closed-loop city sweep: robustness acceptance numbers
+                      (stress retention, admitted misses, silent corruption,
+                      recovery TTIs) plus per-run totals and quality ratios
   wcet                per-case certified cycle interval (min/max) and the
                       measured cycles from rnnasip_lint --wcet --json —
                       exact integers, so the default tolerance flags any
@@ -167,6 +170,41 @@ def metrics_serving_integrity(data):
     return out
 
 
+def metrics_scenario(data):
+    """Closed-loop scenario sweep: the robustness acceptance numbers (sum-
+    rate-vs-WMMSE retention, admitted misses, silent corruption, recovery
+    time) plus per-run totals and quality ratios. Everything is byte-
+    deterministic from one seed, so any drift is a real behaviour change in
+    the city model, the serving path, or the brownout controller."""
+    acc = data["acceptance"]
+    out = {
+        "admitted deadline misses": acc["deadline_misses_admitted"],
+        "silent corruption to env": acc["silent_to_env"],
+        "corrupted blocked": acc["corrupted_blocked"],
+        "integrity detections": acc["integrity_detections"],
+        "stress retention": acc["stress_retention"],
+        "storm stress ratio": acc["storm_stress_ratio"],
+        "baseline stress ratio": acc["baseline_stress_ratio"],
+        "recovery TTIs": acc["recovery_ttis"],
+        "weighted ratio brownout": acc["weighted_ratio_brownout"],
+        "weighted ratio blind": acc["weighted_ratio_blind"],
+    }
+    for row in data["rows"]:
+        res = row["result"]
+        key = row["run"]
+        tot = res["totals"]
+        out[f"{key} served"] = tot["served"]
+        out[f"{key} served fallback"] = tot["served_fallback"]
+        out[f"{key} shed"] = tot["shed_rejected"]
+        out[f"{key} admission rejected"] = tot["admission_rejected"]
+        out[f"{key} exec failures"] = tot["exec_failures"]
+        out[f"{key} rate ratio"] = res["quality"]["rate_ratio"]
+        out[f"{key} stress ratio"] = res["quality"]["stress_ratio"]
+        out[f"{key} recovery tti"] = res["recovery"]["recovery_tti"]
+        out[f"{key} level transitions"] = res["recovery"]["transitions"]
+    return out
+
+
 def metrics_serving_throughput(data):
     """Scale-invariant serving metrics: per-row simulated inferences/s.
     Counts, makespans and percentiles are deliberately excluded — they all
@@ -186,6 +224,7 @@ EXTRACTORS = {
     "serving": metrics_serving,
     "serving_resilience": metrics_serving_resilience,
     "serving_integrity": metrics_serving_integrity,
+    "scenario": metrics_scenario,
     "wcet": metrics_wcet,
 }
 

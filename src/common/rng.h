@@ -42,4 +42,18 @@ class Rng {
   uint64_t state_;
 };
 
+/// Derive an independent stream seed from (seed, stream): the splitmix64
+/// finalizer over a gamma-spaced input — the same mixing `Rng` applies to
+/// sequential states. Components that own several generators (channel
+/// occupancy vs geometry vs fading, per-execution fault campaigns) seed each
+/// from `derive_stream(seed, k)` with distinct `k`, so adding draws to one
+/// stream can never shift another component's sequence — a hard requirement
+/// for keeping blessed bench envelopes byte-identical as models grow.
+constexpr uint64_t derive_stream(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace rnnasip

@@ -128,8 +128,26 @@ bool MetricsRegistry::has_counter(const std::string& name) const {
   return has_slot(counters_, name);
 }
 
+bool MetricsRegistry::has_gauge(const std::string& name) const {
+  return has_slot(gauges_, name);
+}
+
 bool MetricsRegistry::has_histogram(const std::string& name) const {
   return has_slot(histograms_, name);
+}
+
+int64_t MetricsRegistry::gauge_value(const std::string& name, int64_t fallback) const {
+  for (const auto& [n, g] : gauges_) {
+    if (n == name) return g.value();
+  }
+  return fallback;
+}
+
+uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  for (const auto& [n, c] : counters_) {
+    if (n == name) return c.value();
+  }
+  return 0;
 }
 
 Json MetricsRegistry::to_json() const {

@@ -104,7 +104,13 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name);
 
   bool has_counter(const std::string& name) const;
+  bool has_gauge(const std::string& name) const;
   bool has_histogram(const std::string& name) const;
+  /// Read a gauge without creating the slot (controllers evaluate against a
+  /// registry they do not own); `fallback` when the gauge was never set.
+  int64_t gauge_value(const std::string& name, int64_t fallback = 0) const;
+  /// Read a counter without creating the slot; 0 when absent.
+  uint64_t counter_value(const std::string& name) const;
 
   /// {counters: {...}, gauges: {...}, histograms: {...}} — each section
   /// insertion-ordered, omitted when empty.

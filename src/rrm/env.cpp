@@ -1,14 +1,29 @@
 #include "src/rrm/env.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/check.h"
 
 namespace rnnasip::rrm {
 
+namespace {
+
+// Per-component RNG stream tags (common/rng.h derive_stream). Occupancy,
+// geometry and fading each draw from an independent stream of the one user
+// seed, so a consumer that interleaves them differently — the closed-loop
+// scenario engine refades every TTI but steps channels under feedback
+// pressure — can never shift another component's sequence, and blessed
+// envelopes of benches that share a seed stay byte-identical.
+constexpr uint64_t kStreamOccupancy = 0;
+constexpr uint64_t kStreamGeometry = 1;
+constexpr uint64_t kStreamFading = 2;
+
+}  // namespace
+
 GilbertElliottChannels::GilbertElliottChannels(int channels, uint64_t seed,
                                                double p_stay_busy, double p_become_busy)
-    : rng_(seed),
+    : rng_(derive_stream(seed, kStreamOccupancy)),
       busy_(static_cast<size_t>(channels), false),
       p_stay_busy_(p_stay_busy),
       p_become_busy_(p_become_busy) {
@@ -17,9 +32,13 @@ GilbertElliottChannels::GilbertElliottChannels(int channels, uint64_t seed,
   RNNASIP_CHECK(p_become_busy >= 0 && p_become_busy <= 1);
 }
 
-void GilbertElliottChannels::step() {
+void GilbertElliottChannels::step() { step(0.0); }
+
+void GilbertElliottChannels::step(double pressure) {
+  RNNASIP_CHECK(pressure >= 0);
+  const double p_busy = std::min(1.0, p_become_busy_ + pressure);
   for (size_t c = 0; c < busy_.size(); ++c) {
-    const double p = busy_[c] ? p_stay_busy_ : p_become_busy_;
+    const double p = busy_[c] ? p_stay_busy_ : p_busy;
     busy_[c] = rng_.next_double() < p;
   }
 }
@@ -37,16 +56,21 @@ std::vector<double> GilbertElliottChannels::observation() const {
 
 InterferenceField::InterferenceField(int pairs, uint64_t seed, double area,
                                      double path_loss_exp)
-    : pairs_(pairs), rng_(seed), gains_(static_cast<size_t>(pairs) * pairs) {
+    : pairs_(pairs),
+      fading_rng_(derive_stream(seed, kStreamFading)),
+      gains_(static_cast<size_t>(pairs) * pairs) {
   RNNASIP_CHECK(pairs > 0);
   // Place transmitters uniformly; each receiver sits close to its own
   // transmitter (direct link 1-10 m), interference travels the full area.
+  // Geometry draws from its own stream: however many refades a consumer
+  // performs, re-creating the field from the same seed reproduces the city.
+  Rng geometry(derive_stream(seed, kStreamGeometry));
   std::vector<double> tx(2 * static_cast<size_t>(pairs)), rx(2 * static_cast<size_t>(pairs));
   for (int i = 0; i < pairs; ++i) {
-    tx[2 * i] = rng_.next_in(0, area);
-    tx[2 * i + 1] = rng_.next_in(0, area);
-    const double r = rng_.next_in(1.0, 10.0);
-    const double phi = rng_.next_in(0, 6.283185307);
+    tx[2 * i] = geometry.next_in(0, area);
+    tx[2 * i + 1] = geometry.next_in(0, area);
+    const double r = geometry.next_in(1.0, 10.0);
+    const double phi = geometry.next_in(0, 6.283185307);
     rx[2 * i] = tx[2 * i] + r * std::cos(phi);
     rx[2 * i + 1] = tx[2 * i + 1] + r * std::sin(phi);
   }
@@ -101,11 +125,20 @@ std::vector<double> InterferenceField::normalized_gains() const {
   return out;
 }
 
+std::vector<double> InterferenceField::direct_gains_normalized() const {
+  const std::vector<double> all = normalized_gains();
+  std::vector<double> out(static_cast<size_t>(pairs_));
+  for (int i = 0; i < pairs_; ++i) {
+    out[static_cast<size_t>(i)] = all[static_cast<size_t>(i) * pairs_ + i];
+  }
+  return out;
+}
+
 void InterferenceField::refade(double sigma) {
   for (double& g : gains_) {
     // Log-normal block fading around the path-loss mean.
-    const double u1 = rng_.next_double();
-    const double u2 = rng_.next_double();
+    const double u1 = fading_rng_.next_double();
+    const double u2 = fading_rng_.next_double();
     const double n = std::sqrt(-2.0 * std::log(std::max(1e-12, u1))) *
                      std::cos(6.283185307 * u2);
     g *= std::pow(10.0, sigma * n / 10.0);

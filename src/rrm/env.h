@@ -26,6 +26,12 @@ class GilbertElliottChannels {
                          double p_become_busy = 0.3);
 
   void step();
+  /// Closed-loop variant: `pressure` (>= 0) is added to the become-busy
+  /// probability for this step only — the scenario engine's feedback path,
+  /// where a cell that keeps missing its power-control decisions congests
+  /// and primary users grab more channels. `pressure = 0` is exactly
+  /// `step()`.
+  void step(double pressure);
   bool busy(int channel) const;
   int channel_count() const { return static_cast<int>(busy_.size()); }
   /// Occupancy encoded as +/-1 reals (the agents' observation convention).
@@ -58,13 +64,17 @@ class InterferenceField {
   /// The flattened gain matrix scaled into [-1, 1] for use as NN input
   /// (log-magnitude normalization, the convention of [2], [15]).
   std::vector<double> normalized_gains() const;
+  /// Just the direct-link (diagonal) gains, normalized against the same
+  /// full-matrix log range as `normalized_gains()` — the compact per-cell
+  /// observation the scenario engine feeds small decision networks.
+  std::vector<double> direct_gains_normalized() const;
 
   /// Redraw fading on all links (block-fading evolution).
   void refade(double sigma = 0.2);
 
  private:
   int pairs_;
-  Rng rng_;
+  Rng fading_rng_;             // stream: fading only (geometry uses its own)
   std::vector<double> gains_;  // pairs x pairs, row-major, linear
 };
 

@@ -1,5 +1,6 @@
 #include "src/rrm/wmmse.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/check.h"
@@ -19,6 +20,15 @@ WmmseResult wmmse(const InterferenceField& field, const WmmseOptions& opt) {
 
   WmmseResult res;
   std::vector<double> v(static_cast<size_t>(k), std::sqrt(opt.p_max));
+  if (!opt.initial_powers.empty()) {
+    RNNASIP_CHECK(static_cast<int>(opt.initial_powers.size()) == k);
+    for (int i = 0; i < k; ++i) {
+      // Clamp away from zero: v = 0 is a fixed point of the update.
+      const double p =
+          std::min(opt.p_max, std::max(1e-6 * opt.p_max, opt.initial_powers[i]));
+      v[static_cast<size_t>(i)] = std::sqrt(p);
+    }
+  }
   std::vector<double> u(static_cast<size_t>(k), 0.0);
   std::vector<double> w(static_cast<size_t>(k), 1.0);
 

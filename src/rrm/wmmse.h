@@ -31,9 +31,15 @@ struct WmmseOptions {
   double noise = 1e-3;
   /// Stop when the sum-rate improves by less than this (absolute).
   double tolerance = 1e-5;
+  /// Warm start: initial per-pair powers (clamped to (0, p_max]); empty
+  /// means full power. The closed-loop scenario engine seeds each TTI's
+  /// oracle from the previous allocation — fading moves slowly, so the
+  /// iteration converges in a fraction of the cold-start count.
+  std::vector<double> initial_powers;
 };
 
-/// Run WMMSE on an interference field, starting from full power.
+/// Run WMMSE on an interference field, starting from full power (or from
+/// `opt.initial_powers` when given).
 WmmseResult wmmse(const InterferenceField& field, const WmmseOptions& opt = {});
 
 }  // namespace rnnasip::rrm

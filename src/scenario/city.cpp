@@ -1,0 +1,222 @@
+#include "src/scenario/city.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/rrm/wmmse.h"
+
+namespace rnnasip::scenario {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Knuth Poisson sampler — exact, a handful of uniform draws at the small
+/// rates the city uses (rate is clamped to City::kMaxRate).
+int draw_poisson(Rng& rng, double rate) {
+  const double l = std::exp(-rate);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.next_double();
+  } while (p > l);
+  return k - 1;
+}
+
+}  // namespace
+
+double DiurnalCurve::at(int tti) const {
+  RNNASIP_CHECK(period_ttis > 0);
+  const double mid = 0.5 * (peak + floor);
+  const double amp = 0.5 * (peak - floor);
+  const double phase =
+      kTwoPi * static_cast<double>(tti - phase_ttis) / period_ttis;
+  return mid + amp * std::cos(phase);
+}
+
+City::City(const CityConfig& cfg)
+    : cfg_(cfg), traffic_rng_(derive_stream(cfg.seed, 0)) {
+  RNNASIP_CHECK(cfg_.cells > 0 && cfg_.pairs > 0 && cfg_.channels > 0);
+  RNNASIP_CHECK(cfg_.power_decay >= 0 && cfg_.power_decay <= 1);
+  RNNASIP_CHECK(cfg_.p_max > 0 && cfg_.noise > 0);
+  values_ = cfg_.cell_values;
+  if (values_.empty()) {
+    for (int c = 0; c < cfg_.cells; ++c) values_.push_back(1.0 + c);
+  }
+  RNNASIP_CHECK(static_cast<int>(values_.size()) == cfg_.cells);
+  cells_.reserve(static_cast<size_t>(cfg_.cells));
+  for (int c = 0; c < cfg_.cells; ++c) {
+    // Each cell's environment derives from its own stream of the city
+    // seed: geometry, fading and occupancy are independent across cells.
+    const uint64_t cell_seed = derive_stream(cfg_.seed, 1 + static_cast<uint64_t>(c));
+    cells_.push_back(Cell{
+        rrm::InterferenceField(cfg_.pairs, cell_seed),
+        rrm::GilbertElliottChannels(cfg_.channels, cell_seed),
+        std::vector<double>(static_cast<size_t>(cfg_.pairs), cfg_.p_max),
+        {},
+        false,
+        0,
+        0.0,
+    });
+  }
+}
+
+const City::Cell& City::cell(int c) const {
+  RNNASIP_CHECK(c >= 0 && c < cell_count());
+  return cells_[static_cast<size_t>(c)];
+}
+
+City::Cell& City::cell(int c) {
+  RNNASIP_CHECK(c >= 0 && c < cell_count());
+  return cells_[static_cast<size_t>(c)];
+}
+
+std::vector<int> City::draw_arrivals(int tti) {
+  const double day = cfg_.diurnal.at(tti);
+  // Crowd transitions first (one draw per cell per TTI, fixed order), so
+  // the arrival draws that follow see this TTI's crowd state.
+  for (int c = 0; c < cell_count(); ++c) {
+    Cell& cl = cell(c);
+    const double u = traffic_rng_.next_double();
+    if (cl.crowded) {
+      if (u < cfg_.flash.p_quench) {
+        cl.crowded = false;
+        // The crowd hands over: the next cell inherits a fraction of the
+        // surge for a window.
+        Cell& next = cell((c + 1) % cell_count());
+        next.handover_until = std::max(next.handover_until,
+                                       tti + cfg_.handover.window_ttis);
+      }
+    } else if (u < cfg_.flash.p_ignite) {
+      cl.crowded = true;
+    }
+  }
+  std::vector<int> arrivals(static_cast<size_t>(cell_count()), 0);
+  for (int c = 0; c < cell_count(); ++c) {
+    Cell& cl = cell(c);
+    double rate = cfg_.base_rate * day;
+    if (cl.crowded) rate *= cfg_.flash.multiplier;
+    if (tti < cl.handover_until) {
+      rate *= 1.0 + cfg_.handover.fraction * (cfg_.flash.multiplier - 1.0);
+    }
+    for (const Surge& s : cfg_.surges) {
+      if (s.cell == c && tti >= s.from_tti && tti < s.to_tti) {
+        rate *= s.multiplier;
+      }
+    }
+    rate = std::min(rate, kMaxRate);
+    cl.last_rate = rate;
+    arrivals[static_cast<size_t>(c)] = draw_poisson(traffic_rng_, rate);
+  }
+  return arrivals;
+}
+
+double City::offered_rate(int cell_index) const { return cell(cell_index).last_rate; }
+
+bool City::crowded(int cell_index) const { return cell(cell_index).crowded; }
+
+double City::storm_multiplier(int cell_index, int tti) const {
+  RNNASIP_CHECK(cell_index >= 0 && cell_index < cell_count());
+  double mult = 1.0;
+  for (const FaultStorm& s : cfg_.storms) {
+    if (s.cell == cell_index && tti >= s.from_tti && tti < s.to_tti) {
+      mult *= s.multiplier;
+    }
+  }
+  return mult;
+}
+
+bool City::in_stress(int cell_index, int tti) const {
+  RNNASIP_CHECK(cell_index >= 0 && cell_index < cell_count());
+  for (const FaultStorm& s : cfg_.storms) {
+    if (s.cell == cell_index && tti >= s.from_tti && tti < s.to_tti) return true;
+  }
+  for (const Surge& s : cfg_.surges) {
+    if (s.cell == cell_index && tti >= s.from_tti && tti < s.to_tti) return true;
+  }
+  return false;
+}
+
+bool City::any_stress(int tti) const {
+  for (int c = 0; c < cell_count(); ++c) {
+    if (in_stress(c, tti)) return true;
+  }
+  return false;
+}
+
+int City::stress_end_tti() const {
+  int end = -1;
+  for (const FaultStorm& s : cfg_.storms) end = std::max(end, s.to_tti);
+  for (const Surge& s : cfg_.surges) end = std::max(end, s.to_tti);
+  return end;
+}
+
+std::vector<double> City::observe(int cell_index, int n) const {
+  RNNASIP_CHECK(n > 0);
+  const Cell& cl = cell(cell_index);
+  std::vector<double> base = cl.field.direct_gains_normalized();
+  const std::vector<double> occ = cl.channels.observation();
+  base.insert(base.end(), occ.begin(), occ.end());
+  std::vector<double> out(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out[static_cast<size_t>(i)] = base[i % base.size()];
+  return out;
+}
+
+void City::apply_decision(int cell_index, std::span<const int16_t> outputs) {
+  RNNASIP_CHECK(!outputs.empty());
+  Cell& cl = cell(cell_index);
+  for (int i = 0; i < cfg_.pairs; ++i) {
+    // Sigmoid outputs live in [0, 1] in Q3.12; clamp defensively (a
+    // verified decision can still legitimately sit at the 0/4096 rails).
+    const double frac = std::clamp(
+        static_cast<double>(outputs[static_cast<size_t>(i) % outputs.size()]) /
+            4096.0,
+        0.0, 1.0);
+    cl.powers[static_cast<size_t>(i)] = frac * cfg_.p_max;
+  }
+}
+
+void City::carry_stale(int cell_index) {
+  for (double& p : cell(cell_index).powers) p *= cfg_.power_decay;
+}
+
+double City::achieved_rate(int cell_index) const {
+  const Cell& cl = cell(cell_index);
+  // Busy primary users raise the effective noise floor: occupancy couples
+  // the Gilbert-Elliott state into the rate the cell actually gets.
+  int busy = 0;
+  for (int ch = 0; ch < cfg_.channels; ++ch) busy += cl.channels.busy(ch) ? 1 : 0;
+  const double noise =
+      cfg_.noise * (1.0 + static_cast<double>(busy) / cfg_.channels);
+  return cl.field.sum_rate(cl.powers, noise);
+}
+
+double City::oracle_rate(int cell_index) {
+  Cell& cl = cell(cell_index);
+  int busy = 0;
+  for (int ch = 0; ch < cfg_.channels; ++ch) busy += cl.channels.busy(ch) ? 1 : 0;
+  const double noise =
+      cfg_.noise * (1.0 + static_cast<double>(busy) / cfg_.channels);
+  rrm::WmmseOptions opt;
+  opt.p_max = cfg_.p_max;
+  opt.noise = noise;
+  opt.initial_powers = cl.oracle_powers;  // warm start; empty on first call
+  const rrm::WmmseResult res = rrm::wmmse(cl.field, opt);
+  cl.oracle_powers = res.powers;
+  return cl.field.sum_rate(res.powers, noise);
+}
+
+void City::step_env(int cell_index, double rate_deficit) {
+  RNNASIP_CHECK(rate_deficit >= 0 && rate_deficit <= 1);
+  Cell& cl = cell(cell_index);
+  cl.channels.step(cfg_.congestion_gain * rate_deficit);
+  cl.field.refade(cfg_.refade_sigma);
+}
+
+const std::vector<double>& City::powers(int cell_index) const {
+  return cell(cell_index).powers;
+}
+
+}  // namespace rnnasip::scenario

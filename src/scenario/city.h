@@ -1,0 +1,175 @@
+// City model for the closed-loop RRM scenario engine: a set of cells, each
+// owning its own radio environment (an rrm::InterferenceField of
+// transmitter-receiver pairs plus rrm::GilbertElliottChannels primary-user
+// occupancy), generating *correlated* decision-request traffic:
+//
+//   - a diurnal curve modulating every cell's base rate over the day;
+//   - per-cell Markov-modulated flash crowds (calm <-> crowded, a crowded
+//     cell offers `multiplier`x its calm rate);
+//   - handover bursts: when a crowd quenches, the next cell inherits a
+//     fraction of the surge for a window (the crowd moved, it didn't
+//     vanish);
+//   - scripted surges and per-cell, time-windowed *fault storms* that
+//     multiply the SEU rates of the cores serving that cell.
+//
+// The closed loop: each TTI the serving side either applies a fresh
+// verified RNN decision to a cell (sigmoid Q3.12 outputs become per-pair
+// transmit powers) or the cell carries decayed stale powers; the achieved
+// sum-rate is scored against the warm-started rrm::wmmse oracle on the
+// *same* faded field, and the rate deficit feeds back into channel
+// occupancy pressure (a congested cell's primary users grab more channels,
+// which degrades the next observation — degraded decisions compound).
+//
+// Determinism: traffic, geometry, fading and occupancy each draw from
+// derive_stream()-separated streams of one seed, so the whole city — and
+// every bench built on it — is byte-reproducible from `CityConfig::seed`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/rrm/env.h"
+
+namespace rnnasip::scenario {
+
+/// Sinusoidal day curve: rate multiplier between `floor` and `peak` with
+/// the given period, peaking at phase_ttis.
+struct DiurnalCurve {
+  double floor = 0.5;
+  double peak = 1.0;
+  int period_ttis = 64;
+  int phase_ttis = 16;
+  double at(int tti) const;
+};
+
+/// Two-state Markov flash-crowd modulation per cell.
+struct FlashCrowdModel {
+  double p_ignite = 0.02;  ///< calm -> crowded per TTI
+  double p_quench = 0.25;  ///< crowded -> calm per TTI
+  double multiplier = 3.0; ///< offered-rate multiplier while crowded
+};
+
+/// When a crowd quenches on cell c, cell (c+1) % cells inherits
+/// `fraction` of the surge for `window_ttis` TTIs (UEs handed over).
+struct HandoverModel {
+  int window_ttis = 4;
+  double fraction = 0.5;
+};
+
+/// Scripted surge: a deterministic flash crowd on one cell over
+/// [from_tti, to_tti) — the acceptance storms are scripted so the
+/// overload/fault overlap is guaranteed, not left to the Markov draw.
+struct Surge {
+  int cell = 0;
+  int from_tti = 0;
+  int to_tti = 0;       ///< exclusive
+  double multiplier = 1.0;
+};
+
+/// Fault storm: SEU rate multiplier on every execution dispatched for
+/// `cell` during [from_tti, to_tti).
+struct FaultStorm {
+  int cell = 0;
+  int from_tti = 0;
+  int to_tti = 0;       ///< exclusive
+  double multiplier = 1.0;
+};
+
+struct CityConfig {
+  int cells = 8;
+  int pairs = 4;     ///< transmitter-receiver pairs per cell
+  int channels = 4;  ///< Gilbert-Elliott channels per cell
+  /// Mean decision requests per cell per TTI at diurnal multiplier 1,
+  /// calm. Offered load is Poisson at the correlated per-cell rate.
+  double base_rate = 1.0;
+  DiurnalCurve diurnal;
+  FlashCrowdModel flash;
+  HandoverModel handover;
+  std::vector<Surge> surges;
+  std::vector<FaultStorm> storms;
+  /// Per-cell value for brownout shed ordering and value-weighted scoring;
+  /// empty = cell i gets value 1 + i (later cells more valuable).
+  std::vector<double> cell_values;
+  double refade_sigma = 0.3;    ///< per-TTI block-fading sigma (dB-scale)
+  double congestion_gain = 0.25;///< rate deficit -> channel busy pressure
+  double power_decay = 0.7;     ///< stale power multiplier per TTI
+  double p_max = 1.0;
+  double noise = 1e-3;
+  uint64_t seed = 0x5C3A11;
+};
+
+/// The city: per-cell radio state + correlated traffic generation.
+class City {
+ public:
+  explicit City(const CityConfig& cfg);
+
+  int cell_count() const { return static_cast<int>(cells_.size()); }
+  const CityConfig& config() const { return cfg_; }
+  const std::vector<double>& values() const { return values_; }
+
+  // --- Traffic ---------------------------------------------------------
+  /// Advance the flash-crowd chains and handover windows to `tti` and
+  /// draw this TTI's per-cell decision-request counts (Poisson at the
+  /// correlated rate; the rate is clamped to kMaxRate to bound work).
+  std::vector<int> draw_arrivals(int tti);
+  /// The per-cell rate used by the last draw_arrivals call.
+  double offered_rate(int cell) const;
+  bool crowded(int cell) const;
+  /// SEU rate multiplier for an execution serving `cell` at `tti`
+  /// (1.0 outside every storm window; overlapping storms multiply).
+  double storm_multiplier(int cell, int tti) const;
+  /// True when (cell, tti) sits inside a fault storm or scripted surge —
+  /// the "stress window" selector for storm-vs-calm scoring.
+  bool in_stress(int cell, int tti) const;
+  bool any_stress(int tti) const;
+  /// Last TTI (exclusive) covered by any storm or surge; -1 when none.
+  int stress_end_tti() const;
+
+  // --- Radio state / closed loop ---------------------------------------
+  /// Observation for the decision network: per-pair normalized direct
+  /// gains then channel occupancy (+/-1), cycled to `n` entries.
+  std::vector<double> observe(int cell, int n) const;
+  /// Apply a fresh verified decision: sigmoid Q3.12 outputs map to
+  /// per-pair power fractions of p_max (output j drives pair j mod pairs).
+  void apply_decision(int cell, std::span<const int16_t> outputs);
+  /// No fresh decision this TTI: powers decay by power_decay (a stale
+  /// grant ramps down — missed decisions compound through the feedback).
+  void carry_stale(int cell);
+  /// Sum-rate of the currently applied powers on the current field, with
+  /// occupancy-coupled noise.
+  double achieved_rate(int cell) const;
+  /// Warm-started WMMSE oracle rate on the same field and noise (caches
+  /// its powers as the next TTI's warm start).
+  double oracle_rate(int cell);
+  /// End-of-TTI environment evolution: occupancy steps under congestion
+  /// pressure (congestion_gain x rate deficit), then the field refades.
+  void step_env(int cell, double rate_deficit);
+
+  const std::vector<double>& powers(int cell) const;
+
+  /// Offered-rate clamp (requests per cell per TTI) bounding Poisson work.
+  static constexpr double kMaxRate = 32.0;
+
+ private:
+  struct Cell {
+    rrm::InterferenceField field;
+    rrm::GilbertElliottChannels channels;
+    std::vector<double> powers;         ///< currently applied (linear)
+    std::vector<double> oracle_powers;  ///< last WMMSE solution (warm start)
+    bool crowded = false;
+    int handover_until = 0;  ///< exclusive TTI bound of inherited surge
+    double last_rate = 0.0;
+  };
+
+  const Cell& cell(int c) const;
+  Cell& cell(int c);
+
+  CityConfig cfg_;
+  std::vector<Cell> cells_;
+  std::vector<double> values_;
+  Rng traffic_rng_;  ///< crowd transitions + Poisson arrival draws
+};
+
+}  // namespace rnnasip::scenario

@@ -1,0 +1,479 @@
+#include "src/scenario/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "src/common/check.h"
+#include "src/common/fixed_point.h"
+#include "src/integrity/integrity.h"
+#include "src/kernels/network.h"
+
+namespace rnnasip::scenario {
+
+namespace {
+
+/// One pending decision request.
+struct Req {
+  uint64_t id = 0;
+  int cell = 0;
+  uint64_t arrival = 0;
+  uint64_t deadline = 0;
+  uint64_t ready = 0;  ///< arrival, or retry-backoff release time
+  int attempts = 0;
+  std::vector<int16_t> input;
+  integrity::GoldenChecks golden;  ///< computed once per request
+};
+
+/// Freshest verified completion for one cell (latest done wins).
+struct Fresh {
+  uint64_t done = 0;
+  uint64_t id = 0;
+  std::vector<int16_t> outputs;
+};
+
+void keep_freshest(std::optional<Fresh>& slot, Fresh candidate) {
+  if (!slot || candidate.done > slot->done ||
+      (candidate.done == slot->done && candidate.id > slot->id)) {
+    slot = std::move(candidate);
+  }
+}
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(const ScenarioConfig& cfg) : cfg_(cfg) {
+  RNNASIP_CHECK(cfg_.cores > 0 && cfg_.ttis > 0);
+  RNNASIP_CHECK(cfg_.tti_cycles_factor > 0 && cfg_.deadline_slack_ttis > 0);
+  serve::ClusterConfig cc;
+  cc.cores = cfg_.cores;
+  cc.level = cfg_.level;
+  cc.fallback_level = cfg_.fallback_level;
+  cc.batch = 1;
+  // ABFT-instrumented single flavors at every level: CheckedRun needs the
+  // layer-boundary yields for detection and rollback.
+  cc.integrity = cfg_.integrity_detect;
+  cluster_ = std::make_unique<serve::Cluster>(
+      cc, std::vector<std::string>{cfg_.network});
+  tti_cycles_ = static_cast<uint64_t>(
+      cfg_.tti_cycles_factor *
+      static_cast<double>(cluster_->estimated_single_cycles(cfg_.network)));
+  RNNASIP_CHECK(tti_cycles_ > 0);
+}
+
+ScenarioResult ScenarioEngine::run() {
+  City city(cfg_.city);
+  const int cells = city.cell_count();
+  const rrm::RrmNetwork& net = cluster_->network(cfg_.network);
+  const int input_n = net.input_count();
+  const uint64_t T = tti_cycles_;
+  const uint64_t slack =
+      static_cast<uint64_t>(cfg_.deadline_slack_ttis * static_cast<double>(T));
+
+  serve::BrownoutController brownout(cfg_.brownout_cfg, city.values());
+  const bool faults_on = cfg_.base_fault.any_enabled();
+
+  // Independent streams: request arrival offsets, observation jitter,
+  // per-execution fault campaigns. Adding draws to one can never shift
+  // the others (or the city's own streams).
+  Rng offset_rng(derive_stream(cfg_.seed, 0));
+  Rng jitter_rng(derive_stream(cfg_.seed, 1));
+  const uint64_t fault_seed = derive_stream(cfg_.seed, 2);
+  uint64_t exec_counter = 0;
+  uint64_t next_id = 1;
+
+  std::vector<uint64_t> clock(static_cast<size_t>(cfg_.cores), 0);
+  std::vector<int> consec_fail(static_cast<size_t>(cfg_.cores), 0);
+  std::vector<Req> pending;
+  std::vector<std::optional<Fresh>> fresh(static_cast<size_t>(cells));
+  std::vector<std::optional<Fresh>> fresh_next(static_cast<size_t>(cells));
+
+  // Serving capacity in executions per TTI, total and per-cell share —
+  // the denominator of the published pressure gauges.
+  const double est_primary =
+      static_cast<double>(cluster_->estimated_single_cycles(cfg_.network));
+  const double cap_total = static_cast<double>(T) * cfg_.cores / est_primary;
+  const double cap_cell = cap_total / cells;
+
+  ScenarioResult r;
+  r.stress_end_tti = city.stress_end_tti();
+  r.ttis.reserve(static_cast<size_t>(cfg_.ttis));
+
+  for (int tti = 0; tti < cfg_.ttis; ++tti) {
+    const uint64_t t0 = static_cast<uint64_t>(tti) * T;
+    const uint64_t t1 = t0 + T;
+    TtiRecord rec;
+    rec.tti = tti;
+    rec.stress = city.any_stress(tti);
+
+    // ---- Arrivals: correlated offered load, shed cells dropped at the
+    // door (their radio state rides on decayed powers).
+    const std::vector<int> arrivals = city.draw_arrivals(tti);
+    for (int c = 0; c < cells; ++c) {
+      rec.offered += city.offered_rate(c);
+      const std::string cell_tag = "cell" + std::to_string(c);
+      for (int k = 0; k < arrivals[static_cast<size_t>(c)]; ++k) {
+        ++r.requests;
+        ++rec.arrivals;
+        if (cfg_.brownout && brownout.shed(c)) {
+          ++r.shed_rejected;
+          ++rec.shed;
+          r.metrics.counter(cell_tag + ".shed").inc();
+          continue;
+        }
+        Req q;
+        q.id = next_id++;
+        q.cell = c;
+        q.arrival = t0 + offset_rng.next_below(static_cast<uint32_t>(T));
+        q.deadline = q.arrival + slack;
+        q.ready = q.arrival;
+        // Observation snapshot + per-UE-group jitter, quantized Q3.12.
+        const std::vector<double> obs = city.observe(c, input_n);
+        q.input.reserve(obs.size());
+        for (double v : obs) {
+          const double jittered =
+              v + jitter_rng.next_in(-cfg_.obs_jitter, cfg_.obs_jitter);
+          q.input.push_back(static_cast<int16_t>(quantize(
+              std::clamp(jittered, -7.9, 7.9))));
+        }
+        q.golden = integrity::golden_checks(net, cluster_->tanh_table(),
+                                            cluster_->sig_table(), q.input);
+        pending.push_back(std::move(q));
+      }
+    }
+
+    // ---- Serving loop over [t0, t1): EDF + storm-hardened provable
+    // admission + retries + quarantine, CheckedRun per execution.
+    for (;;) {
+      // Earliest-free core still inside this TTI (ties: lowest index).
+      int ci = -1;
+      for (int i = 0; i < cfg_.cores; ++i) {
+        if (clock[static_cast<size_t>(i)] >= t1) continue;
+        if (ci < 0 ||
+            clock[static_cast<size_t>(i)] < clock[static_cast<size_t>(ci)]) {
+          ci = i;
+        }
+      }
+      if (ci < 0 || pending.empty()) break;
+      uint64_t now = std::max(clock[static_cast<size_t>(ci)], t0);
+
+      // EDF over ready requests; if none is ready yet, idle the core
+      // forward to the next release (or out of the TTI).
+      size_t pick = pending.size();
+      uint64_t min_ready = std::numeric_limits<uint64_t>::max();
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const Req& q = pending[i];
+        min_ready = std::min(min_ready, q.ready);
+        if (q.ready > now) continue;
+        if (pick == pending.size() || q.deadline < pending[pick].deadline ||
+            (q.deadline == pending[pick].deadline && q.id < pending[pick].id)) {
+          pick = i;
+        }
+      }
+      if (pick == pending.size()) {
+        if (min_ready >= t1) break;
+        clock[static_cast<size_t>(ci)] = std::max(now, min_ready);
+        continue;
+      }
+
+      Req q = std::move(pending[pick]);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+      const int c = q.cell;
+
+      // Brownout gate at dispatch: the cell may have shed after arrival.
+      const serve::ServiceLevel slevel =
+          cfg_.brownout ? brownout.level(c) : serve::ServiceLevel::kNormal;
+      if (slevel == serve::ServiceLevel::kShed) {
+        ++r.shed_rejected;
+        ++rec.shed;
+        r.metrics.counter("cell" + std::to_string(c) + ".shed").inc();
+        continue;
+      }
+      const bool economy = slevel >= serve::ServiceLevel::kEconomy;
+      const kernels::OptLevel level = economy ? cfg_.fallback_level : cfg_.level;
+
+      // Storm-hardened admission charge: a sound upper bound on the cycles
+      // a *successful* attempt can consume. Fault-free executions finish
+      // within the certified WCET; a faulted execution with rollback can
+      // re-execute each layer up to layer_retries times (<= WCET x
+      // (1 + layer_retries) total) and is hard-capped by the campaign
+      // watchdog either way — the tighter of the two bounds is charged,
+      // then widened by the brownout margin (>= 1 only tightens admission,
+      // so kProvable stays a guarantee under storm multipliers too).
+      const uint64_t wcet = cfg_.admission == serve::Admission::kProvable
+                                ? cluster_->provable_single_cycles(cfg_.network, level)
+                                : cluster_->estimated_single_cycles(cfg_.network, level);
+      uint64_t bounded = wcet;
+      if (faults_on) {
+        const uint64_t wd = cluster_->watchdog_cycles(cfg_.network, level);
+        if (cfg_.integrity_rollback) {
+          bounded = wcet * static_cast<uint64_t>(1 + cfg_.layer_retries);
+        }
+        if (wd > 0) bounded = std::min(bounded, wd);
+        bounded = std::max(bounded, wcet);
+      }
+      const double margin = cfg_.brownout ? brownout.admission_margin(c) : 1.0;
+      const uint64_t charge =
+          static_cast<uint64_t>(std::ceil(static_cast<double>(bounded) * margin));
+      if (now + charge > q.deadline) {
+        ++r.admission_rejected;
+        ++rec.rejected;
+        continue;
+      }
+
+      // ---- Execute on core ci at `now` via CheckedRun (run to
+      // completion; rollbacks happen inside step()).
+      const double storm_mult = city.storm_multiplier(c, tti);
+      cluster_->bind(ci, cfg_.network, false, level);
+      const kernels::BuiltNetwork& bn = cluster_->built_single(cfg_.network, level);
+      integrity::CheckedRunConfig rc;
+      rc.detect = cfg_.integrity_detect;
+      rc.rollback = cfg_.integrity_rollback;
+      rc.layer_retries = cfg_.layer_retries;
+      rc.watchdog_cycles =
+          faults_on ? cluster_->watchdog_cycles(cfg_.network, level) : 0;
+      integrity::CheckedRun run(&cluster_->backend(ci, faults_on),
+                                &cluster_->memory(ci), &bn, rc);
+      if (rc.detect) run.set_golden(q.golden);
+      run.begin(q.input);
+      std::unique_ptr<fault::FaultInjector> injector;
+      if (faults_on) {
+        fault::FaultSpec spec = cfg_.base_fault;
+        for (double& rate : spec.rate) rate *= storm_mult;
+        spec.seed = derive_stream(fault_seed, exec_counter);
+        if (spec.tcdm.empty()) {
+          spec.tcdm = {kernels::kDataBase, kernels::kDataBase + bn.data_bytes};
+        }
+        spec.text = {};
+        injector = std::make_unique<fault::FaultInjector>(spec);
+        injector->arm(&cluster_->core(ci), &cluster_->memory(ci));
+      }
+      ++exec_counter;
+      while (run.step() == integrity::CheckedRun::State::kBoundary) {
+      }
+      if (injector) injector->disarm();
+      if (faults_on) cluster_->scrub_pla(ci);
+
+      const uint64_t done = now + run.cycles();
+      clock[static_cast<size_t>(ci)] = done;
+      r.integrity_detections += run.counters().detections;
+      r.integrity_rollbacks += run.counters().rollbacks;
+
+      // A completed run retired ebreak without an integrity escalation and
+      // read back the output block; anything else is an attempt failure.
+      bool success = !run.integrity_failed() &&
+                     run.last_result().exit == iss::RunResult::Exit::kEbreak &&
+                     !run.outputs().empty();
+
+      if (success && run.outputs() != q.golden.outputs.back()) {
+        // Final golden firewall: ABFT passed but the served bytes differ
+        // from the host reference (fold collision). Blocked here — the
+        // decision never reaches the city.
+        ++r.corrupted_blocked;
+        success = false;
+      }
+
+      if (success) {
+        consec_fail[static_cast<size_t>(ci)] = 0;
+        ++r.served;
+        ++rec.served;
+        if (economy) {
+          ++r.served_fallback;
+          ++rec.served_fallback;
+        }
+        if (done > q.deadline) ++r.deadline_misses_admitted;
+        r.metrics.counter("cell" + std::to_string(c) + ".served").inc();
+        Fresh f{done, q.id, run.outputs()};
+        if (done <= t1) {
+          keep_freshest(fresh[static_cast<size_t>(c)], std::move(f));
+        } else {
+          keep_freshest(fresh_next[static_cast<size_t>(c)], std::move(f));
+        }
+        continue;
+      }
+
+      // Failure: trap, watchdog kill, integrity escalation, or firewall
+      // block. Request retry ladder + core quarantine, as the scheduler.
+      ++r.exec_failures;
+      int& fails = consec_fail[static_cast<size_t>(ci)];
+      ++fails;
+      ++q.attempts;
+      if (q.attempts > cfg_.max_retries) {
+        ++r.failed;
+      } else {
+        ++r.retries;
+        q.ready = done + static_cast<uint64_t>(q.attempts) * cfg_.retry_backoff_cycles;
+        pending.push_back(std::move(q));
+      }
+      if (fails >= cfg_.quarantine_threshold) {
+        ++r.quarantines;
+        clock[static_cast<size_t>(ci)] = done + cfg_.quarantine_cooldown_cycles;
+        fails = 0;
+      }
+    }
+
+    // ---- TTI boundary: apply decisions, score, publish, evaluate.
+    for (int c = 0; c < cells; ++c) {
+      std::optional<Fresh>& slot = fresh[static_cast<size_t>(c)];
+      if (slot) {
+        // Structurally golden-verified above; count what reaches the env.
+        city.apply_decision(c, slot->outputs);
+        ++rec.fresh_cells;
+      } else {
+        city.carry_stale(c);
+      }
+      slot.reset();
+    }
+    std::swap(fresh, fresh_next);
+
+    double backlog_total = 0;
+    for (int c = 0; c < cells; ++c) {
+      const double a = city.achieved_rate(c);
+      const double o = city.oracle_rate(c);
+      const double v = city.values()[static_cast<size_t>(c)];
+      r.achieved_total += a;
+      r.oracle_total += o;
+      r.weighted_achieved += v * a;
+      r.weighted_oracle += v * o;
+      // Stress split is a *time* window over the whole city: during a surge
+      // or storm TTI the degradation can land anywhere (shed low-value
+      // cells, admission-rejected calm cells), so the ISSUE's "aggregate
+      // sum-rate during the storm" is the city-wide sum over stress TTIs.
+      if (rec.stress) {
+        r.stress_achieved += a;
+        r.stress_oracle += o;
+      } else {
+        r.calm_achieved += a;
+        r.calm_oracle += o;
+      }
+      rec.achieved += a;
+      rec.oracle += o;
+
+      int backlog = 0;
+      for (const Req& q : pending) backlog += (q.cell == c) ? 1 : 0;
+      backlog_total += backlog;
+      const double pressure = static_cast<double>(backlog) / cap_cell;
+      r.metrics.gauge("cell" + std::to_string(c) + ".pressure_x1000")
+          .set(static_cast<int64_t>(pressure * 1000.0));
+
+      // Environment evolution under congestion feedback: the rate deficit
+      // a cell actually suffered raises its channels' busy pressure.
+      const double deficit =
+          o > 0 ? std::clamp(1.0 - a / o, 0.0, 1.0) : 0.0;
+      city.step_env(c, deficit);
+    }
+    r.metrics.gauge("cluster.pressure_x1000")
+        .set(static_cast<int64_t>(backlog_total / cap_total * 1000.0));
+
+    if (cfg_.brownout) {
+      brownout.evaluate(r.metrics, static_cast<uint64_t>(tti));
+      for (int c = 0; c < cells; ++c) {
+        ++rec.level_counts[static_cast<int>(brownout.level(c))];
+      }
+      if (r.stress_end_tti >= 0 && tti >= r.stress_end_tti &&
+          r.recovery_tti < 0 && brownout.all_normal()) {
+        r.recovery_tti = tti;
+      }
+    } else {
+      rec.level_counts[0] = cells;
+    }
+    r.ttis.push_back(rec);
+  }
+
+  r.unserved_at_end = pending.size();
+  r.transitions = brownout.transitions();
+  return r;
+}
+
+obs::Json scenario_result_to_json(const ScenarioConfig& cfg,
+                                  const ScenarioResult& r) {
+  obs::Json j = obs::Json::object();
+
+  obs::Json jc = obs::Json::object();
+  jc.set("network", cfg.network);
+  jc.set("cores", static_cast<int64_t>(cfg.cores));
+  jc.set("cells", static_cast<int64_t>(cfg.city.cells));
+  jc.set("ttis", static_cast<int64_t>(cfg.ttis));
+  jc.set("admission", std::string(serve::admission_name(cfg.admission)));
+  jc.set("brownout", cfg.brownout);
+  jc.set("integrity_detect", cfg.integrity_detect);
+  jc.set("integrity_rollback", cfg.integrity_rollback);
+  jc.set("base_tcdm_rate", cfg.base_fault.rate_of(fault::Target::kTcdm));
+  jc.set("base_regfile_rate", cfg.base_fault.rate_of(fault::Target::kRegFile));
+  jc.set("base_pla_rate", cfg.base_fault.rate_of(fault::Target::kPlaLut));
+  jc.set("seed", static_cast<int64_t>(cfg.seed));
+  jc.set("city_seed", static_cast<int64_t>(cfg.city.seed));
+  j.set("config", std::move(jc));
+
+  obs::Json jt = obs::Json::object();
+  jt.set("requests", r.requests);
+  jt.set("served", r.served);
+  jt.set("served_fallback", r.served_fallback);
+  jt.set("shed_rejected", r.shed_rejected);
+  jt.set("admission_rejected", r.admission_rejected);
+  jt.set("failed", r.failed);
+  jt.set("retries", r.retries);
+  jt.set("exec_failures", r.exec_failures);
+  jt.set("quarantines", r.quarantines);
+  jt.set("unserved_at_end", r.unserved_at_end);
+  jt.set("deadline_misses_admitted", r.deadline_misses_admitted);
+  jt.set("integrity_detections", r.integrity_detections);
+  jt.set("integrity_rollbacks", r.integrity_rollbacks);
+  jt.set("corrupted_blocked", r.corrupted_blocked);
+  jt.set("silent_to_env", r.silent_to_env);
+  j.set("totals", std::move(jt));
+
+  obs::Json jq = obs::Json::object();
+  jq.set("rate_ratio", r.rate_ratio());
+  jq.set("stress_ratio", r.stress_ratio());
+  jq.set("calm_ratio", r.calm_ratio());
+  jq.set("weighted_ratio", r.weighted_ratio());
+  jq.set("achieved_total", r.achieved_total);
+  jq.set("oracle_total", r.oracle_total);
+  jq.set("stress_achieved", r.stress_achieved);
+  jq.set("stress_oracle", r.stress_oracle);
+  j.set("quality", std::move(jq));
+
+  obs::Json jr = obs::Json::object();
+  jr.set("stress_end_tti", static_cast<int64_t>(r.stress_end_tti));
+  jr.set("recovery_tti", static_cast<int64_t>(r.recovery_tti));
+  jr.set("transitions", static_cast<int64_t>(r.transitions.size()));
+  j.set("recovery", std::move(jr));
+
+  obs::Json jtr = obs::Json::array();
+  for (const serve::ServiceTransition& t : r.transitions) {
+    obs::Json row = obs::Json::object();
+    row.set("cell", static_cast<int64_t>(t.cell));
+    row.set("tti", t.at);
+    row.set("from", std::string(serve::service_level_name(t.from)));
+    row.set("to", std::string(serve::service_level_name(t.to)));
+    jtr.push(std::move(row));
+  }
+  j.set("level_transitions", std::move(jtr));
+
+  obs::Json jtt = obs::Json::array();
+  for (const TtiRecord& t : r.ttis) {
+    obs::Json row = obs::Json::object();
+    row.set("tti", static_cast<int64_t>(t.tti));
+    row.set("offered", t.offered);
+    row.set("arrivals", static_cast<int64_t>(t.arrivals));
+    row.set("served", static_cast<int64_t>(t.served));
+    row.set("served_fallback", static_cast<int64_t>(t.served_fallback));
+    row.set("shed", static_cast<int64_t>(t.shed));
+    row.set("rejected", static_cast<int64_t>(t.rejected));
+    row.set("fresh_cells", static_cast<int64_t>(t.fresh_cells));
+    row.set("achieved", t.achieved);
+    row.set("oracle", t.oracle);
+    row.set("stress", t.stress);
+    obs::Json lv = obs::Json::array();
+    for (int lc : t.level_counts) lv.push(static_cast<int64_t>(lc));
+    row.set("levels", std::move(lv));
+    jtt.push(std::move(row));
+  }
+  j.set("ttis", std::move(jtt));
+
+  j.set("metrics", r.metrics.to_json());
+  return j;
+}
+
+}  // namespace rnnasip::scenario

@@ -1,0 +1,169 @@
+// Closed-loop scenario engine: drives a serve::Cluster against City
+// traffic, TTI by TTI, with the full robustness ladder in the loop —
+// EDF dispatch, provable-WCET admission (storm-hardened: a faulted
+// execution with rollback enabled is charged the tighter of the campaign
+// watchdog and WCET x (1 + layer_retries), both sound upper bounds on a
+// *successful* attempt), bounded retries with deterministic backoff,
+// K-consecutive-failure core quarantine, ABFT detection + layer rollback
+// (integrity::CheckedRun), and a final golden firewall: a decision's
+// outputs must match the host reference bit-for-bit before they are
+// applied to the cell's radio state, so no silently corrupted decision can
+// ever reach the environment (any fold-collision escape lands in
+// `corrupted_blocked`, never in the city).
+//
+// Per TTI boundary the engine applies each cell's freshest verified
+// decision (or decays stale powers), scores achieved vs WMMSE-oracle
+// sum-rate on the same faded field, publishes per-cell pressure gauges
+// into the metrics registry, lets the BrownoutController re-evaluate
+// service levels (economy level, admission tightening, value-ordered
+// shedding), and evolves the environment under congestion feedback.
+//
+// Everything is deterministic from ScenarioConfig: one seed reproduces the
+// whole city, every fault campaign, and the byte-exact JSON envelope.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/scenario/city.h"
+#include "src/serve/brownout.h"
+#include "src/serve/cluster.h"
+#include "src/serve/scheduler.h"
+
+namespace rnnasip::scenario {
+
+struct ScenarioConfig {
+  CityConfig city;
+  /// Decision network (suite name). ahmed19's FC 8->24->24->4 sigmoid head
+  /// matches a 4-pair cell: 4 normalized direct gains + 4 channel
+  /// occupancies in, 4 power fractions out.
+  std::string network = "ahmed19";
+  int cores = 4;
+  kernels::OptLevel level = kernels::OptLevel::kLoadCompute;
+  kernels::OptLevel fallback_level = kernels::OptLevel::kInputTiling;
+  int ttis = 96;
+  /// TTI length as a multiple of the primary flavor's calibrated
+  /// single-execution cycles (sets how many decisions one core can serve
+  /// per TTI).
+  double tti_cycles_factor = 6.0;
+  /// Request deadline = arrival + slack x TTI length.
+  double deadline_slack_ttis = 1.0;
+  serve::Admission admission = serve::Admission::kProvable;
+  /// Ambient SEU rates; a fault storm multiplies every rate for
+  /// executions serving the stormed cell.
+  fault::FaultSpec base_fault;
+  int max_retries = 2;
+  uint64_t retry_backoff_cycles = 2048;
+  int quarantine_threshold = 3;
+  uint64_t quarantine_cooldown_cycles = 200'000;
+  bool integrity_detect = true;
+  bool integrity_rollback = true;
+  int layer_retries = 2;
+  bool brownout = true;
+  serve::BrownoutConfig brownout_cfg;
+  /// Per-request observation jitter amplitude (uniform, pre-quantization)
+  /// — distinct UE groups in one cell see slightly different channels.
+  double obs_jitter = 0.02;
+  uint64_t seed = 0x5EED05;  ///< request jitter + fault campaign streams
+};
+
+/// One TTI's compact record (one row per TTI in the JSON envelope).
+struct TtiRecord {
+  int tti = 0;
+  double offered = 0.0;    ///< summed per-cell offered rate
+  int arrivals = 0;
+  int served = 0;          ///< completions that finished inside this TTI
+  int served_fallback = 0; ///< of those, at the economy (fallback) level
+  int shed = 0;            ///< arrivals dropped because their cell was shed
+  int rejected = 0;        ///< admission rejections inside this TTI
+  int fresh_cells = 0;     ///< cells that got a fresh decision this TTI
+  double achieved = 0.0;   ///< summed per-cell achieved sum-rate
+  double oracle = 0.0;     ///< summed per-cell WMMSE oracle sum-rate
+  bool stress = false;     ///< any cell inside a storm/surge window
+  std::array<int, 4> level_counts = {0, 0, 0, 0};  ///< brownout level mix after eval
+};
+
+struct ScenarioResult {
+  // Request accounting.
+  uint64_t requests = 0;
+  uint64_t served = 0;
+  uint64_t served_fallback = 0;
+  uint64_t shed_rejected = 0;
+  uint64_t admission_rejected = 0;
+  uint64_t failed = 0;          ///< retries exhausted
+  uint64_t retries = 0;
+  uint64_t exec_failures = 0;   ///< trap/watchdog/integrity-escalation attempts
+  uint64_t quarantines = 0;
+  uint64_t unserved_at_end = 0; ///< still pending when the run ended
+  /// Deadline misses among *admitted* (served) requests — provably zero
+  /// under Admission::kProvable with the storm-hardened charge.
+  uint64_t deadline_misses_admitted = 0;
+  // Integrity accounting.
+  uint64_t integrity_detections = 0;
+  uint64_t integrity_rollbacks = 0;
+  /// Attempts whose outputs passed ABFT but failed the final golden
+  /// firewall — blocked before reaching the environment.
+  uint64_t corrupted_blocked = 0;
+  /// Corrupted decisions actually applied to the environment. Structurally
+  /// zero: every applied decision is golden-compared first.
+  uint64_t silent_to_env = 0;
+  // Decision quality (sum-rates accumulated over all (tti, cell) points).
+  double achieved_total = 0.0;
+  double oracle_total = 0.0;
+  double stress_achieved = 0.0;  ///< over (tti, cell) inside stress windows
+  double stress_oracle = 0.0;
+  double calm_achieved = 0.0;
+  double calm_oracle = 0.0;
+  double weighted_achieved = 0.0;  ///< value-weighted variants
+  double weighted_oracle = 0.0;
+  // Brownout recovery.
+  int stress_end_tti = -1;  ///< exclusive end of the last storm/surge
+  int recovery_tti = -1;    ///< first TTI >= stress_end with all cells normal
+  std::vector<serve::ServiceTransition> transitions;
+  std::vector<TtiRecord> ttis;
+  /// Per-cell gauges/counters as published during the run (pressure,
+  /// served, shed) — the registry the brownout controller actually read.
+  obs::MetricsRegistry metrics;
+
+  double rate_ratio() const {
+    return oracle_total > 0 ? achieved_total / oracle_total : 0.0;
+  }
+  double stress_ratio() const {
+    return stress_oracle > 0 ? stress_achieved / stress_oracle : 0.0;
+  }
+  double calm_ratio() const {
+    return calm_oracle > 0 ? calm_achieved / calm_oracle : 0.0;
+  }
+  double weighted_ratio() const {
+    return weighted_oracle > 0 ? weighted_achieved / weighted_oracle : 0.0;
+  }
+};
+
+class ScenarioEngine {
+ public:
+  explicit ScenarioEngine(const ScenarioConfig& cfg);
+
+  /// Run the whole scenario (cfg.ttis TTIs) and return the result. One
+  /// call per engine instance.
+  ScenarioResult run();
+
+  uint64_t tti_cycles() const { return tti_cycles_; }
+  const serve::Cluster& cluster() const { return *cluster_; }
+
+ private:
+  ScenarioConfig cfg_;
+  std::unique_ptr<serve::Cluster> cluster_;
+  uint64_t tti_cycles_ = 0;
+};
+
+/// Byte-deterministic JSON for the bench envelope: config echo, totals,
+/// stress/calm split, recovery, per-TTI rows, brownout transitions.
+obs::Json scenario_result_to_json(const ScenarioConfig& cfg,
+                                  const ScenarioResult& r);
+
+}  // namespace rnnasip::scenario

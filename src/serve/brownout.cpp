@@ -1,0 +1,129 @@
+#include "src/serve/brownout.h"
+
+#include "src/common/check.h"
+
+namespace rnnasip::serve {
+
+namespace {
+
+ServiceLevel step_down(ServiceLevel level) {
+  switch (level) {
+    case ServiceLevel::kNormal: return ServiceLevel::kNormal;
+    case ServiceLevel::kEconomy: return ServiceLevel::kNormal;
+    case ServiceLevel::kCritical: return ServiceLevel::kEconomy;
+    case ServiceLevel::kShed: return ServiceLevel::kCritical;
+  }
+  return ServiceLevel::kNormal;
+}
+
+ServiceLevel step_up(ServiceLevel level) {
+  switch (level) {
+    case ServiceLevel::kNormal: return ServiceLevel::kEconomy;
+    case ServiceLevel::kEconomy: return ServiceLevel::kCritical;
+    // Escalation stops at kCritical; only the cluster-wide shed check may
+    // take a cell to kShed.
+    case ServiceLevel::kCritical: return ServiceLevel::kCritical;
+    case ServiceLevel::kShed: return ServiceLevel::kShed;
+  }
+  return ServiceLevel::kNormal;
+}
+
+}  // namespace
+
+const char* service_level_name(ServiceLevel level) {
+  switch (level) {
+    case ServiceLevel::kNormal: return "normal";
+    case ServiceLevel::kEconomy: return "economy";
+    case ServiceLevel::kCritical: return "critical";
+    case ServiceLevel::kShed: return "shed";
+  }
+  return "?";
+}
+
+BrownoutController::BrownoutController(const BrownoutConfig& cfg,
+                                       std::vector<double> cell_values)
+    : cfg_(cfg),
+      values_(std::move(cell_values)),
+      levels_(values_.size(), ServiceLevel::kNormal),
+      calm_streak_(values_.size(), 0) {
+  RNNASIP_CHECK(!values_.empty());
+  RNNASIP_CHECK(cfg_.enter_pressure > cfg_.exit_pressure);
+  RNNASIP_CHECK(cfg_.hold_evals >= 1);
+  RNNASIP_CHECK(cfg_.admission_margin >= 1.0);
+  RNNASIP_CHECK(cfg_.min_live_cells >= 0 &&
+                cfg_.min_live_cells <= static_cast<int>(values_.size()));
+}
+
+ServiceLevel BrownoutController::level(int cell) const {
+  RNNASIP_CHECK(cell >= 0 && cell < cell_count());
+  return levels_[static_cast<size_t>(cell)];
+}
+
+double BrownoutController::admission_margin(int cell) const {
+  return level(cell) >= ServiceLevel::kCritical ? cfg_.admission_margin : 1.0;
+}
+
+bool BrownoutController::all_normal() const {
+  for (ServiceLevel l : levels_) {
+    if (l != ServiceLevel::kNormal) return false;
+  }
+  return true;
+}
+
+void BrownoutController::set_level(int cell, ServiceLevel to, uint64_t now) {
+  ServiceLevel& slot = levels_[static_cast<size_t>(cell)];
+  if (slot == to) return;
+  transitions_.push_back({cell, now, slot, to});
+  slot = to;
+  calm_streak_[static_cast<size_t>(cell)] = 0;
+}
+
+void BrownoutController::evaluate(const obs::MetricsRegistry& metrics, uint64_t now) {
+  const double cluster_pressure =
+      static_cast<double>(metrics.gauge_value("cluster.pressure_x1000")) / 1000.0;
+
+  for (int c = 0; c < cell_count(); ++c) {
+    const std::string gauge = "cell" + std::to_string(c) + ".pressure_x1000";
+    const double pressure = static_cast<double>(metrics.gauge_value(gauge)) / 1000.0;
+    const ServiceLevel current = levels_[static_cast<size_t>(c)];
+
+    if (pressure >= cfg_.enter_pressure && current < ServiceLevel::kCritical) {
+      set_level(c, step_up(current), now);
+      continue;
+    }
+    // Calm requires the cell *and* the cluster quiet: a cell whose own
+    // backlog drained only because its requests were shed must not recover
+    // into a still-burning storm and immediately re-shed.
+    const bool calm =
+        pressure <= cfg_.exit_pressure && cluster_pressure <= cfg_.exit_pressure;
+    int& streak = calm_streak_[static_cast<size_t>(c)];
+    if (!calm) {
+      streak = 0;
+      continue;
+    }
+    if (++streak >= cfg_.hold_evals && current != ServiceLevel::kNormal) {
+      set_level(c, step_down(current), now);  // resets the streak
+    }
+  }
+
+  if (cluster_pressure >= cfg_.shed_pressure) {
+    int live = 0;
+    for (ServiceLevel l : levels_) live += (l != ServiceLevel::kShed) ? 1 : 0;
+    if (live > cfg_.min_live_cells) {
+      // Shed exactly one more cell per evaluation: the lowest-value live
+      // cell (ties: highest index), so degradation is incremental and
+      // value-ordered rather than a cliff.
+      int victim = -1;
+      for (int c = 0; c < cell_count(); ++c) {
+        if (levels_[static_cast<size_t>(c)] == ServiceLevel::kShed) continue;
+        if (victim < 0 || values_[static_cast<size_t>(c)] <=
+                              values_[static_cast<size_t>(victim)]) {
+          victim = c;
+        }
+      }
+      if (victim >= 0) set_level(victim, ServiceLevel::kShed, now);
+    }
+  }
+}
+
+}  // namespace rnnasip::serve

@@ -1,0 +1,111 @@
+// Brownout controller: per-cell graceful degradation for the serving
+// cluster under correlated overload (flash crowds, handover bursts) and
+// fault storms.
+//
+// The controller never touches the cluster directly. It reads per-cell
+// pressure gauges that the scenario engine (or any other traffic source)
+// publishes into an obs::MetricsRegistry, and answers three questions per
+// cell: which program level to serve at, how much to tighten admission, and
+// whether to shed the cell outright. Degradation is *graceful* by
+// construction:
+//
+//   kNormal   -> serve at the primary optimization level;
+//   kEconomy  -> serve at the cheaper fallback level (outputs are
+//                bit-identical across levels — only cycles change, so
+//                economy trades latency headroom, never correctness);
+//   kCritical -> economy + admission tightening: the WCET charged at
+//                admission is multiplied by `admission_margin` (> 1 only
+//                tightens a sound bound, so kProvable stays a guarantee);
+//   kShed     -> the cell gets no decisions at all; its radio state rides
+//                on decayed stale powers until the storm passes.
+//
+// Escalation is per-cell and immediate (one level per evaluation under
+// sustained pressure); shedding is cluster-wide and value-ordered — when
+// aggregate pressure passes `shed_pressure`, the *lowest-value* non-shed
+// cell sheds first, mirroring real brownout tiers. De-escalation is
+// hysteretic: a cell steps down one level only after `hold_evals`
+// consecutive calm evaluations, which yields a provable recovery bound
+// (recovery_bound_evals) — from any state, once pressure stays calm, every
+// cell is back at kNormal within that many evaluations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace rnnasip::serve {
+
+/// Per-cell service level, ordered from full service to none.
+enum class ServiceLevel { kNormal = 0, kEconomy = 1, kCritical = 2, kShed = 3 };
+
+const char* service_level_name(ServiceLevel level);
+
+struct BrownoutConfig {
+  /// Per-cell pressure (backlog / per-TTI capacity share, published x1000
+  /// as an integer gauge) at or above which the cell escalates one level.
+  double enter_pressure = 1.5;
+  /// Pressure at or below which an evaluation counts as calm.
+  double exit_pressure = 0.75;
+  /// Consecutive calm evaluations required to de-escalate one level.
+  int hold_evals = 3;
+  /// Cluster-aggregate pressure at or above which one more cell sheds
+  /// (lowest value first) per evaluation.
+  double shed_pressure = 3.0;
+  /// WCET multiplier charged at admission while a cell is at kCritical or
+  /// above. Must be >= 1: inflating a sound upper bound keeps it sound.
+  double admission_margin = 1.5;
+  /// Never shed below this many live cells, whatever the pressure.
+  int min_live_cells = 1;
+};
+
+/// One recorded level change (for traces and the bench JSON).
+struct ServiceTransition {
+  int cell = 0;
+  uint64_t at = 0;  ///< evaluation index (TTI) of the change
+  ServiceLevel from = ServiceLevel::kNormal;
+  ServiceLevel to = ServiceLevel::kNormal;
+};
+
+class BrownoutController {
+ public:
+  /// `cell_values` ranks cells for shed ordering (higher = more valuable,
+  /// shed last). One entry per cell; all cells start at kNormal.
+  BrownoutController(const BrownoutConfig& cfg, std::vector<double> cell_values);
+
+  /// Evaluate once per TTI against the published gauges:
+  ///   "cell<i>.pressure_x1000"  per-cell backlog pressure, fixed-point x1000
+  ///   "cluster.pressure_x1000"  aggregate pressure, fixed-point x1000
+  /// `now` is the evaluation index (TTI number) recorded on transitions.
+  void evaluate(const obs::MetricsRegistry& metrics, uint64_t now);
+
+  int cell_count() const { return static_cast<int>(levels_.size()); }
+  ServiceLevel level(int cell) const;
+  bool shed(int cell) const { return level(cell) == ServiceLevel::kShed; }
+  /// True when the cell serves at the fallback program level.
+  bool economy(int cell) const { return level(cell) >= ServiceLevel::kEconomy; }
+  /// WCET multiplier to charge at admission for this cell (>= 1).
+  double admission_margin(int cell) const;
+  bool all_normal() const;
+
+  /// Provable recovery bound: once every evaluation is calm (per-cell and
+  /// aggregate pressure at or below exit_pressure), every cell reaches
+  /// kNormal within this many evaluations — each hold_evals-long calm
+  /// streak steps one of at most three levels down.
+  int recovery_bound_evals() const { return 3 * cfg_.hold_evals; }
+
+  const std::vector<ServiceTransition>& transitions() const { return transitions_; }
+  const BrownoutConfig& config() const { return cfg_; }
+
+ private:
+  void set_level(int cell, ServiceLevel to, uint64_t now);
+
+  BrownoutConfig cfg_;
+  std::vector<double> values_;
+  std::vector<ServiceLevel> levels_;
+  std::vector<int> calm_streak_;
+  std::vector<ServiceTransition> transitions_;
+};
+
+}  // namespace rnnasip::serve

@@ -14,15 +14,11 @@ namespace rnnasip::serve {
 
 namespace {
 
-/// Per-execution campaign seed: splitmix64-style finalizer over (campaign
-/// seed, execution index), so one seed reproduces every execution's flip
-/// schedule bit-exactly.
-uint64_t mix_seed(uint64_t seed, uint64_t n) {
-  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (n + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
+/// Per-execution campaign seed: derive_stream over (campaign seed, execution
+/// index), so one seed reproduces every execution's flip schedule bit-exactly.
+/// (The shared helper uses the exact mixing this file originally inlined, so
+/// blessed resilience envelopes stay byte-identical.)
+uint64_t mix_seed(uint64_t seed, uint64_t n) { return derive_stream(seed, n); }
 
 std::shared_ptr<ServingTelemetry> make_telemetry(const SchedulerConfig& cfg) {
   if (!cfg.telemetry.enabled) return nullptr;

@@ -1,0 +1,262 @@
+// Scenario subsystem contracts (src/scenario + src/serve brownout):
+//   - city traffic is byte-deterministic from the seed and correlated
+//     (diurnal bounds, scripted surges, storm windows),
+//   - the closed loop applies decisions / decays stale powers as specified,
+//   - the brownout controller escalates under pressure, de-escalates
+//     hysteretically within its provable recovery bound, and sheds
+//     lowest-value cells first,
+//   - the scenario engine is byte-deterministic end to end and upholds the
+//     robustness invariants (zero admitted misses, zero silent corruption).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+#include "src/scenario/city.h"
+#include "src/scenario/engine.h"
+#include "src/serve/brownout.h"
+
+using namespace rnnasip;
+
+namespace {
+
+scenario::CityConfig small_city(uint64_t seed = 0xC17) {
+  scenario::CityConfig cfg;
+  cfg.cells = 4;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ScenarioCity, DiurnalCurveStaysInsideItsBand) {
+  scenario::DiurnalCurve d;
+  double lo = 1e9, hi = -1e9;
+  for (int t = 0; t < 3 * d.period_ttis; ++t) {
+    const double v = d.at(t);
+    EXPECT_GE(v, d.floor - 1e-12);
+    EXPECT_LE(v, d.peak + 1e-12);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  // The curve actually spans the band (it is not a constant).
+  EXPECT_NEAR(lo, d.floor, 1e-9);
+  EXPECT_NEAR(hi, d.peak, 1e-9);
+  // Peak lands at the configured phase.
+  EXPECT_NEAR(d.at(d.phase_ttis), d.peak, 1e-9);
+}
+
+TEST(ScenarioCity, TrafficIsByteDeterministicFromTheSeed) {
+  scenario::City a(small_city()), b(small_city());
+  for (int t = 0; t < 32; ++t) {
+    EXPECT_EQ(a.draw_arrivals(t), b.draw_arrivals(t)) << "tti " << t;
+    for (int c = 0; c < a.cell_count(); ++c) {
+      EXPECT_EQ(a.offered_rate(c), b.offered_rate(c));
+      EXPECT_EQ(a.observe(c, 8), b.observe(c, 8));
+    }
+  }
+  // A different seed produces a different request stream somewhere.
+  scenario::City other(small_city(0xD1FF));
+  bool diverged = false;
+  for (int t = 0; t < 32 && !diverged; ++t) {
+    diverged = a.draw_arrivals(t) != other.draw_arrivals(t);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ScenarioCity, ScriptedSurgeAndStormWindowsAreExact) {
+  auto cfg = small_city();
+  cfg.surges = {{1, 4, 8, 6.0}};
+  cfg.storms = {{2, 6, 10, 100.0}};
+  scenario::City city(cfg);
+  for (int t = 0; t < 16; ++t) {
+    city.draw_arrivals(t);
+    // Storm multiplier: exactly the scripted factor inside the window on
+    // the stormed cell, exactly 1 everywhere else.
+    for (int c = 0; c < city.cell_count(); ++c) {
+      const bool in_storm = c == 2 && t >= 6 && t < 10;
+      EXPECT_EQ(city.storm_multiplier(c, t), in_storm ? 100.0 : 1.0)
+          << "cell " << c << " tti " << t;
+    }
+    EXPECT_EQ(city.in_stress(1, t), t >= 4 && t < 8);
+    EXPECT_EQ(city.in_stress(2, t), t >= 6 && t < 10);
+    EXPECT_EQ(city.any_stress(t), t >= 4 && t < 10);
+  }
+  EXPECT_EQ(city.stress_end_tti(), 10);
+}
+
+TEST(ScenarioCity, SurgeMultipliesTheOfferedRate) {
+  // Same seed with and without the scripted surge: on the surged cell and
+  // TTI the offered rate is exactly `multiplier`x the unsurged rate (the
+  // clamp aside), because the two cities' traffic chains stay in lockstep
+  // until the first arrival draw of that TTI.
+  auto plain_cfg = small_city();
+  auto surged_cfg = small_city();
+  surged_cfg.surges = {{0, 3, 4, 5.0}};
+  scenario::City plain(plain_cfg), surged(surged_cfg);
+  for (int t = 0; t < 3; ++t) {
+    ASSERT_EQ(plain.draw_arrivals(t), surged.draw_arrivals(t));
+  }
+  plain.draw_arrivals(3);
+  surged.draw_arrivals(3);
+  const double expect = std::min(plain.offered_rate(0) * 5.0,
+                                 scenario::City::kMaxRate);
+  EXPECT_NEAR(surged.offered_rate(0), expect, 1e-12);
+}
+
+TEST(ScenarioCity, StaleDecisionsDecayAndFreshOnesApply) {
+  auto cfg = small_city();
+  scenario::City city(cfg);
+  // A full-scale sigmoid decision (Q3.12 "4095/4096") is ~full power.
+  std::vector<int16_t> outputs(4, 4095);
+  city.apply_decision(0, outputs);
+  const auto applied = city.powers(0);
+  for (double p : applied) {
+    EXPECT_NEAR(p, cfg.p_max * 4095.0 / 4096.0, 1e-12);
+  }
+  // Each missed TTI multiplies every pair's power by power_decay.
+  city.carry_stale(0);
+  city.carry_stale(0);
+  const auto stale = city.powers(0);
+  for (size_t i = 0; i < stale.size(); ++i) {
+    EXPECT_NEAR(stale[i], applied[i] * cfg.power_decay * cfg.power_decay,
+                1e-12);
+  }
+  // Decayed powers score a lower achieved rate on the same field.
+  scenario::City fresh_city(cfg);
+  fresh_city.apply_decision(0, outputs);
+  EXPECT_LT(city.achieved_rate(0), fresh_city.achieved_rate(0));
+}
+
+namespace {
+
+/// Publish per-cell and cluster pressure gauges the way the engine does.
+void publish(obs::MetricsRegistry& m, const std::vector<double>& cell_pressure,
+             double cluster_pressure) {
+  for (size_t c = 0; c < cell_pressure.size(); ++c) {
+    m.gauge("cell" + std::to_string(c) + ".pressure_x1000")
+        .set(static_cast<int64_t>(cell_pressure[c] * 1000.0));
+  }
+  m.gauge("cluster.pressure_x1000")
+      .set(static_cast<int64_t>(cluster_pressure * 1000.0));
+}
+
+}  // namespace
+
+TEST(Brownout, EscalatesUnderPressureAndRecoversWithinTheBound) {
+  serve::BrownoutConfig cfg;  // enter 1.5, exit 0.75, hold 3
+  serve::BrownoutController ctl(cfg, {1.0, 2.0});
+  obs::MetricsRegistry m;
+  uint64_t now = 0;
+
+  // Sustained pressure on cell 0 escalates one level per evaluation up to
+  // kCritical; cell 1 stays normal.
+  publish(m, {2.0, 0.0}, 0.5);
+  ctl.evaluate(m, now++);
+  EXPECT_EQ(ctl.level(0), serve::ServiceLevel::kEconomy);
+  ctl.evaluate(m, now++);
+  EXPECT_EQ(ctl.level(0), serve::ServiceLevel::kCritical);
+  ctl.evaluate(m, now++);
+  EXPECT_EQ(ctl.level(0), serve::ServiceLevel::kCritical) << "escalation past "
+      "critical must go through the cluster shed path, not per-cell pressure";
+  EXPECT_EQ(ctl.level(1), serve::ServiceLevel::kNormal);
+  EXPECT_GT(ctl.admission_margin(0), 1.0);
+  EXPECT_EQ(ctl.admission_margin(1), 1.0);
+
+  // Calm evaluations: hysteretic de-escalation, one level per hold_evals,
+  // fully normal within the provable bound.
+  publish(m, {0.0, 0.0}, 0.0);
+  int evals = 0;
+  while (!ctl.all_normal()) {
+    ASSERT_LT(evals, ctl.recovery_bound_evals()) << "recovery bound violated";
+    ctl.evaluate(m, now++);
+    ++evals;
+  }
+  EXPECT_EQ(evals, 2 * cfg.hold_evals);  // critical -> economy -> normal
+  EXPECT_EQ(ctl.admission_margin(0), 1.0);
+  // Every level change was recorded.
+  EXPECT_EQ(ctl.transitions().size(), 4u);
+}
+
+TEST(Brownout, ShedsLowestValueCellsFirstAndRespectsTheFloor) {
+  serve::BrownoutConfig cfg;
+  cfg.shed_pressure = 2.0;
+  cfg.min_live_cells = 2;
+  // Values rank shedding: cell 2 (value 1) first, then cell 0 (value 3);
+  // cells 1 and 3 are the floor survivors.
+  serve::BrownoutController ctl(cfg, {3.0, 8.0, 1.0, 9.0});
+  obs::MetricsRegistry m;
+  publish(m, {0.0, 0.0, 0.0, 0.0}, 5.0);  // cluster melting, cells "calm"
+  ctl.evaluate(m, 0);
+  EXPECT_TRUE(ctl.shed(2)) << "lowest-value cell sheds first";
+  EXPECT_FALSE(ctl.shed(0));
+  ctl.evaluate(m, 1);
+  EXPECT_TRUE(ctl.shed(0)) << "one more cell per evaluation, value order";
+  // The floor: never below min_live_cells, whatever the pressure.
+  ctl.evaluate(m, 2);
+  ctl.evaluate(m, 3);
+  EXPECT_FALSE(ctl.shed(1));
+  EXPECT_FALSE(ctl.shed(3));
+  int live = 0;
+  for (int c = 0; c < ctl.cell_count(); ++c) live += ctl.shed(c) ? 0 : 1;
+  EXPECT_EQ(live, 2);
+}
+
+namespace {
+
+scenario::ScenarioConfig small_scenario(uint64_t seed = 0x7E57) {
+  scenario::ScenarioConfig cfg;
+  cfg.city.cells = 4;
+  cfg.city.base_rate = 1.0;
+  cfg.city.seed = derive_stream(seed, 100);
+  cfg.cores = 2;
+  cfg.ttis = 10;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ScenarioEngine, RunIsByteDeterministic) {
+  const auto cfg = small_scenario();
+  scenario::ScenarioEngine a(cfg), b(cfg);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(scenario::scenario_result_to_json(cfg, ra).dump_pretty(),
+            scenario::scenario_result_to_json(cfg, rb).dump_pretty());
+  EXPECT_GT(ra.requests, 0u);
+  EXPECT_GT(ra.served, 0u);
+}
+
+TEST(ScenarioEngine, RobustnessInvariantsHoldUnderAStorm) {
+  auto cfg = small_scenario(0x57AB);
+  cfg.city.surges = {{1, 2, 6, 6.0}};
+  cfg.city.storms = {{1, 2, 6, 1000.0}};
+  cfg.base_fault.rate_of(fault::Target::kRegFile) = 5e-7;
+  cfg.base_fault.rate_of(fault::Target::kPlaLut) = 5e-5;
+  cfg.base_fault.seed = cfg.seed;
+  scenario::ScenarioEngine engine(cfg);
+  const auto r = engine.run();
+  EXPECT_GT(r.requests, 0u);
+  EXPECT_GT(r.served, 0u);
+  // The two structural guarantees hold under any storm: provable admission
+  // never admits a miss, and no unverified decision reaches the city.
+  EXPECT_EQ(r.deadline_misses_admitted, 0u);
+  EXPECT_EQ(r.silent_to_env, 0u);
+  // The stress accounting covered the storm window.
+  EXPECT_GT(r.stress_oracle, 0.0);
+  EXPECT_EQ(r.stress_end_tti, 6);
+}
+
+TEST(ScenarioEngine, BrownoutDisabledServesEveryCellAtThePrimaryLevel) {
+  auto cfg = small_scenario(0xB10D);
+  cfg.brownout = false;
+  scenario::ScenarioEngine engine(cfg);
+  const auto r = engine.run();
+  EXPECT_EQ(r.served_fallback, 0u);
+  EXPECT_EQ(r.shed_rejected, 0u);
+  EXPECT_TRUE(r.transitions.empty());
+  for (const auto& t : r.ttis) {
+    EXPECT_EQ(t.level_counts[0], cfg.city.cells);
+  }
+}

@@ -488,6 +488,105 @@ TEST(ServeScheduler, OverloadFallsBackToCheaperLevelAndRecovers) {
   (void)saw_c;
 }
 
+TEST(ServeScheduler, QuarantineReentryRequiresFreshFailureThreshold) {
+  // Cooldown re-entry audit: entering quarantine resets the core's
+  // consecutive-failure counter, so after the cooldown expires the core
+  // must burn a *full fresh threshold* of failed attempts before it can
+  // re-enter — a single lingering failure may not re-quarantine it.
+  auto cfg = cluster_config(1, 1);
+  cfg.watchdog_cycles = 64;  // kills every faulted execution
+  serve::Cluster cluster(cfg, kFcNets);
+  const auto workload = small_workload(cluster, kFcNets, 6, 0xC0DE);
+  serve::SchedulerConfig sc;
+  sc.fault.rate_of(fault::Target::kRegFile) = 1e-7;  // armed => watchdog applies
+  sc.max_retries = 2;
+  sc.quarantine_threshold = 3;
+  sc.quarantine_cooldown_cycles = 50'000;
+  serve::Scheduler sched(&cluster, sc);
+  const auto r = sched.run(workload);
+
+  // Every attempt of every request is watchdog-killed: 6 requests x
+  // (1 try + 2 retries) = 18 consecutive failures on the single core.
+  EXPECT_EQ(r.exec_failures, 18u);
+  // Exactly one quarantine per full threshold of failures. Without the
+  // reset-on-entry, every failure after the first quarantine would
+  // immediately re-quarantine the core (16 windows instead of 6).
+  ASSERT_EQ(r.quarantines.size(), 18u / 3u);
+  EXPECT_EQ(r.quarantine_cycles, 6u * 50'000u);
+  for (size_t i = 0; i < r.quarantines.size(); ++i) {
+    const auto& q = r.quarantines[i];
+    EXPECT_EQ(q.core, 0);
+    EXPECT_EQ(q.to - q.from, 50'000u);
+    if (i == 0) continue;
+    const auto& prev = r.quarantines[i - 1];
+    // Disjoint, ordered, and separated by at least a fresh threshold of
+    // failed work (each killed attempt costs >= the watchdog budget).
+    EXPECT_GE(q.from, prev.to + 3u * 64u)
+        << "quarantine " << i << " re-entered without a fresh threshold";
+  }
+}
+
+TEST(ServeScheduler, FallbackRecoveryRestoresPrimaryLevelBitExactly) {
+  // Overload-fallback recovery: once the queue drains and the degraded
+  // interval closes, dispatch returns to the primary level, and the
+  // post-recovery completions are bit-identical — outputs and timing —
+  // to a run that never degraded at all.
+  auto cfg = cluster_config(1, 1);
+  cfg.level = OptLevel::kOutputTiling;
+  cfg.fallback_level = OptLevel::kInputTiling;
+  serve::Cluster cluster(cfg, kFcNets);
+  const uint64_t est = cluster.estimated_single_cycles("ahmed19");
+
+  // 12-request burst at cycle 0 trips the depth trigger; a long gap lets
+  // the queue drain and the overload exit; 6 widely spaced tail requests
+  // then exercise the recovered scheduler.
+  serve::WorkloadConfig wc;
+  wc.networks = {"ahmed19"};
+  wc.requests = 18;
+  wc.seed = 0xFA11B;
+  auto workload = serve::make_poisson_workload(cluster, wc);
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    workload.jobs[i].arrival = i < 12 ? 0 : (40 + 10 * (i - 12)) * est;
+  }
+
+  serve::SchedulerConfig sc;
+  sc.level_fallback = true;
+  sc.overload_queue_depth = 4;
+  serve::Scheduler degraded_sched(&cluster, sc);
+  const auto r = degraded_sched.run(workload);
+  ASSERT_EQ(r.completions.size(), workload.jobs.size());
+  ASSERT_FALSE(r.fallback_intervals.empty());
+  const auto& last = r.fallback_intervals.back();
+  EXPECT_LT(last.to, 40 * est) << "overload did not exit before the tail";
+
+  // The never-degraded control: same cluster shape, fallback disabled.
+  serve::Cluster control_cluster(cfg, kFcNets);
+  serve::Scheduler control_sched(&control_cluster, serve::SchedulerConfig{});
+  const auto rn = control_sched.run(workload);
+  ASSERT_EQ(rn.completions.size(), workload.jobs.size());
+
+  // Every completion dispatched after the interval closed is back at the
+  // primary level (burst stragglers included — their *schedule* still
+  // carries the fallback speedup, so only the level is compared here).
+  for (const auto& c : r.completions) {
+    if (c.start < last.to) continue;
+    EXPECT_EQ(c.level, OptLevel::kOutputTiling) << "request " << c.id;
+  }
+  // The idle gap re-converges the two schedules: each tail request starts
+  // at its arrival on an idle core in both runs, so post-recovery service
+  // is bit-identical to the never-degraded run — outputs and timing.
+  for (uint64_t id = 12; id < 18; ++id) {
+    const auto& c = r.completions[id];
+    const auto& n = rn.completions[id];
+    EXPECT_GE(c.start, last.to) << "request " << id;
+    EXPECT_EQ(c.level, OptLevel::kOutputTiling) << "request " << id;
+    EXPECT_EQ(c.outputs, n.outputs) << "request " << id;
+    EXPECT_EQ(c.start, n.start) << "request " << id;
+    EXPECT_EQ(c.done, n.done) << "request " << id;
+    EXPECT_EQ(c.exec_cycles, n.exec_cycles) << "request " << id;
+  }
+}
+
 TEST(ServeCluster, ObserveAggregatesRegionCycles) {
   auto cfg = cluster_config(1, 4);
   cfg.observe = true;
